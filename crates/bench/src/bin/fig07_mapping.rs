@@ -1,0 +1,126 @@
+//! Fig 7 — distribution of operand matrix elements to threads for tensor
+//! cores in the Titan V (Volta).
+//!
+//! Regenerates, from the model, what the paper's Fig 4 microbenchmark
+//! printed: which threadgroup holds each operand segment, how elements
+//! distribute within a threadgroup for each layout, and the SASS load
+//! decomposition (two `LD.E.128` / four `LD.E.64` / 32-bit `LD.E.SYS`).
+
+use tcsim_bench::print_table;
+use tcsim_core::{threadgroup_of_lane, FragmentMap};
+use tcsim_isa::{FragmentKind, Layout, WmmaType, WARP_SIZE};
+
+fn segment_table(frag: FragmentKind, ty: WmmaType) {
+    let map = FragmentMap::volta(frag, ty, Layout::Row);
+    let (rows, cols) = frag.dims(map.shape());
+    // For each 4×4 block of the operand, list the owning threadgroups.
+    let mut out = Vec::new();
+    for br in 0..rows / 4 {
+        let mut row = vec![format!("rows {}-{}", br * 4, br * 4 + 3)];
+        for bc in 0..cols / 4 {
+            let mut tgs: Vec<usize> = map
+                .owners((br * 4) as u8, (bc * 4) as u8)
+                .iter()
+                .map(|&(lane, _)| threadgroup_of_lane(lane))
+                .collect();
+            tgs.sort_unstable();
+            tgs.dedup();
+            row.push(
+                tgs.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+            );
+        }
+        out.push(row);
+    }
+    let mut headers = vec!["block".to_string()];
+    for bc in 0..cols / 4 {
+        headers.push(format!("cols {}-{}", bc * 4, bc * 4 + 3));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Matrix {frag:?} ({ty}) — threadgroups owning each 4x4 block"),
+        &headers_ref,
+        &out,
+    );
+}
+
+fn load_decomposition(frag: FragmentKind, ty: WmmaType) {
+    let mut rows = Vec::new();
+    for layout in [Layout::Row, Layout::Col] {
+        let map = FragmentMap::volta(frag, ty, layout);
+        let acc = map.lane_accesses(0, 16);
+        let widths: Vec<String> = acc.iter().map(|&(_, b)| format!("{}b", b as u32 * 8)).collect();
+        rows.push(vec![
+            format!("{layout}"),
+            acc.len().to_string(),
+            widths.join(" "),
+        ]);
+    }
+    print_table(
+        &format!("Matrix {frag:?} ({ty}) — per-thread load decomposition (§III-C)"),
+        &["layout", "loads/thread", "widths"],
+        &rows,
+    );
+}
+
+fn thread_elements(frag: FragmentKind, ty: WmmaType, layout: Layout) {
+    let map = FragmentMap::volta(frag, ty, layout);
+    let mut rows = Vec::new();
+    for lane in 0..8.min(WARP_SIZE) {
+        let elems: Vec<String> = map
+            .lane_elems(lane)
+            .iter()
+            .map(|&(r, c)| format!("({r},{c})"))
+            .collect();
+        rows.push(vec![format!("T{lane}"), elems.join(" ")]);
+    }
+    print_table(
+        &format!("Matrix {frag:?} {ty} {layout}-major — elements held by threads 0-7 (threadgroups 0-1)"),
+        &["thread", "elements (row,col)"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("Fig 7: Volta (Titan V) operand element → thread mapping, m16n16k16");
+    println!("Every A/B element is loaded by TWO threadgroups; C by one (§III-B1).");
+
+    segment_table(FragmentKind::A, WmmaType::F16);
+    segment_table(FragmentKind::B, WmmaType::F16);
+    segment_table(FragmentKind::C, WmmaType::F32);
+
+    load_decomposition(FragmentKind::A, WmmaType::F16);
+    load_decomposition(FragmentKind::B, WmmaType::F16);
+    load_decomposition(FragmentKind::C, WmmaType::F32);
+    load_decomposition(FragmentKind::C, WmmaType::F16);
+
+    thread_elements(FragmentKind::A, WmmaType::F16, Layout::Row);
+    thread_elements(FragmentKind::A, WmmaType::F16, Layout::Col);
+    thread_elements(FragmentKind::C, WmmaType::F32, Layout::Row);
+    thread_elements(FragmentKind::C, WmmaType::F16, Layout::Row);
+
+    // Validation summary.
+    let mut rows = Vec::new();
+    for (frag, ty) in [
+        (FragmentKind::A, WmmaType::F16),
+        (FragmentKind::B, WmmaType::F16),
+        (FragmentKind::C, WmmaType::F32),
+        (FragmentKind::C, WmmaType::F16),
+    ] {
+        for layout in [Layout::Row, Layout::Col] {
+            let map = FragmentMap::volta(frag, ty, layout);
+            let owners = map.validate();
+            rows.push(vec![
+                format!("{frag:?}"),
+                ty.to_string(),
+                layout.to_string(),
+                owners.to_string(),
+                map.elems_per_thread().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Validation (owners per element, fragment elements per thread)",
+        &["matrix", "type", "layout", "owners", "elems/thread"],
+        &rows,
+    );
+}

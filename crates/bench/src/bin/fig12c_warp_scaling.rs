@@ -1,0 +1,71 @@
+//! Fig 12c — cycles to execute parallel HMMA operations versus the number
+//! of warps per CTA.
+//!
+//! The paper's microbenchmark shows that only four warps' worth of
+//! `wmma.mma` throughput exists per SM although the SM has eight tensor
+//! cores — evidence that each warp drives **two** tensor cores (§IV). In
+//! the model, warps 0–3 land on distinct sub-cores (each with its own
+//! tensor-core pair); warps 4–7 share, doubling the measured time.
+
+use tcsim_bench::{fnum, print_table};
+use tcsim_cutlass::microbench::repeated_mma;
+use tcsim_isa::LaunchConfig;
+use tcsim_sim::{Gpu, GpuConfig};
+
+fn run(warps: u32, iters: u32) -> (u32, u32) {
+    let mut gpu = Gpu::new(GpuConfig::mini());
+    let src = gpu.alloc(16 * 16 * 4);
+    let out = gpu.alloc(warps as u64 * 4);
+    let params: Vec<u8> = src
+        .to_le_bytes()
+        .iter()
+        .chain(out.to_le_bytes().iter())
+        .copied()
+        .collect();
+    let _ = gpu.launch(
+        repeated_mma(iters),
+        LaunchConfig::new(1u32, warps * 32),
+        &params,
+    );
+    let deltas: Vec<u32> = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).collect();
+    (
+        *deltas.iter().max().expect("at least one warp"),
+        *deltas.iter().min().expect("at least one warp"),
+    )
+}
+
+fn main() {
+    println!("Fig 12c: cycles for repeated parallel HMMAs vs warps per CTA");
+    let iters = 32;
+    let mut rows = Vec::new();
+    let mut base = 0f64;
+    let mut results = Vec::new();
+    for warps in 1..=8u32 {
+        let (max, min) = run(warps, iters);
+        if warps == 1 {
+            base = max as f64;
+        }
+        results.push(max);
+        rows.push(vec![
+            warps.to_string(),
+            max.to_string(),
+            min.to_string(),
+            fnum(max as f64 / base, 2),
+        ]);
+    }
+    print_table(
+        &format!("{iters} wmma.mma per warp, one CTA (mixed precision)"),
+        &["warps", "max cycles", "min cycles", "vs 1 warp"],
+        &rows,
+    );
+
+    // The paper's observation: flat up to 4 warps (one per sub-core, each
+    // using both of its tensor cores), then time grows as warps share
+    // tensor-core pairs.
+    let flat = results[3] as f64 / results[0] as f64;
+    let knee = results[7] as f64 / results[3] as f64;
+    println!("\n4-warp/1-warp ratio: {:.2} (paper: ~1, flat region)", flat);
+    println!("8-warp/4-warp ratio: {:.2} (paper: ~2, tensor cores shared)", knee);
+    assert!(flat < 1.5, "1..4 warps must stay near-flat");
+    assert!(knee > 1.5, "5..8 warps must serialize on the tensor-core pairs");
+}

@@ -1,0 +1,85 @@
+//! Fig 14a — WMMA-based GEMM kernel cycle count as matrix size varies:
+//! simulator vs (surrogate) hardware.
+//!
+//! The paper reports GPGPU-Sim "tracks real hardware very accurately with
+//! a standard deviation of less than 5%" over sizes 16..512. Our hardware
+//! side is the analytic Titan V surrogate (`tcsim-hw`, see DESIGN.md §3);
+//! the comparison measures whether the detailed cycle-level model tracks
+//! an independent first-principles reference across the size sweep.
+
+use tcsim_bench::{ascii_chart, fnum, gemm_on, print_table, FIG14A_SIZES};
+use tcsim_cutlass::{GemmKernel, GemmProblem};
+use tcsim_hw::{HwModel, KernelClass};
+use tcsim_sim::{pearson, GpuConfig};
+
+fn main() {
+    println!("Fig 14a: WMMA shared-memory GEMM cycles vs matrix size");
+    let hw = HwModel::titan_v();
+    let mut rows = Vec::new();
+    let mut sim_series = Vec::new();
+    let mut hw_series = Vec::new();
+    for &size in &FIG14A_SIZES {
+        // The shared-memory kernel needs 32-granular tiles; the paper's
+        // smallest sizes run on the simple kernel.
+        let kernel = if size % 32 == 0 { GemmKernel::WmmaShared } else { GemmKernel::WmmaSimple };
+        let run = gemm_on(GpuConfig::titan_v(), GemmProblem::square(size), kernel, false);
+        let hw_cycles = hw.gemm_cycles(size, size, size, KernelClass::WmmaOptimized);
+        sim_series.push(run.stats.cycles as f64);
+        hw_series.push(hw_cycles);
+        rows.push(vec![
+            size.to_string(),
+            fnum(hw_cycles / 1000.0, 1),
+            fnum(run.stats.cycles as f64 / 1000.0, 1),
+            fnum(run.stats.ipc(), 1),
+        ]);
+    }
+    print_table(
+        "Cycle counts (thousands)",
+        &["size", "hardware (surrogate) kcycles", "sim kcycles", "sim IPC"],
+        &rows,
+    );
+
+    let r = pearson(&sim_series, &hw_series);
+    // Normalized deviation after a least-squares scale fit (the paper's
+    // "<5% standard deviation" is against matched absolute hardware; ours
+    // is against an independent analytic model, so we report the scale
+    // factor and residual spread).
+    let scale = sim_series
+        .iter()
+        .zip(&hw_series)
+        .map(|(s, h)| s * h)
+        .sum::<f64>()
+        / hw_series.iter().map(|h| h * h).sum::<f64>();
+    let residual: f64 = (sim_series
+        .iter()
+        .zip(&hw_series)
+        .map(|(s, h)| {
+            let e = s - scale * h;
+            e * e
+        })
+        .sum::<f64>()
+        / sim_series.len() as f64)
+        .sqrt()
+        / (sim_series.iter().sum::<f64>() / sim_series.len() as f64);
+    let x: Vec<String> = FIG14A_SIZES.iter().map(|s| s.to_string()).collect();
+    ascii_chart(
+        "Fig 14a (kcycles vs size, log y)",
+        &x,
+        &[
+            ("Hardware (surrogate)", hw_series.iter().map(|v| v / 1000.0).collect()),
+            ("Sim", sim_series.iter().map(|v| v / 1000.0).collect()),
+        ],
+        true,
+        14,
+    );
+
+    let log_sim: Vec<f64> = sim_series.iter().map(|v| v.ln()).collect();
+    let log_hw: Vec<f64> = hw_series.iter().map(|v| v.ln()).collect();
+    let r_log = pearson(&log_sim, &log_hw);
+    println!("\ncycle-count correlation (Pearson): {:.4} linear, {:.4} log-log", r, r_log);
+    println!("sim = {scale:.3} x hw; residual spread {:.1}% of mean", residual * 100.0);
+    println!("(paper compares against a physical Titan V and reports <5% stdev; ours");
+    println!(" compares against the independent analytic surrogate, so only the trend");
+    println!(" agreement is meaningful — see DESIGN.md §3 and EXPERIMENTS.md)");
+    assert!(r > 0.9 && r_log > 0.95, "simulator must track the hardware trend");
+}

@@ -1,0 +1,49 @@
+//! Table II / Fig 12a — octet composition and the elements of the
+//! operand matrices accessed by each octet on Volta.
+
+use tcsim_bench::print_table;
+use tcsim_core::octet::derive_footprint;
+use tcsim_core::{octet_footprints, octet_of_lane};
+use tcsim_isa::{FragmentKind, WARP_SIZE};
+
+fn main() {
+    println!("Table II: octet composition and elements accessed (Volta, m16n16k16)");
+    println!("octet X = threadgroup X ∪ threadgroup X+4 (§III-E)");
+
+    let mut rows = Vec::new();
+    for fp in octet_footprints() {
+        // Cross-check Table II against the Fig 7 mapping.
+        let a = derive_footprint(FragmentKind::A, fp.octet);
+        let b = derive_footprint(FragmentKind::B, fp.octet);
+        let c = derive_footprint(FragmentKind::C, fp.octet);
+        assert_eq!(a, fp.a, "octet {} A footprint", fp.octet);
+        assert_eq!(b, fp.b, "octet {} B footprint", fp.octet);
+        assert_eq!(c, fp.c, "octet {} C footprint", fp.octet);
+        rows.push(vec![
+            fp.octet.to_string(),
+            format!("{} and {}", fp.threadgroups.0, fp.threadgroups.1),
+            fp.a.to_string(),
+            fp.b.to_string(),
+            fp.c.to_string(),
+        ]);
+    }
+    print_table(
+        "Octet footprints (paper values; asserted equal to the Fig 7 mapping)",
+        &["octet", "threadgroups", "matrix A", "matrix B", "result C/D"],
+        &rows,
+    );
+
+    // Lane → octet map.
+    let mut rows = Vec::new();
+    for octet in 0..4 {
+        let lanes: Vec<String> = (0..WARP_SIZE)
+            .filter(|&l| octet_of_lane(l) == octet)
+            .map(|l| l.to_string())
+            .collect();
+        rows.push(vec![octet.to_string(), lanes.join(",")]);
+    }
+    print_table("Lanes of each octet", &["octet", "lanes"], &rows);
+
+    println!("\nEach octet privately holds an 8x16 of A, 16x8 of B and 8x8 of C,");
+    println!("so the four octets execute independently (Fig 12a).");
+}

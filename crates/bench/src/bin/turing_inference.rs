@@ -1,0 +1,59 @@
+//! Extension experiment: Turing's inference modes (§III-B2 and the T4
+//! motivation in §I) — FP16 vs INT8 tensor-core GEMM on the simulated
+//! RTX 2080.
+//!
+//! The paper characterizes Turing's 8-bit mode as its fastest
+//! (Table I: 59 vs 99 cumulative cycles for 16×16×16) and motivates it
+//! with inference workloads. This binary compares end-to-end GEMM cycles
+//! for the two modes across inference-shaped problems.
+
+use tcsim_bench::{fnum, print_table};
+use tcsim_core::{turing_set_completions, TuringMode};
+use tcsim_cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim_isa::WmmaShape;
+use tcsim_sim::{Gpu, GpuConfig};
+
+fn main() {
+    println!("Turing inference modes: FP16 vs INT8 tensor-core GEMM (RTX 2080)");
+
+    // Per-instruction latency comparison from Table I.
+    let f16 = turing_set_completions(WmmaShape::M16N16K16, TuringMode::F16AccF32).expect("mode");
+    let i8 = turing_set_completions(WmmaShape::M16N16K16, TuringMode::Int8).expect("mode");
+    println!(
+        "\nper wmma.mma (Table I, 16x16x16): fp16/fp32acc {} cycles, int8 {} cycles ({:.2}x)",
+        f16.last().expect("non-empty"),
+        i8.last().expect("non-empty"),
+        *f16.last().expect("non-empty") as f64 / *i8.last().expect("non-empty") as f64
+    );
+
+    let mut rows = Vec::new();
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (128, 128, 128), (128, 256, 256), (256, 256, 256)] {
+        let pf = GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 };
+        let mut gpu = Gpu::new(GpuConfig::rtx_2080());
+        let rf = run_gemm(&mut gpu, pf, GemmKernel::WmmaSimple, true);
+
+        let pi = GemmProblem { m, n, k, precision: GemmPrecision::Int8 };
+        let mut gpu = Gpu::new(GpuConfig::rtx_2080());
+        let ri = run_gemm(&mut gpu, pi, GemmKernel::IgemmWmma, true);
+
+        rows.push(vec![
+            format!("{m}x{n}x{k}"),
+            rf.stats.cycles.to_string(),
+            ri.stats.cycles.to_string(),
+            fnum(rf.stats.cycles as f64 / ri.stats.cycles as f64, 2),
+            format!("{:.0e}", rf.max_abs_err.expect("checked")),
+            format!("{:.0e}", ri.max_abs_err.expect("checked")),
+        ]);
+    }
+    print_table(
+        "End-to-end GEMM (one warp per 16x16 tile; both verified)",
+        &["problem", "fp16 cycles", "int8 cycles", "speedup", "fp16 err", "int8 err"],
+        &rows,
+    );
+    println!("\nINT8 wins from the faster HMMA sequencing (Table I) and the halved");
+    println!("operand footprint; its integer accumulation is exact (err 0). The");
+    println!("end-to-end gap is modest for this latency-bound one-warp-per-tile");
+    println!("kernel — the per-instruction advantage (1.68x) only fully shows in");
+    println!("compute-bound kernels, matching the paper's observation that the");
+    println!("naive WMMA kernels are memory-limited (Fig 16/17).");
+}

@@ -1,0 +1,149 @@
+//! Shared support for the experiment binaries that regenerate every table
+//! and figure of the paper (see `DESIGN.md` §2 for the index, and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results).
+
+use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem, GemmRun};
+use tcsim_sim::{Gpu, GpuConfig};
+
+/// Prints an aligned plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with limited precision for table cells.
+pub fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Runs one GEMM on a fresh GPU of `cfg` and returns the run record.
+pub fn gemm_on(cfg: GpuConfig, problem: GemmProblem, kernel: GemmKernel, check: bool) -> GemmRun {
+    let mut gpu = Gpu::new(cfg);
+    run_gemm(&mut gpu, problem, kernel, check)
+}
+
+/// Renders a multi-series chart as ASCII art: one column per x position,
+/// one letter per series, optionally log-scaled on y. Collisions print
+/// `*`.
+pub fn ascii_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(&str, Vec<f64>)],
+    log_y: bool,
+    height: usize,
+) {
+    println!("\n-- {title} --");
+    let xform = |v: f64| if log_y { v.max(1e-12).log10() } else { v };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            let t = xform(y);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        hi = lo + 1.0;
+    }
+    let col_w = x_labels.iter().map(|l| l.len()).max().unwrap_or(4).max(4) + 1;
+    let rows = height.max(4);
+    let mut grid = vec![vec![' '; x_labels.len() * col_w]; rows];
+    for (si, (label, ys)) in series.iter().enumerate() {
+        let mark = label.chars().next().unwrap_or('?');
+        let _ = si;
+        for (xi, &y) in ys.iter().enumerate() {
+            let t = (xform(y) - lo) / (hi - lo);
+            let r = rows - 1 - ((t * (rows - 1) as f64).round() as usize).min(rows - 1);
+            let c = xi * col_w + col_w / 2;
+            grid[r][c] = if grid[r][c] == ' ' || grid[r][c] == mark { mark } else { '*' };
+        }
+    }
+    let unlog = |t: f64| if log_y { 10f64.powf(t) } else { t };
+    for (ri, row) in grid.iter().enumerate() {
+        let frac = 1.0 - ri as f64 / (rows - 1) as f64;
+        let yval = unlog(lo + frac * (hi - lo));
+        let line: String = row.iter().collect();
+        println!("{:>10.3e} |{}", yval, line.trim_end());
+    }
+    let mut xaxis = String::new();
+    for l in x_labels {
+        xaxis.push_str(&format!("{:<width$}", l, width = col_w));
+    }
+    println!("{:>10} +{}", "", "-".repeat(x_labels.len() * col_w));
+    println!("{:>10}  {}", "", xaxis.trim_end());
+    let legend: Vec<String> = series
+        .iter()
+        .map(|(l, _)| format!("{} = {}", l.chars().next().unwrap_or('?'), l))
+        .collect();
+    println!("{:>10}  [{}]", "", legend.join(", "));
+}
+
+/// The matrix sizes of Fig 14a.
+pub const FIG14A_SIZES: [usize; 13] = [16, 32, 64, 128, 160, 192, 224, 256, 288, 320, 384, 480, 512];
+
+/// The matrix sizes of Fig 14c.
+pub const FIG14C_SIZES: [usize; 6] = [128, 256, 512, 768, 1024, 2048];
+
+/// The matrix sizes of Fig 16.
+pub const FIG16_SIZES: [usize; 6] = [64, 128, 256, 512, 1024, 2048];
+
+/// The matrix sizes of Fig 17.
+pub const FIG17_SIZES: [usize; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(10.0, 0), "10");
+    }
+
+    #[test]
+    fn size_lists_match_paper_axes() {
+        assert_eq!(FIG14A_SIZES.len(), 13);
+        assert_eq!(FIG14A_SIZES[0], 16);
+        assert_eq!(*FIG14A_SIZES.last().unwrap(), 512);
+        assert_eq!(FIG14C_SIZES, [128, 256, 512, 768, 1024, 2048]);
+        assert_eq!(*FIG17_SIZES.last().unwrap(), 16384);
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_renders_without_panicking() {
+        let x: Vec<String> = ["10", "100", "1000"].iter().map(|s| s.to_string()).collect();
+        ascii_chart(
+            "test",
+            &x,
+            &[("alpha", vec![1.0, 10.0, 100.0]), ("beta", vec![2.0, 2.0, 2.0])],
+            true,
+            6,
+        );
+        // Degenerate cases: constant series, linear scale.
+        ascii_chart("flat", &x, &[("c", vec![5.0, 5.0, 5.0])], false, 4);
+    }
+}

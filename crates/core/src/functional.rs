@@ -1,0 +1,545 @@
+//! Functional model of the `wmma.{load,mma,store}` PTX instructions
+//! (§V-A): the [`WmmaHandler`] implementation plugged into the warp
+//! executor of `tcsim-isa`.
+//!
+//! * `wmma.load` distributes operand-matrix elements to per-thread
+//!   fragment registers following the Fig 7 (Volta) / Fig 8 (Turing)
+//!   mapping, and reports the same decomposed memory accesses the paper
+//!   observed at the SASS level (§III-C).
+//! * `wmma.mma` gathers the A/B/C tiles from the fragments, performs the
+//!   matrix-multiply-accumulate with FEDP numerics, and scatters D back.
+//! * `wmma.store` writes the D fragment to memory.
+//!
+//! All 32 Volta configurations (2 A layouts × 2 B layouts × 2 C types ×
+//! 2 D types × 2 store layouts) and the Turing integer modes/tile shapes
+//! are supported.
+
+use crate::hmma::mma_reference;
+use crate::mapping::FragmentMap;
+use crate::tile::Tile;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use tcsim_isa::exec::{MemAccess, WmmaHandler};
+use tcsim_isa::{
+    ByteMemory, FragmentKind, Layout, Reg, WarpRegisters, WmmaDirective, WmmaShape, WmmaType,
+    WARP_SIZE,
+};
+
+type MapKey = (bool, FragmentKind, WmmaShape, WmmaType, Layout);
+type LaneRuns = Vec<Vec<(u64, u8)>>;
+
+thread_local! {
+    /// Fragment mappings are pure functions of their qualifiers and are
+    /// consulted on every executed wmma instruction; memoize them.
+    static MAP_CACHE: RefCell<HashMap<MapKey, Rc<FragmentMap>>> =
+        RefCell::new(HashMap::new());
+    /// Per-lane access runs additionally depend on the leading-dimension
+    /// stride (one or two distinct strides per kernel); memoize those too.
+    static ACCESS_CACHE: RefCell<HashMap<(MapKey, usize), Rc<LaneRuns>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn cached_accesses(
+    volta: bool,
+    map: &FragmentMap,
+    stride: usize,
+) -> Rc<LaneRuns> {
+    ACCESS_CACHE.with(|c| {
+        Rc::clone(
+            c.borrow_mut()
+                .entry(((volta, map.frag(), map.shape(), map.ty(), map.layout()), stride))
+                .or_insert_with(|| {
+                    Rc::new((0..WARP_SIZE).map(|lane| map.lane_accesses(lane, stride)).collect())
+                }),
+        )
+    })
+}
+
+fn cached_map(
+    volta: bool,
+    frag: FragmentKind,
+    shape: WmmaShape,
+    ty: WmmaType,
+    layout: Layout,
+) -> Rc<FragmentMap> {
+    MAP_CACHE.with(|c| {
+        Rc::clone(
+            c.borrow_mut()
+                .entry((volta, frag, shape, ty, layout))
+                .or_insert_with(|| Rc::new(FragmentMap::for_arch(volta, frag, shape, ty, layout))),
+        )
+    })
+}
+
+/// The tensor-core functional model for one architecture generation.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_core::TensorCoreModel;
+///
+/// let volta = TensorCoreModel::volta();
+/// assert!(volta.is_volta());
+/// let turing = TensorCoreModel::turing();
+/// assert!(!turing.is_volta());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorCoreModel {
+    volta: bool,
+}
+
+impl TensorCoreModel {
+    /// The Volta (Titan V) model: double-loaded A/B fragments, m16n16k16
+    /// FP16/mixed modes only.
+    pub const fn volta() -> TensorCoreModel {
+        TensorCoreModel { volta: true }
+    }
+
+    /// The Turing (RTX 2080) model: single-loaded fragments, integer modes
+    /// and the additional tile shapes.
+    pub const fn turing() -> TensorCoreModel {
+        TensorCoreModel { volta: false }
+    }
+
+    /// Whether this is the Volta model.
+    pub const fn is_volta(&self) -> bool {
+        self.volta
+    }
+}
+
+/// Reads fragment slot `slot` of `lane` (element width `bits` ≤ 32).
+pub fn read_frag_elem(
+    regs: &dyn WarpRegisters,
+    lane: usize,
+    base: Reg,
+    slot: usize,
+    bits: usize,
+) -> u32 {
+    let bitpos = slot * bits;
+    let reg = Reg(base.0 + (bitpos / 32) as u16);
+    let off = bitpos % 32;
+    let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    (regs.read(lane, reg) >> off) & mask
+}
+
+/// Writes fragment slot `slot` of `lane`.
+pub fn write_frag_elem(
+    regs: &mut dyn WarpRegisters,
+    lane: usize,
+    base: Reg,
+    slot: usize,
+    bits: usize,
+    value: u32,
+) {
+    let bitpos = slot * bits;
+    let reg = Reg(base.0 + (bitpos / 32) as u16);
+    let off = bitpos % 32;
+    let mask = if bits >= 32 { u32::MAX } else { ((1u32 << bits) - 1) << off };
+    let old = regs.read(lane, reg);
+    regs.write(lane, reg, (old & !mask) | ((value << off) & mask));
+}
+
+/// Reads tile element `(row, col)` from memory given the tile `base`
+/// address, `stride` (leading dimension in elements) and `layout`.
+fn read_mem_elem(mem: &dyn ByteMemory, base: u64, row: usize, col: usize, stride: usize, layout: Layout, ty: WmmaType) -> u32 {
+    let linear = match layout {
+        Layout::Row => row * stride + col,
+        Layout::Col => col * stride + row,
+    };
+    match ty.bits() {
+        4 => {
+            let byte = mem.read_u8(base + (linear / 2) as u64);
+            if linear % 2 == 0 {
+                (byte & 0xF) as u32
+            } else {
+                (byte >> 4) as u32
+            }
+        }
+        8 => mem.read_u8(base + linear as u64) as u32,
+        16 => mem.read_u16(base + (linear * 2) as u64) as u32,
+        _ => mem.read_u32(base + (linear * 4) as u64),
+    }
+}
+
+/// Writes tile element `(row, col)` to memory.
+#[allow(clippy::too_many_arguments)]
+fn write_mem_elem(mem: &mut dyn ByteMemory, base: u64, row: usize, col: usize, stride: usize, layout: Layout, ty: WmmaType, value: u32) {
+    let linear = match layout {
+        Layout::Row => row * stride + col,
+        Layout::Col => col * stride + row,
+    };
+    match ty.bits() {
+        4 => {
+            let addr = base + (linear / 2) as u64;
+            let old = mem.read_u8(addr);
+            let new = if linear % 2 == 0 {
+                (old & 0xF0) | (value as u8 & 0x0F)
+            } else {
+                (old & 0x0F) | ((value as u8 & 0x0F) << 4)
+            };
+            mem.write_u8(addr, new);
+        }
+        8 => mem.write_u8(base + linear as u64, value as u8),
+        16 => mem.write_u16(base + (linear * 2) as u64, value as u16),
+        _ => mem.write_u32(base + (linear * 4) as u64, value),
+    }
+}
+
+/// Gathers a whole tile from a warp's fragment registers using the
+/// element mapping (inverse of `scatter_tile`).
+pub fn gather_tile(model: &TensorCoreModel, map: &FragmentMap, base: Reg, regs: &dyn WarpRegisters) -> Tile {
+    let _ = model;
+    let (rows, cols) = map.frag().dims(map.shape());
+    let mut t = Tile::new(map.ty(), rows, cols);
+    let bits = map.ty().bits();
+    for lane in 0..WARP_SIZE {
+        for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
+            // On Volta, A/B elements appear twice; both copies hold the
+            // same value, so later writes are idempotent.
+            let v = read_frag_elem(regs, lane, base, slot, bits);
+            t.set_bits(r as usize, c as usize, v);
+        }
+    }
+    t
+}
+
+/// Scatters a whole tile into a warp's fragment registers.
+pub fn scatter_tile(map: &FragmentMap, base: Reg, tile: &Tile, regs: &mut dyn WarpRegisters) {
+    let bits = map.ty().bits();
+    for lane in 0..WARP_SIZE {
+        for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
+            write_frag_elem(regs, lane, base, slot, bits, tile.get_bits(r as usize, c as usize));
+        }
+    }
+}
+
+impl WmmaHandler for TensorCoreModel {
+    fn wmma_load(
+        &self,
+        dir: &WmmaDirective,
+        dst: Reg,
+        base: u64,
+        stride: usize,
+        mem: &dyn ByteMemory,
+        regs: &mut dyn WarpRegisters,
+    ) -> Vec<MemAccess> {
+        let WmmaDirective::Load { frag, shape, layout, ty } = *dir else {
+            panic!("wmma_load requires a Load directive")
+        };
+        let map = cached_map(self.volta, frag, shape, ty, layout);
+        let runs = cached_accesses(self.volta, &map, stride);
+        let bits = ty.bits();
+        let mut accesses = Vec::new();
+        for lane in 0..WARP_SIZE {
+            for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
+                let v = read_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty);
+                write_frag_elem(regs, lane, dst, slot, bits, v);
+            }
+            for &(off, bytes) in &runs[lane] {
+                accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
+            }
+        }
+        accesses
+    }
+
+    fn wmma_mma(&self, dir: &WmmaDirective, d: Reg, a: Reg, b: Reg, c: Reg, regs: &mut dyn WarpRegisters) {
+        let WmmaDirective::Mma { shape, a_layout, b_layout, ab_type, d_type, c_type } = *dir else {
+            panic!("wmma_mma requires an Mma directive")
+        };
+        let amap = cached_map(self.volta, FragmentKind::A, shape, ab_type, a_layout);
+        let bmap = cached_map(self.volta, FragmentKind::B, shape, ab_type, b_layout);
+        // The accumulator distribution is layout-independent (§III-B1).
+        let cmap = cached_map(self.volta, FragmentKind::C, shape, c_type, Layout::Row);
+        let dmap = cached_map(self.volta, FragmentKind::D, shape, d_type, Layout::Row);
+        let at = gather_tile(self, &amap, a, regs);
+        let bt = gather_tile(self, &bmap, b, regs);
+        let ct = gather_tile(self, &cmap, c, regs);
+        let dt = mma_reference(&at, &bt, &ct, d_type);
+        scatter_tile(&dmap, d, &dt, regs);
+    }
+
+    fn wmma_store(
+        &self,
+        dir: &WmmaDirective,
+        src: Reg,
+        base: u64,
+        stride: usize,
+        mem: &mut dyn ByteMemory,
+        regs: &dyn WarpRegisters,
+    ) -> Vec<MemAccess> {
+        let WmmaDirective::Store { shape, layout, ty } = *dir else {
+            panic!("wmma_store requires a Store directive")
+        };
+        let map = cached_map(self.volta, FragmentKind::D, shape, ty, layout);
+        let runs = cached_accesses(self.volta, &map, stride);
+        let bits = ty.bits();
+        let mut accesses = Vec::new();
+        for lane in 0..WARP_SIZE {
+            for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
+                let v = read_frag_elem(regs, lane, src, slot, bits);
+                write_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty, v);
+            }
+            for &(off, bytes) in &runs[lane] {
+                accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
+            }
+        }
+        accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsim_f16::F16;
+    use tcsim_isa::{VecMemory, WarpRegFile, WmmaShape};
+
+    /// Writes a row-major f16 16×16 matrix with value(r,c) = r*16+c.
+    fn seed_f16_matrix(mem: &mut VecMemory, base: u64, rows: usize, cols: usize, layout: Layout) {
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = F16::from_f32((r * cols + c) as f32 % 512.0);
+                let linear = match layout {
+                    Layout::Row => r * cols + c,
+                    Layout::Col => c * rows + r,
+                };
+                mem.write_u16(base + (linear * 2) as u64, v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn load_then_gather_reconstructs_matrix_all_layouts() {
+        for volta in [true, false] {
+            for layout in [Layout::Row, Layout::Col] {
+                let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+                let dir = WmmaDirective::Load {
+                    frag: FragmentKind::A,
+                    shape: WmmaShape::M16N16K16,
+                    layout,
+                    ty: WmmaType::F16,
+                };
+                let mut mem = VecMemory::new();
+                seed_f16_matrix(&mut mem, 64, 16, 16, layout);
+                let mut regs = WarpRegFile::new(16);
+                let acc = model.wmma_load(&dir, Reg(0), 64, 16, &mem, &mut regs);
+                assert!(!acc.is_empty());
+                let map = FragmentMap::for_arch(volta, FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, layout);
+                let tile = gather_tile(&model, &map, Reg(0), &regs);
+                for r in 0..16 {
+                    for c in 0..16 {
+                        assert_eq!(
+                            tile.get_f16(r, c).to_f32(),
+                            (r * 16 + c) as f32,
+                            "volta={volta} {layout} ({r},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn volta_load_access_counts_match_sass_decomposition() {
+        let model = TensorCoreModel::volta();
+        let mut mem = VecMemory::new();
+        seed_f16_matrix(&mut mem, 0, 16, 16, Layout::Row);
+        let mut regs = WarpRegFile::new(16);
+        // Row-major A: 2 × LD.E.128 per thread = 64 accesses.
+        let acc = model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::A, shape: WmmaShape::M16N16K16, layout: Layout::Row, ty: WmmaType::F16 },
+            Reg(0), 0, 16, &mem, &mut regs,
+        );
+        assert_eq!(acc.len(), 64);
+        assert!(acc.iter().all(|a| a.bytes == 16));
+        // Column-major A: 4 × LD.E.64 per thread = 128 accesses.
+        let acc = model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::A, shape: WmmaShape::M16N16K16, layout: Layout::Col, ty: WmmaType::F16 },
+            Reg(0), 0, 16, &mem, &mut regs,
+        );
+        assert_eq!(acc.len(), 128);
+        assert!(acc.iter().all(|a| a.bytes == 8));
+        // C in FP32: 8 × 32-bit per thread = 256 accesses.
+        let acc = model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::C, shape: WmmaShape::M16N16K16, layout: Layout::Row, ty: WmmaType::F32 },
+            Reg(8), 0, 16, &mem, &mut regs,
+        );
+        assert_eq!(acc.len(), 256);
+        assert!(acc.iter().all(|a| a.bytes == 4));
+    }
+
+    #[test]
+    fn full_mma_pipeline_matches_cpu_reference() {
+        // load A, B, C → mma → store D, compare against a plain matmul.
+        for volta in [true, false] {
+            let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+            let shape = WmmaShape::M16N16K16;
+            let mut mem = VecMemory::new();
+            let (a_base, b_base, c_base, d_base) = (0u64, 0x1000u64, 0x2000u64, 0x3000u64);
+            // A(r,c) = (r+2c) % 9 - 4 ; B = (3r+c) % 7 - 3 ; C = r - c.
+            for r in 0..16usize {
+                for c in 0..16usize {
+                    let av = F16::from_f32(((r + 2 * c) % 9) as f32 - 4.0);
+                    let bv = F16::from_f32(((3 * r + c) % 7) as f32 - 3.0);
+                    mem.write_u16(a_base + (r * 16 + c) as u64 * 2, av.to_bits());
+                    mem.write_u16(b_base + (r * 16 + c) as u64 * 2, bv.to_bits());
+                    mem.write_u32(c_base + (r * 16 + c) as u64 * 4, ((r as f32) - (c as f32)).to_bits());
+                }
+            }
+            let mut regs = WarpRegFile::new(64);
+            let (ra, rb, rc, rd) = (Reg(0), Reg(8), Reg(16), Reg(24));
+            model.wmma_load(
+                &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Row, ty: WmmaType::F16 },
+                ra, a_base, 16, &mem, &mut regs,
+            );
+            model.wmma_load(
+                &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: WmmaType::F16 },
+                rb, b_base, 16, &mem, &mut regs,
+            );
+            model.wmma_load(
+                &WmmaDirective::Load { frag: FragmentKind::C, shape, layout: Layout::Row, ty: WmmaType::F32 },
+                rc, c_base, 16, &mem, &mut regs,
+            );
+            model.wmma_mma(
+                &WmmaDirective::Mma {
+                    shape,
+                    a_layout: Layout::Row,
+                    b_layout: Layout::Row,
+                    ab_type: WmmaType::F16,
+                    c_type: WmmaType::F32,
+                    d_type: WmmaType::F32,
+                },
+                rd, ra, rb, rc, &mut regs,
+            );
+            model.wmma_store(
+                &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::F32 },
+                rd, d_base, 16, &mut mem, &regs,
+            );
+            for r in 0..16usize {
+                for c in 0..16usize {
+                    let mut expect = (r as f32) - (c as f32);
+                    for k in 0..16usize {
+                        let av = ((r + 2 * k) % 9) as f32 - 4.0;
+                        let bv = ((3 * k + c) % 7) as f32 - 3.0;
+                        expect += av * bv;
+                    }
+                    let got = f32::from_bits(mem.read_u32(d_base + (r * 16 + c) as u64 * 4));
+                    assert_eq!(got, expect, "volta={volta} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_layout_mma_handles_transposed_operands() {
+        // A column-major, B column-major: fragment contents differ but the
+        // mathematical result must be identical.
+        let model = TensorCoreModel::volta();
+        let shape = WmmaShape::M16N16K16;
+        let mut mem = VecMemory::new();
+        seed_f16_matrix(&mut mem, 0, 16, 16, Layout::Col); // A col-major
+        seed_f16_matrix(&mut mem, 0x1000, 16, 16, Layout::Col); // B col-major
+        let mut regs = WarpRegFile::new(64);
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Col, ty: WmmaType::F16 },
+            Reg(0), 0, 16, &mem, &mut regs,
+        );
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Col, ty: WmmaType::F16 },
+            Reg(8), 0x1000, 16, &mem, &mut regs,
+        );
+        model.wmma_mma(
+            &WmmaDirective::Mma {
+                shape,
+                a_layout: Layout::Col,
+                b_layout: Layout::Col,
+                ab_type: WmmaType::F16,
+                c_type: WmmaType::F32,
+                d_type: WmmaType::F32,
+            },
+            Reg(24), Reg(0), Reg(8), Reg(16), &mut regs,
+        );
+        model.wmma_store(
+            &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::F32 },
+            Reg(24), 0x2000, 16, &mut mem, &regs,
+        );
+        // D(0,0) = Σ_k A(0,k)·B(k,0) = Σ_k k·(k·16 % 512) won't overflow f32;
+        // compute the reference directly.
+        let mut expect = 0f32;
+        for k in 0..16 {
+            let av = (k as f32) % 512.0; // A(0,k) = 0*16+k
+            let bv = ((k * 16) as f32) % 512.0; // B(k,0) = k*16+0
+            expect += av * bv;
+        }
+        let got = f32::from_bits(mem.read_u32(0x2000));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn turing_int8_mma_through_fragments() {
+        let model = TensorCoreModel::turing();
+        let shape = WmmaShape::M16N16K16;
+        let mut mem = VecMemory::new();
+        for r in 0..16usize {
+            for c in 0..16usize {
+                mem.write_u8((r * 16 + c) as u64, (r * 3 + c) as u8);
+                mem.write_u8(0x400 + (r * 16 + c) as u64, (r + 5 * c) as u8);
+            }
+        }
+        let mut regs = WarpRegFile::new(64);
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Row, ty: WmmaType::S8 },
+            Reg(0), 0, 16, &mem, &mut regs,
+        );
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: WmmaType::S8 },
+            Reg(4), 0x400, 16, &mem, &mut regs,
+        );
+        model.wmma_mma(
+            &WmmaDirective::Mma {
+                shape,
+                a_layout: Layout::Row,
+                b_layout: Layout::Row,
+                ab_type: WmmaType::S8,
+                c_type: WmmaType::S32,
+                d_type: WmmaType::S32,
+            },
+            Reg(24), Reg(0), Reg(4), Reg(8), &mut regs,
+        );
+        model.wmma_store(
+            &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::S32 },
+            Reg(24), 0x800, 16, &mut mem, &regs,
+        );
+        for r in 0..16usize {
+            for c in 0..16usize {
+                let mut expect = 0i64;
+                for k in 0..16usize {
+                    let av = ((r * 3 + k) as u8) as i8 as i64;
+                    let bv = ((k + 5 * c) as u8) as i8 as i64;
+                    expect += av * bv;
+                }
+                let got = mem.read_u32(0x800 + (r * 16 + c) as u64 * 4) as i32 as i64;
+                assert_eq!(got, expect, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn frag_elem_bit_packing() {
+        let mut regs = WarpRegFile::new(4);
+        // 16-bit slots: slot 1 lives in high half of reg 0.
+        write_frag_elem(&mut regs, 0, Reg(0), 1, 16, 0xABCD);
+        assert_eq!(regs.read(0, Reg(0)), 0xABCD_0000);
+        assert_eq!(read_frag_elem(&regs, 0, Reg(0), 1, 16), 0xABCD);
+        // 8-bit slots.
+        write_frag_elem(&mut regs, 1, Reg(0), 3, 8, 0x7F);
+        assert_eq!(regs.read(1, Reg(0)), 0x7F00_0000);
+        // 4-bit slots: slot 9 = reg 1, bits 4..8.
+        write_frag_elem(&mut regs, 2, Reg(0), 9, 4, 0xF);
+        assert_eq!(regs.read(2, Reg(1)), 0x0000_00F0);
+        assert_eq!(read_frag_elem(&regs, 2, Reg(0), 9, 4), 0xF);
+        // 32-bit slots.
+        write_frag_elem(&mut regs, 3, Reg(0), 2, 32, 0xDEADBEEF);
+        assert_eq!(regs.read(3, Reg(2)), 0xDEADBEEF);
+    }
+}

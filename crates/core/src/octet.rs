@@ -1,0 +1,223 @@
+//! Threadgroup and octet structure (§III-E, Table II, Fig 12a).
+//!
+//! The paper's key organizational finding on Volta: threadgroups work in
+//! **pairs** called *octets* to compute 8×8 subtiles of the result. Octet
+//! X = threadgroup X ∪ threadgroup X+4 (X ∈ 0..4). Because every A/B
+//! element is loaded by two threadgroups, the four octets of a warp can
+//! execute independently — each octet privately holds the 8×16 subtile of
+//! A, the 16×8 subtile of B and the 8×8 subtile of C it needs.
+
+use crate::mapping::{threadgroup_of_lane, FragmentMap, THREADGROUPS_PER_WARP};
+use std::fmt;
+use tcsim_isa::{FragmentKind, Layout, WmmaType, WARP_SIZE};
+
+/// Number of octets in a warp.
+pub const OCTETS_PER_WARP: usize = THREADGROUPS_PER_WARP / 2;
+
+/// The octet a lane belongs to (octet X = threadgroups X and X+4).
+pub const fn octet_of_lane(lane: usize) -> usize {
+    threadgroup_of_lane(lane) % OCTETS_PER_WARP
+}
+
+/// The two threadgroups constituting an octet (Table II).
+pub const fn threadgroups_of_octet(octet: usize) -> (usize, usize) {
+    (octet, octet + 4)
+}
+
+/// An inclusive subtile range `[row_start..=row_end, col_start..=col_end]`
+/// in the paper's Table II notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubTile {
+    /// First row.
+    pub row_start: usize,
+    /// Last row (inclusive).
+    pub row_end: usize,
+    /// First column.
+    pub col_start: usize,
+    /// Last column (inclusive).
+    pub col_end: usize,
+}
+
+impl SubTile {
+    /// Creates the subtile `[r0:r1, c0:c1]` (inclusive bounds).
+    pub const fn new(r0: usize, r1: usize, c0: usize, c1: usize) -> SubTile {
+        SubTile { row_start: r0, row_end: r1, col_start: c0, col_end: c1 }
+    }
+
+    /// Number of rows covered.
+    pub const fn rows(&self) -> usize {
+        self.row_end - self.row_start + 1
+    }
+
+    /// Number of columns covered.
+    pub const fn cols(&self) -> usize {
+        self.col_end - self.col_start + 1
+    }
+
+    /// Whether `(row, col)` lies inside the subtile.
+    pub const fn contains(&self, row: usize, col: usize) -> bool {
+        row >= self.row_start && row <= self.row_end && col >= self.col_start && col <= self.col_end
+    }
+}
+
+impl fmt::Display for SubTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}:{},{}:{}]",
+            self.row_start, self.row_end, self.col_start, self.col_end
+        )
+    }
+}
+
+/// The operand footprint of one octet (one row of Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OctetFootprint {
+    /// The octet index (0..4).
+    pub octet: usize,
+    /// Its two threadgroups.
+    pub threadgroups: (usize, usize),
+    /// Subtile of operand A the octet's threads hold.
+    pub a: SubTile,
+    /// Subtile of operand B the octet's threads hold.
+    pub b: SubTile,
+    /// Subtile of C/D the octet computes.
+    pub c: SubTile,
+}
+
+/// Table II of the paper: the elements of A and B accessed by each octet on
+/// Volta (m16n16k16).
+pub fn octet_footprints() -> [OctetFootprint; OCTETS_PER_WARP] {
+    [
+        OctetFootprint {
+            octet: 0,
+            threadgroups: (0, 4),
+            a: SubTile::new(0, 7, 0, 15),
+            b: SubTile::new(0, 15, 0, 7),
+            c: SubTile::new(0, 7, 0, 7),
+        },
+        OctetFootprint {
+            octet: 1,
+            threadgroups: (1, 5),
+            a: SubTile::new(8, 15, 0, 15),
+            b: SubTile::new(0, 15, 0, 7),
+            c: SubTile::new(8, 15, 0, 7),
+        },
+        OctetFootprint {
+            octet: 2,
+            threadgroups: (2, 6),
+            a: SubTile::new(0, 7, 0, 15),
+            b: SubTile::new(0, 15, 8, 15),
+            c: SubTile::new(0, 7, 8, 15),
+        },
+        OctetFootprint {
+            octet: 3,
+            threadgroups: (3, 7),
+            a: SubTile::new(8, 15, 0, 15),
+            b: SubTile::new(0, 15, 8, 15),
+            c: SubTile::new(8, 15, 8, 15),
+        },
+    ]
+}
+
+/// Derives an octet's operand-A footprint from the Volta mapping (used to
+/// cross-check Table II against the Fig 7 mapping).
+pub fn derive_footprint(frag: FragmentKind, octet: usize) -> SubTile {
+    let ty = if frag == FragmentKind::C { WmmaType::F32 } else { WmmaType::F16 };
+    let map = FragmentMap::volta(frag, ty, Layout::Row);
+    let (tg_a, tg_b) = threadgroups_of_octet(octet);
+    let mut rmin = usize::MAX;
+    let mut rmax = 0;
+    let mut cmin = usize::MAX;
+    let mut cmax = 0;
+    for lane in 0..WARP_SIZE {
+        let tg = threadgroup_of_lane(lane);
+        if tg != tg_a && tg != tg_b {
+            continue;
+        }
+        for &(r, c) in map.lane_elems(lane) {
+            rmin = rmin.min(r as usize);
+            rmax = rmax.max(r as usize);
+            cmin = cmin.min(c as usize);
+            cmax = cmax.max(c as usize);
+        }
+    }
+    SubTile::new(rmin, rmax, cmin, cmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_of_lane_pairs_threadgroups_x_and_x_plus_4() {
+        assert_eq!(octet_of_lane(0), 0); // TG0
+        assert_eq!(octet_of_lane(16), 0); // TG4
+        assert_eq!(octet_of_lane(4), 1); // TG1
+        assert_eq!(octet_of_lane(20), 1); // TG5
+        assert_eq!(octet_of_lane(12), 3); // TG3
+        assert_eq!(octet_of_lane(28), 3); // TG7
+        assert_eq!(threadgroups_of_octet(2), (2, 6));
+    }
+
+    #[test]
+    fn table2_footprints_match_paper() {
+        let fp = octet_footprints();
+        assert_eq!(fp[0].a, SubTile::new(0, 7, 0, 15));
+        assert_eq!(fp[0].b, SubTile::new(0, 15, 0, 7));
+        assert_eq!(fp[1].a, SubTile::new(8, 15, 0, 15));
+        assert_eq!(fp[2].b, SubTile::new(0, 15, 8, 15));
+        assert_eq!(fp[3].a, SubTile::new(8, 15, 0, 15));
+        assert_eq!(fp[3].b, SubTile::new(0, 15, 8, 15));
+    }
+
+    #[test]
+    fn table2_is_consistent_with_fig7_mapping() {
+        // The A/B/C footprints derived from the Fig 7 mapping must equal
+        // Table II exactly.
+        for fp in octet_footprints() {
+            assert_eq!(derive_footprint(FragmentKind::A, fp.octet), fp.a, "A octet {}", fp.octet);
+            assert_eq!(derive_footprint(FragmentKind::B, fp.octet), fp.b, "B octet {}", fp.octet);
+            assert_eq!(derive_footprint(FragmentKind::C, fp.octet), fp.c, "C octet {}", fp.octet);
+        }
+    }
+
+    #[test]
+    fn octet_c_tiles_partition_the_result() {
+        // The four octets' 8×8 C subtiles tile the 16×16 result exactly.
+        let fps = octet_footprints();
+        for r in 0..16 {
+            for c in 0..16 {
+                let n = fps.iter().filter(|fp| fp.c.contains(r, c)).count();
+                assert_eq!(n, 1, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn octet_works_independently() {
+        // Independence (§III-E): the octet's held A and B subtiles suffice
+        // to compute its C subtile: C[r,c] needs row r of A and col c of B.
+        for fp in octet_footprints() {
+            for r in fp.c.row_start..=fp.c.row_end {
+                assert!(fp.a.row_start <= r && r <= fp.a.row_end);
+            }
+            for c in fp.c.col_start..=fp.c.col_end {
+                assert!(fp.b.col_start <= c && c <= fp.b.col_end);
+            }
+            // Full reduction dimension held.
+            assert_eq!(fp.a.cols(), 16);
+            assert_eq!(fp.b.rows(), 16);
+        }
+    }
+
+    #[test]
+    fn subtile_geometry() {
+        let s = SubTile::new(8, 15, 0, 7);
+        assert_eq!(s.rows(), 8);
+        assert_eq!(s.cols(), 8);
+        assert!(s.contains(8, 0));
+        assert!(!s.contains(7, 0));
+        assert_eq!(s.to_string(), "[8:15,0:7]");
+    }
+}

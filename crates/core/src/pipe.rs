@@ -1,0 +1,262 @@
+//! A cycle-accurate tensor-core pipe: processes a stream of `wmma.mma`
+//! operations as their individual HMMA instructions and emits a
+//! per-HMMA event trace (§IV's microarchitecture animated).
+//!
+//! The [`timing`](crate::timing) module provides the *schedule* of one
+//! `wmma.mma` (Fig 9 / Table I); this module sequences many of them
+//! through the warp's tensor-core pair, enforcing the structural rules
+//! the paper's measurements imply:
+//!
+//! * HMMA sets issue one set-pitch apart (operand-buffer turnaround of
+//!   Fig 13);
+//! * a following `wmma.mma` from the same warp may begin its SET 1 as
+//!   soon as the previous instruction's SET 4 has issued — so back-to-back
+//!   MMAs sustain one instruction per initiation interval, while a
+//!   dependent consumer still waits for the full latency;
+//! * the FEDP pipeline depth separates a step's issue from its
+//!   completion.
+//!
+//! The trace regenerates Fig 9 exactly for a single instruction and
+//! exposes the steady-state initiation interval the SM timing model uses.
+
+use crate::hmma::MmaMode;
+use crate::timing::{turing_set_completions, TuringMode, VoltaTimingParams};
+
+/// One HMMA instruction's lifetime in the pipe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HmmaEvent {
+    /// Index of the `wmma.mma` this HMMA belongs to (enqueue order).
+    pub mma_index: usize,
+    /// Set number, 1-based (paper notation).
+    pub set: usize,
+    /// Step within the set, 0-based; always 0 on Turing (steps are
+    /// sequenced by an internal state machine, §III-D2).
+    pub step: usize,
+    /// Cycle the HMMA issues into the FEDP arrays.
+    pub issue: u64,
+    /// Cycle its results are architecturally complete.
+    pub complete: u64,
+}
+
+/// A warp's tensor-core pair, sequencing HMMA streams.
+#[derive(Clone, Debug)]
+pub struct TensorCorePipe {
+    volta: bool,
+    /// Cycle at which the next SET may begin (operand-buffer turnaround).
+    next_set_slot: u64,
+    mmas_enqueued: usize,
+    events: Vec<HmmaEvent>,
+}
+
+impl TensorCorePipe {
+    /// A Volta (Titan V) pipe.
+    pub fn volta() -> TensorCorePipe {
+        TensorCorePipe { volta: true, next_set_slot: 0, mmas_enqueued: 0, events: Vec::new() }
+    }
+
+    /// A Turing (RTX 2080) pipe.
+    pub fn turing() -> TensorCorePipe {
+        TensorCorePipe { volta: false, next_set_slot: 0, mmas_enqueued: 0, events: Vec::new() }
+    }
+
+    /// Enqueues one Volta `wmma.mma` at cycle `at` (its operands are
+    /// assumed collected). Returns the HMMA events it generated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe is a Turing pipe.
+    pub fn enqueue_volta(&mut self, mode: MmaMode, at: u64) -> Vec<HmmaEvent> {
+        assert!(self.volta, "Volta enqueue on a Turing pipe");
+        let p = VoltaTimingParams::for_mode(mode);
+        let start = at.max(self.next_set_slot);
+        let completions = p.completions();
+        let steps = p.steps_per_set as usize;
+        let mma_index = self.mmas_enqueued;
+        self.mmas_enqueued += 1;
+        let mut out = Vec::with_capacity(completions.len());
+        for (i, &c) in completions.iter().enumerate() {
+            let set = i / steps;
+            let step = i % steps;
+            // Steps issue at the set start plus the step interval; the
+            // completion offsets come from the measured schedule.
+            let issue = start + set as u64 * p.set_pitch as u64 + step as u64 * p.step_interval as u64;
+            out.push(HmmaEvent {
+                mma_index,
+                set: set + 1,
+                step,
+                issue,
+                complete: start + c as u64,
+            });
+        }
+        // The next instruction's SET 1 may start one pitch after this
+        // instruction's SET 4 started.
+        self.next_set_slot = start + p.issue_interval() as u64;
+        self.events.extend(out.iter().copied());
+        out
+    }
+
+    /// Enqueues one Turing `wmma.mma` at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe is a Volta pipe or the combination is not in
+    /// Table I.
+    pub fn enqueue_turing(
+        &mut self,
+        shape: tcsim_isa::WmmaShape,
+        mode: TuringMode,
+        at: u64,
+    ) -> Vec<HmmaEvent> {
+        assert!(!self.volta, "Turing enqueue on a Volta pipe");
+        let completions = turing_set_completions(shape, mode)
+            .unwrap_or_else(|| panic!("unsupported Turing combination {shape} {mode:?}"));
+        let start = at.max(self.next_set_slot);
+        let n = completions.len();
+        let first = completions[0] as u64;
+        let last = *completions.last().expect("non-empty") as u64;
+        let pitch = if n > 1 { (last - first).div_ceil(n as u64 - 1) } else { last };
+        let mma_index = self.mmas_enqueued;
+        self.mmas_enqueued += 1;
+        let mut out = Vec::with_capacity(n);
+        for (i, &c) in completions.iter().enumerate() {
+            out.push(HmmaEvent {
+                mma_index,
+                set: i + 1,
+                step: 0,
+                issue: start + i as u64 * pitch,
+                complete: start + c as u64,
+            });
+        }
+        self.next_set_slot = start + pitch * n as u64;
+        self.events.extend(out.iter().copied());
+        out
+    }
+
+    /// All events observed so far, in issue order.
+    pub fn events(&self) -> &[HmmaEvent] {
+        &self.events
+    }
+
+    /// Cycle at which the next enqueued instruction could start.
+    pub fn next_free(&self) -> u64 {
+        self.next_set_slot
+    }
+
+    /// Completion cycle of the last enqueued instruction (0 if none).
+    pub fn last_completion(&self) -> u64 {
+        self.events.iter().map(|e| e.complete).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE};
+    use tcsim_isa::WmmaShape;
+
+    #[test]
+    fn single_mixed_mma_reproduces_fig9a() {
+        let mut pipe = TensorCorePipe::volta();
+        let ev = pipe.enqueue_volta(MmaMode::MixedF32, 0);
+        assert_eq!(ev.len(), 16);
+        let completes: Vec<u64> = ev.iter().map(|e| e.complete).collect();
+        assert_eq!(completes, VOLTA_MIXED_CUMULATIVE.map(u64::from).to_vec());
+        // Sets are labeled 1..=4, four steps each.
+        assert_eq!(ev[0].set, 1);
+        assert_eq!(ev[15].set, 4);
+        assert_eq!(ev[15].step, 3);
+    }
+
+    #[test]
+    fn single_fp16_mma_reproduces_fig9b() {
+        let mut pipe = TensorCorePipe::volta();
+        let ev = pipe.enqueue_volta(MmaMode::Fp16, 10);
+        let completes: Vec<u64> = ev.iter().map(|e| e.complete - 10).collect();
+        assert_eq!(completes, VOLTA_FP16_CUMULATIVE.map(u64::from).to_vec());
+    }
+
+    #[test]
+    fn issues_precede_completions_and_are_monotone() {
+        let mut pipe = TensorCorePipe::volta();
+        for i in 0..4 {
+            pipe.enqueue_volta(MmaMode::MixedF32, i * 5);
+        }
+        let evs = pipe.events();
+        for e in evs {
+            assert!(e.issue < e.complete, "{e:?}");
+        }
+        for w in evs.windows(2) {
+            assert!(w[0].issue <= w[1].issue, "issue order: {w:?}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_mmas_sustain_the_initiation_interval() {
+        let mut pipe = TensorCorePipe::volta();
+        let n = 8;
+        for _ in 0..n {
+            pipe.enqueue_volta(MmaMode::MixedF32, 0);
+        }
+        let ii = VoltaTimingParams::MIXED.issue_interval() as u64;
+        // k-th instruction's first set issues at k·II.
+        for k in 0..n {
+            let first = pipe
+                .events()
+                .iter()
+                .find(|e| e.mma_index == k && e.set == 1 && e.step == 0)
+                .expect("event exists");
+            assert_eq!(first.issue, k as u64 * ii);
+        }
+        // Steady-state throughput: one mma per II, far below the 54-cycle
+        // latency times n.
+        assert_eq!(pipe.next_free(), n as u64 * ii);
+        assert!(pipe.last_completion() < n as u64 * 54);
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let mut pipe = TensorCorePipe::volta();
+        pipe.enqueue_volta(MmaMode::MixedF32, 0);
+        // Enqueue long after the pipe drained: starts at the requested time.
+        let ev = pipe.enqueue_volta(MmaMode::MixedF32, 1000);
+        assert_eq!(ev[0].complete, 1010);
+    }
+
+    #[test]
+    fn no_two_sets_issue_in_the_same_slot() {
+        let mut pipe = TensorCorePipe::volta();
+        for _ in 0..4 {
+            pipe.enqueue_volta(MmaMode::Fp16, 0);
+        }
+        let mut set_issues: Vec<u64> = pipe
+            .events()
+            .iter()
+            .filter(|e| e.step == 0)
+            .map(|e| e.issue)
+            .collect();
+        let before = set_issues.len();
+        set_issues.sort_unstable();
+        set_issues.dedup();
+        assert_eq!(set_issues.len(), before, "set issue slots must be unique");
+    }
+
+    #[test]
+    fn turing_sets_match_table1() {
+        let mut pipe = TensorCorePipe::turing();
+        let ev = pipe.enqueue_turing(WmmaShape::M16N16K16, TuringMode::Int8, 0);
+        let completes: Vec<u64> = ev.iter().map(|e| e.complete).collect();
+        assert_eq!(completes, vec![40, 44, 47, 59]);
+        // 4-bit mode: a single HMMA.
+        let mut pipe = TensorCorePipe::turing();
+        let ev = pipe.enqueue_turing(WmmaShape::M8N8K32, TuringMode::Int4, 0);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].complete, 230);
+    }
+
+    #[test]
+    #[should_panic(expected = "Turing enqueue on a Volta pipe")]
+    fn arch_mismatch_panics() {
+        let mut pipe = TensorCorePipe::volta();
+        let _ = pipe.enqueue_turing(WmmaShape::M16N16K16, TuringMode::Int8, 0);
+    }
+}

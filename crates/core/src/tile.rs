@@ -1,0 +1,206 @@
+//! Whole operand-matrix tiles in WMMA element types, used by the
+//! functional model and the HMMA decomposition.
+
+use tcsim_f16::F16;
+use tcsim_isa::{FragmentKind, WmmaShape, WmmaType};
+
+/// A dense `rows × cols` tile of WMMA elements, stored as raw bits.
+///
+/// Sub-word types store one element per slot (sign information preserved
+/// by the typed accessors), so indexing is uniform across precisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tile {
+    ty: WmmaType,
+    rows: usize,
+    cols: usize,
+    bits: Vec<u32>,
+}
+
+impl Tile {
+    /// Creates a zeroed tile.
+    pub fn new(ty: WmmaType, rows: usize, cols: usize) -> Tile {
+        Tile { ty, rows, cols, bits: vec![0; rows * cols] }
+    }
+
+    /// Creates the tile for `frag` under `shape`.
+    pub fn for_fragment(frag: FragmentKind, shape: WmmaShape, ty: WmmaType) -> Tile {
+        let (r, c) = frag.dims(shape);
+        Tile::new(ty, r, c)
+    }
+
+    /// Element type.
+    pub fn ty(&self) -> WmmaType {
+        self.ty
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "tile index ({r},{c}) out of range");
+        r * self.cols + c
+    }
+
+    /// Raw bits of element `(r, c)` (low `ty.bits()` bits significant).
+    pub fn get_bits(&self, r: usize, c: usize) -> u32 {
+        self.bits[self.idx(r, c)]
+    }
+
+    /// Stores raw bits for element `(r, c)`, masked to the element width.
+    pub fn set_bits(&mut self, r: usize, c: usize, v: u32) {
+        let mask = if self.ty.bits() >= 32 { u32::MAX } else { (1u32 << self.ty.bits()) - 1 };
+        let i = self.idx(r, c);
+        self.bits[i] = v & mask;
+    }
+
+    /// Element as binary16 (only for `F16` tiles).
+    pub fn get_f16(&self, r: usize, c: usize) -> F16 {
+        assert_eq!(self.ty, WmmaType::F16);
+        F16::from_bits(self.get_bits(r, c) as u16)
+    }
+
+    /// Stores a binary16 element.
+    pub fn set_f16(&mut self, r: usize, c: usize, v: F16) {
+        assert_eq!(self.ty, WmmaType::F16);
+        self.set_bits(r, c, v.to_bits() as u32);
+    }
+
+    /// Element as binary32 (only for `F32` tiles).
+    pub fn get_f32(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.ty, WmmaType::F32);
+        f32::from_bits(self.get_bits(r, c))
+    }
+
+    /// Stores a binary32 element.
+    pub fn set_f32(&mut self, r: usize, c: usize, v: f32) {
+        assert_eq!(self.ty, WmmaType::F32);
+        self.set_bits(r, c, v.to_bits());
+    }
+
+    /// Element as a sign/zero-extended integer (integer tiles only).
+    pub fn get_i32(&self, r: usize, c: usize) -> i32 {
+        let raw = self.get_bits(r, c);
+        match self.ty {
+            WmmaType::S8 => raw as u8 as i8 as i32,
+            WmmaType::U8 => raw as u8 as i32,
+            WmmaType::S4 => {
+                let v = (raw & 0xF) as i32;
+                if v >= 8 { v - 16 } else { v }
+            }
+            WmmaType::U4 => (raw & 0xF) as i32,
+            WmmaType::S32 => raw as i32,
+            other => panic!("get_i32 on {other} tile"),
+        }
+    }
+
+    /// Stores an integer element (truncated to the element width).
+    pub fn set_i32(&mut self, r: usize, c: usize, v: i32) {
+        self.set_bits(r, c, v as u32);
+    }
+
+    /// Numeric value of the element as f64 (for comparisons in tests).
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        match self.ty {
+            WmmaType::F16 => self.get_f16(r, c).to_f64(),
+            WmmaType::F32 => self.get_f32(r, c) as f64,
+            _ => self.get_i32(r, c) as f64,
+        }
+    }
+
+    /// Fills an F16 tile from row-major f32 data (rounding each element).
+    pub fn fill_f32(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = data[r * self.cols + c];
+                match self.ty {
+                    WmmaType::F16 => self.set_f16(r, c, F16::from_f32(v)),
+                    WmmaType::F32 => self.set_f32(r, c, v),
+                    _ => self.set_i32(r, c, v as i32),
+                }
+            }
+        }
+    }
+
+    /// Row-major dump of all element values as f64.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.rows)
+            .flat_map(|r| (0..self.cols).map(move |c| (r, c)))
+            .map(|(r, c)| self.value(r, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_tile_roundtrip() {
+        let mut t = Tile::new(WmmaType::F16, 4, 4);
+        t.set_f16(1, 2, F16::from_f32(1.5));
+        assert_eq!(t.get_f16(1, 2).to_f32(), 1.5);
+        assert_eq!(t.get_f16(0, 0).to_f32(), 0.0);
+        assert_eq!(t.value(1, 2), 1.5);
+    }
+
+    #[test]
+    fn f32_tile_roundtrip() {
+        let mut t = Tile::new(WmmaType::F32, 2, 3);
+        t.set_f32(1, 1, -2.25);
+        assert_eq!(t.get_f32(1, 1), -2.25);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    fn signed_sub_word_extension() {
+        let mut t = Tile::new(WmmaType::S8, 1, 2);
+        t.set_i32(0, 0, -5);
+        assert_eq!(t.get_i32(0, 0), -5);
+        t.set_i32(0, 1, 200); // truncates to 8 bits: 200 as i8 = -56
+        assert_eq!(t.get_i32(0, 1), -56);
+
+        let mut t4 = Tile::new(WmmaType::S4, 1, 2);
+        t4.set_i32(0, 0, -3);
+        assert_eq!(t4.get_i32(0, 0), -3);
+        t4.set_i32(0, 1, 7);
+        assert_eq!(t4.get_i32(0, 1), 7);
+
+        let mut u4 = Tile::new(WmmaType::U4, 1, 1);
+        u4.set_i32(0, 0, 15);
+        assert_eq!(u4.get_i32(0, 0), 15);
+    }
+
+    #[test]
+    fn for_fragment_uses_shape_dims() {
+        let a = Tile::for_fragment(FragmentKind::A, WmmaShape::M32N8K16, WmmaType::F16);
+        assert_eq!((a.rows(), a.cols()), (32, 16));
+        let b = Tile::for_fragment(FragmentKind::B, WmmaShape::M32N8K16, WmmaType::F16);
+        assert_eq!((b.rows(), b.cols()), (16, 8));
+        let c = Tile::for_fragment(FragmentKind::C, WmmaShape::M32N8K16, WmmaType::F32);
+        assert_eq!((c.rows(), c.cols()), (32, 8));
+    }
+
+    #[test]
+    fn fill_and_values_roundtrip() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut t = Tile::new(WmmaType::F16, 4, 4);
+        t.fill_f32(&data);
+        assert_eq!(t.values(), (0..16).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let t = Tile::new(WmmaType::F16, 2, 2);
+        let _ = t.get_bits(2, 0);
+    }
+}

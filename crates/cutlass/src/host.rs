@@ -1,0 +1,277 @@
+//! Host-side GEMM runner: allocates device matrices, launches a kernel
+//! variant on the simulated GPU, and verifies against the CPU reference.
+
+use crate::kernels::{
+    cutlass_gemm, hgemm, igemm_wmma, sgemm, wmma_shared_gemm, wmma_simple_gemm, CutlassConfig,
+};
+use crate::problem::{
+    f16_matrix_bytes, f32_matrix_bytes, i32_matrix_bytes, i8_matrix_bytes, reference_gemm, verify,
+    GemmPrecision, GemmProblem,
+};
+use tcsim_f16::F16;
+use tcsim_isa::LaunchConfig;
+use tcsim_sim::{Gpu, LaunchStats};
+
+/// Which kernel implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// One warp per 16×16 tile, global-memory operands.
+    WmmaSimple,
+    /// Four-warp CTAs with shared-memory staging.
+    WmmaShared,
+    /// CUTLASS-style threadblock/warp tiling.
+    Cutlass(CutlassConfig),
+    /// FFMA FP32 baseline (no tensor cores).
+    Sgemm,
+    /// HFMA2 FP16 baseline (no tensor cores).
+    Hgemm,
+    /// INT8 tensor-core kernel (Turing inference mode).
+    IgemmWmma,
+}
+
+impl GemmKernel {
+    /// Whether this kernel uses the tensor cores.
+    pub fn uses_tensor_cores(&self) -> bool {
+        !matches!(self, GemmKernel::Sgemm | GemmKernel::Hgemm)
+    }
+
+    /// Smallest (m, n) granularity the kernel supports.
+    pub fn granularity_mn(&self) -> (usize, usize) {
+        match self {
+            GemmKernel::WmmaSimple | GemmKernel::Sgemm | GemmKernel::IgemmWmma => (16, 16),
+            GemmKernel::WmmaShared => (32, 32),
+            GemmKernel::Hgemm => (16, 32),
+            GemmKernel::Cutlass(cfg) => (cfg.cta_m, cfg.cta_n),
+        }
+    }
+
+    /// Largest single-dimension granularity (coarse compatibility check).
+    pub fn granularity(&self) -> usize {
+        let (m, n) = self.granularity_mn();
+        m.max(n)
+    }
+}
+
+/// Result of one device GEMM: simulator statistics plus verification.
+#[derive(Clone, Debug)]
+pub struct GemmRun {
+    /// The problem executed.
+    pub problem: GemmProblem,
+    /// Simulator launch statistics.
+    pub stats: LaunchStats,
+    /// Max |device − reference| over all output elements (present when
+    /// verification ran).
+    pub max_abs_err: Option<f32>,
+}
+
+impl GemmRun {
+    /// Achieved TFLOPS.
+    pub fn tflops(&self) -> f64 {
+        self.stats.tflops(self.problem.flops())
+    }
+}
+
+/// Runs `D = A×B + C` on the simulated GPU with the chosen kernel and
+/// (optionally) verifies the result against the CPU reference.
+///
+/// # Panics
+///
+/// Panics if the problem shape is not a multiple of the kernel's
+/// granularity, or if verification fails.
+pub fn run_gemm(gpu: &mut Gpu, problem: GemmProblem, kernel: GemmKernel, check: bool) -> GemmRun {
+    let (m, n, k) = (problem.m, problem.n, problem.k);
+    let (gm, gn) = kernel.granularity_mn();
+    assert!(
+        m % gm == 0 && n % gn == 0 && k % 16 == 0,
+        "problem {m}x{n}x{k} not a multiple of kernel granularity {gm}x{gn}"
+    );
+
+    let fp16_out = problem.precision == GemmPrecision::Fp16;
+    let int8 = problem.precision == GemmPrecision::Int8;
+    match (&kernel, problem.precision) {
+        (GemmKernel::Sgemm, GemmPrecision::Fp32) => {}
+        (GemmKernel::Sgemm, _) => panic!("sgemm requires Fp32 precision"),
+        (GemmKernel::Hgemm, GemmPrecision::Fp16) => {}
+        (GemmKernel::Hgemm, _) => panic!("hgemm requires Fp16 precision"),
+        (GemmKernel::Cutlass(_), GemmPrecision::MixedF32) => {}
+        (GemmKernel::Cutlass(_), _) => panic!("the cutlass kernel accumulates in FP32"),
+        (GemmKernel::IgemmWmma, GemmPrecision::Int8) => {
+            assert!(
+                !gpu.config().sm.volta_tensor,
+                "the INT8 mode needs a Turing GPU (Volta tensor cores are FP16-only)"
+            );
+        }
+        (GemmKernel::IgemmWmma, _) => panic!("igemm requires Int8 precision"),
+        (_, GemmPrecision::Fp32) => panic!("wmma kernels take FP16 operands"),
+        (_, GemmPrecision::Int8) => panic!("only igemm supports Int8"),
+        _ => {}
+    }
+
+    // Operand setup.
+    let (seed_a, seed_b, seed_c) = (0xA, 0xB, 0xC);
+    let (a_bytes, b_bytes) = match problem.precision {
+        GemmPrecision::Fp32 => (f32_matrix_bytes(seed_a, m, k), f32_matrix_bytes(seed_b, k, n)),
+        GemmPrecision::Int8 => (i8_matrix_bytes(seed_a, m, k), i8_matrix_bytes(seed_b, k, n)),
+        _ => (f16_matrix_bytes(seed_a, m, k), f16_matrix_bytes(seed_b, k, n)),
+    };
+    let c_bytes = match problem.precision {
+        GemmPrecision::MixedF32 | GemmPrecision::Fp32 => f32_matrix_bytes(seed_c, m, n),
+        GemmPrecision::Fp16 => f16_matrix_bytes(seed_c, m, n),
+        GemmPrecision::Int8 => i32_matrix_bytes(seed_c, m, n),
+    };
+    let d_elem = if fp16_out { 2 } else { 4 };
+
+    let pa = gpu.alloc(a_bytes.len() as u64);
+    let pb = gpu.alloc(b_bytes.len() as u64);
+    let pc = gpu.alloc(c_bytes.len() as u64);
+    let pd = gpu.alloc((m * n * d_elem) as u64);
+    gpu.memcpy_h2d(pa, &a_bytes);
+    gpu.memcpy_h2d(pb, &b_bytes);
+    gpu.memcpy_h2d(pc, &c_bytes);
+
+    let mut params = Vec::new();
+    params.extend_from_slice(&pa.to_le_bytes());
+    params.extend_from_slice(&pb.to_le_bytes());
+    params.extend_from_slice(&pc.to_le_bytes());
+    params.extend_from_slice(&pd.to_le_bytes());
+    params.extend_from_slice(&(n as u32).to_le_bytes());
+    params.extend_from_slice(&(k as u32).to_le_bytes());
+
+    let (kern, launch) = match kernel {
+        GemmKernel::WmmaSimple => (
+            wmma_simple_gemm(fp16_out),
+            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), 32u32),
+        ),
+        GemmKernel::WmmaShared => (
+            wmma_shared_gemm(fp16_out),
+            LaunchConfig::new(((n / 32) as u32, (m / 32) as u32), 128u32),
+        ),
+        GemmKernel::Cutlass(cfg) => (
+            cutlass_gemm(cfg),
+            LaunchConfig::new(
+                ((n / cfg.cta_n) as u32, (m / cfg.cta_m) as u32),
+                cfg.threads() as u32,
+            ),
+        ),
+        GemmKernel::Sgemm => (
+            sgemm(),
+            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), (16u32, 16u32)),
+        ),
+        GemmKernel::Hgemm => (
+            hgemm(),
+            LaunchConfig::new(((n / 32) as u32, (m / 16) as u32), (16u32, 16u32)),
+        ),
+        GemmKernel::IgemmWmma => (
+            igemm_wmma(),
+            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), 32u32),
+        ),
+    };
+
+    let stats = gpu.launch(kern, launch, &params);
+
+    let max_abs_err = if check {
+        let reference = reference_gemm(&problem, seed_a, seed_b, seed_c);
+        let raw = gpu.memcpy_d2h(pd, m * n * d_elem);
+        let got: Vec<f32> = if fp16_out {
+            raw.chunks_exact(2)
+                .map(|b| F16::from_bits(u16::from_le_bytes([b[0], b[1]])).to_f32())
+                .collect()
+        } else if int8 {
+            raw.chunks_exact(4)
+                .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f32)
+                .collect()
+        } else {
+            raw.chunks_exact(4)
+                .map(|b| f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+                .collect()
+        };
+        Some(verify(&problem, &got, &reference))
+    } else {
+        None
+    };
+
+    GemmRun { problem, stats, max_abs_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsim_sim::GpuConfig;
+
+    #[test]
+    fn wmma_simple_gemm_verifies_32() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let run = run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaSimple, true);
+        assert!(run.max_abs_err.unwrap() < 0.01);
+        assert!(run.stats.sm.issued_by_unit[4] > 0, "tensor unit used");
+    }
+
+    #[test]
+    fn wmma_shared_gemm_verifies_64() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let run = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, true);
+        assert!(run.max_abs_err.unwrap() < 0.01);
+        assert!(run.stats.sm.barriers > 0, "shared staging uses barriers");
+    }
+
+    #[test]
+    fn cutlass_gemm_verifies_64() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let run = run_gemm(
+            &mut gpu,
+            GemmProblem::square(64),
+            GemmKernel::Cutlass(CutlassConfig::default_64x64()),
+            true,
+        );
+        assert!(run.max_abs_err.unwrap() < 0.01);
+    }
+
+    #[test]
+    fn sgemm_baseline_verifies() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let p = GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(32) };
+        let run = run_gemm(&mut gpu, p, GemmKernel::Sgemm, true);
+        assert!(run.max_abs_err.unwrap() < 0.01);
+        assert_eq!(run.stats.sm.issued_by_unit[4], 0, "no tensor instructions");
+    }
+
+    #[test]
+    fn hgemm_baseline_verifies() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let p = GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) };
+        let run = run_gemm(&mut gpu, p, GemmKernel::Hgemm, true);
+        assert!(run.max_abs_err.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn fp16_wmma_output_verifies() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let p = GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) };
+        let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
+        assert!(run.max_abs_err.is_some());
+    }
+
+    #[test]
+    fn rectangular_problem_runs() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let p = GemmProblem { m: 32, n: 64, k: 48, precision: GemmPrecision::MixedF32 };
+        let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
+        assert!(run.max_abs_err.unwrap() < 0.01);
+    }
+
+    #[test]
+    fn tensor_kernel_beats_sgemm_in_cycles() {
+        // The headline claim (Fig 17): tensor cores give a large speedup
+        // over the FFMA SGEMM baseline at the same problem size.
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let tc = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, false);
+        let p32 = GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(64) };
+        let base = run_gemm(&mut gpu, p32, GemmKernel::Sgemm, false);
+        assert!(
+            tc.stats.cycles * 2 < base.stats.cycles,
+            "tensor {} vs sgemm {} cycles",
+            tc.stats.cycles,
+            base.stats.cycles
+        );
+    }
+}

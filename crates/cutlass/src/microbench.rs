@@ -1,0 +1,143 @@
+//! Microbenchmark kernels from §III of the paper: repeated-HMMA warp
+//! scaling (Fig 12c) and clock-instrumented `wmma.mma` latency (Fig 6).
+
+use tcsim_isa::{
+    CmpOp, DataType, FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand,
+    SpecialReg, WmmaShape, WmmaType,
+};
+
+const SHAPE: WmmaShape = WmmaShape::M16N16K16;
+
+/// Repeated `wmma.mma` kernel: every warp loads operand fragments once,
+/// executes `iters` MMAs alternating between two independent accumulators
+/// (so throughput, not latency, is measured), and stores the elapsed
+/// cycles (read via `CS2R SR_CLOCKLO`) to `out[warp_global_index]`.
+///
+/// Parameters: `src: u64` (a 16×16 f16 operand pad), `out: u64` (u32 per
+/// warp). Launch with any number of warps per CTA (Fig 12c varies 1..8).
+pub fn repeated_mma(iters: u32) -> Kernel {
+    let mut b = KernelBuilder::new("repeated_mma");
+    let src_off = b.param_u64("src");
+    let out_off = b.param_u64("out");
+    let src = b.reg_pair();
+    b.ld_param(MemWidth::B64, src, src_off);
+    let out = b.reg_pair();
+    b.ld_param(MemWidth::B64, out, out_off);
+
+    let fa = b.reg_block(8);
+    let fb = b.reg_block(8);
+    let fc0 = b.reg_block(8);
+    let fc1 = b.reg_block(8);
+    for frag in [
+        (FragmentKind::A, fa),
+        (FragmentKind::B, fb),
+        (FragmentKind::C, fc0),
+        (FragmentKind::C, fc1),
+    ] {
+        let ty = if frag.0 == FragmentKind::C { WmmaType::F32 } else { WmmaType::F16 };
+        b.wmma_load(
+            frag.0,
+            SHAPE,
+            Layout::Row,
+            ty,
+            MemSpace::Global,
+            frag.1,
+            Operand::RegPair(src),
+            Operand::Imm(16),
+        );
+    }
+
+    let t0 = b.reg();
+    b.clock(t0);
+    let i = b.reg();
+    b.mov(i, Operand::Imm(0));
+    let top = b.label();
+    b.place(top);
+    // Two independent accumulator chains keep the tensor-core pair at its
+    // initiation interval rather than its latency.
+    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, WmmaType::F32, WmmaType::F32, fc0, fa, fb, fc0);
+    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, WmmaType::F32, WmmaType::F32, fc1, fa, fb, fc1);
+    b.iadd(i, i, Operand::Imm(2));
+    let p = b.pred();
+    b.setp(p, CmpOp::Lt, DataType::U32, i, Operand::Imm(iters as i64));
+    b.bra_if(p, true, top);
+    let t1 = b.reg();
+    b.clock(t1);
+    let dt = b.reg();
+    b.isub(dt, t1, Operand::Reg(t0));
+
+    // out[ctaid.x · warps_per_cta + warpid] ← dt (lane 0's value wins; all
+    // lanes store the same thing).
+    let warp = b.reg();
+    b.mov(warp, Operand::Special(SpecialReg::WarpId));
+    let cta = b.reg();
+    b.mov(cta, Operand::Special(SpecialReg::CtaIdX));
+    let ntid = b.reg();
+    b.mov(ntid, Operand::Special(SpecialReg::NTidX));
+    let wpc = b.reg();
+    b.shr(wpc, ntid, Operand::Imm(5));
+    let slot = b.reg();
+    b.imad(slot, cta, Operand::Reg(wpc), Operand::Reg(warp));
+    let addr = b.reg_pair();
+    b.imad_wide(addr, slot, Operand::Imm(4), out);
+    b.st_global(MemWidth::B32, addr, 0, dt);
+    b.exit();
+    b.build()
+}
+
+/// Single clocked `wmma.mma`: measures one MMA's issue-to-use latency by
+/// reading the clock, executing the MMA, consuming its result (a
+/// dependent store) and reading the clock again.
+pub fn clocked_mma(fp16: bool) -> Kernel {
+    let mut b = KernelBuilder::new("clocked_mma");
+    let src_off = b.param_u64("src");
+    let out_off = b.param_u64("out");
+    let src = b.reg_pair();
+    b.ld_param(MemWidth::B64, src, src_off);
+    let out = b.reg_pair();
+    b.ld_param(MemWidth::B64, out, out_off);
+    let (cd_ty, cd_regs) = if fp16 { (WmmaType::F16, 4) } else { (WmmaType::F32, 8) };
+
+    let fa = b.reg_block(8);
+    let fb = b.reg_block(8);
+    let fc = b.reg_block(cd_regs);
+    b.wmma_load(FragmentKind::A, SHAPE, Layout::Row, WmmaType::F16, MemSpace::Global, fa, Operand::RegPair(src), Operand::Imm(16));
+    b.wmma_load(FragmentKind::B, SHAPE, Layout::Row, WmmaType::F16, MemSpace::Global, fb, Operand::RegPair(src), Operand::Imm(16));
+    b.wmma_load(FragmentKind::C, SHAPE, Layout::Row, cd_ty, MemSpace::Global, fc, Operand::RegPair(src), Operand::Imm(16));
+
+    // Drain the fragment loads before starting the measurement (the
+    // paper's patched-SASS microbenchmarks measure HMMA alone, Fig 6):
+    // dependent reads stall until every fragment is written back.
+    let probe = b.reg();
+    b.iadd(probe, fa, Operand::Imm(0));
+    b.iadd(probe, fb, Operand::Imm(0));
+    b.iadd(probe, fc, Operand::Imm(0));
+    let t0 = b.reg();
+    b.clock(t0);
+    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, cd_ty, cd_ty, fc, fa, fb, fc);
+    // Dependent use forces the measurement to include completion.
+    b.iadd(probe, fc, Operand::Imm(0));
+    let t1 = b.reg();
+    b.clock(t1);
+    let dt = b.reg();
+    b.isub(dt, t1, Operand::Reg(t0));
+    b.st_global(MemWidth::B32, out, 0, dt);
+    b.exit();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_with_expected_resources() {
+        let k = repeated_mma(64);
+        assert!(k.num_regs() <= 80, "{} regs", k.num_regs());
+        assert_eq!(k.params().len(), 2);
+        let k = clocked_mma(false);
+        assert!(k.num_regs() <= 64);
+        let k = clocked_mma(true);
+        assert!(k.num_regs() <= 64);
+    }
+}

@@ -1,0 +1,160 @@
+//! Packed pairs of binary16 values.
+//!
+//! Volta/Turing SASS manipulates half precision two-at-a-time in 32-bit
+//! registers (`HADD2`, `HMUL2`, `HFMA2`). Fragments of WMMA operand matrices
+//! are likewise stored as packed pairs in general-purpose registers
+//! (§III-C of the paper: each HMMA register identifier names a pair of
+//! 32-bit registers, each holding two FP16 elements). This module provides
+//! the packed representation used by the register-file model and the
+//! half-precision SIMD instruction semantics.
+
+use crate::F16;
+use std::fmt;
+
+/// Two binary16 values packed into one 32-bit register.
+///
+/// The low half-word is lane 0 (the element at the lower memory address when
+/// loaded from memory), matching little-endian packing on real hardware.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_f16::{F16, F16x2};
+///
+/// let v = F16x2::new(F16::ONE, F16::from_f32(2.0));
+/// let w = v.hadd2(v);
+/// assert_eq!(w.lo().to_f32(), 2.0);
+/// assert_eq!(w.hi().to_f32(), 4.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct F16x2(u32);
+
+impl F16x2 {
+    /// Both lanes zero.
+    pub const ZERO: F16x2 = F16x2(0);
+
+    /// Packs two halves; `lo` occupies bits 0..16, `hi` bits 16..32.
+    #[inline]
+    pub fn new(lo: F16, hi: F16) -> F16x2 {
+        F16x2((lo.to_bits() as u32) | ((hi.to_bits() as u32) << 16))
+    }
+
+    /// Broadcasts one half to both lanes.
+    #[inline]
+    pub fn splat(v: F16) -> F16x2 {
+        F16x2::new(v, v)
+    }
+
+    /// Creates from the raw 32-bit register value.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> F16x2 {
+        F16x2(bits)
+    }
+
+    /// Returns the raw 32-bit register value.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Lane 0 (low half-word).
+    #[inline]
+    pub fn lo(self) -> F16 {
+        F16::from_bits(self.0 as u16)
+    }
+
+    /// Lane 1 (high half-word).
+    #[inline]
+    pub fn hi(self) -> F16 {
+        F16::from_bits((self.0 >> 16) as u16)
+    }
+
+    /// Returns both lanes as an array `[lo, hi]`.
+    #[inline]
+    pub fn to_array(self) -> [F16; 2] {
+        [self.lo(), self.hi()]
+    }
+
+    /// Lane-wise addition (SASS `HADD2`).
+    pub fn hadd2(self, rhs: F16x2) -> F16x2 {
+        F16x2::new(self.lo() + rhs.lo(), self.hi() + rhs.hi())
+    }
+
+    /// Lane-wise multiplication (SASS `HMUL2`).
+    pub fn hmul2(self, rhs: F16x2) -> F16x2 {
+        F16x2::new(self.lo() * rhs.lo(), self.hi() * rhs.hi())
+    }
+
+    /// Lane-wise fused multiply-add `self * a + b` (SASS `HFMA2`), one
+    /// rounding per lane.
+    pub fn hfma2(self, a: F16x2, b: F16x2) -> F16x2 {
+        F16x2::new(self.lo().mul_add(a.lo(), b.lo()), self.hi().mul_add(a.hi(), b.hi()))
+    }
+}
+
+impl From<[F16; 2]> for F16x2 {
+    fn from(v: [F16; 2]) -> F16x2 {
+        F16x2::new(v[0], v[1])
+    }
+}
+
+impl From<F16x2> for [F16; 2] {
+    fn from(v: F16x2) -> [F16; 2] {
+        v.to_array()
+    }
+}
+
+impl fmt::Debug for F16x2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16x2({}, {})", self.lo(), self.hi())
+    }
+}
+
+impl fmt::Display for F16x2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo(), self.hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = F16x2::new(F16::from_f32(1.5), F16::from_f32(-2.0));
+        assert_eq!(v.lo().to_f32(), 1.5);
+        assert_eq!(v.hi().to_f32(), -2.0);
+        assert_eq!(F16x2::from_bits(v.to_bits()), v);
+        assert_eq!(v.to_array()[0].to_f32(), 1.5);
+    }
+
+    #[test]
+    fn splat_fills_both_lanes() {
+        let v = F16x2::splat(F16::from_f32(3.0));
+        assert_eq!(v.lo(), v.hi());
+    }
+
+    #[test]
+    fn lane_wise_ops() {
+        let a = F16x2::new(F16::from_f32(1.0), F16::from_f32(2.0));
+        let b = F16x2::new(F16::from_f32(3.0), F16::from_f32(4.0));
+        let c = a.hadd2(b);
+        assert_eq!(c.lo().to_f32(), 4.0);
+        assert_eq!(c.hi().to_f32(), 6.0);
+        let d = a.hmul2(b);
+        assert_eq!(d.lo().to_f32(), 3.0);
+        assert_eq!(d.hi().to_f32(), 8.0);
+        let e = a.hfma2(b, c);
+        assert_eq!(e.lo().to_f32(), 7.0);
+        assert_eq!(e.hi().to_f32(), 14.0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let a = F16x2::new(F16::MAX, F16::MIN_POSITIVE_SUBNORMAL);
+        let s = a.hadd2(a);
+        assert_eq!(s.lo(), F16::INFINITY); // overflow confined to lane 0
+        assert_eq!(s.hi().to_bits(), 0x0002);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the binary16 implementation.
+
+use proptest::prelude::*;
+use tcsim_f16::{F16, F16x2};
+
+/// Strategy producing arbitrary f16 bit patterns (including NaN/inf/subnormal).
+fn any_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_map(F16::from_bits)
+}
+
+/// Strategy producing finite, non-NaN f16 values.
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn to_f32_roundtrip(h in any_f16()) {
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), h.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_f32_matches_f64_path(x in any::<f32>()) {
+        // Rounding f32→f16 must agree with the f64→f16 path, since
+        // f32→f64 is exact.
+        let a = F16::from_f32(x);
+        let b = F16::from_f64(x as f64);
+        if a.is_nan() {
+            prop_assert!(b.is_nan());
+        } else {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn addition_is_commutative(a in any_f16(), b in any_f16()) {
+        let x = a + b;
+        let y = b + a;
+        if x.is_nan() {
+            prop_assert!(y.is_nan());
+        } else {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in any_f16(), b in any_f16()) {
+        let x = a * b;
+        let y = b * a;
+        if x.is_nan() {
+            prop_assert!(y.is_nan());
+        } else {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in finite_f16()) {
+        prop_assert_eq!((a + F16::ZERO).to_f32(), a.to_f32());
+    }
+
+    #[test]
+    fn mul_one_is_identity(a in finite_f16()) {
+        prop_assert_eq!((a * F16::ONE).to_f32(), a.to_f32());
+    }
+
+    #[test]
+    fn subtraction_of_self_is_zero(a in finite_f16()) {
+        prop_assert!((a - a).is_zero());
+    }
+
+    #[test]
+    fn negation_flips_sign_bit_only(a in any_f16()) {
+        prop_assert_eq!((-a).to_bits(), a.to_bits() ^ 0x8000);
+    }
+
+    #[test]
+    fn result_is_correctly_rounded_add(a in finite_f16(), b in finite_f16()) {
+        // The f16 sum must be one of the two f16 values bracketing the exact
+        // sum, specifically the nearest (checked against exact f64 math,
+        // which is exact for f16 inputs).
+        let exact = a.to_f64() + b.to_f64();
+        let got = (a + b).to_f64();
+        if got.is_finite() {
+            // Nearest: no other representable f16 may be strictly closer.
+            let err = (got - exact).abs();
+            let up = F16::from_bits((a + b).to_bits().wrapping_add(1));
+            let dn = F16::from_bits((a + b).to_bits().wrapping_sub(1));
+            for n in [up, dn] {
+                if n.is_finite() {
+                    prop_assert!((n.to_f64() - exact).abs() >= err);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_correctly_rounded_mul(a in finite_f16(), b in finite_f16()) {
+        let exact = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        if got.is_finite() && exact.is_finite() {
+            let err = (got - exact).abs();
+            let up = F16::from_bits((a * b).to_bits().wrapping_add(1));
+            let dn = F16::from_bits((a * b).to_bits().wrapping_sub(1));
+            for n in [up, dn] {
+                if n.is_finite() {
+                    prop_assert!((n.to_f64() - exact).abs() >= err);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abs_clears_sign(a in any_f16()) {
+        prop_assert!(!a.abs().is_sign_negative());
+    }
+
+    #[test]
+    fn min_max_bracket(a in finite_f16(), b in finite_f16()) {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        prop_assert!(lo <= hi);
+        prop_assert!(lo == a || lo == b || (lo.is_zero() && (a.is_zero() || b.is_zero())));
+    }
+
+    #[test]
+    fn total_order_is_consistent_with_partial_order(a in finite_f16(), b in finite_f16()) {
+        if a < b {
+            prop_assert!(a.total_order_key() < b.total_order_key()
+                || (a.is_zero() && b.is_zero()));
+        }
+    }
+
+    #[test]
+    fn f16x2_pack_unpack(lo in any_f16(), hi in any_f16()) {
+        let v = F16x2::new(lo, hi);
+        prop_assert_eq!(v.lo().to_bits(), lo.to_bits());
+        prop_assert_eq!(v.hi().to_bits(), hi.to_bits());
+    }
+
+    #[test]
+    fn f16x2_hfma2_matches_scalar(
+        a0 in finite_f16(), a1 in finite_f16(),
+        b0 in finite_f16(), b1 in finite_f16(),
+        c0 in finite_f16(), c1 in finite_f16(),
+    ) {
+        let r = F16x2::new(a0, a1).hfma2(F16x2::new(b0, b1), F16x2::new(c0, c1));
+        let s0 = a0.mul_add(b0, c0);
+        let s1 = a1.mul_add(b1, c1);
+        if !s0.is_nan() { prop_assert_eq!(r.lo().to_bits(), s0.to_bits()); }
+        if !s1.is_nan() { prop_assert_eq!(r.hi().to_bits(), s1.to_bits()); }
+    }
+}

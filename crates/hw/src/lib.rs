@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Analytic Titan V / RTX 2080 hardware surrogate.
+//!
+//! Substitutes for the physical GPUs of the paper's evaluation (see
+//! `DESIGN.md` §3): predictions come from datasheet rooflines and
+//! paper-reported constants — never from the simulator — so that
+//! simulator-vs-surrogate correlation (Fig 14) measures what the paper's
+//! simulator-vs-hardware correlation measured.
+
+mod model;
+
+pub use model::HwModel;
+
+/// GEMM kernel classes of the paper's Fig 17 comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// cuBLAS without tensor cores, FP32 (SGEMM).
+    CublasFp32,
+    /// cuBLAS without tensor cores, FP16 (HGEMM).
+    CublasFp16,
+    /// cuBLAS with tensor cores, mixed precision.
+    CublasTcFp32,
+    /// cuBLAS with tensor cores, FP16.
+    CublasTcFp16,
+    /// The paper's shared-memory WMMA kernel.
+    WmmaOptimized,
+    /// Naive WMMA kernel without shared memory.
+    WmmaSimple,
+    /// A CUTLASS-style tiled kernel.
+    CutlassTc,
+    /// Repeated-MMA stress kernel, FP16 mode.
+    MaxPerfFp16,
+    /// Repeated-MMA stress kernel, mixed precision.
+    MaxPerfMixed,
+    /// 125 TFLOPS theoretical ceiling.
+    TheoreticalLimit,
+}
+
+impl KernelClass {
+    /// All classes, in Fig 17 legend order.
+    pub const ALL: [KernelClass; 10] = [
+        KernelClass::CublasFp32,
+        KernelClass::CublasFp16,
+        KernelClass::CublasTcFp32,
+        KernelClass::CublasTcFp16,
+        KernelClass::WmmaOptimized,
+        KernelClass::WmmaSimple,
+        KernelClass::CutlassTc,
+        KernelClass::MaxPerfFp16,
+        KernelClass::MaxPerfMixed,
+        KernelClass::TheoreticalLimit,
+    ];
+}

@@ -1,0 +1,292 @@
+//! Analytic first-principles Titan V performance surrogate.
+//!
+//! The paper validates its simulator against a physical Titan V. No GPU is
+//! available to this reproduction, so — per the substitution policy in
+//! `DESIGN.md` — the "hardware" side of every comparison is this analytic
+//! model, built **only** from public datasheet constants and the paper's
+//! own measured latencies, never from the simulator:
+//!
+//! * 80 SMs × 8 tensor cores at 1530 MHz → 125.3 TFLOPS tensor peak
+//!   (§II-D), 15.7 TFLOPS FP32 FMA peak;
+//! * 653 GB/s HBM2 bandwidth across 24 partitions;
+//! * kernel efficiency curves with the saturating shape cuBLAS exhibits
+//!   (Fig 17): `eff(s) = eff_max · s² / (s² + s_half²)`;
+//! * the paper's measured instruction latencies (Fig 9, Fig 15) for
+//!   latency-bound regimes.
+//!
+//! Predictions combine a compute roofline, a memory roofline, an
+//! occupancy ramp for grids too small to fill the machine, and a fixed
+//! launch overhead, plus deterministic seeded measurement noise standing
+//! in for run-to-run hardware variation.
+
+use crate::KernelClass;
+use tcsim_isa::Dim3;
+
+/// Datasheet + calibration constants of the modeled GPU.
+#[derive(Clone, Debug)]
+pub struct HwModel {
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Streaming multiprocessors.
+    pub sms: f64,
+    /// Tensor-core peak in TFLOPS.
+    pub tensor_peak: f64,
+    /// FP32 FMA peak in TFLOPS.
+    pub fp32_peak: f64,
+    /// Packed-FP16 FMA peak in TFLOPS (2× FP32 rate).
+    pub fp16_peak: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Fixed kernel launch + drain overhead in cycles.
+    pub overhead_cycles: f64,
+    /// Relative amplitude of the deterministic measurement noise.
+    pub noise: f64,
+    seed: u64,
+}
+
+impl HwModel {
+    /// The NVIDIA Titan V of the paper's evaluation (§V-A).
+    pub fn titan_v() -> HwModel {
+        HwModel {
+            clock_ghz: 1.53,
+            sms: 80.0,
+            tensor_peak: 125.3,
+            fp32_peak: 15.7,
+            fp16_peak: 31.4,
+            dram_gbps: 653.0,
+            overhead_cycles: 2600.0,
+            noise: 0.02,
+            seed: 0x7171_F00D,
+        }
+    }
+
+    /// Peak FLOPs per core cycle for a kernel class.
+    fn peak_tflops(&self, class: KernelClass) -> f64 {
+        match class {
+            KernelClass::TheoreticalLimit
+            | KernelClass::MaxPerfFp16
+            | KernelClass::MaxPerfMixed
+            | KernelClass::CublasTcFp16
+            | KernelClass::CublasTcFp32
+            | KernelClass::WmmaOptimized
+            | KernelClass::WmmaSimple
+            | KernelClass::CutlassTc => self.tensor_peak,
+            KernelClass::CublasFp32 => self.fp32_peak,
+            KernelClass::CublasFp16 => self.fp16_peak,
+        }
+    }
+
+    /// Saturating efficiency curve: fraction of peak achieved for a
+    /// square problem of size `s` (cuBLAS-like ramp; see module docs).
+    fn efficiency(&self, class: KernelClass, s: f64) -> f64 {
+        let (emax, half) = match class {
+            KernelClass::TheoreticalLimit => (1.0, 0.0),
+            // §V-C: repeated wmma.mma with computational intensity ~1e8
+            // reaches 109.6 (FP16) and 108.7 (mixed) TFLOPS.
+            KernelClass::MaxPerfFp16 => (109.6 / 125.3, 0.0),
+            KernelClass::MaxPerfMixed => (108.7 / 125.3, 0.0),
+            // cuBLAS with tensor cores: ~96 TFLOPS at 8192² (FP16 mode).
+            KernelClass::CublasTcFp16 => (0.80, 850.0),
+            KernelClass::CublasTcFp32 => (0.74, 900.0),
+            // The paper's shared-memory WMMA kernel: well below cuBLAS
+            // (no swizzled layouts / software pipelining), ~100k cycles
+            // for a 512² GEMM in Fig 14a.
+            KernelClass::WmmaOptimized => (0.55, 2500.0),
+            // No shared memory at all: global-bandwidth bound.
+            KernelClass::WmmaSimple => (0.30, 4000.0),
+            KernelClass::CutlassTc => (0.65, 1100.0),
+            // FFMA SGEMM: cuBLAS sustains ~88% of FP32 peak at size.
+            KernelClass::CublasFp32 => (0.88, 700.0),
+            KernelClass::CublasFp16 => (0.85, 800.0),
+        };
+        if half == 0.0 {
+            emax
+        } else {
+            emax * s * s / (s * s + half * half)
+        }
+    }
+
+    /// Fraction of SMs that can be busy for a grid of `ctas` CTAs (the
+    /// machine-fill ramp; reported for diagnostics — the small-grid
+    /// penalty itself is folded into the per-class efficiency curves,
+    /// whose `s_half` constants were chosen against whole-kernel
+    /// observations, so multiplying both in would double-count it).
+    pub fn occupancy(&self, ctas: f64) -> f64 {
+        (ctas / (2.0 * self.sms)).clamp(1.0 / (2.0 * self.sms), 1.0)
+    }
+
+    /// Deterministic "measurement noise" in `[1-noise, 1+noise]`, keyed by
+    /// the workload signature (the same workload always measures the same).
+    pub fn jitter(&self, key: u64) -> f64 {
+        let mut x = key
+            .wrapping_add(self.seed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 29;
+        let unit = (x % 10_000) as f64 / 10_000.0; // [0,1)
+        1.0 + self.noise * (2.0 * unit - 1.0)
+    }
+
+    /// Predicted execution cycles of a GEMM `m×n×k` run with a kernel of
+    /// `class` (grid of `ctas` CTAs, `bytes` of compulsory DRAM traffic).
+    pub fn gemm_cycles(&self, m: usize, n: usize, k: usize, class: KernelClass) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let s = ((m * n) as f64).sqrt().max(k as f64 * 0.5);
+        let elem_ab = match class {
+            KernelClass::CublasFp32 => 4.0,
+            _ => 2.0,
+        };
+        let bytes = (m * k + k * n) as f64 * elem_ab + (m * n) as f64 * 8.0;
+        let eff = self.efficiency(class, s);
+        let flops_per_cycle = self.peak_tflops(class) * 1e12 / (self.clock_ghz * 1e9);
+        let compute_cycles = flops / (flops_per_cycle * eff);
+        let bytes_per_cycle = self.dram_gbps * 1e9 / (self.clock_ghz * 1e9);
+        let mem_cycles = bytes / bytes_per_cycle;
+        let key = (m as u64) << 40 | (n as u64) << 20 | k as u64 ^ (class as u64) << 56;
+        (compute_cycles.max(mem_cycles) + self.overhead_cycles) * self.jitter(key)
+    }
+
+    /// Predicted achieved TFLOPS of a square GEMM (the Fig 17 series).
+    pub fn gemm_tflops(&self, size: usize, class: KernelClass) -> f64 {
+        if class == KernelClass::TheoreticalLimit {
+            return 125.0;
+        }
+        let flops = 2.0 * (size as f64).powi(3);
+        let cycles = self.gemm_cycles(size, size, size, class);
+        flops / (cycles / (self.clock_ghz * 1e9)) / 1e12
+    }
+
+    /// Predicted hardware IPC for a kernel that issues `instructions`
+    /// warp instructions and runs `cycles` (predicted) cycles.
+    pub fn ipc(&self, instructions: u64, cycles: f64) -> f64 {
+        instructions as f64 / cycles
+    }
+
+    /// Minimum `wmma.{load,mma,store}` latencies the paper measured in a
+    /// shared-memory GEMM (Fig 15): 125, 70 and 120 cycles.
+    pub fn wmma_min_latencies(&self) -> (u64, u64, u64) {
+        (125, 70, 120)
+    }
+
+    /// Grid size heuristic used by the correlation studies.
+    pub fn gemm_grid(m: usize, n: usize, tile: usize) -> Dim3 {
+        Dim3::xy((n / tile) as u32, (m / tile) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_match_datasheet() {
+        let hw = HwModel::titan_v();
+        assert!((hw.tensor_peak - 125.3).abs() < 0.5);
+        assert!((hw.tensor_peak / hw.fp32_peak - 8.0).abs() < 0.05);
+        assert_eq!(hw.fp16_peak, 2.0 * hw.fp32_peak);
+    }
+
+    #[test]
+    fn best_gemm_hits_about_96_tflops_at_8192() {
+        // §V-C: "The maximum performance we obtained for a GEMM kernel was
+        // around 96 TFLOPs ... for 8192×8192 matrix using FP16 mode."
+        let hw = HwModel::titan_v();
+        let t = hw.gemm_tflops(8192, KernelClass::CublasTcFp16);
+        assert!((t - 96.0).abs() < 8.0, "got {t}");
+    }
+
+    #[test]
+    fn max_perf_kernels_match_paper() {
+        let hw = HwModel::titan_v();
+        let f16 = hw.gemm_tflops(8192, KernelClass::MaxPerfFp16);
+        let mixed = hw.gemm_tflops(8192, KernelClass::MaxPerfMixed);
+        assert!((f16 - 109.6).abs() < 4.0, "fp16 {f16}");
+        assert!((mixed - 108.7).abs() < 4.0, "mixed {mixed}");
+        // FP16 mode is slightly faster than mixed (109.6 vs 108.7); with
+        // ±2% measurement jitter the ordering holds within tolerance.
+        assert!(f16 > mixed * 0.97);
+    }
+
+    #[test]
+    fn tensor_cores_speed_up_sgemm_3_to_6x_and_hgemm_3x() {
+        // §V-C: "tensor cores provide a performance boost of about 3−6×
+        // that of SGEMM ... and about 3× that of HGEMM".
+        let hw = HwModel::titan_v();
+        for size in [2048usize, 4096, 8192] {
+            let tc = hw.gemm_tflops(size, KernelClass::CublasTcFp16);
+            let sgemm = hw.gemm_tflops(size, KernelClass::CublasFp32);
+            let hgemm = hw.gemm_tflops(size, KernelClass::CublasFp16);
+            let s_ratio = tc / sgemm;
+            let h_ratio = tc / hgemm;
+            assert!((3.0..=7.5).contains(&s_ratio), "size {size}: TC/SGEMM = {s_ratio}");
+            assert!((2.0..=4.5).contains(&h_ratio), "size {size}: TC/HGEMM = {h_ratio}");
+        }
+    }
+
+    #[test]
+    fn cublas_beats_wmma_kernel() {
+        // §V-C: cuBLAS GEMM outperforms the WMMA implementation (both
+        // using tensor cores).
+        let hw = HwModel::titan_v();
+        for size in [512usize, 1024, 4096, 16384] {
+            assert!(
+                hw.gemm_tflops(size, KernelClass::CublasTcFp16)
+                    > hw.gemm_tflops(size, KernelClass::WmmaOptimized),
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn nothing_exceeds_the_theoretical_limit() {
+        let hw = HwModel::titan_v();
+        for size in [256usize, 1024, 4096, 16384] {
+            for class in KernelClass::ALL {
+                let t = hw.gemm_tflops(size, class);
+                assert!(t <= 125.5, "{class:?} at {size}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn wmma_512_gemm_is_around_100k_cycles() {
+        // Fig 14a's y-axis: the WMMA shared-memory kernel takes ~100k
+        // cycles at 512² on the Titan V.
+        let hw = HwModel::titan_v();
+        let c = hw.gemm_cycles(512, 512, 512, KernelClass::WmmaOptimized);
+        assert!((50_000.0..200_000.0).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn cycles_grow_monotonically_with_size() {
+        let hw = HwModel::titan_v();
+        // Below ~256 the fixed launch overhead dominates and jitter can
+        // locally reorder; from 256 up growth is strict.
+        let sizes = [256usize, 512, 1024, 2048, 4096];
+        let cs: Vec<f64> = sizes
+            .iter()
+            .map(|&s| hw.gemm_cycles(s, s, s, KernelClass::CutlassTc))
+            .collect();
+        for w in cs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let hw = HwModel::titan_v();
+        for key in 0..100u64 {
+            let j = hw.jitter(key);
+            assert_eq!(j, hw.jitter(key));
+            assert!((0.98..=1.02).contains(&j));
+        }
+        assert_ne!(hw.jitter(1), hw.jitter(2));
+    }
+
+    #[test]
+    fn min_latencies_match_fig15() {
+        let (l, m, s) = HwModel::titan_v().wmma_min_latencies();
+        assert_eq!((l, m, s), (125, 70, 120));
+    }
+}

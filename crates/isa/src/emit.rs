@@ -1,0 +1,476 @@
+//! Emitting kernels back to the PTX-flavoured text format of
+//! [`crate::ptx`], such that `parse(emit(k))` reproduces the exact
+//! instruction stream — the disassembler counterpart of the parser, and
+//! the backbone of the round-trip property tests.
+
+use crate::instr::{CmpOp, Op, Operand};
+use crate::kernel::Kernel;
+use crate::types::{DataType, MemSpace, MemWidth};
+use crate::wmma::{FragmentKind, WmmaDirective};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B8 => "b8",
+        MemWidth::B16 => "b16",
+        MemWidth::B32 => "b32",
+        MemWidth::B64 => "b64",
+        MemWidth::B128 => "b128",
+    }
+}
+
+fn dtype_suffix(t: DataType) -> &'static str {
+    match t {
+        DataType::U32 => "u32",
+        DataType::S32 => "s32",
+        DataType::U64 => "u64",
+        DataType::F16 => "f16",
+        DataType::F32 => "f32",
+        DataType::F64 => "f64",
+    }
+}
+
+fn cmp_suffix(c: CmpOp) -> &'static str {
+    match c {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) | Operand::RegPair(r) => format!("r{}", r.0),
+        Operand::Imm(i) => i.to_string(),
+        Operand::Special(s) => s.to_string(),
+        Operand::Pred(p) => format!("p{}", p.0),
+    }
+}
+
+fn addr(o: &Operand, off: &Operand) -> String {
+    let base = match o {
+        Operand::Reg(r) | Operand::RegPair(r) => r.0,
+        other => panic!("address operand must be a register, found {other:?}"),
+    };
+    match off {
+        Operand::Imm(i) if *i >= 0 => format!("[r{base}+{i}]"),
+        Operand::Imm(i) => format!("[r{base}{i}]"),
+        other => panic!("offset must be immediate, found {other:?}"),
+    }
+}
+
+fn reg_of(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) | Operand::RegPair(r) => format!("r{}", r.0),
+        other => panic!("expected register operand, found {other:?}"),
+    }
+}
+
+fn space_suffix(marker: &Operand) -> &'static str {
+    match marker {
+        Operand::Imm(1) => "shared",
+        _ => "global",
+    }
+}
+
+/// Emits a kernel as parseable PTX-flavoured text.
+///
+/// Branch targets become labels `L<pc>`; parameters keep their declared
+/// names and order. `parse_kernel(emit_kernel(k))` yields an identical
+/// instruction stream (asserted by the round-trip tests).
+///
+/// # Panics
+///
+/// Panics on IR the text format cannot express (malformed operand kinds).
+pub fn emit_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    writeln!(out, ".kernel {}", k.name()).expect("write to string");
+    for p in k.params() {
+        writeln!(out, ".param {} : {}", p.name, if p.bytes == 8 { "u64" } else { "u32" })
+            .expect("write to string");
+    }
+    if k.shared_bytes() > 0 {
+        writeln!(out, ".shared {}", k.shared_bytes()).expect("write to string");
+    }
+    writeln!(out, "{{").expect("write to string");
+
+    // Label every branch/reconvergence target.
+    let mut labels: BTreeMap<usize, String> = BTreeMap::new();
+    for i in k.instrs() {
+        for t in [i.target, i.reconv].into_iter().flatten() {
+            labels.entry(t).or_insert_with(|| format!("L{t}"));
+        }
+    }
+
+    let param_name = |off: i64| -> &str {
+        k.params()
+            .iter()
+            .find(|p| p.offset as i64 == off)
+            .map(|p| p.name.as_str())
+            .expect("param offset refers to a declared parameter")
+    };
+
+    for (pc, i) in k.instrs().iter().enumerate() {
+        if let Some(l) = labels.get(&pc) {
+            writeln!(out, "{l}:").expect("write to string");
+        }
+        let guard = match i.guard {
+            Some((p, true)) => format!("@p{} ", p.0),
+            Some((p, false)) => format!("@!p{} ", p.0),
+            None => String::new(),
+        };
+        let dst = i.dst.map(|r| format!("r{}", r.0));
+        let body = match &i.op {
+            Op::Nop => "nop".to_string(),
+            Op::Exit => "exit".to_string(),
+            Op::Bar => "bar.sync".to_string(),
+            Op::Clock => format!("clock {}", dst.clone().expect("clock dst")),
+            Op::Bra => {
+                let t = &labels[&i.target.expect("resolved branch")];
+                match i.reconv {
+                    Some(r) => format!("bra.div {t}, {}", labels[&r]),
+                    None => format!("bra {t}"),
+                }
+            }
+            Op::Mov => format!("mov.u32 {}, {}", dst.clone().expect("dst"), operand(&i.srcs[0])),
+            Op::Mov64 => format!("mov.b64 {}, {}", dst.clone().expect("dst"), operand(&i.srcs[0])),
+            Op::IAdd | Op::ISub | Op::IMul | Op::IMin | Op::IMax | Op::Shl | Op::Shr | Op::Sar
+            | Op::And | Op::Or | Op::Xor => {
+                let m = match i.op {
+                    Op::IAdd => "iadd",
+                    Op::ISub => "isub",
+                    Op::IMul => "imul",
+                    Op::IMin => "imin",
+                    Op::IMax => "imax",
+                    Op::Shl => "shl",
+                    Op::Shr => "shr",
+                    Op::Sar => "sar",
+                    Op::And => "and",
+                    Op::Or => "or",
+                    _ => "xor",
+                };
+                format!("{m} {}, {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0]), operand(&i.srcs[1]))
+            }
+            Op::Not => format!("not {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0])),
+            Op::IMad => format!(
+                "imad {}, {}, {}, {}",
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1]),
+                operand(&i.srcs[2])
+            ),
+            Op::IAdd64 => format!(
+                "iadd64 {}, {}, {}",
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1])
+            ),
+            Op::IMadWide => format!(
+                "imad.wide {}, {}, {}, {}",
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1]),
+                reg_of(&i.srcs[2])
+            ),
+            Op::FAdd | Op::FMul | Op::FMin | Op::FMax | Op::HAdd2 | Op::HMul2 => {
+                let m = match i.op {
+                    Op::FAdd => "fadd",
+                    Op::FMul => "fmul",
+                    Op::FMin => "fmin",
+                    Op::FMax => "fmax",
+                    Op::HAdd2 => "hadd2",
+                    _ => "hmul2",
+                };
+                format!("{m} {}, {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0]), operand(&i.srcs[1]))
+            }
+            Op::FFma | Op::HFma2 => format!(
+                "{} {}, {}, {}, {}",
+                if matches!(i.op, Op::FFma) { "ffma" } else { "hfma2" },
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1]),
+                operand(&i.srcs[2])
+            ),
+            Op::FRcp | Op::FSqrt | Op::FEx2 | Op::FLg2 => {
+                let m = match i.op {
+                    Op::FRcp => "frcp",
+                    Op::FSqrt => "fsqrt",
+                    Op::FEx2 => "fex2",
+                    _ => "flg2",
+                };
+                format!("{m} {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0]))
+            }
+            Op::DAdd | Op::DMul => format!(
+                "{} {}, {}, {}",
+                if matches!(i.op, Op::DAdd) { "dadd" } else { "dmul" },
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                reg_of(&i.srcs[1])
+            ),
+            Op::DFma => format!(
+                "dfma {}, {}, {}, {}",
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                reg_of(&i.srcs[1]),
+                reg_of(&i.srcs[2])
+            ),
+            Op::Cvt { from, to } => format!(
+                "cvt.{}.{} {}, {}",
+                dtype_suffix(*to),
+                dtype_suffix(*from),
+                dst.clone().expect("dst"),
+                operand(&i.srcs[0])
+            ),
+            Op::Setp { cmp, ty } => format!(
+                "setp.{}.{} p{}, {}, {}",
+                cmp_suffix(*cmp),
+                dtype_suffix(*ty),
+                i.pred_dst.expect("setp pred").0,
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1])
+            ),
+            Op::SelP => format!(
+                "selp {}, {}, {}, {}",
+                dst.clone().expect("dst"),
+                operand(&i.srcs[0]),
+                operand(&i.srcs[1]),
+                operand(&i.srcs[2])
+            ),
+            Op::Ld { space: MemSpace::Param, width } => {
+                let Operand::Imm(off) = i.srcs[0] else { panic!("param load offset") };
+                format!(
+                    "ld.param.{} {}, [{}]",
+                    width_suffix(*width),
+                    dst.clone().expect("dst"),
+                    param_name(off)
+                )
+            }
+            Op::Ld { space, width } => format!(
+                "ld.{space}.{} {}, {}",
+                width_suffix(*width),
+                dst.clone().expect("dst"),
+                addr(&i.srcs[0], &i.srcs[1])
+            ),
+            Op::St { space, width } => format!(
+                "st.{space}.{} {}, {}",
+                width_suffix(*width),
+                addr(&i.srcs[0], &i.srcs[1]),
+                reg_of(&i.srcs[2])
+            ),
+            Op::Atom { space, op } => format!(
+                "atom.{space}.{op} {}, {}, {}",
+                dst.clone().expect("dst"),
+                addr(&i.srcs[0], &i.srcs[1]),
+                reg_of(&i.srcs[2])
+            ),
+            Op::Shfl { mode } => format!(
+                "shfl.{mode} {}, {}, {}",
+                dst.clone().expect("dst"),
+                reg_of(&i.srcs[0]),
+                operand(&i.srcs[1])
+            ),
+            Op::Wmma(WmmaDirective::Load { frag, shape, layout, ty }) => {
+                let f = match frag {
+                    FragmentKind::A => "a",
+                    FragmentKind::B => "b",
+                    _ => "c",
+                };
+                format!(
+                    "wmma.load.{f}.sync.{layout}.{shape}.{ty}.{} {}, {}, {}",
+                    space_suffix(&i.srcs[2]),
+                    dst.clone().expect("dst"),
+                    addr(&i.srcs[0], &Operand::Imm(0)),
+                    operand(&i.srcs[1])
+                )
+            }
+            Op::Wmma(WmmaDirective::Mma { shape, a_layout, b_layout, ab_type, d_type, c_type }) => {
+                format!(
+                    "wmma.mma.sync.{a_layout}.{b_layout}.{shape}.{d_type}.{c_type}.{ab_type} {}, {}, {}, {}",
+                    dst.clone().expect("dst"),
+                    reg_of(&i.srcs[0]),
+                    reg_of(&i.srcs[1]),
+                    reg_of(&i.srcs[2])
+                )
+            }
+            Op::Wmma(WmmaDirective::Store { shape, layout, ty }) => format!(
+                "wmma.store.d.sync.{layout}.{shape}.{ty}.{} {}, {}, {}",
+                space_suffix(&i.srcs[3]),
+                addr(&i.srcs[0], &Operand::Imm(0)),
+                reg_of(&i.srcs[2]),
+                operand(&i.srcs[1])
+            ),
+        };
+        writeln!(out, "    {guard}{body};").expect("write to string");
+    }
+    // Trailing labels (targets one past the last instruction cannot occur
+    // because branches resolve to existing instructions).
+    writeln!(out, "}}").expect("write to string");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::kernel::KernelBuilder;
+    use crate::ptx::parse_kernel;
+    use crate::types::SpecialReg;
+    use crate::wmma::{Layout, WmmaShape, WmmaType};
+    use crate::AtomOp;
+
+    fn roundtrip(k: &Kernel) {
+        let text = emit_kernel(k);
+        let back = parse_kernel(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(back.name(), k.name(), "{text}");
+        assert_eq!(back.instrs(), k.instrs(), "{text}");
+        assert_eq!(back.shared_bytes(), k.shared_bytes());
+        assert_eq!(back.params().len(), k.params().len());
+        for (a, b) in back.params().iter().zip(k.params()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.offset, b.offset);
+        }
+    }
+
+    #[test]
+    fn roundtrips_alu_and_control() {
+        let mut b = KernelBuilder::new("alu");
+        let p = b.param_u64("x");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let r = b.reg();
+        b.mov(r, Operand::Special(SpecialReg::TidX));
+        let top = b.label();
+        b.place(top);
+        b.iadd(r, r, Operand::Imm(-3));
+        b.imad(r, r, Operand::Imm(5), Operand::Reg(r));
+        let q = b.pred();
+        b.setp(q, CmpOp::Lt, DataType::S32, r, Operand::Imm(100));
+        b.bra_if(q, true, top);
+        b.selp(r, q, Operand::Imm(1), Operand::Imm(2));
+        b.exit();
+        roundtrip(&b.build());
+    }
+
+    #[test]
+    fn roundtrips_memory_and_atomics() {
+        let mut b = KernelBuilder::new("mem");
+        let p = b.param_u64("x");
+        b.shared_alloc(256);
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let v = b.reg_block(4);
+        b.ld_global(MemWidth::B128, v, base, 16);
+        b.st_global(MemWidth::B32, base, -4, v);
+        let sa = b.reg();
+        b.mov(sa, Operand::Imm(0));
+        b.st_shared(MemWidth::B64, sa, 8, v);
+        b.ld_shared(MemWidth::B16, v, sa, 2);
+        let old = b.reg();
+        b.atom(MemSpace::Global, AtomOp::Add, old, Operand::RegPair(base), 0, v);
+        b.atom(MemSpace::Shared, AtomOp::Max, old, Operand::Reg(sa), 4, v);
+        b.bar();
+        b.exit();
+        roundtrip(&b.build());
+    }
+
+    #[test]
+    fn roundtrips_float_half_double_and_mufu() {
+        let mut b = KernelBuilder::new("fp");
+        let r = b.reg();
+        b.mov(r, Operand::fimm(1.5));
+        b.fadd(r, r, Operand::fimm(2.0));
+        b.ffma(r, r, Operand::Reg(r), Operand::Reg(r));
+        b.hadd2(r, r, Operand::Reg(r));
+        b.hfma2(r, r, Operand::Reg(r), Operand::Reg(r));
+        b.fex2(r, r);
+        b.flg2(r, r);
+        let d = b.reg_pair();
+        b.mov64(d, Operand::Imm(0));
+        b.emit(
+            Instr::new(Op::DFma)
+                .with_dst(d)
+                .with_srcs(vec![Operand::RegPair(d), Operand::RegPair(d), Operand::RegPair(d)]),
+        );
+        b.cvt(r, DataType::F32, DataType::F16, Operand::Reg(r));
+        b.exit();
+        roundtrip(&b.build());
+    }
+
+    #[test]
+    fn roundtrips_wmma_and_shuffle() {
+        let mut b = KernelBuilder::new("wmma");
+        let p = b.param_u64("x");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let fa = b.reg_block(8);
+        let fb = b.reg_block(8);
+        let fc = b.reg_block(8);
+        let fd = b.reg_block(8);
+        b.wmma_load(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            WmmaType::F16,
+            MemSpace::Global,
+            fa,
+            Operand::RegPair(base),
+            Operand::Imm(16),
+        );
+        let sa = b.reg();
+        b.mov(sa, Operand::Imm(0));
+        b.wmma_load(
+            FragmentKind::B,
+            WmmaShape::M16N16K16,
+            Layout::Col,
+            WmmaType::F16,
+            MemSpace::Shared,
+            fb,
+            Operand::Reg(sa),
+            Operand::Imm(32),
+        );
+        b.wmma_mma(
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            Layout::Col,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            fd,
+            fa,
+            fb,
+            fc,
+        );
+        b.wmma_store(
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            WmmaType::F32,
+            MemSpace::Global,
+            Operand::RegPair(base),
+            Operand::Imm(16),
+            fd,
+        );
+        b.shfl(crate::ShflMode::Bfly, sa, sa, Operand::Imm(1));
+        b.exit();
+        roundtrip(&b.build());
+    }
+
+    #[test]
+    fn roundtrips_divergent_branches() {
+        let mut b = KernelBuilder::new("div");
+        let taken = b.label();
+        let merge = b.label();
+        let p = b.pred();
+        let r = b.reg();
+        b.bra_div(p, false, taken, merge);
+        b.mov(r, Operand::Imm(1));
+        b.place(taken);
+        b.mov(r, Operand::Imm(2));
+        b.place(merge);
+        b.exit();
+        roundtrip(&b.build());
+    }
+}

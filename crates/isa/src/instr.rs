@@ -1,0 +1,639 @@
+//! Instruction encoding: opcodes, operands, registers and unit classes.
+
+use crate::types::{DataType, MemSpace, MemWidth, SpecialReg};
+use crate::wmma::{fragment_regs, FragmentKind, WmmaDirective};
+use std::fmt;
+
+/// A 32-bit architectural register index within a thread.
+///
+/// 64-bit values (addresses, doubles) occupy the aligned pair `(r, r+1)`,
+/// mirroring SASS register pairs: the paper observes each HMMA operand
+/// register identifier actually names a pair of adjacent registers
+/// (§III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 1-bit predicate register index within a thread (`p0`–`p7`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PredReg(pub u8);
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An instruction source operand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// A 32-bit register.
+    Reg(Reg),
+    /// A 64-bit value in the register pair `(r, r+1)`.
+    RegPair(Reg),
+    /// A sign-extended integer immediate (also carries raw f32 bits for
+    /// float ops emitted by the builder's `fimm` helper).
+    Imm(i64),
+    /// A read-only special register.
+    Special(SpecialReg),
+    /// A predicate register value (0 or 1), for `selp`.
+    Pred(PredReg),
+}
+
+impl Operand {
+    /// Float immediate: stores the raw bits of `v` as an integer immediate.
+    pub fn fimm(v: f32) -> Operand {
+        Operand::Imm(v.to_bits() as i64)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::RegPair(r) => write!(f, "{{r{}, r{}}}", r.0, r.0 + 1),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Special(s) => write!(f, "{s}"),
+            Operand::Pred(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on a pre-computed three-way ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        })
+    }
+}
+
+/// Read-modify-write operations of the `atom` instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// `atom.add`: old + value.
+    Add,
+    /// `atom.min` (signed).
+    Min,
+    /// `atom.max` (signed).
+    Max,
+    /// `atom.exch`: unconditional exchange.
+    Exch,
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AtomOp::Add => "add",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::Exch => "exch",
+        })
+    }
+}
+
+/// Source-lane selection modes of the warp shuffle (`shfl.sync`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShflMode {
+    /// Read from `lane + b` (self if out of range).
+    Down,
+    /// Read from `lane - b` (self if out of range).
+    Up,
+    /// Read from `lane ^ b`.
+    Bfly,
+    /// Read from lane `b`.
+    Idx,
+}
+
+impl fmt::Display for ShflMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShflMode::Down => "down",
+            ShflMode::Up => "up",
+            ShflMode::Bfly => "bfly",
+            ShflMode::Idx => "idx",
+        })
+    }
+}
+
+/// Opcodes of the modeled PTX subset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// No operation.
+    Nop,
+    /// 32-bit register/immediate/special move.
+    Mov,
+    /// 64-bit move between register pairs (or a 64-bit immediate).
+    Mov64,
+    /// 32-bit integer add.
+    IAdd,
+    /// 32-bit integer subtract.
+    ISub,
+    /// 32-bit integer multiply (low half).
+    IMul,
+    /// 32-bit multiply-add `d = a*b + c` (low half).
+    IMad,
+    /// Signed minimum.
+    IMin,
+    /// Signed maximum.
+    IMax,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT of src0.
+    Not,
+    /// 64-bit add: `dpair = src0(pair or zext 32) + src1(pair, reg or imm)`.
+    IAdd64,
+    /// Widening multiply-add `dpair = a32 × b32 + cpair` (SASS `IMAD.WIDE`),
+    /// the canonical address-generation idiom in CUTLASS SASS.
+    IMadWide,
+    /// FP32 add.
+    FAdd,
+    /// FP32 multiply.
+    FMul,
+    /// FP32 fused multiply-add.
+    FFma,
+    /// FP32 minimum.
+    FMin,
+    /// FP32 maximum.
+    FMax,
+    /// FP32 reciprocal (MUFU).
+    FRcp,
+    /// FP32 square root (MUFU).
+    FSqrt,
+    /// FP32 base-2 exponential (MUFU `ex2`).
+    FEx2,
+    /// FP32 base-2 logarithm (MUFU `lg2`).
+    FLg2,
+    /// FP64 add (register pairs).
+    DAdd,
+    /// FP64 multiply (register pairs).
+    DMul,
+    /// FP64 fused multiply-add (register pairs).
+    DFma,
+    /// Packed half add (SASS `HADD2`).
+    HAdd2,
+    /// Packed half multiply (SASS `HMUL2`).
+    HMul2,
+    /// Packed half fused multiply-add (SASS `HFMA2`).
+    HFma2,
+    /// Scalar type conversion.
+    Cvt {
+        /// Source type.
+        from: DataType,
+        /// Destination type.
+        to: DataType,
+    },
+    /// Predicate-setting comparison; writes `Instr::pred_dst`.
+    Setp {
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Operand interpretation.
+        ty: DataType,
+    },
+    /// Select: `d = pred ? src1 : src2` (src0 is the predicate operand).
+    SelP,
+    /// Branch to `Instr::target`; diverging branches carry a
+    /// reconvergence point in `Instr::reconv`.
+    Bra,
+    /// CTA-wide barrier (`bar.sync 0`).
+    Bar,
+    /// Thread exit.
+    Exit,
+    /// Read the SM cycle counter low word (`CS2R Rd, SR_CLOCKLO`).
+    Clock,
+    /// Memory load.
+    Ld {
+        /// Address space.
+        space: MemSpace,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Memory store.
+    St {
+        /// Address space.
+        space: MemSpace,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Warp shuffle: every lane receives another lane's source value
+    /// (`shfl.sync`); routed through the MIO path on Volta.
+    Shfl {
+        /// Source-lane selection mode.
+        mode: ShflMode,
+    },
+    /// Atomic 32-bit read-modify-write; the destination register receives
+    /// the old value. Lanes of a warp apply in lane order.
+    Atom {
+        /// Address space (global or shared).
+        space: MemSpace,
+        /// The combine operation.
+        op: AtomOp,
+    },
+    /// A warp-synchronous WMMA operation (Fig 2 of the paper).
+    Wmma(WmmaDirective),
+}
+
+/// Functional-unit classes instructions issue to (Fig 1 of the paper shows
+/// the per-sub-core unit mix of Volta).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// FP32/FP16 arithmetic cores (16 FFMA/clk per sub-core).
+    Sp,
+    /// Integer cores (16/clk per sub-core).
+    Int,
+    /// FP64 cores (8 DFMA/clk per sub-core).
+    Fp64,
+    /// Transcendental unit (4/clk per sub-core).
+    Mufu,
+    /// Tensor cores (two per sub-core).
+    Tensor,
+    /// Load/store path through the MIO queue.
+    Mem,
+    /// Branch/barrier/exit handled at issue.
+    Control,
+}
+
+impl Op {
+    /// The functional unit class this opcode issues to.
+    pub fn unit(self) -> UnitClass {
+        match self {
+            Op::FAdd | Op::FMul | Op::FFma | Op::FMin | Op::FMax => UnitClass::Sp,
+            Op::HAdd2 | Op::HMul2 | Op::HFma2 => UnitClass::Sp,
+            Op::Cvt { .. } | Op::SelP => UnitClass::Sp,
+            Op::FRcp | Op::FSqrt | Op::FEx2 | Op::FLg2 => UnitClass::Mufu,
+            Op::DAdd | Op::DMul | Op::DFma => UnitClass::Fp64,
+            Op::Mov
+            | Op::Mov64
+            | Op::IAdd
+            | Op::ISub
+            | Op::IMul
+            | Op::IMad
+            | Op::IMin
+            | Op::IMax
+            | Op::Shl
+            | Op::Shr
+            | Op::Sar
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::IAdd64
+            | Op::IMadWide
+            | Op::Setp { .. }
+            | Op::Clock => UnitClass::Int,
+            Op::Ld { .. } | Op::St { .. } | Op::Atom { .. } | Op::Shfl { .. } => UnitClass::Mem,
+            Op::Wmma(WmmaDirective::Mma { .. }) => UnitClass::Tensor,
+            Op::Wmma(_) => UnitClass::Mem,
+            Op::Nop | Op::Bra | Op::Bar | Op::Exit => UnitClass::Control,
+        }
+    }
+
+    /// Whether the opcode writes a 64-bit register pair.
+    pub fn writes_pair(self) -> bool {
+        matches!(
+            self,
+            Op::Mov64 | Op::IAdd64 | Op::IMadWide | Op::DAdd | Op::DMul | Op::DFma
+        ) || matches!(self, Op::Cvt { to, .. } if to.is_pair())
+    }
+}
+
+/// One decoded instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instr {
+    /// Opcode with embedded qualifiers.
+    pub op: Op,
+    /// Destination register (base register for pairs/quads/fragments).
+    pub dst: Option<Reg>,
+    /// Destination predicate (for `setp`).
+    pub pred_dst: Option<PredReg>,
+    /// Source operands, opcode-specific order.
+    pub srcs: Vec<Operand>,
+    /// Optional guard predicate: `Some((p, true))` = `@p`, `Some((p,
+    /// false))` = `@!p`.
+    pub guard: Option<(PredReg, bool)>,
+    /// Branch target PC (resolved instruction index).
+    pub target: Option<usize>,
+    /// Reconvergence PC for potentially divergent branches (like the
+    /// compiler-inserted `SSY` point on real hardware).
+    pub reconv: Option<usize>,
+}
+
+impl Instr {
+    /// Creates an instruction with no destination or operands.
+    pub fn new(op: Op) -> Instr {
+        Instr {
+            op,
+            dst: None,
+            pred_dst: None,
+            srcs: Vec::new(),
+            guard: None,
+            target: None,
+            reconv: None,
+        }
+    }
+
+    /// Builder-style destination register.
+    pub fn with_dst(mut self, dst: Reg) -> Instr {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Builder-style source list.
+    pub fn with_srcs(mut self, srcs: Vec<Operand>) -> Instr {
+        self.srcs = srcs;
+        self
+    }
+
+    /// Builder-style guard predicate.
+    pub fn with_guard(mut self, pred: PredReg, sense: bool) -> Instr {
+        self.guard = Some((pred, sense));
+        self
+    }
+
+    /// Registers read by this instruction, with pairs and WMMA fragments
+    /// expanded. `volta_double_load` selects the Volta fragment sizing
+    /// (§III-B1) used to determine fragment register counts.
+    pub fn use_regs(&self, volta_double_load: bool) -> Vec<Reg> {
+        let mut out = Vec::new();
+        let mut push_span = |base: Reg, n: usize| {
+            for i in 0..n {
+                out.push(Reg(base.0 + i as u16));
+            }
+        };
+        match &self.op {
+            Op::Wmma(WmmaDirective::Load { .. }) => {
+                // srcs = [addr(pair), stride]
+            }
+            Op::Wmma(WmmaDirective::Mma {
+                shape,
+                ab_type,
+                c_type,
+                ..
+            }) => {
+                let (a, b, c) = (self.srcs[0], self.srcs[1], self.srcs[2]);
+                if let Operand::Reg(r) = a {
+                    push_span(r, fragment_regs(FragmentKind::A, *shape, *ab_type, volta_double_load));
+                }
+                if let Operand::Reg(r) = b {
+                    push_span(r, fragment_regs(FragmentKind::B, *shape, *ab_type, volta_double_load));
+                }
+                if let Operand::Reg(r) = c {
+                    push_span(r, fragment_regs(FragmentKind::C, *shape, *c_type, volta_double_load));
+                }
+                return out;
+            }
+            Op::Wmma(WmmaDirective::Store { shape, ty, .. }) => {
+                // srcs = [addr(pair), stride, d-frag base]
+                if let Operand::Reg(r) = self.srcs[2] {
+                    push_span(r, fragment_regs(FragmentKind::D, *shape, *ty, volta_double_load));
+                }
+            }
+            Op::St { width, .. } => {
+                // srcs = [addr, offset, data]; expand the data span.
+                if let Operand::Reg(r) = self.srcs[2] {
+                    push_span(r, width.regs());
+                }
+            }
+            Op::Atom { .. } => {}
+            _ => {}
+        }
+        for s in &self.srcs {
+            match *s {
+                Operand::Reg(r)
+                    // Data operand of St/WmmaStore already expanded above.
+                    if (!matches!(self.op, Op::St { .. } | Op::Wmma(WmmaDirective::Store { .. }))
+                        || !out.contains(&r))
+                    => {
+                        out.push(r);
+                    }
+                Operand::RegPair(r) => {
+                    out.push(r);
+                    out.push(Reg(r.0 + 1));
+                }
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Registers written by this instruction, with pairs, vector loads and
+    /// WMMA fragments expanded.
+    pub fn def_regs(&self, volta_double_load: bool) -> Vec<Reg> {
+        let Some(dst) = self.dst else { return Vec::new() };
+        let n = match &self.op {
+            Op::Ld { width, .. } => width.regs(),
+            Op::Wmma(WmmaDirective::Load { frag, shape, ty, .. }) => {
+                fragment_regs(*frag, *shape, *ty, volta_double_load)
+            }
+            Op::Wmma(WmmaDirective::Mma { shape, d_type, .. }) => {
+                fragment_regs(FragmentKind::D, *shape, *d_type, volta_double_load)
+            }
+            op if op.writes_pair() => 2,
+            _ => 1,
+        };
+        (0..n).map(|i| Reg(dst.0 + i as u16)).collect()
+    }
+
+    /// Whether this is a (potential) control transfer.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.op, Op::Bra)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, sense)) = self.guard {
+            write!(f, "@{}{} ", if sense { "" } else { "!" }, p)?;
+        }
+        write!(f, "{:?}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(p) = self.pred_dst {
+            write!(f, " {p}")?;
+        }
+        for (i, s) in self.srcs.iter().enumerate() {
+            write!(f, "{} {s}", if i == 0 && self.dst.is_none() && self.pred_dst.is_none() { "" } else { "," })?;
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wmma::{Layout, WmmaShape, WmmaType};
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal));
+        assert!(!CmpOp::Ge.eval(Less));
+    }
+
+    #[test]
+    fn unit_classes_match_volta_sub_core() {
+        assert_eq!(Op::FFma.unit(), UnitClass::Sp);
+        assert_eq!(Op::IMad.unit(), UnitClass::Int);
+        assert_eq!(Op::DFma.unit(), UnitClass::Fp64);
+        assert_eq!(Op::FSqrt.unit(), UnitClass::Mufu);
+        assert_eq!(Op::HFma2.unit(), UnitClass::Sp);
+        assert_eq!(
+            Op::Ld { space: MemSpace::Global, width: MemWidth::B32 }.unit(),
+            UnitClass::Mem
+        );
+        let mma = Op::Wmma(WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Row,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+        });
+        assert_eq!(mma.unit(), UnitClass::Tensor);
+        let load = Op::Wmma(WmmaDirective::Load {
+            frag: FragmentKind::A,
+            shape: WmmaShape::M16N16K16,
+            layout: Layout::Row,
+            ty: WmmaType::F16,
+        });
+        assert_eq!(load.unit(), UnitClass::Mem);
+        assert_eq!(Op::Bra.unit(), UnitClass::Control);
+    }
+
+    #[test]
+    fn def_regs_expand_vectors_and_fragments() {
+        let ld128 = Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B128 })
+            .with_dst(Reg(4))
+            .with_srcs(vec![Operand::RegPair(Reg(0)), Operand::Imm(0)]);
+        assert_eq!(ld128.def_regs(true), vec![Reg(4), Reg(5), Reg(6), Reg(7)]);
+        assert_eq!(ld128.use_regs(true), vec![Reg(0), Reg(1)]);
+
+        let wload = Instr::new(Op::Wmma(WmmaDirective::Load {
+            frag: FragmentKind::A,
+            shape: WmmaShape::M16N16K16,
+            layout: Layout::Row,
+            ty: WmmaType::F16,
+        }))
+        .with_dst(Reg(8))
+        .with_srcs(vec![Operand::RegPair(Reg(0)), Operand::Imm(16)]);
+        // Volta: 8-register fragment.
+        assert_eq!(wload.def_regs(true).len(), 8);
+        // Turing: 4-register fragment.
+        assert_eq!(wload.def_regs(false).len(), 4);
+    }
+
+    #[test]
+    fn mma_reads_all_three_fragments() {
+        let mma = Instr::new(Op::Wmma(WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+        }))
+        .with_dst(Reg(40))
+        .with_srcs(vec![
+            Operand::Reg(Reg(0)),
+            Operand::Reg(Reg(8)),
+            Operand::Reg(Reg(16)),
+        ]);
+        let uses = mma.use_regs(true);
+        // A: r0..r8, B: r8..r16, C: r16..r24 → 24 distinct regs.
+        assert_eq!(uses.len(), 24);
+        assert_eq!(mma.def_regs(true).len(), 8);
+    }
+
+    #[test]
+    fn store_reads_data_span() {
+        let st = Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B64 })
+            .with_srcs(vec![
+                Operand::RegPair(Reg(0)),
+                Operand::Imm(8),
+                Operand::Reg(Reg(10)),
+            ]);
+        let uses = st.use_regs(true);
+        assert!(uses.contains(&Reg(10)) && uses.contains(&Reg(11)));
+        assert!(uses.contains(&Reg(0)) && uses.contains(&Reg(1)));
+        assert!(st.def_regs(true).is_empty());
+    }
+
+    #[test]
+    fn guard_display() {
+        let i = Instr::new(Op::Bra).with_guard(PredReg(0), false);
+        assert!(i.to_string().starts_with("@!p0 "));
+        assert!(i.is_branch());
+    }
+
+    #[test]
+    fn writes_pair_classification() {
+        assert!(Op::IMadWide.writes_pair());
+        assert!(Op::DFma.writes_pair());
+        assert!(!Op::IMad.writes_pair());
+        assert!(Op::Cvt { from: DataType::U32, to: DataType::U64 }.writes_pair());
+        assert!(!Op::Cvt { from: DataType::F32, to: DataType::F16 }.writes_pair());
+    }
+}

@@ -1,0 +1,778 @@
+//! Kernel IR: resolved instruction sequences plus resources, and the
+//! builder DSL used by the CUTLASS-like library to emit kernels.
+
+use crate::instr::{AtomOp, CmpOp, Instr, Op, Operand, PredReg, Reg, ShflMode};
+use crate::types::{DataType, MemSpace, MemWidth};
+use crate::wmma::{FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A forward-referenceable code label used during kernel construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// One kernel parameter: a name, size and byte offset into the parameter
+/// buffer (`.param` space).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamDesc {
+    /// Parameter name.
+    pub name: String,
+    /// Size in bytes (4 or 8).
+    pub bytes: u32,
+    /// Byte offset within the parameter buffer.
+    pub offset: u32,
+}
+
+/// A compiled kernel: instructions with resolved branch targets, register
+/// and shared-memory requirements, and the parameter layout.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    name: String,
+    instrs: Vec<Instr>,
+    num_regs: u32,
+    shared_bytes: u32,
+    params: Vec<ParamDesc>,
+}
+
+impl Kernel {
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence (branch targets are instruction indices).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Architectural registers required per thread.
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    /// Static shared memory required per CTA, in bytes.
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared_bytes
+    }
+
+    /// Declared kernel parameters in declaration order.
+    pub fn params(&self) -> &[ParamDesc] {
+        &self.params
+    }
+
+    /// Total parameter buffer size in bytes.
+    pub fn param_bytes(&self) -> u32 {
+        self.params
+            .last()
+            .map(|p| p.offset + p.bytes)
+            .unwrap_or(0)
+    }
+
+    /// Looks up a parameter's byte offset by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameter with that name was declared.
+    pub fn param_offset(&self, name: &str) -> u32 {
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("kernel {}: unknown parameter {name}", self.name))
+            .offset
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ".kernel {} .regs {} .shared {}",
+            self.name, self.num_regs, self.shared_bytes
+        )?;
+        for p in &self.params {
+            writeln!(f, ".param {} : {} @ {}", p.name, p.bytes, p.offset)?;
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:4}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of kernels addressable by name (a "module").
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    kernels: HashMap<String, Kernel>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a kernel, replacing any existing kernel of the same name.
+    pub fn add(&mut self, kernel: Kernel) {
+        self.kernels.insert(kernel.name().to_string(), kernel);
+    }
+
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.get(name)
+    }
+
+    /// Number of kernels in the program.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the program holds no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+impl FromIterator<Kernel> for Program {
+    fn from_iter<T: IntoIterator<Item = Kernel>>(iter: T) -> Program {
+        let mut p = Program::new();
+        for k in iter {
+            p.add(k);
+        }
+        p
+    }
+}
+
+/// Assembler-style builder for [`Kernel`]s.
+///
+/// Registers are allocated with [`reg`](KernelBuilder::reg) /
+/// [`reg_block`](KernelBuilder::reg_block); labels are created with
+/// [`label`](KernelBuilder::label), bound with
+/// [`place`](KernelBuilder::place) and may be referenced before binding.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_isa::{KernelBuilder, Operand, CmpOp, DataType};
+///
+/// let mut b = KernelBuilder::new("count_to_ten");
+/// let i = b.reg();
+/// b.mov(i, Operand::Imm(0));
+/// let top = b.label();
+/// b.place(top);
+/// b.iadd(i, i, Operand::Imm(1));
+/// let p = b.pred();
+/// b.setp(p, CmpOp::Lt, DataType::S32, i, Operand::Imm(10));
+/// b.bra_if(p, true, top);
+/// b.exit();
+/// let k = b.build();
+/// assert_eq!(k.instrs()[3].target, Some(1));
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label, bool)>, // (pc, label, is_reconv)
+    next_reg: u16,
+    next_pred: u8,
+    shared_bytes: u32,
+    params: Vec<ParamDesc>,
+    param_cursor: u32,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            next_reg: 0,
+            next_pred: 0,
+            shared_bytes: 0,
+            params: Vec::new(),
+            param_cursor: 0,
+        }
+    }
+
+    /// Allocates a fresh 32-bit register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates `n` consecutive registers and returns the base (used for
+    /// WMMA fragments and vector loads). The base is aligned to the
+    /// smallest power of two ≥ `n` (max 4), matching SASS vector-register
+    /// alignment rules.
+    pub fn reg_block(&mut self, n: usize) -> Reg {
+        let align = (n.next_power_of_two().min(4)) as u16;
+        let base = self.next_reg.div_ceil(align) * align;
+        self.next_reg = base + n as u16;
+        Reg(base)
+    }
+
+    /// Allocates a register pair for a 64-bit value (aligned to 2).
+    pub fn reg_pair(&mut self) -> Reg {
+        self.reg_block(2)
+    }
+
+    /// Allocates a fresh predicate register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 8 predicates are requested.
+    pub fn pred(&mut self) -> PredReg {
+        assert!(self.next_pred < 8, "out of predicate registers");
+        let p = PredReg(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Declares a kernel parameter of `bytes` size (4 or 8), returning its
+    /// byte offset in the parameter buffer. Offsets are naturally aligned.
+    pub fn param(&mut self, name: impl Into<String>, bytes: u32) -> u32 {
+        assert!(bytes == 4 || bytes == 8, "parameters are 4 or 8 bytes");
+        let offset = self.param_cursor.div_ceil(bytes) * bytes;
+        self.param_cursor = offset + bytes;
+        self.params.push(ParamDesc {
+            name: name.into(),
+            bytes,
+            offset,
+        });
+        offset
+    }
+
+    /// Declares a 64-bit (pointer) parameter.
+    pub fn param_u64(&mut self, name: impl Into<String>) -> u32 {
+        self.param(name, 8)
+    }
+
+    /// Declares a 32-bit parameter.
+    pub fn param_u32(&mut self, name: impl Into<String>) -> u32 {
+        self.param(name, 4)
+    }
+
+    /// Reserves `bytes` of static shared memory, returning the byte offset
+    /// of the reservation (16-byte aligned).
+    pub fn shared_alloc(&mut self, bytes: u32) -> u32 {
+        let offset = self.shared_bytes.div_ceil(16) * 16;
+        self.shared_bytes = offset + bytes;
+        offset
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Appends a raw instruction (escape hatch).
+    pub fn emit(&mut self, instr: Instr) -> &mut Instr {
+        self.instrs.push(instr);
+        self.instrs.last_mut().expect("just pushed")
+    }
+
+    fn emit3(&mut self, op: Op, dst: Reg, srcs: Vec<Operand>) {
+        self.emit(Instr::new(op).with_dst(dst).with_srcs(srcs));
+    }
+
+    /// `dst ← src` (32-bit).
+    pub fn mov(&mut self, dst: Reg, src: Operand) {
+        self.emit3(Op::Mov, dst, vec![src]);
+    }
+
+    /// `dst_pair ← src` (64-bit move; `src` may be a pair or immediate).
+    pub fn mov64(&mut self, dst: Reg, src: Operand) {
+        self.emit3(Op::Mov64, dst, vec![src]);
+    }
+
+    /// `dst ← a + b`.
+    pub fn iadd(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::IAdd, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a − b`.
+    pub fn isub(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::ISub, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a × b` (low 32 bits).
+    pub fn imul(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::IMul, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a × b + c` (low 32 bits).
+    pub fn imad(&mut self, dst: Reg, a: Reg, b: Operand, c: Operand) {
+        self.emit3(Op::IMad, dst, vec![Operand::Reg(a), b, c]);
+    }
+
+    /// Signed `dst ← min(a, b)`.
+    pub fn imin(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::IMin, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// Signed `dst ← max(a, b)`.
+    pub fn imax(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::IMax, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a << b`.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::Shl, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a >> b` (logical).
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::Shr, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a & b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::And, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a | b`.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::Or, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst ← a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::Xor, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// `dst_pair ← a_pair + b` (b zero-extended if 32-bit).
+    pub fn iadd64(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::IAdd64, dst, vec![Operand::RegPair(a), b]);
+    }
+
+    /// `dst_pair ← a32 × b32 + c_pair` (SASS `IMAD.WIDE`).
+    pub fn imad_wide(&mut self, dst: Reg, a: Reg, b: Operand, c: Reg) {
+        self.emit3(Op::IMadWide, dst, vec![Operand::Reg(a), b, Operand::RegPair(c)]);
+    }
+
+    /// FP32 `dst ← a + b`.
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::FAdd, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// FP32 `dst ← a × b`.
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::FMul, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// FP32 `dst ← a × b + c` (fused).
+    pub fn ffma(&mut self, dst: Reg, a: Reg, b: Operand, c: Operand) {
+        self.emit3(Op::FFma, dst, vec![Operand::Reg(a), b, c]);
+    }
+
+    /// Packed-half `dst ← a + b` per lane pair.
+    pub fn hadd2(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::HAdd2, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// Packed-half `dst ← a × b` per lane pair.
+    pub fn hmul2(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::HMul2, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// Packed-half `dst ← a × b + c` per lane pair (fused).
+    pub fn hfma2(&mut self, dst: Reg, a: Reg, b: Operand, c: Operand) {
+        self.emit3(Op::HFma2, dst, vec![Operand::Reg(a), b, c]);
+    }
+
+    /// MUFU base-2 exponential `dst ← 2^a`.
+    pub fn fex2(&mut self, dst: Reg, a: Reg) {
+        self.emit3(Op::FEx2, dst, vec![Operand::Reg(a)]);
+    }
+
+    /// MUFU base-2 logarithm `dst ← log2(a)`.
+    pub fn flg2(&mut self, dst: Reg, a: Reg) {
+        self.emit3(Op::FLg2, dst, vec![Operand::Reg(a)]);
+    }
+
+    /// Type conversion `dst ← cvt(a)`.
+    pub fn cvt(&mut self, dst: Reg, from: DataType, to: DataType, a: Operand) {
+        self.emit3(Op::Cvt { from, to }, dst, vec![a]);
+    }
+
+    /// Predicate compare: `pd ← a <cmp> b`.
+    pub fn setp(&mut self, pd: PredReg, cmp: CmpOp, ty: DataType, a: Reg, b: Operand) {
+        let mut i = Instr::new(Op::Setp { cmp, ty }).with_srcs(vec![Operand::Reg(a), b]);
+        i.pred_dst = Some(pd);
+        self.emit(i);
+    }
+
+    /// Select `dst ← p ? a : b`.
+    pub fn selp(&mut self, dst: Reg, p: PredReg, a: Operand, b: Operand) {
+        self.emit3(Op::SelP, dst, vec![Operand::Pred(p), a, b]);
+    }
+
+    /// Unconditional branch (must be warp-uniform at execution).
+    pub fn bra(&mut self, target: Label) {
+        let pc = self.instrs.len();
+        self.emit(Instr::new(Op::Bra));
+        self.fixups.push((pc, target, false));
+    }
+
+    /// Conditional branch `@p`/`@!p` with no divergence allowed (the
+    /// predicate must be uniform across active lanes; loop back-edges in
+    /// the GEMM kernels are of this form).
+    pub fn bra_if(&mut self, p: PredReg, sense: bool, target: Label) {
+        let pc = self.instrs.len();
+        self.emit(Instr::new(Op::Bra).with_guard(p, sense));
+        self.fixups.push((pc, target, false));
+    }
+
+    /// Potentially divergent conditional branch with an explicit
+    /// reconvergence label (the immediate post-dominator), like the
+    /// compiler-inserted `SSY` on real hardware.
+    pub fn bra_div(&mut self, p: PredReg, sense: bool, target: Label, reconv: Label) {
+        let pc = self.instrs.len();
+        self.emit(Instr::new(Op::Bra).with_guard(p, sense));
+        self.fixups.push((pc, target, false));
+        self.fixups.push((pc, reconv, true));
+    }
+
+    /// CTA-wide barrier.
+    pub fn bar(&mut self) {
+        self.emit(Instr::new(Op::Bar));
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) {
+        self.emit(Instr::new(Op::Exit));
+    }
+
+    /// Reads the SM cycle counter into `dst` (`CS2R Rd, SR_CLOCKLO`).
+    pub fn clock(&mut self, dst: Reg) {
+        self.emit(Instr::new(Op::Clock).with_dst(dst));
+    }
+
+    /// Load: `dst.. ← [addr_pair + offset]` from `space`.
+    pub fn ld(&mut self, space: MemSpace, width: MemWidth, dst: Reg, addr: Operand, offset: i64) {
+        self.emit3(Op::Ld { space, width }, dst, vec![addr, Operand::Imm(offset)]);
+    }
+
+    /// Global load convenience (address in a register pair).
+    pub fn ld_global(&mut self, width: MemWidth, dst: Reg, addr: Reg, offset: i64) {
+        self.ld(MemSpace::Global, width, dst, Operand::RegPair(addr), offset);
+    }
+
+    /// Shared-memory load (32-bit byte address in a single register).
+    pub fn ld_shared(&mut self, width: MemWidth, dst: Reg, addr: Reg, offset: i64) {
+        self.ld(MemSpace::Shared, width, dst, Operand::Reg(addr), offset);
+    }
+
+    /// Parameter load: `dst.. ← param[offset]`.
+    pub fn ld_param(&mut self, width: MemWidth, dst: Reg, offset: u32) {
+        self.emit3(
+            Op::Ld { space: MemSpace::Param, width },
+            dst,
+            vec![Operand::Imm(offset as i64), Operand::Imm(0)],
+        );
+    }
+
+    /// Warp shuffle: `dst ← value-of-lane-selected-by(mode, b)`.
+    pub fn shfl(&mut self, mode: ShflMode, dst: Reg, value: Reg, b: Operand) {
+        self.emit(
+            Instr::new(Op::Shfl { mode })
+                .with_dst(dst)
+                .with_srcs(vec![Operand::Reg(value), b]),
+        );
+    }
+
+    /// Atomic read-modify-write: `dst ← [addr+offset]; [addr+offset] ←
+    /// op(old, data)`. Global space takes a register-pair address, shared
+    /// a single register.
+    pub fn atom(&mut self, space: MemSpace, op: AtomOp, dst: Reg, addr: Operand, offset: i64, data: Reg) {
+        self.emit(
+            Instr::new(Op::Atom { space, op })
+                .with_dst(dst)
+                .with_srcs(vec![addr, Operand::Imm(offset), Operand::Reg(data)]),
+        );
+    }
+
+    /// Store: `[addr + offset] ← data..` to `space`.
+    pub fn st(&mut self, space: MemSpace, width: MemWidth, addr: Operand, offset: i64, data: Reg) {
+        self.emit(Instr::new(Op::St { space, width }).with_srcs(vec![
+            addr,
+            Operand::Imm(offset),
+            Operand::Reg(data),
+        ]));
+    }
+
+    /// Global store convenience.
+    pub fn st_global(&mut self, width: MemWidth, addr: Reg, offset: i64, data: Reg) {
+        self.st(MemSpace::Global, width, Operand::RegPair(addr), offset, data);
+    }
+
+    /// Shared-memory store convenience.
+    pub fn st_shared(&mut self, width: MemWidth, addr: Reg, offset: i64, data: Reg) {
+        self.st(MemSpace::Shared, width, Operand::Reg(addr), offset, data);
+    }
+
+    /// `wmma.load.{a,b,c}`: loads an operand-matrix fragment. `addr` is a
+    /// register pair for global space or a single register for shared
+    /// space; `stride` is the leading dimension in elements.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wmma_load(
+        &mut self,
+        frag: FragmentKind,
+        shape: WmmaShape,
+        layout: Layout,
+        ty: WmmaType,
+        space: MemSpace,
+        dst: Reg,
+        addr: Operand,
+        stride: Operand,
+    ) {
+        let dir = WmmaDirective::Load { frag, shape, layout, ty };
+        let mut i = Instr::new(Op::Wmma(dir))
+            .with_dst(dst)
+            .with_srcs(vec![addr, stride]);
+        // Encode the address space in the target field's absence; spaces are
+        // distinguished by the operand kind plus this marker list.
+        i.srcs.push(Operand::Imm(match space {
+            MemSpace::Global => 0,
+            MemSpace::Shared => 1,
+            _ => panic!("wmma.load only supports global/shared"),
+        }));
+        self.emit(i);
+    }
+
+    /// `wmma.mma`: `d ← a × b + c` on register fragments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wmma_mma(
+        &mut self,
+        shape: WmmaShape,
+        a_layout: Layout,
+        b_layout: Layout,
+        ab_type: WmmaType,
+        d_type: WmmaType,
+        c_type: WmmaType,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    ) {
+        let dir = WmmaDirective::Mma {
+            shape,
+            a_layout,
+            b_layout,
+            ab_type,
+            d_type,
+            c_type,
+        };
+        self.emit3(
+            Op::Wmma(dir),
+            d,
+            vec![Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)],
+        );
+    }
+
+    /// `wmma.store.d`: stores a result fragment to memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wmma_store(
+        &mut self,
+        shape: WmmaShape,
+        layout: Layout,
+        ty: WmmaType,
+        space: MemSpace,
+        addr: Operand,
+        stride: Operand,
+        d: Reg,
+    ) {
+        let dir = WmmaDirective::Store { shape, layout, ty };
+        let mut i = Instr::new(Op::Wmma(dir)).with_srcs(vec![addr, stride, Operand::Reg(d)]);
+        i.srcs.push(Operand::Imm(match space {
+            MemSpace::Global => 0,
+            MemSpace::Shared => 1,
+            _ => panic!("wmma.store only supports global/shared"),
+        }));
+        self.emit(i);
+    }
+
+    /// Number of registers allocated so far.
+    pub fn regs_used(&self) -> u32 {
+        self.next_reg as u32
+    }
+
+    /// Looks up the byte offset of an already-declared parameter without
+    /// building (used by the text parser).
+    pub fn peek_param_offset(&self, name: &str) -> Option<u32> {
+        self.params.iter().find(|p| p.name == name).map(|p| p.offset)
+    }
+
+    /// Finalizes the kernel, resolving all label references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never placed.
+    pub fn build(mut self) -> Kernel {
+        for (pc, label, is_reconv) in self.fixups.drain(..) {
+            let Some(at) = self.labels[label.0] else {
+                panic!("kernel {}: unplaced label {:?}", self.name, label)
+            };
+            if is_reconv {
+                self.instrs[pc].reconv = Some(at);
+            } else {
+                self.instrs[pc].target = Some(at);
+            }
+        }
+        Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            num_regs: (self.next_reg as u32).max(1),
+            shared_bytes: self.shared_bytes,
+            params: self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SpecialReg;
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = KernelBuilder::new("labels");
+        let fwd = b.label();
+        b.bra(fwd); // pc 0 → 2
+        b.exit(); // pc 1 (dead)
+        b.place(fwd);
+        let back = b.label();
+        b.place(back);
+        let p = b.pred();
+        let r = b.reg();
+        b.setp(p, CmpOp::Lt, DataType::S32, r, Operand::Imm(4)); // pc 2
+        b.bra_if(p, true, back); // pc 3 → 2
+        b.exit(); // pc 4
+        let k = b.build();
+        assert_eq!(k.instrs()[0].target, Some(2));
+        assert_eq!(k.instrs()[3].target, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.label();
+        b.bra(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn reg_block_alignment() {
+        let mut b = KernelBuilder::new("regs");
+        let _r0 = b.reg(); // r0
+        let quad = b.reg_block(4); // aligned to 4 → r4
+        assert_eq!(quad, Reg(4));
+        let pair = b.reg_pair(); // r8
+        assert_eq!(pair, Reg(8));
+        let r = b.reg();
+        assert_eq!(r, Reg(10));
+        let oct = b.reg_block(8); // aligned to 4 → r12
+        assert_eq!(oct, Reg(12));
+        assert_eq!(b.regs_used(), 20);
+    }
+
+    #[test]
+    fn params_are_naturally_aligned() {
+        let mut b = KernelBuilder::new("params");
+        assert_eq!(b.param_u32("n"), 0);
+        assert_eq!(b.param_u64("ptr"), 8); // aligned up from 4
+        assert_eq!(b.param_u32("m"), 16);
+        let k = b.build();
+        assert_eq!(k.param_bytes(), 20);
+        assert_eq!(k.param_offset("ptr"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_param_panics() {
+        let b = KernelBuilder::new("p");
+        let k = b.build();
+        k.param_offset("nope");
+    }
+
+    #[test]
+    fn shared_alloc_aligns_to_16() {
+        let mut b = KernelBuilder::new("sh");
+        assert_eq!(b.shared_alloc(100), 0);
+        assert_eq!(b.shared_alloc(4), 112);
+        let k = b.build();
+        assert_eq!(k.shared_bytes(), 116);
+    }
+
+    #[test]
+    fn divergent_branch_records_reconvergence() {
+        let mut b = KernelBuilder::new("div");
+        let taken = b.label();
+        let merge = b.label();
+        let p = b.pred();
+        b.bra_div(p, true, taken, merge); // pc 0
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1)); // pc 1 (not taken)
+        b.place(taken);
+        b.mov(r, Operand::Imm(2)); // pc 2
+        b.place(merge);
+        b.exit(); // pc 3
+        let k = b.build();
+        assert_eq!(k.instrs()[0].target, Some(2));
+        assert_eq!(k.instrs()[0].reconv, Some(3));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut b = KernelBuilder::new("a");
+        b.exit();
+        let ka = b.build();
+        let mut b = KernelBuilder::new("bk");
+        b.exit();
+        let kb = b.build();
+        let prog: Program = vec![ka, kb].into_iter().collect();
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+        assert!(prog.kernel("a").is_some());
+        assert!(prog.kernel("bk").is_some());
+        assert!(prog.kernel("c").is_none());
+    }
+
+    #[test]
+    fn display_renders_program_counter_lines() {
+        let mut b = KernelBuilder::new("disp");
+        let r = b.reg();
+        b.mov(r, Operand::Special(SpecialReg::TidX));
+        b.exit();
+        let k = b.build();
+        let text = k.to_string();
+        assert!(text.contains(".kernel disp"));
+        assert!(text.contains("0:"));
+        assert!(text.contains("%tid.x"));
+    }
+
+    #[test]
+    fn out_of_predicates_panics() {
+        let mut b = KernelBuilder::new("preds");
+        for _ in 0..8 {
+            let _ = b.pred();
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.pred()));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,891 @@
+//! Parser for a PTX-flavoured assembly text format.
+//!
+//! The paper models tensor cores at the PTX level (§V-A); this module lets
+//! kernels be written in a compact PTX-like syntax instead of through the
+//! [`crate::KernelBuilder`] API. The grammar is
+//! line-oriented:
+//!
+//! ```text
+//! .kernel scale_rows
+//! .param  a   : u64
+//! .param  n   : u32
+//! .shared 1024
+//! {
+//!     mov.u32        r0, %tid.x;
+//!     ld.param.b64   r2, [a];
+//!     imad.wide      r4, r0, 4, r2;
+//!     ld.global.b32  r6, [r4+0];
+//!     iadd           r6, r6, 1;
+//!     st.global.b32  [r4+0], r6;
+//! LOOP:
+//!     setp.lt.s32    p0, r6, 10;
+//!     @p0 bra        LOOP;
+//!     exit;
+//! }
+//! ```
+//!
+//! WMMA instructions follow the Fig 2 qualifier order:
+//!
+//! ```text
+//! wmma.load.a.sync.row.m16n16k16.f16.global  r8, [r2], 16;
+//! wmma.mma.sync.row.col.m16n16k16.f32.f32    r16, r8, r12, r16;
+//! wmma.store.d.sync.row.m16n16k16.f32.global [r4], r16, 16;
+//! ```
+
+use crate::instr::{AtomOp, CmpOp, Instr, Op, Operand, PredReg, Reg, ShflMode};
+use crate::kernel::{Kernel, KernelBuilder, Program};
+use crate::types::{DataType, MemSpace, MemWidth, SpecialReg};
+use crate::wmma::{FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parses a whole module: a sequence of `.kernel` blocks.
+///
+/// # Errors
+///
+/// Returns the first syntax or semantic error with its line number.
+pub fn parse_program(text: &str) -> Result<Program> {
+    let mut program = Program::new();
+    let mut parser = Parser::new(text);
+    while let Some(kernel) = parser.parse_kernel()? {
+        program.add(kernel);
+    }
+    Ok(program)
+}
+
+/// Parses a module expected to contain exactly one kernel.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or if the module does not
+/// contain exactly one kernel.
+pub fn parse_kernel(text: &str) -> Result<Kernel> {
+    let mut parser = Parser::new(text);
+    let Some(kernel) = parser.parse_kernel()? else {
+        return err(1, "no .kernel block found");
+    };
+    if parser.parse_kernel()?.is_some() {
+        return err(1, "expected exactly one kernel");
+    }
+    Ok(kernel)
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split("//").next().unwrap_or("").trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn parse_kernel(&mut self) -> Result<Option<Kernel>> {
+        let Some((ln, header)) = self.next() else { return Ok(None) };
+        let Some(name) = header.strip_prefix(".kernel") else {
+            return err(ln, format!("expected .kernel, found {header:?}"));
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return err(ln, "missing kernel name");
+        }
+        let mut b = KernelBuilder::new(name);
+
+        // Header directives until '{'.
+        loop {
+            let Some((ln, line)) = self.next() else {
+                return err(ln, "unterminated kernel header (missing '{')");
+            };
+            if line == "{" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix(".param") {
+                let parts: Vec<&str> = rest.split(':').map(str::trim).collect();
+                if parts.len() != 2 {
+                    return err(ln, "expected `.param name : u32|u64`");
+                }
+                let bytes = match parts[1] {
+                    "u32" | "s32" | "f32" | "b32" => 4,
+                    "u64" | "s64" | "f64" | "b64" => 8,
+                    other => return err(ln, format!("unknown param type {other:?}")),
+                };
+                b.param(parts[0], bytes);
+            } else if let Some(rest) = line.strip_prefix(".shared") {
+                let bytes: u32 = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError { line: ln, message: "bad .shared size".into() })?;
+                b.shared_alloc(bytes);
+            } else {
+                return err(ln, format!("unknown directive {line:?}"));
+            }
+        }
+
+        // Body with deferred label resolution on raw pc indices.
+        let mut instrs: Vec<(usize, Instr, Option<String>, Option<String>)> = Vec::new();
+        let mut label_at: HashMap<String, usize> = HashMap::new();
+        let mut max_reg: u16 = 0;
+        let mut max_pred: u8 = 0;
+        loop {
+            let Some((ln, line)) = self.next() else {
+                return err(ln, "unterminated kernel body (missing '}')");
+            };
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                if label_at.insert(label.to_string(), instrs.len()).is_some() {
+                    return err(ln, format!("duplicate label {label:?}"));
+                }
+                continue;
+            }
+            let stmt = line.strip_suffix(';').unwrap_or(line);
+            let (instr, target, reconv) = parse_statement(ln, stmt, &b)?;
+            for r in instr.def_regs(true).into_iter().chain(instr.use_regs(true)) {
+                max_reg = max_reg.max(r.0 + 1);
+            }
+            if let Some(p) = instr.pred_dst {
+                max_pred = max_pred.max(p.0 + 1);
+            }
+            if let Some((p, _)) = instr.guard {
+                max_pred = max_pred.max(p.0 + 1);
+            }
+            instrs.push((ln, instr, target, reconv));
+        }
+
+        // Claim registers/predicates in the builder so num_regs is right.
+        while b.regs_used() < max_reg as u32 {
+            let _ = b.reg();
+        }
+        for _ in 0..max_pred {
+            let _ = b.pred();
+        }
+
+        // Emit with resolved targets.
+        for (ln, mut instr, target, reconv) in instrs {
+            if let Some(t) = target {
+                let Some(&at) = label_at.get(&t) else {
+                    return err(ln, format!("undefined label {t:?}"));
+                };
+                instr.target = Some(at);
+            }
+            if let Some(t) = reconv {
+                let Some(&at) = label_at.get(&t) else {
+                    return err(ln, format!("undefined label {t:?}"));
+                };
+                instr.reconv = Some(at);
+            }
+            b.emit(instr);
+        }
+        Ok(Some(b.build()))
+    }
+}
+
+fn parse_reg(ln: usize, tok: &str) -> Result<Reg> {
+    let Some(n) = tok.strip_prefix('r').and_then(|s| s.parse::<u16>().ok()) else {
+        return err(ln, format!("expected register, found {tok:?}"));
+    };
+    Ok(Reg(n))
+}
+
+fn parse_pred(ln: usize, tok: &str) -> Result<PredReg> {
+    let Some(n) = tok.strip_prefix('p').and_then(|s| s.parse::<u8>().ok()) else {
+        return err(ln, format!("expected predicate, found {tok:?}"));
+    };
+    if n >= 8 {
+        return err(ln, "predicate index out of range (p0..p7)");
+    }
+    Ok(PredReg(n))
+}
+
+fn parse_special(tok: &str) -> Option<SpecialReg> {
+    Some(match tok {
+        "%tid.x" => SpecialReg::TidX,
+        "%tid.y" => SpecialReg::TidY,
+        "%tid.z" => SpecialReg::TidZ,
+        "%ctaid.x" => SpecialReg::CtaIdX,
+        "%ctaid.y" => SpecialReg::CtaIdY,
+        "%ctaid.z" => SpecialReg::CtaIdZ,
+        "%ntid.x" => SpecialReg::NTidX,
+        "%ntid.y" => SpecialReg::NTidY,
+        "%nctaid.x" => SpecialReg::NCtaIdX,
+        "%nctaid.y" => SpecialReg::NCtaIdY,
+        "%laneid" => SpecialReg::LaneId,
+        "%warpid" => SpecialReg::WarpId,
+        _ => return None,
+    })
+}
+
+fn parse_operand(ln: usize, tok: &str) -> Result<Operand> {
+    if let Some(s) = parse_special(tok) {
+        return Ok(Operand::Special(s));
+    }
+    if tok.starts_with('r') {
+        return Ok(Operand::Reg(parse_reg(ln, tok)?));
+    }
+    if tok.starts_with('p') && tok.len() == 2 {
+        return Ok(Operand::Pred(parse_pred(ln, tok)?));
+    }
+    if let Some(hex) = tok.strip_prefix("0x") {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Ok(Operand::Imm(v));
+        }
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(v));
+    }
+    if let Ok(v) = tok.parse::<f32>() {
+        return Ok(Operand::fimm(v));
+    }
+    err(ln, format!("cannot parse operand {tok:?}"))
+}
+
+/// Parses `[rN]`, `[rN+imm]` or `[rN-imm]` into (base reg, offset).
+fn parse_addr(ln: usize, tok: &str) -> Result<(Reg, i64)> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParseError { line: ln, message: format!("expected [addr], found {tok:?}") })?;
+    if let Some((base, off)) = inner.split_once('+') {
+        Ok((parse_reg(ln, base.trim())?, off.trim().parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad offset {off:?}"),
+        })?))
+    } else if let Some((base, off)) = inner.split_once('-') {
+        let v: i64 = off.trim().parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad offset {off:?}"),
+        })?;
+        Ok((parse_reg(ln, base.trim())?, -v))
+    } else {
+        Ok((parse_reg(ln, inner.trim())?, 0))
+    }
+}
+
+fn parse_width(ln: usize, tok: &str) -> Result<MemWidth> {
+    Ok(match tok {
+        "b8" | "u8" | "s8" => MemWidth::B8,
+        "b16" | "u16" | "s16" | "f16" => MemWidth::B16,
+        "b32" | "u32" | "s32" | "f32" => MemWidth::B32,
+        "b64" | "u64" | "s64" | "f64" => MemWidth::B64,
+        "b128" | "v4.b32" => MemWidth::B128,
+        other => return err(ln, format!("unknown width {other:?}")),
+    })
+}
+
+fn parse_space(ln: usize, tok: &str) -> Result<MemSpace> {
+    Ok(match tok {
+        "global" => MemSpace::Global,
+        "shared" => MemSpace::Shared,
+        "param" => MemSpace::Param,
+        "local" => MemSpace::Local,
+        other => return err(ln, format!("unknown space {other:?}")),
+    })
+}
+
+fn parse_dtype(ln: usize, tok: &str) -> Result<DataType> {
+    Ok(match tok {
+        "u32" => DataType::U32,
+        "s32" => DataType::S32,
+        "u64" => DataType::U64,
+        "f16" => DataType::F16,
+        "f32" => DataType::F32,
+        "f64" => DataType::F64,
+        other => return err(ln, format!("unknown type {other:?}")),
+    })
+}
+
+fn parse_layout(ln: usize, tok: &str) -> Result<Layout> {
+    Ok(match tok {
+        "row" => Layout::Row,
+        "col" => Layout::Col,
+        other => return err(ln, format!("unknown layout {other:?}")),
+    })
+}
+
+fn split_args(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+type Parsed = (Instr, Option<String>, Option<String>);
+
+fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
+    let _ = b;
+    // Optional @p / @!p guard.
+    let (guard, stmt) = if let Some(rest) = stmt.strip_prefix('@') {
+        let (ptok, rest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseError { line: ln, message: "guard without instruction".into() })?;
+        let (sense, ptok) = if let Some(p) = ptok.strip_prefix('!') { (false, p) } else { (true, ptok) };
+        (Some((parse_pred(ln, ptok)?, sense)), rest.trim())
+    } else {
+        (None, stmt)
+    };
+
+    let (mnemonic, rest) = stmt
+        .split_once(char::is_whitespace)
+        .map(|(m, r)| (m, r.trim()))
+        .unwrap_or((stmt, ""));
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    let args = split_args(rest);
+
+    let mut target: Option<String> = None;
+    let mut reconv: Option<String> = None;
+
+    let mut instr = match parts.as_slice() {
+        ["nop"] => Instr::new(Op::Nop),
+        ["exit"] => Instr::new(Op::Exit),
+        ["bar"] | ["bar", "sync"] => Instr::new(Op::Bar),
+        ["clock"] => {
+            let d = parse_reg(ln, &args[0])?;
+            Instr::new(Op::Clock).with_dst(d)
+        }
+        ["bra"] => {
+            target = Some(args[0].clone());
+            Instr::new(Op::Bra)
+        }
+        ["bra", "div"] => {
+            if args.len() != 2 {
+                return err(ln, "bra.div needs `target, reconv`");
+            }
+            target = Some(args[0].clone());
+            reconv = Some(args[1].clone());
+            Instr::new(Op::Bra)
+        }
+        ["mov"] | ["mov", "u32" | "s32" | "b32" | "f32"] => {
+            let d = parse_reg(ln, &args[0])?;
+            Instr::new(Op::Mov).with_dst(d).with_srcs(vec![parse_operand(ln, &args[1])?])
+        }
+        ["mov", "b64" | "u64"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let src = if args[1].starts_with('r') {
+                Operand::RegPair(parse_reg(ln, &args[1])?)
+            } else {
+                parse_operand(ln, &args[1])?
+            };
+            Instr::new(Op::Mov64).with_dst(d).with_srcs(vec![src])
+        }
+        ["iadd", ..] | ["isub", ..] | ["imul", ..] | ["imin", ..] | ["imax", ..]
+        | ["shl", ..] | ["shr", ..] | ["sar", ..] | ["and", ..] | ["or", ..] | ["xor", ..]
+            if parts[0] != "iadd" || parts.get(1) != Some(&"wide") =>
+        {
+            let op = match parts[0] {
+                "iadd" => Op::IAdd,
+                "isub" => Op::ISub,
+                "imul" => Op::IMul,
+                "imin" => Op::IMin,
+                "imax" => Op::IMax,
+                "shl" => Op::Shl,
+                "shr" => Op::Shr,
+                "sar" => Op::Sar,
+                "and" => Op::And,
+                "or" => Op::Or,
+                _ => Op::Xor,
+            };
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bop = parse_operand(ln, &args[2])?;
+            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), bop])
+        }
+        ["not", ..] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(Op::Not).with_dst(d).with_srcs(vec![Operand::Reg(a)])
+        }
+        ["imad"] | ["imad", "lo" | "u32" | "s32"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(Op::IMad).with_dst(d).with_srcs(vec![
+                Operand::Reg(a),
+                parse_operand(ln, &args[2])?,
+                parse_operand(ln, &args[3])?,
+            ])
+        }
+        ["imad", "wide"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bop = parse_operand(ln, &args[2])?;
+            let c = parse_reg(ln, &args[3])?;
+            Instr::new(Op::IMadWide)
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(a), bop, Operand::RegPair(c)])
+        }
+        ["iadd", "wide"] | ["iadd64"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(Op::IAdd64)
+                .with_dst(d)
+                .with_srcs(vec![Operand::RegPair(a), parse_operand(ln, &args[2])?])
+        }
+        ["fadd", ..] | ["fmul", ..] | ["fmin", ..] | ["fmax", ..] => {
+            let op = match parts[0] {
+                "fadd" => Op::FAdd,
+                "fmul" => Op::FMul,
+                "fmin" => Op::FMin,
+                _ => Op::FMax,
+            };
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
+        }
+        ["dadd"] | ["dmul"] => {
+            let op = if parts[0] == "dadd" { Op::DAdd } else { Op::DMul };
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bb = parse_reg(ln, &args[2])?;
+            Instr::new(op)
+                .with_dst(d)
+                .with_srcs(vec![Operand::RegPair(a), Operand::RegPair(bb)])
+        }
+        ["dfma"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bb = parse_reg(ln, &args[2])?;
+            let c = parse_reg(ln, &args[3])?;
+            Instr::new(Op::DFma).with_dst(d).with_srcs(vec![
+                Operand::RegPair(a),
+                Operand::RegPair(bb),
+                Operand::RegPair(c),
+            ])
+        }
+        ["ffma", ..] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(Op::FFma).with_dst(d).with_srcs(vec![
+                Operand::Reg(a),
+                parse_operand(ln, &args[2])?,
+                parse_operand(ln, &args[3])?,
+            ])
+        }
+        ["frcp"] | ["fsqrt"] | ["fex2"] | ["flg2"] => {
+            let op = match parts[0] {
+                "frcp" => Op::FRcp,
+                "fsqrt" => Op::FSqrt,
+                "fex2" => Op::FEx2,
+                _ => Op::FLg2,
+            };
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a)])
+        }
+        ["hadd2"] | ["hmul2"] => {
+            let op = if parts[0] == "hadd2" { Op::HAdd2 } else { Op::HMul2 };
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
+        }
+        ["hfma2"] => {
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            Instr::new(Op::HFma2).with_dst(d).with_srcs(vec![
+                Operand::Reg(a),
+                parse_operand(ln, &args[2])?,
+                parse_operand(ln, &args[3])?,
+            ])
+        }
+        ["cvt", to, from] => {
+            let d = parse_reg(ln, &args[0])?;
+            Instr::new(Op::Cvt { from: parse_dtype(ln, from)?, to: parse_dtype(ln, to)? })
+                .with_dst(d)
+                .with_srcs(vec![parse_operand(ln, &args[1])?])
+        }
+        ["setp", cmp, ty] => {
+            let cmp = match *cmp {
+                "eq" => CmpOp::Eq,
+                "ne" => CmpOp::Ne,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                "ge" => CmpOp::Ge,
+                other => return err(ln, format!("unknown comparison {other:?}")),
+            };
+            let pd = parse_pred(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let mut i = Instr::new(Op::Setp { cmp, ty: parse_dtype(ln, ty)? })
+                .with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?]);
+            i.pred_dst = Some(pd);
+            i
+        }
+        ["selp", ..] => {
+            let d = parse_reg(ln, &args[0])?;
+            let p = parse_pred(ln, &args[1])?;
+            Instr::new(Op::SelP).with_dst(d).with_srcs(vec![
+                Operand::Pred(p),
+                parse_operand(ln, &args[2])?,
+                parse_operand(ln, &args[3])?,
+            ])
+        }
+        ["ld", "param", w] => {
+            let width = parse_width(ln, w)?;
+            let d = parse_reg(ln, &args[0])?;
+            // [name] resolved against declared params.
+            let inner = args[1].trim_start_matches('[').trim_end_matches(']');
+            let offset = b
+                .peek_param_offset(inner)
+                .ok_or_else(|| ParseError { line: ln, message: format!("unknown param {inner:?}") })?;
+            Instr::new(Op::Ld { space: MemSpace::Param, width })
+                .with_dst(d)
+                .with_srcs(vec![Operand::Imm(offset as i64), Operand::Imm(0)])
+        }
+        ["ld", space, w] => {
+            let space = parse_space(ln, space)?;
+            let width = parse_width(ln, w)?;
+            let d = parse_reg(ln, &args[0])?;
+            let (base, off) = parse_addr(ln, &args[1])?;
+            let addr = if space == MemSpace::Shared {
+                Operand::Reg(base)
+            } else {
+                Operand::RegPair(base)
+            };
+            Instr::new(Op::Ld { space, width })
+                .with_dst(d)
+                .with_srcs(vec![addr, Operand::Imm(off)])
+        }
+        ["shfl", mode] | ["shfl", "sync", mode] => {
+            let mode = match *mode {
+                "down" => ShflMode::Down,
+                "up" => ShflMode::Up,
+                "bfly" => ShflMode::Bfly,
+                "idx" => ShflMode::Idx,
+                other => return err(ln, format!("unknown shuffle mode {other:?}")),
+            };
+            let d = parse_reg(ln, &args[0])?;
+            let v = parse_reg(ln, &args[1])?;
+            let b = parse_operand(ln, &args[2])?;
+            Instr::new(Op::Shfl { mode })
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(v), b])
+        }
+        ["atom", space, aop] | ["atom", space, aop, "u32" | "s32" | "b32"] => {
+            let space = parse_space(ln, space)?;
+            let aop = match *aop {
+                "add" => AtomOp::Add,
+                "min" => AtomOp::Min,
+                "max" => AtomOp::Max,
+                "exch" => AtomOp::Exch,
+                other => return err(ln, format!("unknown atomic op {other:?}")),
+            };
+            let d = parse_reg(ln, &args[0])?;
+            let (base, off) = parse_addr(ln, &args[1])?;
+            let data = parse_reg(ln, &args[2])?;
+            let addr = if space == MemSpace::Shared {
+                Operand::Reg(base)
+            } else {
+                Operand::RegPair(base)
+            };
+            Instr::new(Op::Atom { space, op: aop })
+                .with_dst(d)
+                .with_srcs(vec![addr, Operand::Imm(off), Operand::Reg(data)])
+        }
+        ["st", space, w] => {
+            let space = parse_space(ln, space)?;
+            let width = parse_width(ln, w)?;
+            let (base, off) = parse_addr(ln, &args[0])?;
+            let data = parse_reg(ln, &args[1])?;
+            let addr = if space == MemSpace::Shared {
+                Operand::Reg(base)
+            } else {
+                Operand::RegPair(base)
+            };
+            Instr::new(Op::St { space, width })
+                .with_srcs(vec![addr, Operand::Imm(off), Operand::Reg(data)])
+        }
+        ["wmma", "load", frag, "sync", layout, shape, ty, space] => {
+            let frag = match *frag {
+                "a" => FragmentKind::A,
+                "b" => FragmentKind::B,
+                "c" => FragmentKind::C,
+                other => return err(ln, format!("bad wmma.load fragment {other:?}")),
+            };
+            let shape = WmmaShape::from_qualifier(shape)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
+            let ty = WmmaType::from_qualifier(ty)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad type {ty:?}") })?;
+            let space = parse_space(ln, space)?;
+            let d = parse_reg(ln, &args[0])?;
+            let (base, _off) = parse_addr(ln, &args[1])?;
+            let stride = parse_operand(ln, &args[2])?;
+            let addr = if space == MemSpace::Shared {
+                Operand::Reg(base)
+            } else {
+                Operand::RegPair(base)
+            };
+            Instr::new(Op::Wmma(WmmaDirective::Load {
+                frag,
+                shape,
+                layout: parse_layout(ln, layout)?,
+                ty,
+            }))
+            .with_dst(d)
+            .with_srcs(vec![
+                addr,
+                stride,
+                Operand::Imm(if space == MemSpace::Shared { 1 } else { 0 }),
+            ])
+        }
+        ["wmma", "mma", "sync", al, bl, shape, dt, ct] | ["wmma", "mma", "sync", al, bl, shape, dt, ct, _] => {
+            let ab = if parts.len() == 9 {
+                WmmaType::from_qualifier(parts[8])
+                    .ok_or_else(|| ParseError { line: ln, message: "bad ab type".into() })?
+            } else {
+                WmmaType::F16
+            };
+            let shape = WmmaShape::from_qualifier(shape)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bb = parse_reg(ln, &args[2])?;
+            let c = parse_reg(ln, &args[3])?;
+            Instr::new(Op::Wmma(WmmaDirective::Mma {
+                shape,
+                a_layout: parse_layout(ln, al)?,
+                b_layout: parse_layout(ln, bl)?,
+                ab_type: ab,
+                d_type: WmmaType::from_qualifier(dt)
+                    .ok_or_else(|| ParseError { line: ln, message: "bad d type".into() })?,
+                c_type: WmmaType::from_qualifier(ct)
+                    .ok_or_else(|| ParseError { line: ln, message: "bad c type".into() })?,
+            }))
+            .with_dst(d)
+            .with_srcs(vec![Operand::Reg(a), Operand::Reg(bb), Operand::Reg(c)])
+        }
+        ["wmma", "store", "d", "sync", layout, shape, ty, space] => {
+            let shape = WmmaShape::from_qualifier(shape)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
+            let ty = WmmaType::from_qualifier(ty)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad type {ty:?}") })?;
+            let space = parse_space(ln, space)?;
+            let (base, _off) = parse_addr(ln, &args[0])?;
+            let d = parse_reg(ln, &args[1])?;
+            let stride = parse_operand(ln, &args[2])?;
+            let addr = if space == MemSpace::Shared {
+                Operand::Reg(base)
+            } else {
+                Operand::RegPair(base)
+            };
+            Instr::new(Op::Wmma(WmmaDirective::Store {
+                shape,
+                layout: parse_layout(ln, layout)?,
+                ty,
+            }))
+            .with_srcs(vec![
+                addr,
+                stride,
+                Operand::Reg(d),
+                Operand::Imm(if space == MemSpace::Shared { 1 } else { 0 }),
+            ])
+        }
+        _ => return err(ln, format!("unknown instruction {mnemonic:?}")),
+    };
+
+    instr.guard = guard;
+    Ok((instr, target, reconv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = r#"
+.kernel scale
+.param a : u64
+.param n : u32
+{
+    mov.u32        r0, %tid.x;          // lane index
+    ld.param.b64   r2, [a];
+    imad.wide      r4, r0, 4, r2;
+    ld.global.b32  r6, [r4+0];
+    iadd           r6, r6, 1;
+    st.global.b32  [r4+0], r6;
+    exit;
+}
+"#;
+
+    #[test]
+    fn parses_simple_kernel() {
+        let k = parse_kernel(SIMPLE).unwrap();
+        assert_eq!(k.name(), "scale");
+        assert_eq!(k.instrs().len(), 7);
+        assert_eq!(k.params().len(), 2);
+        assert_eq!(k.param_offset("a"), 0);
+        assert_eq!(k.param_offset("n"), 8);
+        assert!(k.num_regs() >= 7);
+        assert_eq!(k.instrs()[0].op, Op::Mov);
+        assert!(matches!(k.instrs()[3].op, Op::Ld { space: MemSpace::Global, width: MemWidth::B32 }));
+    }
+
+    #[test]
+    fn parses_labels_and_guards() {
+        let text = r#"
+.kernel looped
+{
+    mov.u32      r0, 0;
+TOP:
+    iadd         r0, r0, 1;
+    setp.lt.s32  p0, r0, 10;
+    @p0 bra      TOP;
+    @!p0 bra     DONE;
+DONE:
+    exit;
+}
+"#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.instrs()[3].target, Some(1));
+        assert_eq!(k.instrs()[3].guard, Some((PredReg(0), true)));
+        assert_eq!(k.instrs()[4].guard, Some((PredReg(0), false)));
+        assert_eq!(k.instrs()[4].target, Some(5));
+    }
+
+    #[test]
+    fn parses_wmma_instructions() {
+        let text = r#"
+.kernel tile
+.param a : u64
+{
+    ld.param.b64 r2, [a];
+    wmma.load.a.sync.row.m16n16k16.f16.global  r8, [r2], 16;
+    wmma.load.b.sync.col.m16n16k16.f16.global  r16, [r2], 16;
+    wmma.load.c.sync.row.m16n16k16.f32.global  r24, [r2], 16;
+    wmma.mma.sync.row.col.m16n16k16.f32.f32    r32, r8, r16, r24;
+    wmma.store.d.sync.row.m16n16k16.f32.global [r2], r32, 16;
+    exit;
+}
+"#;
+        let k = parse_kernel(text).unwrap();
+        let ops: Vec<_> = k.instrs().iter().map(|i| &i.op).collect();
+        assert!(matches!(
+            ops[1],
+            Op::Wmma(WmmaDirective::Load { frag: FragmentKind::A, layout: Layout::Row, .. })
+        ));
+        assert!(matches!(
+            ops[4],
+            Op::Wmma(WmmaDirective::Mma { a_layout: Layout::Row, b_layout: Layout::Col, .. })
+        ));
+        assert!(matches!(ops[5], Op::Wmma(WmmaDirective::Store { .. })));
+        // Volta fragment spans must be claimed: r32..r40 for D.
+        assert!(k.num_regs() >= 40);
+    }
+
+    #[test]
+    fn parses_shared_and_barrier() {
+        let text = r#"
+.kernel stage
+.shared 2048
+{
+    mov.u32       r0, %tid.x;
+    shl           r1, r0, 2;
+    st.shared.b32 [r1+0], r0;
+    bar.sync;
+    ld.shared.b32 r2, [r1+0];
+    exit;
+}
+"#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.shared_bytes(), 2048);
+        assert!(matches!(k.instrs()[3].op, Op::Bar));
+        assert!(matches!(k.instrs()[2].op, Op::St { space: MemSpace::Shared, .. }));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = ".kernel bad\n{\n    bogus r0, r1;\n}\n";
+        let e = parse_kernel(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("unknown instruction"));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let text = ".kernel bad\n{\n    bra NOWHERE;\n}\n";
+        let e = parse_kernel(text).unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let text = ".kernel bad\n{\nL:\nL:\n    exit;\n}\n";
+        let e = parse_kernel(text).unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn unknown_param_in_ld_is_an_error() {
+        let text = ".kernel bad\n{\n    ld.param.b64 r0, [nope];\n}\n";
+        let e = parse_kernel(text).unwrap_err();
+        assert!(e.message.contains("unknown param"));
+    }
+
+    #[test]
+    fn parses_multiple_kernels_into_program() {
+        let text = ".kernel one\n{\n    exit;\n}\n.kernel two\n{\n    exit;\n}\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.kernel("one").is_some());
+        assert!(p.kernel("two").is_some());
+    }
+
+    #[test]
+    fn bra_div_records_reconvergence() {
+        let text = r#"
+.kernel div
+{
+    setp.eq.s32 p0, r0, 0;
+    bra.div TAKEN, MERGE;
+    mov.u32 r1, 1;
+TAKEN:
+    mov.u32 r1, 2;
+MERGE:
+    exit;
+}
+"#;
+        // Note: bra.div keeps the guard from a preceding @-prefix; this form
+        // is unguarded and the divergence predicate is implied by lane masks.
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.instrs()[1].target, Some(3));
+        assert_eq!(k.instrs()[1].reconv, Some(4));
+    }
+}

@@ -1,0 +1,225 @@
+//! Abstract interfaces between the ISA, the tensor-core model and the
+//! memory/register substrates.
+
+use crate::instr::Reg;
+
+/// A byte-addressable memory.
+///
+/// Implemented by the device global memory and per-CTA shared memory in
+/// `tcsim-mem`; the tensor-core functional model reads/writes operand
+/// matrices through this interface.
+pub trait ByteMemory {
+    /// Reads one byte. Unwritten locations read as zero.
+    fn read_u8(&self, addr: u64) -> u8;
+
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u64, value: u8);
+
+    /// Reads a little-endian 16-bit value.
+    fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+    }
+
+    /// Writes a little-endian 16-bit value.
+    fn write_u16(&mut self, addr: u64, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr + 1, b[1]);
+    }
+
+    /// Reads a little-endian 32-bit value.
+    fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, out) in b.iter_mut().enumerate() {
+            *out = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 32-bit value.
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr + i as u64, byte);
+        }
+    }
+
+    /// Reads a little-endian 64-bit value.
+    fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
+    }
+
+    /// Writes a little-endian 64-bit value.
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr + 4, (value >> 32) as u32);
+    }
+}
+
+/// A simple growable `Vec<u8>`-backed memory, used for parameter buffers
+/// and in tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VecMemory {
+    bytes: Vec<u8>,
+}
+
+impl VecMemory {
+    /// Creates an empty memory.
+    pub fn new() -> VecMemory {
+        VecMemory::default()
+    }
+
+    /// Creates a memory with `len` zero bytes pre-allocated.
+    pub fn with_len(len: usize) -> VecMemory {
+        VecMemory { bytes: vec![0; len] }
+    }
+
+    /// Current backing length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether no byte has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrows the backing bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl ByteMemory for VecMemory {
+    fn read_u8(&self, addr: u64) -> u8 {
+        self.bytes.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        let idx = addr as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.bytes[idx] = value;
+    }
+}
+
+/// Per-warp view of the register file: 32 lanes × N 32-bit registers.
+///
+/// The tensor-core functional model reads operand fragments and writes
+/// result fragments through this interface (fragments are spans of
+/// consecutive registers in each lane, §III-C).
+pub trait WarpRegisters {
+    /// Reads lane `lane`'s register `reg`.
+    fn read(&self, lane: usize, reg: Reg) -> u32;
+
+    /// Writes lane `lane`'s register `reg`.
+    fn write(&mut self, lane: usize, reg: Reg, value: u32);
+
+    /// Reads the 64-bit pair `(reg, reg+1)`.
+    fn read_pair(&self, lane: usize, reg: Reg) -> u64 {
+        (self.read(lane, reg) as u64) | ((self.read(lane, Reg(reg.0 + 1)) as u64) << 32)
+    }
+
+    /// Writes the 64-bit pair `(reg, reg+1)`.
+    fn write_pair(&mut self, lane: usize, reg: Reg, value: u64) {
+        self.write(lane, reg, value as u32);
+        self.write(lane, Reg(reg.0 + 1), (value >> 32) as u32);
+    }
+}
+
+/// Dense register storage for one warp.
+#[derive(Clone, Debug)]
+pub struct WarpRegFile {
+    regs: Vec<u32>,
+    per_lane: usize,
+}
+
+impl WarpRegFile {
+    /// Creates a register file with `per_lane` registers for each of the 32
+    /// lanes, all zero.
+    pub fn new(per_lane: usize) -> WarpRegFile {
+        WarpRegFile {
+            regs: vec![0; per_lane * crate::WARP_SIZE],
+            per_lane,
+        }
+    }
+
+    /// Registers per lane.
+    pub fn per_lane(&self) -> usize {
+        self.per_lane
+    }
+}
+
+impl WarpRegisters for WarpRegFile {
+    fn read(&self, lane: usize, reg: Reg) -> u32 {
+        assert!(
+            (reg.0 as usize) < self.per_lane,
+            "register {reg} out of range (kernel declares {} regs)",
+            self.per_lane
+        );
+        self.regs[lane * self.per_lane + reg.0 as usize]
+    }
+
+    fn write(&mut self, lane: usize, reg: Reg, value: u32) {
+        assert!(
+            (reg.0 as usize) < self.per_lane,
+            "register {reg} out of range (kernel declares {} regs)",
+            self.per_lane
+        );
+        self.regs[lane * self.per_lane + reg.0 as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_memory_reads_zero_when_unwritten() {
+        let m = VecMemory::new();
+        assert_eq!(m.read_u8(100), 0);
+        assert_eq!(m.read_u32(4096), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn vec_memory_roundtrips_all_widths() {
+        let mut m = VecMemory::new();
+        m.write_u8(0, 0xAB);
+        m.write_u16(2, 0xBEEF);
+        m.write_u32(4, 0xDEAD_BEEF);
+        m.write_u64(8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(0), 0xAB);
+        assert_eq!(m.read_u16(2), 0xBEEF);
+        assert_eq!(m.read_u32(4), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(8), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn vec_memory_is_little_endian() {
+        let mut m = VecMemory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.as_slice()[..4], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn warp_regfile_isolates_lanes() {
+        let mut rf = WarpRegFile::new(16);
+        rf.write(0, Reg(3), 111);
+        rf.write(1, Reg(3), 222);
+        assert_eq!(rf.read(0, Reg(3)), 111);
+        assert_eq!(rf.read(1, Reg(3)), 222);
+        assert_eq!(rf.read(2, Reg(3)), 0);
+        assert_eq!(rf.per_lane(), 16);
+    }
+
+    #[test]
+    fn warp_regfile_pairs() {
+        let mut rf = WarpRegFile::new(8);
+        rf.write_pair(5, Reg(2), 0xAAAA_BBBB_CCCC_DDDD);
+        assert_eq!(rf.read(5, Reg(2)), 0xCCCC_DDDD);
+        assert_eq!(rf.read(5, Reg(3)), 0xAAAA_BBBB);
+        assert_eq!(rf.read_pair(5, Reg(2)), 0xAAAA_BBBB_CCCC_DDDD);
+    }
+}

@@ -1,0 +1,348 @@
+//! Fundamental SIMT execution types: grid/block geometry, address spaces,
+//! access widths, scalar data types, and special registers.
+
+use std::fmt;
+
+/// A three-component extent or index, as used for CUDA grids and blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// X component (fastest varying).
+    pub x: u32,
+    /// Y component.
+    pub y: u32,
+    /// Z component.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// One in every dimension.
+    pub const ONE: Dim3 = Dim3 { x: 1, y: 1, z: 1 };
+
+    /// Creates a 3-D extent.
+    pub const fn new(x: u32, y: u32, z: u32) -> Dim3 {
+        Dim3 { x, y, z }
+    }
+
+    /// A 1-D extent `(x, 1, 1)`.
+    pub const fn x(x: u32) -> Dim3 {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    pub const fn xy(x: u32, y: u32) -> Dim3 {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements covered (`x·y·z`).
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Converts a flat index in `0..count()` to a (x, y, z) coordinate.
+    pub fn delinearize(self, flat: u64) -> Dim3 {
+        let x = (flat % self.x as u64) as u32;
+        let y = ((flat / self.x as u64) % self.y as u64) as u32;
+        let z = (flat / (self.x as u64 * self.y as u64)) as u32;
+        Dim3 { x, y, z }
+    }
+
+    /// Converts a coordinate back to its flat index.
+    pub fn linearize(self, idx: Dim3) -> u64 {
+        idx.x as u64 + self.x as u64 * (idx.y as u64 + self.y as u64 * idx.z as u64)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Dim3 {
+        Dim3::ONE
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Dim3 {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Dim3 {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Dim3 {
+        Dim3::new(x, y, z)
+    }
+}
+
+/// Grid/block geometry plus dynamic shared memory for one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks (CTAs) in the grid.
+    pub grid: Dim3,
+    /// Number of threads in each CTA.
+    pub block: Dim3,
+    /// Dynamic shared memory per CTA in bytes (added to the kernel's static
+    /// allocation).
+    pub shared_bytes: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration with no dynamic shared memory.
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> LaunchConfig {
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+            shared_bytes: 0,
+        }
+    }
+
+    /// Sets the dynamic shared memory size.
+    pub fn with_shared_bytes(mut self, bytes: u32) -> LaunchConfig {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per CTA (threads rounded up to warp granularity).
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta().div_ceil(crate::WARP_SIZE as u32)
+    }
+
+    /// Total CTAs in the grid.
+    pub fn total_ctas(&self) -> u64 {
+        self.grid.count()
+    }
+}
+
+/// Memory address spaces visible to a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory, backed by DRAM through the L1/L2 hierarchy.
+    Global,
+    /// Per-CTA scratchpad with 32 banks (`.shared`).
+    Shared,
+    /// Read-only kernel parameter space (`.param`).
+    Param,
+    /// Per-thread local memory (spills); modeled as global traffic.
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Param => "param",
+            MemSpace::Local => "local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access widths supported by loads and stores.
+///
+/// `B64`/`B128` correspond to the SASS `LD.E.64`/`LD.E.128` instructions
+/// that `wmma.load` decomposes into (§III-C of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemWidth {
+    /// 1 byte.
+    B8,
+    /// 2 bytes.
+    B16,
+    /// 4 bytes (one register).
+    B32,
+    /// 8 bytes (an aligned register pair).
+    B64,
+    /// 16 bytes (an aligned register quad).
+    B128,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B8 => 1,
+            MemWidth::B16 => 2,
+            MemWidth::B32 => 4,
+            MemWidth::B64 => 8,
+            MemWidth::B128 => 16,
+        }
+    }
+
+    /// Number of 32-bit registers written/read (at least one).
+    pub const fn regs(self) -> usize {
+        match self {
+            MemWidth::B8 | MemWidth::B16 | MemWidth::B32 => 1,
+            MemWidth::B64 => 2,
+            MemWidth::B128 => 4,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.bytes() * 8)
+    }
+}
+
+/// Scalar data types used by conversions and comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 32-bit integer.
+    S32,
+    /// Unsigned 64-bit integer (register pair).
+    U64,
+    /// IEEE binary16.
+    F16,
+    /// IEEE binary32.
+    F32,
+    /// IEEE binary64 (register pair).
+    F64,
+}
+
+impl DataType {
+    /// Width of the type in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            DataType::F16 => 16,
+            DataType::U32 | DataType::S32 | DataType::F32 => 32,
+            DataType::U64 | DataType::F64 => 64,
+        }
+    }
+
+    /// Whether the type occupies a register pair.
+    pub const fn is_pair(self) -> bool {
+        matches!(self, DataType::U64 | DataType::F64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::U32 => "u32",
+            DataType::S32 => "s32",
+            DataType::U64 => "u64",
+            DataType::F16 => "f16",
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Read-only special registers (`S2R` sources).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the CTA, x component (`%tid.x`).
+    TidX,
+    /// Thread index within the CTA, y component.
+    TidY,
+    /// Thread index within the CTA, z component.
+    TidZ,
+    /// CTA index within the grid, x component (`%ctaid.x`).
+    CtaIdX,
+    /// CTA index within the grid, y component.
+    CtaIdY,
+    /// CTA index within the grid, z component.
+    CtaIdZ,
+    /// CTA extent, x component (`%ntid.x`).
+    NTidX,
+    /// CTA extent, y component.
+    NTidY,
+    /// Grid extent, x component (`%nctaid.x`).
+    NCtaIdX,
+    /// Grid extent, y component.
+    NCtaIdY,
+    /// Lane within the warp (`%laneid`).
+    LaneId,
+    /// Warp index within the CTA (`%warpid`).
+    WarpId,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::TidZ => "%tid.z",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::CtaIdY => "%ctaid.y",
+            SpecialReg::CtaIdZ => "%ctaid.z",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NTidY => "%ntid.y",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::NCtaIdY => "%nctaid.y",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim3_linearize_roundtrip() {
+        let ext = Dim3::new(7, 5, 3);
+        for flat in 0..ext.count() {
+            let idx = ext.delinearize(flat);
+            assert_eq!(ext.linearize(idx), flat);
+            assert!(idx.x < ext.x && idx.y < ext.y && idx.z < ext.z);
+        }
+    }
+
+    #[test]
+    fn dim3_conversions() {
+        assert_eq!(Dim3::from(16u32), Dim3::new(16, 1, 1));
+        assert_eq!(Dim3::from((4u32, 5u32)), Dim3::new(4, 5, 1));
+        assert_eq!(Dim3::from((1u32, 2u32, 3u32)), Dim3::new(1, 2, 3));
+        assert_eq!(Dim3::default(), Dim3::ONE);
+        assert_eq!(Dim3::new(2, 3, 4).to_string(), "(2, 3, 4)");
+    }
+
+    #[test]
+    fn launch_config_warp_math() {
+        let lc = LaunchConfig::new(4u32, 96u32);
+        assert_eq!(lc.threads_per_cta(), 96);
+        assert_eq!(lc.warps_per_cta(), 3);
+        assert_eq!(lc.total_ctas(), 4);
+        let lc = LaunchConfig::new(1u32, 33u32);
+        assert_eq!(lc.warps_per_cta(), 2);
+        assert_eq!(lc.with_shared_bytes(4096).shared_bytes, 4096);
+    }
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::B8.bytes(), 1);
+        assert_eq!(MemWidth::B128.bytes(), 16);
+        assert_eq!(MemWidth::B128.regs(), 4);
+        assert_eq!(MemWidth::B64.regs(), 2);
+        assert_eq!(MemWidth::B32.regs(), 1);
+        assert_eq!(MemWidth::B64.to_string(), "b64");
+    }
+
+    #[test]
+    fn data_type_widths() {
+        assert_eq!(DataType::F16.bits(), 16);
+        assert_eq!(DataType::F32.bits(), 32);
+        assert!(DataType::U64.is_pair());
+        assert!(!DataType::S32.is_pair());
+        assert_eq!(DataType::F64.to_string(), "f64");
+    }
+}

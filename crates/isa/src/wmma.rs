@@ -1,0 +1,561 @@
+//! WMMA instruction qualifiers: tile shapes, operand layouts, precisions,
+//! and per-thread fragment sizes (Fig 2 and §II-C of the paper).
+
+use std::fmt;
+
+/// Number of threads in a warp on all modeled architectures.
+pub const WARP_SIZE: usize = 32;
+
+/// Matrix tile shapes supported by `wmma` instructions, written `MxNxK`
+/// where A is `M×K`, B is `K×N` and C/D are `M×N`.
+///
+/// CUDA 9.0 supported only `m16n16k16`; Turing added `m32n8k16` and
+/// `m8n32k16` for 8/16-bit modes and `m8n8k32` for the 4-bit mode
+/// (§III-B2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WmmaShape {
+    /// 16×16 output tile, K = 16.
+    M16N16K16,
+    /// 32×8 output tile, K = 16 (Turing).
+    M32N8K16,
+    /// 8×32 output tile, K = 16 (Turing).
+    M8N32K16,
+    /// 8×8 output tile, K = 32, 4-bit operands only (Turing).
+    M8N8K32,
+}
+
+impl WmmaShape {
+    /// Rows of A and of C/D.
+    pub const fn m(self) -> usize {
+        match self {
+            WmmaShape::M16N16K16 => 16,
+            WmmaShape::M32N8K16 => 32,
+            WmmaShape::M8N32K16 | WmmaShape::M8N8K32 => 8,
+        }
+    }
+
+    /// Columns of B and of C/D.
+    pub const fn n(self) -> usize {
+        match self {
+            WmmaShape::M16N16K16 => 16,
+            WmmaShape::M32N8K16 | WmmaShape::M8N8K32 => 8,
+            WmmaShape::M8N32K16 => 32,
+        }
+    }
+
+    /// Inner (reduction) dimension: columns of A, rows of B.
+    pub const fn k(self) -> usize {
+        match self {
+            WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16 => 16,
+            WmmaShape::M8N8K32 => 32,
+        }
+    }
+
+    /// All shapes, in the order used by Table I of the paper.
+    pub const ALL: [WmmaShape; 4] = [
+        WmmaShape::M16N16K16,
+        WmmaShape::M32N8K16,
+        WmmaShape::M8N32K16,
+        WmmaShape::M8N8K32,
+    ];
+
+    /// Parses the PTX `mMnNkK` spelling.
+    pub fn from_qualifier(s: &str) -> Option<WmmaShape> {
+        match s {
+            "m16n16k16" => Some(WmmaShape::M16N16K16),
+            "m32n8k16" => Some(WmmaShape::M32N8K16),
+            "m8n32k16" => Some(WmmaShape::M8N32K16),
+            "m8n8k32" => Some(WmmaShape::M8N8K32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WmmaShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}n{}k{}", self.m(), self.n(), self.k())
+    }
+}
+
+/// Memory layout of an operand matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Elements of a row are contiguous; `stride` is the row pitch.
+    Row,
+    /// Elements of a column are contiguous; `stride` is the column pitch.
+    Col,
+}
+
+impl Layout {
+    /// The opposite layout.
+    pub const fn transposed(self) -> Layout {
+        match self {
+            Layout::Row => Layout::Col,
+            Layout::Col => Layout::Row,
+        }
+    }
+
+    /// Byte address of element `(row, col)` given the leading-dimension
+    /// stride in *elements* and the element size in bytes.
+    pub fn element_offset(self, row: usize, col: usize, stride: usize, elem_bytes: usize) -> u64 {
+        let linear = match self {
+            Layout::Row => row * stride + col,
+            Layout::Col => col * stride + row,
+        };
+        (linear * elem_bytes) as u64
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layout::Row => "row",
+            Layout::Col => "col",
+        })
+    }
+}
+
+/// Element precision of a WMMA operand matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WmmaType {
+    /// IEEE binary16 (A/B on Volta and Turing; C/D FP16 mode).
+    F16,
+    /// IEEE binary32 (C/D in mixed-precision mode).
+    F32,
+    /// Signed 8-bit integer (Turing inference mode).
+    S8,
+    /// Unsigned 8-bit integer (Turing inference mode).
+    U8,
+    /// Signed 4-bit integer (Turing experimental mode).
+    S4,
+    /// Unsigned 4-bit integer (Turing experimental mode).
+    U4,
+    /// 32-bit signed accumulator for the integer modes.
+    S32,
+}
+
+impl WmmaType {
+    /// Element width in bits.
+    pub const fn bits(self) -> usize {
+        match self {
+            WmmaType::S4 | WmmaType::U4 => 4,
+            WmmaType::S8 | WmmaType::U8 => 8,
+            WmmaType::F16 => 16,
+            WmmaType::F32 | WmmaType::S32 => 32,
+        }
+    }
+
+    /// Whether this is one of the integer operand/accumulator types.
+    pub const fn is_integer(self) -> bool {
+        matches!(
+            self,
+            WmmaType::S8 | WmmaType::U8 | WmmaType::S4 | WmmaType::U4 | WmmaType::S32
+        )
+    }
+
+    /// Whether the type is signed (floating-point types are signed).
+    pub const fn is_signed(self) -> bool {
+        !matches!(self, WmmaType::U8 | WmmaType::U4)
+    }
+
+    /// Parses the PTX type qualifier.
+    pub fn from_qualifier(s: &str) -> Option<WmmaType> {
+        match s {
+            "f16" => Some(WmmaType::F16),
+            "f32" => Some(WmmaType::F32),
+            "s8" => Some(WmmaType::S8),
+            "u8" => Some(WmmaType::U8),
+            "s4" => Some(WmmaType::S4),
+            "u4" => Some(WmmaType::U4),
+            "s32" => Some(WmmaType::S32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WmmaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WmmaType::F16 => "f16",
+            WmmaType::F32 => "f32",
+            WmmaType::S8 => "s8",
+            WmmaType::U8 => "u8",
+            WmmaType::S4 => "s4",
+            WmmaType::U4 => "u4",
+            WmmaType::S32 => "s32",
+        })
+    }
+}
+
+/// Which operand matrix a fragment holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FragmentKind {
+    /// Multiplicand A (`M×K`).
+    A,
+    /// Multiplicand B (`K×N`).
+    B,
+    /// Accumulator input C (`M×N`).
+    C,
+    /// Result D (`M×N`).
+    D,
+}
+
+impl FragmentKind {
+    /// (rows, cols) of this operand under `shape`.
+    pub const fn dims(self, shape: WmmaShape) -> (usize, usize) {
+        match self {
+            FragmentKind::A => (shape.m(), shape.k()),
+            FragmentKind::B => (shape.k(), shape.n()),
+            FragmentKind::C | FragmentKind::D => (shape.m(), shape.n()),
+        }
+    }
+
+    /// Total elements of this operand under `shape`.
+    pub const fn elements(self, shape: WmmaShape) -> usize {
+        let (r, c) = self.dims(shape);
+        r * c
+    }
+}
+
+impl fmt::Display for FragmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FragmentKind::A => "a",
+            FragmentKind::B => "b",
+            FragmentKind::C => "c",
+            FragmentKind::D => "d",
+        })
+    }
+}
+
+/// A fully qualified WMMA operation, as encoded on the three PTX
+/// instructions of Fig 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WmmaDirective {
+    /// `wmma.load.{a,b,c}.sync.layout.shape.type rX, [addr], stride`
+    Load {
+        /// Which operand matrix is loaded (A, B or C).
+        frag: FragmentKind,
+        /// Tile shape qualifier.
+        shape: WmmaShape,
+        /// Memory layout of the operand matrix.
+        layout: Layout,
+        /// Element type.
+        ty: WmmaType,
+    },
+    /// `wmma.mma.sync.alayout.blayout.shape.dtype.ctype rd, ra, rb, rc`
+    Mma {
+        /// Tile shape qualifier.
+        shape: WmmaShape,
+        /// Layout qualifier the A fragment was loaded with.
+        a_layout: Layout,
+        /// Layout qualifier the B fragment was loaded with.
+        b_layout: Layout,
+        /// Element type of the A/B multiplicands.
+        ab_type: WmmaType,
+        /// Element type of the D result.
+        d_type: WmmaType,
+        /// Element type of the C accumulator.
+        c_type: WmmaType,
+    },
+    /// `wmma.store.d.sync.layout.shape.type [addr], rd, stride`
+    Store {
+        /// Tile shape qualifier.
+        shape: WmmaShape,
+        /// Memory layout of the destination matrix.
+        layout: Layout,
+        /// Element type.
+        ty: WmmaType,
+    },
+}
+
+impl WmmaDirective {
+    /// The tile shape of the operation.
+    pub fn shape(&self) -> WmmaShape {
+        match *self {
+            WmmaDirective::Load { shape, .. }
+            | WmmaDirective::Mma { shape, .. }
+            | WmmaDirective::Store { shape, .. } => shape,
+        }
+    }
+
+    /// Checks the qualifier combination is one the given architecture
+    /// supports (§II-C / §III-B2). Volta: only `m16n16k16` FP16 multiplies
+    /// with FP16/FP32 accumulate. Turing adds the integer modes and shapes.
+    pub fn is_valid(&self, turing: bool) -> bool {
+        let valid_mma = |shape: WmmaShape, ab: WmmaType, c: WmmaType, d: WmmaType| -> bool {
+            match ab {
+                WmmaType::F16 => {
+                    matches!(shape, WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16)
+                        && matches!(c, WmmaType::F16 | WmmaType::F32)
+                        && matches!(d, WmmaType::F16 | WmmaType::F32)
+                        && (turing || shape == WmmaShape::M16N16K16)
+                }
+                WmmaType::S8 | WmmaType::U8 => {
+                    turing
+                        && matches!(
+                            shape,
+                            WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16
+                        )
+                        && c == WmmaType::S32
+                        && d == WmmaType::S32
+                }
+                WmmaType::S4 | WmmaType::U4 => {
+                    turing && shape == WmmaShape::M8N8K32 && c == WmmaType::S32 && d == WmmaType::S32
+                }
+                _ => false,
+            }
+        };
+        match *self {
+            WmmaDirective::Mma {
+                shape,
+                ab_type,
+                c_type,
+                d_type,
+                ..
+            } => valid_mma(shape, ab_type, c_type, d_type),
+            WmmaDirective::Load { frag, shape, ty, .. } => match frag {
+                FragmentKind::A | FragmentKind::B => valid_mma(
+                    shape,
+                    ty,
+                    if ty == WmmaType::F16 { WmmaType::F32 } else { WmmaType::S32 },
+                    if ty == WmmaType::F16 { WmmaType::F32 } else { WmmaType::S32 },
+                ),
+                FragmentKind::C | FragmentKind::D => {
+                    matches!(ty, WmmaType::F16 | WmmaType::F32 | WmmaType::S32)
+                        && (turing || shape == WmmaShape::M16N16K16)
+                }
+            },
+            WmmaDirective::Store { shape, ty, .. } => {
+                matches!(ty, WmmaType::F16 | WmmaType::F32 | WmmaType::S32)
+                    && (turing || shape == WmmaShape::M16N16K16)
+            }
+        }
+    }
+}
+
+/// Per-thread fragment sizing.
+///
+/// On Volta each element of A and B is held by **two** threads (one in each
+/// of two threadgroups, §III-B1), so fragments are twice the naive
+/// `elements / 32` size; on Turing each element is held once (§III-B2).
+pub fn fragment_elements(
+    frag: FragmentKind,
+    shape: WmmaShape,
+    ty: WmmaType,
+    volta_double_load: bool,
+) -> usize {
+    let naive = frag.elements(shape) / WARP_SIZE;
+    let _ = ty;
+    match frag {
+        FragmentKind::A | FragmentKind::B if volta_double_load => naive * 2,
+        _ => naive,
+    }
+}
+
+/// Number of consecutive 32-bit registers a fragment occupies per thread.
+pub fn fragment_regs(
+    frag: FragmentKind,
+    shape: WmmaShape,
+    ty: WmmaType,
+    volta_double_load: bool,
+) -> usize {
+    let elems = fragment_elements(frag, shape, ty, volta_double_load);
+    (elems * ty.bits()).div_ceil(32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_dimensions() {
+        assert_eq!(
+            (WmmaShape::M16N16K16.m(), WmmaShape::M16N16K16.n(), WmmaShape::M16N16K16.k()),
+            (16, 16, 16)
+        );
+        assert_eq!(
+            (WmmaShape::M32N8K16.m(), WmmaShape::M32N8K16.n(), WmmaShape::M32N8K16.k()),
+            (32, 8, 16)
+        );
+        assert_eq!(
+            (WmmaShape::M8N32K16.m(), WmmaShape::M8N32K16.n(), WmmaShape::M8N32K16.k()),
+            (8, 32, 16)
+        );
+        assert_eq!(
+            (WmmaShape::M8N8K32.m(), WmmaShape::M8N8K32.n(), WmmaShape::M8N8K32.k()),
+            (8, 8, 32)
+        );
+    }
+
+    #[test]
+    fn shape_qualifier_roundtrip() {
+        for s in WmmaShape::ALL {
+            assert_eq!(WmmaShape::from_qualifier(&s.to_string()), Some(s));
+        }
+        assert_eq!(WmmaShape::from_qualifier("m1n1k1"), None);
+    }
+
+    #[test]
+    fn layout_offsets() {
+        // Row-major 16×16 f16 with stride 16: element (2, 3) at (2*16+3)*2.
+        assert_eq!(Layout::Row.element_offset(2, 3, 16, 2), 70);
+        assert_eq!(Layout::Col.element_offset(2, 3, 16, 2), (3 * 16 + 2) * 2);
+        assert_eq!(Layout::Row.transposed(), Layout::Col);
+        assert_eq!(Layout::Col.transposed(), Layout::Row);
+    }
+
+    #[test]
+    fn volta_fragment_sizes_match_paper() {
+        // §III-B1: A/B double-loaded → 16 f16 elements = 8 regs (two
+        // LD.E.128 loads of 16 bytes each).
+        assert_eq!(
+            fragment_elements(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, true),
+            16
+        );
+        assert_eq!(
+            fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, true),
+            8
+        );
+        // C: 8 elements per thread; 8 regs in FP32 mode, 4 in FP16 mode.
+        assert_eq!(
+            fragment_regs(FragmentKind::C, WmmaShape::M16N16K16, WmmaType::F32, true),
+            8
+        );
+        assert_eq!(
+            fragment_regs(FragmentKind::C, WmmaShape::M16N16K16, WmmaType::F16, true),
+            4
+        );
+    }
+
+    #[test]
+    fn turing_fragment_sizes() {
+        // Single-loaded: A/B f16 = 8 elements = 4 regs.
+        assert_eq!(
+            fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, false),
+            4
+        );
+        // 8-bit A: 8 elements = 2 regs.
+        assert_eq!(
+            fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::S8, false),
+            2
+        );
+        // m32n8k16: A has 512 elements → 16/thread; B has 128 → 4/thread.
+        assert_eq!(
+            fragment_elements(FragmentKind::A, WmmaShape::M32N8K16, WmmaType::F16, false),
+            16
+        );
+        assert_eq!(
+            fragment_elements(FragmentKind::B, WmmaShape::M32N8K16, WmmaType::F16, false),
+            4
+        );
+        // 4-bit mode: A 8×32 = 256 four-bit elements → 8/thread → 1 reg.
+        assert_eq!(
+            fragment_regs(FragmentKind::A, WmmaShape::M8N8K32, WmmaType::S4, false),
+            1
+        );
+        // 4-bit accumulator: 8×8 = 64 s32 → 2/thread → 2 regs.
+        assert_eq!(
+            fragment_regs(FragmentKind::C, WmmaShape::M8N8K32, WmmaType::S32, false),
+            2
+        );
+    }
+
+    #[test]
+    fn volta_supports_exactly_the_fp16_m16n16k16_modes() {
+        let mk = |c, d| WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Row,
+            ab_type: WmmaType::F16,
+            c_type: c,
+            d_type: d,
+        };
+        assert!(mk(WmmaType::F16, WmmaType::F16).is_valid(false));
+        assert!(mk(WmmaType::F32, WmmaType::F32).is_valid(false));
+        assert!(mk(WmmaType::F16, WmmaType::F32).is_valid(false));
+        assert!(mk(WmmaType::F32, WmmaType::F16).is_valid(false));
+        // Integer modes rejected on Volta.
+        let int8 = WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::S8,
+            c_type: WmmaType::S32,
+            d_type: WmmaType::S32,
+        };
+        assert!(!int8.is_valid(false));
+        assert!(int8.is_valid(true));
+        // Turing shapes rejected on Volta.
+        let t_shape = WmmaDirective::Mma {
+            shape: WmmaShape::M32N8K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+        };
+        assert!(!t_shape.is_valid(false));
+        assert!(t_shape.is_valid(true));
+    }
+
+    #[test]
+    fn four_bit_mode_requires_k32_shape() {
+        let bad = WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::S4,
+            c_type: WmmaType::S32,
+            d_type: WmmaType::S32,
+        };
+        assert!(!bad.is_valid(true));
+        let good = WmmaDirective::Mma {
+            shape: WmmaShape::M8N8K32,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::U4,
+            c_type: WmmaType::S32,
+            d_type: WmmaType::S32,
+        };
+        assert!(good.is_valid(true));
+    }
+
+    #[test]
+    fn volta_mode_count_is_32() {
+        // §V-A: "all 32 possible configurations supported on the Titan V":
+        // 2 A layouts × 2 B layouts × 2 C types × 2 D types × 2 store
+        // layouts — count the mma-level combinations (16) times store
+        // layout freedom.
+        let mut n = 0;
+        for al in [Layout::Row, Layout::Col] {
+            for bl in [Layout::Row, Layout::Col] {
+                for ct in [WmmaType::F16, WmmaType::F32] {
+                    for dt in [WmmaType::F16, WmmaType::F32] {
+                        let d = WmmaDirective::Mma {
+                            shape: WmmaShape::M16N16K16,
+                            a_layout: al,
+                            b_layout: bl,
+                            ab_type: WmmaType::F16,
+                            c_type: ct,
+                            d_type: dt,
+                        };
+                        if d.is_valid(false) {
+                            n += 2; // × store layout (row/col)
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(n, 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WmmaShape::M32N8K16.to_string(), "m32n8k16");
+        assert_eq!(Layout::Row.to_string(), "row");
+        assert_eq!(WmmaType::S4.to_string(), "s4");
+        assert_eq!(FragmentKind::C.to_string(), "c");
+        assert_eq!(WmmaType::from_qualifier("u8"), Some(WmmaType::U8));
+    }
+}

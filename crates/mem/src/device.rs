@@ -1,0 +1,162 @@
+//! Device global memory: a sparse, paged, byte-addressable store with a
+//! bump allocator standing in for `cudaMalloc`.
+
+use std::collections::HashMap;
+use tcsim_isa::ByteMemory;
+
+const PAGE_SHIFT: u32 = 16;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Sparse device memory. Pages materialize on first write; reads of
+/// untouched memory return zero (deterministic, like a fresh allocation
+/// in the simulator).
+#[derive(Default)]
+pub struct DeviceMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    next_alloc: u64,
+}
+
+impl DeviceMemory {
+    /// Creates an empty device memory. Allocations start at a non-zero
+    /// base so that address 0 stays an obvious "null".
+    pub fn new() -> DeviceMemory {
+        DeviceMemory { pages: HashMap::new(), next_alloc: 0x1_0000 }
+    }
+
+    /// Allocates `bytes` of device memory, 256-byte aligned (matching
+    /// `cudaMalloc` alignment guarantees), returning the base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next_alloc.div_ceil(256) * 256;
+        self.next_alloc = base + bytes.max(1);
+        base
+    }
+
+    /// Number of materialized pages (for memory-footprint assertions).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Copies a byte slice into device memory ("host-to-device").
+    pub fn copy_from_host(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Copies device memory out to a byte vector ("device-to-host").
+    pub fn copy_to_host(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+impl DeviceMemory {
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice().try_into().expect("page size"))
+    }
+}
+
+impl ByteMemory for DeviceMemory {
+    fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    // Fast paths: one page lookup per access when it does not straddle a
+    // page boundary (the warp executor reads gigabytes through these).
+    fn read_u16(&self, addr: u64) -> u16 {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + 2 <= PAGE_BYTES {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u16::from_le_bytes([p[off], p[off + 1]]),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+        }
+    }
+
+    fn read_u32(&self, addr: u64) -> u32 {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + 4 <= PAGE_BYTES {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)]) as u32
+                | ((u16::from_le_bytes([self.read_u8(addr + 2), self.read_u8(addr + 3)]) as u32) << 16)
+        }
+    }
+
+    fn write_u16(&mut self, addr: u64, value: u16) {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + 2 <= PAGE_BYTES {
+            self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            let b = value.to_le_bytes();
+            self.write_u8(addr, b[0]);
+            self.write_u8(addr + 1, b[1]);
+        }
+    }
+
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + 4 <= PAGE_BYTES {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+                self.write_u8(addr + i as u64, byte);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(100);
+        let b = m.alloc(3000);
+        let c = m.alloc(1);
+        assert_eq!(a % 256, 0);
+        assert_eq!(b % 256, 0);
+        assert!(b >= a + 100);
+        assert!(c >= b + 3000);
+    }
+
+    #[test]
+    fn sparse_reads_are_zero() {
+        let m = DeviceMemory::new();
+        assert_eq!(m.read_u8(0xDEAD_BEEF), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_across_page_boundary() {
+        let mut m = DeviceMemory::new();
+        let addr = (PAGE_BYTES as u64) - 2;
+        m.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(addr), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn host_copies_roundtrip() {
+        let mut m = DeviceMemory::new();
+        let base = m.alloc(8);
+        m.copy_from_host(base, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.copy_to_host(base, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.read_u64(base), 0x0807_0605_0403_0201);
+    }
+}

@@ -1,0 +1,86 @@
+//! DRAM channel model: fixed access latency plus bandwidth-limited
+//! service (a queuing model per memory partition).
+
+/// One DRAM channel attached to a memory partition.
+#[derive(Clone, Debug)]
+pub struct DramChannel {
+    /// Cycles from request to first data beat when the channel is idle.
+    access_latency: u64,
+    /// Core cycles to transfer one 32-byte sector (sets the per-channel
+    /// bandwidth: 32 bytes / `cycles_per_sector` per core cycle).
+    cycles_per_sector: u64,
+    next_free: u64,
+    served: u64,
+    busy_cycles: u64,
+}
+
+impl DramChannel {
+    /// Creates an idle channel.
+    pub fn new(access_latency: u64, cycles_per_sector: u64) -> DramChannel {
+        DramChannel {
+            access_latency,
+            cycles_per_sector,
+            next_free: 0,
+            served: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Issues one 32-byte sector request at `now`; returns the cycle its
+    /// data is available. Requests serialize on the channel's data bus.
+    pub fn access(&mut self, now: u64) -> u64 {
+        let start = now.max(self.next_free);
+        self.next_free = start + self.cycles_per_sector;
+        self.served += 1;
+        self.busy_cycles += self.cycles_per_sector;
+        start + self.access_latency
+    }
+
+    /// Total sectors served.
+    pub fn sectors_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Cycles the data bus has been busy (for bandwidth-utilization
+    /// statistics).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// First cycle at which a new request would start service.
+    pub fn next_free(&self) -> u64 {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_returns_after_latency() {
+        let mut d = DramChannel::new(200, 2);
+        assert_eq!(d.access(1000), 1200);
+        assert_eq!(d.sectors_served(), 1);
+    }
+
+    #[test]
+    fn back_to_back_requests_serialize_on_bandwidth() {
+        let mut d = DramChannel::new(200, 4);
+        let t0 = d.access(0);
+        let t1 = d.access(0);
+        let t2 = d.access(0);
+        assert_eq!(t0, 200);
+        assert_eq!(t1, 204);
+        assert_eq!(t2, 208);
+        assert_eq!(d.busy_cycles(), 12);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut d = DramChannel::new(100, 4);
+        assert_eq!(d.access(0), 100);
+        assert_eq!(d.access(1000), 1100);
+        assert_eq!(d.next_free(), 1004);
+    }
+}

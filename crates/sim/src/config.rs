@@ -1,0 +1,144 @@
+//! Whole-GPU configurations.
+
+use tcsim_mem::MemSystemConfig;
+use tcsim_sm::SmConfig;
+
+/// A GPU model: SM count and per-SM/memory-system parameters.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Per-SM configuration.
+    pub sm: SmConfig,
+    /// Memory-system configuration.
+    pub mem: MemSystemConfig,
+    /// Core clock in MHz (for TFLOPS conversions).
+    pub clock_mhz: u32,
+}
+
+impl GpuConfig {
+    /// NVIDIA Titan V (Volta): 80 SMs × 8 tensor cores at 1530 MHz —
+    /// 640 tensor cores and 125 TFLOPS peak (§II-D).
+    pub fn titan_v() -> GpuConfig {
+        GpuConfig {
+            name: "Titan V",
+            num_sms: 80,
+            sm: SmConfig::volta(),
+            mem: MemSystemConfig::titan_v(),
+            clock_mhz: 1530,
+        }
+    }
+
+    /// NVIDIA RTX 2080 (Turing): 46 SMs at 1710 MHz boost, GDDR6 with 8
+    /// memory partitions.
+    pub fn rtx_2080() -> GpuConfig {
+        GpuConfig {
+            name: "RTX 2080",
+            num_sms: 46,
+            sm: SmConfig::turing(),
+            mem: MemSystemConfig {
+                partitions: 8,
+                l2_slice_kib: 512,
+                noc_latency: 30,
+                dram_latency: 200,
+                dram_cycles_per_sector: 2,
+            },
+            clock_mhz: 1710,
+        }
+    }
+
+    /// NVIDIA Tesla T4 (Turing): the inference-optimized part the paper
+    /// mentions in §I — 40 SMs at 1590 MHz boost, GDDR6.
+    pub fn tesla_t4() -> GpuConfig {
+        GpuConfig {
+            name: "Tesla T4",
+            num_sms: 40,
+            sm: SmConfig::turing(),
+            mem: MemSystemConfig {
+                partitions: 8,
+                l2_slice_kib: 512,
+                noc_latency: 30,
+                dram_latency: 220,
+                dram_cycles_per_sector: 4,
+            },
+            clock_mhz: 1590,
+        }
+    }
+
+    /// A down-scaled Volta for fast tests: 2 SMs, small L2.
+    pub fn mini() -> GpuConfig {
+        GpuConfig {
+            name: "mini-volta",
+            num_sms: 2,
+            sm: SmConfig::volta(),
+            mem: MemSystemConfig {
+                partitions: 2,
+                l2_slice_kib: 64,
+                noc_latency: 20,
+                dram_latency: 150,
+                dram_cycles_per_sector: 2,
+            },
+            clock_mhz: 1000,
+        }
+    }
+
+    /// Theoretical tensor-core peak in TFLOPS: SMs × tensor cores ×
+    /// 64 MACs × 2 FLOPs × clock.
+    pub fn tensor_peak_tflops(&self) -> f64 {
+        let tcs = (self.num_sms * self.sm.sub_cores * self.sm.tensor_cores) as f64;
+        tcs * 64.0 * 2.0 * self.clock_mhz as f64 * 1e6 / 1e12
+    }
+
+    /// FP32 FMA peak in TFLOPS.
+    pub fn fp32_peak_tflops(&self) -> f64 {
+        let lanes = (self.num_sms * self.sm.sub_cores * self.sm.fp32_lanes) as f64;
+        lanes * 2.0 * self.clock_mhz as f64 * 1e6 / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_matches_paper_headline_numbers() {
+        let c = GpuConfig::titan_v();
+        // §II-D: 640 tensor cores across 80 SMs, 8 per SM, 125 TFLOPS at
+        // 1530 MHz.
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.sm.sub_cores * c.sm.tensor_cores, 8);
+        assert_eq!(c.num_sms * c.sm.sub_cores * c.sm.tensor_cores, 640);
+        let peak = c.tensor_peak_tflops();
+        assert!((peak - 125.0).abs() < 1.0, "tensor peak = {peak}");
+        // §IV: 64 INT + 64 FP32 ALUs per SM.
+        assert_eq!(c.sm.sub_cores * c.sm.fp32_lanes, 64);
+        assert_eq!(c.sm.sub_cores * c.sm.int_lanes, 64);
+        // FP32 peak at the same 1530 MHz clock: 5120 lanes × 2 ≈ 15.7
+        // TFLOPS (the tensor peak is 8× this, as 64 MACs/TC vs 16
+        // FFMA/sub-core lane group).
+        assert!((c.fp32_peak_tflops() - 15.7).abs() < 0.5);
+        assert!((peak / c.fp32_peak_tflops() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtx_2080_uses_turing_tensor_model() {
+        let c = GpuConfig::rtx_2080();
+        assert!(!c.sm.volta_tensor);
+        assert_eq!(c.num_sms, 46);
+    }
+
+    #[test]
+    fn tesla_t4_is_a_turing_inference_part() {
+        let c = GpuConfig::tesla_t4();
+        assert!(!c.sm.volta_tensor);
+        // 320 tensor cores × 64 MACs × 2 × 1.59 GHz ≈ 65 TFLOPS FP16.
+        assert!((c.tensor_peak_tflops() - 65.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn mini_is_small() {
+        assert!(GpuConfig::mini().num_sms <= 4);
+    }
+}

@@ -1,0 +1,303 @@
+//! The full-GPU simulator: CTA scheduling across SMs, the cycle loop with
+//! event skipping, and launch statistics.
+
+use crate::config::GpuConfig;
+use crate::stats::LaunchStats;
+use std::rc::Rc;
+use tcsim_isa::{ByteMemory, Kernel, LaunchConfig};
+use tcsim_mem::{DeviceMemory, MemSystem};
+use tcsim_sm::{LaunchSpec, Sm};
+
+/// A simulated GPU: SMs, the shared memory system, and device memory.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_sim::{Gpu, GpuConfig};
+/// use tcsim_isa::{KernelBuilder, LaunchConfig, Operand, SpecialReg, MemWidth};
+///
+/// let mut gpu = Gpu::new(GpuConfig::mini());
+/// let out = gpu.alloc(32 * 4);
+///
+/// let mut b = KernelBuilder::new("ids");
+/// let p = b.param_u64("out");
+/// let base = b.reg_pair();
+/// b.ld_param(MemWidth::B64, base, p);
+/// let tid = b.reg();
+/// b.mov(tid, Operand::Special(SpecialReg::TidX));
+/// let addr = b.reg_pair();
+/// b.imad_wide(addr, tid, Operand::Imm(4), base);
+/// b.st_global(MemWidth::B32, addr, 0, tid);
+/// b.exit();
+///
+/// let stats = gpu.launch(b.build(), LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.read_u32(out + 4 * 7), 7);
+/// ```
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    mem_sys: MemSystem,
+    device: DeviceMemory,
+    profile_wmma: bool,
+}
+
+impl Gpu {
+    /// Builds an idle GPU.
+    pub fn new(cfg: GpuConfig) -> Gpu {
+        Gpu {
+            sms: (0..cfg.num_sms).map(|_| Sm::new(cfg.sm)).collect(),
+            mem_sys: MemSystem::new(cfg.mem),
+            device: DeviceMemory::new(),
+            profile_wmma: false,
+            cfg,
+        }
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Enables per-WMMA-instruction latency profiling (Fig 15/16).
+    pub fn set_profile_wmma(&mut self, on: bool) {
+        self.profile_wmma = on;
+        for sm in &mut self.sms {
+            sm.set_profile_wmma(on);
+        }
+    }
+
+    /// Allocates device memory (`cudaMalloc` stand-in).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        self.device.alloc(bytes)
+    }
+
+    /// Copies host data to device memory.
+    pub fn memcpy_h2d(&mut self, addr: u64, data: &[u8]) {
+        self.device.copy_from_host(addr, data);
+    }
+
+    /// Copies device memory back to the host.
+    pub fn memcpy_d2h(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.device.copy_to_host(addr, len)
+    }
+
+    /// Reads one 32-bit device word (convenience for tests/examples).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.device.read_u32(addr)
+    }
+
+    /// Writes one 32-bit device word.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.device.write_u32(addr, value);
+    }
+
+    /// Reads one 16-bit device word.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.device.read_u16(addr)
+    }
+
+    /// Writes one 16-bit device word.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.device.write_u16(addr, value);
+    }
+
+    /// Direct access to device memory (workload setup).
+    pub fn device_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.device
+    }
+
+    /// Runs one kernel to completion and returns its statistics.
+    ///
+    /// Caches are flushed at the launch boundary, as a fresh simulation in
+    /// GPGPU-Sim would be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CTA cannot ever fit on an SM (resource over-
+    /// subscription) or the simulation exceeds an internal watchdog.
+    pub fn launch(&mut self, kernel: Kernel, launch: LaunchConfig, params: &[u8]) -> LaunchStats {
+        let spec = LaunchSpec {
+            kernel: Rc::new(kernel),
+            params: Rc::new(params.to_vec()),
+            launch,
+        };
+        let req = spec.cta_requirements();
+        assert!(
+            spec.kernel.num_regs() <= 256,
+            "kernel {} needs {} registers per thread (architectural limit: 256)",
+            spec.kernel.name(),
+            spec.kernel.num_regs()
+        );
+        assert!(
+            Sm::new(self.cfg.sm).can_accept(&req),
+            "kernel {} CTA ({} warps, {} regs, {} B shared) exceeds SM resources",
+            spec.kernel.name(),
+            req.warps,
+            req.registers,
+            req.shared_bytes
+        );
+
+        for sm in &mut self.sms {
+            sm.flush_l1();
+        }
+        self.mem_sys.flush();
+
+        let issued_before: u64 = self.sms.iter().map(|s| s.stats().issued).sum();
+        let total_ctas = launch.total_ctas();
+        let mut next_cta: u64 = 0;
+        let mut cycle: u64 = 0;
+        let watchdog: u64 = 50_000_000_000;
+
+        loop {
+            // CTA issue: fill SMs round-robin, one pass per cycle.
+            if next_cta < total_ctas {
+                for sm in &mut self.sms {
+                    if next_cta >= total_ctas {
+                        break;
+                    }
+                    if sm.can_accept(&req) {
+                        let id = launch.grid.delinearize(next_cta);
+                        sm.launch_cta(&spec, id, cycle);
+                        next_cta += 1;
+                    }
+                }
+            }
+
+            let mut any_issued = false;
+            let mut hint = u64::MAX;
+            let mut all_idle = true;
+            for sm in &mut self.sms {
+                if sm.idle() {
+                    continue;
+                }
+                all_idle = false;
+                match sm.step(cycle, &mut self.device, &mut self.mem_sys) {
+                    None => any_issued = true,
+                    Some(h) => hint = hint.min(h),
+                }
+            }
+
+            if all_idle && next_cta >= total_ctas {
+                break;
+            }
+
+            if any_issued || hint == u64::MAX {
+                cycle += 1;
+            } else {
+                // Event skip: nothing can issue before `hint`.
+                cycle = hint.max(cycle + 1);
+            }
+            assert!(cycle < watchdog, "simulation watchdog tripped");
+        }
+
+        let mut merged = tcsim_sm::SmStats::default();
+        for sm in &mut self.sms {
+            merged.merge(sm.stats());
+        }
+        let mut l1 = tcsim_mem::CacheStats::default();
+        for sm in &self.sms {
+            let s = sm.l1_stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.mshr_merges += s.mshr_merges;
+            l1.writebacks += s.writebacks;
+        }
+        let instructions = merged.issued - issued_before;
+        LaunchStats {
+            cycles: cycle.max(1),
+            instructions,
+            sm: merged,
+            l1,
+            l2: self.mem_sys.l2_stats(),
+            dram_sectors: self.mem_sys.dram_sectors(),
+            clock_mhz: self.cfg.clock_mhz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsim_isa::{KernelBuilder, MemWidth, Operand, SpecialReg};
+
+    fn ids_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("ids");
+        let p = b.param_u64("out");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let ctaid = b.reg();
+        b.mov(ctaid, Operand::Special(SpecialReg::CtaIdX));
+        let ntid = b.reg();
+        b.mov(ntid, Operand::Special(SpecialReg::NTidX));
+        let gid = b.reg();
+        b.imad(gid, ctaid, Operand::Reg(ntid), Operand::Reg(tid));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, gid, Operand::Imm(4), base);
+        b.st_global(MemWidth::B32, addr, 0, gid);
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn multi_cta_grid_covers_all_elements() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let n = 1024u32;
+        let out = gpu.alloc(n as u64 * 4);
+        let stats = gpu.launch(
+            ids_kernel(),
+            LaunchConfig::new(n / 128, 128u32),
+            &out.to_le_bytes(),
+        );
+        for i in 0..n {
+            assert_eq!(gpu.read_u32(out + 4 * i as u64), i, "element {i}");
+        }
+        assert_eq!(stats.sm.ctas_completed, 8);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn more_ctas_than_capacity_drain_in_waves() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let n = 64 * 256u32; // 64 CTAs of 256 threads on 2 SMs
+        let out = gpu.alloc(n as u64 * 4);
+        let stats = gpu.launch(
+            ids_kernel(),
+            LaunchConfig::new(64u32, 256u32),
+            &out.to_le_bytes(),
+        );
+        assert_eq!(stats.sm.ctas_completed, 64);
+        assert_eq!(gpu.read_u32(out + 4 * (n as u64 - 1)), n - 1);
+    }
+
+    #[test]
+    fn larger_grids_take_more_cycles() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let out = gpu.alloc(1 << 20);
+        let small = gpu.launch(ids_kernel(), LaunchConfig::new(4u32, 128u32), &out.to_le_bytes());
+        let big = gpu.launch(ids_kernel(), LaunchConfig::new(256u32, 128u32), &out.to_le_bytes());
+        assert!(big.cycles > small.cycles);
+        assert!(big.instructions > small.instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM resources")]
+    fn oversized_cta_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let mut b = KernelBuilder::new("big");
+        b.shared_alloc(200 * 1024);
+        b.exit();
+        let _ = gpu.launch(b.build(), LaunchConfig::new(1u32, 32u32), &[]);
+    }
+
+    #[test]
+    fn stats_track_memory_traffic() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let out = gpu.alloc(4096);
+        let stats = gpu.launch(ids_kernel(), LaunchConfig::new(8u32, 128u32), &out.to_le_bytes());
+        assert!(stats.sm.global_txns > 0);
+        assert!(stats.l2.accesses() > 0);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Full-GPU cycle-level simulator: CTA scheduling across SMs, shared
+//! L2/DRAM, kernel launch, statistics and GPU configurations.
+//!
+//! The top level corresponding to GPGPU-Sim in the paper (§V): kernels
+//! expressed in the `tcsim-isa` PTX subset run across many SMs with the
+//! tensor-core model of `tcsim-core` attached, producing the cycle and
+//! IPC numbers compared against hardware in Fig 14.
+//!
+//! # Example
+//!
+//! ```
+//! use tcsim_sim::{Gpu, GpuConfig};
+//!
+//! let gpu = Gpu::new(GpuConfig::titan_v());
+//! assert_eq!(gpu.config().num_sms, 80);
+//! assert!((gpu.config().tensor_peak_tflops() - 125.0).abs() < 1.0);
+//! ```
+
+mod config;
+mod gpu;
+mod stats;
+
+pub use config::GpuConfig;
+pub use gpu::Gpu;
+pub use stats::{pearson, Distribution, LaunchStats};

@@ -1,0 +1,144 @@
+//! Streaming-multiprocessor configuration (the Fig 1 sub-core resources).
+
+/// Warp scheduling policy of each sub-core scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls,
+    /// then fall back to the oldest ready warp (GPGPU-Sim's default).
+    Gto,
+    /// Loose round-robin over the sub-core's warps.
+    RoundRobin,
+}
+
+/// Per-SM structural and latency parameters.
+///
+/// Defaults (via [`SmConfig::volta`]) model one Titan V SM as described in
+/// §II-A and Fig 1: four sub-cores, each with one warp scheduler
+/// (1 warp-inst/clk), 16 FP32 + 16 INT + 8 FP64 + 4 MUFU lanes, two
+/// tensor cores, and a shared MIO path for memory operations.
+#[derive(Clone, Copy, Debug)]
+pub struct SmConfig {
+    /// Processing blocks per SM (Volta: 4).
+    pub sub_cores: usize,
+    /// Maximum resident warps per SM (Volta: 64).
+    pub max_warps: usize,
+    /// Maximum resident CTAs per SM (Volta: 32).
+    pub max_ctas: usize,
+    /// 32-bit registers per SM (Volta: 64K).
+    pub registers: u32,
+    /// Shared memory capacity per SM in bytes (Volta: up to 96 KiB).
+    pub shared_bytes: u32,
+    /// L1 data cache size in KiB.
+    pub l1_kib: usize,
+    /// FP32 lanes per sub-core (FFMA/clk).
+    pub fp32_lanes: usize,
+    /// INT lanes per sub-core.
+    pub int_lanes: usize,
+    /// FP64 lanes per sub-core.
+    pub fp64_lanes: usize,
+    /// MUFU (transcendental) lanes per sub-core.
+    pub mufu_lanes: usize,
+    /// Tensor cores per sub-core (Volta: 2; a warp uses both, §IV).
+    pub tensor_cores: usize,
+    /// ALU result latency (FP32/INT).
+    pub alu_latency: u64,
+    /// FP64 result latency.
+    pub fp64_latency: u64,
+    /// MUFU result latency.
+    pub mufu_latency: u64,
+    /// Shared-memory access latency (conflict-free).
+    pub shared_latency: u64,
+    /// Cycles the MIO path is occupied per memory transaction.
+    pub mio_cycles_per_txn: u64,
+    /// Register operand collection latency added before issue-to-unit
+    /// (operand collector stage).
+    pub operand_collect: u64,
+    /// Register-file banks per sub-core (bank conflicts add cycles).
+    pub reg_banks: usize,
+    /// Whether the tensor cores follow the Volta model (double-loaded
+    /// fragments, Fig 9 timing) or Turing (Table I timing).
+    pub volta_tensor: bool,
+    /// Warp scheduler policy.
+    pub scheduler: SchedPolicy,
+    /// Model the operand-reuse cache (`.reuse` flags, §III-C): when on,
+    /// repeated source operands of consecutive tensor-core steps skip
+    /// their register-bank fetch, avoiding bank-conflict stalls.
+    pub operand_reuse_cache: bool,
+}
+
+impl SmConfig {
+    /// One Volta (Titan V) SM.
+    pub fn volta() -> SmConfig {
+        SmConfig {
+            sub_cores: 4,
+            max_warps: 64,
+            max_ctas: 32,
+            registers: 65536,
+            shared_bytes: 96 * 1024,
+            l1_kib: 128,
+            fp32_lanes: 16,
+            int_lanes: 16,
+            fp64_lanes: 8,
+            mufu_lanes: 4,
+            tensor_cores: 2,
+            alu_latency: 4,
+            fp64_latency: 16,
+            mufu_latency: 21,
+            shared_latency: 24,
+            mio_cycles_per_txn: 2,
+            operand_collect: 4,
+            reg_banks: 8,
+            volta_tensor: true,
+            scheduler: SchedPolicy::Gto,
+            operand_reuse_cache: true,
+        }
+    }
+
+    /// One Turing (RTX 2080) SM: same sub-core structure, Turing tensor
+    /// timing, 64 KiB shared carve-out.
+    pub fn turing() -> SmConfig {
+        SmConfig {
+            shared_bytes: 64 * 1024,
+            l1_kib: 96,
+            volta_tensor: false,
+            ..SmConfig::volta()
+        }
+    }
+
+    /// Issue interval in cycles for a 32-thread warp over `lanes` lanes.
+    pub fn warp_ii(&self, lanes: usize) -> u64 {
+        (tcsim_isa::WARP_SIZE as u64).div_ceil(lanes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_matches_fig1_resources() {
+        let c = SmConfig::volta();
+        assert_eq!(c.sub_cores, 4);
+        assert_eq!(c.tensor_cores, 2); // two per sub-core → 8 per SM
+        assert_eq!(c.fp32_lanes, 16);
+        assert_eq!(c.fp64_lanes, 8);
+        assert_eq!(c.mufu_lanes, 4);
+        assert_eq!(c.registers, 65536);
+        assert_eq!(c.max_warps, 64);
+    }
+
+    #[test]
+    fn warp_issue_intervals() {
+        let c = SmConfig::volta();
+        assert_eq!(c.warp_ii(c.fp32_lanes), 2); // 16 FFMA/clk → 2 cycles/warp
+        assert_eq!(c.warp_ii(c.fp64_lanes), 4);
+        assert_eq!(c.warp_ii(c.mufu_lanes), 8);
+        assert_eq!(c.warp_ii(32), 1);
+    }
+
+    #[test]
+    fn turing_differs_in_tensor_model() {
+        assert!(SmConfig::volta().volta_tensor);
+        assert!(!SmConfig::turing().volta_tensor);
+    }
+}

@@ -1,0 +1,811 @@
+//! The streaming-multiprocessor timing model.
+//!
+//! Follows GPGPU-Sim's structure, which the paper extends with a tensor
+//! core unit interfaced to the operand collector (§V-A): each sub-core has
+//! one warp scheduler issuing one warp instruction per cycle to its
+//! functional units; instructions execute *functionally* at issue and the
+//! timing model delays result visibility through the scoreboard. Memory
+//! instructions coalesce into sector transactions serviced by the L1/L2/
+//! DRAM hierarchy; `wmma.mma` occupies the sub-core's tensor-core pair
+//! according to the Fig 9 / Table I schedules.
+
+use crate::config::{SchedPolicy, SmConfig};
+use crate::scoreboard::Scoreboard;
+use crate::stats::{unit_index, SmStats, WmmaKind, WmmaSample};
+use std::rc::Rc;
+use tcsim_core::{mma_timing, TensorCoreModel};
+use tcsim_isa::exec::{ExecEnv, StepAction, WarpExec, FULL_MASK};
+use tcsim_isa::{
+    Dim3, Instr, Kernel, LaunchConfig, MemSpace, Op, Operand, UnitClass, WmmaDirective, WARP_SIZE,
+};
+use tcsim_mem::{coalesce, conflict_passes, DeviceMemory, L1Path, MemSystem, SharedMemory};
+
+/// Everything shared by all CTAs of one kernel launch.
+#[derive(Clone)]
+pub struct LaunchSpec {
+    /// The kernel to run.
+    pub kernel: Rc<Kernel>,
+    /// Parameter buffer contents.
+    pub params: Rc<Vec<u8>>,
+    /// Grid/block geometry.
+    pub launch: LaunchConfig,
+}
+
+impl LaunchSpec {
+    /// Static resources one CTA of this launch occupies on an SM.
+    pub fn cta_requirements(&self) -> CtaRequirements {
+        CtaRequirements {
+            warps: self.launch.warps_per_cta() as usize,
+            registers: self.kernel.num_regs() * self.launch.threads_per_cta(),
+            shared_bytes: self.kernel.shared_bytes() + self.launch.shared_bytes,
+        }
+    }
+}
+
+/// Static resources a CTA occupies (occupancy limiting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtaRequirements {
+    /// Warp slots needed.
+    pub warps: usize,
+    /// Register-file allocation (registers × threads).
+    pub registers: u32,
+    /// Shared-memory allocation in bytes.
+    pub shared_bytes: u32,
+}
+
+struct CtaSlot {
+    cta_id: Dim3,
+    shared: SharedMemory,
+    warps_total: usize,
+    warps_done: usize,
+    warp_slots: Vec<usize>,
+    requirements: CtaRequirements,
+    spec: LaunchSpec,
+}
+
+struct WarpSlot {
+    exec: WarpExec,
+    scoreboard: Scoreboard,
+    cta: usize,
+    age: u64,
+    done: bool,
+    at_barrier: bool,
+    block_until: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct SubCore {
+    last_issued: Option<usize>,
+    unit_free: [u64; 7],
+    rr_cursor: usize,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    cfg: SmConfig,
+    l1: L1Path,
+    mio_free: u64,
+    ctas: Vec<Option<CtaSlot>>,
+    warps: Vec<Option<WarpSlot>>,
+    sub: Vec<SubCore>,
+    tensor: TensorCoreModel,
+    regs_used: u32,
+    shared_used: u32,
+    warps_used: usize,
+    age_counter: u64,
+    stats: SmStats,
+    profile_wmma: bool,
+}
+
+impl Sm {
+    /// Builds an idle SM.
+    pub fn new(cfg: SmConfig) -> Sm {
+        Sm {
+            cfg,
+            l1: L1Path::new(cfg.l1_kib),
+            mio_free: 0,
+            ctas: Vec::new(),
+            warps: (0..cfg.max_warps).map(|_| None).collect(),
+            sub: vec![SubCore::default(); cfg.sub_cores],
+            tensor: if cfg.volta_tensor {
+                TensorCoreModel::volta()
+            } else {
+                TensorCoreModel::turing()
+            },
+            regs_used: 0,
+            shared_used: 0,
+            warps_used: 0,
+            age_counter: 0,
+            stats: SmStats::default(),
+            profile_wmma: false,
+        }
+    }
+
+    /// Enables recording of per-WMMA-instruction latencies (Fig 15/16).
+    pub fn set_profile_wmma(&mut self, on: bool) {
+        self.profile_wmma = on;
+    }
+
+    /// The SM's configuration.
+    pub fn config(&self) -> &SmConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// L1 cache statistics.
+    pub fn l1_stats(&self) -> tcsim_mem::CacheStats {
+        self.l1.stats()
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident_ctas(&self) -> usize {
+        self.ctas.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether the SM has no resident work.
+    pub fn idle(&self) -> bool {
+        self.resident_ctas() == 0
+    }
+
+    /// Whether a CTA with the given requirements can be accepted now.
+    pub fn can_accept(&self, req: &CtaRequirements) -> bool {
+        self.warps_used + req.warps <= self.cfg.max_warps
+            && self.regs_used + req.registers <= self.cfg.registers
+            && self.shared_used + req.shared_bytes <= self.cfg.shared_bytes
+            && self.resident_ctas() < self.cfg.max_ctas
+    }
+
+    /// Places one CTA onto the SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Sm::can_accept`] would return false.
+    pub fn launch_cta(&mut self, spec: &LaunchSpec, cta_id: Dim3, now: u64) {
+        let req = spec.cta_requirements();
+        assert!(self.can_accept(&req), "CTA launched onto a full SM");
+        let threads = spec.launch.threads_per_cta();
+        let mut warp_slots = Vec::new();
+        let cta_index = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .unwrap_or_else(|| {
+                self.ctas.push(None);
+                self.ctas.len() - 1
+            });
+        for w in 0..req.warps {
+            let live = threads.saturating_sub((w * WARP_SIZE) as u32).min(32);
+            let mask = if live >= 32 { FULL_MASK } else { (1u32 << live) - 1 };
+            let slot = self
+                .warps
+                .iter()
+                .position(|s| s.is_none())
+                .expect("warp slot free (checked by can_accept)");
+            self.warps[slot] = Some(WarpSlot {
+                exec: WarpExec::new(spec.kernel.num_regs(), w as u32, mask),
+                scoreboard: Scoreboard::new(),
+                cta: cta_index,
+                age: self.age_counter,
+                done: false,
+                at_barrier: false,
+                block_until: now,
+            });
+            self.age_counter += 1;
+            warp_slots.push(slot);
+        }
+        self.ctas[cta_index] = Some(CtaSlot {
+            cta_id,
+            shared: SharedMemory::new(req.shared_bytes.max(1)),
+            warps_total: req.warps,
+            warps_done: 0,
+            warp_slots,
+            requirements: req,
+            spec: spec.clone(),
+        });
+        self.warps_used += req.warps;
+        self.regs_used += req.registers;
+        self.shared_used += req.shared_bytes;
+    }
+
+    /// Advances the SM by one cycle. Returns `None` if at least one warp
+    /// instruction issued, otherwise `Some(hint)` — the earliest future
+    /// cycle at which something could issue (`u64::MAX` if the SM is
+    /// fully idle), enabling event-skipping in the GPU loop.
+    pub fn step(&mut self, now: u64, global: &mut DeviceMemory, sys: &mut MemSystem) -> Option<u64> {
+        let mut issued_any = false;
+        let mut hint = u64::MAX;
+
+        for sc in 0..self.cfg.sub_cores {
+            // Candidate warps live at slots sc, sc+S, sc+2S, … (static
+            // sub-core assignment); at most max_warps / sub_cores of them.
+            // Order on the stack: GTO tries the last-issued warp first,
+            // then oldest-first; round-robin rotates.
+            let mut cand = [(u64::MAX, usize::MAX); 64];
+            let mut n = 0;
+            let mut wi = sc;
+            while wi < self.warps.len() {
+                if let Some(w) = self.warps[wi].as_ref() {
+                    if !w.done && !w.at_barrier {
+                        if w.block_until > now {
+                            hint = hint.min(w.block_until);
+                        } else {
+                            cand[n] = (w.age, wi);
+                            n += 1;
+                        }
+                    }
+                }
+                wi += self.cfg.sub_cores;
+            }
+            let cand = &mut cand[..n];
+            match self.cfg.scheduler {
+                SchedPolicy::Gto => {
+                    cand.sort_unstable();
+                    if let Some(last) = self.sub[sc].last_issued {
+                        if let Some(pos) = cand.iter().position(|&(_, i)| i == last) {
+                            cand[..=pos].rotate_right(1);
+                        }
+                    }
+                }
+                SchedPolicy::RoundRobin => {
+                    if n > 0 {
+                        cand.rotate_left(self.sub[sc].rr_cursor % n);
+                    }
+                    self.sub[sc].rr_cursor = self.sub[sc].rr_cursor.wrapping_add(1);
+                }
+            }
+
+            let mut issued_here = false;
+            for &(_, wi) in cand.iter() {
+                match self.try_issue(sc, wi, now, global, sys) {
+                    IssueResult::Issued => {
+                        self.sub[sc].last_issued = Some(wi);
+                        issued_here = true;
+                        break;
+                    }
+                    IssueResult::Blocked(until) => {
+                        hint = hint.min(until.max(now + 1));
+                    }
+                }
+            }
+            if issued_here {
+                issued_any = true;
+            }
+        }
+
+        // Barrier release: a CTA whose live warps have all arrived.
+        for c in 0..self.ctas.len() {
+            let Some(cta) = &self.ctas[c] else { continue };
+            let arrived = cta
+                .warp_slots
+                .iter()
+                .filter(|&&wi| self.warps[wi].as_ref().is_some_and(|w| w.at_barrier))
+                .count();
+            if arrived > 0 && arrived + cta.warps_done == cta.warps_total {
+                for &wi in &self.ctas[c].as_ref().expect("checked").warp_slots.clone() {
+                    if let Some(w) = self.warps[wi].as_mut() {
+                        if w.at_barrier {
+                            w.at_barrier = false;
+                            w.block_until = now + 1;
+                        }
+                    }
+                }
+                self.stats.barriers += 1;
+            }
+        }
+
+        // Retire completed CTAs and free their resources.
+        for c in 0..self.ctas.len() {
+            let done = self.ctas[c]
+                .as_ref()
+                .is_some_and(|cta| cta.warps_done == cta.warps_total);
+            if done {
+                let cta = self.ctas[c].take().expect("checked");
+                for wi in cta.warp_slots {
+                    self.warps[wi] = None;
+                }
+                self.warps_used -= cta.warps_total;
+                self.regs_used -= cta.requirements.registers;
+                self.shared_used -= cta.requirements.shared_bytes;
+                self.stats.ctas_completed += 1;
+            }
+        }
+
+        if issued_any {
+            self.stats.active_cycles += 1;
+            None
+        } else {
+            Some(hint)
+        }
+    }
+
+    fn try_issue(
+        &mut self,
+        sc: usize,
+        wi: usize,
+        now: u64,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+    ) -> IssueResult {
+        let cta_idx = self.warps[wi].as_ref().expect("warp exists").cta;
+        let volta = self.cfg.volta_tensor;
+
+        // Peek the next instruction for hazard/unit checks. The kernel Rc
+        // keeps the instruction reference alive without cloning it (this
+        // is the per-attempt hot path).
+        let (kernel, pc) = {
+            let w = self.warps[wi].as_ref().expect("warp exists");
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            (Rc::clone(&cta.spec.kernel), w.exec.pc)
+        };
+        let instr = &kernel.instrs()[pc];
+
+        // Functional-unit availability first (cheap). Unit-busy times are
+        // monotone, so sleeping the warp until the observed free time is
+        // exact, not just a heuristic.
+        let unit = instr.op.unit();
+        match unit {
+            UnitClass::Mem => {
+                if self.mio_free > now {
+                    self.warps[wi].as_mut().expect("warp exists").block_until = self.mio_free;
+                    return IssueResult::Blocked(self.mio_free);
+                }
+            }
+            UnitClass::Control => {}
+            u => {
+                let free = self.sub[sc].unit_free[unit_index(u)];
+                if free > now {
+                    self.warps[wi].as_mut().expect("warp exists").block_until = free;
+                    return IssueResult::Blocked(free);
+                }
+            }
+        }
+
+        // Scoreboard: RAW/WAW on in-flight writes.
+        {
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            w.scoreboard.retire(now);
+            if let Err(ready) = w.scoreboard.check(instr, volta, now) {
+                w.block_until = ready;
+                return IssueResult::Blocked(ready);
+            }
+            // Barriers act as execution fences: wait for outstanding
+            // writes before arriving.
+            if matches!(instr.op, Op::Bar) {
+                let clear = w.scoreboard.all_clear_at(now);
+                if clear > now {
+                    w.block_until = clear;
+                    return IssueResult::Blocked(clear);
+                }
+            }
+        }
+
+        let spec = self.ctas[cta_idx].as_ref().expect("cta exists").spec.clone();
+
+        // --- Issue: execute functionally, then account timing. ---
+        let outcome = {
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            let cta = self.ctas[cta_idx].as_mut().expect("cta exists");
+            let mut env = ExecEnv {
+                global,
+                shared: &mut cta.shared,
+                params: &spec.params,
+                block: spec.launch.block,
+                grid: spec.launch.grid,
+                cta: cta.cta_id,
+                clock: now,
+            };
+            tcsim_isa::exec::step(&mut w.exec, &kernel, &mut env, &self.tensor)
+        };
+
+        // Operand collection: register-bank conflicts among source reads.
+        let mut collect = self.cfg.operand_collect;
+        if !(self.cfg.operand_reuse_cache && unit == UnitClass::Tensor) {
+            let mut bank_counts = vec![0u32; self.cfg.reg_banks];
+            for r in instr.use_regs(volta) {
+                bank_counts[r.0 as usize % self.cfg.reg_banks] += 1;
+            }
+            let conflicts = bank_counts.iter().copied().max().unwrap_or(1).saturating_sub(1) as u64;
+            collect += conflicts;
+            self.stats.reg_bank_stalls += conflicts;
+        }
+
+        // Timing by unit class.
+        let ready = match unit {
+            UnitClass::Sp => {
+                let ii = self.cfg.warp_ii(self.cfg.fp32_lanes);
+                self.sub[sc].unit_free[unit_index(unit)] = now + ii;
+                now + collect + self.cfg.alu_latency + ii
+            }
+            UnitClass::Int => {
+                let ii = self.cfg.warp_ii(self.cfg.int_lanes);
+                self.sub[sc].unit_free[unit_index(unit)] = now + ii;
+                now + collect + self.cfg.alu_latency + ii
+            }
+            UnitClass::Fp64 => {
+                let ii = self.cfg.warp_ii(self.cfg.fp64_lanes);
+                self.sub[sc].unit_free[unit_index(unit)] = now + ii;
+                now + collect + self.cfg.fp64_latency + ii
+            }
+            UnitClass::Mufu => {
+                let ii = self.cfg.warp_ii(self.cfg.mufu_lanes);
+                self.sub[sc].unit_free[unit_index(unit)] = now + ii;
+                now + collect + self.cfg.mufu_latency + ii
+            }
+            UnitClass::Tensor => {
+                let Op::Wmma(dir) = &instr.op else { unreachable!("tensor unit ⇒ wmma.mma") };
+                let t = mma_timing(volta, dir);
+                // A warp normally drives two tensor cores (§IV); with
+                // fewer, its HMMA throughput scales down proportionally.
+                let ii = t.initiation_interval as u64 * 2 / (self.cfg.tensor_cores.max(1) as u64);
+                self.sub[sc].unit_free[unit_index(unit)] = now + ii;
+                let ready = now + collect + t.latency as u64;
+                if self.profile_wmma {
+                    self.push_sample(WmmaKind::Mma, now, ready - now);
+                }
+                ready
+            }
+            UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys),
+            UnitClass::Control => now + 1,
+        };
+
+        {
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            w.scoreboard.issue(instr, volta, ready);
+            match outcome.action {
+                StepAction::Exited => {
+                    w.done = true;
+                    let cta = self.ctas[cta_idx].as_mut().expect("cta exists");
+                    cta.warps_done += 1;
+                }
+                StepAction::Barrier => {
+                    w.at_barrier = true;
+                }
+                StepAction::Continue => {}
+            }
+        }
+
+        self.stats.issued += 1;
+        self.stats.issued_by_unit[unit_index(unit)] += 1;
+        IssueResult::Issued
+    }
+
+    fn account_memory(
+        &mut self,
+        instr: &Instr,
+        outcome: &tcsim_isa::exec::StepOutcome,
+        now: u64,
+        collect: u64,
+        sys: &mut MemSystem,
+    ) -> u64 {
+        let Some(trace) = &outcome.mem else {
+            if matches!(instr.op, Op::Shfl { .. }) {
+                // Warp shuffles route through the MIO/shared path on Volta.
+                self.mio_free = now + self.cfg.mio_cycles_per_txn;
+                return now + collect + self.cfg.shared_latency;
+            }
+            // Parameter-space loads: constant-cache hit.
+            return now + collect + self.cfg.alu_latency;
+        };
+        let kind = match &instr.op {
+            Op::Wmma(WmmaDirective::Load { .. }) => Some(WmmaKind::Load),
+            Op::Wmma(WmmaDirective::Store { .. }) => Some(WmmaKind::Store),
+            _ => None,
+        };
+        let ready = match trace.space {
+            MemSpace::Shared => {
+                let passes = conflict_passes(&trace.accesses) as u64;
+                self.stats.shared_conflict_passes += passes - 1;
+                self.mio_free = now + passes * self.cfg.mio_cycles_per_txn;
+                now + collect + self.cfg.shared_latency + 2 * (passes - 1)
+            }
+            MemSpace::Param => now + collect + self.cfg.alu_latency,
+            MemSpace::Global | MemSpace::Local => {
+                let txns = coalesce(&trace.accesses);
+                self.stats.global_txns += txns.len() as u64;
+                self.mio_free = now + txns.len() as u64 * self.cfg.mio_cycles_per_txn;
+                let mut done = now + collect + self.cfg.shared_latency;
+                for (i, t) in txns.iter().enumerate() {
+                    let start = now + collect + i as u64 * self.cfg.mio_cycles_per_txn;
+                    let r = self.l1.access(t, trace.is_store, start, sys);
+                    done = done.max(r);
+                }
+                if trace.is_store {
+                    if instr.dst.is_some() {
+                        // Atomics return the old value: the destination is
+                        // not ready until the round trip completes.
+                        return done;
+                    }
+                    // Plain stores retire at issue (no register
+                    // writeback); the write-ack time still shows up in the
+                    // profile below.
+                    if let Some(k) = kind {
+                        if self.profile_wmma {
+                            self.push_sample(k, now, done - now);
+                        }
+                    }
+                    return now + collect + 1;
+                }
+                done
+            }
+        };
+        if let Some(k) = kind {
+            if self.profile_wmma {
+                self.push_sample(k, now, ready - now);
+            }
+        }
+        ready
+    }
+
+    fn push_sample(&mut self, kind: WmmaKind, issue: u64, latency: u64) {
+        if self.stats.wmma_samples.len() < 1_000_000 {
+            self.stats.wmma_samples.push(WmmaSample { kind, issue, latency });
+        }
+    }
+
+    /// Flushes the L1 (kernel boundary).
+    pub fn flush_l1(&mut self) {
+        self.l1.flush();
+    }
+
+    /// Reads a register of a resident warp (test/debug aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp slot is empty.
+    pub fn warp_reg(&self, slot: usize, lane: usize, reg: tcsim_isa::Reg) -> u32 {
+        use tcsim_isa::WarpRegisters;
+        self.warps[slot]
+            .as_ref()
+            .expect("warp resident")
+            .exec
+            .regs
+            .read(lane, reg)
+    }
+}
+
+enum IssueResult {
+    Issued,
+    Blocked(u64),
+}
+
+// `Operand` is referenced by kernels embedded in tests below.
+#[allow(unused_imports)]
+use Operand as _OperandForTests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsim_isa::{CmpOp, DataType, KernelBuilder, MemWidth, SpecialReg};
+    use tcsim_mem::MemSystemConfig;
+
+    fn run_to_completion(sm: &mut Sm, global: &mut DeviceMemory, sys: &mut MemSystem) -> u64 {
+        let mut now = 0u64;
+        let mut steps = 0u64;
+        while !sm.idle() {
+            match sm.step(now, global, sys) {
+                None => now += 1,
+                Some(hint) => now = hint.max(now + 1).min(now + 100_000),
+            }
+            steps += 1;
+            assert!(steps < 10_000_000, "SM did not finish");
+        }
+        now
+    }
+
+    fn spec(kernel: Kernel, launch: LaunchConfig, params: Vec<u8>) -> LaunchSpec {
+        LaunchSpec { kernel: Rc::new(kernel), params: Rc::new(params), launch }
+    }
+
+    fn tiny_sys() -> MemSystem {
+        MemSystem::new(MemSystemConfig::titan_v())
+    }
+
+    #[test]
+    fn single_warp_kernel_runs_and_counts_issues() {
+        let mut b = KernelBuilder::new("t");
+        let r = b.reg();
+        b.mov(r, Operand::Special(SpecialReg::TidX));
+        b.iadd(r, r, Operand::Imm(5));
+        b.exit();
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), vec![]);
+
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        assert_eq!(sm.resident_ctas(), 1);
+        run_to_completion(&mut sm, &mut global, &mut sys);
+        assert_eq!(sm.stats().issued, 3);
+        assert_eq!(sm.stats().ctas_completed, 1);
+        assert!(sm.idle());
+    }
+
+    #[test]
+    fn dependent_alu_chain_respects_latency() {
+        // mov r0; then a chain of 4 dependent iadds: each must wait for
+        // the previous writeback (≥ alu_latency apart).
+        let mut b = KernelBuilder::new("t");
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1));
+        for _ in 0..4 {
+            b.iadd(r, r, Operand::Imm(1));
+        }
+        b.exit();
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), vec![]);
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        let end = run_to_completion(&mut sm, &mut global, &mut sys);
+        let min_expected = 4 * (SmConfig::volta().alu_latency);
+        assert!(end >= min_expected, "end={end} min={min_expected}");
+    }
+
+    #[test]
+    fn global_roundtrip_through_l1() {
+        let mut b = KernelBuilder::new("t");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, 0);
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, tid, Operand::Imm(4), base);
+        let v = b.reg();
+        b.ld_global(MemWidth::B32, v, addr, 0);
+        b.iadd(v, v, Operand::Imm(7));
+        b.st_global(MemWidth::B32, addr, 0, v);
+        b.exit();
+        let kernel = b.build();
+
+        let mut global = DeviceMemory::new();
+        let buf = global.alloc(128);
+        for i in 0..32u32 {
+            use tcsim_isa::ByteMemory;
+            global.write_u32(buf + 4 * i as u64, i);
+        }
+        let spec = spec(kernel, LaunchConfig::new(1u32, 32u32), buf.to_le_bytes().to_vec());
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        run_to_completion(&mut sm, &mut global, &mut sys);
+        use tcsim_isa::ByteMemory;
+        for i in 0..32u32 {
+            assert_eq!(global.read_u32(buf + 4 * i as u64), i + 7);
+        }
+        // One coalesced warp load = 4 sector transactions (plus stores).
+        assert!(sm.stats().global_txns >= 4);
+        assert!(sm.l1_stats().misses >= 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes_two_warps() {
+        // Warp 0 stores, both warps barrier, warp 1 reads warp 0's value.
+        let mut b = KernelBuilder::new("t");
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let a = b.reg();
+        b.shl(a, tid, Operand::Imm(2));
+        b.st_shared(MemWidth::B32, a, 0, tid);
+        b.bar();
+        // Read partner index (tid ^ 32) × 4.
+        let pa = b.reg();
+        b.xor(pa, tid, Operand::Imm(32));
+        b.shl(pa, pa, Operand::Imm(2));
+        let v = b.reg();
+        b.ld_shared(MemWidth::B32, v, pa, 0);
+        b.shared_alloc(256);
+        b.exit();
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 64u32), vec![]);
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        run_to_completion(&mut sm, &mut global, &mut sys);
+        assert_eq!(sm.stats().barriers, 1);
+        assert_eq!(sm.stats().ctas_completed, 1);
+    }
+
+    #[test]
+    fn occupancy_limits_reject_oversized_ctas() {
+        let sm = Sm::new(SmConfig::volta());
+        assert!(!sm.can_accept(&CtaRequirements {
+            warps: 65,
+            registers: 0,
+            shared_bytes: 0
+        }));
+        assert!(!sm.can_accept(&CtaRequirements {
+            warps: 1,
+            registers: 70_000,
+            shared_bytes: 0
+        }));
+        assert!(!sm.can_accept(&CtaRequirements {
+            warps: 1,
+            registers: 0,
+            shared_bytes: 100 * 1024
+        }));
+        assert!(sm.can_accept(&CtaRequirements {
+            warps: 32,
+            registers: 32768,
+            shared_bytes: 48 * 1024
+        }));
+    }
+
+    #[test]
+    fn resources_are_freed_after_completion() {
+        let mut b = KernelBuilder::new("t");
+        b.exit();
+        let spec = spec(
+            b.build(),
+            LaunchConfig::new(1u32, 1024u32).with_shared_bytes(32 * 1024),
+            vec![],
+        );
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        let req = spec.cta_requirements();
+        assert_eq!(req.warps, 32);
+        // Second identical CTA still fits (64 warps total).
+        assert!(sm.can_accept(&req));
+        sm.launch_cta(&spec, Dim3::new(1, 0, 0), 0);
+        assert!(!sm.can_accept(&req), "shared memory exhausted");
+        run_to_completion(&mut sm, &mut global, &mut sys);
+        assert!(sm.can_accept(&req));
+        assert_eq!(sm.stats().ctas_completed, 2);
+    }
+
+    #[test]
+    fn uniform_loop_executes_correct_iteration_count() {
+        let mut b = KernelBuilder::new("t");
+        let i = b.reg();
+        b.mov(i, Operand::Imm(0));
+        let top = b.label();
+        b.place(top);
+        b.iadd(i, i, Operand::Imm(1));
+        let p = b.pred();
+        b.setp(p, CmpOp::Lt, DataType::S32, i, Operand::Imm(10));
+        b.bra_if(p, true, top);
+        b.exit();
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), vec![]);
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        run_to_completion(&mut sm, &mut global, &mut sys);
+        // 1 mov + 10×(iadd+setp+bra) + exit = 32 issues.
+        assert_eq!(sm.stats().issued, 32);
+    }
+
+    #[test]
+    fn gto_prefers_last_issued_warp() {
+        // Two warps of independent ALU work: GTO should give long runs to
+        // one warp; round-robin should interleave. We check GTO completes
+        // with the same total issues (sanity) and that the policy knob
+        // exists end-to-end.
+        let build = || {
+            let mut b = KernelBuilder::new("t");
+            let r = b.reg();
+            b.mov(r, Operand::Imm(0));
+            for _ in 0..10 {
+                let q = b.reg();
+                b.mov(q, Operand::Imm(1));
+            }
+            b.exit();
+            b.build()
+        };
+        for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
+            let cfg = SmConfig { scheduler: policy, ..SmConfig::volta() };
+            let mut sm = Sm::new(cfg);
+            let mut global = DeviceMemory::new();
+            let mut sys = tiny_sys();
+            let spec = spec(build(), LaunchConfig::new(1u32, 256u32), vec![]);
+            sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+            run_to_completion(&mut sm, &mut global, &mut sys);
+            assert_eq!(sm.stats().issued, 8 * 12);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-SM statistics: issue counts, unit utilization, and the WMMA
+//! latency profile used by the Fig 15 / Fig 16 experiments.
+
+use tcsim_isa::UnitClass;
+
+/// The three profiled WMMA instruction kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WmmaKind {
+    /// `wmma.load.{a,b,c}`.
+    Load,
+    /// `wmma.mma`.
+    Mma,
+    /// `wmma.store.d`.
+    Store,
+}
+
+/// One profiled WMMA instruction execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WmmaSample {
+    /// Which instruction.
+    pub kind: WmmaKind,
+    /// Cycle it issued.
+    pub issue: u64,
+    /// Issue-to-writeback latency in cycles.
+    pub latency: u64,
+}
+
+/// Counters for one SM.
+#[derive(Clone, Debug, Default)]
+pub struct SmStats {
+    /// Warp instructions issued.
+    pub issued: u64,
+    /// Issued per functional-unit class, indexed by [`unit_index`].
+    pub issued_by_unit: [u64; 7],
+    /// Cycles with at least one issue.
+    pub active_cycles: u64,
+    /// CTA barriers completed.
+    pub barriers: u64,
+    /// CTAs run to completion.
+    pub ctas_completed: u64,
+    /// Coalesced global-memory transactions generated.
+    pub global_txns: u64,
+    /// Shared-memory conflict passes beyond the first.
+    pub shared_conflict_passes: u64,
+    /// Register-bank conflict stall cycles added at operand collection.
+    pub reg_bank_stalls: u64,
+    /// Profiled WMMA instruction latencies (when profiling is enabled).
+    pub wmma_samples: Vec<WmmaSample>,
+}
+
+/// Dense index of a [`UnitClass`] into `issued_by_unit`.
+pub fn unit_index(u: UnitClass) -> usize {
+    match u {
+        UnitClass::Sp => 0,
+        UnitClass::Int => 1,
+        UnitClass::Fp64 => 2,
+        UnitClass::Mufu => 3,
+        UnitClass::Tensor => 4,
+        UnitClass::Mem => 5,
+        UnitClass::Control => 6,
+    }
+}
+
+impl SmStats {
+    /// Merges another SM's counters into this one (for GPU-wide totals).
+    pub fn merge(&mut self, other: &SmStats) {
+        self.issued += other.issued;
+        for i in 0..7 {
+            self.issued_by_unit[i] += other.issued_by_unit[i];
+        }
+        self.active_cycles += other.active_cycles;
+        self.barriers += other.barriers;
+        self.ctas_completed += other.ctas_completed;
+        self.global_txns += other.global_txns;
+        self.shared_conflict_passes += other.shared_conflict_passes;
+        self.reg_bank_stalls += other.reg_bank_stalls;
+        self.wmma_samples.extend(other.wmma_samples.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_indices_are_dense_and_distinct() {
+        let all = [
+            UnitClass::Sp,
+            UnitClass::Int,
+            UnitClass::Fp64,
+            UnitClass::Mufu,
+            UnitClass::Tensor,
+            UnitClass::Mem,
+            UnitClass::Control,
+        ];
+        let mut seen = [false; 7];
+        for u in all {
+            let i = unit_index(u);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SmStats { issued: 5, ..Default::default() };
+        a.issued_by_unit[0] = 3;
+        let mut b = SmStats { issued: 7, ..Default::default() };
+        b.issued_by_unit[0] = 2;
+        b.wmma_samples.push(WmmaSample { kind: WmmaKind::Mma, issue: 1, latency: 54 });
+        a.merge(&b);
+        assert_eq!(a.issued, 12);
+        assert_eq!(a.issued_by_unit[0], 5);
+        assert_eq!(a.wmma_samples.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Domain scenario: re-run the paper's reverse-engineering methodology on
+//! the *model* — the same three probes §III used on real silicon.
+//!
+//! 1. Fragment decoding (Fig 4): print which tile elements each thread's
+//!    fragment holds after a `wmma.load`.
+//! 2. Clocked HMMA timing (Fig 6): read the cycle counter around a
+//!    `wmma.mma` on the simulator.
+//! 3. Warp scaling (Fig 12c): repeated MMAs with 1..8 warps per CTA.
+//!
+//! Run with: `cargo run --release --example microbenchmark`
+
+use tcsim::core::FragmentMap;
+use tcsim::cutlass::microbench::{clocked_mma, repeated_mma};
+use tcsim::isa::{FragmentKind, LaunchConfig, Layout, WmmaType};
+use tcsim::sim::{Gpu, GpuConfig};
+
+fn main() {
+    // --- 1. Fragment decoding, as the Fig 4 printf microbenchmark. ---
+    println!("Fragment map (Volta A, row-major): THREAD n CONTAINS ...");
+    let map = FragmentMap::volta(FragmentKind::A, WmmaType::F16, Layout::Row);
+    for lane in 0..4 {
+        let elems: Vec<String> = map
+            .lane_elems(lane)
+            .iter()
+            .map(|&(r, c)| format!("A{r}{c:X}"))
+            .collect();
+        println!("  THREAD{lane} CONTAINS {}", elems.join(" "));
+    }
+
+    // --- 2. Clocked wmma.mma. ---
+    for (fp16, label, schedule) in [(false, "mixed", 54u32), (true, "fp16", 64u32)] {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let src = gpu.alloc(16 * 16 * 4);
+        let out = gpu.alloc(4);
+        let params: Vec<u8> = src
+            .to_le_bytes()
+            .iter()
+            .chain(out.to_le_bytes().iter())
+            .copied()
+            .collect();
+        gpu.launch(clocked_mma(fp16), LaunchConfig::new(1u32, 32u32), &params);
+        println!(
+            "clocked wmma.mma ({label}): {} cycles measured (HMMA schedule: {schedule})",
+            gpu.read_u32(out)
+        );
+    }
+
+    // --- 3. Warp scaling. ---
+    println!("\nwarp scaling (32 MMAs per warp, one CTA):");
+    for warps in [1u32, 2, 4, 6, 8] {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let src = gpu.alloc(16 * 16 * 4);
+        let out = gpu.alloc(warps as u64 * 4);
+        let params: Vec<u8> = src
+            .to_le_bytes()
+            .iter()
+            .chain(out.to_le_bytes().iter())
+            .copied()
+            .collect();
+        gpu.launch(repeated_mma(32), LaunchConfig::new(1u32, warps * 32), &params);
+        let max = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0");
+        println!("  {warps} warps: {max} cycles");
+    }
+    println!("(flat to 4 warps, then the tensor-core pairs saturate — Fig 12c)");
+}

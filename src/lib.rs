@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `tcsim` — a cycle-level model of tensor-core-enabled GPUs.
+//!
+//! This meta-crate re-exports the full public API of the workspace, which
+//! reproduces *Modeling Deep Learning Accelerator Enabled GPUs* (Raihan,
+//! Goli, Aamodt; ISPASS 2019) in Rust:
+//!
+//! * [`mod@f16`] — IEEE 754 binary16 arithmetic (the `half` library substrate).
+//! * [`isa`] — PTX-subset SIMT ISA, kernel IR, builder and parser.
+//! * [`core`] — the tensor-core functional/timing model (the paper's
+//!   contribution): fragment mappings, octets, HMMA sets/steps, FEDP
+//!   numerics, latency schedules.
+//! * [`mem`] — coalescer, L1/L2 caches, DRAM, shared memory.
+//! * [`sm`] — streaming-multiprocessor pipeline model.
+//! * [`sim`] — full-GPU simulator, CTA scheduler, statistics, configs.
+//! * [`cutlass`] — CUTLASS-like tiled GEMM kernel library.
+//! * [`hw`] — analytic Titan V hardware surrogate for correlation studies.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the experiment index.
+
+pub use tcsim_core as core;
+pub use tcsim_cutlass as cutlass;
+pub use tcsim_f16 as f16;
+pub use tcsim_hw as hw;
+pub use tcsim_isa as isa;
+pub use tcsim_mem as mem;
+pub use tcsim_sim as sim;
+pub use tcsim_sm as sm;

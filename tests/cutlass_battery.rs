@@ -1,0 +1,126 @@
+//! The CUTLASS test-battery analog: the paper verified its GPGPU-Sim
+//! changes against NVIDIA's ~680-case CUTLASS unit-test suite (§V-B).
+//! This battery sweeps problem shapes × tilings × precisions × kernels
+//! and verifies every configuration's numerical output on the simulator.
+//!
+//! Runs on the mini GPU configuration to keep wall-clock reasonable; the
+//! numerics are configuration-independent (asserted separately in
+//! `gemm_end_to_end.rs`).
+
+use tcsim::cutlass::{run_gemm, CutlassConfig, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim::sim::{Gpu, GpuConfig};
+
+fn check(p: GemmProblem, kernel: GemmKernel) {
+    let mut gpu = Gpu::new(GpuConfig::mini());
+    let run = run_gemm(&mut gpu, p, kernel, true);
+    let tol = match p.precision {
+        GemmPrecision::Fp16 => 1.0,
+        _ => 0.01,
+    };
+    assert!(
+        run.max_abs_err.expect("verified") < tol,
+        "{:?} {}x{}x{} failed",
+        kernel,
+        p.m,
+        p.n,
+        p.k
+    );
+}
+
+#[test]
+fn battery_wmma_simple_mixed() {
+    for m in [16usize, 32, 48] {
+        for n in [16usize, 48, 64] {
+            for k in [16usize, 32, 80] {
+                check(
+                    GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 },
+                    GemmKernel::WmmaSimple,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_wmma_simple_fp16() {
+    for m in [16usize, 48] {
+        for n in [32usize, 64] {
+            for k in [16usize, 48] {
+                check(
+                    GemmProblem { m, n, k, precision: GemmPrecision::Fp16 },
+                    GemmKernel::WmmaSimple,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_wmma_shared() {
+    for m in [32usize, 64, 96] {
+        for n in [32usize, 64] {
+            for k in [16usize, 48] {
+                for precision in [GemmPrecision::MixedF32, GemmPrecision::Fp16] {
+                    check(GemmProblem { m, n, k, precision }, GemmKernel::WmmaShared);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_cutlass_tilings() {
+    let tilings = [
+        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 1 },
+        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 2 },
+        CutlassConfig { cta_m: 64, cta_n: 128, warp_m: 32, warp_n: 64, stages: 2 },
+        CutlassConfig { cta_m: 128, cta_n: 128, warp_m: 64, warp_n: 32, stages: 2 },
+    ];
+    for cfg in tilings {
+        for k in [16usize, 64, 112] {
+            check(
+                GemmProblem { m: cfg.cta_m * 2, n: cfg.cta_n, k, precision: GemmPrecision::MixedF32 },
+                GemmKernel::Cutlass(cfg),
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_baselines() {
+    for (m, n, k) in [(16usize, 16usize, 16usize), (32, 48, 64), (64, 32, 48)] {
+        check(GemmProblem { m, n, k, precision: GemmPrecision::Fp32 }, GemmKernel::Sgemm);
+    }
+    for (m, n, k) in [(16usize, 32usize, 16usize), (32, 64, 48)] {
+        check(GemmProblem { m, n, k, precision: GemmPrecision::Fp16 }, GemmKernel::Hgemm);
+    }
+}
+
+#[test]
+fn battery_deep_k_accumulation() {
+    // Long reduction chains exercise FEDP accumulation ordering.
+    check(
+        GemmProblem { m: 16, n: 16, k: 512, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaSimple,
+    );
+    check(
+        GemmProblem { m: 32, n: 32, k: 256, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaShared,
+    );
+}
+
+#[test]
+fn battery_skinny_shapes() {
+    check(
+        GemmProblem { m: 16, n: 256, k: 32, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaSimple,
+    );
+    check(
+        GemmProblem { m: 256, n: 16, k: 32, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaSimple,
+    );
+    check(
+        GemmProblem { m: 32, n: 160, k: 16, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaShared,
+    );
+}

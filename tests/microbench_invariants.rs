@@ -1,0 +1,81 @@
+//! Integration tests of the paper's microbenchmark observations on the
+//! full simulator (the characterization results of §III and §IV).
+
+use tcsim::cutlass::microbench::{clocked_mma, repeated_mma};
+use tcsim::isa::LaunchConfig;
+use tcsim::sim::{Gpu, GpuConfig};
+
+fn run_clocked(fp16: bool) -> u32 {
+    let mut gpu = Gpu::new(GpuConfig::mini());
+    let src = gpu.alloc(16 * 16 * 4);
+    let out = gpu.alloc(4);
+    let params: Vec<u8> = src
+        .to_le_bytes()
+        .iter()
+        .chain(out.to_le_bytes().iter())
+        .copied()
+        .collect();
+    gpu.launch(clocked_mma(fp16), LaunchConfig::new(1u32, 32u32), &params);
+    gpu.read_u32(out)
+}
+
+fn run_scaling(warps: u32, iters: u32) -> u32 {
+    let mut gpu = Gpu::new(GpuConfig::mini());
+    let src = gpu.alloc(16 * 16 * 4);
+    let out = gpu.alloc(warps as u64 * 4);
+    let params: Vec<u8> = src
+        .to_le_bytes()
+        .iter()
+        .chain(out.to_le_bytes().iter())
+        .copied()
+        .collect();
+    gpu.launch(repeated_mma(iters), LaunchConfig::new(1u32, warps * 32), &params);
+    (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0")
+}
+
+#[test]
+fn mma_latency_brackets_the_hmma_schedule() {
+    // Measured latency = schedule total + issue overhead of the probes;
+    // it must be ≥ the schedule and within a few tens of cycles of it.
+    let mixed = run_clocked(false);
+    assert!((54..=120).contains(&mixed), "mixed measured {mixed}");
+    let fp16 = run_clocked(true);
+    assert!((64..=130).contains(&fp16), "fp16 measured {fp16}");
+}
+
+#[test]
+fn fp16_mode_is_slower_than_mixed_by_about_ten_cycles() {
+    // §III-C1: FP16 mode is 10 cycles slower per wmma.mma.
+    let mixed = run_clocked(false);
+    let fp16 = run_clocked(true);
+    let delta = fp16 as i64 - mixed as i64;
+    assert!((5..=20).contains(&delta), "delta = {delta}");
+}
+
+#[test]
+fn warp_scaling_knee_sits_at_four_warps() {
+    // Fig 12c: flat up to 4 warps (one per sub-core), then the
+    // tensor-core pairs are shared and time roughly doubles.
+    let t: Vec<u32> = (1..=8).map(|w| run_scaling(w, 32)).collect();
+    let flat = t[3] as f64 / t[0] as f64;
+    let knee = t[7] as f64 / t[3] as f64;
+    assert!(flat < 1.3, "1..4 warps must stay flat: {t:?}");
+    assert!(knee > 1.5, "5..8 warps must contend: {t:?}");
+}
+
+#[test]
+fn throughput_scales_with_iterations() {
+    let short = run_scaling(1, 16);
+    let long = run_scaling(1, 64);
+    // 48 extra MMAs at the mixed-mode initiation interval (40 each when
+    // pipelined on both accumulators).
+    let delta = long as i64 - short as i64;
+    assert!(delta > 48 * 30, "48 extra MMAs took only {delta} cycles");
+    assert!(delta < 48 * 80, "MMAs serialized on latency: {delta}");
+}
+
+#[test]
+fn single_warp_microbenchmark_is_deterministic() {
+    assert_eq!(run_scaling(2, 32), run_scaling(2, 32));
+    assert_eq!(run_clocked(false), run_clocked(false));
+}

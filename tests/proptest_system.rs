@@ -1,0 +1,59 @@
+//! System-level property tests: random GEMM problems through the whole
+//! simulator must match the CPU reference; simulation must be
+//! deterministic.
+
+use proptest::prelude::*;
+use tcsim::cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim::sim::{Gpu, GpuConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_shapes_verify_on_simulator(
+        m_tiles in 1usize..4,
+        n_tiles in 1usize..4,
+        k_tiles in 1usize..5,
+    ) {
+        let p = GemmProblem {
+            m: m_tiles * 16,
+            n: n_tiles * 16,
+            k: k_tiles * 16,
+            precision: GemmPrecision::MixedF32,
+        };
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
+        prop_assert!(run.max_abs_err.expect("verified") < 0.01);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(size_tiles in 1usize..3) {
+        let p = GemmProblem::square(size_tiles * 32);
+        let a = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
+        let b = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.stats.instructions, b.stats.instructions);
+    }
+
+    #[test]
+    fn instruction_count_scales_with_k(k_tiles in 1usize..6) {
+        // The k-loop trip count is architectural: instructions must grow
+        // linearly in k for a fixed output size.
+        let base = run_gemm(
+            &mut Gpu::new(GpuConfig::mini()),
+            GemmProblem { m: 32, n: 32, k: 16, precision: GemmPrecision::MixedF32 },
+            GemmKernel::WmmaSimple,
+            false,
+        );
+        let run = run_gemm(
+            &mut Gpu::new(GpuConfig::mini()),
+            GemmProblem { m: 32, n: 32, k: 16 * k_tiles, precision: GemmPrecision::MixedF32 },
+            GemmKernel::WmmaSimple,
+            false,
+        );
+        prop_assert!(run.stats.instructions >= base.stats.instructions);
+        if k_tiles > 1 {
+            prop_assert!(run.stats.instructions > base.stats.instructions);
+        }
+    }
+}
