@@ -1,60 +1,58 @@
-//! Criterion microbenchmarks of the memory-hierarchy primitives: access
-//! coalescing, cache lookups, shared-memory conflict analysis and device
-//! memory access.
+//! Microbenchmarks of the memory-hierarchy primitives: access coalescing,
+//! cache lookups, shared-memory conflict analysis and device memory
+//! access.
+//!
+//! Uses the hand-rolled `tcsim_bench::bench_case` harness (criterion is
+//! not available offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use tcsim_bench::bench_case;
 use tcsim_isa::exec::MemAccess;
 use tcsim_isa::ByteMemory;
 use tcsim_mem::{coalesce, conflict_passes, Cache, CacheConfig, DeviceMemory};
 
-fn bench_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory");
-    g.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn main() {
+    println!("== memory ==");
+    const MS: u64 = 800;
 
     let coalesced: Vec<MemAccess> =
         (0..32).map(|l| MemAccess { lane: l, addr: 0x1000 + 4 * l as u64, bytes: 4 }).collect();
     let scattered: Vec<MemAccess> =
         (0..32).map(|l| MemAccess { lane: l, addr: 0x1000 + 137 * l as u64, bytes: 4 }).collect();
-    g.bench_function("coalesce_unit_stride", |b| b.iter(|| coalesce(black_box(&coalesced))));
-    g.bench_function("coalesce_scattered", |b| b.iter(|| coalesce(black_box(&scattered))));
-    g.bench_function("shared_conflicts", |b| b.iter(|| conflict_passes(black_box(&scattered))));
+    bench_case("coalesce_unit_stride", MS, || coalesce(black_box(&coalesced)));
+    bench_case("coalesce_scattered", MS, || coalesce(black_box(&scattered)));
+    bench_case("shared_conflicts", MS, || conflict_passes(black_box(&scattered)));
 
-    g.bench_function("cache_hit_lookup", |b| {
+    {
         let mut cache = Cache::new(CacheConfig::l1(128));
         cache.fill(0x2000, 0, false);
         let mut now = 1;
-        b.iter(|| {
+        bench_case("cache_hit_lookup", MS, move || {
             now += 1;
-            black_box(cache.lookup(0x2000, false, now))
-        })
-    });
+            cache.lookup(0x2000, false, now)
+        });
+    }
 
-    g.bench_function("cache_miss_fill_cycle", |b| {
+    {
         let mut cache = Cache::new(CacheConfig::l1(16));
         let mut addr = 0u64;
         let mut now = 0;
-        b.iter(|| {
+        bench_case("cache_miss_fill_cycle", MS, move || {
             addr += 128;
             now += 1;
             let _ = cache.lookup(addr, false, now);
             cache.fill(addr, now, false);
-        })
-    });
+        });
+    }
 
-    g.bench_function("device_memory_rw", |b| {
+    {
         let mut mem = DeviceMemory::new();
         let base = mem.alloc(1 << 20);
         let mut i = 0u64;
-        b.iter(|| {
+        bench_case("device_memory_rw", MS, move || {
             i = (i + 4) % (1 << 20);
             mem.write_u32(base + i, i as u32);
-            black_box(mem.read_u32(base + i))
-        })
-    });
-    g.finish();
+            mem.read_u32(base + i)
+        });
+    }
 }
-
-criterion_group!(benches, bench_memory);
-criterion_main!(benches);

@@ -1,55 +1,49 @@
-//! Criterion benchmarks of end-to-end simulation throughput: small GEMMs
-//! on the mini GPU configuration and binary16 conversion rates.
+//! Microbenchmarks of end-to-end simulation throughput: small GEMMs on
+//! the mini GPU configuration and binary16 conversion rates.
+//!
+//! Uses the hand-rolled `tcsim_bench::bench_case` harness (criterion is
+//! not available offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use tcsim_bench::bench_case;
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
 use tcsim_f16::F16;
 use tcsim_sim::{Gpu, GpuConfig};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    println!("== pipeline ==");
+    const MS: u64 = 2000;
 
-    g.bench_function("gemm_32_wmma_simple", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::mini());
-            black_box(run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaSimple, false))
-        })
+    bench_case("gemm_32_wmma_simple", MS, || {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaSimple, false)
     });
 
-    g.bench_function("gemm_64_wmma_shared", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::mini());
-            black_box(run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, false))
-        })
+    bench_case("gemm_64_wmma_shared", MS, || {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, false)
     });
 
-    g.bench_function("f16_from_f32_conversion", |b| {
+    {
         let vals: Vec<f32> = (0..1024).map(|i| (i as f32) * 0.37 - 180.0).collect();
-        b.iter(|| {
+        bench_case("f16_from_f32_conversion", MS, move || {
             let mut acc = 0u16;
             for &v in &vals {
                 acc = acc.wrapping_add(F16::from_f32(black_box(v)).to_bits());
             }
             acc
-        })
-    });
+        });
+    }
 
-    g.bench_function("f16_arithmetic", |b| {
+    {
         let x = F16::from_f32(1.5);
         let y = F16::from_f32(0.333);
-        b.iter(|| {
+        bench_case("f16_arithmetic", MS, move || {
             let mut acc = F16::ZERO;
             for _ in 0..256 {
                 acc = acc.mul_add(black_box(x), black_box(y));
             }
             acc
-        })
-    });
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

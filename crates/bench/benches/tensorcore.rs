@@ -1,10 +1,12 @@
-//! Criterion microbenchmarks of the tensor-core model primitives: FEDP
-//! evaluation, atomic vs stepwise MMA, fragment mapping construction, and
-//! the full register-level `wmma.mma` functional path.
+//! Microbenchmarks of the tensor-core model primitives: FEDP evaluation,
+//! atomic vs stepwise MMA, fragment mapping construction, and the full
+//! register-level `wmma.mma` functional path.
+//!
+//! Uses the hand-rolled `tcsim_bench::bench_case` harness (criterion is
+//! not available offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use tcsim_bench::bench_case;
 use tcsim_core::{
     execute_stepwise_volta, fedp_f32, mma_reference, FragmentMap, TensorCoreModel, Tile,
 };
@@ -27,40 +29,29 @@ fn tiles() -> (Tile, Tile, Tile) {
     (a, b, c)
 }
 
-fn bench_tensorcore(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tensorcore");
-    g.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn main() {
+    println!("== tensorcore ==");
+    const MS: u64 = 800;
 
     let qa = [F16::from_f32(1.5), F16::from_f32(-2.0), F16::from_f32(0.25), F16::from_f32(3.0)];
     let qb = [F16::from_f32(0.5), F16::from_f32(1.0), F16::from_f32(-4.0), F16::from_f32(2.0)];
-    g.bench_function("fedp_f32", |bench| {
-        bench.iter(|| fedp_f32(black_box(qa), black_box(qb), black_box(1.0)))
-    });
+    bench_case("fedp_f32", MS, || fedp_f32(black_box(qa), black_box(qb), black_box(1.0)));
 
     let (a, b, cc) = tiles();
-    g.bench_function("mma_reference_16x16x16", |bench| {
-        bench.iter(|| mma_reference(black_box(&a), black_box(&b), black_box(&cc), WmmaType::F32))
+    bench_case("mma_reference_16x16x16", MS, || {
+        mma_reference(black_box(&a), black_box(&b), black_box(&cc), WmmaType::F32)
     });
-    g.bench_function("execute_stepwise_volta", |bench| {
-        bench.iter(|| {
-            execute_stepwise_volta(black_box(&a), black_box(&b), black_box(&cc), WmmaType::F32)
-        })
+    bench_case("execute_stepwise_volta", MS, || {
+        execute_stepwise_volta(black_box(&a), black_box(&b), black_box(&cc), WmmaType::F32)
     });
 
-    g.bench_function("fragment_map_volta_a", |bench| {
-        bench.iter(|| FragmentMap::volta(FragmentKind::A, WmmaType::F16, Layout::Row))
+    bench_case("fragment_map_volta_a", MS, || {
+        FragmentMap::volta(FragmentKind::A, WmmaType::F16, Layout::Row)
     });
-    g.bench_function("fragment_map_turing_all", |bench| {
-        bench.iter(|| {
-            for frag in [FragmentKind::A, FragmentKind::B, FragmentKind::C] {
-                black_box(FragmentMap::turing(
-                    frag,
-                    WmmaShape::M32N8K16,
-                    WmmaType::F16,
-                    Layout::Row,
-                ));
-            }
-        })
+    bench_case("fragment_map_turing_all", MS, || {
+        for frag in [FragmentKind::A, FragmentKind::B, FragmentKind::C] {
+            black_box(FragmentMap::turing(frag, WmmaShape::M32N8K16, WmmaType::F16, Layout::Row));
+        }
     });
 
     // Full functional wmma.mma through a warp register file.
@@ -74,13 +65,7 @@ fn bench_tensorcore(c: &mut Criterion) {
         d_type: WmmaType::F32,
     };
     let mut regs = WarpRegFile::new(64);
-    g.bench_function("functional_wmma_mma", |bench| {
-        bench.iter(|| {
-            model.wmma_mma(&dir, Reg(32), Reg(0), Reg(8), Reg(16), black_box(&mut regs));
-        })
+    bench_case("functional_wmma_mma", MS, || {
+        model.wmma_mma(&dir, Reg(32), Reg(0), Reg(8), Reg(16), black_box(&mut regs));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tensorcore);
-criterion_main!(benches);

@@ -12,8 +12,8 @@ use tcsim_bench::{fnum, print_table};
 use tcsim_core::FragmentMap;
 use tcsim_cutlass::microbench::repeated_mma;
 use tcsim_cutlass::{run_gemm, CutlassConfig, GemmKernel, GemmProblem};
-use tcsim_isa::{FragmentKind, LaunchConfig, Layout, WmmaType};
-use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_isa::{FragmentKind, Layout, WmmaType};
+use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
 use tcsim_sm::SchedPolicy;
 
 fn gemm_cycles_with(cfg: GpuConfig, kernel: GemmKernel, size: usize) -> (u64, f64, u64) {
@@ -66,13 +66,12 @@ fn main() {
         let mut gpu = Gpu::new(cfg);
         let src = gpu.alloc(16 * 16 * 4);
         let out = gpu.alloc(4 * 4);
-        let params: Vec<u8> = src
-            .to_le_bytes()
-            .iter()
-            .chain(out.to_le_bytes().iter())
-            .copied()
-            .collect();
-        gpu.launch(repeated_mma(64), LaunchConfig::new(1u32, 4 * 32u32), &params);
+        LaunchBuilder::new(repeated_mma(64))
+            .grid(1u32)
+            .block(4 * 32u32)
+            .param_u64(src)
+            .param_u64(out)
+            .launch(&mut gpu);
         let max = (0..4).map(|w| gpu.read_u32(out + 4 * w)).max().expect("4 warps");
         rows.push(vec![tcs.to_string(), max.to_string()]);
     }

@@ -11,8 +11,7 @@
 use tcsim_bench::print_table;
 use tcsim_core::{MmaMode, TensorCorePipe, VoltaTimingParams, VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE};
 use tcsim_cutlass::microbench::clocked_mma;
-use tcsim_isa::LaunchConfig;
-use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn schedule_table(name: &str, params: VoltaTimingParams, paper: &[u32]) {
     let model = params.completions();
@@ -42,13 +41,12 @@ fn simulate_clocked_mma(fp16: bool) -> u32 {
     let mut gpu = Gpu::new(GpuConfig::mini());
     let src = gpu.alloc(16 * 16 * 4);
     let out = gpu.alloc(4);
-    let params: Vec<u8> = src
-        .to_le_bytes()
-        .iter()
-        .chain(out.to_le_bytes().iter())
-        .copied()
-        .collect();
-    let _ = gpu.launch(clocked_mma(fp16), LaunchConfig::new(1u32, 32u32), &params);
+    let _ = LaunchBuilder::new(clocked_mma(fp16))
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(src)
+        .param_u64(out)
+        .launch(&mut gpu);
     gpu.read_u32(out)
 }
 

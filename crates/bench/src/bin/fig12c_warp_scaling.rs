@@ -9,24 +9,18 @@
 
 use tcsim_bench::{fnum, print_table};
 use tcsim_cutlass::microbench::repeated_mma;
-use tcsim_isa::LaunchConfig;
-use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn run(warps: u32, iters: u32) -> (u32, u32) {
     let mut gpu = Gpu::new(GpuConfig::mini());
     let src = gpu.alloc(16 * 16 * 4);
     let out = gpu.alloc(warps as u64 * 4);
-    let params: Vec<u8> = src
-        .to_le_bytes()
-        .iter()
-        .chain(out.to_le_bytes().iter())
-        .copied()
-        .collect();
-    let _ = gpu.launch(
-        repeated_mma(iters),
-        LaunchConfig::new(1u32, warps * 32),
-        &params,
-    );
+    let _ = LaunchBuilder::new(repeated_mma(iters))
+        .grid(1u32)
+        .block(warps * 32)
+        .param_u64(src)
+        .param_u64(out)
+        .launch(&mut gpu);
     let deltas: Vec<u32> = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).collect();
     (
         *deltas.iter().max().expect("at least one warp"),

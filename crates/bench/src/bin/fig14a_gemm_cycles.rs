@@ -7,22 +7,49 @@
 //! the comparison measures whether the detailed cycle-level model tracks
 //! an independent first-principles reference across the size sweep.
 
-use tcsim_bench::{ascii_chart, fnum, gemm_on, print_table, FIG14A_SIZES};
+use tcsim_bench::{
+    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
+    FIG14A_SIZES,
+};
 use tcsim_cutlass::{GemmKernel, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
-use tcsim_sim::{pearson, GpuConfig};
+use tcsim_sim::{pearson, GpuConfig, JsonWriter};
 
 fn main() {
-    println!("Fig 14a: WMMA shared-memory GEMM cycles vs matrix size");
+    let cli = parse_cli();
+    println!(
+        "Fig 14a: WMMA shared-memory GEMM cycles vs matrix size ({} threads)",
+        cli.threads
+    );
     let hw = HwModel::titan_v();
+    // The main series: the shared-memory kernel needs 32-granular tiles;
+    // the paper's smallest sizes run on the simple kernel. Alongside it,
+    // the global-operand kernel runs at every 32-granular size as a
+    // variant-comparison series (the staging benefit of Fig 16's
+    // discussion) — one combined sweep, so all points simulate
+    // concurrently.
+    let main_kernel = |size: usize| {
+        if size.is_multiple_of(32) { GemmKernel::WmmaShared } else { GemmKernel::WmmaSimple }
+    };
+    let variant_sizes: Vec<usize> =
+        FIG14A_SIZES.iter().copied().filter(|s| s.is_multiple_of(32)).collect();
+    let mut points: Vec<(GemmProblem, GemmKernel)> = FIG14A_SIZES
+        .iter()
+        .map(|&size| (GemmProblem::square(size), main_kernel(size)))
+        .collect();
+    points.extend(
+        variant_sizes
+            .iter()
+            .map(|&size| (GemmProblem::square(size), GemmKernel::WmmaSimple)),
+    );
+    let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
+    let (main_runs, variant_runs) = runs.split_at(FIG14A_SIZES.len());
+
     let mut rows = Vec::new();
     let mut sim_series = Vec::new();
     let mut hw_series = Vec::new();
-    for &size in &FIG14A_SIZES {
-        // The shared-memory kernel needs 32-granular tiles; the paper's
-        // smallest sizes run on the simple kernel.
-        let kernel = if size % 32 == 0 { GemmKernel::WmmaShared } else { GemmKernel::WmmaSimple };
-        let run = gemm_on(GpuConfig::titan_v(), GemmProblem::square(size), kernel, false);
+    let mut json_rows = Vec::new();
+    for (&size, run) in FIG14A_SIZES.iter().zip(main_runs) {
         let hw_cycles = hw.gemm_cycles(size, size, size, KernelClass::WmmaOptimized);
         sim_series.push(run.stats.cycles as f64);
         hw_series.push(hw_cycles);
@@ -32,11 +59,39 @@ fn main() {
             fnum(run.stats.cycles as f64 / 1000.0, 1),
             fnum(run.stats.ipc(), 1),
         ]);
+        let mut w = JsonWriter::object();
+        w.field_u64("size", size as u64);
+        w.field_f64("hw_cycles", hw_cycles);
+        w.raw_field("sim", &run.stats.to_json());
+        json_rows.push(w.finish());
+    }
+    if let Some(path) = &cli.json {
+        write_results(path, &json_array(&json_rows));
     }
     print_table(
         "Cycle counts (thousands)",
         &["size", "hardware (surrogate) kcycles", "sim kcycles", "sim IPC"],
         &rows,
+    );
+
+    // Kernel-variant comparison: shared-memory staging vs global operands
+    // at the same sizes. The benefit must grow (or at least hold) with
+    // size as operand reuse amortizes the staging cost.
+    let mut variant_rows = Vec::new();
+    for (&size, simple) in variant_sizes.iter().zip(variant_runs) {
+        let main_idx = FIG14A_SIZES.iter().position(|&s| s == size).expect("subset");
+        let shared = &main_runs[main_idx];
+        variant_rows.push(vec![
+            size.to_string(),
+            fnum(simple.stats.cycles as f64 / 1000.0, 1),
+            fnum(shared.stats.cycles as f64 / 1000.0, 1),
+            fnum(simple.stats.cycles as f64 / shared.stats.cycles as f64, 2),
+        ]);
+    }
+    print_table(
+        "WMMA variant comparison (global operands vs shared staging)",
+        &["size", "global kcycles", "shared kcycles", "speedup"],
+        &variant_rows,
     );
 
     let r = pearson(&sim_series, &hw_series);

@@ -7,13 +7,19 @@
 //! identical on both sides — so IPC_hw = instructions / cycles_hw and
 //! IPC_sim = instructions / cycles_sim.
 
-use tcsim_bench::{fnum, gemm_on, print_table};
+use tcsim_bench::{
+    fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
+};
 use tcsim_cutlass::{CutlassConfig, GemmKernel, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
-use tcsim_sim::{pearson, GpuConfig};
+use tcsim_sim::{pearson, GpuConfig, JsonWriter};
 
 fn main() {
-    println!("Fig 14b: CUTLASS GEMM IPC correlation (sim vs hardware surrogate)");
+    let cli = parse_cli();
+    println!(
+        "Fig 14b: CUTLASS GEMM IPC correlation (sim vs hardware surrogate, {} threads)",
+        cli.threads
+    );
     let hw = HwModel::titan_v();
     let cfg64 = CutlassConfig::default_64x64();
     let cfg_single = CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 1 };
@@ -52,14 +58,21 @@ fn main() {
         ));
     }
 
+    let runnable: Vec<(GemmProblem, GemmKernel, KernelClass)> = workloads
+        .into_iter()
+        .filter(|(problem, kernel, _)| {
+            problem.m % kernel.granularity() == 0 && problem.n % kernel.granularity() == 0
+        })
+        .collect();
+    let points: Vec<(GemmProblem, GemmKernel)> =
+        runnable.iter().map(|&(p, k, _)| (p, k)).collect();
+    let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
+
     let mut rows = Vec::new();
     let mut sim_ipc = Vec::new();
     let mut hw_ipc = Vec::new();
-    for (problem, kernel, class) in workloads {
-        if problem.m % kernel.granularity() != 0 || problem.n % kernel.granularity() != 0 {
-            continue;
-        }
-        let run = gemm_on(GpuConfig::titan_v(), problem, kernel, false);
+    let mut json_rows = Vec::new();
+    for (&(problem, kernel, class), run) in runnable.iter().zip(&runs) {
         let hw_cycles = hw.gemm_cycles(problem.m, problem.n, problem.k, class);
         let i_hw = run.stats.instructions as f64 / hw_cycles;
         let i_sim = run.stats.ipc();
@@ -71,6 +84,12 @@ fn main() {
             fnum(i_hw, 1),
             fnum(i_sim, 1),
         ]);
+        let mut w = JsonWriter::object();
+        w.field_str("problem", &format!("{}x{}x{}", problem.m, problem.n, problem.k));
+        w.field_str("kernel", &format!("{kernel:?}"));
+        w.field_f64("hw_ipc", i_hw);
+        w.raw_field("sim", &run.stats.to_json());
+        json_rows.push(w.finish());
     }
     print_table(
         "IPC scatter points",
@@ -80,5 +99,11 @@ fn main() {
 
     let r = pearson(&sim_ipc, &hw_ipc);
     println!("\nIPC correlation: {:.2}% (paper: 99.60%)", r * 100.0);
+    if let Some(path) = &cli.json {
+        let mut top = JsonWriter::object();
+        top.field_f64("pearson", r);
+        top.raw_field("points", &json_array(&json_rows));
+        write_results(path, &top.finish());
+    }
     assert!(r > 0.9, "IPC correlation collapsed: {r}");
 }

@@ -2,13 +2,19 @@
 //! (sim vs surrogate hardware IPC). The paper notes GPGPU-Sim "tends to
 //! have higher performance versus hardware as matrix size increases".
 
-use tcsim_bench::{fnum, gemm_on, print_table, FIG14C_SIZES};
+use tcsim_bench::{
+    fnum, gemm_sweep, json_array, parse_cli, print_table, write_results, FIG14C_SIZES,
+};
 use tcsim_cutlass::{CutlassConfig, GemmKernel, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
-use tcsim_sim::GpuConfig;
+use tcsim_sim::{GpuConfig, JsonWriter};
 
 fn main() {
-    println!("Fig 14c: CUTLASS GEMM scaling (IPC vs matrix size)");
+    let cli = parse_cli();
+    println!(
+        "Fig 14c: CUTLASS GEMM scaling (IPC vs matrix size, {} threads)",
+        cli.threads
+    );
     let hw = HwModel::titan_v();
     // Large-tile configuration (CUTLASS uses 128×128 CTA tiles at these
     // sizes to keep DRAM traffic low enough for the tensor cores).
@@ -19,10 +25,16 @@ fn main() {
         warp_n: 32,
         stages: 2,
     });
+    let points: Vec<(GemmProblem, GemmKernel)> = FIG14C_SIZES
+        .iter()
+        .map(|&size| (GemmProblem::square(size), kernel))
+        .collect();
+    let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
+
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
-    for &size in &FIG14C_SIZES {
-        let run = gemm_on(GpuConfig::titan_v(), GemmProblem::square(size), kernel, false);
+    let mut json_rows = Vec::new();
+    for (&size, run) in FIG14C_SIZES.iter().zip(&runs) {
         let hw_cycles = hw.gemm_cycles(size, size, size, KernelClass::CutlassTc);
         let hw_ipc = run.stats.instructions as f64 / hw_cycles;
         let sim_ipc = run.stats.ipc();
@@ -35,6 +47,15 @@ fn main() {
             fnum(sim_ipc, 1),
             fnum(sim_ipc / hw_ipc, 2),
         ]);
+        let mut w = JsonWriter::object();
+        w.field_u64("size", size as u64);
+        w.field_f64("hw_cycles", hw_cycles);
+        w.field_f64("hw_ipc", hw_ipc);
+        w.raw_field("sim", &run.stats.to_json());
+        json_rows.push(w.finish());
+    }
+    if let Some(path) = &cli.json {
+        write_results(path, &json_array(&json_rows));
     }
     print_table(
         "CUTLASS 128x128 double-buffered kernel",

@@ -8,12 +8,16 @@
 //! efficiency ramps — DESIGN.md §3) and are cross-checked against the
 //! cycle-level simulator at sizes the simulator can reach.
 
-use tcsim_bench::{ascii_chart, fnum, gemm_on, print_table, FIG17_SIZES};
+use tcsim_bench::{
+    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
+    FIG17_SIZES,
+};
 use tcsim_cutlass::{GemmKernel, GemmPrecision, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
-use tcsim_sim::GpuConfig;
+use tcsim_sim::{GpuConfig, JsonWriter};
 
 fn main() {
+    let cli = parse_cli();
     println!("Fig 17: tensor core performance (TFLOPS) vs square matrix size");
     let hw = HwModel::titan_v();
     let series: [(KernelClass, &str); 8] = [
@@ -68,23 +72,90 @@ fn main() {
         );
     }
 
-    // Simulator cross-check at small sizes: the ordering (TC kernels >
-    // HGEMM > SGEMM) must hold in the cycle-level model too.
-    println!("\nSimulator cross-check (256x256, achieved TFLOPS at 1.53 GHz):");
-    let mut rows = Vec::new();
-    let size = 256;
-    for (kernel, precision, label) in [
+    // Simulator cross-check at sizes the cycle-level model can reach: the
+    // ordering (TC kernels > HGEMM > SGEMM) must hold in the simulator
+    // across the size sweep too. All kernel×size points run concurrently
+    // through the sweep engine.
+    const SIM_SIZES: [usize; 5] = [64, 128, 192, 256, 320];
+    println!(
+        "\nSimulator cross-check (achieved TFLOPS at 1.53 GHz, {} threads):",
+        cli.threads
+    );
+    let variants = [
         (GemmKernel::Sgemm, GemmPrecision::Fp32, "SGEMM (FFMA)"),
         (GemmKernel::Hgemm, GemmPrecision::Fp16, "HGEMM (HFMA2)"),
         (GemmKernel::WmmaShared, GemmPrecision::MixedF32, "WMMA shared (TC)"),
-    ] {
-        let p = GemmProblem { precision, ..GemmProblem::square(size) };
-        let run = gemm_on(GpuConfig::titan_v(), p, kernel, false);
+    ];
+    let mut labelled: Vec<(usize, &str)> = Vec::new();
+    let mut points: Vec<(GemmProblem, GemmKernel)> = Vec::new();
+    for &(kernel, precision, label) in &variants {
+        for &size in &SIM_SIZES {
+            labelled.push((size, label));
+            points.push((GemmProblem { precision, ..GemmProblem::square(size) }, kernel));
+        }
+    }
+    let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (&(size, label), run) in labelled.iter().zip(&runs) {
         rows.push(vec![
             label.to_string(),
+            size.to_string(),
             run.stats.cycles.to_string(),
             fnum(run.tflops(), 2),
         ]);
+        let mut w = JsonWriter::object();
+        w.field_str("kernel", label);
+        w.field_u64("size", size as u64);
+        w.field_f64("tflops", run.tflops());
+        w.raw_field("sim", &run.stats.to_json());
+        json_rows.push(w.finish());
     }
-    print_table("sim @256", &["kernel", "cycles", "TFLOPS"], &rows);
+    print_table("sim cross-check", &["kernel", "size", "cycles", "TFLOPS"], &rows);
+    // At every size the tensor-core kernel must beat HGEMM, which must
+    // beat SGEMM (the paper's Fig 17 ordering).
+    let tflops_of = |label: &str, size: usize| {
+        labelled
+            .iter()
+            .zip(&runs)
+            .find(|(&(s, l), _)| s == size && l == label)
+            .map(|(_, run)| run.tflops())
+            .expect("point present")
+    };
+    for &size in &SIM_SIZES {
+        let sgemm = tflops_of("SGEMM (FFMA)", size);
+        let hgemm = tflops_of("HGEMM (HFMA2)", size);
+        let wmma = tflops_of("WMMA shared (TC)", size);
+        assert!(
+            wmma > hgemm && wmma > sgemm,
+            "tensor cores lost at {size}: wmma {wmma:.2} hgemm {hgemm:.2} sgemm {sgemm:.2}"
+        );
+        // HGEMM's half-precision advantage only materializes once the
+        // launch/stride overhead amortizes (the paper's curves cross at
+        // small sizes too).
+        if size >= 192 {
+            assert!(
+                hgemm > sgemm,
+                "HGEMM should beat SGEMM at {size}: {hgemm:.2} vs {sgemm:.2}"
+            );
+        }
+    }
+
+    if let Some(path) = &cli.json {
+        // Surrogate series plus the simulator cross-check rows.
+        let mut surrogate = Vec::new();
+        for (class, label) in series {
+            for &s in &FIG17_SIZES {
+                let mut w = JsonWriter::object();
+                w.field_str("kernel", label);
+                w.field_u64("size", s as u64);
+                w.field_f64("hw_tflops", hw.gemm_tflops(s, class));
+                surrogate.push(w.finish());
+            }
+        }
+        let mut top = JsonWriter::object();
+        top.raw_field("surrogate", &json_array(&surrogate));
+        top.raw_field("sim_crosscheck", &json_array(&json_rows));
+        write_results(path, &top.finish());
+    }
 }

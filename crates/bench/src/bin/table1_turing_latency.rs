@@ -1,11 +1,13 @@
 //! Table I — average cumulative cycles to execute all HMMA instructions
 //! up to SET n on Turing (RTX 2080), for every tile size and precision.
 
-use tcsim_bench::print_table;
+use tcsim_bench::{json_array, parse_cli, print_table, write_results};
 use tcsim_core::{mma_timing, turing_set_completions, TuringMode};
 use tcsim_isa::{Layout, WmmaDirective, WmmaShape, WmmaType};
+use tcsim_sim::JsonWriter;
 
 fn main() {
+    let cli = parse_cli();
     println!("Table I: Turing HMMA cumulative cycles per SET");
     let combos: [(WmmaShape, TuringMode, &str); 10] = [
         (WmmaShape::M16N16K16, TuringMode::F16AccF32, "16Bit (FP32 Acc)"),
@@ -20,6 +22,7 @@ fn main() {
         (WmmaShape::M8N8K32, TuringMode::Int4, "4Bit"),
     ];
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for (shape, mode, label) in combos {
         let c = turing_set_completions(shape, mode).expect("supported combo");
         let mut row = vec![shape.to_string(), label.to_string()];
@@ -27,12 +30,26 @@ fn main() {
             row.push(c.get(i).map(|v| v.to_string()).unwrap_or_else(|| "-".into()));
         }
         rows.push(row);
+        let mut w = JsonWriter::object();
+        w.field_str("tile", &shape.to_string());
+        w.field_str("precision", label);
+        w.raw_field(
+            "set_completions",
+            &format!(
+                "[{}]",
+                c.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            ),
+        );
+        json_rows.push(w.finish());
     }
     print_table(
         "Average cumulative clock cycles",
         &["tile", "precision", "SET 1", "SET 2", "SET 3", "SET 4"],
         &rows,
     );
+    if let Some(path) = &cli.json {
+        write_results(path, &json_array(&json_rows));
+    }
 
     // Derived observations the paper makes in §III-C2 / §III-D2.
     let volta_mixed = 54;

@@ -3,7 +3,112 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results).
 
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem, GemmRun};
-use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_sim::{Gpu, GpuConfig, Sweep};
+
+/// A deterministic xorshift64* pseudo-random generator for test-data
+/// generation (replaces the `rand` crate so the workspace builds with no
+/// network access to crates.io).
+///
+/// The sequence is fully determined by the seed, so benchmark inputs are
+/// reproducible across runs and platforms.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_bench::XorShift64Star;
+///
+/// let mut a = XorShift64Star::new(42);
+/// let mut b = XorShift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from a seed (a zero seed is remapped, as the
+    /// all-zero state is a fixed point of the xorshift recurrence).
+    pub fn new(seed: u64) -> XorShift64Star {
+        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream, which has the
+    /// better-mixed bits in xorshift*).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift range reduction; the modulo bias is < 2^-32 for
+        // the bounds used in tests.
+        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A minimal microbenchmark harness (replaces criterion, which cannot be
+/// fetched offline): calibrates an iteration count to roughly
+/// `budget_ms`, runs batches and reports best/median ns-per-iteration.
+///
+/// Results from `black_box`-style sinks are consumed via the return
+/// value, so the measured closure must return its result.
+pub fn bench_case<T>(name: &str, budget_ms: u64, mut f: impl FnMut() -> T) {
+    use std::time::Instant;
+    // Calibrate: double the batch size until one batch takes ≥ 1 ms.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_micros() >= 1000 || batch >= 1 << 24 {
+            break;
+        }
+        batch *= 2;
+    }
+    // Measure: as many batches as fit the budget (at least 3).
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
+    while samples.len() < 3 || (Instant::now() < deadline && samples.len() < 100) {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let best = samples[0];
+    let median = samples[samples.len() / 2];
+    println!("{name:<32} {median:>12.1} ns/iter (best {best:>12.1}, {} x{batch})", samples.len());
+}
 
 /// Prints an aligned plain-text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -38,6 +143,97 @@ pub fn fnum(v: f64, digits: usize) -> String {
 pub fn gemm_on(cfg: GpuConfig, problem: GemmProblem, kernel: GemmKernel, check: bool) -> GemmRun {
     let mut gpu = Gpu::new(cfg);
     run_gemm(&mut gpu, problem, kernel, check)
+}
+
+/// Runs a batch of GEMM points through the parallel sweep engine and
+/// returns the runs in submission order (identical to calling [`gemm_on`]
+/// per point — see the determinism contract of [`tcsim_sim::Sweep`]).
+///
+/// Jobs are weighted by `m·n·k` so the scheduler starts the heaviest
+/// problems first; with skewed size sweeps (Fig 14/17) this is what makes
+/// the wall-clock approach `total_work / max_size` instead of serializing
+/// behind the largest point. `threads == 1` runs serially.
+pub fn gemm_sweep(
+    cfg: &GpuConfig,
+    points: &[(GemmProblem, GemmKernel)],
+    check: bool,
+    threads: usize,
+) -> Vec<GemmRun> {
+    let mut sweep = Sweep::new();
+    for &(problem, kernel) in points {
+        let weight = (problem.m as u64) * (problem.n as u64) * (problem.k as u64);
+        sweep.add_weighted(cfg.clone(), weight, move |gpu| {
+            run_gemm(gpu, problem, kernel, check)
+        });
+    }
+    let outcome = if threads <= 1 {
+        sweep.run_serial()
+    } else {
+        sweep.run_parallel(threads)
+    };
+    outcome.results
+}
+
+/// Command-line options shared by the figure/table binaries.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    /// `--json <path>`: also write machine-readable results there.
+    pub json: Option<String>,
+    /// `--threads <n>`: worker threads for sweep-based binaries
+    /// (default: the machine's available parallelism).
+    pub threads: usize,
+}
+
+/// Parses `--json <path>` and `--threads <n>` from `std::env::args`,
+/// ignoring unknown arguments (binaries stay driveable from scripts that
+/// pass extra flags).
+///
+/// # Panics
+///
+/// Panics if a recognized flag is missing its value or `--threads` is not
+/// a number.
+pub fn parse_cli() -> CliArgs {
+    let mut out = CliArgs { json: None, threads: default_threads() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                out.json = Some(args.next().expect("--json requires a path"));
+            }
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .expect("--threads requires a count")
+                    .parse()
+                    .expect("--threads must be a number");
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Wraps pre-serialized JSON values into an array.
+pub fn json_array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Writes `content` to `path`, creating parent directories (the binaries
+/// default to `results/*.json`), and prints the destination.
+pub fn write_results(path: &str, content: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(p, content).expect("write results file");
+    println!("wrote {path}");
 }
 
 /// Renders a multi-series chart as ASCII art: one column per x position,
@@ -112,6 +308,34 @@ pub const FIG17_SIZES: [usize; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nondegenerate() {
+        let mut r = XorShift64Star::new(7);
+        let first: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        let mut r2 = XorShift64Star::new(7);
+        let second: Vec<u64> = (0..8).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, second);
+        // All distinct, none zero (period 2^64 - 1, zero never output
+        // scaled by the odd multiplier only for the zero state).
+        for w in first.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        let mut r3 = XorShift64Star::new(0);
+        assert_ne!(r3.next_u64(), 0, "zero seed must be remapped");
+    }
+
+    #[test]
+    fn xorshift_bounds_respected() {
+        let mut r = XorShift64Star::new(123);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            let v = r.range_i64(-5, 6);
+            assert!((-5..6).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
 
     #[test]
     fn fnum_formats() {

@@ -29,6 +29,15 @@ use tcsim_isa::{
 type MapKey = (bool, FragmentKind, WmmaShape, WmmaType, Layout);
 type LaneRuns = Vec<Vec<(u64, u8)>>;
 
+// Thread-safety invariant (parallel sweep engine): these caches are
+// `thread_local!`, so each sweep worker thread builds and consults its own
+// private copy. Both caches memoize *pure* functions of their keys — a
+// `FragmentMap` depends only on (arch, fragment, shape, type, layout) and
+// the access runs additionally only on the stride — so per-worker copies
+// are always mutually consistent and simulation results cannot depend on
+// which thread executed a launch. The `Rc` values never cross threads
+// (the cache and every handle into it live and die on one worker), which
+// is what keeps this sound without `Arc`.
 thread_local! {
     /// Fragment mappings are pure functions of their qualifiers and are
     /// consulted on every executed wmma instruction; memoize them.
@@ -522,6 +531,21 @@ mod tests {
                 assert_eq!(got, expect, "({r},{c})");
             }
         }
+    }
+
+    #[test]
+    fn thread_local_caches_agree_across_threads() {
+        // Sweep workers each hold a private MAP_CACHE; the memoized
+        // mappings are pure, so every thread must compute identical maps.
+        let key = (FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, Layout::Row);
+        let here = cached_map(true, key.0, key.1, key.2, key.3);
+        let there = std::thread::spawn(move || {
+            let m = cached_map(true, key.0, key.1, key.2, key.3);
+            (*m).clone()
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(*here, there);
     }
 
     #[test]

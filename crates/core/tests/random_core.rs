@@ -1,0 +1,238 @@
+//! Randomized tests for the tensor-core model: the HMMA set/step
+//! decomposition must be bit-identical to the atomic tile semantics for
+//! arbitrary operand values, and fragment load→store roundtrips must
+//! preserve matrices exactly. Inputs come from a deterministic
+//! xorshift64* generator (no external crates).
+
+use tcsim_core::{
+    execute_setwise_turing, execute_stepwise_volta, gather_tile, mma_reference, FragmentMap,
+    TensorCoreModel, Tile,
+};
+use tcsim_f16::F16;
+use tcsim_isa::exec::WmmaHandler;
+use tcsim_isa::{
+    ByteMemory, FragmentKind, Layout, Reg, VecMemory, WarpRegFile, WmmaDirective, WmmaShape,
+    WmmaType,
+};
+
+/// Deterministic xorshift64* PRNG (kept local so the crate has no
+/// external dev-dependencies).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (((self.next_u64() >> 32).wrapping_mul((hi - lo + 1) as u64)) >> 32) as i32
+    }
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A tile of small f16 values in [-16, 16] (exact in f16).
+fn f16_tile(rng: &mut Rng, frag: FragmentKind, shape: WmmaShape) -> Tile {
+    let (r, c) = frag.dims(shape);
+    let mut t = Tile::for_fragment(frag, shape, WmmaType::F16);
+    for rr in 0..r {
+        for cc in 0..c {
+            t.set_f16(rr, cc, F16::from_f32(rng.range_i32(-64, 64) as f32 / 4.0));
+        }
+    }
+    t
+}
+
+fn f32_tile(rng: &mut Rng, frag: FragmentKind, shape: WmmaShape) -> Tile {
+    let (r, c) = frag.dims(shape);
+    let mut t = Tile::for_fragment(frag, shape, WmmaType::F32);
+    for rr in 0..r {
+        for cc in 0..c {
+            t.set_f32(rr, cc, rng.range_i32(-1000, 1000) as f32 / 8.0);
+        }
+    }
+    t
+}
+
+fn int_tile(rng: &mut Rng, frag: FragmentKind, shape: WmmaShape, ty: WmmaType) -> Tile {
+    let (r, c) = frag.dims(shape);
+    let mut t = Tile::for_fragment(frag, shape, ty);
+    for rr in 0..r {
+        for cc in 0..c {
+            t.set_i32(rr, cc, rng.next_u32() as i32);
+        }
+    }
+    t
+}
+
+const CASES: usize = 32;
+
+#[test]
+fn volta_stepwise_equals_atomic_mixed() {
+    let mut rng = Rng::new(0xC04E1);
+    for _ in 0..CASES {
+        let a = f16_tile(&mut rng, FragmentKind::A, WmmaShape::M16N16K16);
+        let b = f16_tile(&mut rng, FragmentKind::B, WmmaShape::M16N16K16);
+        let c = f32_tile(&mut rng, FragmentKind::C, WmmaShape::M16N16K16);
+        let want = mma_reference(&a, &b, &c, WmmaType::F32);
+        let got = execute_stepwise_volta(&a, &b, &c, WmmaType::F32);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn volta_stepwise_equals_atomic_fp16() {
+    let mut rng = Rng::new(0xC04E2);
+    for _ in 0..CASES {
+        let a = f16_tile(&mut rng, FragmentKind::A, WmmaShape::M16N16K16);
+        let b = f16_tile(&mut rng, FragmentKind::B, WmmaShape::M16N16K16);
+        let c = f16_tile(&mut rng, FragmentKind::C, WmmaShape::M16N16K16);
+        let want = mma_reference(&a, &b, &c, WmmaType::F16);
+        let got = execute_stepwise_volta(&a, &b, &c, WmmaType::F16);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn turing_setwise_equals_atomic_int8() {
+    let mut rng = Rng::new(0xC04E3);
+    for _ in 0..CASES {
+        let a = int_tile(&mut rng, FragmentKind::A, WmmaShape::M32N8K16, WmmaType::S8);
+        let b = int_tile(&mut rng, FragmentKind::B, WmmaShape::M32N8K16, WmmaType::S8);
+        let c = int_tile(&mut rng, FragmentKind::C, WmmaShape::M32N8K16, WmmaType::S32);
+        let want = mma_reference(&a, &b, &c, WmmaType::S32);
+        let got = execute_setwise_turing(&a, &b, &c, WmmaType::S32, WmmaShape::M32N8K16);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn turing_setwise_equals_atomic_fp16_tall_tile() {
+    let mut rng = Rng::new(0xC04E4);
+    for _ in 0..CASES {
+        let a = f16_tile(&mut rng, FragmentKind::A, WmmaShape::M8N32K16);
+        let b = f16_tile(&mut rng, FragmentKind::B, WmmaShape::M8N32K16);
+        let c = f16_tile(&mut rng, FragmentKind::C, WmmaShape::M8N32K16);
+        let want = mma_reference(&a, &b, &c, WmmaType::F16);
+        let got = execute_setwise_turing(&a, &b, &c, WmmaType::F16, WmmaShape::M8N32K16);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn load_store_roundtrip_preserves_matrix() {
+    let mut rng = Rng::new(0xC04E5);
+    for _ in 0..CASES {
+        let vals: Vec<u16> = (0..256).map(|_| rng.next_u16()).collect();
+        let volta = rng.next_bool();
+        let load_layout = if rng.next_bool() { Layout::Row } else { Layout::Col };
+        let store_layout = if rng.next_bool() { Layout::Row } else { Layout::Col };
+        // D fragments only exist in f16/f32/s32; use a C-load + D-store of
+        // the same f32 data through fragments.
+        let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+        let shape = WmmaShape::M16N16K16;
+        let mut mem = VecMemory::new();
+        for (i, &v) in vals.iter().enumerate() {
+            mem.write_u32((i * 4) as u64, v as u32);
+        }
+        let mut regs = WarpRegFile::new(16);
+        model.wmma_load(
+            &WmmaDirective::Load {
+                frag: FragmentKind::C,
+                shape,
+                layout: load_layout,
+                ty: WmmaType::F32,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
+        );
+        model.wmma_store(
+            &WmmaDirective::Store { shape, layout: store_layout, ty: WmmaType::F32 },
+            Reg(0),
+            0x1000,
+            16,
+            &mut mem,
+            &regs,
+        );
+        for r in 0..16usize {
+            for c in 0..16usize {
+                let src = match load_layout {
+                    Layout::Row => r * 16 + c,
+                    Layout::Col => c * 16 + r,
+                };
+                let dst = match store_layout {
+                    Layout::Row => r * 16 + c,
+                    Layout::Col => c * 16 + r,
+                };
+                assert_eq!(mem.read_u32(0x1000 + (dst * 4) as u64), vals[src] as u32, "({r},{c})");
+            }
+        }
+    }
+}
+
+#[test]
+fn volta_double_loaded_fragments_are_consistent() {
+    let mut rng = Rng::new(0xC04E6);
+    for _ in 0..CASES {
+        let vals: Vec<u16> = (0..256).map(|_| rng.next_u16()).collect();
+        // Both holders of each A element must end up with identical bits,
+        // and gather_tile must reconstruct the source matrix.
+        let model = TensorCoreModel::volta();
+        let shape = WmmaShape::M16N16K16;
+        let mut mem = VecMemory::new();
+        for (i, &v) in vals.iter().enumerate() {
+            mem.write_u16((i * 2) as u64, v);
+        }
+        let mut regs = WarpRegFile::new(8);
+        let map = FragmentMap::volta(FragmentKind::A, WmmaType::F16, Layout::Row);
+        model.wmma_load(
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::F16,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
+        );
+        let tile = gather_tile(&model, &map, Reg(0), &regs);
+        for r in 0..16u8 {
+            for c in 0..16u8 {
+                let owners = map.owners(r, c);
+                assert_eq!(owners.len(), 2);
+                let bits: Vec<u32> = owners
+                    .iter()
+                    .map(|&(lane, slot)| {
+                        tcsim_core::functional::read_frag_elem(&regs, lane, Reg(0), slot, 16)
+                    })
+                    .collect();
+                assert_eq!(bits[0], bits[1]);
+                assert_eq!(bits[0] as u16, vals[(r as usize) * 16 + c as usize]);
+                assert_eq!(
+                    tile.get_bits(r as usize, c as usize) as u16,
+                    vals[(r as usize) * 16 + c as usize]
+                );
+            }
+        }
+    }
+}

@@ -9,8 +9,7 @@ use crate::problem::{
     GemmPrecision, GemmProblem,
 };
 use tcsim_f16::F16;
-use tcsim_isa::LaunchConfig;
-use tcsim_sim::{Gpu, LaunchStats};
+use tcsim_sim::{Gpu, HasLaunchStats, LaunchBuilder, LaunchStats};
 
 /// Which kernel implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +67,12 @@ impl GemmRun {
     /// Achieved TFLOPS.
     pub fn tflops(&self) -> f64 {
         self.stats.tflops(self.problem.flops())
+    }
+}
+
+impl HasLaunchStats for GemmRun {
+    fn launch_stats(&self) -> &LaunchStats {
+        &self.stats
     }
 }
 
@@ -129,45 +134,35 @@ pub fn run_gemm(gpu: &mut Gpu, problem: GemmProblem, kernel: GemmKernel, check: 
     gpu.memcpy_h2d(pb, &b_bytes);
     gpu.memcpy_h2d(pc, &c_bytes);
 
-    let mut params = Vec::new();
-    params.extend_from_slice(&pa.to_le_bytes());
-    params.extend_from_slice(&pb.to_le_bytes());
-    params.extend_from_slice(&pc.to_le_bytes());
-    params.extend_from_slice(&pd.to_le_bytes());
-    params.extend_from_slice(&(n as u32).to_le_bytes());
-    params.extend_from_slice(&(k as u32).to_le_bytes());
-
-    let (kern, launch) = match kernel {
-        GemmKernel::WmmaSimple => (
-            wmma_simple_gemm(fp16_out),
-            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), 32u32),
-        ),
-        GemmKernel::WmmaShared => (
-            wmma_shared_gemm(fp16_out),
-            LaunchConfig::new(((n / 32) as u32, (m / 32) as u32), 128u32),
-        ),
-        GemmKernel::Cutlass(cfg) => (
-            cutlass_gemm(cfg),
-            LaunchConfig::new(
-                ((n / cfg.cta_n) as u32, (m / cfg.cta_m) as u32),
-                cfg.threads() as u32,
-            ),
-        ),
-        GemmKernel::Sgemm => (
-            sgemm(),
-            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), (16u32, 16u32)),
-        ),
-        GemmKernel::Hgemm => (
-            hgemm(),
-            LaunchConfig::new(((n / 32) as u32, (m / 16) as u32), (16u32, 16u32)),
-        ),
-        GemmKernel::IgemmWmma => (
-            igemm_wmma(),
-            LaunchConfig::new(((n / 16) as u32, (m / 16) as u32), 32u32),
-        ),
+    let builder = match kernel {
+        GemmKernel::WmmaSimple => LaunchBuilder::new(wmma_simple_gemm(fp16_out))
+            .grid(((n / 16) as u32, (m / 16) as u32))
+            .block(32u32),
+        GemmKernel::WmmaShared => LaunchBuilder::new(wmma_shared_gemm(fp16_out))
+            .grid(((n / 32) as u32, (m / 32) as u32))
+            .block(128u32),
+        GemmKernel::Cutlass(cfg) => LaunchBuilder::new(cutlass_gemm(cfg))
+            .grid(((n / cfg.cta_n) as u32, (m / cfg.cta_m) as u32))
+            .block(cfg.threads() as u32),
+        GemmKernel::Sgemm => LaunchBuilder::new(sgemm())
+            .grid(((n / 16) as u32, (m / 16) as u32))
+            .block((16u32, 16u32)),
+        GemmKernel::Hgemm => LaunchBuilder::new(hgemm())
+            .grid(((n / 32) as u32, (m / 16) as u32))
+            .block((16u32, 16u32)),
+        GemmKernel::IgemmWmma => LaunchBuilder::new(igemm_wmma())
+            .grid(((n / 16) as u32, (m / 16) as u32))
+            .block(32u32),
     };
 
-    let stats = gpu.launch(kern, launch, &params);
+    let stats = builder
+        .param_u64(pa)
+        .param_u64(pb)
+        .param_u64(pc)
+        .param_u64(pd)
+        .param_u32(n as u32)
+        .param_u32(k as u32)
+        .launch(gpu);
 
     let max_abs_err = if check {
         let reference = reference_gemm(&problem, seed_a, seed_b, seed_c);

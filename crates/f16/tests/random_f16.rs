@@ -1,0 +1,251 @@
+//! Randomized tests for the binary16 implementation, driven by a
+//! deterministic xorshift64* generator (no external crates).
+
+use tcsim_f16::{F16, F16x2};
+
+/// Deterministic xorshift64* PRNG (same recurrence as
+/// `tcsim_bench::XorShift64Star`; duplicated here so the leaf crate stays
+/// dependency-free).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+    fn next_f32(&mut self) -> f32 {
+        f32::from_bits((self.next_u64() >> 32) as u32)
+    }
+}
+
+/// Arbitrary f16 bit pattern (including NaN/inf/subnormal).
+fn any_f16(rng: &mut Rng) -> F16 {
+    F16::from_bits(rng.next_u16())
+}
+
+/// Finite, non-NaN f16 value (rejection sampled).
+fn finite_f16(rng: &mut Rng) -> F16 {
+    loop {
+        let v = any_f16(rng);
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+const CASES: usize = 4000;
+
+#[test]
+fn to_f32_roundtrip() {
+    let mut rng = Rng::new(0xF16A);
+    for _ in 0..CASES {
+        let h = any_f16(&mut rng);
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            assert!(back.is_nan());
+        } else {
+            assert_eq!(back.to_bits(), h.to_bits());
+        }
+    }
+}
+
+#[test]
+fn from_f32_matches_f64_path() {
+    // Rounding f32→f16 must agree with the f64→f16 path, since f32→f64
+    // is exact.
+    let mut rng = Rng::new(0xF16B);
+    for _ in 0..CASES {
+        let x = rng.next_f32();
+        let a = F16::from_f32(x);
+        let b = F16::from_f64(x as f64);
+        if a.is_nan() {
+            assert!(b.is_nan());
+        } else {
+            assert_eq!(a.to_bits(), b.to_bits(), "x={x}");
+        }
+    }
+}
+
+#[test]
+fn addition_is_commutative() {
+    let mut rng = Rng::new(0xF16C);
+    for _ in 0..CASES {
+        let (a, b) = (any_f16(&mut rng), any_f16(&mut rng));
+        let x = a + b;
+        let y = b + a;
+        if x.is_nan() {
+            assert!(y.is_nan());
+        } else {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn multiplication_is_commutative() {
+    let mut rng = Rng::new(0xF16D);
+    for _ in 0..CASES {
+        let (a, b) = (any_f16(&mut rng), any_f16(&mut rng));
+        let x = a * b;
+        let y = b * a;
+        if x.is_nan() {
+            assert!(y.is_nan());
+        } else {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn add_zero_is_identity() {
+    let mut rng = Rng::new(0xF16E);
+    for _ in 0..CASES {
+        let a = finite_f16(&mut rng);
+        assert_eq!((a + F16::ZERO).to_f32(), a.to_f32());
+    }
+}
+
+#[test]
+fn mul_one_is_identity() {
+    let mut rng = Rng::new(0xF16F);
+    for _ in 0..CASES {
+        let a = finite_f16(&mut rng);
+        assert_eq!((a * F16::ONE).to_f32(), a.to_f32());
+    }
+}
+
+#[test]
+fn subtraction_of_self_is_zero() {
+    let mut rng = Rng::new(0xF170);
+    for _ in 0..CASES {
+        let a = finite_f16(&mut rng);
+        assert!((a - a).is_zero());
+    }
+}
+
+#[test]
+fn negation_flips_sign_bit_only() {
+    let mut rng = Rng::new(0xF171);
+    for _ in 0..CASES {
+        let a = any_f16(&mut rng);
+        assert_eq!((-a).to_bits(), a.to_bits() ^ 0x8000);
+    }
+}
+
+#[test]
+fn result_is_correctly_rounded_add() {
+    // The f16 sum must be the representable value nearest the exact sum
+    // (checked against exact f64 math, which is exact for f16 inputs).
+    let mut rng = Rng::new(0xF172);
+    for _ in 0..CASES {
+        let (a, b) = (finite_f16(&mut rng), finite_f16(&mut rng));
+        let exact = a.to_f64() + b.to_f64();
+        let got = (a + b).to_f64();
+        if got.is_finite() {
+            // Nearest: no other representable f16 may be strictly closer.
+            let err = (got - exact).abs();
+            let up = F16::from_bits((a + b).to_bits().wrapping_add(1));
+            let dn = F16::from_bits((a + b).to_bits().wrapping_sub(1));
+            for n in [up, dn] {
+                if n.is_finite() {
+                    assert!((n.to_f64() - exact).abs() >= err, "a={a:?} b={b:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn result_is_correctly_rounded_mul() {
+    let mut rng = Rng::new(0xF173);
+    for _ in 0..CASES {
+        let (a, b) = (finite_f16(&mut rng), finite_f16(&mut rng));
+        let exact = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        if got.is_finite() && exact.is_finite() {
+            let err = (got - exact).abs();
+            let up = F16::from_bits((a * b).to_bits().wrapping_add(1));
+            let dn = F16::from_bits((a * b).to_bits().wrapping_sub(1));
+            for n in [up, dn] {
+                if n.is_finite() {
+                    assert!((n.to_f64() - exact).abs() >= err, "a={a:?} b={b:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn abs_clears_sign() {
+    let mut rng = Rng::new(0xF174);
+    for _ in 0..CASES {
+        let a = any_f16(&mut rng);
+        assert!(!a.abs().is_sign_negative());
+    }
+}
+
+#[test]
+fn min_max_bracket() {
+    let mut rng = Rng::new(0xF175);
+    for _ in 0..CASES {
+        let (a, b) = (finite_f16(&mut rng), finite_f16(&mut rng));
+        let lo = a.min(b);
+        let hi = a.max(b);
+        assert!(lo <= hi);
+        assert!(lo == a || lo == b || (lo.is_zero() && (a.is_zero() || b.is_zero())));
+    }
+}
+
+#[test]
+fn total_order_is_consistent_with_partial_order() {
+    let mut rng = Rng::new(0xF176);
+    for _ in 0..CASES {
+        let (a, b) = (finite_f16(&mut rng), finite_f16(&mut rng));
+        if a < b {
+            assert!(a.total_order_key() < b.total_order_key() || (a.is_zero() && b.is_zero()));
+        }
+    }
+}
+
+#[test]
+fn f16x2_pack_unpack() {
+    let mut rng = Rng::new(0xF177);
+    for _ in 0..CASES {
+        let (lo, hi) = (any_f16(&mut rng), any_f16(&mut rng));
+        let v = F16x2::new(lo, hi);
+        assert_eq!(v.lo().to_bits(), lo.to_bits());
+        assert_eq!(v.hi().to_bits(), hi.to_bits());
+    }
+}
+
+#[test]
+fn f16x2_hfma2_matches_scalar() {
+    let mut rng = Rng::new(0xF178);
+    for _ in 0..CASES {
+        let a0 = finite_f16(&mut rng);
+        let a1 = finite_f16(&mut rng);
+        let b0 = finite_f16(&mut rng);
+        let b1 = finite_f16(&mut rng);
+        let c0 = finite_f16(&mut rng);
+        let c1 = finite_f16(&mut rng);
+        let r = F16x2::new(a0, a1).hfma2(F16x2::new(b0, b1), F16x2::new(c0, c1));
+        let s0 = a0.mul_add(b0, c0);
+        let s1 = a1.mul_add(b1, c1);
+        if !s0.is_nan() {
+            assert_eq!(r.lo().to_bits(), s0.to_bits());
+        }
+        if !s1.is_nan() {
+            assert_eq!(r.hi().to_bits(), s1.to_bits());
+        }
+    }
+}

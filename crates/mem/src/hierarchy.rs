@@ -171,6 +171,16 @@ impl L1Path {
 mod tests {
     use super::*;
 
+    #[test]
+    fn mem_system_and_device_memory_are_send() {
+        // The parallel sweep engine moves whole memory systems across
+        // worker threads (one GPU per job); a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<MemSystem>();
+        assert_send::<crate::DeviceMemory>();
+        assert_send::<crate::L1Path>();
+    }
+
     fn txn(addr: u64) -> Transaction {
         Transaction { addr, bytes: 32, lane_mask: 1 }
     }

@@ -2,19 +2,23 @@
 //! event skipping, and launch statistics.
 
 use crate::config::GpuConfig;
+use crate::launch::LaunchBuilder;
 use crate::stats::LaunchStats;
-use std::rc::Rc;
+use std::sync::Arc;
 use tcsim_isa::{ByteMemory, Kernel, LaunchConfig};
 use tcsim_mem::{DeviceMemory, MemSystem};
 use tcsim_sm::{LaunchSpec, Sm};
 
 /// A simulated GPU: SMs, the shared memory system, and device memory.
 ///
+/// Kernels are launched through the typed [`LaunchBuilder`] API; for
+/// running many independent launches concurrently see [`crate::Sweep`].
+///
 /// # Example
 ///
 /// ```
-/// use tcsim_sim::{Gpu, GpuConfig};
-/// use tcsim_isa::{KernelBuilder, LaunchConfig, Operand, SpecialReg, MemWidth};
+/// use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
+/// use tcsim_isa::{KernelBuilder, Operand, SpecialReg, MemWidth};
 ///
 /// let mut gpu = Gpu::new(GpuConfig::mini());
 /// let out = gpu.alloc(32 * 4);
@@ -30,7 +34,11 @@ use tcsim_sm::{LaunchSpec, Sm};
 /// b.st_global(MemWidth::B32, addr, 0, tid);
 /// b.exit();
 ///
-/// let stats = gpu.launch(b.build(), LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+/// let stats = LaunchBuilder::new(b.build())
+///     .grid(1u32)
+///     .block(32u32)
+///     .param_u64(out)
+///     .launch(&mut gpu);
 /// assert!(stats.cycles > 0);
 /// assert_eq!(gpu.read_u32(out + 4 * 7), 7);
 /// ```
@@ -107,7 +115,31 @@ impl Gpu {
         &mut self.device
     }
 
-    /// Runs one kernel to completion and returns its statistics.
+    /// Runs one kernel to completion with a raw, pre-packed parameter
+    /// buffer.
+    ///
+    /// Deprecated: the raw byte convention silently accepts mis-packed
+    /// parameters. Use [`LaunchBuilder`] instead, which validates each
+    /// argument against the kernel's declared parameter layout:
+    ///
+    /// ```text
+    /// LaunchBuilder::new(kernel).grid(g).block(b).param_u64(ptr).launch(&mut gpu)
+    /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use LaunchBuilder::new(kernel).grid(..).block(..).param_*(..).launch(gpu)"
+    )]
+    pub fn launch(&mut self, kernel: Kernel, launch: LaunchConfig, params: &[u8]) -> LaunchStats {
+        LaunchBuilder::new(kernel)
+            .grid(launch.grid)
+            .block(launch.block)
+            .dynamic_shared(launch.shared_bytes)
+            .raw_params(params)
+            .launch(self)
+    }
+
+    /// Runs one kernel to completion and returns its statistics — the
+    /// engine behind [`LaunchBuilder::launch`].
     ///
     /// Caches are flushed at the launch boundary, as a fresh simulation in
     /// GPGPU-Sim would be.
@@ -116,10 +148,15 @@ impl Gpu {
     ///
     /// Panics if a CTA cannot ever fit on an SM (resource over-
     /// subscription) or the simulation exceeds an internal watchdog.
-    pub fn launch(&mut self, kernel: Kernel, launch: LaunchConfig, params: &[u8]) -> LaunchStats {
+    pub(crate) fn run_kernel(
+        &mut self,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        params: Vec<u8>,
+    ) -> LaunchStats {
         let spec = LaunchSpec {
-            kernel: Rc::new(kernel),
-            params: Rc::new(params.to_vec()),
+            kernel: Arc::new(kernel),
+            params: Arc::new(params),
             launch,
         };
         let req = spec.cta_requirements();
@@ -242,15 +279,22 @@ mod tests {
     }
 
     #[test]
+    fn gpu_is_send() {
+        // The sweep engine moves whole GPUs into worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Gpu>();
+    }
+
+    #[test]
     fn multi_cta_grid_covers_all_elements() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let n = 1024u32;
         let out = gpu.alloc(n as u64 * 4);
-        let stats = gpu.launch(
-            ids_kernel(),
-            LaunchConfig::new(n / 128, 128u32),
-            &out.to_le_bytes(),
-        );
+        let stats = LaunchBuilder::new(ids_kernel())
+            .grid(n / 128)
+            .block(128u32)
+            .param_u64(out)
+            .launch(&mut gpu);
         for i in 0..n {
             assert_eq!(gpu.read_u32(out + 4 * i as u64), i, "element {i}");
         }
@@ -259,15 +303,37 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_raw_launch_matches_builder() {
+        let n = 256u32;
+        let mut gpu_a = Gpu::new(GpuConfig::mini());
+        let out_a = gpu_a.alloc(n as u64 * 4);
+        let a = LaunchBuilder::new(ids_kernel())
+            .grid(n / 128)
+            .block(128u32)
+            .param_u64(out_a)
+            .launch(&mut gpu_a);
+
+        let mut gpu_b = Gpu::new(GpuConfig::mini());
+        let out_b = gpu_b.alloc(n as u64 * 4);
+        #[allow(deprecated)]
+        let b = gpu_b.launch(
+            ids_kernel(),
+            LaunchConfig::new(n / 128, 128u32),
+            &out_b.to_le_bytes(),
+        );
+        assert_eq!(a, b, "raw shim must forward to the same engine");
+    }
+
+    #[test]
     fn more_ctas_than_capacity_drain_in_waves() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let n = 64 * 256u32; // 64 CTAs of 256 threads on 2 SMs
         let out = gpu.alloc(n as u64 * 4);
-        let stats = gpu.launch(
-            ids_kernel(),
-            LaunchConfig::new(64u32, 256u32),
-            &out.to_le_bytes(),
-        );
+        let stats = LaunchBuilder::new(ids_kernel())
+            .grid(64u32)
+            .block(256u32)
+            .param_u64(out)
+            .launch(&mut gpu);
         assert_eq!(stats.sm.ctas_completed, 64);
         assert_eq!(gpu.read_u32(out + 4 * (n as u64 - 1)), n - 1);
     }
@@ -276,8 +342,16 @@ mod tests {
     fn larger_grids_take_more_cycles() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let out = gpu.alloc(1 << 20);
-        let small = gpu.launch(ids_kernel(), LaunchConfig::new(4u32, 128u32), &out.to_le_bytes());
-        let big = gpu.launch(ids_kernel(), LaunchConfig::new(256u32, 128u32), &out.to_le_bytes());
+        let small = LaunchBuilder::new(ids_kernel())
+            .grid(4u32)
+            .block(128u32)
+            .param_u64(out)
+            .launch(&mut gpu);
+        let big = LaunchBuilder::new(ids_kernel())
+            .grid(256u32)
+            .block(128u32)
+            .param_u64(out)
+            .launch(&mut gpu);
         assert!(big.cycles > small.cycles);
         assert!(big.instructions > small.instructions);
     }
@@ -289,14 +363,21 @@ mod tests {
         let mut b = KernelBuilder::new("big");
         b.shared_alloc(200 * 1024);
         b.exit();
-        let _ = gpu.launch(b.build(), LaunchConfig::new(1u32, 32u32), &[]);
+        let _ = LaunchBuilder::new(b.build())
+            .grid(1u32)
+            .block(32u32)
+            .launch(&mut gpu);
     }
 
     #[test]
     fn stats_track_memory_traffic() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let out = gpu.alloc(4096);
-        let stats = gpu.launch(ids_kernel(), LaunchConfig::new(8u32, 128u32), &out.to_le_bytes());
+        let stats = LaunchBuilder::new(ids_kernel())
+            .grid(8u32)
+            .block(128u32)
+            .param_u64(out)
+            .launch(&mut gpu);
         assert!(stats.sm.global_txns > 0);
         assert!(stats.l2.accesses() > 0);
     }

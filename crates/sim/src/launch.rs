@@ -1,0 +1,301 @@
+//! Typed kernel-launch API.
+//!
+//! [`LaunchBuilder`] replaces the raw-bytes convention
+//! (`gpu.launch(kernel, cfg, &ptr.to_le_bytes())`) with a builder that
+//! packs parameters with the same natural-alignment rules the
+//! `KernelBuilder` uses to lay them out, and validates each one against
+//! the kernel's declared parameter list — size mismatches and missing or
+//! extra parameters panic at launch-build time instead of silently
+//! corrupting the `.param` space.
+
+use crate::gpu::Gpu;
+use crate::stats::LaunchStats;
+use tcsim_isa::{Dim3, Kernel, LaunchConfig};
+
+/// Builder for one kernel launch: grid/block geometry plus typed,
+/// validated kernel parameters.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
+/// use tcsim_isa::{KernelBuilder, MemWidth, Operand, SpecialReg};
+///
+/// let mut gpu = Gpu::new(GpuConfig::mini());
+/// let out = gpu.alloc(32 * 4);
+///
+/// let mut b = KernelBuilder::new("ids");
+/// let p = b.param_u64("out");
+/// let base = b.reg_pair();
+/// b.ld_param(MemWidth::B64, base, p);
+/// let tid = b.reg();
+/// b.mov(tid, Operand::Special(SpecialReg::TidX));
+/// let addr = b.reg_pair();
+/// b.imad_wide(addr, tid, Operand::Imm(4), base);
+/// b.st_global(MemWidth::B32, addr, 0, tid);
+/// b.exit();
+///
+/// let stats = LaunchBuilder::new(b.build())
+///     .grid(1u32)
+///     .block(32u32)
+///     .param_u64(out)
+///     .launch(&mut gpu);
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.read_u32(out + 4 * 7), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LaunchBuilder {
+    kernel: Kernel,
+    grid: Option<Dim3>,
+    block: Option<Dim3>,
+    dynamic_shared: u32,
+    params: Vec<u8>,
+    next_param: usize,
+    raw: bool,
+}
+
+impl LaunchBuilder {
+    /// Starts a launch of `kernel` with no geometry and no parameters.
+    pub fn new(kernel: Kernel) -> LaunchBuilder {
+        LaunchBuilder {
+            kernel,
+            grid: None,
+            block: None,
+            dynamic_shared: 0,
+            params: Vec::new(),
+            next_param: 0,
+            raw: false,
+        }
+    }
+
+    /// Sets the grid dimensions (`u32`, `(u32, u32)` or `(u32, u32, u32)`).
+    pub fn grid(mut self, g: impl Into<Dim3>) -> LaunchBuilder {
+        self.grid = Some(g.into());
+        self
+    }
+
+    /// Sets the CTA (block) dimensions.
+    pub fn block(mut self, b: impl Into<Dim3>) -> LaunchBuilder {
+        self.block = Some(b.into());
+        self
+    }
+
+    /// Requests `bytes` of dynamic shared memory per CTA, on top of the
+    /// kernel's static allocation.
+    pub fn dynamic_shared(mut self, bytes: u32) -> LaunchBuilder {
+        self.dynamic_shared = bytes;
+        self
+    }
+
+    fn push_param(&mut self, bytes_len: u32, le: &[u8]) {
+        assert!(
+            !self.raw,
+            "kernel {}: cannot mix typed params with raw_params",
+            self.kernel.name()
+        );
+        let descs = self.kernel.params();
+        assert!(
+            self.next_param < descs.len(),
+            "kernel {} declares {} parameter(s); extra {}-byte argument supplied",
+            self.kernel.name(),
+            descs.len(),
+            bytes_len
+        );
+        let desc = &descs[self.next_param];
+        assert!(
+            desc.bytes == bytes_len,
+            "kernel {} parameter `{}` is {} bytes, argument is {} bytes",
+            self.kernel.name(),
+            desc.name,
+            desc.bytes,
+            bytes_len
+        );
+        // Pad to the declared offset: identical to KernelBuilder's
+        // natural-alignment layout, so the cursor always lands exactly.
+        self.params.resize(desc.offset as usize, 0);
+        self.params.extend_from_slice(le);
+        self.next_param += 1;
+    }
+
+    /// Appends a 32-bit parameter (little-endian, naturally aligned).
+    pub fn param_u32(mut self, v: u32) -> LaunchBuilder {
+        self.push_param(4, &v.to_le_bytes());
+        self
+    }
+
+    /// Appends a 64-bit parameter — device pointers and sizes.
+    pub fn param_u64(mut self, v: u64) -> LaunchBuilder {
+        self.push_param(8, &v.to_le_bytes());
+        self
+    }
+
+    /// Appends a 32-bit float parameter (stored as its IEEE-754 bits).
+    pub fn param_f32(self, v: f32) -> LaunchBuilder {
+        self.param_u32(v.to_bits())
+    }
+
+    /// Escape hatch: supplies the whole parameter buffer verbatim,
+    /// bypassing per-parameter validation. Used by the deprecated
+    /// raw-bytes [`Gpu::launch`] shim; new code should prefer the typed
+    /// `param_*` methods.
+    pub fn raw_params(mut self, bytes: &[u8]) -> LaunchBuilder {
+        assert!(
+            self.next_param == 0,
+            "kernel {}: cannot mix raw_params with typed params",
+            self.kernel.name()
+        );
+        self.params = bytes.to_vec();
+        self.raw = true;
+        self
+    }
+
+    /// Validates geometry and parameters, then runs the kernel to
+    /// completion on `gpu`, returning its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if grid or block dimensions are unset, if any declared
+    /// parameter was not supplied, or if the launch violates SM resource
+    /// limits (see [`Gpu`] docs).
+    pub fn launch(self, gpu: &mut Gpu) -> LaunchStats {
+        let (kernel, cfg, params) = self.into_parts();
+        gpu.run_kernel(kernel, cfg, params)
+    }
+
+    /// Finalizes the builder into its `(kernel, launch-config, params)`
+    /// triple without running it — the form sweep jobs close over.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`LaunchBuilder::launch`].
+    pub fn into_parts(mut self) -> (Kernel, LaunchConfig, Vec<u8>) {
+        let grid = self
+            .grid
+            .unwrap_or_else(|| panic!("kernel {}: grid dimensions not set", self.kernel.name()));
+        let block = self
+            .block
+            .unwrap_or_else(|| panic!("kernel {}: block dimensions not set", self.kernel.name()));
+        if !self.raw {
+            let declared = self.kernel.params().len();
+            assert!(
+                self.next_param == declared,
+                "kernel {} declares {} parameter(s); only {} supplied",
+                self.kernel.name(),
+                declared,
+                self.next_param
+            );
+            self.params.resize(self.kernel.param_bytes() as usize, 0);
+        }
+        let cfg = LaunchConfig::new(grid, block).with_shared_bytes(self.dynamic_shared);
+        (self.kernel, cfg, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use tcsim_isa::{KernelBuilder, MemWidth, Operand, SpecialReg};
+
+    fn two_param_kernel() -> Kernel {
+        // st_global(out + 4*tid, n) for tid < 32.
+        let mut b = KernelBuilder::new("store_n");
+        let p_out = b.param_u64("out");
+        let p_n = b.param_u32("n");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p_out);
+        let n = b.reg();
+        b.ld_param(MemWidth::B32, n, p_n);
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, tid, Operand::Imm(4), base);
+        b.st_global(MemWidth::B32, addr, 0, n);
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn typed_params_match_raw_packing() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let out = gpu.alloc(32 * 4);
+        let stats = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .param_u32(0xDEAD_BEEF)
+            .launch(&mut gpu);
+        assert!(stats.cycles > 0);
+        for i in 0..32 {
+            assert_eq!(gpu.read_u32(out + 4 * i), 0xDEAD_BEEF);
+        }
+    }
+
+    #[test]
+    fn into_parts_packs_with_natural_alignment() {
+        let (_, cfg, params) = LaunchBuilder::new(two_param_kernel())
+            .grid(2u32)
+            .block((32u32, 2u32))
+            .param_u64(0x1122_3344_5566_7788)
+            .param_u32(7)
+            .into_parts();
+        assert_eq!(cfg.grid.x, 2);
+        assert_eq!(cfg.block.y, 2);
+        assert_eq!(params.len(), 12);
+        assert_eq!(&params[0..8], &0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(&params[8..12], &7u32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "is 8 bytes, argument is 4 bytes")]
+    fn wrong_width_is_rejected() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u32(7); // first declared param is a u64 pointer
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 supplied")]
+    fn missing_param_is_rejected() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0)
+            .into_parts();
+    }
+
+    #[test]
+    #[should_panic(expected = "extra 4-byte argument")]
+    fn extra_param_is_rejected() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0)
+            .param_u32(1)
+            .param_u32(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions not set")]
+    fn unset_grid_is_rejected() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .block(32u32)
+            .param_u64(0)
+            .param_u32(1)
+            .into_parts();
+    }
+
+    #[test]
+    fn raw_params_bypass_validation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        let (_, _, params) = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .raw_params(&bytes)
+            .into_parts();
+        assert_eq!(params, bytes);
+    }
+}

@@ -20,8 +20,12 @@
 
 mod config;
 mod gpu;
+mod launch;
 mod stats;
+mod sweep;
 
 pub use config::GpuConfig;
 pub use gpu::Gpu;
-pub use stats::{pearson, Distribution, LaunchStats};
+pub use launch::LaunchBuilder;
+pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};
+pub use sweep::{HasLaunchStats, Sweep, SweepOutcome, SweepStats};

@@ -5,7 +5,11 @@ use tcsim_mem::CacheStats;
 use tcsim_sm::{SmStats, WmmaKind};
 
 /// Results of one kernel launch.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so parallel-sweep results can be asserted
+/// byte-identical to serial runs (the determinism contract of
+/// [`crate::Sweep`]).
+#[derive(Clone, Debug, PartialEq)]
 pub struct LaunchStats {
     /// Total GPU cycles from launch to the last CTA's completion.
     pub cycles: u64,
@@ -49,6 +53,138 @@ impl LaunchStats {
             .map(|s| s.latency)
             .collect()
     }
+
+    /// Serializes the statistics as a JSON object (hand-rolled writer, no
+    /// external crates). The WMMA sample list is summarized by count, not
+    /// dumped, to keep result files small.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use tcsim_sim::LaunchStats;
+    /// let s = LaunchStats {
+    ///     cycles: 100, instructions: 50,
+    ///     sm: Default::default(), l1: Default::default(),
+    ///     l2: Default::default(), dram_sectors: 0, clock_mhz: 1000,
+    /// };
+    /// assert!(s.to_json().starts_with("{\"cycles\":100,"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_u64("cycles", self.cycles);
+        w.field_u64("instructions", self.instructions);
+        w.field_f64("ipc", self.ipc());
+        w.field_u64("clock_mhz", self.clock_mhz as u64);
+        w.field_f64("seconds", self.seconds());
+        w.field_u64("sm_issued", self.sm.issued);
+        w.raw_field(
+            "sm_issued_by_unit",
+            &format!(
+                "[{}]",
+                self.sm
+                    .issued_by_unit
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        w.field_u64("sm_active_cycles", self.sm.active_cycles);
+        w.field_u64("sm_barriers", self.sm.barriers);
+        w.field_u64("sm_ctas_completed", self.sm.ctas_completed);
+        w.field_u64("sm_global_txns", self.sm.global_txns);
+        w.field_u64("sm_shared_conflict_passes", self.sm.shared_conflict_passes);
+        w.field_u64("sm_reg_bank_stalls", self.sm.reg_bank_stalls);
+        w.field_u64("sm_wmma_samples", self.sm.wmma_samples.len() as u64);
+        w.field_u64("l1_hits", self.l1.hits);
+        w.field_u64("l1_misses", self.l1.misses);
+        w.field_u64("l1_mshr_merges", self.l1.mshr_merges);
+        w.field_u64("l1_writebacks", self.l1.writebacks);
+        w.field_u64("l2_hits", self.l2.hits);
+        w.field_u64("l2_misses", self.l2.misses);
+        w.field_u64("l2_mshr_merges", self.l2.mshr_merges);
+        w.field_u64("l2_writebacks", self.l2.writebacks);
+        w.field_u64("dram_sectors", self.dram_sectors);
+        w.finish()
+    }
+}
+
+/// A minimal JSON object writer (no serde; the crate registry is not
+/// reachable from the build environment). Strings are escaped for the
+/// characters that can occur in kernel/config names.
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object (`{`).
+    pub fn object() -> JsonWriter {
+        JsonWriter { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(name));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    pub fn field_f64(&mut self, name: &str, v: f64) {
+        self.key(name);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:.6}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(v));
+        self.buf.push('"');
+    }
+
+    /// Adds a pre-serialized JSON value (array or object) verbatim.
+    pub fn raw_field(&mut self, name: &str, json: &str) {
+        self.key(name);
+        self.buf.push_str(json);
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Summary statistics of a latency distribution (Fig 15/16 reporting).

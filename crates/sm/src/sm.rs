@@ -12,7 +12,7 @@
 use crate::config::{SchedPolicy, SmConfig};
 use crate::scoreboard::Scoreboard;
 use crate::stats::{unit_index, SmStats, WmmaKind, WmmaSample};
-use std::rc::Rc;
+use std::sync::Arc;
 use tcsim_core::{mma_timing, TensorCoreModel};
 use tcsim_isa::exec::{ExecEnv, StepAction, WarpExec, FULL_MASK};
 use tcsim_isa::{
@@ -24,9 +24,9 @@ use tcsim_mem::{coalesce, conflict_passes, DeviceMemory, L1Path, MemSystem, Shar
 #[derive(Clone)]
 pub struct LaunchSpec {
     /// The kernel to run.
-    pub kernel: Rc<Kernel>,
+    pub kernel: Arc<Kernel>,
     /// Parameter buffer contents.
-    pub params: Rc<Vec<u8>>,
+    pub params: Arc<Vec<u8>>,
     /// Grid/block geometry.
     pub launch: LaunchConfig,
 }
@@ -333,13 +333,13 @@ impl Sm {
         let cta_idx = self.warps[wi].as_ref().expect("warp exists").cta;
         let volta = self.cfg.volta_tensor;
 
-        // Peek the next instruction for hazard/unit checks. The kernel Rc
+        // Peek the next instruction for hazard/unit checks. The kernel Arc
         // keeps the instruction reference alive without cloning it (this
         // is the per-attempt hot path).
         let (kernel, pc) = {
             let w = self.warps[wi].as_ref().expect("warp exists");
             let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
-            (Rc::clone(&cta.spec.kernel), w.exec.pc)
+            (Arc::clone(&cta.spec.kernel), w.exec.pc)
         };
         let instr = &kernel.instrs()[pc];
 
@@ -597,11 +597,21 @@ mod tests {
     }
 
     fn spec(kernel: Kernel, launch: LaunchConfig, params: Vec<u8>) -> LaunchSpec {
-        LaunchSpec { kernel: Rc::new(kernel), params: Rc::new(params), launch }
+        LaunchSpec { kernel: Arc::new(kernel), params: Arc::new(params), launch }
     }
 
     fn tiny_sys() -> MemSystem {
         MemSystem::new(MemSystemConfig::titan_v())
+    }
+
+    #[test]
+    fn sm_and_launch_spec_are_send() {
+        // The parallel sweep engine moves whole `Sm`s (inside `Gpu`s) and
+        // `LaunchSpec`s across worker threads; a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<Sm>();
+        assert_send::<LaunchSpec>();
+        assert_send::<CtaRequirements>();
     }
 
     #[test]

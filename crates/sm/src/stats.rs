@@ -26,7 +26,7 @@ pub struct WmmaSample {
 }
 
 /// Counters for one SM.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Warp instructions issued.
     pub issued: u64,

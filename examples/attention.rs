@@ -14,9 +14,9 @@
 use tcsim::cutlass::wmma_simple_gemm;
 use tcsim::f16::F16;
 use tcsim::isa::{
-    CmpOp, DataType, Kernel, KernelBuilder, LaunchConfig, MemSpace, MemWidth, Operand, SpecialReg,
+    CmpOp, DataType, Kernel, KernelBuilder, MemSpace, MemWidth, Operand, SpecialReg,
 };
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 const SEQ: usize = 32;
 const DIM: usize = 64;
@@ -131,17 +131,6 @@ fn softmax_scale_kernel() -> Kernel {
     b.build()
 }
 
-fn gemm_params(pa: u64, pb: u64, pc: u64, pd: u64, n: u32, k: u32) -> Vec<u8> {
-    let mut p = Vec::new();
-    p.extend_from_slice(&pa.to_le_bytes());
-    p.extend_from_slice(&pb.to_le_bytes());
-    p.extend_from_slice(&pc.to_le_bytes());
-    p.extend_from_slice(&pd.to_le_bytes());
-    p.extend_from_slice(&n.to_le_bytes());
-    p.extend_from_slice(&k.to_le_bytes());
-    p
-}
-
 fn main() {
     let mut gpu = Gpu::new(GpuConfig::titan_v());
     let mut total_cycles = 0u64;
@@ -181,28 +170,34 @@ fn main() {
         let oh = o + ((h * SEQ * DIM) * 4) as u64;
 
         // S = Q·Kᵀ: (SEQ×DIM)·(DIM×SEQ) → SEQ×SEQ.
-        let st = gpu.launch(
-            wmma_simple_gemm(false),
-            LaunchConfig::new(((SEQ / 16) as u32, (SEQ / 16) as u32), 32u32),
-            &gemm_params(qh, kth, zero_c_big, sh, SEQ as u32, DIM as u32),
-        );
+        let st = LaunchBuilder::new(wmma_simple_gemm(false))
+            .grid(((SEQ / 16) as u32, (SEQ / 16) as u32))
+            .block(32u32)
+            .param_u64(qh)
+            .param_u64(kth)
+            .param_u64(zero_c_big)
+            .param_u64(sh)
+            .param_u32(SEQ as u32)
+            .param_u32(DIM as u32)
+            .launch(&mut gpu);
         // P = softmax(S/√d), rounded to f16.
-        let sm = gpu.launch(
-            softmax.clone(),
-            LaunchConfig::new(SEQ as u32, SEQ as u32),
-            &{
-                let mut p = Vec::new();
-                p.extend_from_slice(&sh.to_le_bytes());
-                p.extend_from_slice(&ph.to_le_bytes());
-                p
-            },
-        );
+        let sm = LaunchBuilder::new(softmax.clone())
+            .grid(SEQ as u32)
+            .block(SEQ as u32)
+            .param_u64(sh)
+            .param_u64(ph)
+            .launch(&mut gpu);
         // O = P·V: (SEQ×SEQ)·(SEQ×DIM) → SEQ×DIM.
-        let ot = gpu.launch(
-            wmma_simple_gemm(false),
-            LaunchConfig::new(((DIM / 16) as u32, (SEQ / 16) as u32), 32u32),
-            &gemm_params(ph, vh, zero_c_big, oh, DIM as u32, SEQ as u32),
-        );
+        let ot = LaunchBuilder::new(wmma_simple_gemm(false))
+            .grid(((DIM / 16) as u32, (SEQ / 16) as u32))
+            .block(32u32)
+            .param_u64(ph)
+            .param_u64(vh)
+            .param_u64(zero_c_big)
+            .param_u64(oh)
+            .param_u32(DIM as u32)
+            .param_u32(SEQ as u32)
+            .launch(&mut gpu);
         total_cycles += st.cycles + sm.cycles + ot.cycles;
     }
     println!(

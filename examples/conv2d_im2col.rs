@@ -12,8 +12,8 @@
 
 use tcsim::cutlass::wmma_shared_gemm;
 use tcsim::f16::F16;
-use tcsim::isa::{ByteMemory, LaunchConfig};
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::isa::ByteMemory;
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 /// Layer shape: input `c × h × w`, `f` filters of `c × kh × kw`, stride 1,
 /// no padding (choosing sizes so the GEMM dimensions are tile-aligned).
@@ -94,18 +94,16 @@ fn main() {
     }
 
     // Launch the shared-memory WMMA GEMM.
-    let mut params = Vec::new();
-    params.extend_from_slice(&pa.to_le_bytes());
-    params.extend_from_slice(&pb.to_le_bytes());
-    params.extend_from_slice(&pc.to_le_bytes());
-    params.extend_from_slice(&pd.to_le_bytes());
-    params.extend_from_slice(&(n as u32).to_le_bytes());
-    params.extend_from_slice(&(k as u32).to_le_bytes());
-    let stats = gpu.launch(
-        wmma_shared_gemm(false),
-        LaunchConfig::new(((n / 32) as u32, (m / 32) as u32), 128u32),
-        &params,
-    );
+    let stats = LaunchBuilder::new(wmma_shared_gemm(false))
+        .grid(((n / 32) as u32, (m / 32) as u32))
+        .block(128u32)
+        .param_u64(pa)
+        .param_u64(pb)
+        .param_u64(pc)
+        .param_u64(pd)
+        .param_u32(n as u32)
+        .param_u32(k as u32)
+        .launch(&mut gpu);
     let flops = 2.0 * (m * n * k_raw) as f64;
     println!(
         "GEMM: {} cycles, IPC {:.1}, {:.2} TFLOPS (effective, unpadded FLOPs)",

@@ -11,8 +11,8 @@
 
 use tcsim::core::FragmentMap;
 use tcsim::cutlass::microbench::{clocked_mma, repeated_mma};
-use tcsim::isa::{FragmentKind, LaunchConfig, Layout, WmmaType};
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::isa::{FragmentKind, Layout, WmmaType};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn main() {
     // --- 1. Fragment decoding, as the Fig 4 printf microbenchmark. ---
@@ -32,13 +32,12 @@ fn main() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let src = gpu.alloc(16 * 16 * 4);
         let out = gpu.alloc(4);
-        let params: Vec<u8> = src
-            .to_le_bytes()
-            .iter()
-            .chain(out.to_le_bytes().iter())
-            .copied()
-            .collect();
-        gpu.launch(clocked_mma(fp16), LaunchConfig::new(1u32, 32u32), &params);
+        LaunchBuilder::new(clocked_mma(fp16))
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(src)
+            .param_u64(out)
+            .launch(&mut gpu);
         println!(
             "clocked wmma.mma ({label}): {} cycles measured (HMMA schedule: {schedule})",
             gpu.read_u32(out)
@@ -51,13 +50,12 @@ fn main() {
         let mut gpu = Gpu::new(GpuConfig::mini());
         let src = gpu.alloc(16 * 16 * 4);
         let out = gpu.alloc(warps as u64 * 4);
-        let params: Vec<u8> = src
-            .to_le_bytes()
-            .iter()
-            .chain(out.to_le_bytes().iter())
-            .copied()
-            .collect();
-        gpu.launch(repeated_mma(32), LaunchConfig::new(1u32, warps * 32), &params);
+        LaunchBuilder::new(repeated_mma(32))
+            .grid(1u32)
+            .block(warps * 32)
+            .param_u64(src)
+            .param_u64(out)
+            .launch(&mut gpu);
         let max = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0");
         println!("  {warps} warps: {max} cycles");
     }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example ptx_kernel`
 
-use tcsim::isa::{ptx, LaunchConfig};
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::isa::ptx;
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 const SOURCE: &str = r#"
 .kernel axpy_int
@@ -44,12 +44,13 @@ fn main() {
         gpu.write_u32(y + 4 * i as u64, 1000 + i);
     }
     let a = 3u32;
-    let mut params = Vec::new();
-    params.extend_from_slice(&x.to_le_bytes());
-    params.extend_from_slice(&y.to_le_bytes());
-    params.extend_from_slice(&a.to_le_bytes());
-
-    let stats = gpu.launch(kernel, LaunchConfig::new(n / 64, 64u32), &params);
+    let stats = LaunchBuilder::new(kernel)
+        .grid(n / 64)
+        .block(64u32)
+        .param_u64(x)
+        .param_u64(y)
+        .param_u32(a)
+        .launch(&mut gpu);
     println!("ran in {} cycles, IPC {:.2}", stats.cycles, stats.ipc());
 
     for i in [0u32, 17, 255] {

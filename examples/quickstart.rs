@@ -12,9 +12,9 @@ use tcsim::core::{mma_reference, Tile};
 use tcsim::cutlass::{run_gemm, GemmKernel, GemmProblem};
 use tcsim::f16::F16;
 use tcsim::isa::{
-    FragmentKind, KernelBuilder, LaunchConfig, MemWidth, Operand, SpecialReg, WmmaShape, WmmaType,
+    FragmentKind, KernelBuilder, MemWidth, Operand, SpecialReg, WmmaShape, WmmaType,
 };
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn main() {
     // --- 1. One 16x16x16 matrix-multiply-accumulate, D = A×B + C. ---
@@ -48,7 +48,11 @@ fn main() {
 
     let mut gpu = Gpu::new(GpuConfig::mini());
     let out = gpu.alloc(64 * 4);
-    let stats = gpu.launch(kernel, LaunchConfig::new(1u32, 64u32), &out.to_le_bytes());
+    let stats = LaunchBuilder::new(kernel)
+        .grid(1u32)
+        .block(64u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     println!(
         "write_ids: {} warp instructions in {} cycles (IPC {:.2})",
         stats.instructions,

@@ -10,9 +10,9 @@
 //! Run with: `cargo run --release --example softmax`
 
 use tcsim::isa::{
-    CmpOp, DataType, KernelBuilder, LaunchConfig, MemSpace, MemWidth, Operand, SpecialReg,
+    CmpOp, DataType, KernelBuilder, MemSpace, MemWidth, Operand, SpecialReg,
 };
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 const COLS: usize = 32; // one element per lane
 const ROWS: usize = 64;
@@ -148,10 +148,12 @@ fn main() {
             gpu.write_u32(src + ((r * COLS + c) * 4) as u64, val(r, c).to_bits());
         }
     }
-    let mut params = Vec::new();
-    params.extend_from_slice(&src.to_le_bytes());
-    params.extend_from_slice(&dst.to_le_bytes());
-    let stats = gpu.launch(kernel, LaunchConfig::new(ROWS as u32, COLS as u32), &params);
+    let stats = LaunchBuilder::new(kernel)
+        .grid(ROWS as u32)
+        .block(COLS as u32)
+        .param_u64(src)
+        .param_u64(dst)
+        .launch(&mut gpu);
     println!(
         "{} rows softmaxed in {} cycles (IPC {:.2}, {} barriers)",
         ROWS,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build+test, lint wall, and a figure smoke run that
+# exercises the parallel sweep engine end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release --workspace --offline
+
+echo "== tier-1: test =="
+cargo test -q --workspace --offline
+
+echo "== lint: clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== smoke: fig14a sweep (--json) =="
+target/release/fig14a_gemm_cycles --json results/fig14a.json
+test -s results/fig14a.json
+
+echo "== ci.sh: all gates passed =="

@@ -2,20 +2,18 @@
 //! full simulator (the characterization results of §III and §IV).
 
 use tcsim::cutlass::microbench::{clocked_mma, repeated_mma};
-use tcsim::isa::LaunchConfig;
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn run_clocked(fp16: bool) -> u32 {
     let mut gpu = Gpu::new(GpuConfig::mini());
     let src = gpu.alloc(16 * 16 * 4);
     let out = gpu.alloc(4);
-    let params: Vec<u8> = src
-        .to_le_bytes()
-        .iter()
-        .chain(out.to_le_bytes().iter())
-        .copied()
-        .collect();
-    gpu.launch(clocked_mma(fp16), LaunchConfig::new(1u32, 32u32), &params);
+    LaunchBuilder::new(clocked_mma(fp16))
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(src)
+        .param_u64(out)
+        .launch(&mut gpu);
     gpu.read_u32(out)
 }
 
@@ -23,13 +21,12 @@ fn run_scaling(warps: u32, iters: u32) -> u32 {
     let mut gpu = Gpu::new(GpuConfig::mini());
     let src = gpu.alloc(16 * 16 * 4);
     let out = gpu.alloc(warps as u64 * 4);
-    let params: Vec<u8> = src
-        .to_le_bytes()
-        .iter()
-        .chain(out.to_le_bytes().iter())
-        .copied()
-        .collect();
-    gpu.launch(repeated_mma(iters), LaunchConfig::new(1u32, warps * 32), &params);
+    LaunchBuilder::new(repeated_mma(iters))
+        .grid(1u32)
+        .block(warps * 32)
+        .param_u64(src)
+        .param_u64(out)
+        .launch(&mut gpu);
     (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0")
 }
 

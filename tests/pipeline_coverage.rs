@@ -2,10 +2,8 @@
 //! unit class, divergence, transcendental ops, FP64 pairs, predication,
 //! and the PTX text route.
 
-use tcsim::isa::{
-    ptx, CmpOp, DataType, KernelBuilder, LaunchConfig, MemWidth, Operand, SpecialReg,
-};
-use tcsim::sim::{Gpu, GpuConfig};
+use tcsim::isa::{ptx, CmpOp, DataType, KernelBuilder, MemWidth, Operand, SpecialReg};
+use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn gpu() -> Gpu {
     Gpu::new(GpuConfig::mini())
@@ -35,7 +33,11 @@ fn fp64_pipeline_computes_through_register_pairs() {
 
     let mut gpu = gpu();
     let out = gpu.alloc(8);
-    let stats = gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    let stats = LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     let bits = u64::from_le_bytes(gpu.memcpy_d2h(out, 8).try_into().expect("8 bytes"));
     assert_eq!(f64::from_bits(bits), 2.5 * 4.0 + 0.5);
     // FP64 unit was used.
@@ -67,7 +69,11 @@ fn mufu_pipeline_computes_rcp_and_sqrt() {
     let k = b.build();
     let mut gpu = gpu();
     let out = gpu.alloc(4);
-    let stats = gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    let stats = LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     assert_eq!(f32::from_bits(gpu.read_u32(out)), 0.25);
     assert!(stats.sm.issued_by_unit[3] >= 2, "MUFU used twice");
 }
@@ -104,7 +110,11 @@ fn divergent_branch_through_timing_simulator() {
 
     let mut gpu = gpu();
     let out = gpu.alloc(32 * 4);
-    gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     for lane in 0..32u32 {
         let want = if lane % 2 == 1 { lane * 2 + 100 } else { lane * 3 + 100 };
         assert_eq!(gpu.read_u32(out + 4 * lane as u64), want, "lane {lane}");
@@ -129,7 +139,11 @@ fn selp_and_predication_through_simulator() {
     let k = ptx::parse_kernel(src).expect("valid source");
     let mut gpu = gpu();
     let out = gpu.alloc(128);
-    gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), 111);
     assert_eq!(gpu.read_u32(out + 4 * 20), 222);
 }
@@ -159,7 +173,11 @@ fn multi_warp_cta_with_2d_block() {
 
     let mut gpu = gpu();
     let out = gpu.alloc(8 * 16 * 4);
-    gpu.launch(k, LaunchConfig::new(1u32, (8u32, 16u32)), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block((8u32, 16u32))
+            .param_u64(out)
+            .launch(&mut gpu);
     for y in 0..16u32 {
         for x in 0..8u32 {
             assert_eq!(
@@ -194,7 +212,10 @@ fn mixed_unit_kernel_overlaps_independent_work() {
     b.exit();
     let k = b.build();
     let mut gpu = gpu();
-    let stats = gpu.launch(k, LaunchConfig::new(1u32, 32u32), &[]);
+    let stats = LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .launch(&mut gpu);
     assert_eq!(stats.instructions, 33);
     // 33 instructions × ~2-cycle II, not × full latency.
     assert!(stats.cycles < 33 * 8, "cycles = {}", stats.cycles);
@@ -220,7 +241,11 @@ fn global_atomics_build_an_exact_histogram() {
     let k = tcsim::isa::ptx::parse_kernel(src).expect("valid source");
     let mut gpu = gpu();
     let bins = gpu.alloc(8 * 4);
-    gpu.launch(k, LaunchConfig::new(8u32, 64u32), &bins.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(8u32)
+            .block(64u32)
+            .param_u64(bins)
+            .launch(&mut gpu);
     for b in 0..8u32 {
         assert_eq!(gpu.read_u32(bins + 4 * b as u64), 64, "bin {b}");
     }
@@ -272,7 +297,11 @@ fn shared_atomics_reduce_within_cta() {
 
     let mut gpu = gpu();
     let out = gpu.alloc(4 * 4);
-    gpu.launch(k, LaunchConfig::new(4u32, 96u32), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(4u32)
+            .block(96u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     for c in 0..4u32 {
         assert_eq!(gpu.read_u32(out + 4 * c as u64), 95, "cta {c}");
     }
@@ -311,10 +340,12 @@ fn atomic_exchange_returns_old_values() {
     let out = gpu.alloc(32 * 4);
     let slot = gpu.alloc(4);
     gpu.write_u32(slot, 999);
-    let mut params = Vec::new();
-    params.extend_from_slice(&out.to_le_bytes());
-    params.extend_from_slice(&slot.to_le_bytes());
-    gpu.launch(k, LaunchConfig::new(1u32, 32u32), &params);
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .param_u64(slot)
+            .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), 999, "lane 0 sees the initial value");
     for lane in 1..32u32 {
         assert_eq!(gpu.read_u32(out + 4 * lane as u64), lane - 1, "lane {lane}");
@@ -351,7 +382,11 @@ fn warp_shuffle_reduction_sums_lane_ids() {
     let k = ptx::parse_kernel(src).expect("valid source");
     let mut gpu = gpu();
     let out = gpu.alloc(4);
-    gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), (0..32).sum::<u32>());
 }
 
@@ -380,7 +415,11 @@ fn shuffle_modes_select_expected_lanes() {
     let k = b.build();
     let mut gpu = gpu();
     let out = gpu.alloc(128);
-    gpu.launch(k, LaunchConfig::new(1u32, 32u32), &out.to_le_bytes());
+    LaunchBuilder::new(k)
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .launch(&mut gpu);
     for lane in 0..32u32 {
         let up = if lane == 0 { 0 } else { lane - 1 };
         let bfly = lane ^ 3;

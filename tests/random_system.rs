@@ -1,0 +1,82 @@
+//! System-level randomized tests: random GEMM problems through the whole
+//! simulator must match the CPU reference; simulation must be
+//! deterministic. Shapes come from a deterministic xorshift64* generator
+//! (no external crates).
+
+use tcsim::cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim::sim::{Gpu, GpuConfig};
+
+/// Deterministic xorshift64* PRNG (kept local so the test has no
+/// external dev-dependencies).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
+    }
+}
+
+#[test]
+fn random_shapes_verify_on_simulator() {
+    let mut rng = Rng::new(0x5751);
+    for _ in 0..8 {
+        let p = GemmProblem {
+            m: (1 + rng.below(3) as usize) * 16,
+            n: (1 + rng.below(3) as usize) * 16,
+            k: (1 + rng.below(4) as usize) * 16,
+            precision: GemmPrecision::MixedF32,
+        };
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
+        assert!(run.max_abs_err.expect("verified") < 0.01, "problem {p:?}");
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::new(0x5752);
+    for _ in 0..4 {
+        let p = GemmProblem::square((1 + rng.below(2) as usize) * 32);
+        let a = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
+        let b = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.instructions, b.stats.instructions);
+    }
+}
+
+#[test]
+fn instruction_count_scales_with_k() {
+    // The k-loop trip count is architectural: instructions must grow
+    // linearly in k for a fixed output size.
+    let base = run_gemm(
+        &mut Gpu::new(GpuConfig::mini()),
+        GemmProblem { m: 32, n: 32, k: 16, precision: GemmPrecision::MixedF32 },
+        GemmKernel::WmmaSimple,
+        false,
+    );
+    let mut rng = Rng::new(0x5753);
+    for _ in 0..5 {
+        let k_tiles = 1 + rng.below(5) as usize;
+        let run = run_gemm(
+            &mut Gpu::new(GpuConfig::mini()),
+            GemmProblem { m: 32, n: 32, k: 16 * k_tiles, precision: GemmPrecision::MixedF32 },
+            GemmKernel::WmmaSimple,
+            false,
+        );
+        assert!(run.stats.instructions >= base.stats.instructions);
+        if k_tiles > 1 {
+            assert!(run.stats.instructions > base.stats.instructions);
+        }
+    }
+}

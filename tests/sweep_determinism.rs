@@ -1,0 +1,98 @@
+//! The determinism contract of the parallel sweep engine, end to end:
+//! running real tensor-core GEMMs through `Sweep::run_parallel` must
+//! produce **byte-identical** statistics to a serial run, for any thread
+//! count, because each job simulates on a fresh GPU and results are
+//! ordered by submission index.
+
+use tcsim::cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem, GemmRun};
+use tcsim::sim::{Gpu, GpuConfig, LaunchStats, Sweep};
+
+/// Six GEMM shapes spanning kernels, precisions and rectangularity.
+fn shapes() -> Vec<(GemmProblem, GemmKernel)> {
+    vec![
+        (GemmProblem::square(32), GemmKernel::WmmaSimple),
+        (GemmProblem::square(64), GemmKernel::WmmaShared),
+        (
+            GemmProblem { m: 32, n: 64, k: 48, precision: GemmPrecision::MixedF32 },
+            GemmKernel::WmmaSimple,
+        ),
+        (
+            GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(32) },
+            GemmKernel::Sgemm,
+        ),
+        (
+            GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) },
+            GemmKernel::Hgemm,
+        ),
+        (
+            GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(48) },
+            GemmKernel::WmmaSimple,
+        ),
+        (GemmProblem::square(96), GemmKernel::WmmaShared),
+    ]
+}
+
+fn gemm_sweep() -> Sweep<GemmRun> {
+    let mut sweep = Sweep::new();
+    for (problem, kernel) in shapes() {
+        let weight = (problem.m * problem.n * problem.k) as u64;
+        sweep.add_weighted(GpuConfig::mini(), weight, move |gpu| {
+            run_gemm(gpu, problem, kernel, true)
+        });
+    }
+    sweep
+}
+
+#[test]
+fn parallel_gemm_sweep_is_byte_identical_to_serial() {
+    let serial = gemm_sweep().run_serial();
+    let parallel = gemm_sweep().run_parallel(8);
+
+    assert_eq!(serial.results.len(), shapes().len());
+    assert_eq!(parallel.results.len(), shapes().len());
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        assert_eq!(s.problem, p.problem, "job {i} must come back in order");
+        assert_eq!(
+            s.stats, p.stats,
+            "job {i} ({:?}): parallel stats diverged from serial",
+            s.problem
+        );
+        assert_eq!(s.max_abs_err, p.max_abs_err, "job {i} verification result");
+    }
+}
+
+#[test]
+fn parallel_runs_agree_across_thread_counts() {
+    let two = gemm_sweep().run_parallel(2);
+    let eight = gemm_sweep().run_parallel(8);
+    for (a, b) in two.results.iter().zip(&eight.results) {
+        assert_eq!(a.stats, b.stats);
+    }
+    assert!(two.stats.threads <= 2);
+    assert_eq!(eight.stats.jobs, shapes().len());
+}
+
+#[test]
+fn gemm_results_stay_numerically_correct_under_parallelism() {
+    let out = gemm_sweep().run_parallel(4);
+    for run in &out.results {
+        let err = run.max_abs_err.expect("verification enabled");
+        let bound = if run.problem.precision == GemmPrecision::Fp16 { 1.0 } else { 0.01 };
+        assert!(err < bound, "{:?}: max |err| = {err}", run.problem);
+    }
+}
+
+#[test]
+fn simulator_types_are_send() {
+    // Compile-time proof that whole simulations can move across worker
+    // threads; a regression here (e.g. an Rc sneaking back into the SM or
+    // kernel plumbing) breaks the sweep engine's build, not its runtime.
+    fn assert_send<T: Send>() {}
+    assert_send::<Gpu>();
+    assert_send::<GpuConfig>();
+    assert_send::<LaunchStats>();
+    assert_send::<Sweep<LaunchStats>>();
+    assert_send::<tcsim::sm::LaunchSpec>();
+    assert_send::<tcsim::mem::MemSystem>();
+    assert_send::<tcsim::mem::DeviceMemory>();
+}
