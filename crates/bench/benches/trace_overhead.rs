@@ -1,0 +1,54 @@
+//! Tracer overhead microbenchmarks: the disabled path must cost one
+//! predictable branch per site, and the enabled ring path must stay
+//! allocation-free. The end-to-end guard (identical timing results and
+//! wall-clock comparison) lives in `tcsim-prof --overhead-guard`.
+
+use tcsim_bench::bench_case;
+use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
+use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_trace::{emit, EventKind, NullTracer, RingTracer, TraceEvent, TraceUnit};
+
+fn issue_event(cycle: u64) -> TraceEvent {
+    TraceEvent {
+        cycle,
+        sm: 0,
+        kind: EventKind::WarpIssue { sub_core: 0, warp: 3, unit: TraceUnit::Tensor },
+    }
+}
+
+fn main() {
+    // The per-site cost when tracing is off — this is what every hot
+    // loop of the simulator pays per instrumentation point.
+    let mut null = NullTracer;
+    let mut c = 0u64;
+    bench_case("emit/null_tracer", 300, || {
+        c = c.wrapping_add(1);
+        emit(&mut null, || issue_event(c));
+        c
+    });
+
+    // The enabled path: one ring write (wrapping after warmup).
+    let mut ring = RingTracer::with_capacity(1 << 16);
+    let mut c2 = 0u64;
+    bench_case("emit/ring_tracer", 300, || {
+        c2 = c2.wrapping_add(1);
+        emit(&mut ring, || issue_event(c2));
+        c2
+    });
+
+    // End-to-end: a small WMMA GEMM untraced vs traced. The delta is the
+    // full-system tracing cost (event construction + ring writes).
+    bench_case("gemm32/null_tracer", 1500, || {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false)
+            .stats
+            .cycles
+    });
+    bench_case("gemm32/ring_tracer", 1500, || {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 18)));
+        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false)
+            .stats
+            .cycles
+    });
+}

@@ -44,6 +44,7 @@ pub mod octet;
 pub mod pipe;
 pub mod tile;
 pub mod timing;
+pub mod trace;
 
 pub use fedp::{
     dot_f16, dot_f32, dot_i32, fedp_f16, fedp_f32, fedp_i32, FEDPS_PER_TENSOR_CORE, FEDP_STAGES,
@@ -61,6 +62,7 @@ pub use octet::{
 };
 pub use tile::Tile;
 pub use timing::{
-    mma_timing, turing_set_completions, MmaTiming, TuringMode, VoltaTimingParams,
-    VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE,
+    mma_timing, turing_set_completions, turing_step_schedule, volta_step_schedule, HmmaStepTiming,
+    MmaTiming, TuringMode, VoltaTimingParams, VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE,
 };
+pub use trace::{mma_step_schedule, trace_mma};

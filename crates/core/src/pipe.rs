@@ -20,7 +20,7 @@
 //! exposes the steady-state initiation interval the SM timing model uses.
 
 use crate::hmma::MmaMode;
-use crate::timing::{turing_set_completions, TuringMode, VoltaTimingParams};
+use crate::timing::{turing_step_schedule, volta_step_schedule, TuringMode, VoltaTimingParams};
 
 /// One HMMA instruction's lifetime in the pipe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,30 +67,23 @@ impl TensorCorePipe {
     /// Panics if the pipe is a Turing pipe.
     pub fn enqueue_volta(&mut self, mode: MmaMode, at: u64) -> Vec<HmmaEvent> {
         assert!(self.volta, "Volta enqueue on a Turing pipe");
-        let p = VoltaTimingParams::for_mode(mode);
         let start = at.max(self.next_set_slot);
-        let completions = p.completions();
-        let steps = p.steps_per_set as usize;
         let mma_index = self.mmas_enqueued;
         self.mmas_enqueued += 1;
-        let mut out = Vec::with_capacity(completions.len());
-        for (i, &c) in completions.iter().enumerate() {
-            let set = i / steps;
-            let step = i % steps;
-            // Steps issue at the set start plus the step interval; the
-            // completion offsets come from the measured schedule.
-            let issue = start + set as u64 * p.set_pitch as u64 + step as u64 * p.step_interval as u64;
-            out.push(HmmaEvent {
+        let sched = volta_step_schedule(mode);
+        let out: Vec<HmmaEvent> = sched
+            .iter()
+            .map(|s| HmmaEvent {
                 mma_index,
-                set: set + 1,
-                step,
-                issue,
-                complete: start + c as u64,
-            });
-        }
+                set: s.set as usize,
+                step: s.step as usize,
+                issue: start + s.issue as u64,
+                complete: start + s.complete as u64,
+            })
+            .collect();
         // The next instruction's SET 1 may start one pitch after this
         // instruction's SET 4 started.
-        self.next_set_slot = start + p.issue_interval() as u64;
+        self.next_set_slot = start + VoltaTimingParams::for_mode(mode).issue_interval() as u64;
         self.events.extend(out.iter().copied());
         out
     }
@@ -108,26 +101,30 @@ impl TensorCorePipe {
         at: u64,
     ) -> Vec<HmmaEvent> {
         assert!(!self.volta, "Turing enqueue on a Volta pipe");
-        let completions = turing_set_completions(shape, mode)
+        let sched = turing_step_schedule(shape, mode)
             .unwrap_or_else(|| panic!("unsupported Turing combination {shape} {mode:?}"));
         let start = at.max(self.next_set_slot);
-        let n = completions.len();
-        let first = completions[0] as u64;
-        let last = *completions.last().expect("non-empty") as u64;
-        let pitch = if n > 1 { (last - first).div_ceil(n as u64 - 1) } else { last };
+        let n = sched.len() as u64;
+        // Pitch between set issues; for a single-HMMA mode (4-bit) the
+        // pipe is busy for the instruction's whole latency.
+        let pitch = if n > 1 {
+            (sched[1].issue - sched[0].issue) as u64
+        } else {
+            sched[0].complete as u64
+        };
         let mma_index = self.mmas_enqueued;
         self.mmas_enqueued += 1;
-        let mut out = Vec::with_capacity(n);
-        for (i, &c) in completions.iter().enumerate() {
-            out.push(HmmaEvent {
+        let out: Vec<HmmaEvent> = sched
+            .iter()
+            .map(|s| HmmaEvent {
                 mma_index,
-                set: i + 1,
-                step: 0,
-                issue: start + i as u64 * pitch,
-                complete: start + c as u64,
-            });
-        }
-        self.next_set_slot = start + pitch * n as u64;
+                set: s.set as usize,
+                step: s.step as usize,
+                issue: start + s.issue as u64,
+                complete: start + s.complete as u64,
+            })
+            .collect();
+        self.next_set_slot = start + pitch * n;
         self.events.extend(out.iter().copied());
         out
     }

@@ -108,6 +108,68 @@ impl VoltaTimingParams {
     }
 }
 
+/// Issue/complete timing of one HMMA step relative to `wmma.mma` start.
+///
+/// This is the per-step view of the Fig 9 / Table I schedules shared by
+/// the [`TensorCorePipe`](crate::pipe::TensorCorePipe) sequencer and the
+/// trace subsystem's HMMA event emission — both must agree on when each
+/// set/step issues and completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HmmaStepTiming {
+    /// Set number, 1-based (paper notation).
+    pub set: u8,
+    /// Step within the set, 0-based; always 0 on Turing.
+    pub step: u8,
+    /// Issue offset from the instruction's start cycle.
+    pub issue: u32,
+    /// Completion offset from the instruction's start cycle.
+    pub complete: u32,
+}
+
+/// Per-step schedule of one Volta `wmma.mma` (Fig 9a/9b): each step's
+/// issue offset (set pitch + step interval) and measured completion.
+pub fn volta_step_schedule(mode: MmaMode) -> Vec<HmmaStepTiming> {
+    let p = VoltaTimingParams::for_mode(mode);
+    let steps = p.steps_per_set;
+    p.completions()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let set = i as u32 / steps;
+            let step = i as u32 % steps;
+            HmmaStepTiming {
+                set: (set + 1) as u8,
+                step: step as u8,
+                issue: set * p.set_pitch + step * p.step_interval,
+                complete: c,
+            }
+        })
+        .collect()
+}
+
+/// Per-step schedule of one Turing `wmma.mma` (Table I): one "step" per
+/// set, issued one derived set-pitch apart. `None` when the shape/mode
+/// combination is not in Table I.
+pub fn turing_step_schedule(shape: WmmaShape, mode: TuringMode) -> Option<Vec<HmmaStepTiming>> {
+    let completions = turing_set_completions(shape, mode)?;
+    let n = completions.len() as u32;
+    let first = completions[0];
+    let last = *completions.last().expect("non-empty");
+    let pitch = if n > 1 { (last - first).div_ceil(n - 1) } else { last };
+    Some(
+        completions
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| HmmaStepTiming {
+                set: (i + 1) as u8,
+                step: 0,
+                issue: i as u32 * pitch,
+                complete: c,
+            })
+            .collect(),
+    )
+}
+
 /// Cumulative cycles of Volta's HMMA steps in mixed precision (Fig 9a).
 pub const VOLTA_MIXED_CUMULATIVE: [u32; 16] =
     [10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54];
@@ -323,6 +385,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn volta_step_schedule_matches_completions_and_cadence() {
+        let sched = volta_step_schedule(MmaMode::MixedF32);
+        assert_eq!(sched.len(), 16);
+        let completes: Vec<u32> = sched.iter().map(|s| s.complete).collect();
+        assert_eq!(completes, VOLTA_MIXED_CUMULATIVE.to_vec());
+        // Issue cadence: sets every 10, steps every 2 within a set.
+        assert_eq!(sched[0].issue, 0);
+        assert_eq!(sched[1].issue, 2);
+        assert_eq!(sched[4].issue, 10);
+        assert_eq!(sched[15].issue, 36);
+        assert_eq!((sched[15].set, sched[15].step), (4, 3));
+        // FP16: two steps per set, 9 apart, sets every 13.
+        let fp16 = volta_step_schedule(MmaMode::Fp16);
+        assert_eq!(fp16.len(), 8);
+        assert_eq!(fp16[1].issue, 9);
+        assert_eq!(fp16[2].issue, 13);
+        // Every step issues before it completes.
+        for s in sched.iter().chain(fp16.iter()) {
+            assert!(s.issue < s.complete, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn turing_step_schedule_derives_pitch() {
+        let sched = turing_step_schedule(WmmaShape::M16N16K16, TuringMode::Int8).unwrap();
+        assert_eq!(sched.len(), 4);
+        // pitch = ceil((59-40)/3) = 7.
+        let issues: Vec<u32> = sched.iter().map(|s| s.issue).collect();
+        assert_eq!(issues, vec![0, 7, 14, 21]);
+        assert!(sched.iter().all(|s| s.step == 0));
+        let int4 = turing_step_schedule(WmmaShape::M8N8K32, TuringMode::Int4).unwrap();
+        assert_eq!(int4.len(), 1);
+        assert_eq!(int4[0].issue, 0);
+        assert!(turing_step_schedule(WmmaShape::M8N8K32, TuringMode::Int8).is_none());
     }
 
     #[test]

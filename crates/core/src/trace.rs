@@ -1,0 +1,178 @@
+//! Bridges the tensor-core timing model to the trace subsystem: expands
+//! one `wmma.mma` into per-octet HMMA set/step events and FEDP stage
+//! advances on a [`Tracer`].
+//!
+//! The paper's Fig 10/11 timelines show each octet's tensor core working
+//! through the SET/STEP schedule in lockstep — all four octets of a warp
+//! receive the same HMMA stream, each on its own tensor-core half
+//! (Fig 12). The emission here mirrors that: the same schedule, once per
+//! octet, so the Chrome trace shows four parallel octet tracks per
+//! sub-core exactly like the paper's figures.
+
+use crate::fedp::FEDP_STAGES;
+use crate::hmma::MmaMode;
+use crate::octet::OCTETS_PER_WARP;
+use crate::timing::{volta_step_schedule, turing_step_schedule, HmmaStepTiming, TuringMode};
+use tcsim_isa::WmmaDirective;
+use tcsim_trace::{EventKind, TraceEvent, Tracer};
+
+/// The per-step schedule of a `wmma.mma` directive on either
+/// architecture, relative to the instruction's start cycle.
+///
+/// # Panics
+///
+/// Panics if the directive is not a valid `Mma` for the architecture
+/// (mirrors [`mma_timing`](crate::timing::mma_timing)).
+pub fn mma_step_schedule(volta: bool, dir: &WmmaDirective) -> Vec<HmmaStepTiming> {
+    let WmmaDirective::Mma { shape, ab_type, d_type, .. } = *dir else {
+        panic!("mma_step_schedule requires a wmma.mma directive")
+    };
+    if volta {
+        volta_step_schedule(MmaMode::from_types(ab_type, d_type))
+    } else {
+        let mode = TuringMode::from_types(ab_type, d_type);
+        turing_step_schedule(shape, mode)
+            .unwrap_or_else(|| panic!("unsupported Turing combination {shape} {mode:?}"))
+    }
+}
+
+/// Emits the HMMA set/step and FEDP stage events of one `wmma.mma`
+/// issued at cycle `base` by warp `warp` on sub-core `sub_core` of SM
+/// `sm`. A no-op when the tracer is disabled.
+///
+/// Event cycles are absolute: `base` should be the cycle the first HMMA
+/// enters the tensor core (issue time plus operand collection), so that
+/// completion stamps land at `base +` the Fig 9 cumulative cycles.
+///
+/// # Panics
+///
+/// Panics if the directive is not a valid `Mma` for the architecture.
+pub fn trace_mma(
+    tracer: &mut dyn Tracer,
+    volta: bool,
+    dir: &WmmaDirective,
+    base: u64,
+    sm: u16,
+    sub_core: u8,
+    warp: u16,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    let sched = mma_step_schedule(volta, dir);
+    for s in &sched {
+        for octet in 0..OCTETS_PER_WARP as u8 {
+            tracer.record(TraceEvent {
+                cycle: base + s.issue as u64,
+                sm,
+                kind: EventKind::HmmaStep {
+                    sub_core,
+                    warp,
+                    octet,
+                    set: s.set,
+                    step: s.step,
+                    complete: base + s.complete as u64,
+                },
+            });
+        }
+        // The step's operands stream through the 4-stage FEDP pipeline
+        // (Fig 13) starting the cycle it issues.
+        for stage in 0..FEDP_STAGES as u8 {
+            tracer.record(TraceEvent {
+                cycle: base + s.issue as u64 + stage as u64,
+                sm,
+                kind: EventKind::FedpStage { sub_core, warp, set: s.set, step: s.step, stage },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::VOLTA_MIXED_CUMULATIVE;
+    use tcsim_isa::{Layout, WmmaShape, WmmaType};
+    use tcsim_trace::{NullTracer, RingTracer};
+
+    fn mixed_dir() -> WmmaDirective {
+        WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+        }
+    }
+
+    #[test]
+    fn volta_mixed_emits_four_octet_streams() {
+        let mut tr = RingTracer::with_capacity(4096);
+        trace_mma(&mut tr, true, &mixed_dir(), 100, 2, 1, 7);
+        let events = tr.snapshot();
+        let hmma: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HmmaStep { .. }))
+            .collect();
+        // 16 steps × 4 octets.
+        assert_eq!(hmma.len(), 16 * OCTETS_PER_WARP);
+        // Completion stamps are base + the Fig 9a cumulative cycles.
+        let octet0: Vec<u64> = hmma
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::HmmaStep { octet: 0, complete, .. } => Some(complete - 100),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(octet0, VOLTA_MIXED_CUMULATIVE.map(u64::from).to_vec());
+        assert!(events.iter().all(|e| e.sm == 2));
+        // FEDP: 16 steps × 4 stages, one stage per cycle from step issue.
+        let fedp = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FedpStage { .. }))
+            .count();
+        assert_eq!(fedp, 16 * FEDP_STAGES as usize);
+    }
+
+    #[test]
+    fn turing_emits_one_step_per_set() {
+        let dir = WmmaDirective::Mma {
+            shape: WmmaShape::M16N16K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::S8,
+            c_type: WmmaType::S32,
+            d_type: WmmaType::S32,
+        };
+        let mut tr = RingTracer::with_capacity(4096);
+        trace_mma(&mut tr, false, &dir, 0, 0, 0, 0);
+        let sets: Vec<u8> = tr
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::HmmaStep { octet: 0, set, .. } => Some(set),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sets, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        trace_mma(&mut NullTracer, true, &mixed_dir(), 0, 0, 0, 0);
+    }
+
+    #[test]
+    fn schedule_matches_pipe_events() {
+        use crate::pipe::TensorCorePipe;
+        let sched = mma_step_schedule(true, &mixed_dir());
+        let mut pipe = TensorCorePipe::volta();
+        let ev = pipe.enqueue_volta(MmaMode::MixedF32, 0);
+        assert_eq!(sched.len(), ev.len());
+        for (s, e) in sched.iter().zip(ev.iter()) {
+            assert_eq!((s.set as usize, s.step as usize), (e.set, e.step));
+            assert_eq!(s.issue as u64, e.issue);
+            assert_eq!(s.complete as u64, e.complete);
+        }
+    }
+}

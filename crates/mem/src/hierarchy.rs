@@ -4,6 +4,7 @@
 use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::coalesce::Transaction;
 use crate::dram::DramChannel;
+use tcsim_trace::{emit, CacheLevel, EventKind, TraceEvent, Tracer};
 
 /// Configuration of the GPU-wide memory system.
 #[derive(Clone, Copy, Debug)]
@@ -63,16 +64,40 @@ impl MemSystem {
         ((line ^ (line >> 7)) % self.cfg.partitions as u64) as usize
     }
 
-    /// One sector request arriving from an SM at `now`; returns the cycle
-    /// data returns to the SM (both NoC hops included).
-    pub fn access(&mut self, addr: u64, is_store: bool, now: u64) -> u64 {
+    /// One sector request arriving from `sm` at `now`; returns the cycle
+    /// data returns to the SM (both NoC hops included). L2 lookups and
+    /// DRAM sector transfers are reported to `tracer` (use
+    /// [`tcsim_trace::NullTracer`] when not tracing).
+    pub fn access(
+        &mut self,
+        addr: u64,
+        is_store: bool,
+        now: u64,
+        sm: u16,
+        tracer: &mut dyn Tracer,
+    ) -> u64 {
         let p = self.partition_of(addr);
         let arrive = now + self.cfg.noc_latency;
-        let done_at_l2 = match self.l2[p].lookup(addr, is_store, arrive) {
+        let lookup = self.l2[p].lookup(addr, is_store, arrive);
+        emit(tracer, || TraceEvent {
+            cycle: arrive,
+            sm,
+            kind: EventKind::CacheAccess {
+                level: CacheLevel::L2,
+                hit: !matches!(lookup, Lookup::Miss),
+                store: is_store,
+            },
+        });
+        let done_at_l2 = match lookup {
             Lookup::Hit { ready_at } => ready_at,
             Lookup::MshrHit { ready_at } => ready_at,
             Lookup::Miss => {
                 let fill = self.dram[p].access(arrive);
+                emit(tracer, || TraceEvent {
+                    cycle: arrive,
+                    sm,
+                    kind: EventKind::DramTxn { channel: p as u16 },
+                });
                 if is_store {
                     // Write-allocate: line fetched then dirtied; the store
                     // itself completes on arrival at L2.
@@ -129,14 +154,33 @@ impl L1Path {
 
     /// Services one coalesced transaction at `now`, returning the cycle
     /// the data is available in the SM (for a load) or the store is
-    /// accepted.
-    pub fn access(&mut self, txn: &Transaction, is_store: bool, now: u64, sys: &mut MemSystem) -> u64 {
-        match self.l1.lookup(txn.addr, is_store, now) {
+    /// accepted. The lookup (and any L2/DRAM traffic it causes) is
+    /// reported to `tracer` attributed to `sm`.
+    pub fn access(
+        &mut self,
+        txn: &Transaction,
+        is_store: bool,
+        now: u64,
+        sys: &mut MemSystem,
+        sm: u16,
+        tracer: &mut dyn Tracer,
+    ) -> u64 {
+        let lookup = self.l1.lookup(txn.addr, is_store, now);
+        emit(tracer, || TraceEvent {
+            cycle: now,
+            sm,
+            kind: EventKind::CacheAccess {
+                level: CacheLevel::L1,
+                hit: !matches!(lookup, Lookup::Miss),
+                store: is_store,
+            },
+        });
+        match lookup {
             Lookup::Hit { ready_at } => {
                 if is_store {
                     // Write-through: also send to L2 (bandwidth effects),
                     // but the warp does not wait for it.
-                    let _ = sys.access(txn.addr, true, now);
+                    let _ = sys.access(txn.addr, true, now, sm, tracer);
                 }
                 ready_at
             }
@@ -144,10 +188,10 @@ impl L1Path {
             Lookup::Miss => {
                 if is_store {
                     // Write-through no-allocate: forward, complete quickly.
-                    let _ = sys.access(txn.addr, true, now);
+                    let _ = sys.access(txn.addr, true, now, sm, tracer);
                     now + self.l1.config().hit_latency
                 } else {
-                    let fill = sys.access(txn.addr, false, now + 1);
+                    let fill = sys.access(txn.addr, false, now + 1, sm, tracer);
                     self.l1.start_fill(txn.addr, fill);
                     self.l1.fill(txn.addr, fill, false);
                     fill + 1
@@ -170,6 +214,7 @@ impl L1Path {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tcsim_trace::NullTracer;
 
     #[test]
     fn mem_system_and_device_memory_are_send() {
@@ -199,7 +244,7 @@ mod tests {
     fn cold_load_pays_full_latency_chain() {
         let mut sys = tiny_sys();
         let mut l1 = L1Path::new(16);
-        let t = l1.access(&txn(0x1000), false, 0, &mut sys);
+        let t = l1.access(&txn(0x1000), false, 0, &mut sys, 0, &mut NullTracer);
         // NoC (10) + DRAM (100) + NoC (10) + fill forwarding ≥ 120.
         assert!(t >= 120, "cold miss took {t}");
         assert_eq!(l1.stats().misses, 1);
@@ -210,8 +255,8 @@ mod tests {
     fn warm_load_hits_l1() {
         let mut sys = tiny_sys();
         let mut l1 = L1Path::new(16);
-        let t0 = l1.access(&txn(0x1000), false, 0, &mut sys);
-        let t1 = l1.access(&txn(0x1000), false, t0, &mut sys);
+        let t0 = l1.access(&txn(0x1000), false, 0, &mut sys, 0, &mut NullTracer);
+        let t1 = l1.access(&txn(0x1000), false, t0, &mut sys, 0, &mut NullTracer);
         assert_eq!(t1, t0 + 28, "L1 hit latency");
         assert_eq!(l1.stats().hits, 1);
     }
@@ -222,9 +267,9 @@ mod tests {
         let mut l1a = L1Path::new(16);
         let mut l1b = L1Path::new(16);
         // SM A warms L2.
-        let _ = l1a.access(&txn(0x2000), false, 0, &mut sys);
+        let _ = l1a.access(&txn(0x2000), false, 0, &mut sys, 0, &mut NullTracer);
         // SM B misses L1 but hits L2.
-        let t = l1b.access(&txn(0x2000), false, 10_000, &mut sys);
+        let t = l1b.access(&txn(0x2000), false, 10_000, &mut sys, 0, &mut NullTracer);
         let l2_hit_time = t - 10_000;
         assert!(l2_hit_time < 200, "L2 hit path took {l2_hit_time}");
         assert!(l2_hit_time > 28, "must be slower than an L1 hit");
@@ -235,7 +280,7 @@ mod tests {
     fn stores_complete_quickly_and_generate_l2_traffic() {
         let mut sys = tiny_sys();
         let mut l1 = L1Path::new(16);
-        let t = l1.access(&txn(0x3000), true, 0, &mut sys);
+        let t = l1.access(&txn(0x3000), true, 0, &mut sys, 0, &mut NullTracer);
         assert!(t <= 28);
         assert!(sys.l2_stats().accesses() > 0);
     }
@@ -246,7 +291,7 @@ mod tests {
         let mut l1 = L1Path::new(16);
         // 64 distinct lines at once: queueing pushes completion times out.
         let times: Vec<u64> = (0..64)
-            .map(|i| l1.access(&txn(0x10_000 + i * 128), false, 0, &mut sys))
+            .map(|i| l1.access(&txn(0x10_000 + i * 128), false, 0, &mut sys, 0, &mut NullTracer))
             .collect();
         let first = *times.iter().min().unwrap();
         let last = *times.iter().max().unwrap();
@@ -259,12 +304,69 @@ mod tests {
     fn flush_clears_both_levels() {
         let mut sys = tiny_sys();
         let mut l1 = L1Path::new(16);
-        let _ = l1.access(&txn(0x1000), false, 0, &mut sys);
+        let _ = l1.access(&txn(0x1000), false, 0, &mut sys, 0, &mut NullTracer);
         l1.flush();
         sys.flush();
-        let t = l1.access(&txn(0x1000), false, 100_000, &mut sys);
+        let t = l1.access(&txn(0x1000), false, 100_000, &mut sys, 0, &mut NullTracer);
         assert!(t - 100_000 >= 120, "must go to DRAM again");
         assert_eq!(sys.dram_sectors(), 2);
+    }
+
+    #[test]
+    fn tracer_sees_hierarchy_traffic() {
+        use tcsim_trace::RingTracer;
+        let mut sys = tiny_sys();
+        let mut l1 = L1Path::new(16);
+        let mut tr = RingTracer::with_capacity(64);
+        // Cold load: L1 miss, L2 miss, one DRAM sector.
+        let t0 = l1.access(&txn(0x1000), false, 0, &mut sys, 3, &mut tr);
+        // Warm load: L1 hit, no new memory-side events.
+        let _ = l1.access(&txn(0x1000), false, t0, &mut sys, 3, &mut tr);
+        let events = tr.snapshot();
+        let l1_events: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::CacheAccess { level: CacheLevel::L1, .. })
+            })
+            .collect();
+        assert_eq!(l1_events.len(), 2);
+        assert!(matches!(
+            l1_events[0].kind,
+            EventKind::CacheAccess { hit: false, store: false, .. }
+        ));
+        assert!(matches!(l1_events[1].kind, EventKind::CacheAccess { hit: true, .. }));
+        assert!(l1_events.iter().all(|e| e.sm == 3), "events carry the SM id");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e.kind,
+                    EventKind::CacheAccess { level: CacheLevel::L2, hit: false, .. }
+                ))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events.iter().filter(|e| matches!(e.kind, EventKind::DramTxn { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_timing() {
+        use tcsim_trace::RingTracer;
+        let mut sys_a = tiny_sys();
+        let mut l1_a = L1Path::new(16);
+        let mut sys_b = tiny_sys();
+        let mut l1_b = L1Path::new(16);
+        let mut tr = RingTracer::with_capacity(1024);
+        for i in 0..16u64 {
+            let addr = 0x4000 + i * 96;
+            let ta = l1_a.access(&txn(addr), i % 3 == 0, i, &mut sys_a, 0, &mut NullTracer);
+            let tb = l1_b.access(&txn(addr), i % 3 == 0, i, &mut sys_b, 0, &mut tr);
+            assert_eq!(ta, tb, "observation must not perturb the model");
+        }
+        assert!(!tr.snapshot().is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use tcsim_isa::{ByteMemory, Kernel, LaunchConfig};
 use tcsim_mem::{DeviceMemory, MemSystem};
 use tcsim_sm::{LaunchSpec, Sm};
+use tcsim_trace::{NullTracer, TraceEvent, TraceSummary, Tracer};
 
 /// A simulated GPU: SMs, the shared memory system, and device memory.
 ///
@@ -48,16 +49,20 @@ pub struct Gpu {
     mem_sys: MemSystem,
     device: DeviceMemory,
     profile_wmma: bool,
+    tracer: Box<dyn Tracer>,
 }
 
 impl Gpu {
-    /// Builds an idle GPU.
+    /// Builds an idle GPU (tracing disabled).
     pub fn new(cfg: GpuConfig) -> Gpu {
         Gpu {
-            sms: (0..cfg.num_sms).map(|_| Sm::new(cfg.sm)).collect(),
+            sms: (0..cfg.num_sms)
+                .map(|i| Sm::with_id(cfg.sm, i as u16))
+                .collect(),
             mem_sys: MemSystem::new(cfg.mem),
             device: DeviceMemory::new(),
             profile_wmma: false,
+            tracer: Box::new(NullTracer),
             cfg,
         }
     }
@@ -65,6 +70,29 @@ impl Gpu {
     /// The GPU configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Installs an event tracer; subsequent launches record into it.
+    /// Pass a [`tcsim_trace::RingTracer`] to capture events, or
+    /// [`NullTracer`] (the default) to disable tracing.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The currently installed tracer.
+    pub fn tracer(&self) -> &dyn Tracer {
+        self.tracer.as_ref()
+    }
+
+    /// Removes and returns the installed tracer, disabling tracing.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NullTracer))
+    }
+
+    /// Snapshot of the recorded trace events, oldest first (empty when
+    /// tracing is disabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.snapshot()
     }
 
     /// Enables per-WMMA-instruction latency profiling (Fig 15/16).
@@ -179,6 +207,9 @@ impl Gpu {
             sm.flush_l1();
         }
         self.mem_sys.flush();
+        // Launch boundary for the trace too: the events (and the summary
+        // in this launch's stats) cover exactly this kernel.
+        self.tracer.clear_events();
 
         let issued_before: u64 = self.sms.iter().map(|s| s.stats().issued).sum();
         let total_ctas = launch.total_ctas();
@@ -209,7 +240,7 @@ impl Gpu {
                     continue;
                 }
                 all_idle = false;
-                match sm.step(cycle, &mut self.device, &mut self.mem_sys) {
+                match sm.step(cycle, &mut self.device, &mut self.mem_sys, self.tracer.as_mut()) {
                     None => any_issued = true,
                     Some(h) => hint = hint.min(h),
                 }
@@ -241,6 +272,16 @@ impl Gpu {
             l1.writebacks += s.writebacks;
         }
         let instructions = merged.issued - issued_before;
+        // Summarize the trace while it still holds exactly this launch's
+        // window (the caller may reuse or replace the tracer afterwards).
+        let trace = if self.tracer.enabled() {
+            Some(TraceSummary::from_events(
+                &self.tracer.snapshot(),
+                self.tracer.dropped(),
+            ))
+        } else {
+            None
+        };
         LaunchStats {
             cycles: cycle.max(1),
             instructions,
@@ -249,6 +290,7 @@ impl Gpu {
             l2: self.mem_sys.l2_stats(),
             dram_sectors: self.mem_sys.dram_sectors(),
             clock_mhz: self.cfg.clock_mhz,
+            trace,
         }
     }
 }

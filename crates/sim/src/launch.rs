@@ -11,6 +11,7 @@
 use crate::gpu::Gpu;
 use crate::stats::LaunchStats;
 use tcsim_isa::{Dim3, Kernel, LaunchConfig};
+use tcsim_trace::Tracer;
 
 /// Builder for one kernel launch: grid/block geometry plus typed,
 /// validated kernel parameters.
@@ -52,6 +53,7 @@ pub struct LaunchBuilder {
     params: Vec<u8>,
     next_param: usize,
     raw: bool,
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl LaunchBuilder {
@@ -65,6 +67,7 @@ impl LaunchBuilder {
             params: Vec::new(),
             next_param: 0,
             raw: false,
+            tracer: None,
         }
     }
 
@@ -84,6 +87,29 @@ impl LaunchBuilder {
     /// kernel's static allocation.
     pub fn dynamic_shared(mut self, bytes: u32) -> LaunchBuilder {
         self.dynamic_shared = bytes;
+        self
+    }
+
+    /// Installs `tracer` on the GPU for this launch (and later ones, until
+    /// replaced): the launch's [`LaunchStats::trace`] summary is filled in
+    /// and the raw events stay readable via `Gpu::trace_events`.
+    ///
+    /// ```
+    /// # use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
+    /// # use tcsim_isa::KernelBuilder;
+    /// use tcsim_trace::RingTracer;
+    /// # let mut gpu = Gpu::new(GpuConfig::mini());
+    /// # let mut b = KernelBuilder::new("noop");
+    /// # b.exit();
+    /// let stats = LaunchBuilder::new(b.build())
+    ///     .grid(1u32)
+    ///     .block(32u32)
+    ///     .tracer(RingTracer::new())
+    ///     .launch(&mut gpu);
+    /// assert!(stats.trace.is_some());
+    /// ```
+    pub fn tracer(mut self, tracer: impl Tracer + 'static) -> LaunchBuilder {
+        self.tracer = Some(Box::new(tracer));
         self
     }
 
@@ -157,7 +183,10 @@ impl LaunchBuilder {
     /// Panics if grid or block dimensions are unset, if any declared
     /// parameter was not supplied, or if the launch violates SM resource
     /// limits (see [`Gpu`] docs).
-    pub fn launch(self, gpu: &mut Gpu) -> LaunchStats {
+    pub fn launch(mut self, gpu: &mut Gpu) -> LaunchStats {
+        if let Some(tracer) = self.tracer.take() {
+            gpu.set_tracer(tracer);
+        }
         let (kernel, cfg, params) = self.into_parts();
         gpu.run_kernel(kernel, cfg, params)
     }

@@ -3,6 +3,7 @@
 
 use tcsim_mem::CacheStats;
 use tcsim_sm::{SmStats, WmmaKind};
+use tcsim_trace::TraceSummary;
 
 /// Results of one kernel launch.
 ///
@@ -25,6 +26,9 @@ pub struct LaunchStats {
     pub dram_sectors: u64,
     /// Core clock (MHz), for time/TFLOPS conversions.
     pub clock_mhz: u32,
+    /// Trace-derived metrics (stall breakdown, HMMA occupancy); `None`
+    /// unless a tracer was installed via `Gpu::set_tracer`.
+    pub trace: Option<TraceSummary>,
 }
 
 impl LaunchStats {
@@ -66,6 +70,7 @@ impl LaunchStats {
     ///     cycles: 100, instructions: 50,
     ///     sm: Default::default(), l1: Default::default(),
     ///     l2: Default::default(), dram_sectors: 0, clock_mhz: 1000,
+    ///     trace: None,
     /// };
     /// assert!(s.to_json().starts_with("{\"cycles\":100,"));
     /// ```
@@ -105,6 +110,9 @@ impl LaunchStats {
         w.field_u64("l2_mshr_merges", self.l2.mshr_merges);
         w.field_u64("l2_writebacks", self.l2.writebacks);
         w.field_u64("dram_sectors", self.dram_sectors);
+        if let Some(trace) = &self.trace {
+            w.raw_field("trace", &trace.to_json());
+        }
         w.finish()
     }
 }
@@ -250,6 +258,50 @@ mod tests {
     use super::*;
 
     #[test]
+    fn escape_json_handles_control_chars_and_unicode() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("a\nb\tc\r"), "a\\nb\\tc\\r");
+        // Control characters without a short escape use \uXXXX.
+        assert_eq!(escape_json("\0"), "\\u0000");
+        assert_eq!(escape_json("\x1f"), "\\u001f");
+        assert_eq!(escape_json("\x01\x02"), "\\u0001\\u0002");
+        // Non-ASCII passes through untouched (JSON is UTF-8).
+        assert_eq!(escape_json("gemm-α×β"), "gemm-α×β");
+    }
+
+    #[test]
+    fn field_str_round_trips_through_the_validator() {
+        let mut w = JsonWriter::object();
+        w.field_str("name", "weird\0name\x1fwith\nβ");
+        w.field_str("empty", "");
+        let json = w.finish();
+        tcsim_trace::validate_json(&json).expect("escaped output must parse");
+        assert!(json.contains("\\u0000"));
+        assert!(json.contains("\\u001f"));
+    }
+
+    #[test]
+    fn launch_stats_json_is_valid_with_and_without_trace() {
+        let mut s = LaunchStats {
+            cycles: 100,
+            instructions: 50,
+            sm: Default::default(),
+            l1: Default::default(),
+            l2: Default::default(),
+            dram_sectors: 0,
+            clock_mhz: 1000,
+            trace: None,
+        };
+        tcsim_trace::validate_json(&s.to_json()).expect("no-trace JSON");
+        assert!(!s.to_json().contains("\"trace\""));
+        s.trace = Some(TraceSummary::default());
+        let json = s.to_json();
+        tcsim_trace::validate_json(&json).expect("with-trace JSON");
+        assert!(json.contains("\"trace\":{"));
+    }
+
+    #[test]
     fn distribution_summary() {
         let d = Distribution::of(&[5, 1, 9, 3, 7]).unwrap();
         assert_eq!(d.count, 5);
@@ -286,6 +338,7 @@ mod tests {
             l2: Default::default(),
             dram_sectors: 0,
             clock_mhz: 1000,
+            trace: None,
         };
         assert_eq!(s.ipc(), 0.5);
         assert!((s.seconds() - 1e-6).abs() < 1e-15);

@@ -4,12 +4,32 @@
 //! with wmma.mma instructions").
 
 use std::collections::HashMap;
-use tcsim_isa::{Instr, Reg};
+use tcsim_isa::{Instr, Reg, UnitClass};
+
+/// One in-flight register write.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    /// Cycle at which the value becomes readable.
+    ready: u64,
+    /// Whether the producing instruction went to the memory unit — this
+    /// is what turns a scoreboard stall into a *memory* stall rather
+    /// than a plain RAW dependency in the trace breakdown.
+    from_mem: bool,
+}
+
+/// A blocking dependency found by [`Scoreboard::check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hazard {
+    /// Cycle at which the last blocking write completes.
+    pub ready: u64,
+    /// Whether any blocking write is an outstanding memory load.
+    pub from_mem: bool,
+}
 
 /// In-flight write tracking for one warp.
 #[derive(Clone, Debug, Default)]
 pub struct Scoreboard {
-    pending: HashMap<Reg, u64>,
+    pending: HashMap<Reg, Pending>,
 }
 
 impl Scoreboard {
@@ -20,40 +40,56 @@ impl Scoreboard {
 
     /// Releases completed writes at cycle `now`.
     pub fn retire(&mut self, now: u64) {
-        self.pending.retain(|_, &mut ready| ready > now);
+        self.pending.retain(|_, p| p.ready > now);
     }
 
     /// Whether `instr` can issue at `now`: all registers it reads (RAW)
-    /// and writes (WAW) must be free of pending writes. Returns the cycle
-    /// at which the blocking write completes if stalled.
-    pub fn check(&self, instr: &Instr, volta_frag: bool, now: u64) -> Result<(), u64> {
-        let mut block: Option<u64> = None;
-        let mut consider = |ready: u64| {
-            if ready > now {
-                block = Some(block.map_or(ready, |b: u64| b.max(ready)));
+    /// and writes (WAW) must be free of pending writes. Returns the
+    /// blocking [`Hazard`] (latest completion cycle, memory-origin flag)
+    /// if stalled.
+    pub fn check(&self, instr: &Instr, volta_frag: bool, now: u64) -> Result<(), Hazard> {
+        let mut block: Option<Hazard> = None;
+        let mut consider = |p: Pending| {
+            if p.ready > now {
+                block = Some(match block {
+                    None => Hazard { ready: p.ready, from_mem: p.from_mem },
+                    Some(h) => Hazard {
+                        ready: h.ready.max(p.ready),
+                        from_mem: h.from_mem || p.from_mem,
+                    },
+                });
             }
         };
         for r in instr.use_regs(volta_frag) {
-            if let Some(&ready) = self.pending.get(&r) {
-                consider(ready);
+            if let Some(&p) = self.pending.get(&r) {
+                consider(p);
             }
         }
         for r in instr.def_regs(volta_frag) {
-            if let Some(&ready) = self.pending.get(&r) {
-                consider(ready);
+            if let Some(&p) = self.pending.get(&r) {
+                consider(p);
             }
         }
         match block {
             None => Ok(()),
-            Some(cycle) => Err(cycle),
+            Some(h) => Err(h),
         }
     }
 
     /// Records the writes of an issued instruction completing at `ready`.
     pub fn issue(&mut self, instr: &Instr, volta_frag: bool, ready: u64) {
+        let from_mem = instr.op.unit() == UnitClass::Mem;
         for r in instr.def_regs(volta_frag) {
-            let slot = self.pending.entry(r).or_insert(0);
-            *slot = (*slot).max(ready);
+            let slot = self
+                .pending
+                .entry(r)
+                .or_insert(Pending { ready: 0, from_mem: false });
+            if ready > slot.ready {
+                slot.ready = ready;
+                slot.from_mem = from_mem;
+            } else if ready == slot.ready {
+                slot.from_mem |= from_mem;
+            }
         }
     }
 
@@ -64,14 +100,19 @@ impl Scoreboard {
 
     /// Cycle when every pending write has completed (`now` if none).
     pub fn all_clear_at(&self, now: u64) -> u64 {
-        self.pending.values().copied().max().unwrap_or(now).max(now)
+        self.pending
+            .values()
+            .map(|p| p.ready)
+            .max()
+            .unwrap_or(now)
+            .max(now)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcsim_isa::{Instr, Op, Operand};
+    use tcsim_isa::{Instr, MemSpace, MemWidth, Op, Operand};
 
     fn mov(dst: u16, src: u16) -> Instr {
         Instr::new(Op::Mov)
@@ -79,12 +120,22 @@ mod tests {
             .with_srcs(vec![Operand::Reg(Reg(src))])
     }
 
+    fn ld(dst: u16, addr: u16) -> Instr {
+        Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
+            .with_dst(Reg(dst))
+            .with_srcs(vec![Operand::Reg(Reg(addr))])
+    }
+
+    fn alu_hazard(ready: u64) -> Hazard {
+        Hazard { ready, from_mem: false }
+    }
+
     #[test]
     fn raw_hazard_blocks_until_write_completes() {
         let mut sb = Scoreboard::new();
         sb.issue(&mov(1, 0), true, 50);
         // r2 ← r1 must wait for r1.
-        assert_eq!(sb.check(&mov(2, 1), true, 10), Err(50));
+        assert_eq!(sb.check(&mov(2, 1), true, 10), Err(alu_hazard(50)));
         sb.retire(50);
         assert_eq!(sb.check(&mov(2, 1), true, 50), Ok(()));
     }
@@ -93,7 +144,7 @@ mod tests {
     fn waw_hazard_blocks() {
         let mut sb = Scoreboard::new();
         sb.issue(&mov(3, 0), true, 80);
-        assert_eq!(sb.check(&mov(3, 4), true, 20), Err(80));
+        assert_eq!(sb.check(&mov(3, 4), true, 20), Err(alu_hazard(80)));
     }
 
     #[test]
@@ -113,7 +164,7 @@ mod tests {
         sb.retire(15);
         assert_eq!(sb.outstanding(), 1);
         assert_eq!(sb.check(&mov(4, 1), true, 15), Ok(()));
-        assert_eq!(sb.check(&mov(4, 2), true, 15), Err(20));
+        assert_eq!(sb.check(&mov(4, 2), true, 15), Err(alu_hazard(20)));
     }
 
     #[test]
@@ -121,6 +172,35 @@ mod tests {
         let mut sb = Scoreboard::new();
         sb.issue(&mov(1, 0), true, 30);
         sb.issue(&mov(1, 0), true, 10); // earlier completion must not mask
-        assert_eq!(sb.check(&mov(2, 1), true, 15), Err(30));
+        assert_eq!(sb.check(&mov(2, 1), true, 15), Err(alu_hazard(30)));
+    }
+
+    #[test]
+    fn load_dependency_reports_memory_origin() {
+        let mut sb = Scoreboard::new();
+        sb.issue(&ld(1, 0), true, 200);
+        sb.issue(&mov(2, 0), true, 40);
+        // Blocking on the load alone: a memory stall.
+        assert_eq!(
+            sb.check(&mov(3, 1), true, 10),
+            Err(Hazard { ready: 200, from_mem: true })
+        );
+        // Blocking on both: the flag propagates even though the ALU
+        // write is also outstanding.
+        let mixed = Instr::new(Op::IAdd)
+            .with_dst(Reg(4))
+            .with_srcs(vec![Operand::Reg(Reg(1)), Operand::Reg(Reg(2))]);
+        assert_eq!(
+            sb.check(&mixed, true, 10),
+            Err(Hazard { ready: 200, from_mem: true })
+        );
+        // Blocking on the ALU write alone: plain RAW.
+        assert_eq!(sb.check(&mov(5, 2), true, 10), Err(alu_hazard(40)));
+        // A later ALU overwrite of the load target clears the flag.
+        sb.issue(&mov(1, 0), true, 300);
+        assert_eq!(
+            sb.check(&mov(6, 1), true, 10),
+            Err(Hazard { ready: 300, from_mem: false })
+        );
     }
 }

@@ -13,7 +13,8 @@ use crate::config::{SchedPolicy, SmConfig};
 use crate::scoreboard::Scoreboard;
 use crate::stats::{unit_index, SmStats, WmmaKind, WmmaSample};
 use std::sync::Arc;
-use tcsim_core::{mma_timing, TensorCoreModel};
+use tcsim_core::{mma_timing, trace_mma, TensorCoreModel};
+use tcsim_trace::{emit, EventKind, StallReason, TraceEvent, TraceUnit, Tracer};
 use tcsim_isa::exec::{ExecEnv, StepAction, WarpExec, FULL_MASK};
 use tcsim_isa::{
     Dim3, Instr, Kernel, LaunchConfig, MemSpace, Op, Operand, UnitClass, WmmaDirective, WARP_SIZE,
@@ -80,9 +81,24 @@ struct SubCore {
     rr_cursor: usize,
 }
 
+/// Maps an ISA unit class onto its trace-event counterpart (the trace
+/// crate is a leaf and cannot depend on `tcsim-isa`).
+fn trace_unit(u: UnitClass) -> TraceUnit {
+    match u {
+        UnitClass::Sp => TraceUnit::Sp,
+        UnitClass::Int => TraceUnit::Int,
+        UnitClass::Fp64 => TraceUnit::Fp64,
+        UnitClass::Mufu => TraceUnit::Mufu,
+        UnitClass::Tensor => TraceUnit::Tensor,
+        UnitClass::Mem => TraceUnit::Mem,
+        UnitClass::Control => TraceUnit::Control,
+    }
+}
+
 /// One streaming multiprocessor.
 pub struct Sm {
     cfg: SmConfig,
+    id: u16,
     l1: L1Path,
     mio_free: u64,
     ctas: Vec<Option<CtaSlot>>,
@@ -98,10 +114,16 @@ pub struct Sm {
 }
 
 impl Sm {
-    /// Builds an idle SM.
+    /// Builds an idle SM (trace events carry SM id 0).
     pub fn new(cfg: SmConfig) -> Sm {
+        Sm::with_id(cfg, 0)
+    }
+
+    /// Builds an idle SM whose trace events carry `id`.
+    pub fn with_id(cfg: SmConfig, id: u16) -> Sm {
         Sm {
             cfg,
+            id,
             l1: L1Path::new(cfg.l1_kib),
             mio_free: 0,
             ctas: Vec::new(),
@@ -215,7 +237,13 @@ impl Sm {
     /// instruction issued, otherwise `Some(hint)` — the earliest future
     /// cycle at which something could issue (`u64::MAX` if the SM is
     /// fully idle), enabling event-skipping in the GPU loop.
-    pub fn step(&mut self, now: u64, global: &mut DeviceMemory, sys: &mut MemSystem) -> Option<u64> {
+    pub fn step(
+        &mut self,
+        now: u64,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
+    ) -> Option<u64> {
         let mut issued_any = false;
         let mut hint = u64::MAX;
 
@@ -260,7 +288,7 @@ impl Sm {
 
             let mut issued_here = false;
             for &(_, wi) in cand.iter() {
-                match self.try_issue(sc, wi, now, global, sys) {
+                match self.try_issue(sc, wi, now, global, sys, tracer) {
                     IssueResult::Issued => {
                         self.sub[sc].last_issued = Some(wi);
                         issued_here = true;
@@ -329,8 +357,10 @@ impl Sm {
         now: u64,
         global: &mut DeviceMemory,
         sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
     ) -> IssueResult {
         let cta_idx = self.warps[wi].as_ref().expect("warp exists").cta;
+        let sm_id = self.id;
         let volta = self.cfg.volta_tensor;
 
         // Peek the next instruction for hazard/unit checks. The kernel Arc
@@ -350,8 +380,19 @@ impl Sm {
         match unit {
             UnitClass::Mem => {
                 if self.mio_free > now {
-                    self.warps[wi].as_mut().expect("warp exists").block_until = self.mio_free;
-                    return IssueResult::Blocked(self.mio_free);
+                    let until = self.mio_free;
+                    self.warps[wi].as_mut().expect("warp exists").block_until = until;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Structural,
+                            until,
+                        },
+                    });
+                    return IssueResult::Blocked(until);
                 }
             }
             UnitClass::Control => {}
@@ -359,6 +400,16 @@ impl Sm {
                 let free = self.sub[sc].unit_free[unit_index(u)];
                 if free > now {
                     self.warps[wi].as_mut().expect("warp exists").block_until = free;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Structural,
+                            until: free,
+                        },
+                    });
                     return IssueResult::Blocked(free);
                 }
             }
@@ -368,9 +419,26 @@ impl Sm {
         {
             let w = self.warps[wi].as_mut().expect("warp exists");
             w.scoreboard.retire(now);
-            if let Err(ready) = w.scoreboard.check(instr, volta, now) {
-                w.block_until = ready;
-                return IssueResult::Blocked(ready);
+            if let Err(hazard) = w.scoreboard.check(instr, volta, now) {
+                w.block_until = hazard.ready;
+                // Attribute waits on outstanding loads to the memory
+                // system rather than plain register dependence.
+                let reason = if hazard.from_mem {
+                    StallReason::Memory
+                } else {
+                    StallReason::Raw
+                };
+                emit(tracer, || TraceEvent {
+                    cycle: now,
+                    sm: sm_id,
+                    kind: EventKind::Stall {
+                        sub_core: sc as u8,
+                        warp: wi as u16,
+                        reason,
+                        until: hazard.ready,
+                    },
+                });
+                return IssueResult::Blocked(hazard.ready);
             }
             // Barriers act as execution fences: wait for outstanding
             // writes before arriving.
@@ -378,6 +446,16 @@ impl Sm {
                 let clear = w.scoreboard.all_clear_at(now);
                 if clear > now {
                     w.block_until = clear;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Barrier,
+                            until: clear,
+                        },
+                    });
                     return IssueResult::Blocked(clear);
                 }
             }
@@ -446,11 +524,25 @@ impl Sm {
                 if self.profile_wmma {
                     self.push_sample(WmmaKind::Mma, now, ready - now);
                 }
+                // The first HMMA enters the tensor core once operands are
+                // collected, so step completions land at issue + collect +
+                // the Fig 9 cumulative cycles.
+                trace_mma(tracer, volta, dir, now + collect, sm_id, sc as u8, wi as u16);
                 ready
             }
-            UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys),
+            UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys, tracer),
             UnitClass::Control => now + 1,
         };
+
+        emit(tracer, || TraceEvent {
+            cycle: now,
+            sm: sm_id,
+            kind: EventKind::WarpIssue {
+                sub_core: sc as u8,
+                warp: wi as u16,
+                unit: trace_unit(unit),
+            },
+        });
 
         {
             let w = self.warps[wi].as_mut().expect("warp exists");
@@ -460,6 +552,11 @@ impl Sm {
                     w.done = true;
                     let cta = self.ctas[cta_idx].as_mut().expect("cta exists");
                     cta.warps_done += 1;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::WarpRetire { sub_core: sc as u8, warp: wi as u16 },
+                    });
                 }
                 StepAction::Barrier => {
                     w.at_barrier = true;
@@ -480,6 +577,7 @@ impl Sm {
         now: u64,
         collect: u64,
         sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
     ) -> u64 {
         let Some(trace) = &outcome.mem else {
             if matches!(instr.op, Op::Shfl { .. }) {
@@ -510,7 +608,7 @@ impl Sm {
                 let mut done = now + collect + self.cfg.shared_latency;
                 for (i, t) in txns.iter().enumerate() {
                     let start = now + collect + i as u64 * self.cfg.mio_cycles_per_txn;
-                    let r = self.l1.access(t, trace.is_store, start, sys);
+                    let r = self.l1.access(t, trace.is_store, start, sys, self.id, tracer);
                     done = done.max(r);
                 }
                 if trace.is_store {
@@ -582,11 +680,22 @@ mod tests {
     use tcsim_isa::{CmpOp, DataType, KernelBuilder, MemWidth, SpecialReg};
     use tcsim_mem::MemSystemConfig;
 
+    use tcsim_trace::{NullTracer, RingTracer};
+
     fn run_to_completion(sm: &mut Sm, global: &mut DeviceMemory, sys: &mut MemSystem) -> u64 {
+        run_traced(sm, global, sys, &mut NullTracer)
+    }
+
+    fn run_traced(
+        sm: &mut Sm,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
+    ) -> u64 {
         let mut now = 0u64;
         let mut steps = 0u64;
         while !sm.idle() {
-            match sm.step(now, global, sys) {
+            match sm.step(now, global, sys, tracer) {
                 None => now += 1,
                 Some(hint) => now = hint.max(now + 1).min(now + 100_000),
             }
@@ -717,6 +826,81 @@ mod tests {
         run_to_completion(&mut sm, &mut global, &mut sys);
         assert_eq!(sm.stats().barriers, 1);
         assert_eq!(sm.stats().ctas_completed, 1);
+    }
+
+    #[test]
+    fn tracer_observes_issues_stalls_and_retires() {
+        // The dependent-ALU-chain kernel: every iadd stalls on the
+        // previous writeback, so the trace must show RAW stalls, one
+        // WarpIssue per instruction, and a final retire.
+        let mut b = KernelBuilder::new("t");
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1));
+        for _ in 0..4 {
+            b.iadd(r, r, Operand::Imm(1));
+        }
+        b.exit();
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), vec![]);
+        let mut sm = Sm::with_id(SmConfig::volta(), 5);
+        let mut global = DeviceMemory::new();
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        let mut tr = RingTracer::with_capacity(4096);
+        run_traced(&mut sm, &mut global, &mut sys, &mut tr);
+        let events = tr.snapshot();
+        assert!(events.iter().all(|e| e.sm == 5), "events carry the SM id");
+        let issues = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WarpIssue { .. }))
+            .count();
+        assert_eq!(issues as u64, sm.stats().issued);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::WarpRetire { .. }))
+                .count(),
+            1
+        );
+        let raw_stalls: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Stall { reason: StallReason::Raw, .. })
+            })
+            .collect();
+        assert!(!raw_stalls.is_empty(), "dependent chain must stall");
+        for e in &raw_stalls {
+            let EventKind::Stall { until, .. } = e.kind else { unreachable!() };
+            assert!(until > e.cycle, "stalls resolve in the future");
+        }
+    }
+
+    #[test]
+    fn tracer_attributes_load_dependencies_to_memory() {
+        // ld.global into r, then consume r immediately: the consumer's
+        // scoreboard stall must be attributed to memory, not plain RAW.
+        let mut b = KernelBuilder::new("t");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, 0);
+        let v = b.reg();
+        b.ld_global(MemWidth::B32, v, base, 0);
+        b.iadd(v, v, Operand::Imm(1));
+        b.exit();
+        let mut global = DeviceMemory::new();
+        let buf = global.alloc(128);
+        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), buf.to_le_bytes().to_vec());
+        let mut sm = Sm::new(SmConfig::volta());
+        let mut sys = tiny_sys();
+        sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+        let mut tr = RingTracer::with_capacity(4096);
+        run_traced(&mut sm, &mut global, &mut sys, &mut tr);
+        let events = tr.snapshot();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Stall { reason: StallReason::Memory, .. }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CacheAccess { .. })));
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Typed, cycle-stamped simulation events.
+//!
+//! Every event is a small `Copy` struct: the hot recording path moves one
+//! value into a preallocated ring slot, never allocating. The kinds map
+//! one-to-one onto the micro-architectural moments the paper inspects:
+//! warp issue cadence (Fig 14b IPC), HMMA set/step starts (Fig 10/11),
+//! FEDP stage advances (Fig 13), scoreboard stalls (§V-A) and memory
+//! hierarchy traffic.
+
+/// Pseudo SM id used for events raised inside the shared memory system
+/// (L2 slices, DRAM channels), which no single SM owns.
+pub const MEM_SM: u16 = u16::MAX;
+
+/// Functional-unit class of an issued warp instruction.
+///
+/// Mirrors the simulator's sub-core unit classes without depending on the
+/// ISA crate (`tcsim-trace` is a leaf crate every layer can use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceUnit {
+    /// FP32/FP16 ALU (FFMA, HFMA2, conversions).
+    Sp,
+    /// Integer ALU.
+    Int,
+    /// Double-precision unit.
+    Fp64,
+    /// Transcendental (multi-function) unit.
+    Mufu,
+    /// Tensor-core pair (`wmma.mma`).
+    Tensor,
+    /// Load/store + MIO path.
+    Mem,
+    /// Control flow (branch, barrier, exit).
+    Control,
+}
+
+impl TraceUnit {
+    /// All unit classes, in stable index order.
+    pub const ALL: [TraceUnit; 7] = [
+        TraceUnit::Sp,
+        TraceUnit::Int,
+        TraceUnit::Fp64,
+        TraceUnit::Mufu,
+        TraceUnit::Tensor,
+        TraceUnit::Mem,
+        TraceUnit::Control,
+    ];
+
+    /// Stable index (matches `ALL` ordering).
+    pub fn index(self) -> usize {
+        match self {
+            TraceUnit::Sp => 0,
+            TraceUnit::Int => 1,
+            TraceUnit::Fp64 => 2,
+            TraceUnit::Mufu => 3,
+            TraceUnit::Tensor => 4,
+            TraceUnit::Mem => 5,
+            TraceUnit::Control => 6,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceUnit::Sp => "sp",
+            TraceUnit::Int => "int",
+            TraceUnit::Fp64 => "fp64",
+            TraceUnit::Mufu => "mufu",
+            TraceUnit::Tensor => "tensor",
+            TraceUnit::Mem => "mem",
+            TraceUnit::Control => "control",
+        }
+    }
+}
+
+/// Why a ready warp could not issue this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// RAW/WAW hazard on a value produced by a compute instruction.
+    Raw,
+    /// The target functional unit (or the MIO queue) is busy.
+    Structural,
+    /// RAW/WAW hazard on a value still in flight from the memory system.
+    Memory,
+    /// Execution fence: waiting for outstanding writes before a barrier.
+    Barrier,
+}
+
+impl StallReason {
+    /// All stall reasons, in stable index order.
+    pub const ALL: [StallReason; 4] = [
+        StallReason::Raw,
+        StallReason::Structural,
+        StallReason::Memory,
+        StallReason::Barrier,
+    ];
+
+    /// Stable index (matches `ALL` ordering).
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::Raw => 0,
+            StallReason::Structural => 1,
+            StallReason::Memory => 2,
+            StallReason::Barrier => 3,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Raw => "raw",
+            StallReason::Structural => "structural",
+            StallReason::Memory => "memory",
+            StallReason::Barrier => "barrier",
+        }
+    }
+}
+
+/// Which cache level serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// Per-SM L1 data cache.
+    L1,
+    /// Shared, banked L2.
+    L2,
+}
+
+impl CacheLevel {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+        }
+    }
+}
+
+/// What happened at [`TraceEvent::cycle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A warp instruction issued from a sub-core scheduler slot.
+    WarpIssue {
+        /// Issuing sub-core.
+        sub_core: u8,
+        /// Warp slot index on the SM.
+        warp: u16,
+        /// Functional unit the instruction went to.
+        unit: TraceUnit,
+    },
+    /// A warp executed its `exit` (all its instructions have issued).
+    WarpRetire {
+        /// Sub-core the warp was scheduled on.
+        sub_core: u8,
+        /// Warp slot index on the SM.
+        warp: u16,
+    },
+    /// A ready warp was considered for issue but blocked.
+    Stall {
+        /// Sub-core that attempted the issue.
+        sub_core: u8,
+        /// Warp slot index on the SM.
+        warp: u16,
+        /// Attributed cause.
+        reason: StallReason,
+        /// First cycle at which the blocking condition clears.
+        until: u64,
+    },
+    /// One HMMA set/step started on a tensor-core octet (Fig 10/11).
+    HmmaStep {
+        /// Sub-core owning the tensor-core pair.
+        sub_core: u8,
+        /// Warp slot index on the SM.
+        warp: u16,
+        /// Octet (0..=3) the step computes for.
+        octet: u8,
+        /// HMMA set, 1-based as in the paper's figures.
+        set: u8,
+        /// Step within the set, 0-based.
+        step: u8,
+        /// Cycle the step's results are written back.
+        complete: u64,
+    },
+    /// A four-element dot-product pipeline stage advanced (Fig 13).
+    FedpStage {
+        /// Sub-core owning the FEDP array.
+        sub_core: u8,
+        /// Warp slot index on the SM.
+        warp: u16,
+        /// HMMA set the operands belong to, 1-based.
+        set: u8,
+        /// Step within the set, 0-based.
+        step: u8,
+        /// FEDP pipeline stage, 0-based.
+        stage: u8,
+    },
+    /// A sector request looked up a cache level.
+    CacheAccess {
+        /// Which cache level.
+        level: CacheLevel,
+        /// Whether the lookup hit (MSHR merges count as hits).
+        hit: bool,
+        /// Whether the access was a store.
+        store: bool,
+    },
+    /// A sector transferred on a DRAM channel.
+    DramTxn {
+        /// DRAM channel (memory partition) index.
+        channel: u16,
+    },
+}
+
+/// One cycle-stamped event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Core cycle the event occurred at.
+    pub cycle: u64,
+    /// SM that raised the event ([`MEM_SM`] for memory-system events).
+    pub sm: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The ring buffer stores events inline; keep them compact.
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
+        let e = TraceEvent {
+            cycle: 7,
+            sm: 0,
+            kind: EventKind::DramTxn { channel: 3 },
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn stable_indices_round_trip() {
+        for (i, u) in TraceUnit::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+        for (i, r) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            TraceUnit::ALL.iter().map(|u| u.name()).collect();
+        assert_eq!(names.len(), TraceUnit::ALL.len());
+        let names: std::collections::HashSet<_> =
+            StallReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), StallReason::ALL.len());
+    }
+}

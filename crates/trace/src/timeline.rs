@@ -1,0 +1,146 @@
+//! Plain-text per-cycle timeline of the HMMA set/step cadence.
+//!
+//! Renders the staircase the paper shows in Fig 10/11: one row per HMMA
+//! set/step of a single `wmma.mma`, bars spanning issue → completion in
+//! cycle columns. Useful for eyeballing a trace without leaving the
+//! terminal (the Chrome exporter is the interactive view).
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Renders the step cadence of the first traced `wmma.mma` instruction
+/// (first SM/warp with HMMA activity, octet 0) as ASCII rows of at most
+/// `width` bar columns.
+///
+/// Returns a note instead of a chart when the stream has no HMMA events.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn hmma_step_timeline(events: &[TraceEvent], width: usize) -> String {
+    assert!(width > 0, "timeline width must be non-zero");
+
+    // Lock onto the first (sm, warp) with HMMA activity and collect the
+    // steps of its first wmma.mma: octet 0, stopping when a (set, step)
+    // pair repeats (the next wmma.mma of the same warp).
+    let mut target: Option<(u16, u16)> = None;
+    let mut steps: Vec<(u8, u8, u64, u64)> = Vec::new(); // (set, step, issue, complete)
+    let mut seen = std::collections::HashSet::new();
+    for ev in events {
+        let EventKind::HmmaStep { warp, octet, set, step, complete, .. } = ev.kind else {
+            continue;
+        };
+        if octet != 0 {
+            continue;
+        }
+        match target {
+            None => target = Some((ev.sm, warp)),
+            Some(t) if t != (ev.sm, warp) => continue,
+            Some(_) => {}
+        }
+        if !seen.insert((set, step)) {
+            break;
+        }
+        steps.push((set, step, ev.cycle, complete));
+    }
+
+    let Some((sm, warp)) = target else {
+        return String::from("(no HMMA step events in trace)\n");
+    };
+
+    let base = steps.iter().map(|s| s.2).min().unwrap_or(0);
+    let end = steps.iter().map(|s| s.3).max().unwrap_or(base + 1);
+    let span = (end - base).max(1);
+    let scale = span.div_ceil(width as u64).max(1);
+    let cols = (span.div_ceil(scale) as usize).max(1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "HMMA step cadence — SM {sm}, warp {warp}, octet 0 (issue cycle {base}, {scale} cycle(s)/column)\n"
+    ));
+    for (set, step, issue, complete) in &steps {
+        let lo = ((issue - base) / scale) as usize;
+        let hi = (((complete - base).div_ceil(scale)) as usize).clamp(lo + 1, cols);
+        let mut bar = String::with_capacity(cols);
+        for c in 0..cols {
+            bar.push(if c >= lo && c < hi { '#' } else { '.' });
+        }
+        out.push_str(&format!(
+            "set{set}.step{step}  +{:<4} .. +{:<4} |{bar}|\n",
+            issue - base,
+            complete - base
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_ev(sm: u16, warp: u16, octet: u8, set: u8, step: u8, cycle: u64, complete: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            sm,
+            kind: EventKind::HmmaStep { sub_core: 0, warp, octet, set, step, complete },
+        }
+    }
+
+    #[test]
+    fn renders_one_row_per_step() {
+        let events = vec![
+            step_ev(0, 3, 0, 1, 0, 100, 110),
+            step_ev(0, 3, 1, 1, 0, 100, 110), // other octet: skipped
+            step_ev(0, 3, 0, 1, 1, 102, 112),
+            step_ev(0, 3, 0, 2, 0, 110, 120),
+        ];
+        let t = hmma_step_timeline(&events, 40);
+        assert!(t.contains("SM 0, warp 3"));
+        assert_eq!(t.matches("set").count(), 3, "{t}");
+        assert!(t.contains("set1.step0"));
+        assert!(t.contains("set2.step0"));
+        assert!(t.contains('#'));
+    }
+
+    #[test]
+    fn stops_at_second_mma_of_same_warp() {
+        let events = vec![
+            step_ev(0, 0, 0, 1, 0, 10, 20),
+            step_ev(0, 0, 0, 1, 1, 12, 22),
+            step_ev(0, 0, 0, 1, 0, 50, 60), // next wmma.mma repeats (1,0)
+        ];
+        let t = hmma_step_timeline(&events, 40);
+        assert_eq!(t.matches("set1.step0").count(), 1);
+        assert!(!t.contains("+40"), "second mma must not extend the chart");
+    }
+
+    #[test]
+    fn ignores_other_warps() {
+        let events = vec![
+            step_ev(0, 0, 0, 1, 0, 10, 20),
+            step_ev(1, 5, 0, 1, 1, 500, 510),
+            step_ev(0, 0, 0, 1, 1, 12, 22),
+        ];
+        let t = hmma_step_timeline(&events, 40);
+        assert!(t.contains("set1.step1  +2"));
+        assert!(!t.contains("+490"));
+    }
+
+    #[test]
+    fn wide_spans_are_scaled_down() {
+        let events = vec![
+            step_ev(0, 0, 0, 1, 0, 0, 10),
+            step_ev(0, 0, 0, 1, 1, 990, 1000),
+        ];
+        let t = hmma_step_timeline(&events, 50);
+        for line in t.lines().skip(1) {
+            let bar = line.split('|').nth(1).expect("bar column");
+            assert!(bar.len() <= 50, "bar too wide: {}", bar.len());
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_note() {
+        let t = hmma_step_timeline(&[], 40);
+        assert!(t.contains("no HMMA"));
+    }
+}

@@ -17,4 +17,13 @@ echo "== smoke: fig14a sweep (--json) =="
 target/release/fig14a_gemm_cycles --json results/fig14a.json
 test -s results/fig14a.json
 
+echo "== smoke: tcsim-prof trace export =="
+# The binary itself asserts the export is valid JSON and contains HMMA
+# set/step events; here we only require that it succeeds and writes.
+target/release/tcsim-prof --out results/prof_gemm64.trace.json
+test -s results/prof_gemm64.trace.json
+
+echo "== guard: tracing does not perturb timing =="
+target/release/tcsim-prof --overhead-guard
+
 echo "== ci.sh: all gates passed =="

@@ -14,6 +14,8 @@
 //! * [`mem`] — coalescer, L1/L2 caches, DRAM, shared memory.
 //! * [`sm`] — streaming-multiprocessor pipeline model.
 //! * [`sim`] — full-GPU simulator, CTA scheduler, statistics, configs.
+//! * [`trace`] — cycle-level tracing: typed events, Chrome `trace_event`
+//!   export, stall attribution and derived metrics.
 //! * [`cutlass`] — CUTLASS-like tiled GEMM kernel library.
 //! * [`hw`] — analytic Titan V hardware surrogate for correlation studies.
 //!
@@ -28,3 +30,4 @@ pub use tcsim_isa as isa;
 pub use tcsim_mem as mem;
 pub use tcsim_sim as sim;
 pub use tcsim_sm as sm;
+pub use tcsim_trace as trace;
