@@ -255,6 +255,74 @@ mod tests {
     }
 
     #[test]
+    fn fused_bias_relu_epilogues_verify() {
+        // relu(A×B + bias) in one launch, for all three WMMA kernels: the
+        // `c` parameter carries a length-n bias vector instead of an m×n
+        // matrix, broadcast over rows by the stride-0 C-fragment load.
+        use crate::kernels::{
+            cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, Epilogue,
+        };
+        use crate::problem::operand_value;
+
+        let (m, n, k) = (64usize, 64usize, 32usize);
+        let (seed_a, seed_b, seed_bias) = (0xA, 0xB, 0xC);
+        let reference: Vec<f32> = {
+            let mut d = vec![0f32; m * n];
+            for r in 0..m {
+                for c in 0..n {
+                    let mut acc = operand_value(seed_bias, c);
+                    for i in 0..k {
+                        acc += operand_value(seed_a, r * k + i) * operand_value(seed_b, i * n + c);
+                    }
+                    d[r * n + c] = acc.max(0.0);
+                }
+            }
+            d
+        };
+        let cfg = CutlassConfig::default_64x64();
+        let kernels = [
+            (wmma_simple_gemm_ep(false, Epilogue::BiasRelu), (n / 16, m / 16), 32usize),
+            (wmma_shared_gemm_ep(false, Epilogue::BiasRelu), (n / 32, m / 32), 128),
+            (cutlass_gemm_ep(cfg, Epilogue::BiasRelu), (n / cfg.cta_n, m / cfg.cta_m), cfg.threads()),
+        ];
+        for (kernel, grid, block) in kernels {
+            let name = kernel.name().to_string();
+            let mut gpu = Gpu::new(GpuConfig::mini());
+            let pa = gpu.alloc((m * k * 2) as u64);
+            let pb = gpu.alloc((k * n * 2) as u64);
+            let pbias = gpu.alloc((n * 4) as u64);
+            let pd = gpu.alloc((m * n * 4) as u64);
+            gpu.memcpy_h2d(pa, &f16_matrix_bytes(seed_a, m, k));
+            gpu.memcpy_h2d(pb, &f16_matrix_bytes(seed_b, k, n));
+            let bias: Vec<u8> = (0..n)
+                .flat_map(|j| operand_value(seed_bias, j).to_le_bytes())
+                .collect();
+            gpu.memcpy_h2d(pbias, &bias);
+            LaunchBuilder::new(kernel)
+                .grid((grid.0 as u32, grid.1 as u32))
+                .block(block as u32)
+                .param_u64(pa)
+                .param_u64(pb)
+                .param_u64(pbias)
+                .param_u64(pd)
+                .param_u32(n as u32)
+                .param_u32(k as u32)
+                .launch(&mut gpu);
+            let raw = gpu.memcpy_d2h(pd, m * n * 4);
+            let tol = 1e-3 + k as f32 * 1e-4;
+            for (i, chunk) in raw.chunks_exact(4).enumerate() {
+                let got = f32::from_bits(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+                assert!(
+                    (got - reference[i]).abs() <= tol,
+                    "{name}: elem {i}: got {got}, want {}",
+                    reference[i]
+                );
+                assert!(got >= 0.0, "{name}: relu output must be non-negative");
+            }
+        }
+    }
+
+    #[test]
     fn tensor_kernel_beats_sgemm_in_cycles() {
         // The headline claim (Fig 17): tensor cores give a large speedup
         // over the FFMA SGEMM baseline at the same problem size.

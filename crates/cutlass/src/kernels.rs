@@ -14,11 +14,65 @@
 //! dimensions; `m` is implied by the grid).
 
 use tcsim_isa::{
-    CmpOp, DataType, FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand, Reg,
-    SpecialReg, WmmaShape, WmmaType,
+    CmpOp, DataType, FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand,
+    PredReg, Reg, SpecialReg, WmmaShape, WmmaType,
 };
 
 const SHAPE: WmmaShape = WmmaShape::M16N16K16;
+
+/// Fused epilogue applied to the accumulator tile in-register, before the
+/// `wmma.store` — the role of CUTLASS's `LinearCombination`/activation
+/// epilogue functors. With an epilogue a DNN layer (GEMM + bias + ReLU) is
+/// **one** kernel launch instead of three.
+///
+/// Epilogues are supported on the FP32-accumulator kernels only (the
+/// mixed-precision configuration DNN inference uses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Epilogue {
+    /// Plain `D = A×B + C` (C is an m×n matrix).
+    #[default]
+    None,
+    /// `D = A×B + bias`: the `c` parameter is reinterpreted as a length-n
+    /// FP32 bias row vector, broadcast over rows via a stride-0 C-fragment
+    /// load (no m×n C matrix is materialized).
+    Bias,
+    /// `D = relu(A×B + C)`.
+    Relu,
+    /// `D = relu(A×B + bias)` — the fused Conv/Linear+Bias+ReLU layer.
+    BiasRelu,
+}
+
+impl Epilogue {
+    /// Whether the `c` operand is a broadcast bias vector.
+    pub fn has_bias(self) -> bool {
+        matches!(self, Epilogue::Bias | Epilogue::BiasRelu)
+    }
+
+    /// Whether a ReLU is applied to the accumulator before the store.
+    pub fn has_relu(self) -> bool {
+        matches!(self, Epilogue::Relu | Epilogue::BiasRelu)
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            Epilogue::None => "",
+            Epilogue::Bias => "_bias",
+            Epilogue::Relu => "_relu",
+            Epilogue::BiasRelu => "_bias_relu",
+        }
+    }
+}
+
+/// In-register ReLU over a `regs`-wide FP32 accumulator fragment:
+/// `x = x > 0 ? x : 0` per element via `setp`/`selp` (the ISA has no
+/// float-max ALU op).
+fn emit_relu(b: &mut KernelBuilder, p: PredReg, frag: Reg, regs: usize) {
+    for i in 0..regs {
+        let r = Reg(frag.0 + i as u16);
+        b.setp(p, CmpOp::Gt, DataType::F32, r, Operand::fimm(0.0));
+        b.selp(r, p, Operand::Reg(r), Operand::fimm(0.0));
+    }
+}
 
 fn declare_gemm_params(b: &mut KernelBuilder) -> (Reg, Reg, Reg, Reg, Reg, Reg) {
     let pa_off = b.param_u64("a");
@@ -48,11 +102,26 @@ fn declare_gemm_params(b: &mut KernelBuilder) -> (Reg, Reg, Reg, Reg, Reg, Reg) 
 ///
 /// Launch with `grid = (n/16, m/16)`, `block = 32`.
 pub fn wmma_simple_gemm(fp16_output: bool) -> Kernel {
-    let mut b = KernelBuilder::new(if fp16_output {
-        "wmma_simple_hgemm"
+    wmma_simple_gemm_ep(fp16_output, Epilogue::None)
+}
+
+/// [`wmma_simple_gemm`] with a fused [`Epilogue`].
+///
+/// # Panics
+///
+/// Panics if an epilogue is requested with FP16 output (epilogues operate
+/// on the FP32 accumulator fragment).
+pub fn wmma_simple_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
+    assert!(
+        ep == Epilogue::None || !fp16_output,
+        "fused epilogues require the FP32 accumulator path"
+    );
+    let name = if fp16_output {
+        "wmma_simple_hgemm".to_string()
     } else {
-        "wmma_simple_gemm"
-    });
+        format!("wmma_simple_gemm{}", ep.suffix())
+    };
+    let mut b = KernelBuilder::new(name);
     let (pa, pb, pc, pd, n, k) = declare_gemm_params(&mut b);
     let (cd_ty, cd_bytes, cd_regs) = if fp16_output {
         (WmmaType::F16, 2i64, 4)
@@ -79,11 +148,17 @@ pub fn wmma_simple_gemm(fp16_output: bool) -> Kernel {
     // B pointer walks col0's column: b_ptr = pb + col0·2.
     let b_ptr = b.reg_pair();
     b.imad_wide(b_ptr, col0, Operand::Imm(2), pb);
-    // C/D tile addresses: (row0·n + col0)·elem.
+    // C/D tile addresses: (row0·n + col0)·elem. With a bias epilogue the
+    // C operand is a row vector indexed by column only, loaded with
+    // leading dimension 0 so all 16 rows read the same 16 values.
     let cm = b.reg();
     b.imad(cm, row0, Operand::Reg(n), Operand::Reg(col0));
     let c_base = b.reg_pair();
-    b.imad_wide(c_base, cm, Operand::Imm(cd_bytes), pc);
+    if ep.has_bias() {
+        b.imad_wide(c_base, col0, Operand::Imm(cd_bytes), pc);
+    } else {
+        b.imad_wide(c_base, cm, Operand::Imm(cd_bytes), pc);
+    }
     let d_base = b.reg_pair();
     b.imad_wide(d_base, cm, Operand::Imm(cd_bytes), pd);
     // B row step per k-iteration: 16·n·2 bytes.
@@ -99,7 +174,7 @@ pub fn wmma_simple_gemm(fp16_output: bool) -> Kernel {
         MemSpace::Global,
         fc,
         Operand::RegPair(c_base),
-        Operand::Reg(n),
+        if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
     );
 
     let kk = b.reg();
@@ -136,6 +211,10 @@ pub fn wmma_simple_gemm(fp16_output: bool) -> Kernel {
     b.setp(p, CmpOp::Lt, DataType::U32, kk, Operand::Reg(k));
     b.bra_if(p, true, top);
 
+    if ep.has_relu() {
+        let p_ep = b.pred();
+        emit_relu(&mut b, p_ep, fc, cd_regs);
+    }
     b.wmma_store(
         SHAPE,
         Layout::Row,
@@ -259,11 +338,26 @@ pub fn igemm_wmma() -> Kernel {
 ///
 /// Launch with `grid = (n/32, m/32)`, `block = 128`.
 pub fn wmma_shared_gemm(fp16_output: bool) -> Kernel {
-    let mut b = KernelBuilder::new(if fp16_output {
-        "wmma_shared_hgemm"
+    wmma_shared_gemm_ep(fp16_output, Epilogue::None)
+}
+
+/// [`wmma_shared_gemm`] with a fused [`Epilogue`].
+///
+/// # Panics
+///
+/// Panics if an epilogue is requested with FP16 output (epilogues operate
+/// on the FP32 accumulator fragment).
+pub fn wmma_shared_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
+    assert!(
+        ep == Epilogue::None || !fp16_output,
+        "fused epilogues require the FP32 accumulator path"
+    );
+    let name = if fp16_output {
+        "wmma_shared_hgemm".to_string()
     } else {
-        "wmma_shared_gemm"
-    });
+        format!("wmma_shared_gemm{}", ep.suffix())
+    };
+    let mut b = KernelBuilder::new(name);
     let (pa, pb, pc, pd, n, k) = declare_gemm_params(&mut b);
     let (cd_ty, cd_bytes, cd_regs) = if fp16_output {
         (WmmaType::F16, 2i64, 4)
@@ -347,7 +441,12 @@ pub fn wmma_shared_gemm(fp16_output: bool) -> Kernel {
     let cm = b.reg();
     b.imad(cm, crow, Operand::Reg(n), Operand::Reg(ccol));
     let c_base = b.reg_pair();
-    b.imad_wide(c_base, cm, Operand::Imm(cd_bytes), pc);
+    if ep.has_bias() {
+        // Bias row vector: address by column only, leading dimension 0.
+        b.imad_wide(c_base, ccol, Operand::Imm(cd_bytes), pc);
+    } else {
+        b.imad_wide(c_base, cm, Operand::Imm(cd_bytes), pc);
+    }
     let d_base = b.reg_pair();
     b.imad_wide(d_base, cm, Operand::Imm(cd_bytes), pd);
 
@@ -360,7 +459,7 @@ pub fn wmma_shared_gemm(fp16_output: bool) -> Kernel {
         MemSpace::Global,
         fc,
         Operand::RegPair(c_base),
-        Operand::Reg(n),
+        if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
     );
 
     let kk = b.reg();
@@ -409,6 +508,10 @@ pub fn wmma_shared_gemm(fp16_output: bool) -> Kernel {
     b.setp(p, CmpOp::Lt, DataType::U32, kk, Operand::Reg(k));
     b.bra_if(p, true, top);
 
+    if ep.has_relu() {
+        let p_ep = b.pred();
+        emit_relu(&mut b, p_ep, fc, cd_regs);
+    }
     b.wmma_store(
         SHAPE,
         Layout::Row,
@@ -480,8 +583,13 @@ impl CutlassConfig {
 ///
 /// Launch with `grid = (n/cta_n, m/cta_m)`, `block = cfg.threads()`.
 pub fn cutlass_gemm(cfg: CutlassConfig) -> Kernel {
+    cutlass_gemm_ep(cfg, Epilogue::None)
+}
+
+/// [`cutlass_gemm`] with a fused [`Epilogue`] applied to every warp tile.
+pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
     cfg.validate();
-    let mut b = KernelBuilder::new("cutlass_gemm");
+    let mut b = KernelBuilder::new(format!("cutlass_gemm{}", ep.suffix()));
     let (pa, pb, pc, pd, n, k) = declare_gemm_params(&mut b);
     // The double-buffer toggle XORs shared addresses with the stage
     // stride, so the stride must be a power of two covering one stage.
@@ -609,7 +717,12 @@ pub fn cutlass_gemm(cfg: CutlassConfig) -> Kernel {
             b.imad(ccol, wn, Operand::Imm(cfg.warp_n as i64), Operand::Reg(ccol));
             b.imad(cm, crow, Operand::Reg(n), Operand::Reg(ccol));
             let cb = b.reg_pair();
-            b.imad_wide(cb, cm, Operand::Imm(4), pc);
+            if ep.has_bias() {
+                // Bias row vector: address by column only, stride 0.
+                b.imad_wide(cb, ccol, Operand::Imm(4), pc);
+            } else {
+                b.imad_wide(cb, cm, Operand::Imm(4), pc);
+            }
             let db = b.reg_pair();
             b.imad_wide(db, cm, Operand::Imm(4), pd);
             let fc = b.reg_block(8);
@@ -621,7 +734,7 @@ pub fn cutlass_gemm(cfg: CutlassConfig) -> Kernel {
                 MemSpace::Global,
                 fc,
                 Operand::RegPair(cb),
-                Operand::Reg(n),
+                if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
             );
             c_bases.push(cb);
             d_bases.push(db);
@@ -737,6 +850,12 @@ pub fn cutlass_gemm(cfg: CutlassConfig) -> Kernel {
         b.bra_if(p, true, top);
     }
 
+    if ep.has_relu() {
+        let p_ep = b.pred();
+        for &fc in &fcs {
+            emit_relu(&mut b, p_ep, fc, 8);
+        }
+    }
     for (idx, &fc) in fcs.iter().enumerate() {
         b.wmma_store(
             SHAPE,
@@ -977,5 +1096,37 @@ mod tests {
         ] {
             assert!(k.num_regs() <= 128, "{}: {} regs", k.name(), k.num_regs());
         }
+    }
+
+    #[test]
+    fn epilogue_variants_build_with_suffixed_names() {
+        for (ep, suffix) in [
+            (Epilogue::None, ""),
+            (Epilogue::Bias, "_bias"),
+            (Epilogue::Relu, "_relu"),
+            (Epilogue::BiasRelu, "_bias_relu"),
+        ] {
+            let k = wmma_simple_gemm_ep(false, ep);
+            assert_eq!(k.name(), format!("wmma_simple_gemm{suffix}"));
+            let k = wmma_shared_gemm_ep(false, ep);
+            assert_eq!(k.name(), format!("wmma_shared_gemm{suffix}"));
+            let k = cutlass_gemm_ep(CutlassConfig::default_64x64(), ep);
+            assert_eq!(k.name(), format!("cutlass_gemm{suffix}"));
+            assert!(k.num_regs() <= 255, "{}: {} regs", k.name(), k.num_regs());
+        }
+    }
+
+    #[test]
+    fn epilogue_adds_instructions_but_not_params() {
+        let plain = wmma_simple_gemm(false);
+        let fused = wmma_simple_gemm_ep(false, Epilogue::BiasRelu);
+        assert_eq!(plain.params().len(), fused.params().len());
+        assert!(fused.instrs().len() > plain.instrs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "FP32 accumulator")]
+    fn epilogue_rejects_fp16_output() {
+        let _ = wmma_simple_gemm_ep(true, Epilogue::Relu);
     }
 }

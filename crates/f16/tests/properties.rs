@@ -1,0 +1,179 @@
+//! Exhaustive properties of the binary16 conversions: every one of the
+//! 65 536 bit patterns is checked, so these are proofs over the whole
+//! domain rather than samples — the round-trip, subnormal and
+//! NaN-payload contracts the `tcsim-nn` quantization boundary and the
+//! FEDP unpackers rely on.
+
+use tcsim_f16::F16;
+
+const SIGN: u16 = 0x8000;
+const MAN: u16 = 0x03FF;
+
+fn all_patterns() -> impl Iterator<Item = F16> {
+    (0u16..=u16::MAX).map(F16::from_bits)
+}
+
+#[test]
+fn f32_roundtrip_is_exact_for_every_pattern() {
+    for h in all_patterns() {
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            assert!(back.is_nan(), "{:#06x} lost NaN-ness", h.to_bits());
+        } else {
+            assert_eq!(
+                back.to_bits(),
+                h.to_bits(),
+                "{:#06x} -> {} -> {:#06x}",
+                h.to_bits(),
+                h.to_f32(),
+                back.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn f64_roundtrip_is_exact_for_every_pattern() {
+    for h in all_patterns() {
+        let back = F16::from_f64(h.to_f64());
+        if h.is_nan() {
+            assert!(back.is_nan());
+        } else {
+            assert_eq!(back.to_bits(), h.to_bits(), "{:#06x}", h.to_bits());
+        }
+    }
+}
+
+#[test]
+fn roundtrip_preserves_the_sign_of_zero() {
+    assert!(F16::from_f32(F16::NEG_ZERO.to_f32()).is_sign_negative());
+    assert!(!F16::from_f32(F16::ZERO.to_f32()).is_sign_negative());
+    assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+}
+
+#[test]
+fn every_subnormal_is_an_exact_multiple_of_the_smallest() {
+    // Positive subnormals are exactly k·2⁻²⁴ for k in 1..=1023, convert
+    // exactly to f32, and classify as subnormal.
+    let ulp = (-24f64).exp2();
+    for k in 1u16..=MAN {
+        let h = F16::from_bits(k);
+        assert!(h.is_subnormal(), "{k:#06x}");
+        assert!(h.is_finite());
+        assert_eq!(h.to_f64(), f64::from(k) * ulp, "k={k}");
+        // And the negative twin mirrors it exactly.
+        let n = F16::from_bits(SIGN | k);
+        assert_eq!(n.to_f64(), -f64::from(k) * ulp);
+    }
+    // The boundary neighbours are classified correctly.
+    assert!(!F16::from_bits(0).is_subnormal(), "zero is not subnormal");
+    assert!(!F16::MIN_POSITIVE.is_subnormal(), "0x0400 is the smallest normal");
+    assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_bits(), 0x0001);
+}
+
+#[test]
+fn subnormal_rounding_is_nearest_even_at_every_halfway_point() {
+    // (k + ½)·2⁻²⁴ sits exactly between subnormals k and k+1: it must
+    // round to whichever is even, for every subnormal k.
+    for k in 0u32..1023 {
+        let midpoint = (f64::from(k) + 0.5) * (-24f64).exp2();
+        let got = F16::from_f64(midpoint);
+        let expect = if k % 2 == 0 { k } else { k + 1 };
+        assert_eq!(got.to_bits(), expect as u16, "midpoint after k={k}");
+        // Anything strictly inside the interval rounds to the nearer end.
+        let low = F16::from_f64(midpoint - (-30f64).exp2());
+        assert_eq!(low.to_bits(), k as u16);
+        let high = F16::from_f64(midpoint + (-30f64).exp2());
+        assert_eq!(high.to_bits(), (k + 1) as u16);
+    }
+}
+
+#[test]
+fn underflow_below_half_an_ulp_is_signed_zero() {
+    // |x| < 2⁻²⁵ rounds to zero of the same sign; exactly 2⁻²⁵ is the
+    // halfway point to the smallest subnormal and rounds to even (zero).
+    let half_ulp = (-25f64).exp2();
+    assert_eq!(F16::from_f64(half_ulp).to_bits(), 0x0000);
+    assert_eq!(F16::from_f64(-half_ulp).to_bits(), 0x8000);
+    assert_eq!(F16::from_f64(half_ulp * 0.99).to_bits(), 0x0000);
+    assert_eq!(F16::from_f64(half_ulp * 1.01).to_bits(), 0x0001, "just above rounds up");
+    // f32's own subnormal range (< 2⁻¹²⁶) is far below f16's and must
+    // flush to signed zero, not panic in the shift logic.
+    assert_eq!(F16::from_f32(f32::from_bits(0x0000_0001)).to_bits(), 0x0000);
+    assert_eq!(F16::from_f32(f32::from_bits(0x8000_0001)).to_bits(), 0x8000);
+}
+
+#[test]
+fn nan_payload_top_bits_survive_the_roundtrip() {
+    // For every NaN pattern: to_f32 widens the 10-bit payload into the
+    // top of the f32 mantissa, from_f32 narrows it back — the payload
+    // and sign are preserved and the quiet bit is forced.
+    for bits in 0u16..=u16::MAX {
+        let h = F16::from_bits(bits);
+        if !h.is_nan() {
+            continue;
+        }
+        let back = F16::from_f32(h.to_f32());
+        assert!(back.is_nan());
+        assert_eq!(back.to_bits() & SIGN, bits & SIGN, "sign of {bits:#06x}");
+        assert_eq!(
+            back.to_bits() & MAN,
+            (bits & MAN) | 0x0200,
+            "payload of {bits:#06x} (quiet bit forced)"
+        );
+    }
+}
+
+#[test]
+fn f32_nans_narrow_to_quiet_nans_with_truncated_payload() {
+    // A signaling f32 NaN (quiet bit clear, payload in the bits that
+    // survive the >>13 truncation) must come back quiet with its top
+    // payload bits intact — never as an infinity.
+    let snan = f32::from_bits(0x7F80_0001);
+    let h = F16::from_f32(snan);
+    assert!(h.is_nan());
+    assert!(!h.is_infinite(), "payload truncation must not yield inf");
+    assert_eq!(h.to_bits() & 0x0200, 0x0200, "quieted");
+
+    // Payload bits above the truncation point are preserved verbatim.
+    let payload = 0x155u32; // 10-bit pattern
+    let qnan = f32::from_bits(0x7FC0_0000 | (payload << 13));
+    let h = F16::from_f32(qnan);
+    assert_eq!(h.to_bits() & MAN, (0x0200 | payload) as u16);
+    let neg = f32::from_bits(0xFFC0_0000 | (payload << 13));
+    assert_eq!(F16::from_f32(neg).to_bits() & SIGN, SIGN);
+}
+
+#[test]
+fn classification_partitions_every_pattern() {
+    // Exactly one of {nan, infinite, zero, subnormal, normal} per value.
+    let mut counts = [0usize; 5];
+    for h in all_patterns() {
+        let class = if h.is_nan() {
+            0
+        } else if h.is_infinite() {
+            1
+        } else if h.is_zero() {
+            2
+        } else if h.is_subnormal() {
+            3
+        } else {
+            4
+        };
+        // The predicates must not overlap.
+        let flags = [
+            h.is_nan(),
+            h.is_infinite(),
+            h.is_zero(),
+            h.is_subnormal(),
+            h.is_finite() && !h.is_zero() && !h.is_subnormal(),
+        ];
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1, "{:#06x}", h.to_bits());
+        counts[class] += 1;
+    }
+    assert_eq!(counts[0], 2 * 1023, "±NaNs (all-ones exponent, nonzero payload)");
+    assert_eq!(counts[1], 2, "±inf");
+    assert_eq!(counts[2], 2, "±0");
+    assert_eq!(counts[3], 2 * 1023, "±subnormals");
+    assert_eq!(counts[4], 2 * 30 * 1024, "±normals (30 binades)");
+}

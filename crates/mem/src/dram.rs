@@ -51,6 +51,13 @@ impl DramChannel {
     pub fn next_free(&self) -> u64 {
         self.next_free
     }
+
+    /// Resets the bus-availability clock for a new launch whose cycle
+    /// counter restarts at 0 (cumulative `served`/`busy_cycles` counters
+    /// are kept).
+    pub fn reset_clock(&mut self) {
+        self.next_free = 0;
+    }
 }
 
 #[cfg(test)]

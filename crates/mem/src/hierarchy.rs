@@ -132,10 +132,14 @@ impl MemSystem {
         self.dram.iter().map(|d| d.sectors_served()).sum()
     }
 
-    /// Invalidates all L2 slices (kernel boundary).
+    /// Kernel-launch boundary: invalidates all L2 slices and resets the
+    /// DRAM bus clocks (the next launch's cycle counter restarts at 0).
     pub fn flush(&mut self) {
         for c in &mut self.l2 {
             c.flush();
+        }
+        for d in &mut self.dram {
+            d.reset_clock();
         }
     }
 }

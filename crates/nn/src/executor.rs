@@ -1,0 +1,542 @@
+//! Graph executor: runs a lowered plan on the simulated GPU with a
+//! per-layer differential check against the f32 reference.
+//!
+//! Two modes:
+//!
+//! * [`run_chained`] — the real inference schedule: every launch runs in
+//!   order on ONE [`Gpu`] inside a [`Session`], each layer consuming the
+//!   previous layer's device output. Per-layer trace windows give
+//!   cycles/IPC/tensor-occupancy per launch.
+//! * [`run_parallel`] — a what-if schedule for sweep-style throughput
+//!   studies: layer inputs are pre-computed host-side by the reference
+//!   executor, which breaks the data dependence and lets every launch run
+//!   as an independent [`Sweep`] job (fresh GPU each). Cycle counts per
+//!   layer are identical to the chained mode (launch boundaries are cold,
+//!   see `tcsim_sim::Session`); only wall-clock simulation time changes.
+//!
+//! Every device output is checked against the reference: GEMM layers
+//! within [`gemm_tolerance`] of the quantized-f16/f32-accumulate oracle,
+//! elementwise layers bit-exact.
+
+use crate::graph::Graph;
+use crate::lower::{gemm_tolerance, lower, GemmOp, GemmSource, LoweredLayer, LoweredOp};
+use crate::reference::run_layer;
+use crate::tensor::Tensor;
+use crate::kernels::{
+    bias_grid, bias_kernel, maxpool_grid, maxpool_kernel, relu_grid, relu_kernel, BLOCK,
+};
+use tcsim_f16::F16;
+use tcsim_sim::{Gpu, GpuConfig, JsonWriter, LaunchBuilder, LaunchStats, Session, Sweep};
+use tcsim_trace::RingTracer;
+
+/// Per-layer execution record: timing, the kernel it dispatched to, and
+/// the differential-check result.
+#[derive(Clone, Debug)]
+pub struct LayerReport {
+    /// Lowered-layer name (fused names joined with `+`).
+    pub name: String,
+    /// Device kernel name, or `host` for reshape-only steps.
+    pub kernel: String,
+    /// Problem dimensions, human-readable.
+    pub dims: String,
+    /// Simulated cycles (0 for host steps).
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// HMMA pipe occupancy from the per-launch trace window, if traced.
+    pub hmma_occupancy: Option<f64>,
+    /// Largest |device − reference| over the layer output.
+    pub max_err: f32,
+    /// Permitted bound for `max_err`.
+    pub tolerance: f32,
+}
+
+impl LayerReport {
+    /// Warp instructions per cycle (0 for host steps).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("name", &self.name);
+        w.field_str("kernel", &self.kernel);
+        w.field_str("dims", &self.dims);
+        w.field_u64("cycles", self.cycles);
+        w.field_u64("instructions", self.instructions);
+        w.field_f64("ipc", self.ipc());
+        match self.hmma_occupancy {
+            Some(o) => w.field_f64("hmma_occupancy", o),
+            None => w.raw_field("hmma_occupancy", "null"),
+        }
+        w.field_f64("max_err", f64::from(self.max_err));
+        w.field_f64("tolerance", f64::from(self.tolerance));
+        w.finish()
+    }
+}
+
+/// Whole-network inference result.
+#[derive(Clone, Debug)]
+pub struct InferenceReport {
+    /// Network name.
+    pub network: String,
+    /// `chained` or `parallel`.
+    pub mode: String,
+    /// One record per lowered layer, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Final activation (device output in chained mode; reference output
+    /// in parallel mode, where device activations are not propagated).
+    pub output: Vec<f32>,
+}
+
+impl InferenceReport {
+    /// Sum of simulated cycles over all launches.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Worst layer error relative to its own tolerance (≤ 1 means every
+    /// layer passed).
+    pub fn worst_rel_err(&self) -> f32 {
+        self.layers
+            .iter()
+            .filter(|l| l.tolerance > 0.0 || l.max_err > 0.0)
+            .map(|l| {
+                if l.tolerance == 0.0 {
+                    if l.max_err == 0.0 {
+                        0.0
+                    } else {
+                        f32::INFINITY
+                    }
+                } else {
+                    l.max_err / l.tolerance
+                }
+            })
+            .fold(0.0, f32::max)
+    }
+
+    /// Panics if any layer's device output drifted beyond its tolerance.
+    pub fn assert_within_tolerance(&self) {
+        for l in &self.layers {
+            assert!(
+                l.max_err <= l.tolerance,
+                "{}: layer {} max_err {} exceeds tolerance {}",
+                self.network,
+                l.name,
+                l.max_err,
+                l.tolerance
+            );
+        }
+    }
+
+    /// Deterministic JSON (no wall-clock fields).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("network", &self.network);
+        w.field_str("mode", &self.mode);
+        w.field_u64("total_cycles", self.total_cycles());
+        w.field_f64("worst_rel_err", f64::from(self.worst_rel_err()));
+        let layers: Vec<String> = self.layers.iter().map(LayerReport::to_json).collect();
+        w.raw_field("layers", &format!("[{}]", layers.join(",")));
+        let out: Vec<String> = self.output.iter().map(|v| format!("{v:.6}")).collect();
+        w.raw_field("output", &format!("[{}]", out.join(",")));
+        w.finish()
+    }
+}
+
+/// Applies the reference executor over the graph layers a lowered step
+/// covers, producing the oracle for that step's device output.
+fn reference_span(graph: &Graph, span: &std::ops::Range<usize>, input: &Tensor) -> Tensor {
+    let mut act = input.clone();
+    for idx in span.clone() {
+        act = run_layer(&graph.layers()[idx].1, &act);
+    }
+    act
+}
+
+fn upload_f32(gpu: &mut Gpu, data: &[f32]) -> u64 {
+    let p = gpu.alloc((data.len() * 4) as u64);
+    for (i, &v) in data.iter().enumerate() {
+        gpu.write_u32(p + (i * 4) as u64, v.to_bits());
+    }
+    p
+}
+
+/// Packs the A operand (padded `pm × pk`, f16): im2col for conv, the
+/// activation verbatim for linear. Padding rows/columns stay zero
+/// (untouched device memory reads 0).
+fn pack_a(gpu: &mut Gpu, g: &GemmOp, act: &Tensor) -> u64 {
+    let pa = gpu.alloc((g.pm * g.pk * 2) as u64);
+    match &g.source {
+        GemmSource::Conv { in_c, kh, kw, h, w, oh, ow } => {
+            for oy in 0..*oh {
+                for ox in 0..*ow {
+                    let row = oy * ow + ox;
+                    for c in 0..*in_c {
+                        for dy in 0..*kh {
+                            for dx in 0..*kw {
+                                let col = (c * kh + dy) * kw + dx;
+                                let v = act.data()[(c * h + oy + dy) * w + ox + dx];
+                                gpu.write_u16(
+                                    pa + ((row * g.pk + col) * 2) as u64,
+                                    F16::from_f32(v).to_bits(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        GemmSource::Linear => {
+            for r in 0..g.m {
+                for c in 0..g.k {
+                    gpu.write_u16(
+                        pa + ((r * g.pk + c) * 2) as u64,
+                        F16::from_f32(act.data()[r * g.k + c]).to_bits(),
+                    );
+                }
+            }
+        }
+    }
+    pa
+}
+
+/// Packs the B operand (padded `pk × pn`, f16) from the lowered `[k, n]`
+/// weight.
+fn pack_b(gpu: &mut Gpu, g: &GemmOp) -> u64 {
+    let pb = gpu.alloc((g.pk * g.pn * 2) as u64);
+    for r in 0..g.k {
+        for c in 0..g.n {
+            gpu.write_u16(
+                pb + ((r * g.pn + c) * 2) as u64,
+                F16::from_f32(g.weight.data()[r * g.n + c]).to_bits(),
+            );
+        }
+    }
+    pb
+}
+
+/// Packs the C operand: a length-`pn` f32 bias vector when the epilogue
+/// carries one, else an (implicitly zero) `pm × pn` accumulator input.
+fn pack_c(gpu: &mut Gpu, g: &GemmOp) -> u64 {
+    match &g.bias {
+        Some(bias) => {
+            let pc = gpu.alloc((g.pn * 4) as u64);
+            for (i, &v) in bias.data().iter().enumerate() {
+                gpu.write_u32(pc + (i * 4) as u64, v.to_bits());
+            }
+            pc
+        }
+        None => gpu.alloc((g.pm * g.pn * 4) as u64),
+    }
+}
+
+/// Reads the padded `pm × pn` D matrix back, cropping the padding and
+/// transposing implicit-GEMM output (`[pixel][filter]`) to `[c, h, w]`.
+fn read_gemm(gpu: &Gpu, g: &GemmOp, pd: u64, shape: &[usize]) -> Tensor {
+    let at = |row: usize, col: usize| {
+        f32::from_bits(gpu.read_u32(pd + ((row * g.pn + col) * 4) as u64))
+    };
+    match &g.source {
+        GemmSource::Conv { oh, ow, .. } => Tensor::from_fn(shape.to_vec(), |i| {
+            let (f, rest) = (i / (oh * ow), i % (oh * ow));
+            at(rest, f)
+        }),
+        GemmSource::Linear => {
+            Tensor::from_fn(shape.to_vec(), |i| at(i / g.n, i % g.n))
+        }
+    }
+}
+
+/// Uploads, builds and describes one lowered launch. Returns the launch
+/// builder (without tracer), the output pointer, and the dims string.
+fn prepare_launch(
+    gpu: &mut Gpu,
+    op: &LoweredOp,
+    act: &Tensor,
+) -> (LaunchBuilder, u64, String, String) {
+    match op {
+        LoweredOp::Gemm(g) => {
+            let pa = pack_a(gpu, g, act);
+            let pb = pack_b(gpu, g);
+            let pc = pack_c(gpu, g);
+            let pd = gpu.alloc((g.pm * g.pn * 4) as u64);
+            let kernel = g.tile.kernel(g.epilogue);
+            let kname = kernel.name().to_string();
+            let dims = format!(
+                "gemm {}x{}x{} pad {}x{}x{} ",
+                g.m, g.n, g.k, g.pm, g.pn, g.pk
+            );
+            let b = LaunchBuilder::new(kernel)
+                .grid(g.tile.grid(g.pm, g.pn))
+                .block(g.tile.block())
+                .param_u64(pa)
+                .param_u64(pb)
+                .param_u64(pc)
+                .param_u64(pd)
+                .param_u32(g.pn as u32)
+                .param_u32(g.pk as u32);
+            (b, pd, kname, dims + g.tile.name())
+        }
+        LoweredOp::MaxPool(p) => {
+            let (c, h, w) = (act.shape()[0], act.shape()[1], act.shape()[2]);
+            let pin = upload_f32(gpu, act.data());
+            let pout = gpu.alloc((c * (h / p.k) * (w / p.k) * 4) as u64);
+            let kernel = maxpool_kernel(c, h, w, p.k);
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(maxpool_grid(c, h, w, p.k))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pout);
+            (b, pout, kname, format!("pool {c}x{h}x{w} k{}", p.k))
+        }
+        LoweredOp::Relu => {
+            let pin = upload_f32(gpu, act.data());
+            let pout = gpu.alloc((act.len() * 4) as u64);
+            let kernel = relu_kernel(act.len());
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(relu_grid(act.len()))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pout);
+            (b, pout, kname, format!("relu {}", act.len()))
+        }
+        LoweredOp::Bias(bias) => {
+            let (rows, cols, per_row) = match act.shape() {
+                [c, h, w] => (*c, h * w, true),
+                [b, f] => (*b, *f, false),
+                other => panic!("bias on rank-{} activation", other.len()),
+            };
+            let pin = upload_f32(gpu, act.data());
+            let pbias = upload_f32(gpu, bias.data());
+            let pout = gpu.alloc((act.len() * 4) as u64);
+            let kernel = bias_kernel(rows, cols, per_row);
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(bias_grid(rows, cols))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pbias)
+                .param_u64(pout);
+            (b, pout, kname, format!("bias {rows}x{cols}"))
+        }
+        LoweredOp::Reshape => unreachable!("reshape never launches"),
+    }
+}
+
+/// Reads a lowered launch's output back into a host tensor.
+fn read_output(gpu: &Gpu, op: &LoweredOp, pout: u64, shape: &[usize]) -> Tensor {
+    match op {
+        LoweredOp::Gemm(g) => read_gemm(gpu, g, pout, shape),
+        LoweredOp::Reshape => unreachable!("reshape never launches"),
+        _ => {
+            let n: usize = shape.iter().product();
+            Tensor::new(
+                shape.to_vec(),
+                (0..n)
+                    .map(|i| f32::from_bits(gpu.read_u32(pout + (i * 4) as u64)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn tolerance_of(op: &LoweredOp) -> f32 {
+    match op {
+        LoweredOp::Gemm(g) => gemm_tolerance(g.k),
+        _ => 0.0,
+    }
+}
+
+fn host_report(ll: &LoweredLayer, act: &Tensor) -> LayerReport {
+    LayerReport {
+        name: ll.name.clone(),
+        kernel: "host".into(),
+        dims: format!("reshape {} elems", act.len()),
+        cycles: 0,
+        instructions: 0,
+        hmma_occupancy: None,
+        max_err: 0.0,
+        tolerance: 0.0,
+    }
+}
+
+fn report_from_stats(
+    ll: &LoweredLayer,
+    kname: String,
+    dims: String,
+    stats: &LaunchStats,
+    max_err: f32,
+) -> LayerReport {
+    LayerReport {
+        name: ll.name.clone(),
+        kernel: kname,
+        dims,
+        cycles: stats.cycles,
+        instructions: stats.instructions,
+        hmma_occupancy: stats.trace.as_ref().map(|t| t.hmma_occupancy()),
+        max_err,
+        tolerance: tolerance_of(&ll.op),
+    }
+}
+
+/// Runs the network as a real inference would: one GPU, launches in
+/// dependency order, device activations flowing layer to layer.
+pub fn run_chained(graph: &Graph, input: &Tensor, cfg: GpuConfig, trace: bool) -> InferenceReport {
+    let plan = lower(graph);
+    let mut session = Session::new(Gpu::new(cfg)).with_tracing(trace);
+    let mut act = input.clone();
+    let mut layers = Vec::with_capacity(plan.len());
+    for ll in &plan {
+        let expected = reference_span(graph, &ll.span, &act);
+        if !ll.op.is_launch() {
+            act = act.reshape(ll.output_shape.clone());
+            layers.push(host_report(ll, &act));
+            continue;
+        }
+        let (builder, pout, kname, dims) = prepare_launch(session.gpu(), &ll.op, &act);
+        let stats = session.run(&ll.name, builder).stats.clone();
+        let out = read_output(session.gpu(), &ll.op, pout, &ll.output_shape);
+        let max_err = out.max_abs_diff(&expected);
+        layers.push(report_from_stats(ll, kname, dims, &stats, max_err));
+        act = out;
+    }
+    InferenceReport {
+        network: graph.name.clone(),
+        mode: "chained".into(),
+        layers,
+        output: act.data().to_vec(),
+    }
+}
+
+/// Runs every launch as an independent sweep job (per-layer parallelism):
+/// layer inputs come from the host reference, so the jobs share nothing.
+/// `threads = 1` runs serially; per-layer cycle counts match
+/// [`run_chained`] either way.
+pub fn run_parallel(
+    graph: &Graph,
+    input: &Tensor,
+    cfg: GpuConfig,
+    trace: bool,
+    threads: usize,
+) -> InferenceReport {
+    let plan = lower(graph);
+    // Pre-compute each step's input (and oracle output) on the host.
+    let mut acts = vec![input.clone()];
+    for ll in &plan {
+        let next = reference_span(graph, &ll.span, acts.last().unwrap());
+        acts.push(next);
+    }
+
+    let mut sweep: Sweep<LayerReport> = Sweep::new();
+    for (i, ll) in plan.iter().enumerate() {
+        if !ll.op.is_launch() {
+            continue;
+        }
+        let weight = match &ll.op {
+            LoweredOp::Gemm(g) => (g.pm * g.pn * g.pk) as u64,
+            _ => acts[i].len() as u64,
+        };
+        let (ll, act, expected) = (ll.clone(), acts[i].clone(), acts[i + 1].clone());
+        sweep.add_weighted(cfg.clone(), weight, move |gpu| {
+            let (mut builder, pout, kname, dims) = prepare_launch(gpu, &ll.op, &act);
+            if trace {
+                builder = builder.tracer(RingTracer::new());
+            }
+            let stats = builder.launch(gpu);
+            let out = read_output(gpu, &ll.op, pout, &ll.output_shape);
+            report_from_stats(&ll, kname, dims, &stats, out.max_abs_diff(&expected))
+        });
+    }
+    let outcome = if threads <= 1 { sweep.run_serial() } else { sweep.run_parallel(threads) };
+
+    // Re-interleave host-only steps with the sweep results (which come
+    // back in submission order).
+    let mut results = outcome.results.into_iter();
+    let mut layers = Vec::with_capacity(plan.len());
+    for (i, ll) in plan.iter().enumerate() {
+        if ll.op.is_launch() {
+            layers.push(results.next().expect("one result per launch"));
+        } else {
+            layers.push(host_report(ll, &acts[i + 1]));
+        }
+    }
+    InferenceReport {
+        network: graph.name.clone(),
+        mode: "parallel".into(),
+        layers,
+        output: acts.last().unwrap().data().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::models;
+
+    fn tiny_net() -> (Graph, Tensor) {
+        let g = models::tiny(7);
+        let input = models::input_for(&g, 7);
+        (g, input)
+    }
+
+    #[test]
+    fn chained_runs_tiny_net_within_tolerance() {
+        let (g, x) = tiny_net();
+        let report = run_chained(&g, &x, GpuConfig::mini(), true);
+        report.assert_within_tolerance();
+        assert!(report.total_cycles() > 0);
+        // Every GEMM layer got a trace window with HMMA samples.
+        for l in report.layers.iter().filter(|l| l.kernel.contains("wmma") || l.kernel.contains("cutlass")) {
+            assert!(l.hmma_occupancy.is_some(), "{} untraced", l.name);
+        }
+        tcsim_trace::validate_json(&report.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn parallel_matches_chained_cycles() {
+        let (g, x) = tiny_net();
+        let chained = run_chained(&g, &x, GpuConfig::mini(), false);
+        let parallel = run_parallel(&g, &x, GpuConfig::mini(), false, 2);
+        parallel.assert_within_tolerance();
+        assert_eq!(chained.layers.len(), parallel.layers.len());
+        for (c, p) in chained.layers.iter().zip(&parallel.layers) {
+            assert_eq!(c.cycles, p.cycles, "layer {} cycle mismatch", c.name);
+            assert_eq!(c.instructions, p.instructions, "layer {}", c.name);
+        }
+    }
+
+    #[test]
+    fn chained_is_deterministic() {
+        let (g, x) = tiny_net();
+        let a = run_chained(&g, &x, GpuConfig::mini(), true);
+        let b = run_chained(&g, &x, GpuConfig::mini(), true);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn standalone_elementwise_layers_run_on_device() {
+        // A graph that defeats fusion: pool between conv and bias.
+        let w = Tensor::from_fn(vec![4, 4], |i| (i as f32 - 8.0) / 8.0);
+        let g = GraphBuilder::new("nofuse", vec![1, 5, 5])
+            .conv2d(1, 4, 2, w)
+            .maxpool(2)
+            .bias(Tensor::from_fn(vec![4], |i| i as f32 / 4.0))
+            .relu()
+            .build();
+        let x = Tensor::from_fn(vec![1, 5, 5], |i| ((i % 7) as f32 - 3.0) / 4.0);
+        let report = run_chained(&g, &x, GpuConfig::mini(), false);
+        report.assert_within_tolerance();
+        let kernels: Vec<&str> = report.layers.iter().map(|l| l.kernel.as_str()).collect();
+        assert!(kernels[1].starts_with("nn_maxpool"));
+        assert!(kernels[2].starts_with("nn_bias"));
+        assert!(kernels[3].starts_with("nn_relu"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sequential layer graphs: an ordered list of named layers with
+//! shape-checked construction.
+
+use crate::layer::{Bias, Conv2d, Layer, Linear, MaxPool};
+use crate::tensor::Tensor;
+
+/// A validated sequential network: every layer's input shape matches its
+/// predecessor's output.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Network name (used in reports).
+    pub name: String,
+    /// Shape of the input activation.
+    pub input_shape: Vec<usize>,
+    layers: Vec<(String, Layer)>,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// The layers with their names, in execution order.
+    pub fn layers(&self) -> &[(String, Layer)] {
+        &self.layers
+    }
+
+    /// Output shape of layer `i` (input shape is `input_shape`).
+    pub fn output_shape(&self, i: usize) -> &[usize] {
+        &self.shapes[i]
+    }
+
+    /// The network's final output shape.
+    pub fn final_shape(&self) -> &[usize] {
+        self.shapes.last().map(Vec::as_slice).unwrap_or(&self.input_shape)
+    }
+}
+
+/// Builder for a [`Graph`]: layers are appended, auto-named by kind and
+/// position, and shape-checked immediately.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_nn::{GraphBuilder, Tensor};
+///
+/// let g = GraphBuilder::new("toy", vec![1, 8, 8])
+///     .conv2d(1, 4, 3, Tensor::zeros(vec![4, 9]))
+///     .relu()
+///     .maxpool(2)
+///     .flatten()
+///     .linear(4 * 3 * 3, 10, Tensor::zeros(vec![36, 10]))
+///     .build();
+/// assert_eq!(g.final_shape(), &[1, 10]);
+/// assert_eq!(g.layers()[0].0, "conv2d0");
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<(String, Layer)>,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl GraphBuilder {
+    /// Starts an empty graph taking inputs of `input_shape`.
+    pub fn new(name: impl Into<String>, input_shape: Vec<usize>) -> GraphBuilder {
+        GraphBuilder { name: name.into(), input_shape, layers: Vec::new(), shapes: Vec::new() }
+    }
+
+    /// Appends any layer, auto-naming it `<kind><index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's input shape does not match the current
+    /// output shape (the error names the layer and both shapes).
+    pub fn push(mut self, layer: Layer) -> GraphBuilder {
+        let cur = self.shapes.last().unwrap_or(&self.input_shape);
+        let name = format!("{}{}", layer.kind(), self.layers.len());
+        let out = layer
+            .output_shape(cur)
+            .unwrap_or_else(|e| panic!("{}: layer {name} rejects input {cur:?}: {e}", self.name));
+        self.shapes.push(out);
+        self.layers.push((name, layer));
+        self
+    }
+
+    /// Appends a stride-1 valid convolution with the given square kernel.
+    pub fn conv2d(self, in_c: usize, out_c: usize, k: usize, weight: Tensor) -> GraphBuilder {
+        assert_eq!(weight.shape(), &[out_c, in_c * k * k], "conv weight shape");
+        self.push(Layer::Conv2d(Conv2d { in_c, out_c, kh: k, kw: k, weight }))
+    }
+
+    /// Appends a fully connected layer.
+    pub fn linear(self, in_f: usize, out_f: usize, weight: Tensor) -> GraphBuilder {
+        assert_eq!(weight.shape(), &[in_f, out_f], "linear weight shape");
+        self.push(Layer::Linear(Linear { in_f, out_f, weight }))
+    }
+
+    /// Appends a bias layer.
+    pub fn bias(self, bias: Tensor) -> GraphBuilder {
+        self.push(Layer::Bias(Bias { bias }))
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(self) -> GraphBuilder {
+        self.push(Layer::ReLU)
+    }
+
+    /// Appends a max-pool of window `k`.
+    pub fn maxpool(self, k: usize) -> GraphBuilder {
+        self.push(Layer::MaxPool(MaxPool { k }))
+    }
+
+    /// Appends a flatten.
+    pub fn flatten(self) -> GraphBuilder {
+        self.push(Layer::Flatten)
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> Graph {
+        Graph {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+            shapes: self.shapes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "rejects input")]
+    fn bad_shapes_fail_at_build_time() {
+        let _ = GraphBuilder::new("bad", vec![1, 8, 8])
+            .linear(64, 10, Tensor::zeros(vec![64, 10]));
+    }
+
+    #[test]
+    fn names_are_positional() {
+        let g = GraphBuilder::new("t", vec![2, 4, 4]).relu().maxpool(2).relu().build();
+        let names: Vec<&str> = g.layers().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["relu0", "maxpool1", "relu2"]);
+        assert_eq!(g.output_shape(1), &[2, 2, 2]);
+    }
+}

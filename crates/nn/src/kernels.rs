@@ -1,0 +1,276 @@
+//! Elementwise device kernels for layers that don't lower to GEMM:
+//! max-pool, standalone ReLU and standalone bias.
+//!
+//! Shapes are folded into the generated kernels as immediates (one kernel
+//! per layer instance — the same specialization style real frameworks get
+//! from template instantiation), so the only runtime parameters are the
+//! buffer pointers. Out-of-range lanes are clamped onto the last valid
+//! element with `imin` instead of branched around: the duplicate work is
+//! idempotent (same value stored to the same address), which keeps the
+//! kernels divergence-free.
+
+use tcsim_isa::{
+    CmpOp, DataType, Kernel, KernelBuilder, MemWidth, Operand, Reg, SpecialReg,
+};
+
+/// Threads per CTA for all elementwise kernels.
+pub const BLOCK: u32 = 32;
+
+/// Emits `dst = max(dst, v)` on f32 via compare-and-select.
+fn emit_fmax(b: &mut KernelBuilder, dst: Reg, v: Reg) {
+    let p = b.pred();
+    b.setp(p, CmpOp::Gt, DataType::F32, v, Operand::Reg(dst));
+    b.selp(dst, p, Operand::Reg(v), Operand::Reg(dst));
+}
+
+/// `out[ch][oy][ox] = max over a k×k window of in[ch]` for a `[c, h, w]`
+/// f32 activation. Grid `(⌈ow/32⌉, oh, c)`, block [`BLOCK`].
+pub fn maxpool_kernel(c: usize, h: usize, w: usize, k: usize) -> Kernel {
+    let (oh, ow) = (h / k, w / k);
+    assert!(oh > 0 && ow > 0, "pool window exceeds input");
+    let mut b = KernelBuilder::new(format!("nn_maxpool_c{c}_{h}x{w}_k{k}"));
+    let p_in = b.param_u64("in");
+    let p_out = b.param_u64("out");
+    let base_in = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_in, p_in);
+    let base_out = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_out, p_out);
+
+    let tid = b.reg();
+    b.mov(tid, Operand::Special(SpecialReg::TidX));
+    let cta_x = b.reg();
+    b.mov(cta_x, Operand::Special(SpecialReg::CtaIdX));
+    let ox = b.reg();
+    b.imad(ox, cta_x, Operand::Imm(i64::from(BLOCK)), Operand::Reg(tid));
+    b.imin(ox, ox, Operand::Imm(ow as i64 - 1));
+    let oy = b.reg();
+    b.mov(oy, Operand::Special(SpecialReg::CtaIdY));
+    let ch = b.reg();
+    b.mov(ch, Operand::Special(SpecialReg::CtaIdZ));
+
+    // Window origin: ((ch·h + oy·k)·w + ox·k) elements into the input.
+    let idx = b.reg();
+    b.imad(idx, ch, Operand::Imm(h as i64), Operand::Imm(0));
+    b.imad(idx, oy, Operand::Imm(k as i64), Operand::Reg(idx));
+    b.imad(idx, idx, Operand::Imm(w as i64), Operand::Imm(0));
+    b.imad(idx, ox, Operand::Imm(k as i64), Operand::Reg(idx));
+    let addr = b.reg_pair();
+    b.imad_wide(addr, idx, Operand::Imm(4), base_in);
+
+    let m = b.reg();
+    b.ld_global(MemWidth::B32, m, addr, 0);
+    let v = b.reg();
+    for dy in 0..k {
+        for dx in 0..k {
+            if dy == 0 && dx == 0 {
+                continue;
+            }
+            b.ld_global(MemWidth::B32, v, addr, ((dy * w + dx) * 4) as i64);
+            emit_fmax(&mut b, m, v);
+        }
+    }
+
+    let oidx = b.reg();
+    b.imad(oidx, ch, Operand::Imm(oh as i64), Operand::Reg(oy));
+    b.imad(oidx, oidx, Operand::Imm(ow as i64), Operand::Reg(ox));
+    let oaddr = b.reg_pair();
+    b.imad_wide(oaddr, oidx, Operand::Imm(4), base_out);
+    b.st_global(MemWidth::B32, oaddr, 0, m);
+    b.exit();
+    b.build()
+}
+
+/// Grid for [`maxpool_kernel`] over a `[c, h, w]` input.
+pub fn maxpool_grid(c: usize, h: usize, w: usize, k: usize) -> (u32, u32, u32) {
+    (((w / k).div_ceil(BLOCK as usize)) as u32, (h / k) as u32, c as u32)
+}
+
+/// `out[i] = max(in[i], 0)` over a flat f32 buffer of `len` elements.
+/// Grid `⌈len/32⌉`, block [`BLOCK`].
+pub fn relu_kernel(len: usize) -> Kernel {
+    assert!(len > 0, "empty relu");
+    let mut b = KernelBuilder::new(format!("nn_relu_{len}"));
+    let p_in = b.param_u64("in");
+    let p_out = b.param_u64("out");
+    let base_in = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_in, p_in);
+    let base_out = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_out, p_out);
+
+    let tid = b.reg();
+    b.mov(tid, Operand::Special(SpecialReg::TidX));
+    let cta = b.reg();
+    b.mov(cta, Operand::Special(SpecialReg::CtaIdX));
+    let gid = b.reg();
+    b.imad(gid, cta, Operand::Imm(i64::from(BLOCK)), Operand::Reg(tid));
+    b.imin(gid, gid, Operand::Imm(len as i64 - 1));
+
+    let addr = b.reg_pair();
+    b.imad_wide(addr, gid, Operand::Imm(4), base_in);
+    let v = b.reg();
+    b.ld_global(MemWidth::B32, v, addr, 0);
+    let p = b.pred();
+    b.setp(p, CmpOp::Gt, DataType::F32, v, Operand::fimm(0.0));
+    b.selp(v, p, Operand::Reg(v), Operand::fimm(0.0));
+    let oaddr = b.reg_pair();
+    b.imad_wide(oaddr, gid, Operand::Imm(4), base_out);
+    b.st_global(MemWidth::B32, oaddr, 0, v);
+    b.exit();
+    b.build()
+}
+
+/// Grid for [`relu_kernel`].
+pub fn relu_grid(len: usize) -> u32 {
+    len.div_ceil(BLOCK as usize) as u32
+}
+
+/// `out[r][c] = in[r][c] + bias[r or c]` over a `rows × cols` f32 matrix.
+/// `per_row` selects the broadcast axis: `true` adds `bias[row]`
+/// (per-channel bias on a `[c, h·w]` view), `false` adds `bias[col]`
+/// (per-feature bias on `[batch, features]`). Grid `(⌈cols/32⌉, rows)`,
+/// block [`BLOCK`].
+pub fn bias_kernel(rows: usize, cols: usize, per_row: bool) -> Kernel {
+    assert!(rows > 0 && cols > 0, "empty bias");
+    let axis = if per_row { "row" } else { "col" };
+    let mut b = KernelBuilder::new(format!("nn_bias_{rows}x{cols}_{axis}"));
+    let p_in = b.param_u64("in");
+    let p_bias = b.param_u64("bias");
+    let p_out = b.param_u64("out");
+    let base_in = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_in, p_in);
+    let base_bias = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_bias, p_bias);
+    let base_out = b.reg_pair();
+    b.ld_param(MemWidth::B64, base_out, p_out);
+
+    let tid = b.reg();
+    b.mov(tid, Operand::Special(SpecialReg::TidX));
+    let cta = b.reg();
+    b.mov(cta, Operand::Special(SpecialReg::CtaIdX));
+    let col = b.reg();
+    b.imad(col, cta, Operand::Imm(i64::from(BLOCK)), Operand::Reg(tid));
+    b.imin(col, col, Operand::Imm(cols as i64 - 1));
+    let row = b.reg();
+    b.mov(row, Operand::Special(SpecialReg::CtaIdY));
+
+    let idx = b.reg();
+    b.imad(idx, row, Operand::Imm(cols as i64), Operand::Reg(col));
+    let addr = b.reg_pair();
+    b.imad_wide(addr, idx, Operand::Imm(4), base_in);
+    let v = b.reg();
+    b.ld_global(MemWidth::B32, v, addr, 0);
+
+    let baddr = b.reg_pair();
+    b.imad_wide(baddr, if per_row { row } else { col }, Operand::Imm(4), base_bias);
+    let bv = b.reg();
+    b.ld_global(MemWidth::B32, bv, baddr, 0);
+    b.fadd(v, v, Operand::Reg(bv));
+
+    let oaddr = b.reg_pair();
+    b.imad_wide(oaddr, idx, Operand::Imm(4), base_out);
+    b.st_global(MemWidth::B32, oaddr, 0, v);
+    b.exit();
+    b.build()
+}
+
+/// Grid for [`bias_kernel`].
+pub fn bias_grid(rows: usize, cols: usize) -> (u32, u32) {
+    (cols.div_ceil(BLOCK as usize) as u32, rows as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Bias, Layer, MaxPool};
+    use crate::reference::run_layer;
+    use crate::tensor::Tensor;
+    use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
+
+    fn upload(gpu: &mut Gpu, t: &Tensor) -> u64 {
+        let p = gpu.alloc((t.len() * 4) as u64);
+        for (i, &v) in t.data().iter().enumerate() {
+            gpu.write_u32(p + (i * 4) as u64, v.to_bits());
+        }
+        p
+    }
+
+    fn download(gpu: &Gpu, p: u64, shape: Vec<usize>) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::new(
+            shape,
+            (0..n).map(|i| f32::from_bits(gpu.read_u32(p + (i * 4) as u64))).collect(),
+        )
+    }
+
+    #[test]
+    fn maxpool_matches_reference() {
+        // 3 channels of 6x6, window 2 — ow=3 exercises the imin clamp.
+        let x = Tensor::from_fn(vec![3, 6, 6], |i| ((i * 37 % 19) as f32) - 9.0);
+        let want = run_layer(&Layer::MaxPool(MaxPool { k: 2 }), &x);
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let pin = upload(&mut gpu, &x);
+        let pout = gpu.alloc((want.len() * 4) as u64);
+        LaunchBuilder::new(maxpool_kernel(3, 6, 6, 2))
+            .grid(maxpool_grid(3, 6, 6, 2))
+            .block(BLOCK)
+            .param_u64(pin)
+            .param_u64(pout)
+            .launch(&mut gpu);
+        let got = download(&gpu, pout, want.shape().to_vec());
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn relu_matches_reference() {
+        // 70 elements: not a multiple of the 32-thread block.
+        let x = Tensor::from_fn(vec![70], |i| (i as f32) - 35.5);
+        let want = run_layer(&Layer::ReLU, &x);
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let pin = upload(&mut gpu, &x);
+        let pout = gpu.alloc((x.len() * 4) as u64);
+        LaunchBuilder::new(relu_kernel(70))
+            .grid(relu_grid(70))
+            .block(BLOCK)
+            .param_u64(pin)
+            .param_u64(pout)
+            .launch(&mut gpu);
+        let got = download(&gpu, pout, vec![70]);
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn bias_broadcasts_along_both_axes() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        // Per-channel ([c,h,w] viewed as rows=c, cols=h·w).
+        let x = Tensor::from_fn(vec![2, 3, 3], |i| i as f32);
+        let bias = Tensor::new(vec![2], vec![10.0, -10.0]);
+        let want = run_layer(&Layer::Bias(Bias { bias: bias.clone() }), &x);
+        let pin = upload(&mut gpu, &x);
+        let pb = upload(&mut gpu, &bias);
+        let pout = gpu.alloc((x.len() * 4) as u64);
+        LaunchBuilder::new(bias_kernel(2, 9, true))
+            .grid(bias_grid(2, 9))
+            .block(BLOCK)
+            .param_u64(pin)
+            .param_u64(pb)
+            .param_u64(pout)
+            .launch(&mut gpu);
+        assert_eq!(download(&gpu, pout, vec![2, 3, 3]).max_abs_diff(&want), 0.0);
+
+        // Per-feature ([batch, f], bias indexed by column).
+        let x2 = Tensor::from_fn(vec![3, 4], |i| i as f32);
+        let bias2 = Tensor::new(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let want2 = run_layer(&Layer::Bias(Bias { bias: bias2.clone() }), &x2);
+        let pin2 = upload(&mut gpu, &x2);
+        let pb2 = upload(&mut gpu, &bias2);
+        let pout2 = gpu.alloc((x2.len() * 4) as u64);
+        LaunchBuilder::new(bias_kernel(3, 4, false))
+            .grid(bias_grid(3, 4))
+            .block(BLOCK)
+            .param_u64(pin2)
+            .param_u64(pb2)
+            .param_u64(pout2)
+            .launch(&mut gpu);
+        assert_eq!(download(&gpu, pout2, vec![3, 4]).max_abs_diff(&want2), 0.0);
+    }
+}

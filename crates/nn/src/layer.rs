@@ -1,0 +1,184 @@
+//! The typed layer IR: the operator vocabulary of a small inference net.
+//!
+//! Activations are `[c, h, w]` in the convolutional domain and
+//! `[batch, features]` after a [`Layer::Flatten`]. Convolutions are
+//! stride-1 valid (no padding); pooling is non-overlapping.
+
+use crate::tensor::Tensor;
+
+/// Stride-1 valid 2-D convolution: `[in_c, h, w] → [out_c, h-kh+1, w-kw+1]`.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels (filter count).
+    pub out_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Filter bank, shape `[out_c, in_c·kh·kw]` (row f = flattened filter
+    /// f, inner order `c`-major then `dy`, `dx` — the im2col column
+    /// order).
+    pub weight: Tensor,
+}
+
+/// Fully connected layer: `[batch, in_f] → [batch, out_f]`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    /// Weights, shape `[in_f, out_f]` (GEMM B-operand layout).
+    pub weight: Tensor,
+}
+
+/// Per-channel (3-D input) or per-feature (2-D input) additive bias.
+#[derive(Clone, Debug)]
+pub struct Bias {
+    /// One value per channel/feature.
+    pub bias: Tensor,
+}
+
+/// Non-overlapping max pooling: `[c, h, w] → [c, h/k, w/k]` (floor).
+#[derive(Clone, Copy, Debug)]
+pub struct MaxPool {
+    /// Window edge (= stride).
+    pub k: usize,
+}
+
+/// One operator of the layer IR.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// Stride-1 valid convolution.
+    Conv2d(Conv2d),
+    /// Fully connected layer.
+    Linear(Linear),
+    /// Additive bias.
+    Bias(Bias),
+    /// Elementwise `max(x, 0)`.
+    ReLU,
+    /// Non-overlapping max pooling.
+    MaxPool(MaxPool),
+    /// `[c, h, w] → [1, c·h·w]` reshape (no data movement on device).
+    Flatten,
+}
+
+impl Layer {
+    /// Short operator name for display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Linear(_) => "linear",
+            Layer::Bias(_) => "bias",
+            Layer::ReLU => "relu",
+            Layer::MaxPool(_) => "maxpool",
+            Layer::Flatten => "flatten",
+        }
+    }
+
+    /// The output shape this layer produces from `input`, or an error
+    /// describing the incompatibility.
+    pub fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        match self {
+            Layer::Conv2d(c) => {
+                let [ic, h, w] = three(input, "conv2d")?;
+                if ic != c.in_c {
+                    return Err(format!("conv2d expects {} channels, got {ic}", c.in_c));
+                }
+                if h < c.kh || w < c.kw {
+                    return Err(format!("conv2d {}x{} kernel exceeds input {h}x{w}", c.kh, c.kw));
+                }
+                Ok(vec![c.out_c, h - c.kh + 1, w - c.kw + 1])
+            }
+            Layer::Linear(l) => {
+                let [batch, f] = two(input, "linear")?;
+                if f != l.in_f {
+                    return Err(format!("linear expects {} features, got {f}", l.in_f));
+                }
+                Ok(vec![batch, l.out_f])
+            }
+            Layer::Bias(b) => {
+                let lanes = match input {
+                    [c, _, _] => *c,
+                    [_, f] => *f,
+                    other => return Err(format!("bias expects rank 2 or 3, got {other:?}")),
+                };
+                if b.bias.len() != lanes {
+                    return Err(format!("bias has {} values for {lanes} lanes", b.bias.len()));
+                }
+                Ok(input.to_vec())
+            }
+            Layer::ReLU => Ok(input.to_vec()),
+            Layer::MaxPool(p) => {
+                let [c, h, w] = three(input, "maxpool")?;
+                if h < p.k || w < p.k {
+                    return Err(format!("maxpool window {} exceeds input {h}x{w}", p.k));
+                }
+                Ok(vec![c, h / p.k, w / p.k])
+            }
+            Layer::Flatten => {
+                let [c, h, w] = three(input, "flatten")?;
+                Ok(vec![1, c * h * w])
+            }
+        }
+    }
+}
+
+fn three(shape: &[usize], who: &str) -> Result<[usize; 3], String> {
+    match shape {
+        [a, b, c] => Ok([*a, *b, *c]),
+        other => Err(format!("{who} expects a [c, h, w] input, got {other:?}")),
+    }
+}
+
+fn two(shape: &[usize], who: &str) -> Result<[usize; 2], String> {
+    match shape {
+        [a, b] => Ok([*a, *b]),
+        other => Err(format!("{who} expects a [batch, features] input, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_inference_walks_a_convnet() {
+        let conv = Layer::Conv2d(Conv2d {
+            in_c: 1,
+            out_c: 8,
+            kh: 3,
+            kw: 3,
+            weight: Tensor::zeros(vec![8, 9]),
+        });
+        let s = conv.output_shape(&[1, 16, 16]).unwrap();
+        assert_eq!(s, vec![8, 14, 14]);
+        let s = Layer::MaxPool(MaxPool { k: 2 }).output_shape(&s).unwrap();
+        assert_eq!(s, vec![8, 7, 7]);
+        let s = Layer::Flatten.output_shape(&s).unwrap();
+        assert_eq!(s, vec![1, 392]);
+        let lin = Layer::Linear(Linear {
+            in_f: 392,
+            out_f: 10,
+            weight: Tensor::zeros(vec![392, 10]),
+        });
+        assert_eq!(lin.output_shape(&s).unwrap(), vec![1, 10]);
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        let conv = Layer::Conv2d(Conv2d {
+            in_c: 3,
+            out_c: 8,
+            kh: 3,
+            kw: 3,
+            weight: Tensor::zeros(vec![8, 27]),
+        });
+        assert!(conv.output_shape(&[1, 16, 16]).unwrap_err().contains("channels"));
+        assert!(conv.output_shape(&[16, 16]).unwrap_err().contains("[c, h, w]"));
+        let b = Layer::Bias(Bias { bias: Tensor::zeros(vec![4]) });
+        assert!(b.output_shape(&[8, 4, 4]).unwrap_err().contains("lanes"));
+    }
+}

@@ -1,0 +1,50 @@
+//! DNN inference workloads on the simulated WMMA stack.
+//!
+//! This crate turns small neural networks into sequences of kernel
+//! launches on the `tcsim` GPU model, the way cuDNN-era frameworks drive
+//! real tensor cores (paper §I, §II-B):
+//!
+//! * a typed layer IR ([`Layer`]: conv2d, linear, bias, ReLU, max-pool,
+//!   flatten) with a shape-checked sequential [`GraphBuilder`];
+//! * a lowering pass ([`lower`]) that maps `Conv2d` to implicit GEMM via
+//!   host-side im2col and `Linear` to a batched GEMM, greedily fusing
+//!   trailing bias/ReLU layers into the GEMM kernels' [`Epilogue`] — a
+//!   `conv → bias → relu` triple is ONE launch;
+//! * dedicated elementwise kernels ([`kernels`]) for layers that don't
+//!   fuse;
+//! * a host-side f32 reference executor ([`reference`]) mirroring the
+//!   device's numeric boundary (f16 operand quantization, f32
+//!   accumulation), and an executor ([`run_chained`] / [`run_parallel`])
+//!   that differentially checks every device launch against it;
+//! * canned networks ([`models`]) with deterministic f16-exact weights.
+//!
+//! # Example
+//!
+//! ```
+//! use tcsim_nn::{models, run_chained};
+//! use tcsim_sim::GpuConfig;
+//!
+//! let net = models::tiny(1);
+//! let input = models::input_for(&net, 1);
+//! let report = run_chained(&net, &input, GpuConfig::mini(), false);
+//! report.assert_within_tolerance();
+//! assert!(report.total_cycles() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod graph;
+pub mod kernels;
+pub mod layer;
+pub mod lower;
+pub mod models;
+pub mod reference;
+pub mod tensor;
+
+pub use executor::{run_chained, run_parallel, InferenceReport, LayerReport};
+pub use graph::{Graph, GraphBuilder};
+pub use layer::{Bias, Conv2d, Layer, Linear, MaxPool};
+pub use lower::{gemm_tolerance, lower, pad16, GemmOp, GemmSource, LoweredLayer, LoweredOp, Tile};
+pub use tcsim_cutlass::Epilogue;
+pub use tensor::Tensor;

@@ -1,0 +1,363 @@
+//! Lowering pass: layer graph → device launch plan.
+//!
+//! Each GEMM-backed layer ([`Layer::Conv2d`] via implicit GEMM / im2col,
+//! [`Layer::Linear`] as a batched GEMM) greedily fuses a directly
+//! following [`Layer::Bias`] and [`Layer::ReLU`] into the kernel's
+//! [`Epilogue`], so a `conv → bias → relu` triple becomes ONE launch.
+//! Standalone bias/ReLU/max-pool layers lower to dedicated elementwise
+//! kernels ([`crate::kernels`]); [`Layer::Flatten`] is a host-side
+//! reshape and costs nothing on the device.
+//!
+//! GEMM dimensions are padded up to multiples of 16 (the WMMA tile edge);
+//! the padding is zero-filled so it cannot perturb results, and the
+//! executor crops it back off after readback.
+
+use crate::graph::Graph;
+use crate::layer::{Conv2d, Layer, Linear, MaxPool};
+use crate::tensor::Tensor;
+use tcsim_cutlass::{cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, CutlassConfig, Epilogue};
+use tcsim_isa::Kernel;
+
+/// Rounds a GEMM dimension up to the WMMA tile edge.
+pub fn pad16(x: usize) -> usize {
+    x.div_ceil(16) * 16
+}
+
+/// Absolute tolerance for a device GEMM of reduction depth `k` against
+/// the f32 reference: FEDP rounding grows with the number of partial-sum
+/// merges (same bound `tcsim-cutlass` uses for its own verification).
+pub fn gemm_tolerance(k: usize) -> f32 {
+    1e-3 + k as f32 * 1e-4
+}
+
+/// Which WMMA GEMM kernel family a lowered GEMM dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tile {
+    /// One 16×16 tile per warp, global loads only.
+    Simple,
+    /// 32×32 CTA tiles staged through shared memory.
+    Shared,
+    /// CUTLASS-style 64×64 CTA tiles, double-buffered.
+    Cutlass,
+}
+
+impl Tile {
+    /// Picks the largest tile that divides the padded problem.
+    pub fn select(pm: usize, pn: usize) -> Tile {
+        if pm.is_multiple_of(64) && pn.is_multiple_of(64) {
+            Tile::Cutlass
+        } else if pm.is_multiple_of(32) && pn.is_multiple_of(32) {
+            Tile::Shared
+        } else {
+            Tile::Simple
+        }
+    }
+
+    /// Kernel-family name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tile::Simple => "wmma_simple",
+            Tile::Shared => "wmma_shared",
+            Tile::Cutlass => "cutlass_64x64",
+        }
+    }
+
+    /// Builds the FP32-accumulate kernel with the fused epilogue.
+    pub fn kernel(&self, ep: Epilogue) -> Kernel {
+        match self {
+            Tile::Simple => wmma_simple_gemm_ep(false, ep),
+            Tile::Shared => wmma_shared_gemm_ep(false, ep),
+            Tile::Cutlass => cutlass_gemm_ep(CutlassConfig::default_64x64(), ep),
+        }
+    }
+
+    /// Grid dimensions for a padded `pm × pn` problem.
+    pub fn grid(&self, pm: usize, pn: usize) -> (u32, u32) {
+        let t = self.edge();
+        ((pn / t) as u32, (pm / t) as u32)
+    }
+
+    /// CTA size in threads.
+    pub fn block(&self) -> u32 {
+        match self {
+            Tile::Simple => 32,
+            Tile::Shared => 128,
+            Tile::Cutlass => CutlassConfig::default_64x64().threads() as u32,
+        }
+    }
+
+    fn edge(&self) -> usize {
+        match self {
+            Tile::Simple => 16,
+            Tile::Shared => 32,
+            Tile::Cutlass => 64,
+        }
+    }
+}
+
+/// How the A operand of a lowered GEMM is produced from the input
+/// activation.
+#[derive(Clone, Debug)]
+pub enum GemmSource {
+    /// Implicit-GEMM convolution: A rows are im2col patches of a
+    /// `[in_c, h, w]` activation; the GEMM output is `[pixel][filter]`
+    /// and gets transposed back to `[out_c, oh, ow]` on readback.
+    Conv {
+        /// Input channels.
+        in_c: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Input activation height.
+        h: usize,
+        /// Input activation width.
+        w: usize,
+        /// Output height (`h - kh + 1`).
+        oh: usize,
+        /// Output width (`w - kw + 1`).
+        ow: usize,
+    },
+    /// Fully connected: A is the `[batch, in_f]` activation verbatim.
+    Linear,
+}
+
+/// One GEMM launch: `D[m×n] = A[m×k] × B[k×n]` plus fused epilogue.
+#[derive(Clone, Debug)]
+pub struct GemmOp {
+    /// How A is packed from the activation.
+    pub source: GemmSource,
+    /// Logical rows (output pixels / batch).
+    pub m: usize,
+    /// Logical columns (filters / output features).
+    pub n: usize,
+    /// Logical reduction depth.
+    pub k: usize,
+    /// Padded dimensions (multiples of 16).
+    pub pm: usize,
+    /// Padded columns.
+    pub pn: usize,
+    /// Padded reduction depth.
+    pub pk: usize,
+    /// Kernel family the problem dispatches to.
+    pub tile: Tile,
+    /// Fused epilogue.
+    pub epilogue: Epilogue,
+    /// B operand in logical `[k, n]` layout (conv weights are transposed
+    /// into this layout here, at lowering time).
+    pub weight: Tensor,
+    /// Length-`n` bias vector when the epilogue carries one.
+    pub bias: Option<Tensor>,
+}
+
+/// One step of the lowered plan.
+#[derive(Clone, Debug)]
+pub enum LoweredOp {
+    /// A WMMA GEMM launch (conv or linear, with fused epilogue).
+    Gemm(GemmOp),
+    /// Dedicated max-pool kernel launch.
+    MaxPool(MaxPool),
+    /// Dedicated elementwise ReLU kernel launch.
+    Relu,
+    /// Dedicated broadcast-bias kernel launch.
+    Bias(Tensor),
+    /// Host-only reshape: no device work.
+    Reshape,
+}
+
+impl LoweredOp {
+    /// Whether this op launches a kernel (everything but [`LoweredOp::Reshape`]).
+    pub fn is_launch(&self) -> bool {
+        !matches!(self, LoweredOp::Reshape)
+    }
+}
+
+/// One lowered step with provenance back into the graph.
+#[derive(Clone, Debug)]
+pub struct LoweredLayer {
+    /// Display name: the fused graph-layer names joined with `+`
+    /// (e.g. `conv2d0+bias1+relu2`).
+    pub name: String,
+    /// The device work.
+    pub op: LoweredOp,
+    /// Half-open range of graph-layer indices this step covers.
+    pub span: std::ops::Range<usize>,
+    /// Activation shape after this step.
+    pub output_shape: Vec<usize>,
+}
+
+fn epilogue_for(bias: bool, relu: bool) -> Epilogue {
+    match (bias, relu) {
+        (false, false) => Epilogue::None,
+        (true, false) => Epilogue::Bias,
+        (false, true) => Epilogue::Relu,
+        (true, true) => Epilogue::BiasRelu,
+    }
+}
+
+/// Transposes a conv filter bank `[out_c, k]` into GEMM-B `[k, out_c]`.
+fn conv_weight_to_b(c: &Conv2d) -> Tensor {
+    let k = c.in_c * c.kh * c.kw;
+    Tensor::from_fn(vec![k, c.out_c], |i| {
+        let (row, f) = (i / c.out_c, i % c.out_c);
+        c.weight.data()[f * k + row]
+    })
+}
+
+/// Fuses a following `Bias` (then `ReLU`) into the GEMM at `layers[i]`,
+/// returning `(epilogue, bias, fused_names, next_index)`.
+fn fuse_epilogue(
+    layers: &[(String, Layer)],
+    i: usize,
+) -> (Epilogue, Option<Tensor>, Vec<String>, usize) {
+    let mut names = vec![layers[i].0.clone()];
+    let mut j = i + 1;
+    let mut bias = None;
+    if let Some((bname, Layer::Bias(b))) = layers.get(j).map(|(n, l)| (n, l)) {
+        bias = Some(b.bias.clone());
+        names.push(bname.clone());
+        j += 1;
+    }
+    let mut relu = false;
+    if let Some((rname, Layer::ReLU)) = layers.get(j).map(|(n, l)| (n, l)) {
+        relu = true;
+        names.push(rname.clone());
+        j += 1;
+    }
+    (epilogue_for(bias.is_some(), relu), bias, names, j)
+}
+
+/// Lowers a validated graph into an ordered launch plan.
+pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
+    let layers = graph.layers();
+    let mut plan = Vec::new();
+    let mut i = 0;
+    while i < layers.len() {
+        let (name, layer) = &layers[i];
+        let (op, names, next) = match layer {
+            Layer::Conv2d(c) => {
+                let input = if i == 0 { &graph.input_shape } else { graph.output_shape(i - 1) };
+                let (h, w) = (input[1], input[2]);
+                let (oh, ow) = (h - c.kh + 1, w - c.kw + 1);
+                let (m, n, k) = (oh * ow, c.out_c, c.in_c * c.kh * c.kw);
+                let (ep, bias, names, next) = fuse_epilogue(layers, i);
+                let (pm, pn) = (pad16(m), pad16(n));
+                let op = LoweredOp::Gemm(GemmOp {
+                    source: GemmSource::Conv { in_c: c.in_c, kh: c.kh, kw: c.kw, h, w, oh, ow },
+                    m,
+                    n,
+                    k,
+                    pm,
+                    pn,
+                    pk: pad16(k),
+                    tile: Tile::select(pm, pn),
+                    epilogue: ep,
+                    weight: conv_weight_to_b(c),
+                    bias,
+                });
+                (op, names, next)
+            }
+            Layer::Linear(Linear { in_f, out_f, weight }) => {
+                let batch = if i == 0 { graph.input_shape[0] } else { graph.output_shape(i - 1)[0] };
+                let (m, n, k) = (batch, *out_f, *in_f);
+                let (ep, bias, names, next) = fuse_epilogue(layers, i);
+                let (pm, pn) = (pad16(m), pad16(n));
+                let op = LoweredOp::Gemm(GemmOp {
+                    source: GemmSource::Linear,
+                    m,
+                    n,
+                    k,
+                    pm,
+                    pn,
+                    pk: pad16(k),
+                    tile: Tile::select(pm, pn),
+                    epilogue: ep,
+                    weight: weight.clone(),
+                    bias,
+                });
+                (op, names, next)
+            }
+            Layer::Bias(b) => (LoweredOp::Bias(b.bias.clone()), vec![name.clone()], i + 1),
+            Layer::ReLU => (LoweredOp::Relu, vec![name.clone()], i + 1),
+            Layer::MaxPool(p) => (LoweredOp::MaxPool(*p), vec![name.clone()], i + 1),
+            Layer::Flatten => (LoweredOp::Reshape, vec![name.clone()], i + 1),
+        };
+        plan.push(LoweredLayer {
+            name: names.join("+"),
+            op,
+            span: i..next,
+            output_shape: graph.output_shape(next - 1).to_vec(),
+        });
+        i = next;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn toy() -> Graph {
+        GraphBuilder::new("toy", vec![1, 16, 16])
+            .conv2d(1, 8, 3, Tensor::zeros(vec![8, 9]))
+            .bias(Tensor::zeros(vec![8]))
+            .relu()
+            .maxpool(2)
+            .flatten()
+            .linear(8 * 7 * 7, 10, Tensor::zeros(vec![392, 10]))
+            .bias(Tensor::zeros(vec![10]))
+            .build()
+    }
+
+    #[test]
+    fn conv_bias_relu_fuses_into_one_gemm() {
+        let plan = lower(&toy());
+        let names: Vec<&str> = plan.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["conv2d0+bias1+relu2", "maxpool3", "flatten4", "linear5+bias6"]
+        );
+        let LoweredOp::Gemm(g) = &plan[0].op else { panic!("expected gemm") };
+        assert_eq!((g.m, g.n, g.k), (196, 8, 9));
+        assert_eq!((g.pm, g.pn, g.pk), (208, 16, 16));
+        assert_eq!(g.epilogue, Epilogue::BiasRelu);
+        assert_eq!(g.tile, Tile::Simple);
+        assert_eq!(plan[0].span, 0..3);
+        assert_eq!(plan[0].output_shape, vec![8, 14, 14]);
+        let LoweredOp::Gemm(l) = &plan[3].op else { panic!("expected gemm") };
+        assert_eq!(l.epilogue, Epilogue::Bias);
+        assert_eq!((l.m, l.n, l.k), (1, 10, 392));
+    }
+
+    #[test]
+    fn tile_selection_prefers_the_largest_divisor() {
+        assert_eq!(Tile::select(64, 128), Tile::Cutlass);
+        assert_eq!(Tile::select(32, 64), Tile::Shared);
+        assert_eq!(Tile::select(208, 16), Tile::Simple);
+        assert_eq!(Tile::Cutlass.grid(64, 128), (2, 1));
+        assert_eq!(Tile::Cutlass.block(), 128);
+    }
+
+    #[test]
+    fn conv_weight_transposes_to_b_layout() {
+        // 2 filters over k=3: weight[f][k], B[k][f].
+        let c = Conv2d {
+            in_c: 3,
+            out_c: 2,
+            kh: 1,
+            kw: 1,
+            weight: Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        };
+        let b = conv_weight_to_b(&c);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_is_not_a_launch() {
+        let plan = lower(&toy());
+        assert!(!plan[2].op.is_launch());
+        assert!(plan[0].op.is_launch());
+    }
+}

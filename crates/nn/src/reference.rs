@@ -1,0 +1,187 @@
+//! Host-side FP32 reference executor — the oracle each lowered launch is
+//! differentially checked against.
+//!
+//! The reference models the device's numeric boundary exactly: GEMM-backed
+//! layers ([`Layer::Conv2d`], [`Layer::Linear`]) quantize their input and
+//! weights through f16 first (that is what im2col packing does on its way
+//! to the WMMA fragments) and then accumulate in f32, so the only
+//! device-vs-reference difference left is the FEDP accumulation order —
+//! bounded by [`crate::gemm_tolerance`].
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Runs one layer on the host in f32, with f16 quantization at the GEMM
+/// operand boundary.
+///
+/// # Panics
+///
+/// Panics if `input`'s shape is incompatible (the graph builder
+/// validates shapes, so this only fires on hand-built layers).
+pub fn run_layer(layer: &Layer, input: &Tensor) -> Tensor {
+    let out_shape = layer
+        .output_shape(input.shape())
+        .unwrap_or_else(|e| panic!("reference: {e}"));
+    match layer {
+        Layer::Conv2d(c) => {
+            let (h, w) = (input.shape()[1], input.shape()[2]);
+            let (oh, ow) = (h - c.kh + 1, w - c.kw + 1);
+            let x = input.quantize_f16();
+            let wt = c.weight.quantize_f16();
+            let mut out = Tensor::zeros(out_shape);
+            for f in 0..c.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0f32;
+                        for ch in 0..c.in_c {
+                            for dy in 0..c.kh {
+                                for dx in 0..c.kw {
+                                    let iv = x.data()[(ch * h + oy + dy) * w + ox + dx];
+                                    let col = (ch * c.kh + dy) * c.kw + dx;
+                                    acc += iv * wt.data()[f * c.in_c * c.kh * c.kw + col];
+                                }
+                            }
+                        }
+                        out.data_mut()[(f * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+            out
+        }
+        Layer::Linear(l) => {
+            let batch = input.shape()[0];
+            let x = input.quantize_f16();
+            let wt = l.weight.quantize_f16();
+            let mut out = Tensor::zeros(out_shape);
+            for b in 0..batch {
+                for o in 0..l.out_f {
+                    let mut acc = 0f32;
+                    for i in 0..l.in_f {
+                        acc += x.data()[b * l.in_f + i] * wt.data()[i * l.out_f + o];
+                    }
+                    out.data_mut()[b * l.out_f + o] = acc;
+                }
+            }
+            out
+        }
+        Layer::Bias(b) => {
+            let lane_size: usize = input.shape()[1..].iter().product::<usize>()
+                * usize::from(input.shape().len() == 3)
+                + usize::from(input.shape().len() == 2);
+            let mut out = input.clone();
+            if input.shape().len() == 3 {
+                // Per-channel over [c, h, w].
+                for (i, v) in out.data_mut().iter_mut().enumerate() {
+                    *v += b.bias.data()[i / lane_size];
+                }
+            } else {
+                // Per-feature over [batch, f].
+                let f = input.shape()[1];
+                for (i, v) in out.data_mut().iter_mut().enumerate() {
+                    *v += b.bias.data()[i % f];
+                }
+            }
+            out
+        }
+        Layer::ReLU => {
+            let mut out = input.clone();
+            for v in out.data_mut() {
+                *v = v.max(0.0);
+            }
+            out
+        }
+        Layer::MaxPool(p) => {
+            let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+            let (oh, ow) = (h / p.k, w / p.k);
+            let mut out = Tensor::zeros(out_shape);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut m = f32::NEG_INFINITY;
+                        for dy in 0..p.k {
+                            for dx in 0..p.k {
+                                m = m.max(input.data()[(ch * h + oy * p.k + dy) * w + ox * p.k + dx]);
+                            }
+                        }
+                        out.data_mut()[(ch * oh + oy) * ow + ox] = m;
+                    }
+                }
+            }
+            out
+        }
+        Layer::Flatten => input.reshape(out_shape),
+    }
+}
+
+/// Runs the whole graph on the host, returning every layer's output (the
+/// last element is the network output).
+pub fn run_graph(graph: &crate::graph::Graph, input: &Tensor) -> Vec<Tensor> {
+    let mut outs = Vec::with_capacity(graph.layers().len());
+    let mut act = input.clone();
+    for (_, layer) in graph.layers() {
+        act = run_layer(layer, &act);
+        outs.push(act.clone());
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Bias, Conv2d, Linear, MaxPool};
+
+    #[test]
+    fn conv_identity_kernel_is_a_shift() {
+        // A single 1-channel 1x1 filter of weight 2 doubles the input.
+        let conv = Layer::Conv2d(Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kh: 1,
+            kw: 1,
+            weight: Tensor::new(vec![1, 1], vec![2.0]),
+        });
+        let x = Tensor::from_fn(vec![1, 2, 2], |i| i as f32);
+        let y = run_layer(&conv, &x);
+        assert_eq!(y.data(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn maxpool_relu_bias_flatten_chain() {
+        let x = Tensor::new(vec![1, 2, 2], vec![-4.0, 1.0, 0.5, -2.0]);
+        let p = run_layer(&Layer::MaxPool(MaxPool { k: 2 }), &x);
+        assert_eq!(p.data(), &[1.0]);
+        let r = run_layer(&Layer::ReLU, &x);
+        assert_eq!(r.data(), &[0.0, 1.0, 0.5, 0.0]);
+        let b = run_layer(&Layer::Bias(Bias { bias: Tensor::new(vec![1], vec![1.0]) }), &x);
+        assert_eq!(b.data(), &[-3.0, 2.0, 1.5, -1.0]);
+        let f = run_layer(&Layer::Flatten, &x);
+        assert_eq!(f.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn linear_matches_hand_gemm() {
+        let l = Layer::Linear(Linear {
+            in_f: 2,
+            out_f: 2,
+            weight: Tensor::new(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]),
+        });
+        let x = Tensor::new(vec![1, 2], vec![1.0, 0.5]);
+        let y = run_layer(&l, &x);
+        assert_eq!(y.data(), &[2.5, 4.0]); // [1·1+0.5·3, 1·2+0.5·4]
+    }
+
+    #[test]
+    fn gemm_layers_quantize_inputs_to_f16() {
+        // 0.1 is not f16-representable; the reference must use the
+        // rounded value, like the device does after im2col packing.
+        let l = Layer::Linear(Linear {
+            in_f: 1,
+            out_f: 1,
+            weight: Tensor::new(vec![1, 1], vec![1.0]),
+        });
+        let y = run_layer(&l, &Tensor::new(vec![1, 1], vec![0.1]));
+        let q = tcsim_f16::F16::from_f32(0.1).to_f32();
+        assert_eq!(y.data()[0], q);
+        assert_ne!(y.data()[0], 0.1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Host-side dense FP32 tensors: the carrier type between layers.
+//!
+//! Device kernels see raw f16/f32 buffers; the `Tensor` exists on the
+//! host to hold activations between launches, feed the im2col packer,
+//! and back the f32 reference executor.
+
+use tcsim_f16::F16;
+
+/// A row-major FP32 tensor of arbitrary rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not cover {} elements",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// An all-zero tensor.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n = shape.iter().product();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Builds a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: Vec<usize>, f: impl Fn(usize) -> f32) -> Tensor {
+        let n = shape.iter().product();
+        Tensor { shape, data: (0..n).map(f).collect() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The elements, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the elements.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the same elements under a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshape(&self, shape: Vec<usize>) -> Tensor {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Every element rounded through f16 and back — the value the device
+    /// actually sees after im2col packing. Idempotent.
+    pub fn quantize_f16(&self) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| F16::from_f32(v).to_f32()).collect(),
+        }
+    }
+
+    /// Largest absolute element difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_is_idempotent_and_keeps_exact_halves() {
+        let t = Tensor::new(vec![2, 2], vec![0.5, -1.25, 0.1, 3.0]);
+        let q = t.quantize_f16();
+        assert_eq!(q.data()[0], 0.5);
+        assert_eq!(q.data()[1], -1.25);
+        assert_ne!(q.data()[2], 0.1, "0.1 is not f16-representable");
+        assert_eq!(q.quantize_f16(), q);
+    }
+
+    #[test]
+    fn max_abs_diff_and_reshape() {
+        let a = Tensor::from_fn(vec![4], |i| i as f32);
+        let b = Tensor::new(vec![4], vec![0.0, 1.5, 2.0, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert_eq!(a.reshape(vec![2, 2]).shape(), &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn shape_mismatch_is_rejected() {
+        let _ = Tensor::new(vec![3], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property test: implicit-GEMM convolution (host im2col + WMMA GEMM on
+//! the simulated tensor cores) must match a direct f32 convolution
+//! reference computed here, independently of the crate's own reference
+//! executor — over randomized shapes, including dimensions that are not
+//! multiples of the 16-wide WMMA tile (exercising the zero-padding
+//! path).
+
+use tcsim_f16::F16;
+use tcsim_nn::{gemm_tolerance, lower, run_chained, GraphBuilder, LoweredOp, Tensor};
+use tcsim_sim::GpuConfig;
+
+/// Deterministic xorshift64* PRNG (duplicated from `tcsim-bench` so the
+/// crate stays free of the dev-dependency).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 1 } else { seed })
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, bound: u64) -> usize {
+        (((self.next_u64() >> 32).wrapping_mul(bound)) >> 32) as usize
+    }
+    /// f16-exact value: a multiple of 1/8 in [-2, 2).
+    fn operand(&mut self) -> f32 {
+        (self.below(32) as f32 - 16.0) / 8.0
+    }
+    /// Tensor of f16-exact random operands.
+    fn tensor(&mut self, shape: Vec<usize>) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::new(shape, (0..n).map(|_| self.operand()).collect())
+    }
+}
+
+/// Direct stride-1 valid convolution with the device's numeric boundary:
+/// operands quantized through f16, accumulation in f32.
+fn direct_conv(
+    input: &Tensor,
+    weight: &Tensor, // [out_c, in_c·k·k], rows = flattened filters
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+) -> Tensor {
+    let (h, w) = (input.shape()[1], input.shape()[2]);
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let q = |v: f32| F16::from_f32(v).to_f32();
+    Tensor::from_fn(vec![out_c, oh, ow], |i| {
+        let f = i / (oh * ow);
+        let oy = (i / ow) % oh;
+        let ox = i % ow;
+        let mut acc = 0f32;
+        for c in 0..in_c {
+            for dy in 0..k {
+                for dx in 0..k {
+                    let iv = q(input.data()[(c * h + oy + dy) * w + ox + dx]);
+                    let wv = q(weight.data()[f * in_c * k * k + (c * k + dy) * k + dx]);
+                    acc += iv * wv;
+                }
+            }
+        }
+        acc
+    })
+}
+
+#[test]
+fn im2col_wmma_gemm_matches_direct_convolution() {
+    let mut rng = Rng::new(0x1A2C01);
+    let mut saw_padded_m = false;
+    let mut saw_padded_k = false;
+    for case in 0..10 {
+        // Random shape; most draws make oh·ow and in_c·k² non-multiples
+        // of 16, so A and B both need zero padding.
+        let in_c = 1 + rng.below(4);
+        let out_c = 1 + rng.below(12);
+        let k = 1 + rng.below(3);
+        let h = k + 2 + rng.below(9);
+        let w = k + 2 + rng.below(9);
+
+        let weight = rng.tensor(vec![out_c, in_c * k * k]);
+        let input = rng.tensor(vec![in_c, h, w]);
+        let graph = GraphBuilder::new(format!("conv_case{case}"), vec![in_c, h, w])
+            .conv2d(in_c, out_c, k, weight.clone())
+            .build();
+
+        let plan = lower(&graph);
+        let LoweredOp::Gemm(g) = &plan[0].op else { panic!("conv must lower to a GEMM") };
+        saw_padded_m |= g.pm != g.m;
+        saw_padded_k |= g.pk != g.k;
+
+        let report = run_chained(&graph, &input, GpuConfig::mini(), false);
+        report.assert_within_tolerance();
+
+        let want = direct_conv(&input, &weight, in_c, out_c, k);
+        // Re-derive the device output from the reference-checked report:
+        // run_chained already compared against the crate's reference;
+        // here we compare that same reference against the INDEPENDENT
+        // direct convolution, closing the loop device == direct.
+        let tol = gemm_tolerance(g.k);
+        let dev_vs_direct = report.layers[0].max_err + want.max_abs_diff(&crate_reference(&graph, &input));
+        assert!(
+            dev_vs_direct <= 2.0 * tol,
+            "case {case} ({in_c}x{h}x{w} * {out_c} filters {k}x{k}): |device - direct| bound {dev_vs_direct} > {tol}",
+        );
+    }
+    assert!(saw_padded_m, "at least one case must pad M to a 16 multiple");
+    assert!(saw_padded_k, "at least one case must pad K to a 16 multiple");
+}
+
+fn crate_reference(graph: &tcsim_nn::Graph, input: &Tensor) -> Tensor {
+    tcsim_nn::reference::run_graph(graph, input).pop().expect("one layer")
+}
+
+#[test]
+fn fused_epilogue_conv_matches_direct_plus_bias_relu() {
+    // conv+bias+relu fused into one launch: device output must equal
+    // max(direct_conv + bias, 0) within the GEMM tolerance.
+    let mut rng = Rng::new(0xE91106);
+    for case in 0..4 {
+        let in_c = 1 + rng.below(3);
+        let out_c = 2 + rng.below(6);
+        let k = 2 + rng.below(2);
+        let h = k + 3 + rng.below(6);
+        let w = k + 3 + rng.below(6);
+        let weight = rng.tensor(vec![out_c, in_c * k * k]);
+        let bias = rng.tensor(vec![out_c]);
+        let input = rng.tensor(vec![in_c, h, w]);
+
+        let graph = GraphBuilder::new(format!("fused_case{case}"), vec![in_c, h, w])
+            .conv2d(in_c, out_c, k, weight.clone())
+            .bias(bias.clone())
+            .relu()
+            .build();
+        let plan = lower(&graph);
+        assert_eq!(plan.len(), 1, "bias+relu must fuse into the conv GEMM");
+
+        let report = run_chained(&graph, &input, GpuConfig::mini(), false);
+        report.assert_within_tolerance();
+
+        let direct = direct_conv(&input, &weight, in_c, out_c, k);
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        let want = Tensor::from_fn(direct.shape().to_vec(), |i| {
+            (direct.data()[i] + bias.data()[i / (oh * ow)]).max(0.0)
+        });
+        let reference = crate_reference(&graph, &input);
+        let tol = gemm_tolerance(in_c * k * k);
+        assert!(
+            want.max_abs_diff(&reference) + report.layers[0].max_err <= 2.0 * tol,
+            "case {case}: fused epilogue drifted from direct conv + bias + relu",
+        );
+    }
+}

@@ -2,7 +2,6 @@
 //! event skipping, and launch statistics.
 
 use crate::config::GpuConfig;
-use crate::launch::LaunchBuilder;
 use crate::stats::LaunchStats;
 use std::sync::Arc;
 use tcsim_isa::{ByteMemory, Kernel, LaunchConfig};
@@ -143,34 +142,16 @@ impl Gpu {
         &mut self.device
     }
 
-    /// Runs one kernel to completion with a raw, pre-packed parameter
-    /// buffer.
-    ///
-    /// Deprecated: the raw byte convention silently accepts mis-packed
-    /// parameters. Use [`LaunchBuilder`] instead, which validates each
-    /// argument against the kernel's declared parameter layout:
-    ///
-    /// ```text
-    /// LaunchBuilder::new(kernel).grid(g).block(b).param_u64(ptr).launch(&mut gpu)
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use LaunchBuilder::new(kernel).grid(..).block(..).param_*(..).launch(gpu)"
-    )]
-    pub fn launch(&mut self, kernel: Kernel, launch: LaunchConfig, params: &[u8]) -> LaunchStats {
-        LaunchBuilder::new(kernel)
-            .grid(launch.grid)
-            .block(launch.block)
-            .dynamic_shared(launch.shared_bytes)
-            .raw_params(params)
-            .launch(self)
-    }
-
     /// Runs one kernel to completion and returns its statistics — the
     /// engine behind [`LaunchBuilder::launch`].
     ///
-    /// Caches are flushed at the launch boundary, as a fresh simulation in
-    /// GPGPU-Sim would be.
+    /// The launch boundary is fully cold: caches are flushed and all
+    /// cycle-stamped scheduling state (SM functional-unit/MIO ready
+    /// times, DRAM bus clocks) is reset, as a fresh simulation in
+    /// GPGPU-Sim would be. Device memory persists. All counters in the
+    /// returned [`LaunchStats`] are per-launch deltas, so repeating an
+    /// identical launch on a reused GPU yields identical statistics
+    /// (the [`crate::Session`] determinism contract).
     ///
     /// # Panics
     ///
@@ -205,13 +186,19 @@ impl Gpu {
 
         for sm in &mut self.sms {
             sm.flush_l1();
+            sm.reset_clock();
         }
         self.mem_sys.flush();
         // Launch boundary for the trace too: the events (and the summary
         // in this launch's stats) cover exactly this kernel.
         self.tracer.clear_events();
 
-        let issued_before: u64 = self.sms.iter().map(|s| s.stats().issued).sum();
+        // Counter snapshots so the returned stats are per-launch deltas.
+        let sm_before: Vec<tcsim_sm::SmStats> =
+            self.sms.iter().map(|s| s.stats().clone()).collect();
+        let l1_before = self.l1_aggregate();
+        let l2_before = self.mem_sys.l2_stats();
+        let dram_before = self.mem_sys.dram_sectors();
         let total_ctas = launch.total_ctas();
         let mut next_cta: u64 = 0;
         let mut cycle: u64 = 0;
@@ -260,18 +247,12 @@ impl Gpu {
         }
 
         let mut merged = tcsim_sm::SmStats::default();
-        for sm in &mut self.sms {
-            merged.merge(sm.stats());
+        for (sm, before) in self.sms.iter().zip(&sm_before) {
+            merged.merge(&sm.stats().delta_since(before));
         }
-        let mut l1 = tcsim_mem::CacheStats::default();
-        for sm in &self.sms {
-            let s = sm.l1_stats();
-            l1.hits += s.hits;
-            l1.misses += s.misses;
-            l1.mshr_merges += s.mshr_merges;
-            l1.writebacks += s.writebacks;
-        }
-        let instructions = merged.issued - issued_before;
+        let l1 = cache_delta(self.l1_aggregate(), l1_before);
+        let l2 = cache_delta(self.mem_sys.l2_stats(), l2_before);
+        let instructions = merged.issued;
         // Summarize the trace while it still holds exactly this launch's
         // window (the caller may reuse or replace the tracer afterwards).
         let trace = if self.tracer.enabled() {
@@ -287,17 +268,41 @@ impl Gpu {
             instructions,
             sm: merged,
             l1,
-            l2: self.mem_sys.l2_stats(),
-            dram_sectors: self.mem_sys.dram_sectors(),
+            l2,
+            dram_sectors: self.mem_sys.dram_sectors() - dram_before,
             clock_mhz: self.cfg.clock_mhz,
             trace,
         }
+    }
+
+    /// L1 counters summed over all SMs (cumulative).
+    fn l1_aggregate(&self) -> tcsim_mem::CacheStats {
+        let mut l1 = tcsim_mem::CacheStats::default();
+        for sm in &self.sms {
+            let s = sm.l1_stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.mshr_merges += s.mshr_merges;
+            l1.writebacks += s.writebacks;
+        }
+        l1
+    }
+}
+
+/// Per-launch cache-counter delta between two cumulative snapshots.
+fn cache_delta(after: tcsim_mem::CacheStats, before: tcsim_mem::CacheStats) -> tcsim_mem::CacheStats {
+    tcsim_mem::CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        mshr_merges: after.mshr_merges - before.mshr_merges,
+        writebacks: after.writebacks - before.writebacks,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::launch::LaunchBuilder;
     use tcsim_isa::{KernelBuilder, MemWidth, Operand, SpecialReg};
 
     fn ids_kernel() -> Kernel {
@@ -342,28 +347,6 @@ mod tests {
         }
         assert_eq!(stats.sm.ctas_completed, 8);
         assert!(stats.ipc() > 0.0);
-    }
-
-    #[test]
-    fn deprecated_raw_launch_matches_builder() {
-        let n = 256u32;
-        let mut gpu_a = Gpu::new(GpuConfig::mini());
-        let out_a = gpu_a.alloc(n as u64 * 4);
-        let a = LaunchBuilder::new(ids_kernel())
-            .grid(n / 128)
-            .block(128u32)
-            .param_u64(out_a)
-            .launch(&mut gpu_a);
-
-        let mut gpu_b = Gpu::new(GpuConfig::mini());
-        let out_b = gpu_b.alloc(n as u64 * 4);
-        #[allow(deprecated)]
-        let b = gpu_b.launch(
-            ids_kernel(),
-            LaunchConfig::new(n / 128, 128u32),
-            &out_b.to_le_bytes(),
-        );
-        assert_eq!(a, b, "raw shim must forward to the same engine");
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Typed kernel-launch API.
 //!
-//! [`LaunchBuilder`] replaces the raw-bytes convention
-//! (`gpu.launch(kernel, cfg, &ptr.to_le_bytes())`) with a builder that
-//! packs parameters with the same natural-alignment rules the
-//! `KernelBuilder` uses to lay them out, and validates each one against
-//! the kernel's declared parameter list — size mismatches and missing or
-//! extra parameters panic at launch-build time instead of silently
-//! corrupting the `.param` space.
+//! [`LaunchBuilder`] replaced the raw-bytes launch convention of early
+//! versions (removed in 0.3): it packs parameters with the same
+//! natural-alignment rules the `KernelBuilder` uses to lay them out, and
+//! validates each one against the kernel's declared parameter list —
+//! size mismatches and missing or extra parameters panic at
+//! launch-build time instead of silently corrupting the `.param` space.
 
 use crate::gpu::Gpu;
 use crate::stats::LaunchStats;
@@ -161,9 +160,9 @@ impl LaunchBuilder {
     }
 
     /// Escape hatch: supplies the whole parameter buffer verbatim,
-    /// bypassing per-parameter validation. Used by the deprecated
-    /// raw-bytes [`Gpu::launch`] shim; new code should prefer the typed
-    /// `param_*` methods.
+    /// bypassing per-parameter validation — for replaying captured
+    /// parameter buffers. New code should prefer the typed `param_*`
+    /// methods.
     pub fn raw_params(mut self, bytes: &[u8]) -> LaunchBuilder {
         assert!(
             self.next_param == 0,

@@ -21,11 +21,13 @@
 mod config;
 mod gpu;
 mod launch;
+mod session;
 mod stats;
 mod sweep;
 
 pub use config::GpuConfig;
 pub use gpu::Gpu;
 pub use launch::LaunchBuilder;
+pub use session::{Session, SessionEntry};
 pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};
 pub use sweep::{HasLaunchStats, Sweep, SweepOutcome, SweepStats};

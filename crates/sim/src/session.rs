@@ -1,0 +1,198 @@
+//! Multi-launch sessions: a sequence of named kernel launches on one
+//! [`Gpu`], with per-launch statistics collected in order.
+//!
+//! A DNN inference pass is many dependent launches over the same device
+//! memory — layer N's output buffer is layer N+1's input. [`Session`]
+//! wraps that pattern: each [`Session::run`] call executes one
+//! [`LaunchBuilder`] on the shared GPU and records its stats under a
+//! caller-chosen name.
+//!
+//! # Launch boundaries
+//!
+//! The simulator flushes L1/L2 at every launch boundary (see
+//! `Gpu::run_kernel`), so launches in a session are timed as cold-cache
+//! kernels — the same convention GPGPU-Sim uses when replaying a kernel
+//! sequence, and the reason per-launch cycle counts are independent of
+//! session order. Device *memory* contents persist across launches;
+//! only the cache and trace state are reset. When tracing is requested,
+//! each launch gets its own [`tcsim_trace::RingTracer`] window, so every
+//! recorded [`LaunchStats::trace`] summary covers exactly one kernel.
+
+use crate::gpu::Gpu;
+use crate::launch::LaunchBuilder;
+use crate::stats::LaunchStats;
+use tcsim_trace::RingTracer;
+
+/// One named launch record of a [`Session`].
+#[derive(Clone, Debug)]
+pub struct SessionEntry {
+    /// Caller-supplied launch name (e.g. a layer name).
+    pub name: String,
+    /// The launch's statistics (with `trace` filled in when the session
+    /// traces).
+    pub stats: LaunchStats,
+}
+
+/// A sequence of kernel launches sharing one GPU and its device memory.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder, Session};
+/// use tcsim_isa::KernelBuilder;
+///
+/// let gpu = Gpu::new(GpuConfig::mini());
+/// let mut session = Session::new(gpu).with_tracing(true);
+/// let mut b = KernelBuilder::new("noop");
+/// b.exit();
+/// let kernel = b.build();
+/// session.run("first", LaunchBuilder::new(kernel.clone()).grid(1u32).block(32u32));
+/// session.run("second", LaunchBuilder::new(kernel).grid(1u32).block(32u32));
+/// assert_eq!(session.entries().len(), 2);
+/// assert!(session.entries()[0].stats.trace.is_some());
+/// let total: u64 = session.total_cycles();
+/// assert!(total > 0);
+/// ```
+pub struct Session {
+    gpu: Gpu,
+    trace: bool,
+    entries: Vec<SessionEntry>,
+}
+
+impl Session {
+    /// Wraps `gpu` in a fresh session with no recorded launches.
+    pub fn new(gpu: Gpu) -> Session {
+        Session { gpu, trace: false, entries: Vec::new() }
+    }
+
+    /// Enables (or disables) per-launch tracing: each subsequent launch
+    /// records into a fresh ring tracer and its stats carry a
+    /// [`tcsim_trace::TraceSummary`].
+    pub fn with_tracing(mut self, on: bool) -> Session {
+        self.trace = on;
+        self
+    }
+
+    /// The underlying GPU — for allocations and host↔device copies
+    /// between launches.
+    pub fn gpu(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Executes `builder` on the session GPU, records the result under
+    /// `name`, and returns a reference to the recorded entry.
+    pub fn run(&mut self, name: impl Into<String>, builder: LaunchBuilder) -> &SessionEntry {
+        let builder = if self.trace {
+            builder.tracer(RingTracer::new())
+        } else {
+            builder
+        };
+        let stats = builder.launch(&mut self.gpu);
+        self.entries.push(SessionEntry { name: name.into(), stats });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// All launches run so far, in execution order.
+    pub fn entries(&self) -> &[SessionEntry] {
+        &self.entries
+    }
+
+    /// Sum of cycles over all recorded launches — the serialized
+    /// end-to-end latency of the sequence.
+    pub fn total_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.stats.cycles).sum()
+    }
+
+    /// Sum of instructions over all recorded launches.
+    pub fn total_instructions(&self) -> u64 {
+        self.entries.iter().map(|e| e.stats.instructions).sum()
+    }
+
+    /// Consumes the session, returning the GPU and the launch records.
+    pub fn finish(self) -> (Gpu, Vec<SessionEntry>) {
+        (self.gpu, self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use tcsim_isa::{KernelBuilder, MemWidth, Operand, SpecialReg};
+
+    /// out[gid] = out[gid] + 1 — accumulates across launches, proving
+    /// device memory persists while caches are flushed.
+    fn increment_kernel() -> tcsim_isa::Kernel {
+        let mut b = KernelBuilder::new("incr");
+        let p = b.param_u64("out");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, tid, Operand::Imm(4), base);
+        let v = b.reg();
+        b.ld_global(MemWidth::B32, v, addr, 0);
+        b.iadd(v, v, Operand::Imm(1));
+        b.st_global(MemWidth::B32, addr, 0, v);
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn device_memory_persists_across_launches() {
+        let mut session = Session::new(Gpu::new(GpuConfig::mini()));
+        let out = session.gpu().alloc(32 * 4);
+        for i in 0..3 {
+            session.run(
+                format!("pass{i}"),
+                LaunchBuilder::new(increment_kernel())
+                    .grid(1u32)
+                    .block(32u32)
+                    .param_u64(out),
+            );
+        }
+        assert_eq!(session.gpu().read_u32(out), 3, "three increments must accumulate");
+        assert_eq!(session.entries().len(), 3);
+        assert_eq!(session.entries()[1].name, "pass1");
+    }
+
+    #[test]
+    fn launches_are_cold_cache_and_order_independent() {
+        // The same kernel launched twice in one session must cost the
+        // same cycles both times: the L1/L2 flush at the launch boundary
+        // means the second run sees no warm cache from the first.
+        let mut session = Session::new(Gpu::new(GpuConfig::mini()));
+        let out = session.gpu().alloc(32 * 4);
+        let mk = || {
+            LaunchBuilder::new(increment_kernel())
+                .grid(1u32)
+                .block(32u32)
+                .param_u64(out)
+        };
+        session.run("a", mk());
+        session.run("b", mk());
+        let (_, entries) = session.finish();
+        assert_eq!(entries[0].stats.cycles, entries[1].stats.cycles);
+        assert_eq!(entries[0].stats.l1, entries[1].stats.l1);
+    }
+
+    #[test]
+    fn tracing_gives_each_launch_its_own_window() {
+        let mut session = Session::new(Gpu::new(GpuConfig::mini())).with_tracing(true);
+        let out = session.gpu().alloc(32 * 4);
+        let mk = || {
+            LaunchBuilder::new(increment_kernel())
+                .grid(1u32)
+                .block(32u32)
+                .param_u64(out)
+        };
+        session.run("a", mk());
+        session.run("b", mk());
+        let a = session.entries()[0].stats.trace.clone().expect("traced");
+        let b = session.entries()[1].stats.trace.clone().expect("traced");
+        // Identical launches, separate windows: summaries match instead
+        // of the second accumulating the first's events.
+        assert_eq!(a.events, b.events);
+    }
+}

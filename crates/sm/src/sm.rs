@@ -649,6 +649,24 @@ impl Sm {
         self.l1.flush();
     }
 
+    /// Resets cycle-stamped scheduling state (functional-unit and MIO
+    /// ready times, scheduler history) for a new launch whose cycle
+    /// counter restarts at 0. Without this, ready-times from a previous
+    /// launch sit in the new launch's future and stall its first cycles,
+    /// making back-to-back launch timings history-dependent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SM still has resident work.
+    pub fn reset_clock(&mut self) {
+        assert!(self.idle(), "clock reset with resident CTAs");
+        self.mio_free = 0;
+        for sc in &mut self.sub {
+            *sc = SubCore::default();
+        }
+        self.age_counter = 0;
+    }
+
     /// Reads a register of a resident warp (test/debug aid).
     ///
     /// # Panics

@@ -76,6 +76,28 @@ impl SmStats {
         self.reg_bank_stalls += other.reg_bank_stalls;
         self.wmma_samples.extend(other.wmma_samples.iter().copied());
     }
+
+    /// Counters accumulated since the `before` snapshot of the **same**
+    /// SM — the per-launch delta on a long-lived SM. `wmma_samples` must
+    /// only have grown by appending (they do: samples are pushed in issue
+    /// order and never removed).
+    pub fn delta_since(&self, before: &SmStats) -> SmStats {
+        let mut issued_by_unit = self.issued_by_unit;
+        for (d, b) in issued_by_unit.iter_mut().zip(&before.issued_by_unit) {
+            *d -= b;
+        }
+        SmStats {
+            issued: self.issued - before.issued,
+            issued_by_unit,
+            active_cycles: self.active_cycles - before.active_cycles,
+            barriers: self.barriers - before.barriers,
+            ctas_completed: self.ctas_completed - before.ctas_completed,
+            global_txns: self.global_txns - before.global_txns,
+            shared_conflict_passes: self.shared_conflict_passes - before.shared_conflict_passes,
+            reg_bank_stalls: self.reg_bank_stalls - before.reg_bank_stalls,
+            wmma_samples: self.wmma_samples[before.wmma_samples.len()..].to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ echo "== smoke: fig14a sweep (--json) =="
 target/release/fig14a_gemm_cycles --json results/fig14a.json
 test -s results/fig14a.json
 
+echo "== smoke: nn_inference (tiny net, fixed seed, golden cycle counts) =="
+target/release/nn_inference --smoke --json results/nn_smoke.json
+cmp results/nn_smoke.json results/nn_smoke_golden.json
+
 echo "== smoke: tcsim-prof trace export =="
 # The binary itself asserts the export is valid JSON and contains HMMA
 # set/step events; here we only require that it succeeds and writes.

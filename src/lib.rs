@@ -17,6 +17,8 @@
 //! * [`trace`] — cycle-level tracing: typed events, Chrome `trace_event`
 //!   export, stall attribution and derived metrics.
 //! * [`cutlass`] — CUTLASS-like tiled GEMM kernel library.
+//! * [`nn`] — DNN inference workloads: layer graph, implicit-GEMM conv
+//!   lowering with fused bias/ReLU epilogues, f32 reference executor.
 //! * [`hw`] — analytic Titan V hardware surrogate for correlation studies.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
@@ -28,6 +30,7 @@ pub use tcsim_f16 as f16;
 pub use tcsim_hw as hw;
 pub use tcsim_isa as isa;
 pub use tcsim_mem as mem;
+pub use tcsim_nn as nn;
 pub use tcsim_sim as sim;
 pub use tcsim_sm as sm;
 pub use tcsim_trace as trace;
