@@ -5,73 +5,11 @@
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem, GemmRun};
 use tcsim_sim::{Gpu, GpuConfig, Sweep};
 
-/// A deterministic xorshift64* pseudo-random generator for test-data
-/// generation (replaces the `rand` crate so the workspace builds with no
-/// network access to crates.io).
-///
-/// The sequence is fully determined by the seed, so benchmark inputs are
-/// reproducible across runs and platforms.
-///
-/// # Example
-///
-/// ```
-/// use tcsim_bench::XorShift64Star;
-///
-/// let mut a = XorShift64Star::new(42);
-/// let mut b = XorShift64Star::new(42);
-/// assert_eq!(a.next_u64(), b.next_u64());
-/// ```
-#[derive(Clone, Debug)]
-pub struct XorShift64Star {
-    state: u64,
-}
-
-impl XorShift64Star {
-    /// Creates a generator from a seed (a zero seed is remapped, as the
-    /// all-zero state is a fixed point of the xorshift recurrence).
-    pub fn new(seed: u64) -> XorShift64Star {
-        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
-    }
-
-    /// Next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Next 32-bit output (upper half of the 64-bit stream, which has the
-    /// better-mixed bits in xorshift*).
-    pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    /// Uniform value in `[0, bound)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound` is zero.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        // Multiply-shift range reduction; the modulo bias is < 2^-32 for
-        // the bounds used in tests.
-        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
-    }
-
-    /// Uniform integer in `[lo, hi)`.
-    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
-        assert!(lo < hi, "empty range");
-        lo + self.below((hi - lo) as u64) as i64
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+// The deterministic xorshift64* generator the benchmark binaries use for
+// input data lived here historically; it is now the workspace-wide
+// canonical PRNG in `tcsim_check::rng` (bit-compatible, so every
+// committed golden result is unchanged). Re-exported under its old path.
+pub use tcsim_check::rng::XorShift64Star;
 
 /// A minimal microbenchmark harness (replaces criterion, which cannot be
 /// fetched offline): calibrates an iteration count to roughly

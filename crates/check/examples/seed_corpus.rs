@@ -1,0 +1,37 @@
+//! Regenerates the committed seed corpus in `tests/corpus/`.
+//!
+//! The fuzzer appends minimized *failing* cases there as it finds bugs;
+//! these seeds are deterministic *passing* cases committed up front so
+//! corpus replay exercises every generator mode (SIMT control flow,
+//! Volta/Turing WMMA, all-FP16 accumulation) on every `cargo test` even
+//! before the first real find.
+//!
+//! ```text
+//! cargo run -p tcsim-check --example seed_corpus
+//! ```
+
+use tcsim_check::corpus::{replay_case, write_case};
+use tcsim_check::gen::{generate, GenConfig, KindSel};
+use tcsim_check::oracle::Case;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let picks: &[(&str, u64, KindSel)] = &[
+        ("seed_simt_a", 11, KindSel::Simt),
+        ("seed_simt_b", 20, KindSel::Simt),
+        ("seed_wmma_a", 3, KindSel::Wmma),
+        ("seed_wmma_b", 8, KindSel::Wmma),
+        ("seed_wmma_f16acc", 5, KindSel::WmmaF16Acc),
+    ];
+    for &(name, seed, kind) in picks {
+        let cfg = GenConfig { kind, ..Default::default() };
+        let program = generate(seed, &cfg);
+        let case = Case::from_program(&program, seed ^ 0xDA7A_5EED);
+        // A committed seed must replay clean, or every `cargo test` would
+        // fail out of the box.
+        replay_case(&case).unwrap_or_else(|e| panic!("{name} (seed {seed}) is not clean: {e}"));
+        let path = write_case(&dir, name, &case).expect("write corpus file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,210 @@
+//! Differential fuzzer for the simulator stack.
+//!
+//! Generates oracle-safe random kernels, runs each on the full timing
+//! GPU and on the host reference interpreter, compares outputs, and
+//! checks the timing invariants of every launch. Failures are shrunk to
+//! a minimal program and written to the corpus directory for permanent
+//! replay by `cargo test`.
+//!
+//! ```text
+//! tcsim-fuzz [--seed S] [--iters N] [--max-insts M] [--json]
+//!            [--corpus-dir DIR] [--mutate] [--replay DIR]
+//! ```
+//!
+//! `--mutate` plants the FEDP round-toward-zero mutation on the
+//! reference side — every all-FP16 WMMA case must then *fail*; it exists
+//! to prove the oracle catches single-rounding bugs. `--replay DIR`
+//! replays a corpus directory instead of fuzzing (exit 1 on any
+//! reproduced failure, echoing the failing kernel).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcsim_check::corpus;
+use tcsim_check::gen::{generate, GenConfig, KindSel};
+use tcsim_check::invariants;
+use tcsim_check::oracle::{diff_run, Case, Mutation};
+use tcsim_check::shrink::{shrink, shrink_mismatch, ShrinkResult, DEFAULT_SHRINK_EVALS};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    max_insts: u32,
+    json: bool,
+    mutate: bool,
+    corpus_dir: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        iters: 100,
+        max_insts: 24,
+        json: false,
+        mutate: false,
+        corpus_dir: PathBuf::from("tests/corpus"),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => {
+                args.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?
+            }
+            "--max-insts" => {
+                args.max_insts =
+                    value("--max-insts")?.parse().map_err(|e| format!("--max-insts: {e}"))?
+            }
+            "--json" => args.json = true,
+            "--mutate" => args.mutate = true,
+            "--corpus-dir" => args.corpus_dir = PathBuf::from(value("--corpus-dir")?),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn data_seed_for(kernel_seed: u64) -> u64 {
+    kernel_seed ^ 0xDA7A_5EED
+}
+
+fn replay(dir: &std::path::Path, json: bool) -> ExitCode {
+    let results = corpus::replay_dir(dir);
+    let mut failed = 0usize;
+    for (path, outcome) in &results {
+        match outcome {
+            Ok(()) => {
+                if !json {
+                    eprintln!("replay ok   {}", path.display());
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("replay FAIL {}: {e}", path.display());
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    eprintln!("--- failing case ---\n{text}--------------------");
+                }
+            }
+        }
+    }
+    if json {
+        println!(
+            "{{\"replayed\":{},\"failed\":{failed}}}",
+            results.len()
+        );
+    } else {
+        eprintln!("replayed {} case(s), {failed} failure(s)", results.len());
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn report_failure(
+    args: &Args,
+    kernel_seed: u64,
+    what: &str,
+    shrunk: &ShrinkResult,
+    case: &Case,
+) {
+    let text = corpus::case_to_text(case);
+    eprintln!(
+        "FAILURE at seed {kernel_seed}: {what} (shrunk to {} ops in {} evals)",
+        shrunk.ops, shrunk.evals
+    );
+    eprintln!("--- minimized case ---\n{text}----------------------");
+    let name = format!("fail_{kernel_seed:016x}");
+    match corpus::write_case(&args.corpus_dir, &name, case) {
+        Ok(path) => eprintln!("written to {}", path.display()),
+        Err(e) => eprintln!("could not write corpus file: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tcsim-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dir) = &args.replay {
+        return replay(dir, args.json);
+    }
+
+    let started = std::time::Instant::now();
+    let mutation = if args.mutate { Mutation::FedpChopF16 } else { Mutation::None };
+    // With the planted mutation only the all-FP16 modes are sensitive to
+    // the rounding flip; restrict generation so every case must trip.
+    let kind = if args.mutate { KindSel::WmmaF16Acc } else { KindSel::Auto };
+    let cfg = GenConfig { max_ops: args.max_insts as usize, kind };
+    let (mut simt, mut wmma, mut caught) = (0u64, 0u64, 0u64);
+    for i in 0..args.iters {
+        let kernel_seed = args.seed.wrapping_add(i);
+        let program = generate(kernel_seed, &cfg);
+        if program.wmma.is_some() {
+            wmma += 1;
+        } else {
+            simt += 1;
+        }
+        let data_seed = data_seed_for(kernel_seed);
+        let case = Case::from_program(&program, data_seed);
+        match diff_run(&case, mutation) {
+            Ok(report) => {
+                if args.mutate && case.compare != tcsim_check::oracle::Compare::Exact {
+                    eprintln!("seed {kernel_seed}: planted mutation NOT caught");
+                    return ExitCode::FAILURE;
+                }
+                if let Err(e) = invariants::check_run(&case, &report.stats) {
+                    let shrunk = shrink(
+                        &program,
+                        |cand| {
+                            let c = Case::from_program(cand, data_seed);
+                            match diff_run(&c, mutation) {
+                                Ok(r) => invariants::check_run(&c, &r.stats).is_err(),
+                                Err(_) => false,
+                            }
+                        },
+                        DEFAULT_SHRINK_EVALS,
+                    );
+                    let min_case = Case::from_program(&shrunk.program, data_seed);
+                    report_failure(&args, kernel_seed, &format!("invariant: {e}"), &shrunk, &min_case);
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                if args.mutate {
+                    caught += 1;
+                    continue;
+                }
+                let shrunk = shrink_mismatch(&program, data_seed, mutation, DEFAULT_SHRINK_EVALS);
+                let min_case = Case::from_program(&shrunk.program, data_seed);
+                report_failure(&args, kernel_seed, &e.to_string(), &shrunk, &min_case);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let secs = started.elapsed().as_secs_f64();
+    if args.json {
+        println!(
+            "{{\"seed\":{},\"iters\":{},\"simt\":{simt},\"wmma\":{wmma},\
+             \"mutate\":{},\"caught\":{caught},\"failures\":0,\"seconds\":{secs:.2}}}",
+            args.seed, args.iters, args.mutate
+        );
+    } else {
+        eprintln!(
+            "tcsim-fuzz: {} iters clean ({simt} simt, {wmma} wmma{}) in {secs:.2}s",
+            args.iters,
+            if args.mutate { format!(", {caught} mutations caught") } else { String::new() }
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,190 @@
+//! On-disk corpus of minimized differential cases.
+//!
+//! Every failure the fuzzer finds is shrunk and written to
+//! `tests/corpus/*.case` as a self-contained text file: a comment header
+//! with the launch/compare metadata followed by the kernel in the PTX
+//! dialect of [`tcsim_isa::ptx`]. The workspace test suite replays every
+//! committed case on each `cargo test`, so a once-found bug permanently
+//! guards its fix — the corpus is the regression suite the fuzzer grows.
+//!
+//! ```text
+//! // tcsim-check case v1
+//! // arch: volta
+//! // grid: 1
+//! // block: 32
+//! // data: f16
+//! // data-seed: 53503
+//! // in-words: 1024
+//! // out-words: 1072
+//! // compare: f16:16
+//! .kernel fz_0000000000000001
+//! ...
+//! ```
+
+use crate::gen::Arch;
+use crate::invariants;
+use crate::oracle::{diff_run, Case, Compare, DataKind, Mutation};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// First line of every corpus file.
+pub const HEADER: &str = "// tcsim-check case v1";
+
+/// Serializes a case to the corpus text format.
+pub fn case_to_text(case: &Case) -> String {
+    let mut s = String::new();
+    s.push_str(HEADER);
+    s.push('\n');
+    s.push_str(&format!("// arch: {}\n", case.arch.qualifier()));
+    s.push_str(&format!("// grid: {}\n", case.grid_x));
+    s.push_str(&format!("// block: {}\n", case.block_x));
+    s.push_str(&format!("// data: {}\n", case.data.qualifier()));
+    s.push_str(&format!("// data-seed: {}\n", case.data_seed));
+    s.push_str(&format!("// in-words: {}\n", case.in_words));
+    s.push_str(&format!("// out-words: {}\n", case.out_words));
+    s.push_str(&format!("// compare: {}\n", case.compare.qualifier()));
+    s.push_str(&tcsim_isa::emit::emit_kernel(&case.kernel));
+    if !s.ends_with('\n') {
+        s.push('\n');
+    }
+    s
+}
+
+fn header_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.strip_prefix("// ")?.strip_prefix(key)?.strip_prefix(':').map(str::trim)
+}
+
+/// Parses the corpus text format back into a runnable case.
+pub fn case_from_text(text: &str) -> Result<Case, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(format!("missing `{HEADER}` header"));
+    }
+    let mut arch = None;
+    let mut grid = None;
+    let mut block = None;
+    let mut data = None;
+    let mut data_seed = None;
+    let mut in_words = None;
+    let mut out_words = None;
+    let mut compare = None;
+    let mut body_start = 0;
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if !line.starts_with("//") {
+            body_start = i;
+            break;
+        }
+        if let Some(v) = header_value(line, "arch") {
+            arch = Arch::from_qualifier(v);
+        } else if let Some(v) = header_value(line, "grid") {
+            grid = v.parse::<u32>().ok();
+        } else if let Some(v) = header_value(line, "block") {
+            block = v.parse::<u32>().ok();
+        } else if let Some(v) = header_value(line, "data") {
+            data = DataKind::from_qualifier(v);
+        } else if let Some(v) = header_value(line, "data-seed") {
+            data_seed = v.parse::<u64>().ok();
+        } else if let Some(v) = header_value(line, "in-words") {
+            in_words = v.parse::<u32>().ok();
+        } else if let Some(v) = header_value(line, "out-words") {
+            out_words = v.parse::<u32>().ok();
+        } else if let Some(v) = header_value(line, "compare") {
+            compare = Compare::from_qualifier(v);
+        }
+    }
+    if body_start == 0 {
+        return Err("no kernel body after the header".into());
+    }
+    let body: String =
+        text.lines().skip(body_start).collect::<Vec<_>>().join("\n");
+    let kernel = tcsim_isa::ptx::parse_kernel(&body).map_err(|e| e.to_string())?;
+    Ok(Case {
+        kernel,
+        arch: arch.ok_or("missing or invalid `arch` header")?,
+        grid_x: grid.ok_or("missing or invalid `grid` header")?,
+        block_x: block.ok_or("missing or invalid `block` header")?,
+        in_words: in_words.ok_or("missing or invalid `in-words` header")?,
+        out_words: out_words.ok_or("missing or invalid `out-words` header")?,
+        data: data.ok_or("missing or invalid `data` header")?,
+        data_seed: data_seed.ok_or("missing or invalid `data-seed` header")?,
+        compare: compare.ok_or("missing or invalid `compare` header")?,
+    })
+}
+
+/// Writes `case` to `<dir>/<name>.case`, creating the directory.
+pub fn write_case(dir: &Path, name: &str, case: &Case) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.case"));
+    fs::write(&path, case_to_text(case))?;
+    Ok(path)
+}
+
+/// Replays one corpus case: differential run (no mutation) plus the
+/// timing invariants. `Ok` means the old bug stays fixed.
+pub fn replay_case(case: &Case) -> Result<(), String> {
+    let report = diff_run(case, Mutation::None).map_err(|e| e.to_string())?;
+    invariants::check_run(case, &report.stats)?;
+    Ok(())
+}
+
+/// Replays every `*.case` under `dir`, in filename order.
+///
+/// Returns one `(path, outcome)` entry per file; an unreadable or
+/// unparsable file is itself a failure. An absent directory yields an
+/// empty list (no corpus yet — vacuously green).
+pub fn replay_dir(dir: &Path) -> Vec<(PathBuf, Result<(), String>)> {
+    let mut files: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect(),
+        Err(_) => return Vec::new(),
+    };
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let outcome = fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| case_from_text(&text))
+                .and_then(|case| replay_case(&case));
+            (path, outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn case_roundtrips_through_text() {
+        for seed in [0u64, 7, 13] {
+            let p = generate(seed, &GenConfig::default());
+            let case = Case::from_program(&p, seed.wrapping_mul(97));
+            let text = case_to_text(&case);
+            let back = case_from_text(&text).expect("parse");
+            assert_eq!(back.arch, case.arch);
+            assert_eq!(back.grid_x, case.grid_x);
+            assert_eq!(back.block_x, case.block_x);
+            assert_eq!(back.in_words, case.in_words);
+            assert_eq!(back.out_words, case.out_words);
+            assert_eq!(back.data, case.data);
+            assert_eq!(back.data_seed, case.data_seed);
+            assert_eq!(back.compare, case.compare);
+            assert_eq!(back.kernel.instrs().len(), case.kernel.instrs().len());
+            // The reparsed case must behave identically end to end.
+            assert_eq!(case_to_text(&back), text);
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        assert!(case_from_text("not a case").is_err());
+        let missing = format!("{HEADER}\n// arch: volta\n.kernel k\n{{\n exit;\n}}\n");
+        let err = case_from_text(&missing).unwrap_err();
+        assert!(err.contains("grid"), "got: {err}");
+    }
+}

@@ -1,0 +1,1567 @@
+//! Seeded random kernel generator over the simulator's PTX subset.
+//!
+//! A generated program is a [`GenProgram`]: a launch shape plus a tree of
+//! [`GenOp`]s drawn from a small, *oracle-safe* grammar. Oracle-safe means
+//! the program's observable output (the `out` buffer) is a deterministic
+//! function of the `in` buffer regardless of warp scheduling order, so the
+//! same program can be run on the full timing [`Gpu`](tcsim_sim::Gpu) and
+//! on the host reference interpreter and the results compared bit-for-bit:
+//!
+//! - global loads only read the immutable `in` buffer (addresses are
+//!   masked into bounds at assembly time);
+//! - plain global stores only write thread-private output slots
+//!   (`gtid * OUT_SLOTS + slot`);
+//! - cross-thread global communication goes through atomics restricted to
+//!   commutative-associative ops (`add`/`min`/`max`) whose old-value
+//!   destination is a write-only sink register;
+//! - shared memory is carved into per-warp private slices;
+//! - control flow is structured: divergence only through `If` regions with
+//!   explicit reconvergence, loops with uniform trip counts;
+//! - `%clock` is never emitted.
+//!
+//! WMMA programs additionally load A/B/C fragments, chain `wmma.mma`s and
+//! store D, covering every layout/shape/type mode `tcsim-isa` accepts for
+//! the target architecture.
+//!
+//! The grammar is intentionally index-based (virtual register pool indices,
+//! not concrete `Reg`s): any subsequence of a program body is still a valid
+//! program, which is what makes the shrinker in [`crate::shrink`] simple.
+
+use crate::rng::XorShift64Star;
+use tcsim_isa::{fragment_regs, FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType};
+use tcsim_isa::{
+    AtomOp, CmpOp, DataType, Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Operand,
+    PredReg, Reg, ShflMode, SpecialReg,
+};
+
+/// Number of 32-bit virtual pool registers a program computes with.
+pub const POOL: usize = 6;
+/// Number of predicate registers the grammar references.
+pub const PREDS: usize = 4;
+/// Private output words per thread (`out[gtid*OUT_SLOTS ..][..OUT_SLOTS]`).
+pub const OUT_SLOTS: u32 = 8;
+/// Words in the shared atomic accumulator region at the end of `out`:
+/// three disjoint 16-word windows, one per atomic op kind (`add`, `min`,
+/// `max`). Each window only ever sees a single commutative-associative
+/// op, so the final memory state is independent of the order in which
+/// warps and CTAs interleave — mixing op kinds on one address would be
+/// order-dependent and break the oracle.
+pub const ATOM_WORDS: u32 = 48;
+/// Words per atomic window (one window per op kind).
+pub const ATOM_WINDOW_WORDS: u32 = 16;
+/// Words in each warp's private shared-memory slice.
+pub const SHARED_SLICE_WORDS: u32 = 64;
+/// Words in the `in` buffer of a SIMT-only program (power of two).
+pub const SIMT_IN_WORDS: u32 = 256;
+/// Words in the `in`/tile area of a WMMA program (power of two).
+pub const WMMA_IN_WORDS: u32 = 1024;
+/// Words in the general output area of a WMMA program (tile store target).
+pub const WMMA_OUT_WORDS: u32 = 1024;
+
+/// Simulated architecture a program targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    /// Volta-style SM (double-loaded A/B fragments, FP16 modes only).
+    Volta,
+    /// Turing-style SM (integer modes, extra shapes).
+    Turing,
+}
+
+impl Arch {
+    /// `true` for Turing.
+    pub fn turing(self) -> bool {
+        self == Arch::Turing
+    }
+
+    /// Qualifier spelling used in corpus headers.
+    pub fn qualifier(self) -> &'static str {
+        match self {
+            Arch::Volta => "volta",
+            Arch::Turing => "turing",
+        }
+    }
+
+    /// Parses the corpus-header spelling.
+    pub fn from_qualifier(s: &str) -> Option<Arch> {
+        match s {
+            "volta" => Some(Arch::Volta),
+            "turing" => Some(Arch::Turing),
+            _ => None,
+        }
+    }
+}
+
+/// A fully qualified WMMA mode: shape plus the three element types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WmmaMode {
+    /// Tile shape.
+    pub shape: WmmaShape,
+    /// A/B multiplicand type.
+    pub ab: WmmaType,
+    /// C accumulator type.
+    pub c: WmmaType,
+    /// D result type.
+    pub d: WmmaType,
+}
+
+impl WmmaMode {
+    /// Whether this is an integer (Turing inference) mode.
+    pub fn integer(self) -> bool {
+        self.ab.bits() <= 8 && self.ab != WmmaType::F16
+    }
+
+    /// The `wmma.mma` directive for this mode with the given layouts.
+    pub fn mma_directive(self, a_layout: Layout, b_layout: Layout) -> WmmaDirective {
+        WmmaDirective::Mma {
+            shape: self.shape,
+            a_layout,
+            b_layout,
+            ab_type: self.ab,
+            d_type: self.d,
+            c_type: self.c,
+        }
+    }
+}
+
+/// Every WMMA mode that is architecturally valid on `arch`, in a fixed
+/// deterministic order (used both by the generator and the mode-coverage
+/// test).
+pub fn wmma_modes(arch: Arch) -> Vec<WmmaMode> {
+    let mut modes = Vec::new();
+    let f16_shapes: &[WmmaShape] = if arch.turing() {
+        &[WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16]
+    } else {
+        &[WmmaShape::M16N16K16]
+    };
+    for &shape in f16_shapes {
+        for c in [WmmaType::F16, WmmaType::F32] {
+            for d in [WmmaType::F16, WmmaType::F32] {
+                modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d });
+            }
+        }
+    }
+    if arch.turing() {
+        for ab in [WmmaType::S8, WmmaType::U8] {
+            for &shape in &[WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16] {
+                modes.push(WmmaMode { shape, ab, c: WmmaType::S32, d: WmmaType::S32 });
+            }
+        }
+        for ab in [WmmaType::S4, WmmaType::U4] {
+            modes.push(WmmaMode { shape: WmmaShape::M8N8K32, ab, c: WmmaType::S32, d: WmmaType::S32 });
+        }
+    }
+    debug_assert!(modes
+        .iter()
+        .all(|m| m.mma_directive(Layout::Row, Layout::Col).is_valid(arch.turing())));
+    modes
+}
+
+/// A value source in the grammar: a pool register or a small immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Pool register `v[i]` (index taken modulo [`POOL`]).
+    V(u8),
+    /// Immediate.
+    Imm(i32),
+}
+
+/// Optional guard predicate `(pool pred index, sense)`.
+pub type Guard = Option<(u8, bool)>;
+
+/// Two-operand integer ALU forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluKind {
+    /// `iadd`.
+    Add,
+    /// `isub`.
+    Sub,
+    /// `imul` (low half).
+    Mul,
+    /// `imin` (signed).
+    Min,
+    /// `imax` (signed).
+    Max,
+    /// `shl` (shift counts are masked to 0..31 at assembly).
+    Shl,
+    /// `shr` (logical).
+    Shr,
+    /// `sar` (arithmetic).
+    Sar,
+    /// `and`.
+    And,
+    /// `or`.
+    Or,
+    /// `xor`.
+    Xor,
+    /// `not` (unary; the `b` operand is ignored).
+    Not,
+}
+
+/// Two-operand FP32 ALU forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FAluKind {
+    /// `fadd`.
+    Add,
+    /// `fmul`.
+    Mul,
+    /// `fmin`.
+    Min,
+    /// `fmax`.
+    Max,
+}
+
+/// Single-operand FP32 MUFU forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MufuKind {
+    /// `rcp`.
+    Rcp,
+    /// `sqrt`.
+    Sqrt,
+    /// `ex2`.
+    Ex2,
+    /// `lg2`.
+    Lg2,
+}
+
+/// Packed-half ALU forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HAluKind {
+    /// `hadd2`.
+    Add2,
+    /// `hmul2`.
+    Mul2,
+}
+
+/// One operation of the generator grammar.
+///
+/// All register references are *virtual pool indices*; the assembler maps
+/// them onto concrete registers and inserts the addressing scaffolding, so
+/// removing any subset of ops still yields a well-formed kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenOp {
+    /// Integer ALU: `v[dst] ← kind(v[a], b)`.
+    Alu {
+        /// Operation.
+        kind: AluKind,
+        /// Destination pool index.
+        dst: u8,
+        /// First source pool index.
+        a: u8,
+        /// Second source.
+        b: Src,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// `v[dst] ← v[a]*b + c`.
+    IMad {
+        /// Destination pool index.
+        dst: u8,
+        /// Multiplicand pool index.
+        a: u8,
+        /// Multiplier.
+        b: Src,
+        /// Addend.
+        c: Src,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// FP32 ALU: `v[dst] ← kind(v[a], v[b])` on raw register bits.
+    FAlu {
+        /// Operation.
+        kind: FAluKind,
+        /// Destination pool index.
+        dst: u8,
+        /// First source pool index.
+        a: u8,
+        /// Second source pool index.
+        b: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// FP32 fused multiply-add `v[dst] ← v[a]*v[b] + v[c]`.
+    FFma {
+        /// Destination pool index.
+        dst: u8,
+        /// Multiplicand pool index.
+        a: u8,
+        /// Multiplier pool index.
+        b: u8,
+        /// Addend pool index.
+        c: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// FP32 MUFU `v[dst] ← kind(v[a])`.
+    Mufu {
+        /// Operation.
+        kind: MufuKind,
+        /// Destination pool index.
+        dst: u8,
+        /// Source pool index.
+        a: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Packed-half ALU `v[dst] ← kind(v[a], v[b])` per half-lane.
+    HAlu {
+        /// Operation.
+        kind: HAluKind,
+        /// Destination pool index.
+        dst: u8,
+        /// First source pool index.
+        a: u8,
+        /// Second source pool index.
+        b: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Packed-half FMA `v[dst] ← v[a]*v[b] + v[c]` per half-lane.
+    HFma2 {
+        /// Destination pool index.
+        dst: u8,
+        /// Multiplicand pool index.
+        a: u8,
+        /// Multiplier pool index.
+        b: u8,
+        /// Addend pool index.
+        c: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// `cvt.f16.f32`: `v[dst] ← f16bits(f32(v[a]))`.
+    CvtToF16 {
+        /// Destination pool index.
+        dst: u8,
+        /// Source pool index.
+        a: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// `cvt.f32.f16`: `v[dst] ← f32bits(f16(v[a] & 0xffff))`.
+    CvtToF32 {
+        /// Destination pool index.
+        dst: u8,
+        /// Source pool index.
+        a: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// `setp`: `p[p] ← v[a] <cmp> b` (signed 32-bit compare).
+    Setp {
+        /// Destination predicate index.
+        p: u8,
+        /// Comparison.
+        cmp: CmpOp,
+        /// First source pool index.
+        a: u8,
+        /// Second source.
+        b: Src,
+    },
+    /// `selp`: `v[dst] ← p[p] ? v[a] : b`.
+    Selp {
+        /// Destination pool index.
+        dst: u8,
+        /// Predicate index.
+        p: u8,
+        /// Taken source pool index.
+        a: u8,
+        /// Else source.
+        b: Src,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Warp shuffle `v[dst] ← shfl(mode, v[a], b)`.
+    Shfl {
+        /// Lane-selection mode.
+        mode: ShflMode,
+        /// Destination pool index.
+        dst: u8,
+        /// Source pool index.
+        a: u8,
+        /// Lane delta / index (masked to 0..31 by the executor).
+        b: u8,
+    },
+    /// Global load from the read-only `in` buffer:
+    /// `v[dst] ← in[v[addr] mod in_words]`.
+    LdIn {
+        /// Destination pool index.
+        dst: u8,
+        /// Address pool index.
+        addr: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Shared load from the warp's private slice.
+    LdShared {
+        /// Destination pool index.
+        dst: u8,
+        /// Address pool index.
+        addr: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Shared store to the warp's private slice.
+    StShared {
+        /// Address pool index.
+        addr: u8,
+        /// Value pool index.
+        val: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Global store to this thread's private slot:
+    /// `out[gtid*OUT_SLOTS + slot] ← v[val]`.
+    StOut {
+        /// Output slot (taken modulo [`OUT_SLOTS`]).
+        slot: u8,
+        /// Value pool index.
+        val: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// Commutative atomic on the op kind's private window of the shared
+    /// accumulator region: `atom.op out_atom[window(op) + v[addr] mod 16],
+    /// v[val]` (old value discarded into a sink register).
+    AtomOut {
+        /// Combine op (only `Add`/`Min`/`Max`: order-independent).
+        op: AtomOp,
+        /// Address pool index.
+        addr: u8,
+        /// Value pool index.
+        val: u8,
+        /// Guard predicate.
+        guard: Guard,
+    },
+    /// CTA-wide barrier (top level only, never guarded).
+    Bar,
+    /// Structured divergent region: lanes where `p[p] == sense` execute
+    /// `body`, with reconvergence at the end.
+    If {
+        /// Controlling predicate index.
+        p: u8,
+        /// Sense: body runs for lanes whose predicate equals this.
+        sense: bool,
+        /// Straight-line body.
+        body: Vec<GenOp>,
+    },
+    /// Uniform counted loop: `body` runs `trips` times.
+    Loop {
+        /// Trip count (≥ 1; taken modulo 8 then clamped at assembly).
+        trips: u8,
+        /// Loop body (no nested loops).
+        body: Vec<GenOp>,
+    },
+    /// `wmma.load` of one fragment from the `in` buffer.
+    WLoad {
+        /// Which fragment.
+        frag: FragmentKind,
+        /// Memory layout.
+        layout: Layout,
+        /// Byte offset into `in`, 16-byte aligned (clamped at assembly).
+        off: u32,
+        /// Extra leading-dimension padding in elements (0 or 8).
+        pad: u32,
+    },
+    /// `wmma.mma`: `d ← a×b + (acc_d ? d : c)`.
+    WMma {
+        /// Layout qualifier for A.
+        a_layout: Layout,
+        /// Layout qualifier for B.
+        b_layout: Layout,
+        /// Accumulate onto the previous D instead of C.
+        acc_d: bool,
+    },
+    /// `wmma.store.d` to the `out` buffer.
+    WStore {
+        /// Memory layout.
+        layout: Layout,
+        /// Byte offset into `out` (0 or 2048; clamped at assembly).
+        off: u32,
+        /// Extra leading-dimension padding in elements (0 or 8).
+        pad: u32,
+    },
+}
+
+/// A complete generated program: launch shape + grammar body.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// Kernel name (also the corpus case name).
+    pub name: String,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Grid width in CTAs (x only).
+    pub grid_x: u32,
+    /// CTA width in threads (multiple of 32).
+    pub block_x: u32,
+    /// WMMA mode, when the body contains WMMA ops.
+    pub wmma: Option<WmmaMode>,
+    /// The operation tree.
+    pub body: Vec<GenOp>,
+}
+
+impl GenProgram {
+    /// Total threads in the launch.
+    pub fn threads(&self) -> u32 {
+        self.grid_x * self.block_x
+    }
+
+    /// Size of the read-only input buffer in 32-bit words (power of two).
+    pub fn in_words(&self) -> u32 {
+        if self.wmma.is_some() {
+            WMMA_IN_WORDS
+        } else {
+            SIMT_IN_WORDS
+        }
+    }
+
+    /// Size of the general (non-atomic) output area in words.
+    pub fn out_general_words(&self) -> u32 {
+        let slots = self.threads() * OUT_SLOTS;
+        if self.wmma.is_some() {
+            slots.max(WMMA_OUT_WORDS)
+        } else {
+            slots
+        }
+    }
+
+    /// Total output-buffer size in words (general area + atomic region).
+    pub fn out_words(&self) -> u32 {
+        self.out_general_words() + ATOM_WORDS
+    }
+
+    /// Total grammar ops, counting structured bodies recursively.
+    pub fn op_count(&self) -> usize {
+        fn count(ops: &[GenOp]) -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    GenOp::If { body, .. } | GenOp::Loop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+/// What kind of program to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KindSel {
+    /// Mix of SIMT-only and WMMA programs, alternating by seed.
+    Auto,
+    /// SIMT-only (no tensor-core ops).
+    Simt,
+    /// WMMA program in any valid mode.
+    Wmma,
+    /// WMMA program restricted to all-FP16 modes (A/B/C/D all `f16`) —
+    /// the modes where the planted FEDP rounding mutation is observable
+    /// above `gemm_tolerance`.
+    WmmaF16Acc,
+}
+
+/// Generator tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Upper bound on grammar ops in the body (the `--max-insts` knob).
+    pub max_ops: usize,
+    /// Program-kind selection.
+    pub kind: KindSel,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { max_ops: 24, kind: KindSel::Auto }
+    }
+}
+
+/// Generates a random program from a seed. The same `(seed, cfg)` always
+/// produces the same program.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
+    let mut rng = XorShift64Star::new(seed);
+    let arch = if rng.chance(1, 2) { Arch::Volta } else { Arch::Turing };
+    let wmma = match cfg.kind {
+        KindSel::Simt => false,
+        KindSel::Wmma | KindSel::WmmaF16Acc => true,
+        KindSel::Auto => rng.chance(1, 3),
+    };
+    if wmma {
+        generate_wmma(seed, arch, cfg, &mut rng)
+    } else {
+        generate_simt(seed, arch, cfg, &mut rng)
+    }
+}
+
+fn gen_guard(rng: &mut XorShift64Star) -> Guard {
+    if rng.chance(1, 4) {
+        Some((rng.below(PREDS as u64) as u8, rng.chance(1, 2)))
+    } else {
+        None
+    }
+}
+
+fn gen_src(rng: &mut XorShift64Star) -> Src {
+    if rng.chance(1, 3) {
+        Src::Imm(rng.range_i64(-64, 64) as i32)
+    } else {
+        Src::V(rng.below(POOL as u64) as u8)
+    }
+}
+
+/// One straight-line (non-structured) op.
+fn gen_straight(rng: &mut XorShift64Star, allow_shared: bool) -> GenOp {
+    let v = |rng: &mut XorShift64Star| rng.below(POOL as u64) as u8;
+    loop {
+        let roll = rng.below(16);
+        let op = match roll {
+            0..=2 => {
+                let kind = *rng.pick(&[
+                    AluKind::Add,
+                    AluKind::Sub,
+                    AluKind::Mul,
+                    AluKind::Min,
+                    AluKind::Max,
+                    AluKind::Shl,
+                    AluKind::Shr,
+                    AluKind::Sar,
+                    AluKind::And,
+                    AluKind::Or,
+                    AluKind::Xor,
+                    AluKind::Not,
+                ]);
+                GenOp::Alu { kind, dst: v(rng), a: v(rng), b: gen_src(rng), guard: gen_guard(rng) }
+            }
+            3 => GenOp::IMad {
+                dst: v(rng),
+                a: v(rng),
+                b: gen_src(rng),
+                c: gen_src(rng),
+                guard: gen_guard(rng),
+            },
+            4 => {
+                let kind = *rng.pick(&[FAluKind::Add, FAluKind::Mul, FAluKind::Min, FAluKind::Max]);
+                GenOp::FAlu { kind, dst: v(rng), a: v(rng), b: v(rng), guard: gen_guard(rng) }
+            }
+            5 => GenOp::FFma { dst: v(rng), a: v(rng), b: v(rng), c: v(rng), guard: gen_guard(rng) },
+            6 => {
+                let kind = *rng.pick(&[MufuKind::Rcp, MufuKind::Sqrt, MufuKind::Ex2, MufuKind::Lg2]);
+                GenOp::Mufu { kind, dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+            }
+            7 => {
+                if rng.chance(1, 2) {
+                    let kind = *rng.pick(&[HAluKind::Add2, HAluKind::Mul2]);
+                    GenOp::HAlu { kind, dst: v(rng), a: v(rng), b: v(rng), guard: gen_guard(rng) }
+                } else {
+                    GenOp::HFma2 {
+                        dst: v(rng),
+                        a: v(rng),
+                        b: v(rng),
+                        c: v(rng),
+                        guard: gen_guard(rng),
+                    }
+                }
+            }
+            8 => {
+                if rng.chance(1, 2) {
+                    GenOp::CvtToF16 { dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+                } else {
+                    GenOp::CvtToF32 { dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+                }
+            }
+            9 => GenOp::Setp {
+                p: rng.below(PREDS as u64) as u8,
+                cmp: *rng.pick(&[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
+                a: v(rng),
+                b: gen_src(rng),
+            },
+            10 => GenOp::Selp {
+                dst: v(rng),
+                p: rng.below(PREDS as u64) as u8,
+                a: v(rng),
+                b: gen_src(rng),
+                guard: gen_guard(rng),
+            },
+            11 => GenOp::Shfl {
+                mode: *rng.pick(&[ShflMode::Down, ShflMode::Up, ShflMode::Bfly, ShflMode::Idx]),
+                dst: v(rng),
+                a: v(rng),
+                b: rng.below(32) as u8,
+            },
+            12 => GenOp::LdIn { dst: v(rng), addr: v(rng), guard: gen_guard(rng) },
+            13 if allow_shared => {
+                if rng.chance(1, 2) {
+                    GenOp::LdShared { dst: v(rng), addr: v(rng), guard: gen_guard(rng) }
+                } else {
+                    GenOp::StShared { addr: v(rng), val: v(rng), guard: gen_guard(rng) }
+                }
+            }
+            14 => GenOp::StOut {
+                slot: rng.below(OUT_SLOTS as u64) as u8,
+                val: v(rng),
+                guard: gen_guard(rng),
+            },
+            15 => GenOp::AtomOut {
+                op: *rng.pick(&[AtomOp::Add, AtomOp::Min, AtomOp::Max]),
+                addr: v(rng),
+                val: v(rng),
+                guard: gen_guard(rng),
+            },
+            _ => continue,
+        };
+        return op;
+    }
+}
+
+fn gen_straight_block(rng: &mut XorShift64Star, n: usize, allow_shared: bool) -> Vec<GenOp> {
+    (0..n).map(|_| gen_straight(rng, allow_shared)).collect()
+}
+
+fn gen_simt_body(rng: &mut XorShift64Star, budget: usize) -> Vec<GenOp> {
+    let mut body = Vec::new();
+    // Seed the predicates with a data-dependent compare so guards and If
+    // regions exercise real divergence, not the all-zero reset state.
+    body.push(GenOp::Setp {
+        p: 0,
+        cmp: CmpOp::Lt,
+        a: 0,
+        b: Src::Imm(rng.range_i64(-32, 32) as i32),
+    });
+    let mut used = 1usize;
+    while used < budget {
+        let roll = rng.below(10);
+        if roll == 0 && used + 2 <= budget {
+            // Divergent If region.
+            let n = 1 + rng.below(3.min((budget - used - 1) as u64).max(1)) as usize;
+            let op = GenOp::If {
+                p: rng.below(PREDS as u64) as u8,
+                sense: rng.chance(1, 2),
+                body: gen_straight_block(rng, n, true),
+            };
+            used += 1 + n;
+            body.push(op);
+        } else if roll == 1 && used + 2 <= budget {
+            // Uniform counted loop; body may itself contain an If.
+            let n = 1 + rng.below(3.min((budget - used - 1) as u64).max(1)) as usize;
+            let mut inner = gen_straight_block(rng, n.saturating_sub(1), true);
+            if inner.len() < n {
+                if rng.chance(1, 2) && n >= 2 {
+                    inner.push(GenOp::If {
+                        p: rng.below(PREDS as u64) as u8,
+                        sense: rng.chance(1, 2),
+                        body: gen_straight_block(rng, 1, true),
+                    });
+                } else {
+                    inner.push(gen_straight(rng, true));
+                }
+            }
+            let trips = 2 + rng.below(3) as u8;
+            used += 1 + inner.len();
+            body.push(GenOp::Loop { trips, body: inner });
+        } else if roll == 2 {
+            used += 1;
+            body.push(GenOp::Bar);
+        } else {
+            used += 1;
+            body.push(gen_straight(rng, true));
+        }
+    }
+    // Epilogue: observe the whole pool (kept in the shrinkable body so the
+    // minimizer can drop stores that don't matter for a failure).
+    for i in 0..POOL {
+        body.push(GenOp::StOut { slot: i as u8, val: i as u8, guard: None });
+    }
+    body
+}
+
+fn generate_simt(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Star) -> GenProgram {
+    let grid_x = 1 + rng.below(2) as u32;
+    let block_x = 32 * (1 + rng.below(2) as u32);
+    let budget = cfg.max_ops.max(4);
+    GenProgram {
+        name: format!("fz_{seed:016x}"),
+        arch,
+        grid_x,
+        block_x,
+        wmma: None,
+        body: gen_simt_body(rng, budget),
+    }
+}
+
+/// Picks a 16-byte-aligned load offset that keeps the whole fragment span
+/// inside the `in` area. `span_bytes` must already account for padding.
+fn gen_tile_off(rng: &mut XorShift64Star, area_bytes: u32, span_bytes: u32) -> u32 {
+    let room = area_bytes.saturating_sub(span_bytes);
+    16 * rng.below(u64::from(room / 16) + 1) as u32
+}
+
+/// Byte span of a `rows×cols` operand under `layout` with leading-dimension
+/// padding `pad` (elements) and `bits`-bit elements.
+pub fn tile_span_bytes(rows: usize, cols: usize, layout: Layout, pad: u32, bits: usize) -> u32 {
+    let (major, minor) = match layout {
+        Layout::Row => (rows, cols),
+        Layout::Col => (cols, rows),
+    };
+    let stride = minor + pad as usize;
+    let elems = (major - 1) * stride + minor;
+    ((elems * bits).div_ceil(8)) as u32
+}
+
+/// Leading-dimension stride in elements for a fragment under `layout`.
+pub fn tile_stride(rows: usize, cols: usize, layout: Layout, pad: u32) -> u32 {
+    (match layout {
+        Layout::Row => cols,
+        Layout::Col => rows,
+    }) as u32
+        + pad
+}
+
+fn gen_wload(rng: &mut XorShift64Star, mode: WmmaMode, frag: FragmentKind) -> GenOp {
+    let ty = match frag {
+        FragmentKind::A | FragmentKind::B => mode.ab,
+        FragmentKind::C => mode.c,
+        FragmentKind::D => mode.d,
+    };
+    // Sub-byte (int4) A/B fragments only exist k-major — A row, B col —
+    // as in PTX; any other layout has rows that straddle byte boundaries.
+    let layout = if ty.bits() < 8 {
+        if frag == FragmentKind::A { Layout::Row } else { Layout::Col }
+    } else if rng.chance(1, 2) {
+        Layout::Row
+    } else {
+        Layout::Col
+    };
+    let pad = if ty.bits() >= 8 && rng.chance(1, 3) { 8 } else { 0 };
+    let (rows, cols) = frag.dims(mode.shape);
+    let span = tile_span_bytes(rows, cols, layout, pad, ty.bits());
+    let off = gen_tile_off(rng, WMMA_IN_WORDS * 4, span);
+    GenOp::WLoad { frag, layout, off, pad }
+}
+
+fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Star) -> GenProgram {
+    let modes = wmma_modes(arch);
+    let modes: Vec<WmmaMode> = match cfg.kind {
+        KindSel::WmmaF16Acc => modes
+            .into_iter()
+            .filter(|m| m.ab == WmmaType::F16 && m.c == WmmaType::F16 && m.d == WmmaType::F16)
+            .collect(),
+        _ => modes,
+    };
+    let mode = *rng.pick(&modes);
+    let mut body = Vec::new();
+    body.push(gen_wload(rng, mode, FragmentKind::A));
+    body.push(gen_wload(rng, mode, FragmentKind::B));
+    body.push(gen_wload(rng, mode, FragmentKind::C));
+    let rounds = 1 + rng.below(3);
+    for round in 0..rounds {
+        if round > 0 && rng.chance(1, 2) {
+            let frag = *rng.pick(&[FragmentKind::A, FragmentKind::B]);
+            body.push(gen_wload(rng, mode, frag));
+        }
+        // Interleave a few scalar ops so the tensor pipe races the SIMT
+        // pipes through the scoreboard.
+        if rng.chance(1, 2) {
+            body.push(gen_straight(rng, false));
+        }
+        let sub_byte = mode.ab.bits() < 8;
+        body.push(GenOp::WMma {
+            a_layout: if sub_byte || rng.chance(1, 2) { Layout::Row } else { Layout::Col },
+            b_layout: if !sub_byte && rng.chance(1, 2) { Layout::Row } else { Layout::Col },
+            acc_d: round > 0 && rng.chance(1, 2),
+        });
+    }
+    let store_layout = if rng.chance(1, 2) { Layout::Row } else { Layout::Col };
+    let store_pad = if rng.chance(1, 3) { 8 } else { 0 };
+    body.push(GenOp::WStore {
+        layout: store_layout,
+        off: if rng.chance(1, 2) { 2048 } else { 0 },
+        pad: store_pad,
+    });
+    // Observe any pool registers the scalar sprinkle wrote.
+    let mut wrote = [false; POOL];
+    scan_pool_writes(&body, &mut wrote);
+    for (i, w) in wrote.iter().enumerate() {
+        if *w {
+            body.push(GenOp::StOut { slot: i as u8, val: i as u8, guard: None });
+        }
+    }
+    GenProgram {
+        name: format!("fz_{seed:016x}"),
+        arch,
+        grid_x: 1,
+        block_x: 32,
+        wmma: Some(mode),
+        body,
+    }
+}
+
+fn scan_pool_writes(ops: &[GenOp], wrote: &mut [bool; POOL]) {
+    for op in ops {
+        match op {
+            GenOp::Alu { dst, .. }
+            | GenOp::IMad { dst, .. }
+            | GenOp::FAlu { dst, .. }
+            | GenOp::FFma { dst, .. }
+            | GenOp::Mufu { dst, .. }
+            | GenOp::HAlu { dst, .. }
+            | GenOp::HFma2 { dst, .. }
+            | GenOp::CvtToF16 { dst, .. }
+            | GenOp::CvtToF32 { dst, .. }
+            | GenOp::Selp { dst, .. }
+            | GenOp::Shfl { dst, .. }
+            | GenOp::LdIn { dst, .. }
+            | GenOp::LdShared { dst, .. } => wrote[*dst as usize % POOL] = true,
+            GenOp::If { body, .. } | GenOp::Loop { body, .. } => scan_pool_writes(body, wrote),
+            _ => {}
+        }
+    }
+}
+
+/// Which assembly scaffolding a body requires.
+#[derive(Default)]
+struct Usage {
+    pool: [bool; POOL],
+    gtid: bool,
+    shared: bool,
+    atom: bool,
+    in_buf: bool,
+    out_buf: bool,
+    any_loop: bool,
+    frags: [bool; 4],
+}
+
+fn scan_usage(ops: &[GenOp], u: &mut Usage) {
+    let pool = |i: u8, u: &mut Usage| u.pool[i as usize % POOL] = true;
+    for op in ops {
+        match op {
+            GenOp::Alu { dst, a, b, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+                if let Src::V(i) = b {
+                    pool(*i, u);
+                }
+            }
+            GenOp::IMad { dst, a, b, c, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+                for s in [b, c] {
+                    if let Src::V(i) = s {
+                        pool(*i, u);
+                    }
+                }
+            }
+            GenOp::FAlu { dst, a, b, .. } | GenOp::HAlu { dst, a, b, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+                pool(*b, u);
+            }
+            GenOp::FFma { dst, a, b, c, .. } | GenOp::HFma2 { dst, a, b, c, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+                pool(*b, u);
+                pool(*c, u);
+            }
+            GenOp::Mufu { dst, a, .. }
+            | GenOp::CvtToF16 { dst, a, .. }
+            | GenOp::CvtToF32 { dst, a, .. }
+            | GenOp::Shfl { dst, a, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+            }
+            GenOp::Setp { a, b, .. } => {
+                pool(*a, u);
+                if let Src::V(i) = b {
+                    pool(*i, u);
+                }
+            }
+            GenOp::Selp { dst, a, b, .. } => {
+                pool(*dst, u);
+                pool(*a, u);
+                if let Src::V(i) = b {
+                    pool(*i, u);
+                }
+            }
+            GenOp::LdIn { dst, addr, .. } => {
+                pool(*dst, u);
+                pool(*addr, u);
+                u.in_buf = true;
+            }
+            GenOp::LdShared { dst, addr, .. } => {
+                pool(*dst, u);
+                pool(*addr, u);
+                u.shared = true;
+            }
+            GenOp::StShared { addr, val, .. } => {
+                pool(*addr, u);
+                pool(*val, u);
+                u.shared = true;
+            }
+            GenOp::StOut { val, .. } => {
+                pool(*val, u);
+                u.gtid = true;
+                u.out_buf = true;
+            }
+            GenOp::AtomOut { addr, val, .. } => {
+                pool(*addr, u);
+                pool(*val, u);
+                u.atom = true;
+                u.out_buf = true;
+            }
+            GenOp::Bar => {}
+            GenOp::If { body, .. } => scan_usage(body, u),
+            GenOp::Loop { body, .. } => {
+                u.any_loop = true;
+                scan_usage(body, u);
+            }
+            GenOp::WLoad { frag, .. } => {
+                u.frags[*frag as usize] = true;
+                u.in_buf = true;
+            }
+            GenOp::WMma { acc_d, .. } => {
+                u.frags[FragmentKind::A as usize] = true;
+                u.frags[FragmentKind::B as usize] = true;
+                u.frags[FragmentKind::D as usize] = true;
+                if !acc_d {
+                    u.frags[FragmentKind::C as usize] = true;
+                }
+            }
+            GenOp::WStore { .. } => {
+                u.frags[FragmentKind::D as usize] = true;
+                u.out_buf = true;
+            }
+        }
+    }
+    // Any pool register in play needs a per-thread seed, which needs gtid.
+    if u.pool.iter().any(|&p| p) {
+        u.gtid = true;
+    }
+}
+
+/// Concrete registers the assembler hands to body emission.
+struct Asm {
+    in_pair: Reg,
+    out_pair: Reg,
+    gtid: Reg,
+    pool: [Reg; POOL],
+    preds: [PredReg; PREDS],
+    s1: Reg,
+    addr_pair: Reg,
+    sink: Reg,
+    sbase: Reg,
+    loop_pred: PredReg,
+    ctr: Reg,
+    frag: [Reg; 4],
+    in_mask: i64,
+    atom_base: i64,
+    mode: Option<WmmaMode>,
+}
+
+impl Asm {
+    fn v(&self, i: u8) -> Reg {
+        self.pool[i as usize % POOL]
+    }
+
+    fn p(&self, i: u8) -> PredReg {
+        self.preds[i as usize % PREDS]
+    }
+
+    fn src(&self, s: Src) -> Operand {
+        match s {
+            Src::V(i) => Operand::Reg(self.v(i)),
+            Src::Imm(k) => Operand::Imm(i64::from(k)),
+        }
+    }
+
+    fn guard(&self, g: Guard) -> Option<(PredReg, bool)> {
+        g.map(|(i, sense)| (self.p(i), sense))
+    }
+}
+
+/// Pool-seeding multipliers/offsets: arbitrary odd constants so every
+/// thread starts from distinct, well-mixed register values.
+const POOL_MUL: [i64; POOL] = [0x9E39, 0x85EB, 0xC2B3, 0x27D5, 0x1657, 0x2545];
+const POOL_ADD: [i64; POOL] = [7, 0x1234, 0x0BAD, 0x0C0DE, 0x51, 0x7F4A];
+
+/// Assembles a generated program into an executable [`Kernel`].
+///
+/// The produced kernel takes two `u64` parameters, `in` and `out`, in that
+/// order. Only scaffolding actually required by the body is emitted, so a
+/// shrunk program assembles to a minimal kernel.
+pub fn assemble(p: &GenProgram) -> Kernel {
+    let mut b = KernelBuilder::new(&p.name);
+    let param_in = b.param_u64("in");
+    let param_out = b.param_u64("out");
+
+    let mut usage = Usage::default();
+    scan_usage(&p.body, &mut usage);
+
+    let in_pair = b.reg_pair();
+    let out_pair = b.reg_pair();
+    let gtid = b.reg();
+    let s1 = b.reg();
+    let addr_pair = b.reg_pair();
+    let sink = b.reg();
+    let sbase = b.reg();
+    let ctr = b.reg();
+    let mut pool = [Reg(0); POOL];
+    for r in pool.iter_mut() {
+        *r = b.reg();
+    }
+    let mut preds = [PredReg(0); PREDS];
+    for pr in preds.iter_mut() {
+        *pr = b.pred();
+    }
+    let loop_pred = b.pred();
+
+    let volta = p.arch == Arch::Volta;
+    let mut frag = [Reg(0); 4];
+    if let Some(mode) = p.wmma {
+        for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C, FragmentKind::D]
+            .into_iter()
+            .enumerate()
+        {
+            let ty = match kind {
+                FragmentKind::A | FragmentKind::B => mode.ab,
+                FragmentKind::C => mode.c,
+                FragmentKind::D => mode.d,
+            };
+            let n = fragment_regs(kind, mode.shape, ty, volta);
+            frag[i] = b.reg_block(n);
+        }
+    }
+
+    if usage.shared {
+        let warps = p.block_x.div_ceil(32);
+        b.shared_alloc(warps * SHARED_SLICE_WORDS * 4);
+    }
+
+    let asm = Asm {
+        in_pair,
+        out_pair,
+        gtid,
+        pool,
+        preds,
+        s1,
+        addr_pair,
+        sink,
+        sbase,
+        loop_pred,
+        ctr,
+        frag,
+        in_mask: i64::from(p.in_words() - 1),
+        atom_base: i64::from(p.out_general_words()) * 4,
+        mode: p.wmma,
+    };
+
+    // Prologue: only what the body needs.
+    if usage.in_buf {
+        b.ld_param(MemWidth::B64, in_pair, param_in);
+    }
+    if usage.out_buf {
+        b.ld_param(MemWidth::B64, out_pair, param_out);
+    }
+    if usage.gtid {
+        b.mov(gtid, Operand::Special(SpecialReg::TidX));
+        if p.grid_x > 1 {
+            b.mov(s1, Operand::Special(SpecialReg::CtaIdX));
+            b.imad(gtid, s1, Operand::Imm(i64::from(p.block_x)), Operand::Reg(gtid));
+        }
+    }
+    for i in 0..POOL {
+        if usage.pool[i] {
+            b.imad(pool[i], gtid, Operand::Imm(POOL_MUL[i]), Operand::Imm(POOL_ADD[i]));
+        }
+    }
+    if usage.shared {
+        b.mov(s1, Operand::Special(SpecialReg::WarpId));
+        b.imul(sbase, s1, Operand::Imm(i64::from(SHARED_SLICE_WORDS * 4)));
+    }
+
+    emit_body(&mut b, &p.body, &asm);
+    b.exit();
+    b.build()
+}
+
+fn emit_guarded(b: &mut KernelBuilder, instr: Instr, guard: Option<(PredReg, bool)>) {
+    let i = b.emit(instr);
+    i.guard = guard;
+}
+
+fn emit_body(b: &mut KernelBuilder, ops: &[GenOp], asm: &Asm) {
+    for op in ops {
+        emit_op(b, op, asm);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
+    match op {
+        GenOp::Alu { kind, dst, a, b: src, guard } => {
+            let (o, unary) = match kind {
+                AluKind::Add => (Op::IAdd, false),
+                AluKind::Sub => (Op::ISub, false),
+                AluKind::Mul => (Op::IMul, false),
+                AluKind::Min => (Op::IMin, false),
+                AluKind::Max => (Op::IMax, false),
+                AluKind::Shl => (Op::Shl, false),
+                AluKind::Shr => (Op::Shr, false),
+                AluKind::Sar => (Op::Sar, false),
+                AluKind::And => (Op::And, false),
+                AluKind::Or => (Op::Or, false),
+                AluKind::Xor => (Op::Xor, false),
+                AluKind::Not => (Op::Not, true),
+            };
+            let srcs = if unary {
+                vec![Operand::Reg(asm.v(*a))]
+            } else {
+                vec![Operand::Reg(asm.v(*a)), asm.src(*src)]
+            };
+            emit_guarded(
+                b,
+                Instr::new(o).with_dst(asm.v(*dst)).with_srcs(srcs),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::IMad { dst, a, b: bb, c, guard } => emit_guarded(
+            b,
+            Instr::new(Op::IMad)
+                .with_dst(asm.v(*dst))
+                .with_srcs(vec![Operand::Reg(asm.v(*a)), asm.src(*bb), asm.src(*c)]),
+            asm.guard(*guard),
+        ),
+        GenOp::FAlu { kind, dst, a, b: bb, guard } => {
+            let o = match kind {
+                FAluKind::Add => Op::FAdd,
+                FAluKind::Mul => Op::FMul,
+                FAluKind::Min => Op::FMin,
+                FAluKind::Max => Op::FMax,
+            };
+            emit_guarded(
+                b,
+                Instr::new(o)
+                    .with_dst(asm.v(*dst))
+                    .with_srcs(vec![Operand::Reg(asm.v(*a)), Operand::Reg(asm.v(*bb))]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::FFma { dst, a, b: bb, c, guard } => emit_guarded(
+            b,
+            Instr::new(Op::FFma).with_dst(asm.v(*dst)).with_srcs(vec![
+                Operand::Reg(asm.v(*a)),
+                Operand::Reg(asm.v(*bb)),
+                Operand::Reg(asm.v(*c)),
+            ]),
+            asm.guard(*guard),
+        ),
+        GenOp::Mufu { kind, dst, a, guard } => {
+            let o = match kind {
+                MufuKind::Rcp => Op::FRcp,
+                MufuKind::Sqrt => Op::FSqrt,
+                MufuKind::Ex2 => Op::FEx2,
+                MufuKind::Lg2 => Op::FLg2,
+            };
+            emit_guarded(
+                b,
+                Instr::new(o).with_dst(asm.v(*dst)).with_srcs(vec![Operand::Reg(asm.v(*a))]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::HAlu { kind, dst, a, b: bb, guard } => {
+            let o = match kind {
+                HAluKind::Add2 => Op::HAdd2,
+                HAluKind::Mul2 => Op::HMul2,
+            };
+            emit_guarded(
+                b,
+                Instr::new(o)
+                    .with_dst(asm.v(*dst))
+                    .with_srcs(vec![Operand::Reg(asm.v(*a)), Operand::Reg(asm.v(*bb))]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::HFma2 { dst, a, b: bb, c, guard } => emit_guarded(
+            b,
+            Instr::new(Op::HFma2).with_dst(asm.v(*dst)).with_srcs(vec![
+                Operand::Reg(asm.v(*a)),
+                Operand::Reg(asm.v(*bb)),
+                Operand::Reg(asm.v(*c)),
+            ]),
+            asm.guard(*guard),
+        ),
+        GenOp::CvtToF16 { dst, a, guard } => emit_guarded(
+            b,
+            Instr::new(Op::Cvt { from: DataType::F32, to: DataType::F16 })
+                .with_dst(asm.v(*dst))
+                .with_srcs(vec![Operand::Reg(asm.v(*a))]),
+            asm.guard(*guard),
+        ),
+        GenOp::CvtToF32 { dst, a, guard } => emit_guarded(
+            b,
+            Instr::new(Op::Cvt { from: DataType::F16, to: DataType::F32 })
+                .with_dst(asm.v(*dst))
+                .with_srcs(vec![Operand::Reg(asm.v(*a))]),
+            asm.guard(*guard),
+        ),
+        GenOp::Setp { p: pd, cmp, a, b: bb } => {
+            b.setp(asm.p(*pd), *cmp, DataType::S32, asm.v(*a), asm.src(*bb));
+        }
+        GenOp::Selp { dst, p: pp, a, b: bb, guard } => emit_guarded(
+            b,
+            Instr::new(Op::SelP).with_dst(asm.v(*dst)).with_srcs(vec![
+                Operand::Pred(asm.p(*pp)),
+                Operand::Reg(asm.v(*a)),
+                asm.src(*bb),
+            ]),
+            asm.guard(*guard),
+        ),
+        GenOp::Shfl { mode, dst, a, b: bb } => {
+            b.shfl(*mode, asm.v(*dst), asm.v(*a), Operand::Imm(i64::from(*bb)));
+        }
+        GenOp::LdIn { dst, addr, guard } => {
+            // s1 = (v[addr] & mask); addr_pair = in + 4*s1; dst = [addr_pair]
+            b.and(asm.s1, asm.v(*addr), Operand::Imm(asm.in_mask));
+            b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.in_pair);
+            emit_guarded(
+                b,
+                Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
+                    .with_dst(asm.v(*dst))
+                    .with_srcs(vec![Operand::RegPair(asm.addr_pair), Operand::Imm(0)]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::LdShared { dst, addr, guard } => {
+            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)));
+            b.imad(asm.s1, asm.s1, Operand::Imm(4), Operand::Reg(asm.sbase));
+            emit_guarded(
+                b,
+                Instr::new(Op::Ld { space: MemSpace::Shared, width: MemWidth::B32 })
+                    .with_dst(asm.v(*dst))
+                    .with_srcs(vec![Operand::Reg(asm.s1), Operand::Imm(0)]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::StShared { addr, val, guard } => {
+            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)));
+            b.imad(asm.s1, asm.s1, Operand::Imm(4), Operand::Reg(asm.sbase));
+            emit_guarded(
+                b,
+                Instr::new(Op::St { space: MemSpace::Shared, width: MemWidth::B32 }).with_srcs(
+                    vec![Operand::Reg(asm.s1), Operand::Imm(0), Operand::Reg(asm.v(*val))],
+                ),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::StOut { slot, val, guard } => {
+            let slot = i64::from(*slot % OUT_SLOTS as u8);
+            b.imad(asm.s1, asm.gtid, Operand::Imm(i64::from(OUT_SLOTS)), Operand::Imm(slot));
+            b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.out_pair);
+            emit_guarded(
+                b,
+                Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B32 }).with_srcs(
+                    vec![
+                        Operand::RegPair(asm.addr_pair),
+                        Operand::Imm(0),
+                        Operand::Reg(asm.v(*val)),
+                    ],
+                ),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::AtomOut { op, addr, val, guard } => {
+            let window = match op {
+                AtomOp::Add => 0,
+                AtomOp::Min => 1,
+                AtomOp::Max => 2,
+                AtomOp::Exch => unreachable!("Exch is not order-independent"),
+            };
+            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(ATOM_WINDOW_WORDS - 1)));
+            b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.out_pair);
+            emit_guarded(
+                b,
+                Instr::new(Op::Atom { space: MemSpace::Global, op: *op })
+                    .with_dst(asm.sink)
+                    .with_srcs(vec![
+                        Operand::RegPair(asm.addr_pair),
+                        Operand::Imm(asm.atom_base + i64::from(window * ATOM_WINDOW_WORDS * 4)),
+                        Operand::Reg(asm.v(*val)),
+                    ]),
+                asm.guard(*guard),
+            );
+        }
+        GenOp::Bar => b.bar(),
+        GenOp::If { p: pp, sense, body } => {
+            let end = b.label();
+            // Lanes whose predicate is the *opposite* sense jump to the
+            // reconvergence point; the rest fall into the body.
+            b.bra_div(asm.p(*pp), !sense, end, end);
+            emit_body(b, body, asm);
+            b.place(end);
+        }
+        GenOp::Loop { trips, body } => {
+            let trips = i64::from((*trips % 8).max(1));
+            b.mov(asm.ctr, Operand::Imm(0));
+            let top = b.label();
+            b.place(top);
+            emit_body(b, body, asm);
+            b.iadd(asm.ctr, asm.ctr, Operand::Imm(1));
+            b.setp(asm.loop_pred, CmpOp::Lt, DataType::S32, asm.ctr, Operand::Imm(trips));
+            b.bra_if(asm.loop_pred, true, top);
+        }
+        GenOp::WLoad { frag, layout, off, pad } => {
+            let mode = asm.mode.expect("WLoad in a program without a wmma mode");
+            let ty = match frag {
+                FragmentKind::A | FragmentKind::B => mode.ab,
+                FragmentKind::C => mode.c,
+                FragmentKind::D => mode.d,
+            };
+            let (rows, cols) = frag.dims(mode.shape);
+            let span = tile_span_bytes(rows, cols, *layout, *pad, ty.bits());
+            let off = i64::from((*off / 16) * 16).min(i64::from(WMMA_IN_WORDS * 4 - span));
+            let addr = if off == 0 {
+                Operand::RegPair(asm.in_pair)
+            } else {
+                b.iadd64(asm.addr_pair, asm.in_pair, Operand::Imm(off));
+                Operand::RegPair(asm.addr_pair)
+            };
+            let stride = tile_stride(rows, cols, *layout, *pad);
+            b.wmma_load(
+                *frag,
+                mode.shape,
+                *layout,
+                ty,
+                MemSpace::Global,
+                asm.frag[*frag as usize],
+                addr,
+                Operand::Imm(i64::from(stride)),
+            );
+        }
+        GenOp::WMma { a_layout, b_layout, acc_d } => {
+            let mode = asm.mode.expect("WMma in a program without a wmma mode");
+            let c = if *acc_d && mode.c == mode.d {
+                asm.frag[FragmentKind::D as usize]
+            } else {
+                asm.frag[FragmentKind::C as usize]
+            };
+            b.wmma_mma(
+                mode.shape,
+                *a_layout,
+                *b_layout,
+                mode.ab,
+                mode.d,
+                mode.c,
+                asm.frag[FragmentKind::D as usize],
+                asm.frag[FragmentKind::A as usize],
+                asm.frag[FragmentKind::B as usize],
+                c,
+            );
+        }
+        GenOp::WStore { layout, off, pad } => {
+            let mode = asm.mode.expect("WStore in a program without a wmma mode");
+            let (rows, cols) = FragmentKind::D.dims(mode.shape);
+            let span = tile_span_bytes(rows, cols, *layout, *pad, mode.d.bits());
+            let off =
+                i64::from((*off / 16) * 16).min(i64::from(WMMA_OUT_WORDS * 4).saturating_sub(i64::from(span)));
+            let addr = if off == 0 {
+                Operand::RegPair(asm.out_pair)
+            } else {
+                b.iadd64(asm.addr_pair, asm.out_pair, Operand::Imm(off));
+                Operand::RegPair(asm.addr_pair)
+            };
+            let stride = tile_stride(rows, cols, *layout, *pad);
+            b.wmma_store(
+                mode.shape,
+                *layout,
+                mode.d,
+                MemSpace::Global,
+                addr,
+                Operand::Imm(i64::from(stride)),
+                asm.frag[FragmentKind::D as usize],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..32 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a.body, b.body, "seed {seed}");
+            assert_eq!(a.arch, b.arch);
+            let ka = assemble(&a);
+            let kb = assemble(&b);
+            assert_eq!(ka.instrs().len(), kb.instrs().len());
+        }
+    }
+
+    #[test]
+    fn every_wmma_mode_is_valid_and_reachable() {
+        assert_eq!(wmma_modes(Arch::Volta).len(), 4);
+        // Turing: 3 shapes × 4 f16 acc combos + 2×3 int8 + 2 int4.
+        assert_eq!(wmma_modes(Arch::Turing).len(), 20);
+        for arch in [Arch::Volta, Arch::Turing] {
+            for mode in wmma_modes(arch) {
+                assert!(
+                    mode.mma_directive(Layout::Row, Layout::Col).is_valid(arch.turing()),
+                    "{mode:?} invalid on {arch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wmma_programs_cover_all_modes_over_seeds() {
+        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma };
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..4000u64 {
+            let p = generate(seed, &cfg);
+            let m = p.wmma.expect("wmma kind");
+            seen.insert((p.arch.turing(), format!("{:?}", m)));
+        }
+        let total = wmma_modes(Arch::Volta).len() + wmma_modes(Arch::Turing).len();
+        assert_eq!(seen.len(), total, "some WMMA mode never generated");
+    }
+
+    #[test]
+    fn assembled_kernels_declare_two_params() {
+        let cfg = GenConfig::default();
+        for seed in 0..64 {
+            let p = generate(seed, &cfg);
+            let k = assemble(&p);
+            assert_eq!(k.params().len(), 2, "seed {seed}");
+            assert_eq!(k.param_bytes(), 16);
+            assert!(!k.instrs().is_empty());
+        }
+    }
+
+    #[test]
+    fn minimal_wmma_program_assembles_small() {
+        // The shrinker's target: a bare load/load/load/mma/store chain with
+        // zero offsets must stay within the 10-instruction minimization
+        // budget (2 param loads + 3 wmma loads + mma + store + exit = 8).
+        let mode = WmmaMode {
+            shape: WmmaShape::M16N16K16,
+            ab: WmmaType::F16,
+            c: WmmaType::F16,
+            d: WmmaType::F16,
+        };
+        let p = GenProgram {
+            name: "min".into(),
+            arch: Arch::Volta,
+            grid_x: 1,
+            block_x: 32,
+            wmma: Some(mode),
+            body: vec![
+                GenOp::WLoad { frag: FragmentKind::A, layout: Layout::Row, off: 0, pad: 0 },
+                GenOp::WLoad { frag: FragmentKind::B, layout: Layout::Row, off: 0, pad: 0 },
+                GenOp::WLoad { frag: FragmentKind::C, layout: Layout::Row, off: 0, pad: 0 },
+                GenOp::WMma { a_layout: Layout::Row, b_layout: Layout::Row, acc_d: false },
+                GenOp::WStore { layout: Layout::Row, off: 0, pad: 0 },
+            ],
+        };
+        let k = assemble(&p);
+        assert!(k.instrs().len() <= 10, "got {} instrs", k.instrs().len());
+    }
+}

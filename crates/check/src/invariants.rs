@@ -1,0 +1,217 @@
+//! Timing invariants checked on every differential run.
+//!
+//! The differential oracle only proves the *architectural* outputs agree;
+//! these checks constrain the *timing* side of the model against the
+//! paper's microarchitecture: the Table III step schedules, the sub-core
+//! issue-width bound, and basic sanity of the stall/occupancy accounting.
+//! They run on the [`LaunchStats`] the device side of every fuzz case
+//! already produces, so a timing regression is caught by the same
+//! campaign that guards the semantics.
+
+use crate::gen::Arch;
+use crate::oracle::{gpu_config, Case};
+use tcsim_core::{mma_step_schedule, FEDP_STAGES, OCTETS_PER_WARP};
+use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
+use tcsim_isa::{Op, WmmaDirective};
+use tcsim_sim::{Gpu, LaunchStats};
+use tcsim_trace::TraceUnit;
+
+/// Expected tensor-pipe event counts for one execution of every
+/// `wmma.mma` in `case`'s kernel by every warp.
+struct TensorExpect {
+    /// `wmma.mma` instructions in the kernel.
+    mmas: u64,
+    /// HMMA set/step trace events per full pass (all warps).
+    hmma_steps: u64,
+    /// FEDP stage trace events per full pass (all warps).
+    fedp_stages: u64,
+    /// Whether the kernel contains a backward branch (a loop): if so the
+    /// per-warp execution count is a lower bound, not an equality.
+    has_loop: bool,
+}
+
+fn tensor_expect(case: &Case) -> TensorExpect {
+    let volta = !case.arch.turing();
+    let warps = u64::from(case.grid_x) * u64::from(case.block_x.div_ceil(32));
+    let mut e = TensorExpect { mmas: 0, hmma_steps: 0, fedp_stages: 0, has_loop: false };
+    for (pc, instr) in case.kernel.instrs().iter().enumerate() {
+        if let Some(target) = instr.target {
+            if target <= pc {
+                e.has_loop = true;
+            }
+        }
+        if let Op::Wmma(dir @ WmmaDirective::Mma { .. }) = &instr.op {
+            let sched = mma_step_schedule(volta, dir).len() as u64;
+            e.mmas += warps;
+            e.hmma_steps += warps * sched * OCTETS_PER_WARP as u64;
+            e.fedp_stages += warps * sched * FEDP_STAGES as u64;
+        }
+    }
+    e
+}
+
+/// Checks every timing invariant that holds for `case`'s launch.
+///
+/// Returns the names of the checks performed (useful for coverage
+/// reporting) or a description of the first violated invariant.
+pub fn check_run(case: &Case, stats: &LaunchStats) -> Result<Vec<&'static str>, String> {
+    let mut checked = Vec::new();
+    let cfg = gpu_config(case.arch);
+
+    if stats.cycles == 0 {
+        return Err("launch completed in zero cycles".into());
+    }
+    if stats.instructions == 0 {
+        return Err("launch issued zero instructions".into());
+    }
+    checked.push("progress");
+
+    // One warp instruction per sub-core scheduler per clock (§II-A).
+    let peak = (cfg.num_sms as u64 * cfg.sm.issue_width()) as f64;
+    if stats.ipc() > peak {
+        return Err(format!("IPC {} exceeds peak issue width {peak}", stats.ipc()));
+    }
+    checked.push("ipc-bound");
+
+    let Some(trace) = &stats.trace else {
+        return Ok(checked);
+    };
+
+    if trace.first_cycle > trace.last_cycle {
+        return Err(format!(
+            "trace cycles inverted: first {} > last {}",
+            trace.first_cycle, trace.last_cycle
+        ));
+    }
+    // Note: `last_cycle` may legitimately exceed `stats.cycles` — HMMA
+    // step events are stamped at issue time for cycles in the pipeline's
+    // future, and the launch counter stops at CTA completion. The events
+    // must still start within the launch.
+    if trace.first_cycle > stats.cycles {
+        return Err(format!(
+            "first trace event at cycle {} after launch end {}",
+            trace.first_cycle, stats.cycles
+        ));
+    }
+    checked.push("trace-cycle-range");
+
+    for (i, (&n, &c)) in trace.stall_counts.iter().zip(&trace.stall_cycles).enumerate() {
+        if n == 0 && c != 0 {
+            return Err(format!("stall reason {i} has {c} cycles but zero occurrences"));
+        }
+        if n > 0 && c < n {
+            return Err(format!("stall reason {i}: {n} occurrences but only {c} cycles"));
+        }
+    }
+    checked.push("stall-accounting");
+
+    // The remaining checks are exact event-count equalities; they only
+    // hold when the ring buffer kept every event.
+    if trace.dropped > 0 {
+        return Ok(checked);
+    }
+
+    if trace.issues != stats.instructions {
+        return Err(format!(
+            "trace saw {} issues but the launch counted {}",
+            trace.issues, stats.instructions
+        ));
+    }
+    let by_unit: u64 = trace.issues_by_unit.iter().sum();
+    if by_unit != trace.issues {
+        return Err(format!("per-unit issues sum to {by_unit}, total is {}", trace.issues));
+    }
+    checked.push("issue-accounting");
+
+    let expect = tensor_expect(case);
+    let tensor_issues = trace.issues_by_unit[TraceUnit::Tensor.index()];
+    let ok = |actual: u64, want: u64| {
+        if expect.has_loop {
+            actual >= want
+        } else {
+            actual == want
+        }
+    };
+    if !ok(tensor_issues, expect.mmas) {
+        return Err(format!(
+            "tensor pipe issued {tensor_issues} mma, schedule expects {}{}",
+            expect.mmas,
+            if expect.has_loop { "+" } else { "" }
+        ));
+    }
+    // Table III / Fig 9: each issued mma expands to its architecture's
+    // set/step schedule across the four octets, each step streaming
+    // through the 4-stage FEDP pipeline.
+    if !ok(trace.hmma_steps, expect.hmma_steps) {
+        return Err(format!(
+            "hmma steps {} != schedule expectation {}",
+            trace.hmma_steps, expect.hmma_steps
+        ));
+    }
+    if !ok(trace.fedp_stages, expect.fedp_stages) {
+        return Err(format!(
+            "fedp stages {} != schedule expectation {}",
+            trace.fedp_stages, expect.fedp_stages
+        ));
+    }
+    if trace.hmma_steps > 0 {
+        if trace.hmma_busy_cycles == 0 {
+            return Err("hmma steps recorded but zero busy cycles".into());
+        }
+        let span = trace.last_cycle - trace.first_cycle + 1;
+        if trace.hmma_busy_cycles > span {
+            return Err(format!(
+                "hmma busy {} cycles exceeds the {span}-cycle event span",
+                trace.hmma_busy_cycles
+            ));
+        }
+    }
+    checked.push("table3-schedule");
+
+    Ok(checked)
+}
+
+/// Runs square mixed-precision GEMMs of each `size` on the mini model
+/// and checks total cycles are monotone nondecreasing in problem size —
+/// more work can never finish sooner on a fixed configuration.
+///
+/// Returns the cycle count per size.
+pub fn gemm_cycle_monotonicity(sizes: &[usize]) -> Result<Vec<u64>, String> {
+    let mut cycles = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut gpu = Gpu::new(gpu_config(Arch::Volta));
+        let run = run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaSimple, false);
+        cycles.push(run.stats.cycles);
+    }
+    for pair in cycles.windows(2) {
+        if pair[1] < pair[0] {
+            return Err(format!("cycles not monotone over sizes {sizes:?}: {cycles:?}"));
+        }
+    }
+    Ok(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig, KindSel};
+    use crate::oracle::run_gpu;
+
+    #[test]
+    fn invariants_hold_on_a_wmma_case() {
+        let cfg = GenConfig { kind: KindSel::Wmma, ..Default::default() };
+        let p = generate(3, &cfg);
+        let case = Case::from_program(&p, 99);
+        let (stats, _) = run_gpu(&case);
+        let checked = check_run(&case, &stats).expect("invariants");
+        assert!(checked.contains(&"ipc-bound"));
+        assert!(checked.contains(&"table3-schedule"));
+    }
+
+    #[test]
+    fn gemm_cycles_grow_with_size() {
+        let cycles = gemm_cycle_monotonicity(&[16, 32, 64]).expect("monotone");
+        assert_eq!(cycles.len(), 3);
+        assert!(cycles[0] > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! tcsim-check: differential fuzzing and conformance subsystem.
+//!
+//! Random oracle-safe kernel generation ([`gen`]), a device-vs-reference
+//! differential oracle ([`oracle`]), timing invariants ([`invariants`]),
+//! metamorphic GEMM properties ([`metamorphic`]), a failure minimizer
+//! ([`shrink`]) and an on-disk corpus format ([`corpus`]), driven by the
+//! `tcsim-fuzz` binary and the workspace test suite.
+
+pub mod corpus;
+pub mod gen;
+pub mod invariants;
+pub mod metamorphic;
+pub mod oracle;
+pub mod shrink;
+pub mod rng;

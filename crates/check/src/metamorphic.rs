@@ -1,0 +1,214 @@
+//! Metamorphic GEMM properties on the full simulated GPU.
+//!
+//! Instead of comparing against a host model, each property relates two
+//! tensor-core launches (or a launch and its own inputs) whose outputs
+//! must agree **bitwise** by algebra alone:
+//!
+//! * **transpose duality** — `A·B = (Bᵀ·Aᵀ)ᵀ`: every output element is
+//!   the same dot product with the same reduction order, so even the
+//!   FEDP rounding sequence is identical;
+//! * **row-permutation equivariance** — `P·(A·B) = (P·A)·B` for a row
+//!   permutation `P`;
+//! * **zero absorber** — `0·B + C = C` (FEDP adds exact zeros);
+//! * **identity** — `I·B + 0 = B` (each dot product has exactly one
+//!   exact product term).
+//!
+//! All four run the m16n16k16 all-FP16 mode, the one shape/type mode
+//! shared by Volta and Turing.
+
+use crate::gen::Arch;
+use crate::oracle::gpu_config;
+use crate::rng::XorShift64Star;
+use tcsim_f16::F16;
+use tcsim_isa::{
+    FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand, WmmaShape, WmmaType,
+};
+use tcsim_sim::{Gpu, LaunchBuilder};
+
+/// Tile edge of the m16n16k16 mode.
+pub const N: usize = 16;
+const TILE_BYTES: u64 = (N * N * 2) as u64;
+
+/// Builds the one-warp kernel `D = A×B + C` over 16×16 f16 tiles at
+/// `in+0` (A), `in+512` (B), `in+1024` (C), storing D row-major to `out`.
+fn gemm_kernel(a_layout: Layout, b_layout: Layout) -> Kernel {
+    let shape = WmmaShape::M16N16K16;
+    let f16 = WmmaType::F16;
+    let mut b = KernelBuilder::new("meta_gemm");
+    let param_in = b.param("in", 8);
+    let param_out = b.param("out", 8);
+    let in_pair = b.reg_pair();
+    let out_pair = b.reg_pair();
+    let b_pair = b.reg_pair();
+    let c_pair = b.reg_pair();
+    b.ld_param(MemWidth::B64, in_pair, param_in);
+    b.ld_param(MemWidth::B64, out_pair, param_out);
+    b.iadd64(b_pair, in_pair, Operand::Imm(TILE_BYTES as i64));
+    b.iadd64(c_pair, in_pair, Operand::Imm(2 * TILE_BYTES as i64));
+    // Fragment register blocks (Volta sizing is the larger of the two).
+    let fa = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::A, shape, f16, true));
+    let fb = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::B, shape, f16, true));
+    let fc = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::C, shape, f16, true));
+    let fd = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::D, shape, f16, true));
+    let stride = Operand::Imm(N as i64);
+    b.wmma_load(FragmentKind::A, shape, a_layout, f16, MemSpace::Global, fa, Operand::RegPair(in_pair), stride);
+    b.wmma_load(FragmentKind::B, shape, b_layout, f16, MemSpace::Global, fb, Operand::RegPair(b_pair), stride);
+    b.wmma_load(FragmentKind::C, shape, Layout::Row, f16, MemSpace::Global, fc, Operand::RegPair(c_pair), stride);
+    b.wmma_mma(shape, a_layout, b_layout, f16, f16, f16, fd, fa, fb, fc);
+    b.wmma_store(shape, Layout::Row, f16, MemSpace::Global, Operand::RegPair(out_pair), stride, fd);
+    b.exit();
+    b.build()
+}
+
+/// Runs `D = A×B + C` (row-major 16×16 f16 matrices) on a fresh mini GPU
+/// of `arch` with the given layout qualifiers, returning D row-major.
+pub fn run_gemm_tile(
+    arch: Arch,
+    a_layout: Layout,
+    b_layout: Layout,
+    a: &[F16],
+    b: &[F16],
+    c: &[F16],
+) -> Vec<F16> {
+    assert!(a.len() == N * N && b.len() == N * N && c.len() == N * N);
+    let mut gpu = Gpu::new(gpu_config(arch));
+    let in_addr = gpu.alloc(3 * TILE_BYTES);
+    let out_addr = gpu.alloc(TILE_BYTES);
+    // The kernel loads A/B with layout qualifiers: store each operand in
+    // the element order its qualifier expects (row: row-major; col:
+    // col-major), so all four layout combinations see the same matrices.
+    let mut bytes = Vec::with_capacity(3 * TILE_BYTES as usize);
+    let push = |bytes: &mut Vec<u8>, m: &[F16], layout: Layout| {
+        for maj in 0..N {
+            for min in 0..N {
+                let (r, cidx) = match layout {
+                    Layout::Row => (maj, min),
+                    Layout::Col => (min, maj),
+                };
+                bytes.extend_from_slice(&m[r * N + cidx].to_bits().to_le_bytes());
+            }
+        }
+    };
+    push(&mut bytes, a, a_layout);
+    push(&mut bytes, b, b_layout);
+    push(&mut bytes, c, Layout::Row);
+    gpu.memcpy_h2d(in_addr, &bytes);
+    LaunchBuilder::new(gemm_kernel(a_layout, b_layout))
+        .grid(1)
+        .block(32)
+        .param_u64(in_addr)
+        .param_u64(out_addr)
+        .launch(&mut gpu);
+    let out = gpu.memcpy_d2h(out_addr, TILE_BYTES as usize);
+    out.chunks(2)
+        .map(|p| F16::from_bits(u16::from_le_bytes([p[0], p[1]])))
+        .collect()
+}
+
+/// Deterministic random f16 matrix with entries in `[-2, 2)` (no `-0.0`).
+pub fn random_tile(seed: u64) -> Vec<F16> {
+    let mut rng = XorShift64Star::new(seed);
+    (0..N * N)
+        .map(|_| {
+            let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+            F16::from_f32(if v == 0.0 { 0.0 } else { v })
+        })
+        .collect()
+}
+
+fn transpose(m: &[F16]) -> Vec<F16> {
+    let mut t = vec![F16::from_f32(0.0); N * N];
+    for r in 0..N {
+        for c in 0..N {
+            t[c * N + r] = m[r * N + c];
+        }
+    }
+    t
+}
+
+fn bits(m: &[F16]) -> Vec<u16> {
+    m.iter().map(|x| x.to_bits()).collect()
+}
+
+/// `A·B + C = ((Bᵀ)·(Aᵀ) + Cᵀ)ᵀ`, bitwise, for every layout pair.
+pub fn check_transpose_duality(arch: Arch, seed: u64) -> Result<(), String> {
+    let a = random_tile(seed);
+    let b = random_tile(seed ^ 0xB);
+    let c = random_tile(seed ^ 0xC);
+    for (la, lb) in [
+        (Layout::Row, Layout::Row),
+        (Layout::Row, Layout::Col),
+        (Layout::Col, Layout::Row),
+        (Layout::Col, Layout::Col),
+    ] {
+        let d = run_gemm_tile(arch, la, lb, &a, &b, &c);
+        // Dual: swap and transpose the operands; the layouts of the dual's
+        // A/B are the transposed layouts of B/A.
+        let dual =
+            run_gemm_tile(arch, lb.transposed(), la.transposed(), &transpose(&b), &transpose(&a), &transpose(&c));
+        if bits(&d) != bits(&transpose(&dual)) {
+            return Err(format!("transpose duality violated for layouts {la:?}/{lb:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// `(P·A)·B + P·C = P·(A·B + C)` for a seeded row permutation `P`.
+pub fn check_permutation_equivariance(arch: Arch, seed: u64) -> Result<(), String> {
+    let a = random_tile(seed);
+    let b = random_tile(seed ^ 0xB);
+    let c = random_tile(seed ^ 0xC);
+    // Seeded Fisher-Yates permutation of the 16 rows.
+    let mut rng = XorShift64Star::new(seed ^ 0x9E);
+    let mut perm: Vec<usize> = (0..N).collect();
+    for i in (1..N).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let permute_rows = |m: &[F16]| -> Vec<F16> {
+        let mut out = vec![F16::from_f32(0.0); N * N];
+        for (dst, &src) in perm.iter().enumerate() {
+            out[dst * N..dst * N + N].copy_from_slice(&m[src * N..src * N + N]);
+        }
+        out
+    };
+    let base = run_gemm_tile(arch, Layout::Row, Layout::Row, &a, &b, &c);
+    let permuted = run_gemm_tile(arch, Layout::Row, Layout::Row, &permute_rows(&a), &b, &permute_rows(&c));
+    if bits(&permuted) != bits(&permute_rows(&base)) {
+        return Err("row-permutation equivariance violated".into());
+    }
+    Ok(())
+}
+
+/// `0·B + C = C` and `I·B + 0 = B`, bitwise.
+pub fn check_absorbers(arch: Arch, seed: u64) -> Result<(), String> {
+    let b = random_tile(seed ^ 0xB);
+    let c = random_tile(seed ^ 0xC);
+    let zero = vec![F16::from_f32(0.0); N * N];
+    let ident: Vec<F16> = (0..N * N)
+        .map(|i| F16::from_f32(if i / N == i % N { 1.0 } else { 0.0 }))
+        .collect();
+    let d = run_gemm_tile(arch, Layout::Row, Layout::Row, &zero, &b, &c);
+    if bits(&d) != bits(&c) {
+        return Err("zero absorber violated: 0·B + C != C".into());
+    }
+    let d = run_gemm_tile(arch, Layout::Row, Layout::Row, &ident, &b, &zero);
+    if bits(&d) != bits(&b) {
+        return Err("identity violated: I·B + 0 != B".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_properties_hold_on_both_archs() {
+        for arch in [Arch::Volta, Arch::Turing] {
+            check_transpose_duality(arch, 1).unwrap();
+            check_permutation_equivariance(arch, 2).unwrap();
+            check_absorbers(arch, 3).unwrap();
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Failure minimizer: shrink a failing [`GenProgram`] to a (locally)
+//! minimal one that still fails the same way.
+//!
+//! The shrinker works on the generator's op list, not on raw
+//! instructions, so every candidate re-assembles through the same
+//! oracle-safe grammar — a shrunk kernel can never introduce a *new*
+//! kind of failure (wild store, unbounded loop) that the original didn't
+//! have. Only a reproduced **output mismatch** counts as "still
+//! failing"; a candidate that trips a different failure (reference
+//! budget, deadlock) is rejected, which keeps the minimizer anchored to
+//! the original bug.
+//!
+//! Passes, applied to fixpoint under an evaluation budget:
+//! 1. delta-debugging chunk removal over the top-level op list (chunk
+//!    sizes halving from n/2 down to 1);
+//! 2. structure flattening — replace an `If`/`Loop` with its body, or
+//!    reduce a loop to a single trip;
+//! 3. field simplification — drop guards, zero WMMA offsets/paddings,
+//!    turn `acc_d` accumulation back into plain `C` accumulation, and
+//!    shrink the launch to one 32-thread CTA.
+
+use crate::gen::{GenOp, GenProgram};
+use crate::oracle::{diff_run, Case, CheckFail, Mutation};
+
+/// Default cap on candidate evaluations (each is a full differential
+/// run on the mini GPU).
+pub const DEFAULT_SHRINK_EVALS: u32 = 400;
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized program (still failing).
+    pub program: GenProgram,
+    /// Candidate evaluations spent.
+    pub evals: u32,
+    /// Top-level + nested ops in the result.
+    pub ops: usize,
+}
+
+struct Shrinker<F> {
+    still_fails: F,
+    evals: u32,
+    max_evals: u32,
+}
+
+impl<F: FnMut(&GenProgram) -> bool> Shrinker<F> {
+    fn budget_left(&self) -> bool {
+        self.evals < self.max_evals
+    }
+
+    /// Tests a candidate; on reproduction installs it as the new best.
+    fn attempt(&mut self, best: &mut GenProgram, cand: GenProgram) -> bool {
+        if !self.budget_left() {
+            return false;
+        }
+        self.evals += 1;
+        if (self.still_fails)(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delta-debugging removal of top-level chunks.
+    fn chunk_pass(&mut self, best: &mut GenProgram) -> bool {
+        let mut progress = false;
+        let mut chunk = (best.body.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < best.body.len() && self.budget_left() {
+                let mut cand = best.clone();
+                let end = (i + chunk).min(cand.body.len());
+                cand.body.drain(i..end);
+                if cand.body.is_empty() || !self.attempt(best, cand) {
+                    i += chunk;
+                } else {
+                    progress = true;
+                    // best shrank in place; retry the same index.
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        progress
+    }
+
+    /// Replace structured ops by their bodies / single trips.
+    fn flatten_pass(&mut self, best: &mut GenProgram) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < best.body.len() && self.budget_left() {
+            let (inner, trips) = match &best.body[i] {
+                GenOp::If { body, .. } => (Some(body.clone()), 0),
+                GenOp::Loop { trips, body } => (Some(body.clone()), *trips),
+                _ => (None, 0),
+            };
+            if let Some(inner) = inner {
+                // First try full flattening (the body spliced in place)…
+                let mut cand = best.clone();
+                cand.body.splice(i..=i, inner);
+                if self.attempt(best, cand) {
+                    progress = true;
+                    continue; // re-examine the spliced-in ops
+                }
+                // …then, for a multi-trip loop, a single trip (keeps the
+                // backward branch).
+                if trips > 1 {
+                    let mut cand = best.clone();
+                    if let GenOp::Loop { trips, .. } = &mut cand.body[i] {
+                        *trips = 1;
+                    }
+                    if self.attempt(best, cand) {
+                        progress = true;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        progress
+    }
+
+    /// Per-op field simplifications plus launch-shape reduction.
+    fn simplify_pass(&mut self, best: &mut GenProgram) -> bool {
+        let mut progress = false;
+        if best.grid_x > 1 && self.budget_left() {
+            let mut cand = best.clone();
+            cand.grid_x = 1;
+            progress |= self.attempt(best, cand);
+        }
+        if best.block_x > 32 && self.budget_left() {
+            let mut cand = best.clone();
+            cand.block_x = 32;
+            progress |= self.attempt(best, cand);
+        }
+        let mut i = 0;
+        while i < best.body.len() && self.budget_left() {
+            for edit in 0..3 {
+                let mut cand = best.clone();
+                if simplify_op(&mut cand.body[i], edit) && self.attempt(best, cand) {
+                    progress = true;
+                }
+            }
+            i += 1;
+        }
+        progress
+    }
+
+    fn run(&mut self, start: &GenProgram) -> GenProgram {
+        let mut best = start.clone();
+        loop {
+            let mut progress = false;
+            progress |= self.chunk_pass(&mut best);
+            progress |= self.flatten_pass(&mut best);
+            progress |= self.simplify_pass(&mut best);
+            if !progress || !self.budget_left() {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Applies simplification `edit` (0: clear guard, 1: zero offsets/pads,
+/// 2: de-accumulate) to `op`; returns whether anything changed.
+fn simplify_op(op: &mut GenOp, edit: u8) -> bool {
+    match edit {
+        0 => {
+            let guard = match op {
+                GenOp::Alu { guard, .. }
+                | GenOp::IMad { guard, .. }
+                | GenOp::FAlu { guard, .. }
+                | GenOp::FFma { guard, .. }
+                | GenOp::Mufu { guard, .. }
+                | GenOp::HAlu { guard, .. }
+                | GenOp::HFma2 { guard, .. }
+                | GenOp::CvtToF16 { guard, .. }
+                | GenOp::CvtToF32 { guard, .. }
+                | GenOp::Selp { guard, .. }
+                | GenOp::LdIn { guard, .. }
+                | GenOp::LdShared { guard, .. }
+                | GenOp::StShared { guard, .. }
+                | GenOp::StOut { guard, .. }
+                | GenOp::AtomOut { guard, .. } => guard,
+                _ => return false,
+            };
+            guard.take().is_some()
+        }
+        1 => match op {
+            GenOp::WLoad { off, pad, .. } | GenOp::WStore { off, pad, .. } => {
+                let changed = *off != 0 || *pad != 0;
+                *off = 0;
+                *pad = 0;
+                changed
+            }
+            _ => false,
+        },
+        _ => match op {
+            GenOp::WMma { acc_d, .. } if *acc_d => {
+                *acc_d = false;
+                true
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Minimizes `start` under an arbitrary reproduction predicate.
+pub fn shrink<F>(start: &GenProgram, still_fails: F, max_evals: u32) -> ShrinkResult
+where
+    F: FnMut(&GenProgram) -> bool,
+{
+    let mut s = Shrinker { still_fails, evals: 0, max_evals };
+    let program = s.run(start);
+    let ops = program.op_count();
+    ShrinkResult { program, evals: s.evals, ops }
+}
+
+/// Minimizes a program whose differential run (with `mutation` planted
+/// on the reference side) produced an output mismatch.
+pub fn shrink_mismatch(
+    start: &GenProgram,
+    data_seed: u64,
+    mutation: Mutation,
+    max_evals: u32,
+) -> ShrinkResult {
+    shrink(
+        start,
+        |cand| {
+            let case = Case::from_program(cand, data_seed);
+            matches!(diff_run(&case, mutation), Err(CheckFail::Mismatch(_)))
+        },
+        max_evals,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig, KindSel};
+
+    #[test]
+    fn shrink_respects_the_eval_budget() {
+        let p = generate(5, &GenConfig::default());
+        // A predicate that always reproduces: shrink to the smallest
+        // non-empty body the passes can reach.
+        let r = shrink(&p, |_| true, 37);
+        assert!(r.evals <= 37);
+        assert!(!r.program.body.is_empty());
+    }
+
+    #[test]
+    fn shrink_on_an_always_failing_simt_program_is_tiny() {
+        let cfg = GenConfig { kind: KindSel::Simt, ..Default::default() };
+        let p = generate(11, &cfg);
+        let r = shrink(&p, |_| true, 2_000);
+        // Chunk removal alone must get the body down to one op.
+        assert_eq!(r.program.body.len(), 1, "body: {:?}", r.program.body);
+        assert_eq!(r.program.grid_x, 1);
+        assert_eq!(r.program.block_x, 32);
+    }
+}

@@ -1,0 +1,88 @@
+//! Conformance battery for the fuzzing subsystem itself: the PTX
+//! emit→parse→emit round trip must be a fixed point over everything the
+//! generator can produce, a clean differential sweep must stay clean,
+//! and a deliberately planted numeric bug must be both caught by the
+//! oracle and minimized to a tiny kernel by the shrinker.
+
+use tcsim_check::gen::{generate, GenConfig, KindSel};
+use tcsim_check::invariants;
+use tcsim_check::oracle::{diff_run, Case, CheckFail, Mutation};
+use tcsim_check::shrink::shrink_mismatch;
+use tcsim_isa::{emit::emit_kernel, ptx::parse_kernel};
+
+/// Emitted text must parse back to a kernel that emits the identical
+/// text — for every instruction the generator can produce. One round
+/// trip reaching a fixed point proves print and parse are inverse on
+/// the whole generator-reachable subset of the dialect.
+#[test]
+fn ptx_roundtrip_is_a_fixed_point_over_generated_kernels() {
+    for seed in 0..150u64 {
+        let program = generate(seed, &GenConfig::default());
+        let kernel = Case::from_program(&program, 0).kernel;
+        let text = emit_kernel(&kernel);
+        let reparsed = parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: emitted text failed to parse: {e}\n{text}"));
+        assert_eq!(
+            reparsed.instrs().len(),
+            kernel.instrs().len(),
+            "seed {seed}: instruction count changed across the round trip"
+        );
+        let text2 = emit_kernel(&reparsed);
+        assert_eq!(text, text2, "seed {seed}: emit∘parse is not a fixed point");
+    }
+}
+
+/// A short clean differential sweep: GPU and reference agree and every
+/// timing invariant holds, across SIMT-only and WMMA kernels.
+#[test]
+fn differential_sweep_is_clean() {
+    for seed in 100..140u64 {
+        let program = generate(seed, &GenConfig::default());
+        let case = Case::from_program(&program, seed ^ 0xDA7A_5EED);
+        let report = diff_run(&case, Mutation::None)
+            .unwrap_or_else(|e| panic!("seed {seed}: differential mismatch: {e}"));
+        invariants::check_run(&case, &report.stats)
+            .unwrap_or_else(|e| panic!("seed {seed}: invariant violated: {e}"));
+    }
+}
+
+/// Acceptance gate from the issue: flip the FEDP accumulation rounding
+/// (round-to-nearest → round-toward-zero) on the reference side, and the
+/// oracle must catch it on an all-FP16 WMMA kernel; the shrinker must
+/// then reduce the failing kernel to at most 10 instructions.
+#[test]
+fn planted_fedp_rounding_mutation_is_caught_and_minimized() {
+    let cfg = GenConfig { kind: KindSel::WmmaF16Acc, ..Default::default() };
+    let data_seed = 0xF00D;
+    let mut caught = None;
+    for seed in 0..8u64 {
+        let program = generate(seed, &cfg);
+        let case = Case::from_program(&program, data_seed);
+        match diff_run(&case, Mutation::FedpChopF16) {
+            Err(CheckFail::Mismatch(_)) => {
+                caught = Some(program);
+                break;
+            }
+            Err(other) => panic!("seed {seed}: unexpected failure kind: {other}"),
+            Ok(_) => {}
+        }
+    }
+    let program = caught.expect("the planted mutation must be caught within a few seeds");
+
+    let shrunk = shrink_mismatch(&program, data_seed, Mutation::FedpChopF16, 400);
+    let min_case = Case::from_program(&shrunk.program, data_seed);
+    // The minimized kernel must still reproduce the mismatch…
+    assert!(
+        matches!(diff_run(&min_case, Mutation::FedpChopF16), Err(CheckFail::Mismatch(_))),
+        "shrunk kernel no longer reproduces the mismatch"
+    );
+    // …and be genuinely tiny: at most 10 assembled instructions.
+    let insts = min_case.kernel.instrs().len();
+    assert!(
+        insts <= 10,
+        "shrinker left {insts} instructions (> 10):\n{}",
+        emit_kernel(&min_case.kernel)
+    );
+    // Sanity: the same minimized kernel passes without the mutation.
+    diff_run(&min_case, Mutation::None).expect("minimized kernel is clean without the mutation");
+}

@@ -15,35 +15,9 @@ use tcsim_isa::{
     WmmaType,
 };
 
-/// Deterministic xorshift64* PRNG (kept local so the crate has no
-/// external dev-dependencies).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-    fn next_u16(&mut self) -> u16 {
-        (self.next_u64() >> 48) as u16
-    }
-    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
-        lo + (((self.next_u64() >> 32).wrapping_mul((hi - lo + 1) as u64)) >> 32) as i32
-    }
-    fn next_bool(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
+// Deterministic inputs from the workspace's canonical PRNG (same
+// xorshift64* recurrence the local copy used, so sequences are unchanged).
+use tcsim_check::rng::XorShift64Star as Rng;
 
 /// A tile of small f16 values in [-16, 16] (exact in f16).
 fn f16_tile(rng: &mut Rng, frag: FragmentKind, shape: WmmaShape) -> Tile {

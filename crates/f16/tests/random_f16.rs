@@ -3,30 +3,9 @@
 
 use tcsim_f16::{F16, F16x2};
 
-/// Deterministic xorshift64* PRNG (same recurrence as
-/// `tcsim_bench::XorShift64Star`; duplicated here so the leaf crate stays
-/// dependency-free).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn next_u16(&mut self) -> u16 {
-        (self.next_u64() >> 48) as u16
-    }
-    fn next_f32(&mut self) -> f32 {
-        f32::from_bits((self.next_u64() >> 32) as u32)
-    }
-}
+// Deterministic inputs from the workspace's canonical PRNG (same
+// xorshift64* recurrence the local copy used, so sequences are unchanged).
+use tcsim_check::rng::XorShift64Star as Rng;
 
 /// Arbitrary f16 bit pattern (including NaN/inf/subnormal).
 fn any_f16(rng: &mut Rng) -> F16 {
@@ -65,7 +44,7 @@ fn from_f32_matches_f64_path() {
     // is exact.
     let mut rng = Rng::new(0xF16B);
     for _ in 0..CASES {
-        let x = rng.next_f32();
+        let x = rng.next_f32_bits();
         let a = F16::from_f32(x);
         let b = F16::from_f64(x as f64);
         if a.is_nan() {

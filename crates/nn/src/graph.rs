@@ -3,6 +3,54 @@
 
 use crate::layer::{Bias, Conv2d, Layer, Linear, MaxPool};
 use crate::tensor::Tensor;
+use std::fmt;
+
+/// A graph-construction failure.
+///
+/// The `try_*` builder methods return these instead of panicking; the
+/// panicking methods format [`GraphError::ShapeMismatch`] into the same
+/// `rejects input` message they always produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A layer's input shape does not match the running output shape.
+    ShapeMismatch {
+        /// Graph name.
+        graph: String,
+        /// Auto-assigned layer name (`<kind><index>`).
+        layer: String,
+        /// The input shape the layer was offered.
+        input: Vec<usize>,
+        /// The layer's own explanation of the rejection.
+        reason: String,
+    },
+    /// A weight tensor has the wrong shape for its layer.
+    WeightShape {
+        /// Graph name.
+        graph: String,
+        /// Layer kind (`"conv2d"` or `"linear"`).
+        kind: &'static str,
+        /// The shape the layer requires.
+        expected: Vec<usize>,
+        /// The shape that was supplied.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { graph, layer, input, reason } => {
+                write!(f, "{graph}: layer {layer} rejects input {input:?}: {reason}")
+            }
+            GraphError::WeightShape { graph, kind, expected, got } => write!(
+                f,
+                "{graph}: {kind} weight shape must be {expected:?}, got {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// A validated sequential network: every layer's input shape matches its
 /// predecessor's output.
@@ -71,15 +119,24 @@ impl GraphBuilder {
     ///
     /// Panics if the layer's input shape does not match the current
     /// output shape (the error names the layer and both shapes).
-    pub fn push(mut self, layer: Layer) -> GraphBuilder {
+    pub fn push(self, layer: Layer) -> GraphBuilder {
+        self.try_push(layer).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`GraphBuilder::push`]: a shape mismatch comes back as
+    /// [`GraphError::ShapeMismatch`] instead of a panic.
+    pub fn try_push(mut self, layer: Layer) -> Result<GraphBuilder, GraphError> {
         let cur = self.shapes.last().unwrap_or(&self.input_shape);
         let name = format!("{}{}", layer.kind(), self.layers.len());
-        let out = layer
-            .output_shape(cur)
-            .unwrap_or_else(|e| panic!("{}: layer {name} rejects input {cur:?}: {e}", self.name));
+        let out = layer.output_shape(cur).map_err(|e| GraphError::ShapeMismatch {
+            graph: self.name.clone(),
+            layer: name.clone(),
+            input: cur.clone(),
+            reason: e,
+        })?;
         self.shapes.push(out);
         self.layers.push((name, layer));
-        self
+        Ok(self)
     }
 
     /// Appends a stride-1 valid convolution with the given square kernel.
@@ -88,10 +145,51 @@ impl GraphBuilder {
         self.push(Layer::Conv2d(Conv2d { in_c, out_c, kh: k, kw: k, weight }))
     }
 
+    /// Fallible [`GraphBuilder::conv2d`]: a wrong weight shape comes back
+    /// as [`GraphError::WeightShape`] and a mismatched activation as
+    /// [`GraphError::ShapeMismatch`].
+    pub fn try_conv2d(
+        self,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        weight: Tensor,
+    ) -> Result<GraphBuilder, GraphError> {
+        let expected = vec![out_c, in_c * k * k];
+        if weight.shape() != expected.as_slice() {
+            return Err(GraphError::WeightShape {
+                graph: self.name.clone(),
+                kind: "conv2d",
+                expected,
+                got: weight.shape().to_vec(),
+            });
+        }
+        self.try_push(Layer::Conv2d(Conv2d { in_c, out_c, kh: k, kw: k, weight }))
+    }
+
     /// Appends a fully connected layer.
     pub fn linear(self, in_f: usize, out_f: usize, weight: Tensor) -> GraphBuilder {
         assert_eq!(weight.shape(), &[in_f, out_f], "linear weight shape");
         self.push(Layer::Linear(Linear { in_f, out_f, weight }))
+    }
+
+    /// Fallible [`GraphBuilder::linear`].
+    pub fn try_linear(
+        self,
+        in_f: usize,
+        out_f: usize,
+        weight: Tensor,
+    ) -> Result<GraphBuilder, GraphError> {
+        let expected = vec![in_f, out_f];
+        if weight.shape() != expected.as_slice() {
+            return Err(GraphError::WeightShape {
+                graph: self.name.clone(),
+                kind: "linear",
+                expected,
+                got: weight.shape().to_vec(),
+            });
+        }
+        self.try_push(Layer::Linear(Linear { in_f, out_f, weight }))
     }
 
     /// Appends a bias layer.
@@ -134,6 +232,64 @@ mod tests {
     fn bad_shapes_fail_at_build_time() {
         let _ = GraphBuilder::new("bad", vec![1, 8, 8])
             .linear(64, 10, Tensor::zeros(vec![64, 10]));
+    }
+
+    #[test]
+    fn try_push_reports_shape_mismatch() {
+        let err = GraphBuilder::new("bad", vec![1, 8, 8])
+            .try_linear(64, 10, Tensor::zeros(vec![64, 10]))
+            .unwrap_err();
+        match &err {
+            GraphError::ShapeMismatch { graph, layer, input, .. } => {
+                assert_eq!(graph, "bad");
+                assert_eq!(layer, "linear0");
+                assert_eq!(input, &[1, 8, 8]);
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        // The typed error renders the legacy panic wording.
+        assert!(err.to_string().contains("rejects input"), "got: {err}");
+    }
+
+    #[test]
+    fn try_layers_report_weight_shape_errors() {
+        let err = GraphBuilder::new("w", vec![1, 8, 8])
+            .try_conv2d(1, 4, 3, Tensor::zeros(vec![4, 8]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::WeightShape {
+                graph: "w".into(),
+                kind: "conv2d",
+                expected: vec![4, 9],
+                got: vec![4, 8],
+            }
+        );
+        let err = GraphBuilder::new("w", vec![64])
+            .try_linear(64, 10, Tensor::zeros(vec![10, 64]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::WeightShape {
+                graph: "w".into(),
+                kind: "linear",
+                expected: vec![64, 10],
+                got: vec![10, 64],
+            }
+        );
+    }
+
+    #[test]
+    fn try_builders_accept_valid_layers() {
+        let g = GraphBuilder::new("ok", vec![1, 8, 8])
+            .try_conv2d(1, 4, 3, Tensor::zeros(vec![4, 9]))
+            .unwrap()
+            .relu()
+            .flatten()
+            .try_linear(4 * 6 * 6, 10, Tensor::zeros(vec![144, 10]))
+            .unwrap()
+            .build();
+        assert_eq!(g.final_shape(), &[1, 10]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod reference;
 pub mod tensor;
 
 pub use executor::{run_chained, run_parallel, InferenceReport, LayerReport};
-pub use graph::{Graph, GraphBuilder};
+pub use graph::{Graph, GraphBuilder, GraphError};
 pub use layer::{Bias, Conv2d, Layer, Linear, MaxPool};
 pub use lower::{gemm_tolerance, lower, pad16, GemmOp, GemmSource, LoweredLayer, LoweredOp, Tile};
 pub use tcsim_cutlass::Epilogue;

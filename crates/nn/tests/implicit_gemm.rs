@@ -9,34 +9,24 @@ use tcsim_f16::F16;
 use tcsim_nn::{gemm_tolerance, lower, run_chained, GraphBuilder, LoweredOp, Tensor};
 use tcsim_sim::GpuConfig;
 
-/// Deterministic xorshift64* PRNG (duplicated from `tcsim-bench` so the
-/// crate stays free of the dev-dependency).
-struct Rng(u64);
+// Deterministic inputs from the workspace's canonical PRNG (same
+// xorshift64* recurrence the local copy used, so sequences are unchanged).
+use tcsim_check::rng::XorShift64Star as Rng;
 
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 1 } else { seed })
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn below(&mut self, bound: u64) -> usize {
-        (((self.next_u64() >> 32).wrapping_mul(bound)) >> 32) as usize
-    }
-    /// f16-exact value: a multiple of 1/8 in [-2, 2).
-    fn operand(&mut self) -> f32 {
-        (self.below(32) as f32 - 16.0) / 8.0
-    }
-    /// Tensor of f16-exact random operands.
-    fn tensor(&mut self, shape: Vec<usize>) -> Tensor {
-        let n = shape.iter().product();
-        Tensor::new(shape, (0..n).map(|_| self.operand()).collect())
-    }
+/// Uniform size in `[0, bound)`.
+fn below(rng: &mut Rng, bound: u64) -> usize {
+    rng.below(bound) as usize
+}
+
+/// f16-exact value: a multiple of 1/8 in [-2, 2).
+fn operand(rng: &mut Rng) -> f32 {
+    (below(rng, 32) as f32 - 16.0) / 8.0
+}
+
+/// Tensor of f16-exact random operands.
+fn tensor(rng: &mut Rng, shape: Vec<usize>) -> Tensor {
+    let n = shape.iter().product();
+    Tensor::new(shape, (0..n).map(|_| operand(rng)).collect())
 }
 
 /// Direct stride-1 valid convolution with the device's numeric boundary:
@@ -77,14 +67,14 @@ fn im2col_wmma_gemm_matches_direct_convolution() {
     for case in 0..10 {
         // Random shape; most draws make oh·ow and in_c·k² non-multiples
         // of 16, so A and B both need zero padding.
-        let in_c = 1 + rng.below(4);
-        let out_c = 1 + rng.below(12);
-        let k = 1 + rng.below(3);
-        let h = k + 2 + rng.below(9);
-        let w = k + 2 + rng.below(9);
+        let in_c = 1 + below(&mut rng, 4);
+        let out_c = 1 + below(&mut rng, 12);
+        let k = 1 + below(&mut rng, 3);
+        let h = k + 2 + below(&mut rng, 9);
+        let w = k + 2 + below(&mut rng, 9);
 
-        let weight = rng.tensor(vec![out_c, in_c * k * k]);
-        let input = rng.tensor(vec![in_c, h, w]);
+        let weight = tensor(&mut rng, vec![out_c, in_c * k * k]);
+        let input = tensor(&mut rng, vec![in_c, h, w]);
         let graph = GraphBuilder::new(format!("conv_case{case}"), vec![in_c, h, w])
             .conv2d(in_c, out_c, k, weight.clone())
             .build();
@@ -123,14 +113,14 @@ fn fused_epilogue_conv_matches_direct_plus_bias_relu() {
     // max(direct_conv + bias, 0) within the GEMM tolerance.
     let mut rng = Rng::new(0xE91106);
     for case in 0..4 {
-        let in_c = 1 + rng.below(3);
-        let out_c = 2 + rng.below(6);
-        let k = 2 + rng.below(2);
-        let h = k + 3 + rng.below(6);
-        let w = k + 3 + rng.below(6);
-        let weight = rng.tensor(vec![out_c, in_c * k * k]);
-        let bias = rng.tensor(vec![out_c]);
-        let input = rng.tensor(vec![in_c, h, w]);
+        let in_c = 1 + below(&mut rng, 3);
+        let out_c = 2 + below(&mut rng, 6);
+        let k = 2 + below(&mut rng, 2);
+        let h = k + 3 + below(&mut rng, 6);
+        let w = k + 3 + below(&mut rng, 6);
+        let weight = tensor(&mut rng, vec![out_c, in_c * k * k]);
+        let bias = tensor(&mut rng, vec![out_c]);
+        let input = tensor(&mut rng, vec![in_c, h, w]);
 
         let graph = GraphBuilder::new(format!("fused_case{case}"), vec![in_c, h, w])
             .conv2d(in_c, out_c, k, weight.clone())

@@ -9,8 +9,163 @@
 
 use crate::gpu::Gpu;
 use crate::stats::LaunchStats;
-use tcsim_isa::{Dim3, Kernel, LaunchConfig};
+use std::fmt;
+use tcsim_isa::{Dim3, Kernel, LaunchConfig, MemSpace, MemWidth, Op, Operand, WmmaDirective};
 use tcsim_trace::Tracer;
+
+/// A launch-validation failure.
+///
+/// The `try_*` builder methods return these instead of panicking; the
+/// legacy panicking methods format the same variants into their original
+/// panic messages, so both APIs diagnose identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Typed `param_*` calls mixed with [`LaunchBuilder::raw_params`].
+    MixedParamStyles {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// More arguments supplied than the kernel declares.
+    ExtraParam {
+        /// Kernel name.
+        kernel: String,
+        /// Declared parameter count.
+        declared: usize,
+        /// Size of the surplus argument in bytes.
+        bytes: u32,
+    },
+    /// Argument width differs from the declared parameter width.
+    ParamWidth {
+        /// Kernel name.
+        kernel: String,
+        /// Declared parameter name.
+        name: String,
+        /// Declared width in bytes.
+        declared: u32,
+        /// Supplied width in bytes.
+        supplied: u32,
+    },
+    /// Fewer arguments supplied than the kernel declares.
+    MissingParams {
+        /// Kernel name.
+        kernel: String,
+        /// Declared parameter count.
+        declared: usize,
+        /// Supplied argument count.
+        supplied: usize,
+    },
+    /// Grid dimensions never set.
+    GridNotSet {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Block dimensions never set.
+    BlockNotSet {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A grid or block dimension is zero.
+    ZeroDim {
+        /// Kernel name.
+        kernel: String,
+        /// Which geometry (`"grid"` or `"block"`).
+        what: &'static str,
+        /// The offending extent.
+        dim: Dim3,
+    },
+    /// A pointer parameter feeds a `wmma.load`/`wmma.store` address but
+    /// is not aligned to the fragment access granularity.
+    UnalignedWmmaPointer {
+        /// Kernel name.
+        kernel: String,
+        /// Parameter name.
+        param: String,
+        /// The supplied device address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::MixedParamStyles { kernel } => {
+                write!(f, "kernel {kernel}: cannot mix typed params with raw_params")
+            }
+            LaunchError::ExtraParam { kernel, declared, bytes } => write!(
+                f,
+                "kernel {kernel} declares {declared} parameter(s); extra {bytes}-byte argument supplied"
+            ),
+            LaunchError::ParamWidth { kernel, name, declared, supplied } => write!(
+                f,
+                "kernel {kernel} parameter `{name}` is {declared} bytes, argument is {supplied} bytes"
+            ),
+            LaunchError::MissingParams { kernel, declared, supplied } => write!(
+                f,
+                "kernel {kernel} declares {declared} parameter(s); only {supplied} supplied"
+            ),
+            LaunchError::GridNotSet { kernel } => {
+                write!(f, "kernel {kernel}: grid dimensions not set")
+            }
+            LaunchError::BlockNotSet { kernel } => {
+                write!(f, "kernel {kernel}: block dimensions not set")
+            }
+            LaunchError::ZeroDim { kernel, what, dim } => write!(
+                f,
+                "kernel {kernel}: {what} extent {}x{}x{} has a zero dimension",
+                dim.x, dim.y, dim.z
+            ),
+            LaunchError::UnalignedWmmaPointer { kernel, param, addr, align } => write!(
+                f,
+                "kernel {kernel}: parameter `{param}` = {addr:#x} feeds a wmma address but is not {align}-byte aligned"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Fragment rows are fetched with up-to-128-bit accesses; a wmma base
+/// pointer must be aligned to that granularity.
+const WMMA_PTR_ALIGN: u64 = 16;
+
+/// Best-effort dataflow scan: the byte offsets of `u64` parameters that
+/// reach a `wmma.load`/`wmma.store` address operand through an
+/// unclobbered `ld.param.b64` register pair.
+fn wmma_pointer_param_offsets(kernel: &Kernel) -> Vec<u32> {
+    use std::collections::HashMap;
+    let mut reg_to_param: HashMap<u16, u32> = HashMap::new();
+    let mut hits = Vec::new();
+    for instr in kernel.instrs() {
+        match &instr.op {
+            Op::Ld { space: MemSpace::Param, width: MemWidth::B64 } => {
+                if let (Some(dst), Some(Operand::Imm(off))) = (instr.dst, instr.srcs.first()) {
+                    reg_to_param.insert(dst.0, *off as u32);
+                    continue;
+                }
+            }
+            Op::Wmma(WmmaDirective::Load { .. } | WmmaDirective::Store { .. }) => {
+                if let Some(Operand::Reg(r) | Operand::RegPair(r)) = instr.srcs.first() {
+                    if let Some(off) = reg_to_param.get(&r.0) {
+                        hits.push(*off);
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Any other write overlapping a tracked pair clobbers the mapping
+        // (conservative straight-line dataflow: a pair based at `dst - 1`
+        // or `dst` contains the written register).
+        if let Some(dst) = instr.dst {
+            reg_to_param.remove(&dst.0);
+            reg_to_param.remove(&dst.0.wrapping_sub(1));
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
 
 /// Builder for one kernel launch: grid/block geometry plus typed,
 /// validated kernel parameters.
@@ -112,34 +267,38 @@ impl LaunchBuilder {
         self
     }
 
-    fn push_param(&mut self, bytes_len: u32, le: &[u8]) {
-        assert!(
-            !self.raw,
-            "kernel {}: cannot mix typed params with raw_params",
-            self.kernel.name()
-        );
+    fn try_push_param(&mut self, bytes_len: u32, le: &[u8]) -> Result<(), LaunchError> {
+        if self.raw {
+            return Err(LaunchError::MixedParamStyles { kernel: self.kernel.name().to_string() });
+        }
         let descs = self.kernel.params();
-        assert!(
-            self.next_param < descs.len(),
-            "kernel {} declares {} parameter(s); extra {}-byte argument supplied",
-            self.kernel.name(),
-            descs.len(),
-            bytes_len
-        );
+        if self.next_param >= descs.len() {
+            return Err(LaunchError::ExtraParam {
+                kernel: self.kernel.name().to_string(),
+                declared: descs.len(),
+                bytes: bytes_len,
+            });
+        }
         let desc = &descs[self.next_param];
-        assert!(
-            desc.bytes == bytes_len,
-            "kernel {} parameter `{}` is {} bytes, argument is {} bytes",
-            self.kernel.name(),
-            desc.name,
-            desc.bytes,
-            bytes_len
-        );
+        if desc.bytes != bytes_len {
+            return Err(LaunchError::ParamWidth {
+                kernel: self.kernel.name().to_string(),
+                name: desc.name.clone(),
+                declared: desc.bytes,
+                supplied: bytes_len,
+            });
+        }
         // Pad to the declared offset: identical to KernelBuilder's
         // natural-alignment layout, so the cursor always lands exactly.
-        self.params.resize(desc.offset as usize, 0);
+        let offset = desc.offset as usize;
+        self.params.resize(offset, 0);
         self.params.extend_from_slice(le);
         self.next_param += 1;
+        Ok(())
+    }
+
+    fn push_param(&mut self, bytes_len: u32, le: &[u8]) {
+        self.try_push_param(bytes_len, le).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Appends a 32-bit parameter (little-endian, naturally aligned).
@@ -159,6 +318,24 @@ impl LaunchBuilder {
         self.param_u32(v.to_bits())
     }
 
+    /// Fallible [`LaunchBuilder::param_u32`]: returns the error the
+    /// panicking form would have formatted.
+    pub fn try_param_u32(mut self, v: u32) -> Result<LaunchBuilder, LaunchError> {
+        self.try_push_param(4, &v.to_le_bytes())?;
+        Ok(self)
+    }
+
+    /// Fallible [`LaunchBuilder::param_u64`].
+    pub fn try_param_u64(mut self, v: u64) -> Result<LaunchBuilder, LaunchError> {
+        self.try_push_param(8, &v.to_le_bytes())?;
+        Ok(self)
+    }
+
+    /// Fallible [`LaunchBuilder::param_f32`].
+    pub fn try_param_f32(self, v: f32) -> Result<LaunchBuilder, LaunchError> {
+        self.try_param_u32(v.to_bits())
+    }
+
     /// Escape hatch: supplies the whole parameter buffer verbatim,
     /// bypassing per-parameter validation — for replaying captured
     /// parameter buffers. New code should prefer the typed `param_*`
@@ -172,6 +349,16 @@ impl LaunchBuilder {
         self.params = bytes.to_vec();
         self.raw = true;
         self
+    }
+
+    /// Fallible [`LaunchBuilder::raw_params`].
+    pub fn try_raw_params(mut self, bytes: &[u8]) -> Result<LaunchBuilder, LaunchError> {
+        if self.next_param != 0 {
+            return Err(LaunchError::MixedParamStyles { kernel: self.kernel.name().to_string() });
+        }
+        self.params = bytes.to_vec();
+        self.raw = true;
+        Ok(self)
     }
 
     /// Validates geometry and parameters, then runs the kernel to
@@ -196,26 +383,88 @@ impl LaunchBuilder {
     /// # Panics
     ///
     /// Same validation as [`LaunchBuilder::launch`].
-    pub fn into_parts(mut self) -> (Kernel, LaunchConfig, Vec<u8>) {
-        let grid = self
-            .grid
-            .unwrap_or_else(|| panic!("kernel {}: grid dimensions not set", self.kernel.name()));
-        let block = self
-            .block
-            .unwrap_or_else(|| panic!("kernel {}: block dimensions not set", self.kernel.name()));
+    pub fn into_parts(self) -> (Kernel, LaunchConfig, Vec<u8>) {
+        self.finalize().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Shared geometry/parameter validation and packing behind both
+    /// [`LaunchBuilder::into_parts`] and [`LaunchBuilder::try_into_parts`].
+    fn finalize(mut self) -> Result<(Kernel, LaunchConfig, Vec<u8>), LaunchError> {
+        let grid = self.grid.ok_or_else(|| LaunchError::GridNotSet {
+            kernel: self.kernel.name().to_string(),
+        })?;
+        let block = self.block.ok_or_else(|| LaunchError::BlockNotSet {
+            kernel: self.kernel.name().to_string(),
+        })?;
         if !self.raw {
             let declared = self.kernel.params().len();
-            assert!(
-                self.next_param == declared,
-                "kernel {} declares {} parameter(s); only {} supplied",
-                self.kernel.name(),
-                declared,
-                self.next_param
-            );
+            if self.next_param != declared {
+                return Err(LaunchError::MissingParams {
+                    kernel: self.kernel.name().to_string(),
+                    declared,
+                    supplied: self.next_param,
+                });
+            }
             self.params.resize(self.kernel.param_bytes() as usize, 0);
         }
         let cfg = LaunchConfig::new(grid, block).with_shared_bytes(self.dynamic_shared);
-        (self.kernel, cfg, self.params)
+        Ok((self.kernel, cfg, self.params))
+    }
+
+    /// Fallible [`LaunchBuilder::into_parts`] with two additional checks
+    /// the legacy panicking path never enforced:
+    ///
+    /// * **zero-dimension geometry** — a grid or block extent of zero
+    ///   launches nothing and is always a caller bug;
+    /// * **unaligned wmma pointers** — a `u64` parameter that reaches a
+    ///   `wmma.load`/`wmma.store` address operand through an unclobbered
+    ///   `ld.param.b64` must be 16-byte aligned (the fragment access
+    ///   granularity); a misaligned tile base splits every row fetch
+    ///   across sectors on real hardware.
+    pub fn try_into_parts(self) -> Result<(Kernel, LaunchConfig, Vec<u8>), LaunchError> {
+        for (what, dim) in
+            [("grid", self.grid), ("block", self.block)].into_iter().filter_map(|(w, d)| Some((w, d?)))
+        {
+            if dim.x == 0 || dim.y == 0 || dim.z == 0 {
+                return Err(LaunchError::ZeroDim {
+                    kernel: self.kernel.name().to_string(),
+                    what,
+                    dim,
+                });
+            }
+        }
+        for off in wmma_pointer_param_offsets(&self.kernel) {
+            let Some(desc) =
+                self.kernel.params().iter().find(|p| p.offset == off && p.bytes == 8)
+            else {
+                continue;
+            };
+            let o = off as usize;
+            let Some(bytes) = self.params.get(o..o + 8) else { continue };
+            let addr = u64::from_le_bytes(bytes.try_into().unwrap());
+            if addr % WMMA_PTR_ALIGN != 0 {
+                return Err(LaunchError::UnalignedWmmaPointer {
+                    kernel: self.kernel.name().to_string(),
+                    param: desc.name.clone(),
+                    addr,
+                    align: WMMA_PTR_ALIGN,
+                });
+            }
+        }
+        self.finalize()
+    }
+
+    /// Fallible [`LaunchBuilder::launch`]: validates via
+    /// [`LaunchBuilder::try_into_parts`] (including the strict zero-dim
+    /// and wmma-alignment checks) and only touches `gpu` once the launch
+    /// is known to be well-formed.
+    pub fn try_launch(mut self, gpu: &mut Gpu) -> Result<LaunchStats, LaunchError> {
+        let tracer = self.tracer.take();
+        let (kernel, cfg, params) = self.try_into_parts()?;
+        if let Some(tracer) = tracer {
+            gpu.set_tracer(tracer);
+        }
+        Ok(gpu.run_kernel(kernel, cfg, params))
     }
 }
 
@@ -312,6 +561,163 @@ mod tests {
             .param_u64(0)
             .param_u32(1)
             .into_parts();
+    }
+
+    fn wmma_ptr_kernel() -> Kernel {
+        use tcsim_isa::{FragmentKind, Layout, MemSpace, WmmaShape, WmmaType};
+        let mut b = KernelBuilder::new("wmma_ptr");
+        let p = b.param_u64("tile");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let frag = b.reg_block(tcsim_isa::fragment_regs(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            true,
+        ));
+        b.wmma_load(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            WmmaType::F16,
+            MemSpace::Global,
+            frag,
+            Operand::RegPair(base),
+            Operand::Imm(16),
+        );
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn try_param_reports_width_mismatch() {
+        let err = LaunchBuilder::new(two_param_kernel()).try_param_u32(7).unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::ParamWidth {
+                kernel: "store_n".into(),
+                name: "out".into(),
+                declared: 8,
+                supplied: 4,
+            }
+        );
+        // The typed error renders exactly the legacy panic wording.
+        assert!(err.to_string().contains("is 8 bytes, argument is 4 bytes"));
+    }
+
+    #[test]
+    fn try_param_reports_extra_argument() {
+        let err = LaunchBuilder::new(two_param_kernel())
+            .param_u64(0)
+            .param_u32(1)
+            .try_param_u32(2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::ExtraParam { kernel: "store_n".into(), declared: 2, bytes: 4 }
+        );
+    }
+
+    #[test]
+    fn try_into_parts_reports_missing_geometry_and_params() {
+        let err = LaunchBuilder::new(two_param_kernel()).try_into_parts().unwrap_err();
+        assert_eq!(err, LaunchError::GridNotSet { kernel: "store_n".into() });
+        let err = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .try_into_parts()
+            .unwrap_err();
+        assert_eq!(err, LaunchError::BlockNotSet { kernel: "store_n".into() });
+        let err = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0)
+            .try_into_parts()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::MissingParams { kernel: "store_n".into(), declared: 2, supplied: 1 }
+        );
+    }
+
+    #[test]
+    fn try_into_parts_rejects_zero_dimensions() {
+        let err = LaunchBuilder::new(two_param_kernel())
+            .grid(0u32)
+            .block(32u32)
+            .param_u64(0)
+            .param_u32(1)
+            .try_into_parts()
+            .unwrap_err();
+        assert!(
+            matches!(&err, LaunchError::ZeroDim { what: "grid", .. }),
+            "got: {err}"
+        );
+        let err = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block((32u32, 0u32))
+            .param_u64(0)
+            .param_u32(1)
+            .try_into_parts()
+            .unwrap_err();
+        assert!(
+            matches!(&err, LaunchError::ZeroDim { what: "block", .. }),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn try_mixing_raw_and_typed_params_is_a_typed_error() {
+        let err = LaunchBuilder::new(two_param_kernel())
+            .param_u64(0)
+            .try_raw_params(&[0u8; 12])
+            .unwrap_err();
+        assert_eq!(err, LaunchError::MixedParamStyles { kernel: "store_n".into() });
+        let err = LaunchBuilder::new(two_param_kernel())
+            .raw_params(&[0u8; 12])
+            .try_param_u64(0)
+            .unwrap_err();
+        assert_eq!(err, LaunchError::MixedParamStyles { kernel: "store_n".into() });
+    }
+
+    #[test]
+    fn try_into_parts_rejects_unaligned_wmma_pointer() {
+        let err = LaunchBuilder::new(wmma_ptr_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0x1_0002)
+            .try_into_parts()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::UnalignedWmmaPointer {
+                kernel: "wmma_ptr".into(),
+                param: "tile".into(),
+                addr: 0x1_0002,
+                align: 16,
+            }
+        );
+        // An aligned pointer passes the same path.
+        LaunchBuilder::new(wmma_ptr_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0x1_0000)
+            .try_into_parts()
+            .expect("aligned wmma pointer must be accepted");
+    }
+
+    #[test]
+    fn try_launch_runs_a_valid_launch() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let out = gpu.alloc(32 * 4);
+        let stats = LaunchBuilder::new(two_param_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(out)
+            .param_u32(3)
+            .try_launch(&mut gpu)
+            .expect("valid launch");
+        assert!(stats.cycles > 0);
+        assert_eq!(gpu.read_u32(out), 3);
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod sweep;
 
 pub use config::GpuConfig;
 pub use gpu::Gpu;
-pub use launch::LaunchBuilder;
+pub use launch::{LaunchBuilder, LaunchError};
 pub use session::{Session, SessionEntry};
 pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};
 pub use sweep::{HasLaunchStats, Sweep, SweepOutcome, SweepStats};

@@ -109,6 +109,15 @@ impl SmConfig {
     pub fn warp_ii(&self, lanes: usize) -> u64 {
         (tcsim_isa::WARP_SIZE as u64).div_ceil(lanes as u64)
     }
+
+    /// Peak warp-instruction issue width of one SM in instructions per
+    /// cycle: each sub-core scheduler issues at most one warp
+    /// instruction per clock (§II-A), so the SM-level bound is the
+    /// sub-core count. `IPC ≤ num_sms × issue_width()` is a hard
+    /// invariant of any launch.
+    pub fn issue_width(&self) -> u64 {
+        self.sub_cores as u64
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +134,17 @@ mod tests {
         assert_eq!(c.mufu_lanes, 4);
         assert_eq!(c.registers, 65536);
         assert_eq!(c.max_warps, 64);
+    }
+
+    #[test]
+    fn issue_width_is_one_warp_instruction_per_sub_core() {
+        // §II-A: each sub-core scheduler issues at most one warp
+        // instruction per clock, so the SM bound equals the sub-core
+        // count on both modeled architectures.
+        assert_eq!(SmConfig::volta().issue_width(), 4);
+        assert_eq!(SmConfig::turing().issue_width(), 4);
+        let narrow = SmConfig { sub_cores: 2, ..SmConfig::volta() };
+        assert_eq!(narrow.issue_width(), 2);
     }
 
     #[test]

@@ -13,6 +13,23 @@ cargo test -q --workspace --offline
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== fuzz: differential smoke (fixed seed, 2000 iters) =="
+# Random kernels through GPU-vs-reference differential + timing
+# invariants; any failure is minimized and echoed by the binary itself.
+target/release/tcsim-fuzz --seed 1 --iters 2000 --json
+
+echo "== fuzz: planted-mutation canary (oracle sensitivity) =="
+# Flip FEDP accumulation rounding on the reference side: every all-FP16
+# WMMA case must fail, proving the oracle can see single-rounding bugs.
+target/release/tcsim-fuzz --mutate --seed 1 --iters 50 --json
+
+echo "== fuzz: corpus replay =="
+# Replays committed minimized cases; failing kernel text is echoed.
+target/release/tcsim-fuzz --replay tests/corpus
+
+echo "== golden figures: regenerate and diff committed artifacts =="
+TCSIM_GOLDEN=1 cargo test -q --offline --test figures_golden
+
 echo "== smoke: fig14a sweep (--json) =="
 target/release/fig14a_gemm_cycles --json results/fig14a.json
 test -s results/fig14a.json

@@ -1,0 +1,33 @@
+//! Replays the committed fuzzer corpus (`tests/corpus/*.case`) on every
+//! `cargo test`: each case is a self-contained kernel + launch + compare
+//! description that must pass the differential oracle and the timing
+//! invariants. Minimized failures the fuzzer writes here become
+//! permanent regression guards the moment they are committed.
+
+use std::path::Path;
+use tcsim_check::corpus::replay_dir;
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let results = replay_dir(&dir);
+    assert!(
+        !results.is_empty(),
+        "tests/corpus is empty — the seed corpus should be committed \
+         (regenerate with `cargo run -p tcsim-check --example seed_corpus`)"
+    );
+    let mut failed = Vec::new();
+    for (path, outcome) in &results {
+        match outcome {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("replay FAIL {}: {e}", path.display());
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    eprintln!("--- failing case ---\n{text}--------------------");
+                }
+                failed.push(path.file_name().unwrap().to_string_lossy().to_string());
+            }
+        }
+    }
+    assert!(failed.is_empty(), "corpus cases failed: {failed:?}");
+}

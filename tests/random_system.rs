@@ -6,26 +6,9 @@
 use tcsim::cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
 use tcsim::sim::{Gpu, GpuConfig};
 
-/// Deterministic xorshift64* PRNG (kept local so the test has no
-/// external dev-dependencies).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn below(&mut self, bound: u64) -> u64 {
-        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
-    }
-}
+// Deterministic shapes from the workspace's canonical PRNG (same
+// xorshift64* recurrence the local copy used, so sequences are unchanged).
+use tcsim_check::rng::XorShift64Star as Rng;
 
 #[test]
 fn random_shapes_verify_on_simulator() {
