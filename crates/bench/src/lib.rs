@@ -2,6 +2,8 @@
 //! and figure of the paper (see `DESIGN.md` §2 for the index, and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results).
 
+#![forbid(unsafe_code)]
+
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem, GemmRun};
 use tcsim_sim::{Gpu, GpuConfig, Sweep};
 

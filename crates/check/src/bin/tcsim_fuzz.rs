@@ -8,22 +8,32 @@
 //!
 //! ```text
 //! tcsim-fuzz [--seed S] [--iters N] [--max-insts M] [--json]
-//!            [--corpus-dir DIR] [--mutate] [--replay DIR]
+//!            [--corpus-dir DIR] [--mutate [MODE]] [--replay DIR]
 //! ```
 //!
-//! `--mutate` plants the FEDP round-toward-zero mutation on the
+//! Every generated kernel is also run through the `tcsim-verify` static
+//! analyzer; any diagnostic on an oracle-safe kernel is a false positive
+//! and fails the campaign.
+//!
+//! Bare `--mutate` plants the FEDP round-toward-zero mutation on the
 //! reference side — every all-FP16 WMMA case must then *fail*; it exists
-//! to prove the oracle catches single-rounding bugs. `--replay DIR`
-//! replays a corpus directory instead of fuzzing (exit 1 on any
-//! reproduced failure, echoing the failing kernel).
+//! to prove the oracle catches single-rounding bugs. `--mutate MODE`
+//! with a named mode (`barrier-drop`, `uninit-reg`, `frag-shape`,
+//! `shared-grow`) instead runs the *static* canary: each generated
+//! kernel gets that defect planted and the verifier must flag it with an
+//! error of the matching rule class. `--replay DIR` replays a corpus
+//! directory instead of fuzzing (exit 1 on any reproduced failure,
+//! echoing the failing kernel).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tcsim_check::corpus;
-use tcsim_check::gen::{generate, GenConfig, KindSel};
+use tcsim_check::gen::{assemble, generate, Arch, GenConfig, GenProgram, KindSel};
 use tcsim_check::invariants;
+use tcsim_check::mutate::{self, VerifyMutation};
 use tcsim_check::oracle::{diff_run, Case, Mutation};
 use tcsim_check::shrink::{shrink, shrink_mismatch, ShrinkResult, DEFAULT_SHRINK_EVALS};
+use tcsim_verify::LaunchGeometry;
 
 struct Args {
     seed: u64,
@@ -31,6 +41,7 @@ struct Args {
     max_insts: u32,
     json: bool,
     mutate: bool,
+    verify_mutate: Option<VerifyMutation>,
     corpus_dir: PathBuf,
     replay: Option<PathBuf>,
 }
@@ -42,14 +53,19 @@ fn parse_args() -> Result<Args, String> {
         max_insts: 24,
         json: false,
         mutate: false,
+        verify_mutate: None,
         corpus_dir: PathBuf::from("tests/corpus"),
         replay: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    fn next_value(
+        it: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+        name: &str,
+    ) -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{name} needs a value"))
+    }
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| next_value(&mut it, name);
         match flag.as_str() {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--iters" => {
@@ -60,13 +76,33 @@ fn parse_args() -> Result<Args, String> {
                     value("--max-insts")?.parse().map_err(|e| format!("--max-insts: {e}"))?
             }
             "--json" => args.json = true,
-            "--mutate" => args.mutate = true,
+            "--mutate" => {
+                // `--mutate NAME` selects a static-verifier canary; a bare
+                // `--mutate` keeps the legacy FEDP oracle-canary meaning.
+                match it.peek().and_then(|n| VerifyMutation::from_name(n)) {
+                    Some(m) => {
+                        it.next();
+                        args.verify_mutate = Some(m);
+                    }
+                    None => args.mutate = true,
+                }
+            }
             "--corpus-dir" => args.corpus_dir = PathBuf::from(value("--corpus-dir")?),
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(args)
+}
+
+/// The launch geometry a generated program is analyzed under.
+fn geometry(p: &GenProgram) -> LaunchGeometry {
+    let g = LaunchGeometry::new(p.grid_x, p.block_x);
+    if p.arch == Arch::Turing {
+        g.turing()
+    } else {
+        g
+    }
 }
 
 fn data_seed_for(kernel_seed: u64) -> u64 {
@@ -127,6 +163,82 @@ fn report_failure(
     }
 }
 
+/// Static-verifier canary: plant `m` into generated kernels and demand
+/// the analyzer flags each planted defect with an error of the matching
+/// rule class (while the unmutated kernel verifies clean).
+fn verifier_canary(args: &Args, m: VerifyMutation) -> ExitCode {
+    let started = std::time::Instant::now();
+    // Barrier/def/shared defects need SIMT kernels (barriers, shared
+    // slices); the shape swap needs a WMMA kernel.
+    let kind = match m {
+        VerifyMutation::FragShape => KindSel::Wmma,
+        _ => KindSel::Simt,
+    };
+    let cfg = GenConfig { max_ops: args.max_insts as usize, kind };
+    let mut applied = 0u64;
+    let mut attempts = 0u64;
+    // Not every kernel has a mutation site (e.g. no barrier was
+    // generated); scan seeds until `--iters` defects were planted.
+    while applied < args.iters && attempts < args.iters.saturating_mul(16).max(64) {
+        let kernel_seed = args.seed.wrapping_add(attempts);
+        attempts += 1;
+        let program = generate(kernel_seed, &cfg);
+        let kernel = assemble(&program);
+        let geom = geometry(&program);
+        let clean = tcsim_verify::check(&kernel, &geom);
+        if !clean.is_empty() {
+            eprintln!("seed {kernel_seed}: unmutated kernel is not verifier-clean:");
+            for d in clean {
+                eprintln!("  {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+        let volta = program.arch == Arch::Volta;
+        let Some(mutated) = mutate::apply(&kernel, m, volta) else { continue };
+        applied += 1;
+        let diags = tcsim_verify::check(&mutated.kernel, &geom);
+        let hit = diags
+            .iter()
+            .any(|d| d.is_error() && d.rule.starts_with(m.expected_rule_prefix()));
+        if !hit {
+            eprintln!(
+                "seed {kernel_seed}: planted {} at #{} NOT flagged (got {} diagnostic(s))",
+                m.name(),
+                mutated.pc,
+                diags.len()
+            );
+            for d in diags {
+                eprintln!("  {d}");
+            }
+            eprintln!(
+                "--- mutated kernel ---\n{}----------------------",
+                tcsim_isa::emit::emit_kernel(&mutated.kernel)
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if applied == 0 {
+        eprintln!("tcsim-fuzz: {} never applied in {attempts} seed(s)", m.name());
+        return ExitCode::FAILURE;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    if args.json {
+        println!(
+            "{{\"seed\":{},\"mutate\":\"{}\",\"attempts\":{attempts},\"applied\":{applied},\
+             \"caught\":{applied},\"failures\":0,\"seconds\":{secs:.2}}}",
+            args.seed,
+            m.name()
+        );
+    } else {
+        eprintln!(
+            "tcsim-fuzz: {applied}/{applied} planted {} defect(s) flagged \
+             ({attempts} seeds scanned) in {secs:.2}s",
+            m.name()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -137,6 +249,9 @@ fn main() -> ExitCode {
     };
     if let Some(dir) = &args.replay {
         return replay(dir, args.json);
+    }
+    if let Some(m) = args.verify_mutate {
+        return verifier_canary(&args, m);
     }
 
     let started = std::time::Instant::now();
@@ -153,6 +268,27 @@ fn main() -> ExitCode {
             wmma += 1;
         } else {
             simt += 1;
+        }
+        // Static-analyzer gate: every oracle-safe kernel must verify
+        // clean; any diagnostic here is a verifier false positive.
+        let diags = tcsim_verify::check(&assemble(&program), &geometry(&program));
+        if !diags.is_empty() {
+            let shrunk = shrink(
+                &program,
+                |cand| !tcsim_verify::check(&assemble(cand), &geometry(cand)).is_empty(),
+                DEFAULT_SHRINK_EVALS,
+            );
+            let min_kernel = assemble(&shrunk.program);
+            eprintln!(
+                "FAILURE at seed {kernel_seed}: verifier false positive on an \
+                 oracle-safe kernel (shrunk to {} ops in {} evals)",
+                shrunk.ops, shrunk.evals
+            );
+            for d in tcsim_verify::check(&min_kernel, &geometry(&shrunk.program)) {
+                eprintln!("  {d}");
+            }
+            eprintln!("--- kernel ---\n{}--------------", tcsim_isa::emit::emit_kernel(&min_kernel));
+            return ExitCode::FAILURE;
         }
         let data_seed = data_seed_for(kernel_seed);
         let case = Case::from_program(&program, data_seed);

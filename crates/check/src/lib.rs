@@ -6,10 +6,12 @@
 //! ([`shrink`]) and an on-disk corpus format ([`corpus`]), driven by the
 //! `tcsim-fuzz` binary and the workspace test suite.
 
+#![forbid(unsafe_code)]
 pub mod corpus;
 pub mod gen;
 pub mod invariants;
 pub mod metamorphic;
+pub mod mutate;
 pub mod oracle;
 pub mod shrink;
 pub mod rng;

@@ -1,0 +1,269 @@
+//! Planted-defect mutators for the static analyzer canaries.
+//!
+//! Each [`VerifyMutation`] takes an assembled, *verifier-clean* kernel and
+//! plants one specific defect class that `tcsim-verify` must flag with an
+//! error — the static-analysis mirror of the FEDP rounding mutation the
+//! differential oracle catches dynamically. A mutation that does not apply
+//! to a particular kernel (no barrier to corrupt, no shared access to
+//! widen, …) returns `None`; the canary driver in `tcsim-fuzz` skips to
+//! the next seed.
+//!
+//! Mutations never renumber instructions: defects are planted by editing
+//! an instruction in place (or redirecting a def to a fresh scratch
+//! register), so branch targets and reconvergence indices stay valid and
+//! every diagnostic index maps back into the unmutated kernel one-to-one.
+
+use tcsim_isa::{
+    Instr, Kernel, KernelBuilder, Op, Operand, PredReg, WmmaDirective, WmmaShape,
+};
+
+/// The shared-slice index mask the generator emits (`v & 63`); the
+/// shared-grow mutation widens it past the per-warp slice.
+const SLICE_MASK: i64 = crate::gen::SHARED_SLICE_WORDS as i64 - 1;
+/// The widened mask: large enough that the resulting byte range escapes
+/// any per-warp slice and the CTA's whole allocation.
+const GROWN_MASK: i64 = 4095;
+
+/// One planted static defect class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMutation {
+    /// Guards a `bar.sync` with a thread-varying predicate: the barrier
+    /// is no longer CTA-uniform (`barrier-divergence`).
+    BarrierDrop,
+    /// Redirects the only definition of some live register to a scratch
+    /// register, leaving its later reads uninitialized (`uninit-reg`).
+    UninitReg,
+    /// Swaps the shape qualifier on a `wmma.load`, so the fragment no
+    /// longer matches the consuming `wmma.mma` (`wmma-*`).
+    FragShape,
+    /// Grows the generator's shared-slice index mask so accesses escape
+    /// the warp-private slice and the allocation (`shared-*`).
+    SharedGrow,
+}
+
+impl VerifyMutation {
+    /// Every mutation, in canonical order.
+    pub const ALL: [VerifyMutation; 4] = [
+        VerifyMutation::BarrierDrop,
+        VerifyMutation::UninitReg,
+        VerifyMutation::FragShape,
+        VerifyMutation::SharedGrow,
+    ];
+
+    /// Command-line spelling (`--mutate <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMutation::BarrierDrop => "barrier-drop",
+            VerifyMutation::UninitReg => "uninit-reg",
+            VerifyMutation::FragShape => "frag-shape",
+            VerifyMutation::SharedGrow => "shared-grow",
+        }
+    }
+
+    /// Parses the command-line spelling.
+    pub fn from_name(s: &str) -> Option<VerifyMutation> {
+        VerifyMutation::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// Prefix of the diagnostic rules this defect must trip (e.g. the
+    /// shape swap may surface as `wmma-frag`, `wmma-mode` or
+    /// `wmma-regfile` depending on the kernel).
+    pub fn expected_rule_prefix(self) -> &'static str {
+        match self {
+            VerifyMutation::BarrierDrop => "barrier-",
+            VerifyMutation::UninitReg => "uninit-",
+            VerifyMutation::FragShape => "wmma-",
+            VerifyMutation::SharedGrow => "shared-",
+        }
+    }
+}
+
+/// A successfully planted defect: the mutated kernel plus the index of
+/// the instruction that was edited.
+#[derive(Clone, Debug)]
+pub struct Mutated {
+    /// The defective kernel.
+    pub kernel: Kernel,
+    /// Index of the mutated instruction in `Kernel::instrs()`.
+    pub pc: usize,
+}
+
+/// Reassembles `k` with `instrs` substituted and `extra_regs` additional
+/// scratch registers. Parameter layout, shared allocation and register
+/// count are reproduced exactly, and instruction indices are preserved,
+/// so pre-resolved branch targets stay valid.
+fn rebuild(k: &Kernel, instrs: Vec<Instr>, extra_regs: u32) -> Kernel {
+    let mut b = KernelBuilder::new(k.name());
+    for p in k.params() {
+        b.param(p.name.clone(), p.bytes);
+    }
+    if k.shared_bytes() > 0 {
+        b.shared_alloc(k.shared_bytes());
+    }
+    for _ in 0..k.num_regs() + extra_regs {
+        b.reg();
+    }
+    for i in instrs {
+        b.emit(i);
+    }
+    b.build()
+}
+
+/// Applies `m` to `k`, or `None` when the kernel has no site for this
+/// defect class. `volta` selects fragment register widths (must match the
+/// geometry the verifier will analyze under).
+pub fn apply(k: &Kernel, m: VerifyMutation, volta: bool) -> Option<Mutated> {
+    match m {
+        VerifyMutation::BarrierDrop => barrier_drop(k),
+        VerifyMutation::UninitReg => uninit_reg(k, volta),
+        VerifyMutation::FragShape => frag_shape(k),
+        VerifyMutation::SharedGrow => shared_grow(k),
+    }
+}
+
+/// Guards the first unguarded `bar.sync` with predicate `p0` — the
+/// predicate the generator seeds from a thread-dependent compare, so the
+/// guard is thread-varying in any multi-thread launch.
+fn barrier_drop(k: &Kernel) -> Option<Mutated> {
+    let pc = k
+        .instrs()
+        .iter()
+        .position(|i| matches!(i.op, Op::Bar) && i.guard.is_none())?;
+    // The guard is only thread-varying if p0 is actually computed from
+    // thread-dependent data; generated kernels always seed p0 with a setp
+    // on a gtid-derived pool register before any barrier.
+    if !k.instrs()[..pc].iter().any(|i| matches!(i.op, Op::Setp { .. })) {
+        return None;
+    }
+    let mut instrs = k.instrs().to_vec();
+    instrs[pc].guard = Some((PredReg(0), true));
+    Some(Mutated { kernel: rebuild(k, instrs, 0), pc })
+}
+
+/// Finds a register with exactly one defining instruction and at least
+/// one reading instruction, then redirects that definition to a fresh
+/// scratch register. Every read of the original register becomes a read
+/// of never-written state.
+fn uninit_reg(k: &Kernel, volta: bool) -> Option<Mutated> {
+    let instrs = k.instrs();
+    let nregs = k.num_regs() as u16;
+    // defs[r] = (count, defining pc); uses[r] = any instr other than the
+    // def reads r.
+    let mut def_count = vec![0u32; nregs as usize];
+    let mut def_pc = vec![usize::MAX; nregs as usize];
+    for (pc, i) in instrs.iter().enumerate() {
+        for r in i.def_regs(volta) {
+            if let Some(c) = def_count.get_mut(r.0 as usize) {
+                *c += 1;
+                def_pc[r.0 as usize] = pc;
+            }
+        }
+    }
+    for (pc, i) in instrs.iter().enumerate() {
+        for r in i.use_regs(volta) {
+            let ri = r.0 as usize;
+            if ri >= nregs as usize || def_count[ri] != 1 {
+                continue;
+            }
+            let dpc = def_pc[ri];
+            if dpc == pc || dpc == usize::MAX {
+                continue; // self-referential (e.g. `iadd r, r, 1`)
+            }
+            // Only single-register defs can be redirected in place.
+            let d = &instrs[dpc];
+            if d.def_regs(volta).len() != 1 || d.guard.is_some() {
+                continue;
+            }
+            let mut out = instrs.to_vec();
+            out[dpc].dst = Some(tcsim_isa::Reg(nregs));
+            return Some(Mutated { kernel: rebuild(k, out, 1), pc: dpc });
+        }
+    }
+    None
+}
+
+/// Swaps the shape qualifier of the first `wmma.mma`, so its operands no
+/// longer match the fragments the `wmma.load`s produced. (The mma is the
+/// mutation site rather than a load: growing a *load's* fragment can make
+/// it overlap the next fragment's registers, which conservatively erases
+/// its provenance and would hide the mismatch from the checker.)
+fn frag_shape(k: &Kernel) -> Option<Mutated> {
+    let swapped = |s: WmmaShape| match s {
+        WmmaShape::M16N16K16 => WmmaShape::M32N8K16,
+        WmmaShape::M32N8K16 | WmmaShape::M8N32K16 | WmmaShape::M8N8K32 => WmmaShape::M16N16K16,
+    };
+    let pc = k
+        .instrs()
+        .iter()
+        .position(|i| matches!(i.op, Op::Wmma(WmmaDirective::Mma { .. })))?;
+    let mut instrs = k.instrs().to_vec();
+    if let Op::Wmma(WmmaDirective::Mma { ref mut shape, .. }) = instrs[pc].op {
+        *shape = swapped(*shape);
+    }
+    Some(Mutated { kernel: rebuild(k, instrs, 0), pc })
+}
+
+/// Widens the generator's `and rX, rY, 63` slice mask ahead of a shared
+/// access, so the recovered address range escapes both the warp-private
+/// slice and the CTA allocation.
+fn shared_grow(k: &Kernel) -> Option<Mutated> {
+    let instrs = k.instrs();
+    let pc = instrs.iter().enumerate().position(|(pc, i)| {
+        matches!(i.op, Op::And)
+            && i.srcs.get(1) == Some(&Operand::Imm(SLICE_MASK))
+            && matches!(instrs.get(pc + 1).map(|n| &n.op), Some(Op::IMad))
+    })?;
+    let mut out = instrs.to_vec();
+    out[pc].srcs[1] = Operand::Imm(GROWN_MASK);
+    Some(Mutated { kernel: rebuild(k, out, 0), pc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{assemble, generate, Arch, GenConfig, KindSel};
+
+    fn find_applicable(kind: KindSel, m: VerifyMutation) -> (Kernel, Mutated, bool) {
+        let cfg = GenConfig { max_ops: 24, kind };
+        for seed in 0..512u64 {
+            let p = generate(seed, &cfg);
+            let k = assemble(&p);
+            let volta = p.arch == Arch::Volta;
+            if let Some(mutated) = apply(&k, m, volta) {
+                return (k, mutated, volta);
+            }
+        }
+        panic!("no kernel in 512 seeds accepts {m:?}");
+    }
+
+    #[test]
+    fn each_mutation_applies_within_a_few_seeds() {
+        for (m, kind) in [
+            (VerifyMutation::BarrierDrop, KindSel::Simt),
+            (VerifyMutation::UninitReg, KindSel::Simt),
+            (VerifyMutation::FragShape, KindSel::Wmma),
+            (VerifyMutation::SharedGrow, KindSel::Simt),
+        ] {
+            let (orig, mutated, _) = find_applicable(kind, m);
+            assert_eq!(
+                orig.instrs().len(),
+                mutated.kernel.instrs().len(),
+                "{m:?} must not renumber instructions"
+            );
+            assert!(mutated.pc < orig.instrs().len());
+            assert_ne!(
+                orig.instrs()[mutated.pc],
+                mutated.kernel.instrs()[mutated.pc],
+                "{m:?} must change the instruction at its reported pc"
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in VerifyMutation::ALL {
+            assert_eq!(VerifyMutation::from_name(m.name()), Some(m));
+        }
+        assert_eq!(VerifyMutation::from_name("fedp-chop"), None);
+    }
+}

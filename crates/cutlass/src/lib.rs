@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! CUTLASS-like tiled GEMM kernel library targeting the simulated WMMA

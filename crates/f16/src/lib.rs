@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! IEEE 754 binary16 ("half precision") arithmetic, built from scratch.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Analytic Titan V / RTX 2080 hardware surrogate.

@@ -130,6 +130,11 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.kernels.is_empty()
     }
+
+    /// Iterates over all kernels in unspecified order.
+    pub fn kernels(&self) -> impl Iterator<Item = &Kernel> {
+        self.kernels.values()
+    }
 }
 
 impl FromIterator<Kernel> for Program {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! PTX-subset SIMT instruction set, kernel IR, builder DSL and parser.

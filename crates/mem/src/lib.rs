@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! GPU memory hierarchy: device memory, access coalescing, sectored

@@ -6,13 +6,13 @@
 //!
 //! * a typed layer IR ([`Layer`]: conv2d, linear, bias, ReLU, max-pool,
 //!   flatten) with a shape-checked sequential [`GraphBuilder`];
-//! * a lowering pass ([`lower`]) that maps `Conv2d` to implicit GEMM via
+//! * a lowering pass ([`mod@lower`]) that maps `Conv2d` to implicit GEMM via
 //!   host-side im2col and `Linear` to a batched GEMM, greedily fusing
 //!   trailing bias/ReLU layers into the GEMM kernels' [`Epilogue`] — a
 //!   `conv → bias → relu` triple is ONE launch;
 //! * dedicated elementwise kernels ([`kernels`]) for layers that don't
 //!   fuse;
-//! * a host-side f32 reference executor ([`reference`]) mirroring the
+//! * a host-side f32 reference executor ([`mod@reference`]) mirroring the
 //!   device's numeric boundary (f16 operand quantization, f32
 //!   accumulation), and an executor ([`run_chained`] / [`run_parallel`])
 //!   that differentially checks every device launch against it;
@@ -31,6 +31,7 @@
 //! assert!(report.total_cycles() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod executor;

@@ -11,7 +11,7 @@ use tcsim_trace::{NullTracer, TraceEvent, TraceSummary, Tracer};
 
 /// A simulated GPU: SMs, the shared memory system, and device memory.
 ///
-/// Kernels are launched through the typed [`LaunchBuilder`] API; for
+/// Kernels are launched through the typed [`crate::LaunchBuilder`] API; for
 /// running many independent launches concurrently see [`crate::Sweep`].
 ///
 /// # Example

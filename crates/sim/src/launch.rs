@@ -12,6 +12,7 @@ use crate::stats::LaunchStats;
 use std::fmt;
 use tcsim_isa::{Dim3, Kernel, LaunchConfig, MemSpace, MemWidth, Op, Operand, WmmaDirective};
 use tcsim_trace::Tracer;
+use tcsim_verify::{Diagnostic, LaunchGeometry, Verifier};
 
 /// A launch-validation failure.
 ///
@@ -73,6 +74,16 @@ pub enum LaunchError {
         /// The offending extent.
         dim: Dim3,
     },
+    /// The static analyzer ([`tcsim_verify`]) found well-formedness
+    /// errors in the kernel under this launch geometry.
+    Verification {
+        /// Kernel name.
+        kernel: String,
+        /// Number of error-severity findings.
+        errors: usize,
+        /// Rendered diagnostics, one per finding (errors and warnings).
+        report: Vec<String>,
+    },
     /// A pointer parameter feeds a `wmma.load`/`wmma.store` address but
     /// is not aligned to the fragment access granularity.
     UnalignedWmmaPointer {
@@ -116,6 +127,13 @@ impl fmt::Display for LaunchError {
                 "kernel {kernel}: {what} extent {}x{}x{} has a zero dimension",
                 dim.x, dim.y, dim.z
             ),
+            LaunchError::Verification { kernel, errors, report } => {
+                write!(f, "kernel {kernel}: static verification failed with {errors} error(s)")?;
+                for line in report {
+                    write!(f, "\n  {line}")?;
+                }
+                Ok(())
+            }
             LaunchError::UnalignedWmmaPointer { kernel, param, addr, align } => write!(
                 f,
                 "kernel {kernel}: parameter `{param}` = {addr:#x} feeds a wmma address but is not {align}-byte aligned"
@@ -454,12 +472,50 @@ impl LaunchBuilder {
         self.finalize()
     }
 
+    /// Runs the static analyzer ([`tcsim_verify`]) on the kernel under
+    /// the builder's current geometry, returning every diagnostic.
+    ///
+    /// Unset grid/block dimensions default to `1`/`32` for analysis
+    /// purposes (one warp, one CTA), so the method is usable before the
+    /// geometry is chosen; the fragment-sizing architecture comes from
+    /// `gpu`'s SM configuration. [`LaunchBuilder::try_launch`] runs the
+    /// same analysis and refuses to launch on error-severity findings;
+    /// this method exposes the full report (including warnings) without
+    /// committing to a launch.
+    pub fn verify(&self, gpu: &Gpu) -> Vec<Diagnostic> {
+        let geom = LaunchGeometry {
+            grid: self.grid.unwrap_or_else(|| 1u32.into()),
+            block: self.block.unwrap_or_else(|| 32u32.into()),
+            dynamic_shared: self.dynamic_shared,
+            volta: gpu.config().sm.volta_tensor,
+        };
+        Verifier::new().check(&self.kernel, &geom)
+    }
+
     /// Fallible [`LaunchBuilder::launch`]: validates via
     /// [`LaunchBuilder::try_into_parts`] (including the strict zero-dim
-    /// and wmma-alignment checks) and only touches `gpu` once the launch
-    /// is known to be well-formed.
+    /// and wmma-alignment checks), runs the static analyzer as a
+    /// pre-launch gate, and only touches `gpu` once the launch is known
+    /// to be well-formed.
+    ///
+    /// Error-severity findings from [`tcsim_verify`] — uninitialized
+    /// register reads, divergent barriers, shared-memory races or
+    /// out-of-bounds accesses, malformed WMMA — abort the launch with
+    /// [`LaunchError::Verification`]. Warnings are included in that
+    /// report when errors are present but never block a launch on their
+    /// own. The legacy panicking [`LaunchBuilder::launch`] path is *not*
+    /// gated, so replay of captured (possibly hostile) kernels remains
+    /// possible.
     pub fn try_launch(mut self, gpu: &mut Gpu) -> Result<LaunchStats, LaunchError> {
         let tracer = self.tracer.take();
+        let diags = self.verify(gpu);
+        if tcsim_verify::has_errors(&diags) {
+            return Err(LaunchError::Verification {
+                kernel: self.kernel.name().to_string(),
+                errors: diags.iter().filter(|d| d.is_error()).count(),
+                report: diags.iter().map(|d| d.to_string()).collect(),
+            });
+        }
         let (kernel, cfg, params) = self.try_into_parts()?;
         if let Some(tracer) = tracer {
             gpu.set_tracer(tracer);
@@ -718,6 +774,51 @@ mod tests {
             .expect("valid launch");
         assert!(stats.cycles > 0);
         assert_eq!(gpu.read_u32(out), 3);
+    }
+
+    /// A kernel that reads a register no path has written.
+    fn uninit_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("uninit");
+        let r = b.reg();
+        let d = b.reg();
+        b.iadd(d, r, Operand::Imm(1));
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn verify_reports_static_analysis_findings() {
+        let gpu = Gpu::new(GpuConfig::mini());
+        let diags = LaunchBuilder::new(uninit_kernel()).verify(&gpu);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "uninit-reg");
+        // A well-formed kernel verifies clean.
+        let diags = LaunchBuilder::new(two_param_kernel()).verify(&gpu);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    }
+
+    #[test]
+    fn try_launch_gates_on_verification_errors() {
+        let mut gpu = Gpu::new(GpuConfig::mini());
+        let err = LaunchBuilder::new(uninit_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .try_launch(&mut gpu)
+            .unwrap_err();
+        let LaunchError::Verification { kernel, errors, report } = &err else {
+            panic!("expected Verification, got: {err}");
+        };
+        assert_eq!(kernel, "uninit");
+        assert_eq!(*errors, 1);
+        assert!(report[0].contains("uninit-reg"), "{report:?}");
+        assert!(err.to_string().contains("static verification failed"));
+        // The legacy panicking launch path stays ungated (registers are
+        // zero-reset per launch, so the run itself is deterministic).
+        let stats = LaunchBuilder::new(uninit_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .launch(&mut gpu);
+        assert!(stats.cycles > 0);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Full-GPU cycle-level simulator: CTA scheduling across SMs, shared
@@ -28,6 +29,7 @@ mod sweep;
 pub use config::GpuConfig;
 pub use gpu::Gpu;
 pub use launch::{LaunchBuilder, LaunchError};
+pub use tcsim_verify::{Diagnostic, LaunchGeometry, Severity};
 pub use session::{Session, SessionEntry};
 pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};
 pub use sweep::{HasLaunchStats, Sweep, SweepOutcome, SweepStats};

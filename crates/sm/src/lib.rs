@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Streaming-multiprocessor pipeline model: sub-cores, warp schedulers,

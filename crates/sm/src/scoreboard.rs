@@ -45,7 +45,7 @@ impl Scoreboard {
 
     /// Whether `instr` can issue at `now`: all registers it reads (RAW)
     /// and writes (WAW) must be free of pending writes. Returns the
-    /// blocking [`Hazard`] (latest completion cycle, memory-origin flag)
+    /// blocking `Hazard` (latest completion cycle, memory-origin flag)
     /// if stalled.
     pub fn check(&self, instr: &Instr, volta_frag: bool, now: u64) -> Result<(), Hazard> {
         let mut block: Option<Hazard> = None;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Cycle-level trace & profiling subsystem for the tensor-core GPU

@@ -1,0 +1,76 @@
+//! Barrier-divergence lints.
+//!
+//! `bar.sync` is CTA-wide: every thread of the block must arrive
+//! (`__syncthreads` semantics). The executor models the barrier per warp
+//! and panics on a divergent branch without a reconvergence point
+//! (`crates/isa/src/exec.rs`), so statically we flag:
+//!
+//! * a barrier guarded by a thread-varying predicate — some threads
+//!   would skip it and the rest deadlock;
+//! * a barrier inside a divergent branch region — only a subset of the
+//!   block reaches it before reconvergence;
+//! * a potentially divergent branch (thread-varying guard) carrying no
+//!   reconvergence point — the executor panics the moment it actually
+//!   diverges.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Taint;
+use crate::Sink;
+use tcsim_isa::{Kernel, Op};
+
+pub(crate) fn check(k: &Kernel, cfg: &Cfg, taint: &Taint, sink: &mut Sink) {
+    for (pc, i) in k.instrs().iter().enumerate() {
+        if !cfg.instr_reachable(pc) {
+            continue;
+        }
+        match i.op {
+            Op::Bar => {
+                if let Some((p, sense)) = i.guard {
+                    if taint.pred[p.0 as usize] {
+                        sink.error(
+                            pc,
+                            "barrier-divergence",
+                            format!(
+                                "bar.sync at #{pc} is guarded by thread-varying predicate \
+                                 @{}p{}; threads that skip a CTA-wide barrier deadlock the rest",
+                                if sense { "" } else { "!" },
+                                p.0
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                if taint.divergent[pc] {
+                    let from = taint.divergent_from[pc]
+                        .map(|b| format!(" (divergent branch at #{b})"))
+                        .unwrap_or_default();
+                    sink.error(
+                        pc,
+                        "barrier-divergence",
+                        format!(
+                            "bar.sync at #{pc} is reachable under thread-divergent control \
+                             flow{from}; only part of the CTA would arrive"
+                        ),
+                    );
+                }
+            }
+            Op::Bra => {
+                if let Some((p, _)) = i.guard {
+                    if taint.pred[p.0 as usize] && i.reconv.is_none() {
+                        sink.error(
+                            pc,
+                            "no-reconvergence",
+                            format!(
+                                "branch at #{pc} is guarded by thread-varying predicate p{} \
+                                 but has no reconvergence point; the executor panics if it \
+                                 diverges (use bra.div with an explicit reconvergence label)",
+                                p.0
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Control-flow graph and dominators over resolved instruction streams.
+//!
+//! Branch targets in a built [`Kernel`] are already instruction indices
+//! (the builder resolves labels, the parser resolves `L<pc>` references),
+//! so the CFG is recovered purely from `target`/`reconv`/guard structure:
+//!
+//! * an unguarded `bra` always transfers to `target`;
+//! * a guarded `bra` may fall through, so it has both successors;
+//! * an unguarded `exit` terminates the thread; a guarded one may fall
+//!   through (the executor only masks out the lanes whose guard holds).
+//!
+//! Reconvergence points (`reconv`) are treated as block leaders: they are
+//! the join points the SIMT stack pops at, and the divergence analysis in
+//! [`crate::dataflow`] bounds divergent regions by them.
+
+use tcsim_isa::{Instr, Kernel, Op};
+
+/// Instruction-level successor indices of `i` at `pc` in a stream of
+/// `len` instructions, mirroring the executor's PC-update rules.
+pub fn instr_succs(i: &Instr, pc: usize, len: usize) -> Vec<usize> {
+    let fall = if pc + 1 < len { Some(pc + 1) } else { None };
+    match i.op {
+        Op::Exit => {
+            if i.guard.is_some() {
+                fall.into_iter().collect()
+            } else {
+                Vec::new()
+            }
+        }
+        Op::Bra => match i.target {
+            Some(t) => {
+                if i.guard.is_none() {
+                    vec![t]
+                } else {
+                    let mut v = vec![t];
+                    if let Some(f) = fall {
+                        if f != t {
+                            v.push(f);
+                        }
+                    }
+                    v
+                }
+            }
+            // An unresolved branch cannot transfer; treat as fall-through.
+            None => fall.into_iter().collect(),
+        },
+        _ => fall.into_iter().collect(),
+    }
+}
+
+/// A basic block: the instruction range `start..end` with no internal
+/// control transfers or join points.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// Control-flow graph of one kernel, with reachability and dominators.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in instruction order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Owning block id of each instruction.
+    pub block_of: Vec<usize>,
+    reachable: Vec<bool>,
+    /// Dominator sets, one bitset of block ids per block.
+    dom: Vec<Vec<u64>>,
+}
+
+fn bit_get(set: &[u64], i: usize) -> bool {
+    set[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+impl Cfg {
+    /// Builds the CFG of `k` and computes dominators.
+    pub fn build(k: &Kernel) -> Cfg {
+        let instrs = k.instrs();
+        let len = instrs.len();
+        if len == 0 {
+            return Cfg { blocks: Vec::new(), block_of: Vec::new(), reachable: Vec::new(), dom: Vec::new() };
+        }
+
+        // Leaders: entry, branch/reconvergence targets, fall-throughs of
+        // control transfers.
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for (pc, i) in instrs.iter().enumerate() {
+            for t in [i.target, i.reconv].into_iter().flatten() {
+                if t < len {
+                    leader[t] = true;
+                }
+            }
+            if matches!(i.op, Op::Bra | Op::Exit) && pc + 1 < len {
+                leader[pc + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        let mut start = 0usize;
+        for pc in 0..len {
+            block_of[pc] = blocks.len();
+            let last = pc + 1 == len || leader[pc + 1];
+            if last {
+                blocks.push(Block { start, end: pc + 1, succs: Vec::new(), preds: Vec::new() });
+                start = pc + 1;
+            }
+        }
+
+        let nb = blocks.len();
+        for b in 0..nb {
+            let last_pc = blocks[b].end - 1;
+            let mut succs: Vec<usize> =
+                instr_succs(&instrs[last_pc], last_pc, len).into_iter().map(|t| block_of[t]).collect();
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs.clone();
+            for s in succs {
+                blocks[s].preds.push(b);
+            }
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; nb];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if reachable[b] {
+                continue;
+            }
+            reachable[b] = true;
+            stack.extend(blocks[b].succs.iter().copied());
+        }
+
+        // Iterative dominator sets: dom[entry] = {entry}, others start at
+        // the full set and shrink by intersection over reachable preds.
+        let words = nb.div_ceil(64);
+        let full = {
+            let mut f = vec![u64::MAX; words];
+            if nb % 64 != 0 {
+                f[words - 1] = (1u64 << (nb % 64)) - 1;
+            }
+            f
+        };
+        let mut dom: Vec<Vec<u64>> = vec![full; nb];
+        dom[0] = vec![0u64; words];
+        dom[0][0] = 1;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..nb {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new = vec![u64::MAX; words];
+                let mut any_pred = false;
+                for &p in &blocks[b].preds {
+                    if !reachable[p] {
+                        continue;
+                    }
+                    any_pred = true;
+                    for (w, d) in new.iter_mut().zip(&dom[p]) {
+                        *w &= d;
+                    }
+                }
+                if !any_pred {
+                    new = vec![0u64; words];
+                }
+                new[b / 64] |= 1u64 << (b % 64);
+                if nb % 64 != 0 {
+                    new[words - 1] &= (1u64 << (nb % 64)) - 1;
+                }
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        Cfg { blocks, block_of, reachable, dom }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn block_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Whether the instruction at `pc` is reachable from the entry.
+    pub fn instr_reachable(&self, pc: usize) -> bool {
+        self.reachable[self.block_of[pc]]
+    }
+
+    /// Whether block `a` dominates block `b` (both reachable; every block
+    /// dominates itself).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.reachable[a] || !self.reachable[b] {
+            return false;
+        }
+        bit_get(&self.dom[b], a)
+    }
+
+    /// Whether the instruction at `a` dominates the instruction at `b`
+    /// (within one block this is program order).
+    pub fn dominates_instr(&self, a: usize, b: usize) -> bool {
+        let (ba, bb) = (self.block_of[a], self.block_of[b]);
+        if ba == bb {
+            self.reachable[ba] && a <= b
+        } else {
+            self.dominates(ba, bb)
+        }
+    }
+}

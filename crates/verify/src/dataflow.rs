@@ -1,0 +1,289 @@
+//! Register dataflow: a must-initialize (reaching-definitions style)
+//! analysis that flags reads of never-written registers, and a
+//! thread-variance ("taint") analysis that classifies registers and
+//! predicates as uniform or potentially thread-varying, including the
+//! control-dependent variance induced by divergent branch regions.
+//!
+//! # Soundness notes
+//!
+//! * The executor zero-resets the register file per launch, so nothing is
+//!   ever *dynamically* uninitialized; the uninit lint flags the logical
+//!   bug of reading a register that no path has written. A def under a
+//!   guard counts as initializing: whichever way the guard goes the value
+//!   is deterministic (write or the architectural zero).
+//! * Predicate registers are not tracked by the uninit lint at all —
+//!   reading a never-written predicate yields the reset value `false`, an
+//!   idiom the kernel generator relies on for guards.
+//! * Variance is a may-analysis: over-approximating "thread-varying"
+//!   keeps the barrier/WMMA divergence lints sound. Geometry is used to
+//!   refine it (e.g. `%warpid` is uniform in a single-warp CTA).
+
+use crate::cfg::{instr_succs, Cfg};
+use crate::LaunchGeometry;
+use tcsim_isa::{Kernel, MemSpace, Op, Operand, SpecialReg};
+
+/// A fixed-capacity bitset used for per-block register states.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub(crate) fn empty(n: usize) -> BitSet {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    pub(crate) fn full(n: usize) -> BitSet {
+        let mut s = BitSet { words: vec![u64::MAX; n.div_ceil(64)] };
+        if !n.is_multiple_of(64) && !s.words.is_empty() {
+            let last = s.words.len() - 1;
+            s.words[last] = (1u64 << (n % 64)) - 1;
+        }
+        s
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub(crate) fn intersect_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    pub(crate) fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// Runs the must-initialize analysis and reports each read of a register
+/// that is uninitialized along some path, via `report(pc, missing)`.
+pub(crate) fn check_uninit(
+    k: &Kernel,
+    geom: &LaunchGeometry,
+    cfg: &Cfg,
+    mut report: impl FnMut(usize, &[u16]),
+) {
+    let instrs = k.instrs();
+    if instrs.is_empty() {
+        return;
+    }
+    let nregs = k.num_regs() as usize;
+    let volta = geom.volta;
+    let nb = cfg.num_blocks();
+
+    // Per-block transfer: the set of registers defined in the block.
+    let gen: Vec<BitSet> = (0..nb)
+        .map(|b| {
+            let mut g = BitSet::empty(nregs);
+            for i in &instrs[cfg.blocks[b].start..cfg.blocks[b].end] {
+                for r in i.def_regs(volta) {
+                    if (r.0 as usize) < nregs {
+                        g.insert(r.0 as usize);
+                    }
+                }
+            }
+            g
+        })
+        .collect();
+
+    // Forward must-analysis: IN[b] = ∩ OUT[preds]; entry starts empty,
+    // everything else starts at ⊤ and shrinks.
+    let mut inb: Vec<BitSet> = (0..nb)
+        .map(|b| if b == 0 { BitSet::empty(nregs) } else { BitSet::full(nregs) })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.block_reachable(b) {
+                continue;
+            }
+            let mut out = inb[b].clone();
+            for (w, g) in out.words.iter_mut().zip(&gen[b].words) {
+                *w |= g;
+            }
+            for &s in &cfg.blocks[b].succs {
+                let mut new = inb[s].clone();
+                new.intersect_with(&out);
+                if new != inb[s] {
+                    inb[s] = new;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Report reads of registers not definitely initialized.
+    for (b, binit) in inb.iter().enumerate() {
+        if !cfg.block_reachable(b) {
+            continue;
+        }
+        let mut init = binit.clone();
+        let block = &cfg.blocks[b];
+        for (pc, i) in instrs.iter().enumerate().take(block.end).skip(block.start) {
+            let missing: Vec<u16> = i
+                .use_regs(volta)
+                .into_iter()
+                .filter(|r| (r.0 as usize) < nregs && !init.contains(r.0 as usize))
+                .map(|r| r.0)
+                .collect();
+            if !missing.is_empty() {
+                report(pc, &missing);
+            }
+            for r in i.def_regs(volta) {
+                if (r.0 as usize) < nregs {
+                    init.insert(r.0 as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Result of the thread-variance analysis.
+#[derive(Clone, Debug)]
+pub struct Taint {
+    /// Whether each 32-bit register may hold a thread-varying value.
+    pub reg: Vec<bool>,
+    /// Whether each predicate register (`p0`–`p7`) may be thread-varying.
+    pub pred: Vec<bool>,
+    /// Whether each instruction lies inside a divergent branch region
+    /// (between a thread-varying guarded branch and its reconvergence).
+    pub divergent: Vec<bool>,
+    /// The branch instruction that opened each divergent region.
+    pub divergent_from: Vec<Option<usize>>,
+}
+
+fn special_varying(s: SpecialReg, geom: &LaunchGeometry) -> bool {
+    match s {
+        SpecialReg::TidX => geom.block.x > 1,
+        SpecialReg::TidY => geom.block.y > 1,
+        SpecialReg::TidZ => geom.block.z > 1,
+        SpecialReg::LaneId => geom.threads_per_cta() > 1,
+        SpecialReg::WarpId => geom.warps_per_cta() > 1,
+        // Uniform across all threads of one CTA; barriers and shared
+        // memory are CTA-scoped, so these never cause divergence.
+        SpecialReg::CtaIdX
+        | SpecialReg::CtaIdY
+        | SpecialReg::CtaIdZ
+        | SpecialReg::NTidX
+        | SpecialReg::NTidY
+        | SpecialReg::NCtaIdX
+        | SpecialReg::NCtaIdY => false,
+    }
+}
+
+impl Taint {
+    /// Computes register/predicate variance and divergent regions for `k`
+    /// under `geom` to a combined fixpoint.
+    pub fn compute(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg) -> Taint {
+        let instrs = k.instrs();
+        let len = instrs.len();
+        let nregs = k.num_regs() as usize;
+        let volta = geom.volta;
+        let mut t = Taint {
+            reg: vec![false; nregs],
+            pred: vec![false; 8],
+            divergent: vec![false; len],
+            divergent_from: vec![None; len],
+        };
+        loop {
+            // Inner fixpoint: propagate variance through data dependences.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for (pc, i) in instrs.iter().enumerate() {
+                    if !cfg.instr_reachable(pc) {
+                        continue;
+                    }
+                    let mut varying = t.divergent[pc];
+                    varying |= matches!(
+                        i.op,
+                        Op::Ld { space: MemSpace::Global | MemSpace::Shared | MemSpace::Local, .. }
+                            | Op::Atom { .. }
+                            | Op::Shfl { .. }
+                            | Op::Clock
+                    );
+                    if let Some((p, _)) = i.guard {
+                        varying |= t.pred[p.0 as usize];
+                    }
+                    varying |= i
+                        .use_regs(volta)
+                        .iter()
+                        .any(|r| (r.0 as usize) < nregs && t.reg[r.0 as usize]);
+                    for s in &i.srcs {
+                        match s {
+                            Operand::Special(sr) => varying |= special_varying(*sr, geom),
+                            Operand::Pred(p) => varying |= t.pred[p.0 as usize],
+                            _ => {}
+                        }
+                    }
+                    if varying {
+                        for r in i.def_regs(volta) {
+                            let r = r.0 as usize;
+                            if r < nregs && !t.reg[r] {
+                                t.reg[r] = true;
+                                changed = true;
+                            }
+                        }
+                        if let Some(p) = i.pred_dst {
+                            let p = p.0 as usize;
+                            if !t.pred[p] {
+                                t.pred[p] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Recompute divergent regions from varying-guarded branches;
+            // defs inside feed back into variance, so iterate to fixpoint.
+            let (divergent, divergent_from) = divergent_regions(k, cfg, &t);
+            if divergent == t.divergent {
+                break;
+            }
+            t.divergent = divergent;
+            t.divergent_from = divergent_from;
+        }
+        t
+    }
+}
+
+/// Marks every instruction between a thread-varying guarded branch and its
+/// reconvergence point (exclusive) as divergent.
+fn divergent_regions(k: &Kernel, cfg: &Cfg, t: &Taint) -> (Vec<bool>, Vec<Option<usize>>) {
+    let instrs = k.instrs();
+    let len = instrs.len();
+    let mut divergent = vec![false; len];
+    let mut from = vec![None; len];
+    for (pc, i) in instrs.iter().enumerate() {
+        if !cfg.instr_reachable(pc) || !i.is_branch() {
+            continue;
+        }
+        let Some((p, _)) = i.guard else { continue };
+        if !t.pred[p.0 as usize] {
+            continue;
+        }
+        // Both sides of the branch may execute with a partial warp until
+        // the reconvergence point pops the SIMT stack. With no
+        // reconvergence point recorded the divergence never ends (the
+        // executor panics there; flagged by the barrier lint).
+        let stop = i.reconv;
+        let mut stack = instr_succs(i, pc, len);
+        while let Some(n) = stack.pop() {
+            if Some(n) == stop || divergent[n] {
+                continue;
+            }
+            divergent[n] = true;
+            from[n] = Some(pc);
+            stack.extend(instr_succs(&instrs[n], n, len));
+        }
+    }
+    (divergent, from)
+}

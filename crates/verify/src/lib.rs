@@ -1,0 +1,261 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Static kernel analyzer for the simulated WMMA stack: the `ptxas` /
+//! `compute-sanitizer`-shaped pre-launch gate.
+//!
+//! [`Verifier::check`] runs four analyses over a [`Kernel`] and a
+//! [`LaunchGeometry`] and returns [`Diagnostic`]s carrying instruction
+//! indices, severities and `emit_kernel` source snippets:
+//!
+//! 1. **Uninitialized registers** — a must-initialize dataflow over the
+//!    CFG flags reads of 32-bit registers, register pairs and WMMA
+//!    fragment groups that no path has written ([`mod@cfg`], [`dataflow`]).
+//! 2. **Barrier divergence** — `bar.sync` guarded by a thread-varying
+//!    predicate or reachable inside a divergent branch region, and
+//!    varying branches without a reconvergence point (cross-checked
+//!    against the executor semantics in `crates/isa/src/exec.rs`, which
+//!    panics on unreconverged divergence).
+//! 3. **Shared-memory races and bounds** — affine address recovery in the
+//!    thread-identity special registers, barrier-interval partitioning,
+//!    and a cross-warp may-overlap check plus out-of-bounds detection
+//!    against `shared_bytes()` + dynamic shared memory.
+//! 4. **WMMA well-formedness** — architecture mode validity, fragment
+//!    register width/alignment, full-warp execution, and shape/type
+//!    agreement across `wmma.load` → `wmma.mma` → `wmma.store`.
+//!
+//! The pass is wired into `tcsim-sim`'s `LaunchBuilder` (`verify()` /
+//! `try_launch`) and the `tcsim-lint` binary in `tcsim-check`; every
+//! oracle-safe kernel the fuzzer generates must verify clean, while the
+//! planted-defect mutators must each be flagged.
+
+pub mod cfg;
+pub mod dataflow;
+
+mod barrier;
+mod shmem;
+mod wmma_lint;
+
+use std::fmt;
+use tcsim_isa::{emit::emit_kernel, Dim3, Kernel, LaunchConfig};
+
+pub use dataflow::Taint;
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not certainly fatal; does not block a launch.
+    Warn,
+    /// A well-formedness violation; the launch gate rejects the kernel.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Index of the offending instruction in `Kernel::instrs()`.
+    pub index: usize,
+    /// Stable rule identifier (e.g. `uninit-reg`, `barrier-divergence`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending instruction as emitted PTX-flavoured text.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Whether this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] #{}: {}", self.severity, self.rule, self.index, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n    --> {}", self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether any diagnostic in `diags` is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// The launch shape a kernel is analyzed under: grid/block geometry,
+/// dynamic shared memory, and the fragment-sizing architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchGeometry {
+    /// CTAs in the grid.
+    pub grid: Dim3,
+    /// Threads per CTA.
+    pub block: Dim3,
+    /// Dynamic shared memory per CTA in bytes (added to the kernel's
+    /// static allocation for the bounds check).
+    pub dynamic_shared: u32,
+    /// Volta fragment sizing (A/B double-loaded, §III-B1) when `true`;
+    /// Turing sizing otherwise. Also selects WMMA mode validity.
+    pub volta: bool,
+}
+
+impl LaunchGeometry {
+    /// Creates a geometry with no dynamic shared memory, Volta sizing.
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> LaunchGeometry {
+        LaunchGeometry {
+            grid: grid.into(),
+            block: block.into(),
+            dynamic_shared: 0,
+            volta: true,
+        }
+    }
+
+    /// Geometry from a [`LaunchConfig`] plus the architecture flag.
+    pub fn from_config(cfg: &LaunchConfig, volta: bool) -> LaunchGeometry {
+        LaunchGeometry {
+            grid: cfg.grid,
+            block: cfg.block,
+            dynamic_shared: cfg.shared_bytes,
+            volta,
+        }
+    }
+
+    /// Selects Turing fragment sizing and mode validity.
+    pub fn turing(mut self) -> LaunchGeometry {
+        self.volta = false;
+        self
+    }
+
+    /// Sets the dynamic shared memory size.
+    pub fn with_dynamic_shared(mut self, bytes: u32) -> LaunchGeometry {
+        self.dynamic_shared = bytes;
+        self
+    }
+
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per CTA (rounded up).
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta().div_ceil(32)
+    }
+}
+
+/// Collects raw findings during analysis; snippets are attached at the
+/// end by [`Verifier::check`].
+pub(crate) struct Sink {
+    raw: Vec<(Severity, usize, &'static str, String)>,
+}
+
+impl Sink {
+    fn new() -> Sink {
+        Sink { raw: Vec::new() }
+    }
+
+    pub(crate) fn error(&mut self, index: usize, rule: &'static str, message: String) {
+        self.raw.push((Severity::Error, index, rule, message));
+    }
+
+    pub(crate) fn warn(&mut self, index: usize, rule: &'static str, message: String) {
+        self.raw.push((Severity::Warn, index, rule, message));
+    }
+}
+
+/// Extracts one emitted text line per instruction, in index order.
+fn instruction_lines(k: &Kernel) -> Vec<String> {
+    let text = emit_kernel(k);
+    let mut lines = Vec::with_capacity(k.instrs().len());
+    let mut in_body = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if !in_body {
+            if t == "{" {
+                in_body = true;
+            }
+            continue;
+        }
+        if t == "}" {
+            break;
+        }
+        if t.ends_with(':') || t.is_empty() {
+            continue; // label lines
+        }
+        lines.push(t.to_string());
+    }
+    lines
+}
+
+/// The static analysis pass. Stateless; construct once and reuse.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Verifier;
+
+impl Verifier {
+    /// Creates a verifier.
+    pub fn new() -> Verifier {
+        Verifier
+    }
+
+    /// Runs all analyses on `kernel` under `geom`, returning diagnostics
+    /// sorted by instruction index (errors before warnings at the same
+    /// index).
+    pub fn check(&self, kernel: &Kernel, geom: &LaunchGeometry) -> Vec<Diagnostic> {
+        let cfg = cfg::Cfg::build(kernel);
+        let mut sink = Sink::new();
+
+        dataflow::check_uninit(kernel, geom, &cfg, |pc, missing| {
+            let list = missing.iter().map(|r| format!("r{r}")).collect::<Vec<_>>().join(", ");
+            sink.raw.push((
+                Severity::Error,
+                pc,
+                "uninit-reg",
+                format!(
+                    "instruction at #{pc} reads {} {list} which may be uninitialized \
+                     (no definition reaches it on some path)",
+                    if missing.len() == 1 { "register" } else { "registers" }
+                ),
+            ));
+        });
+
+        let taint = Taint::compute(kernel, geom, &cfg);
+        barrier::check(kernel, &cfg, &taint, &mut sink);
+        wmma_lint::check(kernel, geom, &cfg, &taint, &mut sink);
+        shmem::check(kernel, geom, &cfg, &taint, &mut sink);
+
+        let lines = instruction_lines(kernel);
+        let mut diags: Vec<Diagnostic> = sink
+            .raw
+            .into_iter()
+            .map(|(severity, index, rule, message)| Diagnostic {
+                severity,
+                index,
+                rule,
+                message,
+                snippet: lines.get(index).cloned().unwrap_or_default(),
+            })
+            .collect();
+        diags.sort_by(|a, b| {
+            a.index.cmp(&b.index).then(b.severity.cmp(&a.severity)).then(a.rule.cmp(b.rule))
+        });
+        diags
+    }
+}
+
+/// Convenience wrapper around [`Verifier::check`].
+pub fn check(kernel: &Kernel, geom: &LaunchGeometry) -> Vec<Diagnostic> {
+    Verifier::new().check(kernel, geom)
+}

@@ -1,0 +1,863 @@
+//! Shared-memory race and bounds analysis.
+//!
+//! Byte addresses of shared accesses are recovered as *affine* forms
+//! `Σ cᵢ·symᵢ + [lo, hi]` over the thread-identity special registers
+//! (`%tid.*`, `%ctaid.*`, `%laneid`, `%warpid`), propagated through the
+//! `Mov/IAdd/ISub/IMul/IMad/Shl/Shr/And/SelP/Xor` chains kernels use for
+//! address generation. Three refinements keep real kernels analyzable:
+//!
+//! * in 1-D CTAs `%tid.x` is recovered directly as `32·%warpid +
+//!   %laneid`, so every tid-derived address is already in warp/lane form;
+//! * `Shr` by a constant `k` splits each coefficient into an exact
+//!   quotient times `2^k` plus a bounded residue (`(32w + lane) >> 3`
+//!   becomes `4w + [0, 3]`), and `And` with a constant mask contributes a
+//!   bounded `[0, mask]` slack term — which is how generator-style
+//!   `v & 63` indices and bit-sliced staging rows stay analyzable;
+//! * the double-buffer idiom `xor p, p, STAGE` is modeled with a *stage
+//!   toggle*: when a loop-head join sees two incoming values that differ
+//!   by exactly a power-of-two constant, the merged value carries a
+//!   symbolic phase bit σ (one per join site). A later `xor` with the
+//!   same constant flips the value's phase polarity. Toggles are only
+//!   introduced at joins whose incoming edges are controlled by
+//!   CTA-uniform branches, so σ has one value per CTA at any instant.
+//!
+//! Accesses are partitioned into *barrier intervals*: two accesses can
+//! race only if some interval start (kernel entry or a `bar.sync`) reaches
+//! both without crossing another barrier — sound given barrier uniformity,
+//! which the barrier lint checks separately. Conflicting pairs across
+//! threads are then pruned per phase case: accesses whose toggles share a
+//! join site are compared only in equal-σ worlds (both threads of a CTA
+//! observe the same stage within one barrier interval), which is what
+//! proves double-buffered staging stores disjoint from the compute-side
+//! fragment loads of the *other* stage. Within each world the warp-slice
+//! argument applies: accesses whose footprints fit inside one
+//! `%warpid`-stride window cannot overlap across warps. Same-warp
+//! overlaps are *never* reported: warps execute in lockstep with
+//! deterministic lane ordering in this model (see `crates/isa/src/exec.rs`),
+//! matching what the differential oracle accepts.
+//!
+//! Soundness caveats (DESIGN.md §4.12): only affine addresses are
+//! analyzed — a shared access whose address cannot be recovered gets a
+//! `shared-addr` warning and is excluded from the race check; the
+//! equal-σ case split assumes two same-interval accesses execute in the
+//! same loop iteration, which holds when every loop back edge crosses an
+//! unconditional barrier (true for all staged kernels in this repo) but
+//! is not itself verified.
+
+use crate::cfg::{instr_succs, Cfg};
+use crate::dataflow::{BitSet, Taint};
+use crate::{LaunchGeometry, Sink};
+use std::collections::HashMap;
+use tcsim_isa::{
+    FragmentKind, Instr, Kernel, Layout, MemSpace, Op, Operand, SpecialReg, WmmaDirective,
+};
+
+const NSYM: usize = 8;
+const S_TIDX: usize = 0;
+const S_TIDY: usize = 1;
+const S_TIDZ: usize = 2;
+const S_CTAX: usize = 3;
+const S_CTAY: usize = 4;
+const S_CTAZ: usize = 5;
+const S_LANE: usize = 6;
+const S_WARP: usize = 7;
+
+/// How many interval joins a block tolerates before widening drops
+/// still-changing entries (guarantees termination of the fixpoint).
+const WIDEN_LIMIT: u32 = 16;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Affine {
+    c: [i64; NSYM],
+    lo: i64,
+    hi: i64,
+}
+
+impl Affine {
+    fn constant(v: i64) -> Affine {
+        Affine { c: [0; NSYM], lo: v, hi: v }
+    }
+
+    fn sym(i: usize) -> Affine {
+        let mut a = Affine::constant(0);
+        a.c[i] = 1;
+        a
+    }
+
+    fn is_const(&self) -> Option<i64> {
+        if self.c.iter().all(|&c| c == 0) && self.lo == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    fn add(&self, o: &Affine) -> Affine {
+        let mut r = *self;
+        for i in 0..NSYM {
+            r.c[i] = r.c[i].saturating_add(o.c[i]);
+        }
+        r.lo = r.lo.saturating_add(o.lo);
+        r.hi = r.hi.saturating_add(o.hi);
+        r
+    }
+
+    fn sub(&self, o: &Affine) -> Affine {
+        let mut r = *self;
+        for i in 0..NSYM {
+            r.c[i] = r.c[i].saturating_sub(o.c[i]);
+        }
+        r.lo = self.lo.saturating_sub(o.hi);
+        r.hi = self.hi.saturating_sub(o.lo);
+        r
+    }
+
+    fn mul_k(&self, k: i64) -> Affine {
+        let mut r = *self;
+        for i in 0..NSYM {
+            r.c[i] = r.c[i].saturating_mul(k);
+        }
+        let (a, b) = (self.lo.saturating_mul(k), self.hi.saturating_mul(k));
+        r.lo = a.min(b);
+        r.hi = a.max(b);
+        r
+    }
+
+    /// Exact right shift: splits every coefficient into `2^k·q + rem` and
+    /// folds the residues into the constant interval, using the identity
+    /// `(2^k·X + Y) >> k = X + (Y >> k)` for non-negative `X`, `Y`.
+    fn shr_k(&self, k: i64, max: &[i64; NSYM]) -> Option<Affine> {
+        if self.lo < 0 || self.c.iter().any(|&c| c < 0) {
+            return None;
+        }
+        let mut q = [0i64; NSYM];
+        let mut res_hi = self.hi;
+        for i in 0..NSYM {
+            q[i] = self.c[i] >> k;
+            let rem = self.c[i] - (q[i] << k);
+            res_hi = res_hi.saturating_add(rem.saturating_mul(max[i]));
+        }
+        Some(Affine { c: q, lo: self.lo >> k, hi: res_hi >> k })
+    }
+
+    /// Interval hull of two forms with identical coefficients.
+    fn hull(&self, o: &Affine) -> Option<Affine> {
+        if self.c != o.c {
+            return None;
+        }
+        let mut r = *self;
+        r.lo = self.lo.min(o.lo);
+        r.hi = self.hi.max(o.hi);
+        Some(r)
+    }
+
+    /// Concrete byte range `[lo, hi]` over all thread identities.
+    fn range(&self, max: &[i64; NSYM]) -> (i64, i64) {
+        let (mut lo, mut hi) = (self.lo, self.hi);
+        for (&c, &m) in self.c.iter().zip(max) {
+            let term = c.saturating_mul(m);
+            if term >= 0 {
+                hi = hi.saturating_add(term);
+            } else {
+                lo = lo.saturating_add(term);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+fn sym_max(geom: &LaunchGeometry) -> [i64; NSYM] {
+    let threads = geom.threads_per_cta() as i64;
+    let mut m = [0i64; NSYM];
+    m[S_TIDX] = geom.block.x as i64 - 1;
+    m[S_TIDY] = geom.block.y as i64 - 1;
+    m[S_TIDZ] = geom.block.z as i64 - 1;
+    m[S_CTAX] = geom.grid.x as i64 - 1;
+    m[S_CTAY] = geom.grid.y as i64 - 1;
+    m[S_CTAZ] = geom.grid.z as i64 - 1;
+    m[S_LANE] = (threads - 1).clamp(0, 31);
+    m[S_WARP] = geom.warps_per_cta() as i64 - 1;
+    m
+}
+
+/// A double-buffer stage term: the value is `affine + m` exactly when the
+/// phase bit of `site` equals `high_at`. Phase bits are CTA-uniform (one
+/// value per join site per barrier interval).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Toggle {
+    site: u32,
+    m: i64,
+    high_at: bool,
+}
+
+/// An abstract register value: an affine form plus an optional stage
+/// toggle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Val {
+    a: Affine,
+    t: Option<Toggle>,
+}
+
+impl Val {
+    fn plain(a: Affine) -> Val {
+        Val { a, t: None }
+    }
+
+    /// Concretizations: one `(phase, affine)` per reachable world. The
+    /// phase is `Some((site, σ))` for toggled values, `None` otherwise.
+    fn worlds(&self) -> Vec<(Option<(u32, bool)>, Affine)> {
+        match self.t {
+            None => vec![(None, self.a)],
+            Some(t) => {
+                let high = self.a.add(&Affine::constant(t.m));
+                vec![
+                    (Some((t.site, t.high_at)), high),
+                    (Some((t.site, !t.high_at)), self.a),
+                ]
+            }
+        }
+    }
+}
+
+/// Addition carrying at most one toggle between the operands.
+fn val_add(a: &Val, b: &Val) -> Option<Val> {
+    let t = match (a.t, b.t) {
+        (None, None) => None,
+        (Some(t), None) | (None, Some(t)) => Some(t),
+        (Some(_), Some(_)) => return None,
+    };
+    Some(Val { a: a.a.add(&b.a), t })
+}
+
+type Env = HashMap<u16, Val>;
+
+fn eval(op: &Operand, env: &Env, geom: &LaunchGeometry) -> Option<Val> {
+    match op {
+        Operand::Imm(v) => Some(Val::plain(Affine::constant(*v))),
+        Operand::Reg(r) => env.get(&r.0).copied(),
+        Operand::Special(s) => Some(Val::plain(match s {
+            SpecialReg::TidX => {
+                if geom.block.y == 1 && geom.block.z == 1 {
+                    // 1-D CTA: tid.x decomposes exactly into warp/lane.
+                    let mut a = Affine::constant(0);
+                    a.c[S_WARP] = 32;
+                    a.c[S_LANE] = 1;
+                    a
+                } else {
+                    Affine::sym(S_TIDX)
+                }
+            }
+            SpecialReg::TidY => Affine::sym(S_TIDY),
+            SpecialReg::TidZ => Affine::sym(S_TIDZ),
+            SpecialReg::CtaIdX => Affine::sym(S_CTAX),
+            SpecialReg::CtaIdY => Affine::sym(S_CTAY),
+            SpecialReg::CtaIdZ => Affine::sym(S_CTAZ),
+            SpecialReg::LaneId => Affine::sym(S_LANE),
+            SpecialReg::WarpId => Affine::sym(S_WARP),
+            SpecialReg::NTidX => Affine::constant(geom.block.x as i64),
+            SpecialReg::NTidY => Affine::constant(geom.block.y as i64),
+            SpecialReg::NCtaIdX => Affine::constant(geom.grid.x as i64),
+            SpecialReg::NCtaIdY => Affine::constant(geom.grid.y as i64),
+        })),
+        Operand::RegPair(_) | Operand::Pred(_) => None,
+    }
+}
+
+fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) {
+    let defs = i.def_regs(geom.volta);
+    let value: Option<Val> = if i.guard.is_some() || defs.len() != 1 {
+        // Guarded writes may not execute; multi-register defs are not
+        // tracked (shared addresses are single 32-bit registers).
+        None
+    } else {
+        let s = |n: usize| i.srcs.get(n).and_then(|o| eval(o, env, geom));
+        // Most ops only combine toggle-free forms; `sf` enforces that.
+        let sf = |n: usize| s(n).filter(|v| v.t.is_none()).map(|v| v.a);
+        match i.op {
+            Op::Mov => s(0),
+            Op::IAdd => s(0).zip(s(1)).and_then(|(a, b)| val_add(&a, &b)),
+            Op::ISub => s(0)
+                .zip(sf(1))
+                .map(|(a, b)| Val { a: a.a.sub(&b), t: a.t }),
+            Op::IMul => sf(0).zip(sf(1)).and_then(|(a, b)| {
+                match (a.is_const(), b.is_const()) {
+                    (_, Some(k)) => Some(Val::plain(a.mul_k(k))),
+                    (Some(k), _) => Some(Val::plain(b.mul_k(k))),
+                    _ => None,
+                }
+            }),
+            Op::IMad => sf(0).zip(sf(1)).and_then(|(a, b)| {
+                let prod = match (a.is_const(), b.is_const()) {
+                    (_, Some(k)) => Some(a.mul_k(k)),
+                    (Some(k), _) => Some(b.mul_k(k)),
+                    _ => None,
+                }?;
+                s(2).and_then(|c| val_add(&Val::plain(prod), &c))
+            }),
+            Op::Shl => sf(1)
+                .and_then(|b| b.is_const())
+                .filter(|k| (0..32).contains(k))
+                .and_then(|k| sf(0).map(|a| Val::plain(a.mul_k(1i64 << k)))),
+            Op::Shr | Op::Sar => sf(1)
+                .and_then(|b| b.is_const())
+                .filter(|k| (0..32).contains(k))
+                .and_then(|k| sf(0).and_then(|a| a.shr_k(k, max)).map(Val::plain)),
+            Op::And => sf(1).and_then(|b| b.is_const()).filter(|m| *m >= 0).map(|m| {
+                // Result bits are a subset of the mask: value ∈ [0, m].
+                match sf(0).and_then(|a| a.is_const()) {
+                    Some(v) => Val::plain(Affine::constant(v & m)),
+                    None => Val::plain(Affine { c: [0; NSYM], lo: 0, hi: m }),
+                }
+            }),
+            Op::Xor => sf(1).and_then(|b| b.is_const()).and_then(|x| {
+                let v = s(0)?;
+                if x == 0 {
+                    return Some(v);
+                }
+                if x < 0 || x & (x - 1) != 0 {
+                    return None; // only single-bit stage strides
+                }
+                match v.t {
+                    // Toggling the stage bit flips the phase polarity —
+                    // exact when the low world stays below the bit (then
+                    // the high world occupies [x, 2x) and xor is ∓x).
+                    Some(t) if t.m == x && {
+                        let (lo, hi) = v.a.range(max);
+                        lo >= 0 && hi < x
+                    } =>
+                    {
+                        Some(Val { a: v.a, t: Some(Toggle { high_at: !t.high_at, ..t }) })
+                    }
+                    Some(_) => None,
+                    None => {
+                        // Bit state determined by the value range: the
+                        // xor is an exact ±x.
+                        let (lo, hi) = v.a.range(max);
+                        if lo >= 0 && hi < x {
+                            Some(Val::plain(v.a.add(&Affine::constant(x))))
+                        } else if lo >= x && hi < 2 * x {
+                            Some(Val::plain(v.a.sub(&Affine::constant(x))))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }),
+            Op::SelP => sf(1)
+                .zip(sf(2))
+                .and_then(|(a, b)| a.hull(&b))
+                .map(Val::plain),
+            _ => None,
+        }
+    };
+    for r in &defs {
+        env.remove(&r.0);
+    }
+    if let (Some(v), 1) = (value, defs.len()) {
+        env.insert(defs[0].0, v);
+    }
+}
+
+/// Joins `from` into the running environment of block `site`.
+fn join(into: &mut Option<Env>, from: &Env, site: u32, toggle_ok: bool, widen: bool) -> bool {
+    match into {
+        None => {
+            *into = Some(from.clone());
+            true
+        }
+        Some(cur) => {
+            let mut changed = false;
+            let keys: Vec<u16> = cur.keys().copied().collect();
+            for k in keys {
+                let c = cur[&k];
+                let keep = match from.get(&k) {
+                    None => None,
+                    Some(f) if c == *f => Some(c),
+                    Some(_) if widen => None,
+                    Some(f) => join_vals(&c, f, site, toggle_ok),
+                };
+                match keep {
+                    Some(v) if v == c => {}
+                    Some(v) => {
+                        cur.insert(k, v);
+                        changed = true;
+                    }
+                    None => {
+                        cur.remove(&k);
+                        changed = true;
+                    }
+                }
+            }
+            changed
+        }
+    }
+}
+
+/// Merges two distinct abstract values at a join, introducing or
+/// preserving a stage toggle where the shapes allow it.
+fn join_vals(c: &Val, f: &Val, site: u32, toggle_ok: bool) -> Option<Val> {
+    match (c.t, f.t) {
+        (None, None) => {
+            if c.a.c != f.a.c {
+                return None;
+            }
+            // Two values a uniform power-of-two apart (the whole interval
+            // shifted by d): a stage toggle, provided the merging paths
+            // are chosen CTA-uniformly.
+            let d = f.a.lo - c.a.lo;
+            if toggle_ok && d != 0 && d == f.a.hi - c.a.hi && d.abs() & (d.abs() - 1) == 0 {
+                let (low, high_at) = if d > 0 { (c.a, true) } else { (f.a, false) };
+                return Some(Val { a: low, t: Some(Toggle { site, m: d.abs(), high_at }) });
+            }
+            c.a.hull(&f.a).map(Val::plain)
+        }
+        (Some(tc), Some(tf)) if tc.site == tf.site && tc.m == tf.m && c.a.c == f.a.c => {
+            if tc.high_at == tf.high_at {
+                c.a.hull(&f.a).map(|a| Val { a, t: Some(tc) })
+            } else if c.a.lo == f.a.lo && c.a.hi == f.a.hi {
+                // Anti-phase re-entry along the toggling loop's own back
+                // edge: every toggled value flipped together, so the
+                // established polarity is iteration-invariant.
+                Some(*c)
+            } else {
+                None
+            }
+        }
+        (Some(tc), None) => {
+            // An exact incoming value already covered by one phase.
+            let high = c.a.add(&Affine::constant(tc.m));
+            if f.a == c.a || f.a == high {
+                Some(*c)
+            } else {
+                None
+            }
+        }
+        (None, Some(tf)) => {
+            let high = f.a.add(&Affine::constant(tf.m));
+            if c.a == f.a || c.a == high {
+                Some(*f)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Blocks where stage toggles may be introduced: every reachable
+/// predecessor must end outside thread-divergent control flow, with any
+/// conditional terminator guarded by a CTA-uniform predicate — then all
+/// threads of a CTA funnel through the same incoming edge together and
+/// the phase bit is uniform.
+fn toggle_ok_blocks(k: &Kernel, cfg: &Cfg, taint: &Taint) -> Vec<bool> {
+    let nb = cfg.num_blocks();
+    let mut ok = vec![true; nb];
+    for p in 0..nb {
+        if !cfg.block_reachable(p) || cfg.blocks[p].start == cfg.blocks[p].end {
+            continue;
+        }
+        let last = cfg.blocks[p].end - 1;
+        let i = &k.instrs()[last];
+        // A conditional terminator is a guarded `bra`/`exit`; its guard
+        // predicate decides which successor a thread takes.
+        let mut uniform = !taint.divergent[last];
+        if let Some((pr, _)) = i.guard {
+            uniform &= !taint.pred[pr.0 as usize];
+        }
+        if !uniform {
+            for &s in &cfg.blocks[p].succs {
+                ok[s] = false;
+            }
+        }
+    }
+    ok
+}
+
+fn env_fixpoint(
+    k: &Kernel,
+    geom: &LaunchGeometry,
+    cfg: &Cfg,
+    taint: &Taint,
+    max: &[i64; NSYM],
+) -> Vec<Option<Env>> {
+    let nb = cfg.num_blocks();
+    let mut inb: Vec<Option<Env>> = vec![None; nb];
+    let mut joins = vec![0u32; nb];
+    if nb == 0 {
+        return inb;
+    }
+    let toggle_ok = toggle_ok_blocks(k, cfg, taint);
+    inb[0] = Some(Env::new());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.block_reachable(b) {
+                continue;
+            }
+            let Some(mut env) = inb[b].clone() else { continue };
+            for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+                transfer(&mut env, &k.instrs()[pc], geom, max);
+            }
+            for &s in &cfg.blocks[b].succs {
+                if join(&mut inb[s], &env, s as u32, toggle_ok[s], joins[s] > WIDEN_LIMIT) {
+                    joins[s] += 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    inb
+}
+
+/// Per-instruction set of "interval starts" (entry or a barrier) that
+/// reach the instruction without crossing an unconditional barrier.
+fn interval_starts(k: &Kernel, cfg: &Cfg) -> Vec<BitSet> {
+    let instrs = k.instrs();
+    let len = instrs.len();
+    let mut start_frontiers: Vec<Vec<usize>> = Vec::new();
+    if len > 0 {
+        start_frontiers.push(vec![0]); // kernel entry
+    }
+    for (pc, i) in instrs.iter().enumerate() {
+        if matches!(i.op, Op::Bar) && cfg.instr_reachable(pc) {
+            start_frontiers.push(instr_succs(i, pc, len));
+        }
+    }
+    let ns = start_frontiers.len();
+    let mut sets: Vec<BitSet> = (0..len).map(|_| BitSet::empty(ns.max(1))).collect();
+    for (sid, frontier) in start_frontiers.into_iter().enumerate() {
+        let mut stack = frontier;
+        let mut seen = vec![false; len];
+        while let Some(pc) = stack.pop() {
+            if seen[pc] {
+                continue;
+            }
+            seen[pc] = true;
+            sets[pc].insert(sid);
+            let i = &instrs[pc];
+            // An unguarded barrier ends the interval; a guarded one may be
+            // skipped, so traversal continues through it (it is also its
+            // own interval start).
+            if matches!(i.op, Op::Bar) && i.guard.is_none() {
+                continue;
+            }
+            stack.extend(instr_succs(i, pc, len));
+        }
+    }
+    sets
+}
+
+struct Access {
+    pc: usize,
+    write: bool,
+    atomic: bool,
+    val: Option<Val>,
+    width: i64,
+    warp_wide: bool,
+}
+
+fn wmma_span_bytes(dir: &WmmaDirective, stride: i64) -> Option<i64> {
+    let (frag, shape, layout, ty) = match *dir {
+        WmmaDirective::Load { frag, shape, layout, ty } => (frag, shape, layout, ty),
+        WmmaDirective::Store { shape, layout, ty } => (FragmentKind::D, shape, layout, ty),
+        WmmaDirective::Mma { .. } => return None,
+    };
+    if stride < 1 {
+        return None;
+    }
+    let (rows, cols) = frag.dims(shape);
+    let (major, minor) = match layout {
+        Layout::Row => (rows as i64, cols as i64),
+        Layout::Col => (cols as i64, rows as i64),
+    };
+    let span_elems = (major - 1).saturating_mul(stride).saturating_add(minor);
+    Some((span_elems.saturating_mul(ty.bits() as i64) + 7) / 8)
+}
+
+fn collect_accesses(
+    k: &Kernel,
+    geom: &LaunchGeometry,
+    cfg: &Cfg,
+    envs: &[Option<Env>],
+    max: &[i64; NSYM],
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (b, benv) in envs.iter().enumerate() {
+        if !cfg.block_reachable(b) {
+            continue;
+        }
+        let Some(mut env) = benv.clone() else { continue };
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            let i = &k.instrs()[pc];
+            let addr_plus_off = |env: &Env| -> Option<Val> {
+                let a = eval(i.srcs.first()?, env, geom)?;
+                let off = eval(i.srcs.get(1)?, env, geom)?;
+                val_add(&a, &off)
+            };
+            match &i.op {
+                Op::Ld { space: MemSpace::Shared, width } => out.push(Access {
+                    pc,
+                    write: false,
+                    atomic: false,
+                    val: addr_plus_off(&env),
+                    width: width.bytes() as i64,
+                    warp_wide: false,
+                }),
+                Op::St { space: MemSpace::Shared, width } => out.push(Access {
+                    pc,
+                    write: true,
+                    atomic: false,
+                    val: addr_plus_off(&env),
+                    width: width.bytes() as i64,
+                    warp_wide: false,
+                }),
+                Op::Atom { space: MemSpace::Shared, .. } => out.push(Access {
+                    pc,
+                    write: true,
+                    atomic: true,
+                    val: addr_plus_off(&env),
+                    width: 4,
+                    warp_wide: false,
+                }),
+                Op::Wmma(dir @ (WmmaDirective::Load { .. } | WmmaDirective::Store { .. })) => {
+                    if i.srcs.last() != Some(&Operand::Imm(1)) {
+                        continue; // global-space wmma access
+                    }
+                    let stride = i
+                        .srcs
+                        .get(1)
+                        .and_then(|o| eval(o, &env, geom))
+                        .filter(|v| v.t.is_none())
+                        .and_then(|v| v.a.is_const());
+                    let span = stride.and_then(|s| wmma_span_bytes(dir, s));
+                    let val = match span {
+                        Some(_) => i.srcs.first().and_then(|o| eval(o, &env, geom)),
+                        None => None,
+                    };
+                    out.push(Access {
+                        pc,
+                        write: matches!(dir, WmmaDirective::Store { .. }),
+                        atomic: false,
+                        val,
+                        width: span.unwrap_or(1),
+                        warp_wide: true,
+                    });
+                }
+                _ => {}
+            }
+            transfer(&mut env, i, geom, max);
+        }
+    }
+    out
+}
+
+/// Proves two accesses cannot overlap across distinct warps via the
+/// warp-slice argument. Returns `false` when no proof is found.
+fn warp_separated(a: &Affine, aw: i64, b: &Affine, bw: i64, geom: &LaunchGeometry, max: &[i64; NSYM]) -> bool {
+    let canon = |f: &Affine| -> Option<Affine> {
+        let mut f = *f;
+        // tid components that are constantly zero contribute nothing.
+        if geom.block.y == 1 {
+            f.c[S_TIDY] = 0;
+        }
+        if geom.block.z == 1 {
+            f.c[S_TIDZ] = 0;
+        }
+        if f.c[S_TIDX] == 0 && f.c[S_TIDY] == 0 && f.c[S_TIDZ] == 0 {
+            return Some(f);
+        }
+        // The tid terms must form an exact multiple of the linear thread
+        // id, cx·(tid.z·by·bx + tid.y·bx + tid.x): that is cx·(32·warpid
+        // + laneid) under row-major warp formation. A partial combination
+        // (e.g. tid.x alone in a 2-D block) has no warp decomposition.
+        let cx = f.c[S_TIDX];
+        let (bx, by) = (geom.block.x as i64, geom.block.y as i64);
+        if cx == 0
+            || (geom.block.y != 1 && f.c[S_TIDY] != cx.saturating_mul(bx))
+            || (geom.block.z != 1 && f.c[S_TIDZ] != cx.saturating_mul(bx).saturating_mul(by))
+        {
+            return None;
+        }
+        f.c[S_WARP] = f.c[S_WARP].saturating_add(cx.saturating_mul(32));
+        f.c[S_LANE] = f.c[S_LANE].saturating_add(cx);
+        f.c[S_TIDX] = 0;
+        f.c[S_TIDY] = 0;
+        f.c[S_TIDZ] = 0;
+        Some(f)
+    };
+    let (Some(ca), Some(cb)) = (canon(a), canon(b)) else { return false };
+    // Both threads live in the same CTA (shared memory and barriers are
+    // CTA-scoped), so equal ctaid coefficients cancel in the difference.
+    for s in [S_CTAX, S_CTAY, S_CTAZ] {
+        if ca.c[s] != cb.c[s] {
+            return false;
+        }
+    }
+    let cw = ca.c[S_WARP];
+    if cw == 0 || cb.c[S_WARP] != cw {
+        return false;
+    }
+    // Remainder range: everything but the warp term (ctaid cancels).
+    let rem = |f: &Affine, w: i64| -> (i64, i64) {
+        let mut lo = f.lo;
+        let mut hi = f.hi;
+        let lane_term = f.c[S_LANE].saturating_mul(max[S_LANE]);
+        if lane_term >= 0 {
+            hi = hi.saturating_add(lane_term);
+        } else {
+            lo = lo.saturating_add(lane_term);
+        }
+        (lo, hi.saturating_add(w))
+    };
+    let (alo, aend) = rem(&ca, aw);
+    let (blo, bend) = rem(&cb, bw);
+    aend.max(bend).saturating_sub(alo.min(blo)) <= cw.abs()
+}
+
+/// Checks one world pair: disjoint footprints or warp-separated.
+fn world_pair_safe(
+    fa: &Affine,
+    aw: i64,
+    fb: &Affine,
+    bw: i64,
+    geom: &LaunchGeometry,
+    max: &[i64; NSYM],
+) -> bool {
+    let (alo, ahi) = fa.range(max);
+    let (blo, bhi) = fb.range(max);
+    if ahi.saturating_add(aw) <= blo || bhi.saturating_add(bw) <= alo {
+        return true; // footprints disjoint in this world
+    }
+    warp_separated(fa, aw, fb, bw, geom, max)
+}
+
+pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint, sink: &mut Sink) {
+    let uses_shared = k.instrs().iter().any(|i| {
+        matches!(
+            i.op,
+            Op::Ld { space: MemSpace::Shared, .. }
+                | Op::St { space: MemSpace::Shared, .. }
+                | Op::Atom { space: MemSpace::Shared, .. }
+        ) || (matches!(i.op, Op::Wmma(_)) && i.srcs.last() == Some(&Operand::Imm(1)))
+    });
+    if !uses_shared {
+        return;
+    }
+
+    let limit = k.shared_bytes() as i64 + geom.dynamic_shared as i64;
+    let max = sym_max(geom);
+    let envs = env_fixpoint(k, geom, cfg, taint, &max);
+    let accesses = collect_accesses(k, geom, cfg, &envs, &max);
+
+    // Bounds + address-recovery diagnostics.
+    let mut warned = std::collections::HashSet::new();
+    for a in &accesses {
+        match &a.val {
+            None => {
+                if warned.insert(a.pc) {
+                    sink.warn(
+                        a.pc,
+                        "shared-addr",
+                        format!(
+                            "shared-memory address at #{} is not affine-recoverable; \
+                             bounds and race analysis skip this access",
+                            a.pc
+                        ),
+                    );
+                }
+            }
+            Some(v) => {
+                for (_, f) in v.worlds() {
+                    let (lo, hi) = f.range(&max);
+                    let end = hi.saturating_add(a.width);
+                    if lo < 0 || end > limit {
+                        sink.error(
+                            a.pc,
+                            "shared-oob",
+                            format!(
+                                "shared-memory access at #{} may touch bytes [{lo}, {end}) but \
+                                 only [0, {limit}) are allocated (static {} + dynamic {})",
+                                a.pc,
+                                k.shared_bytes(),
+                                geom.dynamic_shared
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Cross-warp race detection. With a single warp per CTA every pair is
+    // intra-warp and therefore deterministic under lockstep execution.
+    if geom.warps_per_cta() <= 1 {
+        return;
+    }
+    let starts = interval_starts(k, cfg);
+    for ai in 0..accesses.len() {
+        for bi in ai..accesses.len() {
+            let (a, b) = (&accesses[ai], &accesses[bi]);
+            if !(a.write || b.write) || (a.atomic && b.atomic) {
+                continue;
+            }
+            if ai == bi && !a.write {
+                continue;
+            }
+            if !starts[a.pc].intersects(&starts[b.pc]) {
+                continue; // always in different barrier intervals
+            }
+            let (Some(va), Some(vb)) = (&a.val, &b.val) else { continue };
+            // Case split over stage phases. Phase bits are CTA-uniform
+            // within one barrier interval, so worlds with the same site
+            // but opposite σ cannot co-occur.
+            let mut safe = true;
+            'worlds: for (pa, fa) in va.worlds() {
+                for (pb, fb) in vb.worlds() {
+                    if let (Some((sa, ba)), Some((sb, bb))) = (pa, pb) {
+                        if sa == sb && ba != bb {
+                            continue; // anti-correlated phases
+                        }
+                    }
+                    if !world_pair_safe(&fa, a.width, &fb, b.width, geom, &max) {
+                        safe = false;
+                        break 'worlds;
+                    }
+                }
+            }
+            if safe {
+                continue;
+            }
+            let hull_range = |v: &Val, w: i64| -> (i64, i64) {
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for (_, f) in v.worlds() {
+                    let (l, h) = f.range(&max);
+                    lo = lo.min(l);
+                    hi = hi.max(h.saturating_add(w));
+                }
+                (lo, hi)
+            };
+            let (alo, aend) = hull_range(va, a.width);
+            let (blo, bend) = hull_range(vb, b.width);
+            let kind = match (a.write, b.write) {
+                (true, true) => "write-write",
+                (true, false) => "write-read",
+                (false, true) => "read-write",
+                (false, false) => unreachable!(),
+            };
+            let what = if a.warp_wide || b.warp_wide { "warp-level footprints" } else { "accesses" };
+            sink.error(
+                b.pc,
+                "shared-race",
+                format!(
+                    "possible cross-warp shared-memory {kind} race: {what} at #{} \
+                     (bytes [{alo}, {aend})) and #{} (bytes [{blo}, {bend})) may overlap within \
+                     one barrier interval",
+                    a.pc, b.pc
+                ),
+            );
+        }
+    }
+}

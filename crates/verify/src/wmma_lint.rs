@@ -1,0 +1,297 @@
+//! WMMA well-formedness lints.
+//!
+//! * mode validity: the shape/type combination must be one the target
+//!   architecture supports (`WmmaDirective::is_valid`, §II-C/§III-B2);
+//! * warp uniformity: the executor requires a fully active warp for every
+//!   WMMA instruction (it panics otherwise), so WMMA under a
+//!   thread-varying guard or inside a divergent region is an error;
+//! * register-file rules: fragments must fit inside the declared register
+//!   count, and fragment base registers should obey the SASS
+//!   vector-alignment rule (`reg_block`);
+//! * fragment provenance: when a register range fed to `wmma.mma` /
+//!   `wmma.store` can be traced to a `wmma.load`/`wmma.mma` definition on
+//!   all paths, the fragment kind, shape and element type must agree.
+//!   Ranges with unknown provenance (e.g. accumulators updated by scalar
+//!   epilogues) are not flagged — a deliberate may-analysis choice.
+//!
+//! The `wmma.load` vs `wmma.mma` *layout* qualifiers are intentionally
+//! not cross-checked: the functional model (like the oracle interpreter)
+//! treats the load layout as authoritative for fragment gathering, so
+//! differing qualifiers are harmless there; see DESIGN.md §4.12.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Taint;
+use crate::{LaunchGeometry, Sink};
+use std::collections::HashMap;
+use tcsim_isa::{fragment_regs, FragmentKind, Kernel, Op, Operand, WmmaDirective, WmmaShape, WmmaType};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Prov {
+    kind: FragmentKind,
+    shape: WmmaShape,
+    ty: WmmaType,
+    n: u16,
+    def: usize,
+}
+
+type Env = HashMap<u16, Prov>;
+
+fn kill_defs(env: &mut Env, defs: &[tcsim_isa::Reg]) {
+    if defs.is_empty() {
+        return;
+    }
+    env.retain(|base, p| {
+        let lo = *base;
+        let hi = base + p.n;
+        !defs.iter().any(|r| r.0 >= lo && r.0 < hi)
+    });
+}
+
+fn transfer(env: &mut Env, pc: usize, i: &tcsim_isa::Instr, volta: bool) {
+    kill_defs(env, &i.def_regs(volta));
+    if i.guard.is_some() {
+        // A guarded definition may not execute; provenance is uncertain.
+        return;
+    }
+    if let (Op::Wmma(dir), Some(dst)) = (&i.op, i.dst) {
+        match *dir {
+            WmmaDirective::Load { frag, shape, ty, .. } => {
+                let n = fragment_regs(frag, shape, ty, volta) as u16;
+                env.insert(dst.0, Prov { kind: frag, shape, ty, n, def: pc });
+            }
+            WmmaDirective::Mma { shape, d_type, .. } => {
+                let n = fragment_regs(FragmentKind::D, shape, d_type, volta) as u16;
+                env.insert(dst.0, Prov { kind: FragmentKind::D, shape, ty: d_type, n, def: pc });
+            }
+            WmmaDirective::Store { .. } => {}
+        }
+    }
+}
+
+fn join(into: &mut Option<Env>, from: &Env) -> bool {
+    match into {
+        None => {
+            *into = Some(from.clone());
+            true
+        }
+        Some(cur) => {
+            let before = cur.len();
+            cur.retain(|base, p| from.get(base) == Some(p));
+            cur.len() != before
+        }
+    }
+}
+
+/// Computes per-block fragment-provenance maps to a fixpoint.
+fn provenance(k: &Kernel, cfg: &Cfg, volta: bool) -> Vec<Option<Env>> {
+    let nb = cfg.num_blocks();
+    let mut inb: Vec<Option<Env>> = vec![None; nb];
+    if nb == 0 {
+        return inb;
+    }
+    inb[0] = Some(Env::new());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.block_reachable(b) {
+                continue;
+            }
+            let Some(mut env) = inb[b].clone() else { continue };
+            for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+                transfer(&mut env, pc, &k.instrs()[pc], volta);
+            }
+            for &s in &cfg.blocks[b].succs {
+                changed |= join(&mut inb[s], &env);
+            }
+        }
+    }
+    inb
+}
+
+fn frag_desc(p: &Prov) -> String {
+    format!("{}.{}.{} fragment (defined at #{})", p.kind, p.shape, p.ty, p.def)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_operand(
+    env: &Env,
+    pc: usize,
+    what: &str,
+    base: tcsim_isa::Reg,
+    want_kinds: &[FragmentKind],
+    want_shape: WmmaShape,
+    want_ty: WmmaType,
+    sink: &mut Sink,
+) {
+    let Some(p) = env.get(&base.0) else { return };
+    if !want_kinds.contains(&p.kind) || p.shape != want_shape || p.ty != want_ty {
+        sink.error(
+            pc,
+            "wmma-frag",
+            format!(
+                "instruction at #{pc} expects its {what} operand in r{} to be a \
+                 {}.{want_shape}.{want_ty} fragment, but r{} holds a {}",
+                base.0,
+                want_kinds[0],
+                base.0,
+                frag_desc(p)
+            ),
+        );
+    }
+}
+
+pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint, sink: &mut Sink) {
+    let volta = geom.volta;
+    let nregs = k.num_regs();
+    let has_wmma = k.instrs().iter().any(|i| matches!(i.op, Op::Wmma(_)));
+    if !has_wmma {
+        return;
+    }
+
+    // Structural lints per instruction.
+    for (pc, i) in k.instrs().iter().enumerate() {
+        let Op::Wmma(dir) = &i.op else { continue };
+        if !cfg.instr_reachable(pc) {
+            continue;
+        }
+        if !dir.is_valid(!volta) {
+            sink.error(
+                pc,
+                "wmma-mode",
+                format!(
+                    "wmma qualifier combination at #{pc} is not supported on {} \
+                     (shape {}, see Table I)",
+                    if volta { "Volta" } else { "Turing" },
+                    dir.shape()
+                ),
+            );
+        }
+        if let Some((p, _)) = i.guard {
+            if taint.pred[p.0 as usize] {
+                sink.error(
+                    pc,
+                    "wmma-divergence",
+                    format!(
+                        "wmma at #{pc} is guarded by thread-varying predicate p{}; \
+                         WMMA requires a fully active warp (the executor panics)",
+                        p.0
+                    ),
+                );
+            }
+        }
+        if taint.divergent[pc] {
+            let from = taint.divergent_from[pc]
+                .map(|b| format!(" (divergent branch at #{b})"))
+                .unwrap_or_default();
+            sink.error(
+                pc,
+                "wmma-divergence",
+                format!(
+                    "wmma at #{pc} executes under thread-divergent control flow{from}; \
+                     WMMA requires a fully active warp (the executor panics)"
+                ),
+            );
+        }
+
+        // Fragment register spans: width and alignment.
+        let spans: Vec<(tcsim_isa::Reg, usize, &str)> = match *dir {
+            WmmaDirective::Load { frag, shape, ty, .. } => i
+                .dst
+                .map(|d| (d, fragment_regs(frag, shape, ty, volta), "destination"))
+                .into_iter()
+                .collect(),
+            WmmaDirective::Mma { shape, ab_type, c_type, d_type, .. } => {
+                let mut v = Vec::new();
+                if let Some(d) = i.dst {
+                    v.push((d, fragment_regs(FragmentKind::D, shape, d_type, volta), "d"));
+                }
+                for (src, frag, ty, name) in [
+                    (0usize, FragmentKind::A, ab_type, "a"),
+                    (1, FragmentKind::B, ab_type, "b"),
+                    (2, FragmentKind::C, c_type, "c"),
+                ] {
+                    if let Some(Operand::Reg(r)) = i.srcs.get(src) {
+                        v.push((*r, fragment_regs(frag, shape, ty, volta), name));
+                    }
+                }
+                v
+            }
+            WmmaDirective::Store { shape, ty, .. } => match i.srcs.get(2) {
+                Some(Operand::Reg(r)) => {
+                    vec![(*r, fragment_regs(FragmentKind::D, shape, ty, volta), "d")]
+                }
+                _ => Vec::new(),
+            },
+        };
+        for (base, n, what) in spans {
+            if base.0 as u32 + n as u32 > nregs {
+                sink.error(
+                    pc,
+                    "wmma-regfile",
+                    format!(
+                        "{what} fragment at #{pc} spans r{}..r{} but the kernel declares \
+                         only {nregs} registers",
+                        base.0,
+                        base.0 as u32 + n as u32 - 1
+                    ),
+                );
+            }
+            let align = (n.next_power_of_two().min(4)) as u16;
+            if align > 1 && base.0 % align != 0 {
+                sink.warn(
+                    pc,
+                    "wmma-frag-align",
+                    format!(
+                        "{what} fragment base r{} at #{pc} is not {align}-register aligned \
+                         ({n}-register fragment; see KernelBuilder::reg_block)",
+                        base.0
+                    ),
+                );
+            }
+        }
+    }
+
+    // Provenance agreement across load → mma → store.
+    let inb = provenance(k, cfg, volta);
+    for (b, benv) in inb.iter().enumerate() {
+        if !cfg.block_reachable(b) {
+            continue;
+        }
+        let Some(mut env) = benv.clone() else { continue };
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            let i = &k.instrs()[pc];
+            if let Op::Wmma(dir) = &i.op {
+                match *dir {
+                    WmmaDirective::Mma { shape, ab_type, c_type, .. } => {
+                        for (src, kinds, ty, what) in [
+                            (0usize, &[FragmentKind::A][..], ab_type, "a"),
+                            (1, &[FragmentKind::B][..], ab_type, "b"),
+                            (2, &[FragmentKind::C, FragmentKind::D][..], c_type, "c"),
+                        ] {
+                            if let Some(Operand::Reg(r)) = i.srcs.get(src) {
+                                check_operand(&env, pc, what, *r, kinds, shape, ty, sink);
+                            }
+                        }
+                    }
+                    WmmaDirective::Store { shape, ty, .. } => {
+                        if let Some(Operand::Reg(r)) = i.srcs.get(2) {
+                            check_operand(
+                                &env,
+                                pc,
+                                "d",
+                                *r,
+                                &[FragmentKind::C, FragmentKind::D],
+                                shape,
+                                ty,
+                                sink,
+                            );
+                        }
+                    }
+                    WmmaDirective::Load { .. } => {}
+                }
+            }
+            transfer(&mut env, pc, i, volta);
+        }
+    }
+}

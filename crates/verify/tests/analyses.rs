@@ -1,0 +1,476 @@
+//! Unit tests for the static analyses on hand-built kernels: CFG and
+//! dominator construction, must-initialize dataflow across loops and
+//! predicated branches (one known-uninit case per register class),
+//! barrier-divergence lints, WMMA well-formedness, and the shared-memory
+//! race/bounds checks.
+
+use tcsim_isa::{
+    CmpOp, DataType, FragmentKind, Instr, KernelBuilder, Layout, MemSpace, MemWidth, Op, Operand,
+    SpecialReg, WmmaShape, WmmaType,
+};
+use tcsim_verify::{cfg::Cfg, check, has_errors, LaunchGeometry, Severity};
+
+fn geom_warps(warps: u32) -> LaunchGeometry {
+    LaunchGeometry::new(1u32, 32 * warps)
+}
+
+fn rules(diags: &[tcsim_verify::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- CFG --
+
+/// A counted loop: entry block, loop body with back-edge, exit block.
+fn loop_kernel() -> tcsim_isa::Kernel {
+    let mut b = KernelBuilder::new("loop");
+    let i = b.reg();
+    b.mov(i, Operand::Imm(0)); // 0
+    let top = b.label();
+    b.place(top);
+    b.iadd(i, i, Operand::Imm(1)); // 1
+    let p = b.pred();
+    b.setp(p, CmpOp::Lt, DataType::S32, i, Operand::Imm(10)); // 2
+    b.bra_if(p, true, top); // 3
+    b.exit(); // 4
+    b.build()
+}
+
+#[test]
+fn cfg_blocks_and_dominators_of_a_loop() {
+    let k = loop_kernel();
+    let cfg = Cfg::build(&k);
+    assert_eq!(cfg.num_blocks(), 3);
+    assert_eq!((cfg.blocks[0].start, cfg.blocks[0].end), (0, 1));
+    assert_eq!((cfg.blocks[1].start, cfg.blocks[1].end), (1, 4));
+    assert_eq!((cfg.blocks[2].start, cfg.blocks[2].end), (4, 5));
+    assert_eq!(cfg.blocks[0].succs, vec![1]);
+    assert_eq!(cfg.blocks[1].succs, vec![1, 2]); // back-edge + fall-through
+    assert!(cfg.blocks[2].succs.is_empty());
+    // Entry dominates everything; the loop header dominates the exit;
+    // the exit dominates nothing but itself.
+    for b in 0..3 {
+        assert!(cfg.dominates(0, b));
+        assert!(cfg.dominates(b, b));
+    }
+    assert!(cfg.dominates(1, 2));
+    assert!(!cfg.dominates(2, 1));
+    // Instruction granularity: program order within a block.
+    assert!(cfg.dominates_instr(1, 3));
+    assert!(!cfg.dominates_instr(3, 1));
+    assert!(cfg.dominates_instr(0, 4));
+}
+
+#[test]
+fn uniform_counted_loop_verifies_clean() {
+    let diags = check(&loop_kernel(), &geom_warps(2));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn dead_code_after_exit_is_ignored() {
+    let mut b = KernelBuilder::new("dead");
+    let r = b.reg();
+    let d = b.reg();
+    b.mov(r, Operand::Imm(1)); // 0
+    b.exit(); // 1
+    b.iadd(d, d, Operand::Imm(1)); // 2: unreachable read of d
+    let k = b.build();
+    let cfg = Cfg::build(&k);
+    assert!(!cfg.instr_reachable(2));
+    assert!(check(&k, &geom_warps(1)).is_empty());
+}
+
+// ---------------------------------------------------- uninitialized regs --
+
+#[test]
+fn uninit_32bit_register_read_is_flagged() {
+    let mut b = KernelBuilder::new("u32");
+    let r = b.reg();
+    let d = b.reg();
+    b.iadd(d, r, Operand::Imm(1)); // 0: r never written
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1));
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "uninit-reg");
+    assert_eq!(diags[0].index, 0);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("r0"), "{}", diags[0].message);
+    assert!(!diags[0].snippet.is_empty());
+}
+
+#[test]
+fn uninit_register_pair_half_is_flagged() {
+    let mut b = KernelBuilder::new("pair");
+    let src = b.reg_pair();
+    let dst = b.reg_pair();
+    b.mov(src, Operand::Imm(7)); // 0: writes only the low register
+    b.iadd64(dst, src, Operand::Imm(4)); // 1: reads both halves
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1));
+    assert_eq!(rules(&diags), vec!["uninit-reg"]);
+    assert_eq!(diags[0].index, 1);
+    assert!(diags[0].message.contains(&format!("r{}", src.0 + 1)), "{}", diags[0].message);
+}
+
+#[test]
+fn uninit_wmma_fragment_group_is_flagged() {
+    let mut b = KernelBuilder::new("frag");
+    let inp = b.param_u64("in");
+    let addr = b.reg_pair();
+    b.ld_param(MemWidth::B64, addr, inp); // 0
+    let a = b.reg_block(8);
+    let bb = b.reg_block(8);
+    let c = b.reg_block(8);
+    let d = b.reg_block(8);
+    b.wmma_load(
+        FragmentKind::A,
+        WmmaShape::M16N16K16,
+        Layout::Row,
+        WmmaType::F16,
+        MemSpace::Global,
+        a,
+        Operand::RegPair(addr),
+        Operand::Imm(16),
+    ); // 1: A defined, B and C never loaded
+    b.wmma_mma(
+        WmmaShape::M16N16K16,
+        Layout::Row,
+        Layout::Col,
+        WmmaType::F16,
+        WmmaType::F32,
+        WmmaType::F32,
+        d,
+        a,
+        bb,
+        c,
+    ); // 2
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1));
+    let uninit: Vec<_> = diags.iter().filter(|d| d.rule == "uninit-reg").collect();
+    assert_eq!(uninit.len(), 1, "{diags:?}");
+    assert_eq!(uninit[0].index, 2);
+    // All 16 registers of the B and C fragments are uninitialized.
+    assert!(uninit[0].message.contains(&format!("r{}", bb.0)));
+    assert!(uninit[0].message.contains(&format!("r{}", c.0 + 7)));
+}
+
+#[test]
+fn def_on_only_one_branch_arm_is_flagged_at_the_join() {
+    let mut b = KernelBuilder::new("diamond");
+    let t = b.reg();
+    let r = b.reg();
+    let d = b.reg();
+    let p = b.pred();
+    b.mov(t, Operand::Special(SpecialReg::TidX)); // 0
+    b.setp(p, CmpOp::Lt, DataType::S32, t, Operand::Imm(16)); // 1
+    let skip = b.label();
+    let merge = b.label();
+    b.bra_div(p, false, skip, merge); // 2: skip the def when !p
+    b.mov(r, Operand::Imm(5)); // 3: only on the p-true path
+    b.place(skip);
+    b.place(merge);
+    b.iadd(d, r, Operand::Imm(1)); // 4: r uninit when p is false
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert_eq!(rules(&diags), vec!["uninit-reg"]);
+    assert_eq!(diags[0].index, 4);
+}
+
+#[test]
+fn guarded_def_counts_as_initializing() {
+    // The register file is zero-reset per launch; whichever way the guard
+    // goes the value is deterministic, so a guarded def is "initialized".
+    let mut b = KernelBuilder::new("guarded");
+    let r = b.reg();
+    let d = b.reg();
+    let p = b.pred();
+    b.emit(Instr::new(Op::Mov).with_dst(r).with_srcs(vec![Operand::Imm(1)]).with_guard(p, true));
+    b.iadd(d, r, Operand::Imm(1));
+    b.exit();
+    assert!(check(&b.build(), &geom_warps(1)).is_empty());
+}
+
+// ------------------------------------------------------ barrier lints --
+
+#[test]
+fn barrier_under_varying_guard_is_an_error() {
+    let mut b = KernelBuilder::new("bar_guard");
+    let t = b.reg();
+    let p = b.pred();
+    b.mov(t, Operand::Special(SpecialReg::TidX)); // 0
+    b.setp(p, CmpOp::Lt, DataType::S32, t, Operand::Imm(16)); // 1
+    b.emit(Instr::new(Op::Bar).with_guard(p, true)); // 2
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert_eq!(rules(&diags), vec!["barrier-divergence"]);
+    assert_eq!(diags[0].index, 2);
+    assert!(diags[0].message.contains("#2"));
+}
+
+#[test]
+fn barrier_inside_divergent_region_is_an_error() {
+    let mut b = KernelBuilder::new("bar_div");
+    let t = b.reg();
+    let p = b.pred();
+    b.mov(t, Operand::Special(SpecialReg::TidX)); // 0
+    b.setp(p, CmpOp::Lt, DataType::S32, t, Operand::Imm(16)); // 1
+    let end = b.label();
+    b.bra_div(p, false, end, end); // 2
+    b.bar(); // 3: executed by a partial CTA
+    b.place(end);
+    b.exit(); // 4
+    let diags = check(&b.build(), &geom_warps(2));
+    assert_eq!(rules(&diags), vec!["barrier-divergence"]);
+    assert_eq!(diags[0].index, 3);
+    assert!(diags[0].message.contains("divergent branch at #2"), "{}", diags[0].message);
+}
+
+#[test]
+fn barrier_in_uniform_loop_is_clean() {
+    let mut b = KernelBuilder::new("bar_loop");
+    let i = b.reg();
+    b.mov(i, Operand::Imm(0));
+    let top = b.label();
+    b.place(top);
+    b.bar();
+    b.iadd(i, i, Operand::Imm(1));
+    let p = b.pred();
+    b.setp(p, CmpOp::Lt, DataType::S32, i, Operand::Imm(4));
+    b.bra_if(p, true, top);
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn varying_branch_without_reconvergence_is_an_error() {
+    let mut b = KernelBuilder::new("no_reconv");
+    let t = b.reg();
+    let p = b.pred();
+    b.mov(t, Operand::Special(SpecialReg::TidX)); // 0
+    b.setp(p, CmpOp::Lt, DataType::S32, t, Operand::Imm(16)); // 1
+    let end = b.label();
+    b.bra_if(p, true, end); // 2: divergent, no reconvergence point
+    b.place(end);
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert!(rules(&diags).contains(&"no-reconvergence"), "{diags:?}");
+    assert!(has_errors(&diags));
+}
+
+// --------------------------------------------------------- WMMA lints --
+
+#[test]
+fn turing_shape_on_volta_is_flagged() {
+    let mut b = KernelBuilder::new("volta_mode");
+    let inp = b.param_u64("in");
+    let addr = b.reg_pair();
+    b.ld_param(MemWidth::B64, addr, inp);
+    let a = b.reg_block(16);
+    b.wmma_load(
+        FragmentKind::A,
+        WmmaShape::M32N8K16,
+        Layout::Row,
+        WmmaType::F16,
+        MemSpace::Global,
+        a,
+        Operand::RegPair(addr),
+        Operand::Imm(16),
+    );
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1)); // Volta geometry
+    assert!(rules(&diags).contains(&"wmma-mode"), "{diags:?}");
+}
+
+#[test]
+fn fragment_shape_mismatch_between_load_and_mma_is_flagged() {
+    let mut b = KernelBuilder::new("frag_mismatch");
+    let inp = b.param_u64("in");
+    let addr = b.reg_pair();
+    b.ld_param(MemWidth::B64, addr, inp);
+    let a = b.reg_block(16);
+    let bb = b.reg_block(16);
+    let c = b.reg_block(8);
+    let d = b.reg_block(8);
+    let load = |b: &mut KernelBuilder, frag, ty, dst| {
+        b.wmma_load(
+            frag,
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            ty,
+            MemSpace::Global,
+            dst,
+            Operand::RegPair(addr),
+            Operand::Imm(32),
+        );
+    };
+    load(&mut b, FragmentKind::A, WmmaType::F16, a);
+    load(&mut b, FragmentKind::B, WmmaType::F16, bb);
+    load(&mut b, FragmentKind::C, WmmaType::F32, c);
+    // The mma uses a different (Turing-valid) shape than the loads.
+    b.wmma_mma(
+        WmmaShape::M32N8K16,
+        Layout::Row,
+        Layout::Col,
+        WmmaType::F16,
+        WmmaType::F32,
+        WmmaType::F32,
+        d,
+        a,
+        bb,
+        c,
+    );
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1).turing());
+    let frag: Vec<_> = diags.iter().filter(|d| d.rule == "wmma-frag").collect();
+    assert!(!frag.is_empty(), "{diags:?}");
+    assert!(frag[0].message.contains("m16n16k16"), "{}", frag[0].message);
+}
+
+#[test]
+fn misaligned_fragment_base_is_a_warning() {
+    let mut b = KernelBuilder::new("misaligned");
+    let inp = b.param_u64("in");
+    let addr = b.reg_pair();
+    b.ld_param(MemWidth::B64, addr, inp);
+    for _ in 0..8 {
+        b.reg(); // ensure enough registers past the odd base
+    }
+    b.emit(
+        Instr::new(Op::Wmma(tcsim_isa::WmmaDirective::Load {
+            frag: FragmentKind::A,
+            shape: WmmaShape::M16N16K16,
+            layout: Layout::Row,
+            ty: WmmaType::F16,
+        }))
+        .with_dst(tcsim_isa::Reg(3)) // 4-register fragment at an odd base
+        .with_srcs(vec![Operand::RegPair(addr), Operand::Imm(16), Operand::Imm(0)]),
+    );
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1).turing());
+    let warns: Vec<_> = diags.iter().filter(|d| d.rule == "wmma-frag-align").collect();
+    assert_eq!(warns.len(), 1, "{diags:?}");
+    assert_eq!(warns[0].severity, Severity::Warn);
+}
+
+// ------------------------------------------------------- shared memory --
+
+#[test]
+fn shared_out_of_bounds_store_is_flagged() {
+    let mut b = KernelBuilder::new("oob");
+    b.shared_alloc(64);
+    let a = b.reg();
+    let d = b.reg();
+    b.mov(a, Operand::Imm(100)); // past the 64-byte allocation
+    b.mov(d, Operand::Imm(1));
+    b.st_shared(MemWidth::B32, a, 0, d);
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1));
+    assert_eq!(rules(&diags), vec!["shared-oob"]);
+    assert!(diags[0].message.contains("[100, 104)"), "{}", diags[0].message);
+}
+
+#[test]
+fn uniform_address_cross_warp_store_is_a_race() {
+    let mut b = KernelBuilder::new("race");
+    b.shared_alloc(64);
+    let a = b.reg();
+    let d = b.reg();
+    b.mov(a, Operand::Imm(0));
+    b.mov(d, Operand::Special(SpecialReg::TidX));
+    b.st_shared(MemWidth::B32, a, 0, d); // every thread writes byte 0
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert_eq!(rules(&diags), vec!["shared-race"]);
+    assert!(diags[0].message.contains("write-write"));
+    // The same kernel on a single-warp CTA is lockstep-deterministic.
+    let mut b = KernelBuilder::new("race1w");
+    b.shared_alloc(64);
+    let a = b.reg();
+    let d = b.reg();
+    b.mov(a, Operand::Imm(0));
+    b.mov(d, Operand::Special(SpecialReg::TidX));
+    b.st_shared(MemWidth::B32, a, 0, d);
+    b.exit();
+    assert!(check(&b.build(), &geom_warps(1)).is_empty());
+}
+
+#[test]
+fn per_thread_sliced_stores_are_clean() {
+    let mut b = KernelBuilder::new("sliced");
+    b.shared_alloc(256);
+    let t = b.reg();
+    let a = b.reg();
+    b.mov(t, Operand::Special(SpecialReg::TidX));
+    b.shl(a, t, Operand::Imm(2)); // addr = tid*4 — disjoint per thread
+    b.st_shared(MemWidth::B32, a, 0, t);
+    b.ld_shared(MemWidth::B32, t, a, 0);
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn barrier_separates_write_from_read() {
+    // Each warp writes its own slot, sync, then every thread reads slot 0:
+    // the cross-warp write/read pair is separated by the barrier.
+    let build = |with_bar: bool| {
+        let mut b = KernelBuilder::new("bar_sep");
+        b.shared_alloc(16);
+        let w = b.reg();
+        let a = b.reg();
+        let d = b.reg();
+        b.mov(w, Operand::Special(SpecialReg::WarpId));
+        b.shl(a, w, Operand::Imm(2)); // addr = warpid*4 — warp-disjoint
+        b.st_shared(MemWidth::B32, a, 0, w);
+        if with_bar {
+            b.bar();
+        }
+        b.mov(a, Operand::Imm(0));
+        b.ld_shared(MemWidth::B32, d, a, 0); // all threads read slot 0
+        b.exit();
+        b.build()
+    };
+    let diags = check(&build(true), &geom_warps(2));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    // Without the barrier, warp 0's write to slot 0 races warp 1's read.
+    let diags = check(&build(false), &geom_warps(2));
+    assert_eq!(rules(&diags), vec!["shared-race"]);
+    assert!(diags[0].message.contains("write-read"), "{}", diags[0].message);
+}
+
+#[test]
+fn masked_generator_style_slices_are_clean() {
+    // The fuzzer's shared idiom: sbase = warpid*256; addr = (v & 63)*4 +
+    // sbase — per-warp 256-byte slices, any v.
+    let mut b = KernelBuilder::new("gen_style");
+    b.shared_alloc(2 * 256);
+    let w = b.reg();
+    let sbase = b.reg();
+    let v = b.reg();
+    let s = b.reg();
+    b.mov(w, Operand::Special(SpecialReg::WarpId));
+    b.imul(sbase, w, Operand::Imm(256));
+    b.mov(v, Operand::Special(SpecialReg::TidX));
+    b.imul(v, v, Operand::Imm(2654435761i64 as i32 as i64)); // scrambled
+    b.and(s, v, Operand::Imm(63));
+    b.imad(s, s, Operand::Imm(4), Operand::Reg(sbase));
+    b.st_shared(MemWidth::B32, s, 0, v);
+    b.ld_shared(MemWidth::B32, v, s, 0);
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(2));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn diagnostics_render_with_snippets() {
+    let mut b = KernelBuilder::new("render");
+    let r = b.reg();
+    let d = b.reg();
+    b.iadd(d, r, Operand::Imm(1));
+    b.exit();
+    let diags = check(&b.build(), &geom_warps(1));
+    let text = diags[0].to_string();
+    assert!(text.contains("error[uninit-reg]"), "{text}");
+    assert!(text.contains("-->"), "{text}");
+}

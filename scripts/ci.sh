@@ -13,6 +13,9 @@ cargo test -q --workspace --offline
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== lint: rustdoc -D warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "== fuzz: differential smoke (fixed seed, 2000 iters) =="
 # Random kernels through GPU-vs-reference differential + timing
 # invariants; any failure is minimized and echoed by the binary itself.
@@ -22,6 +25,18 @@ echo "== fuzz: planted-mutation canary (oracle sensitivity) =="
 # Flip FEDP accumulation rounding on the reference side: every all-FP16
 # WMMA case must fail, proving the oracle can see single-rounding bugs.
 target/release/tcsim-fuzz --mutate --seed 1 --iters 50 --json
+
+echo "== verify: planted-defect canaries (analyzer sensitivity) =="
+# Plant one static defect of each class in otherwise-clean generated
+# kernels: the analyzer must flag every one with an error naming the
+# mutated instruction (the static mirror of the FEDP canary above).
+for m in barrier-drop uninit-reg frag-shape shared-grow; do
+  target/release/tcsim-fuzz --mutate "$m" --seed 1 --iters 50 --json
+done
+
+echo "== verify: corpus lint gate =="
+# Every committed corpus case must be verifier-clean, warnings included.
+target/release/tcsim-lint --strict --json tests/corpus
 
 echo "== fuzz: corpus replay =="
 # Replays committed minimized cases; failing kernel text is echoed.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `tcsim` — a cycle-level model of tensor-core-enabled GPUs.

@@ -1,0 +1,181 @@
+//! Every kernel the repository ships must pass the static analyzer with
+//! zero diagnostics: the committed fuzz corpus, the CUTLASS-like GEMM
+//! family (all epilogue variants), and every kernel tcsim-nn lowers.
+//! A kernel that trips even a warning here either has a real defect or
+//! exposes a verifier false positive — both block the PR.
+
+use std::path::Path;
+use tcsim_check::corpus::{self, case_from_text};
+use tcsim_check::gen::Arch;
+use tcsim_cutlass::{
+    cutlass_gemm_ep, hgemm, igemm_wmma, sgemm, wmma_shared_gemm_ep, wmma_simple_gemm_ep,
+    CutlassConfig, Epilogue,
+};
+use tcsim_isa::Kernel;
+use tcsim_nn::kernels::{
+    bias_grid, bias_kernel, maxpool_grid, maxpool_kernel, relu_grid, relu_kernel,
+};
+use tcsim_nn::Tile;
+use tcsim_verify::{check, LaunchGeometry};
+
+/// Lints one kernel and formats any diagnostics for the failure report.
+fn lint(name: &str, kernel: &Kernel, geom: &LaunchGeometry, failures: &mut Vec<String>) {
+    for d in check(kernel, geom) {
+        failures.push(format!("{name}: {d}"));
+    }
+}
+
+#[test]
+fn committed_corpus_is_verifier_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut failures = Vec::new();
+    let mut linted = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = case_from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let geom = LaunchGeometry::new(case.grid_x, case.block_x);
+        let geom = if case.arch == Arch::Turing { geom.turing() } else { geom };
+        lint(
+            &path.file_name().unwrap().to_string_lossy(),
+            &case.kernel,
+            &geom,
+            &mut failures,
+        );
+        linted += 1;
+    }
+    assert!(linted > 0, "no .case files under tests/corpus");
+    assert!(failures.is_empty(), "corpus kernels flagged:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn generated_corpus_seeds_are_verifier_clean() {
+    // The same generator the fuzzer runs, across both kinds: a small
+    // always-on slice of the 2000-iteration campaign in EXPERIMENTS.md.
+    use tcsim_check::gen::{assemble, generate, GenConfig, KindSel};
+    let mut failures = Vec::new();
+    for kind in [KindSel::Simt, KindSel::Wmma] {
+        let cfg = GenConfig { max_ops: 24, kind };
+        for seed in 0..50u64 {
+            let p = generate(seed, &cfg);
+            let k = assemble(&p);
+            let geom = LaunchGeometry::new(p.grid_x, p.block_x);
+            let geom = if p.arch == Arch::Turing { geom.turing() } else { geom };
+            lint(&format!("gen {kind:?} seed {seed}"), &k, &geom, &mut failures);
+        }
+    }
+    assert!(failures.is_empty(), "generated kernels flagged:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn cutlass_family_is_verifier_clean() {
+    let mut failures = Vec::new();
+    let eps = [Epilogue::None, Epilogue::Bias, Epilogue::Relu, Epilogue::BiasRelu];
+
+    for ep in eps {
+        for fp16 in [false, true] {
+            // Epilogues are FP32-accumulate only.
+            if fp16 && ep != Epilogue::None {
+                continue;
+            }
+            lint(
+                &format!("wmma_simple_gemm(fp16={fp16}, {ep:?})"),
+                &wmma_simple_gemm_ep(fp16, ep),
+                &LaunchGeometry::new((4u32, 4u32), 32u32),
+                &mut failures,
+            );
+            lint(
+                &format!("wmma_shared_gemm(fp16={fp16}, {ep:?})"),
+                &wmma_shared_gemm_ep(fp16, ep),
+                &LaunchGeometry::new((2u32, 2u32), 128u32),
+                &mut failures,
+            );
+        }
+        let cfg = CutlassConfig::default_64x64();
+        lint(
+            &format!("cutlass_gemm({ep:?})"),
+            &cutlass_gemm_ep(cfg, ep),
+            &LaunchGeometry::new((1u32, 1u32), cfg.threads() as u32),
+            &mut failures,
+        );
+    }
+
+    lint(
+        "sgemm",
+        &sgemm(),
+        &LaunchGeometry::new((4u32, 4u32), (16u32, 16u32)),
+        &mut failures,
+    );
+    lint(
+        "hgemm",
+        &hgemm(),
+        &LaunchGeometry::new((2u32, 4u32), (16u32, 16u32)),
+        &mut failures,
+    );
+    lint(
+        "igemm_wmma",
+        &igemm_wmma(),
+        &LaunchGeometry::new((4u32, 4u32), 32u32).turing(),
+        &mut failures,
+    );
+
+    assert!(failures.is_empty(), "cutlass kernels flagged:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn nn_lowered_kernels_are_verifier_clean() {
+    let mut failures = Vec::new();
+
+    // The GEMM tiles tcsim-nn lowers linear/conv layers onto, with every
+    // fused epilogue.
+    let eps = [Epilogue::None, Epilogue::Bias, Epilogue::Relu, Epilogue::BiasRelu];
+    for tile in [Tile::Simple, Tile::Shared, Tile::Cutlass] {
+        let (pm, pn) = (64usize, 64usize);
+        for ep in eps {
+            lint(
+                &format!("{}({ep:?})", tile.name()),
+                &tile.kernel(ep),
+                &LaunchGeometry::new(tile.grid(pm, pn), tile.block()),
+                &mut failures,
+            );
+        }
+    }
+
+    // The SIMT helper kernels.
+    let (c, h, w, k) = (2usize, 8usize, 8usize, 2usize);
+    lint(
+        "maxpool",
+        &maxpool_kernel(c, h, w, k),
+        &LaunchGeometry::new(maxpool_grid(c, h, w, k), 32u32),
+        &mut failures,
+    );
+    lint(
+        "relu",
+        &relu_kernel(256),
+        &LaunchGeometry::new(relu_grid(256), 32u32),
+        &mut failures,
+    );
+    for per_row in [false, true] {
+        lint(
+            &format!("bias(per_row={per_row})"),
+            &bias_kernel(16, 16, per_row),
+            &LaunchGeometry::new(bias_grid(16, 16), 32u32),
+            &mut failures,
+        );
+    }
+
+    assert!(failures.is_empty(), "nn kernels flagged:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_header_is_the_lint_sniff_marker() {
+    // tcsim-lint sniffs files by this header when the extension is
+    // unusual; keep the constant in sync with the corpus writer.
+    assert!(corpus::HEADER.starts_with("// tcsim-check case"));
+}
