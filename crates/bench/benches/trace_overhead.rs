@@ -45,8 +45,10 @@ fn main() {
             .cycles
     });
     bench_case("gemm32/ring_tracer", 1500, || {
-        let mut gpu = Gpu::new(GpuConfig::mini());
-        gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 18)));
+        let mut gpu = Gpu::new(
+            tcsim_sim::SimOptions::new(GpuConfig::mini())
+                .tracer(RingTracer::with_capacity(1 << 18)),
+        );
         run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false)
             .stats
             .cycles

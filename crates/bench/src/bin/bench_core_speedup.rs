@@ -1,0 +1,295 @@
+//! Wall-clock benchmark of the event-driven SM core against the original
+//! cycle-stepped core, across the paper's workload families.
+//!
+//! Three families, because the event-driven advantage is a function of
+//! how often an SM step can issue anything:
+//!
+//! * **fig17-gemm** — the Fig 17 TFLOPS kernels (SGEMM / HGEMM / shared-
+//!   memory WMMA) on a scaled size sweep. Throughput-saturated: nearly
+//!   every cycle issues somewhere, so both cores execute the same
+//!   instruction stream and the speedup comes only from cheaper
+//!   bookkeeping.
+//! * **fig14a-wmma** — the global-operand WMMA GEMM of Fig 14a/16.
+//!   Memory-latency-bound: warps spend most cycles blocked on `wmma.load`
+//!   round trips and the event core skips most SM steps.
+//! * **latency-probe** — dependent global-load chains (§III-methodology
+//!   pointer chase) with L1-, L2- and DRAM-resident working sets. The
+//!   extreme case: hundreds of blocked cycles per executed instruction.
+//!
+//! For every point the same workload runs once per core model on an
+//! otherwise identical Titan V GPU, and the binary asserts the two cores
+//! produce byte-identical `LaunchStats` JSON (the differential contract
+//! of `tests/core_differential.rs`, re-checked at benchmark scale). The
+//! table and artifact (`--json`, default
+//! `results/BENCH_core_speedup.json`) report per-point, per-family and
+//! overall speedups.
+//!
+//! Exits non-zero if the event-driven core is slower in aggregate — CI
+//! runs this as a regression gate (`scripts/ci.sh`).
+
+use std::time::Instant;
+use tcsim_bench::{fnum, json_array, parse_cli, print_table, write_results};
+use tcsim_cutlass::microbench::{chase_chain, pointer_chase};
+use tcsim_cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim_sim::{CoreModel, Gpu, GpuConfig, JsonWriter, LaunchBuilder, SimOptions};
+
+/// Scaled Fig 17 sweep (the paper's axis starts at 256 and ends at 16384;
+/// this keeps the same kernels at CI-friendly sizes).
+const SIZES: [usize; 5] = [64, 128, 192, 256, 320];
+
+/// Latency-probe working sets: (label, chain elements (8 B each), stride
+/// in elements, hops per warp). The stride is odd so the chain is a
+/// single cycle over a power-of-two footprint, and spans >1 cache line so
+/// every hop leaves the current sector.
+const CHASES: [(&str, usize, usize, u32); 3] = [
+    ("chase L1 16KiB", 2 << 10, 33, 608),
+    ("chase L2 1MiB", 128 << 10, 33, 608),
+    ("chase DRAM 32MiB", 4 << 20, 33, 608),
+];
+
+fn max_size_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-size" {
+            return args
+                .next()
+                .expect("--max-size requires a value")
+                .parse()
+                .expect("--max-size must be a number");
+        }
+    }
+    *SIZES.last().expect("non-empty size list")
+}
+
+struct Point {
+    family: &'static str,
+    label: String,
+    size: usize,
+    cycles: u64,
+    instructions: u64,
+    event_s: f64,
+    stepped_s: f64,
+}
+
+struct Run {
+    stats_json: String,
+    cycles: u64,
+    instructions: u64,
+    wall_s: f64,
+}
+
+fn timed_gemm(size: usize, kernel: GemmKernel, precision: GemmPrecision, core: CoreModel) -> Run {
+    let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).core(core));
+    let problem = GemmProblem { precision, ..GemmProblem::square(size) };
+    let t0 = Instant::now();
+    let run = run_gemm(&mut gpu, problem, kernel, false);
+    Run {
+        stats_json: run.stats.to_json(),
+        cycles: run.stats.cycles,
+        instructions: run.stats.instructions,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Chase launch shape: one CTA per Titan V SM, 8 warps per CTA. Every
+/// warp runs its own dependent chain (entered at a distinct element), so
+/// the machine holds `80 × 8` mostly-blocked warps whose wake times drift
+/// apart — the cycle-stepped core re-scans every resident warp on every
+/// visited cycle while the event core steps only the SM that woke. More
+/// resident warps per SM would *lower* the ratio: with enough drifting
+/// wake times the SM wakes nearly every cycle and the skip advantage
+/// vanishes into the shared execution floor.
+const CHASE_GRID: u32 = 80;
+const CHASE_BLOCK: u32 = 256;
+
+fn timed_chase(elems: usize, stride: usize, iters: u32, core: CoreModel) -> Run {
+    let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).core(core));
+    let buf = gpu.alloc(elems as u64 * 8);
+    let warps = (CHASE_GRID * CHASE_BLOCK / 32) as u64;
+    let out = gpu.alloc(warps * 8);
+    let chain = chase_chain(elems, stride, buf);
+    let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
+    gpu.memcpy_h2d(buf, &bytes);
+    // Even start spacing along the chase cycle (see `pointer_chase`).
+    let spread = ((stride as u64 * (elems as u64 / warps)).max(stride as u64)
+        & (elems as u64 - 1)) as u32;
+    let t0 = Instant::now();
+    let stats = LaunchBuilder::new(pointer_chase(iters, elems, spread))
+        .grid(CHASE_GRID)
+        .block(CHASE_BLOCK)
+        .param_u64(buf)
+        .param_u64(out)
+        .launch(&mut gpu);
+    Run {
+        stats_json: stats.to_json(),
+        cycles: stats.cycles,
+        instructions: stats.instructions,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn push_point(
+    points: &mut Vec<Point>,
+    family: &'static str,
+    label: String,
+    size: usize,
+    mut run: impl FnMut(CoreModel) -> Run,
+) {
+    let event = run(CoreModel::EventDriven);
+    let stepped = run(CoreModel::CycleStepped);
+    assert_eq!(
+        event.stats_json, stepped.stats_json,
+        "{label}: the two cores must produce byte-identical LaunchStats"
+    );
+    points.push(Point {
+        family,
+        label,
+        size,
+        cycles: event.cycles,
+        instructions: event.instructions,
+        event_s: event.wall_s,
+        stepped_s: stepped.wall_s,
+    });
+}
+
+fn main() {
+    let cli = parse_cli();
+    let max_size = max_size_arg();
+    println!(
+        "Core-model speedup: event-driven vs cycle-stepped (Titan V, sizes <= {max_size})"
+    );
+
+    let mut points = Vec::new();
+
+    for (kernel, precision, label) in [
+        (GemmKernel::Sgemm, GemmPrecision::Fp32, "SGEMM (FFMA)"),
+        (GemmKernel::Hgemm, GemmPrecision::Fp16, "HGEMM (HFMA2)"),
+        (GemmKernel::WmmaShared, GemmPrecision::MixedF32, "WMMA shared (TC)"),
+    ] {
+        for &size in SIZES.iter().filter(|&&s| s <= max_size) {
+            push_point(&mut points, "fig17-gemm", format!("{label} {size}"), size, |core| {
+                timed_gemm(size, kernel, precision, core)
+            });
+        }
+    }
+
+    for &size in SIZES.iter().filter(|&&s| s <= max_size && s >= 128) {
+        push_point(
+            &mut points,
+            "fig14a-wmma",
+            format!("WMMA global (TC) {size}"),
+            size,
+            |core| timed_gemm(size, GemmKernel::WmmaSimple, GemmPrecision::MixedF32, core),
+        );
+    }
+
+    // Scale probe length with --max-size so the CI smoke stays fast
+    // (rounded to the kernel's 16× unroll).
+    let iter_scale = (max_size as f64 / *SIZES.last().expect("sizes") as f64).min(1.0);
+    for (label, elems, stride, iters) in CHASES {
+        let iters = ((iters as f64 * iter_scale) as u32).max(96) / 16 * 16;
+        push_point(&mut points, "latency-probe", format!("{label} x{iters}"), iters as usize, |core| {
+            timed_chase(elems, stride, iters, core)
+        });
+    }
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for p in &points {
+        let speedup = p.stepped_s / p.event_s.max(1e-12);
+        rows.push(vec![
+            p.family.to_string(),
+            p.label.clone(),
+            p.cycles.to_string(),
+            p.instructions.to_string(),
+            fnum(p.stepped_s * 1e3, 1),
+            fnum(p.event_s * 1e3, 1),
+            fnum(speedup, 2),
+        ]);
+        let mut w = JsonWriter::object();
+        w.field_str("family", p.family);
+        w.field_str("label", &p.label);
+        w.field_u64("size", p.size as u64);
+        w.field_u64("cycles", p.cycles);
+        w.field_u64("instructions", p.instructions);
+        w.field_f64("cycle_stepped_ms", p.stepped_s * 1e3);
+        w.field_f64("event_driven_ms", p.event_s * 1e3);
+        w.field_f64("speedup", speedup);
+        json_rows.push(w.finish());
+    }
+    print_table(
+        "Identical results, wall-clock per core model",
+        &["family", "workload", "cycles", "instrs", "stepped ms", "event ms", "speedup"],
+        &rows,
+    );
+
+    let mut family_rows = Vec::new();
+    let mut family_json = Vec::new();
+    let mut families: Vec<&'static str> = Vec::new();
+    for p in &points {
+        if !families.contains(&p.family) {
+            families.push(p.family);
+        }
+    }
+    for fam in families {
+        let stepped: f64 = points.iter().filter(|p| p.family == fam).map(|p| p.stepped_s).sum();
+        let event: f64 = points.iter().filter(|p| p.family == fam).map(|p| p.event_s).sum();
+        let ratio = stepped / event.max(1e-12);
+        family_rows.push(vec![
+            fam.to_string(),
+            fnum(stepped, 2),
+            fnum(event, 2),
+            fnum(ratio, 2),
+        ]);
+        let mut w = JsonWriter::object();
+        w.field_str("family", fam);
+        w.field_f64("cycle_stepped_s", stepped);
+        w.field_f64("event_driven_s", event);
+        w.field_f64("speedup", ratio);
+        family_json.push(w.finish());
+    }
+    print_table(
+        "Per-family aggregate",
+        &["family", "stepped s", "event s", "speedup"],
+        &family_rows,
+    );
+
+    let total_stepped: f64 = points.iter().map(|p| p.stepped_s).sum();
+    let total_event: f64 = points.iter().map(|p| p.event_s).sum();
+    let aggregate = total_stepped / total_event.max(1e-12);
+    // Geometric mean of per-point speedups: the time-weighted aggregate
+    // is dominated by whichever family happens to run longest, while the
+    // geomean weights every workload point equally.
+    let geomean = (points
+        .iter()
+        .map(|p| (p.stepped_s / p.event_s.max(1e-12)).ln())
+        .sum::<f64>()
+        / points.len().max(1) as f64)
+        .exp();
+    println!(
+        "\noverall: cycle-stepped {} s, event-driven {} s -> {}x speedup \
+         (geomean over points {}x)",
+        fnum(total_stepped, 2),
+        fnum(total_event, 2),
+        fnum(aggregate, 2),
+        fnum(geomean, 2)
+    );
+
+    let mut top = JsonWriter::object();
+    top.field_str("bench", "core_speedup");
+    top.field_str("config", "titan_v");
+    top.field_f64("cycle_stepped_s", total_stepped);
+    top.field_f64("event_driven_s", total_event);
+    top.field_f64("aggregate_speedup", aggregate);
+    top.field_f64("geomean_speedup", geomean);
+    top.raw_field("families", &json_array(&family_json));
+    top.raw_field("points", &json_array(&json_rows));
+    let json = top.finish();
+    let path = cli.json.unwrap_or_else(|| "results/BENCH_core_speedup.json".into());
+    write_results(&path, &json);
+
+    assert!(
+        aggregate >= 1.0,
+        "event-driven core regressed: {aggregate:.2}x vs cycle-stepped"
+    );
+}

@@ -10,7 +10,7 @@
 use tcsim_bench::{fnum, print_table};
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
 use tcsim_hw::HwModel;
-use tcsim_sim::{Distribution, Gpu, GpuConfig};
+use tcsim_sim::{Distribution, Gpu, GpuConfig, SimOptions};
 use tcsim_sm::WmmaKind;
 
 fn main() {
@@ -20,8 +20,7 @@ fn main() {
         .unwrap_or(1024usize);
     println!("Fig 15: wmma instruction latency distributions ({size}x{size} shared-memory GEMM)");
 
-    let mut gpu = Gpu::new(GpuConfig::titan_v());
-    gpu.set_profile_wmma(true);
+    let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).profile_wmma(true));
     let run = run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaShared, false);
 
     let paper_min = HwModel::titan_v().wmma_min_latencies();

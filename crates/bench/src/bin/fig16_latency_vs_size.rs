@@ -8,12 +8,11 @@
 
 use tcsim_bench::{fnum, print_table, FIG16_SIZES};
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
-use tcsim_sim::{Distribution, Gpu, GpuConfig};
+use tcsim_sim::{Distribution, Gpu, GpuConfig, SimOptions};
 use tcsim_sm::WmmaKind;
 
 fn medians(size: usize, kernel: GemmKernel) -> (u64, u64, u64) {
-    let mut gpu = Gpu::new(GpuConfig::titan_v());
-    gpu.set_profile_wmma(true);
+    let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).profile_wmma(true));
     let run = run_gemm(&mut gpu, GemmProblem::square(size), kernel, false);
     let med = |kind| {
         Distribution::of(&run.stats.wmma_latencies(kind))

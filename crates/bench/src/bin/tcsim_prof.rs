@@ -17,7 +17,7 @@
 
 use tcsim_bench::{fnum, print_table};
 use tcsim_cutlass::{run_gemm, GemmKernel, GemmProblem};
-use tcsim_sim::{Gpu, GpuConfig};
+use tcsim_sim::{Gpu, GpuConfig, SimOptions};
 use tcsim_trace::{
     chrome_trace, hmma_step_timeline, interval_ipc, validate_json, EventKind, RingTracer,
     TraceSummary,
@@ -67,8 +67,9 @@ fn main() {
         "tcsim-prof: tracing a {}x{}x{} WMMA GEMM (shared-memory kernel, Titan V config)",
         problem.m, problem.n, problem.k
     );
-    let mut gpu = Gpu::new(GpuConfig::titan_v());
-    gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 21)));
+    let mut gpu = Gpu::new(
+        SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)),
+    );
     let run = run_gemm(&mut gpu, problem, kernel, true);
     let events = gpu.trace_events();
     let dropped = gpu.tracer().dropped();
@@ -150,8 +151,9 @@ fn overhead_guard(problem: GemmProblem, kernel: GemmKernel) {
     let untraced = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut gpu_ring = Gpu::new(GpuConfig::titan_v());
-    gpu_ring.set_tracer(Box::new(RingTracer::with_capacity(1 << 21)));
+    let mut gpu_ring = Gpu::new(
+        SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)),
+    );
     let traced = run_gemm(&mut gpu_ring, problem, kernel, false);
     let traced_wall = t1.elapsed();
 

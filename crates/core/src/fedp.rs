@@ -30,13 +30,19 @@ pub const FEDPS_PER_TENSOR_CORE: usize = 16;
 /// A four-element FP16 dot product with FP32 accumulation:
 /// `a·b + acc` with the paper's adder-tree evaluation order.
 pub fn fedp_f32(a: [F16; 4], b: [F16; 4], acc: f32) -> f32 {
+    let af = [a[0].to_f32(), a[1].to_f32(), a[2].to_f32(), a[3].to_f32()];
+    let bf = [b[0].to_f32(), b[1].to_f32(), b[2].to_f32(), b[3].to_f32()];
+    fedp_f32_pre(&af, &bf, acc)
+}
+
+/// [`fedp_f32`] over multiplicands already widened to binary32. The
+/// binary16 → binary32 conversion is exact, so hoisting it out of a
+/// reduction loop (as [`crate::mma_reference`] does) cannot change any
+/// product bit.
+#[inline]
+pub fn fedp_f32_pre(a: &[f32], b: &[f32], acc: f32) -> f32 {
     // Stage 1: exact products.
-    let p: [f32; 4] = [
-        a[0].to_f32() * b[0].to_f32(),
-        a[1].to_f32() * b[1].to_f32(),
-        a[2].to_f32() * b[2].to_f32(),
-        a[3].to_f32() * b[3].to_f32(),
-    ];
+    let p = [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]];
     // Stages 2–4: binary adder tree, then accumulator add.
     let s01 = p[0] + p[1];
     let s23 = p[2] + p[3];

@@ -202,23 +202,81 @@ pub fn gather_tile(model: &TensorCoreModel, map: &FragmentMap, base: Reg, regs: 
     let (rows, cols) = map.frag().dims(map.shape());
     let mut t = Tile::new(map.ty(), rows, cols);
     let bits = map.ty().bits();
+    let mask = elem_mask(bits);
     for lane in 0..WARP_SIZE {
-        for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
-            // On Volta, A/B elements appear twice; both copies hold the
-            // same value, so later writes are idempotent.
-            let v = read_frag_elem(regs, lane, base, slot, bits);
-            t.set_bits(r as usize, c as usize, v);
+        let elems = map.lane_elems(lane);
+        if let Some(words) = whole_words(elems.len(), bits) {
+            // Hot path: the fragment tiles its registers exactly, so one
+            // read per register replaces one virtual read per element.
+            let mut buf = [0u32; MAX_FRAG_WORDS];
+            for (w, slot) in buf.iter_mut().take(words).enumerate() {
+                *slot = regs.read(lane, Reg(base.0 + w as u16));
+            }
+            for (slot, &(r, c)) in elems.iter().enumerate() {
+                let bitpos = slot * bits;
+                // On Volta, A/B elements appear twice; both copies hold
+                // the same value, so later writes are idempotent.
+                t.set_bits(r as usize, c as usize, (buf[bitpos / 32] >> (bitpos % 32)) & mask);
+            }
+        } else {
+            for (slot, &(r, c)) in elems.iter().enumerate() {
+                let v = read_frag_elem(regs, lane, base, slot, bits);
+                t.set_bits(r as usize, c as usize, v);
+            }
         }
     }
     t
 }
 
+/// Upper bound on fragment registers per thread (C/D in FP32: 8 elements
+/// × 32 bits).
+const MAX_FRAG_WORDS: usize = 16;
+
+/// Number of whole registers a fragment of `n` elements × `bits` covers,
+/// or `None` when the fragment does not tile its registers exactly (the
+/// per-element fallback handles that).
+#[inline]
+fn whole_words(n: usize, bits: usize) -> Option<usize> {
+    let total = n * bits;
+    if total > 0 && total.is_multiple_of(32) && total / 32 <= MAX_FRAG_WORDS {
+        Some(total / 32)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn elem_mask(bits: usize) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
 /// Scatters a whole tile into a warp's fragment registers.
 pub fn scatter_tile(map: &FragmentMap, base: Reg, tile: &Tile, regs: &mut dyn WarpRegisters) {
     let bits = map.ty().bits();
+    let mask = elem_mask(bits);
     for lane in 0..WARP_SIZE {
-        for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
-            write_frag_elem(regs, lane, base, slot, bits, tile.get_bits(r as usize, c as usize));
+        let elems = map.lane_elems(lane);
+        if let Some(words) = whole_words(elems.len(), bits) {
+            // The slots tile the registers exactly, so composing them in
+            // a buffer and writing each register once produces the same
+            // final bits as the per-element read-modify-write chain.
+            let mut buf = [0u32; MAX_FRAG_WORDS];
+            for (slot, &(r, c)) in elems.iter().enumerate() {
+                let bitpos = slot * bits;
+                buf[bitpos / 32] |=
+                    (tile.get_bits(r as usize, c as usize) & mask) << (bitpos % 32);
+            }
+            for (w, &word) in buf.iter().take(words).enumerate() {
+                regs.write(lane, Reg(base.0 + w as u16), word);
+            }
+        } else {
+            for (slot, &(r, c)) in elems.iter().enumerate() {
+                write_frag_elem(regs, lane, base, slot, bits, tile.get_bits(r as usize, c as usize));
+            }
         }
     }
 }
@@ -239,11 +297,25 @@ impl WmmaHandler for TensorCoreModel {
         let map = cached_map(self.volta, frag, shape, ty, layout);
         let runs = cached_accesses(self.volta, &map, stride);
         let bits = ty.bits();
+        let mask = elem_mask(bits);
         let mut accesses = Vec::new();
         for lane in 0..WARP_SIZE {
-            for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
-                let v = read_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty);
-                write_frag_elem(regs, lane, dst, slot, bits, v);
+            let elems = map.lane_elems(lane);
+            if let Some(words) = whole_words(elems.len(), bits) {
+                let mut buf = [0u32; MAX_FRAG_WORDS];
+                for (slot, &(r, c)) in elems.iter().enumerate() {
+                    let v = read_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty);
+                    let bitpos = slot * bits;
+                    buf[bitpos / 32] |= (v & mask) << (bitpos % 32);
+                }
+                for (w, &word) in buf.iter().take(words).enumerate() {
+                    regs.write(lane, Reg(dst.0 + w as u16), word);
+                }
+            } else {
+                for (slot, &(r, c)) in elems.iter().enumerate() {
+                    let v = read_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty);
+                    write_frag_elem(regs, lane, dst, slot, bits, v);
+                }
             }
             for &(off, bytes) in &runs[lane] {
                 accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
@@ -283,11 +355,25 @@ impl WmmaHandler for TensorCoreModel {
         let map = cached_map(self.volta, FragmentKind::D, shape, ty, layout);
         let runs = cached_accesses(self.volta, &map, stride);
         let bits = ty.bits();
+        let mask = elem_mask(bits);
         let mut accesses = Vec::new();
         for lane in 0..WARP_SIZE {
-            for (slot, &(r, c)) in map.lane_elems(lane).iter().enumerate() {
-                let v = read_frag_elem(regs, lane, src, slot, bits);
-                write_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty, v);
+            let elems = map.lane_elems(lane);
+            if let Some(words) = whole_words(elems.len(), bits) {
+                let mut buf = [0u32; MAX_FRAG_WORDS];
+                for (w, slot) in buf.iter_mut().take(words).enumerate() {
+                    *slot = regs.read(lane, Reg(src.0 + w as u16));
+                }
+                for (slot, &(r, c)) in elems.iter().enumerate() {
+                    let bitpos = slot * bits;
+                    let v = (buf[bitpos / 32] >> (bitpos % 32)) & mask;
+                    write_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty, v);
+                }
+            } else {
+                for (slot, &(r, c)) in elems.iter().enumerate() {
+                    let v = read_frag_elem(regs, lane, src, slot, bits);
+                    write_mem_elem(mem, base, r as usize, c as usize, stride, layout, ty, v);
+                }
             }
             for &(off, bytes) in &runs[lane] {
                 accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
@@ -567,3 +653,4 @@ mod tests {
         assert_eq!(regs.read(3, Reg(2)), 0xDEADBEEF);
     }
 }
+

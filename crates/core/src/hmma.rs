@@ -20,7 +20,7 @@
 //! tests and property tests) to produce bit-identical results to the
 //! atomic whole-tile semantics of [`mma_reference`].
 
-use crate::fedp::{fedp_f32, fedp_i32};
+use crate::fedp::{fedp_f32, fedp_f32_pre, fedp_i32};
 use crate::mapping::{VOLTA_A_ROW_BASE, VOLTA_B_COL_BASE};
 use crate::tile::Tile;
 use tcsim_f16::F16;
@@ -76,20 +76,37 @@ pub fn mma_reference(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) -> Tile {
     assert_eq!(b.rows(), k, "A cols must equal B rows");
     assert_eq!((c.rows(), c.cols()), (m, n), "C must be M×N");
     let mut d = Tile::new(d_type, m, n);
-    let int_mode = a.ty().is_integer();
-    for r in 0..m {
-        for col in 0..n {
-            if int_mode {
-                let av: Vec<i32> = (0..k).map(|i| a.get_i32(r, i)).collect();
-                let bv: Vec<i32> = (0..k).map(|i| b.get_i32(i, col)).collect();
-                let acc = crate::fedp::dot_i32(&av, &bv, c.get_i32(r, col));
+    if a.ty().is_integer() {
+        // Decode each operand element once (A row-major, B transposed to
+        // column-major) instead of re-extracting k elements per output
+        // cell; the dot product itself is unchanged.
+        let av: Vec<i32> = (0..m).flat_map(|r| (0..k).map(move |i| a.get_i32(r, i))).collect();
+        let bt: Vec<i32> = (0..n).flat_map(|col| (0..k).map(move |i| b.get_i32(i, col))).collect();
+        for r in 0..m {
+            for col in 0..n {
+                let acc = crate::fedp::dot_i32(
+                    &av[r * k..(r + 1) * k],
+                    &bt[col * k..(col + 1) * k],
+                    c.get_i32(r, col),
+                );
                 d.set_i32(r, col, acc);
-            } else {
-                let av: Vec<F16> = (0..k).map(|i| a.get_f16(r, i)).collect();
-                let bv: Vec<F16> = (0..k).map(|i| b.get_f16(i, col)).collect();
+            }
+        }
+    } else {
+        // Same hoist for the floating modes. binary16 → binary32 is
+        // exact, so widening each multiplicand once up front leaves every
+        // FEDP product bit-identical to converting inside the chain.
+        let av: Vec<f32> =
+            (0..m).flat_map(|r| (0..k).map(move |i| a.get_f16(r, i).to_f32())).collect();
+        let bt: Vec<f32> =
+            (0..n).flat_map(|col| (0..k).map(move |i| b.get_f16(i, col).to_f32())).collect();
+        for r in 0..m {
+            for col in 0..n {
                 let mut acc = c.value(r, col) as f32;
-                for (qa, qb) in av.chunks_exact(4).zip(bv.chunks_exact(4)) {
-                    acc = fedp_f32([qa[0], qa[1], qa[2], qa[3]], [qb[0], qb[1], qb[2], qb[3]], acc);
+                let row = &av[r * k..(r + 1) * k];
+                let bcol = &bt[col * k..(col + 1) * k];
+                for (qa, qb) in row.chunks_exact(4).zip(bcol.chunks_exact(4)) {
+                    acc = fedp_f32_pre(qa, qb, acc);
                     if d_type == WmmaType::F16 {
                         acc = F16::from_f32(acc).to_f32();
                     }

@@ -2,8 +2,8 @@
 //! scaling (Fig 12c) and clock-instrumented `wmma.mma` latency (Fig 6).
 
 use tcsim_isa::{
-    CmpOp, DataType, FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand,
-    SpecialReg, WmmaShape, WmmaType,
+    CmpOp, DataType, FragmentKind, Instr, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Op,
+    Operand, SpecialReg, WmmaShape, WmmaType,
 };
 
 const SHAPE: WmmaShape = WmmaShape::M16N16K16;
@@ -126,6 +126,126 @@ pub fn clocked_mma(fp16: bool) -> Kernel {
     b.build()
 }
 
+/// Dependent global-load chain ("pointer chase"): each iteration loads a
+/// 32-bit word whose value is the element index of the next load, so no
+/// load can begin before the previous one completes. This is the classic
+/// memory-latency microbenchmark of the paper's §III methodology: wall
+/// time is dominated by the round-trip latency of whichever level of the
+/// hierarchy holds the working set, and every warp spends hundreds of
+/// cycles blocked per executed instruction — the workload shape where an
+/// event-driven scheduler core pays off most.
+///
+/// Every warp chases the same chain but enters it at a different element,
+/// chosen so warp starts are evenly spaced along the chase *cycle*: a
+/// stride-`s` chain over a power-of-two footprint visits element
+/// `(s·p) mod words` at position `p`, so `spread_elems = s · (words /
+/// total_warps) mod words` puts the warps at equidistant cycle positions
+/// and their trails stay disjoint until they meet the next warp's start.
+/// Under a multi-warp launch the warps drift out of phase and the machine
+/// always has *some* warp waking while the rest stay blocked.
+///
+/// The chain holds absolute 64-bit device addresses (`p = *(void **)p`,
+/// exactly the CUDA original's chase loop), so each hop is a single
+/// dependent `LD.E.64`. The body is unrolled `16×` so loop-control
+/// instructions do not dilute the blocked-on-memory duty cycle; `iters`
+/// must be a multiple of 16. The body is guarded `@p0` with
+/// `p0 = (laneid == 0)` — a latency chase needs exactly one lane in
+/// flight, matching the single-thread chase of the original.
+///
+/// `elems` is the chain length and must be a power of two (start offsets
+/// reduce with a mask). Parameters: `buf: u64` (a chain of u64 absolute
+/// addresses prepared by the host, see [`chase_chain`]), `out: u64` (one
+/// u64 per warp; each warp stores its final pointer so the chain cannot
+/// be dead-code-eliminated).
+pub fn pointer_chase(iters: u32, elems: usize, spread_elems: u32) -> Kernel {
+    const UNROLL: u32 = 16;
+    assert!(elems.is_power_of_two(), "chain length must be a power of two");
+    assert!(iters.is_multiple_of(UNROLL), "iters must be a multiple of {UNROLL}");
+    let mut b = KernelBuilder::new("pointer_chase");
+    let buf_off = b.param_u64("buf");
+    let out_off = b.param_u64("out");
+    let buf = b.reg_pair();
+    b.ld_param(MemWidth::B64, buf, buf_off);
+    let out = b.reg_pair();
+    b.ld_param(MemWidth::B64, out, out_off);
+
+    // Global warp index: ctaid.x · (ntid.x / 32) + warpid.
+    let warp = b.reg();
+    b.mov(warp, Operand::Special(SpecialReg::WarpId));
+    let cta = b.reg();
+    b.mov(cta, Operand::Special(SpecialReg::CtaIdX));
+    let ntid = b.reg();
+    b.mov(ntid, Operand::Special(SpecialReg::NTidX));
+    let wpc = b.reg();
+    b.shr(wpc, ntid, Operand::Imm(5));
+    let gw = b.reg();
+    b.imad(gw, cta, Operand::Reg(wpc), Operand::Reg(warp));
+
+    // Start element: (gw · spread) mod elems, then an absolute pointer.
+    let off = b.reg();
+    b.imul(off, gw, Operand::Imm(spread_elems as i64));
+    b.and(off, off, Operand::Imm(elems as i64 - 1));
+    let ptr = b.reg_pair();
+    b.imad_wide(ptr, off, Operand::Imm(8), buf);
+
+    // Chase with a single lane; loop control stays warp-uniform.
+    let lane = b.reg();
+    b.mov(lane, Operand::Special(SpecialReg::LaneId));
+    let l0 = b.pred();
+    b.setp(l0, CmpOp::Eq, DataType::U32, lane, Operand::Imm(0));
+
+    let i = b.reg();
+    b.mov(i, Operand::Imm(0));
+    let top = b.label();
+    b.place(top);
+    for _ in 0..UNROLL {
+        b.emit(
+            Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B64 })
+                .with_dst(ptr)
+                .with_srcs(vec![Operand::RegPair(ptr), Operand::Imm(0)])
+                .with_guard(l0, true),
+        );
+    }
+    b.iadd(i, i, Operand::Imm(UNROLL as i64));
+    let p = b.pred();
+    b.setp(p, CmpOp::Lt, DataType::U32, i, Operand::Imm(iters as i64));
+    b.bra_if(p, true, top);
+    let slot = b.reg_pair();
+    b.emit(
+        Instr::new(Op::IMadWide)
+            .with_dst(slot)
+            .with_srcs(vec![Operand::Reg(gw), Operand::Imm(8), Operand::RegPair(out)])
+            .with_guard(l0, true),
+    );
+    b.emit(
+        Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B64 })
+            .with_srcs(vec![Operand::RegPair(slot), Operand::Imm(0), Operand::Reg(ptr)])
+            .with_guard(l0, true),
+    );
+    b.exit();
+    b.build()
+}
+
+/// Host-side chain for [`pointer_chase`]: `elems` u64 elements where
+/// element `i` holds the absolute device address `base + 8·successor`,
+/// visiting every element in a fixed stride order (position `p` of the
+/// cycle is element `(p · stride_elems) mod elems`, which is how
+/// [`pointer_chase`] spaces warp entry points). `stride_elems` should
+/// span at least a cache line (16 elements) so every hop leaves the
+/// current sector; keep it coprime to `elems` (odd, for a power-of-two
+/// chain) so the cycle covers every element.
+pub fn chase_chain(elems: usize, stride_elems: usize, base: u64) -> Vec<u64> {
+    assert!(elems > 0);
+    let mut chain = vec![0u64; elems];
+    let mut idx = 0usize;
+    for _ in 0..elems {
+        let next = (idx + stride_elems) % elems;
+        chain[idx] = base + 8 * next as u64;
+        idx = next;
+    }
+    chain
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +259,24 @@ mod tests {
         assert!(k.num_regs() <= 64);
         let k = clocked_mma(true);
         assert!(k.num_regs() <= 64);
+        let k = pointer_chase(112, 1 << 10, 33);
+        assert!(k.num_regs() <= 48, "{} regs", k.num_regs());
+        assert_eq!(k.params().len(), 2);
+    }
+
+    #[test]
+    fn chase_chain_is_a_single_cycle() {
+        // Coprime stride: the chain visits every element exactly once
+        // before returning to the origin.
+        let base = 0x8000;
+        let chain = chase_chain(8, 3, base);
+        let mut seen = [false; 8];
+        let mut idx = 0usize;
+        for _ in 0..8 {
+            assert!(!seen[idx], "revisited {idx} early");
+            seen[idx] = true;
+            idx = ((chain[idx] - base) / 8) as usize;
+        }
+        assert_eq!(idx, 0, "chain must close");
     }
 }

@@ -304,6 +304,25 @@ pub enum UnitClass {
     Control,
 }
 
+impl UnitClass {
+    /// Number of unit classes — the length any dense per-unit array
+    /// (scheduler busy times, issue counters) must have. Adding a
+    /// variant without growing those arrays fails the exhaustiveness
+    /// check in [`UnitClass::ALL`] instead of silently desynchronizing.
+    pub const COUNT: usize = 7;
+
+    /// Every unit class, in declaration order.
+    pub const ALL: [UnitClass; UnitClass::COUNT] = [
+        UnitClass::Sp,
+        UnitClass::Int,
+        UnitClass::Fp64,
+        UnitClass::Mufu,
+        UnitClass::Tensor,
+        UnitClass::Mem,
+        UnitClass::Control,
+    ];
+}
+
 impl Op {
     /// The functional unit class this opcode issues to.
     pub fn unit(self) -> UnitClass {

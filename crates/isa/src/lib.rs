@@ -46,12 +46,14 @@ mod kernel;
 pub mod ptx;
 mod traits;
 mod types;
+mod uop;
 mod wmma;
 
 pub use instr::{AtomOp, CmpOp, Instr, Op, Operand, PredReg, Reg, ShflMode, UnitClass};
 pub use kernel::{Kernel, KernelBuilder, Label, ParamDesc, Program};
 pub use traits::{ByteMemory, VecMemory, WarpRegFile, WarpRegisters};
 pub use types::{DataType, Dim3, LaunchConfig, MemSpace, MemWidth, SpecialReg};
+pub use uop::{Uop, UopStream};
 pub use wmma::{
     fragment_elements, fragment_regs, FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType,
     WARP_SIZE,

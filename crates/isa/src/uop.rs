@@ -1,0 +1,238 @@
+//! Decode-once μop streams.
+//!
+//! The SM issue loop polls the same instruction many times while a warp
+//! waits out a hazard, and every poll through [`crate::Instr::use_regs`]/
+//! [`crate::Instr::def_regs`] allocates and sorts fresh `Vec`s. A
+//! [`UopStream`] performs that expansion **once per kernel**: each PC maps
+//! to a [`Uop`] carrying its unit class and two index spans into one flat,
+//! shared register array, so a hazard check is a pair of slice walks with
+//! no allocation, hashing, or `Op` matching.
+//!
+//! The stream is purely a pre-resolved view — it holds exactly what the
+//! per-instruction methods would have returned, so a scheduler driven by
+//! μops is cycle-identical to one re-interpreting [`crate::Instr`]s.
+
+use crate::instr::{Instr, Op, Reg, UnitClass};
+use crate::kernel::Kernel;
+
+/// One pre-decoded instruction: scheduling metadata plus operand spans
+/// into the owning [`UopStream`]'s flat register array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uop {
+    /// Functional unit class the instruction issues to.
+    pub unit: UnitClass,
+    /// Whether this is a CTA barrier (`bar.sync`), which fences on all
+    /// outstanding writes before arriving.
+    pub is_bar: bool,
+    /// Start of the read-register span (index into the stream's flat
+    /// register array, resolved via [`UopStream::uses`]).
+    pub uses_start: u32,
+    /// End (exclusive) of the read-register span.
+    pub uses_end: u32,
+    /// Start of the written-register span.
+    pub defs_start: u32,
+    /// End (exclusive) of the written-register span.
+    pub defs_end: u32,
+}
+
+/// A kernel's instructions decoded into dense μops: one [`Uop`] per PC,
+/// operand registers expanded (pairs, vector widths, WMMA fragments) into
+/// one flat array the spans index.
+///
+/// # Example
+///
+/// ```
+/// use tcsim_isa::{KernelBuilder, Operand, UnitClass, UopStream};
+///
+/// let mut b = KernelBuilder::new("k");
+/// let r = b.reg();
+/// b.iadd(r, r, Operand::Imm(1));
+/// b.exit();
+/// let kernel = b.build();
+///
+/// let uops = UopStream::decode(&kernel, true);
+/// assert_eq!(uops.len(), kernel.instrs().len());
+/// assert_eq!(uops.uop(0).unit, UnitClass::Int);
+/// assert_eq!(uops.uses(0), kernel.instrs()[0].use_regs(true).as_slice());
+/// assert_eq!(uops.defs(0), kernel.instrs()[0].def_regs(true).as_slice());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UopStream {
+    uops: Vec<Uop>,
+    /// Flat operand-register storage all spans index into.
+    regs: Vec<Reg>,
+}
+
+impl UopStream {
+    /// Decodes every instruction of `kernel`. `volta_double_load` selects
+    /// the Volta fragment sizing, exactly as the per-instruction
+    /// [`Instr::use_regs`]/[`Instr::def_regs`] calls it replaces.
+    pub fn decode(kernel: &Kernel, volta_double_load: bool) -> UopStream {
+        let instrs = kernel.instrs();
+        let mut uops = Vec::with_capacity(instrs.len());
+        let mut regs = Vec::new();
+        for instr in instrs {
+            uops.push(Uop::from_instr(instr, volta_double_load, &mut regs));
+        }
+        UopStream { uops, regs }
+    }
+
+    /// Number of μops (equals the kernel's instruction count).
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// The μop at `pc`.
+    pub fn uop(&self, pc: usize) -> Uop {
+        self.uops[pc]
+    }
+
+    /// Registers read by the instruction at `pc` (sorted, deduplicated).
+    pub fn uses(&self, pc: usize) -> &[Reg] {
+        let u = &self.uops[pc];
+        &self.regs[u.uses_start as usize..u.uses_end as usize]
+    }
+
+    /// Registers written by the instruction at `pc`.
+    pub fn defs(&self, pc: usize) -> &[Reg] {
+        let u = &self.uops[pc];
+        &self.regs[u.defs_start as usize..u.defs_end as usize]
+    }
+}
+
+impl Uop {
+    fn from_instr(instr: &Instr, volta_double_load: bool, regs: &mut Vec<Reg>) -> Uop {
+        let uses_start = regs.len() as u32;
+        regs.extend(instr.use_regs(volta_double_load));
+        let defs_start = regs.len() as u32;
+        regs.extend(instr.def_regs(volta_double_load));
+        Uop {
+            unit: instr.op.unit(),
+            is_bar: matches!(instr.op, Op::Bar),
+            uses_start,
+            uses_end: defs_start,
+            defs_start,
+            defs_end: regs.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::types::{MemWidth, SpecialReg};
+    use crate::instr::Operand;
+    use crate::wmma::{fragment_regs, FragmentKind, Layout, WmmaShape, WmmaType};
+
+    fn wmma_kernel() -> Kernel {
+        use crate::types::MemSpace;
+        let mut b = KernelBuilder::new("wmma");
+        let p = b.param_u64("tile");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let a = b.reg_block(fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, true));
+        let bb = b.reg_block(fragment_regs(FragmentKind::B, WmmaShape::M16N16K16, WmmaType::F16, true));
+        let c = b.reg_block(fragment_regs(FragmentKind::C, WmmaShape::M16N16K16, WmmaType::F16, true));
+        b.wmma_load(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            WmmaType::F16,
+            MemSpace::Global,
+            a,
+            Operand::RegPair(base),
+            Operand::Imm(16),
+        );
+        b.wmma_mma(
+            WmmaShape::M16N16K16,
+            Layout::Row,
+            Layout::Row,
+            WmmaType::F16,
+            WmmaType::F16,
+            WmmaType::F16,
+            c,
+            a,
+            bb,
+            c,
+        );
+        b.bar();
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn spans_match_per_instruction_expansion_for_every_pc() {
+        // Both fragment sizings: the stream must agree with the methods it
+        // caches, register for register.
+        for volta in [true, false] {
+            for kernel in [wmma_kernel(), simt_kernel()] {
+                let s = UopStream::decode(&kernel, volta);
+                assert_eq!(s.len(), kernel.instrs().len());
+                for (pc, instr) in kernel.instrs().iter().enumerate() {
+                    assert_eq!(s.uses(pc), instr.use_regs(volta).as_slice(), "uses at pc {pc}");
+                    assert_eq!(s.defs(pc), instr.def_regs(volta).as_slice(), "defs at pc {pc}");
+                    assert_eq!(s.uop(pc).unit, instr.op.unit(), "unit at pc {pc}");
+                    assert_eq!(s.uop(pc).is_bar, matches!(instr.op, Op::Bar), "bar at pc {pc}");
+                }
+            }
+        }
+    }
+
+    fn simt_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("simt");
+        let p = b.param_u64("out");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let tid = b.reg();
+        b.mov(tid, Operand::Special(SpecialReg::TidX));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, tid, Operand::Imm(4), base);
+        b.st_global(MemWidth::B32, addr, 0, tid);
+        b.bar();
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn fragment_spans_are_dense_and_wide() {
+        let kernel = wmma_kernel();
+        let s = UopStream::decode(&kernel, true);
+        // PC 1 is the wmma.load: defs are the whole A fragment.
+        let frag = fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, true);
+        assert_eq!(s.defs(1).len(), frag);
+        // PC 2 is the wmma.mma: reads A+B+C fragments.
+        assert!(s.uses(2).len() >= 3, "mma reads three fragments");
+        assert_eq!(s.uop(2).unit, UnitClass::Tensor);
+        // PC 3 is the barrier.
+        assert!(s.uop(3).is_bar);
+        assert_eq!(s.uop(3).unit, UnitClass::Control);
+    }
+
+    #[test]
+    fn unit_class_all_is_exhaustive() {
+        let mut seen = [false; UnitClass::COUNT];
+        for (i, u) in UnitClass::ALL.into_iter().enumerate() {
+            // Every variant appears exactly once; the match is the
+            // exhaustiveness guard for new variants.
+            let idx = match u {
+                UnitClass::Sp => 0,
+                UnitClass::Int => 1,
+                UnitClass::Fp64 => 2,
+                UnitClass::Mufu => 3,
+                UnitClass::Tensor => 4,
+                UnitClass::Mem => 5,
+                UnitClass::Control => 6,
+            };
+            assert_eq!(i, idx);
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

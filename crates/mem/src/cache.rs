@@ -82,6 +82,17 @@ impl CacheStats {
             (self.misses + self.mshr_merges) as f64 / self.accesses() as f64
         }
     }
+
+    /// Counters accumulated since the `before` snapshot of the same
+    /// cache — the per-launch delta between two cumulative readings.
+    pub fn delta_since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            mshr_merges: self.mshr_merges - before.mshr_merges,
+            writebacks: self.writebacks - before.writebacks,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

@@ -7,12 +7,26 @@ use tcsim_isa::ByteMemory;
 const PAGE_SHIFT: u32 = 16;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
+/// Pages below this index (4 GiB of address space) live in a
+/// direct-mapped table; the bump allocator hands out addresses from the
+/// bottom, so every well-behaved workload stays in this range.
+const DIRECT_PAGES: u64 = 1 << 16;
+
+type Page = Box<[u8; PAGE_BYTES]>;
+
 /// Sparse device memory. Pages materialize on first write; reads of
 /// untouched memory return zero (deterministic, like a fresh allocation
 /// in the simulator).
+///
+/// The page table is split: the bottom 4 GiB is a directly indexed
+/// vector (the warp executor performs one table access per lane per
+/// load/store, so this lookup must not hash), and stray far addresses —
+/// fuzzed kernels computing wild pointers — fall back to a map instead
+/// of materializing the gap.
 #[derive(Default)]
 pub struct DeviceMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    direct: Vec<Option<Page>>,
+    far: HashMap<u64, Page>,
     next_alloc: u64,
 }
 
@@ -20,7 +34,7 @@ impl DeviceMemory {
     /// Creates an empty device memory. Allocations start at a non-zero
     /// base so that address 0 stays an obvious "null".
     pub fn new() -> DeviceMemory {
-        DeviceMemory { pages: HashMap::new(), next_alloc: 0x1_0000 }
+        DeviceMemory { direct: Vec::new(), far: HashMap::new(), next_alloc: 0x1_0000 }
     }
 
     /// Allocates `bytes` of device memory, 256-byte aligned (matching
@@ -33,7 +47,7 @@ impl DeviceMemory {
 
     /// Number of materialized pages (for memory-footprint assertions).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.direct.iter().filter(|p| p.is_some()).count() + self.far.len()
     }
 
     /// Copies a byte slice into device memory ("host-to-device").
@@ -50,16 +64,37 @@ impl DeviceMemory {
 }
 
 impl DeviceMemory {
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
+        let pg = addr >> PAGE_SHIFT;
+        if pg < DIRECT_PAGES {
+            match self.direct.get(pg as usize) {
+                Some(Some(p)) => Some(p),
+                _ => None,
+            }
+        } else {
+            self.far.get(&pg).map(|p| &**p)
+        }
+    }
+
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice().try_into().expect("page size"))
+        let pg = addr >> PAGE_SHIFT;
+        let new_page = || vec![0u8; PAGE_BYTES].into_boxed_slice().try_into().expect("page size");
+        if pg < DIRECT_PAGES {
+            let idx = pg as usize;
+            if self.direct.len() <= idx {
+                self.direct.resize_with(idx + 1, || None);
+            }
+            self.direct[idx].get_or_insert_with(new_page)
+        } else {
+            self.far.entry(pg).or_insert_with(new_page)
+        }
     }
 }
 
 impl ByteMemory for DeviceMemory {
     fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr) {
             Some(p) => p[(addr as usize) & (PAGE_BYTES - 1)],
             None => 0,
         }
@@ -74,7 +109,7 @@ impl ByteMemory for DeviceMemory {
     fn read_u16(&self, addr: u64) -> u16 {
         let off = (addr as usize) & (PAGE_BYTES - 1);
         if off + 2 <= PAGE_BYTES {
-            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            match self.page(addr) {
                 Some(p) => u16::from_le_bytes([p[off], p[off + 1]]),
                 None => 0,
             }
@@ -86,7 +121,7 @@ impl ByteMemory for DeviceMemory {
     fn read_u32(&self, addr: u64) -> u32 {
         let off = (addr as usize) & (PAGE_BYTES - 1);
         if off + 4 <= PAGE_BYTES {
-            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            match self.page(addr) {
                 Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
                 None => 0,
             }
@@ -149,6 +184,18 @@ mod tests {
         m.write_u32(addr, 0xAABB_CCDD);
         assert_eq!(m.read_u32(addr), 0xAABB_CCDD);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn far_addresses_fall_back_to_the_map() {
+        // A wild pointer far beyond the direct window must not
+        // materialize the gap.
+        let mut m = DeviceMemory::new();
+        let far = (DIRECT_PAGES << PAGE_SHIFT) + 12345;
+        m.write_u32(far, 0x1234_5678);
+        assert_eq!(m.read_u32(far), 0x1234_5678);
+        assert_eq!(m.resident_pages(), 1);
+        assert!(m.direct.is_empty());
     }
 
     #[test]

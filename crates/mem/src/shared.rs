@@ -85,18 +85,33 @@ impl ByteMemory for SharedMemory {
 /// hardware does — distinct 4-byte words wanted from the same bank
 /// serialize; lanes reading the same word broadcast.
 pub fn conflict_passes(accesses: &[MemAccess]) -> u32 {
-    let mut per_bank: [Vec<u64>; NUM_BANKS] = std::array::from_fn(|_| Vec::new());
-    for a in accesses {
-        let first = a.addr / BANK_BYTES;
-        let last = (a.addr + a.bytes as u64 - 1) / BANK_BYTES;
-        for w in first..=last {
-            let bank = (w as usize) % NUM_BANKS;
-            if !per_bank[bank].contains(&w) {
-                per_bank[bank].push(w);
+    // Runs once per shared-memory instruction: gather every touched
+    // word id into a reused scratch buffer, sort, then count distinct
+    // words per bank — no per-call allocation, no quadratic `contains`.
+    thread_local! {
+        static WORDS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    WORDS.with(|cell| {
+        let mut words = cell.borrow_mut();
+        words.clear();
+        for a in accesses {
+            let first = a.addr / BANK_BYTES;
+            let last = (a.addr + a.bytes as u64 - 1) / BANK_BYTES;
+            for w in first..=last {
+                words.push(w);
             }
         }
-    }
-    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+        words.sort_unstable();
+        let mut counts = [0u32; NUM_BANKS];
+        let mut prev = u64::MAX;
+        for &w in words.iter() {
+            if w != prev {
+                counts[(w as usize) % NUM_BANKS] += 1;
+                prev = w;
+            }
+        }
+        counts.iter().copied().max().unwrap_or(0).max(1)
+    })
 }
 
 #[cfg(test)]

@@ -2,11 +2,12 @@
 //! event skipping, and launch statistics.
 
 use crate::config::GpuConfig;
+use crate::options::{CoreModel, SimOptions};
 use crate::stats::LaunchStats;
 use std::sync::Arc;
 use tcsim_isa::{ByteMemory, Kernel, LaunchConfig};
 use tcsim_mem::{DeviceMemory, MemSystem};
-use tcsim_sm::{LaunchSpec, Sm};
+use tcsim_sm::{CtaRequirements, DecodedKernel, LaunchSpec, Sm};
 use tcsim_trace::{NullTracer, TraceEvent, TraceSummary, Tracer};
 
 /// A simulated GPU: SMs, the shared memory system, and device memory.
@@ -44,6 +45,7 @@ use tcsim_trace::{NullTracer, TraceEvent, TraceSummary, Tracer};
 /// ```
 pub struct Gpu {
     cfg: GpuConfig,
+    core: CoreModel,
     sms: Vec<Sm>,
     mem_sys: MemSystem,
     device: DeviceMemory,
@@ -52,18 +54,27 @@ pub struct Gpu {
 }
 
 impl Gpu {
-    /// Builds an idle GPU (tracing disabled).
-    pub fn new(cfg: GpuConfig) -> Gpu {
-        Gpu {
+    /// Builds an idle GPU from a [`GpuConfig`] (all-default options) or an
+    /// explicit [`SimOptions`] carrying the core model, tracer and
+    /// profiling switches.
+    pub fn new(options: impl Into<SimOptions>) -> Gpu {
+        let opts = options.into();
+        let cfg = opts.cfg;
+        let mut gpu = Gpu {
+            core: opts.core,
             sms: (0..cfg.num_sms)
                 .map(|i| Sm::with_id(cfg.sm, i as u16))
                 .collect(),
             mem_sys: MemSystem::new(cfg.mem),
             device: DeviceMemory::new(),
             profile_wmma: false,
-            tracer: Box::new(NullTracer),
+            tracer: opts.tracer.unwrap_or_else(|| Box::new(NullTracer)),
             cfg,
+        };
+        if opts.profile_wmma {
+            gpu.set_profile(true);
         }
+        gpu
     }
 
     /// The GPU configuration.
@@ -71,10 +82,18 @@ impl Gpu {
         &self.cfg
     }
 
+    /// Which SM-core simulation loop this GPU runs.
+    pub fn core_model(&self) -> CoreModel {
+        self.core
+    }
+
     /// Installs an event tracer; subsequent launches record into it.
-    /// Pass a [`tcsim_trace::RingTracer`] to capture events, or
-    /// [`NullTracer`] (the default) to disable tracing.
+    #[deprecated(note = "pass the tracer via `SimOptions::tracer` or `LaunchBuilder::tracer`")]
     pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.install_tracer(tracer);
+    }
+
+    pub(crate) fn install_tracer(&mut self, tracer: Box<dyn Tracer>) {
         self.tracer = tracer;
     }
 
@@ -95,7 +114,12 @@ impl Gpu {
     }
 
     /// Enables per-WMMA-instruction latency profiling (Fig 15/16).
+    #[deprecated(note = "use `SimOptions::profile_wmma` when constructing the GPU")]
     pub fn set_profile_wmma(&mut self, on: bool) {
+        self.set_profile(on);
+    }
+
+    fn set_profile(&mut self, on: bool) {
         self.profile_wmma = on;
         for sm in &mut self.sms {
             sm.set_profile_wmma(on);
@@ -163,10 +187,14 @@ impl Gpu {
         launch: LaunchConfig,
         params: Vec<u8>,
     ) -> LaunchStats {
+        let kernel = Arc::new(kernel);
+        // Decode once per launch; every CTA on every SM shares the tables.
+        let uops = Some(Arc::new(DecodedKernel::decode(&kernel, &self.cfg.sm)));
         let spec = LaunchSpec {
-            kernel: Arc::new(kernel),
+            kernel,
             params: Arc::new(params),
             launch,
+            uops,
         };
         let req = spec.cta_requirements();
         assert!(
@@ -199,10 +227,47 @@ impl Gpu {
         let l1_before = self.l1_aggregate();
         let l2_before = self.mem_sys.l2_stats();
         let dram_before = self.mem_sys.dram_sectors();
-        let total_ctas = launch.total_ctas();
+        let cycle = match self.core {
+            CoreModel::EventDriven => self.run_loop_event(&spec, &req),
+            CoreModel::CycleStepped => self.run_loop_cycle(&spec, &req),
+        };
+
+        let mut merged = tcsim_sm::SmStats::default();
+        for (sm, before) in self.sms.iter().zip(&sm_before) {
+            merged.merge(&sm.stats().delta_since(before));
+        }
+        let l1 = self.l1_aggregate().delta_since(&l1_before);
+        let l2 = self.mem_sys.l2_stats().delta_since(&l2_before);
+        let instructions = merged.issued;
+        // Summarize the trace while it still holds exactly this launch's
+        // window (the caller may reuse or replace the tracer afterwards).
+        let trace = if self.tracer.enabled() {
+            Some(TraceSummary::from_events(
+                &self.tracer.snapshot(),
+                self.tracer.dropped(),
+            ))
+        } else {
+            None
+        };
+        LaunchStats {
+            cycles: cycle.max(1),
+            instructions,
+            sm: merged,
+            l1,
+            l2,
+            dram_sectors: self.mem_sys.dram_sectors() - dram_before,
+            clock_mhz: self.cfg.clock_mhz,
+            trace,
+        }
+    }
+
+    /// The original reference loop: step every non-idle SM at every
+    /// visited cycle, then advance the clock by one (if anything issued)
+    /// or jump to the earliest wake hint.
+    fn run_loop_cycle(&mut self, spec: &LaunchSpec, req: &CtaRequirements) -> u64 {
+        let total_ctas = spec.launch.total_ctas();
         let mut next_cta: u64 = 0;
         let mut cycle: u64 = 0;
-        let watchdog: u64 = 50_000_000_000;
 
         loop {
             // CTA issue: fill SMs round-robin, one pass per cycle.
@@ -211,9 +276,9 @@ impl Gpu {
                     if next_cta >= total_ctas {
                         break;
                     }
-                    if sm.can_accept(&req) {
-                        let id = launch.grid.delinearize(next_cta);
-                        sm.launch_cta(&spec, id, cycle);
+                    if sm.can_accept(req) {
+                        let id = spec.launch.grid.delinearize(next_cta);
+                        sm.launch_cta(spec, id, cycle);
                         next_cta += 1;
                     }
                 }
@@ -243,36 +308,74 @@ impl Gpu {
                 // Event skip: nothing can issue before `hint`.
                 cycle = hint.max(cycle + 1);
             }
-            assert!(cycle < watchdog, "simulation watchdog tripped");
+            assert!(cycle < WATCHDOG, "simulation watchdog tripped");
         }
+        cycle
+    }
 
-        let mut merged = tcsim_sm::SmStats::default();
-        for (sm, before) in self.sms.iter().zip(&sm_before) {
-            merged.merge(&sm.stats().delta_since(before));
+    /// The event/wakeup-driven loop. Each SM's next interesting cycle is
+    /// cached in `wake`; an SM is stepped only when the clock reaches it,
+    /// and the clock advances straight to the minimum wake time.
+    ///
+    /// This visits exactly the cycle sequence of [`Gpu::run_loop_cycle`]
+    /// and skips only SM steps that are provably no-ops: a step before an
+    /// SM's wake time finds every warp still blocked (`block_until`
+    /// values only change when a warp is actually retried or issued), so
+    /// it emits no events, mutates nothing, and returns the same hint —
+    /// which is why the two cores produce byte-identical statistics and
+    /// traces.
+    fn run_loop_event(&mut self, spec: &LaunchSpec, req: &CtaRequirements) -> u64 {
+        let total_ctas = spec.launch.total_ctas();
+        let mut next_cta: u64 = 0;
+        let mut cycle: u64 = 0;
+        let mut wake: Vec<u64> = vec![0; self.sms.len()];
+
+        loop {
+            if next_cta < total_ctas {
+                for (i, sm) in self.sms.iter_mut().enumerate() {
+                    if next_cta >= total_ctas {
+                        break;
+                    }
+                    if sm.can_accept(req) {
+                        let id = spec.launch.grid.delinearize(next_cta);
+                        sm.launch_cta(spec, id, cycle);
+                        next_cta += 1;
+                        // New warps are issuable immediately.
+                        wake[i] = cycle;
+                    }
+                }
+            }
+
+            let mut all_idle = true;
+            let mut next = u64::MAX;
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                if sm.idle() {
+                    continue;
+                }
+                all_idle = false;
+                if wake[i] <= cycle {
+                    wake[i] = match sm.step_event(
+                        cycle,
+                        &mut self.device,
+                        &mut self.mem_sys,
+                        self.tracer.as_mut(),
+                    ) {
+                        // Issued: the SM may issue again next cycle.
+                        None => cycle + 1,
+                        Some(h) => h.max(cycle + 1),
+                    };
+                }
+                next = next.min(wake[i]);
+            }
+
+            if all_idle && next_cta >= total_ctas {
+                break;
+            }
+
+            cycle = if next == u64::MAX { cycle + 1 } else { next.max(cycle + 1) };
+            assert!(cycle < WATCHDOG, "simulation watchdog tripped");
         }
-        let l1 = cache_delta(self.l1_aggregate(), l1_before);
-        let l2 = cache_delta(self.mem_sys.l2_stats(), l2_before);
-        let instructions = merged.issued;
-        // Summarize the trace while it still holds exactly this launch's
-        // window (the caller may reuse or replace the tracer afterwards).
-        let trace = if self.tracer.enabled() {
-            Some(TraceSummary::from_events(
-                &self.tracer.snapshot(),
-                self.tracer.dropped(),
-            ))
-        } else {
-            None
-        };
-        LaunchStats {
-            cycles: cycle.max(1),
-            instructions,
-            sm: merged,
-            l1,
-            l2,
-            dram_sectors: self.mem_sys.dram_sectors() - dram_before,
-            clock_mhz: self.cfg.clock_mhz,
-            trace,
-        }
+        cycle
     }
 
     /// L1 counters summed over all SMs (cumulative).
@@ -289,15 +392,9 @@ impl Gpu {
     }
 }
 
-/// Per-launch cache-counter delta between two cumulative snapshots.
-fn cache_delta(after: tcsim_mem::CacheStats, before: tcsim_mem::CacheStats) -> tcsim_mem::CacheStats {
-    tcsim_mem::CacheStats {
-        hits: after.hits - before.hits,
-        misses: after.misses - before.misses,
-        mshr_merges: after.mshr_merges - before.mshr_merges,
-        writebacks: after.writebacks - before.writebacks,
-    }
-}
+/// Cycle-count ceiling on a single launch; tripping it indicates a
+/// scheduling deadlock, not a long workload.
+const WATCHDOG: u64 = 50_000_000_000;
 
 #[cfg(test)]
 mod tests {

@@ -358,15 +358,14 @@ impl LaunchBuilder {
     /// bypassing per-parameter validation — for replaying captured
     /// parameter buffers. New code should prefer the typed `param_*`
     /// methods.
-    pub fn raw_params(mut self, bytes: &[u8]) -> LaunchBuilder {
-        assert!(
-            self.next_param == 0,
-            "kernel {}: cannot mix raw_params with typed params",
-            self.kernel.name()
-        );
-        self.params = bytes.to_vec();
-        self.raw = true;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`LaunchError::MixedParamStyles`] message if typed
+    /// `param_*` calls were already made (thin wrapper over
+    /// [`LaunchBuilder::try_raw_params`]).
+    pub fn raw_params(self, bytes: &[u8]) -> LaunchBuilder {
+        self.try_raw_params(bytes).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`LaunchBuilder::raw_params`].
@@ -389,20 +388,23 @@ impl LaunchBuilder {
     /// limits (see [`Gpu`] docs).
     pub fn launch(mut self, gpu: &mut Gpu) -> LaunchStats {
         if let Some(tracer) = self.tracer.take() {
-            gpu.set_tracer(tracer);
+            gpu.install_tracer(tracer);
         }
         let (kernel, cfg, params) = self.into_parts();
         gpu.run_kernel(kernel, cfg, params)
     }
 
     /// Finalizes the builder into its `(kernel, launch-config, params)`
-    /// triple without running it — the form sweep jobs close over.
+    /// triple without running it — the form sweep jobs close over. Thin
+    /// wrapper over [`LaunchBuilder::try_into_parts`], so the strict
+    /// zero-dimension and wmma-alignment checks apply here too.
     ///
     /// # Panics
     ///
-    /// Same validation as [`LaunchBuilder::launch`].
+    /// Panics with the corresponding [`LaunchError`] message on any
+    /// validation failure.
     pub fn into_parts(self) -> (Kernel, LaunchConfig, Vec<u8>) {
-        self.finalize().unwrap_or_else(|e| panic!("{e}"))
+        self.try_into_parts().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Shared geometry/parameter validation and packing behind both
@@ -518,7 +520,7 @@ impl LaunchBuilder {
         }
         let (kernel, cfg, params) = self.try_into_parts()?;
         if let Some(tracer) = tracer {
-            gpu.set_tracer(tracer);
+            gpu.install_tracer(tracer);
         }
         Ok(gpu.run_kernel(kernel, cfg, params))
     }
@@ -819,6 +821,37 @@ mod tests {
             .block(32u32)
             .launch(&mut gpu);
         assert!(stats.cycles > 0);
+    }
+
+    // The panicking variants are thin wrappers over the `try_` forms;
+    // these pin their exact messages (the `LaunchError` Display wording).
+    #[test]
+    #[should_panic(expected = "cannot mix typed params with raw_params")]
+    fn mixed_param_styles_panic_message_is_pinned() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .param_u64(0)
+            .raw_params(&[0u8; 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid extent 0x1x1 has a zero dimension")]
+    fn zero_dimension_panic_message_is_pinned() {
+        let _ = LaunchBuilder::new(two_param_kernel())
+            .grid(0u32)
+            .block(32u32)
+            .param_u64(0)
+            .param_u32(1)
+            .into_parts();
+    }
+
+    #[test]
+    #[should_panic(expected = "feeds a wmma address but is not 16-byte aligned")]
+    fn unaligned_wmma_pointer_panic_message_is_pinned() {
+        let _ = LaunchBuilder::new(wmma_ptr_kernel())
+            .grid(1u32)
+            .block(32u32)
+            .param_u64(0x1_0002)
+            .into_parts();
     }
 
     #[test]

@@ -22,6 +22,7 @@
 mod config;
 mod gpu;
 mod launch;
+mod options;
 mod session;
 mod stats;
 mod sweep;
@@ -29,6 +30,7 @@ mod sweep;
 pub use config::GpuConfig;
 pub use gpu::Gpu;
 pub use launch::{LaunchBuilder, LaunchError};
+pub use options::{CoreModel, SimOptions};
 pub use tcsim_verify::{Diagnostic, LaunchGeometry, Severity};
 pub use session::{Session, SessionEntry};
 pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};

@@ -1,0 +1,190 @@
+//! Structure-of-arrays scoreboard for the μop-driven issue path.
+//!
+//! Semantically identical to the `HashMap`-based [`crate::Scoreboard`],
+//! restated over dense per-register arrays so the hot hazard check is a
+//! slice walk with no hashing or allocation:
+//!
+//! * an entry is *pending* iff `ready[r] > now` — stale entries need no
+//!   explicit `retire` pass, they are simply skipped;
+//! * [`DenseScoreboard::issue`] keeps the **latest** completion per
+//!   register (overwrite-if-greater, OR the memory flag on ties), exactly
+//!   the map version's merge rule;
+//! * completion times never decrease, so a running maximum is exact for
+//!   [`DenseScoreboard::all_clear_at`]: if the max is in the past, every
+//!   entry is.
+
+use crate::scoreboard::Hazard;
+use tcsim_isa::Reg;
+
+/// Dense in-flight write tracking for one warp (indexed by register
+/// number, sized to the kernel's register count).
+#[derive(Clone, Debug)]
+pub struct DenseScoreboard {
+    /// Cycle each register's latest in-flight write completes (0 = never
+    /// written, always ready).
+    ready: Box<[u64]>,
+    /// Whether that write came from the memory unit.
+    from_mem: Box<[bool]>,
+    /// Max over all completion times ever recorded.
+    max_ready: u64,
+}
+
+impl DenseScoreboard {
+    /// An empty scoreboard covering registers `0..num_regs`.
+    pub fn new(num_regs: usize) -> DenseScoreboard {
+        DenseScoreboard {
+            ready: vec![0; num_regs].into_boxed_slice(),
+            from_mem: vec![false; num_regs].into_boxed_slice(),
+            max_ready: 0,
+        }
+    }
+
+    /// Whether an instruction reading `uses` and writing `defs` can issue
+    /// at `now`; returns the blocking [`Hazard`] (latest completion, OR of
+    /// memory-origin flags) otherwise — the same RAW/WAW rule as
+    /// [`crate::Scoreboard::check`].
+    pub fn check(&self, uses: &[Reg], defs: &[Reg], now: u64) -> Result<(), Hazard> {
+        let mut block: Option<Hazard> = None;
+        for &r in uses.iter().chain(defs) {
+            let ready = self.ready[r.0 as usize];
+            if ready > now {
+                let from_mem = self.from_mem[r.0 as usize];
+                block = Some(match block {
+                    None => Hazard { ready, from_mem },
+                    Some(h) => Hazard {
+                        ready: h.ready.max(ready),
+                        from_mem: h.from_mem || from_mem,
+                    },
+                });
+            }
+        }
+        match block {
+            None => Ok(()),
+            Some(h) => Err(h),
+        }
+    }
+
+    /// Records an issued instruction's writes to `defs` completing at
+    /// `ready`.
+    pub fn issue(&mut self, defs: &[Reg], ready: u64, from_mem: bool) {
+        // `max_ready` advances only on actual register writes: an
+        // instruction without defs (e.g. a store) leaves no entry in the
+        // map scoreboard and must not move the barrier fence here either.
+        for &r in defs {
+            let slot = &mut self.ready[r.0 as usize];
+            if ready > *slot {
+                *slot = ready;
+                self.from_mem[r.0 as usize] = from_mem;
+            } else if ready == *slot {
+                self.from_mem[r.0 as usize] |= from_mem;
+            }
+            self.max_ready = self.max_ready.max(ready);
+        }
+    }
+
+    /// Cycle when every pending write has completed (`now` if none) —
+    /// the barrier-fence query.
+    pub fn all_clear_at(&self, now: u64) -> u64 {
+        self.max_ready.max(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoreboard::Scoreboard;
+    use tcsim_isa::{Instr, MemSpace, MemWidth, Op, Operand};
+
+    fn r(n: u16) -> Reg {
+        Reg(n)
+    }
+
+    #[test]
+    fn raw_and_waw_block_until_completion() {
+        let mut sb = DenseScoreboard::new(8);
+        sb.issue(&[r(1)], 50, false);
+        assert_eq!(
+            sb.check(&[r(1)], &[r(2)], 10),
+            Err(Hazard { ready: 50, from_mem: false })
+        );
+        assert_eq!(
+            sb.check(&[r(4)], &[r(1)], 20),
+            Err(Hazard { ready: 50, from_mem: false })
+        );
+        assert_eq!(sb.check(&[r(1)], &[r(2)], 50), Ok(()));
+    }
+
+    #[test]
+    fn latest_writer_wins_and_memory_flag_tracks_it() {
+        let mut sb = DenseScoreboard::new(8);
+        sb.issue(&[r(1)], 200, true);
+        assert_eq!(
+            sb.check(&[r(1)], &[], 10),
+            Err(Hazard { ready: 200, from_mem: true })
+        );
+        // A later ALU overwrite clears the memory attribution.
+        sb.issue(&[r(1)], 300, false);
+        assert_eq!(
+            sb.check(&[r(1)], &[], 10),
+            Err(Hazard { ready: 300, from_mem: false })
+        );
+        // An *earlier* completion must not mask the pending one.
+        sb.issue(&[r(1)], 250, true);
+        assert_eq!(
+            sb.check(&[r(1)], &[], 10),
+            Err(Hazard { ready: 300, from_mem: false })
+        );
+    }
+
+    #[test]
+    fn all_clear_tracks_running_max() {
+        let mut sb = DenseScoreboard::new(8);
+        assert_eq!(sb.all_clear_at(7), 7);
+        sb.issue(&[r(3)], 40, false);
+        sb.issue(&[r(5)], 25, true);
+        assert_eq!(sb.all_clear_at(10), 40);
+        assert_eq!(sb.all_clear_at(90), 90);
+    }
+
+    /// Differential: drive the map scoreboard and the dense one with the
+    /// same instruction sequence and compare every observation.
+    #[test]
+    fn matches_hashmap_scoreboard_on_a_mixed_sequence() {
+        let mov = |dst: u16, src: u16| {
+            Instr::new(Op::Mov)
+                .with_dst(Reg(dst))
+                .with_srcs(vec![Operand::Reg(Reg(src))])
+        };
+        let ld = |dst: u16, addr: u16| {
+            Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
+                .with_dst(Reg(dst))
+                .with_srcs(vec![Operand::Reg(Reg(addr))])
+        };
+        let program = [
+            (mov(1, 0), 50u64),
+            (ld(2, 1), 180),
+            (mov(3, 2), 60),
+            (ld(1, 3), 300),
+            (mov(4, 1), 310),
+        ];
+        let mut map = Scoreboard::new();
+        let mut dense = DenseScoreboard::new(16);
+        let mut now = 0u64;
+        for (instr, ready) in &program {
+            let uses = instr.use_regs(true);
+            let defs = instr.def_regs(true);
+            for probe in [now, now + 17, ready - 1, *ready] {
+                map.retire(probe);
+                assert_eq!(
+                    map.check(instr, true, probe),
+                    dense.check(&uses, &defs, probe),
+                    "check at cycle {probe}"
+                );
+                assert_eq!(map.all_clear_at(probe), dense.all_clear_at(probe));
+            }
+            map.issue(instr, true, *ready);
+            dense.issue(&defs, *ready, instr.op.unit() == tcsim_isa::UnitClass::Mem);
+            now += 13;
+        }
+    }
+}

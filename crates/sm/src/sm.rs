@@ -10,6 +10,8 @@
 //! according to the Fig 9 / Table I schedules.
 
 use crate::config::{SchedPolicy, SmConfig};
+use crate::decode::DecodedKernel;
+use crate::dense_scoreboard::DenseScoreboard;
 use crate::scoreboard::Scoreboard;
 use crate::stats::{unit_index, SmStats, WmmaKind, WmmaSample};
 use std::sync::Arc;
@@ -30,6 +32,11 @@ pub struct LaunchSpec {
     pub params: Arc<Vec<u8>>,
     /// Grid/block geometry.
     pub launch: LaunchConfig,
+    /// The kernel decoded once into μop/timing tables (see
+    /// [`DecodedKernel`]), shared by every CTA of the launch. `None`
+    /// makes each SM decode on first CTA placement — equivalent, just
+    /// without the sharing.
+    pub uops: Option<Arc<DecodedKernel>>,
 }
 
 impl LaunchSpec {
@@ -62,11 +69,13 @@ struct CtaSlot {
     warp_slots: Vec<usize>,
     requirements: CtaRequirements,
     spec: LaunchSpec,
+    decoded: Arc<DecodedKernel>,
 }
 
 struct WarpSlot {
     exec: WarpExec,
     scoreboard: Scoreboard,
+    dense: DenseScoreboard,
     cta: usize,
     age: u64,
     done: bool,
@@ -77,8 +86,45 @@ struct WarpSlot {
 #[derive(Clone, Copy, Default)]
 struct SubCore {
     last_issued: Option<usize>,
-    unit_free: [u64; 7],
+    unit_free: [u64; UnitClass::COUNT],
     rr_cursor: usize,
+}
+
+/// Warp is resident in its slot.
+const WARP_LIVE: u8 = 1;
+/// Warp has executed its exit.
+const WARP_DONE: u8 = 2;
+/// Warp is parked at a barrier.
+const WARP_AT_BARRIER: u8 = 4;
+
+/// Scheduling-visible warp state in structure-of-arrays form.
+///
+/// The candidate scan of the event-driven core touches only these three
+/// compact arrays (one byte + two words per warp slot) instead of
+/// dereferencing the multi-kilobyte [`WarpSlot`] (register file, two
+/// scoreboards) per slot per cycle. The arrays mirror the authoritative
+/// fields in [`WarpSlot`]; every site that mutates `done`, `at_barrier`
+/// or `block_until` updates the mirror in the same statement block, and
+/// the cycle-identity suite (`tests/core_differential.rs`) checks the
+/// two views never diverge observably.
+struct WarpMeta {
+    /// `WARP_LIVE | WARP_DONE | WARP_AT_BARRIER` bits; 0 = empty slot.
+    /// A warp is schedulable iff its flags are exactly `WARP_LIVE`.
+    flags: Vec<u8>,
+    /// Launch-order age (GTO tie-break), valid while live.
+    age: Vec<u64>,
+    /// Earliest cycle the warp could issue, valid while live.
+    block_until: Vec<u64>,
+}
+
+impl WarpMeta {
+    fn new(slots: usize) -> WarpMeta {
+        WarpMeta {
+            flags: vec![0; slots],
+            age: vec![0; slots],
+            block_until: vec![0; slots],
+        }
+    }
 }
 
 /// Maps an ISA unit class onto its trace-event counterpart (the trace
@@ -111,6 +157,16 @@ pub struct Sm {
     age_counter: u64,
     stats: SmStats,
     profile_wmma: bool,
+    meta: WarpMeta,
+    /// Resident CTA count (`ctas` slots that are `Some`).
+    live_ctas: usize,
+    /// Warps currently parked at a barrier; the release pass is skipped
+    /// by the event-driven core while this is zero (it would scan every
+    /// CTA's warp list only to find nothing arrived).
+    barrier_waiters: usize,
+    /// A warp exited since the last retire pass, so a CTA may be
+    /// complete; cleared when the pass runs.
+    retire_check: bool,
 }
 
 impl Sm {
@@ -140,6 +196,10 @@ impl Sm {
             age_counter: 0,
             stats: SmStats::default(),
             profile_wmma: false,
+            meta: WarpMeta::new(cfg.max_warps),
+            live_ctas: 0,
+            barrier_waiters: 0,
+            retire_check: false,
         }
     }
 
@@ -170,7 +230,7 @@ impl Sm {
 
     /// Whether the SM has no resident work.
     pub fn idle(&self) -> bool {
-        self.resident_ctas() == 0
+        self.live_ctas == 0
     }
 
     /// Whether a CTA with the given requirements can be accepted now.
@@ -178,7 +238,7 @@ impl Sm {
         self.warps_used + req.warps <= self.cfg.max_warps
             && self.regs_used + req.registers <= self.cfg.registers
             && self.shared_used + req.shared_bytes <= self.cfg.shared_bytes
-            && self.resident_ctas() < self.cfg.max_ctas
+            && self.live_ctas < self.cfg.max_ctas
     }
 
     /// Places one CTA onto the SM.
@@ -189,6 +249,10 @@ impl Sm {
     pub fn launch_cta(&mut self, spec: &LaunchSpec, cta_id: Dim3, now: u64) {
         let req = spec.cta_requirements();
         assert!(self.can_accept(&req), "CTA launched onto a full SM");
+        let decoded = spec
+            .uops
+            .clone()
+            .unwrap_or_else(|| Arc::new(DecodedKernel::decode(&spec.kernel, &self.cfg)));
         let threads = spec.launch.threads_per_cta();
         let mut warp_slots = Vec::new();
         let cta_index = self
@@ -210,12 +274,16 @@ impl Sm {
             self.warps[slot] = Some(WarpSlot {
                 exec: WarpExec::new(spec.kernel.num_regs(), w as u32, mask),
                 scoreboard: Scoreboard::new(),
+                dense: DenseScoreboard::new(spec.kernel.num_regs() as usize),
                 cta: cta_index,
                 age: self.age_counter,
                 done: false,
                 at_barrier: false,
                 block_until: now,
             });
+            self.meta.flags[slot] = WARP_LIVE;
+            self.meta.age[slot] = self.age_counter;
+            self.meta.block_until[slot] = now;
             self.age_counter += 1;
             warp_slots.push(slot);
         }
@@ -227,10 +295,12 @@ impl Sm {
             warp_slots,
             requirements: req,
             spec: spec.clone(),
+            decoded,
         });
         self.warps_used += req.warps;
         self.regs_used += req.registers;
         self.shared_used += req.shared_bytes;
+        self.live_ctas += 1;
     }
 
     /// Advances the SM by one cycle. Returns `None` if at least one warp
@@ -244,6 +314,32 @@ impl Sm {
         sys: &mut MemSystem,
         tracer: &mut dyn Tracer,
     ) -> Option<u64> {
+        self.step_inner(now, global, sys, tracer, false)
+    }
+
+    /// [`Sm::step`] for the event-driven core: identical scheduling
+    /// decisions, trace events and statistics, but blocked issue attempts
+    /// run against the decode-once μop tables and the dense scoreboard
+    /// instead of re-expanding `Instr` operands — the per-attempt hot
+    /// path allocates nothing.
+    pub fn step_event(
+        &mut self,
+        now: u64,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
+    ) -> Option<u64> {
+        self.step_inner(now, global, sys, tracer, true)
+    }
+
+    fn step_inner(
+        &mut self,
+        now: u64,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
+        fast: bool,
+    ) -> Option<u64> {
         let mut issued_any = false;
         let mut hint = u64::MAX;
 
@@ -255,18 +351,37 @@ impl Sm {
             let mut cand = [(u64::MAX, usize::MAX); 64];
             let mut n = 0;
             let mut wi = sc;
-            while wi < self.warps.len() {
-                if let Some(w) = self.warps[wi].as_ref() {
-                    if !w.done && !w.at_barrier {
-                        if w.block_until > now {
-                            hint = hint.min(w.block_until);
+            if fast {
+                // The event-driven core scans the compact SoA mirror:
+                // three small arrays instead of one multi-KiB WarpSlot
+                // dereference per slot — this loop runs for every
+                // sub-core of every awake SM on every visited cycle.
+                while wi < self.meta.flags.len() {
+                    if self.meta.flags[wi] == WARP_LIVE {
+                        let until = self.meta.block_until[wi];
+                        if until > now {
+                            hint = hint.min(until);
                         } else {
-                            cand[n] = (w.age, wi);
+                            cand[n] = (self.meta.age[wi], wi);
                             n += 1;
                         }
                     }
+                    wi += self.cfg.sub_cores;
                 }
-                wi += self.cfg.sub_cores;
+            } else {
+                while wi < self.warps.len() {
+                    if let Some(w) = self.warps[wi].as_ref() {
+                        if !w.done && !w.at_barrier {
+                            if w.block_until > now {
+                                hint = hint.min(w.block_until);
+                            } else {
+                                cand[n] = (w.age, wi);
+                                n += 1;
+                            }
+                        }
+                    }
+                    wi += self.cfg.sub_cores;
+                }
             }
             let cand = &mut cand[..n];
             match self.cfg.scheduler {
@@ -279,16 +394,24 @@ impl Sm {
                     }
                 }
                 SchedPolicy::RoundRobin => {
+                    // The cursor advances only on steps with candidates,
+                    // so skipping the candidate-free steps (as the
+                    // event-driven loop does) cannot desynchronize it.
                     if n > 0 {
                         cand.rotate_left(self.sub[sc].rr_cursor % n);
+                        self.sub[sc].rr_cursor = self.sub[sc].rr_cursor.wrapping_add(1);
                     }
-                    self.sub[sc].rr_cursor = self.sub[sc].rr_cursor.wrapping_add(1);
                 }
             }
 
             let mut issued_here = false;
             for &(_, wi) in cand.iter() {
-                match self.try_issue(sc, wi, now, global, sys, tracer) {
+                let result = if fast {
+                    self.try_issue_fast(sc, wi, now, global, sys, tracer)
+                } else {
+                    self.try_issue(sc, wi, now, global, sys, tracer)
+                };
+                match result {
                     IssueResult::Issued => {
                         self.sub[sc].last_issued = Some(wi);
                         issued_here = true;
@@ -304,42 +427,57 @@ impl Sm {
             }
         }
 
-        // Barrier release: a CTA whose live warps have all arrived.
-        for c in 0..self.ctas.len() {
-            let Some(cta) = &self.ctas[c] else { continue };
-            let arrived = cta
-                .warp_slots
-                .iter()
-                .filter(|&&wi| self.warps[wi].as_ref().is_some_and(|w| w.at_barrier))
-                .count();
-            if arrived > 0 && arrived + cta.warps_done == cta.warps_total {
-                for &wi in &self.ctas[c].as_ref().expect("checked").warp_slots.clone() {
-                    if let Some(w) = self.warps[wi].as_mut() {
-                        if w.at_barrier {
-                            w.at_barrier = false;
-                            w.block_until = now + 1;
+        // Barrier release: a CTA whose live warps have all arrived. With
+        // no warp parked at a barrier the pass cannot release anything,
+        // so the event-driven core skips it outright.
+        if !fast || self.barrier_waiters > 0 {
+            for c in 0..self.ctas.len() {
+                let Some(cta) = &self.ctas[c] else { continue };
+                let arrived = cta
+                    .warp_slots
+                    .iter()
+                    .filter(|&&wi| self.warps[wi].as_ref().is_some_and(|w| w.at_barrier))
+                    .count();
+                if arrived > 0 && arrived + cta.warps_done == cta.warps_total {
+                    for &wi in &self.ctas[c].as_ref().expect("checked").warp_slots.clone() {
+                        if let Some(w) = self.warps[wi].as_mut() {
+                            if w.at_barrier {
+                                w.at_barrier = false;
+                                w.block_until = now + 1;
+                                self.meta.flags[wi] &= !WARP_AT_BARRIER;
+                                self.meta.block_until[wi] = now + 1;
+                                self.barrier_waiters -= 1;
+                            }
                         }
                     }
+                    self.stats.barriers += 1;
                 }
-                self.stats.barriers += 1;
             }
         }
 
-        // Retire completed CTAs and free their resources.
-        for c in 0..self.ctas.len() {
-            let done = self.ctas[c]
-                .as_ref()
-                .is_some_and(|cta| cta.warps_done == cta.warps_total);
-            if done {
-                let cta = self.ctas[c].take().expect("checked");
-                for wi in cta.warp_slots {
-                    self.warps[wi] = None;
+        // Retire completed CTAs and free their resources. `warps_done`
+        // only advances when a warp issues its exit, which raises
+        // `retire_check`; until then no CTA can newly complete and the
+        // event-driven core skips the scan.
+        if !fast || self.retire_check {
+            for c in 0..self.ctas.len() {
+                let done = self.ctas[c]
+                    .as_ref()
+                    .is_some_and(|cta| cta.warps_done == cta.warps_total);
+                if done {
+                    let cta = self.ctas[c].take().expect("checked");
+                    for wi in cta.warp_slots {
+                        self.warps[wi] = None;
+                        self.meta.flags[wi] = 0;
+                    }
+                    self.warps_used -= cta.warps_total;
+                    self.regs_used -= cta.requirements.registers;
+                    self.shared_used -= cta.requirements.shared_bytes;
+                    self.stats.ctas_completed += 1;
+                    self.live_ctas -= 1;
                 }
-                self.warps_used -= cta.warps_total;
-                self.regs_used -= cta.requirements.registers;
-                self.shared_used -= cta.requirements.shared_bytes;
-                self.stats.ctas_completed += 1;
             }
+            self.retire_check = false;
         }
 
         if issued_any {
@@ -382,6 +520,7 @@ impl Sm {
                 if self.mio_free > now {
                     let until = self.mio_free;
                     self.warps[wi].as_mut().expect("warp exists").block_until = until;
+                    self.meta.block_until[wi] = until;
                     emit(tracer, || TraceEvent {
                         cycle: now,
                         sm: sm_id,
@@ -400,6 +539,7 @@ impl Sm {
                 let free = self.sub[sc].unit_free[unit_index(u)];
                 if free > now {
                     self.warps[wi].as_mut().expect("warp exists").block_until = free;
+                    self.meta.block_until[wi] = free;
                     emit(tracer, || TraceEvent {
                         cycle: now,
                         sm: sm_id,
@@ -421,6 +561,7 @@ impl Sm {
             w.scoreboard.retire(now);
             if let Err(hazard) = w.scoreboard.check(instr, volta, now) {
                 w.block_until = hazard.ready;
+                self.meta.block_until[wi] = hazard.ready;
                 // Attribute waits on outstanding loads to the memory
                 // system rather than plain register dependence.
                 let reason = if hazard.from_mem {
@@ -446,6 +587,7 @@ impl Sm {
                 let clear = w.scoreboard.all_clear_at(now);
                 if clear > now {
                     w.block_until = clear;
+                    self.meta.block_until[wi] = clear;
                     emit(tracer, || TraceEvent {
                         cycle: now,
                         sm: sm_id,
@@ -461,7 +603,12 @@ impl Sm {
             }
         }
 
-        let spec = self.ctas[cta_idx].as_ref().expect("cta exists").spec.clone();
+        // Only the params Arc and launch dims are needed past this point
+        // — cloning the whole LaunchSpec per issue is measurable.
+        let (params, block, grid) = {
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            (Arc::clone(&cta.spec.params), cta.spec.launch.block, cta.spec.launch.grid)
+        };
 
         // --- Issue: execute functionally, then account timing. ---
         let outcome = {
@@ -470,9 +617,9 @@ impl Sm {
             let mut env = ExecEnv {
                 global,
                 shared: &mut cta.shared,
-                params: &spec.params,
-                block: spec.launch.block,
-                grid: spec.launch.grid,
+                params: &params,
+                block,
+                grid,
                 cta: cta.cta_id,
                 clock: now,
             };
@@ -550,6 +697,8 @@ impl Sm {
             match outcome.action {
                 StepAction::Exited => {
                     w.done = true;
+                    self.meta.flags[wi] |= WARP_DONE;
+                    self.retire_check = true;
                     let cta = self.ctas[cta_idx].as_mut().expect("cta exists");
                     cta.warps_done += 1;
                     emit(tracer, || TraceEvent {
@@ -560,9 +709,219 @@ impl Sm {
                 }
                 StepAction::Barrier => {
                     w.at_barrier = true;
+                    self.meta.flags[wi] |= WARP_AT_BARRIER;
+                    self.barrier_waiters += 1;
                 }
                 StepAction::Continue => {}
             }
+        }
+
+        self.stats.issued += 1;
+        self.stats.issued_by_unit[unit_index(unit)] += 1;
+        IssueResult::Issued
+    }
+
+    /// [`Sm::try_issue`] over the decode-once tables: the blocked paths
+    /// (unit busy, scoreboard hazard, barrier fence) read the μop's
+    /// pre-expanded operand spans and the dense scoreboard — no `Arc`
+    /// clone, no `Vec` expansion, no hashing. Stall decisions, emitted
+    /// events and all statistics are identical to the legacy path.
+    fn try_issue_fast(
+        &mut self,
+        sc: usize,
+        wi: usize,
+        now: u64,
+        global: &mut DeviceMemory,
+        sys: &mut MemSystem,
+        tracer: &mut dyn Tracer,
+    ) -> IssueResult {
+        let (cta_idx, pc) = {
+            let w = self.warps[wi].as_ref().expect("warp exists");
+            (w.cta, w.exec.pc)
+        };
+        let sm_id = self.id;
+        let volta = self.cfg.volta_tensor;
+        let (uop, timing) = {
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            (cta.decoded.uops().uop(pc), cta.decoded.timing(pc))
+        };
+
+        // Functional-unit availability (same order and events as the
+        // legacy path).
+        let unit = uop.unit;
+        match unit {
+            UnitClass::Mem => {
+                if self.mio_free > now {
+                    let until = self.mio_free;
+                    self.warps[wi].as_mut().expect("warp exists").block_until = until;
+                    self.meta.block_until[wi] = until;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Structural,
+                            until,
+                        },
+                    });
+                    return IssueResult::Blocked(until);
+                }
+            }
+            UnitClass::Control => {}
+            u => {
+                let free = self.sub[sc].unit_free[unit_index(u)];
+                if free > now {
+                    self.warps[wi].as_mut().expect("warp exists").block_until = free;
+                    self.meta.block_until[wi] = free;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Structural,
+                            until: free,
+                        },
+                    });
+                    return IssueResult::Blocked(free);
+                }
+            }
+        }
+
+        // Scoreboard RAW/WAW over the pre-expanded spans.
+        {
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            let uses = cta.decoded.uops().uses(pc);
+            let defs = cta.decoded.uops().defs(pc);
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            if let Err(hazard) = w.dense.check(uses, defs, now) {
+                w.block_until = hazard.ready;
+                self.meta.block_until[wi] = hazard.ready;
+                let reason = if hazard.from_mem {
+                    StallReason::Memory
+                } else {
+                    StallReason::Raw
+                };
+                emit(tracer, || TraceEvent {
+                    cycle: now,
+                    sm: sm_id,
+                    kind: EventKind::Stall {
+                        sub_core: sc as u8,
+                        warp: wi as u16,
+                        reason,
+                        until: hazard.ready,
+                    },
+                });
+                return IssueResult::Blocked(hazard.ready);
+            }
+            if uop.is_bar {
+                let clear = w.dense.all_clear_at(now);
+                if clear > now {
+                    w.block_until = clear;
+                    self.meta.block_until[wi] = clear;
+                    emit(tracer, || TraceEvent {
+                        cycle: now,
+                        sm: sm_id,
+                        kind: EventKind::Stall {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                            reason: StallReason::Barrier,
+                            until: clear,
+                        },
+                    });
+                    return IssueResult::Blocked(clear);
+                }
+            }
+        }
+
+        // --- Issue (off the hot path): exactly the legacy sequence. ---
+        let (kernel, params, block, grid) = {
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            (
+                Arc::clone(&cta.spec.kernel),
+                Arc::clone(&cta.spec.params),
+                cta.spec.launch.block,
+                cta.spec.launch.grid,
+            )
+        };
+        let instr = &kernel.instrs()[pc];
+
+        let outcome = {
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            let cta = self.ctas[cta_idx].as_mut().expect("cta exists");
+            let mut env = ExecEnv {
+                global,
+                shared: &mut cta.shared,
+                params: &params,
+                block,
+                grid,
+                cta: cta.cta_id,
+                clock: now,
+            };
+            tcsim_isa::exec::step(&mut w.exec, &kernel, &mut env, &self.tensor)
+        };
+
+        // Operand collection: the bank-conflict count was precomputed at
+        // decode (zero where the reuse cache absorbs it).
+        let collect = self.cfg.operand_collect + timing.bank_conflicts;
+        self.stats.reg_bank_stalls += timing.bank_conflicts;
+
+        let ready = match unit {
+            UnitClass::Sp | UnitClass::Int | UnitClass::Fp64 | UnitClass::Mufu => {
+                self.sub[sc].unit_free[unit_index(unit)] = now + timing.ii;
+                now + collect + timing.latency + timing.ii
+            }
+            UnitClass::Tensor => {
+                self.sub[sc].unit_free[unit_index(unit)] = now + timing.ii;
+                let ready = now + collect + timing.latency;
+                if self.profile_wmma {
+                    self.push_sample(WmmaKind::Mma, now, ready - now);
+                }
+                let Op::Wmma(dir) = &instr.op else { unreachable!("tensor unit ⇒ wmma.mma") };
+                trace_mma(tracer, volta, dir, now + collect, sm_id, sc as u8, wi as u16);
+                ready
+            }
+            UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys, tracer),
+            UnitClass::Control => now + 1,
+        };
+
+        emit(tracer, || TraceEvent {
+            cycle: now,
+            sm: sm_id,
+            kind: EventKind::WarpIssue {
+                sub_core: sc as u8,
+                warp: wi as u16,
+                unit: trace_unit(unit),
+            },
+        });
+
+        {
+            let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
+            let defs = cta.decoded.uops().defs(pc);
+            let w = self.warps[wi].as_mut().expect("warp exists");
+            w.dense.issue(defs, ready, unit == UnitClass::Mem);
+            match outcome.action {
+                StepAction::Exited => {
+                    w.done = true;
+                    self.meta.flags[wi] |= WARP_DONE;
+                    self.retire_check = true;
+                }
+                StepAction::Barrier => {
+                    w.at_barrier = true;
+                    self.meta.flags[wi] |= WARP_AT_BARRIER;
+                    self.barrier_waiters += 1;
+                }
+                StepAction::Continue => {}
+            }
+        }
+        if matches!(outcome.action, StepAction::Exited) {
+            self.ctas[cta_idx].as_mut().expect("cta exists").warps_done += 1;
+            emit(tracer, || TraceEvent {
+                cycle: now,
+                sm: sm_id,
+                kind: EventKind::WarpRetire { sub_core: sc as u8, warp: wi as u16 },
+            });
         }
 
         self.stats.issued += 1;
@@ -724,7 +1083,7 @@ mod tests {
     }
 
     fn spec(kernel: Kernel, launch: LaunchConfig, params: Vec<u8>) -> LaunchSpec {
-        LaunchSpec { kernel: Arc::new(kernel), params: Arc::new(params), launch }
+        LaunchSpec { kernel: Arc::new(kernel), params: Arc::new(params), launch, uops: None }
     }
 
     fn tiny_sys() -> MemSystem {
@@ -990,6 +1349,88 @@ mod tests {
         run_to_completion(&mut sm, &mut global, &mut sys);
         // 1 mov + 10×(iadd+setp+bra) + exit = 32 issues.
         assert_eq!(sm.stats().issued, 32);
+    }
+
+    /// The μop-driven issue path must be indistinguishable from the
+    /// legacy path: same trace events (order included), same statistics,
+    /// same final cycle, same memory — across both scheduler policies and
+    /// a kernel touching ALU chains, global/shared memory and barriers.
+    #[test]
+    fn step_event_is_cycle_identical_to_step() {
+        let build = || {
+            let mut b = KernelBuilder::new("t");
+            let base = b.reg_pair();
+            b.ld_param(MemWidth::B64, base, 0);
+            let tid = b.reg();
+            b.mov(tid, Operand::Special(SpecialReg::TidX));
+            let addr = b.reg_pair();
+            b.imad_wide(addr, tid, Operand::Imm(4), base);
+            let v = b.reg();
+            b.ld_global(MemWidth::B32, v, addr, 0);
+            for _ in 0..3 {
+                b.iadd(v, v, Operand::Imm(1));
+            }
+            b.st_shared(MemWidth::B32, addr, 0, v);
+            b.bar();
+            b.ld_shared(MemWidth::B32, v, addr, 0);
+            b.st_global(MemWidth::B32, addr, 0, v);
+            b.exit();
+            b.build()
+        };
+        for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
+            let cfg = SmConfig { scheduler: policy, ..SmConfig::volta() };
+            let mut runs = Vec::new();
+            for event_driven in [false, true] {
+                let mut global = DeviceMemory::new();
+                let buf = global.alloc(4096);
+                for i in 0..128u32 {
+                    use tcsim_isa::ByteMemory;
+                    global.write_u32(buf + 4 * i as u64, i * 3);
+                }
+                let spec = spec(
+                    build(),
+                    LaunchConfig::new(1u32, 128u32).with_shared_bytes(4096),
+                    buf.to_le_bytes().to_vec(),
+                );
+                let mut sm = Sm::with_id(cfg, 3);
+                let mut sys = tiny_sys();
+                sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
+                let mut tr = RingTracer::with_capacity(1 << 16);
+                let mut now = 0u64;
+                while !sm.idle() {
+                    let hint = if event_driven {
+                        sm.step_event(now, &mut global, &mut sys, &mut tr)
+                    } else {
+                        sm.step(now, &mut global, &mut sys, &mut tr)
+                    };
+                    now = match hint {
+                        None => now + 1,
+                        Some(h) => h.max(now + 1),
+                    };
+                    assert!(now < 1_000_000, "SM did not finish");
+                }
+                let bytes: Vec<u32> = (0..128u32).map(|i| {
+                    use tcsim_isa::ByteMemory;
+                    global.read_u32(buf + 4 * i as u64)
+                }).collect();
+                runs.push((tr.snapshot().to_vec(), sm.stats().clone(), now, bytes));
+            }
+            let (legacy, fast) = (&runs[0], &runs[1]);
+            if let Some(i) = (0..legacy.0.len().min(fast.0.len()))
+                .find(|&i| legacy.0[i] != fast.0[i])
+            {
+                let lo = i.saturating_sub(2);
+                panic!(
+                    "first event divergence at index {i} ({policy:?}):\n legacy: {:#?}\n fast: {:#?}",
+                    &legacy.0[lo..(i + 2).min(legacy.0.len())],
+                    &fast.0[lo..(i + 2).min(fast.0.len())],
+                );
+            }
+            assert_eq!(legacy.0.len(), fast.0.len(), "event count differs ({policy:?})");
+            assert_eq!(legacy.1, fast.1, "stats differ ({policy:?})");
+            assert_eq!(legacy.2, fast.2, "end cycle differs ({policy:?})");
+            assert_eq!(legacy.3, fast.3, "memory differs ({policy:?})");
+        }
     }
 
     #[test]

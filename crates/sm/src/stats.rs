@@ -31,7 +31,7 @@ pub struct SmStats {
     /// Warp instructions issued.
     pub issued: u64,
     /// Issued per functional-unit class, indexed by [`unit_index`].
-    pub issued_by_unit: [u64; 7],
+    pub issued_by_unit: [u64; UnitClass::COUNT],
     /// Cycles with at least one issue.
     pub active_cycles: u64,
     /// CTA barriers completed.
@@ -65,7 +65,7 @@ impl SmStats {
     /// Merges another SM's counters into this one (for GPU-wide totals).
     pub fn merge(&mut self, other: &SmStats) {
         self.issued += other.issued;
-        for i in 0..7 {
+        for i in 0..UnitClass::COUNT {
             self.issued_by_unit[i] += other.issued_by_unit[i];
         }
         self.active_cycles += other.active_cycles;

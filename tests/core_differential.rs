@@ -1,0 +1,209 @@
+//! Byte-identity contract between the two SM core models.
+//!
+//! The event-driven core (`CoreModel::EventDriven`, the default) skips
+//! cycles in which no SM can make progress; the cycle-stepped core
+//! (`CoreModel::CycleStepped`) is the original loop that steps every
+//! resident SM every cycle. The redesign's promise is that the fast core
+//! is an *observationally invisible* optimization: for any workload, the
+//! serialized `LaunchStats` JSON, the full trace event stream, and the
+//! output memory must be byte-identical between the two.
+//!
+//! Workloads covered here:
+//! * every committed fuzzer corpus case (`tests/corpus/*.case`) — SIMT
+//!   and WMMA kernels on the Volta and Turing mini configs;
+//! * Fig 14a-style WMMA GEMMs (simple and shared-memory kernels) and
+//!   Fig 17-style CUDA-core GEMMs (SGEMM/HGEMM) on both the mini and the
+//!   full Titan V configuration.
+
+use std::path::Path;
+use tcsim::cutlass::{run_gemm, GemmKernel, GemmPrecision, GemmProblem};
+use tcsim::sim::{CoreModel, Gpu, GpuConfig, LaunchBuilder, SimOptions};
+use tcsim::trace::{RingTracer, TraceEvent};
+use tcsim_check::corpus::case_from_text;
+use tcsim_check::oracle::{gpu_config, Case};
+
+/// One run's full observable footprint.
+struct Footprint {
+    stats_json: String,
+    events: Vec<TraceEvent>,
+    output: Vec<u8>,
+}
+
+fn gpu_with(cfg: GpuConfig, core: CoreModel) -> Gpu {
+    Gpu::new(
+        SimOptions::new(cfg)
+            .core(core)
+            .tracer(RingTracer::with_capacity(1 << 20)),
+    )
+}
+
+/// Asserts every observable byte agrees, with a first-divergence
+/// diagnostic on the trace stream (the densest of the three views).
+fn assert_identical(label: &str, event: &Footprint, cycle: &Footprint) {
+    if event.events != cycle.events {
+        let n = event.events.len().min(cycle.events.len());
+        let first = (0..n)
+            .find(|&i| event.events[i] != cycle.events[i])
+            .unwrap_or(n);
+        let lo = first.saturating_sub(2);
+        let mut msg = format!(
+            "{label}: trace streams diverge at event {first} \
+             (event-driven has {}, cycle-stepped has {})\n",
+            event.events.len(),
+            cycle.events.len()
+        );
+        for i in lo..(first + 3).min(n) {
+            msg.push_str(&format!(
+                "  [{i}] event-driven: {:?}\n        cycle-stepped: {:?}\n",
+                event.events.get(i),
+                cycle.events.get(i)
+            ));
+        }
+        panic!("{msg}");
+    }
+    assert_eq!(
+        event.stats_json, cycle.stats_json,
+        "{label}: LaunchStats JSON must be byte-identical"
+    );
+    assert_eq!(event.output, cycle.output, "{label}: output memory must agree");
+}
+
+/// Runs a corpus case on the chosen core, mirroring the oracle driver.
+fn run_case(case: &Case, core: CoreModel) -> Footprint {
+    let mut gpu = gpu_with(gpu_config(case.arch), core);
+    let in_addr = gpu.alloc(u64::from(case.in_words) * 4);
+    let out_addr = gpu.alloc(u64::from(case.out_words) * 4);
+    gpu.memcpy_h2d(in_addr, &case.input_bytes());
+    let stats = LaunchBuilder::new(case.kernel.clone())
+        .grid(case.grid_x)
+        .block(case.block_x)
+        .param_u64(in_addr)
+        .param_u64(out_addr)
+        .launch(&mut gpu);
+    Footprint {
+        stats_json: stats.to_json(),
+        events: gpu.trace_events(),
+        output: gpu.memcpy_d2h(out_addr, case.out_words as usize * 4),
+    }
+}
+
+#[test]
+fn corpus_cases_are_core_model_invariant() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut cases = 0;
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("committed corpus directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable case");
+        let case = case_from_text(&text).expect("parsable case");
+        let event = run_case(&case, CoreModel::EventDriven);
+        let cycle = run_case(&case, CoreModel::CycleStepped);
+        assert!(
+            !event.events.is_empty(),
+            "{}: a traced launch must produce events",
+            path.display()
+        );
+        assert_identical(&path.display().to_string(), &event, &cycle);
+        cases += 1;
+    }
+    assert!(cases >= 5, "expected the seed corpus, found {cases} cases");
+}
+
+fn run_gemm_on(cfg: &GpuConfig, size: usize, kernel: GemmKernel, core: CoreModel) -> Footprint {
+    let mut gpu = gpu_with(cfg.clone(), core);
+    let precision = match kernel {
+        GemmKernel::Sgemm => GemmPrecision::Fp32,
+        GemmKernel::Hgemm => GemmPrecision::Fp16,
+        GemmKernel::IgemmWmma => GemmPrecision::Int8,
+        _ => GemmPrecision::MixedF32,
+    };
+    let problem = GemmProblem { precision, ..GemmProblem::square(size) };
+    let run = run_gemm(&mut gpu, problem, kernel, false);
+    Footprint {
+        stats_json: run.stats.to_json(),
+        events: gpu.trace_events(),
+        output: Vec::new(),
+    }
+}
+
+#[test]
+fn gemm_workloads_are_core_model_invariant() {
+    // Fig 14a (WMMA cycles) and Fig 17 (CUDA-core TFLOPS) kernel families
+    // at debug-friendly sizes; mini exercises both schedulers cheaply,
+    // Titan V exercises the full 80-SM / sectored-L2 configuration.
+    let mini = GpuConfig::mini();
+    for kernel in [
+        GemmKernel::WmmaSimple,
+        GemmKernel::WmmaShared,
+        GemmKernel::Sgemm,
+        GemmKernel::Hgemm,
+    ] {
+        for size in [32usize, 64] {
+            let label = format!("mini/{kernel:?}/{size}");
+            let event = run_gemm_on(&mini, size, kernel, CoreModel::EventDriven);
+            let cycle = run_gemm_on(&mini, size, kernel, CoreModel::CycleStepped);
+            assert!(!event.events.is_empty(), "{label}: traced GEMM must emit events");
+            assert_identical(&label, &event, &cycle);
+        }
+    }
+    // INT8 WMMA needs Turing tensor cores.
+    {
+        let turing = gpu_config(tcsim_check::gen::Arch::Turing);
+        let label = "mini-turing/IgemmWmma/32";
+        let event = run_gemm_on(&turing, 32, GemmKernel::IgemmWmma, CoreModel::EventDriven);
+        let cycle = run_gemm_on(&turing, 32, GemmKernel::IgemmWmma, CoreModel::CycleStepped);
+        assert_identical(label, &event, &cycle);
+    }
+    let titan = GpuConfig::titan_v();
+    for kernel in [GemmKernel::WmmaShared, GemmKernel::Sgemm] {
+        let label = format!("titan_v/{kernel:?}/64");
+        let event = run_gemm_on(&titan, 64, kernel, CoreModel::EventDriven);
+        let cycle = run_gemm_on(&titan, 64, kernel, CoreModel::CycleStepped);
+        assert_identical(&label, &event, &cycle);
+    }
+}
+
+/// The pointer-chase microbenchmark is the workload the event core skips
+/// the most steps on (hundreds of blocked cycles per instruction), so it
+/// gets its own byte-identity lock beyond the bench binary's assertion.
+fn run_chase(core: CoreModel) -> Footprint {
+    use tcsim::cutlass::microbench::{chase_chain, pointer_chase};
+    let elems: usize = 1 << 12;
+    let warps: u64 = 20 * 256 / 32;
+    let mut gpu = gpu_with(GpuConfig::titan_v(), core);
+    let buf = gpu.alloc(elems as u64 * 8);
+    let out = gpu.alloc(warps * 8);
+    let chain = chase_chain(elems, 33, buf);
+    let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
+    gpu.memcpy_h2d(buf, &bytes);
+    let spread = ((33 * (elems as u64 / warps)) & (elems as u64 - 1)) as u32;
+    let stats = LaunchBuilder::new(pointer_chase(96, elems, spread))
+        .grid(20)
+        .block(256)
+        .param_u64(buf)
+        .param_u64(out)
+        .launch(&mut gpu);
+    Footprint {
+        stats_json: stats.to_json(),
+        events: gpu.trace_events(),
+        output: gpu.memcpy_d2h(out, (warps * 8) as usize),
+    }
+}
+
+#[test]
+fn pointer_chase_is_core_model_invariant() {
+    let event = run_chase(CoreModel::EventDriven);
+    let cycle = run_chase(CoreModel::CycleStepped);
+    assert!(!event.events.is_empty(), "traced chase must emit events");
+    // Every warp must have stored a final in-bounds chain pointer.
+    for slot in event.output.chunks_exact(8) {
+        let ptr = u64::from_le_bytes(slot.try_into().expect("8-byte slot"));
+        assert!(ptr != 0, "warp never stored its final pointer");
+    }
+    assert_identical("titan_v/pointer_chase", &event, &cycle);
+}

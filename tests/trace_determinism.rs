@@ -9,12 +9,16 @@
 
 use tcsim::core::VOLTA_MIXED_CUMULATIVE;
 use tcsim::cutlass::{run_gemm, GemmKernel, GemmProblem};
-use tcsim::sim::{Gpu, GpuConfig, Sweep};
+use tcsim::sim::{Gpu, GpuConfig, SimOptions, Sweep};
 use tcsim::trace::{chrome_trace, validate_json, EventKind, RingTracer, TraceEvent};
 
+/// A mini GPU with a generously sized ring tracer installed at build time.
+fn traced_gpu() -> Gpu {
+    Gpu::new(SimOptions::new(GpuConfig::mini()).tracer(RingTracer::with_capacity(1 << 20)))
+}
+
 fn traced_chrome(size: usize) -> String {
-    let mut gpu = Gpu::new(GpuConfig::mini());
-    gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 20)));
+    let mut gpu = traced_gpu();
     run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaShared, false);
     chrome_trace(&gpu.trace_events())
 }
@@ -36,9 +40,11 @@ fn sweep_worker_trace_matches_serial() {
     let serial = traced_chrome(32);
     let mut sweep = Sweep::new();
     for _ in 0..3 {
-        sweep.add(GpuConfig::mini(), |gpu| {
-            gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 20)));
-            run_gemm(gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false);
+        // The tracer is an options-time choice now, so the job builds its
+        // own traced GPU — still on the worker thread.
+        sweep.add(GpuConfig::mini(), |_| {
+            let mut gpu = traced_gpu();
+            run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false);
             chrome_trace(&gpu.trace_events())
         });
     }
@@ -52,16 +58,15 @@ fn sweep_worker_trace_matches_serial() {
 fn trace_summary_is_deterministic_across_sweep() {
     // LaunchStats (including the integer-only TraceSummary) must be
     // byte-identical between serial and parallel execution.
-    let run = |gpu: &mut Gpu| {
-        gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 20)));
-        run_gemm(gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats
-    };
-    let mut serial_gpu = Gpu::new(GpuConfig::mini());
-    let serial = run(&mut serial_gpu);
+    fn run() -> tcsim::sim::LaunchStats {
+        let mut gpu = traced_gpu();
+        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats
+    }
+    let serial = run();
     assert!(serial.trace.is_some());
     let mut sweep = Sweep::new();
-    sweep.add(GpuConfig::mini(), run);
-    sweep.add(GpuConfig::mini(), run);
+    sweep.add(GpuConfig::mini(), |_| run());
+    sweep.add(GpuConfig::mini(), |_| run());
     let out = sweep.run_parallel(2);
     for stats in &out.results {
         assert_eq!(stats, &serial);
@@ -74,8 +79,7 @@ fn hmma_steps_reproduce_fig10_schedule() {
     // must land exactly at the Fig 9a cumulative cycles after the first
     // HMMA's issue, and issues must follow the 10-cycle set pitch /
     // 2-cycle step interval of Table III.
-    let mut gpu = Gpu::new(GpuConfig::mini());
-    gpu.set_tracer(Box::new(RingTracer::with_capacity(1 << 20)));
+    let mut gpu = traced_gpu();
     run_gemm(&mut gpu, GemmProblem::square(16), GemmKernel::WmmaSimple, true);
     let events = gpu.trace_events();
     let first = events
@@ -114,8 +118,7 @@ fn hmma_steps_reproduce_fig10_schedule() {
 fn tracing_never_perturbs_the_timing_model() {
     let mut plain = Gpu::new(GpuConfig::mini());
     let a = run_gemm(&mut plain, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats;
-    let mut traced = Gpu::new(GpuConfig::mini());
-    traced.set_tracer(Box::new(RingTracer::with_capacity(1 << 20)));
+    let mut traced = traced_gpu();
     let mut b = run_gemm(&mut traced, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats;
     assert!(a.trace.is_none());
     assert!(b.trace.is_some());
