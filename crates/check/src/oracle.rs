@@ -172,28 +172,37 @@ impl Case {
 
     /// The deterministic input-buffer contents for this case.
     pub fn input_bytes(&self) -> Vec<u8> {
-        let mut rng = XorShift64Star::new(self.data_seed);
-        let mut bytes = Vec::with_capacity(self.in_words as usize * 4);
-        match self.data {
-            DataKind::Raw => {
-                for _ in 0..self.in_words {
-                    bytes.extend_from_slice(&rng.next_u32().to_le_bytes());
-                }
-            }
-            DataKind::F16 => {
-                for _ in 0..self.in_words * 2 {
-                    let v = (rng.next_f64() * 4.0 - 2.0) as f32;
-                    bytes.extend_from_slice(&F16::from_f32(v).to_bits().to_le_bytes());
-                }
-            }
-            DataKind::I8 => {
-                for _ in 0..self.in_words * 4 {
-                    bytes.push(rng.below(256) as u8);
-                }
+        input_bytes(self.data, self.data_seed, self.in_words)
+    }
+}
+
+/// The deterministic input stream shared by every consumer of the case
+/// format: `words × 4` bytes of `kind`-patterned data drawn from a
+/// [`XorShift64Star`] seeded with `seed`. Standalone so other layers
+/// (e.g. the `tcsim-serve` job runner) can materialize byte-identical
+/// buffers without constructing a full [`Case`].
+pub fn input_bytes(kind: DataKind, seed: u64, words: u32) -> Vec<u8> {
+    let mut rng = XorShift64Star::new(seed);
+    let mut bytes = Vec::with_capacity(words as usize * 4);
+    match kind {
+        DataKind::Raw => {
+            for _ in 0..words {
+                bytes.extend_from_slice(&rng.next_u32().to_le_bytes());
             }
         }
-        bytes
+        DataKind::F16 => {
+            for _ in 0..words * 2 {
+                let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+                bytes.extend_from_slice(&F16::from_f32(v).to_bits().to_le_bytes());
+            }
+        }
+        DataKind::I8 => {
+            for _ in 0..words * 4 {
+                bytes.push(rng.below(256) as u8);
+            }
+        }
     }
+    bytes
 }
 
 /// The down-scaled GPU model used for differential runs.

@@ -1,0 +1,102 @@
+//! The `tcsim-serve` daemon: a persistent simulation job server.
+//!
+//! ```text
+//! tcsim-serve [--bind ADDR] [--cache-dir DIR] [--workers N]
+//!             [--max-pending N] [--quota N] [--batch-max N]
+//!             [--port-file PATH]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:0` — an ephemeral port), prints the
+//! bound address on stdout (and to `--port-file`, for scripts that start
+//! the server in the background), then serves the line-delimited JSON
+//! protocol until a `shutdown` request arrives. With `--cache-dir` the
+//! result cache persists across restarts; without it the cache is
+//! in-memory only.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcsim_serve::{ServeOptions, Server};
+
+struct Args {
+    bind: String,
+    port_file: Option<PathBuf>,
+    opts: ServeOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { bind: "127.0.0.1:0".into(), port_file: None, opts: ServeOptions::default() };
+    let mut it = std::env::args().skip(1);
+    fn value(
+        name: &str,
+        it: &mut std::iter::Skip<std::env::Args>,
+    ) -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{name} needs a value"))
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bind" => args.bind = value("--bind", &mut it)?,
+            "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file", &mut it)?)),
+            "--cache-dir" => {
+                args.opts.cache_dir = Some(PathBuf::from(value("--cache-dir", &mut it)?))
+            }
+            "--workers" => {
+                args.opts.workers =
+                    value("--workers", &mut it)?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-pending" => {
+                args.opts.max_pending = value("--max-pending", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--max-pending: {e}"))?
+            }
+            "--quota" => {
+                args.opts.quota =
+                    value("--quota", &mut it)?.parse().map_err(|e| format!("--quota: {e}"))?
+            }
+            "--batch-max" => {
+                args.opts.batch_max = value("--batch-max", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--batch-max: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.opts.workers == 0 || args.opts.batch_max == 0 {
+        return Err("--workers and --batch-max must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tcsim-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(&args.bind, args.opts.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tcsim-serve: cannot start on {}: {e}", args.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("{addr}");
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("tcsim-serve: cannot write {}: {e}", path.display());
+            server.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "tcsim-serve: listening on {addr} ({} worker(s), {} cached result(s) warm-loaded)",
+        args.opts.workers,
+        server.cache_loaded_from_disk()
+    );
+    server.join();
+    eprintln!("tcsim-serve: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! A small blocking client for the serve protocol, used by the load
+//! generator, the CI smoke, and the end-to-end tests.
+//!
+//! The client is deliberately thin: [`Client::send`] writes one request
+//! line, [`Client::recv`] blocks for the next event line. Helpers cover
+//! the two common shapes — fire a job and wait for its terminal event,
+//! or fetch the server counters. Callers that interleave submissions
+//! with receives (the open-loop load generator) clone the read half onto
+//! a dedicated thread via [`Client::split_reader`].
+
+use crate::proto::{Event, Request, ServerStats};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { stream, reader: BufReader::new(read_half) })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.stream.write_all(req.to_line().as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Blocks for the next event line.
+    pub fn recv(&mut self) -> io::Result<Event> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Event::from_line(trimmed).map_err(bad_data);
+        }
+    }
+
+    /// Detaches an independently readable copy of the event stream, for
+    /// callers that drain events on a separate thread while this handle
+    /// keeps submitting.
+    ///
+    /// After splitting, **only** the returned reader may consume events:
+    /// calling [`Client::recv`] (or any helper built on it) too would
+    /// put two buffered readers on one socket, silently racing for
+    /// bytes. The split handle keeps [`Client::send`] — requests and
+    /// events travel opposite directions and never contend.
+    pub fn split_reader(&self) -> io::Result<BufReader<TcpStream>> {
+        Ok(BufReader::new(self.stream.try_clone()?))
+    }
+
+    /// Blocks until the terminal event (`done`, `failed`, or `rejected`)
+    /// for `id`, skipping progress events. Terminal events for *other*
+    /// ids are an error — this helper is for one-outstanding-job use.
+    pub fn wait(&mut self, id: &str) -> io::Result<Event> {
+        loop {
+            let ev = self.recv()?;
+            match &ev {
+                Event::Accepted { id: got, .. } | Event::Running { id: got } => {
+                    if got != id {
+                        return Err(bad_data(format!(
+                            "progress for unexpected job {got:?} while waiting on {id:?}"
+                        )));
+                    }
+                }
+                Event::Done { id: got, .. }
+                | Event::Failed { id: got, .. }
+                | Event::Rejected { id: got, .. } => {
+                    if got == id || got == "-" {
+                        return Ok(ev);
+                    }
+                    return Err(bad_data(format!(
+                        "terminal event for unexpected job {got:?} while waiting on {id:?}"
+                    )));
+                }
+                Event::Stats(_) => {
+                    return Err(bad_data("unexpected stats event".into()));
+                }
+            }
+        }
+    }
+
+    /// Submits one job and blocks for its terminal event.
+    pub fn run(&mut self, id: &str, job: crate::job::JobSpec) -> io::Result<Event> {
+        self.send(&Request::Submit { id: id.to_string(), job })?;
+        self.wait(id)
+    }
+
+    /// Fetches the server counters.
+    pub fn server_stats(&mut self) -> io::Result<ServerStats> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Event::Stats(s) => Ok(s),
+            other => Err(bad_data(format!("expected stats event, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)
+    }
+
+    /// Shuts the underlying socket down in both directions. Unlike
+    /// dropping the `Client`, this also unblocks reads on handles cloned
+    /// via [`Client::split_reader`] — dropping alone closes only this
+    /// handle's descriptors, and a split reader blocked in `read_line`
+    /// would keep the connection (and itself) alive forever.
+    pub fn close(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+}

@@ -87,12 +87,6 @@ impl Gpu {
         self.core
     }
 
-    /// Installs an event tracer; subsequent launches record into it.
-    #[deprecated(note = "pass the tracer via `SimOptions::tracer` or `LaunchBuilder::tracer`")]
-    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
-        self.install_tracer(tracer);
-    }
-
     pub(crate) fn install_tracer(&mut self, tracer: Box<dyn Tracer>) {
         self.tracer = tracer;
     }
@@ -111,12 +105,6 @@ impl Gpu {
     /// tracing is disabled).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.tracer.snapshot()
-    }
-
-    /// Enables per-WMMA-instruction latency profiling (Fig 15/16).
-    #[deprecated(note = "use `SimOptions::profile_wmma` when constructing the GPU")]
-    pub fn set_profile_wmma(&mut self, on: bool) {
-        self.set_profile(on);
     }
 
     fn set_profile(&mut self, on: bool) {

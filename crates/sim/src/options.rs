@@ -1,8 +1,9 @@
 //! Typed simulation options.
 //!
-//! [`SimOptions`] gathers everything that used to be configured through
-//! individual `Gpu` setters (`set_tracer`, `set_profile_wmma`) plus the
-//! core-model selector into one builder consumed by [`crate::Gpu::new`].
+//! [`SimOptions`] gathers tracing, WMMA latency profiling and the
+//! core-model selector into one builder consumed by [`crate::Gpu::new`]
+//! — the sole way to configure these (the transitional `Gpu` setters
+//! were removed once every caller migrated).
 //! A plain [`GpuConfig`] converts into default options, so existing
 //! `Gpu::new(GpuConfig::titan_v())` call sites keep working unchanged.
 //!

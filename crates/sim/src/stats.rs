@@ -27,7 +27,8 @@ pub struct LaunchStats {
     /// Core clock (MHz), for time/TFLOPS conversions.
     pub clock_mhz: u32,
     /// Trace-derived metrics (stall breakdown, HMMA occupancy); `None`
-    /// unless a tracer was installed via `Gpu::set_tracer`.
+    /// unless a tracer was installed via `SimOptions::tracer` or
+    /// `LaunchBuilder::tracer`.
     pub trace: Option<TraceSummary>,
 }
 
@@ -48,7 +49,7 @@ impl LaunchStats {
     }
 
     /// Latencies of all profiled WMMA instructions of `kind`, in issue
-    /// order (requires `Gpu::set_profile_wmma(true)`).
+    /// order (requires `SimOptions::profile_wmma(true)`).
     pub fn wmma_latencies(&self, kind: WmmaKind) -> Vec<u64> {
         self.sm
             .wmma_samples

@@ -69,4 +69,26 @@ test -s results/prof_gemm64.trace.json
 echo "== guard: tracing does not perturb timing =="
 target/release/tcsim-prof --overhead-guard
 
+echo "== smoke: tcsim-serve double-pass cache gate =="
+# Start the job server on an ephemeral port with a fresh persistent
+# cache, submit the corpus batch twice: the second pass must be >=90%
+# cache hits AND byte-identical results (results_digest equality).
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+target/release/tcsim-serve --port-file "$SERVE_TMP/port" \
+  --cache-dir "$SERVE_TMP/cache" >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  test -s "$SERVE_TMP/port" && break
+  sleep 0.1
+done
+test -s "$SERVE_TMP/port" || { echo "tcsim-serve never wrote its port file"; exit 1; }
+SERVE_ADDR=$(cat "$SERVE_TMP/port")
+target/release/tcsim-loadgen --connect "$SERVE_ADDR" --smoke \
+  --json "$SERVE_TMP/pass1.json" >/dev/null
+target/release/tcsim-loadgen --connect "$SERVE_ADDR" --smoke \
+  --min-hit-rate 0.9 --expect-digest "$SERVE_TMP/pass1.json" \
+  --shutdown --json "$SERVE_TMP/pass2.json" >/dev/null
+wait "$SERVE_PID"
+
 echo "== ci.sh: all gates passed =="
