@@ -11,8 +11,9 @@
 //! ```
 
 use tcsim_check::corpus::{replay_case, write_case};
-use tcsim_check::gen::{generate, GenConfig, KindSel};
-use tcsim_check::oracle::Case;
+use tcsim_check::gen::{generate, Arch, GenConfig, KindSel};
+use tcsim_check::oracle::{Case, Compare, DataKind};
+use tcsim_nn::kernels::{elems_grid, gelu_kernel, rowred_grid, softmax_kernel};
 use std::path::Path;
 
 fn main() {
@@ -31,6 +32,33 @@ fn main() {
         // A committed seed must replay clean, or every `cargo test` would
         // fail out of the box.
         replay_case(&case).unwrap_or_else(|e| panic!("{name} (seed {seed}) is not clean: {e}"));
+        let path = write_case(&dir, name, &case).expect("write corpus file");
+        println!("wrote {}", path.display());
+    }
+
+    // Shipped transformer-block kernels with the oracle's two-parameter
+    // (in, out) shape, on raw random words: the device and the reference
+    // interpreter share the op semantics bit-for-bit (including the MUFU
+    // ex2/lg2 paths and NaN/Inf inputs), so the comparison is exact.
+    let rows = 8usize;
+    let nn_picks: &[(&str, tcsim_isa::Kernel, u32, u32, u32)] = &[
+        // (name, kernel, grid_x, in_words, out_words)
+        ("seed_nn_softmax", softmax_kernel(32, 0.25), rowred_grid(rows), 256, 256),
+        ("seed_nn_gelu", gelu_kernel(256), elems_grid(256), 256, 256),
+    ];
+    for (name, kernel, grid_x, in_words, out_words) in nn_picks {
+        let case = Case {
+            kernel: kernel.clone(),
+            arch: Arch::Volta,
+            grid_x: *grid_x,
+            block_x: 32,
+            in_words: *in_words,
+            out_words: *out_words,
+            data: DataKind::Raw,
+            data_seed: 0xDA7A_5EED,
+            compare: Compare::Exact,
+        };
+        replay_case(&case).unwrap_or_else(|e| panic!("{name} is not clean: {e}"));
         let path = write_case(&dir, name, &case).expect("write corpus file");
         println!("wrote {}", path.display());
     }

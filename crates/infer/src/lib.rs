@@ -1,0 +1,39 @@
+//! Request-stream serving simulator over the cycle-level encoder block.
+//!
+//! `tcsim-nn` answers "how many cycles does one transformer encoder
+//! block take at batch size B?" by actually simulating every lowered
+//! kernel. This crate asks the next question up the stack: given a
+//! *stream* of inference requests, a dynamic-batching policy and a
+//! bounded KV-cache, what latency distribution and throughput does that
+//! per-batch cost imply? The split mirrors how serving systems are
+//! studied in practice — a slow, faithful cost model underneath a fast
+//! discrete-event queueing layer on top.
+//!
+//! Three pieces:
+//!
+//! - [`cost::CostModel`] — memoizes the simulated cycle cost of the
+//!   encoder block per batch size. Each distinct batch size triggers
+//!   exactly one full `tcsim_nn::run_chained` simulation (differentially
+//!   checked against the host f32 reference); repeats are content-hash
+//!   cache hits, the same idea `tcsim-serve` uses for job results.
+//! - [`serving::Workload`] — a seeded open-loop Poisson arrival stream
+//!   (shared generator with `tcsim-loadgen`, via
+//!   `tcsim_check::rng::ExpArrivals`), quantized to integer cycles.
+//! - [`serving::simulate`] — a deterministic single-server
+//!   discrete-event loop: requests are admitted against a KV-cache
+//!   capacity, grouped into batches by a [`serving::Policy`], and each
+//!   batch occupies the GPU for the memoized block cost at its size.
+//!
+//! Everything downstream of the seed is pure integer arithmetic, so a
+//! given `(seed, rate, policy, capacity)` always yields byte-identical
+//! report JSON — which is what lets CI pin the `tcsim-infer --smoke`
+//! artifact with a straight byte comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod serving;
+
+pub use cost::{BlockCost, CostModel};
+pub use serving::{encoder_kv_bytes, rate_sweep, simulate, KvCache, Policy, ServingReport, Workload};

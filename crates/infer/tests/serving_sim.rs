@@ -1,0 +1,90 @@
+//! End-to-end serving-simulator checks against the real (simulated,
+//! differentially verified) encoder block cost — the slow path the unit
+//! tests stub out. Kept to small request counts and `max_batch` 2 so
+//! only two full block simulations run per cost model.
+
+use tcsim_infer::{rate_sweep, simulate, CostModel, KvCache, Policy, Workload};
+use tcsim_sim::GpuConfig;
+
+#[test]
+fn seeded_run_is_byte_deterministic_and_memoized() {
+    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 120.0 };
+    let policy = Policy::Continuous { max_batch: 2 };
+    let kv = KvCache::for_encoder(6);
+
+    let mut cost_a = CostModel::new(GpuConfig::mini(), 3);
+    let a = simulate(&mut cost_a, &w, &policy, &kv);
+    // A fresh cost model must reproduce the exact same trajectory.
+    let mut cost_b = CostModel::new(GpuConfig::mini(), 3);
+    let b = simulate(&mut cost_b, &w, &policy, &kv);
+    assert_eq!(a.to_json(), b.to_json());
+
+    // Re-running on the warm model is a pure cache hit: the simulation
+    // count must not grow, and the report must not change.
+    let again = simulate(&mut cost_a, &w, &policy, &kv);
+    assert_eq!(a.to_json(), again.to_json());
+    assert!(cost_a.sim_invocations() <= 2, "max_batch 2 allows at most 2 distinct shapes");
+    assert_eq!(cost_a.sim_invocations() as usize, cost_a.distinct_shapes());
+
+    // Conservation: every offered request either completed or was
+    // rejected at admission (the run always drains).
+    assert_eq!(a.completed() as u64 + a.rejected, w.requests as u64);
+}
+
+#[test]
+fn policies_shape_the_latency_distribution_differently() {
+    let mut cost = CostModel::new(GpuConfig::mini(), 3);
+    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 120.0 };
+    let kv = KvCache::unbounded();
+    let stat = simulate(&mut cost, &w, &Policy::Static { max_batch: 2, window_cycles: 40_000 }, &kv);
+    let cont = simulate(&mut cost, &w, &Policy::Continuous { max_batch: 2 }, &kv);
+    assert_eq!(stat.completed(), 24);
+    assert_eq!(cont.completed(), 24);
+    assert_ne!(stat.to_json(), cont.to_json(), "policies must be distinguishable");
+    // A 40k-cycle batching window (about two batch-1 block times) makes
+    // the head request idle-wait; continuous batching never does.
+    assert!(
+        stat.mean_latency() > cont.mean_latency(),
+        "window batching should cost latency here: static {} vs continuous {}",
+        stat.mean_latency(),
+        cont.mean_latency()
+    );
+    // Every latency is at least one block time at some batch size.
+    let min_block = cost.block_cost(1).cycles.min(cost.block_cost(2).cycles);
+    assert!(cont.latencies.iter().all(|&l| l >= min_block));
+}
+
+#[test]
+fn kv_capacity_gates_admission() {
+    let mut cost = CostModel::new(GpuConfig::mini(), 3);
+    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 400.0 };
+    let policy = Policy::Continuous { max_batch: 2 };
+    // One sequence of headroom: under a saturating arrival rate most
+    // requests must bounce off the admission cap.
+    let tight = simulate(&mut cost, &w, &policy, &KvCache::for_encoder(1));
+    assert!(tight.rejected > 0, "tight KV cache must reject under load");
+    assert_eq!(tight.kv_peak_bytes, tight.kv.bytes_per_seq);
+    let open = simulate(&mut cost, &w, &policy, &KvCache::unbounded());
+    assert_eq!(open.rejected, 0);
+    assert_eq!(open.completed(), 24);
+    assert!(open.kv_peak_bytes > tight.kv_peak_bytes);
+}
+
+#[test]
+fn throughput_saturates_as_load_grows() {
+    let mut cost = CostModel::new(GpuConfig::mini(), 3);
+    let policy = Policy::Continuous { max_batch: 2 };
+    let kv = KvCache::unbounded();
+    let runs = rate_sweep(&mut cost, 3, 24, &[10.0, 400.0], &policy, &kv);
+    assert_eq!(runs.len(), 2);
+    // At 10 req/Mcycle the system is under-loaded: goodput tracks the
+    // offered rate. At 400 it cannot (batch-2 service saturates near 60).
+    assert!(runs[0].throughput_per_mcycle() < 15.0, "{}", runs[0].throughput_per_mcycle());
+    assert!(runs[1].throughput_per_mcycle() > runs[0].throughput_per_mcycle());
+    assert!(
+        runs[1].throughput_per_mcycle() < 400.0 * 0.5,
+        "saturated goodput must fall far below offered load"
+    );
+    // Under saturation the batcher actually batches.
+    assert!(runs[1].mean_batch() > runs[0].mean_batch());
+}

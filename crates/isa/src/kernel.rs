@@ -399,6 +399,26 @@ impl KernelBuilder {
         self.emit3(Op::HFma2, dst, vec![Operand::Reg(a), b, c]);
     }
 
+    /// FP32 `dst ← min(a, b)`.
+    pub fn fmin(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::FMin, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// FP32 `dst ← max(a, b)`.
+    pub fn fmax(&mut self, dst: Reg, a: Reg, b: Operand) {
+        self.emit3(Op::FMax, dst, vec![Operand::Reg(a), b]);
+    }
+
+    /// MUFU reciprocal `dst ← 1 / a`.
+    pub fn frcp(&mut self, dst: Reg, a: Reg) {
+        self.emit3(Op::FRcp, dst, vec![Operand::Reg(a)]);
+    }
+
+    /// MUFU square root `dst ← √a`.
+    pub fn fsqrt(&mut self, dst: Reg, a: Reg) {
+        self.emit3(Op::FSqrt, dst, vec![Operand::Reg(a)]);
+    }
+
     /// MUFU base-2 exponential `dst ← 2^a`.
     pub fn fex2(&mut self, dst: Reg, a: Reg) {
         self.emit3(Op::FEx2, dst, vec![Operand::Reg(a)]);

@@ -18,12 +18,17 @@
 //! within [`gemm_tolerance`] of the quantized-f16/f32-accumulate oracle,
 //! elementwise layers bit-exact.
 
+use crate::block::{exec_attention, exec_mlp, ExecMode};
 use crate::graph::Graph;
-use crate::lower::{gemm_tolerance, lower, GemmOp, GemmSource, LoweredLayer, LoweredOp};
+use crate::lower::{
+    gemm_tolerance, layernorm_tolerance, lower, softmax_tolerance, GemmOp, GemmSource,
+    LoweredLayer, LoweredOp,
+};
 use crate::reference::run_layer;
 use crate::tensor::Tensor;
 use crate::kernels::{
-    bias_grid, bias_kernel, maxpool_grid, maxpool_kernel, relu_grid, relu_kernel, BLOCK,
+    bias_grid, bias_kernel, elems_grid, gelu_kernel, layernorm_kernel, maxpool_grid,
+    maxpool_kernel, relu_grid, relu_kernel, rowred_grid, softmax_kernel, BLOCK,
 };
 use tcsim_f16::F16;
 use tcsim_sim::{Gpu, GpuConfig, JsonWriter, LaunchBuilder, LaunchStats, Session, Sweep};
@@ -326,7 +331,52 @@ fn prepare_launch(
                 .param_u64(pout);
             (b, pout, kname, format!("bias {rows}x{cols}"))
         }
+        LoweredOp::Softmax { cols, scale } => {
+            let rows = act.shape()[0];
+            let pin = upload_f32(gpu, act.data());
+            let pout = gpu.alloc((act.len() * 4) as u64);
+            let kernel = softmax_kernel(*cols, *scale);
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(rowred_grid(rows))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pout);
+            (b, pout, kname, format!("softmax {rows}x{cols}"))
+        }
+        LoweredOp::LayerNorm(ln) => {
+            let rows = act.shape()[0];
+            let pin = upload_f32(gpu, act.data());
+            let pgamma = upload_f32(gpu, ln.gamma.data());
+            let pbeta = upload_f32(gpu, ln.beta.data());
+            let pout = gpu.alloc((act.len() * 4) as u64);
+            let kernel = layernorm_kernel(ln.dim, ln.eps);
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(rowred_grid(rows))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pgamma)
+                .param_u64(pbeta)
+                .param_u64(pout);
+            (b, pout, kname, format!("layernorm {rows}x{}", ln.dim))
+        }
+        LoweredOp::Gelu => {
+            let pin = upload_f32(gpu, act.data());
+            let pout = gpu.alloc((act.len() * 4) as u64);
+            let kernel = gelu_kernel(act.len());
+            let kname = kernel.name().to_string();
+            let b = LaunchBuilder::new(kernel)
+                .grid(elems_grid(act.len()))
+                .block(BLOCK)
+                .param_u64(pin)
+                .param_u64(pout);
+            (b, pout, kname, format!("gelu {}", act.len()))
+        }
         LoweredOp::Reshape => unreachable!("reshape never launches"),
+        LoweredOp::Attention(_) | LoweredOp::Mlp(_) => {
+            unreachable!("composite ops execute through crate::block")
+        }
     }
 }
 
@@ -350,8 +400,28 @@ fn read_output(gpu: &Gpu, op: &LoweredOp, pout: u64, shape: &[usize]) -> Tensor 
 fn tolerance_of(op: &LoweredOp) -> f32 {
     match op {
         LoweredOp::Gemm(g) => gemm_tolerance(g.k),
+        LoweredOp::Softmax { cols, .. } => softmax_tolerance(*cols),
+        LoweredOp::LayerNorm(ln) => layernorm_tolerance(ln.dim),
         _ => 0.0,
     }
+}
+
+/// Runs a composite lowered op (attention / MLP) through its staged
+/// executor, returning the per-stage reports and the final activation.
+fn run_composite(
+    exec: &mut ExecMode,
+    ll: &LoweredLayer,
+    act: &Tensor,
+) -> (Vec<LayerReport>, Tensor) {
+    match &ll.op {
+        LoweredOp::Attention(a) => exec_attention(exec, &ll.name, a, act),
+        LoweredOp::Mlp(m) => exec_mlp(exec, &ll.name, m, act),
+        other => unreachable!("not a composite op: {other:?}"),
+    }
+}
+
+fn is_composite(op: &LoweredOp) -> bool {
+    matches!(op, LoweredOp::Attention(_) | LoweredOp::Mlp(_))
 }
 
 fn host_report(ll: &LoweredLayer, act: &Tensor) -> LayerReport {
@@ -390,16 +460,29 @@ fn report_from_stats(
 /// dependency order, device activations flowing layer to layer.
 pub fn run_chained(graph: &Graph, input: &Tensor, cfg: GpuConfig, trace: bool) -> InferenceReport {
     let plan = lower(graph);
-    let mut session = Session::new(Gpu::new(cfg)).with_tracing(trace);
+    let mut session = Session::new(Gpu::new(cfg.clone())).with_tracing(trace);
     let mut act = input.clone();
     let mut layers = Vec::with_capacity(plan.len());
     for ll in &plan {
-        let expected = reference_span(graph, &ll.span, &act);
         if !ll.op.is_launch() {
             act = act.reshape(ll.output_shape.clone());
             layers.push(host_report(ll, &act));
             continue;
         }
+        if is_composite(&ll.op) {
+            // Composite ops check each stage internally (against
+            // references computed from the device-produced stage inputs)
+            // and run on a private fresh GPU so their launch-address
+            // sequence — and thus the address-hashed partition mapping —
+            // matches parallel mode exactly (see `crate::block`).
+            let mut gpu = Gpu::new(cfg.clone());
+            let mut exec = ExecMode::new(&mut gpu, trace);
+            let (reports, out) = run_composite(&mut exec, ll, &act);
+            layers.extend(reports);
+            act = out;
+            continue;
+        }
+        let expected = reference_span(graph, &ll.span, &act);
         let (builder, pout, kname, dims) = prepare_launch(session.gpu(), &ll.op, &act);
         let stats = session.run(&ll.name, builder).stats.clone();
         let out = read_output(session.gpu(), &ll.op, pout, &ll.output_shape);
@@ -434,24 +517,30 @@ pub fn run_parallel(
         acts.push(next);
     }
 
-    let mut sweep: Sweep<LayerReport> = Sweep::new();
+    let mut sweep: Sweep<Vec<LayerReport>> = Sweep::new();
     for (i, ll) in plan.iter().enumerate() {
         if !ll.op.is_launch() {
             continue;
         }
         let weight = match &ll.op {
             LoweredOp::Gemm(g) => (g.pm * g.pn * g.pk) as u64,
+            LoweredOp::Attention(a) => (acts[i].len() * a.d_model * 6) as u64,
+            LoweredOp::Mlp(m) => (acts[i].len() * m.d_ff * 2) as u64,
             _ => acts[i].len() as u64,
         };
         let (ll, act, expected) = (ll.clone(), acts[i].clone(), acts[i + 1].clone());
         sweep.add_weighted(cfg.clone(), weight, move |gpu| {
+            if is_composite(&ll.op) {
+                let mut exec = ExecMode::new(gpu, trace);
+                return run_composite(&mut exec, &ll, &act).0;
+            }
             let (mut builder, pout, kname, dims) = prepare_launch(gpu, &ll.op, &act);
             if trace {
                 builder = builder.tracer(RingTracer::new());
             }
             let stats = builder.launch(gpu);
             let out = read_output(gpu, &ll.op, pout, &ll.output_shape);
-            report_from_stats(&ll, kname, dims, &stats, out.max_abs_diff(&expected))
+            vec![report_from_stats(&ll, kname, dims, &stats, out.max_abs_diff(&expected))]
         });
     }
     let outcome = if threads <= 1 { sweep.run_serial() } else { sweep.run_parallel(threads) };
@@ -462,7 +551,7 @@ pub fn run_parallel(
     let mut layers = Vec::with_capacity(plan.len());
     for (i, ll) in plan.iter().enumerate() {
         if ll.op.is_launch() {
-            layers.push(results.next().expect("one result per launch"));
+            layers.extend(results.next().expect("one result per launch"));
         } else {
             layers.push(host_report(ll, &acts[i + 1]));
         }

@@ -1,7 +1,7 @@
 //! Sequential layer graphs: an ordered list of named layers with
 //! shape-checked construction.
 
-use crate::layer::{Bias, Conv2d, Layer, Linear, MaxPool};
+use crate::layer::{Attention, Bias, Conv2d, Layer, LayerNorm, Linear, MaxPool, Mlp};
 use crate::tensor::Tensor;
 use std::fmt;
 
@@ -210,6 +210,59 @@ impl GraphBuilder {
     /// Appends a flatten.
     pub fn flatten(self) -> GraphBuilder {
         self.push(Layer::Flatten)
+    }
+
+    /// Appends a row-wise softmax.
+    pub fn softmax(self) -> GraphBuilder {
+        self.push(Layer::Softmax)
+    }
+
+    /// Appends a row-wise layer normalization (`gamma`/`beta` are
+    /// per-feature, their length fixes the normalized dimension).
+    pub fn layernorm(self, gamma: Tensor, beta: Tensor, eps: f32) -> GraphBuilder {
+        assert_eq!(gamma.shape(), beta.shape(), "layernorm gamma/beta shapes");
+        let dim = gamma.len();
+        self.push(Layer::LayerNorm(LayerNorm { dim, gamma, beta, eps }))
+    }
+
+    /// Appends an elementwise tanh-GELU.
+    pub fn gelu(self) -> GraphBuilder {
+        self.push(Layer::Gelu)
+    }
+
+    /// Appends multi-head self-attention. `wqkv` is `[d, 3d]` (fused
+    /// Q|K|V projection), `wo` is `[d, d]`; `heads` must divide `d`.
+    pub fn attention(
+        self,
+        heads: usize,
+        seq: usize,
+        wqkv: Tensor,
+        wo: Tensor,
+        residual: bool,
+    ) -> GraphBuilder {
+        let d = wo.shape()[0];
+        assert_eq!(wo.shape(), &[d, d], "attention wo shape");
+        assert_eq!(wqkv.shape(), &[d, 3 * d], "attention wqkv shape");
+        assert!(heads > 0 && d.is_multiple_of(heads), "attention heads must divide d_model");
+        assert!(seq > 0, "attention seq must be positive");
+        self.push(Layer::Attention(Attention { heads, d_model: d, seq, wqkv, wo, residual }))
+    }
+
+    /// Appends a feed-forward block: `w1` is `[d_model, d_ff]`, `w2` is
+    /// `[d_ff, d_model]`, biases match the projection widths.
+    pub fn mlp(
+        self,
+        w1: Tensor,
+        b1: Tensor,
+        w2: Tensor,
+        b2: Tensor,
+        residual: bool,
+    ) -> GraphBuilder {
+        let (d, ff) = (w1.shape()[0], w1.shape()[1]);
+        assert_eq!(w2.shape(), &[ff, d], "mlp w2 shape");
+        assert_eq!(b1.len(), ff, "mlp b1 length");
+        assert_eq!(b2.len(), d, "mlp b2 length");
+        self.push(Layer::Mlp(Mlp { d_model: d, d_ff: ff, w1, b1, w2, b2, residual }))
     }
 
     /// Finalizes the graph.

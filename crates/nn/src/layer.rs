@@ -48,6 +48,62 @@ pub struct MaxPool {
     pub k: usize,
 }
 
+/// Row-wise layer normalization over `[rows, dim]`:
+/// `(x − μ)·rsqrt(σ² + eps)·gamma + beta` per row.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Normalized (last) dimension.
+    pub dim: usize,
+    /// Per-feature scale, length `dim`.
+    pub gamma: Tensor,
+    /// Per-feature shift, length `dim`.
+    pub beta: Tensor,
+    /// Variance floor.
+    pub eps: f32,
+}
+
+/// Multi-head self-attention over `[batch·seq, d_model]`:
+/// QKV projection → per-head scaled `Q·Kᵀ` → softmax → `P·V` → output
+/// projection, with an optional residual skip from the layer input.
+#[derive(Clone, Debug)]
+pub struct Attention {
+    /// Head count (`d_model` must divide evenly).
+    pub heads: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Sequence length of each instance (rows come in `seq`-sized
+    /// groups; `batch = rows / seq`).
+    pub seq: usize,
+    /// Fused QKV projection weights, `[d_model, 3·d_model]` — the Q, K
+    /// and V blocks occupy columns `[0, d)`, `[d, 2d)`, `[2d, 3d)`.
+    pub wqkv: Tensor,
+    /// Output projection, `[d_model, d_model]`.
+    pub wo: Tensor,
+    /// Add the layer input back onto the projected output.
+    pub residual: bool,
+}
+
+/// Two-layer feed-forward block over `[rows, d_model]`:
+/// `linear(d_model→d_ff)+bias → GELU → linear(d_ff→d_model)+bias`, with
+/// an optional residual skip from the layer input.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    /// Model width.
+    pub d_model: usize,
+    /// Hidden width.
+    pub d_ff: usize,
+    /// First projection, `[d_model, d_ff]`.
+    pub w1: Tensor,
+    /// First bias, length `d_ff`.
+    pub b1: Tensor,
+    /// Second projection, `[d_ff, d_model]`.
+    pub w2: Tensor,
+    /// Second bias, length `d_model`.
+    pub b2: Tensor,
+    /// Add the layer input back onto the output.
+    pub residual: bool,
+}
+
 /// One operator of the layer IR.
 #[derive(Clone, Debug)]
 pub enum Layer {
@@ -63,6 +119,18 @@ pub enum Layer {
     MaxPool(MaxPool),
     /// `[c, h, w] → [1, c·h·w]` reshape (no data movement on device).
     Flatten,
+    /// Row-wise softmax over the last dimension of a `[rows, cols]`
+    /// activation.
+    Softmax,
+    /// Row-wise layer normalization.
+    LayerNorm(LayerNorm),
+    /// Elementwise tanh-GELU.
+    Gelu,
+    /// Multi-head self-attention (composite: lowers to a staged launch
+    /// sequence).
+    Attention(Attention),
+    /// Feed-forward block (composite: two GEMMs around a GELU).
+    Mlp(Mlp),
 }
 
 impl Layer {
@@ -75,6 +143,11 @@ impl Layer {
             Layer::ReLU => "relu",
             Layer::MaxPool(_) => "maxpool",
             Layer::Flatten => "flatten",
+            Layer::Softmax => "softmax",
+            Layer::LayerNorm(_) => "layernorm",
+            Layer::Gelu => "gelu",
+            Layer::Attention(_) => "attention",
+            Layer::Mlp(_) => "mlp",
         }
     }
 
@@ -121,6 +194,38 @@ impl Layer {
             Layer::Flatten => {
                 let [c, h, w] = three(input, "flatten")?;
                 Ok(vec![1, c * h * w])
+            }
+            Layer::Softmax => {
+                let [_, _] = two(input, "softmax")?;
+                Ok(input.to_vec())
+            }
+            Layer::LayerNorm(ln) => {
+                let [_, dim] = two(input, "layernorm")?;
+                if dim != ln.dim {
+                    return Err(format!("layernorm normalizes {} features, got {dim}", ln.dim));
+                }
+                Ok(input.to_vec())
+            }
+            Layer::Gelu => Ok(input.to_vec()),
+            Layer::Attention(a) => {
+                let [rows, d] = two(input, "attention")?;
+                if d != a.d_model {
+                    return Err(format!("attention expects d_model {}, got {d}", a.d_model));
+                }
+                if rows == 0 || !rows.is_multiple_of(a.seq) {
+                    return Err(format!(
+                        "attention rows {rows} must be a positive multiple of seq {}",
+                        a.seq
+                    ));
+                }
+                Ok(input.to_vec())
+            }
+            Layer::Mlp(m) => {
+                let [_, d] = two(input, "mlp")?;
+                if d != m.d_model {
+                    return Err(format!("mlp expects d_model {}, got {d}", m.d_model));
+                }
+                Ok(input.to_vec())
             }
         }
     }

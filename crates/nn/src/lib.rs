@@ -5,7 +5,9 @@
 //! real tensor cores (paper §I, §II-B):
 //!
 //! * a typed layer IR ([`Layer`]: conv2d, linear, bias, ReLU, max-pool,
-//!   flatten) with a shape-checked sequential [`GraphBuilder`];
+//!   flatten, plus transformer layers — softmax, layernorm, GELU,
+//!   multi-head [`Attention`], [`Mlp`]) with a shape-checked sequential
+//!   [`GraphBuilder`];
 //! * a lowering pass ([`mod@lower`]) that maps `Conv2d` to implicit GEMM via
 //!   host-side im2col and `Linear` to a batched GEMM, greedily fusing
 //!   trailing bias/ReLU layers into the GEMM kernels' [`Epilogue`] — a
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod block;
 pub mod executor;
 pub mod graph;
 pub mod kernels;
@@ -45,7 +48,10 @@ pub mod tensor;
 
 pub use executor::{run_chained, run_parallel, InferenceReport, LayerReport};
 pub use graph::{Graph, GraphBuilder, GraphError};
-pub use layer::{Bias, Conv2d, Layer, Linear, MaxPool};
-pub use lower::{gemm_tolerance, lower, pad16, GemmOp, GemmSource, LoweredLayer, LoweredOp, Tile};
+pub use layer::{Attention, Bias, Conv2d, Layer, LayerNorm, Linear, MaxPool, Mlp};
+pub use lower::{
+    gemm_tolerance, layernorm_tolerance, lower, pad16, softmax_tolerance, GemmOp, GemmSource,
+    LoweredLayer, LoweredOp, Tile,
+};
 pub use tcsim_cutlass::Epilogue;
 pub use tensor::Tensor;

@@ -13,7 +13,7 @@
 //! executor crops it back off after readback.
 
 use crate::graph::Graph;
-use crate::layer::{Conv2d, Layer, Linear, MaxPool};
+use crate::layer::{Attention, Conv2d, Layer, LayerNorm, Linear, MaxPool, Mlp};
 use crate::tensor::Tensor;
 use tcsim_cutlass::{cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, CutlassConfig, Epilogue};
 use tcsim_isa::Kernel;
@@ -28,6 +28,29 @@ pub fn pad16(x: usize) -> usize {
 /// merges (same bound `tcsim-cutlass` uses for its own verification).
 pub fn gemm_tolerance(k: usize) -> f32 {
     1e-3 + k as f32 * 1e-4
+}
+
+/// Absolute tolerance for the device softmax against the textbook f32
+/// reference. Both sides compute `exp2((x·scale − max)·log2e) / Σ`; the
+/// device reduces max and Σ with a `shfl.bfly` butterfly while the
+/// reference sums sequentially, so partial sums round in a different
+/// order. Outputs lie in `[0, 1]` and a reordered n-term f32 sum drifts
+/// by at most ~n·ε relative (ε = 2⁻²⁴ ≈ 6e−8), plus one `frcp`-vs-divide
+/// ulp — comfortably inside `1e−6 + n·2.4e−7` with ~4× margin.
+pub fn softmax_tolerance(cols: usize) -> f32 {
+    1e-6 + cols as f32 * 2.4e-7
+}
+
+/// Absolute tolerance for the device layernorm against the textbook f32
+/// reference. Error sources: butterfly-vs-sequential reduction order in
+/// the two moments (~n·ε relative, amplified by `|x − μ| · rsqrt`), and
+/// the device's `fex2(−½·flg2(v))` rsqrt vs the host's `1/sqrt(v)` (a
+/// couple of ulp of a value near 1 after gamma scaling). For activations
+/// of magnitude O(1) the bound `1e−5 + n·1e−6` holds with an order of
+/// magnitude to spare; rows with near-zero variance are excluded by the
+/// `eps` floor.
+pub fn layernorm_tolerance(cols: usize) -> f32 {
+    1e-5 + cols as f32 * 1e-6
 }
 
 /// Which WMMA GEMM kernel family a lowered GEMM dispatches to.
@@ -163,6 +186,24 @@ pub enum LoweredOp {
     Bias(Tensor),
     /// Host-only reshape: no device work.
     Reshape,
+    /// Warp-per-row softmax launch over `rows × cols` (scale baked in).
+    Softmax {
+        /// Row width.
+        cols: usize,
+        /// Pre-softmax multiplier (1 for a standalone layer).
+        scale: f32,
+    },
+    /// Warp-per-row layer-normalization launch.
+    LayerNorm(LayerNorm),
+    /// Elementwise tanh-GELU launch.
+    Gelu,
+    /// Composite multi-head attention: a staged sequence of GEMM,
+    /// softmax and (optionally) residual-add launches executed by the
+    /// crate-private `block` module.
+    Attention(Attention),
+    /// Composite feed-forward block: two bias-fused GEMMs around a GELU,
+    /// plus an optional residual add.
+    Mlp(Mlp),
 }
 
 impl LoweredOp {
@@ -281,6 +322,18 @@ pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
             Layer::ReLU => (LoweredOp::Relu, vec![name.clone()], i + 1),
             Layer::MaxPool(p) => (LoweredOp::MaxPool(*p), vec![name.clone()], i + 1),
             Layer::Flatten => (LoweredOp::Reshape, vec![name.clone()], i + 1),
+            Layer::Softmax => {
+                let cols = graph.output_shape(i)[1];
+                (LoweredOp::Softmax { cols, scale: 1.0 }, vec![name.clone()], i + 1)
+            }
+            Layer::LayerNorm(ln) => {
+                (LoweredOp::LayerNorm(ln.clone()), vec![name.clone()], i + 1)
+            }
+            Layer::Gelu => (LoweredOp::Gelu, vec![name.clone()], i + 1),
+            Layer::Attention(a) => {
+                (LoweredOp::Attention(a.clone()), vec![name.clone()], i + 1)
+            }
+            Layer::Mlp(m) => (LoweredOp::Mlp(m.clone()), vec![name.clone()], i + 1),
         };
         plan.push(LoweredLayer {
             name: names.join("+"),

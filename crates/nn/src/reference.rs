@@ -8,8 +8,68 @@
 //! device-vs-reference difference left is the FEDP accumulation order —
 //! bounded by [`crate::gemm_tolerance`].
 
+use crate::kernels::{LOG2E, SQRT_2_OVER_PI};
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+
+/// Host mirror of the device GELU: the exact op sequence of
+/// [`crate::kernels::gelu_kernel`] in f32 (`mul_add` where the kernel
+/// uses `ffma`, `exp2` for `fex2`, `1/x` for `frcp`), so device vs
+/// reference is bit-exact and the layer's tolerance is 0.
+pub fn gelu_ref(x: f32) -> f32 {
+    let u = (x * x) * x;
+    let u = u.mul_add(0.044715, x);
+    let t = u * SQRT_2_OVER_PI;
+    let e = (t * (2.0 * LOG2E)).exp2();
+    let r = 1.0 / (e + 1.0);
+    let tanh = r.mul_add(-2.0, 1.0);
+    let half = x * 0.5;
+    half.mul_add(tanh, half)
+}
+
+/// Textbook row-wise scaled softmax in f32: max-subtract, `exp2` with
+/// the LOG2E fold (matching the device's MUFU path), sequential sum.
+/// The device's butterfly reduction order differs — bounded by
+/// [`crate::lower::softmax_tolerance`].
+pub fn softmax_row(row: &mut [f32], scale: f32) {
+    for v in row.iter_mut() {
+        *v *= scale;
+    }
+    let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0f32;
+    for v in row.iter_mut() {
+        *v = ((*v - m) * LOG2E).exp2();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Sequential f32 GEMM with f16-quantized operands (the device's numeric
+/// boundary): `out[m×n] = a[m×k] × b[k×n] (+ bias)`.
+pub(crate) fn ref_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: impl Fn(usize, usize) -> f32,
+    b: impl Fn(usize, usize) -> f32,
+    bias: Option<&[f32]>,
+) -> Vec<f32> {
+    use tcsim_f16::F16;
+    let q = |v: f32| F16::from_f32(v).to_f32();
+    let mut out = vec![0f32; m * n];
+    for r in 0..m {
+        for c in 0..n {
+            let mut acc = 0f32;
+            for i in 0..k {
+                acc += q(a(r, i)) * q(b(i, c));
+            }
+            out[r * n + c] = acc + bias.map_or(0.0, |bv| bv[c]);
+        }
+    }
+    out
+}
 
 /// Runs one layer on the host in f32, with f16 quantization at the GEMM
 /// operand boundary.
@@ -110,6 +170,122 @@ pub fn run_layer(layer: &Layer, input: &Tensor) -> Tensor {
             out
         }
         Layer::Flatten => input.reshape(out_shape),
+        Layer::Softmax => {
+            let cols = input.shape()[1];
+            let mut out = input.clone();
+            for row in out.data_mut().chunks_mut(cols) {
+                softmax_row(row, 1.0);
+            }
+            out
+        }
+        Layer::LayerNorm(ln) => {
+            let cols = ln.dim;
+            let mut out = input.clone();
+            for row in out.data_mut().chunks_mut(cols) {
+                let mean = row.iter().sum::<f32>() / cols as f32;
+                let var =
+                    row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                let rstd = 1.0 / (var + ln.eps).sqrt();
+                for (v, (&g, &bt)) in
+                    row.iter_mut().zip(ln.gamma.data().iter().zip(ln.beta.data()))
+                {
+                    *v = (*v - mean) * rstd * g + bt;
+                }
+            }
+            out
+        }
+        Layer::Gelu => {
+            let mut out = input.clone();
+            for v in out.data_mut() {
+                *v = gelu_ref(*v);
+            }
+            out
+        }
+        Layer::Attention(a) => {
+            let (rows, d) = (input.shape()[0], a.d_model);
+            let (batch, dh) = (rows / a.seq, d / a.heads);
+            let x = input.data();
+            // QKV projection: [rows, 3d].
+            let qkv = ref_gemm(
+                rows,
+                3 * d,
+                d,
+                |r, c| x[r * d + c],
+                |r, c| a.wqkv.data()[r * 3 * d + c],
+                None,
+            );
+            // Per-(batch, head) scaled scores → softmax → context.
+            let scale = 1.0 / (dh as f32).sqrt();
+            let mut ctx = vec![0f32; rows * d];
+            for bi in 0..batch {
+                for h in 0..a.heads {
+                    let q_at = |r: usize, c: usize| qkv[(bi * a.seq + r) * 3 * d + h * dh + c];
+                    let k_at =
+                        |r: usize, c: usize| qkv[(bi * a.seq + c) * 3 * d + d + h * dh + r];
+                    let v_at =
+                        |r: usize, c: usize| qkv[(bi * a.seq + r) * 3 * d + 2 * d + h * dh + c];
+                    let mut scores = ref_gemm(a.seq, a.seq, dh, q_at, k_at, None);
+                    for row in scores.chunks_mut(a.seq) {
+                        softmax_row(row, scale);
+                    }
+                    let o = ref_gemm(
+                        a.seq,
+                        dh,
+                        a.seq,
+                        |r, c| scores[r * a.seq + c],
+                        v_at,
+                        None,
+                    );
+                    for r in 0..a.seq {
+                        for c in 0..dh {
+                            ctx[(bi * a.seq + r) * d + h * dh + c] = o[r * dh + c];
+                        }
+                    }
+                }
+            }
+            // Output projection (+ residual).
+            let mut y = ref_gemm(
+                rows,
+                d,
+                d,
+                |r, c| ctx[r * d + c],
+                |r, c| a.wo.data()[r * d + c],
+                None,
+            );
+            if a.residual {
+                for (v, &xi) in y.iter_mut().zip(x) {
+                    *v += xi;
+                }
+            }
+            Tensor::new(out_shape, y)
+        }
+        Layer::Mlp(m) => {
+            let rows = input.shape()[0];
+            let x = input.data();
+            let h = ref_gemm(
+                rows,
+                m.d_ff,
+                m.d_model,
+                |r, c| x[r * m.d_model + c],
+                |r, c| m.w1.data()[r * m.d_ff + c],
+                Some(m.b1.data()),
+            );
+            let h: Vec<f32> = h.into_iter().map(gelu_ref).collect();
+            let mut y = ref_gemm(
+                rows,
+                m.d_model,
+                m.d_ff,
+                |r, c| h[r * m.d_ff + c],
+                |r, c| m.w2.data()[r * m.d_model + c],
+                Some(m.b2.data()),
+            );
+            if m.residual {
+                for (v, &xi) in y.iter_mut().zip(x) {
+                    *v += xi;
+                }
+            }
+            Tensor::new(out_shape, y)
+        }
     }
 }
 

@@ -1,0 +1,76 @@
+//! End-to-end checks for the transformer encoder block: differential
+//! accuracy per stage, chained-vs-parallel cycle equivalence, and
+//! deterministic reports.
+
+use tcsim_nn::models::{encoder, input_for, ENCODER_D_MODEL, ENCODER_SEQ};
+use tcsim_nn::{run_chained, run_parallel};
+use tcsim_sim::GpuConfig;
+
+#[test]
+fn encoder_block_runs_end_to_end_within_tolerance() {
+    let net = encoder(3, 2);
+    assert_eq!(net.final_shape(), &[2 * ENCODER_SEQ, ENCODER_D_MODEL]);
+    let input = input_for(&net, 3);
+    let report = run_chained(&net, &input, GpuConfig::mini(), false);
+    report.assert_within_tolerance();
+    assert!(report.total_cycles() > 0);
+    // The composite layers expand to per-stage records: 2 layernorms +
+    // attention (qkv/scores/softmax/ctx/proj/residual) + mlp
+    // (fc1/gelu/fc2/residual).
+    assert_eq!(report.layers.len(), 2 + 6 + 4);
+    for l in &report.layers {
+        assert!(l.cycles > 0, "{} has no cycles", l.name);
+    }
+    // The GEMM stages keep the HMMA pipe busy; softmax must not touch it.
+    let qkv = report.layers.iter().find(|l| l.name.ends_with("/qkv")).unwrap();
+    assert!(qkv.kernel.contains("wmma") || qkv.kernel.contains("gemm"), "{}", qkv.kernel);
+}
+
+#[test]
+fn chained_and_parallel_agree_on_cycles() {
+    let net = encoder(7, 1);
+    let input = input_for(&net, 7);
+    let chained = run_chained(&net, &input, GpuConfig::mini(), false);
+    let parallel = run_parallel(&net, &input, GpuConfig::mini(), false, 2);
+    chained.assert_within_tolerance();
+    parallel.assert_within_tolerance();
+    assert_eq!(chained.layers.len(), parallel.layers.len());
+    // Kernel timing is data-independent and each launch starts cold, so
+    // the two modes must agree cycle-for-cycle, stage by stage.
+    for (c, p) in chained.layers.iter().zip(&parallel.layers) {
+        assert_eq!(c.name, p.name);
+        assert_eq!(c.kernel, p.kernel);
+        assert_eq!(
+            (c.cycles, c.instructions),
+            (p.cycles, p.instructions),
+            "stage {} diverged between chained and parallel",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn encoder_report_is_deterministic() {
+    let net = encoder(11, 1);
+    let input = input_for(&net, 11);
+    let a = run_chained(&net, &input, GpuConfig::mini(), false);
+    let b = run_chained(&net, &input, GpuConfig::mini(), false);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn traced_encoder_reports_hmma_occupancy_on_gemm_stages() {
+    let net = encoder(5, 1);
+    let input = input_for(&net, 5);
+    let report = run_chained(&net, &input, GpuConfig::mini(), true);
+    report.assert_within_tolerance();
+    for l in &report.layers {
+        let occ = l.hmma_occupancy.unwrap_or_else(|| panic!("{} untraced", l.name));
+        if l.name.ends_with("/qkv") || l.name.ends_with("/proj") || l.name.contains("/fc") {
+            assert!(occ > 0.0, "{} occupancy {occ}", l.name);
+        }
+        if l.name.ends_with("/softmax") || l.name.ends_with("/gelu") {
+            assert_eq!(occ, 0.0, "{} should not issue HMMA", l.name);
+        }
+    }
+}

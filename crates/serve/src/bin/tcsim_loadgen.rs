@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 use tcsim_check::corpus::case_from_text;
 use tcsim_check::gen::{generate, GenConfig, KindSel};
 use tcsim_check::oracle::Case;
-use tcsim_check::rng::XorShift64Star;
+use tcsim_check::rng::ExpArrivals;
 use tcsim_serve::hash::Fnv128;
 use tcsim_serve::{json, Client, Event, JobSpec, Request};
 use tcsim_sim::JsonWriter;
@@ -238,12 +238,11 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             .send(&Request::Batch { jobs: pairs })
             .map_err(|e| format!("batch submit: {e}"))?;
     } else {
-        let mut arrivals = XorShift64Star::new(args.seed ^ 0x4C4F_4144_4745_4E21);
+        let mut arrivals = (args.rate > 0.0).then(|| ExpArrivals::new(args.seed, args.rate));
         let mut due = Instant::now();
         for (id, job) in ids.iter().zip(&jobs) {
-            if args.rate > 0.0 {
-                let u = arrivals.next_f64();
-                let inter = -(1.0 - u).ln() / args.rate;
+            if let Some(arrivals) = arrivals.as_mut() {
+                let inter = arrivals.next_interval();
                 due += Duration::from_secs_f64(inter);
                 if let Some(sleep) = due.checked_duration_since(Instant::now()) {
                     std::thread::sleep(sleep);

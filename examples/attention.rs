@@ -1,246 +1,76 @@
-//! Capstone domain scenario: a full scaled-dot-product attention head on
-//! the simulated Titan V — `softmax(Q·Kᵀ/√d)·V` — combining everything
-//! the reproduction built: tensor-core GEMMs for Q·Kᵀ and P·V, the MUFU
-//! `ex2` softmax kernel in between, and host orchestration across
-//! multiple kernel launches (the PyTorch-on-GPGPU-Sim use case the paper
-//! points at in §I).
+//! Capstone domain scenario: scaled-dot-product attention on the
+//! simulated GPU — now driven entirely through the `tcsim::nn` layer IR
+//! instead of the hand-rolled kernels this example used to carry. The
+//! `Attention` layer lowers to the same machinery the full encoder
+//! block uses: a fused QKV projection GEMM, per-head Q·Kᵀ score GEMMs,
+//! the MUFU `ex2` warp-shuffle softmax, per-head P·V context GEMMs and
+//! the output projection, each differentially checked against the host
+//! f32 reference.
 //!
-//! Shapes: `heads` independent heads with sequence length 32 and head
-//! dimension 64 (tile-aligned everywhere). Verified end-to-end against a
-//! CPU attention implementation.
+//! On top of the single block, the example runs a small `tcsim::infer`
+//! serving scenario: a seeded Poisson request stream dynamically
+//! batched onto the block, with each batch charged its simulated cycle
+//! cost — the request-level view of the same attention workload.
 //!
 //! Run with: `cargo run --release --example attention`
 
-use tcsim::cutlass::wmma_simple_gemm;
-use tcsim::f16::F16;
-use tcsim::isa::{
-    CmpOp, DataType, Kernel, KernelBuilder, MemSpace, MemWidth, Operand, SpecialReg,
-};
-use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
+use tcsim::infer::{simulate, CostModel, KvCache, Policy, Workload};
+use tcsim::nn::models::{encoder, input_for, ENCODER_D_MODEL, ENCODER_SEQ};
+use tcsim::nn::run_chained;
+use tcsim::sim::GpuConfig;
 
-const SEQ: usize = 32;
-const DIM: usize = 64;
-const HEADS: usize = 4;
-const LOG2E: f32 = std::f32::consts::LOG2_E;
-
-fn q_val(h: usize, i: usize, d: usize) -> f32 {
-    (((h * 17 + i * 5 + d) % 13) as f32 - 6.0) / 8.0
-}
-fn k_val(h: usize, i: usize, d: usize) -> f32 {
-    (((h * 11 + i * 3 + d * 7) % 11) as f32 - 5.0) / 8.0
-}
-fn v_val(h: usize, i: usize, d: usize) -> f32 {
-    (((h * 7 + i + d * 3) % 9) as f32 - 4.0) / 4.0
-}
-
-/// Row-wise softmax over a SEQ×SEQ f32 matrix with a pre-scale factor,
-/// writing an f16 matrix (the P operand of the second GEMM). One warp per
-/// row.
-fn softmax_scale_kernel() -> Kernel {
-    let mut b = KernelBuilder::new("softmax_scale");
-    let src_p = b.param_u64("src");
-    let dst_p = b.param_u64("dst");
-    let red = b.shared_alloc((SEQ * 4) as u32) as i64;
-
-    let src = b.reg_pair();
-    b.ld_param(MemWidth::B64, src, src_p);
-    let dst = b.reg_pair();
-    b.ld_param(MemWidth::B64, dst, dst_p);
-    let lane = b.reg();
-    b.mov(lane, Operand::Special(SpecialReg::TidX));
-    let row = b.reg();
-    b.mov(row, Operand::Special(SpecialReg::CtaIdX));
-    let idx = b.reg();
-    b.imad(idx, row, Operand::Imm(SEQ as i64), Operand::Reg(lane));
-    let addr_in = b.reg_pair();
-    b.imad_wide(addr_in, idx, Operand::Imm(4), src);
-    let x = b.reg();
-    b.ld_global(MemWidth::B32, x, addr_in, 0);
-    // Pre-scale by 1/√d.
-    b.fmul(x, x, Operand::fimm(1.0 / (DIM as f32).sqrt()));
-
-    let my_slot = b.reg();
-    b.imad(my_slot, lane, Operand::Imm(4), Operand::Imm(red));
-    let p = b.pred();
-    let tmp = b.reg();
-    let other = b.reg();
-    let partner = b.reg();
-    let reduce = |b: &mut KernelBuilder, is_max: bool| {
-        for stride in [16i64, 8, 4, 2, 1] {
-            b.iadd(partner, lane, Operand::Imm(stride));
-            b.imad(partner, partner, Operand::Imm(4), Operand::Imm(red));
-            b.ld_shared(MemWidth::B32, other, partner, 0);
-            b.ld_shared(MemWidth::B32, tmp, my_slot, 0);
-            if is_max {
-                b.emit(
-                    tcsim::isa::Instr::new(tcsim::isa::Op::FMax)
-                        .with_dst(tmp)
-                        .with_srcs(vec![Operand::Reg(tmp), Operand::Reg(other)]),
-                );
-            } else {
-                b.fadd(tmp, tmp, Operand::Reg(other));
-            }
-            b.setp(p, CmpOp::Lt, DataType::S32, lane, Operand::Imm(stride));
-            b.emit(
-                tcsim::isa::Instr::new(tcsim::isa::Op::St {
-                    space: MemSpace::Shared,
-                    width: MemWidth::B32,
-                })
-                .with_srcs(vec![Operand::Reg(my_slot), Operand::Imm(0), Operand::Reg(tmp)])
-                .with_guard(p, true),
-            );
-            b.bar();
-        }
-    };
-
-    b.st_shared(MemWidth::B32, my_slot, 0, x);
-    b.bar();
-    reduce(&mut b, true);
-    let slot0 = b.reg();
-    b.mov(slot0, Operand::Imm(red));
-    let rowmax = b.reg();
-    b.ld_shared(MemWidth::B32, rowmax, slot0, 0);
-    b.bar();
-
-    let e = b.reg();
-    b.fmul(e, rowmax, Operand::fimm(-1.0));
-    b.fadd(e, x, Operand::Reg(e));
-    b.fmul(e, e, Operand::fimm(LOG2E));
-    b.fex2(e, e);
-
-    b.st_shared(MemWidth::B32, my_slot, 0, e);
-    b.bar();
-    reduce(&mut b, false);
-    let total = b.reg();
-    b.ld_shared(MemWidth::B32, total, slot0, 0);
-    let inv = b.reg();
-    b.emit(
-        tcsim::isa::Instr::new(tcsim::isa::Op::FRcp)
-            .with_dst(inv)
-            .with_srcs(vec![Operand::Reg(total)]),
-    );
-    let y = b.reg();
-    b.fmul(y, e, Operand::Reg(inv));
-    // Round to f16 and store packed halves (one B16 store per lane).
-    let h = b.reg();
-    b.cvt(h, DataType::F32, DataType::F16, Operand::Reg(y));
-    let addr_out = b.reg_pair();
-    b.imad_wide(addr_out, idx, Operand::Imm(2), dst);
-    b.st(MemSpace::Global, MemWidth::B16, Operand::RegPair(addr_out), 0, h);
-    b.exit();
-    b.build()
-}
+const SEED: u64 = 42;
 
 fn main() {
-    let mut gpu = Gpu::new(GpuConfig::titan_v());
-    let mut total_cycles = 0u64;
-
-    // Device buffers per head: Q (SEQ×DIM f16), Kᵀ (DIM×SEQ f16),
-    // S = Q·Kᵀ (SEQ×SEQ f32), P = softmax(S/√d) (SEQ×SEQ f16),
-    // V (SEQ×DIM f16), O = P·V (SEQ×DIM f32), and a zero C operand.
-    let q = gpu.alloc((HEADS * SEQ * DIM * 2) as u64);
-    let kt = gpu.alloc((HEADS * DIM * SEQ * 2) as u64);
-    let v = gpu.alloc((HEADS * SEQ * DIM * 2) as u64);
-    let s = gpu.alloc((HEADS * SEQ * SEQ * 4) as u64);
-    let pmat = gpu.alloc((HEADS * SEQ * SEQ * 2) as u64);
-    let o = gpu.alloc((HEADS * SEQ * DIM * 4) as u64);
-    let zero_c_big = gpu.alloc((SEQ * DIM.max(SEQ) * 4) as u64);
-
-    for h in 0..HEADS {
-        for i in 0..SEQ {
-            for d in 0..DIM {
-                let qb = F16::from_f32(q_val(h, i, d)).to_bits();
-                gpu.write_u16(q + (((h * SEQ + i) * DIM + d) * 2) as u64, qb);
-                // Kᵀ is DIM×SEQ row-major: element (d, i) = K(i, d).
-                let kb = F16::from_f32(k_val(h, i, d)).to_bits();
-                gpu.write_u16(kt + (((h * DIM + d) * SEQ + i) * 2) as u64, kb);
-                let vb = F16::from_f32(v_val(h, i, d)).to_bits();
-                gpu.write_u16(v + (((h * SEQ + i) * DIM + d) * 2) as u64, vb);
-            }
-        }
-    }
-
-    let softmax = softmax_scale_kernel();
-    for h in 0..HEADS {
-        let qh = q + ((h * SEQ * DIM) * 2) as u64;
-        let kth = kt + ((h * DIM * SEQ) * 2) as u64;
-        let sh = s + ((h * SEQ * SEQ) * 4) as u64;
-        let ph = pmat + ((h * SEQ * SEQ) * 2) as u64;
-        let vh = v + ((h * SEQ * DIM) * 2) as u64;
-        let oh = o + ((h * SEQ * DIM) * 4) as u64;
-
-        // S = Q·Kᵀ: (SEQ×DIM)·(DIM×SEQ) → SEQ×SEQ.
-        let st = LaunchBuilder::new(wmma_simple_gemm(false))
-            .grid(((SEQ / 16) as u32, (SEQ / 16) as u32))
-            .block(32u32)
-            .param_u64(qh)
-            .param_u64(kth)
-            .param_u64(zero_c_big)
-            .param_u64(sh)
-            .param_u32(SEQ as u32)
-            .param_u32(DIM as u32)
-            .launch(&mut gpu);
-        // P = softmax(S/√d), rounded to f16.
-        let sm = LaunchBuilder::new(softmax.clone())
-            .grid(SEQ as u32)
-            .block(SEQ as u32)
-            .param_u64(sh)
-            .param_u64(ph)
-            .launch(&mut gpu);
-        // O = P·V: (SEQ×SEQ)·(SEQ×DIM) → SEQ×DIM.
-        let ot = LaunchBuilder::new(wmma_simple_gemm(false))
-            .grid(((DIM / 16) as u32, (SEQ / 16) as u32))
-            .block(32u32)
-            .param_u64(ph)
-            .param_u64(vh)
-            .param_u64(zero_c_big)
-            .param_u64(oh)
-            .param_u32(DIM as u32)
-            .param_u32(SEQ as u32)
-            .launch(&mut gpu);
-        total_cycles += st.cycles + sm.cycles + ot.cycles;
-    }
+    // One encoder block (the attention layers plus their surrounding
+    // layernorm/MLP), batch 1, on the mini config.
+    let cfg = GpuConfig::mini();
+    let net = encoder(SEED, 1);
+    let input = input_for(&net, SEED);
     println!(
-        "{HEADS} attention heads (seq {SEQ}, dim {DIM}): {total_cycles} total cycles across {} launches",
-        HEADS * 3
+        "attention via the layer IR: {} tokens × {} model dims (seed {SEED})\n",
+        ENCODER_SEQ, ENCODER_D_MODEL
     );
 
-    // CPU reference with matching precision staging (f16 operands, f32
-    // accumulation, f16 P matrix).
-    let mut max_err = 0f32;
-    for h in 0..HEADS {
-        for i in 0..SEQ {
-            // scores
-            let mut srow = [0f32; SEQ];
-            #[allow(clippy::needless_range_loop)]
-            for j in 0..SEQ {
-                let mut acc = 0f32;
-                for d in 0..DIM {
-                    acc += F16::from_f32(q_val(h, i, d)).to_f32()
-                        * F16::from_f32(k_val(h, j, d)).to_f32();
-                }
-                srow[j] = acc / (DIM as f32).sqrt();
-            }
-            let m = srow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let es: Vec<f32> = srow.iter().map(|x| ((x - m) * LOG2E).exp2()).collect();
-            let sum: f32 = es.iter().sum();
-            let prow: Vec<f32> = es.iter().map(|e| F16::from_f32(e / sum).to_f32()).collect();
-            for d in 0..DIM {
-                let mut want = 0f32;
-                #[allow(clippy::needless_range_loop)]
-                for j in 0..SEQ {
-                    want += prow[j] * F16::from_f32(v_val(h, j, d)).to_f32();
-                }
-                let got = f32::from_bits(
-                    gpu.read_u32(o + (((h * SEQ + i) * DIM + d) * 4) as u64),
-                );
-                max_err = max_err.max((got - want).abs());
-                assert!(
-                    (got - want).abs() < 5e-3,
-                    "head {h} row {i} dim {d}: got {got}, want {want}"
-                );
-            }
-        }
+    let report = run_chained(&net, &input, cfg.clone(), true);
+    report.assert_within_tolerance();
+    println!("{:<22} {:>28} {:>9} {:>6} {:>6}", "stage", "kernel", "cycles", "HMMA%", "err/tol");
+    for l in &report.layers {
+        let occ = l.hmma_occupancy.map_or("-".to_string(), |o| format!("{:.1}", o * 100.0));
+        println!(
+            "{:<22} {:>28} {:>9} {:>6} {:>6.2}",
+            l.name,
+            l.kernel,
+            l.cycles,
+            occ,
+            if l.tolerance > 0.0 { l.max_err / l.tolerance } else { l.max_err }
+        );
     }
-    println!("attention output verified against CPU reference (max |err| = {max_err:.2e})");
+    println!(
+        "\nblock total: {} cycles, worst error {:.0}% of tolerance\n",
+        report.total_cycles(),
+        report.worst_rel_err() * 100.0
+    );
+
+    // The serving view: 32 requests arriving open-loop at 40 per
+    // Mcycle, continuously batched up to 4 sequences, KV-gated.
+    let mut cost = CostModel::new(cfg, SEED);
+    let workload = Workload { seed: SEED, requests: 32, rate_per_mcycle: 40.0 };
+    let policy = Policy::Continuous { max_batch: 4 };
+    let run = simulate(&mut cost, &workload, &policy, &KvCache::for_encoder(8));
+    println!(
+        "serving {} requests at {} req/Mcycle ({} policy, max batch {}):",
+        run.requests, run.rate_per_mcycle, run.policy, run.max_batch
+    );
+    println!(
+        "  completed {} / rejected {}, p50 {} cyc, p99 {} cyc, mean batch {:.2}, \
+         goodput {:.1} req/Mcycle, {} block simulations",
+        run.completed(),
+        run.rejected,
+        run.percentile(50.0),
+        run.percentile(99.0),
+        run.mean_batch(),
+        run.throughput_per_mcycle(),
+        cost.sim_invocations()
+    );
 }

@@ -60,6 +60,12 @@ echo "== smoke: nn_inference (tiny net, fixed seed, golden cycle counts) =="
 target/release/nn_inference --smoke --json results/nn_smoke.json
 cmp results/nn_smoke.json results/nn_smoke_golden.json
 
+echo "== smoke: tcsim-infer serving simulator (golden byte-compare) =="
+# The serving trajectory is a pure function of the seed: the smoke run
+# must reproduce the committed artifact byte-for-byte.
+target/release/tcsim-infer --smoke --json results/BENCH_infer_smoke.json
+cmp results/BENCH_infer_smoke.json results/BENCH_infer.json
+
 echo "== smoke: tcsim-prof trace export =="
 # The binary itself asserts the export is valid JSON and contains HMMA
 # set/step events; here we only require that it succeeds and writes.

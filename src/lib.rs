@@ -21,6 +21,9 @@
 //! * [`nn`] — DNN inference workloads: layer graph, implicit-GEMM conv
 //!   lowering with fused bias/ReLU epilogues, f32 reference executor.
 //! * [`hw`] — analytic Titan V hardware surrogate for correlation studies.
+//! * [`infer`] — request-stream serving simulator: seeded arrivals,
+//!   dynamic batching, KV-cache admission, costed by the cycle-level
+//!   transformer encoder block.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the experiment index.
@@ -29,6 +32,7 @@ pub use tcsim_core as core;
 pub use tcsim_cutlass as cutlass;
 pub use tcsim_f16 as f16;
 pub use tcsim_hw as hw;
+pub use tcsim_infer as infer;
 pub use tcsim_isa as isa;
 pub use tcsim_mem as mem;
 pub use tcsim_nn as nn;

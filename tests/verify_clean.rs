@@ -13,7 +13,8 @@ use tcsim_cutlass::{
 };
 use tcsim_isa::Kernel;
 use tcsim_nn::kernels::{
-    bias_grid, bias_kernel, maxpool_grid, maxpool_kernel, relu_grid, relu_kernel,
+    add_kernel, bias_grid, bias_kernel, elems_grid, gelu_kernel, layernorm_kernel, maxpool_grid,
+    maxpool_kernel, relu_grid, relu_kernel, rowred_grid, softmax_kernel,
 };
 use tcsim_nn::Tile;
 use tcsim_verify::{check, LaunchGeometry};
@@ -169,6 +170,39 @@ fn nn_lowered_kernels_are_verifier_clean() {
             &mut failures,
         );
     }
+
+    // The transformer-block row-reduction and elementwise kernels
+    // (warp-shuffle butterfly reductions, MUFU transcendentals). The
+    // row-wise kernels run one warp-wide CTA per row; `cols` both above
+    // and below the warp width exercises the strided accumulation loop
+    // and the out-of-range clamp lanes.
+    for cols in [16usize, 64] {
+        let rows = 8usize;
+        lint(
+            &format!("softmax(c{cols})"),
+            &softmax_kernel(cols, 0.25),
+            &LaunchGeometry::new(rowred_grid(rows), 32u32),
+            &mut failures,
+        );
+        lint(
+            &format!("layernorm(c{cols})"),
+            &layernorm_kernel(cols, 1e-5),
+            &LaunchGeometry::new(rowred_grid(rows), 32u32),
+            &mut failures,
+        );
+    }
+    lint(
+        "gelu",
+        &gelu_kernel(256),
+        &LaunchGeometry::new(elems_grid(256), 32u32),
+        &mut failures,
+    );
+    lint(
+        "add",
+        &add_kernel(256),
+        &LaunchGeometry::new(elems_grid(256), 32u32),
+        &mut failures,
+    );
 
     assert!(failures.is_empty(), "nn kernels flagged:\n{}", failures.join("\n"));
 }
