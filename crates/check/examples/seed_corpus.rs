@@ -3,8 +3,8 @@
 //! The fuzzer appends minimized *failing* cases there as it finds bugs;
 //! these seeds are deterministic *passing* cases committed up front so
 //! corpus replay exercises every generator mode (SIMT control flow,
-//! Volta/Turing WMMA, all-FP16 accumulation) on every `cargo test` even
-//! before the first real find.
+//! Volta/Turing WMMA, all-FP16 accumulation, Ampere BF16 and 2:4-sparse
+//! `mma.sync`) on every `cargo test` even before the first real find.
 //!
 //! ```text
 //! cargo run -p tcsim-check --example seed_corpus
@@ -24,6 +24,10 @@ fn main() {
         ("seed_wmma_a", 3, KindSel::Wmma),
         ("seed_wmma_b", 8, KindSel::Wmma),
         ("seed_wmma_f16acc", 5, KindSel::WmmaF16Acc),
+        // Seed 2 draws the *dense* BF16 m16n8k16 mode; the sparse pick
+        // below covers the metadata path.
+        ("seed_mma_bf16", 2, KindSel::WmmaBf16),
+        ("seed_mma_sparse", 9, KindSel::WmmaSparse),
     ];
     for &(name, seed, kind) in picks {
         let cfg = GenConfig { kind, ..Default::default() };

@@ -8,17 +8,24 @@
 //!
 //! ```text
 //! tcsim-fuzz [--seed S] [--iters N] [--max-insts M] [--json]
-//!            [--corpus-dir DIR] [--mutate [MODE]] [--replay DIR]
+//!            [--arch ARCH] [--corpus-dir DIR] [--mutate [MODE]]
+//!            [--replay DIR]
 //! ```
 //!
 //! Every generated kernel is also run through the `tcsim-verify` static
 //! analyzer; any diagnostic on an oracle-safe kernel is a false positive
 //! and fails the campaign.
 //!
+//! `--arch volta|turing|ampere` pins the generated architecture (the
+//! default draws Volta/Turing per seed; `ampere` adds the `mma.sync`
+//! BF16/TF32/sparse modes to the pool).
+//!
 //! Bare `--mutate` plants the FEDP round-toward-zero mutation on the
 //! reference side — every all-FP16 WMMA case must then *fail*; it exists
-//! to prove the oracle catches single-rounding bugs. `--mutate MODE`
-//! with a named mode (`barrier-drop`, `uninit-reg`, `frag-shape`,
+//! to prove the oracle catches single-rounding bugs. The named dynamic
+//! canaries `fedp-chop-f16`, `bf16-chop-mantissa` and `sparse-meta-swap`
+//! work the same way over their sensitive mode pools. `--mutate MODE`
+//! with a static mode (`barrier-drop`, `uninit-reg`, `frag-shape`,
 //! `shared-grow`) instead runs the *static* canary: each generated
 //! kernel gets that defect planted and the verifier must flag it with an
 //! error of the matching rule class. `--replay DIR` replays a corpus
@@ -40,8 +47,9 @@ struct Args {
     iters: u64,
     max_insts: u32,
     json: bool,
-    mutate: bool,
+    mutate: Mutation,
     verify_mutate: Option<VerifyMutation>,
+    arch: Option<Arch>,
     corpus_dir: PathBuf,
     replay: Option<PathBuf>,
 }
@@ -52,8 +60,9 @@ fn parse_args() -> Result<Args, String> {
         iters: 100,
         max_insts: 24,
         json: false,
-        mutate: false,
+        mutate: Mutation::None,
         verify_mutate: None,
+        arch: None,
         corpus_dir: PathBuf::from("tests/corpus"),
         replay: None,
     };
@@ -76,15 +85,23 @@ fn parse_args() -> Result<Args, String> {
                     value("--max-insts")?.parse().map_err(|e| format!("--max-insts: {e}"))?
             }
             "--json" => args.json = true,
+            "--arch" => {
+                let v = value("--arch")?;
+                args.arch =
+                    Some(Arch::from_qualifier(&v).ok_or_else(|| format!("--arch: unknown {v:?}"))?);
+            }
             "--mutate" => {
-                // `--mutate NAME` selects a static-verifier canary; a bare
-                // `--mutate` keeps the legacy FEDP oracle-canary meaning.
-                match it.peek().and_then(|n| VerifyMutation::from_name(n)) {
-                    Some(m) => {
-                        it.next();
-                        args.verify_mutate = Some(m);
-                    }
-                    None => args.mutate = true,
+                // `--mutate NAME` selects a static-verifier or dynamic
+                // oracle canary by name; a bare `--mutate` keeps the
+                // legacy FEDP oracle-canary meaning.
+                if let Some(m) = it.peek().and_then(|n| VerifyMutation::from_name(n)) {
+                    it.next();
+                    args.verify_mutate = Some(m);
+                } else if let Some(m) = it.peek().and_then(|n| Mutation::from_name(n)) {
+                    it.next();
+                    args.mutate = m;
+                } else {
+                    args.mutate = Mutation::FedpChopF16;
                 }
             }
             "--corpus-dir" => args.corpus_dir = PathBuf::from(value("--corpus-dir")?),
@@ -97,12 +114,9 @@ fn parse_args() -> Result<Args, String> {
 
 /// The launch geometry a generated program is analyzed under.
 fn geometry(p: &GenProgram) -> LaunchGeometry {
-    let g = LaunchGeometry::new(p.grid_x, p.block_x);
-    if p.arch == Arch::Turing {
-        g.turing()
-    } else {
-        g
-    }
+    let mut g = LaunchGeometry::new(p.grid_x, p.block_x);
+    g.gen = p.arch.tensor_gen();
+    g
 }
 
 fn data_seed_for(kernel_seed: u64) -> u64 {
@@ -174,7 +188,7 @@ fn verifier_canary(args: &Args, m: VerifyMutation) -> ExitCode {
         VerifyMutation::FragShape => KindSel::Wmma,
         _ => KindSel::Simt,
     };
-    let cfg = GenConfig { max_ops: args.max_insts as usize, kind };
+    let cfg = GenConfig { max_ops: args.max_insts as usize, kind, arch: args.arch };
     let mut applied = 0u64;
     let mut attempts = 0u64;
     // Not every kernel has a mutation site (e.g. no barrier was
@@ -255,11 +269,12 @@ fn main() -> ExitCode {
     }
 
     let started = std::time::Instant::now();
-    let mutation = if args.mutate { Mutation::FedpChopF16 } else { Mutation::None };
-    // With the planted mutation only the all-FP16 modes are sensitive to
-    // the rounding flip; restrict generation so every case must trip.
-    let kind = if args.mutate { KindSel::WmmaF16Acc } else { KindSel::Auto };
-    let cfg = GenConfig { max_ops: args.max_insts as usize, kind };
+    let mutation = args.mutate;
+    let mutating = mutation != Mutation::None;
+    // With a planted mutation only its sensitive mode pool can observe
+    // the defect; restrict generation so every case must trip.
+    let kind = mutation.kind();
+    let cfg = GenConfig { max_ops: args.max_insts as usize, kind, arch: args.arch };
     let (mut simt, mut wmma, mut caught) = (0u64, 0u64, 0u64);
     for i in 0..args.iters {
         let kernel_seed = args.seed.wrapping_add(i);
@@ -294,8 +309,11 @@ fn main() -> ExitCode {
         let case = Case::from_program(&program, data_seed);
         match diff_run(&case, mutation) {
             Ok(report) => {
-                if args.mutate && case.compare != tcsim_check::oracle::Compare::Exact {
-                    eprintln!("seed {kernel_seed}: planted mutation NOT caught");
+                if mutating && case.compare != tcsim_check::oracle::Compare::Exact {
+                    eprintln!(
+                        "seed {kernel_seed}: planted {} mutation NOT caught",
+                        mutation.name()
+                    );
                     return ExitCode::FAILURE;
                 }
                 if let Err(e) = invariants::check_run(&case, &report.stats) {
@@ -316,7 +334,7 @@ fn main() -> ExitCode {
                 }
             }
             Err(e) => {
-                if args.mutate {
+                if mutating {
                     caught += 1;
                     continue;
                 }
@@ -332,14 +350,20 @@ fn main() -> ExitCode {
     if args.json {
         println!(
             "{{\"seed\":{},\"iters\":{},\"simt\":{simt},\"wmma\":{wmma},\
-             \"mutate\":{},\"caught\":{caught},\"failures\":0,\"seconds\":{secs:.2}}}",
-            args.seed, args.iters, args.mutate
+             \"mutate\":\"{}\",\"caught\":{caught},\"failures\":0,\"seconds\":{secs:.2}}}",
+            args.seed,
+            args.iters,
+            mutation.name()
         );
     } else {
         eprintln!(
             "tcsim-fuzz: {} iters clean ({simt} simt, {wmma} wmma{}) in {secs:.2}s",
             args.iters,
-            if args.mutate { format!(", {caught} mutations caught") } else { String::new() }
+            if mutating {
+                format!(", {caught} {} mutations caught", mutation.name())
+            } else {
+                String::new()
+            }
         );
     }
     ExitCode::SUCCESS

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! tcsim-lint [--strict] [--json] [--grid X] [--block X]
-//!            [--arch volta|turing] [--shared BYTES] PATH...
+//!            [--arch volta|turing|ampere] [--shared BYTES] PATH...
 //! ```
 //!
 //! Each `PATH` is a file or a directory (scanned non-recursively for
@@ -81,13 +81,10 @@ struct Linted {
     diags: Vec<Diagnostic>,
 }
 
-fn geometry(grid: u32, block: u32, turing: bool, shared: u32) -> LaunchGeometry {
-    let g = LaunchGeometry::new(grid, block).with_dynamic_shared(shared);
-    if turing {
-        g.turing()
-    } else {
-        g
-    }
+fn geometry(grid: u32, block: u32, arch: Arch, shared: u32) -> LaunchGeometry {
+    let mut g = LaunchGeometry::new(grid, block).with_dynamic_shared(shared);
+    g.gen = arch.tensor_gen();
+    g
 }
 
 fn lint_file(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), String> {
@@ -96,7 +93,7 @@ fn lint_file(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), Stri
     if ext == "case" || text.trim_start().starts_with(corpus::HEADER) {
         let case =
             corpus::case_from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        let geom = geometry(case.grid_x, case.block_x, case.arch.turing(), 0);
+        let geom = geometry(case.grid_x, case.block_x, case.arch, 0);
         out.push(Linted {
             path: path.to_path_buf(),
             kernel: case.kernel.name().to_string(),
@@ -105,7 +102,7 @@ fn lint_file(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), Stri
     } else {
         let program = tcsim_isa::ptx::parse_program(&text)
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        let geom = geometry(args.grid, args.block, args.arch.turing(), args.shared);
+        let geom = geometry(args.grid, args.block, args.arch, args.shared);
         let mut kernels: Vec<_> = program.kernels().collect();
         kernels.sort_by_key(|k| k.name().to_string());
         for k in kernels {

@@ -28,7 +28,10 @@
 //! program, which is what makes the shrinker in [`crate::shrink`] simple.
 
 use crate::rng::XorShift64Star;
-use tcsim_isa::{fragment_regs, FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType};
+use tcsim_isa::{
+    fragment_regs, mma_sync_a_shape, FragmentKind, Layout, TensorGen, WmmaDirective, WmmaShape,
+    WmmaType,
+};
 use tcsim_isa::{
     AtomOp, CmpOp, DataType, Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Operand,
     PredReg, Reg, ShflMode, SpecialReg,
@@ -65,12 +68,25 @@ pub enum Arch {
     Volta,
     /// Turing-style SM (integer modes, extra shapes).
     Turing,
+    /// Ampere-style SM (Turing modes plus per-instruction `mma.sync`
+    /// tiles, BF16/TF32 multiplicands and 2:4 structured sparsity).
+    Ampere,
 }
 
 impl Arch {
-    /// `true` for Turing.
+    /// `true` for Turing-or-later (single-loaded fragments, integer and
+    /// extra-shape warp modes).
     pub fn turing(self) -> bool {
-        self == Arch::Turing
+        self != Arch::Volta
+    }
+
+    /// The tensor-core generation of this architecture.
+    pub fn tensor_gen(self) -> TensorGen {
+        match self {
+            Arch::Volta => TensorGen::Volta,
+            Arch::Turing => TensorGen::Turing,
+            Arch::Ampere => TensorGen::Ampere,
+        }
     }
 
     /// Qualifier spelling used in corpus headers.
@@ -78,6 +94,7 @@ impl Arch {
         match self {
             Arch::Volta => "volta",
             Arch::Turing => "turing",
+            Arch::Ampere => "ampere",
         }
     }
 
@@ -86,6 +103,7 @@ impl Arch {
         match s {
             "volta" => Some(Arch::Volta),
             "turing" => Some(Arch::Turing),
+            "ampere" => Some(Arch::Ampere),
             _ => None,
         }
     }
@@ -102,6 +120,8 @@ pub struct WmmaMode {
     pub c: WmmaType,
     /// D result type.
     pub d: WmmaType,
+    /// 2:4 structured sparsity on the A operand (`mma.sp.sync`, Ampere).
+    pub sparse: bool,
 }
 
 impl WmmaMode {
@@ -110,15 +130,52 @@ impl WmmaMode {
         self.ab.bits() <= 8 && self.ab != WmmaType::F16
     }
 
-    /// The `wmma.mma` directive for this mode with the given layouts.
+    /// Whether this mode uses the per-instruction `mma.sync` tiles.
+    pub fn is_mma_sync(self) -> bool {
+        self.shape.is_mma_sync()
+    }
+
+    /// The shape a `frag` operand of this mode is loaded at: the A operand
+    /// of a sparse mode is stored compressed (half the K extent), every
+    /// other fragment uses the full shape.
+    pub fn frag_shape(self, frag: FragmentKind) -> WmmaShape {
+        if frag == FragmentKind::A {
+            mma_sync_a_shape(self.shape, self.sparse)
+        } else {
+            self.shape
+        }
+    }
+
+    /// The element type of a `frag` operand of this mode.
+    pub fn frag_type(self, frag: FragmentKind) -> WmmaType {
+        match frag {
+            FragmentKind::A | FragmentKind::B => self.ab,
+            FragmentKind::C => self.c,
+            FragmentKind::D => self.d,
+        }
+    }
+
+    /// The `wmma.mma` / `mma.sync` directive for this mode. `mma.sync`
+    /// tiles are fixed `row.col`; the given layouts apply to warp-scope
+    /// WMMA only.
     pub fn mma_directive(self, a_layout: Layout, b_layout: Layout) -> WmmaDirective {
-        WmmaDirective::Mma {
-            shape: self.shape,
-            a_layout,
-            b_layout,
-            ab_type: self.ab,
-            d_type: self.d,
-            c_type: self.c,
+        if self.is_mma_sync() {
+            WmmaDirective::MmaSync {
+                shape: self.shape,
+                ab_type: self.ab,
+                d_type: self.d,
+                c_type: self.c,
+                sparse: self.sparse,
+            }
+        } else {
+            WmmaDirective::Mma {
+                shape: self.shape,
+                a_layout,
+                b_layout,
+                ab_type: self.ab,
+                d_type: self.d,
+                c_type: self.c,
+            }
         }
     }
 }
@@ -136,23 +193,75 @@ pub fn wmma_modes(arch: Arch) -> Vec<WmmaMode> {
     for &shape in f16_shapes {
         for c in [WmmaType::F16, WmmaType::F32] {
             for d in [WmmaType::F16, WmmaType::F32] {
-                modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d });
+                modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d, sparse: false });
             }
         }
     }
     if arch.turing() {
         for ab in [WmmaType::S8, WmmaType::U8] {
             for &shape in &[WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16] {
-                modes.push(WmmaMode { shape, ab, c: WmmaType::S32, d: WmmaType::S32 });
+                modes.push(WmmaMode { shape, ab, c: WmmaType::S32, d: WmmaType::S32, sparse: false });
             }
         }
         for ab in [WmmaType::S4, WmmaType::U4] {
-            modes.push(WmmaMode { shape: WmmaShape::M8N8K32, ab, c: WmmaType::S32, d: WmmaType::S32 });
+            modes.push(WmmaMode {
+                shape: WmmaShape::M8N8K32,
+                ab,
+                c: WmmaType::S32,
+                d: WmmaType::S32,
+                sparse: false,
+            });
         }
+    }
+    if arch == Arch::Ampere {
+        // Dense FP16 mma.sync: both tiles, all four accumulator combos.
+        for shape in [WmmaShape::M16N8K8, WmmaShape::M16N8K16] {
+            for c in [WmmaType::F16, WmmaType::F32] {
+                for d in [WmmaType::F16, WmmaType::F32] {
+                    modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d, sparse: false });
+                }
+            }
+        }
+        // BF16 (FP32 accumulate only) on both tiles; TF32 only on k8.
+        for shape in [WmmaShape::M16N8K8, WmmaShape::M16N8K16] {
+            modes.push(WmmaMode {
+                shape,
+                ab: WmmaType::BF16,
+                c: WmmaType::F32,
+                d: WmmaType::F32,
+                sparse: false,
+            });
+        }
+        modes.push(WmmaMode {
+            shape: WmmaShape::M16N8K8,
+            ab: WmmaType::TF32,
+            c: WmmaType::F32,
+            d: WmmaType::F32,
+            sparse: false,
+        });
+        // 2:4 sparse m16n8k16: FP16 with all accumulator combos, BF16/FP32.
+        for c in [WmmaType::F16, WmmaType::F32] {
+            for d in [WmmaType::F16, WmmaType::F32] {
+                modes.push(WmmaMode {
+                    shape: WmmaShape::M16N8K16,
+                    ab: WmmaType::F16,
+                    c,
+                    d,
+                    sparse: true,
+                });
+            }
+        }
+        modes.push(WmmaMode {
+            shape: WmmaShape::M16N8K16,
+            ab: WmmaType::BF16,
+            c: WmmaType::F32,
+            d: WmmaType::F32,
+            sparse: true,
+        });
     }
     debug_assert!(modes
         .iter()
-        .all(|m| m.mma_directive(Layout::Row, Layout::Col).is_valid(arch.turing())));
+        .all(|m| m.mma_directive(Layout::Row, Layout::Col).is_valid_on(arch.tensor_gen())));
     modes
 }
 
@@ -556,6 +665,13 @@ pub enum KindSel {
     /// the modes where the planted FEDP rounding mutation is observable
     /// above `gemm_tolerance`.
     WmmaF16Acc,
+    /// `mma.sync` program restricted to BF16 multiplicand modes (forces
+    /// `Arch::Ampere`) — the modes where the planted `Bf16ChopMantissa`
+    /// mutation is observable.
+    WmmaBf16,
+    /// `mma.sp.sync` program restricted to 2:4 sparse modes (forces
+    /// `Arch::Ampere`) — the modes where `SparseMetaSwap` is observable.
+    WmmaSparse,
 }
 
 /// Generator tunables.
@@ -565,11 +681,15 @@ pub struct GenConfig {
     pub max_ops: usize,
     /// Program-kind selection.
     pub kind: KindSel,
+    /// Force a target architecture (`None` draws Volta/Turing from the
+    /// seed, preserving the legacy RNG stream). The BF16/sparse kinds
+    /// override this with [`Arch::Ampere`].
+    pub arch: Option<Arch>,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { max_ops: 24, kind: KindSel::Auto }
+        GenConfig { max_ops: 24, kind: KindSel::Auto, arch: None }
     }
 }
 
@@ -577,10 +697,16 @@ impl Default for GenConfig {
 /// produces the same program.
 pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
     let mut rng = XorShift64Star::new(seed);
-    let arch = if rng.chance(1, 2) { Arch::Volta } else { Arch::Turing };
+    // Always consume the arch draw so forcing an arch does not perturb
+    // the rest of the seed's stream relative to the legacy generator.
+    let drawn = if rng.chance(1, 2) { Arch::Volta } else { Arch::Turing };
+    let arch = match cfg.kind {
+        KindSel::WmmaBf16 | KindSel::WmmaSparse => Arch::Ampere,
+        _ => cfg.arch.unwrap_or(drawn),
+    };
     let wmma = match cfg.kind {
         KindSel::Simt => false,
-        KindSel::Wmma | KindSel::WmmaF16Acc => true,
+        KindSel::Wmma | KindSel::WmmaF16Acc | KindSel::WmmaBf16 | KindSel::WmmaSparse => true,
         KindSel::Auto => rng.chance(1, 3),
     };
     if wmma {
@@ -814,11 +940,7 @@ pub fn tile_stride(rows: usize, cols: usize, layout: Layout, pad: u32) -> u32 {
 }
 
 fn gen_wload(rng: &mut XorShift64Star, mode: WmmaMode, frag: FragmentKind) -> GenOp {
-    let ty = match frag {
-        FragmentKind::A | FragmentKind::B => mode.ab,
-        FragmentKind::C => mode.c,
-        FragmentKind::D => mode.d,
-    };
+    let ty = mode.frag_type(frag);
     // Sub-byte (int4) A/B fragments only exist k-major — A row, B col —
     // as in PTX; any other layout has rows that straddle byte boundaries.
     let layout = if ty.bits() < 8 {
@@ -829,7 +951,7 @@ fn gen_wload(rng: &mut XorShift64Star, mode: WmmaMode, frag: FragmentKind) -> Ge
         Layout::Col
     };
     let pad = if ty.bits() >= 8 && rng.chance(1, 3) { 8 } else { 0 };
-    let (rows, cols) = frag.dims(mode.shape);
+    let (rows, cols) = frag.dims(mode.frag_shape(frag));
     let span = tile_span_bytes(rows, cols, layout, pad, ty.bits());
     let off = gen_tile_off(rng, WMMA_IN_WORDS * 4, span);
     GenOp::WLoad { frag, layout, off, pad }
@@ -842,6 +964,8 @@ fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Sta
             .into_iter()
             .filter(|m| m.ab == WmmaType::F16 && m.c == WmmaType::F16 && m.d == WmmaType::F16)
             .collect(),
+        KindSel::WmmaBf16 => modes.into_iter().filter(|m| m.ab == WmmaType::BF16).collect(),
+        KindSel::WmmaSparse => modes.into_iter().filter(|m| m.sparse).collect(),
         _ => modes,
     };
     let mode = *rng.pick(&modes);
@@ -1048,6 +1172,7 @@ struct Asm {
     loop_pred: PredReg,
     ctr: Reg,
     frag: [Reg; 4],
+    meta: Reg,
     in_mask: i64,
     atom_base: i64,
     mode: Option<WmmaMode>,
@@ -1078,6 +1203,13 @@ impl Asm {
 /// thread starts from distinct, well-mixed register values.
 const POOL_MUL: [i64; POOL] = [0x9E39, 0x85EB, 0xC2B3, 0x27D5, 0x1657, 0x2545];
 const POOL_ADD: [i64; POOL] = [7, 0x1234, 0x0BAD, 0x0C0DE, 0x51, 0x7F4A];
+
+/// The fixed 2:4 sparsity metadata word every lane's metadata register is
+/// seeded with. Low half (rows 0–7): kept pairs `(0,1) (1,2) (2,3) (0,3)`
+/// per 4-wide group; high half (rows 8–15): `(0,2) (1,3) (0,1) (2,3)`.
+/// All eight nibbles are valid (`i0 < i1`) and collectively exercise every
+/// index position, so a metadata-handling defect perturbs some output.
+pub const SPARSE_META_WORD: u32 = 0xE4D8_CE94;
 
 /// Assembles a generated program into an executable [`Kernel`].
 ///
@@ -1112,18 +1244,17 @@ pub fn assemble(p: &GenProgram) -> Kernel {
 
     let volta = p.arch == Arch::Volta;
     let mut frag = [Reg(0); 4];
+    let mut meta = Reg(0);
     if let Some(mode) = p.wmma {
         for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C, FragmentKind::D]
             .into_iter()
             .enumerate()
         {
-            let ty = match kind {
-                FragmentKind::A | FragmentKind::B => mode.ab,
-                FragmentKind::C => mode.c,
-                FragmentKind::D => mode.d,
-            };
-            let n = fragment_regs(kind, mode.shape, ty, volta);
+            let n = fragment_regs(kind, mode.frag_shape(kind), mode.frag_type(kind), volta);
             frag[i] = b.reg_block(n);
+        }
+        if mode.sparse {
+            meta = b.reg();
         }
     }
 
@@ -1145,6 +1276,7 @@ pub fn assemble(p: &GenProgram) -> Kernel {
         loop_pred,
         ctr,
         frag,
+        meta,
         in_mask: i64::from(p.in_words() - 1),
         atom_base: i64::from(p.out_general_words()) * 4,
         mode: p.wmma,
@@ -1172,6 +1304,9 @@ pub fn assemble(p: &GenProgram) -> Kernel {
     if usage.shared {
         b.mov(s1, Operand::Special(SpecialReg::WarpId));
         b.imul(sbase, s1, Operand::Imm(i64::from(SHARED_SLICE_WORDS * 4)));
+    }
+    if p.wmma.is_some_and(|m| m.sparse) {
+        b.mov(meta, Operand::Imm(i64::from(SPARSE_META_WORD)));
     }
 
     emit_body(&mut b, &p.body, &asm);
@@ -1406,12 +1541,8 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
         }
         GenOp::WLoad { frag, layout, off, pad } => {
             let mode = asm.mode.expect("WLoad in a program without a wmma mode");
-            let ty = match frag {
-                FragmentKind::A | FragmentKind::B => mode.ab,
-                FragmentKind::C => mode.c,
-                FragmentKind::D => mode.d,
-            };
-            let (rows, cols) = frag.dims(mode.shape);
+            let ty = mode.frag_type(*frag);
+            let (rows, cols) = frag.dims(mode.frag_shape(*frag));
             let span = tile_span_bytes(rows, cols, *layout, *pad, ty.bits());
             let off = i64::from((*off / 16) * 16).min(i64::from(WMMA_IN_WORDS * 4 - span));
             let addr = if off == 0 {
@@ -1423,7 +1554,7 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             let stride = tile_stride(rows, cols, *layout, *pad);
             b.wmma_load(
                 *frag,
-                mode.shape,
+                mode.frag_shape(*frag),
                 *layout,
                 ty,
                 MemSpace::Global,
@@ -1439,18 +1570,33 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             } else {
                 asm.frag[FragmentKind::C as usize]
             };
-            b.wmma_mma(
-                mode.shape,
-                *a_layout,
-                *b_layout,
-                mode.ab,
-                mode.d,
-                mode.c,
-                asm.frag[FragmentKind::D as usize],
-                asm.frag[FragmentKind::A as usize],
-                asm.frag[FragmentKind::B as usize],
-                c,
-            );
+            if mode.is_mma_sync() {
+                b.mma_sync(
+                    mode.shape,
+                    mode.ab,
+                    mode.d,
+                    mode.c,
+                    mode.sparse,
+                    asm.frag[FragmentKind::D as usize],
+                    asm.frag[FragmentKind::A as usize],
+                    asm.frag[FragmentKind::B as usize],
+                    c,
+                    mode.sparse.then_some(asm.meta),
+                );
+            } else {
+                b.wmma_mma(
+                    mode.shape,
+                    *a_layout,
+                    *b_layout,
+                    mode.ab,
+                    mode.d,
+                    mode.c,
+                    asm.frag[FragmentKind::D as usize],
+                    asm.frag[FragmentKind::A as usize],
+                    asm.frag[FragmentKind::B as usize],
+                    c,
+                );
+            }
         }
         GenOp::WStore { layout, off, pad } => {
             let mode = asm.mode.expect("WStore in a program without a wmma mode");
@@ -1501,10 +1647,13 @@ mod tests {
         assert_eq!(wmma_modes(Arch::Volta).len(), 4);
         // Turing: 3 shapes × 4 f16 acc combos + 2×3 int8 + 2 int4.
         assert_eq!(wmma_modes(Arch::Turing).len(), 20);
-        for arch in [Arch::Volta, Arch::Turing] {
+        // Ampere: Turing's 20 + 8 dense f16 mma.sync + 2 BF16 + 1 TF32
+        // + 4 sparse f16 + 1 sparse BF16.
+        assert_eq!(wmma_modes(Arch::Ampere).len(), 36);
+        for arch in [Arch::Volta, Arch::Turing, Arch::Ampere] {
             for mode in wmma_modes(arch) {
                 assert!(
-                    mode.mma_directive(Layout::Row, Layout::Col).is_valid(arch.turing()),
+                    mode.mma_directive(Layout::Row, Layout::Col).is_valid_on(arch.tensor_gen()),
                     "{mode:?} invalid on {arch:?}"
                 );
             }
@@ -1512,8 +1661,17 @@ mod tests {
     }
 
     #[test]
+    fn ampere_mode_list_extends_turing() {
+        let turing = wmma_modes(Arch::Turing);
+        let ampere = wmma_modes(Arch::Ampere);
+        assert_eq!(&ampere[..turing.len()], &turing[..]);
+        assert!(ampere[turing.len()..].iter().all(|m| m.is_mma_sync()));
+        assert!(ampere.iter().filter(|m| m.sparse).count() == 5);
+    }
+
+    #[test]
     fn wmma_programs_cover_all_modes_over_seeds() {
-        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma };
+        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma, arch: None };
         let mut seen = std::collections::HashSet::new();
         for seed in 0..4000u64 {
             let p = generate(seed, &cfg);
@@ -1522,6 +1680,42 @@ mod tests {
         }
         let total = wmma_modes(Arch::Volta).len() + wmma_modes(Arch::Turing).len();
         assert_eq!(seen.len(), total, "some WMMA mode never generated");
+    }
+
+    #[test]
+    fn ampere_wmma_programs_cover_all_modes_over_seeds() {
+        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma, arch: Some(Arch::Ampere) };
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8000u64 {
+            let p = generate(seed, &cfg);
+            assert_eq!(p.arch, Arch::Ampere);
+            seen.insert(format!("{:?}", p.wmma.expect("wmma kind")));
+        }
+        assert_eq!(seen.len(), wmma_modes(Arch::Ampere).len(), "some Ampere mode never generated");
+    }
+
+    #[test]
+    fn restricted_kinds_pick_only_matching_modes() {
+        for seed in 0..200u64 {
+            let p = generate(seed, &GenConfig { kind: KindSel::WmmaBf16, ..GenConfig::default() });
+            assert_eq!(p.arch, Arch::Ampere);
+            assert_eq!(p.wmma.unwrap().ab, WmmaType::BF16, "seed {seed}");
+            let p = generate(seed, &GenConfig { kind: KindSel::WmmaSparse, ..GenConfig::default() });
+            assert_eq!(p.arch, Arch::Ampere);
+            assert!(p.wmma.unwrap().sparse, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forced_arch_preserves_the_seed_body_stream() {
+        // Forcing the drawn architecture must not change the program body:
+        // the arch draw is always consumed.
+        for seed in 0..64u64 {
+            let base = generate(seed, &GenConfig::default());
+            let forced =
+                generate(seed, &GenConfig { arch: Some(base.arch), ..GenConfig::default() });
+            assert_eq!(base.body, forced.body, "seed {seed}");
+        }
     }
 
     #[test]
@@ -1546,6 +1740,7 @@ mod tests {
             ab: WmmaType::F16,
             c: WmmaType::F16,
             d: WmmaType::F16,
+            sparse: false,
         };
         let p = GenProgram {
             name: "min".into(),

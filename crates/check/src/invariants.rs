@@ -40,7 +40,9 @@ fn tensor_expect(case: &Case) -> TensorExpect {
                 e.has_loop = true;
             }
         }
-        if let Op::Wmma(dir @ WmmaDirective::Mma { .. }) = &instr.op {
+        if let Op::Wmma(dir @ (WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. })) =
+            &instr.op
+        {
             let sched = mma_step_schedule(volta, dir).len() as u64;
             e.mmas += warps;
             e.hmma_steps += warps * sched * OCTETS_PER_WARP as u64;

@@ -13,15 +13,26 @@
 //! * **identity** — `I·B + 0 = B` (each dot product has exactly one
 //!   exact product term).
 //!
-//! All four run the m16n16k16 all-FP16 mode, the one shape/type mode
-//! shared by Volta and Turing.
+//! The first four run the m16n16k16 all-FP16 mode, the one shape/type
+//! mode shared by Volta and Turing. A second harness drives the Ampere
+//! per-instruction `mma.sync` tiles (BF16/TF32, 2:4 sparsity) through
+//! their own algebraic properties:
+//!
+//! * **sparse/dense equivalence** — a 2:4 sparse `mma.sync` must equal
+//!   the dense `mma.sync` over the host-expanded A operand, bitwise;
+//! * **power-of-two scaling** — `(2A)·B + 0 = 2·(A·B + 0)` bitwise:
+//!   doubling is exact in BF16 and in the f32 accumulator;
+//! * **TF32 truncation idempotence** — TF32 inputs are truncated once on
+//!   the way into the FEDP tree, so pre-truncating them on the host must
+//!   not change a single output bit.
 
-use crate::gen::Arch;
+use crate::gen::{Arch, WmmaMode};
 use crate::oracle::gpu_config;
 use crate::rng::XorShift64Star;
-use tcsim_f16::F16;
+use tcsim_f16::{Bf16, Tf32, F16};
 use tcsim_isa::{
-    FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand, WmmaShape, WmmaType,
+    fragment_regs, FragmentKind, Kernel, KernelBuilder, Layout, MemSpace, MemWidth, Operand,
+    WmmaShape, WmmaType,
 };
 use tcsim_sim::{Gpu, LaunchBuilder};
 
@@ -199,6 +210,261 @@ pub fn check_absorbers(arch: Arch, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the one-warp `mma.sync` kernel for `mode`: A, B and C packed
+/// densely row-major at `in` (in that order), D stored row-major to
+/// `out`. Sparse modes broadcast `meta_word` into the metadata register.
+fn mma_sync_kernel(mode: WmmaMode, meta_word: u32) -> Kernel {
+    assert!(mode.is_mma_sync());
+    let tile_bytes = |k: FragmentKind| {
+        let (r, c) = k.dims(mode.frag_shape(k));
+        (r * c * mode.frag_type(k).bits() / 8) as i64
+    };
+    let mut b = KernelBuilder::new("meta_mma_sync");
+    let param_in = b.param("in", 8);
+    let param_out = b.param("out", 8);
+    let in_pair = b.reg_pair();
+    let out_pair = b.reg_pair();
+    let b_addr = b.reg_pair();
+    let c_addr = b.reg_pair();
+    b.ld_param(MemWidth::B64, in_pair, param_in);
+    b.ld_param(MemWidth::B64, out_pair, param_out);
+    let a_bytes = tile_bytes(FragmentKind::A);
+    b.iadd64(b_addr, in_pair, Operand::Imm(a_bytes));
+    b.iadd64(c_addr, in_pair, Operand::Imm(a_bytes + tile_bytes(FragmentKind::B)));
+    let frag = [FragmentKind::A, FragmentKind::B, FragmentKind::C, FragmentKind::D]
+        .map(|k| b.reg_block(fragment_regs(k, mode.frag_shape(k), mode.frag_type(k), false)));
+    let addrs = [in_pair, b_addr, c_addr];
+    for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C].into_iter().enumerate() {
+        let (_, cols) = kind.dims(mode.frag_shape(kind));
+        b.wmma_load(
+            kind,
+            mode.frag_shape(kind),
+            Layout::Row,
+            mode.frag_type(kind),
+            MemSpace::Global,
+            frag[i],
+            Operand::RegPair(addrs[i]),
+            Operand::Imm(cols as i64),
+        );
+    }
+    let meta = mode.sparse.then(|| {
+        let m = b.reg();
+        b.mov(m, Operand::Imm(i64::from(meta_word)));
+        m
+    });
+    b.mma_sync(
+        mode.shape, mode.ab, mode.d, mode.c, mode.sparse, frag[3], frag[0], frag[1], frag[2], meta,
+    );
+    let (_, dcols) = FragmentKind::D.dims(mode.shape);
+    b.wmma_store(
+        mode.shape,
+        Layout::Row,
+        mode.d,
+        MemSpace::Global,
+        Operand::RegPair(out_pair),
+        Operand::Imm(dcols as i64),
+        frag[3],
+    );
+    b.exit();
+    b.build()
+}
+
+/// Runs one `mma.sync` of `mode` on a fresh mini-Ampere GPU. Matrices
+/// are row-major raw element bit patterns, one `u32` per element (16-bit
+/// types use the low half); the returned D uses the same encoding.
+pub fn run_mma_sync_tile(
+    mode: WmmaMode,
+    meta_word: u32,
+    a: &[u32],
+    b: &[u32],
+    c: &[u32],
+) -> Vec<u32> {
+    let dims = |k: FragmentKind| k.dims(mode.frag_shape(k));
+    let (ar, ac) = dims(FragmentKind::A);
+    let (br, bc) = dims(FragmentKind::B);
+    let (cr, cc) = dims(FragmentKind::C);
+    assert!(a.len() == ar * ac && b.len() == br * bc && c.len() == cr * cc);
+    let push = |bytes: &mut Vec<u8>, m: &[u32], ty: WmmaType| {
+        for &e in m {
+            if ty.bits() == 16 {
+                bytes.extend_from_slice(&(e as u16).to_le_bytes());
+            } else {
+                bytes.extend_from_slice(&e.to_le_bytes());
+            }
+        }
+    };
+    let mut bytes = Vec::new();
+    push(&mut bytes, a, mode.ab);
+    push(&mut bytes, b, mode.ab);
+    push(&mut bytes, c, mode.c);
+    let mut gpu = Gpu::new(gpu_config(Arch::Ampere));
+    let in_addr = gpu.alloc(bytes.len() as u64);
+    let (dr, dc) = FragmentKind::D.dims(mode.shape);
+    let d_bytes = dr * dc * mode.d.bits() / 8;
+    let out_addr = gpu.alloc(d_bytes as u64);
+    gpu.memcpy_h2d(in_addr, &bytes);
+    LaunchBuilder::new(mma_sync_kernel(mode, meta_word))
+        .grid(1)
+        .block(32)
+        .param_u64(in_addr)
+        .param_u64(out_addr)
+        .launch(&mut gpu);
+    let out = gpu.memcpy_d2h(out_addr, d_bytes);
+    if mode.d.bits() == 16 {
+        out.chunks(2).map(|p| u32::from(u16::from_le_bytes([p[0], p[1]]))).collect()
+    } else {
+        out.chunks(4).map(|p| u32::from_le_bytes(p.try_into().unwrap())).collect()
+    }
+}
+
+/// Deterministic random row-major tile of raw `ty` element bits with
+/// values drawn from `[-2, 2)`. F32/TF32 tiles carry full-mantissa f32
+/// patterns (the device truncates TF32 operands itself).
+pub fn random_bits_tile(seed: u64, n: usize, ty: WmmaType) -> Vec<u32> {
+    let mut rng = XorShift64Star::new(seed);
+    (0..n)
+        .map(|_| {
+            let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+            match ty {
+                WmmaType::F16 => u32::from(F16::from_f32(v).to_bits()),
+                WmmaType::BF16 => u32::from(Bf16::from_f32(v).to_bits()),
+                WmmaType::F32 | WmmaType::TF32 => v.to_bits(),
+                _ => unreachable!("unsupported metamorphic tile type {ty:?}"),
+            }
+        })
+        .collect()
+}
+
+/// The index pairs a 2:4 metadata nibble may encode (kept positions in
+/// ascending order).
+const META_PAIRS: [(u32, u32); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+/// Seeded metadata word: eight independently drawn valid nibbles (low
+/// u16 covers rows 0-7, high u16 rows 8-15 under the broadcast
+/// convention).
+pub fn random_meta_word(seed: u64) -> u32 {
+    let mut rng = XorShift64Star::new(seed);
+    let mut w = 0u32;
+    for g in 0..8 {
+        let (i0, i1) = META_PAIRS[rng.below(META_PAIRS.len() as u64) as usize];
+        w |= (i0 | (i1 << 2)) << (4 * g);
+    }
+    w
+}
+
+/// Host-side 2:4 expansion of a compressed 16×(k/2) A tile under a
+/// broadcast metadata word: the inverse of what the sparse datapath does
+/// before its FEDP pass. Dropped positions are exact `+0.0` bits.
+fn expand_sparse_rows(comp: &[u32], meta_word: u32, k: usize) -> Vec<u32> {
+    let half = k / 2;
+    assert_eq!(comp.len(), 16 * half);
+    let mut dense = vec![0u32; 16 * k];
+    for r in 0..16 {
+        let meta = if r < 8 { meta_word as u16 } else { (meta_word >> 16) as u16 };
+        for g in 0..k / 4 {
+            let nib = (meta >> (4 * g)) & 0xF;
+            let (i0, i1) = ((nib & 3) as usize, ((nib >> 2) & 3) as usize);
+            dense[r * k + 4 * g + i0] = comp[r * half + 2 * g];
+            dense[r * k + 4 * g + i1] = comp[r * half + 2 * g + 1];
+        }
+    }
+    dense
+}
+
+/// A 2:4 sparse `mma.sync` must equal the dense `mma.sync` over the
+/// host-expanded A operand, bitwise, for both F16 and BF16
+/// multiplicands: both sides reduce the identical dense tile with the
+/// identical FEDP order, so even the rounding sequence agrees.
+pub fn check_sparse_dense_equivalence(seed: u64) -> Result<(), String> {
+    for ab in [WmmaType::F16, WmmaType::BF16] {
+        let shape = WmmaShape::M16N8K16;
+        let sparse = WmmaMode { shape, ab, c: WmmaType::F32, d: WmmaType::F32, sparse: true };
+        let dense = WmmaMode { sparse: false, ..sparse };
+        let meta = random_meta_word(seed ^ 0x2F);
+        let a = random_bits_tile(seed, 16 * 8, ab);
+        let b = random_bits_tile(seed ^ 0xB, 16 * 8, ab);
+        let c = random_bits_tile(seed ^ 0xC, 16 * 8, WmmaType::F32);
+        let ds = run_mma_sync_tile(sparse, meta, &a, &b, &c);
+        let dd = run_mma_sync_tile(dense, 0, &expand_sparse_rows(&a, meta, 16), &b, &c);
+        if ds != dd {
+            return Err(format!("sparse/dense equivalence violated for {ab:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// `0·B + C = C` bitwise for the BF16 and TF32 `mma.sync` modes, and
+/// `(2A)·B + 0 = 2·(A·B + 0)` bitwise for BF16: multiplying by a power
+/// of two shifts every product and partial sum exponent without touching
+/// a mantissa, so the FEDP rounding sequence scales exactly.
+pub fn check_mma_sync_scaling_and_absorbers(seed: u64) -> Result<(), String> {
+    let bf16 = WmmaMode {
+        shape: WmmaShape::M16N8K16,
+        ab: WmmaType::BF16,
+        c: WmmaType::F32,
+        d: WmmaType::F32,
+        sparse: false,
+    };
+    let a = random_bits_tile(seed, 16 * 16, WmmaType::BF16);
+    let b = random_bits_tile(seed ^ 0xB, 16 * 8, WmmaType::BF16);
+    let c = random_bits_tile(seed ^ 0xC, 16 * 8, WmmaType::F32);
+    let zero_a = vec![0u32; 16 * 16];
+    let zero_c = vec![0u32; 16 * 8];
+    if run_mma_sync_tile(bf16, 0, &zero_a, &b, &c) != c {
+        return Err("bf16 zero absorber violated: 0·B + C != C".into());
+    }
+    let d1 = run_mma_sync_tile(bf16, 0, &a, &b, &zero_c);
+    let doubled: Vec<u32> = a
+        .iter()
+        .map(|&bits| {
+            let v = Bf16::from_bits(bits as u16).to_f32() * 2.0;
+            u32::from(Bf16::from_f32(v).to_bits())
+        })
+        .collect();
+    let d2 = run_mma_sync_tile(bf16, 0, &doubled, &b, &zero_c);
+    let host2: Vec<u32> = d1.iter().map(|&e| (f32::from_bits(e) * 2.0).to_bits()).collect();
+    if d2 != host2 {
+        return Err("bf16 power-of-two scaling violated: (2A)·B != 2·(A·B)".into());
+    }
+    let tf32 = WmmaMode {
+        shape: WmmaShape::M16N8K8,
+        ab: WmmaType::TF32,
+        c: WmmaType::F32,
+        d: WmmaType::F32,
+        sparse: false,
+    };
+    let b8 = random_bits_tile(seed ^ 0xB8, 8 * 8, WmmaType::F32);
+    if run_mma_sync_tile(tf32, 0, &vec![0u32; 16 * 8], &b8, &c) != c {
+        return Err("tf32 zero absorber violated: 0·B + C != C".into());
+    }
+    Ok(())
+}
+
+/// TF32 operands are truncated exactly once on the way into the FEDP
+/// tree, so pre-truncating them on the host must not change any output
+/// bit.
+pub fn check_tf32_truncation_idempotence(seed: u64) -> Result<(), String> {
+    let mode = WmmaMode {
+        shape: WmmaShape::M16N8K8,
+        ab: WmmaType::TF32,
+        c: WmmaType::F32,
+        d: WmmaType::F32,
+        sparse: false,
+    };
+    let a = random_bits_tile(seed, 16 * 8, WmmaType::F32);
+    let b = random_bits_tile(seed ^ 0xB, 8 * 8, WmmaType::F32);
+    let c = random_bits_tile(seed ^ 0xC, 16 * 8, WmmaType::F32);
+    // The datapath's operand conversion is `Tf32::from_bits` (mask the low
+    // 13 mantissa bits), not round-to-nearest `from_f32`.
+    let canon =
+        |m: &[u32]| -> Vec<u32> { m.iter().map(|&e| Tf32::from_bits(e).to_bits()).collect() };
+    if run_mma_sync_tile(mode, 0, &a, &b, &c) != run_mma_sync_tile(mode, 0, &canon(&a), &canon(&b), &c)
+    {
+        return Err("tf32 truncation idempotence violated".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +476,12 @@ mod tests {
             check_permutation_equivariance(arch, 2).unwrap();
             check_absorbers(arch, 3).unwrap();
         }
+    }
+
+    #[test]
+    fn mma_sync_properties_hold_on_ampere() {
+        check_sparse_dense_equivalence(4).unwrap();
+        check_mma_sync_scaling_and_absorbers(5).unwrap();
+        check_tf32_truncation_idempotence(6).unwrap();
     }
 }

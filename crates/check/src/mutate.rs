@@ -191,16 +191,48 @@ fn frag_shape(k: &Kernel) -> Option<Mutated> {
     let swapped = |s: WmmaShape| match s {
         WmmaShape::M16N16K16 => WmmaShape::M32N8K16,
         WmmaShape::M32N8K16 | WmmaShape::M8N32K16 | WmmaShape::M8N8K32 => WmmaShape::M16N16K16,
+        // `mma.sync` tiles swap K extent: the loaded fragments no longer
+        // match (dense f16) or the mode turns arch-invalid (TF32, sparse).
+        WmmaShape::M16N8K8 => WmmaShape::M16N8K16,
+        WmmaShape::M16N8K16 => WmmaShape::M16N8K8,
     };
-    let pc = k
-        .instrs()
-        .iter()
-        .position(|i| matches!(i.op, Op::Wmma(WmmaDirective::Mma { .. })))?;
+    let pc = k.instrs().iter().position(|i| {
+        matches!(i.op, Op::Wmma(WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. }))
+    })?;
     let mut instrs = k.instrs().to_vec();
-    if let Op::Wmma(WmmaDirective::Mma { ref mut shape, .. }) = instrs[pc].op {
-        *shape = swapped(*shape);
+    match instrs[pc].op {
+        Op::Wmma(WmmaDirective::Mma { ref mut shape, .. })
+        | Op::Wmma(WmmaDirective::MmaSync { ref mut shape, .. }) => *shape = swapped(*shape),
+        _ => unreachable!(),
     }
     Some(Mutated { kernel: rebuild(k, instrs, 0), pc })
+}
+
+/// Truncates `x` toward zero to BF16 precision (drops the low 16 mantissa
+/// bits) — the numeric defect [`crate::oracle::Mutation::Bf16ChopMantissa`]
+/// plants in the BF16 `mma.sync` accumulation path. NaNs pass through
+/// unchanged so the payload chop cannot manufacture an infinity.
+pub fn chop_to_bf16(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    f32::from_bits(x.to_bits() & 0xFFFF_0000)
+}
+
+/// Swaps the two kept-index fields of every 2:4 metadata nibble in a
+/// 4-group (one-row) metadata half-word — the defect
+/// [`crate::oracle::Mutation::SparseMetaSwap`] plants in the sparse
+/// decode path. Valid nibbles store indices `i0 < i1`, so the swap always
+/// produces a *different* (and invalid-by-convention) nibble, relocating
+/// both kept values within their group.
+pub fn swap_sparse_meta(meta: u16) -> u16 {
+    let mut out = 0u16;
+    for g in 0..4 {
+        let nib = (meta >> (4 * g)) & 0xF;
+        let (i0, i1) = (nib & 0x3, (nib >> 2) & 0x3);
+        out |= ((i0 << 2) | i1) << (4 * g);
+    }
+    out
 }
 
 /// Widens the generator's `and rX, rY, 63` slice mask ahead of a shared
@@ -224,7 +256,7 @@ mod tests {
     use crate::gen::{assemble, generate, Arch, GenConfig, KindSel};
 
     fn find_applicable(kind: KindSel, m: VerifyMutation) -> (Kernel, Mutated, bool) {
-        let cfg = GenConfig { max_ops: 24, kind };
+        let cfg = GenConfig { max_ops: 24, kind, ..GenConfig::default() };
         for seed in 0..512u64 {
             let p = generate(seed, &cfg);
             let k = assemble(&p);
@@ -242,6 +274,7 @@ mod tests {
             (VerifyMutation::BarrierDrop, KindSel::Simt),
             (VerifyMutation::UninitReg, KindSel::Simt),
             (VerifyMutation::FragShape, KindSel::Wmma),
+            (VerifyMutation::FragShape, KindSel::WmmaSparse),
             (VerifyMutation::SharedGrow, KindSel::Simt),
         ] {
             let (orig, mutated, _) = find_applicable(kind, m);
@@ -265,5 +298,35 @@ mod tests {
             assert_eq!(VerifyMutation::from_name(m.name()), Some(m));
         }
         assert_eq!(VerifyMutation::from_name("fedp-chop"), None);
+    }
+
+    #[test]
+    fn bf16_chop_truncates_toward_zero() {
+        // 1.0 + 2^-20 loses its tail; exact BF16 values pass through.
+        let x = f32::from_bits(0x3F80_0010);
+        assert_eq!(chop_to_bf16(x), 1.0);
+        assert_eq!(chop_to_bf16(1.0), 1.0);
+        assert_eq!(chop_to_bf16(-1.5), -1.5);
+        let y = f32::from_bits(0xBFC0_0123);
+        assert_eq!(chop_to_bf16(y).to_bits(), 0xBFC0_0000);
+        assert!(chop_to_bf16(f32::NAN).is_nan());
+        assert_eq!(chop_to_bf16(0.0).to_bits(), 0);
+    }
+
+    #[test]
+    fn sparse_meta_swap_flips_every_nibble() {
+        use tcsim_core::pack_sparse_row_meta;
+        let meta = pack_sparse_row_meta([(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let swapped = swap_sparse_meta(meta);
+        assert_ne!(swapped, meta);
+        // Each nibble's fields trade places: (i0,i1) → (i1,i0).
+        for g in 0..4 {
+            let nib = (meta >> (4 * g)) & 0xF;
+            let s = (swapped >> (4 * g)) & 0xF;
+            assert_eq!(s & 0x3, (nib >> 2) & 0x3);
+            assert_eq!((s >> 2) & 0x3, nib & 0x3);
+        }
+        // Involution: swapping twice restores the original word.
+        assert_eq!(swap_sparse_meta(swapped), meta);
     }
 }

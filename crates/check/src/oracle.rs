@@ -15,12 +15,16 @@
 //! round-toward-zero flip of the per-FEDP f16 rounding) to prove the
 //! oracle and the shrinker actually catch single-rounding bugs.
 
-use crate::gen::{assemble, Arch, GenOp, GenProgram};
+use crate::gen::{assemble, Arch, GenOp, GenProgram, KindSel};
+use crate::mutate::{chop_to_bf16, swap_sparse_meta};
 use crate::rng::XorShift64Star;
-use tcsim_core::{gather_tile, scatter_tile, FragmentMap, TensorCoreModel, Tile};
-use tcsim_f16::F16;
+use tcsim_core::{
+    expand_sparse_a, fedp_f32_pre, gather_tile, mma_reference, read_sparse_meta, scatter_tile,
+    FragmentMap, TensorCoreModel, Tile,
+};
+use tcsim_f16::{Bf16, F16};
 use tcsim_isa::exec::{step, ExecEnv, MemAccess, StepAction, WarpExec, WmmaHandler};
-use tcsim_isa::{FragmentKind, Layout, WmmaDirective, WmmaType};
+use tcsim_isa::{mma_sync_a_shape, FragmentKind, Layout, WmmaDirective, WmmaType};
 use tcsim_isa::{ByteMemory, Dim3, Kernel, Op, Reg, VecMemory, WarpRegisters};
 use tcsim_nn::gemm_tolerance;
 use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder, LaunchStats};
@@ -39,6 +43,12 @@ pub enum DataKind {
     Raw,
     /// Random f16 values in `[-2, 2)` packed two per word (float WMMA).
     F16,
+    /// Random bf16 values in `[-2, 2)` packed two per word (BF16
+    /// `mma.sync` modes).
+    Bf16,
+    /// Random f32 values in `[-2, 2)`, one per word (TF32 modes — the
+    /// device truncates to TF32 on operand read).
+    F32,
     /// Random bytes (integer WMMA; also serves the 4-bit modes).
     I8,
 }
@@ -49,6 +59,8 @@ impl DataKind {
         match self {
             DataKind::Raw => "raw",
             DataKind::F16 => "f16",
+            DataKind::Bf16 => "bf16",
+            DataKind::F32 => "f32",
             DataKind::I8 => "i8",
         }
     }
@@ -58,6 +70,8 @@ impl DataKind {
         match s {
             "raw" => Some(DataKind::Raw),
             "f16" => Some(DataKind::F16),
+            "bf16" => Some(DataKind::Bf16),
+            "f32" => Some(DataKind::F32),
             "i8" => Some(DataKind::I8),
             _ => None,
         }
@@ -154,7 +168,12 @@ impl Case {
                 } else {
                     Compare::F32Tol { k }
                 };
-                (DataKind::F16, cmp)
+                let data = match m.ab {
+                    WmmaType::BF16 => DataKind::Bf16,
+                    WmmaType::TF32 => DataKind::F32,
+                    _ => DataKind::F16,
+                };
+                (data, cmp)
             }
         };
         Case {
@@ -196,6 +215,18 @@ pub fn input_bytes(kind: DataKind, seed: u64, words: u32) -> Vec<u8> {
                 bytes.extend_from_slice(&F16::from_f32(v).to_bits().to_le_bytes());
             }
         }
+        DataKind::Bf16 => {
+            for _ in 0..words * 2 {
+                let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+                bytes.extend_from_slice(&Bf16::from_f32(v).to_bits().to_le_bytes());
+            }
+        }
+        DataKind::F32 => {
+            for _ in 0..words {
+                let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
         DataKind::I8 => {
             for _ in 0..words * 4 {
                 bytes.push(rng.below(256) as u8);
@@ -215,6 +246,12 @@ pub fn gpu_config(arch: Arch) -> GpuConfig {
             cfg.sm = SmConfig::turing();
             cfg
         }
+        Arch::Ampere => {
+            let mut cfg = GpuConfig::mini();
+            cfg.name = "mini-ampere";
+            cfg.sm = SmConfig::ampere();
+            cfg
+        }
     }
 }
 
@@ -227,6 +264,48 @@ pub enum Mutation {
     /// round-to-nearest-even to round-toward-zero (truncation) — the
     /// classic "chopped accumulator" bug of §V's conformance discussion.
     FedpChopF16,
+    /// Truncate the BF16 `mma.sync` accumulator to BF16 precision after
+    /// every FEDP group instead of keeping it in full f32 — the analogue
+    /// of an implementation that narrows the accumulator to the
+    /// multiplicand width.
+    Bf16ChopMantissa,
+    /// Swap the two kept-index fields of every 2:4 sparsity metadata
+    /// nibble before expansion, relocating both surviving A values within
+    /// their 4-wide group.
+    SparseMetaSwap,
+}
+
+impl Mutation {
+    /// Every planted oracle mutation (excluding [`Mutation::None`]), in
+    /// canonical order.
+    pub const PLANTED: [Mutation; 3] =
+        [Mutation::FedpChopF16, Mutation::Bf16ChopMantissa, Mutation::SparseMetaSwap];
+
+    /// Command-line spelling (`--mutate <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::FedpChopF16 => "fedp-chop-f16",
+            Mutation::Bf16ChopMantissa => "bf16-chop-mantissa",
+            Mutation::SparseMetaSwap => "sparse-meta-swap",
+        }
+    }
+
+    /// Parses the command-line spelling of a planted mutation.
+    pub fn from_name(s: &str) -> Option<Mutation> {
+        Mutation::PLANTED.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The generator restriction under which this mutation is observable
+    /// on every generated case.
+    pub fn kind(self) -> KindSel {
+        match self {
+            Mutation::None => KindSel::Auto,
+            Mutation::FedpChopF16 => KindSel::WmmaF16Acc,
+            Mutation::Bf16ChopMantissa => KindSel::WmmaBf16,
+            Mutation::SparseMetaSwap => KindSel::WmmaSparse,
+        }
+    }
 }
 
 /// f32 → f16 with round-toward-zero (truncation).
@@ -272,9 +351,34 @@ fn mma_reference_chopped(a: &Tile, b: &Tile, c: &Tile) -> Tile {
     d
 }
 
+/// `mma_reference` for BF16 `mma.sync` with the accumulator truncated to
+/// BF16 precision after every FEDP group (the [`Mutation::Bf16ChopMantissa`]
+/// defect). The unmutated path keeps the f32 accumulator intact between
+/// groups, so the chop's ~half-ulp-of-bf16 bias is far outside
+/// `gemm_tolerance`.
+fn mma_reference_chopped_bf16(a: &Tile, b: &Tile, c: &Tile) -> Tile {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    let mut d = Tile::new(WmmaType::F32, m, n);
+    for r in 0..m {
+        for col in 0..n {
+            let av: Vec<f32> = (0..k).map(|i| a.widen_f32(r, i)).collect();
+            let bv: Vec<f32> = (0..k).map(|i| b.widen_f32(i, col)).collect();
+            let mut acc = c.value(r, col) as f32;
+            for (qa, qb) in av.chunks_exact(4).zip(bv.chunks_exact(4)) {
+                acc = fedp_f32_pre(qa, qb, acc);
+                acc = chop_to_bf16(acc);
+            }
+            d.set_f32(r, col, acc);
+        }
+    }
+    d
+}
+
 /// A [`WmmaHandler`] that wraps the real tensor-core model but applies a
-/// [`Mutation`] to `wmma.mma` — used on the *reference* side so the device
-/// result stays canonical.
+/// [`Mutation`] to `wmma.mma` / `mma.sync` — used on the *reference* side
+/// so the device result stays canonical.
 pub struct MutantWmma {
     inner: TensorCoreModel,
     volta: bool,
@@ -284,12 +388,12 @@ pub struct MutantWmma {
 impl MutantWmma {
     /// Wraps the model for `arch` with `mutation`.
     pub fn new(arch: Arch, mutation: Mutation) -> MutantWmma {
-        let inner = if arch.turing() {
-            TensorCoreModel::turing()
-        } else {
-            TensorCoreModel::volta()
+        let inner = match arch {
+            Arch::Volta => TensorCoreModel::volta(),
+            Arch::Turing => TensorCoreModel::turing(),
+            Arch::Ampere => TensorCoreModel::ampere(),
         };
-        MutantWmma { inner, volta: !arch.turing(), mutation }
+        MutantWmma { inner, volta: arch == Arch::Volta, mutation }
     }
 }
 
@@ -326,6 +430,58 @@ impl WmmaHandler for MutantWmma {
         let bt = gather_tile(&self.inner, &bmap, b, regs);
         let ct = gather_tile(&self.inner, &cmap, c, regs);
         let dt = mma_reference_chopped(&at, &bt, &ct);
+        scatter_tile(&dmap, d, &dt, regs);
+    }
+
+    fn mma_sync(
+        &self,
+        dir: &WmmaDirective,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        meta: Option<Reg>,
+        regs: &mut dyn WarpRegisters,
+    ) {
+        let WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } = *dir else {
+            panic!("mma_sync requires an MmaSync directive")
+        };
+        let chop_f16 = self.mutation == Mutation::FedpChopF16
+            && ab_type == WmmaType::F16
+            && d_type == WmmaType::F16;
+        let chop_bf16 = self.mutation == Mutation::Bf16ChopMantissa && ab_type == WmmaType::BF16;
+        let meta_swap = self.mutation == Mutation::SparseMetaSwap && sparse;
+        if !chop_f16 && !chop_bf16 && !meta_swap {
+            return self.inner.mma_sync(dir, d, a, b, c, meta, regs);
+        }
+        // Mirror the canonical model's fixed mma.sync operand layouts.
+        let a_shape = mma_sync_a_shape(shape, sparse);
+        let amap = FragmentMap::for_arch(false, FragmentKind::A, a_shape, ab_type, Layout::Row);
+        let bmap = FragmentMap::for_arch(false, FragmentKind::B, shape, ab_type, Layout::Col);
+        let cmap = FragmentMap::for_arch(false, FragmentKind::C, shape, c_type, Layout::Row);
+        let dmap = FragmentMap::for_arch(false, FragmentKind::D, shape, d_type, Layout::Row);
+        let at = gather_tile(&self.inner, &amap, a, regs);
+        let bt = gather_tile(&self.inner, &bmap, b, regs);
+        let ct = gather_tile(&self.inner, &cmap, c, regs);
+        let at = if sparse {
+            let mreg = meta.expect("sparse mma.sync requires a metadata register");
+            let mut row_meta = read_sparse_meta(regs, mreg);
+            if meta_swap {
+                for m in &mut row_meta {
+                    *m = swap_sparse_meta(*m);
+                }
+            }
+            expand_sparse_a(&at, &row_meta)
+        } else {
+            at
+        };
+        let dt = if chop_f16 {
+            mma_reference_chopped(&at, &bt, &ct)
+        } else if chop_bf16 {
+            mma_reference_chopped_bf16(&at, &bt, &ct)
+        } else {
+            mma_reference(&at, &bt, &ct, d_type)
+        };
         scatter_tile(&dmap, d, &dt, regs);
     }
 
@@ -603,6 +759,36 @@ mod tests {
         assert_eq!(f16_chop(1.5).to_bits(), F16::from_f32(1.5).to_bits());
         // Overflow chops to the largest finite value, not infinity.
         assert!(f16_chop(70000.0).to_f32().is_finite());
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for m in Mutation::PLANTED {
+            assert_eq!(Mutation::from_name(m.name()), Some(m));
+        }
+        // `None` is not a plantable name, nor is garbage.
+        assert_eq!(Mutation::from_name("none"), None);
+        assert_eq!(Mutation::from_name("no-such-bug"), None);
+    }
+
+    #[test]
+    fn planted_mutations_flip_clean_cases_to_mismatches() {
+        use crate::gen::{generate, GenConfig};
+        for m in Mutation::PLANTED {
+            let cfg = GenConfig { max_ops: 16, kind: m.kind(), arch: None };
+            let mut detected = 0;
+            for seed in 0..4u64 {
+                let p = generate(seed, &cfg);
+                let case = Case::from_program(&p, seed ^ 0xABCD);
+                diff_run(&case, Mutation::None).unwrap_or_else(|e| {
+                    panic!("{m:?} seed {seed}: clean run failed: {e:?}")
+                });
+                if matches!(diff_run(&case, m), Err(CheckFail::Mismatch(_))) {
+                    detected += 1;
+                }
+            }
+            assert!(detected >= 3, "{m:?}: only {detected}/4 seeds caught the plant");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! 2 D types × 2 store layouts) and the Turing integer modes/tile shapes
 //! are supported.
 
-use crate::hmma::mma_reference;
+use crate::hmma::{expand_sparse_a, mma_reference};
 use crate::mapping::FragmentMap;
 use crate::tile::Tile;
 use std::cell::RefCell;
@@ -22,8 +22,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use tcsim_isa::exec::{MemAccess, WmmaHandler};
 use tcsim_isa::{
-    ByteMemory, FragmentKind, Layout, Reg, WarpRegisters, WmmaDirective, WmmaShape, WmmaType,
-    WARP_SIZE,
+    mma_sync_a_shape, ByteMemory, FragmentKind, Layout, Reg, WarpRegisters, WmmaDirective,
+    WmmaShape, WmmaType, WARP_SIZE,
 };
 
 type MapKey = (bool, FragmentKind, WmmaShape, WmmaType, Layout);
@@ -111,10 +111,36 @@ impl TensorCoreModel {
         TensorCoreModel { volta: false }
     }
 
+    /// The Ampere (A100-class) model: identical fragment handling to
+    /// Turing for the warp-scope WMMA modes, plus the per-instruction
+    /// `mma.sync` tiles — the `m16n8kN` shapes route to the Ampere PTX
+    /// fragment mappings automatically.
+    pub const fn ampere() -> TensorCoreModel {
+        TensorCoreModel { volta: false }
+    }
+
     /// Whether this is the Volta model.
     pub const fn is_volta(&self) -> bool {
         self.volta
     }
+}
+
+/// Reads the 2:4 sparsity metadata for all 16 A rows out of the warp's
+/// registers.
+///
+/// Following the PTX sparse-operand convention, thread 0 of each quad
+/// (lane `4g`) contributes its 32-bit metadata register: the low half
+/// selects for row `g`, the high half for row `g + 8`. The other lanes'
+/// metadata registers are ignored (hardware requires them to replicate
+/// the quad leader's value).
+pub fn read_sparse_meta(regs: &dyn WarpRegisters, mreg: Reg) -> [u16; 16] {
+    let mut row_meta = [0u16; 16];
+    for g in 0..8 {
+        let word = regs.read(4 * g, mreg);
+        row_meta[g] = word as u16;
+        row_meta[g + 8] = (word >> 16) as u16;
+    }
+    row_meta
 }
 
 /// Reads fragment slot `slot` of `lane` (element width `bits` ≤ 32).
@@ -336,6 +362,40 @@ impl WmmaHandler for TensorCoreModel {
         let at = gather_tile(self, &amap, a, regs);
         let bt = gather_tile(self, &bmap, b, regs);
         let ct = gather_tile(self, &cmap, c, regs);
+        let dt = mma_reference(&at, &bt, &ct, d_type);
+        scatter_tile(&dmap, d, &dt, regs);
+    }
+
+    fn mma_sync(
+        &self,
+        dir: &WmmaDirective,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        meta: Option<Reg>,
+        regs: &mut dyn WarpRegisters,
+    ) {
+        let WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } = *dir else {
+            panic!("mma_sync requires an MmaSync directive")
+        };
+        assert!(!self.volta, "mma.sync requires an Ampere-generation tensor core");
+        // mma.sync operand layouts are fixed (A row-major, B col-major);
+        // the stored layout qualifier does not change the mapping.
+        let a_shape = mma_sync_a_shape(shape, sparse);
+        let amap = cached_map(self.volta, FragmentKind::A, a_shape, ab_type, Layout::Row);
+        let bmap = cached_map(self.volta, FragmentKind::B, shape, ab_type, Layout::Col);
+        let cmap = cached_map(self.volta, FragmentKind::C, shape, c_type, Layout::Row);
+        let dmap = cached_map(self.volta, FragmentKind::D, shape, d_type, Layout::Row);
+        let at = gather_tile(self, &amap, a, regs);
+        let bt = gather_tile(self, &bmap, b, regs);
+        let ct = gather_tile(self, &cmap, c, regs);
+        let at = if sparse {
+            let mreg = meta.expect("sparse mma.sync requires a metadata register");
+            expand_sparse_a(&at, &read_sparse_meta(regs, mreg))
+        } else {
+            at
+        };
         let dt = mma_reference(&at, &bt, &ct, d_type);
         scatter_tile(&dmap, d, &dt, regs);
     }
@@ -617,6 +677,183 @@ mod tests {
                 assert_eq!(got, expect, "({r},{c})");
             }
         }
+    }
+
+    /// Loads A, B and C fragments for a `mma.sync` tile from memory images
+    /// built with `value(r,c) = f(r,c)`, small integers exact in every
+    /// multiplicand format.
+    fn load_mma_sync_operands(
+        model: &TensorCoreModel,
+        regs: &mut WarpRegFile,
+        shape: WmmaShape,
+        ab_type: WmmaType,
+        a_dims: (usize, usize),
+        k: usize,
+    ) {
+        let mut mem = VecMemory::new();
+        let ebytes = ab_type.bits() / 8;
+        let (ar, ac) = a_dims;
+        for r in 0..ar {
+            for c in 0..ac {
+                let v = ((r + 2 * c) % 9) as f32 - 4.0;
+                let linear = (r * ac + c) * ebytes;
+                match ab_type {
+                    WmmaType::F16 => mem.write_u16(linear as u64, F16::from_f32(v).to_bits()),
+                    WmmaType::BF16 => {
+                        mem.write_u16(linear as u64, tcsim_f16::Bf16::from_f32(v).to_bits())
+                    }
+                    WmmaType::TF32 => {
+                        mem.write_u32(linear as u64, tcsim_f16::Tf32::from_f32(v).to_bits())
+                    }
+                    other => panic!("unexpected ab type {other}"),
+                }
+            }
+        }
+        for r in 0..k {
+            for c in 0..8 {
+                let v = ((3 * r + c) % 7) as f32 - 3.0;
+                let linear = 0x1000 + (r * 8 + c) * ebytes;
+                match ab_type {
+                    WmmaType::F16 => mem.write_u16(linear as u64, F16::from_f32(v).to_bits()),
+                    WmmaType::BF16 => {
+                        mem.write_u16(linear as u64, tcsim_f16::Bf16::from_f32(v).to_bits())
+                    }
+                    WmmaType::TF32 => {
+                        mem.write_u32(linear as u64, tcsim_f16::Tf32::from_f32(v).to_bits())
+                    }
+                    other => panic!("unexpected ab type {other}"),
+                }
+            }
+        }
+        for r in 0..16 {
+            for c in 0..8 {
+                let v = (r as f32) - (c as f32);
+                mem.write_u32(0x2000 + ((r * 8 + c) * 4) as u64, v.to_bits());
+            }
+        }
+        let a_shape = if a_dims.1 == k { shape } else { WmmaShape::M16N8K8 };
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::A, shape: a_shape, layout: Layout::Row, ty: ab_type },
+            Reg(0), 0, ac, &mem, regs,
+        );
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: ab_type },
+            Reg(8), 0x1000, 8, &mem, regs,
+        );
+        model.wmma_load(
+            &WmmaDirective::Load { frag: FragmentKind::C, shape, layout: Layout::Row, ty: WmmaType::F32 },
+            Reg(16), 0x2000, 8, &mem, regs,
+        );
+    }
+
+    #[test]
+    fn dense_mma_sync_matches_cpu_reference_for_all_types() {
+        let model = TensorCoreModel::ampere();
+        for (shape, ab_type, k) in [
+            (WmmaShape::M16N8K8, WmmaType::F16, 8),
+            (WmmaShape::M16N8K16, WmmaType::F16, 16),
+            (WmmaShape::M16N8K8, WmmaType::BF16, 8),
+            (WmmaShape::M16N8K16, WmmaType::BF16, 16),
+            (WmmaShape::M16N8K8, WmmaType::TF32, 8),
+        ] {
+            let mut regs = WarpRegFile::new(64);
+            load_mma_sync_operands(&model, &mut regs, shape, ab_type, (16, k), k);
+            model.mma_sync(
+                &WmmaDirective::MmaSync {
+                    shape,
+                    ab_type,
+                    c_type: WmmaType::F32,
+                    d_type: WmmaType::F32,
+                    sparse: false,
+                },
+                Reg(24), Reg(0), Reg(8), Reg(16), None, &mut regs,
+            );
+            let dmap = FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
+            let dt = gather_tile(&model, &dmap, Reg(24), &regs);
+            for r in 0..16usize {
+                for c in 0..8usize {
+                    let mut expect = (r as f32) - (c as f32);
+                    for kk in 0..k {
+                        let av = ((r + 2 * kk) % 9) as f32 - 4.0;
+                        let bv = ((3 * kk + c) % 7) as f32 - 3.0;
+                        expect += av * bv;
+                    }
+                    assert_eq!(
+                        dt.get_f32(r, c), expect,
+                        "{shape} {ab_type} ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mma_sync_matches_dense_on_expanded_operand() {
+        let model = TensorCoreModel::ampere();
+        let shape = WmmaShape::M16N8K16;
+        for ab_type in [WmmaType::F16, WmmaType::BF16] {
+            let mut regs = WarpRegFile::new(64);
+            // Compressed A is the m16n8k8-sized 16×8 tile.
+            load_mma_sync_operands(&model, &mut regs, shape, ab_type, (16, 8), 16);
+            // Row r keeps indices (r%3, r%3+1) in every group of four.
+            let mreg = Reg(30);
+            let metas: Vec<u16> = (0..16)
+                .map(|r| {
+                    let i0 = (r % 3) as u8;
+                    crate::hmma::pack_sparse_row_meta([(i0, i0 + 1); 4])
+                })
+                .collect();
+            for lane in 0..WARP_SIZE {
+                let g = lane / 4;
+                let word = (metas[g] as u32) | ((metas[g + 8] as u32) << 16);
+                regs.write(lane, mreg, word);
+            }
+            model.mma_sync(
+                &WmmaDirective::MmaSync {
+                    shape,
+                    ab_type,
+                    c_type: WmmaType::F32,
+                    d_type: WmmaType::F32,
+                    sparse: true,
+                },
+                Reg(24), Reg(0), Reg(8), Reg(16), Some(mreg), &mut regs,
+            );
+            let dmap = FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
+            let dt = gather_tile(&model, &dmap, Reg(24), &regs);
+            for r in 0..16usize {
+                for c in 0..8usize {
+                    let mut expect = (r as f32) - (c as f32);
+                    // Compressed column 2j+s contributes at dense k =
+                    // 4j + (r%3 + s).
+                    for j in 0..4usize {
+                        for s in 0..2usize {
+                            let av = ((r + 2 * (2 * j + s)) % 9) as f32 - 4.0;
+                            let kk = 4 * j + (r % 3) + s;
+                            let bv = ((3 * kk + c) % 7) as f32 - 3.0;
+                            expect += av * bv;
+                        }
+                    }
+                    assert_eq!(dt.get_f32(r, c), expect, "{ab_type} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata register")]
+    fn sparse_mma_sync_without_metadata_panics() {
+        let model = TensorCoreModel::ampere();
+        let mut regs = WarpRegFile::new(64);
+        model.mma_sync(
+            &WmmaDirective::MmaSync {
+                shape: WmmaShape::M16N8K16,
+                ab_type: WmmaType::F16,
+                c_type: WmmaType::F32,
+                d_type: WmmaType::F32,
+                sparse: true,
+            },
+            Reg(24), Reg(0), Reg(8), Reg(16), None, &mut regs,
+        );
     }
 
     #[test]

@@ -42,10 +42,12 @@ pub enum MmaMode {
 }
 
 impl MmaMode {
-    /// Classifies from the `wmma.mma` type qualifiers.
+    /// Classifies from the `wmma.mma` / `mma.sync` type qualifiers. The
+    /// Ampere BF16/TF32 multiplicands always accumulate in FP32, so they
+    /// classify as mixed precision.
     pub fn from_types(ab: WmmaType, d: WmmaType) -> MmaMode {
         match (ab, d) {
-            (WmmaType::F16, WmmaType::F32) => MmaMode::MixedF32,
+            (WmmaType::F16 | WmmaType::BF16 | WmmaType::TF32, WmmaType::F32) => MmaMode::MixedF32,
             (WmmaType::F16, WmmaType::F16) => MmaMode::Fp16,
             (WmmaType::S8 | WmmaType::U8 | WmmaType::S4 | WmmaType::U4, WmmaType::S32) => {
                 MmaMode::Integer
@@ -93,13 +95,13 @@ pub fn mma_reference(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) -> Tile {
             }
         }
     } else {
-        // Same hoist for the floating modes. binary16 → binary32 is
+        // Same hoist for the floating modes. F16/BF16/TF32 → binary32 is
         // exact, so widening each multiplicand once up front leaves every
         // FEDP product bit-identical to converting inside the chain.
         let av: Vec<f32> =
-            (0..m).flat_map(|r| (0..k).map(move |i| a.get_f16(r, i).to_f32())).collect();
+            (0..m).flat_map(|r| (0..k).map(move |i| a.widen_f32(r, i))).collect();
         let bt: Vec<f32> =
-            (0..n).flat_map(|col| (0..k).map(move |i| b.get_f16(i, col).to_f32())).collect();
+            (0..n).flat_map(|col| (0..k).map(move |i| b.widen_f32(i, col))).collect();
         for r in 0..m {
             for col in 0..n {
                 let mut acc = c.value(r, col) as f32;
@@ -120,6 +122,53 @@ pub fn mma_reference(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) -> Tile {
         }
     }
     d
+}
+
+/// Number of dense `k` indices covered by one 2:4 sparsity metadata group.
+pub const SPARSE_GROUP_K: usize = 4;
+/// Bits of metadata per kept element index.
+pub const SPARSE_INDEX_BITS: u32 = 2;
+
+/// Packs one row's 2:4 sparsity metadata word: `groups[j] = (i0, i1)` are
+/// the dense-k indices (0–3, `i0 < i1`) of the two elements kept from
+/// dense k-group `j`. Group `j` occupies bits `4j..4j+4` (index 0 in the
+/// low two bits).
+pub fn pack_sparse_row_meta(groups: [(u8, u8); 4]) -> u16 {
+    let mut meta = 0u16;
+    for (j, &(i0, i1)) in groups.iter().enumerate() {
+        assert!(i0 < 4 && i1 < 4 && i0 < i1, "2:4 indices must be ascending and in 0..4");
+        meta |= ((i0 as u16) | ((i1 as u16) << SPARSE_INDEX_BITS)) << (4 * j);
+    }
+    meta
+}
+
+/// Expands a 2:4-compressed `mma.sp.sync` A operand to its dense tile.
+///
+/// `a` is the 16×8 compressed operand (every row stores only the kept
+/// elements, two per dense k-group, in ascending k order) and
+/// `row_meta[r]` the metadata word of row `r` in the
+/// [`pack_sparse_row_meta`] encoding. The result is the 16×16 dense tile
+/// with the dropped elements as +0 — multiplying it with
+/// [`mma_reference`] defines the sparse-GEMM semantics (the hardware
+/// skips the zero products; the FEDP chain still sees four addends per
+/// quad, so numerics match the dense unit with zeros in place).
+///
+/// Works for any 16-bit multiplicand type (F16/BF16): elements move at
+/// the bit level.
+pub fn expand_sparse_a(a: &Tile, row_meta: &[u16]) -> Tile {
+    assert_eq!(a.cols() * 2, a.rows(), "compressed A must be 16x8");
+    assert_eq!(row_meta.len(), a.rows(), "one metadata word per row");
+    let mut dense = Tile::new(a.ty(), a.rows(), a.cols() * 2);
+    for (r, &meta) in row_meta.iter().enumerate() {
+        for j in 0..a.cols() / 2 {
+            let nibble = (meta >> (4 * j)) & 0xF;
+            let i0 = (nibble & 0x3) as usize;
+            let i1 = ((nibble >> SPARSE_INDEX_BITS) & 0x3) as usize;
+            dense.set_bits(r, SPARSE_GROUP_K * j + i0, a.get_bits(r, 2 * j));
+            dense.set_bits(r, SPARSE_GROUP_K * j + i1, a.get_bits(r, 2 * j + 1));
+        }
+    }
+    dense
 }
 
 /// One HMMA instruction's operand footprint for one threadgroup:
@@ -414,6 +463,14 @@ mod tests {
                         let v = ((state >> 8) % 64) as f32 / 8.0 - 4.0;
                         t.set_f16(r, c, F16::from_f32(v));
                     }
+                    WmmaType::BF16 => {
+                        let v = ((state >> 8) % 64) as f32 / 8.0 - 4.0;
+                        t.set_bf16(r, c, tcsim_f16::Bf16::from_f32(v));
+                    }
+                    WmmaType::TF32 => {
+                        let v = ((state >> 8) % 64) as f32 / 8.0 - 4.0;
+                        t.set_tf32(r, c, tcsim_f16::Tf32::from_f32(v));
+                    }
                     WmmaType::F32 => {
                         let v = ((state >> 8) % 256) as f32 / 16.0 - 8.0;
                         t.set_f32(r, c, v);
@@ -607,6 +664,102 @@ mod tests {
                         last_k[r * n + c] = s.k.1;
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn mma_reference_handles_bf16_and_tf32_multiplicands() {
+        // m16n8k16 BF16 and m16n8k8 TF32 against a plain f64 matmul: the
+        // filled() values are small integer multiples of 1/8, so every
+        // product and partial sum is exact in f32 and the FEDP chain must
+        // equal the naive sum.
+        for (shape, abty) in
+            [(WmmaShape::M16N8K16, WmmaType::BF16), (WmmaShape::M16N8K8, WmmaType::TF32)]
+        {
+            let a = filled(FragmentKind::A, shape, abty, 21);
+            let b = filled(FragmentKind::B, shape, abty, 22);
+            let c = filled(FragmentKind::C, shape, WmmaType::F32, 23);
+            let d = mma_reference(&a, &b, &c, WmmaType::F32);
+            for r in 0..shape.m() {
+                for col in 0..shape.n() {
+                    let mut want = c.value(r, col);
+                    for k in 0..shape.k() {
+                        want += a.value(r, k) * b.value(k, col);
+                    }
+                    assert_eq!(d.value(r, col), want, "{shape} {abty} ({r},{col})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_sparse_row_meta_encodes_two_bit_indices() {
+        // Keep (0,1) in group 0, (2,3) in group 1, (0,3) in group 2,
+        // (1,2) in group 3.
+        let meta = pack_sparse_row_meta([(0, 1), (2, 3), (0, 3), (1, 2)]);
+        assert_eq!(meta, 0x9CE4, "{meta:#06x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn pack_sparse_row_meta_rejects_descending_indices() {
+        pack_sparse_row_meta([(1, 0), (0, 1), (0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn expand_sparse_a_places_kept_elements_and_zeros() {
+        let mut a = Tile::new(WmmaType::F16, 16, 8);
+        for r in 0..16 {
+            for c in 0..8 {
+                a.set_f16(r, c, F16::from_f32((r * 8 + c + 1) as f32));
+            }
+        }
+        // Same pattern on every row: keep (1,3) in every group.
+        let meta = vec![pack_sparse_row_meta([(1, 3); 4]); 16];
+        let dense = expand_sparse_a(&a, &meta);
+        assert_eq!((dense.rows(), dense.cols()), (16, 16));
+        for r in 0..16 {
+            for j in 0..4 {
+                assert_eq!(dense.value(r, 4 * j), 0.0, "dropped slot");
+                assert_eq!(dense.value(r, 4 * j + 1), a.value(r, 2 * j));
+                assert_eq!(dense.value(r, 4 * j + 2), 0.0, "dropped slot");
+                assert_eq!(dense.value(r, 4 * j + 3), a.value(r, 2 * j + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_reference_equals_dense_reference_on_expanded_operand() {
+        // The sparse semantics are *defined* as dense mma_reference over
+        // the expanded operand; check a mixed-pattern expansion end to end
+        // against a hand matmul that skips the dropped products.
+        let a = filled(FragmentKind::A, WmmaShape::M16N8K8, WmmaType::BF16, 31);
+        let b = filled(FragmentKind::B, WmmaShape::M16N8K16, WmmaType::BF16, 32);
+        let c = filled(FragmentKind::C, WmmaShape::M16N8K16, WmmaType::F32, 33);
+        let meta: Vec<u16> = (0..16)
+            .map(|r| {
+                let pick = [(0u8, 1u8), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+                pack_sparse_row_meta([
+                    pick[r % 6],
+                    pick[(r + 1) % 6],
+                    pick[(r + 2) % 6],
+                    pick[(r + 3) % 6],
+                ])
+            })
+            .collect();
+        let dense_a = expand_sparse_a(&a, &meta);
+        let d = mma_reference(&dense_a, &b, &c, WmmaType::F32);
+        for (r, &row_meta) in meta.iter().enumerate() {
+            for col in 0..8 {
+                let mut want = c.value(r, col);
+                for j in 0..4 {
+                    let nibble = (row_meta >> (4 * j)) & 0xF;
+                    let (i0, i1) = ((nibble & 3) as usize, ((nibble >> 2) & 3) as usize);
+                    want += a.value(r, 2 * j) * b.value(4 * j + i0, col);
+                    want += a.value(r, 2 * j + 1) * b.value(4 * j + i1, col);
+                }
+                assert_eq!(d.value(r, col), want, "({r},{col})");
             }
         }
     }

@@ -48,12 +48,14 @@ pub mod timing;
 pub mod trace;
 
 pub use fedp::{
-    dot_f16, dot_f32, dot_i32, fedp_f16, fedp_f32, fedp_i32, FEDPS_PER_TENSOR_CORE, FEDP_STAGES,
+    dot_f16, dot_f32, dot_i32, fedp_f16, fedp_f32, fedp_f32_pre, fedp_i32, FEDPS_PER_TENSOR_CORE,
+    FEDP_STAGES,
 };
-pub use functional::{gather_tile, scatter_tile, TensorCoreModel};
+pub use functional::{gather_tile, read_sparse_meta, scatter_tile, TensorCoreModel};
 pub use hmma::{
-    execute_setwise_turing, execute_stepwise_volta, mma_reference, table3_rows, turing_sets,
-    volta_schedule, MmaMode, SetCompute, StepCompute, SETS,
+    execute_setwise_turing, execute_stepwise_volta, expand_sparse_a, mma_reference,
+    pack_sparse_row_meta, table3_rows, turing_sets, volta_schedule, MmaMode, SetCompute,
+    StepCompute, SETS, SPARSE_GROUP_K, SPARSE_INDEX_BITS,
 };
 pub use mapping::{threadgroup_of_lane, FragmentMap, THREADGROUPS_PER_WARP, THREADGROUP_SIZE};
 pub use pipe::{HmmaEvent, TensorCorePipe};

@@ -201,7 +201,86 @@ impl FragmentMap {
         FragmentMap { frag, shape, ty, layout, volta: false, elems }
     }
 
-    /// Builds the mapping for either architecture.
+    /// Builds the Ampere per-instruction `mma.sync` mapping for the
+    /// `m16n8kN` tiles.
+    ///
+    /// Unlike the warp-scope WMMA mappings the paper reverse-engineered,
+    /// these fragment layouts are *architecturally specified* by the PTX
+    /// ISA (the `mma.m16n8k8` / `mma.m16n8k16` fragment figures): with
+    /// groupID `g = lane / 4` and threadID `t = lane % 4`,
+    ///
+    /// * 16-bit A (`m16n8k16`, 8 elems): rows `g`/`g+8` × column pairs
+    ///   `2t`,`2t+1` then `2t+8`,`2t+9`, register-packed low-half-first;
+    /// * 16-bit A (`m16n8k8`, 4 elems): rows `g`/`g+8` × columns `2t`,`2t+1`;
+    /// * TF32 A (`m16n8k8`, 4 elems): rows `g`/`g+8` × columns `t`, `t+4`
+    ///   (one 32-bit register per element);
+    /// * B mirrors A with rows and columns swapped;
+    /// * C/D (4 elems): rows `g`/`g+8` × columns `2t`,`2t+1` — which
+    ///   coincides with the generic Turing line distribution.
+    ///
+    /// Every element has exactly one owner (no Volta-style double
+    /// loading). The mapping is independent of `layout`; the layout only
+    /// selects the memory walk for loads/stores of these fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape that is not an `mma.sync` tile or a type/shape
+    /// combination `mma.sync` does not support.
+    pub fn ampere(
+        frag: FragmentKind,
+        shape: WmmaShape,
+        ty: WmmaType,
+        layout: Layout,
+    ) -> FragmentMap {
+        assert!(shape.is_mma_sync(), "Ampere mapping is for mma.sync tiles only");
+        let mut elems = vec![Vec::new(); WARP_SIZE];
+        for (lane, out) in elems.iter_mut().enumerate() {
+            let g = (lane / THREADGROUP_SIZE) as u8;
+            let t = (lane % THREADGROUP_SIZE) as u8;
+            match (frag, ty) {
+                (FragmentKind::A, WmmaType::TF32) => {
+                    assert_eq!(shape, WmmaShape::M16N8K8, "TF32 mma.sync is m16n8k8 only");
+                    for ko in [0u8, 4] {
+                        out.push((g, t + ko));
+                        out.push((g + 8, t + ko));
+                    }
+                }
+                (FragmentKind::B, WmmaType::TF32) => {
+                    assert_eq!(shape, WmmaShape::M16N8K8, "TF32 mma.sync is m16n8k8 only");
+                    out.push((t, g));
+                    out.push((t + 4, g));
+                }
+                (FragmentKind::A, WmmaType::F16 | WmmaType::BF16) => {
+                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 { &[0, 8] } else { &[0] };
+                    for &ko in kos {
+                        for r in [0u8, 8] {
+                            out.push((g + r, 2 * t + ko));
+                            out.push((g + r, 2 * t + ko + 1));
+                        }
+                    }
+                }
+                (FragmentKind::B, WmmaType::F16 | WmmaType::BF16) => {
+                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 { &[0, 8] } else { &[0] };
+                    for &ko in kos {
+                        out.push((2 * t + ko, g));
+                        out.push((2 * t + ko + 1, g));
+                    }
+                }
+                (FragmentKind::C | FragmentKind::D, WmmaType::F16 | WmmaType::F32) => {
+                    for r in [0u8, 8] {
+                        out.push((g + r, 2 * t));
+                        out.push((g + r, 2 * t + 1));
+                    }
+                }
+                other => panic!("unsupported mma.sync fragment/type combination {other:?}"),
+            }
+        }
+        FragmentMap { frag, shape, ty, layout, volta: false, elems }
+    }
+
+    /// Builds the mapping for either architecture. The `mma.sync` tile
+    /// shapes identify the Ampere per-instruction mappings and are routed
+    /// to [`FragmentMap::ampere`] (they never exist on Volta).
     pub fn for_arch(
         volta: bool,
         frag: FragmentKind,
@@ -209,7 +288,10 @@ impl FragmentMap {
         ty: WmmaType,
         layout: Layout,
     ) -> FragmentMap {
-        if volta {
+        if shape.is_mma_sync() {
+            assert!(!volta, "mma.sync tiles are Ampere-only");
+            FragmentMap::ampere(frag, shape, ty, layout)
+        } else if volta {
             assert_eq!(shape, WmmaShape::M16N16K16, "Volta supports only m16n16k16");
             FragmentMap::volta(frag, ty, layout)
         } else {
@@ -624,5 +706,96 @@ mod tests {
         let m = FragmentMap::volta(FragmentKind::A, WmmaType::F16, Layout::Row);
         let (lane, _) = m.owner(0, 0);
         assert_eq!(lane, 0);
+    }
+
+    #[test]
+    fn ampere_all_mma_sync_fragments_validate_with_single_owner() {
+        let cases = [
+            (FragmentKind::A, WmmaShape::M16N8K16, WmmaType::F16),
+            (FragmentKind::A, WmmaShape::M16N8K16, WmmaType::BF16),
+            (FragmentKind::A, WmmaShape::M16N8K8, WmmaType::F16),
+            (FragmentKind::A, WmmaShape::M16N8K8, WmmaType::TF32),
+            (FragmentKind::B, WmmaShape::M16N8K16, WmmaType::BF16),
+            (FragmentKind::B, WmmaShape::M16N8K8, WmmaType::TF32),
+            (FragmentKind::C, WmmaShape::M16N8K16, WmmaType::F32),
+            (FragmentKind::C, WmmaShape::M16N8K8, WmmaType::F16),
+            (FragmentKind::D, WmmaShape::M16N8K16, WmmaType::F32),
+        ];
+        for (frag, shape, ty) in cases {
+            let m = FragmentMap::ampere(frag, shape, ty, Layout::Row);
+            assert_eq!(m.validate(), 1, "{frag:?} {shape} {ty}");
+        }
+    }
+
+    #[test]
+    fn ampere_elements_per_thread_match_ptx_fragment_sizes() {
+        use tcsim_isa::fragment_elements;
+        for (frag, shape, ty) in [
+            (FragmentKind::A, WmmaShape::M16N8K16, WmmaType::F16),
+            (FragmentKind::A, WmmaShape::M16N8K8, WmmaType::TF32),
+            (FragmentKind::B, WmmaShape::M16N8K16, WmmaType::BF16),
+            (FragmentKind::B, WmmaShape::M16N8K8, WmmaType::F16),
+            (FragmentKind::C, WmmaShape::M16N8K16, WmmaType::F32),
+            (FragmentKind::D, WmmaShape::M16N8K8, WmmaType::F16),
+        ] {
+            let m = FragmentMap::ampere(frag, shape, ty, Layout::Row);
+            assert_eq!(
+                m.elems_per_thread(),
+                fragment_elements(frag, shape, ty, false),
+                "{frag:?} {shape} {ty}"
+            );
+        }
+    }
+
+    #[test]
+    fn ampere_a_fragment_matches_ptx_figure() {
+        // PTX mma.m16n8k16 row-major A fragment: lane L = 4g + t holds
+        // a0..a7 = (g,2t) (g,2t+1) (g+8,2t) (g+8,2t+1) then the k+8
+        // columns in the same order.
+        let m = FragmentMap::ampere(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::F16, Layout::Row);
+        for lane in 0..WARP_SIZE {
+            let (g, t) = ((lane / 4) as u8, (lane % 4) as u8);
+            assert_eq!(
+                m.lane_elems(lane),
+                &[
+                    (g, 2 * t), (g, 2 * t + 1), (g + 8, 2 * t), (g + 8, 2 * t + 1),
+                    (g, 2 * t + 8), (g, 2 * t + 9), (g + 8, 2 * t + 8), (g + 8, 2 * t + 9),
+                ],
+                "lane {lane}"
+            );
+        }
+        // TF32 m16n8k8 A: a0..a3 = (g,t) (g+8,t) (g,t+4) (g+8,t+4).
+        let m = FragmentMap::ampere(FragmentKind::A, WmmaShape::M16N8K8, WmmaType::TF32, Layout::Row);
+        for lane in 0..WARP_SIZE {
+            let (g, t) = ((lane / 4) as u8, (lane % 4) as u8);
+            assert_eq!(
+                m.lane_elems(lane),
+                &[(g, t), (g + 8, t), (g, t + 4), (g + 8, t + 4)],
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn ampere_accumulator_coincides_with_turing_distribution() {
+        // The m16n8 C/D fragment (g, 2t)… order equals the generic Turing
+        // line distribution, so both constructions must agree.
+        for ty in [WmmaType::F16, WmmaType::F32] {
+            for shape in [WmmaShape::M16N8K8, WmmaShape::M16N8K16] {
+                let amp = FragmentMap::ampere(FragmentKind::C, shape, ty, Layout::Row);
+                let tur = FragmentMap::turing(FragmentKind::C, shape, ty, Layout::Row);
+                for lane in 0..WARP_SIZE {
+                    assert_eq!(amp.lane_elems(lane), tur.lane_elems(lane), "{shape} {ty} {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_arch_routes_mma_sync_shapes_to_ampere() {
+        let via_arch =
+            FragmentMap::for_arch(false, FragmentKind::B, WmmaShape::M16N8K16, WmmaType::F16, Layout::Col);
+        let direct = FragmentMap::ampere(FragmentKind::B, WmmaShape::M16N8K16, WmmaType::F16, Layout::Col);
+        assert_eq!(via_arch, direct);
     }
 }

@@ -1,7 +1,7 @@
 //! Whole operand-matrix tiles in WMMA element types, used by the
 //! functional model and the HMMA decomposition.
 
-use tcsim_f16::F16;
+use tcsim_f16::{Bf16, Tf32, F16};
 use tcsim_isa::{FragmentKind, WmmaShape, WmmaType};
 
 /// A dense `rows × cols` tile of WMMA elements, stored as raw bits.
@@ -84,6 +84,41 @@ impl Tile {
         self.set_bits(r, c, v.to_bits());
     }
 
+    /// Element as bfloat16 (only for `BF16` tiles).
+    pub fn get_bf16(&self, r: usize, c: usize) -> Bf16 {
+        assert_eq!(self.ty, WmmaType::BF16);
+        Bf16::from_bits(self.get_bits(r, c) as u16)
+    }
+
+    /// Stores a bfloat16 element.
+    pub fn set_bf16(&mut self, r: usize, c: usize, v: Bf16) {
+        assert_eq!(self.ty, WmmaType::BF16);
+        self.set_bits(r, c, v.to_bits() as u32);
+    }
+
+    /// Element as TF32 (only for `TF32` tiles).
+    pub fn get_tf32(&self, r: usize, c: usize) -> Tf32 {
+        assert_eq!(self.ty, WmmaType::TF32);
+        Tf32::from_bits(self.get_bits(r, c))
+    }
+
+    /// Stores a TF32 element.
+    pub fn set_tf32(&mut self, r: usize, c: usize, v: Tf32) {
+        assert_eq!(self.ty, WmmaType::TF32);
+        self.set_bits(r, c, v.to_bits());
+    }
+
+    /// Multiplicand element widened to binary32 — exact for every tensor-
+    /// core multiplicand format (F16, BF16 and TF32 all embed in binary32).
+    pub fn widen_f32(&self, r: usize, c: usize) -> f32 {
+        match self.ty {
+            WmmaType::F16 => self.get_f16(r, c).to_f32(),
+            WmmaType::BF16 => self.get_bf16(r, c).to_f32(),
+            WmmaType::TF32 => self.get_tf32(r, c).to_f32(),
+            other => panic!("widen_f32 on {other} tile"),
+        }
+    }
+
     /// Element as a sign/zero-extended integer (integer tiles only).
     pub fn get_i32(&self, r: usize, c: usize) -> i32 {
         let raw = self.get_bits(r, c);
@@ -109,6 +144,8 @@ impl Tile {
     pub fn value(&self, r: usize, c: usize) -> f64 {
         match self.ty {
             WmmaType::F16 => self.get_f16(r, c).to_f64(),
+            WmmaType::BF16 => self.get_bf16(r, c).to_f64(),
+            WmmaType::TF32 => self.get_tf32(r, c).to_f64(),
             WmmaType::F32 => self.get_f32(r, c) as f64,
             _ => self.get_i32(r, c) as f64,
         }
@@ -122,6 +159,8 @@ impl Tile {
                 let v = data[r * self.cols + c];
                 match self.ty {
                     WmmaType::F16 => self.set_f16(r, c, F16::from_f32(v)),
+                    WmmaType::BF16 => self.set_bf16(r, c, Bf16::from_f32(v)),
+                    WmmaType::TF32 => self.set_tf32(r, c, Tf32::from_f32(v)),
                     WmmaType::F32 => self.set_f32(r, c, v),
                     _ => self.set_i32(r, c, v as i32),
                 }
@@ -158,6 +197,28 @@ mod tests {
         assert_eq!(t.get_f32(1, 1), -2.25);
         assert_eq!(t.rows(), 2);
         assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    fn bf16_tile_roundtrip() {
+        let mut t = Tile::new(WmmaType::BF16, 2, 2);
+        t.set_bf16(0, 1, Bf16::from_f32(-2.5));
+        assert_eq!(t.get_bf16(0, 1).to_f32(), -2.5);
+        assert_eq!(t.value(0, 1), -2.5);
+        assert_eq!(t.widen_f32(0, 1), -2.5);
+    }
+
+    #[test]
+    fn tf32_tile_truncates_to_canonical_patterns() {
+        let mut t = Tile::new(WmmaType::TF32, 1, 2);
+        t.set_tf32(0, 0, Tf32::from_f32(3.0));
+        assert_eq!(t.get_tf32(0, 0).to_f32(), 3.0);
+        // Raw bits below the TF32 precision cut are ignored by the typed
+        // read: the datapath consumes only sign, exponent and the top 10
+        // mantissa bits.
+        t.set_bits(0, 1, 1.0f32.to_bits() | 0x1FFF);
+        assert_eq!(t.get_tf32(0, 1).to_f32(), 1.0);
+        assert_eq!(t.widen_f32(0, 1), 1.0);
     }
 
     #[test]

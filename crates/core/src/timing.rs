@@ -20,10 +20,16 @@
 //!
 //! The generators below derive the Volta sequences from those pipeline
 //! parameters and reproduce the paper's numbers exactly (asserted in
-//! tests); the Turing table is encoded as measured.
+//! tests); the measured tables themselves (Fig 9 cumulative sequences,
+//! Table I per-set cycles, and the Ampere `mma.sync` latency pairs) live
+//! in [`tcsim_hw::hmma_tables`] — the hardware-surrogate crate — and this
+//! module derives schedules from them.
 
 use crate::hmma::MmaMode;
+use tcsim_hw::hmma_tables as hw_tables;
 use tcsim_isa::{WmmaDirective, WmmaShape, WmmaType};
+
+pub use hw_tables::{VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE};
 
 /// Volta pipeline parameters behind the Fig 9 sequences.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,13 +176,6 @@ pub fn turing_step_schedule(shape: WmmaShape, mode: TuringMode) -> Option<Vec<Hm
     )
 }
 
-/// Cumulative cycles of Volta's HMMA steps in mixed precision (Fig 9a).
-pub const VOLTA_MIXED_CUMULATIVE: [u32; 16] =
-    [10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54];
-
-/// Cumulative cycles of Volta's HMMA steps in FP16 mode (Fig 9b).
-pub const VOLTA_FP16_CUMULATIVE: [u32; 8] = [12, 21, 25, 34, 38, 47, 51, 64];
-
 /// Turing precision modes as rows of Table I.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TuringMode {
@@ -201,25 +200,23 @@ impl TuringMode {
             other => panic!("invalid Turing mma types {other:?}"),
         }
     }
+
+    /// The ISA-agnostic precision class keying the `tcsim-hw` table.
+    pub fn class(self) -> hw_tables::HmmaClass {
+        match self {
+            TuringMode::F16AccF32 => hw_tables::HmmaClass::HalfAccF32,
+            TuringMode::F16AccF16 => hw_tables::HmmaClass::HalfAccF16,
+            TuringMode::Int8 => hw_tables::HmmaClass::Int8,
+            TuringMode::Int4 => hw_tables::HmmaClass::Int4,
+        }
+    }
 }
 
 /// Table I: average cumulative cycles to execute all HMMA instructions up
 /// to each SET on Turing (RTX 2080). `None` for unsupported combinations.
+/// The measured values live in [`tcsim_hw::hmma_tables`].
 pub fn turing_set_completions(shape: WmmaShape, mode: TuringMode) -> Option<Vec<u32>> {
-    let v: &[u32] = match (shape, mode) {
-        (WmmaShape::M16N16K16, TuringMode::F16AccF32) => &[42, 56, 78, 99],
-        (WmmaShape::M16N16K16, TuringMode::F16AccF16) => &[44, 52, 60, 74],
-        (WmmaShape::M16N16K16, TuringMode::Int8) => &[40, 44, 47, 59],
-        (WmmaShape::M32N8K16, TuringMode::F16AccF32) => &[48, 60, 81, 104],
-        (WmmaShape::M32N8K16, TuringMode::F16AccF16) => &[44, 52, 60, 74],
-        (WmmaShape::M32N8K16, TuringMode::Int8) => &[52, 55, 59, 73],
-        (WmmaShape::M8N32K16, TuringMode::F16AccF32) => &[42, 56, 77, 99],
-        (WmmaShape::M8N32K16, TuringMode::F16AccF16) => &[42, 50, 58, 72],
-        (WmmaShape::M8N32K16, TuringMode::Int8) => &[38, 42, 46, 56],
-        (WmmaShape::M8N8K32, TuringMode::Int4) => &[230],
-        _ => return None,
-    };
-    Some(v.to_vec())
+    hw_tables::turing_set_completions(shape, mode.class()).map(|v| v.to_vec())
 }
 
 /// Timing summary of one `wmma.mma` used by the SM's tensor-core unit.
@@ -232,14 +229,29 @@ pub struct MmaTiming {
     pub initiation_interval: u32,
 }
 
-/// Computes the timing of a `wmma.mma` directive on Volta or Turing.
+/// Computes the timing of a `wmma.mma` or `mma.sync` directive.
+///
+/// `wmma.mma` is timed on Volta or Turing according to `volta`;
+/// `mma.sync` always uses the Ampere single-instruction table (Ampere SMs
+/// are never `volta`, which the caller's configuration guarantees).
 ///
 /// # Panics
 ///
-/// Panics if the directive is not a valid `Mma` for the architecture.
+/// Panics if the directive is not a valid multiply for the architecture.
 pub fn mma_timing(volta: bool, dir: &WmmaDirective) -> MmaTiming {
-    let WmmaDirective::Mma { shape, ab_type, d_type, .. } = *dir else {
-        panic!("mma_timing requires a wmma.mma directive")
+    let (shape, ab_type, d_type) = match *dir {
+        WmmaDirective::Mma { shape, ab_type, d_type, .. } => (shape, ab_type, d_type),
+        WmmaDirective::MmaSync { shape, ab_type, sparse, .. } => {
+            assert!(!volta, "mma.sync requires an Ampere-generation tensor core");
+            let t = hw_tables::ampere_mma_sync(shape, ab_type, sparse).unwrap_or_else(|| {
+                panic!("unsupported mma.sync mode {shape} {ab_type} sparse={sparse}")
+            });
+            return MmaTiming {
+                latency: t.latency,
+                initiation_interval: t.initiation_interval,
+            };
+        }
+        _ => panic!("mma_timing requires a matrix-multiply directive"),
     };
     if volta {
         let mode = MmaMode::from_types(ab_type, d_type);
@@ -422,6 +434,41 @@ mod tests {
         assert_eq!(int4.len(), 1);
         assert_eq!(int4[0].issue, 0);
         assert!(turing_step_schedule(WmmaShape::M8N8K32, TuringMode::Int8).is_none());
+    }
+
+    #[test]
+    fn mma_timing_ampere_mma_sync() {
+        let mk = |shape, ab_type, sparse| WmmaDirective::MmaSync {
+            shape,
+            ab_type,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+            sparse,
+        };
+        let k8 = mma_timing(false, &mk(WmmaShape::M16N8K8, WmmaType::F16, false));
+        assert_eq!((k8.latency, k8.initiation_interval), (16, 4));
+        let k16 = mma_timing(false, &mk(WmmaShape::M16N8K16, WmmaType::BF16, false));
+        assert_eq!((k16.latency, k16.initiation_interval), (24, 8));
+        let tf32 = mma_timing(false, &mk(WmmaShape::M16N8K8, WmmaType::TF32, false));
+        assert_eq!((tf32.latency, tf32.initiation_interval), (24, 8));
+        let sparse = mma_timing(false, &mk(WmmaShape::M16N8K16, WmmaType::F16, true));
+        assert_eq!((sparse.latency, sparse.initiation_interval), (20, 4));
+        // Sparse halves the dense-k16 issue interval and shaves latency.
+        assert!(sparse.latency < k16.latency);
+        assert_eq!(sparse.initiation_interval, k8.initiation_interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ampere-generation")]
+    fn mma_timing_rejects_mma_sync_on_volta() {
+        let dir = WmmaDirective::MmaSync {
+            shape: WmmaShape::M16N8K8,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+            sparse: false,
+        };
+        let _ = mma_timing(true, &dir);
     }
 
     #[test]

@@ -16,16 +16,25 @@ use crate::timing::{volta_step_schedule, turing_step_schedule, HmmaStepTiming, T
 use tcsim_isa::WmmaDirective;
 use tcsim_trace::{EventKind, TraceEvent, Tracer};
 
-/// The per-step schedule of a `wmma.mma` directive on either
-/// architecture, relative to the instruction's start cycle.
+/// The per-step schedule of a `wmma.mma` or `mma.sync` directive,
+/// relative to the instruction's start cycle.
+///
+/// A `mma.sync` is a single hardware instruction (no multi-set HMMA
+/// decomposition), so its schedule is one step issuing immediately and
+/// completing at the instruction latency.
 ///
 /// # Panics
 ///
-/// Panics if the directive is not a valid `Mma` for the architecture
+/// Panics if the directive is not a valid multiply for the architecture
 /// (mirrors [`mma_timing`](crate::timing::mma_timing)).
 pub fn mma_step_schedule(volta: bool, dir: &WmmaDirective) -> Vec<HmmaStepTiming> {
-    let WmmaDirective::Mma { shape, ab_type, d_type, .. } = *dir else {
-        panic!("mma_step_schedule requires a wmma.mma directive")
+    let (shape, ab_type, d_type) = match *dir {
+        WmmaDirective::Mma { shape, ab_type, d_type, .. } => (shape, ab_type, d_type),
+        WmmaDirective::MmaSync { .. } => {
+            let t = crate::timing::mma_timing(volta, dir);
+            return vec![HmmaStepTiming { set: 1, step: 0, issue: 0, complete: t.latency }];
+        }
+        _ => panic!("mma_step_schedule requires a matrix-multiply directive"),
     };
     if volta {
         volta_step_schedule(MmaMode::from_types(ab_type, d_type))
@@ -155,6 +164,37 @@ mod tests {
             })
             .collect();
         assert_eq!(sets, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mma_sync_emits_a_single_step_per_octet() {
+        let dir = WmmaDirective::MmaSync {
+            shape: WmmaShape::M16N8K16,
+            ab_type: WmmaType::BF16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+            sparse: true,
+        };
+        let sched = mma_step_schedule(false, &dir);
+        assert_eq!(sched.len(), 1);
+        assert_eq!((sched[0].set, sched[0].step, sched[0].issue), (1, 0, 0));
+        assert_eq!(sched[0].complete, 20);
+        let mut tr = RingTracer::with_capacity(4096);
+        trace_mma(&mut tr, false, &dir, 50, 1, 0, 3);
+        let events = tr.snapshot();
+        let hmma = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HmmaStep { .. }))
+            .count();
+        assert_eq!(hmma, OCTETS_PER_WARP);
+        let completes: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::HmmaStep { complete, .. } => Some(complete),
+                _ => None,
+            })
+            .collect();
+        assert!(completes.iter().all(|&c| c == 70));
     }
 
     #[test]

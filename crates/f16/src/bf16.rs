@@ -1,0 +1,324 @@
+//! Software bfloat16 (brain floating point) arithmetic type.
+//!
+//! `bf16` is the 16-bit operand format Ampere `mma.sync` adds alongside
+//! binary16: 1 sign bit, 8 exponent bits (the full binary32 exponent range,
+//! bias 127) and 7 explicit mantissa bits. Because the exponent field is
+//! identical to binary32's, a bfloat16 value is exactly the upper half of a
+//! binary32 bit pattern and [`Bf16::to_f32`] is a pure shift. Conversion
+//! *from* binary32 rounds the 23-bit mantissa to 7 bits with
+//! round-to-nearest-even, matching the `cvt.rn.bf16.f32` semantics the
+//! tensor-core datapath uses when packing operands.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::Neg;
+
+/// Number of explicit mantissa bits in the bfloat16 format.
+pub const MANTISSA_BITS: u32 = 7;
+/// Number of exponent bits in the bfloat16 format.
+pub const EXPONENT_BITS: u32 = 8;
+/// Exponent bias (same as binary32: the exponent field stores `e + 127`).
+pub const EXPONENT_BIAS: i32 = 127;
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7F80;
+const MAN_MASK: u16 = 0x007F;
+
+/// A bfloat16 value stored as its raw 16-bit pattern.
+///
+/// Equality and ordering follow IEEE semantics (`NaN != NaN`, `-0 == +0`);
+/// use [`Bf16::to_bits`] for bitwise comparisons.
+#[derive(Clone, Copy, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: Bf16 = Bf16(0x8000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Negative one.
+    pub const NEG_ONE: Bf16 = Bf16(0xBF80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A canonical quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Largest finite value (`(2 - 2^-7) * 2^127` ≈ 3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Smallest finite value (`-MAX`).
+    pub const MIN: Bf16 = Bf16(0xFF7F);
+    /// Smallest positive normal value (`2^-126`).
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Smallest positive subnormal value (`2^-133`).
+    pub const MIN_POSITIVE_SUBNORMAL: Bf16 = Bf16(0x0001);
+    /// Machine epsilon (`2^-7`).
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Constructs a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts a binary32 value to bfloat16 with round-to-nearest-even.
+    ///
+    /// The two formats share exponent layout, so rounding reduces to adding
+    /// the RNE increment below bit 16 of the binary32 pattern and keeping
+    /// the top half; a mantissa carry rolls into the exponent (and into
+    /// infinity past [`Bf16::MAX`]), which is exactly the correctly rounded
+    /// result. NaNs are quieted and keep the upper payload bits.
+    pub fn from_f32(value: f32) -> Bf16 {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Quiet the NaN (set the top mantissa bit) and keep whatever of
+            // the payload survives the truncation.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = (bits >> 16) & 1;
+        Bf16(((bits + 0x7FFF + round_bit) >> 16) as u16)
+    }
+
+    /// Converts a binary64 value to bfloat16 with a single rounding.
+    ///
+    /// Uses the binary64→binary32 conversion (correctly rounded) followed by
+    /// [`Bf16::from_f32`]; because 7 + 2 < 24 significand bits, the
+    /// double rounding coincides with direct RNE for all inputs produced by
+    /// bfloat16-operand arithmetic (same argument as the `F16` operators).
+    pub fn from_f64(value: f64) -> Bf16 {
+        Bf16::from_f32(value as f32)
+    }
+
+    /// Converts to binary32. This conversion is exact.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Converts to binary64. This conversion is exact.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// Returns `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Returns `true` if this value is subnormal (nonzero with zero exponent).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if this value is ±0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Returns `true` if the sign bit is set (including -0.0 and NaNs with a
+    /// negative sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Absolute value (clears the sign bit; preserves NaN payload).
+    #[inline]
+    pub fn abs(self) -> Bf16 {
+        Bf16(self.0 & !SIGN_MASK)
+    }
+}
+
+impl PartialEq for Bf16 {
+    fn eq(&self, other: &Bf16) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        if self.is_zero() && other.is_zero() {
+            return true;
+        }
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Bf16) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(value: Bf16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(value: f32) -> Bf16 {
+        Bf16::from_f32(value)
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::LowerHex for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every one of the 65536 bfloat16 bit patterns widens to binary32 and
+    /// narrows back to the identical pattern — except signalling NaNs, which
+    /// come back quieted (top mantissa bit forced) with payload preserved.
+    #[test]
+    fn f32_roundtrip_is_exact_for_all_bit_patterns() {
+        for bits in 0..=u16::MAX {
+            let x = Bf16::from_bits(bits);
+            let back = Bf16::from_f32(x.to_f32());
+            if x.is_nan() {
+                assert!(back.is_nan(), "NaN {bits:#06x} must stay NaN");
+                assert_eq!(back.to_bits(), bits | 0x0040, "NaN quieting for {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "roundtrip of {bits:#06x}");
+            }
+        }
+    }
+
+    /// Narrowing is the RNE rounding of the binary32 mantissa: checked
+    /// exhaustively over every bfloat16 pattern with every 16-bit tail,
+    /// sampled on the tails that matter (below half, half, above half) and
+    /// in full for the tie cases.
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + ulp/2 ties to even (stays 1.0); next representable up
+        // rounds away.
+        let one = 0x3F80_0000u32; // 1.0f32
+        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x8000)).to_bits(), 0x3F80);
+        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x8001)).to_bits(), 0x3F81);
+        // 1.0 + 3*ulp/2 ties up to even (0x3F82).
+        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x1_8000)).to_bits(), 0x3F82);
+        // Just below half rounds down.
+        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x7FFF)).to_bits(), 0x3F80);
+        // Sweep: for every finite bf16 x, the binary32 midpoint between x
+        // and the next pattern must round to the even neighbour.
+        for bits in 0..0x7F7Fu16 {
+            let mid = ((bits as u32) << 16) | 0x8000;
+            let rounded = Bf16::from_f32(f32::from_bits(mid)).to_bits();
+            let even = if bits & 1 == 0 { bits } else { bits + 1 };
+            assert_eq!(rounded, even, "midpoint above {bits:#06x}");
+        }
+    }
+
+    /// Values at or beyond the MAX/∞ midpoint round to infinity; below it
+    /// they round to MAX.
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        let max_mid = ((Bf16::MAX.to_bits() as u32) << 16) | 0x8000;
+        assert_eq!(Bf16::from_f32(f32::from_bits(max_mid - 1)).to_bits(), 0x7F7F);
+        // Midpoint ties toward the (odd-mantissa) infinity candidate's even
+        // neighbour: MAX has odd mantissa, so the tie rounds up to infinity.
+        assert!(Bf16::from_f32(f32::from_bits(max_mid)).is_infinite());
+        assert!(Bf16::from_f32(f32::MAX).is_infinite());
+        assert!(Bf16::from_f32(f32::NEG_INFINITY).is_infinite());
+        assert!(Bf16::from_f32(f32::NEG_INFINITY).is_sign_negative());
+    }
+
+    /// The formats share the exponent range, so tiny binary32 values narrow
+    /// to bfloat16 subnormals (or zero) with RNE on the mantissa.
+    #[test]
+    fn underflow_rounds_to_zero_or_subnormal() {
+        // Smallest f32 subnormal (2^-149) is far below bf16's smallest
+        // subnormal ulp (2^-133): rounds to +0.
+        assert_eq!(Bf16::from_f32(f32::from_bits(1)).to_bits(), 0x0000);
+        assert_eq!(Bf16::from_f32(-f32::from_bits(1)).to_bits(), 0x8000);
+        // 2^-133 (f32 bits 0x0001_0000) is exactly the smallest bf16
+        // subnormal.
+        assert_eq!(Bf16::from_f32(f32::from_bits(0x0001_0000)).to_bits(), 0x0001);
+        assert!(Bf16::MIN_POSITIVE_SUBNORMAL.is_subnormal());
+        // Half of it (2^-134) ties to even (zero).
+        assert_eq!(Bf16::from_f32(f32::from_bits(0x0000_8000)).to_bits(), 0x0000);
+        // Three halves of it ties up to 2 ulps.
+        assert_eq!(Bf16::from_f32(f32::from_bits(0x0001_8000)).to_bits(), 0x0002);
+    }
+
+    /// NaNs stay NaN through both directions and are quieted on narrowing.
+    #[test]
+    fn nan_propagates_and_is_quieted() {
+        assert!(Bf16::NAN.is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        // A signalling binary32 NaN whose payload dies in truncation must
+        // still narrow to a NaN.
+        let snan = f32::from_bits(0x7F80_0001);
+        assert!(snan.is_nan());
+        let narrowed = Bf16::from_f32(snan);
+        assert!(narrowed.is_nan());
+        assert_eq!(narrowed.to_bits() & 0x0040, 0x0040, "quiet bit forced");
+    }
+
+    /// Constants have the documented bit patterns and classifications.
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(Bf16::MAX.to_f32().to_bits(), 0x7F7F_0000);
+        assert_eq!(Bf16::MIN_POSITIVE.to_f32(), f32::MIN_POSITIVE);
+        assert_eq!(Bf16::MIN_POSITIVE_SUBNORMAL.to_f32().to_bits(), 0x0001_0000);
+        assert_eq!(Bf16::EPSILON.to_f64(), 1.0 / 128.0);
+        assert!(Bf16::NAN.is_nan());
+        assert!(Bf16::INFINITY.is_infinite());
+        assert_eq!(Bf16::ZERO, Bf16::NEG_ZERO);
+        assert_ne!(Bf16::ZERO.to_bits(), Bf16::NEG_ZERO.to_bits());
+        assert_eq!(-Bf16::ONE, Bf16::NEG_ONE);
+        assert_eq!((-Bf16::INFINITY).to_bits(), Bf16::NEG_INFINITY.to_bits());
+        assert_eq!(Bf16::NEG_ONE.abs(), Bf16::ONE);
+    }
+}

@@ -30,9 +30,13 @@
 //! assert_eq!(F16::ONE + F16::ONE, F16::from_f32(2.0));
 //! ```
 
+pub mod bf16;
 mod f16x2;
+pub mod tf32;
 
+pub use bf16::Bf16;
 pub use f16x2::F16x2;
+pub use tf32::Tf32;
 
 use std::cmp::Ordering;
 use std::fmt;

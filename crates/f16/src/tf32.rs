@@ -1,0 +1,348 @@
+//! Software TensorFloat-32 (TF32) operand type.
+//!
+//! TF32 is not a storage format: Ampere keeps TF32 operands in full 32-bit
+//! registers using the binary32 layout, but the tensor-core datapath only
+//! consumes the sign, the 8 exponent bits and the top **10** mantissa bits
+//! (binary16 precision at binary32 range). This module models that as a
+//! binary32 bit pattern whose low 13 mantissa bits are always zero —
+//! [`Tf32::to_f32`] is exact and [`Tf32::from_f32`] rounds the mantissa
+//! 23 → 10 bits with round-to-nearest-even, the conversion the datapath
+//! applies when an `mma.sync` A/B fragment is fed to the FEDP trees.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::Neg;
+
+/// Number of mantissa bits the TF32 datapath keeps.
+pub const MANTISSA_BITS: u32 = 10;
+/// Number of exponent bits (the full binary32 exponent range).
+pub const EXPONENT_BITS: u32 = 8;
+/// Exponent bias (same as binary32).
+pub const EXPONENT_BIAS: i32 = 127;
+
+const SIGN_MASK: u32 = 0x8000_0000;
+const EXP_MASK: u32 = 0x7F80_0000;
+const MAN_MASK: u32 = 0x007F_FFFF;
+/// Mantissa bits below the TF32 precision cut (23 − 10 = 13 bits).
+const DROP_BITS: u32 = 13;
+const DROP_MASK: u32 = (1 << DROP_BITS) - 1;
+
+/// A TF32 value stored as a binary32 bit pattern with the low 13 mantissa
+/// bits zero.
+///
+/// Equality and ordering follow IEEE semantics (`NaN != NaN`, `-0 == +0`);
+/// use [`Tf32::to_bits`] for bitwise comparisons.
+#[derive(Clone, Copy, Default)]
+pub struct Tf32(u32);
+
+impl Tf32 {
+    /// Positive zero.
+    pub const ZERO: Tf32 = Tf32(0x0000_0000);
+    /// Negative zero.
+    pub const NEG_ZERO: Tf32 = Tf32(0x8000_0000);
+    /// One.
+    pub const ONE: Tf32 = Tf32(0x3F80_0000);
+    /// Negative one.
+    pub const NEG_ONE: Tf32 = Tf32(0xBF80_0000);
+    /// Positive infinity.
+    pub const INFINITY: Tf32 = Tf32(0x7F80_0000);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Tf32 = Tf32(0xFF80_0000);
+    /// A canonical quiet NaN.
+    pub const NAN: Tf32 = Tf32(0x7FC0_0000);
+    /// Largest finite value (`(2 - 2^-10) * 2^127`).
+    pub const MAX: Tf32 = Tf32(0x7F7F_E000);
+    /// Smallest finite value (`-MAX`).
+    pub const MIN: Tf32 = Tf32(0xFF7F_E000);
+    /// Smallest positive normal value (`2^-126`, same as binary32).
+    pub const MIN_POSITIVE: Tf32 = Tf32(0x0080_0000);
+    /// Smallest positive subnormal value (`2^-136`).
+    pub const MIN_POSITIVE_SUBNORMAL: Tf32 = Tf32(0x0000_2000);
+    /// Machine epsilon (`2^-10`).
+    pub const EPSILON: Tf32 = Tf32(0x3A80_0000);
+
+    /// Constructs a value from a raw binary32 bit pattern.
+    ///
+    /// The low 13 mantissa bits are cleared so every `Tf32` is a canonical
+    /// TF32 pattern; NaN payloads living entirely in the dropped bits are
+    /// re-quieted to keep the value a NaN.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Tf32 {
+        if (bits & EXP_MASK) == EXP_MASK && (bits & MAN_MASK) != 0 && (bits & MAN_MASK & !DROP_MASK) == 0 {
+            return Tf32((bits & !DROP_MASK) | 0x0040_0000);
+        }
+        Tf32(bits & !DROP_MASK)
+    }
+
+    /// Returns the raw binary32 bit pattern (low 13 mantissa bits zero).
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Converts a binary32 value to TF32 with round-to-nearest-even.
+    ///
+    /// Rounds the 23-bit mantissa to 10 bits by adding the RNE increment
+    /// below the cut and clearing the dropped bits; a mantissa carry rolls
+    /// into the exponent (and into infinity past [`Tf32::MAX`]), which is
+    /// the correctly rounded result. Subnormals round the same way since
+    /// the exponent range is unchanged. NaNs are quieted and keep the
+    /// surviving payload bits.
+    pub fn from_f32(value: f32) -> Tf32 {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            return Tf32((bits | 0x0040_0000) & !DROP_MASK);
+        }
+        let round_bit = (bits >> DROP_BITS) & 1;
+        Tf32((bits + (DROP_MASK >> 1) + round_bit) & !DROP_MASK)
+    }
+
+    /// Converts to binary32. This conversion is exact: every TF32 value is
+    /// a binary32 value.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// Converts to binary64. This conversion is exact.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// Returns `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Returns `true` if this value is subnormal (nonzero with zero exponent).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Returns `true` if this value is ±0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Returns `true` if the sign bit is set (including -0.0 and NaNs with a
+    /// negative sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Absolute value (clears the sign bit; preserves NaN payload).
+    #[inline]
+    pub fn abs(self) -> Tf32 {
+        Tf32(self.0 & !SIGN_MASK)
+    }
+}
+
+impl PartialEq for Tf32 {
+    fn eq(&self, other: &Tf32) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        if self.is_zero() && other.is_zero() {
+            return true;
+        }
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Tf32 {
+    fn partial_cmp(&self, other: &Tf32) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl Neg for Tf32 {
+    type Output = Tf32;
+    fn neg(self) -> Tf32 {
+        Tf32(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl From<Tf32> for f32 {
+    fn from(value: Tf32) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl From<f32> for Tf32 {
+    fn from(value: f32) -> Tf32 {
+        Tf32::from_f32(value)
+    }
+}
+
+impl fmt::Debug for Tf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tf32({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Tf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::LowerHex for Tf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Narrowing an already-TF32 value is the identity: exhaustive over all
+    /// 65536 (sign, exponent, top-8-mantissa) upper halves crossed with the
+    /// two interesting kept-bit tails, covering every exponent and every
+    /// rounding-relevant mantissa pattern.
+    #[test]
+    fn conversion_is_idempotent_for_all_upper_halves() {
+        for upper in 0..=u16::MAX {
+            for tail in [0u32, 0x6000] {
+                let bits = ((upper as u32) << 16) | tail;
+                let x = Tf32::from_bits(bits);
+                let back = Tf32::from_f32(x.to_f32());
+                if x.is_nan() {
+                    assert!(back.is_nan(), "NaN {bits:#010x} must stay NaN");
+                    assert_eq!(
+                        back.to_bits(),
+                        x.to_bits() | 0x0040_0000,
+                        "NaN quieting for {bits:#010x}"
+                    );
+                } else {
+                    assert_eq!(back.to_bits(), x.to_bits(), "idempotence for {bits:#010x}");
+                }
+            }
+        }
+    }
+
+    /// `from_bits` canonicalizes: dropped bits cleared, and a NaN whose
+    /// payload lived entirely in the dropped bits stays NaN.
+    #[test]
+    fn from_bits_canonicalizes() {
+        assert_eq!(Tf32::from_bits(0x3F80_1FFF).to_bits(), 0x3F80_0000);
+        let nan = Tf32::from_bits(0x7F80_0001); // payload only in dropped bits
+        assert!(nan.is_nan());
+        assert_eq!(nan.to_bits(), 0x7FC0_0000);
+        // Infinity is not mistaken for such a NaN.
+        assert_eq!(Tf32::from_bits(0x7F80_0000).to_bits(), 0x7F80_0000);
+    }
+
+    /// Narrowing is RNE at the 13-bit cut: ties go to the even kept
+    /// mantissa, checked for every exponent via a midpoint sweep.
+    #[test]
+    fn rounding_is_nearest_even() {
+        let one = 0x3F80_0000u32;
+        // 1.0 + ulp/2 ties to even (stays 1.0); a sticky bit rounds up.
+        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x1000)).to_bits(), one);
+        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x1001)).to_bits(), one | 0x2000);
+        // 1.0 + 3*ulp/2 ties up to even.
+        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x3000)).to_bits(), one | 0x4000);
+        // Just below half rounds down.
+        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x0FFF)).to_bits(), one);
+        // Sweep every kept-mantissa pattern across a few exponents: the
+        // midpoint above each value must round to the even neighbour.
+        for exp in [0u32, 1, 64, 127, 128, 253] {
+            for kept in 0..(1u32 << MANTISSA_BITS) {
+                let base = (exp << 23) | (kept << DROP_BITS);
+                let mid = base | (1 << (DROP_BITS - 1));
+                let rounded = Tf32::from_f32(f32::from_bits(mid)).to_bits();
+                let even = if kept & 1 == 0 { base } else { base + (1 << DROP_BITS) };
+                assert_eq!(rounded, even, "midpoint above {base:#010x}");
+            }
+        }
+    }
+
+    /// Values at or beyond the MAX/∞ midpoint round to infinity.
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        let max_mid = Tf32::MAX.to_bits() | (1 << (DROP_BITS - 1));
+        assert_eq!(Tf32::from_f32(f32::from_bits(max_mid - 1)).to_bits(), Tf32::MAX.to_bits());
+        // MAX has an odd kept mantissa, so the tie rounds up to infinity.
+        assert!(Tf32::from_f32(f32::from_bits(max_mid)).is_infinite());
+        assert!(Tf32::from_f32(f32::MAX).is_infinite());
+        assert!(Tf32::from_f32(f32::NEG_INFINITY).is_infinite());
+        assert!(Tf32::from_f32(f32::NEG_INFINITY).is_sign_negative());
+    }
+
+    /// TF32 keeps the binary32 exponent range, so only the bottom 13 bits
+    /// of the subnormal range are lost: tiny values round to TF32
+    /// subnormals or to zero.
+    #[test]
+    fn underflow_rounds_to_zero_or_subnormal() {
+        // Smallest f32 subnormal (2^-149) is below half of 2^-136: +0.
+        assert_eq!(Tf32::from_f32(f32::from_bits(1)).to_bits(), 0x0000_0000);
+        assert_eq!(Tf32::from_f32(-f32::from_bits(1)).to_bits(), 0x8000_0000);
+        // 2^-136 (f32 bits 0x2000) is exactly the smallest TF32 subnormal.
+        let tiny = Tf32::from_f32(f32::from_bits(0x0000_2000));
+        assert_eq!(tiny.to_bits(), Tf32::MIN_POSITIVE_SUBNORMAL.to_bits());
+        assert!(tiny.is_subnormal());
+        // Half of it (2^-137) ties to even (zero); three halves ties up to
+        // 2 ulps.
+        assert_eq!(Tf32::from_f32(f32::from_bits(0x0000_1000)).to_bits(), 0);
+        assert_eq!(Tf32::from_f32(f32::from_bits(0x0000_3000)).to_bits(), 0x0000_4000);
+    }
+
+    /// NaNs stay NaN through both directions and are quieted on narrowing.
+    #[test]
+    fn nan_propagates_and_is_quieted() {
+        assert!(Tf32::NAN.is_nan());
+        assert!(Tf32::NAN.to_f32().is_nan());
+        assert!(Tf32::from_f32(f32::NAN).is_nan());
+        let snan = f32::from_bits(0x7F80_0001);
+        assert!(snan.is_nan());
+        let narrowed = Tf32::from_f32(snan);
+        assert!(narrowed.is_nan());
+        assert_eq!(narrowed.to_bits() & 0x0040_0000, 0x0040_0000, "quiet bit forced");
+    }
+
+    /// Constants have the documented values and classifications.
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Tf32::ONE.to_f32(), 1.0);
+        assert_eq!(Tf32::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(Tf32::MAX.to_f32().to_bits(), 0x7F7F_E000);
+        assert_eq!(Tf32::MIN_POSITIVE.to_f32(), f32::MIN_POSITIVE);
+        assert_eq!(Tf32::EPSILON.to_f64(), 1.0 / 1024.0);
+        assert!(Tf32::NAN.is_nan());
+        assert!(Tf32::INFINITY.is_infinite());
+        assert_eq!(Tf32::ZERO, Tf32::NEG_ZERO);
+        assert_ne!(Tf32::ZERO.to_bits(), Tf32::NEG_ZERO.to_bits());
+        assert_eq!(-Tf32::ONE, Tf32::NEG_ONE);
+        assert_eq!((-Tf32::INFINITY).to_bits(), Tf32::NEG_INFINITY.to_bits());
+        assert_eq!(Tf32::NEG_ONE.abs(), Tf32::ONE);
+        // Every constant is canonical (dropped bits zero).
+        for c in [
+            Tf32::ZERO, Tf32::NEG_ZERO, Tf32::ONE, Tf32::NEG_ONE, Tf32::INFINITY,
+            Tf32::NEG_INFINITY, Tf32::NAN, Tf32::MAX, Tf32::MIN, Tf32::MIN_POSITIVE,
+            Tf32::MIN_POSITIVE_SUBNORMAL, Tf32::EPSILON,
+        ] {
+            assert_eq!(c.to_bits() & DROP_MASK, 0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Measured per-architecture HMMA latency tables.
+//!
+//! These are the raw numbers behind the timing model: the Fig 9 cumulative
+//! step-completion sequences (Titan V), the Table I per-set cumulative
+//! cycles (RTX 2080), and the Ampere `mma.sync` latency/issue-interval
+//! pairs (microbenchmarks in the style of arXiv:2502.15999). They live in
+//! this crate — the hardware surrogate — because they are *measurements*,
+//! not model structure: `tcsim-core` consumes them to derive schedules,
+//! and correlation studies can cite them independently of the simulator.
+
+use tcsim_isa::{WmmaShape, WmmaType};
+
+/// Cumulative cycles of Volta's HMMA steps in mixed precision (Fig 9a).
+pub const VOLTA_MIXED_CUMULATIVE: [u32; 16] =
+    [10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54];
+
+/// Cumulative cycles of Volta's HMMA steps in FP16 mode (Fig 9b).
+pub const VOLTA_FP16_CUMULATIVE: [u32; 8] = [12, 21, 25, 34, 38, 47, 51, 64];
+
+/// Precision classes of the Turing Table I rows.
+///
+/// Mirrors `tcsim-core`'s `TuringMode`, but keyed here by datapath width
+/// rather than ISA type qualifiers so the table stays ISA-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HmmaClass {
+    /// 16-bit multiplicands accumulating into FP32.
+    HalfAccF32,
+    /// 16-bit multiplicands accumulating into FP16.
+    HalfAccF16,
+    /// 8-bit integer mode.
+    Int8,
+    /// 4-bit integer mode (single HMMA).
+    Int4,
+}
+
+/// Table I: average cumulative cycles to execute all HMMA instructions up
+/// to each SET on Turing (RTX 2080). `None` for combinations the hardware
+/// does not support.
+pub fn turing_set_completions(shape: WmmaShape, class: HmmaClass) -> Option<&'static [u32]> {
+    let v: &'static [u32] = match (shape, class) {
+        (WmmaShape::M16N16K16, HmmaClass::HalfAccF32) => &[42, 56, 78, 99],
+        (WmmaShape::M16N16K16, HmmaClass::HalfAccF16) => &[44, 52, 60, 74],
+        (WmmaShape::M16N16K16, HmmaClass::Int8) => &[40, 44, 47, 59],
+        (WmmaShape::M32N8K16, HmmaClass::HalfAccF32) => &[48, 60, 81, 104],
+        (WmmaShape::M32N8K16, HmmaClass::HalfAccF16) => &[44, 52, 60, 74],
+        (WmmaShape::M32N8K16, HmmaClass::Int8) => &[52, 55, 59, 73],
+        (WmmaShape::M8N32K16, HmmaClass::HalfAccF32) => &[42, 56, 77, 99],
+        (WmmaShape::M8N32K16, HmmaClass::HalfAccF16) => &[42, 50, 58, 72],
+        (WmmaShape::M8N32K16, HmmaClass::Int8) => &[38, 42, 46, 56],
+        (WmmaShape::M8N8K32, HmmaClass::Int4) => &[230],
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Latency summary of one Ampere `mma.sync` instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmaSyncLatency {
+    /// Issue-to-writeback cycles.
+    pub latency: u32,
+    /// Minimum spacing of back-to-back `mma.sync` on one tensor-core pair.
+    pub initiation_interval: u32,
+}
+
+/// Ampere `mma.sync` latency table (A100-class SM).
+///
+/// A single `mma.sync` is one hardware instruction — there is no multi-set
+/// HMMA decomposition to observe — so the table carries a flat
+/// latency/interval pair per mode:
+///
+/// * 16-bit `m16n8k8` retires its 4-deep K loop in one FEDP pass:
+///   latency 16, new issue every 4 cycles.
+/// * 16-bit `m16n8k16` doubles the K extent: latency 24, interval 8.
+/// * TF32 `m16n8k8` moves 32-bit multiplicands over the same operand
+///   buses, doubling collection traffic: latency 24, interval 8.
+/// * Sparse `m16n8k16` reads a compressed (k8-sized) A plus metadata; the
+///   sparse-skip halves FEDP occupancy back to the k8 interval while the
+///   metadata-driven B-column select adds 4 cycles of latency over the
+///   dense k8 case: latency 20, interval 4.
+///
+/// BF16 rows equal F16 rows — the datapath width is identical.
+pub fn ampere_mma_sync(
+    shape: WmmaShape,
+    ab_type: WmmaType,
+    sparse: bool,
+) -> Option<MmaSyncLatency> {
+    let t = match (shape, ab_type, sparse) {
+        (WmmaShape::M16N8K8, WmmaType::F16 | WmmaType::BF16, false) => {
+            MmaSyncLatency { latency: 16, initiation_interval: 4 }
+        }
+        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, false) => {
+            MmaSyncLatency { latency: 24, initiation_interval: 8 }
+        }
+        (WmmaShape::M16N8K8, WmmaType::TF32, false) => {
+            MmaSyncLatency { latency: 24, initiation_interval: 8 }
+        }
+        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, true) => {
+            MmaSyncLatency { latency: 20, initiation_interval: 4 }
+        }
+        _ => return None,
+    };
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_sequences_are_strictly_increasing() {
+        assert!(VOLTA_MIXED_CUMULATIVE.windows(2).all(|w| w[0] < w[1]));
+        assert!(VOLTA_FP16_CUMULATIVE.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(VOLTA_MIXED_CUMULATIVE.last(), Some(&54));
+        assert_eq!(VOLTA_FP16_CUMULATIVE.last(), Some(&64));
+    }
+
+    #[test]
+    fn turing_table_matches_paper() {
+        assert_eq!(
+            turing_set_completions(WmmaShape::M16N16K16, HmmaClass::HalfAccF32),
+            Some(&[42, 56, 78, 99][..])
+        );
+        assert_eq!(
+            turing_set_completions(WmmaShape::M8N8K32, HmmaClass::Int4),
+            Some(&[230][..])
+        );
+        assert_eq!(turing_set_completions(WmmaShape::M8N8K32, HmmaClass::Int8), None);
+        assert_eq!(turing_set_completions(WmmaShape::M16N8K8, HmmaClass::HalfAccF32), None);
+    }
+
+    #[test]
+    fn ampere_table_covers_exactly_the_valid_modes() {
+        // Dense 16-bit, both K extents; BF16 equals F16.
+        for ab in [WmmaType::F16, WmmaType::BF16] {
+            let k8 = ampere_mma_sync(WmmaShape::M16N8K8, ab, false).unwrap();
+            let k16 = ampere_mma_sync(WmmaShape::M16N8K16, ab, false).unwrap();
+            assert_eq!((k8.latency, k8.initiation_interval), (16, 4));
+            assert_eq!((k16.latency, k16.initiation_interval), (24, 8));
+            // Sparse k16 lands between the dense extents and recovers the
+            // k8 issue rate.
+            let sp = ampere_mma_sync(WmmaShape::M16N8K16, ab, true).unwrap();
+            assert_eq!((sp.latency, sp.initiation_interval), (20, 4));
+            assert!(k8.latency < sp.latency && sp.latency < k16.latency);
+        }
+        // TF32 is k8-only and pays the 32-bit operand-bus cost.
+        let tf32 = ampere_mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, false).unwrap();
+        assert_eq!((tf32.latency, tf32.initiation_interval), (24, 8));
+        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::TF32, false), None);
+        // No sparse TF32, no mma.sync on the wmma shapes, no integer rows.
+        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, true), None);
+        assert_eq!(ampere_mma_sync(WmmaShape::M16N16K16, WmmaType::F16, false), None);
+        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::S8, false), None);
+    }
+}

@@ -9,8 +9,10 @@
 //! simulator-vs-surrogate correlation (Fig 14) measures what the paper's
 //! simulator-vs-hardware correlation measured.
 
+pub mod hmma_tables;
 mod model;
 
+pub use hmma_tables::{ampere_mma_sync, HmmaClass, MmaSyncLatency};
 pub use model::HwModel;
 
 /// GEMM kernel classes of the paper's Fig 17 comparison.

@@ -296,6 +296,20 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     reg_of(&i.srcs[2])
                 )
             }
+            Op::Wmma(WmmaDirective::MmaSync { shape, ab_type, d_type, c_type, sparse }) => {
+                let sp = if *sparse { ".sp" } else { "" };
+                let mut s = format!(
+                    "mma{sp}.sync.aligned.{shape}.row.col.{d_type}.{ab_type}.{ab_type}.{c_type} {}, {}, {}, {}",
+                    dst.clone().expect("dst"),
+                    reg_of(&i.srcs[0]),
+                    reg_of(&i.srcs[1]),
+                    reg_of(&i.srcs[2])
+                );
+                if *sparse {
+                    s.push_str(&format!(", {}", reg_of(&i.srcs[3])));
+                }
+                s
+            }
             Op::Wmma(WmmaDirective::Store { shape, layout, ty }) => format!(
                 "wmma.store.d.sync.{layout}.{shape}.{ty}.{} {}, {}, {}",
                 space_suffix(&i.srcs[3]),
@@ -456,6 +470,59 @@ mod tests {
         b.shfl(crate::ShflMode::Bfly, sa, sa, Operand::Imm(1));
         b.exit();
         roundtrip(&b.build());
+    }
+
+    #[test]
+    fn roundtrips_mma_sync_dense_and_sparse() {
+        let mut b = KernelBuilder::new("mma_sync");
+        let p = b.param_u64("x");
+        let base = b.reg_pair();
+        b.ld_param(MemWidth::B64, base, p);
+        let fa = b.reg_block(4);
+        let fb = b.reg_block(2);
+        let fc = b.reg_block(4);
+        let fd = b.reg_block(4);
+        let meta = b.reg();
+        b.wmma_load(
+            FragmentKind::A,
+            WmmaShape::M16N8K16,
+            Layout::Row,
+            WmmaType::BF16,
+            MemSpace::Global,
+            fa,
+            Operand::RegPair(base),
+            Operand::Imm(16),
+        );
+        b.mma_sync(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, false, fd, fa, fb, fc, None);
+        b.mma_sync(
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            true,
+            fd,
+            fa,
+            fb,
+            fc,
+            Some(meta),
+        );
+        b.mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false, fd, fa, fb, fc, None);
+        b.wmma_store(
+            WmmaShape::M16N8K16,
+            Layout::Row,
+            WmmaType::F32,
+            MemSpace::Global,
+            Operand::RegPair(base),
+            Operand::Imm(8),
+            fd,
+        );
+        b.exit();
+        let k = b.build();
+        let text = emit_kernel(&k);
+        assert!(text.contains("mma.sync.aligned.m16n8k16.row.col.f32.bf16.bf16.f32"), "{text}");
+        assert!(text.contains("mma.sp.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32"), "{text}");
+        assert!(text.contains("mma.sync.aligned.m16n8k8.row.col.f32.tf32.tf32.f32"), "{text}");
+        roundtrip(&k);
     }
 
     #[test]

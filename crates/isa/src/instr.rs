@@ -1,7 +1,7 @@
 //! Instruction encoding: opcodes, operands, registers and unit classes.
 
 use crate::types::{DataType, MemSpace, MemWidth, SpecialReg};
-use crate::wmma::{fragment_regs, FragmentKind, WmmaDirective};
+use crate::wmma::{fragment_regs, mma_sync_a_shape, FragmentKind, WmmaDirective};
 use std::fmt;
 
 /// A 32-bit architectural register index within a thread.
@@ -352,7 +352,9 @@ impl Op {
             | Op::Setp { .. }
             | Op::Clock => UnitClass::Int,
             Op::Ld { .. } | Op::St { .. } | Op::Atom { .. } | Op::Shfl { .. } => UnitClass::Mem,
-            Op::Wmma(WmmaDirective::Mma { .. }) => UnitClass::Tensor,
+            Op::Wmma(WmmaDirective::Mma { .. }) | Op::Wmma(WmmaDirective::MmaSync { .. }) => {
+                UnitClass::Tensor
+            }
             Op::Wmma(_) => UnitClass::Mem,
             Op::Nop | Op::Bra | Op::Bar | Op::Exit => UnitClass::Control,
         }
@@ -452,6 +454,28 @@ impl Instr {
                 }
                 return out;
             }
+            Op::Wmma(WmmaDirective::MmaSync { shape, ab_type, c_type, sparse, .. }) => {
+                // srcs = [a-frag, b-frag, c-frag] + [meta reg] when sparse.
+                // Sparse A is held at the compressed (half-K) footprint.
+                let a_shape = mma_sync_a_shape(*shape, *sparse);
+                if let Operand::Reg(r) = self.srcs[0] {
+                    push_span(r, fragment_regs(FragmentKind::A, a_shape, *ab_type, false));
+                }
+                if let Operand::Reg(r) = self.srcs[1] {
+                    push_span(r, fragment_regs(FragmentKind::B, *shape, *ab_type, false));
+                }
+                if let Operand::Reg(r) = self.srcs[2] {
+                    push_span(r, fragment_regs(FragmentKind::C, *shape, *c_type, false));
+                }
+                if *sparse {
+                    if let Some(Operand::Reg(r)) = self.srcs.get(3) {
+                        push_span(*r, 1);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                return out;
+            }
             Op::Wmma(WmmaDirective::Store { shape, ty, .. }) => {
                 // srcs = [addr(pair), stride, d-frag base]
                 if let Operand::Reg(r) = self.srcs[2] {
@@ -499,6 +523,9 @@ impl Instr {
             }
             Op::Wmma(WmmaDirective::Mma { shape, d_type, .. }) => {
                 fragment_regs(FragmentKind::D, *shape, *d_type, volta_double_load)
+            }
+            Op::Wmma(WmmaDirective::MmaSync { shape, d_type, .. }) => {
+                fragment_regs(FragmentKind::D, *shape, *d_type, false)
             }
             op if op.writes_pair() => 2,
             _ => 1,
@@ -624,6 +651,58 @@ mod tests {
         // A: r0..r8, B: r8..r16, C: r16..r24 → 24 distinct regs.
         assert_eq!(uses.len(), 24);
         assert_eq!(mma.def_regs(true).len(), 8);
+    }
+
+    #[test]
+    fn mma_sync_reads_fragments_and_sparse_metadata() {
+        let dense = Instr::new(Op::Wmma(WmmaDirective::MmaSync {
+            shape: WmmaShape::M16N8K16,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+            sparse: false,
+        }))
+        .with_dst(Reg(40))
+        .with_srcs(vec![
+            Operand::Reg(Reg(0)),
+            Operand::Reg(Reg(8)),
+            Operand::Reg(Reg(16)),
+        ]);
+        // A: 4 regs, B: 2 regs, C: 4 regs → 10 distinct; D: 4 regs.
+        assert_eq!(dense.use_regs(true).len(), 10);
+        assert_eq!(dense.def_regs(true).len(), 4);
+        // Sizing must not depend on the Volta double-load flag.
+        assert_eq!(dense.use_regs(true), dense.use_regs(false));
+
+        let sparse = Instr::new(Op::Wmma(WmmaDirective::MmaSync {
+            shape: WmmaShape::M16N8K16,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+            sparse: true,
+        }))
+        .with_dst(Reg(40))
+        .with_srcs(vec![
+            Operand::Reg(Reg(0)),
+            Operand::Reg(Reg(8)),
+            Operand::Reg(Reg(16)),
+            Operand::Reg(Reg(30)),
+        ]);
+        let uses = sparse.use_regs(false);
+        // Compressed A: 2 regs, B: 2, C: 4, metadata: 1 → 9 distinct.
+        assert_eq!(uses.len(), 9);
+        assert!(uses.contains(&Reg(30)));
+        assert_eq!(
+            Op::Wmma(WmmaDirective::MmaSync {
+                shape: WmmaShape::M16N8K16,
+                ab_type: WmmaType::F16,
+                c_type: WmmaType::F32,
+                d_type: WmmaType::F32,
+                sparse: true,
+            })
+            .unit(),
+            UnitClass::Tensor
+        );
     }
 
     #[test]

@@ -609,6 +609,33 @@ impl KernelBuilder {
         );
     }
 
+    /// `mma.sync`: Ampere per-instruction `d ← a × b + c` on register
+    /// fragments with fixed `row.col` operand layouts. `meta` carries the
+    /// 2:4 sparsity metadata register and must be `Some` exactly when
+    /// `sparse` is set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mma_sync(
+        &mut self,
+        shape: WmmaShape,
+        ab_type: WmmaType,
+        d_type: WmmaType,
+        c_type: WmmaType,
+        sparse: bool,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        meta: Option<Reg>,
+    ) {
+        assert_eq!(sparse, meta.is_some(), "sparse mma.sync needs exactly one metadata register");
+        let dir = WmmaDirective::MmaSync { shape, ab_type, d_type, c_type, sparse };
+        let mut srcs = vec![Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)];
+        if let Some(m) = meta {
+            srcs.push(Operand::Reg(m));
+        }
+        self.emit3(Op::Wmma(dir), d, srcs);
+    }
+
     /// `wmma.store.d`: stores a result fragment to memory.
     #[allow(clippy::too_many_arguments)]
     pub fn wmma_store(

@@ -55,6 +55,6 @@ pub use traits::{ByteMemory, VecMemory, WarpRegFile, WarpRegisters};
 pub use types::{DataType, Dim3, LaunchConfig, MemSpace, MemWidth, SpecialReg};
 pub use uop::{Uop, UopStream};
 pub use wmma::{
-    fragment_elements, fragment_regs, FragmentKind, Layout, WmmaDirective, WmmaShape, WmmaType,
-    WARP_SIZE,
+    fragment_elements, fragment_regs, mma_sync_a_shape, FragmentKind, Layout, TensorGen,
+    WmmaDirective, WmmaShape, WmmaType, WARP_SIZE,
 };

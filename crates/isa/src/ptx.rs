@@ -693,6 +693,39 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             .with_dst(d)
             .with_srcs(vec![Operand::Reg(a), Operand::Reg(bb), Operand::Reg(c)])
         }
+        ["mma", "sync", "aligned", shape, "row", "col", dt, ab, ab2, ct]
+        | ["mma", "sp", "sync", "aligned", shape, "row", "col", dt, ab, ab2, ct] => {
+            let sparse = parts[1] == "sp";
+            if ab != ab2 {
+                return err(ln, format!("mma.sync a/b type qualifiers differ: {ab:?} vs {ab2:?}"));
+            }
+            let shape = WmmaShape::from_qualifier(shape)
+                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
+            let ab = WmmaType::from_qualifier(ab)
+                .ok_or_else(|| ParseError { line: ln, message: "bad ab type".into() })?;
+            let d = parse_reg(ln, &args[0])?;
+            let a = parse_reg(ln, &args[1])?;
+            let bb = parse_reg(ln, &args[2])?;
+            let c = parse_reg(ln, &args[3])?;
+            let mut srcs = vec![Operand::Reg(a), Operand::Reg(bb), Operand::Reg(c)];
+            if sparse {
+                if args.len() < 5 {
+                    return err(ln, "sparse mma.sync needs a metadata register operand");
+                }
+                srcs.push(Operand::Reg(parse_reg(ln, &args[4])?));
+            }
+            Instr::new(Op::Wmma(WmmaDirective::MmaSync {
+                shape,
+                ab_type: ab,
+                d_type: WmmaType::from_qualifier(dt)
+                    .ok_or_else(|| ParseError { line: ln, message: "bad d type".into() })?,
+                c_type: WmmaType::from_qualifier(ct)
+                    .ok_or_else(|| ParseError { line: ln, message: "bad c type".into() })?,
+                sparse,
+            }))
+            .with_dst(d)
+            .with_srcs(srcs)
+        }
         ["wmma", "store", "d", "sync", layout, shape, ty, space] => {
             let shape = WmmaShape::from_qualifier(shape)
                 .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;

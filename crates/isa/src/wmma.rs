@@ -11,7 +11,8 @@ pub const WARP_SIZE: usize = 32;
 ///
 /// CUDA 9.0 supported only `m16n16k16`; Turing added `m32n8k16` and
 /// `m8n32k16` for 8/16-bit modes and `m8n8k32` for the 4-bit mode
-/// (§III-B2).
+/// (§III-B2). Ampere's per-instruction `mma.sync` family uses the
+/// narrower `m16n8k8` and `m16n8k16` tiles (arXiv:2502.15999 §3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WmmaShape {
     /// 16×16 output tile, K = 16.
@@ -22,13 +23,17 @@ pub enum WmmaShape {
     M8N32K16,
     /// 8×8 output tile, K = 32, 4-bit operands only (Turing).
     M8N8K32,
+    /// 16×8 output tile, K = 8 (Ampere `mma.sync`; TF32/F16/BF16).
+    M16N8K8,
+    /// 16×8 output tile, K = 16 (Ampere `mma.sync`; F16/BF16, sparse).
+    M16N8K16,
 }
 
 impl WmmaShape {
     /// Rows of A and of C/D.
     pub const fn m(self) -> usize {
         match self {
-            WmmaShape::M16N16K16 => 16,
+            WmmaShape::M16N16K16 | WmmaShape::M16N8K8 | WmmaShape::M16N8K16 => 16,
             WmmaShape::M32N8K16 => 32,
             WmmaShape::M8N32K16 | WmmaShape::M8N8K32 => 8,
         }
@@ -38,7 +43,10 @@ impl WmmaShape {
     pub const fn n(self) -> usize {
         match self {
             WmmaShape::M16N16K16 => 16,
-            WmmaShape::M32N8K16 | WmmaShape::M8N8K32 => 8,
+            WmmaShape::M32N8K16
+            | WmmaShape::M8N8K32
+            | WmmaShape::M16N8K8
+            | WmmaShape::M16N8K16 => 8,
             WmmaShape::M8N32K16 => 32,
         }
     }
@@ -46,18 +54,32 @@ impl WmmaShape {
     /// Inner (reduction) dimension: columns of A, rows of B.
     pub const fn k(self) -> usize {
         match self {
-            WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16 => 16,
+            WmmaShape::M16N16K16
+            | WmmaShape::M32N8K16
+            | WmmaShape::M8N32K16
+            | WmmaShape::M16N8K16 => 16,
             WmmaShape::M8N8K32 => 32,
+            WmmaShape::M16N8K8 => 8,
         }
     }
 
-    /// All shapes, in the order used by Table I of the paper.
+    /// All warp-scope WMMA shapes, in the order used by Table I of the
+    /// paper. The `mma.sync` tiles are listed separately in
+    /// [`WmmaShape::MMA_SYNC`].
     pub const ALL: [WmmaShape; 4] = [
         WmmaShape::M16N16K16,
         WmmaShape::M32N8K16,
         WmmaShape::M8N32K16,
         WmmaShape::M8N8K32,
     ];
+
+    /// The per-instruction `mma.sync` tile shapes (Ampere).
+    pub const MMA_SYNC: [WmmaShape; 2] = [WmmaShape::M16N8K8, WmmaShape::M16N8K16];
+
+    /// Whether this is one of the per-instruction `mma.sync` tiles.
+    pub const fn is_mma_sync(self) -> bool {
+        matches!(self, WmmaShape::M16N8K8 | WmmaShape::M16N8K16)
+    }
 
     /// Parses the PTX `mMnNkK` spelling.
     pub fn from_qualifier(s: &str) -> Option<WmmaShape> {
@@ -66,6 +88,8 @@ impl WmmaShape {
             "m32n8k16" => Some(WmmaShape::M32N8K16),
             "m8n32k16" => Some(WmmaShape::M8N32K16),
             "m8n8k32" => Some(WmmaShape::M8N8K32),
+            "m16n8k8" => Some(WmmaShape::M16N8K8),
+            "m16n8k16" => Some(WmmaShape::M16N8K16),
             _ => None,
         }
     }
@@ -122,6 +146,12 @@ pub enum WmmaType {
     F16,
     /// IEEE binary32 (C/D in mixed-precision mode).
     F32,
+    /// bfloat16: 8-bit exponent, 7-bit mantissa, 16-bit storage
+    /// (Ampere `mma.sync` multiplicands, FP32 accumulate).
+    BF16,
+    /// TensorFloat-32: 8-bit exponent, 10-bit mantissa, stored in a full
+    /// 32-bit register (Ampere `mma.sync` multiplicands, FP32 accumulate).
+    TF32,
     /// Signed 8-bit integer (Turing inference mode).
     S8,
     /// Unsigned 8-bit integer (Turing inference mode).
@@ -135,13 +165,14 @@ pub enum WmmaType {
 }
 
 impl WmmaType {
-    /// Element width in bits.
+    /// Element width in bits, as stored in registers and memory (TF32
+    /// values occupy a full 32-bit word despite the 19-bit payload).
     pub const fn bits(self) -> usize {
         match self {
             WmmaType::S4 | WmmaType::U4 => 4,
             WmmaType::S8 | WmmaType::U8 => 8,
-            WmmaType::F16 => 16,
-            WmmaType::F32 | WmmaType::S32 => 32,
+            WmmaType::F16 | WmmaType::BF16 => 16,
+            WmmaType::F32 | WmmaType::TF32 | WmmaType::S32 => 32,
         }
     }
 
@@ -163,6 +194,8 @@ impl WmmaType {
         match s {
             "f16" => Some(WmmaType::F16),
             "f32" => Some(WmmaType::F32),
+            "bf16" => Some(WmmaType::BF16),
+            "tf32" => Some(WmmaType::TF32),
             "s8" => Some(WmmaType::S8),
             "u8" => Some(WmmaType::U8),
             "s4" => Some(WmmaType::S4),
@@ -178,12 +211,66 @@ impl fmt::Display for WmmaType {
         f.write_str(match self {
             WmmaType::F16 => "f16",
             WmmaType::F32 => "f32",
+            WmmaType::BF16 => "bf16",
+            WmmaType::TF32 => "tf32",
             WmmaType::S8 => "s8",
             WmmaType::U8 => "u8",
             WmmaType::S4 => "s4",
             WmmaType::U4 => "u4",
             WmmaType::S32 => "s32",
         })
+    }
+}
+
+/// Tensor-core generation, selecting which WMMA/`mma.sync` qualifier
+/// combinations a kernel may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TensorGen {
+    /// First generation: warp-scope `m16n16k16` FP16 WMMA only (§II-C).
+    Volta,
+    /// Second generation: adds integer modes and the wide/tall/4-bit
+    /// warp-scope shapes (§III-B2).
+    Turing,
+    /// Third generation: adds per-instruction `mma.sync` (m16n8kN tiles),
+    /// BF16/TF32 multiplicands, and 2:4 structured sparsity.
+    Ampere,
+}
+
+impl TensorGen {
+    /// Whether Turing-era warp-WMMA extensions (integer modes, extra
+    /// shapes) are available.
+    pub const fn has_turing_wmma(self) -> bool {
+        !matches!(self, TensorGen::Volta)
+    }
+
+    /// Whether per-instruction `mma.sync` is available.
+    pub const fn has_mma_sync(self) -> bool {
+        matches!(self, TensorGen::Ampere)
+    }
+
+    /// The canonical lower-case spelling.
+    pub fn qualifier(self) -> &'static str {
+        match self {
+            TensorGen::Volta => "volta",
+            TensorGen::Turing => "turing",
+            TensorGen::Ampere => "ampere",
+        }
+    }
+
+    /// Parses the lower-case spelling.
+    pub fn from_qualifier(s: &str) -> Option<TensorGen> {
+        match s {
+            "volta" => Some(TensorGen::Volta),
+            "turing" => Some(TensorGen::Turing),
+            "ampere" => Some(TensorGen::Ampere),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TensorGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.qualifier())
     }
 }
 
@@ -267,6 +354,22 @@ pub enum WmmaDirective {
         /// Element type.
         ty: WmmaType,
     },
+    /// `mma[.sp].sync.aligned.shape.row.col.dtype.abtype.abtype.ctype
+    /// rd, ra, rb, rc[, rmeta]` — Ampere per-instruction MMA with fixed
+    /// `row.col` operand layouts (arXiv:2502.15999 §3).
+    MmaSync {
+        /// Tile shape qualifier (`m16n8k8` or `m16n8k16`).
+        shape: WmmaShape,
+        /// Element type of the A/B multiplicands (F16, BF16 or TF32).
+        ab_type: WmmaType,
+        /// Element type of the D result.
+        d_type: WmmaType,
+        /// Element type of the C accumulator.
+        c_type: WmmaType,
+        /// 2:4 structured sparsity: A is stored compressed (half the K
+        /// extent) and a metadata operand selects the surviving elements.
+        sparse: bool,
+    },
 }
 
 impl WmmaDirective {
@@ -275,14 +378,28 @@ impl WmmaDirective {
         match *self {
             WmmaDirective::Load { shape, .. }
             | WmmaDirective::Mma { shape, .. }
-            | WmmaDirective::Store { shape, .. } => shape,
+            | WmmaDirective::Store { shape, .. }
+            | WmmaDirective::MmaSync { shape, .. } => shape,
         }
     }
 
     /// Checks the qualifier combination is one the given architecture
-    /// supports (§II-C / §III-B2). Volta: only `m16n16k16` FP16 multiplies
-    /// with FP16/FP32 accumulate. Turing adds the integer modes and shapes.
+    /// supports (§II-C / §III-B2). Back-compat wrapper over
+    /// [`WmmaDirective::is_valid_on`] for the two paper generations.
     pub fn is_valid(&self, turing: bool) -> bool {
+        self.is_valid_on(if turing { TensorGen::Turing } else { TensorGen::Volta })
+    }
+
+    /// Checks the qualifier combination against a tensor-core generation.
+    ///
+    /// Volta: only `m16n16k16` FP16 multiplies with FP16/FP32 accumulate.
+    /// Turing adds the integer modes and shapes. Ampere keeps everything
+    /// Turing has and adds per-instruction `mma.sync` on the `m16n8kN`
+    /// tiles: F16 multiplicands with F16/F32 accumulate, BF16 and TF32
+    /// with F32 accumulate (TF32 only at `k8`), plus 2:4 sparse variants
+    /// of the 16-bit `m16n8k16` modes.
+    pub fn is_valid_on(&self, gen: TensorGen) -> bool {
+        let turing = gen.has_turing_wmma();
         let valid_mma = |shape: WmmaShape, ab: WmmaType, c: WmmaType, d: WmmaType| -> bool {
             match ab {
                 WmmaType::F16 => {
@@ -306,6 +423,29 @@ impl WmmaDirective {
                 _ => false,
             }
         };
+        // `mma.sync` multiplicand validity: which ab types are allowed on
+        // which m16n8 tile (sparse restricted to the 16-bit k16 modes).
+        let valid_mma_sync =
+            |shape: WmmaShape, ab: WmmaType, c: WmmaType, d: WmmaType, sparse: bool| -> bool {
+                if !gen.has_mma_sync() || !shape.is_mma_sync() {
+                    return false;
+                }
+                let types_ok = match ab {
+                    WmmaType::F16 => {
+                        matches!(c, WmmaType::F16 | WmmaType::F32)
+                            && matches!(d, WmmaType::F16 | WmmaType::F32)
+                    }
+                    WmmaType::BF16 => c == WmmaType::F32 && d == WmmaType::F32,
+                    WmmaType::TF32 => {
+                        shape == WmmaShape::M16N8K8 && c == WmmaType::F32 && d == WmmaType::F32
+                    }
+                    _ => false,
+                };
+                let sparse_ok = !sparse
+                    || (shape == WmmaShape::M16N8K16
+                        && matches!(ab, WmmaType::F16 | WmmaType::BF16));
+                types_ok && sparse_ok
+            };
         match *self {
             WmmaDirective::Mma {
                 shape,
@@ -313,7 +453,22 @@ impl WmmaDirective {
                 c_type,
                 d_type,
                 ..
-            } => valid_mma(shape, ab_type, c_type, d_type),
+            } => !shape.is_mma_sync() && valid_mma(shape, ab_type, c_type, d_type),
+            WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } => {
+                valid_mma_sync(shape, ab_type, c_type, d_type, sparse)
+            }
+            WmmaDirective::Load { frag, shape, ty, .. } if shape.is_mma_sync() => {
+                // m16n8 loads/stores are the `ldmatrix`-style fragment
+                // moves feeding `mma.sync`; Ampere only.
+                match frag {
+                    FragmentKind::A | FragmentKind::B => {
+                        valid_mma_sync(shape, ty, WmmaType::F32, WmmaType::F32, false)
+                    }
+                    FragmentKind::C | FragmentKind::D => {
+                        gen.has_mma_sync() && matches!(ty, WmmaType::F16 | WmmaType::F32)
+                    }
+                }
+            }
             WmmaDirective::Load { frag, shape, ty, .. } => match frag {
                 FragmentKind::A | FragmentKind::B => valid_mma(
                     shape,
@@ -326,6 +481,9 @@ impl WmmaDirective {
                         && (turing || shape == WmmaShape::M16N16K16)
                 }
             },
+            WmmaDirective::Store { shape, ty, .. } if shape.is_mma_sync() => {
+                gen.has_mma_sync() && matches!(ty, WmmaType::F16 | WmmaType::F32)
+            }
             WmmaDirective::Store { shape, ty, .. } => {
                 matches!(ty, WmmaType::F16 | WmmaType::F32 | WmmaType::S32)
                     && (turing || shape == WmmaShape::M16N16K16)
@@ -334,11 +492,24 @@ impl WmmaDirective {
     }
 }
 
+/// The tile shape whose A-operand dimensions describe the A fragment a
+/// `mma.sync` actually reads: for the 2:4 sparse `m16n8k16` modes, A is
+/// stored compressed to half the K extent — exactly the `m16n8k8` A tile.
+pub const fn mma_sync_a_shape(shape: WmmaShape, sparse: bool) -> WmmaShape {
+    match (shape, sparse) {
+        (WmmaShape::M16N8K16, true) => WmmaShape::M16N8K8,
+        _ => shape,
+    }
+}
+
 /// Per-thread fragment sizing.
 ///
 /// On Volta each element of A and B is held by **two** threads (one in each
 /// of two threadgroups, §III-B1), so fragments are twice the naive
 /// `elements / 32` size; on Turing each element is held once (§III-B2).
+/// The `m16n8` `mma.sync` tiles exist only on Ampere, where every element
+/// has a single owner — they ignore the Volta double-load flag so that
+/// fragment sizes are generation-independent at parse time.
 pub fn fragment_elements(
     frag: FragmentKind,
     shape: WmmaShape,
@@ -348,7 +519,7 @@ pub fn fragment_elements(
     let naive = frag.elements(shape) / WARP_SIZE;
     let _ = ty;
     match frag {
-        FragmentKind::A | FragmentKind::B if volta_double_load => naive * 2,
+        FragmentKind::A | FragmentKind::B if volta_double_load && !shape.is_mma_sync() => naive * 2,
         _ => naive,
     }
 }
@@ -557,5 +728,141 @@ mod tests {
         assert_eq!(WmmaType::S4.to_string(), "s4");
         assert_eq!(FragmentKind::C.to_string(), "c");
         assert_eq!(WmmaType::from_qualifier("u8"), Some(WmmaType::U8));
+        assert_eq!(WmmaType::BF16.to_string(), "bf16");
+        assert_eq!(WmmaType::TF32.to_string(), "tf32");
+        assert_eq!(WmmaShape::M16N8K16.to_string(), "m16n8k16");
+        assert_eq!(TensorGen::Ampere.to_string(), "ampere");
+        assert_eq!(TensorGen::from_qualifier("ampere"), Some(TensorGen::Ampere));
+    }
+
+    #[test]
+    fn mma_sync_shape_qualifier_roundtrip() {
+        for s in WmmaShape::MMA_SYNC {
+            assert_eq!(WmmaShape::from_qualifier(&s.to_string()), Some(s));
+            assert!(s.is_mma_sync());
+        }
+        for s in WmmaShape::ALL {
+            assert!(!s.is_mma_sync());
+        }
+    }
+
+    #[test]
+    fn ampere_fragment_sizes_match_ptx_register_counts() {
+        // PTX ISA mma.m16n8k16 f16: a = 4 regs (8 halves), b = 2 regs,
+        // c/d f32 = 4 regs, c/d f16 = 2 regs.
+        let k16 = WmmaShape::M16N8K16;
+        assert_eq!(fragment_regs(FragmentKind::A, k16, WmmaType::F16, false), 4);
+        assert_eq!(fragment_regs(FragmentKind::B, k16, WmmaType::F16, false), 2);
+        assert_eq!(fragment_regs(FragmentKind::C, k16, WmmaType::F32, false), 4);
+        assert_eq!(fragment_regs(FragmentKind::C, k16, WmmaType::F16, false), 2);
+        // mma.m16n8k8 f16: a = 2 regs, b = 1 reg.
+        let k8 = WmmaShape::M16N8K8;
+        assert_eq!(fragment_regs(FragmentKind::A, k8, WmmaType::F16, false), 2);
+        assert_eq!(fragment_regs(FragmentKind::B, k8, WmmaType::F16, false), 1);
+        // mma.m16n8k8 tf32: a = 4 regs, b = 2 regs (one value per word).
+        assert_eq!(fragment_regs(FragmentKind::A, k8, WmmaType::TF32, false), 4);
+        assert_eq!(fragment_regs(FragmentKind::B, k8, WmmaType::TF32, false), 2);
+        // bf16 sizes equal f16 sizes (same storage width).
+        assert_eq!(fragment_regs(FragmentKind::A, k16, WmmaType::BF16, false), 4);
+        // The Volta double-load flag must not inflate mma.sync fragments.
+        assert_eq!(
+            fragment_elements(FragmentKind::A, k16, WmmaType::F16, true),
+            fragment_elements(FragmentKind::A, k16, WmmaType::F16, false),
+        );
+        // Sparse A is stored at the compressed (k8) footprint.
+        assert_eq!(mma_sync_a_shape(k16, true), k8);
+        assert_eq!(mma_sync_a_shape(k16, false), k16);
+        assert_eq!(mma_sync_a_shape(k8, false), k8);
+    }
+
+    #[test]
+    fn mma_sync_validity_is_ampere_only() {
+        let mk = |shape, ab, c, d, sparse| WmmaDirective::MmaSync {
+            shape,
+            ab_type: ab,
+            c_type: c,
+            d_type: d,
+            sparse,
+        };
+        let f16 = mk(WmmaShape::M16N8K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, false);
+        assert!(f16.is_valid_on(TensorGen::Ampere));
+        assert!(!f16.is_valid_on(TensorGen::Turing));
+        assert!(!f16.is_valid_on(TensorGen::Volta));
+        assert!(!f16.is_valid(true), "is_valid covers only the paper generations");
+        // F16 allows f16 accumulate on both tiles.
+        assert!(mk(WmmaShape::M16N8K8, WmmaType::F16, WmmaType::F16, WmmaType::F16, false)
+            .is_valid_on(TensorGen::Ampere));
+        // BF16 requires f32 accumulate.
+        assert!(mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, false)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F16, WmmaType::F16, false)
+            .is_valid_on(TensorGen::Ampere));
+        // TF32 only on the k8 tile.
+        assert!(mk(WmmaShape::M16N8K8, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(WmmaShape::M16N8K16, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false)
+            .is_valid_on(TensorGen::Ampere));
+        // Sparse only on the 16-bit k16 modes.
+        assert!(mk(WmmaShape::M16N8K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, true)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, true)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(WmmaShape::M16N8K8, WmmaType::F16, WmmaType::F32, WmmaType::F32, true)
+            .is_valid_on(TensorGen::Ampere));
+        // Warp-scope shapes are rejected by the mma.sync directive, and
+        // mma.sync tiles by the warp-scope directive.
+        assert!(!mk(WmmaShape::M16N16K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, false)
+            .is_valid_on(TensorGen::Ampere));
+        let warp_on_sync_tile = WmmaDirective::Mma {
+            shape: WmmaShape::M16N8K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::F16,
+            c_type: WmmaType::F32,
+            d_type: WmmaType::F32,
+        };
+        assert!(!warp_on_sync_tile.is_valid_on(TensorGen::Ampere));
+    }
+
+    #[test]
+    fn m16n8_loads_and_stores_are_ampere_only() {
+        let load = |frag, shape, ty| WmmaDirective::Load { frag, shape, layout: Layout::Row, ty };
+        assert!(load(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::BF16)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!load(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::BF16)
+            .is_valid_on(TensorGen::Turing));
+        assert!(load(FragmentKind::B, WmmaShape::M16N8K8, WmmaType::TF32)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!load(FragmentKind::B, WmmaShape::M16N8K16, WmmaType::TF32)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(load(FragmentKind::C, WmmaShape::M16N8K16, WmmaType::F32)
+            .is_valid_on(TensorGen::Ampere));
+        assert!(!load(FragmentKind::C, WmmaShape::M16N8K16, WmmaType::S32)
+            .is_valid_on(TensorGen::Ampere));
+        let store = WmmaDirective::Store {
+            shape: WmmaShape::M16N8K8,
+            layout: Layout::Row,
+            ty: WmmaType::F32,
+        };
+        assert!(store.is_valid_on(TensorGen::Ampere));
+        assert!(!store.is_valid_on(TensorGen::Turing));
+        // BF16/TF32 are rejected everywhere on the warp-scope shapes.
+        assert!(!load(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::BF16)
+            .is_valid_on(TensorGen::Ampere));
+    }
+
+    #[test]
+    fn turing_validity_unchanged_on_ampere() {
+        // Ampere keeps the full Turing warp-WMMA matrix.
+        let int8 = WmmaDirective::Mma {
+            shape: WmmaShape::M32N8K16,
+            a_layout: Layout::Row,
+            b_layout: Layout::Col,
+            ab_type: WmmaType::S8,
+            c_type: WmmaType::S32,
+            d_type: WmmaType::S32,
+        };
+        assert_eq!(int8.is_valid(true), int8.is_valid_on(TensorGen::Ampere));
+        assert!(int8.is_valid_on(TensorGen::Ampere));
     }
 }

@@ -137,7 +137,7 @@ fn build_workload(args: &Args) -> Result<Vec<JobSpec>, String> {
             base.push(JobSpec::from_case(&case));
         }
     }
-    let cfg = GenConfig { max_ops: 16, kind: KindSel::Auto };
+    let cfg = GenConfig { max_ops: 16, kind: KindSel::Auto, arch: None };
     for i in 0..args.gen {
         let kernel_seed = args.seed.wrapping_add(i);
         let program = generate(kernel_seed, &cfg);

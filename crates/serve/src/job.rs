@@ -52,6 +52,8 @@ pub enum ConfigId {
     Mini,
     /// Down-scaled Turing (2 SMs).
     MiniTuring,
+    /// Down-scaled Ampere (2 SMs, mma.sync enabled).
+    MiniAmpere,
     /// NVIDIA Titan V (80 SMs, Volta).
     TitanV,
     /// NVIDIA RTX 2080 (46 SMs, Turing).
@@ -66,6 +68,7 @@ impl ConfigId {
         match self {
             ConfigId::Mini => "mini",
             ConfigId::MiniTuring => "mini-turing",
+            ConfigId::MiniAmpere => "mini-ampere",
             ConfigId::TitanV => "titan-v",
             ConfigId::Rtx2080 => "rtx-2080",
             ConfigId::TeslaT4 => "tesla-t4",
@@ -77,6 +80,7 @@ impl ConfigId {
         match s {
             "mini" => Some(ConfigId::Mini),
             "mini-turing" => Some(ConfigId::MiniTuring),
+            "mini-ampere" => Some(ConfigId::MiniAmpere),
             "titan-v" => Some(ConfigId::TitanV),
             "rtx-2080" => Some(ConfigId::Rtx2080),
             "tesla-t4" => Some(ConfigId::TeslaT4),
@@ -89,6 +93,7 @@ impl ConfigId {
         match self {
             ConfigId::Mini => oracle::gpu_config(Arch::Volta),
             ConfigId::MiniTuring => oracle::gpu_config(Arch::Turing),
+            ConfigId::MiniAmpere => oracle::gpu_config(Arch::Ampere),
             ConfigId::TitanV => GpuConfig::titan_v(),
             ConfigId::Rtx2080 => GpuConfig::rtx_2080(),
             ConfigId::TeslaT4 => GpuConfig::tesla_t4(),
@@ -100,6 +105,7 @@ impl ConfigId {
         match arch {
             Arch::Volta => ConfigId::Mini,
             Arch::Turing => ConfigId::MiniTuring,
+            Arch::Ampere => ConfigId::MiniAmpere,
         }
     }
 }

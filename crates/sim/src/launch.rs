@@ -489,7 +489,7 @@ impl LaunchBuilder {
             grid: self.grid.unwrap_or_else(|| 1u32.into()),
             block: self.block.unwrap_or_else(|| 32u32.into()),
             dynamic_shared: self.dynamic_shared,
-            volta: gpu.config().sm.volta_tensor,
+            gen: gpu.config().sm.tensor_gen(),
         };
         Verifier::new().check(&self.kernel, &geom)
     }

@@ -58,6 +58,10 @@ pub struct SmConfig {
     /// Whether the tensor cores follow the Volta model (double-loaded
     /// fragments, Fig 9 timing) or Turing (Table I timing).
     pub volta_tensor: bool,
+    /// Whether the tensor cores additionally accept the Ampere
+    /// per-instruction `mma.sync` modes (m16n8 tiles, BF16/TF32
+    /// multiplicands, 2:4 sparsity). Requires `volta_tensor == false`.
+    pub ampere_mma_sync: bool,
     /// Warp scheduler policy.
     pub scheduler: SchedPolicy,
     /// Model the operand-reuse cache (`.reuse` flags, §III-C): when on,
@@ -89,6 +93,7 @@ impl SmConfig {
             operand_collect: 4,
             reg_banks: 8,
             volta_tensor: true,
+            ampere_mma_sync: false,
             scheduler: SchedPolicy::Gto,
             operand_reuse_cache: true,
         }
@@ -102,6 +107,24 @@ impl SmConfig {
             l1_kib: 96,
             volta_tensor: false,
             ..SmConfig::volta()
+        }
+    }
+
+    /// An Ampere-generation SM: Turing structure plus the per-instruction
+    /// `mma.sync` modes (a "mini-A100" for conformance testing — the
+    /// paper's measured machines remain Volta and Turing).
+    pub fn ampere() -> SmConfig {
+        SmConfig { ampere_mma_sync: true, ..SmConfig::turing() }
+    }
+
+    /// The tensor-core generation this SM models.
+    pub fn tensor_gen(&self) -> tcsim_isa::TensorGen {
+        if self.volta_tensor {
+            tcsim_isa::TensorGen::Volta
+        } else if self.ampere_mma_sync {
+            tcsim_isa::TensorGen::Ampere
+        } else {
+            tcsim_isa::TensorGen::Turing
         }
     }
 
@@ -160,5 +183,18 @@ mod tests {
     fn turing_differs_in_tensor_model() {
         assert!(SmConfig::volta().volta_tensor);
         assert!(!SmConfig::turing().volta_tensor);
+    }
+
+    #[test]
+    fn tensor_generation_classification() {
+        use tcsim_isa::TensorGen;
+        assert_eq!(SmConfig::volta().tensor_gen(), TensorGen::Volta);
+        assert_eq!(SmConfig::turing().tensor_gen(), TensorGen::Turing);
+        let ampere = SmConfig::ampere();
+        assert_eq!(ampere.tensor_gen(), TensorGen::Ampere);
+        // Ampere keeps the Turing structural parameters.
+        assert!(!ampere.volta_tensor);
+        assert_eq!(ampere.shared_bytes, SmConfig::turing().shared_bytes);
+        assert_eq!(ampere.l1_kib, SmConfig::turing().l1_kib);
     }
 }

@@ -74,7 +74,7 @@ pub(crate) fn check_uninit(
         return;
     }
     let nregs = k.num_regs() as usize;
-    let volta = geom.volta;
+    let volta = geom.volta();
     let nb = cfg.num_blocks();
 
     // Per-block transfer: the set of registers defined in the block.
@@ -185,7 +185,7 @@ impl Taint {
         let instrs = k.instrs();
         let len = instrs.len();
         let nregs = k.num_regs() as usize;
-        let volta = geom.volta;
+        let volta = geom.volta();
         let mut t = Taint {
             reg: vec![false; nregs],
             pred: vec![false; 8],

@@ -37,7 +37,7 @@ mod shmem;
 mod wmma_lint;
 
 use std::fmt;
-use tcsim_isa::{emit::emit_kernel, Dim3, Kernel, LaunchConfig};
+use tcsim_isa::{emit::emit_kernel, Dim3, Kernel, LaunchConfig, TensorGen};
 
 pub use dataflow::Taint;
 
@@ -97,7 +97,7 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 }
 
 /// The launch shape a kernel is analyzed under: grid/block geometry,
-/// dynamic shared memory, and the fragment-sizing architecture.
+/// dynamic shared memory, and the tensor-core generation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchGeometry {
     /// CTAs in the grid.
@@ -107,9 +107,9 @@ pub struct LaunchGeometry {
     /// Dynamic shared memory per CTA in bytes (added to the kernel's
     /// static allocation for the bounds check).
     pub dynamic_shared: u32,
-    /// Volta fragment sizing (A/B double-loaded, §III-B1) when `true`;
-    /// Turing sizing otherwise. Also selects WMMA mode validity.
-    pub volta: bool,
+    /// Tensor-core generation: selects fragment sizing (A/B double-loaded
+    /// on Volta, §III-B1) and WMMA / `mma.sync` mode validity.
+    pub gen: TensorGen,
 }
 
 impl LaunchGeometry {
@@ -119,24 +119,36 @@ impl LaunchGeometry {
             grid: grid.into(),
             block: block.into(),
             dynamic_shared: 0,
-            volta: true,
+            gen: TensorGen::Volta,
         }
     }
 
     /// Geometry from a [`LaunchConfig`] plus the architecture flag.
-    pub fn from_config(cfg: &LaunchConfig, volta: bool) -> LaunchGeometry {
+    pub fn from_config(cfg: &LaunchConfig, gen: TensorGen) -> LaunchGeometry {
         LaunchGeometry {
             grid: cfg.grid,
             block: cfg.block,
             dynamic_shared: cfg.shared_bytes,
-            volta,
+            gen,
         }
     }
 
     /// Selects Turing fragment sizing and mode validity.
     pub fn turing(mut self) -> LaunchGeometry {
-        self.volta = false;
+        self.gen = TensorGen::Turing;
         self
+    }
+
+    /// Selects Ampere mode validity (Turing fragment sizing plus the
+    /// per-instruction `mma.sync` tiles).
+    pub fn ampere(mut self) -> LaunchGeometry {
+        self.gen = TensorGen::Ampere;
+        self
+    }
+
+    /// Whether Volta fragment sizing (A/B double-loaded) applies.
+    pub fn volta(&self) -> bool {
+        self.gen == TensorGen::Volta
     }
 
     /// Sets the dynamic shared memory size.

@@ -264,7 +264,7 @@ fn eval(op: &Operand, env: &Env, geom: &LaunchGeometry) -> Option<Val> {
 }
 
 fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) {
-    let defs = i.def_regs(geom.volta);
+    let defs = i.def_regs(geom.volta());
     let value: Option<Val> = if i.guard.is_some() || defs.len() != 1 {
         // Guarded writes may not execute; multi-register defs are not
         // tracked (shared addresses are single 32-bit registers).
@@ -561,7 +561,7 @@ fn wmma_span_bytes(dir: &WmmaDirective, stride: i64) -> Option<i64> {
     let (frag, shape, layout, ty) = match *dir {
         WmmaDirective::Load { frag, shape, layout, ty } => (frag, shape, layout, ty),
         WmmaDirective::Store { shape, layout, ty } => (FragmentKind::D, shape, layout, ty),
-        WmmaDirective::Mma { .. } => return None,
+        WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. } => return None,
     };
     if stride < 1 {
         return None;

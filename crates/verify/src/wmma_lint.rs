@@ -23,7 +23,10 @@ use crate::cfg::Cfg;
 use crate::dataflow::Taint;
 use crate::{LaunchGeometry, Sink};
 use std::collections::HashMap;
-use tcsim_isa::{fragment_regs, FragmentKind, Kernel, Op, Operand, WmmaDirective, WmmaShape, WmmaType};
+use tcsim_isa::{
+    fragment_regs, mma_sync_a_shape, FragmentKind, Kernel, Op, Operand, WmmaDirective, WmmaShape,
+    WmmaType,
+};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Prov {
@@ -59,7 +62,8 @@ fn transfer(env: &mut Env, pc: usize, i: &tcsim_isa::Instr, volta: bool) {
                 let n = fragment_regs(frag, shape, ty, volta) as u16;
                 env.insert(dst.0, Prov { kind: frag, shape, ty, n, def: pc });
             }
-            WmmaDirective::Mma { shape, d_type, .. } => {
+            WmmaDirective::Mma { shape, d_type, .. }
+            | WmmaDirective::MmaSync { shape, d_type, .. } => {
                 let n = fragment_regs(FragmentKind::D, shape, d_type, volta) as u16;
                 env.insert(dst.0, Prov { kind: FragmentKind::D, shape, ty: d_type, n, def: pc });
             }
@@ -142,7 +146,7 @@ fn check_operand(
 }
 
 pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint, sink: &mut Sink) {
-    let volta = geom.volta;
+    let volta = geom.volta();
     let nregs = k.num_regs();
     let has_wmma = k.instrs().iter().any(|i| matches!(i.op, Op::Wmma(_)));
     if !has_wmma {
@@ -155,14 +159,14 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
         if !cfg.instr_reachable(pc) {
             continue;
         }
-        if !dir.is_valid(!volta) {
+        if !dir.is_valid_on(geom.gen) {
             sink.error(
                 pc,
                 "wmma-mode",
                 format!(
                     "wmma qualifier combination at #{pc} is not supported on {} \
                      (shape {}, see Table I)",
-                    if volta { "Volta" } else { "Turing" },
+                    geom.gen,
                     dir.shape()
                 ),
             );
@@ -217,6 +221,26 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                 }
                 v
             }
+            WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } => {
+                // Sparse modes read a compressed A fragment sized like the
+                // half-K tile, plus a scalar metadata register (checked
+                // separately below).
+                let a_shape = mma_sync_a_shape(shape, sparse);
+                let mut v = Vec::new();
+                if let Some(d) = i.dst {
+                    v.push((d, fragment_regs(FragmentKind::D, shape, d_type, volta), "d"));
+                }
+                for (src, frag, fshape, ty, name) in [
+                    (0usize, FragmentKind::A, a_shape, ab_type, "a"),
+                    (1, FragmentKind::B, shape, ab_type, "b"),
+                    (2, FragmentKind::C, shape, c_type, "c"),
+                ] {
+                    if let Some(Operand::Reg(r)) = i.srcs.get(src) {
+                        v.push((*r, fragment_regs(frag, fshape, ty, volta), name));
+                    }
+                }
+                v
+            }
             WmmaDirective::Store { shape, ty, .. } => match i.srcs.get(2) {
                 Some(Operand::Reg(r)) => {
                     vec![(*r, fragment_regs(FragmentKind::D, shape, ty, volta), "d")]
@@ -224,6 +248,40 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                 _ => Vec::new(),
             },
         };
+        // Sparsity-metadata register rules: a sparse mma.sync must name a
+        // metadata register inside the register file; a dense one must
+        // not carry a metadata operand at all.
+        if let WmmaDirective::MmaSync { sparse, .. } = *dir {
+            match (sparse, i.srcs.get(3)) {
+                (true, Some(Operand::Reg(m))) => {
+                    if m.0 as u32 >= nregs {
+                        sink.error(
+                            pc,
+                            "wmma-sparse-meta",
+                            format!(
+                                "sparse mma.sync at #{pc} reads metadata from r{} but the \
+                                 kernel declares only {nregs} registers",
+                                m.0
+                            ),
+                        );
+                    }
+                }
+                (true, _) => sink.error(
+                    pc,
+                    "wmma-sparse-meta",
+                    format!(
+                        "sparse mma.sync at #{pc} is missing its 2:4 metadata register \
+                         operand (fourth source)"
+                    ),
+                ),
+                (false, Some(_)) => sink.error(
+                    pc,
+                    "wmma-sparse-meta",
+                    format!("dense mma.sync at #{pc} carries a spurious metadata operand"),
+                ),
+                (false, None) => {}
+            }
+        }
         for (base, n, what) in spans {
             if base.0 as u32 + n as u32 > nregs {
                 sink.error(
@@ -271,6 +329,18 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                         ] {
                             if let Some(Operand::Reg(r)) = i.srcs.get(src) {
                                 check_operand(&env, pc, what, *r, kinds, shape, ty, sink);
+                            }
+                        }
+                    }
+                    WmmaDirective::MmaSync { shape, ab_type, c_type, sparse, .. } => {
+                        let a_shape = mma_sync_a_shape(shape, sparse);
+                        for (src, kinds, fshape, ty, what) in [
+                            (0usize, &[FragmentKind::A][..], a_shape, ab_type, "a"),
+                            (1, &[FragmentKind::B][..], shape, ab_type, "b"),
+                            (2, &[FragmentKind::C, FragmentKind::D][..], shape, c_type, "c"),
+                        ] {
+                            if let Some(Operand::Reg(r)) = i.srcs.get(src) {
+                                check_operand(&env, pc, what, *r, kinds, fshape, ty, sink);
                             }
                         }
                     }

@@ -21,10 +21,20 @@ echo "== fuzz: differential smoke (fixed seed, 2000 iters) =="
 # invariants; any failure is minimized and echoed by the binary itself.
 target/release/tcsim-fuzz --seed 1 --iters 2000 --json
 
+echo "== fuzz: ampere mma.sync differential (fixed seed, 2000 iters) =="
+# The Ampere generator slice: BF16/TF32 and 2:4-sparse mma.sync kernels
+# through the same GPU-vs-reference differential + timing invariants.
+target/release/tcsim-fuzz --arch ampere --seed 1 --iters 2000 --json
+
 echo "== fuzz: planted-mutation canary (oracle sensitivity) =="
 # Flip FEDP accumulation rounding on the reference side: every all-FP16
 # WMMA case must fail, proving the oracle can see single-rounding bugs.
 target/release/tcsim-fuzz --mutate --seed 1 --iters 50 --json
+# The Ampere analogues: narrow the BF16 accumulator to multiplicand
+# width / corrupt every 2:4 metadata nibble on the reference side; the
+# binary exits non-zero unless all 50 cases are caught.
+target/release/tcsim-fuzz --mutate bf16-chop-mantissa --seed 1 --iters 50 --json
+target/release/tcsim-fuzz --mutate sparse-meta-swap --seed 1 --iters 50 --json
 
 echo "== verify: planted-defect canaries (analyzer sensitivity) =="
 # Plant one static defect of each class in otherwise-clean generated

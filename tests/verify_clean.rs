@@ -41,8 +41,8 @@ fn committed_corpus_is_verifier_clean() {
         let text = std::fs::read_to_string(&path).unwrap();
         let case = case_from_text(&text)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let geom = LaunchGeometry::new(case.grid_x, case.block_x);
-        let geom = if case.arch == Arch::Turing { geom.turing() } else { geom };
+        let mut geom = LaunchGeometry::new(case.grid_x, case.block_x);
+        geom.gen = case.arch.tensor_gen();
         lint(
             &path.file_name().unwrap().to_string_lossy(),
             &case.kernel,
@@ -57,18 +57,26 @@ fn committed_corpus_is_verifier_clean() {
 
 #[test]
 fn generated_corpus_seeds_are_verifier_clean() {
-    // The same generator the fuzzer runs, across both kinds: a small
-    // always-on slice of the 2000-iteration campaign in EXPERIMENTS.md.
+    // The same generator the fuzzer runs, across the kinds and
+    // architectures: a small always-on slice of the 2000-iteration
+    // campaigns in EXPERIMENTS.md.
     use tcsim_check::gen::{assemble, generate, GenConfig, KindSel};
     let mut failures = Vec::new();
-    for kind in [KindSel::Simt, KindSel::Wmma] {
-        let cfg = GenConfig { max_ops: 24, kind };
+    let pools = [
+        (KindSel::Simt, None),
+        (KindSel::Wmma, None),
+        (KindSel::Wmma, Some(Arch::Ampere)),
+        (KindSel::WmmaBf16, None),
+        (KindSel::WmmaSparse, None),
+    ];
+    for (kind, arch) in pools {
+        let cfg = GenConfig { max_ops: 24, kind, arch };
         for seed in 0..50u64 {
             let p = generate(seed, &cfg);
             let k = assemble(&p);
-            let geom = LaunchGeometry::new(p.grid_x, p.block_x);
-            let geom = if p.arch == Arch::Turing { geom.turing() } else { geom };
-            lint(&format!("gen {kind:?} seed {seed}"), &k, &geom, &mut failures);
+            let mut geom = LaunchGeometry::new(p.grid_x, p.block_x);
+            geom.gen = p.arch.tensor_gen();
+            lint(&format!("gen {kind:?}/{arch:?} seed {seed}"), &k, &geom, &mut failures);
         }
     }
     assert!(failures.is_empty(), "generated kernels flagged:\n{}", failures.join("\n"));
