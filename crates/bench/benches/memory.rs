@@ -15,13 +15,27 @@ fn main() {
     println!("== memory ==");
     const MS: u64 = 800;
 
-    let coalesced: Vec<MemAccess> =
-        (0..32).map(|l| MemAccess { lane: l, addr: 0x1000 + 4 * l as u64, bytes: 4 }).collect();
-    let scattered: Vec<MemAccess> =
-        (0..32).map(|l| MemAccess { lane: l, addr: 0x1000 + 137 * l as u64, bytes: 4 }).collect();
-    bench_case("coalesce_unit_stride", MS, || coalesce(black_box(&coalesced)));
+    let coalesced: Vec<MemAccess> = (0..32)
+        .map(|l| MemAccess {
+            lane: l,
+            addr: 0x1000 + 4 * l as u64,
+            bytes: 4,
+        })
+        .collect();
+    let scattered: Vec<MemAccess> = (0..32)
+        .map(|l| MemAccess {
+            lane: l,
+            addr: 0x1000 + 137 * l as u64,
+            bytes: 4,
+        })
+        .collect();
+    bench_case("coalesce_unit_stride", MS, || {
+        coalesce(black_box(&coalesced))
+    });
     bench_case("coalesce_scattered", MS, || coalesce(black_box(&scattered)));
-    bench_case("shared_conflicts", MS, || conflict_passes(black_box(&scattered)));
+    bench_case("shared_conflicts", MS, || {
+        conflict_passes(black_box(&scattered))
+    });
 
     {
         let mut cache = Cache::new(CacheConfig::l1(128));

@@ -16,12 +16,22 @@ fn main() {
 
     bench_case("gemm_32_wmma_simple", MS, || {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaSimple, false)
+        run_gemm(
+            &mut gpu,
+            GemmProblem::square(32),
+            GemmKernel::WmmaSimple,
+            false,
+        )
     });
 
     bench_case("gemm_64_wmma_shared", MS, || {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, false)
+        run_gemm(
+            &mut gpu,
+            GemmProblem::square(64),
+            GemmKernel::WmmaShared,
+            false,
+        )
     });
 
     {

@@ -33,9 +33,21 @@ fn main() {
     println!("== tensorcore ==");
     const MS: u64 = 800;
 
-    let qa = [F16::from_f32(1.5), F16::from_f32(-2.0), F16::from_f32(0.25), F16::from_f32(3.0)];
-    let qb = [F16::from_f32(0.5), F16::from_f32(1.0), F16::from_f32(-4.0), F16::from_f32(2.0)];
-    bench_case("fedp_f32", MS, || fedp_f32(black_box(qa), black_box(qb), black_box(1.0)));
+    let qa = [
+        F16::from_f32(1.5),
+        F16::from_f32(-2.0),
+        F16::from_f32(0.25),
+        F16::from_f32(3.0),
+    ];
+    let qb = [
+        F16::from_f32(0.5),
+        F16::from_f32(1.0),
+        F16::from_f32(-4.0),
+        F16::from_f32(2.0),
+    ];
+    bench_case("fedp_f32", MS, || {
+        fedp_f32(black_box(qa), black_box(qb), black_box(1.0))
+    });
 
     let (a, b, cc) = tiles();
     bench_case("mma_reference_16x16x16", MS, || {
@@ -50,7 +62,12 @@ fn main() {
     });
     bench_case("fragment_map_turing_all", MS, || {
         for frag in [FragmentKind::A, FragmentKind::B, FragmentKind::C] {
-            black_box(FragmentMap::turing(frag, WmmaShape::M32N8K16, WmmaType::F16, Layout::Row));
+            black_box(FragmentMap::turing(
+                frag,
+                WmmaShape::M32N8K16,
+                WmmaType::F16,
+                Layout::Row,
+            ));
         }
     });
 

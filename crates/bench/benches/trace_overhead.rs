@@ -12,7 +12,11 @@ fn issue_event(cycle: u64) -> TraceEvent {
     TraceEvent {
         cycle,
         sm: 0,
-        kind: EventKind::WarpIssue { sub_core: 0, warp: 3, unit: TraceUnit::Tensor },
+        kind: EventKind::WarpIssue {
+            sub_core: 0,
+            warp: 3,
+            unit: TraceUnit::Tensor,
+        },
     }
 }
 
@@ -40,17 +44,27 @@ fn main() {
     // full-system tracing cost (event construction + ring writes).
     bench_case("gemm32/null_tracer", 1500, || {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false)
-            .stats
-            .cycles
+        run_gemm(
+            &mut gpu,
+            GemmProblem::square(32),
+            GemmKernel::WmmaShared,
+            false,
+        )
+        .stats
+        .cycles
     });
     bench_case("gemm32/ring_tracer", 1500, || {
         let mut gpu = Gpu::new(
             tcsim_sim::SimOptions::new(GpuConfig::mini())
                 .tracer(RingTracer::with_capacity(1 << 18)),
         );
-        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false)
-            .stats
-            .cycles
+        run_gemm(
+            &mut gpu,
+            GemmProblem::square(32),
+            GemmKernel::WmmaShared,
+            false,
+        )
+        .stats
+        .cycles
     });
 }

@@ -19,7 +19,11 @@ use tcsim_sm::SchedPolicy;
 fn gemm_cycles_with(cfg: GpuConfig, kernel: GemmKernel, size: usize) -> (u64, f64, u64) {
     let mut gpu = Gpu::new(cfg);
     let run = run_gemm(&mut gpu, GemmProblem::square(size), kernel, false);
-    (run.stats.cycles, run.stats.ipc(), run.stats.sm.reg_bank_stalls)
+    (
+        run.stats.cycles,
+        run.stats.ipc(),
+        run.stats.sm.reg_bank_stalls,
+    )
 }
 
 fn main() {
@@ -27,7 +31,10 @@ fn main() {
 
     // 1. Double loading (Volta) vs single loading (Turing).
     let mut rows = Vec::new();
-    for (volta, label) in [(true, "Volta (double-loaded)"), (false, "Turing (single-loaded)")] {
+    for (volta, label) in [
+        (true, "Volta (double-loaded)"),
+        (false, "Turing (single-loaded)"),
+    ] {
         let map = FragmentMap::for_arch(
             volta,
             FragmentKind::A,
@@ -72,7 +79,10 @@ fn main() {
             .param_u64(src)
             .param_u64(out)
             .launch(&mut gpu);
-        let max = (0..4).map(|w| gpu.read_u32(out + 4 * w)).max().expect("4 warps");
+        let max = (0..4)
+            .map(|w| gpu.read_u32(out + 4 * w))
+            .max()
+            .expect("4 warps");
         rows.push(vec![tcs.to_string(), max.to_string()]);
     }
     print_table(
@@ -110,7 +120,12 @@ fn main() {
             (GemmKernel::WmmaShared, "shared staging"),
         ] {
             let (cycles, ipc, _) = gemm_cycles_with(GpuConfig::titan_v(), kernel, size);
-            rows.push(vec![size.to_string(), label.to_string(), cycles.to_string(), fnum(ipc, 2)]);
+            rows.push(vec![
+                size.to_string(),
+                label.to_string(),
+                cycles.to_string(),
+                fnum(ipc, 2),
+            ]);
         }
     }
     print_table(
@@ -121,7 +136,10 @@ fn main() {
 
     // 5. Scheduler policy.
     let mut rows = Vec::new();
-    for (policy, label) in [(SchedPolicy::Gto, "GTO"), (SchedPolicy::RoundRobin, "round-robin")] {
+    for (policy, label) in [
+        (SchedPolicy::Gto, "GTO"),
+        (SchedPolicy::RoundRobin, "round-robin"),
+    ] {
         let mut cfg = GpuConfig::titan_v();
         cfg.sm.scheduler = policy;
         let (cycles, ipc, _) = gemm_cycles_with(cfg.clone(), GemmKernel::WmmaSimple, 256);
@@ -148,7 +166,12 @@ fn main() {
 
     // Functional sanity for ablated configurations: results stay correct.
     let mut gpu = Gpu::new(GpuConfig::mini());
-    let run = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, true);
+    let run = run_gemm(
+        &mut gpu,
+        GemmProblem::square(64),
+        GemmKernel::WmmaShared,
+        true,
+    );
     assert!(run.max_abs_err.expect("checked") < 0.01);
     println!("\n(functional correctness re-verified under ablation configs)");
 }

@@ -80,7 +80,10 @@ struct Run {
 
 fn timed_gemm(size: usize, kernel: GemmKernel, precision: GemmPrecision, core: CoreModel) -> Run {
     let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).core(core));
-    let problem = GemmProblem { precision, ..GemmProblem::square(size) };
+    let problem = GemmProblem {
+        precision,
+        ..GemmProblem::square(size)
+    };
     let t0 = Instant::now();
     let run = run_gemm(&mut gpu, problem, kernel, false);
     Run {
@@ -111,8 +114,8 @@ fn timed_chase(elems: usize, stride: usize, iters: u32, core: CoreModel) -> Run 
     let bytes: Vec<u8> = chain.iter().flat_map(|w| w.to_le_bytes()).collect();
     gpu.memcpy_h2d(buf, &bytes);
     // Even start spacing along the chase cycle (see `pointer_chase`).
-    let spread = ((stride as u64 * (elems as u64 / warps)).max(stride as u64)
-        & (elems as u64 - 1)) as u32;
+    let spread =
+        ((stride as u64 * (elems as u64 / warps)).max(stride as u64) & (elems as u64 - 1)) as u32;
     let t0 = Instant::now();
     let stats = LaunchBuilder::new(pointer_chase(iters, elems, spread))
         .grid(CHASE_GRID)
@@ -155,21 +158,27 @@ fn push_point(
 fn main() {
     let cli = parse_cli();
     let max_size = max_size_arg();
-    println!(
-        "Core-model speedup: event-driven vs cycle-stepped (Titan V, sizes <= {max_size})"
-    );
+    println!("Core-model speedup: event-driven vs cycle-stepped (Titan V, sizes <= {max_size})");
 
     let mut points = Vec::new();
 
     for (kernel, precision, label) in [
         (GemmKernel::Sgemm, GemmPrecision::Fp32, "SGEMM (FFMA)"),
         (GemmKernel::Hgemm, GemmPrecision::Fp16, "HGEMM (HFMA2)"),
-        (GemmKernel::WmmaShared, GemmPrecision::MixedF32, "WMMA shared (TC)"),
+        (
+            GemmKernel::WmmaShared,
+            GemmPrecision::MixedF32,
+            "WMMA shared (TC)",
+        ),
     ] {
         for &size in SIZES.iter().filter(|&&s| s <= max_size) {
-            push_point(&mut points, "fig17-gemm", format!("{label} {size}"), size, |core| {
-                timed_gemm(size, kernel, precision, core)
-            });
+            push_point(
+                &mut points,
+                "fig17-gemm",
+                format!("{label} {size}"),
+                size,
+                |core| timed_gemm(size, kernel, precision, core),
+            );
         }
     }
 
@@ -188,9 +197,13 @@ fn main() {
     let iter_scale = (max_size as f64 / *SIZES.last().expect("sizes") as f64).min(1.0);
     for (label, elems, stride, iters) in CHASES {
         let iters = ((iters as f64 * iter_scale) as u32).max(96) / 16 * 16;
-        push_point(&mut points, "latency-probe", format!("{label} x{iters}"), iters as usize, |core| {
-            timed_chase(elems, stride, iters, core)
-        });
+        push_point(
+            &mut points,
+            "latency-probe",
+            format!("{label} x{iters}"),
+            iters as usize,
+            |core| timed_chase(elems, stride, iters, core),
+        );
     }
 
     let mut rows = Vec::new();
@@ -219,7 +232,15 @@ fn main() {
     }
     print_table(
         "Identical results, wall-clock per core model",
-        &["family", "workload", "cycles", "instrs", "stepped ms", "event ms", "speedup"],
+        &[
+            "family",
+            "workload",
+            "cycles",
+            "instrs",
+            "stepped ms",
+            "event ms",
+            "speedup",
+        ],
         &rows,
     );
 
@@ -232,8 +253,16 @@ fn main() {
         }
     }
     for fam in families {
-        let stepped: f64 = points.iter().filter(|p| p.family == fam).map(|p| p.stepped_s).sum();
-        let event: f64 = points.iter().filter(|p| p.family == fam).map(|p| p.event_s).sum();
+        let stepped: f64 = points
+            .iter()
+            .filter(|p| p.family == fam)
+            .map(|p| p.stepped_s)
+            .sum();
+        let event: f64 = points
+            .iter()
+            .filter(|p| p.family == fam)
+            .map(|p| p.event_s)
+            .sum();
         let ratio = stepped / event.max(1e-12);
         family_rows.push(vec![
             fam.to_string(),
@@ -285,7 +314,9 @@ fn main() {
     top.raw_field("families", &json_array(&family_json));
     top.raw_field("points", &json_array(&json_rows));
     let json = top.finish();
-    let path = cli.json.unwrap_or_else(|| "results/BENCH_core_speedup.json".into());
+    let path = cli
+        .json
+        .unwrap_or_else(|| "results/BENCH_core_speedup.json".into());
     write_results(&path, &json);
 
     assert!(

@@ -26,7 +26,10 @@ fn segment_table(frag: FragmentKind, ty: WmmaType) {
             tgs.sort_unstable();
             tgs.dedup();
             row.push(
-                tgs.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+                tgs.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
             );
         }
         out.push(row);
@@ -48,7 +51,10 @@ fn load_decomposition(frag: FragmentKind, ty: WmmaType) {
     for layout in [Layout::Row, Layout::Col] {
         let map = FragmentMap::volta(frag, ty, layout);
         let acc = map.lane_accesses(0, 16);
-        let widths: Vec<String> = acc.iter().map(|&(_, b)| format!("{}b", b as u32 * 8)).collect();
+        let widths: Vec<String> = acc
+            .iter()
+            .map(|&(_, b)| format!("{}b", b as u32 * 8))
+            .collect();
         rows.push(vec![
             format!("{layout}"),
             acc.len().to_string(),
@@ -74,7 +80,9 @@ fn thread_elements(frag: FragmentKind, ty: WmmaType, layout: Layout) {
         rows.push(vec![format!("T{lane}"), elems.join(" ")]);
     }
     print_table(
-        &format!("Matrix {frag:?} {ty} {layout}-major — elements held by threads 0-7 (threadgroups 0-1)"),
+        &format!(
+            "Matrix {frag:?} {ty} {layout}-major — elements held by threads 0-7 (threadgroups 0-1)"
+        ),
         &["thread", "elements (row,col)"],
         &rows,
     );

@@ -70,7 +70,14 @@ fn main() {
     }
     print_table(
         "All Turing modes: owners per element, fragment sizes, loads per thread",
-        &["shape", "matrix", "type", "owners", "elems/thread", "loads/thread"],
+        &[
+            "shape",
+            "matrix",
+            "type",
+            "owners",
+            "elems/thread",
+            "loads/thread",
+        ],
         &rows,
     );
 }

@@ -9,7 +9,9 @@
 //! microbenchmark kernel (Fig 6's methodology).
 
 use tcsim_bench::print_table;
-use tcsim_core::{MmaMode, TensorCorePipe, VoltaTimingParams, VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE};
+use tcsim_core::{
+    MmaMode, TensorCorePipe, VoltaTimingParams, VOLTA_FP16_CUMULATIVE, VOLTA_MIXED_CUMULATIVE,
+};
 use tcsim_cutlass::microbench::clocked_mma;
 use tcsim_sim::{Gpu, GpuConfig, LaunchBuilder};
 
@@ -18,10 +20,18 @@ fn schedule_table(name: &str, params: VoltaTimingParams, paper: &[u32]) {
     let mut rows = Vec::new();
     for (i, (&m, &p)) in model.iter().zip(paper).enumerate() {
         rows.push(vec![
-            format!("SET{} STEP{}", i / params.steps_per_set as usize + 1, i % params.steps_per_set as usize),
+            format!(
+                "SET{} STEP{}",
+                i / params.steps_per_set as usize + 1,
+                i % params.steps_per_set as usize
+            ),
             p.to_string(),
             m.to_string(),
-            if m == p { "=".into() } else { format!("{:+}", m as i64 - p as i64) },
+            if m == p {
+                "=".into()
+            } else {
+                format!("{:+}", m as i64 - p as i64)
+            },
         ]);
     }
     print_table(
@@ -52,8 +62,16 @@ fn simulate_clocked_mma(fp16: bool) -> u32 {
 
 fn main() {
     println!("Fig 9: Volta HMMA latency schedules (m16n16k16)");
-    schedule_table("a (mixed precision)", VoltaTimingParams::MIXED, &VOLTA_MIXED_CUMULATIVE);
-    schedule_table("b (FP16 mode)", VoltaTimingParams::FP16, &VOLTA_FP16_CUMULATIVE);
+    schedule_table(
+        "a (mixed precision)",
+        VoltaTimingParams::MIXED,
+        &VOLTA_MIXED_CUMULATIVE,
+    );
+    schedule_table(
+        "b (FP16 mode)",
+        VoltaTimingParams::FP16,
+        &VOLTA_FP16_CUMULATIVE,
+    );
 
     println!(
         "\nMixed precision is {} cycles faster than FP16 mode (paper: 10).",
@@ -97,7 +115,11 @@ fn main() {
     ];
     print_table(
         "Simulator cross-check: clocked wmma.mma (clock; mma; use; clock)",
-        &["mode", "HMMA schedule total", "measured delta (incl. probe issue)"],
+        &[
+            "mode",
+            "HMMA schedule total",
+            "measured delta (incl. probe issue)",
+        ],
         &rows,
     );
     assert!(mixed as i64 - 54 >= 0, "measured latency below schedule");

@@ -21,7 +21,9 @@ fn run(warps: u32, iters: u32) -> (u32, u32) {
         .param_u64(src)
         .param_u64(out)
         .launch(&mut gpu);
-    let deltas: Vec<u32> = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).collect();
+    let deltas: Vec<u32> = (0..warps)
+        .map(|w| gpu.read_u32(out + 4 * w as u64))
+        .collect();
     (
         *deltas.iter().max().expect("at least one warp"),
         *deltas.iter().min().expect("at least one warp"),
@@ -58,8 +60,17 @@ fn main() {
     // tensor-core pairs.
     let flat = results[3] as f64 / results[0] as f64;
     let knee = results[7] as f64 / results[3] as f64;
-    println!("\n4-warp/1-warp ratio: {:.2} (paper: ~1, flat region)", flat);
-    println!("8-warp/4-warp ratio: {:.2} (paper: ~2, tensor cores shared)", knee);
+    println!(
+        "\n4-warp/1-warp ratio: {:.2} (paper: ~1, flat region)",
+        flat
+    );
+    println!(
+        "8-warp/4-warp ratio: {:.2} (paper: ~2, tensor cores shared)",
+        knee
+    );
     assert!(flat < 1.5, "1..4 warps must stay near-flat");
-    assert!(knee > 1.5, "5..8 warps must serialize on the tensor-core pairs");
+    assert!(
+        knee > 1.5,
+        "5..8 warps must serialize on the tensor-core pairs"
+    );
 }

@@ -8,8 +8,7 @@
 //! an independent first-principles reference across the size sweep.
 
 use tcsim_bench::{
-    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
-    FIG14A_SIZES,
+    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results, FIG14A_SIZES,
 };
 use tcsim_cutlass::{GemmKernel, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
@@ -29,10 +28,17 @@ fn main() {
     // discussion) — one combined sweep, so all points simulate
     // concurrently.
     let main_kernel = |size: usize| {
-        if size.is_multiple_of(32) { GemmKernel::WmmaShared } else { GemmKernel::WmmaSimple }
+        if size.is_multiple_of(32) {
+            GemmKernel::WmmaShared
+        } else {
+            GemmKernel::WmmaSimple
+        }
     };
-    let variant_sizes: Vec<usize> =
-        FIG14A_SIZES.iter().copied().filter(|s| s.is_multiple_of(32)).collect();
+    let variant_sizes: Vec<usize> = FIG14A_SIZES
+        .iter()
+        .copied()
+        .filter(|s| s.is_multiple_of(32))
+        .collect();
     let mut points: Vec<(GemmProblem, GemmKernel)> = FIG14A_SIZES
         .iter()
         .map(|&size| (GemmProblem::square(size), main_kernel(size)))
@@ -70,7 +76,12 @@ fn main() {
     }
     print_table(
         "Cycle counts (thousands)",
-        &["size", "hardware (surrogate) kcycles", "sim kcycles", "sim IPC"],
+        &[
+            "size",
+            "hardware (surrogate) kcycles",
+            "sim kcycles",
+            "sim IPC",
+        ],
         &rows,
     );
 
@@ -79,7 +90,10 @@ fn main() {
     // size as operand reuse amortizes the staging cost.
     let mut variant_rows = Vec::new();
     for (&size, simple) in variant_sizes.iter().zip(variant_runs) {
-        let main_idx = FIG14A_SIZES.iter().position(|&s| s == size).expect("subset");
+        let main_idx = FIG14A_SIZES
+            .iter()
+            .position(|&s| s == size)
+            .expect("subset");
         let shared = &main_runs[main_idx];
         variant_rows.push(vec![
             size.to_string(),
@@ -121,7 +135,10 @@ fn main() {
         "Fig 14a (kcycles vs size, log y)",
         &x,
         &[
-            ("Hardware (surrogate)", hw_series.iter().map(|v| v / 1000.0).collect()),
+            (
+                "Hardware (surrogate)",
+                hw_series.iter().map(|v| v / 1000.0).collect(),
+            ),
             ("Sim", sim_series.iter().map(|v| v / 1000.0).collect()),
         ],
         true,
@@ -131,10 +148,19 @@ fn main() {
     let log_sim: Vec<f64> = sim_series.iter().map(|v| v.ln()).collect();
     let log_hw: Vec<f64> = hw_series.iter().map(|v| v.ln()).collect();
     let r_log = pearson(&log_sim, &log_hw);
-    println!("\ncycle-count correlation (Pearson): {:.4} linear, {:.4} log-log", r, r_log);
-    println!("sim = {scale:.3} x hw; residual spread {:.1}% of mean", residual * 100.0);
+    println!(
+        "\ncycle-count correlation (Pearson): {:.4} linear, {:.4} log-log",
+        r, r_log
+    );
+    println!(
+        "sim = {scale:.3} x hw; residual spread {:.1}% of mean",
+        residual * 100.0
+    );
     println!("(paper compares against a physical Titan V and reports <5% stdev; ours");
     println!(" compares against the independent analytic surrogate, so only the trend");
     println!(" agreement is meaningful — see DESIGN.md §3 and EXPERIMENTS.md)");
-    assert!(r > 0.9 && r_log > 0.95, "simulator must track the hardware trend");
+    assert!(
+        r > 0.9 && r_log > 0.95,
+        "simulator must track the hardware trend"
+    );
 }

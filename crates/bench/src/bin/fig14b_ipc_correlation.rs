@@ -7,9 +7,7 @@
 //! identical on both sides — so IPC_hw = instructions / cycles_hw and
 //! IPC_sim = instructions / cycles_sim.
 
-use tcsim_bench::{
-    fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
-};
+use tcsim_bench::{fnum, gemm_sweep, json_array, parse_cli, print_table, write_results};
 use tcsim_cutlass::{CutlassConfig, GemmKernel, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
 use tcsim_sim::{pearson, GpuConfig, JsonWriter};
@@ -22,14 +20,30 @@ fn main() {
     );
     let hw = HwModel::titan_v();
     let cfg64 = CutlassConfig::default_64x64();
-    let cfg_single = CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 1 };
-    let cfg_wide = CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 64, stages: 2 };
+    let cfg_single = CutlassConfig {
+        cta_m: 64,
+        cta_n: 64,
+        warp_m: 32,
+        warp_n: 32,
+        stages: 1,
+    };
+    let cfg_wide = CutlassConfig {
+        cta_m: 64,
+        cta_n: 64,
+        warp_m: 32,
+        warp_n: 64,
+        stages: 2,
+    };
 
     // Workload set: the paper's Fig 14b points all come from CUTLASS
     // tensor-core kernels (shape sweep × tiling configurations).
     let mut workloads: Vec<(GemmProblem, GemmKernel, KernelClass)> = Vec::new();
     for &s in &[64usize, 128, 192, 256, 384, 512, 768] {
-        workloads.push((GemmProblem::square(s), GemmKernel::Cutlass(cfg64), KernelClass::CutlassTc));
+        workloads.push((
+            GemmProblem::square(s),
+            GemmKernel::Cutlass(cfg64),
+            KernelClass::CutlassTc,
+        ));
     }
     for &s in &[128usize, 256, 512] {
         workloads.push((
@@ -52,7 +66,12 @@ fn main() {
         (640, 128, 128),
     ] {
         workloads.push((
-            GemmProblem { m, n, k, precision: tcsim_cutlass::GemmPrecision::MixedF32 },
+            GemmProblem {
+                m,
+                n,
+                k,
+                precision: tcsim_cutlass::GemmPrecision::MixedF32,
+            },
             GemmKernel::Cutlass(cfg64),
             KernelClass::CutlassTc,
         ));
@@ -64,8 +83,7 @@ fn main() {
             problem.m % kernel.granularity() == 0 && problem.n % kernel.granularity() == 0
         })
         .collect();
-    let points: Vec<(GemmProblem, GemmKernel)> =
-        runnable.iter().map(|&(p, k, _)| (p, k)).collect();
+    let points: Vec<(GemmProblem, GemmKernel)> = runnable.iter().map(|&(p, k, _)| (p, k)).collect();
     let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
 
     let mut rows = Vec::new();
@@ -85,7 +103,10 @@ fn main() {
             fnum(i_sim, 1),
         ]);
         let mut w = JsonWriter::object();
-        w.field_str("problem", &format!("{}x{}x{}", problem.m, problem.n, problem.k));
+        w.field_str(
+            "problem",
+            &format!("{}x{}x{}", problem.m, problem.n, problem.k),
+        );
         w.field_str("kernel", &format!("{kernel:?}"));
         w.field_f64("hw_ipc", i_hw);
         w.raw_field("sim", &run.stats.to_json());

@@ -59,7 +59,14 @@ fn main() {
     }
     print_table(
         "CUTLASS 128x128 double-buffered kernel",
-        &["size", "hw kcycles", "sim kcycles", "hw IPC", "sim IPC", "sim/hw"],
+        &[
+            "size",
+            "hw kcycles",
+            "sim kcycles",
+            "hw IPC",
+            "sim IPC",
+            "sim/hw",
+        ],
         &rows,
     );
     println!(

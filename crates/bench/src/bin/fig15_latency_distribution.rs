@@ -21,7 +21,12 @@ fn main() {
     println!("Fig 15: wmma instruction latency distributions ({size}x{size} shared-memory GEMM)");
 
     let mut gpu = Gpu::new(SimOptions::new(GpuConfig::titan_v()).profile_wmma(true));
-    let run = run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaShared, false);
+    let run = run_gemm(
+        &mut gpu,
+        GemmProblem::square(size),
+        GemmKernel::WmmaShared,
+        false,
+    );
 
     let paper_min = HwModel::titan_v().wmma_min_latencies();
     let mut rows = Vec::new();
@@ -45,7 +50,16 @@ fn main() {
     }
     print_table(
         "Latency distributions (cycles)",
-        &["instr", "samples", "paper min", "min", "median", "mean", "p95", "max"],
+        &[
+            "instr",
+            "samples",
+            "paper min",
+            "min",
+            "median",
+            "mean",
+            "p95",
+            "max",
+        ],
         &rows,
     );
 
@@ -59,7 +73,10 @@ fn main() {
         let buckets = [32u64, 64, 96, 128, 192, 256, 384, 512, 1024, u64::MAX];
         let mut counts = vec![0usize; buckets.len()];
         for &l in &lat {
-            let i = buckets.iter().position(|&b| l <= b).unwrap_or(buckets.len() - 1);
+            let i = buckets
+                .iter()
+                .position(|&b| l <= b)
+                .unwrap_or(buckets.len() - 1);
             counts[i] += 1;
         }
         let total = lat.len().max(1);
@@ -69,23 +86,31 @@ fn main() {
             if counts[i] > 0 {
                 let bar = "#".repeat((counts[i] * 50 / total).max(1));
                 rows.push(vec![
-                    if b == u64::MAX { format!(">{lo}") } else { format!("{lo}-{b}") },
+                    if b == u64::MAX {
+                        format!(">{lo}")
+                    } else {
+                        format!("{lo}-{b}")
+                    },
                     counts[i].to_string(),
                     bar,
                 ]);
             }
             lo = b;
         }
-        print_table(&format!("{label} latency histogram"), &["cycles", "count", ""], &rows);
+        print_table(
+            &format!("{label} latency histogram"),
+            &["cycles", "count", ""],
+            &rows,
+        );
     }
 
-    println!(
-        "\nPaper shape: occasional high latencies from scheduling/memory traffic;"
-    );
-    println!(
-        "mma latency is tightest; load shows the widest spread. Observed spreads:"
-    );
-    for (kind, label) in [(WmmaKind::Load, "load"), (WmmaKind::Mma, "mma"), (WmmaKind::Store, "store")] {
+    println!("\nPaper shape: occasional high latencies from scheduling/memory traffic;");
+    println!("mma latency is tightest; load shows the widest spread. Observed spreads:");
+    for (kind, label) in [
+        (WmmaKind::Load, "load"),
+        (WmmaKind::Mma, "mma"),
+        (WmmaKind::Store, "store"),
+    ] {
         let lat = run.stats.wmma_latencies(kind);
         let d = Distribution::of(&lat).expect("samples");
         println!("  {label}: max/min = {:.1}", d.max as f64 / d.min as f64);

@@ -19,7 +19,11 @@ fn medians(size: usize, kernel: GemmKernel) -> (u64, u64, u64) {
             .map(|d| d.median)
             .unwrap_or(0)
     };
-    (med(WmmaKind::Load), med(WmmaKind::Mma), med(WmmaKind::Store))
+    (
+        med(WmmaKind::Load),
+        med(WmmaKind::Mma),
+        med(WmmaKind::Store),
+    )
 }
 
 fn main() {
@@ -61,9 +65,7 @@ fn main() {
         &rows,
     );
 
-    println!(
-        "\nwmma.load latency ratio (global / shared) at the largest size: {last_ratio:.0}x"
-    );
+    println!("\nwmma.load latency ratio (global / shared) at the largest size: {last_ratio:.0}x");
     println!("Paper: shared memory reduces median load latency by >100x on large");
     println!("matrices (the global-path latency explodes with contention while the");
     println!("shared path stays flat).");

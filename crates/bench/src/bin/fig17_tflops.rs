@@ -9,8 +9,7 @@
 //! cycle-level simulator at sizes the simulator can reach.
 
 use tcsim_bench::{
-    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results,
-    FIG17_SIZES,
+    ascii_chart, fnum, gemm_sweep, json_array, parse_cli, print_table, write_results, FIG17_SIZES,
 };
 use tcsim_cutlass::{GemmKernel, GemmPrecision, GemmProblem};
 use tcsim_hw::{HwModel, KernelClass};
@@ -46,12 +45,48 @@ fn main() {
 
     let x: Vec<String> = FIG17_SIZES.iter().map(|s| s.to_string()).collect();
     let chart_series: Vec<(&str, Vec<f64>)> = vec![
-        ("Theoretical limit", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::TheoreticalLimit)).collect()),
-        ("Max-perf fp16", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::MaxPerfFp16)).collect()),
-        ("Cublas TC fp16", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::CublasTcFp16)).collect()),
-        ("Wmma optimized", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::WmmaOptimized)).collect()),
-        ("hGEMM (no TC)", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::CublasFp16)).collect()),
-        ("sGEMM (no TC)", FIG17_SIZES.iter().map(|&s| hw.gemm_tflops(s, KernelClass::CublasFp32)).collect()),
+        (
+            "Theoretical limit",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::TheoreticalLimit))
+                .collect(),
+        ),
+        (
+            "Max-perf fp16",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::MaxPerfFp16))
+                .collect(),
+        ),
+        (
+            "Cublas TC fp16",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::CublasTcFp16))
+                .collect(),
+        ),
+        (
+            "Wmma optimized",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::WmmaOptimized))
+                .collect(),
+        ),
+        (
+            "hGEMM (no TC)",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::CublasFp16))
+                .collect(),
+        ),
+        (
+            "sGEMM (no TC)",
+            FIG17_SIZES
+                .iter()
+                .map(|&s| hw.gemm_tflops(s, KernelClass::CublasFp32))
+                .collect(),
+        ),
     ];
     ascii_chart("Fig 17 (TFLOPS vs size)", &x, &chart_series, false, 18);
 
@@ -84,14 +119,24 @@ fn main() {
     let variants = [
         (GemmKernel::Sgemm, GemmPrecision::Fp32, "SGEMM (FFMA)"),
         (GemmKernel::Hgemm, GemmPrecision::Fp16, "HGEMM (HFMA2)"),
-        (GemmKernel::WmmaShared, GemmPrecision::MixedF32, "WMMA shared (TC)"),
+        (
+            GemmKernel::WmmaShared,
+            GemmPrecision::MixedF32,
+            "WMMA shared (TC)",
+        ),
     ];
     let mut labelled: Vec<(usize, &str)> = Vec::new();
     let mut points: Vec<(GemmProblem, GemmKernel)> = Vec::new();
     for &(kernel, precision, label) in &variants {
         for &size in &SIM_SIZES {
             labelled.push((size, label));
-            points.push((GemmProblem { precision, ..GemmProblem::square(size) }, kernel));
+            points.push((
+                GemmProblem {
+                    precision,
+                    ..GemmProblem::square(size)
+                },
+                kernel,
+            ));
         }
     }
     let runs = gemm_sweep(&GpuConfig::titan_v(), &points, false, cli.threads);
@@ -111,7 +156,11 @@ fn main() {
         w.raw_field("sim", &run.stats.to_json());
         json_rows.push(w.finish());
     }
-    print_table("sim cross-check", &["kernel", "size", "cycles", "TFLOPS"], &rows);
+    print_table(
+        "sim cross-check",
+        &["kernel", "size", "cycles", "TFLOPS"],
+        &rows,
+    );
     // At every size the tensor-core kernel must beat HGEMM, which must
     // beat SGEMM (the paper's Fig 17 ordering).
     let tflops_of = |label: &str, size: usize| {

@@ -30,7 +30,11 @@ fn layer_table(report: &InferenceReport) {
                 l.kernel.clone(),
                 l.dims.clone(),
                 l.cycles.to_string(),
-                if l.cycles == 0 { "-".into() } else { fnum(l.ipc(), 2) },
+                if l.cycles == 0 {
+                    "-".into()
+                } else {
+                    fnum(l.ipc(), 2)
+                },
                 match l.hmma_occupancy {
                     Some(o) => fnum(o * 100.0, 1),
                     None => "-".into(),
@@ -41,7 +45,9 @@ fn layer_table(report: &InferenceReport) {
         .collect();
     print_table(
         &format!("{} ({} mode)", report.network, report.mode),
-        &["layer", "kernel", "problem", "cycles", "IPC", "HMMA%", "err/tol"],
+        &[
+            "layer", "kernel", "problem", "cycles", "IPC", "HMMA%", "err/tol",
+        ],
         &rows,
     );
     println!(
@@ -70,9 +76,7 @@ fn run_net(graph: &Graph, input: &Tensor, cfg: &GpuConfig, threads: usize) -> In
             graph.name, c.name
         );
     }
-    println!(
-        "parallel sweep ({threads} threads): per-layer cycles identical to chained schedule"
-    );
+    println!("parallel sweep ({threads} threads): per-layer cycles identical to chained schedule");
     chained
 }
 
@@ -88,7 +92,10 @@ fn main() {
     };
     println!(
         "nn_inference: {} on simulated Titan V (seed {SEED})",
-        nets.iter().map(|g| g.name.as_str()).collect::<Vec<_>>().join(" + ")
+        nets.iter()
+            .map(|g| g.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" + ")
     );
 
     let mut json_reports = Vec::new();

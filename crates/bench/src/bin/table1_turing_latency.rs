@@ -10,14 +10,38 @@ fn main() {
     let cli = parse_cli();
     println!("Table I: Turing HMMA cumulative cycles per SET");
     let combos: [(WmmaShape, TuringMode, &str); 10] = [
-        (WmmaShape::M16N16K16, TuringMode::F16AccF32, "16Bit (FP32 Acc)"),
-        (WmmaShape::M16N16K16, TuringMode::F16AccF16, "16Bit (FP16 Acc)"),
+        (
+            WmmaShape::M16N16K16,
+            TuringMode::F16AccF32,
+            "16Bit (FP32 Acc)",
+        ),
+        (
+            WmmaShape::M16N16K16,
+            TuringMode::F16AccF16,
+            "16Bit (FP16 Acc)",
+        ),
         (WmmaShape::M16N16K16, TuringMode::Int8, "8Bit"),
-        (WmmaShape::M32N8K16, TuringMode::F16AccF32, "16Bit (FP32 Acc)"),
-        (WmmaShape::M32N8K16, TuringMode::F16AccF16, "16Bit (FP16 Acc)"),
+        (
+            WmmaShape::M32N8K16,
+            TuringMode::F16AccF32,
+            "16Bit (FP32 Acc)",
+        ),
+        (
+            WmmaShape::M32N8K16,
+            TuringMode::F16AccF16,
+            "16Bit (FP16 Acc)",
+        ),
         (WmmaShape::M32N8K16, TuringMode::Int8, "8Bit"),
-        (WmmaShape::M8N32K16, TuringMode::F16AccF32, "16Bit (FP32 Acc)"),
-        (WmmaShape::M8N32K16, TuringMode::F16AccF16, "16Bit (FP16 Acc)"),
+        (
+            WmmaShape::M8N32K16,
+            TuringMode::F16AccF32,
+            "16Bit (FP32 Acc)",
+        ),
+        (
+            WmmaShape::M8N32K16,
+            TuringMode::F16AccF16,
+            "16Bit (FP16 Acc)",
+        ),
         (WmmaShape::M8N32K16, TuringMode::Int8, "8Bit"),
         (WmmaShape::M8N8K32, TuringMode::Int4, "4Bit"),
     ];
@@ -27,7 +51,11 @@ fn main() {
         let c = turing_set_completions(shape, mode).expect("supported combo");
         let mut row = vec![shape.to_string(), label.to_string()];
         for i in 0..4 {
-            row.push(c.get(i).map(|v| v.to_string()).unwrap_or_else(|| "-".into()));
+            row.push(
+                c.get(i)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         rows.push(row);
         let mut w = JsonWriter::object();
@@ -37,7 +65,10 @@ fn main() {
             "set_completions",
             &format!(
                 "[{}]",
-                c.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                c.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         );
         json_rows.push(w.finish());

@@ -29,7 +29,13 @@ fn main() {
     }
     print_table(
         "Octet footprints (paper values; asserted equal to the Fig 7 mapping)",
-        &["octet", "threadgroups", "matrix A", "matrix B", "result C/D"],
+        &[
+            "octet",
+            "threadgroups",
+            "matrix A",
+            "matrix B",
+            "result C/D",
+        ],
         &rows,
     );
 

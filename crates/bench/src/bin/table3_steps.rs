@@ -2,7 +2,9 @@
 //! threadgroup in every HMMA set and step (Volta, mixed precision).
 
 use tcsim_bench::print_table;
-use tcsim_core::{execute_stepwise_volta, mma_reference, table3_rows, volta_schedule, MmaMode, Tile};
+use tcsim_core::{
+    execute_stepwise_volta, mma_reference, table3_rows, volta_schedule, MmaMode, Tile,
+};
 use tcsim_f16::F16;
 use tcsim_isa::{FragmentKind, WmmaShape, WmmaType};
 
@@ -13,9 +15,7 @@ fn main() {
 
     let rows: Vec<Vec<String>> = table3_rows()
         .into_iter()
-        .map(|(set, step, lo, hi)| {
-            vec![set.to_string(), step.to_string(), lo, hi]
-        })
+        .map(|(set, step, lo, hi)| vec![set.to_string(), step.to_string(), lo, hi])
         .collect();
     print_table(
         "Outer products per step (octet X)",
@@ -26,14 +26,29 @@ fn main() {
     // Expanded schedule: operand rows/cols of octet 0 per HMMA.
     let mut rows = Vec::new();
     for (i, hmma) in volta_schedule(MmaMode::MixedF32).iter().enumerate() {
-        for piece in hmma.iter().filter(|p| p.threadgroup == 0 || p.threadgroup == 4) {
+        for piece in hmma
+            .iter()
+            .filter(|p| p.threadgroup == 0 || p.threadgroup == 4)
+        {
             rows.push(vec![
                 format!("{}", i / 4 + 1),
                 format!("{}", i % 4),
                 format!("TG{}", piece.threadgroup),
-                format!("A[{}..{}]", piece.a_rows[0], piece.a_rows.last().expect("rows")),
-                format!("k[{}..{}]", piece.k_range[0], piece.k_range.last().expect("ks")),
-                format!("B[..,{}..{}]", piece.b_cols[0], piece.b_cols.last().expect("cols")),
+                format!(
+                    "A[{}..{}]",
+                    piece.a_rows[0],
+                    piece.a_rows.last().expect("rows")
+                ),
+                format!(
+                    "k[{}..{}]",
+                    piece.k_range[0],
+                    piece.k_range.last().expect("ks")
+                ),
+                format!(
+                    "B[..,{}..{}]",
+                    piece.b_cols[0],
+                    piece.b_cols.last().expect("cols")
+                ),
             ]);
         }
     }

@@ -50,7 +50,10 @@ fn parse_args() -> Args {
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} requires a value"));
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
         match a.as_str() {
             "--json" => out.json = Some(val("--json")),
             "--smoke" => out.smoke = true,
@@ -86,8 +89,13 @@ fn parse_args() -> Args {
 }
 
 fn policies(args: &Args) -> Vec<Policy> {
-    let stat = Policy::Static { max_batch: args.max_batch, window_cycles: args.window };
-    let cont = Policy::Continuous { max_batch: args.max_batch };
+    let stat = Policy::Static {
+        max_batch: args.max_batch,
+        window_cycles: args.window,
+    };
+    let cont = Policy::Continuous {
+        max_batch: args.max_batch,
+    };
     match args.policy.as_str() {
         "static" => vec![stat],
         "continuous" => vec![cont],
@@ -133,7 +141,11 @@ fn run_table(runs: &[ServingReport]) {
 fn main() {
     let args = parse_args();
     let cfg = GpuConfig::mini();
-    let kv = if args.kv_seqs == 0 { KvCache::unbounded() } else { KvCache::for_encoder(args.kv_seqs) };
+    let kv = if args.kv_seqs == 0 {
+        KvCache::unbounded()
+    } else {
+        KvCache::for_encoder(args.kv_seqs)
+    };
     let mut cost = CostModel::new(cfg, args.seed);
 
     println!(
@@ -144,29 +156,51 @@ fn main() {
         args.max_batch,
         args.window,
         kv.bytes_per_seq,
-        if kv.capacity_bytes == u64::MAX { "unbounded".into() } else { kv.capacity_bytes.to_string() },
+        if kv.capacity_bytes == u64::MAX {
+            "unbounded".into()
+        } else {
+            kv.capacity_bytes.to_string()
+        },
     );
 
     let mut runs: Vec<ServingReport> = Vec::new();
     for policy in policies(&args) {
-        runs.extend(rate_sweep(&mut cost, args.seed, args.requests, &args.rates, &policy, &kv));
+        runs.extend(rate_sweep(
+            &mut cost,
+            args.seed,
+            args.requests,
+            &args.rates,
+            &policy,
+            &kv,
+        ));
     }
     run_table(&runs);
 
     // The block costs the serving loop actually charged. Every distinct
     // batch size was simulated exactly once; everything else hit the
     // content-hash cache.
-    let mut batches: Vec<usize> = runs.iter().flat_map(|r| r.batch_sizes.iter().copied()).collect();
+    let mut batches: Vec<usize> = runs
+        .iter()
+        .flat_map(|r| r.batch_sizes.iter().copied())
+        .collect();
     batches.sort_unstable();
     batches.dedup();
     let cost_rows: Vec<Vec<String>> = batches
         .iter()
         .map(|&b| {
             let c = cost.block_cost(b);
-            vec![b.to_string(), c.cycles.to_string(), c.instructions.to_string()]
+            vec![
+                b.to_string(),
+                c.cycles.to_string(),
+                c.instructions.to_string(),
+            ]
         })
         .collect();
-    print_table("block costs (one simulation per batch size)", &["batch", "cycles", "instructions"], &cost_rows);
+    print_table(
+        "block costs (one simulation per batch size)",
+        &["batch", "cycles", "instructions"],
+        &cost_rows,
+    );
     println!(
         "{} serving runs costed by {} block simulations ({} distinct shapes)",
         runs.len(),

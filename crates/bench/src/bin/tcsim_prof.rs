@@ -67,9 +67,8 @@ fn main() {
         "tcsim-prof: tracing a {}x{}x{} WMMA GEMM (shared-memory kernel, Titan V config)",
         problem.m, problem.n, problem.k
     );
-    let mut gpu = Gpu::new(
-        SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)),
-    );
+    let mut gpu =
+        Gpu::new(SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)));
     let run = run_gemm(&mut gpu, problem, kernel, true);
     let events = gpu.trace_events();
     let dropped = gpu.tracer().dropped();
@@ -78,7 +77,10 @@ fn main() {
         .iter()
         .filter(|e| matches!(e.kind, EventKind::HmmaStep { .. }))
         .count();
-    assert!(hmma_events > 0, "a WMMA GEMM must emit HMMA set/step events");
+    assert!(
+        hmma_events > 0,
+        "a WMMA GEMM must emit HMMA set/step events"
+    );
 
     // Chrome trace_event export, validated before it is written.
     let chrome = chrome_trace(&events);
@@ -104,9 +106,17 @@ fn main() {
     let summary = TraceSummary::from_events(&events, dropped);
     let mut rows = Vec::new();
     for (name, count, cycles) in summary.stall_table() {
-        rows.push(vec![name.to_string(), count.to_string(), cycles.to_string()]);
+        rows.push(vec![
+            name.to_string(),
+            count.to_string(),
+            cycles.to_string(),
+        ]);
     }
-    print_table("Stall breakdown", &["reason", "events", "stall cycles"], &rows);
+    print_table(
+        "Stall breakdown",
+        &["reason", "events", "stall cycles"],
+        &rows,
+    );
     println!(
         "\nlaunch: {} cycles, {} instructions, IPC {}",
         run.stats.cycles,
@@ -151,9 +161,8 @@ fn overhead_guard(problem: GemmProblem, kernel: GemmKernel) {
     let untraced = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut gpu_ring = Gpu::new(
-        SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)),
-    );
+    let mut gpu_ring =
+        Gpu::new(SimOptions::new(GpuConfig::titan_v()).tracer(RingTracer::with_capacity(1 << 21)));
     let traced = run_gemm(&mut gpu_ring, problem, kernel, false);
     let traced_wall = t1.elapsed();
 
@@ -164,7 +173,10 @@ fn overhead_guard(problem: GemmProblem, kernel: GemmKernel) {
     a.trace = None;
     b.trace = None;
     assert_eq!(a, b, "tracing must not change simulation results");
-    assert!(b.to_json() == a.to_json(), "stripped stats serialize identically");
+    assert!(
+        b.to_json() == a.to_json(),
+        "stripped stats serialize identically"
+    );
     println!(
         "identical LaunchStats ({} cycles); wall: untraced {:.1} ms, traced {:.1} ms",
         a.cycles,

@@ -27,12 +27,27 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for &(m, n, k) in &[(64usize, 64usize, 64usize), (128, 128, 128), (128, 256, 256), (256, 256, 256)] {
-        let pf = GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 };
+    for &(m, n, k) in &[
+        (64usize, 64usize, 64usize),
+        (128, 128, 128),
+        (128, 256, 256),
+        (256, 256, 256),
+    ] {
+        let pf = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::MixedF32,
+        };
         let mut gpu = Gpu::new(GpuConfig::rtx_2080());
         let rf = run_gemm(&mut gpu, pf, GemmKernel::WmmaSimple, true);
 
-        let pi = GemmProblem { m, n, k, precision: GemmPrecision::Int8 };
+        let pi = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::Int8,
+        };
         let mut gpu = Gpu::new(GpuConfig::rtx_2080());
         let ri = run_gemm(&mut gpu, pi, GemmKernel::IgemmWmma, true);
 
@@ -47,7 +62,14 @@ fn main() {
     }
     print_table(
         "End-to-end GEMM (one warp per 16x16 tile; both verified)",
-        &["problem", "fp16 cycles", "int8 cycles", "speedup", "fp16 err", "int8 err"],
+        &[
+            "problem",
+            "fp16 cycles",
+            "int8 cycles",
+            "speedup",
+            "fp16 err",
+            "int8 err",
+        ],
         &rows,
     );
     println!("\nINT8 wins from the faster HMMA sequencing (Table I) and the halved");

@@ -10,11 +10,11 @@
 //! cargo run -p tcsim-check --example seed_corpus
 //! ```
 
+use std::path::Path;
 use tcsim_check::corpus::{replay_case, write_case};
 use tcsim_check::gen::{generate, Arch, GenConfig, KindSel};
 use tcsim_check::oracle::{Case, Compare, DataKind};
 use tcsim_nn::kernels::{elems_grid, gelu_kernel, rowred_grid, softmax_kernel};
-use std::path::Path;
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
@@ -30,7 +30,10 @@ fn main() {
         ("seed_mma_sparse", 9, KindSel::WmmaSparse),
     ];
     for &(name, seed, kind) in picks {
-        let cfg = GenConfig { kind, ..Default::default() };
+        let cfg = GenConfig {
+            kind,
+            ..Default::default()
+        };
         let program = generate(seed, &cfg);
         let case = Case::from_program(&program, seed ^ 0xDA7A_5EED);
         // A committed seed must replay clean, or every `cargo test` would
@@ -47,7 +50,13 @@ fn main() {
     let rows = 8usize;
     let nn_picks: &[(&str, tcsim_isa::Kernel, u32, u32, u32)] = &[
         // (name, kernel, grid_x, in_words, out_words)
-        ("seed_nn_softmax", softmax_kernel(32, 0.25), rowred_grid(rows), 256, 256),
+        (
+            "seed_nn_softmax",
+            softmax_kernel(32, 0.25),
+            rowred_grid(rows),
+            256,
+            256,
+        ),
         ("seed_nn_gelu", gelu_kernel(256), elems_grid(256), 256, 256),
     ];
     for (name, kernel, grid_x, in_words, out_words) in nn_picks {

@@ -51,7 +51,10 @@ pub fn case_to_text(case: &Case) -> String {
 }
 
 fn header_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    line.strip_prefix("// ")?.strip_prefix(key)?.strip_prefix(':').map(str::trim)
+    line.strip_prefix("// ")?
+        .strip_prefix(key)?
+        .strip_prefix(':')
+        .map(str::trim)
 }
 
 /// Parses the corpus text format back into a runnable case.
@@ -95,8 +98,7 @@ pub fn case_from_text(text: &str) -> Result<Case, String> {
     if body_start == 0 {
         return Err("no kernel body after the header".into());
     }
-    let body: String =
-        text.lines().skip(body_start).collect::<Vec<_>>().join("\n");
+    let body: String = text.lines().skip(body_start).collect::<Vec<_>>().join("\n");
     let kernel = tcsim_isa::ptx::parse_kernel(&body).map_err(|e| e.to_string())?;
     Ok(Case {
         kernel,

@@ -186,21 +186,41 @@ impl WmmaMode {
 pub fn wmma_modes(arch: Arch) -> Vec<WmmaMode> {
     let mut modes = Vec::new();
     let f16_shapes: &[WmmaShape] = if arch.turing() {
-        &[WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16]
+        &[
+            WmmaShape::M16N16K16,
+            WmmaShape::M32N8K16,
+            WmmaShape::M8N32K16,
+        ]
     } else {
         &[WmmaShape::M16N16K16]
     };
     for &shape in f16_shapes {
         for c in [WmmaType::F16, WmmaType::F32] {
             for d in [WmmaType::F16, WmmaType::F32] {
-                modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d, sparse: false });
+                modes.push(WmmaMode {
+                    shape,
+                    ab: WmmaType::F16,
+                    c,
+                    d,
+                    sparse: false,
+                });
             }
         }
     }
     if arch.turing() {
         for ab in [WmmaType::S8, WmmaType::U8] {
-            for &shape in &[WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16] {
-                modes.push(WmmaMode { shape, ab, c: WmmaType::S32, d: WmmaType::S32, sparse: false });
+            for &shape in &[
+                WmmaShape::M16N16K16,
+                WmmaShape::M32N8K16,
+                WmmaShape::M8N32K16,
+            ] {
+                modes.push(WmmaMode {
+                    shape,
+                    ab,
+                    c: WmmaType::S32,
+                    d: WmmaType::S32,
+                    sparse: false,
+                });
             }
         }
         for ab in [WmmaType::S4, WmmaType::U4] {
@@ -218,7 +238,13 @@ pub fn wmma_modes(arch: Arch) -> Vec<WmmaMode> {
         for shape in [WmmaShape::M16N8K8, WmmaShape::M16N8K16] {
             for c in [WmmaType::F16, WmmaType::F32] {
                 for d in [WmmaType::F16, WmmaType::F32] {
-                    modes.push(WmmaMode { shape, ab: WmmaType::F16, c, d, sparse: false });
+                    modes.push(WmmaMode {
+                        shape,
+                        ab: WmmaType::F16,
+                        c,
+                        d,
+                        sparse: false,
+                    });
                 }
             }
         }
@@ -259,9 +285,9 @@ pub fn wmma_modes(arch: Arch) -> Vec<WmmaMode> {
             sparse: true,
         });
     }
-    debug_assert!(modes
-        .iter()
-        .all(|m| m.mma_directive(Layout::Row, Layout::Col).is_valid_on(arch.tensor_gen())));
+    debug_assert!(modes.iter().all(|m| m
+        .mma_directive(Layout::Row, Layout::Col)
+        .is_valid_on(arch.tensor_gen())));
     modes
 }
 
@@ -689,7 +715,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { max_ops: 24, kind: KindSel::Auto, arch: None }
+        GenConfig {
+            max_ops: 24,
+            kind: KindSel::Auto,
+            arch: None,
+        }
     }
 }
 
@@ -699,7 +729,11 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
     let mut rng = XorShift64Star::new(seed);
     // Always consume the arch draw so forcing an arch does not perturb
     // the rest of the seed's stream relative to the legacy generator.
-    let drawn = if rng.chance(1, 2) { Arch::Volta } else { Arch::Turing };
+    let drawn = if rng.chance(1, 2) {
+        Arch::Volta
+    } else {
+        Arch::Turing
+    };
     let arch = match cfg.kind {
         KindSel::WmmaBf16 | KindSel::WmmaSparse => Arch::Ampere,
         _ => cfg.arch.unwrap_or(drawn),
@@ -753,7 +787,13 @@ fn gen_straight(rng: &mut XorShift64Star, allow_shared: bool) -> GenOp {
                     AluKind::Xor,
                     AluKind::Not,
                 ]);
-                GenOp::Alu { kind, dst: v(rng), a: v(rng), b: gen_src(rng), guard: gen_guard(rng) }
+                GenOp::Alu {
+                    kind,
+                    dst: v(rng),
+                    a: v(rng),
+                    b: gen_src(rng),
+                    guard: gen_guard(rng),
+                }
             }
             3 => GenOp::IMad {
                 dst: v(rng),
@@ -764,17 +804,41 @@ fn gen_straight(rng: &mut XorShift64Star, allow_shared: bool) -> GenOp {
             },
             4 => {
                 let kind = *rng.pick(&[FAluKind::Add, FAluKind::Mul, FAluKind::Min, FAluKind::Max]);
-                GenOp::FAlu { kind, dst: v(rng), a: v(rng), b: v(rng), guard: gen_guard(rng) }
+                GenOp::FAlu {
+                    kind,
+                    dst: v(rng),
+                    a: v(rng),
+                    b: v(rng),
+                    guard: gen_guard(rng),
+                }
             }
-            5 => GenOp::FFma { dst: v(rng), a: v(rng), b: v(rng), c: v(rng), guard: gen_guard(rng) },
+            5 => GenOp::FFma {
+                dst: v(rng),
+                a: v(rng),
+                b: v(rng),
+                c: v(rng),
+                guard: gen_guard(rng),
+            },
             6 => {
-                let kind = *rng.pick(&[MufuKind::Rcp, MufuKind::Sqrt, MufuKind::Ex2, MufuKind::Lg2]);
-                GenOp::Mufu { kind, dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+                let kind =
+                    *rng.pick(&[MufuKind::Rcp, MufuKind::Sqrt, MufuKind::Ex2, MufuKind::Lg2]);
+                GenOp::Mufu {
+                    kind,
+                    dst: v(rng),
+                    a: v(rng),
+                    guard: gen_guard(rng),
+                }
             }
             7 => {
                 if rng.chance(1, 2) {
                     let kind = *rng.pick(&[HAluKind::Add2, HAluKind::Mul2]);
-                    GenOp::HAlu { kind, dst: v(rng), a: v(rng), b: v(rng), guard: gen_guard(rng) }
+                    GenOp::HAlu {
+                        kind,
+                        dst: v(rng),
+                        a: v(rng),
+                        b: v(rng),
+                        guard: gen_guard(rng),
+                    }
                 } else {
                     GenOp::HFma2 {
                         dst: v(rng),
@@ -787,14 +851,29 @@ fn gen_straight(rng: &mut XorShift64Star, allow_shared: bool) -> GenOp {
             }
             8 => {
                 if rng.chance(1, 2) {
-                    GenOp::CvtToF16 { dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+                    GenOp::CvtToF16 {
+                        dst: v(rng),
+                        a: v(rng),
+                        guard: gen_guard(rng),
+                    }
                 } else {
-                    GenOp::CvtToF32 { dst: v(rng), a: v(rng), guard: gen_guard(rng) }
+                    GenOp::CvtToF32 {
+                        dst: v(rng),
+                        a: v(rng),
+                        guard: gen_guard(rng),
+                    }
                 }
             }
             9 => GenOp::Setp {
                 p: rng.below(PREDS as u64) as u8,
-                cmp: *rng.pick(&[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
+                cmp: *rng.pick(&[
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                ]),
                 a: v(rng),
                 b: gen_src(rng),
             },
@@ -811,12 +890,24 @@ fn gen_straight(rng: &mut XorShift64Star, allow_shared: bool) -> GenOp {
                 a: v(rng),
                 b: rng.below(32) as u8,
             },
-            12 => GenOp::LdIn { dst: v(rng), addr: v(rng), guard: gen_guard(rng) },
+            12 => GenOp::LdIn {
+                dst: v(rng),
+                addr: v(rng),
+                guard: gen_guard(rng),
+            },
             13 if allow_shared => {
                 if rng.chance(1, 2) {
-                    GenOp::LdShared { dst: v(rng), addr: v(rng), guard: gen_guard(rng) }
+                    GenOp::LdShared {
+                        dst: v(rng),
+                        addr: v(rng),
+                        guard: gen_guard(rng),
+                    }
                 } else {
-                    GenOp::StShared { addr: v(rng), val: v(rng), guard: gen_guard(rng) }
+                    GenOp::StShared {
+                        addr: v(rng),
+                        val: v(rng),
+                        guard: gen_guard(rng),
+                    }
                 }
             }
             14 => GenOp::StOut {
@@ -892,7 +983,11 @@ fn gen_simt_body(rng: &mut XorShift64Star, budget: usize) -> Vec<GenOp> {
     // Epilogue: observe the whole pool (kept in the shrinkable body so the
     // minimizer can drop stores that don't matter for a failure).
     for i in 0..POOL {
-        body.push(GenOp::StOut { slot: i as u8, val: i as u8, guard: None });
+        body.push(GenOp::StOut {
+            slot: i as u8,
+            val: i as u8,
+            guard: None,
+        });
     }
     body
 }
@@ -944,17 +1039,30 @@ fn gen_wload(rng: &mut XorShift64Star, mode: WmmaMode, frag: FragmentKind) -> Ge
     // Sub-byte (int4) A/B fragments only exist k-major — A row, B col —
     // as in PTX; any other layout has rows that straddle byte boundaries.
     let layout = if ty.bits() < 8 {
-        if frag == FragmentKind::A { Layout::Row } else { Layout::Col }
+        if frag == FragmentKind::A {
+            Layout::Row
+        } else {
+            Layout::Col
+        }
     } else if rng.chance(1, 2) {
         Layout::Row
     } else {
         Layout::Col
     };
-    let pad = if ty.bits() >= 8 && rng.chance(1, 3) { 8 } else { 0 };
+    let pad = if ty.bits() >= 8 && rng.chance(1, 3) {
+        8
+    } else {
+        0
+    };
     let (rows, cols) = frag.dims(mode.frag_shape(frag));
     let span = tile_span_bytes(rows, cols, layout, pad, ty.bits());
     let off = gen_tile_off(rng, WMMA_IN_WORDS * 4, span);
-    GenOp::WLoad { frag, layout, off, pad }
+    GenOp::WLoad {
+        frag,
+        layout,
+        off,
+        pad,
+    }
 }
 
 fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Star) -> GenProgram {
@@ -964,7 +1072,10 @@ fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Sta
             .into_iter()
             .filter(|m| m.ab == WmmaType::F16 && m.c == WmmaType::F16 && m.d == WmmaType::F16)
             .collect(),
-        KindSel::WmmaBf16 => modes.into_iter().filter(|m| m.ab == WmmaType::BF16).collect(),
+        KindSel::WmmaBf16 => modes
+            .into_iter()
+            .filter(|m| m.ab == WmmaType::BF16)
+            .collect(),
         KindSel::WmmaSparse => modes.into_iter().filter(|m| m.sparse).collect(),
         _ => modes,
     };
@@ -986,12 +1097,24 @@ fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Sta
         }
         let sub_byte = mode.ab.bits() < 8;
         body.push(GenOp::WMma {
-            a_layout: if sub_byte || rng.chance(1, 2) { Layout::Row } else { Layout::Col },
-            b_layout: if !sub_byte && rng.chance(1, 2) { Layout::Row } else { Layout::Col },
+            a_layout: if sub_byte || rng.chance(1, 2) {
+                Layout::Row
+            } else {
+                Layout::Col
+            },
+            b_layout: if !sub_byte && rng.chance(1, 2) {
+                Layout::Row
+            } else {
+                Layout::Col
+            },
             acc_d: round > 0 && rng.chance(1, 2),
         });
     }
-    let store_layout = if rng.chance(1, 2) { Layout::Row } else { Layout::Col };
+    let store_layout = if rng.chance(1, 2) {
+        Layout::Row
+    } else {
+        Layout::Col
+    };
     let store_pad = if rng.chance(1, 3) { 8 } else { 0 };
     body.push(GenOp::WStore {
         layout: store_layout,
@@ -1003,7 +1126,11 @@ fn generate_wmma(seed: u64, arch: Arch, cfg: &GenConfig, rng: &mut XorShift64Sta
     scan_pool_writes(&body, &mut wrote);
     for (i, w) in wrote.iter().enumerate() {
         if *w {
-            body.push(GenOp::StOut { slot: i as u8, val: i as u8, guard: None });
+            body.push(GenOp::StOut {
+                slot: i as u8,
+                val: i as u8,
+                guard: None,
+            });
         }
     }
     GenProgram {
@@ -1246,9 +1373,14 @@ pub fn assemble(p: &GenProgram) -> Kernel {
     let mut frag = [Reg(0); 4];
     let mut meta = Reg(0);
     if let Some(mode) = p.wmma {
-        for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C, FragmentKind::D]
-            .into_iter()
-            .enumerate()
+        for (i, kind) in [
+            FragmentKind::A,
+            FragmentKind::B,
+            FragmentKind::C,
+            FragmentKind::D,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let n = fragment_regs(kind, mode.frag_shape(kind), mode.frag_type(kind), volta);
             frag[i] = b.reg_block(n);
@@ -1293,12 +1425,22 @@ pub fn assemble(p: &GenProgram) -> Kernel {
         b.mov(gtid, Operand::Special(SpecialReg::TidX));
         if p.grid_x > 1 {
             b.mov(s1, Operand::Special(SpecialReg::CtaIdX));
-            b.imad(gtid, s1, Operand::Imm(i64::from(p.block_x)), Operand::Reg(gtid));
+            b.imad(
+                gtid,
+                s1,
+                Operand::Imm(i64::from(p.block_x)),
+                Operand::Reg(gtid),
+            );
         }
     }
     for i in 0..POOL {
         if usage.pool[i] {
-            b.imad(pool[i], gtid, Operand::Imm(POOL_MUL[i]), Operand::Imm(POOL_ADD[i]));
+            b.imad(
+                pool[i],
+                gtid,
+                Operand::Imm(POOL_MUL[i]),
+                Operand::Imm(POOL_ADD[i]),
+            );
         }
     }
     if usage.shared {
@@ -1328,7 +1470,13 @@ fn emit_body(b: &mut KernelBuilder, ops: &[GenOp], asm: &Asm) {
 #[allow(clippy::too_many_lines)]
 fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
     match op {
-        GenOp::Alu { kind, dst, a, b: src, guard } => {
+        GenOp::Alu {
+            kind,
+            dst,
+            a,
+            b: src,
+            guard,
+        } => {
             let (o, unary) = match kind {
                 AluKind::Add => (Op::IAdd, false),
                 AluKind::Sub => (Op::ISub, false),
@@ -1354,14 +1502,28 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
                 asm.guard(*guard),
             );
         }
-        GenOp::IMad { dst, a, b: bb, c, guard } => emit_guarded(
+        GenOp::IMad {
+            dst,
+            a,
+            b: bb,
+            c,
+            guard,
+        } => emit_guarded(
             b,
-            Instr::new(Op::IMad)
-                .with_dst(asm.v(*dst))
-                .with_srcs(vec![Operand::Reg(asm.v(*a)), asm.src(*bb), asm.src(*c)]),
+            Instr::new(Op::IMad).with_dst(asm.v(*dst)).with_srcs(vec![
+                Operand::Reg(asm.v(*a)),
+                asm.src(*bb),
+                asm.src(*c),
+            ]),
             asm.guard(*guard),
         ),
-        GenOp::FAlu { kind, dst, a, b: bb, guard } => {
+        GenOp::FAlu {
+            kind,
+            dst,
+            a,
+            b: bb,
+            guard,
+        } => {
             let o = match kind {
                 FAluKind::Add => Op::FAdd,
                 FAluKind::Mul => Op::FMul,
@@ -1376,7 +1538,13 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
                 asm.guard(*guard),
             );
         }
-        GenOp::FFma { dst, a, b: bb, c, guard } => emit_guarded(
+        GenOp::FFma {
+            dst,
+            a,
+            b: bb,
+            c,
+            guard,
+        } => emit_guarded(
             b,
             Instr::new(Op::FFma).with_dst(asm.v(*dst)).with_srcs(vec![
                 Operand::Reg(asm.v(*a)),
@@ -1385,7 +1553,12 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             ]),
             asm.guard(*guard),
         ),
-        GenOp::Mufu { kind, dst, a, guard } => {
+        GenOp::Mufu {
+            kind,
+            dst,
+            a,
+            guard,
+        } => {
             let o = match kind {
                 MufuKind::Rcp => Op::FRcp,
                 MufuKind::Sqrt => Op::FSqrt,
@@ -1394,11 +1567,19 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             };
             emit_guarded(
                 b,
-                Instr::new(o).with_dst(asm.v(*dst)).with_srcs(vec![Operand::Reg(asm.v(*a))]),
+                Instr::new(o)
+                    .with_dst(asm.v(*dst))
+                    .with_srcs(vec![Operand::Reg(asm.v(*a))]),
                 asm.guard(*guard),
             );
         }
-        GenOp::HAlu { kind, dst, a, b: bb, guard } => {
+        GenOp::HAlu {
+            kind,
+            dst,
+            a,
+            b: bb,
+            guard,
+        } => {
             let o = match kind {
                 HAluKind::Add2 => Op::HAdd2,
                 HAluKind::Mul2 => Op::HMul2,
@@ -1411,7 +1592,13 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
                 asm.guard(*guard),
             );
         }
-        GenOp::HFma2 { dst, a, b: bb, c, guard } => emit_guarded(
+        GenOp::HFma2 {
+            dst,
+            a,
+            b: bb,
+            c,
+            guard,
+        } => emit_guarded(
             b,
             Instr::new(Op::HFma2).with_dst(asm.v(*dst)).with_srcs(vec![
                 Operand::Reg(asm.v(*a)),
@@ -1422,22 +1609,39 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
         ),
         GenOp::CvtToF16 { dst, a, guard } => emit_guarded(
             b,
-            Instr::new(Op::Cvt { from: DataType::F32, to: DataType::F16 })
-                .with_dst(asm.v(*dst))
-                .with_srcs(vec![Operand::Reg(asm.v(*a))]),
+            Instr::new(Op::Cvt {
+                from: DataType::F32,
+                to: DataType::F16,
+            })
+            .with_dst(asm.v(*dst))
+            .with_srcs(vec![Operand::Reg(asm.v(*a))]),
             asm.guard(*guard),
         ),
         GenOp::CvtToF32 { dst, a, guard } => emit_guarded(
             b,
-            Instr::new(Op::Cvt { from: DataType::F16, to: DataType::F32 })
-                .with_dst(asm.v(*dst))
-                .with_srcs(vec![Operand::Reg(asm.v(*a))]),
+            Instr::new(Op::Cvt {
+                from: DataType::F16,
+                to: DataType::F32,
+            })
+            .with_dst(asm.v(*dst))
+            .with_srcs(vec![Operand::Reg(asm.v(*a))]),
             asm.guard(*guard),
         ),
-        GenOp::Setp { p: pd, cmp, a, b: bb } => {
+        GenOp::Setp {
+            p: pd,
+            cmp,
+            a,
+            b: bb,
+        } => {
             b.setp(asm.p(*pd), *cmp, DataType::S32, asm.v(*a), asm.src(*bb));
         }
-        GenOp::Selp { dst, p: pp, a, b: bb, guard } => emit_guarded(
+        GenOp::Selp {
+            dst,
+            p: pp,
+            a,
+            b: bb,
+            guard,
+        } => emit_guarded(
             b,
             Instr::new(Op::SelP).with_dst(asm.v(*dst)).with_srcs(vec![
                 Operand::Pred(asm.p(*pp)),
@@ -1446,7 +1650,12 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             ]),
             asm.guard(*guard),
         ),
-        GenOp::Shfl { mode, dst, a, b: bb } => {
+        GenOp::Shfl {
+            mode,
+            dst,
+            a,
+            b: bb,
+        } => {
             b.shfl(*mode, asm.v(*dst), asm.v(*a), Operand::Imm(i64::from(*bb)));
         }
         GenOp::LdIn { dst, addr, guard } => {
@@ -1455,68 +1664,107 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.in_pair);
             emit_guarded(
                 b,
-                Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
-                    .with_dst(asm.v(*dst))
-                    .with_srcs(vec![Operand::RegPair(asm.addr_pair), Operand::Imm(0)]),
+                Instr::new(Op::Ld {
+                    space: MemSpace::Global,
+                    width: MemWidth::B32,
+                })
+                .with_dst(asm.v(*dst))
+                .with_srcs(vec![Operand::RegPair(asm.addr_pair), Operand::Imm(0)]),
                 asm.guard(*guard),
             );
         }
         GenOp::LdShared { dst, addr, guard } => {
-            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)));
+            b.and(
+                asm.s1,
+                asm.v(*addr),
+                Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)),
+            );
             b.imad(asm.s1, asm.s1, Operand::Imm(4), Operand::Reg(asm.sbase));
             emit_guarded(
                 b,
-                Instr::new(Op::Ld { space: MemSpace::Shared, width: MemWidth::B32 })
-                    .with_dst(asm.v(*dst))
-                    .with_srcs(vec![Operand::Reg(asm.s1), Operand::Imm(0)]),
+                Instr::new(Op::Ld {
+                    space: MemSpace::Shared,
+                    width: MemWidth::B32,
+                })
+                .with_dst(asm.v(*dst))
+                .with_srcs(vec![Operand::Reg(asm.s1), Operand::Imm(0)]),
                 asm.guard(*guard),
             );
         }
         GenOp::StShared { addr, val, guard } => {
-            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)));
+            b.and(
+                asm.s1,
+                asm.v(*addr),
+                Operand::Imm(i64::from(SHARED_SLICE_WORDS - 1)),
+            );
             b.imad(asm.s1, asm.s1, Operand::Imm(4), Operand::Reg(asm.sbase));
             emit_guarded(
                 b,
-                Instr::new(Op::St { space: MemSpace::Shared, width: MemWidth::B32 }).with_srcs(
-                    vec![Operand::Reg(asm.s1), Operand::Imm(0), Operand::Reg(asm.v(*val))],
-                ),
+                Instr::new(Op::St {
+                    space: MemSpace::Shared,
+                    width: MemWidth::B32,
+                })
+                .with_srcs(vec![
+                    Operand::Reg(asm.s1),
+                    Operand::Imm(0),
+                    Operand::Reg(asm.v(*val)),
+                ]),
                 asm.guard(*guard),
             );
         }
         GenOp::StOut { slot, val, guard } => {
             let slot = i64::from(*slot % OUT_SLOTS as u8);
-            b.imad(asm.s1, asm.gtid, Operand::Imm(i64::from(OUT_SLOTS)), Operand::Imm(slot));
+            b.imad(
+                asm.s1,
+                asm.gtid,
+                Operand::Imm(i64::from(OUT_SLOTS)),
+                Operand::Imm(slot),
+            );
             b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.out_pair);
             emit_guarded(
                 b,
-                Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B32 }).with_srcs(
-                    vec![
-                        Operand::RegPair(asm.addr_pair),
-                        Operand::Imm(0),
-                        Operand::Reg(asm.v(*val)),
-                    ],
-                ),
+                Instr::new(Op::St {
+                    space: MemSpace::Global,
+                    width: MemWidth::B32,
+                })
+                .with_srcs(vec![
+                    Operand::RegPair(asm.addr_pair),
+                    Operand::Imm(0),
+                    Operand::Reg(asm.v(*val)),
+                ]),
                 asm.guard(*guard),
             );
         }
-        GenOp::AtomOut { op, addr, val, guard } => {
+        GenOp::AtomOut {
+            op,
+            addr,
+            val,
+            guard,
+        } => {
             let window = match op {
                 AtomOp::Add => 0,
                 AtomOp::Min => 1,
                 AtomOp::Max => 2,
                 AtomOp::Exch => unreachable!("Exch is not order-independent"),
             };
-            b.and(asm.s1, asm.v(*addr), Operand::Imm(i64::from(ATOM_WINDOW_WORDS - 1)));
+            b.and(
+                asm.s1,
+                asm.v(*addr),
+                Operand::Imm(i64::from(ATOM_WINDOW_WORDS - 1)),
+            );
             b.imad_wide(asm.addr_pair, asm.s1, Operand::Imm(4), asm.out_pair);
             emit_guarded(
                 b,
-                Instr::new(Op::Atom { space: MemSpace::Global, op: *op })
-                    .with_dst(asm.sink)
-                    .with_srcs(vec![
-                        Operand::RegPair(asm.addr_pair),
-                        Operand::Imm(asm.atom_base + i64::from(window * ATOM_WINDOW_WORDS * 4)),
-                        Operand::Reg(asm.v(*val)),
-                    ]),
+                Instr::new(Op::Atom {
+                    space: MemSpace::Global,
+                    op: *op,
+                })
+                .with_dst(asm.sink)
+                .with_srcs(vec![
+                    Operand::RegPair(asm.addr_pair),
+                    Operand::Imm(asm.atom_base + i64::from(window * ATOM_WINDOW_WORDS * 4)),
+                    Operand::Reg(asm.v(*val)),
+                ]),
                 asm.guard(*guard),
             );
         }
@@ -1536,10 +1784,21 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             b.place(top);
             emit_body(b, body, asm);
             b.iadd(asm.ctr, asm.ctr, Operand::Imm(1));
-            b.setp(asm.loop_pred, CmpOp::Lt, DataType::S32, asm.ctr, Operand::Imm(trips));
+            b.setp(
+                asm.loop_pred,
+                CmpOp::Lt,
+                DataType::S32,
+                asm.ctr,
+                Operand::Imm(trips),
+            );
             b.bra_if(asm.loop_pred, true, top);
         }
-        GenOp::WLoad { frag, layout, off, pad } => {
+        GenOp::WLoad {
+            frag,
+            layout,
+            off,
+            pad,
+        } => {
             let mode = asm.mode.expect("WLoad in a program without a wmma mode");
             let ty = mode.frag_type(*frag);
             let (rows, cols) = frag.dims(mode.frag_shape(*frag));
@@ -1563,7 +1822,11 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
                 Operand::Imm(i64::from(stride)),
             );
         }
-        GenOp::WMma { a_layout, b_layout, acc_d } => {
+        GenOp::WMma {
+            a_layout,
+            b_layout,
+            acc_d,
+        } => {
             let mode = asm.mode.expect("WMma in a program without a wmma mode");
             let c = if *acc_d && mode.c == mode.d {
                 asm.frag[FragmentKind::D as usize]
@@ -1602,8 +1865,8 @@ fn emit_op(b: &mut KernelBuilder, op: &GenOp, asm: &Asm) {
             let mode = asm.mode.expect("WStore in a program without a wmma mode");
             let (rows, cols) = FragmentKind::D.dims(mode.shape);
             let span = tile_span_bytes(rows, cols, *layout, *pad, mode.d.bits());
-            let off =
-                i64::from((*off / 16) * 16).min(i64::from(WMMA_OUT_WORDS * 4).saturating_sub(i64::from(span)));
+            let off = i64::from((*off / 16) * 16)
+                .min(i64::from(WMMA_OUT_WORDS * 4).saturating_sub(i64::from(span)));
             let addr = if off == 0 {
                 Operand::RegPair(asm.out_pair)
             } else {
@@ -1653,7 +1916,8 @@ mod tests {
         for arch in [Arch::Volta, Arch::Turing, Arch::Ampere] {
             for mode in wmma_modes(arch) {
                 assert!(
-                    mode.mma_directive(Layout::Row, Layout::Col).is_valid_on(arch.tensor_gen()),
+                    mode.mma_directive(Layout::Row, Layout::Col)
+                        .is_valid_on(arch.tensor_gen()),
                     "{mode:?} invalid on {arch:?}"
                 );
             }
@@ -1671,7 +1935,11 @@ mod tests {
 
     #[test]
     fn wmma_programs_cover_all_modes_over_seeds() {
-        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma, arch: None };
+        let cfg = GenConfig {
+            max_ops: 24,
+            kind: KindSel::Wmma,
+            arch: None,
+        };
         let mut seen = std::collections::HashSet::new();
         for seed in 0..4000u64 {
             let p = generate(seed, &cfg);
@@ -1684,23 +1952,43 @@ mod tests {
 
     #[test]
     fn ampere_wmma_programs_cover_all_modes_over_seeds() {
-        let cfg = GenConfig { max_ops: 24, kind: KindSel::Wmma, arch: Some(Arch::Ampere) };
+        let cfg = GenConfig {
+            max_ops: 24,
+            kind: KindSel::Wmma,
+            arch: Some(Arch::Ampere),
+        };
         let mut seen = std::collections::HashSet::new();
         for seed in 0..8000u64 {
             let p = generate(seed, &cfg);
             assert_eq!(p.arch, Arch::Ampere);
             seen.insert(format!("{:?}", p.wmma.expect("wmma kind")));
         }
-        assert_eq!(seen.len(), wmma_modes(Arch::Ampere).len(), "some Ampere mode never generated");
+        assert_eq!(
+            seen.len(),
+            wmma_modes(Arch::Ampere).len(),
+            "some Ampere mode never generated"
+        );
     }
 
     #[test]
     fn restricted_kinds_pick_only_matching_modes() {
         for seed in 0..200u64 {
-            let p = generate(seed, &GenConfig { kind: KindSel::WmmaBf16, ..GenConfig::default() });
+            let p = generate(
+                seed,
+                &GenConfig {
+                    kind: KindSel::WmmaBf16,
+                    ..GenConfig::default()
+                },
+            );
             assert_eq!(p.arch, Arch::Ampere);
             assert_eq!(p.wmma.unwrap().ab, WmmaType::BF16, "seed {seed}");
-            let p = generate(seed, &GenConfig { kind: KindSel::WmmaSparse, ..GenConfig::default() });
+            let p = generate(
+                seed,
+                &GenConfig {
+                    kind: KindSel::WmmaSparse,
+                    ..GenConfig::default()
+                },
+            );
             assert_eq!(p.arch, Arch::Ampere);
             assert!(p.wmma.unwrap().sparse, "seed {seed}");
         }
@@ -1712,8 +2000,13 @@ mod tests {
         // the arch draw is always consumed.
         for seed in 0..64u64 {
             let base = generate(seed, &GenConfig::default());
-            let forced =
-                generate(seed, &GenConfig { arch: Some(base.arch), ..GenConfig::default() });
+            let forced = generate(
+                seed,
+                &GenConfig {
+                    arch: Some(base.arch),
+                    ..GenConfig::default()
+                },
+            );
             assert_eq!(base.body, forced.body, "seed {seed}");
         }
     }
@@ -1749,11 +2042,34 @@ mod tests {
             block_x: 32,
             wmma: Some(mode),
             body: vec![
-                GenOp::WLoad { frag: FragmentKind::A, layout: Layout::Row, off: 0, pad: 0 },
-                GenOp::WLoad { frag: FragmentKind::B, layout: Layout::Row, off: 0, pad: 0 },
-                GenOp::WLoad { frag: FragmentKind::C, layout: Layout::Row, off: 0, pad: 0 },
-                GenOp::WMma { a_layout: Layout::Row, b_layout: Layout::Row, acc_d: false },
-                GenOp::WStore { layout: Layout::Row, off: 0, pad: 0 },
+                GenOp::WLoad {
+                    frag: FragmentKind::A,
+                    layout: Layout::Row,
+                    off: 0,
+                    pad: 0,
+                },
+                GenOp::WLoad {
+                    frag: FragmentKind::B,
+                    layout: Layout::Row,
+                    off: 0,
+                    pad: 0,
+                },
+                GenOp::WLoad {
+                    frag: FragmentKind::C,
+                    layout: Layout::Row,
+                    off: 0,
+                    pad: 0,
+                },
+                GenOp::WMma {
+                    a_layout: Layout::Row,
+                    b_layout: Layout::Row,
+                    acc_d: false,
+                },
+                GenOp::WStore {
+                    layout: Layout::Row,
+                    off: 0,
+                    pad: 0,
+                },
             ],
         };
         let k = assemble(&p);

@@ -33,7 +33,12 @@ struct TensorExpect {
 fn tensor_expect(case: &Case) -> TensorExpect {
     let volta = !case.arch.turing();
     let warps = u64::from(case.grid_x) * u64::from(case.block_x.div_ceil(32));
-    let mut e = TensorExpect { mmas: 0, hmma_steps: 0, fedp_stages: 0, has_loop: false };
+    let mut e = TensorExpect {
+        mmas: 0,
+        hmma_steps: 0,
+        fedp_stages: 0,
+        has_loop: false,
+    };
     for (pc, instr) in case.kernel.instrs().iter().enumerate() {
         if let Some(target) = instr.target {
             if target <= pc {
@@ -71,7 +76,10 @@ pub fn check_run(case: &Case, stats: &LaunchStats) -> Result<Vec<&'static str>, 
     // One warp instruction per sub-core scheduler per clock (§II-A).
     let peak = (cfg.num_sms as u64 * cfg.sm.issue_width()) as f64;
     if stats.ipc() > peak {
-        return Err(format!("IPC {} exceeds peak issue width {peak}", stats.ipc()));
+        return Err(format!(
+            "IPC {} exceeds peak issue width {peak}",
+            stats.ipc()
+        ));
     }
     checked.push("ipc-bound");
 
@@ -97,12 +105,21 @@ pub fn check_run(case: &Case, stats: &LaunchStats) -> Result<Vec<&'static str>, 
     }
     checked.push("trace-cycle-range");
 
-    for (i, (&n, &c)) in trace.stall_counts.iter().zip(&trace.stall_cycles).enumerate() {
+    for (i, (&n, &c)) in trace
+        .stall_counts
+        .iter()
+        .zip(&trace.stall_cycles)
+        .enumerate()
+    {
         if n == 0 && c != 0 {
-            return Err(format!("stall reason {i} has {c} cycles but zero occurrences"));
+            return Err(format!(
+                "stall reason {i} has {c} cycles but zero occurrences"
+            ));
         }
         if n > 0 && c < n {
-            return Err(format!("stall reason {i}: {n} occurrences but only {c} cycles"));
+            return Err(format!(
+                "stall reason {i}: {n} occurrences but only {c} cycles"
+            ));
         }
     }
     checked.push("stall-accounting");
@@ -121,7 +138,10 @@ pub fn check_run(case: &Case, stats: &LaunchStats) -> Result<Vec<&'static str>, 
     }
     let by_unit: u64 = trace.issues_by_unit.iter().sum();
     if by_unit != trace.issues {
-        return Err(format!("per-unit issues sum to {by_unit}, total is {}", trace.issues));
+        return Err(format!(
+            "per-unit issues sum to {by_unit}, total is {}",
+            trace.issues
+        ));
     }
     checked.push("issue-accounting");
 
@@ -182,12 +202,19 @@ pub fn gemm_cycle_monotonicity(sizes: &[usize]) -> Result<Vec<u64>, String> {
     let mut cycles = Vec::with_capacity(sizes.len());
     for &size in sizes {
         let mut gpu = Gpu::new(gpu_config(Arch::Volta));
-        let run = run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaSimple, false);
+        let run = run_gemm(
+            &mut gpu,
+            GemmProblem::square(size),
+            GemmKernel::WmmaSimple,
+            false,
+        );
         cycles.push(run.stats.cycles);
     }
     for pair in cycles.windows(2) {
         if pair[1] < pair[0] {
-            return Err(format!("cycles not monotone over sizes {sizes:?}: {cycles:?}"));
+            return Err(format!(
+                "cycles not monotone over sizes {sizes:?}: {cycles:?}"
+            ));
         }
     }
     Ok(cycles)
@@ -201,7 +228,10 @@ mod tests {
 
     #[test]
     fn invariants_hold_on_a_wmma_case() {
-        let cfg = GenConfig { kind: KindSel::Wmma, ..Default::default() };
+        let cfg = GenConfig {
+            kind: KindSel::Wmma,
+            ..Default::default()
+        };
         let p = generate(3, &cfg);
         let case = Case::from_program(&p, 99);
         let (stats, _) = run_gpu(&case);

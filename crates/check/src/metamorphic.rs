@@ -62,11 +62,46 @@ fn gemm_kernel(a_layout: Layout, b_layout: Layout) -> Kernel {
     let fc = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::C, shape, f16, true));
     let fd = b.reg_block(tcsim_isa::fragment_regs(FragmentKind::D, shape, f16, true));
     let stride = Operand::Imm(N as i64);
-    b.wmma_load(FragmentKind::A, shape, a_layout, f16, MemSpace::Global, fa, Operand::RegPair(in_pair), stride);
-    b.wmma_load(FragmentKind::B, shape, b_layout, f16, MemSpace::Global, fb, Operand::RegPair(b_pair), stride);
-    b.wmma_load(FragmentKind::C, shape, Layout::Row, f16, MemSpace::Global, fc, Operand::RegPair(c_pair), stride);
+    b.wmma_load(
+        FragmentKind::A,
+        shape,
+        a_layout,
+        f16,
+        MemSpace::Global,
+        fa,
+        Operand::RegPair(in_pair),
+        stride,
+    );
+    b.wmma_load(
+        FragmentKind::B,
+        shape,
+        b_layout,
+        f16,
+        MemSpace::Global,
+        fb,
+        Operand::RegPair(b_pair),
+        stride,
+    );
+    b.wmma_load(
+        FragmentKind::C,
+        shape,
+        Layout::Row,
+        f16,
+        MemSpace::Global,
+        fc,
+        Operand::RegPair(c_pair),
+        stride,
+    );
     b.wmma_mma(shape, a_layout, b_layout, f16, f16, f16, fd, fa, fb, fc);
-    b.wmma_store(shape, Layout::Row, f16, MemSpace::Global, Operand::RegPair(out_pair), stride, fd);
+    b.wmma_store(
+        shape,
+        Layout::Row,
+        f16,
+        MemSpace::Global,
+        Operand::RegPair(out_pair),
+        stride,
+        fd,
+    );
     b.exit();
     b.build()
 }
@@ -155,10 +190,18 @@ pub fn check_transpose_duality(arch: Arch, seed: u64) -> Result<(), String> {
         let d = run_gemm_tile(arch, la, lb, &a, &b, &c);
         // Dual: swap and transpose the operands; the layouts of the dual's
         // A/B are the transposed layouts of B/A.
-        let dual =
-            run_gemm_tile(arch, lb.transposed(), la.transposed(), &transpose(&b), &transpose(&a), &transpose(&c));
+        let dual = run_gemm_tile(
+            arch,
+            lb.transposed(),
+            la.transposed(),
+            &transpose(&b),
+            &transpose(&a),
+            &transpose(&c),
+        );
         if bits(&d) != bits(&transpose(&dual)) {
-            return Err(format!("transpose duality violated for layouts {la:?}/{lb:?}"));
+            return Err(format!(
+                "transpose duality violated for layouts {la:?}/{lb:?}"
+            ));
         }
     }
     Ok(())
@@ -184,7 +227,14 @@ pub fn check_permutation_equivariance(arch: Arch, seed: u64) -> Result<(), Strin
         out
     };
     let base = run_gemm_tile(arch, Layout::Row, Layout::Row, &a, &b, &c);
-    let permuted = run_gemm_tile(arch, Layout::Row, Layout::Row, &permute_rows(&a), &b, &permute_rows(&c));
+    let permuted = run_gemm_tile(
+        arch,
+        Layout::Row,
+        Layout::Row,
+        &permute_rows(&a),
+        &b,
+        &permute_rows(&c),
+    );
     if bits(&permuted) != bits(&permute_rows(&base)) {
         return Err("row-permutation equivariance violated".into());
     }
@@ -230,11 +280,30 @@ fn mma_sync_kernel(mode: WmmaMode, meta_word: u32) -> Kernel {
     b.ld_param(MemWidth::B64, out_pair, param_out);
     let a_bytes = tile_bytes(FragmentKind::A);
     b.iadd64(b_addr, in_pair, Operand::Imm(a_bytes));
-    b.iadd64(c_addr, in_pair, Operand::Imm(a_bytes + tile_bytes(FragmentKind::B)));
-    let frag = [FragmentKind::A, FragmentKind::B, FragmentKind::C, FragmentKind::D]
-        .map(|k| b.reg_block(fragment_regs(k, mode.frag_shape(k), mode.frag_type(k), false)));
+    b.iadd64(
+        c_addr,
+        in_pair,
+        Operand::Imm(a_bytes + tile_bytes(FragmentKind::B)),
+    );
+    let frag = [
+        FragmentKind::A,
+        FragmentKind::B,
+        FragmentKind::C,
+        FragmentKind::D,
+    ]
+    .map(|k| {
+        b.reg_block(fragment_regs(
+            k,
+            mode.frag_shape(k),
+            mode.frag_type(k),
+            false,
+        ))
+    });
     let addrs = [in_pair, b_addr, c_addr];
-    for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C].into_iter().enumerate() {
+    for (i, kind) in [FragmentKind::A, FragmentKind::B, FragmentKind::C]
+        .into_iter()
+        .enumerate()
+    {
         let (_, cols) = kind.dims(mode.frag_shape(kind));
         b.wmma_load(
             kind,
@@ -253,7 +322,16 @@ fn mma_sync_kernel(mode: WmmaMode, meta_word: u32) -> Kernel {
         m
     });
     b.mma_sync(
-        mode.shape, mode.ab, mode.d, mode.c, mode.sparse, frag[3], frag[0], frag[1], frag[2], meta,
+        mode.shape,
+        mode.ab,
+        mode.d,
+        mode.c,
+        mode.sparse,
+        frag[3],
+        frag[0],
+        frag[1],
+        frag[2],
+        meta,
     );
     let (_, dcols) = FragmentKind::D.dims(mode.shape);
     b.wmma_store(
@@ -311,9 +389,13 @@ pub fn run_mma_sync_tile(
         .launch(&mut gpu);
     let out = gpu.memcpy_d2h(out_addr, d_bytes);
     if mode.d.bits() == 16 {
-        out.chunks(2).map(|p| u32::from(u16::from_le_bytes([p[0], p[1]]))).collect()
+        out.chunks(2)
+            .map(|p| u32::from(u16::from_le_bytes([p[0], p[1]])))
+            .collect()
     } else {
-        out.chunks(4).map(|p| u32::from_le_bytes(p.try_into().unwrap())).collect()
+        out.chunks(4)
+            .map(|p| u32::from_le_bytes(p.try_into().unwrap()))
+            .collect()
     }
 }
 
@@ -360,7 +442,11 @@ fn expand_sparse_rows(comp: &[u32], meta_word: u32, k: usize) -> Vec<u32> {
     assert_eq!(comp.len(), 16 * half);
     let mut dense = vec![0u32; 16 * k];
     for r in 0..16 {
-        let meta = if r < 8 { meta_word as u16 } else { (meta_word >> 16) as u16 };
+        let meta = if r < 8 {
+            meta_word as u16
+        } else {
+            (meta_word >> 16) as u16
+        };
         for g in 0..k / 4 {
             let nib = (meta >> (4 * g)) & 0xF;
             let (i0, i1) = ((nib & 3) as usize, ((nib >> 2) & 3) as usize);
@@ -378,8 +464,17 @@ fn expand_sparse_rows(comp: &[u32], meta_word: u32, k: usize) -> Vec<u32> {
 pub fn check_sparse_dense_equivalence(seed: u64) -> Result<(), String> {
     for ab in [WmmaType::F16, WmmaType::BF16] {
         let shape = WmmaShape::M16N8K16;
-        let sparse = WmmaMode { shape, ab, c: WmmaType::F32, d: WmmaType::F32, sparse: true };
-        let dense = WmmaMode { sparse: false, ..sparse };
+        let sparse = WmmaMode {
+            shape,
+            ab,
+            c: WmmaType::F32,
+            d: WmmaType::F32,
+            sparse: true,
+        };
+        let dense = WmmaMode {
+            sparse: false,
+            ..sparse
+        };
         let meta = random_meta_word(seed ^ 0x2F);
         let a = random_bits_tile(seed, 16 * 8, ab);
         let b = random_bits_tile(seed ^ 0xB, 16 * 8, ab);
@@ -422,7 +517,10 @@ pub fn check_mma_sync_scaling_and_absorbers(seed: u64) -> Result<(), String> {
         })
         .collect();
     let d2 = run_mma_sync_tile(bf16, 0, &doubled, &b, &zero_c);
-    let host2: Vec<u32> = d1.iter().map(|&e| (f32::from_bits(e) * 2.0).to_bits()).collect();
+    let host2: Vec<u32> = d1
+        .iter()
+        .map(|&e| (f32::from_bits(e) * 2.0).to_bits())
+        .collect();
     if d2 != host2 {
         return Err("bf16 power-of-two scaling violated: (2A)·B != 2·(A·B)".into());
     }
@@ -458,7 +556,8 @@ pub fn check_tf32_truncation_idempotence(seed: u64) -> Result<(), String> {
     // 13 mantissa bits), not round-to-nearest `from_f32`.
     let canon =
         |m: &[u32]| -> Vec<u32> { m.iter().map(|&e| Tf32::from_bits(e).to_bits()).collect() };
-    if run_mma_sync_tile(mode, 0, &a, &b, &c) != run_mma_sync_tile(mode, 0, &canon(&a), &canon(&b), &c)
+    if run_mma_sync_tile(mode, 0, &a, &b, &c)
+        != run_mma_sync_tile(mode, 0, &canon(&a), &canon(&b), &c)
     {
         return Err("tf32 truncation idempotence violated".into());
     }

@@ -278,8 +278,11 @@ pub enum Mutation {
 impl Mutation {
     /// Every planted oracle mutation (excluding [`Mutation::None`]), in
     /// canonical order.
-    pub const PLANTED: [Mutation; 3] =
-        [Mutation::FedpChopF16, Mutation::Bf16ChopMantissa, Mutation::SparseMetaSwap];
+    pub const PLANTED: [Mutation; 3] = [
+        Mutation::FedpChopF16,
+        Mutation::Bf16ChopMantissa,
+        Mutation::SparseMetaSwap,
+    ];
 
     /// Command-line spelling (`--mutate <name>`).
     pub fn name(self) -> &'static str {
@@ -393,7 +396,11 @@ impl MutantWmma {
             Arch::Turing => TensorCoreModel::turing(),
             Arch::Ampere => TensorCoreModel::ampere(),
         };
-        MutantWmma { inner, volta: arch == Arch::Volta, mutation }
+        MutantWmma {
+            inner,
+            volta: arch == Arch::Volta,
+            mutation,
+        }
     }
 }
 
@@ -410,8 +417,23 @@ impl WmmaHandler for MutantWmma {
         self.inner.wmma_load(dir, dst, base, stride, mem, regs)
     }
 
-    fn wmma_mma(&self, dir: &WmmaDirective, d: Reg, a: Reg, b: Reg, c: Reg, regs: &mut dyn WarpRegisters) {
-        let WmmaDirective::Mma { shape, a_layout, b_layout, ab_type, d_type, c_type } = *dir
+    fn wmma_mma(
+        &self,
+        dir: &WmmaDirective,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        regs: &mut dyn WarpRegisters,
+    ) {
+        let WmmaDirective::Mma {
+            shape,
+            a_layout,
+            b_layout,
+            ab_type,
+            d_type,
+            c_type,
+        } = *dir
         else {
             panic!("wmma_mma requires an Mma directive")
         };
@@ -443,7 +465,14 @@ impl WmmaHandler for MutantWmma {
         meta: Option<Reg>,
         regs: &mut dyn WarpRegisters,
     ) {
-        let WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } = *dir else {
+        let WmmaDirective::MmaSync {
+            shape,
+            ab_type,
+            c_type,
+            d_type,
+            sparse,
+        } = *dir
+        else {
             panic!("mma_sync requires an MmaSync directive")
         };
         let chop_f16 = self.mutation == Mutation::FedpChopF16
@@ -732,7 +761,10 @@ pub fn diff_run(case: &Case, mutation: Mutation) -> Result<DiffReport, CheckFail
     let (stats, gpu_out) = run_gpu(case);
     let ref_out = run_reference(case, mutation)?;
     compare_outputs(case, &gpu_out, &ref_out).map_err(CheckFail::Mismatch)?;
-    Ok(DiffReport { name: case.kernel.name().to_string(), stats })
+    Ok(DiffReport {
+        name: case.kernel.name().to_string(),
+        stats,
+    })
 }
 
 /// `true` if the kernel contains any WMMA instruction (used by invariant
@@ -775,19 +807,25 @@ mod tests {
     fn planted_mutations_flip_clean_cases_to_mismatches() {
         use crate::gen::{generate, GenConfig};
         for m in Mutation::PLANTED {
-            let cfg = GenConfig { max_ops: 16, kind: m.kind(), arch: None };
+            let cfg = GenConfig {
+                max_ops: 16,
+                kind: m.kind(),
+                arch: None,
+            };
             let mut detected = 0;
             for seed in 0..4u64 {
                 let p = generate(seed, &cfg);
                 let case = Case::from_program(&p, seed ^ 0xABCD);
-                diff_run(&case, Mutation::None).unwrap_or_else(|e| {
-                    panic!("{m:?} seed {seed}: clean run failed: {e:?}")
-                });
+                diff_run(&case, Mutation::None)
+                    .unwrap_or_else(|e| panic!("{m:?} seed {seed}: clean run failed: {e:?}"));
                 if matches!(diff_run(&case, m), Err(CheckFail::Mismatch(_))) {
                     detected += 1;
                 }
             }
-            assert!(detected >= 3, "{m:?}: only {detected}/4 seeds caught the plant");
+            assert!(
+                detected >= 3,
+                "{m:?}: only {detected}/4 seeds caught the plant"
+            );
         }
     }
 

@@ -31,7 +31,13 @@ impl XorShift64Star {
     /// Creates a generator from a seed (a zero seed is remapped, as the
     /// all-zero state is a fixed point of the xorshift recurrence).
     pub fn new(seed: u64) -> XorShift64Star {
-        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64Star {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit output.
@@ -146,8 +152,14 @@ impl ExpArrivals {
     ///
     /// Panics unless `rate` is positive and finite.
     pub fn new(seed: u64, rate: f64) -> ExpArrivals {
-        assert!(rate > 0.0 && rate.is_finite(), "arrival rate must be positive");
-        ExpArrivals { rng: XorShift64Star::new(seed ^ Self::SEED_SALT), rate }
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "arrival rate must be positive"
+        );
+        ExpArrivals {
+            rng: XorShift64Star::new(seed ^ Self::SEED_SALT),
+            rate,
+        }
     }
 
     /// The next exponential inter-arrival interval, in the caller's time

@@ -213,10 +213,18 @@ pub fn shrink<F>(start: &GenProgram, still_fails: F, max_evals: u32) -> ShrinkRe
 where
     F: FnMut(&GenProgram) -> bool,
 {
-    let mut s = Shrinker { still_fails, evals: 0, max_evals };
+    let mut s = Shrinker {
+        still_fails,
+        evals: 0,
+        max_evals,
+    };
     let program = s.run(start);
     let ops = program.op_count();
-    ShrinkResult { program, evals: s.evals, ops }
+    ShrinkResult {
+        program,
+        evals: s.evals,
+        ops,
+    }
 }
 
 /// Minimizes a program whose differential run (with `mutation` planted
@@ -254,7 +262,10 @@ mod tests {
 
     #[test]
     fn shrink_on_an_always_failing_simt_program_is_tiny() {
-        let cfg = GenConfig { kind: KindSel::Simt, ..Default::default() };
+        let cfg = GenConfig {
+            kind: KindSel::Simt,
+            ..Default::default()
+        };
         let p = generate(11, &cfg);
         let r = shrink(&p, |_| true, 2_000);
         // Chunk removal alone must get the body down to one op.

@@ -52,7 +52,10 @@ fn differential_sweep_is_clean() {
 /// then reduce the failing kernel to at most 10 instructions.
 #[test]
 fn planted_fedp_rounding_mutation_is_caught_and_minimized() {
-    let cfg = GenConfig { kind: KindSel::WmmaF16Acc, ..Default::default() };
+    let cfg = GenConfig {
+        kind: KindSel::WmmaF16Acc,
+        ..Default::default()
+    };
     let data_seed = 0xF00D;
     let mut caught = None;
     for seed in 0..8u64 {
@@ -73,7 +76,10 @@ fn planted_fedp_rounding_mutation_is_caught_and_minimized() {
     let min_case = Case::from_program(&shrunk.program, data_seed);
     // The minimized kernel must still reproduce the mismatch…
     assert!(
-        matches!(diff_run(&min_case, Mutation::FedpChopF16), Err(CheckFail::Mismatch(_))),
+        matches!(
+            diff_run(&min_case, Mutation::FedpChopF16),
+            Err(CheckFail::Mismatch(_))
+        ),
         "shrunk kernel no longer reproduces the mismatch"
     );
     // …and be genuinely tiny: at most 10 assembled instructions.

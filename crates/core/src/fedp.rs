@@ -72,7 +72,10 @@ pub fn fedp_i32(a: [i32; 4], b: [i32; 4], acc: i32) -> i32 {
 /// FP32 between FEDPs.
 pub fn dot_f32(a: &[F16], b: &[F16], c: f32) -> f32 {
     assert_eq!(a.len(), b.len());
-    assert!(a.len().is_multiple_of(4), "FEDP chains cover 4 elements per step");
+    assert!(
+        a.len().is_multiple_of(4),
+        "FEDP chains cover 4 elements per step"
+    );
     let mut acc = c;
     for (qa, qb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
         acc = fedp_f32(
@@ -106,7 +109,11 @@ pub fn dot_i32(a: &[i32], b: &[i32], c: i32) -> i32 {
     assert!(a.len().is_multiple_of(4));
     let mut acc = c;
     for (qa, qb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
-        acc = fedp_i32([qa[0], qa[1], qa[2], qa[3]], [qb[0], qb[1], qb[2], qb[3]], acc);
+        acc = fedp_i32(
+            [qa[0], qa[1], qa[2], qa[3]],
+            [qb[0], qb[1], qb[2], qb[3]],
+            acc,
+        );
     }
     acc
 }
@@ -198,7 +205,16 @@ mod tests {
     #[test]
     fn mixed_precision_keeps_f32_between_fedps() {
         // 2048 + 1 survives in f32 across FEDP boundaries but not in f16.
-        let a: Vec<F16> = vec![h(2048.0), F16::ZERO, F16::ZERO, F16::ZERO, h(1.0), F16::ZERO, F16::ZERO, F16::ZERO];
+        let a: Vec<F16> = vec![
+            h(2048.0),
+            F16::ZERO,
+            F16::ZERO,
+            F16::ZERO,
+            h(1.0),
+            F16::ZERO,
+            F16::ZERO,
+            F16::ZERO,
+        ];
         let b: Vec<F16> = vec![h(1.0); 8];
         assert_eq!(dot_f32(&a, &b, 0.0), 2049.0);
         assert_eq!(dot_f16(&a, &b, F16::ZERO).to_f32(), 2048.0);

@@ -49,17 +49,20 @@ thread_local! {
         RefCell::new(HashMap::new());
 }
 
-fn cached_accesses(
-    volta: bool,
-    map: &FragmentMap,
-    stride: usize,
-) -> Rc<LaneRuns> {
+fn cached_accesses(volta: bool, map: &FragmentMap, stride: usize) -> Rc<LaneRuns> {
     ACCESS_CACHE.with(|c| {
         Rc::clone(
             c.borrow_mut()
-                .entry(((volta, map.frag(), map.shape(), map.ty(), map.layout()), stride))
+                .entry((
+                    (volta, map.frag(), map.shape(), map.ty(), map.layout()),
+                    stride,
+                ))
                 .or_insert_with(|| {
-                    Rc::new((0..WARP_SIZE).map(|lane| map.lane_accesses(lane, stride)).collect())
+                    Rc::new(
+                        (0..WARP_SIZE)
+                            .map(|lane| map.lane_accesses(lane, stride))
+                            .collect(),
+                    )
                 }),
         )
     })
@@ -154,7 +157,11 @@ pub fn read_frag_elem(
     let bitpos = slot * bits;
     let reg = Reg(base.0 + (bitpos / 32) as u16);
     let off = bitpos % 32;
-    let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mask = if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     (regs.read(lane, reg) >> off) & mask
 }
 
@@ -170,14 +177,26 @@ pub fn write_frag_elem(
     let bitpos = slot * bits;
     let reg = Reg(base.0 + (bitpos / 32) as u16);
     let off = bitpos % 32;
-    let mask = if bits >= 32 { u32::MAX } else { ((1u32 << bits) - 1) << off };
+    let mask = if bits >= 32 {
+        u32::MAX
+    } else {
+        ((1u32 << bits) - 1) << off
+    };
     let old = regs.read(lane, reg);
     regs.write(lane, reg, (old & !mask) | ((value << off) & mask));
 }
 
 /// Reads tile element `(row, col)` from memory given the tile `base`
 /// address, `stride` (leading dimension in elements) and `layout`.
-fn read_mem_elem(mem: &dyn ByteMemory, base: u64, row: usize, col: usize, stride: usize, layout: Layout, ty: WmmaType) -> u32 {
+fn read_mem_elem(
+    mem: &dyn ByteMemory,
+    base: u64,
+    row: usize,
+    col: usize,
+    stride: usize,
+    layout: Layout,
+    ty: WmmaType,
+) -> u32 {
     let linear = match layout {
         Layout::Row => row * stride + col,
         Layout::Col => col * stride + row,
@@ -199,7 +218,16 @@ fn read_mem_elem(mem: &dyn ByteMemory, base: u64, row: usize, col: usize, stride
 
 /// Writes tile element `(row, col)` to memory.
 #[allow(clippy::too_many_arguments)]
-fn write_mem_elem(mem: &mut dyn ByteMemory, base: u64, row: usize, col: usize, stride: usize, layout: Layout, ty: WmmaType, value: u32) {
+fn write_mem_elem(
+    mem: &mut dyn ByteMemory,
+    base: u64,
+    row: usize,
+    col: usize,
+    stride: usize,
+    layout: Layout,
+    ty: WmmaType,
+    value: u32,
+) {
     let linear = match layout {
         Layout::Row => row * stride + col,
         Layout::Col => col * stride + row,
@@ -223,7 +251,12 @@ fn write_mem_elem(mem: &mut dyn ByteMemory, base: u64, row: usize, col: usize, s
 
 /// Gathers a whole tile from a warp's fragment registers using the
 /// element mapping (inverse of `scatter_tile`).
-pub fn gather_tile(model: &TensorCoreModel, map: &FragmentMap, base: Reg, regs: &dyn WarpRegisters) -> Tile {
+pub fn gather_tile(
+    model: &TensorCoreModel,
+    map: &FragmentMap,
+    base: Reg,
+    regs: &dyn WarpRegisters,
+) -> Tile {
     let _ = model;
     let (rows, cols) = map.frag().dims(map.shape());
     let mut t = Tile::new(map.ty(), rows, cols);
@@ -242,7 +275,11 @@ pub fn gather_tile(model: &TensorCoreModel, map: &FragmentMap, base: Reg, regs: 
                 let bitpos = slot * bits;
                 // On Volta, A/B elements appear twice; both copies hold
                 // the same value, so later writes are idempotent.
-                t.set_bits(r as usize, c as usize, (buf[bitpos / 32] >> (bitpos % 32)) & mask);
+                t.set_bits(
+                    r as usize,
+                    c as usize,
+                    (buf[bitpos / 32] >> (bitpos % 32)) & mask,
+                );
             }
         } else {
             for (slot, &(r, c)) in elems.iter().enumerate() {
@@ -293,15 +330,21 @@ pub fn scatter_tile(map: &FragmentMap, base: Reg, tile: &Tile, regs: &mut dyn Wa
             let mut buf = [0u32; MAX_FRAG_WORDS];
             for (slot, &(r, c)) in elems.iter().enumerate() {
                 let bitpos = slot * bits;
-                buf[bitpos / 32] |=
-                    (tile.get_bits(r as usize, c as usize) & mask) << (bitpos % 32);
+                buf[bitpos / 32] |= (tile.get_bits(r as usize, c as usize) & mask) << (bitpos % 32);
             }
             for (w, &word) in buf.iter().take(words).enumerate() {
                 regs.write(lane, Reg(base.0 + w as u16), word);
             }
         } else {
             for (slot, &(r, c)) in elems.iter().enumerate() {
-                write_frag_elem(regs, lane, base, slot, bits, tile.get_bits(r as usize, c as usize));
+                write_frag_elem(
+                    regs,
+                    lane,
+                    base,
+                    slot,
+                    bits,
+                    tile.get_bits(r as usize, c as usize),
+                );
             }
         }
     }
@@ -317,7 +360,13 @@ impl WmmaHandler for TensorCoreModel {
         mem: &dyn ByteMemory,
         regs: &mut dyn WarpRegisters,
     ) -> Vec<MemAccess> {
-        let WmmaDirective::Load { frag, shape, layout, ty } = *dir else {
+        let WmmaDirective::Load {
+            frag,
+            shape,
+            layout,
+            ty,
+        } = *dir
+        else {
             panic!("wmma_load requires a Load directive")
         };
         let map = cached_map(self.volta, frag, shape, ty, layout);
@@ -344,14 +393,34 @@ impl WmmaHandler for TensorCoreModel {
                 }
             }
             for &(off, bytes) in &runs[lane] {
-                accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
+                accesses.push(MemAccess {
+                    lane: lane as u8,
+                    addr: base + off,
+                    bytes,
+                });
             }
         }
         accesses
     }
 
-    fn wmma_mma(&self, dir: &WmmaDirective, d: Reg, a: Reg, b: Reg, c: Reg, regs: &mut dyn WarpRegisters) {
-        let WmmaDirective::Mma { shape, a_layout, b_layout, ab_type, d_type, c_type } = *dir else {
+    fn wmma_mma(
+        &self,
+        dir: &WmmaDirective,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+        regs: &mut dyn WarpRegisters,
+    ) {
+        let WmmaDirective::Mma {
+            shape,
+            a_layout,
+            b_layout,
+            ab_type,
+            d_type,
+            c_type,
+        } = *dir
+        else {
             panic!("wmma_mma requires an Mma directive")
         };
         let amap = cached_map(self.volta, FragmentKind::A, shape, ab_type, a_layout);
@@ -376,10 +445,20 @@ impl WmmaHandler for TensorCoreModel {
         meta: Option<Reg>,
         regs: &mut dyn WarpRegisters,
     ) {
-        let WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } = *dir else {
+        let WmmaDirective::MmaSync {
+            shape,
+            ab_type,
+            c_type,
+            d_type,
+            sparse,
+        } = *dir
+        else {
             panic!("mma_sync requires an MmaSync directive")
         };
-        assert!(!self.volta, "mma.sync requires an Ampere-generation tensor core");
+        assert!(
+            !self.volta,
+            "mma.sync requires an Ampere-generation tensor core"
+        );
         // mma.sync operand layouts are fixed (A row-major, B col-major);
         // the stored layout qualifier does not change the mapping.
         let a_shape = mma_sync_a_shape(shape, sparse);
@@ -436,7 +515,11 @@ impl WmmaHandler for TensorCoreModel {
                 }
             }
             for &(off, bytes) in &runs[lane] {
-                accesses.push(MemAccess { lane: lane as u8, addr: base + off, bytes });
+                accesses.push(MemAccess {
+                    lane: lane as u8,
+                    addr: base + off,
+                    bytes,
+                });
             }
         }
         accesses
@@ -467,7 +550,11 @@ mod tests {
     fn load_then_gather_reconstructs_matrix_all_layouts() {
         for volta in [true, false] {
             for layout in [Layout::Row, Layout::Col] {
-                let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+                let model = if volta {
+                    TensorCoreModel::volta()
+                } else {
+                    TensorCoreModel::turing()
+                };
                 let dir = WmmaDirective::Load {
                     frag: FragmentKind::A,
                     shape: WmmaShape::M16N16K16,
@@ -479,7 +566,13 @@ mod tests {
                 let mut regs = WarpRegFile::new(16);
                 let acc = model.wmma_load(&dir, Reg(0), 64, 16, &mem, &mut regs);
                 assert!(!acc.is_empty());
-                let map = FragmentMap::for_arch(volta, FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, layout);
+                let map = FragmentMap::for_arch(
+                    volta,
+                    FragmentKind::A,
+                    WmmaShape::M16N16K16,
+                    WmmaType::F16,
+                    layout,
+                );
                 let tile = gather_tile(&model, &map, Reg(0), &regs);
                 for r in 0..16 {
                     for c in 0..16 {
@@ -502,22 +595,49 @@ mod tests {
         let mut regs = WarpRegFile::new(16);
         // Row-major A: 2 × LD.E.128 per thread = 64 accesses.
         let acc = model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::A, shape: WmmaShape::M16N16K16, layout: Layout::Row, ty: WmmaType::F16 },
-            Reg(0), 0, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape: WmmaShape::M16N16K16,
+                layout: Layout::Row,
+                ty: WmmaType::F16,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
         );
         assert_eq!(acc.len(), 64);
         assert!(acc.iter().all(|a| a.bytes == 16));
         // Column-major A: 4 × LD.E.64 per thread = 128 accesses.
         let acc = model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::A, shape: WmmaShape::M16N16K16, layout: Layout::Col, ty: WmmaType::F16 },
-            Reg(0), 0, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape: WmmaShape::M16N16K16,
+                layout: Layout::Col,
+                ty: WmmaType::F16,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
         );
         assert_eq!(acc.len(), 128);
         assert!(acc.iter().all(|a| a.bytes == 8));
         // C in FP32: 8 × 32-bit per thread = 256 accesses.
         let acc = model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::C, shape: WmmaShape::M16N16K16, layout: Layout::Row, ty: WmmaType::F32 },
-            Reg(8), 0, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::C,
+                shape: WmmaShape::M16N16K16,
+                layout: Layout::Row,
+                ty: WmmaType::F32,
+            },
+            Reg(8),
+            0,
+            16,
+            &mem,
+            &mut regs,
         );
         assert_eq!(acc.len(), 256);
         assert!(acc.iter().all(|a| a.bytes == 4));
@@ -527,7 +647,11 @@ mod tests {
     fn full_mma_pipeline_matches_cpu_reference() {
         // load A, B, C → mma → store D, compare against a plain matmul.
         for volta in [true, false] {
-            let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+            let model = if volta {
+                TensorCoreModel::volta()
+            } else {
+                TensorCoreModel::turing()
+            };
             let shape = WmmaShape::M16N16K16;
             let mut mem = VecMemory::new();
             let (a_base, b_base, c_base, d_base) = (0u64, 0x1000u64, 0x2000u64, 0x3000u64);
@@ -538,22 +662,52 @@ mod tests {
                     let bv = F16::from_f32(((3 * r + c) % 7) as f32 - 3.0);
                     mem.write_u16(a_base + (r * 16 + c) as u64 * 2, av.to_bits());
                     mem.write_u16(b_base + (r * 16 + c) as u64 * 2, bv.to_bits());
-                    mem.write_u32(c_base + (r * 16 + c) as u64 * 4, ((r as f32) - (c as f32)).to_bits());
+                    mem.write_u32(
+                        c_base + (r * 16 + c) as u64 * 4,
+                        ((r as f32) - (c as f32)).to_bits(),
+                    );
                 }
             }
             let mut regs = WarpRegFile::new(64);
             let (ra, rb, rc, rd) = (Reg(0), Reg(8), Reg(16), Reg(24));
             model.wmma_load(
-                &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Row, ty: WmmaType::F16 },
-                ra, a_base, 16, &mem, &mut regs,
+                &WmmaDirective::Load {
+                    frag: FragmentKind::A,
+                    shape,
+                    layout: Layout::Row,
+                    ty: WmmaType::F16,
+                },
+                ra,
+                a_base,
+                16,
+                &mem,
+                &mut regs,
             );
             model.wmma_load(
-                &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: WmmaType::F16 },
-                rb, b_base, 16, &mem, &mut regs,
+                &WmmaDirective::Load {
+                    frag: FragmentKind::B,
+                    shape,
+                    layout: Layout::Row,
+                    ty: WmmaType::F16,
+                },
+                rb,
+                b_base,
+                16,
+                &mem,
+                &mut regs,
             );
             model.wmma_load(
-                &WmmaDirective::Load { frag: FragmentKind::C, shape, layout: Layout::Row, ty: WmmaType::F32 },
-                rc, c_base, 16, &mem, &mut regs,
+                &WmmaDirective::Load {
+                    frag: FragmentKind::C,
+                    shape,
+                    layout: Layout::Row,
+                    ty: WmmaType::F32,
+                },
+                rc,
+                c_base,
+                16,
+                &mem,
+                &mut regs,
             );
             model.wmma_mma(
                 &WmmaDirective::Mma {
@@ -564,11 +718,23 @@ mod tests {
                     c_type: WmmaType::F32,
                     d_type: WmmaType::F32,
                 },
-                rd, ra, rb, rc, &mut regs,
+                rd,
+                ra,
+                rb,
+                rc,
+                &mut regs,
             );
             model.wmma_store(
-                &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::F32 },
-                rd, d_base, 16, &mut mem, &regs,
+                &WmmaDirective::Store {
+                    shape,
+                    layout: Layout::Row,
+                    ty: WmmaType::F32,
+                },
+                rd,
+                d_base,
+                16,
+                &mut mem,
+                &regs,
             );
             for r in 0..16usize {
                 for c in 0..16usize {
@@ -596,12 +762,30 @@ mod tests {
         seed_f16_matrix(&mut mem, 0x1000, 16, 16, Layout::Col); // B col-major
         let mut regs = WarpRegFile::new(64);
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Col, ty: WmmaType::F16 },
-            Reg(0), 0, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape,
+                layout: Layout::Col,
+                ty: WmmaType::F16,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
         );
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Col, ty: WmmaType::F16 },
-            Reg(8), 0x1000, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::B,
+                shape,
+                layout: Layout::Col,
+                ty: WmmaType::F16,
+            },
+            Reg(8),
+            0x1000,
+            16,
+            &mem,
+            &mut regs,
         );
         model.wmma_mma(
             &WmmaDirective::Mma {
@@ -612,11 +796,23 @@ mod tests {
                 c_type: WmmaType::F32,
                 d_type: WmmaType::F32,
             },
-            Reg(24), Reg(0), Reg(8), Reg(16), &mut regs,
+            Reg(24),
+            Reg(0),
+            Reg(8),
+            Reg(16),
+            &mut regs,
         );
         model.wmma_store(
-            &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::F32 },
-            Reg(24), 0x2000, 16, &mut mem, &regs,
+            &WmmaDirective::Store {
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::F32,
+            },
+            Reg(24),
+            0x2000,
+            16,
+            &mut mem,
+            &regs,
         );
         // D(0,0) = Σ_k A(0,k)·B(k,0) = Σ_k k·(k·16 % 512) won't overflow f32;
         // compute the reference directly.
@@ -643,12 +839,30 @@ mod tests {
         }
         let mut regs = WarpRegFile::new(64);
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: Layout::Row, ty: WmmaType::S8 },
-            Reg(0), 0, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::S8,
+            },
+            Reg(0),
+            0,
+            16,
+            &mem,
+            &mut regs,
         );
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: WmmaType::S8 },
-            Reg(4), 0x400, 16, &mem, &mut regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::B,
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::S8,
+            },
+            Reg(4),
+            0x400,
+            16,
+            &mem,
+            &mut regs,
         );
         model.wmma_mma(
             &WmmaDirective::Mma {
@@ -659,11 +873,23 @@ mod tests {
                 c_type: WmmaType::S32,
                 d_type: WmmaType::S32,
             },
-            Reg(24), Reg(0), Reg(4), Reg(8), &mut regs,
+            Reg(24),
+            Reg(0),
+            Reg(4),
+            Reg(8),
+            &mut regs,
         );
         model.wmma_store(
-            &WmmaDirective::Store { shape, layout: Layout::Row, ty: WmmaType::S32 },
-            Reg(24), 0x800, 16, &mut mem, &regs,
+            &WmmaDirective::Store {
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::S32,
+            },
+            Reg(24),
+            0x800,
+            16,
+            &mut mem,
+            &regs,
         );
         for r in 0..16usize {
             for c in 0..16usize {
@@ -731,18 +957,49 @@ mod tests {
                 mem.write_u32(0x2000 + ((r * 8 + c) * 4) as u64, v.to_bits());
             }
         }
-        let a_shape = if a_dims.1 == k { shape } else { WmmaShape::M16N8K8 };
+        let a_shape = if a_dims.1 == k {
+            shape
+        } else {
+            WmmaShape::M16N8K8
+        };
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::A, shape: a_shape, layout: Layout::Row, ty: ab_type },
-            Reg(0), 0, ac, &mem, regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::A,
+                shape: a_shape,
+                layout: Layout::Row,
+                ty: ab_type,
+            },
+            Reg(0),
+            0,
+            ac,
+            &mem,
+            regs,
         );
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: Layout::Row, ty: ab_type },
-            Reg(8), 0x1000, 8, &mem, regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::B,
+                shape,
+                layout: Layout::Row,
+                ty: ab_type,
+            },
+            Reg(8),
+            0x1000,
+            8,
+            &mem,
+            regs,
         );
         model.wmma_load(
-            &WmmaDirective::Load { frag: FragmentKind::C, shape, layout: Layout::Row, ty: WmmaType::F32 },
-            Reg(16), 0x2000, 8, &mem, regs,
+            &WmmaDirective::Load {
+                frag: FragmentKind::C,
+                shape,
+                layout: Layout::Row,
+                ty: WmmaType::F32,
+            },
+            Reg(16),
+            0x2000,
+            8,
+            &mem,
+            regs,
         );
     }
 
@@ -766,9 +1023,15 @@ mod tests {
                     d_type: WmmaType::F32,
                     sparse: false,
                 },
-                Reg(24), Reg(0), Reg(8), Reg(16), None, &mut regs,
+                Reg(24),
+                Reg(0),
+                Reg(8),
+                Reg(16),
+                None,
+                &mut regs,
             );
-            let dmap = FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
+            let dmap =
+                FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
             let dt = gather_tile(&model, &dmap, Reg(24), &regs);
             for r in 0..16usize {
                 for c in 0..8usize {
@@ -778,10 +1041,7 @@ mod tests {
                         let bv = ((3 * kk + c) % 7) as f32 - 3.0;
                         expect += av * bv;
                     }
-                    assert_eq!(
-                        dt.get_f32(r, c), expect,
-                        "{shape} {ab_type} ({r},{c})"
-                    );
+                    assert_eq!(dt.get_f32(r, c), expect, "{shape} {ab_type} ({r},{c})");
                 }
             }
         }
@@ -816,9 +1076,15 @@ mod tests {
                     d_type: WmmaType::F32,
                     sparse: true,
                 },
-                Reg(24), Reg(0), Reg(8), Reg(16), Some(mreg), &mut regs,
+                Reg(24),
+                Reg(0),
+                Reg(8),
+                Reg(16),
+                Some(mreg),
+                &mut regs,
             );
-            let dmap = FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
+            let dmap =
+                FragmentMap::for_arch(false, FragmentKind::D, shape, WmmaType::F32, Layout::Row);
             let dt = gather_tile(&model, &dmap, Reg(24), &regs);
             for r in 0..16usize {
                 for c in 0..8usize {
@@ -852,7 +1118,12 @@ mod tests {
                 d_type: WmmaType::F32,
                 sparse: true,
             },
-            Reg(24), Reg(0), Reg(8), Reg(16), None, &mut regs,
+            Reg(24),
+            Reg(0),
+            Reg(8),
+            Reg(16),
+            None,
+            &mut regs,
         );
     }
 
@@ -860,7 +1131,12 @@ mod tests {
     fn thread_local_caches_agree_across_threads() {
         // Sweep workers each hold a private MAP_CACHE; the memoized
         // mappings are pure, so every thread must compute identical maps.
-        let key = (FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, Layout::Row);
+        let key = (
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            Layout::Row,
+        );
         let here = cached_map(true, key.0, key.1, key.2, key.3);
         let there = std::thread::spawn(move || {
             let m = cached_map(true, key.0, key.1, key.2, key.3);
@@ -890,4 +1166,3 @@ mod tests {
         assert_eq!(regs.read(3, Reg(2)), 0xDEADBEEF);
     }
 }
-

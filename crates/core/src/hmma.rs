@@ -82,8 +82,12 @@ pub fn mma_reference(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) -> Tile {
         // Decode each operand element once (A row-major, B transposed to
         // column-major) instead of re-extracting k elements per output
         // cell; the dot product itself is unchanged.
-        let av: Vec<i32> = (0..m).flat_map(|r| (0..k).map(move |i| a.get_i32(r, i))).collect();
-        let bt: Vec<i32> = (0..n).flat_map(|col| (0..k).map(move |i| b.get_i32(i, col))).collect();
+        let av: Vec<i32> = (0..m)
+            .flat_map(|r| (0..k).map(move |i| a.get_i32(r, i)))
+            .collect();
+        let bt: Vec<i32> = (0..n)
+            .flat_map(|col| (0..k).map(move |i| b.get_i32(i, col)))
+            .collect();
         for r in 0..m {
             for col in 0..n {
                 let acc = crate::fedp::dot_i32(
@@ -98,10 +102,12 @@ pub fn mma_reference(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) -> Tile {
         // Same hoist for the floating modes. F16/BF16/TF32 → binary32 is
         // exact, so widening each multiplicand once up front leaves every
         // FEDP product bit-identical to converting inside the chain.
-        let av: Vec<f32> =
-            (0..m).flat_map(|r| (0..k).map(move |i| a.widen_f32(r, i))).collect();
-        let bt: Vec<f32> =
-            (0..n).flat_map(|col| (0..k).map(move |i| b.widen_f32(i, col))).collect();
+        let av: Vec<f32> = (0..m)
+            .flat_map(|r| (0..k).map(move |i| a.widen_f32(r, i)))
+            .collect();
+        let bt: Vec<f32> = (0..n)
+            .flat_map(|col| (0..k).map(move |i| b.widen_f32(i, col)))
+            .collect();
         for r in 0..m {
             for col in 0..n {
                 let mut acc = c.value(r, col) as f32;
@@ -136,7 +142,10 @@ pub const SPARSE_INDEX_BITS: u32 = 2;
 pub fn pack_sparse_row_meta(groups: [(u8, u8); 4]) -> u16 {
     let mut meta = 0u16;
     for (j, &(i0, i1)) in groups.iter().enumerate() {
-        assert!(i0 < 4 && i1 < 4 && i0 < i1, "2:4 indices must be ascending and in 0..4");
+        assert!(
+            i0 < 4 && i1 < 4 && i0 < i1,
+            "2:4 indices must be ascending and in 0..4"
+        );
         meta |= ((i0 as u16) | ((i1 as u16) << SPARSE_INDEX_BITS)) << (4 * j);
     }
     meta
@@ -245,7 +254,11 @@ pub fn table3_rows() -> Vec<(usize, usize, String, String)> {
     for set in 0..SETS {
         for step in 0..4 {
             let rowpart = if step % 2 == 0 { "[0:1]" } else { "[2:3]" };
-            let b = if step / 2 == 0 { b_low[set] } else { b_high[set] };
+            let b = if step / 2 == 0 {
+                b_low[set]
+            } else {
+                b_high[set]
+            };
             rows.push((
                 set + 1,
                 step,
@@ -275,7 +288,12 @@ pub struct SetCompute {
 /// each output element sees its k blocks in ascending order.
 pub fn turing_sets(shape: WmmaShape, mode: MmaMode) -> Vec<SetCompute> {
     let (m, n, k) = (shape.m(), shape.n(), shape.k());
-    let mk = |set, mr: (usize, usize), kr, nr| SetCompute { set, m: mr, k: kr, n: nr };
+    let mk = |set, mr: (usize, usize), kr, nr| SetCompute {
+        set,
+        m: mr,
+        k: kr,
+        n: nr,
+    };
     match (shape, mode) {
         // 4-bit: a single HMMA covers the whole tile (§III-D2).
         (WmmaShape::M8N8K32, MmaMode::Integer) => vec![mk(0, (0, m), (0, k), (0, n))],
@@ -353,7 +371,9 @@ impl Acc {
     }
 
     fn fedp(&mut self, idx: usize, a: [F16; 4], b: [F16; 4]) {
-        let Acc::Float { vals, round_f16 } = self else { panic!("float fedp on int acc") };
+        let Acc::Float { vals, round_f16 } = self else {
+            panic!("float fedp on int acc")
+        };
         let mut v = fedp_f32(a, b, vals[idx]);
         if *round_f16 {
             v = F16::from_f32(v).to_f32();
@@ -362,7 +382,9 @@ impl Acc {
     }
 
     fn fedp_int(&mut self, idx: usize, a: [i32; 4], b: [i32; 4]) {
-        let Acc::Int(vals) = self else { panic!("int fedp on float acc") };
+        let Acc::Int(vals) = self else {
+            panic!("int fedp on float acc")
+        };
         vals[idx] = fedp_i32(a, b, vals[idx]);
     }
 
@@ -406,7 +428,11 @@ pub fn execute_stepwise_volta(a: &Tile, b: &Tile, c: &Tile, d_type: WmmaType) ->
                 for &col in &piece.b_cols {
                     let qa: Vec<F16> = piece.k_range.iter().map(|&i| a.get_f16(r, i)).collect();
                     let qb: Vec<F16> = piece.k_range.iter().map(|&i| b.get_f16(i, col)).collect();
-                    acc.fedp(r * n + col, [qa[0], qa[1], qa[2], qa[3]], [qb[0], qb[1], qb[2], qb[3]]);
+                    acc.fedp(
+                        r * n + col,
+                        [qa[0], qa[1], qa[2], qa[3]],
+                        [qb[0], qb[1], qb[2], qb[3]],
+                    );
                 }
             }
         }
@@ -434,11 +460,19 @@ pub fn execute_setwise_turing(
                     if mode == MmaMode::Integer {
                         let qa: Vec<i32> = quad.iter().map(|&i| a.get_i32(r, i)).collect();
                         let qb: Vec<i32> = quad.iter().map(|&i| b.get_i32(i, col)).collect();
-                        acc.fedp_int(r * n + col, [qa[0], qa[1], qa[2], qa[3]], [qb[0], qb[1], qb[2], qb[3]]);
+                        acc.fedp_int(
+                            r * n + col,
+                            [qa[0], qa[1], qa[2], qa[3]],
+                            [qb[0], qb[1], qb[2], qb[3]],
+                        );
                     } else {
                         let qa: Vec<F16> = quad.iter().map(|&i| a.get_f16(r, i)).collect();
                         let qb: Vec<F16> = quad.iter().map(|&i| b.get_f16(i, col)).collect();
-                        acc.fedp(r * n + col, [qa[0], qa[1], qa[2], qa[3]], [qb[0], qb[1], qb[2], qb[3]]);
+                        acc.fedp(
+                            r * n + col,
+                            [qa[0], qa[1], qa[2], qa[3]],
+                            [qb[0], qb[1], qb[2], qb[3]],
+                        );
                     }
                 }
             }
@@ -593,15 +627,60 @@ mod tests {
     #[test]
     fn setwise_turing_equals_reference_all_modes() {
         let cases = [
-            (WmmaShape::M16N16K16, WmmaType::F16, WmmaType::F32, WmmaType::F32),
-            (WmmaShape::M16N16K16, WmmaType::F16, WmmaType::F16, WmmaType::F16),
-            (WmmaShape::M16N16K16, WmmaType::S8, WmmaType::S32, WmmaType::S32),
-            (WmmaShape::M32N8K16, WmmaType::F16, WmmaType::F32, WmmaType::F32),
-            (WmmaShape::M32N8K16, WmmaType::U8, WmmaType::S32, WmmaType::S32),
-            (WmmaShape::M8N32K16, WmmaType::F16, WmmaType::F16, WmmaType::F16),
-            (WmmaShape::M8N32K16, WmmaType::S8, WmmaType::S32, WmmaType::S32),
-            (WmmaShape::M8N8K32, WmmaType::S4, WmmaType::S32, WmmaType::S32),
-            (WmmaShape::M8N8K32, WmmaType::U4, WmmaType::S32, WmmaType::S32),
+            (
+                WmmaShape::M16N16K16,
+                WmmaType::F16,
+                WmmaType::F32,
+                WmmaType::F32,
+            ),
+            (
+                WmmaShape::M16N16K16,
+                WmmaType::F16,
+                WmmaType::F16,
+                WmmaType::F16,
+            ),
+            (
+                WmmaShape::M16N16K16,
+                WmmaType::S8,
+                WmmaType::S32,
+                WmmaType::S32,
+            ),
+            (
+                WmmaShape::M32N8K16,
+                WmmaType::F16,
+                WmmaType::F32,
+                WmmaType::F32,
+            ),
+            (
+                WmmaShape::M32N8K16,
+                WmmaType::U8,
+                WmmaType::S32,
+                WmmaType::S32,
+            ),
+            (
+                WmmaShape::M8N32K16,
+                WmmaType::F16,
+                WmmaType::F16,
+                WmmaType::F16,
+            ),
+            (
+                WmmaShape::M8N32K16,
+                WmmaType::S8,
+                WmmaType::S32,
+                WmmaType::S32,
+            ),
+            (
+                WmmaShape::M8N8K32,
+                WmmaType::S4,
+                WmmaType::S32,
+                WmmaType::S32,
+            ),
+            (
+                WmmaShape::M8N8K32,
+                WmmaType::U4,
+                WmmaType::S32,
+                WmmaType::S32,
+            ),
         ];
         for (shape, abty, cty, dty) in cases {
             let a = filled(FragmentKind::A, shape, abty, 7);
@@ -674,9 +753,10 @@ mod tests {
         // filled() values are small integer multiples of 1/8, so every
         // product and partial sum is exact in f32 and the FEDP chain must
         // equal the naive sum.
-        for (shape, abty) in
-            [(WmmaShape::M16N8K16, WmmaType::BF16), (WmmaShape::M16N8K8, WmmaType::TF32)]
-        {
+        for (shape, abty) in [
+            (WmmaShape::M16N8K16, WmmaType::BF16),
+            (WmmaShape::M16N8K8, WmmaType::TF32),
+        ] {
             let a = filled(FragmentKind::A, shape, abty, 21);
             let b = filled(FragmentKind::B, shape, abty, 22);
             let c = filled(FragmentKind::C, shape, WmmaType::F32, 23);

@@ -58,11 +58,11 @@ pub use hmma::{
     StepCompute, SETS, SPARSE_GROUP_K, SPARSE_INDEX_BITS,
 };
 pub use mapping::{threadgroup_of_lane, FragmentMap, THREADGROUPS_PER_WARP, THREADGROUP_SIZE};
-pub use pipe::{HmmaEvent, TensorCorePipe};
 pub use octet::{
     octet_footprints, octet_of_lane, threadgroups_of_octet, OctetFootprint, SubTile,
     OCTETS_PER_WARP,
 };
+pub use pipe::{HmmaEvent, TensorCorePipe};
 pub use tile::Tile;
 pub use timing::{
     mma_timing, turing_set_completions, turing_step_schedule, volta_step_schedule, HmmaStepTiming,

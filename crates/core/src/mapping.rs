@@ -152,7 +152,14 @@ impl FragmentMap {
                 }
             }
         }
-        FragmentMap { frag, shape, ty, layout, volta: true, elems }
+        FragmentMap {
+            frag,
+            shape,
+            ty,
+            layout,
+            volta: true,
+            elems,
+        }
     }
 
     /// Builds the Turing (RTX 2080) mapping of Fig 8: each line (row of A/C,
@@ -198,7 +205,14 @@ impl FragmentMap {
                 }
             }
         }
-        FragmentMap { frag, shape, ty, layout, volta: false, elems }
+        FragmentMap {
+            frag,
+            shape,
+            ty,
+            layout,
+            volta: false,
+            elems,
+        }
     }
 
     /// Builds the Ampere per-instruction `mma.sync` mapping for the
@@ -232,7 +246,10 @@ impl FragmentMap {
         ty: WmmaType,
         layout: Layout,
     ) -> FragmentMap {
-        assert!(shape.is_mma_sync(), "Ampere mapping is for mma.sync tiles only");
+        assert!(
+            shape.is_mma_sync(),
+            "Ampere mapping is for mma.sync tiles only"
+        );
         let mut elems = vec![Vec::new(); WARP_SIZE];
         for (lane, out) in elems.iter_mut().enumerate() {
             let g = (lane / THREADGROUP_SIZE) as u8;
@@ -251,7 +268,11 @@ impl FragmentMap {
                     out.push((t + 4, g));
                 }
                 (FragmentKind::A, WmmaType::F16 | WmmaType::BF16) => {
-                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 { &[0, 8] } else { &[0] };
+                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 {
+                        &[0, 8]
+                    } else {
+                        &[0]
+                    };
                     for &ko in kos {
                         for r in [0u8, 8] {
                             out.push((g + r, 2 * t + ko));
@@ -260,7 +281,11 @@ impl FragmentMap {
                     }
                 }
                 (FragmentKind::B, WmmaType::F16 | WmmaType::BF16) => {
-                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 { &[0, 8] } else { &[0] };
+                    let kos: &[u8] = if shape == WmmaShape::M16N8K16 {
+                        &[0, 8]
+                    } else {
+                        &[0]
+                    };
                     for &ko in kos {
                         out.push((2 * t + ko, g));
                         out.push((2 * t + ko + 1, g));
@@ -275,7 +300,14 @@ impl FragmentMap {
                 other => panic!("unsupported mma.sync fragment/type combination {other:?}"),
             }
         }
-        FragmentMap { frag, shape, ty, layout, volta: false, elems }
+        FragmentMap {
+            frag,
+            shape,
+            ty,
+            layout,
+            volta: false,
+            elems,
+        }
     }
 
     /// Builds the mapping for either architecture. The `mma.sync` tile
@@ -500,7 +532,11 @@ mod tests {
             }
         }
         // Rows 4–7 → TGs 4 and 6.
-        let tgs: Vec<usize> = m.owners(5, 0).iter().map(|&(l, _)| threadgroup_of_lane(l)).collect();
+        let tgs: Vec<usize> = m
+            .owners(5, 0)
+            .iter()
+            .map(|&(l, _)| threadgroup_of_lane(l))
+            .collect();
         assert_eq!(tgs, vec![4, 6]);
     }
 
@@ -508,7 +544,10 @@ mod tests {
     fn volta_b_column_blocks_match_fig7a() {
         let m = FragmentMap::volta(FragmentKind::B, WmmaType::F16, Layout::Col);
         let tg_of = |c: u8| -> Vec<usize> {
-            m.owners(0, c).iter().map(|&(l, _)| threadgroup_of_lane(l)).collect()
+            m.owners(0, c)
+                .iter()
+                .map(|&(l, _)| threadgroup_of_lane(l))
+                .collect()
         };
         assert_eq!(tg_of(0), vec![0, 1]);
         assert_eq!(tg_of(4), vec![4, 5]);
@@ -617,17 +656,31 @@ mod tests {
     fn turing_consecutive_threadgroups_load_consecutive_rows() {
         // §III-B2: each row is loaded by a threadgroup and consecutive
         // threadgroups load consecutive rows.
-        let m = FragmentMap::turing(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, Layout::Row);
+        let m = FragmentMap::turing(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            Layout::Row,
+        );
         for r in 0..16u8 {
             let owners = m.owners(r, 0);
             assert_eq!(owners.len(), 1);
-            assert_eq!(threadgroup_of_lane(owners[0].0), (r as usize) % 8, "row {r}");
+            assert_eq!(
+                threadgroup_of_lane(owners[0].0),
+                (r as usize) % 8,
+                "row {r}"
+            );
         }
     }
 
     #[test]
     fn turing_b_columns_per_threadgroup() {
-        let m = FragmentMap::turing(FragmentKind::B, WmmaShape::M32N8K16, WmmaType::F16, Layout::Col);
+        let m = FragmentMap::turing(
+            FragmentKind::B,
+            WmmaShape::M32N8K16,
+            WmmaType::F16,
+            Layout::Col,
+        );
         // 8 columns, one per threadgroup.
         for c in 0..8u8 {
             for r in 0..16u8 {
@@ -649,13 +702,21 @@ mod tests {
             (FragmentKind::A, WmmaShape::M8N8K32, WmmaType::S4),
         ] {
             let m = FragmentMap::turing(frag, shape, ty, Layout::Row);
-            assert_eq!(m.elems_per_thread(), fragment_elements(frag, shape, ty, false));
+            assert_eq!(
+                m.elems_per_thread(),
+                fragment_elements(frag, shape, ty, false)
+            );
         }
     }
 
     #[test]
     fn four_bit_accesses_are_byte_aligned() {
-        let m = FragmentMap::turing(FragmentKind::A, WmmaShape::M8N8K32, WmmaType::S4, Layout::Row);
+        let m = FragmentMap::turing(
+            FragmentKind::A,
+            WmmaShape::M8N8K32,
+            WmmaType::S4,
+            Layout::Row,
+        );
         for lane in 0..WARP_SIZE {
             let acc = m.lane_accesses(lane, 32);
             // 8 nibbles = 4 contiguous bytes in one run.
@@ -678,7 +739,12 @@ mod tests {
                 1,
             ),
             (
-                FragmentMap::turing(FragmentKind::B, WmmaShape::M16N16K16, WmmaType::S8, Layout::Row),
+                FragmentMap::turing(
+                    FragmentKind::B,
+                    WmmaShape::M16N16K16,
+                    WmmaType::S8,
+                    Layout::Row,
+                ),
                 1,
             ),
         ] {
@@ -752,20 +818,36 @@ mod tests {
         // PTX mma.m16n8k16 row-major A fragment: lane L = 4g + t holds
         // a0..a7 = (g,2t) (g,2t+1) (g+8,2t) (g+8,2t+1) then the k+8
         // columns in the same order.
-        let m = FragmentMap::ampere(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::F16, Layout::Row);
+        let m = FragmentMap::ampere(
+            FragmentKind::A,
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            Layout::Row,
+        );
         for lane in 0..WARP_SIZE {
             let (g, t) = ((lane / 4) as u8, (lane % 4) as u8);
             assert_eq!(
                 m.lane_elems(lane),
                 &[
-                    (g, 2 * t), (g, 2 * t + 1), (g + 8, 2 * t), (g + 8, 2 * t + 1),
-                    (g, 2 * t + 8), (g, 2 * t + 9), (g + 8, 2 * t + 8), (g + 8, 2 * t + 9),
+                    (g, 2 * t),
+                    (g, 2 * t + 1),
+                    (g + 8, 2 * t),
+                    (g + 8, 2 * t + 1),
+                    (g, 2 * t + 8),
+                    (g, 2 * t + 9),
+                    (g + 8, 2 * t + 8),
+                    (g + 8, 2 * t + 9),
                 ],
                 "lane {lane}"
             );
         }
         // TF32 m16n8k8 A: a0..a3 = (g,t) (g+8,t) (g,t+4) (g+8,t+4).
-        let m = FragmentMap::ampere(FragmentKind::A, WmmaShape::M16N8K8, WmmaType::TF32, Layout::Row);
+        let m = FragmentMap::ampere(
+            FragmentKind::A,
+            WmmaShape::M16N8K8,
+            WmmaType::TF32,
+            Layout::Row,
+        );
         for lane in 0..WARP_SIZE {
             let (g, t) = ((lane / 4) as u8, (lane % 4) as u8);
             assert_eq!(
@@ -785,7 +867,11 @@ mod tests {
                 let amp = FragmentMap::ampere(FragmentKind::C, shape, ty, Layout::Row);
                 let tur = FragmentMap::turing(FragmentKind::C, shape, ty, Layout::Row);
                 for lane in 0..WARP_SIZE {
-                    assert_eq!(amp.lane_elems(lane), tur.lane_elems(lane), "{shape} {ty} {lane}");
+                    assert_eq!(
+                        amp.lane_elems(lane),
+                        tur.lane_elems(lane),
+                        "{shape} {ty} {lane}"
+                    );
                 }
             }
         }
@@ -793,9 +879,19 @@ mod tests {
 
     #[test]
     fn for_arch_routes_mma_sync_shapes_to_ampere() {
-        let via_arch =
-            FragmentMap::for_arch(false, FragmentKind::B, WmmaShape::M16N8K16, WmmaType::F16, Layout::Col);
-        let direct = FragmentMap::ampere(FragmentKind::B, WmmaShape::M16N8K16, WmmaType::F16, Layout::Col);
+        let via_arch = FragmentMap::for_arch(
+            false,
+            FragmentKind::B,
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            Layout::Col,
+        );
+        let direct = FragmentMap::ampere(
+            FragmentKind::B,
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            Layout::Col,
+        );
         assert_eq!(via_arch, direct);
     }
 }

@@ -41,7 +41,12 @@ pub struct SubTile {
 impl SubTile {
     /// Creates the subtile `[r0:r1, c0:c1]` (inclusive bounds).
     pub const fn new(r0: usize, r1: usize, c0: usize, c1: usize) -> SubTile {
-        SubTile { row_start: r0, row_end: r1, col_start: c0, col_end: c1 }
+        SubTile {
+            row_start: r0,
+            row_end: r1,
+            col_start: c0,
+            col_end: c1,
+        }
     }
 
     /// Number of rows covered.
@@ -123,7 +128,11 @@ pub fn octet_footprints() -> [OctetFootprint; OCTETS_PER_WARP] {
 /// Derives an octet's operand-A footprint from the Volta mapping (used to
 /// cross-check Table II against the Fig 7 mapping).
 pub fn derive_footprint(frag: FragmentKind, octet: usize) -> SubTile {
-    let ty = if frag == FragmentKind::C { WmmaType::F32 } else { WmmaType::F16 };
+    let ty = if frag == FragmentKind::C {
+        WmmaType::F32
+    } else {
+        WmmaType::F16
+    };
     let map = FragmentMap::volta(frag, ty, Layout::Row);
     let (tg_a, tg_b) = threadgroups_of_octet(octet);
     let mut rmin = usize::MAX;
@@ -176,9 +185,24 @@ mod tests {
         // The A/B/C footprints derived from the Fig 7 mapping must equal
         // Table II exactly.
         for fp in octet_footprints() {
-            assert_eq!(derive_footprint(FragmentKind::A, fp.octet), fp.a, "A octet {}", fp.octet);
-            assert_eq!(derive_footprint(FragmentKind::B, fp.octet), fp.b, "B octet {}", fp.octet);
-            assert_eq!(derive_footprint(FragmentKind::C, fp.octet), fp.c, "C octet {}", fp.octet);
+            assert_eq!(
+                derive_footprint(FragmentKind::A, fp.octet),
+                fp.a,
+                "A octet {}",
+                fp.octet
+            );
+            assert_eq!(
+                derive_footprint(FragmentKind::B, fp.octet),
+                fp.b,
+                "B octet {}",
+                fp.octet
+            );
+            assert_eq!(
+                derive_footprint(FragmentKind::C, fp.octet),
+                fp.c,
+                "C octet {}",
+                fp.octet
+            );
         }
     }
 

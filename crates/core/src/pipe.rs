@@ -51,12 +51,22 @@ pub struct TensorCorePipe {
 impl TensorCorePipe {
     /// A Volta (Titan V) pipe.
     pub fn volta() -> TensorCorePipe {
-        TensorCorePipe { volta: true, next_set_slot: 0, mmas_enqueued: 0, events: Vec::new() }
+        TensorCorePipe {
+            volta: true,
+            next_set_slot: 0,
+            mmas_enqueued: 0,
+            events: Vec::new(),
+        }
     }
 
     /// A Turing (RTX 2080) pipe.
     pub fn turing() -> TensorCorePipe {
-        TensorCorePipe { volta: false, next_set_slot: 0, mmas_enqueued: 0, events: Vec::new() }
+        TensorCorePipe {
+            volta: false,
+            next_set_slot: 0,
+            mmas_enqueued: 0,
+            events: Vec::new(),
+        }
     }
 
     /// Enqueues one Volta `wmma.mma` at cycle `at` (its operands are

@@ -19,7 +19,12 @@ pub struct Tile {
 impl Tile {
     /// Creates a zeroed tile.
     pub fn new(ty: WmmaType, rows: usize, cols: usize) -> Tile {
-        Tile { ty, rows, cols, bits: vec![0; rows * cols] }
+        Tile {
+            ty,
+            rows,
+            cols,
+            bits: vec![0; rows * cols],
+        }
     }
 
     /// Creates the tile for `frag` under `shape`.
@@ -44,7 +49,10 @@ impl Tile {
     }
 
     fn idx(&self, r: usize, c: usize) -> usize {
-        assert!(r < self.rows && c < self.cols, "tile index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "tile index ({r},{c}) out of range"
+        );
         r * self.cols + c
     }
 
@@ -55,7 +63,11 @@ impl Tile {
 
     /// Stores raw bits for element `(r, c)`, masked to the element width.
     pub fn set_bits(&mut self, r: usize, c: usize, v: u32) {
-        let mask = if self.ty.bits() >= 32 { u32::MAX } else { (1u32 << self.ty.bits()) - 1 };
+        let mask = if self.ty.bits() >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.ty.bits()) - 1
+        };
         let i = self.idx(r, c);
         self.bits[i] = v & mask;
     }
@@ -127,7 +139,11 @@ impl Tile {
             WmmaType::U8 => raw as u8 as i32,
             WmmaType::S4 => {
                 let v = (raw & 0xF) as i32;
-                if v >= 8 { v - 16 } else { v }
+                if v >= 8 {
+                    v - 16
+                } else {
+                    v
+                }
             }
             WmmaType::U4 => (raw & 0xF) as i32,
             WmmaType::S32 => raw as i32,

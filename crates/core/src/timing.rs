@@ -161,7 +161,11 @@ pub fn turing_step_schedule(shape: WmmaShape, mode: TuringMode) -> Option<Vec<Hm
     let n = completions.len() as u32;
     let first = completions[0];
     let last = *completions.last().expect("non-empty");
-    let pitch = if n > 1 { (last - first).div_ceil(n - 1) } else { last };
+    let pitch = if n > 1 {
+        (last - first).div_ceil(n - 1)
+    } else {
+        last
+    };
     Some(
         completions
             .iter()
@@ -240,8 +244,18 @@ pub struct MmaTiming {
 /// Panics if the directive is not a valid multiply for the architecture.
 pub fn mma_timing(volta: bool, dir: &WmmaDirective) -> MmaTiming {
     let (shape, ab_type, d_type) = match *dir {
-        WmmaDirective::Mma { shape, ab_type, d_type, .. } => (shape, ab_type, d_type),
-        WmmaDirective::MmaSync { shape, ab_type, sparse, .. } => {
+        WmmaDirective::Mma {
+            shape,
+            ab_type,
+            d_type,
+            ..
+        } => (shape, ab_type, d_type),
+        WmmaDirective::MmaSync {
+            shape,
+            ab_type,
+            sparse,
+            ..
+        } => {
             assert!(!volta, "mma.sync requires an Ampere-generation tensor core");
             let t = hw_tables::ampere_mma_sync(shape, ab_type, sparse).unwrap_or_else(|| {
                 panic!("unsupported mma.sync mode {shape} {ab_type} sparse={sparse}")
@@ -256,7 +270,10 @@ pub fn mma_timing(volta: bool, dir: &WmmaDirective) -> MmaTiming {
     if volta {
         let mode = MmaMode::from_types(ab_type, d_type);
         let p = VoltaTimingParams::for_mode(mode);
-        MmaTiming { latency: p.latency(), initiation_interval: p.issue_interval() }
+        MmaTiming {
+            latency: p.latency(),
+            initiation_interval: p.issue_interval(),
+        }
     } else {
         let mode = TuringMode::from_types(ab_type, d_type);
         let completions = turing_set_completions(shape, mode)
@@ -270,7 +287,10 @@ pub fn mma_timing(volta: bool, dir: &WmmaDirective) -> MmaTiming {
         } else {
             latency
         };
-        MmaTiming { latency, initiation_interval: pitch * completions.len() as u32 }
+        MmaTiming {
+            latency,
+            initiation_interval: pitch * completions.len() as u32,
+        }
     }
 }
 
@@ -281,13 +301,19 @@ mod tests {
 
     #[test]
     fn volta_mixed_schedule_reproduces_fig9a() {
-        assert_eq!(VoltaTimingParams::MIXED.completions(), VOLTA_MIXED_CUMULATIVE.to_vec());
+        assert_eq!(
+            VoltaTimingParams::MIXED.completions(),
+            VOLTA_MIXED_CUMULATIVE.to_vec()
+        );
         assert_eq!(VoltaTimingParams::MIXED.latency(), 54);
     }
 
     #[test]
     fn volta_fp16_schedule_reproduces_fig9b() {
-        assert_eq!(VoltaTimingParams::FP16.completions(), VOLTA_FP16_CUMULATIVE.to_vec());
+        assert_eq!(
+            VoltaTimingParams::FP16.completions(),
+            VOLTA_FP16_CUMULATIVE.to_vec()
+        );
         assert_eq!(VoltaTimingParams::FP16.latency(), 64);
     }
 
@@ -473,8 +499,17 @@ mod tests {
 
     #[test]
     fn mode_classification() {
-        assert_eq!(TuringMode::from_types(WmmaType::F16, WmmaType::F32), TuringMode::F16AccF32);
-        assert_eq!(TuringMode::from_types(WmmaType::U8, WmmaType::S32), TuringMode::Int8);
-        assert_eq!(TuringMode::from_types(WmmaType::S4, WmmaType::S32), TuringMode::Int4);
+        assert_eq!(
+            TuringMode::from_types(WmmaType::F16, WmmaType::F32),
+            TuringMode::F16AccF32
+        );
+        assert_eq!(
+            TuringMode::from_types(WmmaType::U8, WmmaType::S32),
+            TuringMode::Int8
+        );
+        assert_eq!(
+            TuringMode::from_types(WmmaType::S4, WmmaType::S32),
+            TuringMode::Int4
+        );
     }
 }

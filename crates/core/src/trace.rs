@@ -12,7 +12,7 @@
 use crate::fedp::FEDP_STAGES;
 use crate::hmma::MmaMode;
 use crate::octet::OCTETS_PER_WARP;
-use crate::timing::{volta_step_schedule, turing_step_schedule, HmmaStepTiming, TuringMode};
+use crate::timing::{turing_step_schedule, volta_step_schedule, HmmaStepTiming, TuringMode};
 use tcsim_isa::WmmaDirective;
 use tcsim_trace::{EventKind, TraceEvent, Tracer};
 
@@ -29,10 +29,20 @@ use tcsim_trace::{EventKind, TraceEvent, Tracer};
 /// (mirrors [`mma_timing`](crate::timing::mma_timing)).
 pub fn mma_step_schedule(volta: bool, dir: &WmmaDirective) -> Vec<HmmaStepTiming> {
     let (shape, ab_type, d_type) = match *dir {
-        WmmaDirective::Mma { shape, ab_type, d_type, .. } => (shape, ab_type, d_type),
+        WmmaDirective::Mma {
+            shape,
+            ab_type,
+            d_type,
+            ..
+        } => (shape, ab_type, d_type),
         WmmaDirective::MmaSync { .. } => {
             let t = crate::timing::mma_timing(volta, dir);
-            return vec![HmmaStepTiming { set: 1, step: 0, issue: 0, complete: t.latency }];
+            return vec![HmmaStepTiming {
+                set: 1,
+                step: 0,
+                issue: 0,
+                complete: t.latency,
+            }];
         }
         _ => panic!("mma_step_schedule requires a matrix-multiply directive"),
     };
@@ -90,7 +100,13 @@ pub fn trace_mma(
             tracer.record(TraceEvent {
                 cycle: base + s.issue as u64 + stage as u64,
                 sm,
-                kind: EventKind::FedpStage { sub_core, warp, set: s.set, step: s.step, stage },
+                kind: EventKind::FedpStage {
+                    sub_core,
+                    warp,
+                    set: s.set,
+                    step: s.step,
+                    stage,
+                },
             });
         }
     }
@@ -129,7 +145,9 @@ mod tests {
         let octet0: Vec<u64> = hmma
             .iter()
             .filter_map(|e| match e.kind {
-                EventKind::HmmaStep { octet: 0, complete, .. } => Some(complete - 100),
+                EventKind::HmmaStep {
+                    octet: 0, complete, ..
+                } => Some(complete - 100),
                 _ => None,
             })
             .collect();

@@ -87,7 +87,12 @@ fn turing_setwise_equals_atomic_int8() {
     for _ in 0..CASES {
         let a = int_tile(&mut rng, FragmentKind::A, WmmaShape::M32N8K16, WmmaType::S8);
         let b = int_tile(&mut rng, FragmentKind::B, WmmaShape::M32N8K16, WmmaType::S8);
-        let c = int_tile(&mut rng, FragmentKind::C, WmmaShape::M32N8K16, WmmaType::S32);
+        let c = int_tile(
+            &mut rng,
+            FragmentKind::C,
+            WmmaShape::M32N8K16,
+            WmmaType::S32,
+        );
         let want = mma_reference(&a, &b, &c, WmmaType::S32);
         let got = execute_setwise_turing(&a, &b, &c, WmmaType::S32, WmmaShape::M32N8K16);
         assert_eq!(got, want);
@@ -113,11 +118,23 @@ fn load_store_roundtrip_preserves_matrix() {
     for _ in 0..CASES {
         let vals: Vec<u16> = (0..256).map(|_| rng.next_u16()).collect();
         let volta = rng.next_bool();
-        let load_layout = if rng.next_bool() { Layout::Row } else { Layout::Col };
-        let store_layout = if rng.next_bool() { Layout::Row } else { Layout::Col };
+        let load_layout = if rng.next_bool() {
+            Layout::Row
+        } else {
+            Layout::Col
+        };
+        let store_layout = if rng.next_bool() {
+            Layout::Row
+        } else {
+            Layout::Col
+        };
         // D fragments only exist in f16/f32/s32; use a C-load + D-store of
         // the same f32 data through fragments.
-        let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+        let model = if volta {
+            TensorCoreModel::volta()
+        } else {
+            TensorCoreModel::turing()
+        };
         let shape = WmmaShape::M16N16K16;
         let mut mem = VecMemory::new();
         for (i, &v) in vals.iter().enumerate() {
@@ -138,7 +155,11 @@ fn load_store_roundtrip_preserves_matrix() {
             &mut regs,
         );
         model.wmma_store(
-            &WmmaDirective::Store { shape, layout: store_layout, ty: WmmaType::F32 },
+            &WmmaDirective::Store {
+                shape,
+                layout: store_layout,
+                ty: WmmaType::F32,
+            },
             Reg(0),
             0x1000,
             16,
@@ -155,7 +176,11 @@ fn load_store_roundtrip_preserves_matrix() {
                     Layout::Row => r * 16 + c,
                     Layout::Col => c * 16 + r,
                 };
-                assert_eq!(mem.read_u32(0x1000 + (dst * 4) as u64), vals[src] as u32, "({r},{c})");
+                assert_eq!(
+                    mem.read_u32(0x1000 + (dst * 4) as u64),
+                    vals[src] as u32,
+                    "({r},{c})"
+                );
             }
         }
     }

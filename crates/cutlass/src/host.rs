@@ -115,9 +115,15 @@ pub fn run_gemm(gpu: &mut Gpu, problem: GemmProblem, kernel: GemmKernel, check: 
     // Operand setup.
     let (seed_a, seed_b, seed_c) = (0xA, 0xB, 0xC);
     let (a_bytes, b_bytes) = match problem.precision {
-        GemmPrecision::Fp32 => (f32_matrix_bytes(seed_a, m, k), f32_matrix_bytes(seed_b, k, n)),
+        GemmPrecision::Fp32 => (
+            f32_matrix_bytes(seed_a, m, k),
+            f32_matrix_bytes(seed_b, k, n),
+        ),
         GemmPrecision::Int8 => (i8_matrix_bytes(seed_a, m, k), i8_matrix_bytes(seed_b, k, n)),
-        _ => (f16_matrix_bytes(seed_a, m, k), f16_matrix_bytes(seed_b, k, n)),
+        _ => (
+            f16_matrix_bytes(seed_a, m, k),
+            f16_matrix_bytes(seed_b, k, n),
+        ),
     };
     let c_bytes = match problem.precision {
         GemmPrecision::MixedF32 | GemmPrecision::Fp32 => f32_matrix_bytes(seed_c, m, n),
@@ -185,7 +191,11 @@ pub fn run_gemm(gpu: &mut Gpu, problem: GemmProblem, kernel: GemmKernel, check: 
         None
     };
 
-    GemmRun { problem, stats, max_abs_err }
+    GemmRun {
+        problem,
+        stats,
+        max_abs_err,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +206,12 @@ mod tests {
     #[test]
     fn wmma_simple_gemm_verifies_32() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let run = run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaSimple, true);
+        let run = run_gemm(
+            &mut gpu,
+            GemmProblem::square(32),
+            GemmKernel::WmmaSimple,
+            true,
+        );
         assert!(run.max_abs_err.unwrap() < 0.01);
         assert!(run.stats.sm.issued_by_unit[4] > 0, "tensor unit used");
     }
@@ -204,7 +219,12 @@ mod tests {
     #[test]
     fn wmma_shared_gemm_verifies_64() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let run = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, true);
+        let run = run_gemm(
+            &mut gpu,
+            GemmProblem::square(64),
+            GemmKernel::WmmaShared,
+            true,
+        );
         assert!(run.max_abs_err.unwrap() < 0.01);
         assert!(run.stats.sm.barriers > 0, "shared staging uses barriers");
     }
@@ -224,7 +244,10 @@ mod tests {
     #[test]
     fn sgemm_baseline_verifies() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let p = GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(32) };
+        let p = GemmProblem {
+            precision: GemmPrecision::Fp32,
+            ..GemmProblem::square(32)
+        };
         let run = run_gemm(&mut gpu, p, GemmKernel::Sgemm, true);
         assert!(run.max_abs_err.unwrap() < 0.01);
         assert_eq!(run.stats.sm.issued_by_unit[4], 0, "no tensor instructions");
@@ -233,7 +256,10 @@ mod tests {
     #[test]
     fn hgemm_baseline_verifies() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let p = GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) };
+        let p = GemmProblem {
+            precision: GemmPrecision::Fp16,
+            ..GemmProblem::square(32)
+        };
         let run = run_gemm(&mut gpu, p, GemmKernel::Hgemm, true);
         assert!(run.max_abs_err.unwrap() < 1.0);
     }
@@ -241,7 +267,10 @@ mod tests {
     #[test]
     fn fp16_wmma_output_verifies() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let p = GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) };
+        let p = GemmProblem {
+            precision: GemmPrecision::Fp16,
+            ..GemmProblem::square(32)
+        };
         let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
         assert!(run.max_abs_err.is_some());
     }
@@ -249,7 +278,12 @@ mod tests {
     #[test]
     fn rectangular_problem_runs() {
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let p = GemmProblem { m: 32, n: 64, k: 48, precision: GemmPrecision::MixedF32 };
+        let p = GemmProblem {
+            m: 32,
+            n: 64,
+            k: 48,
+            precision: GemmPrecision::MixedF32,
+        };
         let run = run_gemm(&mut gpu, p, GemmKernel::WmmaSimple, true);
         assert!(run.max_abs_err.unwrap() < 0.01);
     }
@@ -259,9 +293,7 @@ mod tests {
         // relu(A×B + bias) in one launch, for all three WMMA kernels: the
         // `c` parameter carries a length-n bias vector instead of an m×n
         // matrix, broadcast over rows by the stride-0 C-fragment load.
-        use crate::kernels::{
-            cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, Epilogue,
-        };
+        use crate::kernels::{cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, Epilogue};
         use crate::problem::operand_value;
 
         let (m, n, k) = (64usize, 64usize, 32usize);
@@ -281,9 +313,21 @@ mod tests {
         };
         let cfg = CutlassConfig::default_64x64();
         let kernels = [
-            (wmma_simple_gemm_ep(false, Epilogue::BiasRelu), (n / 16, m / 16), 32usize),
-            (wmma_shared_gemm_ep(false, Epilogue::BiasRelu), (n / 32, m / 32), 128),
-            (cutlass_gemm_ep(cfg, Epilogue::BiasRelu), (n / cfg.cta_n, m / cfg.cta_m), cfg.threads()),
+            (
+                wmma_simple_gemm_ep(false, Epilogue::BiasRelu),
+                (n / 16, m / 16),
+                32usize,
+            ),
+            (
+                wmma_shared_gemm_ep(false, Epilogue::BiasRelu),
+                (n / 32, m / 32),
+                128,
+            ),
+            (
+                cutlass_gemm_ep(cfg, Epilogue::BiasRelu),
+                (n / cfg.cta_n, m / cfg.cta_m),
+                cfg.threads(),
+            ),
         ];
         for (kernel, grid, block) in kernels {
             let name = kernel.name().to_string();
@@ -311,7 +355,8 @@ mod tests {
             let raw = gpu.memcpy_d2h(pd, m * n * 4);
             let tol = 1e-3 + k as f32 * 1e-4;
             for (i, chunk) in raw.chunks_exact(4).enumerate() {
-                let got = f32::from_bits(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+                let got =
+                    f32::from_bits(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
                 assert!(
                     (got - reference[i]).abs() <= tol,
                     "{name}: elem {i}: got {got}, want {}",
@@ -327,8 +372,16 @@ mod tests {
         // The headline claim (Fig 17): tensor cores give a large speedup
         // over the FFMA SGEMM baseline at the same problem size.
         let mut gpu = Gpu::new(GpuConfig::mini());
-        let tc = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, false);
-        let p32 = GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(64) };
+        let tc = run_gemm(
+            &mut gpu,
+            GemmProblem::square(64),
+            GemmKernel::WmmaShared,
+            false,
+        );
+        let p32 = GemmProblem {
+            precision: GemmPrecision::Fp32,
+            ..GemmProblem::square(64)
+        };
         let base = run_gemm(&mut gpu, p32, GemmKernel::Sgemm, false);
         assert!(
             tc.stats.cycles * 2 < base.stats.cycles,

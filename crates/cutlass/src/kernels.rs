@@ -174,7 +174,11 @@ pub fn wmma_simple_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
         MemSpace::Global,
         fc,
         Operand::RegPair(c_base),
-        if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
+        if ep.has_bias() {
+            Operand::Imm(0)
+        } else {
+            Operand::Reg(n)
+        },
     );
 
     let kk = b.reg();
@@ -203,7 +207,18 @@ pub fn wmma_simple_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
         Operand::RegPair(b_ptr),
         Operand::Reg(n),
     );
-    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, cd_ty, cd_ty, fc, fa, fb, fc);
+    b.wmma_mma(
+        SHAPE,
+        Layout::Row,
+        Layout::Row,
+        WmmaType::F16,
+        cd_ty,
+        cd_ty,
+        fc,
+        fa,
+        fb,
+        fc,
+    );
     b.iadd64(a_ptr, a_ptr, Operand::Imm(32)); // 16 halves
     b.iadd64(b_ptr, b_ptr, Operand::Reg(bstep));
     b.iadd(kk, kk, Operand::Imm(16));
@@ -418,7 +433,7 @@ pub fn wmma_shared_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
     let b_sptr = b.reg();
     b.imad(b_sptr, b_row, Operand::Imm(64), Operand::Reg(b_col));
     b.iadd(b_sptr, b_sptr, Operand::Reg(b_col)); // (row·32+col)·2 = row·64 + col·2
-    // Fix: previous two lines compute row·64 + col + col = row·64 + 2·col.
+                                                 // Fix: previous two lines compute row·64 + col + col = row·64 + 2·col.
     b.iadd(b_sptr, b_sptr, Operand::Imm(b_panel as i64));
     let bstep = b.reg();
     b.shl(bstep, n, Operand::Imm(5));
@@ -426,10 +441,20 @@ pub fn wmma_shared_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
     // ---- Warp fragment addresses in shared memory. ----
     // A fragment: rows 16·wm of the panel → byte offset wm·512.
     let a_frag_ptr = b.reg();
-    b.imad(a_frag_ptr, wm, Operand::Imm(512), Operand::Imm(a_panel as i64));
+    b.imad(
+        a_frag_ptr,
+        wm,
+        Operand::Imm(512),
+        Operand::Imm(a_panel as i64),
+    );
     // B fragment: cols 16·wn → byte offset wn·32.
     let b_frag_ptr = b.reg();
-    b.imad(b_frag_ptr, wn, Operand::Imm(32), Operand::Imm(b_panel as i64));
+    b.imad(
+        b_frag_ptr,
+        wn,
+        Operand::Imm(32),
+        Operand::Imm(b_panel as i64),
+    );
 
     // ---- C/D tile addresses: rows 32·tile_m + 16·wm, cols 32·tile_n + 16·wn.
     let crow = b.reg();
@@ -459,7 +484,11 @@ pub fn wmma_shared_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
         MemSpace::Global,
         fc,
         Operand::RegPair(c_base),
-        if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
+        if ep.has_bias() {
+            Operand::Imm(0)
+        } else {
+            Operand::Reg(n)
+        },
     );
 
     let kk = b.reg();
@@ -498,7 +527,18 @@ pub fn wmma_shared_gemm_ep(fp16_output: bool, ep: Epilogue) -> Kernel {
         Operand::Reg(b_frag_ptr),
         Operand::Imm(32),
     );
-    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, cd_ty, cd_ty, fc, fa, fb, fc);
+    b.wmma_mma(
+        SHAPE,
+        Layout::Row,
+        Layout::Row,
+        WmmaType::F16,
+        cd_ty,
+        cd_ty,
+        fc,
+        fa,
+        fb,
+        fc,
+    );
     b.bar();
     // Advance.
     b.iadd64(a_gptr, a_gptr, Operand::Imm(32));
@@ -544,7 +584,13 @@ pub struct CutlassConfig {
 impl CutlassConfig {
     /// The default 64×64 CTA tile with 32×32 warp tiles, double buffered.
     pub fn default_64x64() -> CutlassConfig {
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 2 }
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 32,
+            stages: 2,
+        }
     }
 
     /// Warps per CTA.
@@ -593,8 +639,7 @@ pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
     let (pa, pb, pc, pd, n, k) = declare_gemm_params(&mut b);
     // The double-buffer toggle XORs shared addresses with the stage
     // stride, so the stride must be a power of two covering one stage.
-    let stage_bytes =
-        (((cfg.cta_m * 16 + 16 * cfg.cta_n) * 2).next_power_of_two()) as i64;
+    let stage_bytes = (((cfg.cta_m * 16 + 16 * cfg.cta_n) * 2).next_power_of_two()) as i64;
     let a_panel = b.shared_alloc((cfg.stages as u32) * stage_bytes as u32) as i64;
     let b_panel = a_panel + (cfg.cta_m * 16 * 2) as i64;
 
@@ -636,7 +681,12 @@ pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
         let col = b.reg();
         b.and(col, e, Operand::Imm(15));
         let grow = b.reg();
-        b.imad(grow, tile_m, Operand::Imm(cfg.cta_m as i64), Operand::Reg(row));
+        b.imad(
+            grow,
+            tile_m,
+            Operand::Imm(cfg.cta_m as i64),
+            Operand::Reg(row),
+        );
         let t0 = b.reg();
         b.imul(t0, grow, Operand::Reg(k));
         b.iadd(t0, t0, Operand::Reg(col));
@@ -661,7 +711,12 @@ pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
         let col = b.reg();
         b.and(col, e, Operand::Imm(cfg.cta_n as i64 - 1));
         let gcol = b.reg();
-        b.imad(gcol, tile_n, Operand::Imm(cfg.cta_n as i64), Operand::Reg(col));
+        b.imad(
+            gcol,
+            tile_n,
+            Operand::Imm(cfg.cta_n as i64),
+            Operand::Reg(col),
+        );
         let t1 = b.reg();
         b.imad(t1, row, Operand::Reg(n), Operand::Reg(gcol));
         let gp = b.reg_pair();
@@ -711,10 +766,30 @@ pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
     let cm = b.reg();
     for i in 0..tm {
         for j in 0..tn {
-            b.imad(crow, tile_m, Operand::Imm(cfg.cta_m as i64), Operand::Imm((i * 16) as i64));
-            b.imad(crow, wm, Operand::Imm(cfg.warp_m as i64), Operand::Reg(crow));
-            b.imad(ccol, tile_n, Operand::Imm(cfg.cta_n as i64), Operand::Imm((j * 16) as i64));
-            b.imad(ccol, wn, Operand::Imm(cfg.warp_n as i64), Operand::Reg(ccol));
+            b.imad(
+                crow,
+                tile_m,
+                Operand::Imm(cfg.cta_m as i64),
+                Operand::Imm((i * 16) as i64),
+            );
+            b.imad(
+                crow,
+                wm,
+                Operand::Imm(cfg.warp_m as i64),
+                Operand::Reg(crow),
+            );
+            b.imad(
+                ccol,
+                tile_n,
+                Operand::Imm(cfg.cta_n as i64),
+                Operand::Imm((j * 16) as i64),
+            );
+            b.imad(
+                ccol,
+                wn,
+                Operand::Imm(cfg.warp_n as i64),
+                Operand::Reg(ccol),
+            );
             b.imad(cm, crow, Operand::Reg(n), Operand::Reg(ccol));
             let cb = b.reg_pair();
             if ep.has_bias() {
@@ -734,7 +809,11 @@ pub fn cutlass_gemm_ep(cfg: CutlassConfig, ep: Epilogue) -> Kernel {
                 MemSpace::Global,
                 fc,
                 Operand::RegPair(cb),
-                if ep.has_bias() { Operand::Imm(0) } else { Operand::Reg(n) },
+                if ep.has_bias() {
+                    Operand::Imm(0)
+                } else {
+                    Operand::Reg(n)
+                },
             );
             c_bases.push(cb);
             d_bases.push(db);
@@ -1082,7 +1161,13 @@ mod tests {
         // 256 elems → 8/thread fine; force failure with a huge thread
         // count instead: 64×256 warp tiles → cta 64×256? Construct a case
         // with too many threads per element.
-        let cfg = CutlassConfig { cta_m: 16, cta_n: 256, warp_m: 16, warp_n: 16, stages: 1 };
+        let cfg = CutlassConfig {
+            cta_m: 16,
+            cta_n: 256,
+            warp_m: 16,
+            warp_n: 16,
+            stages: 1,
+        };
         let _ = cutlass_gemm(cfg); // 16 warps = 512 threads; A panel 256 elems
     }
 

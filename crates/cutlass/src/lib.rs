@@ -20,8 +20,8 @@ mod problem;
 
 pub use host::{run_gemm, GemmKernel, GemmRun};
 pub use kernels::{
-    cutlass_gemm, cutlass_gemm_ep, hgemm, igemm_wmma, sgemm, wmma_shared_gemm,
-    wmma_shared_gemm_ep, wmma_simple_gemm, wmma_simple_gemm_ep, CutlassConfig, Epilogue,
+    cutlass_gemm, cutlass_gemm_ep, hgemm, igemm_wmma, sgemm, wmma_shared_gemm, wmma_shared_gemm_ep,
+    wmma_simple_gemm, wmma_simple_gemm_ep, CutlassConfig, Epilogue,
 };
 pub use problem::{
     f16_matrix_bytes, f32_matrix_bytes, i32_matrix_bytes, i8_matrix_bytes, operand_value,

@@ -34,7 +34,11 @@ pub fn repeated_mma(iters: u32) -> Kernel {
         (FragmentKind::C, fc0),
         (FragmentKind::C, fc1),
     ] {
-        let ty = if frag.0 == FragmentKind::C { WmmaType::F32 } else { WmmaType::F16 };
+        let ty = if frag.0 == FragmentKind::C {
+            WmmaType::F32
+        } else {
+            WmmaType::F16
+        };
         b.wmma_load(
             frag.0,
             SHAPE,
@@ -55,8 +59,30 @@ pub fn repeated_mma(iters: u32) -> Kernel {
     b.place(top);
     // Two independent accumulator chains keep the tensor-core pair at its
     // initiation interval rather than its latency.
-    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, WmmaType::F32, WmmaType::F32, fc0, fa, fb, fc0);
-    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, WmmaType::F32, WmmaType::F32, fc1, fa, fb, fc1);
+    b.wmma_mma(
+        SHAPE,
+        Layout::Row,
+        Layout::Row,
+        WmmaType::F16,
+        WmmaType::F32,
+        WmmaType::F32,
+        fc0,
+        fa,
+        fb,
+        fc0,
+    );
+    b.wmma_mma(
+        SHAPE,
+        Layout::Row,
+        Layout::Row,
+        WmmaType::F16,
+        WmmaType::F32,
+        WmmaType::F32,
+        fc1,
+        fa,
+        fb,
+        fc1,
+    );
     b.iadd(i, i, Operand::Imm(2));
     let p = b.pred();
     b.setp(p, CmpOp::Lt, DataType::U32, i, Operand::Imm(iters as i64));
@@ -96,14 +122,45 @@ pub fn clocked_mma(fp16: bool) -> Kernel {
     b.ld_param(MemWidth::B64, src, src_off);
     let out = b.reg_pair();
     b.ld_param(MemWidth::B64, out, out_off);
-    let (cd_ty, cd_regs) = if fp16 { (WmmaType::F16, 4) } else { (WmmaType::F32, 8) };
+    let (cd_ty, cd_regs) = if fp16 {
+        (WmmaType::F16, 4)
+    } else {
+        (WmmaType::F32, 8)
+    };
 
     let fa = b.reg_block(8);
     let fb = b.reg_block(8);
     let fc = b.reg_block(cd_regs);
-    b.wmma_load(FragmentKind::A, SHAPE, Layout::Row, WmmaType::F16, MemSpace::Global, fa, Operand::RegPair(src), Operand::Imm(16));
-    b.wmma_load(FragmentKind::B, SHAPE, Layout::Row, WmmaType::F16, MemSpace::Global, fb, Operand::RegPair(src), Operand::Imm(16));
-    b.wmma_load(FragmentKind::C, SHAPE, Layout::Row, cd_ty, MemSpace::Global, fc, Operand::RegPair(src), Operand::Imm(16));
+    b.wmma_load(
+        FragmentKind::A,
+        SHAPE,
+        Layout::Row,
+        WmmaType::F16,
+        MemSpace::Global,
+        fa,
+        Operand::RegPair(src),
+        Operand::Imm(16),
+    );
+    b.wmma_load(
+        FragmentKind::B,
+        SHAPE,
+        Layout::Row,
+        WmmaType::F16,
+        MemSpace::Global,
+        fb,
+        Operand::RegPair(src),
+        Operand::Imm(16),
+    );
+    b.wmma_load(
+        FragmentKind::C,
+        SHAPE,
+        Layout::Row,
+        cd_ty,
+        MemSpace::Global,
+        fc,
+        Operand::RegPair(src),
+        Operand::Imm(16),
+    );
 
     // Drain the fragment loads before starting the measurement (the
     // paper's patched-SASS microbenchmarks measure HMMA alone, Fig 6):
@@ -114,7 +171,18 @@ pub fn clocked_mma(fp16: bool) -> Kernel {
     b.iadd(probe, fc, Operand::Imm(0));
     let t0 = b.reg();
     b.clock(t0);
-    b.wmma_mma(SHAPE, Layout::Row, Layout::Row, WmmaType::F16, cd_ty, cd_ty, fc, fa, fb, fc);
+    b.wmma_mma(
+        SHAPE,
+        Layout::Row,
+        Layout::Row,
+        WmmaType::F16,
+        cd_ty,
+        cd_ty,
+        fc,
+        fa,
+        fb,
+        fc,
+    );
     // Dependent use forces the measurement to include completion.
     b.iadd(probe, fc, Operand::Imm(0));
     let t1 = b.reg();
@@ -159,8 +227,14 @@ pub fn clocked_mma(fp16: bool) -> Kernel {
 /// be dead-code-eliminated).
 pub fn pointer_chase(iters: u32, elems: usize, spread_elems: u32) -> Kernel {
     const UNROLL: u32 = 16;
-    assert!(elems.is_power_of_two(), "chain length must be a power of two");
-    assert!(iters.is_multiple_of(UNROLL), "iters must be a multiple of {UNROLL}");
+    assert!(
+        elems.is_power_of_two(),
+        "chain length must be a power of two"
+    );
+    assert!(
+        iters.is_multiple_of(UNROLL),
+        "iters must be a multiple of {UNROLL}"
+    );
     let mut b = KernelBuilder::new("pointer_chase");
     let buf_off = b.param_u64("buf");
     let out_off = b.param_u64("out");
@@ -200,10 +274,13 @@ pub fn pointer_chase(iters: u32, elems: usize, spread_elems: u32) -> Kernel {
     b.place(top);
     for _ in 0..UNROLL {
         b.emit(
-            Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B64 })
-                .with_dst(ptr)
-                .with_srcs(vec![Operand::RegPair(ptr), Operand::Imm(0)])
-                .with_guard(l0, true),
+            Instr::new(Op::Ld {
+                space: MemSpace::Global,
+                width: MemWidth::B64,
+            })
+            .with_dst(ptr)
+            .with_srcs(vec![Operand::RegPair(ptr), Operand::Imm(0)])
+            .with_guard(l0, true),
         );
     }
     b.iadd(i, i, Operand::Imm(UNROLL as i64));
@@ -214,13 +291,24 @@ pub fn pointer_chase(iters: u32, elems: usize, spread_elems: u32) -> Kernel {
     b.emit(
         Instr::new(Op::IMadWide)
             .with_dst(slot)
-            .with_srcs(vec![Operand::Reg(gw), Operand::Imm(8), Operand::RegPair(out)])
+            .with_srcs(vec![
+                Operand::Reg(gw),
+                Operand::Imm(8),
+                Operand::RegPair(out),
+            ])
             .with_guard(l0, true),
     );
     b.emit(
-        Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B64 })
-            .with_srcs(vec![Operand::RegPair(slot), Operand::Imm(0), Operand::Reg(ptr)])
-            .with_guard(l0, true),
+        Instr::new(Op::St {
+            space: MemSpace::Global,
+            width: MemWidth::B64,
+        })
+        .with_srcs(vec![
+            Operand::RegPair(slot),
+            Operand::Imm(0),
+            Operand::Reg(ptr),
+        ])
+        .with_guard(l0, true),
     );
     b.exit();
     b.build()

@@ -35,7 +35,12 @@ pub struct GemmProblem {
 impl GemmProblem {
     /// A square mixed-precision problem (the paper's evaluation shape).
     pub fn square(size: usize) -> GemmProblem {
-        GemmProblem { m: size, n: size, k: size, precision: GemmPrecision::MixedF32 }
+        GemmProblem {
+            m: size,
+            n: size,
+            k: size,
+            precision: GemmPrecision::MixedF32,
+        }
     }
 
     /// Floating-point operations performed (2·m·n·k).
@@ -74,7 +79,11 @@ pub fn operand_value(seed: u32, index: usize) -> f32 {
 pub fn f16_matrix_bytes(seed: u32, rows: usize, cols: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(rows * cols * 2);
     for i in 0..rows * cols {
-        out.extend_from_slice(&F16::from_f32(operand_value(seed, i)).to_bits().to_le_bytes());
+        out.extend_from_slice(
+            &F16::from_f32(operand_value(seed, i))
+                .to_bits()
+                .to_le_bytes(),
+        );
     }
     out
 }
@@ -95,7 +104,9 @@ pub fn operand_value_i8(seed: u32, index: usize) -> i8 {
 
 /// Fills a row-major i8 matrix as raw bytes.
 pub fn i8_matrix_bytes(seed: u32, rows: usize, cols: usize) -> Vec<u8> {
-    (0..rows * cols).map(|i| operand_value_i8(seed, i) as u8).collect()
+    (0..rows * cols)
+        .map(|i| operand_value_i8(seed, i) as u8)
+        .collect()
 }
 
 /// Fills a row-major i32 matrix (small values) as raw little-endian bytes.
@@ -213,7 +224,12 @@ mod tests {
 
     #[test]
     fn reference_matches_hand_computation() {
-        let p = GemmProblem { m: 2, n: 2, k: 4, precision: GemmPrecision::MixedF32 };
+        let p = GemmProblem {
+            m: 2,
+            n: 2,
+            k: 4,
+            precision: GemmPrecision::MixedF32,
+        };
         let d = reference_gemm(&p, 1, 2, 3);
         for r in 0..2 {
             for c in 0..2 {

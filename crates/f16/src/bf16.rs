@@ -225,7 +225,11 @@ mod tests {
             let back = Bf16::from_f32(x.to_f32());
             if x.is_nan() {
                 assert!(back.is_nan(), "NaN {bits:#06x} must stay NaN");
-                assert_eq!(back.to_bits(), bits | 0x0040, "NaN quieting for {bits:#06x}");
+                assert_eq!(
+                    back.to_bits(),
+                    bits | 0x0040,
+                    "NaN quieting for {bits:#06x}"
+                );
             } else {
                 assert_eq!(back.to_bits(), bits, "roundtrip of {bits:#06x}");
             }
@@ -241,12 +245,24 @@ mod tests {
         // 1.0 + ulp/2 ties to even (stays 1.0); next representable up
         // rounds away.
         let one = 0x3F80_0000u32; // 1.0f32
-        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x8000)).to_bits(), 0x3F80);
-        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x8001)).to_bits(), 0x3F81);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(one | 0x8000)).to_bits(),
+            0x3F80
+        );
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(one | 0x8001)).to_bits(),
+            0x3F81
+        );
         // 1.0 + 3*ulp/2 ties up to even (0x3F82).
-        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x1_8000)).to_bits(), 0x3F82);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(one | 0x1_8000)).to_bits(),
+            0x3F82
+        );
         // Just below half rounds down.
-        assert_eq!(Bf16::from_f32(f32::from_bits(one | 0x7FFF)).to_bits(), 0x3F80);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(one | 0x7FFF)).to_bits(),
+            0x3F80
+        );
         // Sweep: for every finite bf16 x, the binary32 midpoint between x
         // and the next pattern must round to the even neighbour.
         for bits in 0..0x7F7Fu16 {
@@ -262,7 +278,10 @@ mod tests {
     #[test]
     fn overflow_rounds_to_infinity() {
         let max_mid = ((Bf16::MAX.to_bits() as u32) << 16) | 0x8000;
-        assert_eq!(Bf16::from_f32(f32::from_bits(max_mid - 1)).to_bits(), 0x7F7F);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(max_mid - 1)).to_bits(),
+            0x7F7F
+        );
         // Midpoint ties toward the (odd-mantissa) infinity candidate's even
         // neighbour: MAX has odd mantissa, so the tie rounds up to infinity.
         assert!(Bf16::from_f32(f32::from_bits(max_mid)).is_infinite());
@@ -281,12 +300,21 @@ mod tests {
         assert_eq!(Bf16::from_f32(-f32::from_bits(1)).to_bits(), 0x8000);
         // 2^-133 (f32 bits 0x0001_0000) is exactly the smallest bf16
         // subnormal.
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x0001_0000)).to_bits(), 0x0001);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x0001_0000)).to_bits(),
+            0x0001
+        );
         assert!(Bf16::MIN_POSITIVE_SUBNORMAL.is_subnormal());
         // Half of it (2^-134) ties to even (zero).
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x0000_8000)).to_bits(), 0x0000);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x0000_8000)).to_bits(),
+            0x0000
+        );
         // Three halves of it ties up to 2 ulps.
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x0001_8000)).to_bits(), 0x0002);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x0001_8000)).to_bits(),
+            0x0002
+        );
     }
 
     /// NaNs stay NaN through both directions and are quieted on narrowing.

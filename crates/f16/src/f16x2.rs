@@ -88,7 +88,10 @@ impl F16x2 {
     /// Lane-wise fused multiply-add `self * a + b` (SASS `HFMA2`), one
     /// rounding per lane.
     pub fn hfma2(self, a: F16x2, b: F16x2) -> F16x2 {
-        F16x2::new(self.lo().mul_add(a.lo(), b.lo()), self.hi().mul_add(a.hi(), b.hi()))
+        F16x2::new(
+            self.lo().mul_add(a.lo(), b.lo()),
+            self.hi().mul_add(a.hi(), b.hi()),
+        )
     }
 }
 

@@ -506,7 +506,11 @@ mod tests {
             if h.is_nan() {
                 assert!(F16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }
@@ -518,7 +522,11 @@ mod tests {
             if h.is_nan() {
                 assert!(F16::from_f64(h.to_f64()).is_nan());
             } else {
-                assert_eq!(F16::from_f64(h.to_f64()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    F16::from_f64(h.to_f64()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }

@@ -68,7 +68,10 @@ impl Tf32 {
     /// re-quieted to keep the value a NaN.
     #[inline]
     pub fn from_bits(bits: u32) -> Tf32 {
-        if (bits & EXP_MASK) == EXP_MASK && (bits & MAN_MASK) != 0 && (bits & MAN_MASK & !DROP_MASK) == 0 {
+        if (bits & EXP_MASK) == EXP_MASK
+            && (bits & MAN_MASK) != 0
+            && (bits & MAN_MASK & !DROP_MASK) == 0
+        {
             return Tf32((bits & !DROP_MASK) | 0x0040_0000);
         }
         Tf32(bits & !DROP_MASK)
@@ -260,9 +263,15 @@ mod tests {
         let one = 0x3F80_0000u32;
         // 1.0 + ulp/2 ties to even (stays 1.0); a sticky bit rounds up.
         assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x1000)).to_bits(), one);
-        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x1001)).to_bits(), one | 0x2000);
+        assert_eq!(
+            Tf32::from_f32(f32::from_bits(one | 0x1001)).to_bits(),
+            one | 0x2000
+        );
         // 1.0 + 3*ulp/2 ties up to even.
-        assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x3000)).to_bits(), one | 0x4000);
+        assert_eq!(
+            Tf32::from_f32(f32::from_bits(one | 0x3000)).to_bits(),
+            one | 0x4000
+        );
         // Just below half rounds down.
         assert_eq!(Tf32::from_f32(f32::from_bits(one | 0x0FFF)).to_bits(), one);
         // Sweep every kept-mantissa pattern across a few exponents: the
@@ -272,7 +281,11 @@ mod tests {
                 let base = (exp << 23) | (kept << DROP_BITS);
                 let mid = base | (1 << (DROP_BITS - 1));
                 let rounded = Tf32::from_f32(f32::from_bits(mid)).to_bits();
-                let even = if kept & 1 == 0 { base } else { base + (1 << DROP_BITS) };
+                let even = if kept & 1 == 0 {
+                    base
+                } else {
+                    base + (1 << DROP_BITS)
+                };
                 assert_eq!(rounded, even, "midpoint above {base:#010x}");
             }
         }
@@ -282,7 +295,10 @@ mod tests {
     #[test]
     fn overflow_rounds_to_infinity() {
         let max_mid = Tf32::MAX.to_bits() | (1 << (DROP_BITS - 1));
-        assert_eq!(Tf32::from_f32(f32::from_bits(max_mid - 1)).to_bits(), Tf32::MAX.to_bits());
+        assert_eq!(
+            Tf32::from_f32(f32::from_bits(max_mid - 1)).to_bits(),
+            Tf32::MAX.to_bits()
+        );
         // MAX has an odd kept mantissa, so the tie rounds up to infinity.
         assert!(Tf32::from_f32(f32::from_bits(max_mid)).is_infinite());
         assert!(Tf32::from_f32(f32::MAX).is_infinite());
@@ -305,7 +321,10 @@ mod tests {
         // Half of it (2^-137) ties to even (zero); three halves ties up to
         // 2 ulps.
         assert_eq!(Tf32::from_f32(f32::from_bits(0x0000_1000)).to_bits(), 0);
-        assert_eq!(Tf32::from_f32(f32::from_bits(0x0000_3000)).to_bits(), 0x0000_4000);
+        assert_eq!(
+            Tf32::from_f32(f32::from_bits(0x0000_3000)).to_bits(),
+            0x0000_4000
+        );
     }
 
     /// NaNs stay NaN through both directions and are quieted on narrowing.
@@ -318,7 +337,11 @@ mod tests {
         assert!(snan.is_nan());
         let narrowed = Tf32::from_f32(snan);
         assert!(narrowed.is_nan());
-        assert_eq!(narrowed.to_bits() & 0x0040_0000, 0x0040_0000, "quiet bit forced");
+        assert_eq!(
+            narrowed.to_bits() & 0x0040_0000,
+            0x0040_0000,
+            "quiet bit forced"
+        );
     }
 
     /// Constants have the documented values and classifications.
@@ -338,9 +361,18 @@ mod tests {
         assert_eq!(Tf32::NEG_ONE.abs(), Tf32::ONE);
         // Every constant is canonical (dropped bits zero).
         for c in [
-            Tf32::ZERO, Tf32::NEG_ZERO, Tf32::ONE, Tf32::NEG_ONE, Tf32::INFINITY,
-            Tf32::NEG_INFINITY, Tf32::NAN, Tf32::MAX, Tf32::MIN, Tf32::MIN_POSITIVE,
-            Tf32::MIN_POSITIVE_SUBNORMAL, Tf32::EPSILON,
+            Tf32::ZERO,
+            Tf32::NEG_ZERO,
+            Tf32::ONE,
+            Tf32::NEG_ONE,
+            Tf32::INFINITY,
+            Tf32::NEG_INFINITY,
+            Tf32::NAN,
+            Tf32::MAX,
+            Tf32::MIN,
+            Tf32::MIN_POSITIVE,
+            Tf32::MIN_POSITIVE_SUBNORMAL,
+            Tf32::EPSILON,
         ] {
             assert_eq!(c.to_bits() & DROP_MASK, 0);
         }

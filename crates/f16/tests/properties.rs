@@ -67,7 +67,10 @@ fn every_subnormal_is_an_exact_multiple_of_the_smallest() {
     }
     // The boundary neighbours are classified correctly.
     assert!(!F16::from_bits(0).is_subnormal(), "zero is not subnormal");
-    assert!(!F16::MIN_POSITIVE.is_subnormal(), "0x0400 is the smallest normal");
+    assert!(
+        !F16::MIN_POSITIVE.is_subnormal(),
+        "0x0400 is the smallest normal"
+    );
     assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_bits(), 0x0001);
 }
 
@@ -96,7 +99,11 @@ fn underflow_below_half_an_ulp_is_signed_zero() {
     assert_eq!(F16::from_f64(half_ulp).to_bits(), 0x0000);
     assert_eq!(F16::from_f64(-half_ulp).to_bits(), 0x8000);
     assert_eq!(F16::from_f64(half_ulp * 0.99).to_bits(), 0x0000);
-    assert_eq!(F16::from_f64(half_ulp * 1.01).to_bits(), 0x0001, "just above rounds up");
+    assert_eq!(
+        F16::from_f64(half_ulp * 1.01).to_bits(),
+        0x0001,
+        "just above rounds up"
+    );
     // f32's own subnormal range (< 2⁻¹²⁶) is far below f16's and must
     // flush to signed zero, not panic in the shift logic.
     assert_eq!(F16::from_f32(f32::from_bits(0x0000_0001)).to_bits(), 0x0000);
@@ -168,10 +175,19 @@ fn classification_partitions_every_pattern() {
             h.is_subnormal(),
             h.is_finite() && !h.is_zero() && !h.is_subnormal(),
         ];
-        assert_eq!(flags.iter().filter(|&&f| f).count(), 1, "{:#06x}", h.to_bits());
+        assert_eq!(
+            flags.iter().filter(|&&f| f).count(),
+            1,
+            "{:#06x}",
+            h.to_bits()
+        );
         counts[class] += 1;
     }
-    assert_eq!(counts[0], 2 * 1023, "±NaNs (all-ones exponent, nonzero payload)");
+    assert_eq!(
+        counts[0],
+        2 * 1023,
+        "±NaNs (all-ones exponent, nonzero payload)"
+    );
     assert_eq!(counts[1], 2, "±inf");
     assert_eq!(counts[2], 2, "±0");
     assert_eq!(counts[3], 2 * 1023, "±subnormals");

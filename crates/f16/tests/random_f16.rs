@@ -1,7 +1,7 @@
 //! Randomized tests for the binary16 implementation, driven by a
 //! deterministic xorshift64* generator (no external crates).
 
-use tcsim_f16::{F16, F16x2};
+use tcsim_f16::{F16x2, F16};
 
 // Deterministic inputs from the workspace's canonical PRNG (same
 // xorshift64* recurrence the local copy used, so sequences are unchanged).

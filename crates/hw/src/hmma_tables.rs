@@ -11,8 +11,9 @@
 use tcsim_isa::{WmmaShape, WmmaType};
 
 /// Cumulative cycles of Volta's HMMA steps in mixed precision (Fig 9a).
-pub const VOLTA_MIXED_CUMULATIVE: [u32; 16] =
-    [10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54];
+pub const VOLTA_MIXED_CUMULATIVE: [u32; 16] = [
+    10, 12, 14, 18, 20, 22, 24, 28, 30, 32, 34, 38, 40, 42, 44, 54,
+];
 
 /// Cumulative cycles of Volta's HMMA steps in FP16 mode (Fig 9b).
 pub const VOLTA_FP16_CUMULATIVE: [u32; 8] = [12, 21, 25, 34, 38, 47, 51, 64];
@@ -85,18 +86,22 @@ pub fn ampere_mma_sync(
     sparse: bool,
 ) -> Option<MmaSyncLatency> {
     let t = match (shape, ab_type, sparse) {
-        (WmmaShape::M16N8K8, WmmaType::F16 | WmmaType::BF16, false) => {
-            MmaSyncLatency { latency: 16, initiation_interval: 4 }
-        }
-        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, false) => {
-            MmaSyncLatency { latency: 24, initiation_interval: 8 }
-        }
-        (WmmaShape::M16N8K8, WmmaType::TF32, false) => {
-            MmaSyncLatency { latency: 24, initiation_interval: 8 }
-        }
-        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, true) => {
-            MmaSyncLatency { latency: 20, initiation_interval: 4 }
-        }
+        (WmmaShape::M16N8K8, WmmaType::F16 | WmmaType::BF16, false) => MmaSyncLatency {
+            latency: 16,
+            initiation_interval: 4,
+        },
+        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, false) => MmaSyncLatency {
+            latency: 24,
+            initiation_interval: 8,
+        },
+        (WmmaShape::M16N8K8, WmmaType::TF32, false) => MmaSyncLatency {
+            latency: 24,
+            initiation_interval: 8,
+        },
+        (WmmaShape::M16N8K16, WmmaType::F16 | WmmaType::BF16, true) => MmaSyncLatency {
+            latency: 20,
+            initiation_interval: 4,
+        },
         _ => return None,
     };
     Some(t)
@@ -124,8 +129,14 @@ mod tests {
             turing_set_completions(WmmaShape::M8N8K32, HmmaClass::Int4),
             Some(&[230][..])
         );
-        assert_eq!(turing_set_completions(WmmaShape::M8N8K32, HmmaClass::Int8), None);
-        assert_eq!(turing_set_completions(WmmaShape::M16N8K8, HmmaClass::HalfAccF32), None);
+        assert_eq!(
+            turing_set_completions(WmmaShape::M8N8K32, HmmaClass::Int8),
+            None
+        );
+        assert_eq!(
+            turing_set_completions(WmmaShape::M16N8K8, HmmaClass::HalfAccF32),
+            None
+        );
     }
 
     #[test]
@@ -145,10 +156,22 @@ mod tests {
         // TF32 is k8-only and pays the 32-bit operand-bus cost.
         let tf32 = ampere_mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, false).unwrap();
         assert_eq!((tf32.latency, tf32.initiation_interval), (24, 8));
-        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::TF32, false), None);
+        assert_eq!(
+            ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::TF32, false),
+            None
+        );
         // No sparse TF32, no mma.sync on the wmma shapes, no integer rows.
-        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, true), None);
-        assert_eq!(ampere_mma_sync(WmmaShape::M16N16K16, WmmaType::F16, false), None);
-        assert_eq!(ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::S8, false), None);
+        assert_eq!(
+            ampere_mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, true),
+            None
+        );
+        assert_eq!(
+            ampere_mma_sync(WmmaShape::M16N16K16, WmmaType::F16, false),
+            None
+        );
+        assert_eq!(
+            ampere_mma_sync(WmmaShape::M16N8K16, WmmaType::S8, false),
+            None
+        );
     }
 }

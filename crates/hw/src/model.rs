@@ -219,8 +219,14 @@ mod tests {
             let hgemm = hw.gemm_tflops(size, KernelClass::CublasFp16);
             let s_ratio = tc / sgemm;
             let h_ratio = tc / hgemm;
-            assert!((3.0..=7.5).contains(&s_ratio), "size {size}: TC/SGEMM = {s_ratio}");
-            assert!((2.0..=4.5).contains(&h_ratio), "size {size}: TC/HGEMM = {h_ratio}");
+            assert!(
+                (3.0..=7.5).contains(&s_ratio),
+                "size {size}: TC/SGEMM = {s_ratio}"
+            );
+            assert!(
+                (2.0..=4.5).contains(&h_ratio),
+                "size {size}: TC/HGEMM = {h_ratio}"
+            );
         }
     }
 

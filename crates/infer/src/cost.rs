@@ -53,7 +53,12 @@ impl CostModel {
     /// Creates a cost model for the encoder built from `seed`, timed on
     /// `cfg`.
     pub fn new(cfg: GpuConfig, seed: u64) -> CostModel {
-        CostModel { cfg, seed, cache: HashMap::new(), sim_invocations: 0 }
+        CostModel {
+            cfg,
+            seed,
+            cache: HashMap::new(),
+            sim_invocations: 0,
+        }
     }
 
     /// The content-hash cache key for a batch size: model identity, data

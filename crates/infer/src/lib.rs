@@ -36,4 +36,6 @@ pub mod cost;
 pub mod serving;
 
 pub use cost::{BlockCost, CostModel};
-pub use serving::{encoder_kv_bytes, rate_sweep, simulate, KvCache, Policy, ServingReport, Workload};
+pub use serving::{
+    encoder_kv_bytes, rate_sweep, simulate, KvCache, Policy, ServingReport, Workload,
+};

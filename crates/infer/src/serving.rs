@@ -79,7 +79,10 @@ impl Policy {
     fn dispatch_cycle(&self, waiting: &VecDeque<u64>, t_free: u64) -> u64 {
         let head = waiting[0];
         match *self {
-            Policy::Static { max_batch, window_cycles } => {
+            Policy::Static {
+                max_batch,
+                window_cycles,
+            } => {
                 let mut seal = head.saturating_add(window_cycles);
                 if waiting.len() >= max_batch {
                     seal = seal.min(waiting[max_batch - 1]);
@@ -94,7 +97,10 @@ impl Policy {
     /// cycle `now`.
     fn take_batch(&self, waiting: &mut VecDeque<u64>, now: u64) -> Vec<u64> {
         match *self {
-            Policy::Static { max_batch, window_cycles } => {
+            Policy::Static {
+                max_batch,
+                window_cycles,
+            } => {
                 let head = waiting[0];
                 let mut seal = head.saturating_add(window_cycles);
                 if waiting.len() >= max_batch {
@@ -103,9 +109,7 @@ impl Policy {
                 // `now` may be later than the seal (the GPU was busy);
                 // the batch stays sealed — late arrivals do not join.
                 let mut members = Vec::new();
-                while members.len() < max_batch
-                    && waiting.front().is_some_and(|&a| a <= seal)
-                {
+                while members.len() < max_batch && waiting.front().is_some_and(|&a| a <= seal) {
                     members.push(waiting.pop_front().expect("checked non-empty"));
                 }
                 debug_assert!(!members.is_empty() && now >= seal);
@@ -134,12 +138,18 @@ impl KvCache {
     /// A cache admitting at most `seqs` concurrent sequences of the
     /// encoder's KV footprint (K and V, `seq × d_model` f16 each).
     pub fn for_encoder(seqs: u64) -> KvCache {
-        KvCache { bytes_per_seq: encoder_kv_bytes(), capacity_bytes: seqs * encoder_kv_bytes() }
+        KvCache {
+            bytes_per_seq: encoder_kv_bytes(),
+            capacity_bytes: seqs * encoder_kv_bytes(),
+        }
     }
 
     /// A cache that never rejects.
     pub fn unbounded() -> KvCache {
-        KvCache { bytes_per_seq: encoder_kv_bytes(), capacity_bytes: u64::MAX }
+        KvCache {
+            bytes_per_seq: encoder_kv_bytes(),
+            capacity_bytes: u64::MAX,
+        }
     }
 }
 
@@ -256,7 +266,11 @@ impl ServingReport {
     pub fn latency_histogram(&self) -> Vec<(u64, u64)> {
         let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
         for &lat in &self.latencies {
-            let floor = if lat == 0 { 0 } else { 1u64 << (63 - lat.leading_zeros()) };
+            let floor = if lat == 0 {
+                0
+            } else {
+                1u64 << (63 - lat.leading_zeros())
+            };
             *buckets.entry(floor).or_insert(0) += 1;
         }
         buckets.into_iter().collect()
@@ -277,7 +291,10 @@ impl ServingReport {
             w.field_f64(name, self.percentile(p) as f64 * scale);
         }
         w.field_f64("mean", self.mean_latency() * scale);
-        w.field_f64("max", self.latencies.last().copied().unwrap_or(0) as f64 * scale);
+        w.field_f64(
+            "max",
+            self.latencies.last().copied().unwrap_or(0) as f64 * scale,
+        );
         w.finish()
     }
 
@@ -297,7 +314,10 @@ impl ServingReport {
         w.field_f64("throughput_per_mcycle", self.throughput_per_mcycle());
         w.raw_field("latency_cycles", &self.latency_stats_json(1.0));
         // cycles / MHz = microseconds.
-        w.raw_field("latency_us", &self.latency_stats_json(1.0 / self.clock_mhz as f64));
+        w.raw_field(
+            "latency_us",
+            &self.latency_stats_json(1.0 / self.clock_mhz as f64),
+        );
         let hist: Vec<String> = self
             .latency_histogram()
             .iter()
@@ -306,8 +326,11 @@ impl ServingReport {
         w.raw_field("latency_histogram", &format!("[{}]", hist.join(",")));
         w.field_u64("batches", self.batch_sizes.len() as u64);
         w.field_f64("mean_batch", self.mean_batch());
-        let bhist: Vec<String> =
-            self.batch_histogram().iter().map(|(b, n)| format!("[{b},{n}]")).collect();
+        let bhist: Vec<String> = self
+            .batch_histogram()
+            .iter()
+            .map(|(b, n)| format!("[{b},{n}]"))
+            .collect();
         w.raw_field("batch_histogram", &format!("[{}]", bhist.join(",")));
         let mut kvw = JsonWriter::object();
         kvw.field_u64("bytes_per_seq", self.kv.bytes_per_seq);
@@ -353,7 +376,11 @@ pub fn rate_sweep(
     rates
         .iter()
         .map(|&rate_per_mcycle| {
-            let w = Workload { seed, requests, rate_per_mcycle };
+            let w = Workload {
+                seed,
+                requests,
+                rate_per_mcycle,
+            };
             simulate(cost, &w, policy, kv)
         })
         .collect()
@@ -381,7 +408,11 @@ fn run(cost: &mut CostModel, arrivals: &[u64], policy: &Policy, kv: &KvCache) ->
         } else {
             None
         };
-        let Some(now) = [next_done, next_arr, next_dispatch].into_iter().flatten().min() else {
+        let Some(now) = [next_done, next_arr, next_dispatch]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
             break;
         };
 
@@ -442,14 +473,24 @@ mod tests {
     fn primed(costs: &[(usize, u64)]) -> CostModel {
         let mut cm = CostModel::new(GpuConfig::mini(), 0);
         for &(batch, cycles) in costs {
-            cm.prime(batch, BlockCost { cycles, instructions: cycles / 2 });
+            cm.prime(
+                batch,
+                BlockCost {
+                    cycles,
+                    instructions: cycles / 2,
+                },
+            );
         }
         cm
     }
 
     #[test]
     fn arrivals_are_deterministic_and_nondecreasing() {
-        let w = Workload { seed: 9, requests: 64, rate_per_mcycle: 200.0 };
+        let w = Workload {
+            seed: 9,
+            requests: 64,
+            rate_per_mcycle: 200.0,
+        };
         let a = w.arrival_cycles();
         let b = w.arrival_cycles();
         assert_eq!(a, b);
@@ -463,7 +504,10 @@ mod tests {
     #[test]
     fn static_window_seals_partial_batch() {
         let mut cm = primed(&[(1, 1000), (2, 1500)]);
-        let policy = Policy::Static { max_batch: 4, window_cycles: 500 };
+        let policy = Policy::Static {
+            max_batch: 4,
+            window_cycles: 500,
+        };
         let r = run(&mut cm, &[0, 100, 3000], &policy, &KvCache::unbounded());
         // Head (t=0) waits out its 500-cycle window, picks up the t=100
         // arrival, runs 1500 cycles; the t=3000 arrival rides alone.
@@ -478,7 +522,10 @@ mod tests {
     #[test]
     fn static_full_batch_dispatches_before_window() {
         let mut cm = primed(&[(4, 2000)]);
-        let policy = Policy::Static { max_batch: 4, window_cycles: 500 };
+        let policy = Policy::Static {
+            max_batch: 4,
+            window_cycles: 500,
+        };
         let r = run(&mut cm, &[0, 10, 20, 30], &policy, &KvCache::unbounded());
         // The 4th arrival fills the batch at t=30 — no need to wait out
         // the window.
@@ -489,7 +536,10 @@ mod tests {
     #[test]
     fn static_seal_excludes_arrivals_during_service() {
         let mut cm = primed(&[(1, 1000), (2, 1500)]);
-        let policy = Policy::Static { max_batch: 4, window_cycles: 100 };
+        let policy = Policy::Static {
+            max_batch: 4,
+            window_cycles: 100,
+        };
         // t=0 seals at 100 and runs alone until 1100. t=500 arrives
         // mid-service; its own batch seals at 600 but can only launch at
         // 1100. t=590 joins it (≤ its seal); nothing else does.
@@ -526,7 +576,10 @@ mod tests {
     fn kv_admission_rejects_when_full_and_frees_on_completion() {
         let mut cm = primed(&[(1, 1000)]);
         let policy = Policy::Continuous { max_batch: 1 };
-        let kv = KvCache { bytes_per_seq: 100, capacity_bytes: 150 };
+        let kv = KvCache {
+            bytes_per_seq: 100,
+            capacity_bytes: 150,
+        };
         // t=10 is rejected (t=0 still holds its reservation); t=2000 is
         // admitted after t=0 completed at 1000.
         let r = run(&mut cm, &[0, 10, 2000], &policy, &kv);
@@ -540,7 +593,10 @@ mod tests {
     fn completion_frees_kv_for_same_cycle_arrival() {
         let mut cm = primed(&[(1, 1000)]);
         let policy = Policy::Continuous { max_batch: 1 };
-        let kv = KvCache { bytes_per_seq: 100, capacity_bytes: 100 };
+        let kv = KvCache {
+            bytes_per_seq: 100,
+            capacity_bytes: 100,
+        };
         // The t=1000 arrival lands exactly when the first request
         // completes; completion is processed first, so it is admitted.
         let r = run(&mut cm, &[0, 1000], &policy, &kv);
@@ -577,8 +633,15 @@ mod tests {
     #[test]
     fn report_json_is_deterministic() {
         let mut cm = primed(&[(1, 1000), (2, 1500), (3, 1800), (4, 2000)]);
-        let w = Workload { seed: 5, requests: 40, rate_per_mcycle: 900.0 };
-        let policy = Policy::Static { max_batch: 4, window_cycles: 400 };
+        let w = Workload {
+            seed: 5,
+            requests: 40,
+            rate_per_mcycle: 900.0,
+        };
+        let policy = Policy::Static {
+            max_batch: 4,
+            window_cycles: 400,
+        };
         let kv = KvCache::for_encoder(8);
         let a = simulate(&mut cm, &w, &policy, &kv).to_json();
         let b = simulate(&mut cm, &w, &policy, &kv).to_json();

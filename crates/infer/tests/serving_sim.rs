@@ -8,7 +8,11 @@ use tcsim_sim::GpuConfig;
 
 #[test]
 fn seeded_run_is_byte_deterministic_and_memoized() {
-    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 120.0 };
+    let w = Workload {
+        seed: 3,
+        requests: 24,
+        rate_per_mcycle: 120.0,
+    };
     let policy = Policy::Continuous { max_batch: 2 };
     let kv = KvCache::for_encoder(6);
 
@@ -23,7 +27,10 @@ fn seeded_run_is_byte_deterministic_and_memoized() {
     // count must not grow, and the report must not change.
     let again = simulate(&mut cost_a, &w, &policy, &kv);
     assert_eq!(a.to_json(), again.to_json());
-    assert!(cost_a.sim_invocations() <= 2, "max_batch 2 allows at most 2 distinct shapes");
+    assert!(
+        cost_a.sim_invocations() <= 2,
+        "max_batch 2 allows at most 2 distinct shapes"
+    );
     assert_eq!(cost_a.sim_invocations() as usize, cost_a.distinct_shapes());
 
     // Conservation: every offered request either completed or was
@@ -34,13 +41,29 @@ fn seeded_run_is_byte_deterministic_and_memoized() {
 #[test]
 fn policies_shape_the_latency_distribution_differently() {
     let mut cost = CostModel::new(GpuConfig::mini(), 3);
-    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 120.0 };
+    let w = Workload {
+        seed: 3,
+        requests: 24,
+        rate_per_mcycle: 120.0,
+    };
     let kv = KvCache::unbounded();
-    let stat = simulate(&mut cost, &w, &Policy::Static { max_batch: 2, window_cycles: 40_000 }, &kv);
+    let stat = simulate(
+        &mut cost,
+        &w,
+        &Policy::Static {
+            max_batch: 2,
+            window_cycles: 40_000,
+        },
+        &kv,
+    );
     let cont = simulate(&mut cost, &w, &Policy::Continuous { max_batch: 2 }, &kv);
     assert_eq!(stat.completed(), 24);
     assert_eq!(cont.completed(), 24);
-    assert_ne!(stat.to_json(), cont.to_json(), "policies must be distinguishable");
+    assert_ne!(
+        stat.to_json(),
+        cont.to_json(),
+        "policies must be distinguishable"
+    );
     // A 40k-cycle batching window (about two batch-1 block times) makes
     // the head request idle-wait; continuous batching never does.
     assert!(
@@ -57,7 +80,11 @@ fn policies_shape_the_latency_distribution_differently() {
 #[test]
 fn kv_capacity_gates_admission() {
     let mut cost = CostModel::new(GpuConfig::mini(), 3);
-    let w = Workload { seed: 3, requests: 24, rate_per_mcycle: 400.0 };
+    let w = Workload {
+        seed: 3,
+        requests: 24,
+        rate_per_mcycle: 400.0,
+    };
     let policy = Policy::Continuous { max_batch: 2 };
     // One sequence of headroom: under a saturating arrival rate most
     // requests must bounce off the admission cap.
@@ -79,7 +106,11 @@ fn throughput_saturates_as_load_grows() {
     assert_eq!(runs.len(), 2);
     // At 10 req/Mcycle the system is under-loaded: goodput tracks the
     // offered rate. At 400 it cannot (batch-2 service saturates near 60).
-    assert!(runs[0].throughput_per_mcycle() < 15.0, "{}", runs[0].throughput_per_mcycle());
+    assert!(
+        runs[0].throughput_per_mcycle() < 15.0,
+        "{}",
+        runs[0].throughput_per_mcycle()
+    );
     assert!(runs[1].throughput_per_mcycle() > runs[0].throughput_per_mcycle());
     assert!(
         runs[1].throughput_per_mcycle() < 400.0 * 0.5,

@@ -90,8 +90,13 @@ pub fn emit_kernel(k: &Kernel) -> String {
     let mut out = String::new();
     writeln!(out, ".kernel {}", k.name()).expect("write to string");
     for p in k.params() {
-        writeln!(out, ".param {} : {}", p.name, if p.bytes == 8 { "u64" } else { "u32" })
-            .expect("write to string");
+        writeln!(
+            out,
+            ".param {} : {}",
+            p.name,
+            if p.bytes == 8 { "u64" } else { "u32" }
+        )
+        .expect("write to string");
     }
     if k.shared_bytes() > 0 {
         writeln!(out, ".shared {}", k.shared_bytes()).expect("write to string");
@@ -136,10 +141,27 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     None => format!("bra {t}"),
                 }
             }
-            Op::Mov => format!("mov.u32 {}, {}", dst.clone().expect("dst"), operand(&i.srcs[0])),
-            Op::Mov64 => format!("mov.b64 {}, {}", dst.clone().expect("dst"), operand(&i.srcs[0])),
-            Op::IAdd | Op::ISub | Op::IMul | Op::IMin | Op::IMax | Op::Shl | Op::Shr | Op::Sar
-            | Op::And | Op::Or | Op::Xor => {
+            Op::Mov => format!(
+                "mov.u32 {}, {}",
+                dst.clone().expect("dst"),
+                operand(&i.srcs[0])
+            ),
+            Op::Mov64 => format!(
+                "mov.b64 {}, {}",
+                dst.clone().expect("dst"),
+                operand(&i.srcs[0])
+            ),
+            Op::IAdd
+            | Op::ISub
+            | Op::IMul
+            | Op::IMin
+            | Op::IMax
+            | Op::Shl
+            | Op::Shr
+            | Op::Sar
+            | Op::And
+            | Op::Or
+            | Op::Xor => {
                 let m = match i.op {
                     Op::IAdd => "iadd",
                     Op::ISub => "isub",
@@ -153,7 +175,12 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     Op::Or => "or",
                     _ => "xor",
                 };
-                format!("{m} {}, {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0]), operand(&i.srcs[1]))
+                format!(
+                    "{m} {}, {}, {}",
+                    dst.clone().expect("dst"),
+                    reg_of(&i.srcs[0]),
+                    operand(&i.srcs[1])
+                )
             }
             Op::Not => format!("not {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0])),
             Op::IMad => format!(
@@ -185,11 +212,20 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     Op::HAdd2 => "hadd2",
                     _ => "hmul2",
                 };
-                format!("{m} {}, {}, {}", dst.clone().expect("dst"), reg_of(&i.srcs[0]), operand(&i.srcs[1]))
+                format!(
+                    "{m} {}, {}, {}",
+                    dst.clone().expect("dst"),
+                    reg_of(&i.srcs[0]),
+                    operand(&i.srcs[1])
+                )
             }
             Op::FFma | Op::HFma2 => format!(
                 "{} {}, {}, {}, {}",
-                if matches!(i.op, Op::FFma) { "ffma" } else { "hfma2" },
+                if matches!(i.op, Op::FFma) {
+                    "ffma"
+                } else {
+                    "hfma2"
+                },
                 dst.clone().expect("dst"),
                 reg_of(&i.srcs[0]),
                 operand(&i.srcs[1]),
@@ -206,7 +242,11 @@ pub fn emit_kernel(k: &Kernel) -> String {
             }
             Op::DAdd | Op::DMul => format!(
                 "{} {}, {}, {}",
-                if matches!(i.op, Op::DAdd) { "dadd" } else { "dmul" },
+                if matches!(i.op, Op::DAdd) {
+                    "dadd"
+                } else {
+                    "dmul"
+                },
                 dst.clone().expect("dst"),
                 reg_of(&i.srcs[0]),
                 reg_of(&i.srcs[1])
@@ -240,8 +280,13 @@ pub fn emit_kernel(k: &Kernel) -> String {
                 operand(&i.srcs[1]),
                 operand(&i.srcs[2])
             ),
-            Op::Ld { space: MemSpace::Param, width } => {
-                let Operand::Imm(off) = i.srcs[0] else { panic!("param load offset") };
+            Op::Ld {
+                space: MemSpace::Param,
+                width,
+            } => {
+                let Operand::Imm(off) = i.srcs[0] else {
+                    panic!("param load offset")
+                };
                 format!(
                     "ld.param.{} {}, [{}]",
                     width_suffix(*width),
@@ -273,7 +318,12 @@ pub fn emit_kernel(k: &Kernel) -> String {
                 reg_of(&i.srcs[0]),
                 operand(&i.srcs[1])
             ),
-            Op::Wmma(WmmaDirective::Load { frag, shape, layout, ty }) => {
+            Op::Wmma(WmmaDirective::Load {
+                frag,
+                shape,
+                layout,
+                ty,
+            }) => {
                 let f = match frag {
                     FragmentKind::A => "a",
                     FragmentKind::B => "b",
@@ -287,7 +337,14 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     operand(&i.srcs[1])
                 )
             }
-            Op::Wmma(WmmaDirective::Mma { shape, a_layout, b_layout, ab_type, d_type, c_type }) => {
+            Op::Wmma(WmmaDirective::Mma {
+                shape,
+                a_layout,
+                b_layout,
+                ab_type,
+                d_type,
+                c_type,
+            }) => {
                 format!(
                     "wmma.mma.sync.{a_layout}.{b_layout}.{shape}.{d_type}.{c_type}.{ab_type} {}, {}, {}, {}",
                     dst.clone().expect("dst"),
@@ -296,7 +353,13 @@ pub fn emit_kernel(k: &Kernel) -> String {
                     reg_of(&i.srcs[2])
                 )
             }
-            Op::Wmma(WmmaDirective::MmaSync { shape, ab_type, d_type, c_type, sparse }) => {
+            Op::Wmma(WmmaDirective::MmaSync {
+                shape,
+                ab_type,
+                d_type,
+                c_type,
+                sparse,
+            }) => {
                 let sp = if *sparse { ".sp" } else { "" };
                 let mut s = format!(
                     "mma{sp}.sync.aligned.{shape}.row.col.{d_type}.{ab_type}.{ab_type}.{c_type} {}, {}, {}, {}",
@@ -384,7 +447,14 @@ mod tests {
         b.st_shared(MemWidth::B64, sa, 8, v);
         b.ld_shared(MemWidth::B16, v, sa, 2);
         let old = b.reg();
-        b.atom(MemSpace::Global, AtomOp::Add, old, Operand::RegPair(base), 0, v);
+        b.atom(
+            MemSpace::Global,
+            AtomOp::Add,
+            old,
+            Operand::RegPair(base),
+            0,
+            v,
+        );
         b.atom(MemSpace::Shared, AtomOp::Max, old, Operand::Reg(sa), 4, v);
         b.bar();
         b.exit();
@@ -404,11 +474,11 @@ mod tests {
         b.flg2(r, r);
         let d = b.reg_pair();
         b.mov64(d, Operand::Imm(0));
-        b.emit(
-            Instr::new(Op::DFma)
-                .with_dst(d)
-                .with_srcs(vec![Operand::RegPair(d), Operand::RegPair(d), Operand::RegPair(d)]),
-        );
+        b.emit(Instr::new(Op::DFma).with_dst(d).with_srcs(vec![
+            Operand::RegPair(d),
+            Operand::RegPair(d),
+            Operand::RegPair(d),
+        ]));
         b.cvt(r, DataType::F32, DataType::F16, Operand::Reg(r));
         b.exit();
         roundtrip(&b.build());
@@ -493,7 +563,18 @@ mod tests {
             Operand::RegPair(base),
             Operand::Imm(16),
         );
-        b.mma_sync(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, false, fd, fa, fb, fc, None);
+        b.mma_sync(
+            WmmaShape::M16N8K16,
+            WmmaType::BF16,
+            WmmaType::F32,
+            WmmaType::F32,
+            false,
+            fd,
+            fa,
+            fb,
+            fc,
+            None,
+        );
         b.mma_sync(
             WmmaShape::M16N8K16,
             WmmaType::F16,
@@ -506,7 +587,18 @@ mod tests {
             fc,
             Some(meta),
         );
-        b.mma_sync(WmmaShape::M16N8K8, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false, fd, fa, fb, fc, None);
+        b.mma_sync(
+            WmmaShape::M16N8K8,
+            WmmaType::TF32,
+            WmmaType::F32,
+            WmmaType::F32,
+            false,
+            fd,
+            fa,
+            fb,
+            fc,
+            None,
+        );
         b.wmma_store(
             WmmaShape::M16N8K16,
             Layout::Row,
@@ -519,9 +611,18 @@ mod tests {
         b.exit();
         let k = b.build();
         let text = emit_kernel(&k);
-        assert!(text.contains("mma.sync.aligned.m16n8k16.row.col.f32.bf16.bf16.f32"), "{text}");
-        assert!(text.contains("mma.sp.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32"), "{text}");
-        assert!(text.contains("mma.sync.aligned.m16n8k8.row.col.f32.tf32.tf32.f32"), "{text}");
+        assert!(
+            text.contains("mma.sync.aligned.m16n8k16.row.col.f32.bf16.bf16.f32"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mma.sp.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mma.sync.aligned.m16n8k8.row.col.f32.tf32.tf32.f32"),
+            "{text}"
+        );
         roundtrip(&k);
     }
 

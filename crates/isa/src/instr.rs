@@ -444,17 +444,32 @@ impl Instr {
             }) => {
                 let (a, b, c) = (self.srcs[0], self.srcs[1], self.srcs[2]);
                 if let Operand::Reg(r) = a {
-                    push_span(r, fragment_regs(FragmentKind::A, *shape, *ab_type, volta_double_load));
+                    push_span(
+                        r,
+                        fragment_regs(FragmentKind::A, *shape, *ab_type, volta_double_load),
+                    );
                 }
                 if let Operand::Reg(r) = b {
-                    push_span(r, fragment_regs(FragmentKind::B, *shape, *ab_type, volta_double_load));
+                    push_span(
+                        r,
+                        fragment_regs(FragmentKind::B, *shape, *ab_type, volta_double_load),
+                    );
                 }
                 if let Operand::Reg(r) = c {
-                    push_span(r, fragment_regs(FragmentKind::C, *shape, *c_type, volta_double_load));
+                    push_span(
+                        r,
+                        fragment_regs(FragmentKind::C, *shape, *c_type, volta_double_load),
+                    );
                 }
                 return out;
             }
-            Op::Wmma(WmmaDirective::MmaSync { shape, ab_type, c_type, sparse, .. }) => {
+            Op::Wmma(WmmaDirective::MmaSync {
+                shape,
+                ab_type,
+                c_type,
+                sparse,
+                ..
+            }) => {
                 // srcs = [a-frag, b-frag, c-frag] + [meta reg] when sparse.
                 // Sparse A is held at the compressed (half-K) footprint.
                 let a_shape = mma_sync_a_shape(*shape, *sparse);
@@ -479,7 +494,10 @@ impl Instr {
             Op::Wmma(WmmaDirective::Store { shape, ty, .. }) => {
                 // srcs = [addr(pair), stride, d-frag base]
                 if let Operand::Reg(r) = self.srcs[2] {
-                    push_span(r, fragment_regs(FragmentKind::D, *shape, *ty, volta_double_load));
+                    push_span(
+                        r,
+                        fragment_regs(FragmentKind::D, *shape, *ty, volta_double_load),
+                    );
                 }
             }
             Op::St { width, .. } => {
@@ -515,12 +533,14 @@ impl Instr {
     /// Registers written by this instruction, with pairs, vector loads and
     /// WMMA fragments expanded.
     pub fn def_regs(&self, volta_double_load: bool) -> Vec<Reg> {
-        let Some(dst) = self.dst else { return Vec::new() };
+        let Some(dst) = self.dst else {
+            return Vec::new();
+        };
         let n = match &self.op {
             Op::Ld { width, .. } => width.regs(),
-            Op::Wmma(WmmaDirective::Load { frag, shape, ty, .. }) => {
-                fragment_regs(*frag, *shape, *ty, volta_double_load)
-            }
+            Op::Wmma(WmmaDirective::Load {
+                frag, shape, ty, ..
+            }) => fragment_regs(*frag, *shape, *ty, volta_double_load),
             Op::Wmma(WmmaDirective::Mma { shape, d_type, .. }) => {
                 fragment_regs(FragmentKind::D, *shape, *d_type, volta_double_load)
             }
@@ -552,7 +572,15 @@ impl fmt::Display for Instr {
             write!(f, " {p}")?;
         }
         for (i, s) in self.srcs.iter().enumerate() {
-            write!(f, "{} {s}", if i == 0 && self.dst.is_none() && self.pred_dst.is_none() { "" } else { "," })?;
+            write!(
+                f,
+                "{} {s}",
+                if i == 0 && self.dst.is_none() && self.pred_dst.is_none() {
+                    ""
+                } else {
+                    ","
+                }
+            )?;
         }
         if let Some(t) = self.target {
             write!(f, " -> {t}")?;
@@ -587,7 +615,11 @@ mod tests {
         assert_eq!(Op::FSqrt.unit(), UnitClass::Mufu);
         assert_eq!(Op::HFma2.unit(), UnitClass::Sp);
         assert_eq!(
-            Op::Ld { space: MemSpace::Global, width: MemWidth::B32 }.unit(),
+            Op::Ld {
+                space: MemSpace::Global,
+                width: MemWidth::B32
+            }
+            .unit(),
             UnitClass::Mem
         );
         let mma = Op::Wmma(WmmaDirective::Mma {
@@ -611,9 +643,12 @@ mod tests {
 
     #[test]
     fn def_regs_expand_vectors_and_fragments() {
-        let ld128 = Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B128 })
-            .with_dst(Reg(4))
-            .with_srcs(vec![Operand::RegPair(Reg(0)), Operand::Imm(0)]);
+        let ld128 = Instr::new(Op::Ld {
+            space: MemSpace::Global,
+            width: MemWidth::B128,
+        })
+        .with_dst(Reg(4))
+        .with_srcs(vec![Operand::RegPair(Reg(0)), Operand::Imm(0)]);
         assert_eq!(ld128.def_regs(true), vec![Reg(4), Reg(5), Reg(6), Reg(7)]);
         assert_eq!(ld128.use_regs(true), vec![Reg(0), Reg(1)]);
 
@@ -707,12 +742,15 @@ mod tests {
 
     #[test]
     fn store_reads_data_span() {
-        let st = Instr::new(Op::St { space: MemSpace::Global, width: MemWidth::B64 })
-            .with_srcs(vec![
-                Operand::RegPair(Reg(0)),
-                Operand::Imm(8),
-                Operand::Reg(Reg(10)),
-            ]);
+        let st = Instr::new(Op::St {
+            space: MemSpace::Global,
+            width: MemWidth::B64,
+        })
+        .with_srcs(vec![
+            Operand::RegPair(Reg(0)),
+            Operand::Imm(8),
+            Operand::Reg(Reg(10)),
+        ]);
         let uses = st.use_regs(true);
         assert!(uses.contains(&Reg(10)) && uses.contains(&Reg(11)));
         assert!(uses.contains(&Reg(0)) && uses.contains(&Reg(1)));
@@ -731,7 +769,15 @@ mod tests {
         assert!(Op::IMadWide.writes_pair());
         assert!(Op::DFma.writes_pair());
         assert!(!Op::IMad.writes_pair());
-        assert!(Op::Cvt { from: DataType::U32, to: DataType::U64 }.writes_pair());
-        assert!(!Op::Cvt { from: DataType::F32, to: DataType::F16 }.writes_pair());
+        assert!(Op::Cvt {
+            from: DataType::U32,
+            to: DataType::U64
+        }
+        .writes_pair());
+        assert!(!Op::Cvt {
+            from: DataType::F32,
+            to: DataType::F16
+        }
+        .writes_pair());
     }
 }

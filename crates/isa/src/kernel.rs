@@ -62,10 +62,7 @@ impl Kernel {
 
     /// Total parameter buffer size in bytes.
     pub fn param_bytes(&self) -> u32 {
-        self.params
-            .last()
-            .map(|p| p.offset + p.bytes)
-            .unwrap_or(0)
+        self.params.last().map(|p| p.offset + p.bytes).unwrap_or(0)
     }
 
     /// Looks up a parameter's byte offset by name.
@@ -366,7 +363,11 @@ impl KernelBuilder {
 
     /// `dst_pair ← a32 × b32 + c_pair` (SASS `IMAD.WIDE`).
     pub fn imad_wide(&mut self, dst: Reg, a: Reg, b: Operand, c: Reg) {
-        self.emit3(Op::IMadWide, dst, vec![Operand::Reg(a), b, Operand::RegPair(c)]);
+        self.emit3(
+            Op::IMadWide,
+            dst,
+            vec![Operand::Reg(a), b, Operand::RegPair(c)],
+        );
     }
 
     /// FP32 `dst ← a + b`.
@@ -489,7 +490,11 @@ impl KernelBuilder {
 
     /// Load: `dst.. ← [addr_pair + offset]` from `space`.
     pub fn ld(&mut self, space: MemSpace, width: MemWidth, dst: Reg, addr: Operand, offset: i64) {
-        self.emit3(Op::Ld { space, width }, dst, vec![addr, Operand::Imm(offset)]);
+        self.emit3(
+            Op::Ld { space, width },
+            dst,
+            vec![addr, Operand::Imm(offset)],
+        );
     }
 
     /// Global load convenience (address in a register pair).
@@ -505,7 +510,10 @@ impl KernelBuilder {
     /// Parameter load: `dst.. ← param[offset]`.
     pub fn ld_param(&mut self, width: MemWidth, dst: Reg, offset: u32) {
         self.emit3(
-            Op::Ld { space: MemSpace::Param, width },
+            Op::Ld {
+                space: MemSpace::Param,
+                width,
+            },
             dst,
             vec![Operand::Imm(offset as i64), Operand::Imm(0)],
         );
@@ -523,7 +531,15 @@ impl KernelBuilder {
     /// Atomic read-modify-write: `dst ← [addr+offset]; [addr+offset] ←
     /// op(old, data)`. Global space takes a register-pair address, shared
     /// a single register.
-    pub fn atom(&mut self, space: MemSpace, op: AtomOp, dst: Reg, addr: Operand, offset: i64, data: Reg) {
+    pub fn atom(
+        &mut self,
+        space: MemSpace,
+        op: AtomOp,
+        dst: Reg,
+        addr: Operand,
+        offset: i64,
+        data: Reg,
+    ) {
         self.emit(
             Instr::new(Op::Atom { space, op })
                 .with_dst(dst)
@@ -542,7 +558,13 @@ impl KernelBuilder {
 
     /// Global store convenience.
     pub fn st_global(&mut self, width: MemWidth, addr: Reg, offset: i64, data: Reg) {
-        self.st(MemSpace::Global, width, Operand::RegPair(addr), offset, data);
+        self.st(
+            MemSpace::Global,
+            width,
+            Operand::RegPair(addr),
+            offset,
+            data,
+        );
     }
 
     /// Shared-memory store convenience.
@@ -565,7 +587,12 @@ impl KernelBuilder {
         addr: Operand,
         stride: Operand,
     ) {
-        let dir = WmmaDirective::Load { frag, shape, layout, ty };
+        let dir = WmmaDirective::Load {
+            frag,
+            shape,
+            layout,
+            ty,
+        };
         let mut i = Instr::new(Op::Wmma(dir))
             .with_dst(dst)
             .with_srcs(vec![addr, stride]);
@@ -627,8 +654,18 @@ impl KernelBuilder {
         c: Reg,
         meta: Option<Reg>,
     ) {
-        assert_eq!(sparse, meta.is_some(), "sparse mma.sync needs exactly one metadata register");
-        let dir = WmmaDirective::MmaSync { shape, ab_type, d_type, c_type, sparse };
+        assert_eq!(
+            sparse,
+            meta.is_some(),
+            "sparse mma.sync needs exactly one metadata register"
+        );
+        let dir = WmmaDirective::MmaSync {
+            shape,
+            ab_type,
+            d_type,
+            c_type,
+            sparse,
+        };
         let mut srcs = vec![Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)];
         if let Some(m) = meta {
             srcs.push(Operand::Reg(m));
@@ -666,7 +703,10 @@ impl KernelBuilder {
     /// Looks up the byte offset of an already-declared parameter without
     /// building (used by the text parser).
     pub fn peek_param_offset(&self, name: &str) -> Option<u32> {
-        self.params.iter().find(|p| p.name == name).map(|p| p.offset)
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.offset)
     }
 
     /// Finalizes the kernel, resolving all label references.

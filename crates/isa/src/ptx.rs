@@ -59,7 +59,10 @@ impl std::error::Error for ParseError {}
 type Result<T> = std::result::Result<T, ParseError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a whole module: a sequence of `.kernel` blocks.
@@ -125,7 +128,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_kernel(&mut self) -> Result<Option<Kernel>> {
-        let Some((ln, header)) = self.next() else { return Ok(None) };
+        let Some((ln, header)) = self.next() else {
+            return Ok(None);
+        };
         let Some(name) = header.strip_prefix(".kernel") else {
             return err(ln, format!("expected .kernel, found {header:?}"));
         };
@@ -155,10 +160,10 @@ impl<'a> Parser<'a> {
                 };
                 b.param(parts[0], bytes);
             } else if let Some(rest) = line.strip_prefix(".shared") {
-                let bytes: u32 = rest
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError { line: ln, message: "bad .shared size".into() })?;
+                let bytes: u32 = rest.trim().parse().map_err(|_| ParseError {
+                    line: ln,
+                    message: "bad .shared size".into(),
+                })?;
                 b.shared_alloc(bytes);
             } else {
                 return err(ln, format!("unknown directive {line:?}"));
@@ -289,12 +294,18 @@ fn parse_addr(ln: usize, tok: &str) -> Result<(Reg, i64)> {
     let inner = tok
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| ParseError { line: ln, message: format!("expected [addr], found {tok:?}") })?;
-    if let Some((base, off)) = inner.split_once('+') {
-        Ok((parse_reg(ln, base.trim())?, off.trim().parse().map_err(|_| ParseError {
+        .ok_or_else(|| ParseError {
             line: ln,
-            message: format!("bad offset {off:?}"),
-        })?))
+            message: format!("expected [addr], found {tok:?}"),
+        })?;
+    if let Some((base, off)) = inner.split_once('+') {
+        Ok((
+            parse_reg(ln, base.trim())?,
+            off.trim().parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad offset {off:?}"),
+            })?,
+        ))
     } else if let Some((base, off)) = inner.split_once('-') {
         let v: i64 = off.trim().parse().map_err(|_| ParseError {
             line: ln,
@@ -348,7 +359,10 @@ fn parse_layout(ln: usize, tok: &str) -> Result<Layout> {
 }
 
 fn split_args(rest: &str) -> Vec<String> {
-    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 type Parsed = (Instr, Option<String>, Option<String>);
@@ -359,8 +373,15 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
     let (guard, stmt) = if let Some(rest) = stmt.strip_prefix('@') {
         let (ptok, rest) = rest
             .split_once(char::is_whitespace)
-            .ok_or_else(|| ParseError { line: ln, message: "guard without instruction".into() })?;
-        let (sense, ptok) = if let Some(p) = ptok.strip_prefix('!') { (false, p) } else { (true, ptok) };
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: "guard without instruction".into(),
+            })?;
+        let (sense, ptok) = if let Some(p) = ptok.strip_prefix('!') {
+            (false, p)
+        } else {
+            (true, ptok)
+        };
         (Some((parse_pred(ln, ptok)?, sense)), rest.trim())
     } else {
         (None, stmt)
@@ -398,7 +419,9 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
         }
         ["mov"] | ["mov", "u32" | "s32" | "b32" | "f32"] => {
             let d = parse_reg(ln, &args[0])?;
-            Instr::new(Op::Mov).with_dst(d).with_srcs(vec![parse_operand(ln, &args[1])?])
+            Instr::new(Op::Mov)
+                .with_dst(d)
+                .with_srcs(vec![parse_operand(ln, &args[1])?])
         }
         ["mov", "b64" | "u64"] => {
             let d = parse_reg(ln, &args[0])?;
@@ -409,8 +432,17 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             };
             Instr::new(Op::Mov64).with_dst(d).with_srcs(vec![src])
         }
-        ["iadd", ..] | ["isub", ..] | ["imul", ..] | ["imin", ..] | ["imax", ..]
-        | ["shl", ..] | ["shr", ..] | ["sar", ..] | ["and", ..] | ["or", ..] | ["xor", ..]
+        ["iadd", ..]
+        | ["isub", ..]
+        | ["imul", ..]
+        | ["imin", ..]
+        | ["imax", ..]
+        | ["shl", ..]
+        | ["shr", ..]
+        | ["sar", ..]
+        | ["and", ..]
+        | ["or", ..]
+        | ["xor", ..]
             if parts[0] != "iadd" || parts.get(1) != Some(&"wide") =>
         {
             let op = match parts[0] {
@@ -429,12 +461,16 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
             let bop = parse_operand(ln, &args[2])?;
-            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), bop])
+            Instr::new(op)
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(a), bop])
         }
         ["not", ..] => {
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
-            Instr::new(Op::Not).with_dst(d).with_srcs(vec![Operand::Reg(a)])
+            Instr::new(Op::Not)
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(a)])
         }
         ["imad"] | ["imad", "lo" | "u32" | "s32"] => {
             let d = parse_reg(ln, &args[0])?;
@@ -450,9 +486,11 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             let a = parse_reg(ln, &args[1])?;
             let bop = parse_operand(ln, &args[2])?;
             let c = parse_reg(ln, &args[3])?;
-            Instr::new(Op::IMadWide)
-                .with_dst(d)
-                .with_srcs(vec![Operand::Reg(a), bop, Operand::RegPair(c)])
+            Instr::new(Op::IMadWide).with_dst(d).with_srcs(vec![
+                Operand::Reg(a),
+                bop,
+                Operand::RegPair(c),
+            ])
         }
         ["iadd", "wide"] | ["iadd64"] => {
             let d = parse_reg(ln, &args[0])?;
@@ -470,10 +508,16 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             };
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
-            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
+            Instr::new(op)
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
         }
         ["dadd"] | ["dmul"] => {
-            let op = if parts[0] == "dadd" { Op::DAdd } else { Op::DMul };
+            let op = if parts[0] == "dadd" {
+                Op::DAdd
+            } else {
+                Op::DMul
+            };
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
             let bb = parse_reg(ln, &args[2])?;
@@ -513,10 +557,16 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a)])
         }
         ["hadd2"] | ["hmul2"] => {
-            let op = if parts[0] == "hadd2" { Op::HAdd2 } else { Op::HMul2 };
+            let op = if parts[0] == "hadd2" {
+                Op::HAdd2
+            } else {
+                Op::HMul2
+            };
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
-            Instr::new(op).with_dst(d).with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
+            Instr::new(op)
+                .with_dst(d)
+                .with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?])
         }
         ["hfma2"] => {
             let d = parse_reg(ln, &args[0])?;
@@ -529,9 +579,12 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
         }
         ["cvt", to, from] => {
             let d = parse_reg(ln, &args[0])?;
-            Instr::new(Op::Cvt { from: parse_dtype(ln, from)?, to: parse_dtype(ln, to)? })
-                .with_dst(d)
-                .with_srcs(vec![parse_operand(ln, &args[1])?])
+            Instr::new(Op::Cvt {
+                from: parse_dtype(ln, from)?,
+                to: parse_dtype(ln, to)?,
+            })
+            .with_dst(d)
+            .with_srcs(vec![parse_operand(ln, &args[1])?])
         }
         ["setp", cmp, ty] => {
             let cmp = match *cmp {
@@ -545,8 +598,11 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             };
             let pd = parse_pred(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
-            let mut i = Instr::new(Op::Setp { cmp, ty: parse_dtype(ln, ty)? })
-                .with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?]);
+            let mut i = Instr::new(Op::Setp {
+                cmp,
+                ty: parse_dtype(ln, ty)?,
+            })
+            .with_srcs(vec![Operand::Reg(a), parse_operand(ln, &args[2])?]);
             i.pred_dst = Some(pd);
             i
         }
@@ -564,12 +620,16 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             let d = parse_reg(ln, &args[0])?;
             // [name] resolved against declared params.
             let inner = args[1].trim_start_matches('[').trim_end_matches(']');
-            let offset = b
-                .peek_param_offset(inner)
-                .ok_or_else(|| ParseError { line: ln, message: format!("unknown param {inner:?}") })?;
-            Instr::new(Op::Ld { space: MemSpace::Param, width })
-                .with_dst(d)
-                .with_srcs(vec![Operand::Imm(offset as i64), Operand::Imm(0)])
+            let offset = b.peek_param_offset(inner).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("unknown param {inner:?}"),
+            })?;
+            Instr::new(Op::Ld {
+                space: MemSpace::Param,
+                width,
+            })
+            .with_dst(d)
+            .with_srcs(vec![Operand::Imm(offset as i64), Operand::Imm(0)])
         }
         ["ld", space, w] => {
             let space = parse_space(ln, space)?;
@@ -631,8 +691,11 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             } else {
                 Operand::RegPair(base)
             };
-            Instr::new(Op::St { space, width })
-                .with_srcs(vec![addr, Operand::Imm(off), Operand::Reg(data)])
+            Instr::new(Op::St { space, width }).with_srcs(vec![
+                addr,
+                Operand::Imm(off),
+                Operand::Reg(data),
+            ])
         }
         ["wmma", "load", frag, "sync", layout, shape, ty, space] => {
             let frag = match *frag {
@@ -641,10 +704,14 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
                 "c" => FragmentKind::C,
                 other => return err(ln, format!("bad wmma.load fragment {other:?}")),
             };
-            let shape = WmmaShape::from_qualifier(shape)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
-            let ty = WmmaType::from_qualifier(ty)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad type {ty:?}") })?;
+            let shape = WmmaShape::from_qualifier(shape).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad shape {shape:?}"),
+            })?;
+            let ty = WmmaType::from_qualifier(ty).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad type {ty:?}"),
+            })?;
             let space = parse_space(ln, space)?;
             let d = parse_reg(ln, &args[0])?;
             let (base, _off) = parse_addr(ln, &args[1])?;
@@ -667,15 +734,20 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
                 Operand::Imm(if space == MemSpace::Shared { 1 } else { 0 }),
             ])
         }
-        ["wmma", "mma", "sync", al, bl, shape, dt, ct] | ["wmma", "mma", "sync", al, bl, shape, dt, ct, _] => {
+        ["wmma", "mma", "sync", al, bl, shape, dt, ct]
+        | ["wmma", "mma", "sync", al, bl, shape, dt, ct, _] => {
             let ab = if parts.len() == 9 {
-                WmmaType::from_qualifier(parts[8])
-                    .ok_or_else(|| ParseError { line: ln, message: "bad ab type".into() })?
+                WmmaType::from_qualifier(parts[8]).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad ab type".into(),
+                })?
             } else {
                 WmmaType::F16
             };
-            let shape = WmmaShape::from_qualifier(shape)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
+            let shape = WmmaShape::from_qualifier(shape).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad shape {shape:?}"),
+            })?;
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
             let bb = parse_reg(ln, &args[2])?;
@@ -685,10 +757,14 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
                 a_layout: parse_layout(ln, al)?,
                 b_layout: parse_layout(ln, bl)?,
                 ab_type: ab,
-                d_type: WmmaType::from_qualifier(dt)
-                    .ok_or_else(|| ParseError { line: ln, message: "bad d type".into() })?,
-                c_type: WmmaType::from_qualifier(ct)
-                    .ok_or_else(|| ParseError { line: ln, message: "bad c type".into() })?,
+                d_type: WmmaType::from_qualifier(dt).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad d type".into(),
+                })?,
+                c_type: WmmaType::from_qualifier(ct).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad c type".into(),
+                })?,
             }))
             .with_dst(d)
             .with_srcs(vec![Operand::Reg(a), Operand::Reg(bb), Operand::Reg(c)])
@@ -697,12 +773,19 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
         | ["mma", "sp", "sync", "aligned", shape, "row", "col", dt, ab, ab2, ct] => {
             let sparse = parts[1] == "sp";
             if ab != ab2 {
-                return err(ln, format!("mma.sync a/b type qualifiers differ: {ab:?} vs {ab2:?}"));
+                return err(
+                    ln,
+                    format!("mma.sync a/b type qualifiers differ: {ab:?} vs {ab2:?}"),
+                );
             }
-            let shape = WmmaShape::from_qualifier(shape)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
-            let ab = WmmaType::from_qualifier(ab)
-                .ok_or_else(|| ParseError { line: ln, message: "bad ab type".into() })?;
+            let shape = WmmaShape::from_qualifier(shape).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad shape {shape:?}"),
+            })?;
+            let ab = WmmaType::from_qualifier(ab).ok_or_else(|| ParseError {
+                line: ln,
+                message: "bad ab type".into(),
+            })?;
             let d = parse_reg(ln, &args[0])?;
             let a = parse_reg(ln, &args[1])?;
             let bb = parse_reg(ln, &args[2])?;
@@ -717,20 +800,28 @@ fn parse_statement(ln: usize, stmt: &str, b: &KernelBuilder) -> Result<Parsed> {
             Instr::new(Op::Wmma(WmmaDirective::MmaSync {
                 shape,
                 ab_type: ab,
-                d_type: WmmaType::from_qualifier(dt)
-                    .ok_or_else(|| ParseError { line: ln, message: "bad d type".into() })?,
-                c_type: WmmaType::from_qualifier(ct)
-                    .ok_or_else(|| ParseError { line: ln, message: "bad c type".into() })?,
+                d_type: WmmaType::from_qualifier(dt).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad d type".into(),
+                })?,
+                c_type: WmmaType::from_qualifier(ct).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "bad c type".into(),
+                })?,
                 sparse,
             }))
             .with_dst(d)
             .with_srcs(srcs)
         }
         ["wmma", "store", "d", "sync", layout, shape, ty, space] => {
-            let shape = WmmaShape::from_qualifier(shape)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad shape {shape:?}") })?;
-            let ty = WmmaType::from_qualifier(ty)
-                .ok_or_else(|| ParseError { line: ln, message: format!("bad type {ty:?}") })?;
+            let shape = WmmaShape::from_qualifier(shape).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad shape {shape:?}"),
+            })?;
+            let ty = WmmaType::from_qualifier(ty).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad type {ty:?}"),
+            })?;
             let space = parse_space(ln, space)?;
             let (base, _off) = parse_addr(ln, &args[0])?;
             let d = parse_reg(ln, &args[1])?;
@@ -788,7 +879,13 @@ mod tests {
         assert_eq!(k.param_offset("n"), 8);
         assert!(k.num_regs() >= 7);
         assert_eq!(k.instrs()[0].op, Op::Mov);
-        assert!(matches!(k.instrs()[3].op, Op::Ld { space: MemSpace::Global, width: MemWidth::B32 }));
+        assert!(matches!(
+            k.instrs()[3].op,
+            Op::Ld {
+                space: MemSpace::Global,
+                width: MemWidth::B32
+            }
+        ));
     }
 
     #[test]
@@ -832,11 +929,19 @@ DONE:
         let ops: Vec<_> = k.instrs().iter().map(|i| &i.op).collect();
         assert!(matches!(
             ops[1],
-            Op::Wmma(WmmaDirective::Load { frag: FragmentKind::A, layout: Layout::Row, .. })
+            Op::Wmma(WmmaDirective::Load {
+                frag: FragmentKind::A,
+                layout: Layout::Row,
+                ..
+            })
         ));
         assert!(matches!(
             ops[4],
-            Op::Wmma(WmmaDirective::Mma { a_layout: Layout::Row, b_layout: Layout::Col, .. })
+            Op::Wmma(WmmaDirective::Mma {
+                a_layout: Layout::Row,
+                b_layout: Layout::Col,
+                ..
+            })
         ));
         assert!(matches!(ops[5], Op::Wmma(WmmaDirective::Store { .. })));
         // Volta fragment spans must be claimed: r32..r40 for D.
@@ -860,7 +965,13 @@ DONE:
         let k = parse_kernel(text).unwrap();
         assert_eq!(k.shared_bytes(), 2048);
         assert!(matches!(k.instrs()[3].op, Op::Bar));
-        assert!(matches!(k.instrs()[2].op, Op::St { space: MemSpace::Shared, .. }));
+        assert!(matches!(
+            k.instrs()[2].op,
+            Op::St {
+                space: MemSpace::Shared,
+                ..
+            }
+        ));
     }
 
     #[test]

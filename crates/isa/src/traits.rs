@@ -70,7 +70,9 @@ impl VecMemory {
 
     /// Creates a memory with `len` zero bytes pre-allocated.
     pub fn with_len(len: usize) -> VecMemory {
-        VecMemory { bytes: vec![0; len] }
+        VecMemory {
+            bytes: vec![0; len],
+        }
     }
 
     /// Current backing length in bytes.

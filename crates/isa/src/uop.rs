@@ -125,9 +125,9 @@ impl Uop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instr::Operand;
     use crate::kernel::KernelBuilder;
     use crate::types::{MemWidth, SpecialReg};
-    use crate::instr::Operand;
     use crate::wmma::{fragment_regs, FragmentKind, Layout, WmmaShape, WmmaType};
 
     fn wmma_kernel() -> Kernel {
@@ -136,9 +136,24 @@ mod tests {
         let p = b.param_u64("tile");
         let base = b.reg_pair();
         b.ld_param(MemWidth::B64, base, p);
-        let a = b.reg_block(fragment_regs(FragmentKind::A, WmmaShape::M16N16K16, WmmaType::F16, true));
-        let bb = b.reg_block(fragment_regs(FragmentKind::B, WmmaShape::M16N16K16, WmmaType::F16, true));
-        let c = b.reg_block(fragment_regs(FragmentKind::C, WmmaShape::M16N16K16, WmmaType::F16, true));
+        let a = b.reg_block(fragment_regs(
+            FragmentKind::A,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            true,
+        ));
+        let bb = b.reg_block(fragment_regs(
+            FragmentKind::B,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            true,
+        ));
+        let c = b.reg_block(fragment_regs(
+            FragmentKind::C,
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            true,
+        ));
         b.wmma_load(
             FragmentKind::A,
             WmmaShape::M16N16K16,
@@ -175,10 +190,22 @@ mod tests {
                 let s = UopStream::decode(&kernel, volta);
                 assert_eq!(s.len(), kernel.instrs().len());
                 for (pc, instr) in kernel.instrs().iter().enumerate() {
-                    assert_eq!(s.uses(pc), instr.use_regs(volta).as_slice(), "uses at pc {pc}");
-                    assert_eq!(s.defs(pc), instr.def_regs(volta).as_slice(), "defs at pc {pc}");
+                    assert_eq!(
+                        s.uses(pc),
+                        instr.use_regs(volta).as_slice(),
+                        "uses at pc {pc}"
+                    );
+                    assert_eq!(
+                        s.defs(pc),
+                        instr.def_regs(volta).as_slice(),
+                        "defs at pc {pc}"
+                    );
                     assert_eq!(s.uop(pc).unit, instr.op.unit(), "unit at pc {pc}");
-                    assert_eq!(s.uop(pc).is_bar, matches!(instr.op, Op::Bar), "bar at pc {pc}");
+                    assert_eq!(
+                        s.uop(pc).is_bar,
+                        matches!(instr.op, Op::Bar),
+                        "bar at pc {pc}"
+                    );
                 }
             }
         }

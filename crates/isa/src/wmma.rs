@@ -43,10 +43,9 @@ impl WmmaShape {
     pub const fn n(self) -> usize {
         match self {
             WmmaShape::M16N16K16 => 16,
-            WmmaShape::M32N8K16
-            | WmmaShape::M8N8K32
-            | WmmaShape::M16N8K8
-            | WmmaShape::M16N8K16 => 8,
+            WmmaShape::M32N8K16 | WmmaShape::M8N8K32 | WmmaShape::M16N8K8 | WmmaShape::M16N8K16 => {
+                8
+            }
             WmmaShape::M8N32K16 => 32,
         }
     }
@@ -387,7 +386,11 @@ impl WmmaDirective {
     /// supports (§II-C / §III-B2). Back-compat wrapper over
     /// [`WmmaDirective::is_valid_on`] for the two paper generations.
     pub fn is_valid(&self, turing: bool) -> bool {
-        self.is_valid_on(if turing { TensorGen::Turing } else { TensorGen::Volta })
+        self.is_valid_on(if turing {
+            TensorGen::Turing
+        } else {
+            TensorGen::Volta
+        })
     }
 
     /// Checks the qualifier combination against a tensor-core generation.
@@ -403,8 +406,10 @@ impl WmmaDirective {
         let valid_mma = |shape: WmmaShape, ab: WmmaType, c: WmmaType, d: WmmaType| -> bool {
             match ab {
                 WmmaType::F16 => {
-                    matches!(shape, WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16)
-                        && matches!(c, WmmaType::F16 | WmmaType::F32)
+                    matches!(
+                        shape,
+                        WmmaShape::M16N16K16 | WmmaShape::M32N8K16 | WmmaShape::M8N32K16
+                    ) && matches!(c, WmmaType::F16 | WmmaType::F32)
                         && matches!(d, WmmaType::F16 | WmmaType::F32)
                         && (turing || shape == WmmaShape::M16N16K16)
                 }
@@ -418,7 +423,10 @@ impl WmmaDirective {
                         && d == WmmaType::S32
                 }
                 WmmaType::S4 | WmmaType::U4 => {
-                    turing && shape == WmmaShape::M8N8K32 && c == WmmaType::S32 && d == WmmaType::S32
+                    turing
+                        && shape == WmmaShape::M8N8K32
+                        && c == WmmaType::S32
+                        && d == WmmaType::S32
                 }
                 _ => false,
             }
@@ -454,10 +462,16 @@ impl WmmaDirective {
                 d_type,
                 ..
             } => !shape.is_mma_sync() && valid_mma(shape, ab_type, c_type, d_type),
-            WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } => {
-                valid_mma_sync(shape, ab_type, c_type, d_type, sparse)
-            }
-            WmmaDirective::Load { frag, shape, ty, .. } if shape.is_mma_sync() => {
+            WmmaDirective::MmaSync {
+                shape,
+                ab_type,
+                c_type,
+                d_type,
+                sparse,
+            } => valid_mma_sync(shape, ab_type, c_type, d_type, sparse),
+            WmmaDirective::Load {
+                frag, shape, ty, ..
+            } if shape.is_mma_sync() => {
                 // m16n8 loads/stores are the `ldmatrix`-style fragment
                 // moves feeding `mma.sync`; Ampere only.
                 match frag {
@@ -469,12 +483,22 @@ impl WmmaDirective {
                     }
                 }
             }
-            WmmaDirective::Load { frag, shape, ty, .. } => match frag {
+            WmmaDirective::Load {
+                frag, shape, ty, ..
+            } => match frag {
                 FragmentKind::A | FragmentKind::B => valid_mma(
                     shape,
                     ty,
-                    if ty == WmmaType::F16 { WmmaType::F32 } else { WmmaType::S32 },
-                    if ty == WmmaType::F16 { WmmaType::F32 } else { WmmaType::S32 },
+                    if ty == WmmaType::F16 {
+                        WmmaType::F32
+                    } else {
+                        WmmaType::S32
+                    },
+                    if ty == WmmaType::F16 {
+                        WmmaType::F32
+                    } else {
+                        WmmaType::S32
+                    },
                 ),
                 FragmentKind::C | FragmentKind::D => {
                     matches!(ty, WmmaType::F16 | WmmaType::F32 | WmmaType::S32)
@@ -542,19 +566,35 @@ mod tests {
     #[test]
     fn shape_dimensions() {
         assert_eq!(
-            (WmmaShape::M16N16K16.m(), WmmaShape::M16N16K16.n(), WmmaShape::M16N16K16.k()),
+            (
+                WmmaShape::M16N16K16.m(),
+                WmmaShape::M16N16K16.n(),
+                WmmaShape::M16N16K16.k()
+            ),
             (16, 16, 16)
         );
         assert_eq!(
-            (WmmaShape::M32N8K16.m(), WmmaShape::M32N8K16.n(), WmmaShape::M32N8K16.k()),
+            (
+                WmmaShape::M32N8K16.m(),
+                WmmaShape::M32N8K16.n(),
+                WmmaShape::M32N8K16.k()
+            ),
             (32, 8, 16)
         );
         assert_eq!(
-            (WmmaShape::M8N32K16.m(), WmmaShape::M8N32K16.n(), WmmaShape::M8N32K16.k()),
+            (
+                WmmaShape::M8N32K16.m(),
+                WmmaShape::M8N32K16.n(),
+                WmmaShape::M8N32K16.k()
+            ),
             (8, 32, 16)
         );
         assert_eq!(
-            (WmmaShape::M8N8K32.m(), WmmaShape::M8N8K32.n(), WmmaShape::M8N8K32.k()),
+            (
+                WmmaShape::M8N8K32.m(),
+                WmmaShape::M8N8K32.n(),
+                WmmaShape::M8N8K32.k()
+            ),
             (8, 8, 32)
         );
     }
@@ -763,7 +803,10 @@ mod tests {
         assert_eq!(fragment_regs(FragmentKind::A, k8, WmmaType::TF32, false), 4);
         assert_eq!(fragment_regs(FragmentKind::B, k8, WmmaType::TF32, false), 2);
         // bf16 sizes equal f16 sizes (same storage width).
-        assert_eq!(fragment_regs(FragmentKind::A, k16, WmmaType::BF16, false), 4);
+        assert_eq!(
+            fragment_regs(FragmentKind::A, k16, WmmaType::BF16, false),
+            4
+        );
         // The Volta double-load flag must not inflate mma.sync fragments.
         assert_eq!(
             fragment_elements(FragmentKind::A, k16, WmmaType::F16, true),
@@ -784,35 +827,98 @@ mod tests {
             d_type: d,
             sparse,
         };
-        let f16 = mk(WmmaShape::M16N8K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, false);
+        let f16 = mk(
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            false,
+        );
         assert!(f16.is_valid_on(TensorGen::Ampere));
         assert!(!f16.is_valid_on(TensorGen::Turing));
         assert!(!f16.is_valid_on(TensorGen::Volta));
-        assert!(!f16.is_valid(true), "is_valid covers only the paper generations");
+        assert!(
+            !f16.is_valid(true),
+            "is_valid covers only the paper generations"
+        );
         // F16 allows f16 accumulate on both tiles.
-        assert!(mk(WmmaShape::M16N8K8, WmmaType::F16, WmmaType::F16, WmmaType::F16, false)
-            .is_valid_on(TensorGen::Ampere));
+        assert!(mk(
+            WmmaShape::M16N8K8,
+            WmmaType::F16,
+            WmmaType::F16,
+            WmmaType::F16,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
         // BF16 requires f32 accumulate.
-        assert!(mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, false)
-            .is_valid_on(TensorGen::Ampere));
-        assert!(!mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F16, WmmaType::F16, false)
-            .is_valid_on(TensorGen::Ampere));
+        assert!(mk(
+            WmmaShape::M16N8K16,
+            WmmaType::BF16,
+            WmmaType::F32,
+            WmmaType::F32,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(
+            WmmaShape::M16N8K16,
+            WmmaType::BF16,
+            WmmaType::F16,
+            WmmaType::F16,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
         // TF32 only on the k8 tile.
-        assert!(mk(WmmaShape::M16N8K8, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false)
-            .is_valid_on(TensorGen::Ampere));
-        assert!(!mk(WmmaShape::M16N8K16, WmmaType::TF32, WmmaType::F32, WmmaType::F32, false)
-            .is_valid_on(TensorGen::Ampere));
+        assert!(mk(
+            WmmaShape::M16N8K8,
+            WmmaType::TF32,
+            WmmaType::F32,
+            WmmaType::F32,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(
+            WmmaShape::M16N8K16,
+            WmmaType::TF32,
+            WmmaType::F32,
+            WmmaType::F32,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
         // Sparse only on the 16-bit k16 modes.
-        assert!(mk(WmmaShape::M16N8K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, true)
-            .is_valid_on(TensorGen::Ampere));
-        assert!(mk(WmmaShape::M16N8K16, WmmaType::BF16, WmmaType::F32, WmmaType::F32, true)
-            .is_valid_on(TensorGen::Ampere));
-        assert!(!mk(WmmaShape::M16N8K8, WmmaType::F16, WmmaType::F32, WmmaType::F32, true)
-            .is_valid_on(TensorGen::Ampere));
+        assert!(mk(
+            WmmaShape::M16N8K16,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            true
+        )
+        .is_valid_on(TensorGen::Ampere));
+        assert!(mk(
+            WmmaShape::M16N8K16,
+            WmmaType::BF16,
+            WmmaType::F32,
+            WmmaType::F32,
+            true
+        )
+        .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(
+            WmmaShape::M16N8K8,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            true
+        )
+        .is_valid_on(TensorGen::Ampere));
         // Warp-scope shapes are rejected by the mma.sync directive, and
         // mma.sync tiles by the warp-scope directive.
-        assert!(!mk(WmmaShape::M16N16K16, WmmaType::F16, WmmaType::F32, WmmaType::F32, false)
-            .is_valid_on(TensorGen::Ampere));
+        assert!(!mk(
+            WmmaShape::M16N16K16,
+            WmmaType::F16,
+            WmmaType::F32,
+            WmmaType::F32,
+            false
+        )
+        .is_valid_on(TensorGen::Ampere));
         let warp_on_sync_tile = WmmaDirective::Mma {
             shape: WmmaShape::M16N8K16,
             a_layout: Layout::Row,
@@ -826,7 +932,12 @@ mod tests {
 
     #[test]
     fn m16n8_loads_and_stores_are_ampere_only() {
-        let load = |frag, shape, ty| WmmaDirective::Load { frag, shape, layout: Layout::Row, ty };
+        let load = |frag, shape, ty| WmmaDirective::Load {
+            frag,
+            shape,
+            layout: Layout::Row,
+            ty,
+        };
         assert!(load(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::BF16)
             .is_valid_on(TensorGen::Ampere));
         assert!(!load(FragmentKind::A, WmmaShape::M16N8K16, WmmaType::BF16)

@@ -138,7 +138,13 @@ impl Cache {
             cfg,
             sets: vec![
                 vec![
-                    Line { tag: 0, sectors_valid: 0, sectors_dirty: 0, last_use: 0, valid: false };
+                    Line {
+                        tag: 0,
+                        sectors_valid: 0,
+                        sectors_dirty: 0,
+                        last_use: 0,
+                        valid: false
+                    };
                     cfg.ways
                 ];
                 cfg.sets
@@ -195,7 +201,9 @@ impl Cache {
                     }
                 }
                 self.stats.hits += 1;
-                return Lookup::Hit { ready_at: now + self.cfg.hit_latency };
+                return Lookup::Hit {
+                    ready_at: now + self.cfg.hit_latency,
+                };
             }
         }
         if is_store && !self.cfg.write_allocate {
@@ -207,7 +215,9 @@ impl Cache {
         let sector_addr = addr / self.cfg.sector_bytes * self.cfg.sector_bytes;
         if let Some(&fill) = self.mshrs.get(&sector_addr) {
             self.stats.mshr_merges += 1;
-            return Lookup::MshrHit { ready_at: fill.max(now) + 1 };
+            return Lookup::MshrHit {
+                ready_at: fill.max(now) + 1,
+            };
         }
         self.stats.misses += 1;
         Lookup::Miss
@@ -351,10 +361,20 @@ mod tests {
         c.fill(same_set[0], 1, false);
         c.fill(same_set[1], 2, false);
         // Touch line 0 so line 1 is LRU.
-        assert!(matches!(c.lookup(same_set[0], false, 3), Lookup::Hit { .. }));
+        assert!(matches!(
+            c.lookup(same_set[0], false, 3),
+            Lookup::Hit { .. }
+        ));
         c.fill(same_set[2], 4, false);
-        assert!(matches!(c.lookup(same_set[0], false, 5), Lookup::Hit { .. }));
-        assert_eq!(c.lookup(same_set[1], false, 6), Lookup::Miss, "LRU line evicted");
+        assert!(matches!(
+            c.lookup(same_set[0], false, 5),
+            Lookup::Hit { .. }
+        ));
+        assert_eq!(
+            c.lookup(same_set[1], false, 6),
+            Lookup::Miss,
+            "LRU line evicted"
+        );
     }
 
     #[test]
@@ -377,7 +397,10 @@ mod tests {
 
     #[test]
     fn write_through_store_miss_does_not_allocate() {
-        let mut c = Cache::new(CacheConfig { write_allocate: false, ..*small().config() });
+        let mut c = Cache::new(CacheConfig {
+            write_allocate: false,
+            ..*small().config()
+        });
         assert_eq!(c.lookup(0x100, true, 0), Lookup::Miss);
         // Still a miss for loads afterwards (no allocation).
         assert_eq!(c.lookup(0x100, false, 1), Lookup::Miss);

@@ -34,7 +34,11 @@ impl DeviceMemory {
     /// Creates an empty device memory. Allocations start at a non-zero
     /// base so that address 0 stays an obvious "null".
     pub fn new() -> DeviceMemory {
-        DeviceMemory { direct: Vec::new(), far: HashMap::new(), next_alloc: 0x1_0000 }
+        DeviceMemory {
+            direct: Vec::new(),
+            far: HashMap::new(),
+            next_alloc: 0x1_0000,
+        }
     }
 
     /// Allocates `bytes` of device memory, 256-byte aligned (matching
@@ -79,7 +83,12 @@ impl DeviceMemory {
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
         let pg = addr >> PAGE_SHIFT;
-        let new_page = || vec![0u8; PAGE_BYTES].into_boxed_slice().try_into().expect("page size");
+        let new_page = || {
+            vec![0u8; PAGE_BYTES]
+                .into_boxed_slice()
+                .try_into()
+                .expect("page size")
+        };
         if pg < DIRECT_PAGES {
             let idx = pg as usize;
             if self.direct.len() <= idx {
@@ -127,7 +136,8 @@ impl ByteMemory for DeviceMemory {
             }
         } else {
             u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)]) as u32
-                | ((u16::from_le_bytes([self.read_u8(addr + 2), self.read_u8(addr + 3)]) as u32) << 16)
+                | ((u16::from_le_bytes([self.read_u8(addr + 2), self.read_u8(addr + 3)]) as u32)
+                    << 16)
         }
     }
 

@@ -153,7 +153,9 @@ pub struct L1Path {
 impl L1Path {
     /// Creates an L1 of `kib` KiB.
     pub fn new(kib: usize) -> L1Path {
-        L1Path { l1: Cache::new(CacheConfig::l1(kib)) }
+        L1Path {
+            l1: Cache::new(CacheConfig::l1(kib)),
+        }
     }
 
     /// Services one coalesced transaction at `now`, returning the cycle
@@ -231,7 +233,11 @@ mod tests {
     }
 
     fn txn(addr: u64) -> Transaction {
-        Transaction { addr, bytes: 32, lane_mask: 1 }
+        Transaction {
+            addr,
+            bytes: 32,
+            lane_mask: 1,
+        }
     }
 
     fn tiny_sys() -> MemSystem {
@@ -295,7 +301,16 @@ mod tests {
         let mut l1 = L1Path::new(16);
         // 64 distinct lines at once: queueing pushes completion times out.
         let times: Vec<u64> = (0..64)
-            .map(|i| l1.access(&txn(0x10_000 + i * 128), false, 0, &mut sys, 0, &mut NullTracer))
+            .map(|i| {
+                l1.access(
+                    &txn(0x10_000 + i * 128),
+                    false,
+                    0,
+                    &mut sys,
+                    0,
+                    &mut NullTracer,
+                )
+            })
             .collect();
         let first = *times.iter().min().unwrap();
         let last = *times.iter().max().unwrap();
@@ -330,28 +345,51 @@ mod tests {
         let l1_events: Vec<_> = events
             .iter()
             .filter(|e| {
-                matches!(e.kind, EventKind::CacheAccess { level: CacheLevel::L1, .. })
+                matches!(
+                    e.kind,
+                    EventKind::CacheAccess {
+                        level: CacheLevel::L1,
+                        ..
+                    }
+                )
             })
             .collect();
         assert_eq!(l1_events.len(), 2);
         assert!(matches!(
             l1_events[0].kind,
-            EventKind::CacheAccess { hit: false, store: false, .. }
+            EventKind::CacheAccess {
+                hit: false,
+                store: false,
+                ..
+            }
         ));
-        assert!(matches!(l1_events[1].kind, EventKind::CacheAccess { hit: true, .. }));
-        assert!(l1_events.iter().all(|e| e.sm == 3), "events carry the SM id");
+        assert!(matches!(
+            l1_events[1].kind,
+            EventKind::CacheAccess { hit: true, .. }
+        ));
+        assert!(
+            l1_events.iter().all(|e| e.sm == 3),
+            "events carry the SM id"
+        );
         assert_eq!(
             events
                 .iter()
                 .filter(|e| matches!(
                     e.kind,
-                    EventKind::CacheAccess { level: CacheLevel::L2, hit: false, .. }
+                    EventKind::CacheAccess {
+                        level: CacheLevel::L2,
+                        hit: false,
+                        ..
+                    }
                 ))
                 .count(),
             1
         );
         assert_eq!(
-            events.iter().filter(|e| matches!(e.kind, EventKind::DramTxn { .. })).count(),
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::DramTxn { .. }))
+                .count(),
             1
         );
     }

@@ -24,7 +24,9 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Creates a CTA scratchpad of `size` bytes.
     pub fn new(size: u32) -> SharedMemory {
-        SharedMemory { bytes: vec![0; size as usize] }
+        SharedMemory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// Capacity in bytes.
@@ -62,9 +64,7 @@ impl ByteMemory for SharedMemory {
         let i = addr as usize;
         match self.bytes.get(i..i + 4) {
             Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
-            None => {
-                (self.read_u16(addr) as u32) | ((self.read_u16(addr + 2) as u32) << 16)
-            }
+            None => (self.read_u16(addr) as u32) | ((self.read_u16(addr + 2) as u32) << 16),
         }
     }
 

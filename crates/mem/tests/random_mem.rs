@@ -37,7 +37,10 @@ fn coalescer_covers_every_requested_byte() {
         // Every byte of every access falls in exactly one transaction.
         for a in &accesses {
             for b in a.addr..a.addr + a.bytes as u64 {
-                let n = txns.iter().filter(|t| b >= t.addr && b < t.addr + t.bytes).count();
+                let n = txns
+                    .iter()
+                    .filter(|t| b >= t.addr && b < t.addr + t.bytes)
+                    .count();
                 assert_eq!(n, 1, "byte {b} covered {n} times");
             }
         }

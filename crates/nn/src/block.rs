@@ -55,8 +55,11 @@ impl<'a> ExecMode<'a> {
     }
 
     pub(crate) fn run(&mut self, builder: LaunchBuilder) -> LaunchStats {
-        let builder =
-            if self.trace { builder.tracer(RingTracer::new()) } else { builder };
+        let builder = if self.trace {
+            builder.tracer(RingTracer::new())
+        } else {
+            builder
+        };
         builder.launch(self.gpu)
     }
 }
@@ -81,11 +84,23 @@ fn stage_report(
     } else {
         None
     };
-    LayerReport { name, kernel, dims, cycles, instructions, hmma_occupancy, max_err, tolerance }
+    LayerReport {
+        name,
+        kernel,
+        dims,
+        cycles,
+        instructions,
+        hmma_occupancy,
+        max_err,
+        tolerance,
+    }
 }
 
 fn max_diff(got: &[f32], want: &[f32]) -> f32 {
-    got.iter().zip(want).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    got.iter()
+        .zip(want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Uploads an `rows × cols` f16 operand zero-padded to `prow × pcol`
@@ -101,7 +116,10 @@ fn upload_f16(
     let p = gpu.alloc((prow * pcol * 2) as u64);
     for r in 0..rows {
         for c in 0..cols {
-            gpu.write_u16(p + ((r * pcol + c) * 2) as u64, F16::from_f32(get(r, c)).to_bits());
+            gpu.write_u16(
+                p + ((r * pcol + c) * 2) as u64,
+                F16::from_f32(get(r, c)).to_bits(),
+            );
         }
     }
     p
@@ -184,8 +202,9 @@ fn residual_stage(
         .param_u64(pout);
     let stats = exec.run(builder);
     let gpu = exec.gpu();
-    let out: Vec<f32> =
-        (0..len).map(|i| f32::from_bits(gpu.read_u32(pout + (i * 4) as u64))).collect();
+    let out: Vec<f32> = (0..len)
+        .map(|i| f32::from_bits(gpu.read_u32(pout + (i * 4) as u64)))
+        .collect();
     let want: Vec<f32> = y.iter().zip(x).map(|(a, b)| a + b).collect();
     let err = max_diff(&out, &want);
     let rep = stage_report(name, kname, format!("add {len}"), &[stats], err, 0.0);
@@ -217,7 +236,14 @@ pub(crate) fn exec_attention(
         &|r, c| wqkv[r * 3 * d + c],
         None,
     );
-    let want = ref_gemm(rows, 3 * d, d, |r, c| x[r * d + c], |r, c| wqkv[r * 3 * d + c], None);
+    let want = ref_gemm(
+        rows,
+        3 * d,
+        d,
+        |r, c| x[r * d + c],
+        |r, c| wqkv[r * 3 * d + c],
+        None,
+    );
     let err = max_diff(&qkv, &want);
     reports.push(stage_report(
         format!("{lname}/qkv"),
@@ -238,13 +264,7 @@ pub(crate) fn exec_attention(
         for h in 0..a.heads {
             let q_at = |r: usize, c: usize| qkv[(bi * seq + r) * 3 * d + h * dh + c];
             let k_at = |r: usize, c: usize| qkv[(bi * seq + c) * 3 * d + d + h * dh + r];
-            let (stats, s_bh, tile) = launch_gemm(
-                exec,
-                (seq, seq, dh),
-                &q_at,
-                &k_at,
-                None,
-            );
+            let (stats, s_bh, tile) = launch_gemm(exec, (seq, seq, dh), &q_at, &k_at, None);
             let want = ref_gemm(seq, seq, dh, q_at, k_at, None);
             err = err.max(max_diff(&s_bh, &want));
             scores[((bi * a.heads + h) * seq) * seq..((bi * a.heads + h) * seq + seq) * seq]
@@ -304,13 +324,7 @@ pub(crate) fn exec_attention(
         for h in 0..a.heads {
             let p_at = |r: usize, c: usize| probs[((bi * a.heads + h) * seq + r) * seq + c];
             let v_at = |r: usize, c: usize| qkv[(bi * seq + r) * 3 * d + 2 * d + h * dh + c];
-            let (stats, o_bh, tile) = launch_gemm(
-                exec,
-                (seq, dh, seq),
-                &p_at,
-                &v_at,
-                None,
-            );
+            let (stats, o_bh, tile) = launch_gemm(exec, (seq, dh, seq), &p_at, &v_at, None);
             let want = ref_gemm(seq, dh, seq, p_at, v_at, None);
             err = err.max(max_diff(&o_bh, &want));
             for r in 0..seq {
@@ -340,7 +354,14 @@ pub(crate) fn exec_attention(
         &|r, c| wo[r * d + c],
         None,
     );
-    let want = ref_gemm(rows, d, d, |r, c| ctx[r * d + c], |r, c| wo[r * d + c], None);
+    let want = ref_gemm(
+        rows,
+        d,
+        d,
+        |r, c| ctx[r * d + c],
+        |r, c| wo[r * d + c],
+        None,
+    );
     let err = max_diff(&y, &want);
     reports.push(stage_report(
         format!("{lname}/proj"),
@@ -382,8 +403,14 @@ pub(crate) fn exec_mlp(
         &|r, c| w1[r * ff + c],
         Some(m.b1.data()),
     );
-    let want =
-        ref_gemm(rows, ff, d, |r, c| x[r * d + c], |r, c| w1[r * ff + c], Some(m.b1.data()));
+    let want = ref_gemm(
+        rows,
+        ff,
+        d,
+        |r, c| x[r * d + c],
+        |r, c| w1[r * ff + c],
+        Some(m.b1.data()),
+    );
     let err = max_diff(&h, &want);
     reports.push(stage_report(
         format!("{lname}/fc1"),
@@ -407,8 +434,9 @@ pub(crate) fn exec_mlp(
         .param_u64(pout);
     let stats = exec.run(builder);
     let gpu = exec.gpu();
-    let g: Vec<f32> =
-        (0..h.len()).map(|i| f32::from_bits(gpu.read_u32(pout + (i * 4) as u64))).collect();
+    let g: Vec<f32> = (0..h.len())
+        .map(|i| f32::from_bits(gpu.read_u32(pout + (i * 4) as u64)))
+        .collect();
     let want: Vec<f32> = h.iter().map(|&v| gelu_ref(v)).collect();
     let err = max_diff(&g, &want);
     reports.push(stage_report(
@@ -429,8 +457,14 @@ pub(crate) fn exec_mlp(
         &|r, c| w2[r * d + c],
         Some(m.b2.data()),
     );
-    let want =
-        ref_gemm(rows, d, ff, |r, c| g[r * ff + c], |r, c| w2[r * d + c], Some(m.b2.data()));
+    let want = ref_gemm(
+        rows,
+        d,
+        ff,
+        |r, c| g[r * ff + c],
+        |r, c| w2[r * d + c],
+        Some(m.b2.data()),
+    );
     let err = max_diff(&y, &want);
     reports.push(stage_report(
         format!("{lname}/fc2"),

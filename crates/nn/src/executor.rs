@@ -20,16 +20,16 @@
 
 use crate::block::{exec_attention, exec_mlp, ExecMode};
 use crate::graph::Graph;
+use crate::kernels::{
+    bias_grid, bias_kernel, elems_grid, gelu_kernel, layernorm_kernel, maxpool_grid,
+    maxpool_kernel, relu_grid, relu_kernel, rowred_grid, softmax_kernel, BLOCK,
+};
 use crate::lower::{
     gemm_tolerance, layernorm_tolerance, lower, softmax_tolerance, GemmOp, GemmSource,
     LoweredLayer, LoweredOp,
 };
 use crate::reference::run_layer;
 use crate::tensor::Tensor;
-use crate::kernels::{
-    bias_grid, bias_kernel, elems_grid, gelu_kernel, layernorm_kernel, maxpool_grid,
-    maxpool_kernel, relu_grid, relu_kernel, rowred_grid, softmax_kernel, BLOCK,
-};
 use tcsim_f16::F16;
 use tcsim_sim::{Gpu, GpuConfig, JsonWriter, LaunchBuilder, LaunchStats, Session, Sweep};
 use tcsim_trace::RingTracer;
@@ -177,7 +177,15 @@ fn upload_f32(gpu: &mut Gpu, data: &[f32]) -> u64 {
 fn pack_a(gpu: &mut Gpu, g: &GemmOp, act: &Tensor) -> u64 {
     let pa = gpu.alloc((g.pm * g.pk * 2) as u64);
     match &g.source {
-        GemmSource::Conv { in_c, kh, kw, h, w, oh, ow } => {
+        GemmSource::Conv {
+            in_c,
+            kh,
+            kw,
+            h,
+            w,
+            oh,
+            ow,
+        } => {
             for oy in 0..*oh {
                 for ox in 0..*ow {
                     let row = oy * ow + ox;
@@ -243,17 +251,14 @@ fn pack_c(gpu: &mut Gpu, g: &GemmOp) -> u64 {
 /// Reads the padded `pm × pn` D matrix back, cropping the padding and
 /// transposing implicit-GEMM output (`[pixel][filter]`) to `[c, h, w]`.
 fn read_gemm(gpu: &Gpu, g: &GemmOp, pd: u64, shape: &[usize]) -> Tensor {
-    let at = |row: usize, col: usize| {
-        f32::from_bits(gpu.read_u32(pd + ((row * g.pn + col) * 4) as u64))
-    };
+    let at =
+        |row: usize, col: usize| f32::from_bits(gpu.read_u32(pd + ((row * g.pn + col) * 4) as u64));
     match &g.source {
         GemmSource::Conv { oh, ow, .. } => Tensor::from_fn(shape.to_vec(), |i| {
             let (f, rest) = (i / (oh * ow), i % (oh * ow));
             at(rest, f)
         }),
-        GemmSource::Linear => {
-            Tensor::from_fn(shape.to_vec(), |i| at(i / g.n, i % g.n))
-        }
+        GemmSource::Linear => Tensor::from_fn(shape.to_vec(), |i| at(i / g.n, i % g.n)),
     }
 }
 
@@ -540,10 +545,20 @@ pub fn run_parallel(
             }
             let stats = builder.launch(gpu);
             let out = read_output(gpu, &ll.op, pout, &ll.output_shape);
-            vec![report_from_stats(&ll, kname, dims, &stats, out.max_abs_diff(&expected))]
+            vec![report_from_stats(
+                &ll,
+                kname,
+                dims,
+                &stats,
+                out.max_abs_diff(&expected),
+            )]
         });
     }
-    let outcome = if threads <= 1 { sweep.run_serial() } else { sweep.run_parallel(threads) };
+    let outcome = if threads <= 1 {
+        sweep.run_serial()
+    } else {
+        sweep.run_parallel(threads)
+    };
 
     // Re-interleave host-only steps with the sweep results (which come
     // back in submission order).
@@ -583,7 +598,11 @@ mod tests {
         report.assert_within_tolerance();
         assert!(report.total_cycles() > 0);
         // Every GEMM layer got a trace window with HMMA samples.
-        for l in report.layers.iter().filter(|l| l.kernel.contains("wmma") || l.kernel.contains("cutlass")) {
+        for l in report
+            .layers
+            .iter()
+            .filter(|l| l.kernel.contains("wmma") || l.kernel.contains("cutlass"))
+        {
             assert!(l.hmma_occupancy.is_some(), "{} untraced", l.name);
         }
         tcsim_trace::validate_json(&report.to_json()).expect("valid JSON");

@@ -39,10 +39,23 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::ShapeMismatch { graph, layer, input, reason } => {
-                write!(f, "{graph}: layer {layer} rejects input {input:?}: {reason}")
+            GraphError::ShapeMismatch {
+                graph,
+                layer,
+                input,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "{graph}: layer {layer} rejects input {input:?}: {reason}"
+                )
             }
-            GraphError::WeightShape { graph, kind, expected, got } => write!(
+            GraphError::WeightShape {
+                graph,
+                kind,
+                expected,
+                got,
+            } => write!(
                 f,
                 "{graph}: {kind} weight shape must be {expected:?}, got {got:?}"
             ),
@@ -77,7 +90,10 @@ impl Graph {
 
     /// The network's final output shape.
     pub fn final_shape(&self) -> &[usize] {
-        self.shapes.last().map(Vec::as_slice).unwrap_or(&self.input_shape)
+        self.shapes
+            .last()
+            .map(Vec::as_slice)
+            .unwrap_or(&self.input_shape)
     }
 }
 
@@ -110,7 +126,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts an empty graph taking inputs of `input_shape`.
     pub fn new(name: impl Into<String>, input_shape: Vec<usize>) -> GraphBuilder {
-        GraphBuilder { name: name.into(), input_shape, layers: Vec::new(), shapes: Vec::new() }
+        GraphBuilder {
+            name: name.into(),
+            input_shape,
+            layers: Vec::new(),
+            shapes: Vec::new(),
+        }
     }
 
     /// Appends any layer, auto-naming it `<kind><index>`.
@@ -128,12 +149,14 @@ impl GraphBuilder {
     pub fn try_push(mut self, layer: Layer) -> Result<GraphBuilder, GraphError> {
         let cur = self.shapes.last().unwrap_or(&self.input_shape);
         let name = format!("{}{}", layer.kind(), self.layers.len());
-        let out = layer.output_shape(cur).map_err(|e| GraphError::ShapeMismatch {
-            graph: self.name.clone(),
-            layer: name.clone(),
-            input: cur.clone(),
-            reason: e,
-        })?;
+        let out = layer
+            .output_shape(cur)
+            .map_err(|e| GraphError::ShapeMismatch {
+                graph: self.name.clone(),
+                layer: name.clone(),
+                input: cur.clone(),
+                reason: e,
+            })?;
         self.shapes.push(out);
         self.layers.push((name, layer));
         Ok(self)
@@ -142,7 +165,13 @@ impl GraphBuilder {
     /// Appends a stride-1 valid convolution with the given square kernel.
     pub fn conv2d(self, in_c: usize, out_c: usize, k: usize, weight: Tensor) -> GraphBuilder {
         assert_eq!(weight.shape(), &[out_c, in_c * k * k], "conv weight shape");
-        self.push(Layer::Conv2d(Conv2d { in_c, out_c, kh: k, kw: k, weight }))
+        self.push(Layer::Conv2d(Conv2d {
+            in_c,
+            out_c,
+            kh: k,
+            kw: k,
+            weight,
+        }))
     }
 
     /// Fallible [`GraphBuilder::conv2d`]: a wrong weight shape comes back
@@ -164,13 +193,23 @@ impl GraphBuilder {
                 got: weight.shape().to_vec(),
             });
         }
-        self.try_push(Layer::Conv2d(Conv2d { in_c, out_c, kh: k, kw: k, weight }))
+        self.try_push(Layer::Conv2d(Conv2d {
+            in_c,
+            out_c,
+            kh: k,
+            kw: k,
+            weight,
+        }))
     }
 
     /// Appends a fully connected layer.
     pub fn linear(self, in_f: usize, out_f: usize, weight: Tensor) -> GraphBuilder {
         assert_eq!(weight.shape(), &[in_f, out_f], "linear weight shape");
-        self.push(Layer::Linear(Linear { in_f, out_f, weight }))
+        self.push(Layer::Linear(Linear {
+            in_f,
+            out_f,
+            weight,
+        }))
     }
 
     /// Fallible [`GraphBuilder::linear`].
@@ -189,7 +228,11 @@ impl GraphBuilder {
                 got: weight.shape().to_vec(),
             });
         }
-        self.try_push(Layer::Linear(Linear { in_f, out_f, weight }))
+        self.try_push(Layer::Linear(Linear {
+            in_f,
+            out_f,
+            weight,
+        }))
     }
 
     /// Appends a bias layer.
@@ -222,7 +265,12 @@ impl GraphBuilder {
     pub fn layernorm(self, gamma: Tensor, beta: Tensor, eps: f32) -> GraphBuilder {
         assert_eq!(gamma.shape(), beta.shape(), "layernorm gamma/beta shapes");
         let dim = gamma.len();
-        self.push(Layer::LayerNorm(LayerNorm { dim, gamma, beta, eps }))
+        self.push(Layer::LayerNorm(LayerNorm {
+            dim,
+            gamma,
+            beta,
+            eps,
+        }))
     }
 
     /// Appends an elementwise tanh-GELU.
@@ -243,9 +291,19 @@ impl GraphBuilder {
         let d = wo.shape()[0];
         assert_eq!(wo.shape(), &[d, d], "attention wo shape");
         assert_eq!(wqkv.shape(), &[d, 3 * d], "attention wqkv shape");
-        assert!(heads > 0 && d.is_multiple_of(heads), "attention heads must divide d_model");
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "attention heads must divide d_model"
+        );
         assert!(seq > 0, "attention seq must be positive");
-        self.push(Layer::Attention(Attention { heads, d_model: d, seq, wqkv, wo, residual }))
+        self.push(Layer::Attention(Attention {
+            heads,
+            d_model: d,
+            seq,
+            wqkv,
+            wo,
+            residual,
+        }))
     }
 
     /// Appends a feed-forward block: `w1` is `[d_model, d_ff]`, `w2` is
@@ -262,7 +320,15 @@ impl GraphBuilder {
         assert_eq!(w2.shape(), &[ff, d], "mlp w2 shape");
         assert_eq!(b1.len(), ff, "mlp b1 length");
         assert_eq!(b2.len(), d, "mlp b2 length");
-        self.push(Layer::Mlp(Mlp { d_model: d, d_ff: ff, w1, b1, w2, b2, residual }))
+        self.push(Layer::Mlp(Mlp {
+            d_model: d,
+            d_ff: ff,
+            w1,
+            b1,
+            w2,
+            b2,
+            residual,
+        }))
     }
 
     /// Finalizes the graph.
@@ -283,8 +349,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rejects input")]
     fn bad_shapes_fail_at_build_time() {
-        let _ = GraphBuilder::new("bad", vec![1, 8, 8])
-            .linear(64, 10, Tensor::zeros(vec![64, 10]));
+        let _ = GraphBuilder::new("bad", vec![1, 8, 8]).linear(64, 10, Tensor::zeros(vec![64, 10]));
     }
 
     #[test]
@@ -293,7 +358,12 @@ mod tests {
             .try_linear(64, 10, Tensor::zeros(vec![64, 10]))
             .unwrap_err();
         match &err {
-            GraphError::ShapeMismatch { graph, layer, input, .. } => {
+            GraphError::ShapeMismatch {
+                graph,
+                layer,
+                input,
+                ..
+            } => {
                 assert_eq!(graph, "bad");
                 assert_eq!(layer, "linear0");
                 assert_eq!(input, &[1, 8, 8]);
@@ -347,7 +417,11 @@ mod tests {
 
     #[test]
     fn names_are_positional() {
-        let g = GraphBuilder::new("t", vec![2, 4, 4]).relu().maxpool(2).relu().build();
+        let g = GraphBuilder::new("t", vec![2, 4, 4])
+            .relu()
+            .maxpool(2)
+            .relu()
+            .build();
         let names: Vec<&str> = g.layers().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["relu0", "maxpool1", "relu2"]);
         assert_eq!(g.output_shape(1), &[2, 2, 2]);

@@ -19,8 +19,7 @@
 //! perturbs the result.
 
 use tcsim_isa::{
-    CmpOp, DataType, Kernel, KernelBuilder, MemWidth, Operand, PredReg, Reg, ShflMode,
-    SpecialReg,
+    CmpOp, DataType, Kernel, KernelBuilder, MemWidth, Operand, PredReg, Reg, ShflMode, SpecialReg,
 };
 
 /// Threads per CTA for all elementwise kernels.
@@ -92,7 +91,11 @@ pub fn maxpool_kernel(c: usize, h: usize, w: usize, k: usize) -> Kernel {
 
 /// Grid for [`maxpool_kernel`] over a `[c, h, w]` input.
 pub fn maxpool_grid(c: usize, h: usize, w: usize, k: usize) -> (u32, u32, u32) {
-    (((w / k).div_ceil(BLOCK as usize)) as u32, (h / k) as u32, c as u32)
+    (
+        ((w / k).div_ceil(BLOCK as usize)) as u32,
+        (h / k) as u32,
+        c as u32,
+    )
 }
 
 /// `out[i] = max(in[i], 0)` over a flat f32 buffer of `len` elements.
@@ -171,7 +174,12 @@ pub fn bias_kernel(rows: usize, cols: usize, per_row: bool) -> Kernel {
     b.ld_global(MemWidth::B32, v, addr, 0);
 
     let baddr = b.reg_pair();
-    b.imad_wide(baddr, if per_row { row } else { col }, Operand::Imm(4), base_bias);
+    b.imad_wide(
+        baddr,
+        if per_row { row } else { col },
+        Operand::Imm(4),
+        base_bias,
+    );
     let bv = b.reg();
     b.ld_global(MemWidth::B32, bv, baddr, 0);
     b.fadd(v, v, Operand::Reg(bv));
@@ -228,7 +236,13 @@ fn emit_row_elem(
     valid: PredReg,
 ) {
     b.iadd(col, lane, Operand::Imm((chunk * BLOCK as usize) as i64));
-    b.setp(valid, CmpOp::Lt, DataType::S32, col, Operand::Imm(cols as i64));
+    b.setp(
+        valid,
+        CmpOp::Lt,
+        DataType::S32,
+        col,
+        Operand::Imm(cols as i64),
+    );
     b.imin(col, col, Operand::Imm(cols as i64 - 1));
     b.iadd(tmp, col, Operand::Reg(rowbase));
     b.imad_wide(addr, tmp, Operand::Imm(4), base);
@@ -244,8 +258,7 @@ fn emit_row_elem(
 pub fn softmax_kernel(cols: usize, scale: f32) -> Kernel {
     assert!(cols > 0, "empty softmax row");
     let chunks = cols.div_ceil(BLOCK as usize);
-    let mut b =
-        KernelBuilder::new(format!("nn_softmax_c{cols}_s{:08x}", scale.to_bits()));
+    let mut b = KernelBuilder::new(format!("nn_softmax_c{cols}_s{:08x}", scale.to_bits()));
     let p_in = b.param_u64("in");
     let p_out = b.param_u64("out");
     let base_in = b.reg_pair();
@@ -268,7 +281,9 @@ pub fn softmax_kernel(cols: usize, scale: f32) -> Kernel {
     let m = b.reg();
     b.mov(m, Operand::fimm(f32::NEG_INFINITY));
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.fmul(x, x, Operand::fimm(scale));
         b.selp(x, valid, Operand::Reg(x), Operand::fimm(f32::NEG_INFINITY));
@@ -283,7 +298,9 @@ pub fn softmax_kernel(cols: usize, scale: f32) -> Kernel {
     b.mov(s, Operand::fimm(0.0));
     let e = b.reg();
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.fmul(x, x, Operand::fimm(scale));
         b.fadd(e, x, Operand::Reg(nm));
@@ -299,7 +316,9 @@ pub fn softmax_kernel(cols: usize, scale: f32) -> Kernel {
     // Pass 3: normalize and store. Out-of-range lanes recompute the
     // clamped (last) element's true value — idempotent duplicate stores.
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.fmul(x, x, Operand::fimm(scale));
         b.fadd(e, x, Operand::Reg(nm));
@@ -329,8 +348,7 @@ pub fn layernorm_kernel(cols: usize, eps: f32) -> Kernel {
     assert!(cols > 0, "empty layernorm row");
     let chunks = cols.div_ceil(BLOCK as usize);
     let inv_n = 1.0 / cols as f32;
-    let mut b =
-        KernelBuilder::new(format!("nn_layernorm_c{cols}_e{:08x}", eps.to_bits()));
+    let mut b = KernelBuilder::new(format!("nn_layernorm_c{cols}_e{:08x}", eps.to_bits()));
     let p_in = b.param_u64("in");
     let p_gamma = b.param_u64("gamma");
     let p_beta = b.param_u64("beta");
@@ -359,7 +377,9 @@ pub fn layernorm_kernel(cols: usize, eps: f32) -> Kernel {
     let s = b.reg();
     b.mov(s, Operand::fimm(0.0));
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.selp(x, valid, Operand::Reg(x), Operand::fimm(0.0));
         b.fadd(s, s, Operand::Reg(x));
@@ -373,7 +393,9 @@ pub fn layernorm_kernel(cols: usize, eps: f32) -> Kernel {
     b.mov(v, Operand::fimm(0.0));
     let d = b.reg();
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.fadd(d, x, Operand::Reg(nmean));
         b.fmul(d, d, Operand::Reg(d));
@@ -392,7 +414,9 @@ pub fn layernorm_kernel(cols: usize, eps: f32) -> Kernel {
     let (gv, bv) = (b.reg(), b.reg());
     let gaddr = b.reg_pair();
     for c in 0..chunks {
-        emit_row_elem(&mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid);
+        emit_row_elem(
+            &mut b, c, cols, lane, rowbase, base_in, col, tmp, addr, valid,
+        );
         b.ld_global(MemWidth::B32, x, addr, 0);
         b.fadd(d, x, Operand::Reg(nmean));
         b.fmul(d, d, Operand::Reg(rstd));
@@ -522,7 +546,9 @@ mod tests {
         let n: usize = shape.iter().product();
         Tensor::new(
             shape,
-            (0..n).map(|i| f32::from_bits(gpu.read_u32(p + (i * 4) as u64))).collect(),
+            (0..n)
+                .map(|i| f32::from_bits(gpu.read_u32(p + (i * 4) as u64)))
+                .collect(),
         )
     }
 
@@ -584,7 +610,12 @@ mod tests {
         // Per-feature ([batch, f], bias indexed by column).
         let x2 = Tensor::from_fn(vec![3, 4], |i| i as f32);
         let bias2 = Tensor::new(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
-        let want2 = run_layer(&Layer::Bias(Bias { bias: bias2.clone() }), &x2);
+        let want2 = run_layer(
+            &Layer::Bias(Bias {
+                bias: bias2.clone(),
+            }),
+            &x2,
+        );
         let pin2 = upload(&mut gpu, &x2);
         let pb2 = upload(&mut gpu, &bias2);
         let pout2 = gpu.alloc((x2.len() * 4) as u64);
@@ -637,7 +668,12 @@ mod tests {
         let x = Tensor::from_fn(vec![rows, cols], |i| ((i * 31 % 17) as f32) / 4.0 - 2.0);
         let gamma = Tensor::from_fn(vec![cols], |i| 1.0 + (i as f32) / 64.0);
         let beta = Tensor::from_fn(vec![cols], |i| (i as f32) / 32.0 - 0.5);
-        let ln = LayerNorm { dim: cols, gamma: gamma.clone(), beta: beta.clone(), eps: 1e-5 };
+        let ln = LayerNorm {
+            dim: cols,
+            gamma: gamma.clone(),
+            beta: beta.clone(),
+            eps: 1e-5,
+        };
         let want = run_layer(&Layer::LayerNorm(ln), &x);
         let mut gpu = Gpu::new(GpuConfig::mini());
         let pin = upload(&mut gpu, &x);
@@ -683,7 +719,11 @@ mod tests {
         let b = Tensor::from_fn(vec![70], |i| 0.5 - (i as f32) / 3.0);
         let want = Tensor::new(
             vec![70],
-            a.data().iter().zip(b.data()).map(|(&x, &y)| x + y).collect(),
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(&x, &y)| x + y)
+                .collect(),
         );
         let mut gpu = Gpu::new(GpuConfig::mini());
         let pa = upload(&mut gpu, &a);

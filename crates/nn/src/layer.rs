@@ -161,7 +161,10 @@ impl Layer {
                     return Err(format!("conv2d expects {} channels, got {ic}", c.in_c));
                 }
                 if h < c.kh || w < c.kw {
-                    return Err(format!("conv2d {}x{} kernel exceeds input {h}x{w}", c.kh, c.kw));
+                    return Err(format!(
+                        "conv2d {}x{} kernel exceeds input {h}x{w}",
+                        c.kh, c.kw
+                    ));
                 }
                 Ok(vec![c.out_c, h - c.kh + 1, w - c.kw + 1])
             }
@@ -179,7 +182,10 @@ impl Layer {
                     other => return Err(format!("bias expects rank 2 or 3, got {other:?}")),
                 };
                 if b.bias.len() != lanes {
-                    return Err(format!("bias has {} values for {lanes} lanes", b.bias.len()));
+                    return Err(format!(
+                        "bias has {} values for {lanes} lanes",
+                        b.bias.len()
+                    ));
                 }
                 Ok(input.to_vec())
             }
@@ -202,7 +208,10 @@ impl Layer {
             Layer::LayerNorm(ln) => {
                 let [_, dim] = two(input, "layernorm")?;
                 if dim != ln.dim {
-                    return Err(format!("layernorm normalizes {} features, got {dim}", ln.dim));
+                    return Err(format!(
+                        "layernorm normalizes {} features, got {dim}",
+                        ln.dim
+                    ));
                 }
                 Ok(input.to_vec())
             }
@@ -241,7 +250,9 @@ fn three(shape: &[usize], who: &str) -> Result<[usize; 3], String> {
 fn two(shape: &[usize], who: &str) -> Result<[usize; 2], String> {
     match shape {
         [a, b] => Ok([*a, *b]),
-        other => Err(format!("{who} expects a [batch, features] input, got {other:?}")),
+        other => Err(format!(
+            "{who} expects a [batch, features] input, got {other:?}"
+        )),
     }
 }
 
@@ -281,9 +292,17 @@ mod tests {
             kw: 3,
             weight: Tensor::zeros(vec![8, 27]),
         });
-        assert!(conv.output_shape(&[1, 16, 16]).unwrap_err().contains("channels"));
-        assert!(conv.output_shape(&[16, 16]).unwrap_err().contains("[c, h, w]"));
-        let b = Layer::Bias(Bias { bias: Tensor::zeros(vec![4]) });
+        assert!(conv
+            .output_shape(&[1, 16, 16])
+            .unwrap_err()
+            .contains("channels"));
+        assert!(conv
+            .output_shape(&[16, 16])
+            .unwrap_err()
+            .contains("[c, h, w]"));
+        let b = Layer::Bias(Bias {
+            bias: Tensor::zeros(vec![4]),
+        });
         assert!(b.output_shape(&[8, 4, 4]).unwrap_err().contains("lanes"));
     }
 }

@@ -160,7 +160,9 @@ pub fn run_layer(layer: &Layer, input: &Tensor) -> Tensor {
                         let mut m = f32::NEG_INFINITY;
                         for dy in 0..p.k {
                             for dx in 0..p.k {
-                                m = m.max(input.data()[(ch * h + oy * p.k + dy) * w + ox * p.k + dx]);
+                                m = m.max(
+                                    input.data()[(ch * h + oy * p.k + dy) * w + ox * p.k + dx],
+                                );
                             }
                         }
                         out.data_mut()[(ch * oh + oy) * ow + ox] = m;
@@ -183,11 +185,11 @@ pub fn run_layer(layer: &Layer, input: &Tensor) -> Tensor {
             let mut out = input.clone();
             for row in out.data_mut().chunks_mut(cols) {
                 let mean = row.iter().sum::<f32>() / cols as f32;
-                let var =
-                    row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
                 let rstd = 1.0 / (var + ln.eps).sqrt();
-                for (v, (&g, &bt)) in
-                    row.iter_mut().zip(ln.gamma.data().iter().zip(ln.beta.data()))
+                for (v, (&g, &bt)) in row
+                    .iter_mut()
+                    .zip(ln.gamma.data().iter().zip(ln.beta.data()))
                 {
                     *v = (*v - mean) * rstd * g + bt;
                 }
@@ -220,22 +222,14 @@ pub fn run_layer(layer: &Layer, input: &Tensor) -> Tensor {
             for bi in 0..batch {
                 for h in 0..a.heads {
                     let q_at = |r: usize, c: usize| qkv[(bi * a.seq + r) * 3 * d + h * dh + c];
-                    let k_at =
-                        |r: usize, c: usize| qkv[(bi * a.seq + c) * 3 * d + d + h * dh + r];
+                    let k_at = |r: usize, c: usize| qkv[(bi * a.seq + c) * 3 * d + d + h * dh + r];
                     let v_at =
                         |r: usize, c: usize| qkv[(bi * a.seq + r) * 3 * d + 2 * d + h * dh + c];
                     let mut scores = ref_gemm(a.seq, a.seq, dh, q_at, k_at, None);
                     for row in scores.chunks_mut(a.seq) {
                         softmax_row(row, scale);
                     }
-                    let o = ref_gemm(
-                        a.seq,
-                        dh,
-                        a.seq,
-                        |r, c| scores[r * a.seq + c],
-                        v_at,
-                        None,
-                    );
+                    let o = ref_gemm(a.seq, dh, a.seq, |r, c| scores[r * a.seq + c], v_at, None);
                     for r in 0..a.seq {
                         for c in 0..dh {
                             ctx[(bi * a.seq + r) * d + h * dh + c] = o[r * dh + c];
@@ -328,7 +322,12 @@ mod tests {
         assert_eq!(p.data(), &[1.0]);
         let r = run_layer(&Layer::ReLU, &x);
         assert_eq!(r.data(), &[0.0, 1.0, 0.5, 0.0]);
-        let b = run_layer(&Layer::Bias(Bias { bias: Tensor::new(vec![1], vec![1.0]) }), &x);
+        let b = run_layer(
+            &Layer::Bias(Bias {
+                bias: Tensor::new(vec![1], vec![1.0]),
+            }),
+            &x,
+        );
         assert_eq!(b.data(), &[-3.0, 2.0, 1.5, -1.0]);
         let f = run_layer(&Layer::Flatten, &x);
         assert_eq!(f.shape(), &[1, 4]);

@@ -32,13 +32,19 @@ impl Tensor {
     /// An all-zero tensor.
     pub fn zeros(shape: Vec<usize>) -> Tensor {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Builds a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: Vec<usize>, f: impl Fn(usize) -> f32) -> Tensor {
         let n = shape.iter().product();
-        Tensor { shape, data: (0..n).map(f).collect() }
+        Tensor {
+            shape,
+            data: (0..n).map(f).collect(),
+        }
     }
 
     /// The tensor's shape.
@@ -80,7 +86,11 @@ impl Tensor {
     pub fn quantize_f16(&self) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| F16::from_f32(v).to_f32()).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| F16::from_f32(v).to_f32())
+                .collect(),
         }
     }
 

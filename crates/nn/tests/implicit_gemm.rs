@@ -80,7 +80,9 @@ fn im2col_wmma_gemm_matches_direct_convolution() {
             .build();
 
         let plan = lower(&graph);
-        let LoweredOp::Gemm(g) = &plan[0].op else { panic!("conv must lower to a GEMM") };
+        let LoweredOp::Gemm(g) = &plan[0].op else {
+            panic!("conv must lower to a GEMM")
+        };
         saw_padded_m |= g.pm != g.m;
         saw_padded_k |= g.pk != g.k;
 
@@ -93,18 +95,27 @@ fn im2col_wmma_gemm_matches_direct_convolution() {
         // here we compare that same reference against the INDEPENDENT
         // direct convolution, closing the loop device == direct.
         let tol = gemm_tolerance(g.k);
-        let dev_vs_direct = report.layers[0].max_err + want.max_abs_diff(&crate_reference(&graph, &input));
+        let dev_vs_direct =
+            report.layers[0].max_err + want.max_abs_diff(&crate_reference(&graph, &input));
         assert!(
             dev_vs_direct <= 2.0 * tol,
             "case {case} ({in_c}x{h}x{w} * {out_c} filters {k}x{k}): |device - direct| bound {dev_vs_direct} > {tol}",
         );
     }
-    assert!(saw_padded_m, "at least one case must pad M to a 16 multiple");
-    assert!(saw_padded_k, "at least one case must pad K to a 16 multiple");
+    assert!(
+        saw_padded_m,
+        "at least one case must pad M to a 16 multiple"
+    );
+    assert!(
+        saw_padded_k,
+        "at least one case must pad K to a 16 multiple"
+    );
 }
 
 fn crate_reference(graph: &tcsim_nn::Graph, input: &Tensor) -> Tensor {
-    tcsim_nn::reference::run_graph(graph, input).pop().expect("one layer")
+    tcsim_nn::reference::run_graph(graph, input)
+        .pop()
+        .expect("one layer")
 }
 
 #[test]

@@ -22,8 +22,16 @@ fn encoder_block_runs_end_to_end_within_tolerance() {
         assert!(l.cycles > 0, "{} has no cycles", l.name);
     }
     // The GEMM stages keep the HMMA pipe busy; softmax must not touch it.
-    let qkv = report.layers.iter().find(|l| l.name.ends_with("/qkv")).unwrap();
-    assert!(qkv.kernel.contains("wmma") || qkv.kernel.contains("gemm"), "{}", qkv.kernel);
+    let qkv = report
+        .layers
+        .iter()
+        .find(|l| l.name.ends_with("/qkv"))
+        .unwrap();
+    assert!(
+        qkv.kernel.contains("wmma") || qkv.kernel.contains("gemm"),
+        "{}",
+        qkv.kernel
+    );
 }
 
 #[test]
@@ -65,7 +73,9 @@ fn traced_encoder_reports_hmma_occupancy_on_gemm_stages() {
     let report = run_chained(&net, &input, GpuConfig::mini(), true);
     report.assert_within_tolerance();
     for l in &report.layers {
-        let occ = l.hmma_occupancy.unwrap_or_else(|| panic!("{} untraced", l.name));
+        let occ = l
+            .hmma_occupancy
+            .unwrap_or_else(|| panic!("{} untraced", l.name));
         if l.name.ends_with("/qkv") || l.name.ends_with("/proj") || l.name.contains("/fc") {
             assert!(occ > 0.0, "{} occupancy {occ}", l.name);
         }

@@ -67,10 +67,7 @@ fn parse_args() -> Result<Args, String> {
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
-    fn value(
-        name: &str,
-        it: &mut std::iter::Skip<std::env::Args>,
-    ) -> Result<String, String> {
+    fn value(name: &str, it: &mut std::iter::Skip<std::env::Args>) -> Result<String, String> {
         it.next().ok_or_else(|| format!("{name} needs a value"))
     }
     while let Some(flag) = it.next() {
@@ -78,19 +75,24 @@ fn parse_args() -> Result<Args, String> {
             "--connect" => args.connect = value("--connect", &mut it)?,
             "--corpus" => args.corpus = PathBuf::from(value("--corpus", &mut it)?),
             "--gen" => {
-                args.gen = value("--gen", &mut it)?.parse().map_err(|e| format!("--gen: {e}"))?
+                args.gen = value("--gen", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--gen: {e}"))?
             }
             "--repeat" => {
-                args.repeat =
-                    value("--repeat", &mut it)?.parse().map_err(|e| format!("--repeat: {e}"))?
+                args.repeat = value("--repeat", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?
             }
             "--rate" => {
-                args.rate =
-                    value("--rate", &mut it)?.parse().map_err(|e| format!("--rate: {e}"))?
+                args.rate = value("--rate", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
             }
             "--seed" => {
-                args.seed =
-                    value("--seed", &mut it)?.parse().map_err(|e| format!("--seed: {e}"))?
+                args.seed = value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--json" => args.json_path = Some(PathBuf::from(value("--json", &mut it)?)),
             "--smoke" => args.smoke = true,
@@ -132,12 +134,15 @@ fn build_workload(args: &Args) -> Result<Vec<JobSpec>, String> {
         for path in paths {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let case = case_from_text(&text)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let case = case_from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
             base.push(JobSpec::from_case(&case));
         }
     }
-    let cfg = GenConfig { max_ops: 16, kind: KindSel::Auto, arch: None };
+    let cfg = GenConfig {
+        max_ops: 16,
+        kind: KindSel::Auto,
+        arch: None,
+    };
     for i in 0..args.gen {
         let kernel_seed = args.seed.wrapping_add(i);
         let program = generate(kernel_seed, &cfg);
@@ -228,8 +233,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let started = Instant::now();
     let mut submitted_at: HashMap<String, Instant> = HashMap::new();
     if args.smoke {
-        let pairs: Vec<(String, JobSpec)> =
-            ids.iter().cloned().zip(jobs.iter().cloned()).collect();
+        let pairs: Vec<(String, JobSpec)> = ids.iter().cloned().zip(jobs.iter().cloned()).collect();
         let now = Instant::now();
         for id in &ids {
             submitted_at.insert(id.clone(), now);
@@ -250,7 +254,10 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             }
             submitted_at.insert(id.clone(), Instant::now());
             client
-                .send(&Request::Submit { id: id.clone(), job: job.clone() })
+                .send(&Request::Submit {
+                    id: id.clone(),
+                    job: job.clone(),
+                })
                 .map_err(|e| format!("submit {id}: {e}"))?;
         }
     }
@@ -263,9 +270,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             .recv_timeout(Duration::from_secs(300))
             .map_err(|_| "timed out waiting for completions".to_string())?;
         match ev {
-            Event::Accepted { coalesced: true, .. } => coalesced += 1,
+            Event::Accepted {
+                coalesced: true, ..
+            } => coalesced += 1,
             Event::Accepted { .. } | Event::Running { .. } | Event::Stats(_) => {}
-            Event::Done { id, key, cached, output_fnv, latency_us: _, stats_json } => {
+            Event::Done {
+                id,
+                key,
+                cached,
+                output_fnv,
+                latency_us: _,
+                stats_json,
+            } => {
                 let latency_us = submitted_at
                     .get(&id)
                     .map(|t| at.duration_since(*t).as_micros() as u64)
@@ -296,7 +312,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     // Server-side counters for the report. The reply must come through
     // the same reader thread — a second reader on the shared socket
     // would race it for bytes.
-    client.send(&Request::Stats).map_err(|e| format!("stats request: {e}"))?;
+    client
+        .send(&Request::Stats)
+        .map_err(|e| format!("stats request: {e}"))?;
     let server_stats = loop {
         let (_, ev) = rx
             .recv_timeout(Duration::from_secs(30))
@@ -306,7 +324,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
     };
     if args.shutdown {
-        client.shutdown_server().map_err(|e| format!("shutdown: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
     }
     // Shut the socket down (not just drop): the reader thread holds its
     // own descriptor clone and would otherwise block in read_line
@@ -323,18 +343,31 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         .collect();
     let hits = done.iter().filter(|(_, c)| c.cached).count();
     let failed = completions.values().filter(|c| c.kind == "failed").count();
-    let rejected = completions.values().filter(|c| c.kind == "rejected").count();
-    let hit_rate = if done.is_empty() { 0.0 } else { hits as f64 / done.len() as f64 };
+    let rejected = completions
+        .values()
+        .filter(|c| c.kind == "rejected")
+        .count();
+    let hit_rate = if done.is_empty() {
+        0.0
+    } else {
+        hits as f64 / done.len() as f64
+    };
     let mut lat: Vec<u64> = done.iter().map(|(_, c)| c.latency_us).collect();
     lat.sort_unstable();
-    let (p50, p95, p99) =
-        (percentile(&lat, 50.0), percentile(&lat, 95.0), percentile(&lat, 99.0));
+    let (p50, p95, p99) = (
+        percentile(&lat, 50.0),
+        percentile(&lat, 95.0),
+        percentile(&lat, 99.0),
+    );
 
     // Deterministic digest of every completion's content, in id order.
     // Failures are included (their reasons are deterministic); rejects
     // are admission-timing artifacts and only counted.
     let mut digest = Fnv128::new();
-    for (id, c) in ids.iter().filter_map(|id| completions.get(id).map(|c| (id, c))) {
+    for (id, c) in ids
+        .iter()
+        .filter_map(|id| completions.get(id).map(|c| (id, c)))
+    {
         digest.field(id.as_bytes());
         digest.field(c.kind.as_bytes());
         if c.kind == "done" {
@@ -359,7 +392,10 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     w.field_u64("coalesced", coalesced);
     w.raw_field("hit_rate", &format!("{hit_rate:.6}"));
     w.raw_field("wall_seconds", &format!("{wall:.6}"));
-    w.raw_field("throughput_jobs_per_sec", &format!("{:.3}", done.len() as f64 / wall.max(1e-9)));
+    w.raw_field(
+        "throughput_jobs_per_sec",
+        &format!("{:.3}", done.len() as f64 / wall.max(1e-9)),
+    );
     w.field_u64("latency_p50_us", p50);
     w.field_u64("latency_p95_us", p95);
     w.field_u64("latency_p99_us", p99);
@@ -402,8 +438,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     if let Some(prev_path) = &args.expect_digest {
         let prev_text = std::fs::read_to_string(prev_path)
             .map_err(|e| format!("cannot read {}: {e}", prev_path.display()))?;
-        let prev = json::parse(&prev_text)
-            .map_err(|e| format!("{}: {e}", prev_path.display()))?;
+        let prev = json::parse(&prev_text).map_err(|e| format!("{}: {e}", prev_path.display()))?;
         let want = prev
             .str_field("results_digest")
             .ok_or_else(|| format!("{}: no results_digest", prev_path.display()))?;

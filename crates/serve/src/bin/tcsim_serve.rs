@@ -24,13 +24,13 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { bind: "127.0.0.1:0".into(), port_file: None, opts: ServeOptions::default() };
+    let mut args = Args {
+        bind: "127.0.0.1:0".into(),
+        port_file: None,
+        opts: ServeOptions::default(),
+    };
     let mut it = std::env::args().skip(1);
-    fn value(
-        name: &str,
-        it: &mut std::iter::Skip<std::env::Args>,
-    ) -> Result<String, String> {
+    fn value(name: &str, it: &mut std::iter::Skip<std::env::Args>) -> Result<String, String> {
         it.next().ok_or_else(|| format!("{name} needs a value"))
     }
     while let Some(flag) = it.next() {
@@ -41,8 +41,9 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.cache_dir = Some(PathBuf::from(value("--cache-dir", &mut it)?))
             }
             "--workers" => {
-                args.opts.workers =
-                    value("--workers", &mut it)?.parse().map_err(|e| format!("--workers: {e}"))?
+                args.opts.workers = value("--workers", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
             }
             "--max-pending" => {
                 args.opts.max_pending = value("--max-pending", &mut it)?
@@ -50,8 +51,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-pending: {e}"))?
             }
             "--quota" => {
-                args.opts.quota =
-                    value("--quota", &mut it)?.parse().map_err(|e| format!("--quota: {e}"))?
+                args.opts.quota = value("--quota", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--quota: {e}"))?
             }
             "--batch-max" => {
                 args.opts.batch_max = value("--batch-max", &mut it)?

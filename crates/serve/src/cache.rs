@@ -71,7 +71,13 @@ fn entry_from_text(text: &str) -> Result<CacheEntry, String> {
         return Err(format!("malformed key {key:?}"));
     }
     json::parse(&stats_json).map_err(|e| format!("stats do not parse: {e}"))?;
-    Ok(CacheEntry { key, outcome: JobOutcome { stats_json, output_fnv } })
+    Ok(CacheEntry {
+        key,
+        outcome: JobOutcome {
+            stats_json,
+            output_fnv,
+        },
+    })
 }
 
 /// The server's result cache.
@@ -85,7 +91,11 @@ pub struct ResultCache {
 impl ResultCache {
     /// An in-memory-only cache (no persistence).
     pub fn in_memory() -> ResultCache {
-        ResultCache { dir: None, mem: HashMap::new(), loaded: 0 }
+        ResultCache {
+            dir: None,
+            mem: HashMap::new(),
+            loaded: 0,
+        }
     }
 
     /// Opens (and creates) the persistent cache at `dir`, loading every
@@ -100,8 +110,12 @@ impl ResultCache {
             .collect();
         names.sort();
         for path in names {
-            let Ok(text) = fs::read_to_string(&path) else { continue };
-            let Ok(entry) = entry_from_text(&text) else { continue };
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(entry) = entry_from_text(&text) else {
+                continue;
+            };
             // The filename is the key: a renamed file must not alias
             // another job's result.
             if path.file_stem().and_then(|s| s.to_str()) != Some(entry.key.as_str()) {
@@ -110,7 +124,11 @@ impl ResultCache {
             mem.insert(entry.key.clone(), Arc::new(entry));
         }
         let loaded = mem.len();
-        Ok(ResultCache { dir: Some(dir.to_path_buf()), mem, loaded })
+        Ok(ResultCache {
+            dir: Some(dir.to_path_buf()),
+            mem,
+            loaded,
+        })
     }
 
     /// Number of entries resident in memory.
@@ -165,8 +183,10 @@ mod tests {
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("tcsim-serve-cache-test-{}-{tag}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "tcsim-serve-cache-test-{}-{tag}",
+            std::process::id()
+        ));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -219,8 +239,11 @@ mod tests {
         c.insert(entry('a')).expect("insert");
         // A corrupt file and a valid entry under the wrong filename.
         fs::write(dir.join(format!("{}.tcres", "c".repeat(32))), "garbage").unwrap();
-        fs::write(dir.join(format!("{}.tcres", "d".repeat(32))), entry_to_text(&entry('b')))
-            .unwrap();
+        fs::write(
+            dir.join(format!("{}.tcres", "d".repeat(32))),
+            entry_to_text(&entry('b')),
+        )
+        .unwrap();
         let c = ResultCache::open(&dir).expect("reopen");
         assert_eq!(c.loaded_from_disk(), 1, "only the honest entry survives");
         assert!(c.get(&"b".repeat(32)).is_none());

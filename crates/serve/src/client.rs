@@ -27,7 +27,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let read_half = stream.try_clone()?;
-        Ok(Client { stream, reader: BufReader::new(read_half) })
+        Ok(Client {
+            stream,
+            reader: BufReader::new(read_half),
+        })
     }
 
     /// Sends one request line.
@@ -102,7 +105,10 @@ impl Client {
 
     /// Submits one job and blocks for its terminal event.
     pub fn run(&mut self, id: &str, job: crate::job::JobSpec) -> io::Result<Event> {
-        self.send(&Request::Submit { id: id.to_string(), job })?;
+        self.send(&Request::Submit {
+            id: id.to_string(),
+            job,
+        })?;
         self.wait(id)
     }
 

@@ -131,9 +131,7 @@ impl InputSpec {
     /// Materializes the buffer contents.
     pub fn bytes(&self) -> Vec<u8> {
         match self {
-            InputSpec::Seeded { kind, seed, words } => {
-                oracle::input_bytes(*kind, *seed, *words)
-            }
+            InputSpec::Seeded { kind, seed, words } => oracle::input_bytes(*kind, *seed, *words),
             InputSpec::Inline(bytes) => bytes.clone(),
         }
     }
@@ -281,7 +279,9 @@ impl JobSpec {
         h.field(format!("{:?}", self.config.to_config()).as_bytes());
         h.field(core_name(self.core).as_bytes());
         for d in [self.grid, self.block] {
-            h.u64(u64::from(d.x)).u64(u64::from(d.y)).u64(u64::from(d.z));
+            h.u64(u64::from(d.x))
+                .u64(u64::from(d.y))
+                .u64(u64::from(d.z));
         }
         h.field(&self.input.bytes());
         h.u64(u64::from(self.out_words));
@@ -292,8 +292,7 @@ impl JobSpec {
     /// serial (no-server) execution path, byte-identical to what the
     /// server's sweep workers produce.
     pub fn run(&self) -> Result<JobOutcome, String> {
-        let mut gpu =
-            Gpu::new(SimOptions::new(self.config.to_config()).core(self.core));
+        let mut gpu = Gpu::new(SimOptions::new(self.config.to_config()).core(self.core));
         self.run_on(&mut gpu)
     }
 
@@ -316,7 +315,10 @@ impl JobSpec {
             .try_launch(gpu)
             .map_err(|e| e.to_string())?;
         let out = gpu.memcpy_d2h(out_addr, out_len);
-        Ok(JobOutcome { stats_json: stats.to_json(), output_fnv: fnv128_hex(&out) })
+        Ok(JobOutcome {
+            stats_json: stats.to_json(),
+            output_fnv: fnv128_hex(&out),
+        })
     }
 
     /// Serializes the job as the protocol's JSON object.
@@ -325,7 +327,10 @@ impl JobSpec {
         w.field_str("kernel", &self.kernel_text());
         w.field_str("config", self.config.name());
         w.field_str("core", core_name(self.core));
-        w.raw_field("grid", &format!("[{},{},{}]", self.grid.x, self.grid.y, self.grid.z));
+        w.raw_field(
+            "grid",
+            &format!("[{},{},{}]", self.grid.x, self.grid.y, self.grid.z),
+        );
         w.raw_field(
             "block",
             &format!("[{},{},{}]", self.block.x, self.block.y, self.block.z),
@@ -347,8 +352,9 @@ impl JobSpec {
 
     /// Parses the protocol's JSON object back into a job.
     pub fn from_json(v: &JsonValue) -> Result<JobSpec, String> {
-        let kernel_text =
-            v.str_field("kernel").ok_or("job: missing string `kernel`")?;
+        let kernel_text = v
+            .str_field("kernel")
+            .ok_or("job: missing string `kernel`")?;
         let kernel = tcsim_isa::ptx::parse_kernel(kernel_text)
             .map_err(|e| format!("job: kernel does not parse: {e}"))?;
         let config = v
@@ -378,7 +384,9 @@ impl JobSpec {
         };
         let data = v.str_field("data").ok_or("job: missing string `data`")?;
         let input = if data == "inline" {
-            let hex = v.str_field("input_hex").ok_or("job: inline data needs `input_hex`")?;
+            let hex = v
+                .str_field("input_hex")
+                .ok_or("job: inline data needs `input_hex`")?;
             InputSpec::Inline(hex_decode(hex)?)
         } else {
             let kind = DataKind::from_qualifier(data)
@@ -394,7 +402,15 @@ impl JobSpec {
             .u64_field("out_words")
             .and_then(|n| u32::try_from(n).ok())
             .ok_or("job: missing `out_words`")?;
-        Ok(JobSpec { kernel, config, core, grid: dim("grid")?, block: dim("block")?, input, out_words })
+        Ok(JobSpec {
+            kernel,
+            config,
+            core,
+            grid: dim("grid")?,
+            block: dim("block")?,
+            input,
+            out_words,
+        })
     }
 }
 
@@ -435,7 +451,11 @@ mod tests {
             core: CoreModel::EventDriven,
             grid: Dim3::x(1),
             block: Dim3::x(32),
-            input: InputSpec::Seeded { kind: DataKind::Raw, seed: 7, words: 32 },
+            input: InputSpec::Seeded {
+                kind: DataKind::Raw,
+                seed: 7,
+                words: 32,
+            },
             out_words: 32,
         }
     }
@@ -473,9 +493,7 @@ mod tests {
         let input = spec.input.bytes();
         let expect: Vec<u8> = input
             .chunks(4)
-            .flat_map(|w| {
-                (u32::from_le_bytes(w.try_into().unwrap()).wrapping_add(1)).to_le_bytes()
-            })
+            .flat_map(|w| (u32::from_le_bytes(w.try_into().unwrap()).wrapping_add(1)).to_le_bytes())
             .collect();
         assert_eq!(a.output_fnv, fnv128_hex(&expect));
     }

@@ -176,7 +176,11 @@ const MAX_DEPTH: usize = 256;
 
 /// Parses one complete JSON value; trailing data is an error.
 pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { b: s.as_bytes(), pos: 0, depth: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -194,7 +198,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { msg: msg.into(), at: self.pos }
+        JsonError {
+            msg: msg.into(),
+            at: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -377,8 +384,8 @@ impl Parser<'_> {
         if end > self.b.len() {
             return Err(self.err("truncated \\u escape"));
         }
-        let s = std::str::from_utf8(&self.b[self.pos..end])
-            .map_err(|_| self.err("bad \\u escape"))?;
+        let s =
+            std::str::from_utf8(&self.b[self.pos..end]).map_err(|_| self.err("bad \\u escape"))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
         self.pos = end;
         Ok(v)
@@ -414,7 +421,9 @@ impl Parser<'_> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        let raw = std::str::from_utf8(&self.b[start..self.pos]).unwrap().to_string();
+        let raw = std::str::from_utf8(&self.b[start..self.pos])
+            .unwrap()
+            .to_string();
         Ok(JsonValue::Num(raw))
     }
 }
@@ -464,8 +473,18 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "1.", "1e", "\"\\x\"", "\"\\ud800\"",
-            "{\"a\":1,\"a\":2}", "[1] 2", "\"unterminated",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"\\ud800\"",
+            "{\"a\":1,\"a\":2}",
+            "[1] 2",
+            "\"unterminated",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -65,12 +65,14 @@ pub fn verify_stats_round_trip(stats: &LaunchStats) -> Result<json::JsonValue, S
             "stats JSON does not round-trip byte-identically:\n  wrote: {text}\n  round: {re}"
         ));
     }
-    let re_tree =
-        json::parse(&re).map_err(|e| format!("re-serialized stats do not parse: {e}"))?;
+    let re_tree = json::parse(&re).map_err(|e| format!("re-serialized stats do not parse: {e}"))?;
     if re_tree != tree {
         return Err("re-parsed stats tree differs from the original".into());
     }
-    for (field, want) in [("cycles", stats.cycles), ("instructions", stats.instructions)] {
+    for (field, want) in [
+        ("cycles", stats.cycles),
+        ("instructions", stats.instructions),
+    ] {
         match tree.u64_field(field) {
             Some(got) if got == want => {}
             got => {

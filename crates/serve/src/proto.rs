@@ -89,7 +89,9 @@ impl Request {
     /// Parses one protocol line.
     pub fn from_line(line: &str) -> Result<Request, String> {
         let v = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
-        let ty = v.str_field("type").ok_or("request: missing string `type`")?;
+        let ty = v
+            .str_field("type")
+            .ok_or("request: missing string `type`")?;
         match ty {
             "submit" => {
                 let id = request_id(&v)?;
@@ -218,7 +220,14 @@ impl Event {
                 w.field_str("type", "running");
                 w.field_str("id", id);
             }
-            Event::Done { id, key, cached, output_fnv, latency_us, stats_json } => {
+            Event::Done {
+                id,
+                key,
+                cached,
+                output_fnv,
+                latency_us,
+                stats_json,
+            } => {
                 w.field_str("type", "done");
                 w.field_str("id", id);
                 w.field_str("key", key);
@@ -256,7 +265,9 @@ impl Event {
             Ok(v.str_field("id").ok_or("event: missing `id`")?.to_string())
         };
         let s = |key: &str| -> Result<String, String> {
-            Ok(v.str_field(key).ok_or_else(|| format!("event: missing `{key}`"))?.to_string())
+            Ok(v.str_field(key)
+                .ok_or_else(|| format!("event: missing `{key}`"))?
+                .to_string())
         };
         match ty {
             "accepted" => Ok(Event::Accepted {
@@ -267,7 +278,10 @@ impl Event {
                     .and_then(|b| b.as_bool())
                     .ok_or("accepted: missing `coalesced`")?,
             }),
-            "rejected" => Ok(Event::Rejected { id: id()?, reason: s("reason")? }),
+            "rejected" => Ok(Event::Rejected {
+                id: id()?,
+                reason: s("reason")?,
+            }),
             "running" => Ok(Event::Running { id: id()? }),
             "done" => Ok(Event::Done {
                 id: id()?,
@@ -277,16 +291,22 @@ impl Event {
                     .and_then(|b| b.as_bool())
                     .ok_or("done: missing `cached`")?,
                 output_fnv: s("output_fnv")?,
-                latency_us: v.u64_field("latency_us").ok_or("done: missing `latency_us`")?,
+                latency_us: v
+                    .u64_field("latency_us")
+                    .ok_or("done: missing `latency_us`")?,
                 // Re-serializing the parsed tree reproduces the wire bytes
                 // exactly (keys in order, numbers verbatim), so `stats_json`
                 // round-trips byte-identically through the protocol.
                 stats_json: v.get("stats").ok_or("done: missing `stats`")?.to_json(),
             }),
-            "failed" => Ok(Event::Failed { id: id()?, reason: s("reason")? }),
+            "failed" => Ok(Event::Failed {
+                id: id()?,
+                reason: s("reason")?,
+            }),
             "stats" => {
                 let u = |key: &str| -> Result<u64, String> {
-                    v.u64_field(key).ok_or_else(|| format!("stats: missing `{key}`"))
+                    v.u64_field(key)
+                        .ok_or_else(|| format!("stats: missing `{key}`"))
                 };
                 Ok(Event::Stats(ServerStats {
                     jobs_done: u("jobs_done")?,
@@ -311,10 +331,7 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for line in [
-            r#"{"type":"stats"}"#,
-            r#"{"type":"shutdown"}"#,
-        ] {
+        for line in [r#"{"type":"stats"}"#, r#"{"type":"shutdown"}"#] {
             let req = Request::from_line(line).expect("parse");
             assert_eq!(req.to_line(), line);
         }
@@ -323,8 +340,15 @@ mod tests {
     #[test]
     fn events_round_trip() {
         let events = [
-            Event::Accepted { id: "j1".into(), key: "a".repeat(32), coalesced: true },
-            Event::Rejected { id: "j2".into(), reason: "queue-full".into() },
+            Event::Accepted {
+                id: "j1".into(),
+                key: "a".repeat(32),
+                coalesced: true,
+            },
+            Event::Rejected {
+                id: "j2".into(),
+                reason: "queue-full".into(),
+            },
             Event::Running { id: "j3".into() },
             Event::Done {
                 id: "j4".into(),
@@ -334,8 +358,15 @@ mod tests {
                 latency_us: 12345,
                 stats_json: r#"{"cycles":99,"ipc":0.500000,"trace":null}"#.into(),
             },
-            Event::Failed { id: "j5".into(), reason: "boom\nline2".into() },
-            Event::Stats(ServerStats { jobs_done: 7, cache_hits: 3, ..Default::default() }),
+            Event::Failed {
+                id: "j5".into(),
+                reason: "boom\nline2".into(),
+            },
+            Event::Stats(ServerStats {
+                jobs_done: 7,
+                cache_hits: 3,
+                ..Default::default()
+            }),
         ];
         for ev in events {
             let line = ev.to_line();

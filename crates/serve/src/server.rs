@@ -245,7 +245,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let Ok(write_half) = stream.try_clone() else { return };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
     let (tx, rx) = channel::<String>();
     let writer = std::thread::spawn(move || {
         let mut out = io::BufWriter::new(write_half);
@@ -277,8 +279,11 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         match Request::from_line(trimmed) {
             Err(e) => {
                 let _ = tx.send(
-                    Event::Rejected { id: "-".into(), reason: format!("bad-request: {e}") }
-                        .to_line(),
+                    Event::Rejected {
+                        id: "-".into(),
+                        reason: format!("bad-request: {e}"),
+                    }
+                    .to_line(),
                 );
             }
             Ok(Request::Submit { id, job }) => {
@@ -313,7 +318,13 @@ fn submit(
         let mut core = shared.mu.lock().unwrap();
         core.counters.rejected += 1;
         drop(core);
-        let _ = tx.send(Event::Rejected { id: id.clone(), reason }.to_line());
+        let _ = tx.send(
+            Event::Rejected {
+                id: id.clone(),
+                reason,
+            }
+            .to_line(),
+        );
     };
     if let Err(e) = spec.validate() {
         reject(format!("bad-job: {e}"));
@@ -330,7 +341,12 @@ fn submit(
         core.counters.jobs_done += 1;
         drop(core);
         let _ = tx.send(
-            Event::Accepted { id: id.clone(), key: key.clone(), coalesced: false }.to_line(),
+            Event::Accepted {
+                id: id.clone(),
+                key: key.clone(),
+                coalesced: false,
+            }
+            .to_line(),
         );
         let _ = tx.send(
             Event::Done {
@@ -362,7 +378,14 @@ fn submit(
         core.counters.coalesced += 1;
         conn_inflight.fetch_add(1, Ordering::SeqCst);
         drop(core);
-        let _ = tx.send(Event::Accepted { id, key, coalesced: true }.to_line());
+        let _ = tx.send(
+            Event::Accepted {
+                id,
+                key,
+                coalesced: true,
+            }
+            .to_line(),
+        );
         return;
     }
     if core.queue.len() >= shared.opts.max_pending {
@@ -371,11 +394,21 @@ fn submit(
         return;
     }
     core.in_flight.insert(key.clone(), vec![waiter]);
-    core.queue.push_back(PendingJob { key: key.clone(), spec });
+    core.queue.push_back(PendingJob {
+        key: key.clone(),
+        spec,
+    });
     conn_inflight.fetch_add(1, Ordering::SeqCst);
     drop(core);
     shared.cv.notify_one();
-    let _ = tx.send(Event::Accepted { id, key, coalesced: false }.to_line());
+    let _ = tx.send(
+        Event::Accepted {
+            id,
+            key,
+            coalesced: false,
+        }
+        .to_line(),
+    );
 }
 
 fn dispatch_loop(shared: Arc<Shared>) {
@@ -406,8 +439,7 @@ fn dispatch_loop(shared: Arc<Shared>) {
         // Shard the batch across the sweep pool, one group per core
         // model (a Sweep builds every fresh Gpu with one core setting).
         for model in [CoreModel::EventDriven, CoreModel::CycleStepped] {
-            let group: Vec<&PendingJob> =
-                batch.iter().filter(|j| j.spec.core == model).collect();
+            let group: Vec<&PendingJob> = batch.iter().filter(|j| j.spec.core == model).collect();
             if group.is_empty() {
                 continue;
             }
@@ -416,16 +448,14 @@ fn dispatch_loop(shared: Arc<Shared>) {
             for job in &group {
                 let spec = job.spec.clone();
                 sweep.add(spec.config.to_config(), move |gpu| {
-                    catch_unwind(AssertUnwindSafe(|| spec.run_on(gpu))).unwrap_or_else(
-                        |panic| {
-                            let msg = panic
-                                .downcast_ref::<String>()
-                                .map(String::as_str)
-                                .or_else(|| panic.downcast_ref::<&str>().copied())
-                                .unwrap_or("launch panicked");
-                            Err(format!("launch panicked: {msg}"))
-                        },
-                    )
+                    catch_unwind(AssertUnwindSafe(|| spec.run_on(gpu))).unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| panic.downcast_ref::<&str>().copied())
+                            .unwrap_or("launch panicked");
+                        Err(format!("launch panicked: {msg}"))
+                    })
                 });
             }
             let outcome = sweep.run_parallel(shared.opts.workers);
@@ -437,7 +467,10 @@ fn dispatch_loop(shared: Arc<Shared>) {
                     Ok(out) => {
                         core.counters.cache_misses += 1;
                         core.counters.jobs_done += waiters.len() as u64;
-                        let entry = CacheEntry { key: job.key.clone(), outcome: out };
+                        let entry = CacheEntry {
+                            key: job.key.clone(),
+                            outcome: out,
+                        };
                         let entry = match core.cache.insert(entry) {
                             Ok(e) => e,
                             Err(io_err) => {
@@ -470,7 +503,11 @@ fn dispatch_loop(shared: Arc<Shared>) {
                         for w in waiters {
                             w.conn_inflight.fetch_sub(1, Ordering::SeqCst);
                             let _ = w.tx.send(
-                                Event::Failed { id: w.id, reason: reason.clone() }.to_line(),
+                                Event::Failed {
+                                    id: w.id,
+                                    reason: reason.clone(),
+                                }
+                                .to_line(),
                             );
                         }
                     }

@@ -39,7 +39,11 @@ fn base_spec() -> JobSpec {
         core: CoreModel::EventDriven,
         grid: Dim3::x(2),
         block: Dim3::x(32),
-        input: InputSpec::Seeded { kind: DataKind::Raw, seed: 9, words: 64 },
+        input: InputSpec::Seeded {
+            kind: DataKind::Raw,
+            seed: 9,
+            words: 64,
+        },
         out_words: 64,
     }
 }
@@ -75,27 +79,77 @@ fn every_single_field_perturbation_changes_the_key() {
     let base = base_spec();
     let base_key = base.cache_key();
     let perturbed: Vec<(&str, JobSpec)> = vec![
-        ("kernel body", JobSpec { kernel: add_kernel(2), ..base_spec() }),
-        ("grid dim", JobSpec { grid: Dim3::x(3), ..base_spec() }),
-        ("grid shape", JobSpec { grid: Dim3::new(1, 2, 1), ..base_spec() }),
-        ("block dim", JobSpec { block: Dim3::x(64), ..base_spec() }),
-        ("config", JobSpec { config: ConfigId::MiniTuring, ..base_spec() }),
-        ("core model", JobSpec { core: CoreModel::CycleStepped, ..base_spec() }),
+        (
+            "kernel body",
+            JobSpec {
+                kernel: add_kernel(2),
+                ..base_spec()
+            },
+        ),
+        (
+            "grid dim",
+            JobSpec {
+                grid: Dim3::x(3),
+                ..base_spec()
+            },
+        ),
+        (
+            "grid shape",
+            JobSpec {
+                grid: Dim3::new(1, 2, 1),
+                ..base_spec()
+            },
+        ),
+        (
+            "block dim",
+            JobSpec {
+                block: Dim3::x(64),
+                ..base_spec()
+            },
+        ),
+        (
+            "config",
+            JobSpec {
+                config: ConfigId::MiniTuring,
+                ..base_spec()
+            },
+        ),
+        (
+            "core model",
+            JobSpec {
+                core: CoreModel::CycleStepped,
+                ..base_spec()
+            },
+        ),
         (
             "input seed",
             JobSpec {
-                input: InputSpec::Seeded { kind: DataKind::Raw, seed: 10, words: 64 },
+                input: InputSpec::Seeded {
+                    kind: DataKind::Raw,
+                    seed: 10,
+                    words: 64,
+                },
                 ..base_spec()
             },
         ),
         (
             "input size",
             JobSpec {
-                input: InputSpec::Seeded { kind: DataKind::Raw, seed: 9, words: 65 },
+                input: InputSpec::Seeded {
+                    kind: DataKind::Raw,
+                    seed: 9,
+                    words: 65,
+                },
                 ..base_spec()
             },
         ),
-        ("output size", JobSpec { out_words: 65, ..base_spec() }),
+        (
+            "output size",
+            JobSpec {
+                out_words: 65,
+                ..base_spec()
+            },
+        ),
     ];
     for (what, spec) in perturbed {
         assert_ne!(
@@ -138,9 +192,8 @@ fn launch_stats_json_round_trips() {
     verify_stats_round_trip(&stats).expect("plain stats round-trip");
 
     // Traced launch: exercises the optional `trace` object too.
-    let mut gpu = Gpu::new(
-        SimOptions::new(GpuConfig::mini()).tracer(tcsim_trace::RingTracer::new()),
-    );
+    let mut gpu =
+        Gpu::new(SimOptions::new(GpuConfig::mini()).tracer(tcsim_trace::RingTracer::new()));
     let in_addr = gpu.alloc(input.len() as u64);
     let out_addr = gpu.alloc(u64::from(spec.out_words) * 4);
     gpu.memcpy_h2d(in_addr, &input);

@@ -5,9 +5,7 @@
 use std::path::PathBuf;
 use tcsim_check::oracle::DataKind;
 use tcsim_isa::{Dim3, Kernel, KernelBuilder, MemWidth, Operand, SpecialReg};
-use tcsim_serve::{
-    Client, ConfigId, Event, InputSpec, JobSpec, Request, ServeOptions, Server,
-};
+use tcsim_serve::{Client, ConfigId, Event, InputSpec, JobSpec, Request, ServeOptions, Server};
 use tcsim_sim::CoreModel;
 
 fn add_kernel(bias: i64) -> Kernel {
@@ -39,7 +37,11 @@ fn spec(bias: i64) -> JobSpec {
         core: CoreModel::EventDriven,
         grid: Dim3::x(1),
         block: Dim3::x(32),
-        input: InputSpec::Seeded { kind: DataKind::Raw, seed: 5, words: 32 },
+        input: InputSpec::Seeded {
+            kind: DataKind::Raw,
+            seed: 5,
+            words: 32,
+        },
         out_words: 32,
     }
 }
@@ -51,8 +53,7 @@ fn start(opts: ServeOptions) -> (Server, String) {
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("tcsim-serve-e2e-{}-{tag}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("tcsim-serve-e2e-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -64,19 +65,34 @@ fn submit_completes_and_repeat_hits_the_cache() {
 
     let serial = spec(1).run().expect("serial run");
     let first = client.run("a1", spec(1)).expect("first run");
-    let Event::Done { cached, stats_json, output_fnv, .. } = &first else {
+    let Event::Done {
+        cached,
+        stats_json,
+        output_fnv,
+        ..
+    } = &first
+    else {
         panic!("expected done, got {first:?}");
     };
     assert!(!cached, "cold submit must compute");
-    assert_eq!(stats_json, &serial.stats_json, "server == serial, byte-identical");
+    assert_eq!(
+        stats_json, &serial.stats_json,
+        "server == serial, byte-identical"
+    );
     assert_eq!(output_fnv, &serial.output_fnv);
 
     let second = client.run("a2", spec(1)).expect("second run");
-    let Event::Done { cached, stats_json, .. } = &second else {
+    let Event::Done {
+        cached, stats_json, ..
+    } = &second
+    else {
         panic!("expected done, got {second:?}");
     };
     assert!(cached, "identical resubmit must be served from the cache");
-    assert_eq!(stats_json, &serial.stats_json, "cached == computed, byte-identical");
+    assert_eq!(
+        stats_json, &serial.stats_json,
+        "cached == computed, byte-identical"
+    );
 
     let stats = client.server_stats().expect("stats");
     assert_eq!(stats.cache_misses, 1);
@@ -109,18 +125,28 @@ fn batch_with_duplicates_simulates_each_distinct_job_once() {
             _ => {}
         }
     }
-    assert_eq!(done["b1"], done["b1dup"], "duplicate completions byte-identical");
+    assert_eq!(
+        done["b1"], done["b1dup"],
+        "duplicate completions byte-identical"
+    );
     assert_eq!(done["b2"], done["b2dup"]);
     let stats = client.server_stats().expect("stats");
     assert_eq!(stats.cache_misses, 2, "two distinct jobs, two simulations");
-    assert_eq!(stats.coalesced + stats.cache_hits, 2, "two dedup'd submissions");
+    assert_eq!(
+        stats.coalesced + stats.cache_hits,
+        2,
+        "two dedup'd submissions"
+    );
     server.shutdown();
 }
 
 #[test]
 fn full_queue_rejects_with_explicit_reason() {
     // max_pending = 0: no job can wait, every miss is turned away.
-    let (server, addr) = start(ServeOptions { max_pending: 0, ..Default::default() });
+    let (server, addr) = start(ServeOptions {
+        max_pending: 0,
+        ..Default::default()
+    });
     let mut client = Client::connect(&addr).expect("connect");
     let ev = client.run("q1", spec(1)).expect("submit");
     let Event::Rejected { reason, .. } = &ev else {
@@ -136,7 +162,10 @@ fn full_queue_rejects_with_explicit_reason() {
 #[test]
 fn exhausted_quota_rejects_with_explicit_reason() {
     // quota = 0: the connection may never have a job in flight.
-    let (server, addr) = start(ServeOptions { quota: 0, ..Default::default() });
+    let (server, addr) = start(ServeOptions {
+        quota: 0,
+        ..Default::default()
+    });
     let mut client = Client::connect(&addr).expect("connect");
     let ev = client.run("z1", spec(1)).expect("submit");
     let Event::Rejected { reason, .. } = &ev else {
@@ -187,14 +216,23 @@ fn failed_launches_report_failed_events() {
 #[test]
 fn restart_serves_warm_hits_from_the_persistent_cache() {
     let dir = tmp_dir("warm");
-    let opts = ServeOptions { cache_dir: Some(dir.clone()), ..Default::default() };
+    let opts = ServeOptions {
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
     let (cold_stats_json, cold_fnv);
     {
         let (server, addr) = start(opts.clone());
         assert_eq!(server.cache_loaded_from_disk(), 0);
         let mut client = Client::connect(&addr).expect("connect");
         let ev = client.run("w1", spec(7)).expect("cold run");
-        let Event::Done { cached, stats_json, output_fnv, .. } = ev else {
+        let Event::Done {
+            cached,
+            stats_json,
+            output_fnv,
+            ..
+        } = ev
+        else {
             panic!("expected done");
         };
         assert!(!cached);
@@ -204,10 +242,20 @@ fn restart_serves_warm_hits_from_the_persistent_cache() {
     }
     {
         let (server, addr) = start(opts);
-        assert_eq!(server.cache_loaded_from_disk(), 1, "result survived restart");
+        assert_eq!(
+            server.cache_loaded_from_disk(),
+            1,
+            "result survived restart"
+        );
         let mut client = Client::connect(&addr).expect("connect");
         let ev = client.run("w2", spec(7)).expect("warm run");
-        let Event::Done { cached, stats_json, output_fnv, .. } = ev else {
+        let Event::Done {
+            cached,
+            stats_json,
+            output_fnv,
+            ..
+        } = ev
+        else {
             panic!("expected done");
         };
         assert!(cached, "restarted server must serve the persisted result");

@@ -280,7 +280,12 @@ impl Gpu {
                     continue;
                 }
                 all_idle = false;
-                match sm.step(cycle, &mut self.device, &mut self.mem_sys, self.tracer.as_mut()) {
+                match sm.step(
+                    cycle,
+                    &mut self.device,
+                    &mut self.mem_sys,
+                    self.tracer.as_mut(),
+                ) {
                     None => any_issued = true,
                     Some(h) => hint = hint.min(h),
                 }
@@ -360,7 +365,11 @@ impl Gpu {
                 break;
             }
 
-            cycle = if next == u64::MAX { cycle + 1 } else { next.max(cycle + 1) };
+            cycle = if next == u64::MAX {
+                cycle + 1
+            } else {
+                next.max(cycle + 1)
+            };
             assert!(cycle < WATCHDOG, "simulation watchdog tripped");
         }
         cycle

@@ -157,7 +157,10 @@ fn wmma_pointer_param_offsets(kernel: &Kernel) -> Vec<u32> {
     let mut hits = Vec::new();
     for instr in kernel.instrs() {
         match &instr.op {
-            Op::Ld { space: MemSpace::Param, width: MemWidth::B64 } => {
+            Op::Ld {
+                space: MemSpace::Param,
+                width: MemWidth::B64,
+            } => {
                 if let (Some(dst), Some(Operand::Imm(off))) = (instr.dst, instr.srcs.first()) {
                     reg_to_param.insert(dst.0, *off as u32);
                     continue;
@@ -287,7 +290,9 @@ impl LaunchBuilder {
 
     fn try_push_param(&mut self, bytes_len: u32, le: &[u8]) -> Result<(), LaunchError> {
         if self.raw {
-            return Err(LaunchError::MixedParamStyles { kernel: self.kernel.name().to_string() });
+            return Err(LaunchError::MixedParamStyles {
+                kernel: self.kernel.name().to_string(),
+            });
         }
         let descs = self.kernel.params();
         if self.next_param >= descs.len() {
@@ -316,7 +321,8 @@ impl LaunchBuilder {
     }
 
     fn push_param(&mut self, bytes_len: u32, le: &[u8]) {
-        self.try_push_param(bytes_len, le).unwrap_or_else(|e| panic!("{e}"));
+        self.try_push_param(bytes_len, le)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Appends a 32-bit parameter (little-endian, naturally aligned).
@@ -371,7 +377,9 @@ impl LaunchBuilder {
     /// Fallible [`LaunchBuilder::raw_params`].
     pub fn try_raw_params(mut self, bytes: &[u8]) -> Result<LaunchBuilder, LaunchError> {
         if self.next_param != 0 {
-            return Err(LaunchError::MixedParamStyles { kernel: self.kernel.name().to_string() });
+            return Err(LaunchError::MixedParamStyles {
+                kernel: self.kernel.name().to_string(),
+            });
         }
         self.params = bytes.to_vec();
         self.raw = true;
@@ -442,8 +450,9 @@ impl LaunchBuilder {
     ///   granularity); a misaligned tile base splits every row fetch
     ///   across sectors on real hardware.
     pub fn try_into_parts(self) -> Result<(Kernel, LaunchConfig, Vec<u8>), LaunchError> {
-        for (what, dim) in
-            [("grid", self.grid), ("block", self.block)].into_iter().filter_map(|(w, d)| Some((w, d?)))
+        for (what, dim) in [("grid", self.grid), ("block", self.block)]
+            .into_iter()
+            .filter_map(|(w, d)| Some((w, d?)))
         {
             if dim.x == 0 || dim.y == 0 || dim.z == 0 {
                 return Err(LaunchError::ZeroDim {
@@ -454,13 +463,18 @@ impl LaunchBuilder {
             }
         }
         for off in wmma_pointer_param_offsets(&self.kernel) {
-            let Some(desc) =
-                self.kernel.params().iter().find(|p| p.offset == off && p.bytes == 8)
+            let Some(desc) = self
+                .kernel
+                .params()
+                .iter()
+                .find(|p| p.offset == off && p.bytes == 8)
             else {
                 continue;
             };
             let o = off as usize;
-            let Some(bytes) = self.params.get(o..o + 8) else { continue };
+            let Some(bytes) = self.params.get(o..o + 8) else {
+                continue;
+            };
             let addr = u64::from_le_bytes(bytes.try_into().unwrap());
             if addr % WMMA_PTR_ALIGN != 0 {
                 return Err(LaunchError::UnalignedWmmaPointer {
@@ -649,7 +663,9 @@ mod tests {
 
     #[test]
     fn try_param_reports_width_mismatch() {
-        let err = LaunchBuilder::new(two_param_kernel()).try_param_u32(7).unwrap_err();
+        let err = LaunchBuilder::new(two_param_kernel())
+            .try_param_u32(7)
+            .unwrap_err();
         assert_eq!(
             err,
             LaunchError::ParamWidth {
@@ -672,19 +688,35 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            LaunchError::ExtraParam { kernel: "store_n".into(), declared: 2, bytes: 4 }
+            LaunchError::ExtraParam {
+                kernel: "store_n".into(),
+                declared: 2,
+                bytes: 4
+            }
         );
     }
 
     #[test]
     fn try_into_parts_reports_missing_geometry_and_params() {
-        let err = LaunchBuilder::new(two_param_kernel()).try_into_parts().unwrap_err();
-        assert_eq!(err, LaunchError::GridNotSet { kernel: "store_n".into() });
+        let err = LaunchBuilder::new(two_param_kernel())
+            .try_into_parts()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::GridNotSet {
+                kernel: "store_n".into()
+            }
+        );
         let err = LaunchBuilder::new(two_param_kernel())
             .grid(1u32)
             .try_into_parts()
             .unwrap_err();
-        assert_eq!(err, LaunchError::BlockNotSet { kernel: "store_n".into() });
+        assert_eq!(
+            err,
+            LaunchError::BlockNotSet {
+                kernel: "store_n".into()
+            }
+        );
         let err = LaunchBuilder::new(two_param_kernel())
             .grid(1u32)
             .block(32u32)
@@ -693,7 +725,11 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            LaunchError::MissingParams { kernel: "store_n".into(), declared: 2, supplied: 1 }
+            LaunchError::MissingParams {
+                kernel: "store_n".into(),
+                declared: 2,
+                supplied: 1
+            }
         );
     }
 
@@ -729,12 +765,22 @@ mod tests {
             .param_u64(0)
             .try_raw_params(&[0u8; 12])
             .unwrap_err();
-        assert_eq!(err, LaunchError::MixedParamStyles { kernel: "store_n".into() });
+        assert_eq!(
+            err,
+            LaunchError::MixedParamStyles {
+                kernel: "store_n".into()
+            }
+        );
         let err = LaunchBuilder::new(two_param_kernel())
             .raw_params(&[0u8; 12])
             .try_param_u64(0)
             .unwrap_err();
-        assert_eq!(err, LaunchError::MixedParamStyles { kernel: "store_n".into() });
+        assert_eq!(
+            err,
+            LaunchError::MixedParamStyles {
+                kernel: "store_n".into()
+            }
+        );
     }
 
     #[test]
@@ -807,7 +853,12 @@ mod tests {
             .block(32u32)
             .try_launch(&mut gpu)
             .unwrap_err();
-        let LaunchError::Verification { kernel, errors, report } = &err else {
+        let LaunchError::Verification {
+            kernel,
+            errors,
+            report,
+        } = &err
+        else {
             panic!("expected Verification, got: {err}");
         };
         assert_eq!(kernel, "uninit");

@@ -31,7 +31,7 @@ pub use config::GpuConfig;
 pub use gpu::Gpu;
 pub use launch::{LaunchBuilder, LaunchError};
 pub use options::{CoreModel, SimOptions};
-pub use tcsim_verify::{Diagnostic, LaunchGeometry, Severity};
 pub use session::{Session, SessionEntry};
 pub use stats::{pearson, Distribution, JsonWriter, LaunchStats};
 pub use sweep::{HasLaunchStats, Sweep, SweepOutcome, SweepStats};
+pub use tcsim_verify::{Diagnostic, LaunchGeometry, Severity};

@@ -67,7 +67,12 @@ impl SimOptions {
     /// Default options for `cfg`: event-driven core, tracing disabled,
     /// WMMA profiling off.
     pub fn new(cfg: GpuConfig) -> SimOptions {
-        SimOptions { cfg, core: CoreModel::default(), profile_wmma: false, tracer: None }
+        SimOptions {
+            cfg,
+            core: CoreModel::default(),
+            profile_wmma: false,
+            tracer: None,
+        }
     }
 
     /// Selects the SM-core simulation loop.

@@ -62,7 +62,11 @@ pub struct Session {
 impl Session {
     /// Wraps `gpu` in a fresh session with no recorded launches.
     pub fn new(gpu: Gpu) -> Session {
-        Session { gpu, trace: false, entries: Vec::new() }
+        Session {
+            gpu,
+            trace: false,
+            entries: Vec::new(),
+        }
     }
 
     /// Enables (or disables) per-launch tracing: each subsequent launch
@@ -88,7 +92,10 @@ impl Session {
             builder
         };
         let stats = builder.launch(&mut self.gpu);
-        self.entries.push(SessionEntry { name: name.into(), stats });
+        self.entries.push(SessionEntry {
+            name: name.into(),
+            stats,
+        });
         self.entries.last().expect("just pushed")
     }
 
@@ -152,7 +159,11 @@ mod tests {
                     .param_u64(out),
             );
         }
-        assert_eq!(session.gpu().read_u32(out), 3, "three increments must accumulate");
+        assert_eq!(
+            session.gpu().read_u32(out),
+            3,
+            "three increments must accumulate"
+        );
         assert_eq!(session.entries().len(), 3);
         assert_eq!(session.entries()[1].name, "pass1");
     }

@@ -130,7 +130,10 @@ pub struct JsonWriter {
 impl JsonWriter {
     /// Starts an object (`{`).
     pub fn object() -> JsonWriter {
-        JsonWriter { buf: String::from("{"), first: true }
+        JsonWriter {
+            buf: String::from("{"),
+            first: true,
+        }
     }
 
     fn key(&mut self, name: &str) {

@@ -124,7 +124,10 @@ pub struct Sweep<T> {
 impl<T: Send> Sweep<T> {
     /// Creates an empty sweep.
     pub fn new() -> Sweep<T> {
-        Sweep { jobs: Vec::new(), core: CoreModel::default() }
+        Sweep {
+            jobs: Vec::new(),
+            core: CoreModel::default(),
+        }
     }
 
     /// Selects the SM-core model every job's fresh [`Gpu`] is built with
@@ -137,7 +140,11 @@ impl<T: Send> Sweep<T> {
     }
 
     /// Adds a job with default scheduling weight.
-    pub fn add(&mut self, cfg: GpuConfig, f: impl FnOnce(&mut Gpu) -> T + Send + 'static) -> &mut Sweep<T> {
+    pub fn add(
+        &mut self,
+        cfg: GpuConfig,
+        f: impl FnOnce(&mut Gpu) -> T + Send + 'static,
+    ) -> &mut Sweep<T> {
         self.add_weighted(cfg, 0, f)
     }
 
@@ -152,7 +159,11 @@ impl<T: Send> Sweep<T> {
         weight: u64,
         f: impl FnOnce(&mut Gpu) -> T + Send + 'static,
     ) -> &mut Sweep<T> {
-        self.jobs.push(Job { cfg, weight, run: Box::new(f) });
+        self.jobs.push(Job {
+            cfg,
+            weight,
+            run: Box::new(f),
+        });
         self
     }
 
@@ -207,8 +218,7 @@ impl<T: Send> Sweep<T> {
         indexed.sort_by_key(|(_, job)| std::cmp::Reverse(job.weight));
 
         let queue: Mutex<VecDeque<(usize, Job<T>)>> = Mutex::new(indexed.into());
-        let slots: Mutex<Vec<Option<T>>> =
-            Mutex::new((0..n_jobs).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
 
         std::thread::scope(|scope| {
             for _ in 0..workers {

@@ -114,7 +114,10 @@ impl SmConfig {
     /// `mma.sync` modes (a "mini-A100" for conformance testing — the
     /// paper's measured machines remain Volta and Turing).
     pub fn ampere() -> SmConfig {
-        SmConfig { ampere_mma_sync: true, ..SmConfig::turing() }
+        SmConfig {
+            ampere_mma_sync: true,
+            ..SmConfig::turing()
+        }
     }
 
     /// The tensor-core generation this SM models.
@@ -166,7 +169,10 @@ mod tests {
         // count on both modeled architectures.
         assert_eq!(SmConfig::volta().issue_width(), 4);
         assert_eq!(SmConfig::turing().issue_width(), 4);
-        let narrow = SmConfig { sub_cores: 2, ..SmConfig::volta() };
+        let narrow = SmConfig {
+            sub_cores: 2,
+            ..SmConfig::volta()
+        };
         assert_eq!(narrow.issue_width(), 2);
     }
 

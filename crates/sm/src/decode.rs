@@ -54,7 +54,12 @@ impl DecodedKernel {
                     for r in uops.uses(pc) {
                         bank_counts[r.0 as usize % cfg.reg_banks] += 1;
                     }
-                    bank_counts.iter().copied().max().unwrap_or(1).saturating_sub(1) as u64
+                    bank_counts
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(1)
+                        .saturating_sub(1) as u64
                 };
                 let (ii, latency) = match unit {
                     UnitClass::Sp => (cfg.warp_ii(cfg.fp32_lanes), cfg.alu_latency),
@@ -67,13 +72,17 @@ impl DecodedKernel {
                         };
                         let t = mma_timing(volta, dir);
                         // A warp normally drives two tensor cores (§IV).
-                        let ii = t.initiation_interval as u64 * 2
-                            / (cfg.tensor_cores.max(1) as u64);
+                        let ii =
+                            t.initiation_interval as u64 * 2 / (cfg.tensor_cores.max(1) as u64);
                         (ii, t.latency as u64)
                     }
                     UnitClass::Mem | UnitClass::Control => (0, 0),
                 };
-                UopTiming { ii, latency, bank_conflicts }
+                UopTiming {
+                    ii,
+                    latency,
+                    bank_conflicts,
+                }
             })
             .collect();
         DecodedKernel { uops, timing }

@@ -105,11 +105,17 @@ mod tests {
         sb.issue(&[r(1)], 50, false);
         assert_eq!(
             sb.check(&[r(1)], &[r(2)], 10),
-            Err(Hazard { ready: 50, from_mem: false })
+            Err(Hazard {
+                ready: 50,
+                from_mem: false
+            })
         );
         assert_eq!(
             sb.check(&[r(4)], &[r(1)], 20),
-            Err(Hazard { ready: 50, from_mem: false })
+            Err(Hazard {
+                ready: 50,
+                from_mem: false
+            })
         );
         assert_eq!(sb.check(&[r(1)], &[r(2)], 50), Ok(()));
     }
@@ -120,19 +126,28 @@ mod tests {
         sb.issue(&[r(1)], 200, true);
         assert_eq!(
             sb.check(&[r(1)], &[], 10),
-            Err(Hazard { ready: 200, from_mem: true })
+            Err(Hazard {
+                ready: 200,
+                from_mem: true
+            })
         );
         // A later ALU overwrite clears the memory attribution.
         sb.issue(&[r(1)], 300, false);
         assert_eq!(
             sb.check(&[r(1)], &[], 10),
-            Err(Hazard { ready: 300, from_mem: false })
+            Err(Hazard {
+                ready: 300,
+                from_mem: false
+            })
         );
         // An *earlier* completion must not mask the pending one.
         sb.issue(&[r(1)], 250, true);
         assert_eq!(
             sb.check(&[r(1)], &[], 10),
-            Err(Hazard { ready: 300, from_mem: false })
+            Err(Hazard {
+                ready: 300,
+                from_mem: false
+            })
         );
     }
 
@@ -156,9 +171,12 @@ mod tests {
                 .with_srcs(vec![Operand::Reg(Reg(src))])
         };
         let ld = |dst: u16, addr: u16| {
-            Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
-                .with_dst(Reg(dst))
-                .with_srcs(vec![Operand::Reg(Reg(addr))])
+            Instr::new(Op::Ld {
+                space: MemSpace::Global,
+                width: MemWidth::B32,
+            })
+            .with_dst(Reg(dst))
+            .with_srcs(vec![Operand::Reg(Reg(addr))])
         };
         let program = [
             (mov(1, 0), 50u64),

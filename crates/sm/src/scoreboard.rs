@@ -52,7 +52,10 @@ impl Scoreboard {
         let mut consider = |p: Pending| {
             if p.ready > now {
                 block = Some(match block {
-                    None => Hazard { ready: p.ready, from_mem: p.from_mem },
+                    None => Hazard {
+                        ready: p.ready,
+                        from_mem: p.from_mem,
+                    },
                     Some(h) => Hazard {
                         ready: h.ready.max(p.ready),
                         from_mem: h.from_mem || p.from_mem,
@@ -80,10 +83,10 @@ impl Scoreboard {
     pub fn issue(&mut self, instr: &Instr, volta_frag: bool, ready: u64) {
         let from_mem = instr.op.unit() == UnitClass::Mem;
         for r in instr.def_regs(volta_frag) {
-            let slot = self
-                .pending
-                .entry(r)
-                .or_insert(Pending { ready: 0, from_mem: false });
+            let slot = self.pending.entry(r).or_insert(Pending {
+                ready: 0,
+                from_mem: false,
+            });
             if ready > slot.ready {
                 slot.ready = ready;
                 slot.from_mem = from_mem;
@@ -121,13 +124,19 @@ mod tests {
     }
 
     fn ld(dst: u16, addr: u16) -> Instr {
-        Instr::new(Op::Ld { space: MemSpace::Global, width: MemWidth::B32 })
-            .with_dst(Reg(dst))
-            .with_srcs(vec![Operand::Reg(Reg(addr))])
+        Instr::new(Op::Ld {
+            space: MemSpace::Global,
+            width: MemWidth::B32,
+        })
+        .with_dst(Reg(dst))
+        .with_srcs(vec![Operand::Reg(Reg(addr))])
     }
 
     fn alu_hazard(ready: u64) -> Hazard {
-        Hazard { ready, from_mem: false }
+        Hazard {
+            ready,
+            from_mem: false,
+        }
     }
 
     #[test]
@@ -183,7 +192,10 @@ mod tests {
         // Blocking on the load alone: a memory stall.
         assert_eq!(
             sb.check(&mov(3, 1), true, 10),
-            Err(Hazard { ready: 200, from_mem: true })
+            Err(Hazard {
+                ready: 200,
+                from_mem: true
+            })
         );
         // Blocking on both: the flag propagates even though the ALU
         // write is also outstanding.
@@ -192,7 +204,10 @@ mod tests {
             .with_srcs(vec![Operand::Reg(Reg(1)), Operand::Reg(Reg(2))]);
         assert_eq!(
             sb.check(&mixed, true, 10),
-            Err(Hazard { ready: 200, from_mem: true })
+            Err(Hazard {
+                ready: 200,
+                from_mem: true
+            })
         );
         // Blocking on the ALU write alone: plain RAW.
         assert_eq!(sb.check(&mov(5, 2), true, 10), Err(alu_hazard(40)));
@@ -200,7 +215,10 @@ mod tests {
         sb.issue(&mov(1, 0), true, 300);
         assert_eq!(
             sb.check(&mov(6, 1), true, 10),
-            Err(Hazard { ready: 300, from_mem: false })
+            Err(Hazard {
+                ready: 300,
+                from_mem: false
+            })
         );
     }
 }

@@ -16,12 +16,12 @@ use crate::scoreboard::Scoreboard;
 use crate::stats::{unit_index, SmStats, WmmaKind, WmmaSample};
 use std::sync::Arc;
 use tcsim_core::{mma_timing, trace_mma, TensorCoreModel};
-use tcsim_trace::{emit, EventKind, StallReason, TraceEvent, TraceUnit, Tracer};
 use tcsim_isa::exec::{ExecEnv, StepAction, WarpExec, FULL_MASK};
 use tcsim_isa::{
     Dim3, Instr, Kernel, LaunchConfig, MemSpace, Op, Operand, UnitClass, WmmaDirective, WARP_SIZE,
 };
 use tcsim_mem::{coalesce, conflict_passes, DeviceMemory, L1Path, MemSystem, SharedMemory};
+use tcsim_trace::{emit, EventKind, StallReason, TraceEvent, TraceUnit, Tracer};
 
 /// Everything shared by all CTAs of one kernel launch.
 #[derive(Clone)]
@@ -265,7 +265,11 @@ impl Sm {
             });
         for w in 0..req.warps {
             let live = threads.saturating_sub((w * WARP_SIZE) as u32).min(32);
-            let mask = if live >= 32 { FULL_MASK } else { (1u32 << live) - 1 };
+            let mask = if live >= 32 {
+                FULL_MASK
+            } else {
+                (1u32 << live) - 1
+            };
             let slot = self
                 .warps
                 .iter()
@@ -607,7 +611,11 @@ impl Sm {
         // — cloning the whole LaunchSpec per issue is measurable.
         let (params, block, grid) = {
             let cta = self.ctas[cta_idx].as_ref().expect("cta exists");
-            (Arc::clone(&cta.spec.params), cta.spec.launch.block, cta.spec.launch.grid)
+            (
+                Arc::clone(&cta.spec.params),
+                cta.spec.launch.block,
+                cta.spec.launch.grid,
+            )
         };
 
         // --- Issue: execute functionally, then account timing. ---
@@ -633,7 +641,12 @@ impl Sm {
             for r in instr.use_regs(volta) {
                 bank_counts[r.0 as usize % self.cfg.reg_banks] += 1;
             }
-            let conflicts = bank_counts.iter().copied().max().unwrap_or(1).saturating_sub(1) as u64;
+            let conflicts = bank_counts
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(1)
+                .saturating_sub(1) as u64;
             collect += conflicts;
             self.stats.reg_bank_stalls += conflicts;
         }
@@ -661,7 +674,9 @@ impl Sm {
                 now + collect + self.cfg.mufu_latency + ii
             }
             UnitClass::Tensor => {
-                let Op::Wmma(dir) = &instr.op else { unreachable!("tensor unit ⇒ wmma.mma") };
+                let Op::Wmma(dir) = &instr.op else {
+                    unreachable!("tensor unit ⇒ wmma.mma")
+                };
                 let t = mma_timing(volta, dir);
                 // A warp normally drives two tensor cores (§IV); with
                 // fewer, its HMMA throughput scales down proportionally.
@@ -674,7 +689,15 @@ impl Sm {
                 // The first HMMA enters the tensor core once operands are
                 // collected, so step completions land at issue + collect +
                 // the Fig 9 cumulative cycles.
-                trace_mma(tracer, volta, dir, now + collect, sm_id, sc as u8, wi as u16);
+                trace_mma(
+                    tracer,
+                    volta,
+                    dir,
+                    now + collect,
+                    sm_id,
+                    sc as u8,
+                    wi as u16,
+                );
                 ready
             }
             UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys, tracer),
@@ -704,7 +727,10 @@ impl Sm {
                     emit(tracer, || TraceEvent {
                         cycle: now,
                         sm: sm_id,
-                        kind: EventKind::WarpRetire { sub_core: sc as u8, warp: wi as u16 },
+                        kind: EventKind::WarpRetire {
+                            sub_core: sc as u8,
+                            warp: wi as u16,
+                        },
                     });
                 }
                 StepAction::Barrier => {
@@ -878,8 +904,18 @@ impl Sm {
                 if self.profile_wmma {
                     self.push_sample(WmmaKind::Mma, now, ready - now);
                 }
-                let Op::Wmma(dir) = &instr.op else { unreachable!("tensor unit ⇒ wmma.mma") };
-                trace_mma(tracer, volta, dir, now + collect, sm_id, sc as u8, wi as u16);
+                let Op::Wmma(dir) = &instr.op else {
+                    unreachable!("tensor unit ⇒ wmma.mma")
+                };
+                trace_mma(
+                    tracer,
+                    volta,
+                    dir,
+                    now + collect,
+                    sm_id,
+                    sc as u8,
+                    wi as u16,
+                );
                 ready
             }
             UnitClass::Mem => self.account_memory(instr, &outcome, now, collect, sys, tracer),
@@ -920,7 +956,10 @@ impl Sm {
             emit(tracer, || TraceEvent {
                 cycle: now,
                 sm: sm_id,
-                kind: EventKind::WarpRetire { sub_core: sc as u8, warp: wi as u16 },
+                kind: EventKind::WarpRetire {
+                    sub_core: sc as u8,
+                    warp: wi as u16,
+                },
             });
         }
 
@@ -967,7 +1006,9 @@ impl Sm {
                 let mut done = now + collect + self.cfg.shared_latency;
                 for (i, t) in txns.iter().enumerate() {
                     let start = now + collect + i as u64 * self.cfg.mio_cycles_per_txn;
-                    let r = self.l1.access(t, trace.is_store, start, sys, self.id, tracer);
+                    let r = self
+                        .l1
+                        .access(t, trace.is_store, start, sys, self.id, tracer);
                     done = done.max(r);
                 }
                 if trace.is_store {
@@ -999,7 +1040,11 @@ impl Sm {
 
     fn push_sample(&mut self, kind: WmmaKind, issue: u64, latency: u64) {
         if self.stats.wmma_samples.len() < 1_000_000 {
-            self.stats.wmma_samples.push(WmmaSample { kind, issue, latency });
+            self.stats.wmma_samples.push(WmmaSample {
+                kind,
+                issue,
+                latency,
+            });
         }
     }
 
@@ -1083,7 +1128,12 @@ mod tests {
     }
 
     fn spec(kernel: Kernel, launch: LaunchConfig, params: Vec<u8>) -> LaunchSpec {
-        LaunchSpec { kernel: Arc::new(kernel), params: Arc::new(params), launch, uops: None }
+        LaunchSpec {
+            kernel: Arc::new(kernel),
+            params: Arc::new(params),
+            launch,
+            uops: None,
+        }
     }
 
     fn tiny_sys() -> MemSystem {
@@ -1163,7 +1213,11 @@ mod tests {
             use tcsim_isa::ByteMemory;
             global.write_u32(buf + 4 * i as u64, i);
         }
-        let spec = spec(kernel, LaunchConfig::new(1u32, 32u32), buf.to_le_bytes().to_vec());
+        let spec = spec(
+            kernel,
+            LaunchConfig::new(1u32, 32u32),
+            buf.to_le_bytes().to_vec(),
+        );
         let mut sm = Sm::new(SmConfig::volta());
         let mut sys = tiny_sys();
         sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
@@ -1241,12 +1295,20 @@ mod tests {
         let raw_stalls: Vec<&TraceEvent> = events
             .iter()
             .filter(|e| {
-                matches!(e.kind, EventKind::Stall { reason: StallReason::Raw, .. })
+                matches!(
+                    e.kind,
+                    EventKind::Stall {
+                        reason: StallReason::Raw,
+                        ..
+                    }
+                )
             })
             .collect();
         assert!(!raw_stalls.is_empty(), "dependent chain must stall");
         for e in &raw_stalls {
-            let EventKind::Stall { until, .. } = e.kind else { unreachable!() };
+            let EventKind::Stall { until, .. } = e.kind else {
+                unreachable!()
+            };
             assert!(until > e.cycle, "stalls resolve in the future");
         }
     }
@@ -1264,7 +1326,11 @@ mod tests {
         b.exit();
         let mut global = DeviceMemory::new();
         let buf = global.alloc(128);
-        let spec = spec(b.build(), LaunchConfig::new(1u32, 32u32), buf.to_le_bytes().to_vec());
+        let spec = spec(
+            b.build(),
+            LaunchConfig::new(1u32, 32u32),
+            buf.to_le_bytes().to_vec(),
+        );
         let mut sm = Sm::new(SmConfig::volta());
         let mut sys = tiny_sys();
         sm.launch_cta(&spec, Dim3::new(0, 0, 0), 0);
@@ -1273,7 +1339,10 @@ mod tests {
         let events = tr.snapshot();
         assert!(events.iter().any(|e| matches!(
             e.kind,
-            EventKind::Stall { reason: StallReason::Memory, .. }
+            EventKind::Stall {
+                reason: StallReason::Memory,
+                ..
+            }
         )));
         assert!(events
             .iter()
@@ -1378,7 +1447,10 @@ mod tests {
             b.build()
         };
         for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
-            let cfg = SmConfig { scheduler: policy, ..SmConfig::volta() };
+            let cfg = SmConfig {
+                scheduler: policy,
+                ..SmConfig::volta()
+            };
             let mut runs = Vec::new();
             for event_driven in [false, true] {
                 let mut global = DeviceMemory::new();
@@ -1409,15 +1481,17 @@ mod tests {
                     };
                     assert!(now < 1_000_000, "SM did not finish");
                 }
-                let bytes: Vec<u32> = (0..128u32).map(|i| {
-                    use tcsim_isa::ByteMemory;
-                    global.read_u32(buf + 4 * i as u64)
-                }).collect();
+                let bytes: Vec<u32> = (0..128u32)
+                    .map(|i| {
+                        use tcsim_isa::ByteMemory;
+                        global.read_u32(buf + 4 * i as u64)
+                    })
+                    .collect();
                 runs.push((tr.snapshot().to_vec(), sm.stats().clone(), now, bytes));
             }
             let (legacy, fast) = (&runs[0], &runs[1]);
-            if let Some(i) = (0..legacy.0.len().min(fast.0.len()))
-                .find(|&i| legacy.0[i] != fast.0[i])
+            if let Some(i) =
+                (0..legacy.0.len().min(fast.0.len())).find(|&i| legacy.0[i] != fast.0[i])
             {
                 let lo = i.saturating_sub(2);
                 panic!(
@@ -1426,7 +1500,11 @@ mod tests {
                     &fast.0[lo..(i + 2).min(fast.0.len())],
                 );
             }
-            assert_eq!(legacy.0.len(), fast.0.len(), "event count differs ({policy:?})");
+            assert_eq!(
+                legacy.0.len(),
+                fast.0.len(),
+                "event count differs ({policy:?})"
+            );
             assert_eq!(legacy.1, fast.1, "stats differ ({policy:?})");
             assert_eq!(legacy.2, fast.2, "end cycle differs ({policy:?})");
             assert_eq!(legacy.3, fast.3, "memory differs ({policy:?})");
@@ -1451,7 +1529,10 @@ mod tests {
             b.build()
         };
         for policy in [SchedPolicy::Gto, SchedPolicy::RoundRobin] {
-            let cfg = SmConfig { scheduler: policy, ..SmConfig::volta() };
+            let cfg = SmConfig {
+                scheduler: policy,
+                ..SmConfig::volta()
+            };
             let mut sm = Sm::new(cfg);
             let mut global = DeviceMemory::new();
             let mut sys = tiny_sys();

@@ -126,11 +126,21 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SmStats { issued: 5, ..Default::default() };
+        let mut a = SmStats {
+            issued: 5,
+            ..Default::default()
+        };
         a.issued_by_unit[0] = 3;
-        let mut b = SmStats { issued: 7, ..Default::default() };
+        let mut b = SmStats {
+            issued: 7,
+            ..Default::default()
+        };
         b.issued_by_unit[0] = 2;
-        b.wmma_samples.push(WmmaSample { kind: WmmaKind::Mma, issue: 1, latency: 54 });
+        b.wmma_samples.push(WmmaSample {
+            kind: WmmaKind::Mma,
+            issue: 1,
+            latency: 54,
+        });
         a.merge(&b);
         assert_eq!(a.issued, 12);
         assert_eq!(a.issued_by_unit[0], 5);

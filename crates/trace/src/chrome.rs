@@ -107,9 +107,15 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     for ev in events {
         let sm_pid = ev.sm as u64;
         match ev.kind {
-            EventKind::WarpIssue { sub_core, warp, unit } => {
+            EventKind::WarpIssue {
+                sub_core,
+                warp,
+                unit,
+            } => {
                 let tid = sub_core as u64;
-                processes.entry(sm_pid).or_insert_with(|| format!("SM {}", ev.sm));
+                processes
+                    .entry(sm_pid)
+                    .or_insert_with(|| format!("SM {}", ev.sm));
                 threads
                     .entry((sm_pid, tid))
                     .or_insert_with(|| format!("sc{sub_core} issue"));
@@ -125,7 +131,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             }
             EventKind::WarpRetire { sub_core, warp } => {
                 let tid = sub_core as u64;
-                processes.entry(sm_pid).or_insert_with(|| format!("SM {}", ev.sm));
+                processes
+                    .entry(sm_pid)
+                    .or_insert_with(|| format!("SM {}", ev.sm));
                 threads
                     .entry((sm_pid, tid))
                     .or_insert_with(|| format!("sc{sub_core} issue"));
@@ -139,9 +147,16 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &[("warp", warp as u64)],
                 );
             }
-            EventKind::Stall { sub_core, warp, reason, until } => {
+            EventKind::Stall {
+                sub_core,
+                warp,
+                reason,
+                until,
+            } => {
                 let tid = 40 + sub_core as u64;
-                processes.entry(sm_pid).or_insert_with(|| format!("SM {}", ev.sm));
+                processes
+                    .entry(sm_pid)
+                    .or_insert_with(|| format!("SM {}", ev.sm));
                 threads
                     .entry((sm_pid, tid))
                     .or_insert_with(|| format!("sc{sub_core} stall"));
@@ -155,9 +170,18 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     &[("warp", warp as u64)],
                 );
             }
-            EventKind::HmmaStep { sub_core, warp, octet, set, step, complete } => {
+            EventKind::HmmaStep {
+                sub_core,
+                warp,
+                octet,
+                set,
+                step,
+                complete,
+            } => {
                 let tid = 100 + 8 * sub_core as u64 + octet as u64;
-                processes.entry(sm_pid).or_insert_with(|| format!("SM {}", ev.sm));
+                processes
+                    .entry(sm_pid)
+                    .or_insert_with(|| format!("SM {}", ev.sm));
                 threads
                     .entry((sm_pid, tid))
                     .or_insert_with(|| format!("sc{sub_core} octet {octet}"));
@@ -168,12 +192,24 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     (sm_pid, tid),
                     ev.cycle,
                     complete.saturating_sub(ev.cycle),
-                    &[("warp", warp as u64), ("set", set as u64), ("step", step as u64)],
+                    &[
+                        ("warp", warp as u64),
+                        ("set", set as u64),
+                        ("step", step as u64),
+                    ],
                 );
             }
-            EventKind::FedpStage { sub_core, warp, set, step, stage } => {
+            EventKind::FedpStage {
+                sub_core,
+                warp,
+                set,
+                step,
+                stage,
+            } => {
                 let tid = 80 + sub_core as u64;
-                processes.entry(sm_pid).or_insert_with(|| format!("SM {}", ev.sm));
+                processes
+                    .entry(sm_pid)
+                    .or_insert_with(|| format!("SM {}", ev.sm));
                 threads
                     .entry((sm_pid, tid))
                     .or_insert_with(|| format!("sc{sub_core} fedp"));
@@ -189,15 +225,13 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             }
             EventKind::CacheAccess { level, hit, store } => {
                 let (pid, tid, pname, tname) = match level {
-                    CacheLevel::L1 => (
-                        sm_pid,
-                        90u64,
-                        format!("SM {}", ev.sm),
-                        "L1".to_string(),
+                    CacheLevel::L1 => (sm_pid, 90u64, format!("SM {}", ev.sm), "L1".to_string()),
+                    CacheLevel::L2 => (
+                        MEMORY_PID,
+                        0u64,
+                        "memory system".to_string(),
+                        "L2".to_string(),
                     ),
-                    CacheLevel::L2 => {
-                        (MEMORY_PID, 0u64, "memory system".to_string(), "L2".to_string())
-                    }
                 };
                 processes.entry(pid).or_insert(pname);
                 threads.entry((pid, tid)).or_insert(tname);
@@ -207,7 +241,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     if hit { "hit" } else { "miss" },
                     if store { " (st)" } else { "" }
                 );
-                let args: &[(&str, u64)] = &[("sm", if ev.sm == MEM_SM { u64::MAX } else { sm_pid })];
+                let args: &[(&str, u64)] =
+                    &[("sm", if ev.sm == MEM_SM { u64::MAX } else { sm_pid })];
                 complete_event(&mut body, &name, "cache", (pid, tid), ev.cycle, 1, args);
             }
             EventKind::DramTxn { channel } => {
@@ -218,7 +253,15 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 threads
                     .entry((MEMORY_PID, tid))
                     .or_insert_with(|| format!("dram ch{channel}"));
-                complete_event(&mut body, "sector", "dram", (MEMORY_PID, tid), ev.cycle, 1, &[]);
+                complete_event(
+                    &mut body,
+                    "sector",
+                    "dram",
+                    (MEMORY_PID, tid),
+                    ev.cycle,
+                    1,
+                    &[],
+                );
             }
         }
     }
@@ -249,7 +292,11 @@ mod tests {
             TraceEvent {
                 cycle: 10,
                 sm: 0,
-                kind: EventKind::WarpIssue { sub_core: 0, warp: 1, unit: TraceUnit::Tensor },
+                kind: EventKind::WarpIssue {
+                    sub_core: 0,
+                    warp: 1,
+                    unit: TraceUnit::Tensor,
+                },
             },
             TraceEvent {
                 cycle: 10,
@@ -276,19 +323,44 @@ mod tests {
             TraceEvent {
                 cycle: 13,
                 sm: 1,
-                kind: EventKind::CacheAccess { level: CacheLevel::L1, hit: false, store: false },
+                kind: EventKind::CacheAccess {
+                    level: CacheLevel::L1,
+                    hit: false,
+                    store: false,
+                },
             },
             TraceEvent {
                 cycle: 14,
                 sm: MEM_SM,
-                kind: EventKind::CacheAccess { level: CacheLevel::L2, hit: true, store: true },
+                kind: EventKind::CacheAccess {
+                    level: CacheLevel::L2,
+                    hit: true,
+                    store: true,
+                },
             },
-            TraceEvent { cycle: 15, sm: MEM_SM, kind: EventKind::DramTxn { channel: 5 } },
-            TraceEvent { cycle: 16, sm: 0, kind: EventKind::WarpRetire { sub_core: 0, warp: 1 } },
+            TraceEvent {
+                cycle: 15,
+                sm: MEM_SM,
+                kind: EventKind::DramTxn { channel: 5 },
+            },
             TraceEvent {
                 cycle: 16,
                 sm: 0,
-                kind: EventKind::FedpStage { sub_core: 0, warp: 1, set: 1, step: 0, stage: 3 },
+                kind: EventKind::WarpRetire {
+                    sub_core: 0,
+                    warp: 1,
+                },
+            },
+            TraceEvent {
+                cycle: 16,
+                sm: 0,
+                kind: EventKind::FedpStage {
+                    sub_core: 0,
+                    warp: 1,
+                    set: 1,
+                    step: 0,
+                    stage: 3,
+                },
             },
         ]
     }
@@ -308,7 +380,10 @@ mod tests {
         assert!(json.contains("memory system"));
         assert!(json.contains("sc0 octet 2"));
         assert!(json.contains("set1 step0"));
-        assert!(json.contains("\"name\":\"memory\""), "stall reason labels the slice");
+        assert!(
+            json.contains("\"name\":\"memory\""),
+            "stall reason labels the slice"
+        );
         assert!(json.contains("dram ch5"));
     }
 

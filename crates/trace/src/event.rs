@@ -248,8 +248,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            TraceUnit::ALL.iter().map(|u| u.name()).collect();
+        let names: std::collections::HashSet<_> = TraceUnit::ALL.iter().map(|u| u.name()).collect();
         assert_eq!(names.len(), TraceUnit::ALL.len());
         let names: std::collections::HashSet<_> =
             StallReason::ALL.iter().map(|r| r.name()).collect();

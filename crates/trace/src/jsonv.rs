@@ -10,7 +10,11 @@
 /// Returns `Err` with a byte offset and message on the first violation.
 pub fn validate_json(s: &str) -> Result<(), String> {
     let b = s.as_bytes();
-    let mut p = Parser { b, pos: 0, depth: 0 };
+    let mut p = Parser {
+        b,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     p.value()?;
     p.skip_ws();

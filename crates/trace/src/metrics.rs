@@ -50,7 +50,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// Builds the summary of an event stream (`dropped` from the tracer).
     pub fn from_events(events: &[TraceEvent], dropped: u64) -> TraceSummary {
-        let mut s = TraceSummary { dropped, ..TraceSummary::default() };
+        let mut s = TraceSummary {
+            dropped,
+            ..TraceSummary::default()
+        };
         let mut hmma_spans: Vec<(u64, u64)> = Vec::new();
         for (i, ev) in events.iter().enumerate() {
             s.events += 1;
@@ -127,7 +130,13 @@ impl TraceSummary {
     pub fn stall_table(&self) -> Vec<(&'static str, u64, u64)> {
         StallReason::ALL
             .iter()
-            .map(|r| (r.name(), self.stall_counts[r.index()], self.stall_cycles[r.index()]))
+            .map(|r| {
+                (
+                    r.name(),
+                    self.stall_counts[r.index()],
+                    self.stall_cycles[r.index()],
+                )
+            })
             .collect()
     }
 
@@ -137,7 +146,10 @@ impl TraceSummary {
         let arr = |v: &[u64]| {
             format!(
                 "[{}]",
-                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         };
         format!(
@@ -247,7 +259,11 @@ mod tests {
         TraceEvent {
             cycle,
             sm: 0,
-            kind: EventKind::WarpIssue { sub_core: 0, warp: 0, unit },
+            kind: EventKind::WarpIssue {
+                sub_core: 0,
+                warp: 0,
+                unit,
+            },
         }
     }
 
@@ -285,9 +301,20 @@ mod tests {
             TraceEvent {
                 cycle: 8,
                 sm: 0,
-                kind: EventKind::CacheAccess { level: CacheLevel::L1, hit: true, store: false },
+                kind: EventKind::CacheAccess {
+                    level: CacheLevel::L1,
+                    hit: true,
+                    store: false,
+                },
             },
-            TraceEvent { cycle: 20, sm: 0, kind: EventKind::WarpRetire { sub_core: 0, warp: 0 } },
+            TraceEvent {
+                cycle: 20,
+                sm: 0,
+                kind: EventKind::WarpRetire {
+                    sub_core: 0,
+                    warp: 0,
+                },
+            },
         ];
         let s = TraceSummary::from_events(&events, 3);
         assert_eq!(s.events, 6);

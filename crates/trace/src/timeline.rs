@@ -26,7 +26,15 @@ pub fn hmma_step_timeline(events: &[TraceEvent], width: usize) -> String {
     let mut steps: Vec<(u8, u8, u64, u64)> = Vec::new(); // (set, step, issue, complete)
     let mut seen = std::collections::HashSet::new();
     for ev in events {
-        let EventKind::HmmaStep { warp, octet, set, step, complete, .. } = ev.kind else {
+        let EventKind::HmmaStep {
+            warp,
+            octet,
+            set,
+            step,
+            complete,
+            ..
+        } = ev.kind
+        else {
             continue;
         };
         if octet != 0 {
@@ -77,11 +85,26 @@ pub fn hmma_step_timeline(events: &[TraceEvent], width: usize) -> String {
 mod tests {
     use super::*;
 
-    fn step_ev(sm: u16, warp: u16, octet: u8, set: u8, step: u8, cycle: u64, complete: u64) -> TraceEvent {
+    fn step_ev(
+        sm: u16,
+        warp: u16,
+        octet: u8,
+        set: u8,
+        step: u8,
+        cycle: u64,
+        complete: u64,
+    ) -> TraceEvent {
         TraceEvent {
             cycle,
             sm,
-            kind: EventKind::HmmaStep { sub_core: 0, warp, octet, set, step, complete },
+            kind: EventKind::HmmaStep {
+                sub_core: 0,
+                warp,
+                octet,
+                set,
+                step,
+                complete,
+            },
         }
     }
 

@@ -34,16 +34,25 @@ fn main() {
 
     let report = run_chained(&net, &input, cfg.clone(), true);
     report.assert_within_tolerance();
-    println!("{:<22} {:>28} {:>9} {:>6} {:>6}", "stage", "kernel", "cycles", "HMMA%", "err/tol");
+    println!(
+        "{:<22} {:>28} {:>9} {:>6} {:>6}",
+        "stage", "kernel", "cycles", "HMMA%", "err/tol"
+    );
     for l in &report.layers {
-        let occ = l.hmma_occupancy.map_or("-".to_string(), |o| format!("{:.1}", o * 100.0));
+        let occ = l
+            .hmma_occupancy
+            .map_or("-".to_string(), |o| format!("{:.1}", o * 100.0));
         println!(
             "{:<22} {:>28} {:>9} {:>6} {:>6.2}",
             l.name,
             l.kernel,
             l.cycles,
             occ,
-            if l.tolerance > 0.0 { l.max_err / l.tolerance } else { l.max_err }
+            if l.tolerance > 0.0 {
+                l.max_err / l.tolerance
+            } else {
+                l.max_err
+            }
         );
     }
     println!(
@@ -55,7 +64,11 @@ fn main() {
     // The serving view: 32 requests arriving open-loop at 40 per
     // Mcycle, continuously batched up to 4 sequences, KV-gated.
     let mut cost = CostModel::new(cfg, SEED);
-    let workload = Workload { seed: SEED, requests: 32, rate_per_mcycle: 40.0 };
+    let workload = Workload {
+        seed: SEED,
+        requests: 32,
+        rate_per_mcycle: 40.0,
+    };
     let policy = Policy::Continuous { max_batch: 4 };
     let run = simulate(&mut cost, &workload, &policy, &KvCache::for_encoder(8));
     println!(

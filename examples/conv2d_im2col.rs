@@ -35,7 +35,11 @@ impl ConvLayer {
     }
     /// GEMM view: M = output pixels, K = c·kh·kw, N = filters.
     fn gemm_mnk(&self) -> (usize, usize, usize) {
-        (self.out_h() * self.out_w(), self.f, self.c * self.kh * self.kw)
+        (
+            self.out_h() * self.out_w(),
+            self.f,
+            self.c * self.kh * self.kw,
+        )
     }
 }
 
@@ -51,7 +55,14 @@ fn main() {
     // 224-pixel-ish layer scaled down to keep the example quick:
     // 8 channels of 36x36, 64 filters of 3x3 → GEMM 1156x64x72… round to
     // tile-aligned sizes by choosing output 32x32 and K=8·3·3=72→pad to 80.
-    let layer = ConvLayer { c: 8, h: 34, w: 34, f: 64, kh: 3, kw: 3 };
+    let layer = ConvLayer {
+        c: 8,
+        h: 34,
+        w: 34,
+        f: 64,
+        kh: 3,
+        kw: 3,
+    };
     let (m, n, k_raw) = layer.gemm_mnk();
     let k = k_raw.div_ceil(16) * 16; // zero-padded reduction
     println!(
@@ -128,7 +139,8 @@ fn main() {
                     }
                 }
                 let row = oy * layer.out_w() + ox;
-                let got = f32::from_bits(gpu.device_mut().read_u32(pd + ((row * n + f) * 4) as u64));
+                let got =
+                    f32::from_bits(gpu.device_mut().read_u32(pd + ((row * n + f) * 4) as u64));
                 max_err = max_err.max((got - want).abs());
                 assert!(
                     (got - want).abs() < 0.01,

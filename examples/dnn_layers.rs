@@ -29,15 +29,31 @@ fn main() {
         "layer", "m x n x k", "TC cycles", "SGEMM cyc", "speedup", "TFLOPS"
     );
 
-    let kernel = GemmKernel::Cutlass(CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 2 });
+    let kernel = GemmKernel::Cutlass(CutlassConfig {
+        cta_m: 64,
+        cta_n: 64,
+        warp_m: 32,
+        warp_n: 32,
+        stages: 2,
+    });
     let mut total_tc = 0u64;
     let mut total_fp32 = 0u64;
     for (name, m, n, k) in layers {
-        let p = GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 };
+        let p = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::MixedF32,
+        };
         let mut gpu = Gpu::new(GpuConfig::titan_v());
         let tc = run_gemm(&mut gpu, p, kernel, true);
 
-        let p32 = GemmProblem { m, n, k, precision: GemmPrecision::Fp32 };
+        let p32 = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::Fp32,
+        };
         let mut gpu = Gpu::new(GpuConfig::titan_v());
         let base = run_gemm(&mut gpu, p32, GemmKernel::Sgemm, false);
 

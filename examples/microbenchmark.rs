@@ -56,7 +56,10 @@ fn main() {
             .param_u64(src)
             .param_u64(out)
             .launch(&mut gpu);
-        let max = (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0");
+        let max = (0..warps)
+            .map(|w| gpu.read_u32(out + 4 * w as u64))
+            .max()
+            .expect("warps > 0");
         println!("  {warps} warps: {max} cycles");
     }
     println!("(flat to 4 warps, then the tensor-core pairs saturate — Fig 12c)");

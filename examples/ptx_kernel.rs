@@ -33,7 +33,12 @@ const SOURCE: &str = r#"
 
 fn main() {
     let kernel = ptx::parse_kernel(SOURCE).expect("valid source");
-    println!("parsed `{}`: {} instructions, {} registers", kernel.name(), kernel.instrs().len(), kernel.num_regs());
+    println!(
+        "parsed `{}`: {} instructions, {} registers",
+        kernel.name(),
+        kernel.instrs().len(),
+        kernel.num_regs()
+    );
 
     let n = 256u32;
     let mut gpu = Gpu::new(GpuConfig::mini());

@@ -11,9 +11,7 @@
 use tcsim::core::{mma_reference, Tile};
 use tcsim::cutlass::{run_gemm, GemmKernel, GemmProblem};
 use tcsim::f16::F16;
-use tcsim::isa::{
-    FragmentKind, KernelBuilder, MemWidth, Operand, SpecialReg, WmmaShape, WmmaType,
-};
+use tcsim::isa::{FragmentKind, KernelBuilder, MemWidth, Operand, SpecialReg, WmmaShape, WmmaType};
 use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 fn main() {
@@ -62,7 +60,12 @@ fn main() {
     assert_eq!(gpu.read_u32(out + 4 * 42), 42);
 
     // --- 3. A tensor-core GEMM with verification. ---
-    let run = run_gemm(&mut gpu, GemmProblem::square(64), GemmKernel::WmmaShared, true);
+    let run = run_gemm(
+        &mut gpu,
+        GemmProblem::square(64),
+        GemmKernel::WmmaShared,
+        true,
+    );
     println!(
         "64x64x64 GEMM on tensor cores: {} cycles, max |err| = {:.3e}, {:.3} TFLOPS",
         run.stats.cycles,

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example softmax`
 
-use tcsim::isa::{
-    CmpOp, DataType, KernelBuilder, MemSpace, MemWidth, Operand, SpecialReg,
-};
+use tcsim::isa::{CmpOp, DataType, KernelBuilder, MemSpace, MemWidth, Operand, SpecialReg};
 use tcsim::sim::{Gpu, GpuConfig, LaunchBuilder};
 
 const COLS: usize = 32; // one element per lane
@@ -70,7 +68,11 @@ fn build_softmax() -> tcsim::isa::Kernel {
                 space: MemSpace::Shared,
                 width: MemWidth::B32,
             })
-            .with_srcs(vec![Operand::Reg(my_slot), Operand::Imm(0), Operand::Reg(tmp)])
+            .with_srcs(vec![
+                Operand::Reg(my_slot),
+                Operand::Imm(0),
+                Operand::Reg(tmp),
+            ])
             .with_guard(p, true),
         );
         b.bar();
@@ -106,7 +108,11 @@ fn build_softmax() -> tcsim::isa::Kernel {
                 space: MemSpace::Shared,
                 width: MemWidth::B32,
             })
-            .with_srcs(vec![Operand::Reg(my_slot), Operand::Imm(0), Operand::Reg(tmp)])
+            .with_srcs(vec![
+                Operand::Reg(my_slot),
+                Operand::Imm(0),
+                Operand::Reg(tmp),
+            ])
             .with_guard(p, true),
         );
         b.bar();

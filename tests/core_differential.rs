@@ -65,7 +65,10 @@ fn assert_identical(label: &str, event: &Footprint, cycle: &Footprint) {
         event.stats_json, cycle.stats_json,
         "{label}: LaunchStats JSON must be byte-identical"
     );
-    assert_eq!(event.output, cycle.output, "{label}: output memory must agree");
+    assert_eq!(
+        event.output, cycle.output,
+        "{label}: output memory must agree"
+    );
 }
 
 /// Runs a corpus case on the chosen core, mirroring the oracle driver.
@@ -122,7 +125,10 @@ fn run_gemm_on(cfg: &GpuConfig, size: usize, kernel: GemmKernel, core: CoreModel
         GemmKernel::IgemmWmma => GemmPrecision::Int8,
         _ => GemmPrecision::MixedF32,
     };
-    let problem = GemmProblem { precision, ..GemmProblem::square(size) };
+    let problem = GemmProblem {
+        precision,
+        ..GemmProblem::square(size)
+    };
     let run = run_gemm(&mut gpu, problem, kernel, false);
     Footprint {
         stats_json: run.stats.to_json(),
@@ -147,7 +153,10 @@ fn gemm_workloads_are_core_model_invariant() {
             let label = format!("mini/{kernel:?}/{size}");
             let event = run_gemm_on(&mini, size, kernel, CoreModel::EventDriven);
             let cycle = run_gemm_on(&mini, size, kernel, CoreModel::CycleStepped);
-            assert!(!event.events.is_empty(), "{label}: traced GEMM must emit events");
+            assert!(
+                !event.events.is_empty(),
+                "{label}: traced GEMM must emit events"
+            );
             assert_identical(&label, &event, &cycle);
         }
     }

@@ -33,7 +33,12 @@ fn battery_wmma_simple_mixed() {
         for n in [16usize, 48, 64] {
             for k in [16usize, 32, 80] {
                 check(
-                    GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 },
+                    GemmProblem {
+                        m,
+                        n,
+                        k,
+                        precision: GemmPrecision::MixedF32,
+                    },
                     GemmKernel::WmmaSimple,
                 );
             }
@@ -47,7 +52,12 @@ fn battery_wmma_simple_fp16() {
         for n in [32usize, 64] {
             for k in [16usize, 48] {
                 check(
-                    GemmProblem { m, n, k, precision: GemmPrecision::Fp16 },
+                    GemmProblem {
+                        m,
+                        n,
+                        k,
+                        precision: GemmPrecision::Fp16,
+                    },
                     GemmKernel::WmmaSimple,
                 );
             }
@@ -71,15 +81,44 @@ fn battery_wmma_shared() {
 #[test]
 fn battery_cutlass_tilings() {
     let tilings = [
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 1 },
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 2 },
-        CutlassConfig { cta_m: 64, cta_n: 128, warp_m: 32, warp_n: 64, stages: 2 },
-        CutlassConfig { cta_m: 128, cta_n: 128, warp_m: 64, warp_n: 32, stages: 2 },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 32,
+            stages: 1,
+        },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 32,
+            stages: 2,
+        },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 128,
+            warp_m: 32,
+            warp_n: 64,
+            stages: 2,
+        },
+        CutlassConfig {
+            cta_m: 128,
+            cta_n: 128,
+            warp_m: 64,
+            warp_n: 32,
+            stages: 2,
+        },
     ];
     for cfg in tilings {
         for k in [16usize, 64, 112] {
             check(
-                GemmProblem { m: cfg.cta_m * 2, n: cfg.cta_n, k, precision: GemmPrecision::MixedF32 },
+                GemmProblem {
+                    m: cfg.cta_m * 2,
+                    n: cfg.cta_n,
+                    k,
+                    precision: GemmPrecision::MixedF32,
+                },
                 GemmKernel::Cutlass(cfg),
             );
         }
@@ -89,10 +128,26 @@ fn battery_cutlass_tilings() {
 #[test]
 fn battery_baselines() {
     for (m, n, k) in [(16usize, 16usize, 16usize), (32, 48, 64), (64, 32, 48)] {
-        check(GemmProblem { m, n, k, precision: GemmPrecision::Fp32 }, GemmKernel::Sgemm);
+        check(
+            GemmProblem {
+                m,
+                n,
+                k,
+                precision: GemmPrecision::Fp32,
+            },
+            GemmKernel::Sgemm,
+        );
     }
     for (m, n, k) in [(16usize, 32usize, 16usize), (32, 64, 48)] {
-        check(GemmProblem { m, n, k, precision: GemmPrecision::Fp16 }, GemmKernel::Hgemm);
+        check(
+            GemmProblem {
+                m,
+                n,
+                k,
+                precision: GemmPrecision::Fp16,
+            },
+            GemmKernel::Hgemm,
+        );
     }
 }
 
@@ -100,11 +155,21 @@ fn battery_baselines() {
 fn battery_deep_k_accumulation() {
     // Long reduction chains exercise FEDP accumulation ordering.
     check(
-        GemmProblem { m: 16, n: 16, k: 512, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 16,
+            n: 16,
+            k: 512,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaSimple,
     );
     check(
-        GemmProblem { m: 32, n: 32, k: 256, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 32,
+            n: 32,
+            k: 256,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaShared,
     );
 }
@@ -112,15 +177,30 @@ fn battery_deep_k_accumulation() {
 #[test]
 fn battery_skinny_shapes() {
     check(
-        GemmProblem { m: 16, n: 256, k: 32, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 16,
+            n: 256,
+            k: 32,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaSimple,
     );
     check(
-        GemmProblem { m: 256, n: 16, k: 32, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 256,
+            n: 16,
+            k: 32,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaSimple,
     );
     check(
-        GemmProblem { m: 32, n: 160, k: 16, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 32,
+            n: 160,
+            k: 16,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaShared,
     );
 }

@@ -1,9 +1,7 @@
 //! End-to-end integration: GEMMs across kernels, shapes and precisions
 //! run on the full simulator and verify against the CPU reference.
 
-use tcsim::cutlass::{
-    run_gemm, CutlassConfig, GemmKernel, GemmPrecision, GemmProblem,
-};
+use tcsim::cutlass::{run_gemm, CutlassConfig, GemmKernel, GemmPrecision, GemmProblem};
 use tcsim::sim::{Gpu, GpuConfig};
 
 fn gpu() -> Gpu {
@@ -12,8 +10,18 @@ fn gpu() -> Gpu {
 
 #[test]
 fn wmma_simple_shapes() {
-    for (m, n, k) in [(16usize, 16usize, 16usize), (32, 16, 48), (48, 80, 32), (64, 64, 64)] {
-        let p = GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 };
+    for (m, n, k) in [
+        (16usize, 16usize, 16usize),
+        (32, 16, 48),
+        (48, 80, 32),
+        (64, 64, 64),
+    ] {
+        let p = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::MixedF32,
+        };
         let run = run_gemm(&mut gpu(), p, GemmKernel::WmmaSimple, true);
         assert!(run.max_abs_err.expect("verified") < 0.01, "{m}x{n}x{k}");
     }
@@ -22,7 +30,12 @@ fn wmma_simple_shapes() {
 #[test]
 fn wmma_shared_shapes() {
     for (m, n, k) in [(32usize, 32usize, 16usize), (64, 32, 48), (96, 64, 32)] {
-        let p = GemmProblem { m, n, k, precision: GemmPrecision::MixedF32 };
+        let p = GemmProblem {
+            m,
+            n,
+            k,
+            precision: GemmPrecision::MixedF32,
+        };
         let run = run_gemm(&mut gpu(), p, GemmKernel::WmmaShared, true);
         assert!(run.max_abs_err.expect("verified") < 0.01, "{m}x{n}x{k}");
     }
@@ -31,7 +44,12 @@ fn wmma_shared_shapes() {
 #[test]
 fn fp16_output_mode() {
     for kernel in [GemmKernel::WmmaSimple, GemmKernel::WmmaShared] {
-        let p = GemmProblem { m: 32, n: 32, k: 32, precision: GemmPrecision::Fp16 };
+        let p = GemmProblem {
+            m: 32,
+            n: 32,
+            k: 32,
+            precision: GemmPrecision::Fp16,
+        };
         let run = run_gemm(&mut gpu(), p, kernel, true);
         assert!(run.max_abs_err.is_some(), "{kernel:?}");
     }
@@ -39,11 +57,21 @@ fn fp16_output_mode() {
 
 #[test]
 fn baselines_match_reference() {
-    let p32 = GemmProblem { m: 48, n: 48, k: 32, precision: GemmPrecision::Fp32 };
+    let p32 = GemmProblem {
+        m: 48,
+        n: 48,
+        k: 32,
+        precision: GemmPrecision::Fp32,
+    };
     let run = run_gemm(&mut gpu(), p32, GemmKernel::Sgemm, true);
     assert!(run.max_abs_err.expect("verified") < 1e-3);
 
-    let p16 = GemmProblem { m: 32, n: 64, k: 32, precision: GemmPrecision::Fp16 };
+    let p16 = GemmProblem {
+        m: 32,
+        n: 64,
+        k: 32,
+        precision: GemmPrecision::Fp16,
+    };
     let run = run_gemm(&mut gpu(), p16, GemmKernel::Hgemm, true);
     assert!(run.max_abs_err.expect("verified") < 1.0);
 }
@@ -51,8 +79,16 @@ fn baselines_match_reference() {
 #[test]
 fn tensor_kernels_outperform_baseline_on_same_problem() {
     let size = 64;
-    let tc = run_gemm(&mut gpu(), GemmProblem::square(size), GemmKernel::WmmaShared, false);
-    let p32 = GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(size) };
+    let tc = run_gemm(
+        &mut gpu(),
+        GemmProblem::square(size),
+        GemmKernel::WmmaShared,
+        false,
+    );
+    let p32 = GemmProblem {
+        precision: GemmPrecision::Fp32,
+        ..GemmProblem::square(size)
+    };
     let sg = run_gemm(&mut gpu(), p32, GemmKernel::Sgemm, false);
     assert!(
         tc.stats.cycles < sg.stats.cycles,
@@ -67,16 +103,34 @@ fn full_titan_v_runs_the_same_numerics() {
     // The 80-SM configuration must produce the identical D matrix as the
     // mini GPU (timing differs; architecture state must not).
     let p = GemmProblem::square(64);
-    let mini = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, true);
-    let big = run_gemm(&mut Gpu::new(GpuConfig::titan_v()), p, GemmKernel::WmmaShared, true);
+    let mini = run_gemm(
+        &mut Gpu::new(GpuConfig::mini()),
+        p,
+        GemmKernel::WmmaShared,
+        true,
+    );
+    let big = run_gemm(
+        &mut Gpu::new(GpuConfig::titan_v()),
+        p,
+        GemmKernel::WmmaShared,
+        true,
+    );
     assert_eq!(mini.max_abs_err, big.max_abs_err);
-    assert!(big.stats.cycles <= mini.stats.cycles, "more SMs cannot be slower");
+    assert!(
+        big.stats.cycles <= mini.stats.cycles,
+        "more SMs cannot be slower"
+    );
 }
 
 #[test]
 fn turing_gpu_runs_wmma_kernels() {
     let p = GemmProblem::square(64);
-    let run = run_gemm(&mut Gpu::new(GpuConfig::rtx_2080()), p, GemmKernel::WmmaShared, true);
+    let run = run_gemm(
+        &mut Gpu::new(GpuConfig::rtx_2080()),
+        p,
+        GemmKernel::WmmaShared,
+        true,
+    );
     assert!(run.max_abs_err.expect("verified") < 0.01);
     assert!(run.stats.sm.issued_by_unit[4] > 0);
 }
@@ -84,14 +138,49 @@ fn turing_gpu_runs_wmma_kernels() {
 #[test]
 fn cutlass_tilings_all_verify() {
     let tilings = [
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 1 },
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 32, stages: 2 },
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 32, warp_n: 64, stages: 2 },
-        CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 64, warp_n: 32, stages: 2 },
-        CutlassConfig { cta_m: 128, cta_n: 64, warp_m: 64, warp_n: 32, stages: 2 },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 32,
+            stages: 1,
+        },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 32,
+            stages: 2,
+        },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 32,
+            warp_n: 64,
+            stages: 2,
+        },
+        CutlassConfig {
+            cta_m: 64,
+            cta_n: 64,
+            warp_m: 64,
+            warp_n: 32,
+            stages: 2,
+        },
+        CutlassConfig {
+            cta_m: 128,
+            cta_n: 64,
+            warp_m: 64,
+            warp_n: 32,
+            stages: 2,
+        },
     ];
     for cfg in tilings {
-        let p = GemmProblem { m: 128, n: 128, k: 64, precision: GemmPrecision::MixedF32 };
+        let p = GemmProblem {
+            m: 128,
+            n: 128,
+            k: 64,
+            precision: GemmPrecision::MixedF32,
+        };
         let run = run_gemm(&mut gpu(), p, GemmKernel::Cutlass(cfg), true);
         assert!(run.max_abs_err.expect("verified") < 0.01, "{cfg:?}");
     }
@@ -99,21 +188,35 @@ fn cutlass_tilings_all_verify() {
 
 #[test]
 fn double_buffering_does_not_change_results_but_changes_timing() {
-    let p = GemmProblem { m: 64, n: 64, k: 128, precision: GemmPrecision::MixedF32 };
+    let p = GemmProblem {
+        m: 64,
+        n: 64,
+        k: 128,
+        precision: GemmPrecision::MixedF32,
+    };
     let single = run_gemm(
         &mut gpu(),
         p,
-        GemmKernel::Cutlass(CutlassConfig { stages: 1, ..CutlassConfig::default_64x64() }),
+        GemmKernel::Cutlass(CutlassConfig {
+            stages: 1,
+            ..CutlassConfig::default_64x64()
+        }),
         true,
     );
     let double = run_gemm(
         &mut gpu(),
         p,
-        GemmKernel::Cutlass(CutlassConfig { stages: 2, ..CutlassConfig::default_64x64() }),
+        GemmKernel::Cutlass(CutlassConfig {
+            stages: 2,
+            ..CutlassConfig::default_64x64()
+        }),
         true,
     );
     assert_eq!(single.max_abs_err, double.max_abs_err, "same numerics");
-    assert_ne!(single.stats.cycles, double.stats.cycles, "different pipelines");
+    assert_ne!(
+        single.stats.cycles, double.stats.cycles,
+        "different pipelines"
+    );
 }
 
 #[test]
@@ -121,8 +224,19 @@ fn double_buffering_does_not_change_results_but_changes_timing() {
 fn register_cap_is_enforced() {
     // A single-warp 64x64 warp tile needs >500 registers per thread; real
     // hardware (and the simulator) caps at 256.
-    let cfg = CutlassConfig { cta_m: 64, cta_n: 64, warp_m: 64, warp_n: 64, stages: 2 };
-    let p = GemmProblem { m: 64, n: 64, k: 16, precision: GemmPrecision::MixedF32 };
+    let cfg = CutlassConfig {
+        cta_m: 64,
+        cta_n: 64,
+        warp_m: 64,
+        warp_n: 64,
+        stages: 2,
+    };
+    let p = GemmProblem {
+        m: 64,
+        n: 64,
+        k: 16,
+        precision: GemmPrecision::MixedF32,
+    };
     let _ = run_gemm(&mut gpu(), p, GemmKernel::Cutlass(cfg), false);
 }
 
@@ -130,7 +244,12 @@ fn register_cap_is_enforced() {
 fn int8_tensor_gemm_is_exact_on_turing() {
     // Turing inference mode (§III-B2): S8 multiplicands, S32 accumulate —
     // integer results must match the reference bit-exactly.
-    let p = GemmProblem { m: 48, n: 32, k: 64, precision: GemmPrecision::Int8 };
+    let p = GemmProblem {
+        m: 48,
+        n: 32,
+        k: 64,
+        precision: GemmPrecision::Int8,
+    };
     let mut gpu = Gpu::new(GpuConfig::rtx_2080());
     let run = run_gemm(&mut gpu, p, GemmKernel::IgemmWmma, true);
     assert_eq!(run.max_abs_err, Some(0.0));
@@ -140,7 +259,12 @@ fn int8_tensor_gemm_is_exact_on_turing() {
 #[test]
 #[should_panic(expected = "needs a Turing GPU")]
 fn int8_gemm_rejected_on_volta() {
-    let p = GemmProblem { m: 16, n: 16, k: 16, precision: GemmPrecision::Int8 };
+    let p = GemmProblem {
+        m: 16,
+        n: 16,
+        k: 16,
+        precision: GemmPrecision::Int8,
+    };
     let mut gpu = Gpu::new(GpuConfig::titan_v());
     let _ = run_gemm(&mut gpu, p, GemmKernel::IgemmWmma, false);
 }

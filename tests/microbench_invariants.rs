@@ -27,7 +27,10 @@ fn run_scaling(warps: u32, iters: u32) -> u32 {
         .param_u64(src)
         .param_u64(out)
         .launch(&mut gpu);
-    (0..warps).map(|w| gpu.read_u32(out + 4 * w as u64)).max().expect("warps > 0")
+    (0..warps)
+        .map(|w| gpu.read_u32(out + 4 * w as u64))
+        .max()
+        .expect("warps > 0")
 }
 
 #[test]

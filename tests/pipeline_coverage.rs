@@ -25,7 +25,11 @@ fn fp64_pipeline_computes_through_register_pairs() {
     b.emit(
         tcsim::isa::Instr::new(tcsim::isa::Op::DFma)
             .with_dst(r)
-            .with_srcs(vec![Operand::RegPair(x), Operand::RegPair(y), Operand::RegPair(z)]),
+            .with_srcs(vec![
+                Operand::RegPair(x),
+                Operand::RegPair(y),
+                Operand::RegPair(z),
+            ]),
     );
     b.st_global(MemWidth::B64, base, 0, r);
     b.exit();
@@ -34,10 +38,10 @@ fn fp64_pipeline_computes_through_register_pairs() {
     let mut gpu = gpu();
     let out = gpu.alloc(8);
     let stats = LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     let bits = u64::from_le_bytes(gpu.memcpy_d2h(out, 8).try_into().expect("8 bytes"));
     assert_eq!(f64::from_bits(bits), 2.5 * 4.0 + 0.5);
     // FP64 unit was used.
@@ -70,10 +74,10 @@ fn mufu_pipeline_computes_rcp_and_sqrt() {
     let mut gpu = gpu();
     let out = gpu.alloc(4);
     let stats = LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     assert_eq!(f32::from_bits(gpu.read_u32(out)), 0.25);
     assert!(stats.sm.issued_by_unit[3] >= 2, "MUFU used twice");
 }
@@ -111,12 +115,16 @@ fn divergent_branch_through_timing_simulator() {
     let mut gpu = gpu();
     let out = gpu.alloc(32 * 4);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     for lane in 0..32u32 {
-        let want = if lane % 2 == 1 { lane * 2 + 100 } else { lane * 3 + 100 };
+        let want = if lane % 2 == 1 {
+            lane * 2 + 100
+        } else {
+            lane * 3 + 100
+        };
         assert_eq!(gpu.read_u32(out + 4 * lane as u64), want, "lane {lane}");
     }
 }
@@ -140,10 +148,10 @@ fn selp_and_predication_through_simulator() {
     let mut gpu = gpu();
     let out = gpu.alloc(128);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), 111);
     assert_eq!(gpu.read_u32(out + 4 * 20), 222);
 }
@@ -174,10 +182,10 @@ fn multi_warp_cta_with_2d_block() {
     let mut gpu = gpu();
     let out = gpu.alloc(8 * 16 * 4);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block((8u32, 16u32))
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block((8u32, 16u32))
+        .param_u64(out)
+        .launch(&mut gpu);
     for y in 0..16u32 {
         for x in 0..8u32 {
             assert_eq!(
@@ -213,9 +221,9 @@ fn mixed_unit_kernel_overlaps_independent_work() {
     let k = b.build();
     let mut gpu = gpu();
     let stats = LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .launch(&mut gpu);
     assert_eq!(stats.instructions, 33);
     // 33 instructions × ~2-cycle II, not × full latency.
     assert!(stats.cycles < 33 * 8, "cycles = {}", stats.cycles);
@@ -242,10 +250,10 @@ fn global_atomics_build_an_exact_histogram() {
     let mut gpu = gpu();
     let bins = gpu.alloc(8 * 4);
     LaunchBuilder::new(k)
-            .grid(8u32)
-            .block(64u32)
-            .param_u64(bins)
-            .launch(&mut gpu);
+        .grid(8u32)
+        .block(64u32)
+        .param_u64(bins)
+        .launch(&mut gpu);
     for b in 0..8u32 {
         assert_eq!(gpu.read_u32(bins + 4 * b as u64), 64, "bin {b}");
     }
@@ -289,7 +297,11 @@ fn shared_atomics_reduce_within_cta() {
             space: tcsim::isa::MemSpace::Global,
             width: MemWidth::B32,
         })
-        .with_srcs(vec![Operand::RegPair(addr), Operand::Imm(0), Operand::Reg(v)])
+        .with_srcs(vec![
+            Operand::RegPair(addr),
+            Operand::Imm(0),
+            Operand::Reg(v),
+        ])
         .with_guard(tcsim::isa::PredReg(0), true),
     );
     b.exit();
@@ -298,10 +310,10 @@ fn shared_atomics_reduce_within_cta() {
     let mut gpu = gpu();
     let out = gpu.alloc(4 * 4);
     LaunchBuilder::new(k)
-            .grid(4u32)
-            .block(96u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(4u32)
+        .block(96u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     for c in 0..4u32 {
         assert_eq!(gpu.read_u32(out + 4 * c as u64), 95, "cta {c}");
     }
@@ -341,11 +353,11 @@ fn atomic_exchange_returns_old_values() {
     let slot = gpu.alloc(4);
     gpu.write_u32(slot, 999);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .param_u64(slot)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .param_u64(slot)
+        .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), 999, "lane 0 sees the initial value");
     for lane in 1..32u32 {
         assert_eq!(gpu.read_u32(out + 4 * lane as u64), lane - 1, "lane {lane}");
@@ -383,10 +395,10 @@ fn warp_shuffle_reduction_sums_lane_ids() {
     let mut gpu = gpu();
     let out = gpu.alloc(4);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     assert_eq!(gpu.read_u32(out), (0..32).sum::<u32>());
 }
 
@@ -416,10 +428,10 @@ fn shuffle_modes_select_expected_lanes() {
     let mut gpu = gpu();
     let out = gpu.alloc(128);
     LaunchBuilder::new(k)
-            .grid(1u32)
-            .block(32u32)
-            .param_u64(out)
-            .launch(&mut gpu);
+        .grid(1u32)
+        .block(32u32)
+        .param_u64(out)
+        .launch(&mut gpu);
     for lane in 0..32u32 {
         let up = if lane == 0 { 0 } else { lane - 1 };
         let bfly = lane ^ 3;

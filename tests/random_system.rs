@@ -31,8 +31,18 @@ fn simulation_is_deterministic() {
     let mut rng = Rng::new(0x5752);
     for _ in 0..4 {
         let p = GemmProblem::square((1 + rng.below(2) as usize) * 32);
-        let a = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
-        let b = run_gemm(&mut Gpu::new(GpuConfig::mini()), p, GemmKernel::WmmaShared, false);
+        let a = run_gemm(
+            &mut Gpu::new(GpuConfig::mini()),
+            p,
+            GemmKernel::WmmaShared,
+            false,
+        );
+        let b = run_gemm(
+            &mut Gpu::new(GpuConfig::mini()),
+            p,
+            GemmKernel::WmmaShared,
+            false,
+        );
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.stats.instructions, b.stats.instructions);
     }
@@ -44,7 +54,12 @@ fn instruction_count_scales_with_k() {
     // linearly in k for a fixed output size.
     let base = run_gemm(
         &mut Gpu::new(GpuConfig::mini()),
-        GemmProblem { m: 32, n: 32, k: 16, precision: GemmPrecision::MixedF32 },
+        GemmProblem {
+            m: 32,
+            n: 32,
+            k: 16,
+            precision: GemmPrecision::MixedF32,
+        },
         GemmKernel::WmmaSimple,
         false,
     );
@@ -53,7 +68,12 @@ fn instruction_count_scales_with_k() {
         let k_tiles = 1 + rng.below(5) as usize;
         let run = run_gemm(
             &mut Gpu::new(GpuConfig::mini()),
-            GemmProblem { m: 32, n: 32, k: 16 * k_tiles, precision: GemmPrecision::MixedF32 },
+            GemmProblem {
+                m: 32,
+                n: 32,
+                k: 16 * k_tiles,
+                precision: GemmPrecision::MixedF32,
+            },
             GemmKernel::WmmaSimple,
             false,
         );

@@ -29,7 +29,10 @@ fn job_mix() -> Vec<JobSpec> {
         let case = case_from_text(&text).expect("parse case");
         let base = JobSpec::from_case(&case);
         jobs.push(base.clone());
-        jobs.push(JobSpec { core: CoreModel::CycleStepped, ..base });
+        jobs.push(JobSpec {
+            core: CoreModel::CycleStepped,
+            ..base
+        });
     }
     jobs
 }
@@ -43,11 +46,19 @@ fn run_on_server(addr: &str, jobs: &[JobSpec]) -> BTreeMap<String, (String, Stri
         .enumerate()
         .map(|(i, j)| (format!("d{i:03}"), j.clone()))
         .collect();
-    client.send(&Request::Batch { jobs: pairs }).expect("batch submit");
+    client
+        .send(&Request::Batch { jobs: pairs })
+        .expect("batch submit");
     let mut out = BTreeMap::new();
     while out.len() < jobs.len() {
         match client.recv().expect("event") {
-            Event::Done { id, stats_json, output_fnv, cached, .. } => {
+            Event::Done {
+                id,
+                stats_json,
+                output_fnv,
+                cached,
+                ..
+            } => {
                 out.insert(id, (stats_json, output_fnv, cached));
             }
             Event::Failed { id, reason } => panic!("job {id} failed: {reason}"),
@@ -72,10 +83,13 @@ fn serial_cold_and_warm_results_are_byte_identical() {
         .collect();
 
     // Pass 2: cold server with a fresh persistent cache.
-    let dir = std::env::temp_dir()
-        .join(format!("tcsim-serve-determinism-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("tcsim-serve-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let opts = ServeOptions { cache_dir: Some(dir.clone()), workers: 3, ..Default::default() };
+    let opts = ServeOptions {
+        cache_dir: Some(dir.clone()),
+        workers: 3,
+        ..Default::default()
+    };
     let server = Server::start("127.0.0.1:0", opts.clone()).expect("cold server");
     let addr = server.local_addr().to_string();
     let cold = run_on_server(&addr, &jobs);

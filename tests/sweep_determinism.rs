@@ -13,19 +13,33 @@ fn shapes() -> Vec<(GemmProblem, GemmKernel)> {
         (GemmProblem::square(32), GemmKernel::WmmaSimple),
         (GemmProblem::square(64), GemmKernel::WmmaShared),
         (
-            GemmProblem { m: 32, n: 64, k: 48, precision: GemmPrecision::MixedF32 },
+            GemmProblem {
+                m: 32,
+                n: 64,
+                k: 48,
+                precision: GemmPrecision::MixedF32,
+            },
             GemmKernel::WmmaSimple,
         ),
         (
-            GemmProblem { precision: GemmPrecision::Fp32, ..GemmProblem::square(32) },
+            GemmProblem {
+                precision: GemmPrecision::Fp32,
+                ..GemmProblem::square(32)
+            },
             GemmKernel::Sgemm,
         ),
         (
-            GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(32) },
+            GemmProblem {
+                precision: GemmPrecision::Fp16,
+                ..GemmProblem::square(32)
+            },
             GemmKernel::Hgemm,
         ),
         (
-            GemmProblem { precision: GemmPrecision::Fp16, ..GemmProblem::square(48) },
+            GemmProblem {
+                precision: GemmPrecision::Fp16,
+                ..GemmProblem::square(48)
+            },
             GemmKernel::WmmaSimple,
         ),
         (GemmProblem::square(96), GemmKernel::WmmaShared),
@@ -77,7 +91,11 @@ fn gemm_results_stay_numerically_correct_under_parallelism() {
     let out = gemm_sweep().run_parallel(4);
     for run in &out.results {
         let err = run.max_abs_err.expect("verification enabled");
-        let bound = if run.problem.precision == GemmPrecision::Fp16 { 1.0 } else { 0.01 };
+        let bound = if run.problem.precision == GemmPrecision::Fp16 {
+            1.0
+        } else {
+            0.01
+        };
         assert!(err < bound, "{:?}: max |err| = {err}", run.problem);
     }
 }

@@ -19,7 +19,12 @@ fn traced_gpu() -> Gpu {
 
 fn traced_chrome(size: usize) -> String {
     let mut gpu = traced_gpu();
-    run_gemm(&mut gpu, GemmProblem::square(size), GemmKernel::WmmaShared, false);
+    run_gemm(
+        &mut gpu,
+        GemmProblem::square(size),
+        GemmKernel::WmmaShared,
+        false,
+    );
     chrome_trace(&gpu.trace_events())
 }
 
@@ -27,7 +32,11 @@ fn traced_chrome(size: usize) -> String {
 fn chrome_trace_is_byte_identical_run_to_run() {
     let a = traced_chrome(32);
     let b = traced_chrome(32);
-    assert!(a.len() > 1000, "trace must be non-trivial ({} bytes)", a.len());
+    assert!(
+        a.len() > 1000,
+        "trace must be non-trivial ({} bytes)",
+        a.len()
+    );
     assert_eq!(a, b, "repeated runs must serialize byte-identically");
     validate_json(&a).expect("chrome trace is valid JSON");
 }
@@ -44,13 +53,21 @@ fn sweep_worker_trace_matches_serial() {
         // own traced GPU — still on the worker thread.
         sweep.add(GpuConfig::mini(), |_| {
             let mut gpu = traced_gpu();
-            run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false);
+            run_gemm(
+                &mut gpu,
+                GemmProblem::square(32),
+                GemmKernel::WmmaShared,
+                false,
+            );
             chrome_trace(&gpu.trace_events())
         });
     }
     let out = sweep.run_parallel(3);
     for worker_trace in &out.results {
-        assert_eq!(worker_trace, &serial, "worker-thread trace must match serial");
+        assert_eq!(
+            worker_trace, &serial,
+            "worker-thread trace must match serial"
+        );
     }
 }
 
@@ -60,7 +77,13 @@ fn trace_summary_is_deterministic_across_sweep() {
     // byte-identical between serial and parallel execution.
     fn run() -> tcsim::sim::LaunchStats {
         let mut gpu = traced_gpu();
-        run_gemm(&mut gpu, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats
+        run_gemm(
+            &mut gpu,
+            GemmProblem::square(32),
+            GemmKernel::WmmaShared,
+            false,
+        )
+        .stats
     }
     let serial = run();
     assert!(serial.trace.is_some());
@@ -80,7 +103,12 @@ fn hmma_steps_reproduce_fig10_schedule() {
     // HMMA's issue, and issues must follow the 10-cycle set pitch /
     // 2-cycle step interval of Table III.
     let mut gpu = traced_gpu();
-    run_gemm(&mut gpu, GemmProblem::square(16), GemmKernel::WmmaSimple, true);
+    run_gemm(
+        &mut gpu,
+        GemmProblem::square(16),
+        GemmKernel::WmmaSimple,
+        true,
+    );
     let events = gpu.trace_events();
     let first = events
         .iter()
@@ -100,10 +128,24 @@ fn hmma_steps_reproduce_fig10_schedule() {
         .collect();
     assert_eq!(steps.len(), 16, "one wmma.mma = 4 sets x 4 steps");
     let base = steps[0].cycle;
-    let expected_issue = [0u64, 2, 4, 6, 10, 12, 14, 16, 20, 22, 24, 26, 30, 32, 34, 36];
+    let expected_issue = [
+        0u64, 2, 4, 6, 10, 12, 14, 16, 20, 22, 24, 26, 30, 32, 34, 36,
+    ];
     for (i, e) in steps.iter().enumerate() {
-        let EventKind::HmmaStep { set, step, complete, .. } = e.kind else { unreachable!() };
-        assert_eq!(e.cycle - base, expected_issue[i], "issue cadence at index {i}");
+        let EventKind::HmmaStep {
+            set,
+            step,
+            complete,
+            ..
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        assert_eq!(
+            e.cycle - base,
+            expected_issue[i],
+            "issue cadence at index {i}"
+        );
         assert_eq!(
             complete - base,
             u64::from(VOLTA_MIXED_CUMULATIVE[i]),
@@ -117,9 +159,21 @@ fn hmma_steps_reproduce_fig10_schedule() {
 #[test]
 fn tracing_never_perturbs_the_timing_model() {
     let mut plain = Gpu::new(GpuConfig::mini());
-    let a = run_gemm(&mut plain, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats;
+    let a = run_gemm(
+        &mut plain,
+        GemmProblem::square(32),
+        GemmKernel::WmmaShared,
+        false,
+    )
+    .stats;
     let mut traced = traced_gpu();
-    let mut b = run_gemm(&mut traced, GemmProblem::square(32), GemmKernel::WmmaShared, false).stats;
+    let mut b = run_gemm(
+        &mut traced,
+        GemmProblem::square(32),
+        GemmKernel::WmmaShared,
+        false,
+    )
+    .stats;
     assert!(a.trace.is_none());
     assert!(b.trace.is_some());
     b.trace = None;

@@ -36,7 +36,11 @@ fn write_tile(mem: &mut VecMemory, base: u64, t: &Tile, layout: Layout) {
                     let addr = base + (linear / 2) as u64;
                     let old = mem.read_u8(addr);
                     let v = (t.get_bits(r, c) & 0xF) as u8;
-                    let new = if linear % 2 == 0 { (old & 0xF0) | v } else { (old & 0x0F) | (v << 4) };
+                    let new = if linear % 2 == 0 {
+                        (old & 0xF0) | v
+                    } else {
+                        (old & 0x0F) | (v << 4)
+                    };
                     mem.write_u8(addr, new);
                 }
                 _ => unreachable!(),
@@ -60,8 +64,20 @@ fn fill(t: &mut Tile, seed: u32) {
 
 /// Runs load(A)+load(B)+load(C)+mma through fragments and compares D to
 /// the direct tile reference.
-fn exercise(volta: bool, shape: WmmaShape, al: Layout, bl: Layout, ab: WmmaType, cty: WmmaType, dty: WmmaType) {
-    let model = if volta { TensorCoreModel::volta() } else { TensorCoreModel::turing() };
+fn exercise(
+    volta: bool,
+    shape: WmmaShape,
+    al: Layout,
+    bl: Layout,
+    ab: WmmaType,
+    cty: WmmaType,
+    dty: WmmaType,
+) {
+    let model = if volta {
+        TensorCoreModel::volta()
+    } else {
+        TensorCoreModel::turing()
+    };
     let mut a = Tile::for_fragment(FragmentKind::A, shape, ab);
     let mut b = Tile::for_fragment(FragmentKind::B, shape, ab);
     let mut c = Tile::for_fragment(FragmentKind::C, shape, cty);
@@ -84,20 +100,58 @@ fn exercise(volta: bool, shape: WmmaShape, al: Layout, bl: Layout, ab: WmmaType,
         }
     };
     model.wmma_load(
-        &WmmaDirective::Load { frag: FragmentKind::A, shape, layout: al, ty: ab },
-        ra, 0x0000, stride(FragmentKind::A, al), &mem, &mut regs,
+        &WmmaDirective::Load {
+            frag: FragmentKind::A,
+            shape,
+            layout: al,
+            ty: ab,
+        },
+        ra,
+        0x0000,
+        stride(FragmentKind::A, al),
+        &mem,
+        &mut regs,
     );
     model.wmma_load(
-        &WmmaDirective::Load { frag: FragmentKind::B, shape, layout: bl, ty: ab },
-        rb, 0x4000, stride(FragmentKind::B, bl), &mem, &mut regs,
+        &WmmaDirective::Load {
+            frag: FragmentKind::B,
+            shape,
+            layout: bl,
+            ty: ab,
+        },
+        rb,
+        0x4000,
+        stride(FragmentKind::B, bl),
+        &mem,
+        &mut regs,
     );
     model.wmma_load(
-        &WmmaDirective::Load { frag: FragmentKind::C, shape, layout: Layout::Row, ty: cty },
-        rc, 0x8000, stride(FragmentKind::C, Layout::Row), &mem, &mut regs,
+        &WmmaDirective::Load {
+            frag: FragmentKind::C,
+            shape,
+            layout: Layout::Row,
+            ty: cty,
+        },
+        rc,
+        0x8000,
+        stride(FragmentKind::C, Layout::Row),
+        &mem,
+        &mut regs,
     );
     model.wmma_mma(
-        &WmmaDirective::Mma { shape, a_layout: al, b_layout: bl, ab_type: ab, c_type: cty, d_type: dty },
-        rd, ra, rb, rc, &mut regs,
+        &WmmaDirective::Mma {
+            shape,
+            a_layout: al,
+            b_layout: bl,
+            ab_type: ab,
+            c_type: cty,
+            d_type: dty,
+        },
+        rd,
+        ra,
+        rb,
+        rc,
+        &mut regs,
     );
     let dmap = FragmentMap::for_arch(volta, FragmentKind::D, shape, dty, Layout::Row);
     let got = gather_tile(&model, &dmap, rd, &regs);
@@ -126,18 +180,45 @@ fn all_32_volta_configurations() {
 
 #[test]
 fn turing_fp16_tile_shapes() {
-    for shape in [WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16] {
-        for (cty, dty) in [(WmmaType::F32, WmmaType::F32), (WmmaType::F16, WmmaType::F16)] {
-            exercise(false, shape, Layout::Row, Layout::Col, WmmaType::F16, cty, dty);
+    for shape in [
+        WmmaShape::M16N16K16,
+        WmmaShape::M32N8K16,
+        WmmaShape::M8N32K16,
+    ] {
+        for (cty, dty) in [
+            (WmmaType::F32, WmmaType::F32),
+            (WmmaType::F16, WmmaType::F16),
+        ] {
+            exercise(
+                false,
+                shape,
+                Layout::Row,
+                Layout::Col,
+                WmmaType::F16,
+                cty,
+                dty,
+            );
         }
     }
 }
 
 #[test]
 fn turing_integer_modes() {
-    for shape in [WmmaShape::M16N16K16, WmmaShape::M32N8K16, WmmaShape::M8N32K16] {
+    for shape in [
+        WmmaShape::M16N16K16,
+        WmmaShape::M32N8K16,
+        WmmaShape::M8N32K16,
+    ] {
         for ab in [WmmaType::S8, WmmaType::U8] {
-            exercise(false, shape, Layout::Row, Layout::Col, ab, WmmaType::S32, WmmaType::S32);
+            exercise(
+                false,
+                shape,
+                Layout::Row,
+                Layout::Col,
+                ab,
+                WmmaType::S32,
+                WmmaType::S32,
+            );
         }
     }
 }
@@ -181,8 +262,22 @@ fn exercise_mma_sync(mode: WmmaMode) {
     let mut regs = WarpRegFile::new(96);
     let (ra, rb, rc, rd, rm) = (Reg(0), Reg(16), Reg(32), Reg(48), Reg(80));
     let loads = [
-        (FragmentKind::A, a_shape, Layout::Row, mode.ab, ra, 0x0000u64),
-        (FragmentKind::B, mode.shape, Layout::Col, mode.ab, rb, 0x4000),
+        (
+            FragmentKind::A,
+            a_shape,
+            Layout::Row,
+            mode.ab,
+            ra,
+            0x0000u64,
+        ),
+        (
+            FragmentKind::B,
+            mode.shape,
+            Layout::Col,
+            mode.ab,
+            rb,
+            0x4000,
+        ),
         (FragmentKind::C, mode.shape, Layout::Row, mode.c, rc, 0x8000),
     ];
     for (frag, shape, layout, ty, reg, addr) in loads {
@@ -192,7 +287,12 @@ fn exercise_mma_sync(mode: WmmaMode) {
             Layout::Col => rows,
         };
         model.wmma_load(
-            &WmmaDirective::Load { frag, shape, layout, ty },
+            &WmmaDirective::Load {
+                frag,
+                shape,
+                layout,
+                ty,
+            },
             reg,
             addr,
             stride,
@@ -229,7 +329,8 @@ fn exercise_mma_sync(mode: WmmaMode) {
         mma_reference(&a, &b, &c, mode.d)
     };
     assert_eq!(
-        got, want,
+        got,
+        want,
         "{:?} {}x{} {}->{}({}) sparse={}",
         mode.shape,
         a.rows(),
@@ -243,9 +344,15 @@ fn exercise_mma_sync(mode: WmmaMode) {
 
 #[test]
 fn ampere_mma_sync_modes() {
-    let modes: Vec<WmmaMode> =
-        wmma_modes(Arch::Ampere).into_iter().filter(|m| m.is_mma_sync()).collect();
-    assert_eq!(modes.len(), 16, "every mma.sync mode the generator knows must run here");
+    let modes: Vec<WmmaMode> = wmma_modes(Arch::Ampere)
+        .into_iter()
+        .filter(|m| m.is_mma_sync())
+        .collect();
+    assert_eq!(
+        modes.len(),
+        16,
+        "every mma.sync mode the generator knows must run here"
+    );
     for mode in modes {
         exercise_mma_sync(mode);
     }
@@ -254,6 +361,14 @@ fn ampere_mma_sync_modes() {
 #[test]
 fn turing_4bit_mode() {
     for ab in [WmmaType::S4, WmmaType::U4] {
-        exercise(false, WmmaShape::M8N8K32, Layout::Row, Layout::Col, ab, WmmaType::S32, WmmaType::S32);
+        exercise(
+            false,
+            WmmaShape::M8N8K32,
+            Layout::Row,
+            Layout::Col,
+            ab,
+            WmmaType::S32,
+            WmmaType::S32,
+        );
     }
 }
