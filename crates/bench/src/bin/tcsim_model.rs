@@ -1,0 +1,144 @@
+//! Estimator-vs-simulator correlation sweep and tile-search cross-check.
+//!
+//! Runs every committed fuzz-corpus case plus the fig17 GEMM families
+//! (sgemm / hgemm / wmma_shared at 64–320 square) through both the
+//! cycle-level simulator and the `tcsim-model` analytical estimator,
+//! reports Pearson correlations (raw and log10 cycles, overall and per
+//! family), and cross-checks the closed-form tile search against the
+//! simulator's cycle ranking of the Simple/Shared/Cutlass plans.
+//!
+//! ```text
+//! tcsim-model [--threads N] [--json PATH] [--min-corr X]
+//! ```
+//!
+//! Exits non-zero when the overall log10 correlation falls below
+//! `--min-corr` (default 0.9, the CI gate) or the tile search disagrees
+//! with the simulator on every size. The JSON report is byte-identical
+//! run to run and across `--threads`; CI compares it against the
+//! committed `results/BENCH_model_corr.json`.
+
+use std::process::ExitCode;
+use tcsim_bench::model_report::{build_report, render_json, ReportSpec};
+use tcsim_bench::{print_table, write_results};
+
+struct Args {
+    threads: usize,
+    json: Option<String>,
+    min_corr: f64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json: None,
+        min_corr: 0.9,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .expect("--threads requires a count")
+                    .parse()
+                    .expect("--threads must be a number");
+            }
+            "--json" => out.json = Some(args.next().expect("--json requires a path")),
+            "--min-corr" => {
+                out.min_corr = args
+                    .next()
+                    .expect("--min-corr requires a value")
+                    .parse()
+                    .expect("--min-corr must be a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = build_report(&ReportSpec::full(), args.threads);
+
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            let ratio = p.est_cycles as f64 / p.sim_cycles.max(1) as f64;
+            vec![
+                p.name.clone(),
+                p.family.to_string(),
+                p.sim_cycles.to_string(),
+                p.est_cycles.to_string(),
+                format!("{ratio:.2}"),
+                p.bound.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "estimator vs simulator",
+        &[
+            "point",
+            "family",
+            "sim cycles",
+            "est cycles",
+            "est/sim",
+            "bound",
+        ],
+        &rows,
+    );
+
+    let search_rows: Vec<Vec<String>> = report
+        .search
+        .iter()
+        .map(|s| {
+            vec![
+                s.size.to_string(),
+                s.modeled.join(" > "),
+                s.simulated.join(" > "),
+                if s.top_agrees() { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "tile search: modeled vs simulated ranking (best first)",
+        &["size", "modeled", "simulated", "winner agrees"],
+        &search_rows,
+    );
+
+    println!();
+    for (family, corr) in &report.families {
+        println!("pearson(log10) {family:<12} {corr:.4}");
+    }
+    println!("pearson(log10) {:<12} {:.4}", "overall", report.pearson_log);
+    println!("pearson(raw)   {:<12} {:.4}", "overall", report.pearson_raw);
+    println!(
+        "tile-search winner agreement: {:.2}",
+        report.search_agreement()
+    );
+
+    if let Some(path) = &args.json {
+        write_results(path, &render_json(&report));
+    }
+
+    let mut ok = true;
+    if report.pearson_log < args.min_corr {
+        eprintln!(
+            "tcsim-model: FAIL log10 correlation {:.4} < required {:.4}",
+            report.pearson_log, args.min_corr
+        );
+        ok = false;
+    }
+    if report.search_agreement() == 0.0 {
+        eprintln!("tcsim-model: FAIL tile search never agrees with the simulator");
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,8 @@ use tcsim_sim::{Gpu, GpuConfig, Sweep};
 // committed golden result is unchanged). Re-exported under its old path.
 pub use tcsim_check::rng::XorShift64Star;
 
+pub mod model_report;
+
 /// A minimal microbenchmark harness (replaces criterion, which cannot be
 /// fetched offline): calibrates an iteration count to roughly
 /// `budget_ms`, runs batches and reports best/median ns-per-iteration.
@@ -47,7 +49,10 @@ pub fn bench_case<T>(name: &str, budget_ms: u64, mut f: impl FnMut() -> T) {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
     let best = samples[0];
     let median = samples[samples.len() / 2];
-    println!("{name:<32} {median:>12.1} ns/iter (best {best:>12.1}, {} x{batch})", samples.len());
+    println!(
+        "{name:<32} {median:>12.1} ns/iter (best {best:>12.1}, {} x{batch})",
+        samples.len()
+    );
 }
 
 /// Prints an aligned plain-text table.
@@ -133,7 +138,10 @@ pub struct CliArgs {
 /// Panics if a recognized flag is missing its value or `--threads` is not
 /// a number.
 pub fn parse_cli() -> CliArgs {
-    let mut out = CliArgs { json: None, threads: default_threads() };
+    let mut out = CliArgs {
+        json: None,
+        threads: default_threads(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -210,7 +218,11 @@ pub fn ascii_chart(
             let t = (xform(y) - lo) / (hi - lo);
             let r = rows - 1 - ((t * (rows - 1) as f64).round() as usize).min(rows - 1);
             let c = xi * col_w + col_w / 2;
-            grid[r][c] = if grid[r][c] == ' ' || grid[r][c] == mark { mark } else { '*' };
+            grid[r][c] = if grid[r][c] == ' ' || grid[r][c] == mark {
+                mark
+            } else {
+                '*'
+            };
         }
     }
     let unlog = |t: f64| if log_y { 10f64.powf(t) } else { t };
@@ -234,7 +246,8 @@ pub fn ascii_chart(
 }
 
 /// The matrix sizes of Fig 14a.
-pub const FIG14A_SIZES: [usize; 13] = [16, 32, 64, 128, 160, 192, 224, 256, 288, 320, 384, 480, 512];
+pub const FIG14A_SIZES: [usize; 13] =
+    [16, 32, 64, 128, 160, 192, 224, 256, 288, 320, 384, 480, 512];
 
 /// The matrix sizes of Fig 14c.
 pub const FIG14C_SIZES: [usize; 6] = [128, 256, 512, 768, 1024, 2048];
@@ -299,11 +312,17 @@ mod chart_tests {
 
     #[test]
     fn ascii_chart_renders_without_panicking() {
-        let x: Vec<String> = ["10", "100", "1000"].iter().map(|s| s.to_string()).collect();
+        let x: Vec<String> = ["10", "100", "1000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         ascii_chart(
             "test",
             &x,
-            &[("alpha", vec![1.0, 10.0, 100.0]), ("beta", vec![2.0, 2.0, 2.0])],
+            &[
+                ("alpha", vec![1.0, 10.0, 100.0]),
+                ("beta", vec![2.0, 2.0, 2.0]),
+            ],
             true,
             6,
         );

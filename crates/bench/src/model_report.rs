@@ -1,0 +1,464 @@
+//! Estimator-vs-simulator correlation report behind the `tcsim-model`
+//! binary.
+//!
+//! Closes the loop on the static performance model in `tcsim-model` (the
+//! crate): every committed fuzz-corpus case and a fig17-style GEMM
+//! family sweep are run through **both** the cycle-level simulator and
+//! the analytical estimator, and the report carries the paired cycle
+//! counts plus Pearson correlations (raw and log10 — the corpus spans
+//! several orders of magnitude, so log-space is the honest metric). A
+//! second section cross-checks the closed-form tile search: for each
+//! problem size the analytical ranking of the `Simple`/`Shared`/
+//! `Cutlass` tile plans is compared against the simulator's cycle
+//! ranking.
+//!
+//! Everything here is a pure function of the committed corpus and the
+//! GPU presets: the rendered JSON is byte-identical run to run and
+//! across `--threads`, which is what lets CI byte-compare it against
+//! the committed `results/BENCH_model_corr.json`.
+
+use std::path::Path;
+
+use tcsim_check::corpus;
+use tcsim_check::gen::Arch;
+use tcsim_check::oracle;
+use tcsim_cutlass::{
+    cutlass_gemm, hgemm, sgemm, wmma_shared_gemm, wmma_simple_gemm, CutlassConfig, GemmKernel,
+    GemmPrecision, GemmProblem,
+};
+use tcsim_isa::Kernel;
+use tcsim_model::{estimate, gemm_roofline, TilePlan};
+use tcsim_sim::{pearson, GpuConfig, JsonWriter, LaunchGeometry};
+
+use crate::{gemm_sweep, json_array};
+
+/// One estimator-vs-simulator data point.
+#[derive(Clone, Debug)]
+pub struct ModelPoint {
+    /// Kernel or problem name (`seed_simt_a`, `sgemm_192`, …).
+    pub name: String,
+    /// Point family: `"corpus"`, `"sgemm"`, `"hgemm"` or `"wmma_shared"`.
+    pub family: &'static str,
+    /// Cycle-level simulator cycles.
+    pub sim_cycles: u64,
+    /// Analytical estimate.
+    pub est_cycles: u64,
+    /// The estimator's binding bound for this point.
+    pub bound: &'static str,
+}
+
+/// One tile-search cross-check: the analytical ranking of the three
+/// tile plans against the simulator's, for a square GEMM.
+#[derive(Clone, Debug)]
+pub struct SearchCheck {
+    /// Square problem edge (m = n = k).
+    pub size: usize,
+    /// Plan names best-first under the closed-form roofline.
+    pub modeled: Vec<&'static str>,
+    /// Plan names best-first under the cycle-level simulator.
+    pub simulated: Vec<&'static str>,
+}
+
+impl SearchCheck {
+    /// Whether the analytically chosen winner matches the simulator's.
+    pub fn top_agrees(&self) -> bool {
+        self.modeled.first() == self.simulated.first()
+    }
+}
+
+/// The full correlation report.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// All paired points, corpus first then GEMM families.
+    pub points: Vec<ModelPoint>,
+    /// Pearson correlation of raw cycle counts.
+    pub pearson_raw: f64,
+    /// Pearson correlation of log10 cycle counts (the gated metric).
+    pub pearson_log: f64,
+    /// Per-family log10 correlations, in report order.
+    pub families: Vec<(&'static str, f64)>,
+    /// Tile-search ranking cross-checks.
+    pub search: Vec<SearchCheck>,
+}
+
+impl ModelReport {
+    /// Fraction of search sizes where model and simulator agree on the
+    /// winning tile plan.
+    pub fn search_agreement(&self) -> f64 {
+        if self.search.is_empty() {
+            return 1.0;
+        }
+        let hits = self.search.iter().filter(|s| s.top_agrees()).count();
+        hits as f64 / self.search.len() as f64
+    }
+}
+
+/// What to sweep: square GEMM edges for the correlation families and
+/// for the tile-search cross-check. Tests shrink both to stay fast.
+#[derive(Clone, Debug)]
+pub struct ReportSpec {
+    /// Corpus directory (`tests/corpus` from the repo root).
+    pub corpus_dir: String,
+    /// Square sizes for the sgemm/hgemm/wmma_shared families.
+    pub gemm_sizes: Vec<usize>,
+    /// Square sizes for the tile-search cross-check (64-divisible so
+    /// the Cutlass plan applies).
+    pub search_sizes: Vec<usize>,
+}
+
+impl ReportSpec {
+    /// The full CI/artifact configuration.
+    pub fn full() -> ReportSpec {
+        ReportSpec {
+            corpus_dir: "tests/corpus".into(),
+            gemm_sizes: vec![64, 128, 192, 256, 320],
+            search_sizes: vec![64, 128, 256],
+        }
+    }
+}
+
+/// Dummy device addresses for estimator parameter buffers. The walk
+/// folds them as ordinary constants; only non-pointer parameters (loop
+/// trip counts) influence the estimate, so any plausible values do.
+const PARAM_ADDRS: [u64; 4] = [0x1_0000, 0x10_0000, 0x20_0000, 0x30_0000];
+
+/// Parameter bytes matching `oracle::run_gpu`'s `[in_ptr, out_ptr]`.
+fn corpus_params() -> Vec<u8> {
+    let mut p = Vec::with_capacity(16);
+    p.extend_from_slice(&PARAM_ADDRS[0].to_le_bytes());
+    p.extend_from_slice(&PARAM_ADDRS[1].to_le_bytes());
+    p
+}
+
+/// Parameter bytes matching `run_gemm`'s `[pa, pb, pc, pd, n, k]`.
+fn gemm_params(n: u32, k: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(40);
+    for a in PARAM_ADDRS {
+        p.extend_from_slice(&a.to_le_bytes());
+    }
+    p.extend_from_slice(&n.to_le_bytes());
+    p.extend_from_slice(&k.to_le_bytes());
+    p
+}
+
+fn corpus_points(dir: &Path) -> Vec<ModelPoint> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read corpus directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("case"))
+        .collect();
+    files.sort();
+    let params = corpus_params();
+    files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).expect("read corpus case");
+            let case = corpus::case_from_text(&text).expect("parse corpus case");
+            let (stats, _) = oracle::run_gpu(&case);
+            let gpu = oracle::gpu_config(case.arch);
+            let mut geom = LaunchGeometry::new(case.grid_x, case.block_x);
+            geom.gen = case.arch.tensor_gen();
+            let est = estimate(&case.kernel, &geom, &params, &gpu);
+            ModelPoint {
+                name: case.kernel.name().to_string(),
+                family: "corpus",
+                sim_cycles: stats.cycles,
+                est_cycles: est.cycles,
+                bound: est.bound,
+            }
+        })
+        .collect()
+}
+
+/// The fig17 GEMM families the correlation sweep covers: the FP32 and
+/// FP16 SIMT baselines plus the shared-memory WMMA kernel, as in the
+/// simulator-side slice of the fig17 bench.
+const GEMM_FAMILIES: [(GemmKernel, GemmPrecision, &str); 3] = [
+    (GemmKernel::Sgemm, GemmPrecision::Fp32, "sgemm"),
+    (GemmKernel::Hgemm, GemmPrecision::Fp16, "hgemm"),
+    (
+        GemmKernel::WmmaShared,
+        GemmPrecision::MixedF32,
+        "wmma_shared",
+    ),
+];
+
+/// Builds the kernel and launch geometry `run_gemm` would use for a
+/// square problem, mirroring `tcsim_cutlass::host`'s mapping.
+fn gemm_launch(kernel: GemmKernel, n: usize) -> (Kernel, LaunchGeometry) {
+    let (gx, gy, bx, by, k) = match kernel {
+        GemmKernel::Sgemm => (n / 16, n / 16, 16, 16, sgemm()),
+        GemmKernel::Hgemm => (n / 32, n / 16, 16, 16, hgemm()),
+        GemmKernel::WmmaShared => (n / 32, n / 32, 128, 1, wmma_shared_gemm(false)),
+        GemmKernel::WmmaSimple => (n / 16, n / 16, 32, 1, wmma_simple_gemm(false)),
+        GemmKernel::Cutlass(cfg) => (
+            n / cfg.cta_n,
+            n / cfg.cta_m,
+            cfg.threads(),
+            1,
+            cutlass_gemm(cfg),
+        ),
+        GemmKernel::IgemmWmma => unreachable!("igemm is not part of the correlation sweep"),
+    };
+    let mut geom = LaunchGeometry::new((gx as u32, gy as u32, 1), (bx as u32, by as u32, 1));
+    geom.gen = Arch::Volta.tensor_gen();
+    (k, geom)
+}
+
+fn family_points(spec: &ReportSpec, gpu: &GpuConfig, threads: usize) -> Vec<ModelPoint> {
+    let mut points = Vec::new();
+    for &(kernel, precision, _) in &GEMM_FAMILIES {
+        for &size in &spec.gemm_sizes {
+            points.push((
+                GemmProblem {
+                    m: size,
+                    n: size,
+                    k: size,
+                    precision,
+                },
+                kernel,
+            ));
+        }
+    }
+    let runs = gemm_sweep(gpu, &points, false, threads);
+    runs.iter()
+        .zip(&points)
+        .zip(
+            GEMM_FAMILIES
+                .iter()
+                .flat_map(|f| spec.gemm_sizes.iter().map(move |&s| (f.2, s))),
+        )
+        .map(|((run, &(_, kernel)), (family, size))| {
+            let (k, geom) = gemm_launch(kernel, size);
+            let est = estimate(&k, &geom, &gemm_params(size as u32, size as u32), gpu);
+            ModelPoint {
+                name: format!("{family}_{size}"),
+                family,
+                sim_cycles: run.stats.cycles,
+                est_cycles: est.cycles,
+                bound: est.bound,
+            }
+        })
+        .collect()
+}
+
+/// The three tile plans the search ranks, mirroring tcsim-nn's
+/// `Tile::{Simple,Shared,Cutlass}`. Register and shared budgets come
+/// from the real kernels, not hand-entered numbers.
+pub fn tile_plans() -> Vec<(&'static str, TilePlan, GemmKernel)> {
+    let simple = wmma_simple_gemm(false);
+    let shared = wmma_shared_gemm(false);
+    let cfg = CutlassConfig::default_64x64();
+    let cutlass = cutlass_gemm(cfg);
+    vec![
+        (
+            "simple",
+            TilePlan {
+                cta_m: 16,
+                cta_n: 16,
+                threads: 32,
+                shared_bytes: simple.shared_bytes() as u64,
+                regs_per_thread: simple.num_regs() as u64,
+                staged: false,
+            },
+            GemmKernel::WmmaSimple,
+        ),
+        (
+            "shared",
+            TilePlan {
+                cta_m: 32,
+                cta_n: 32,
+                threads: 128,
+                shared_bytes: shared.shared_bytes() as u64,
+                regs_per_thread: shared.num_regs() as u64,
+                staged: true,
+            },
+            GemmKernel::WmmaShared,
+        ),
+        (
+            "cutlass",
+            TilePlan {
+                cta_m: cfg.cta_m as u64,
+                cta_n: cfg.cta_n as u64,
+                threads: cfg.threads() as u64,
+                shared_bytes: cutlass.shared_bytes() as u64,
+                regs_per_thread: cutlass.num_regs() as u64,
+                staged: true,
+            },
+            GemmKernel::Cutlass(cfg),
+        ),
+    ]
+}
+
+fn search_checks(spec: &ReportSpec, gpu: &GpuConfig, threads: usize) -> Vec<SearchCheck> {
+    let plans = tile_plans();
+    let mut points = Vec::new();
+    for &size in &spec.search_sizes {
+        for (_, _, kernel) in &plans {
+            points.push((
+                GemmProblem {
+                    m: size,
+                    n: size,
+                    k: size,
+                    precision: GemmPrecision::MixedF32,
+                },
+                *kernel,
+            ));
+        }
+    }
+    let runs = gemm_sweep(gpu, &points, false, threads);
+    spec.search_sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &size)| {
+            let e = size as u64;
+            // Stable sorts keep the plan declaration order on ties.
+            let mut modeled: Vec<(u64, &'static str)> = plans
+                .iter()
+                .map(|(name, plan, _)| (gemm_roofline(e, e, e, plan, gpu).cycles, *name))
+                .collect();
+            modeled.sort_by_key(|&(c, _)| c);
+            let mut simulated: Vec<(u64, &'static str)> = plans
+                .iter()
+                .enumerate()
+                .map(|(pi, (name, _, _))| (runs[si * plans.len() + pi].stats.cycles, *name))
+                .collect();
+            simulated.sort_by_key(|&(c, _)| c);
+            SearchCheck {
+                size,
+                modeled: modeled.into_iter().map(|(_, n)| n).collect(),
+                simulated: simulated.into_iter().map(|(_, n)| n).collect(),
+            }
+        })
+        .collect()
+}
+
+fn log_corr(points: &[&ModelPoint]) -> f64 {
+    let sim: Vec<f64> = points
+        .iter()
+        .map(|p| (p.sim_cycles.max(1) as f64).log10())
+        .collect();
+    let est: Vec<f64> = points
+        .iter()
+        .map(|p| (p.est_cycles.max(1) as f64).log10())
+        .collect();
+    pearson(&sim, &est)
+}
+
+/// Runs the full sweep and assembles the report.
+pub fn build_report(spec: &ReportSpec, threads: usize) -> ModelReport {
+    let gpu = GpuConfig::titan_v();
+    let mut points = corpus_points(Path::new(&spec.corpus_dir));
+    points.extend(family_points(spec, &gpu, threads));
+
+    let sim: Vec<f64> = points.iter().map(|p| p.sim_cycles as f64).collect();
+    let est: Vec<f64> = points.iter().map(|p| p.est_cycles as f64).collect();
+    let pearson_raw = pearson(&sim, &est);
+    let all: Vec<&ModelPoint> = points.iter().collect();
+    let pearson_log = log_corr(&all);
+
+    let mut families: Vec<(&'static str, f64)> = Vec::new();
+    for family in std::iter::once("corpus").chain(GEMM_FAMILIES.iter().map(|f| f.2)) {
+        let fam: Vec<&ModelPoint> = points.iter().filter(|p| p.family == family).collect();
+        if fam.len() >= 2 {
+            families.push((family, log_corr(&fam)));
+        }
+    }
+
+    let search = search_checks(spec, &gpu, threads);
+    ModelReport {
+        points,
+        pearson_raw,
+        pearson_log,
+        families,
+        search,
+    }
+}
+
+/// Renders the report as deterministic JSON.
+pub fn render_json(report: &ModelReport) -> String {
+    let points: Vec<String> = report
+        .points
+        .iter()
+        .map(|p| {
+            let mut w = JsonWriter::object();
+            w.field_str("name", &p.name);
+            w.field_str("family", p.family);
+            w.field_u64("sim_cycles", p.sim_cycles);
+            w.field_u64("est_cycles", p.est_cycles);
+            w.field_str("bound", p.bound);
+            w.finish()
+        })
+        .collect();
+    let search: Vec<String> = report
+        .search
+        .iter()
+        .map(|s| {
+            let mut w = JsonWriter::object();
+            w.field_u64("size", s.size as u64);
+            let names = |v: &[&'static str]| {
+                json_array(&v.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>())
+            };
+            w.raw_field("modeled", &names(&s.modeled));
+            w.raw_field("simulated", &names(&s.simulated));
+            w.field_str("top_agrees", if s.top_agrees() { "yes" } else { "no" });
+            w.finish()
+        })
+        .collect();
+    let families: Vec<String> = report
+        .families
+        .iter()
+        .map(|(name, corr)| {
+            let mut w = JsonWriter::object();
+            w.field_str("family", name);
+            w.field_f64("pearson_log", *corr);
+            w.finish()
+        })
+        .collect();
+
+    let mut w = JsonWriter::object();
+    w.field_u64("points_total", report.points.len() as u64);
+    w.field_f64("pearson_raw", report.pearson_raw);
+    w.field_f64("pearson_log", report.pearson_log);
+    w.raw_field("families", &json_array(&families));
+    w.field_f64("search_agreement", report.search_agreement());
+    w.raw_field("search", &json_array(&search));
+    w.raw_field("points", &json_array(&points));
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced spec that keeps the sim side of the test cheap.
+    fn tiny_spec() -> ReportSpec {
+        ReportSpec {
+            corpus_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus").into(),
+            gemm_sizes: vec![64],
+            search_sizes: vec![64],
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_run_to_run_and_across_threads() {
+        let spec = tiny_spec();
+        let serial = render_json(&build_report(&spec, 1));
+        let again = render_json(&build_report(&spec, 1));
+        let parallel = render_json(&build_report(&spec, 4));
+        assert_eq!(serial, again, "run-to-run drift");
+        assert_eq!(serial, parallel, "thread-count drift");
+    }
+
+    #[test]
+    fn report_covers_every_family() {
+        let report = build_report(&tiny_spec(), 4);
+        for family in ["corpus", "sgemm", "hgemm", "wmma_shared"] {
+            assert!(
+                report.points.iter().any(|p| p.family == family),
+                "missing family {family}"
+            );
+        }
+        assert!(!report.search.is_empty());
+    }
+}

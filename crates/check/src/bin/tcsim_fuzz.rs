@@ -28,9 +28,14 @@
 //! with a static mode (`barrier-drop`, `uninit-reg`, `frag-shape`,
 //! `shared-grow`) instead runs the *static* canary: each generated
 //! kernel gets that defect planted and the verifier must flag it with an
-//! error of the matching rule class. `--replay DIR` replays a corpus
-//! directory instead of fuzzing (exit 1 on any reproduced failure,
-//! echoing the failing kernel).
+//! error of the matching rule class. The *performance* modes
+//! (`bank-stride`, `uncoalesce`) plant perf defects that the
+//! `tcsim_verify::perf` lints must flag as warnings at the planted
+//! instruction — ≥ 3/4 of plants must be caught (generated kernels carry
+//! incidental perf findings of their own, so exactness is per-site, not
+//! per-kernel). `--replay DIR` replays a corpus directory instead of
+//! fuzzing (exit 1 on any reproduced failure, echoing the failing
+//! kernel).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -76,13 +81,20 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| next_value(&mut it, name);
         match flag.as_str() {
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--iters" => {
-                args.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
             }
             "--max-insts" => {
-                args.max_insts =
-                    value("--max-insts")?.parse().map_err(|e| format!("--max-insts: {e}"))?
+                args.max_insts = value("--max-insts")?
+                    .parse()
+                    .map_err(|e| format!("--max-insts: {e}"))?
             }
             "--json" => args.json = true,
             "--arch" => {
@@ -143,10 +155,7 @@ fn replay(dir: &std::path::Path, json: bool) -> ExitCode {
         }
     }
     if json {
-        println!(
-            "{{\"replayed\":{},\"failed\":{failed}}}",
-            results.len()
-        );
+        println!("{{\"replayed\":{},\"failed\":{failed}}}", results.len());
     } else {
         eprintln!("replayed {} case(s), {failed} failure(s)", results.len());
     }
@@ -157,13 +166,7 @@ fn replay(dir: &std::path::Path, json: bool) -> ExitCode {
     }
 }
 
-fn report_failure(
-    args: &Args,
-    kernel_seed: u64,
-    what: &str,
-    shrunk: &ShrinkResult,
-    case: &Case,
-) {
+fn report_failure(args: &Args, kernel_seed: u64, what: &str, shrunk: &ShrinkResult, case: &Case) {
     let text = corpus::case_to_text(case);
     eprintln!(
         "FAILURE at seed {kernel_seed}: {what} (shrunk to {} ops in {} evals)",
@@ -188,8 +191,13 @@ fn verifier_canary(args: &Args, m: VerifyMutation) -> ExitCode {
         VerifyMutation::FragShape => KindSel::Wmma,
         _ => KindSel::Simt,
     };
-    let cfg = GenConfig { max_ops: args.max_insts as usize, kind, arch: args.arch };
+    let cfg = GenConfig {
+        max_ops: args.max_insts as usize,
+        kind,
+        arch: args.arch,
+    };
     let mut applied = 0u64;
+    let mut caught = 0u64;
     let mut attempts = 0u64;
     // Not every kernel has a mutation site (e.g. no barrier was
     // generated); scan seeds until `--iters` defects were planted.
@@ -208,20 +216,32 @@ fn verifier_canary(args: &Args, m: VerifyMutation) -> ExitCode {
             return ExitCode::FAILURE;
         }
         let volta = program.arch == Arch::Volta;
-        let Some(mutated) = mutate::apply(&kernel, m, volta) else { continue };
+        let Some(mutated) = mutate::apply(&kernel, m, volta) else {
+            continue;
+        };
         applied += 1;
-        let diags = tcsim_verify::check(&mutated.kernel, &geom);
-        let hit = diags
-            .iter()
-            .any(|d| d.is_error() && d.rule.starts_with(m.expected_rule_prefix()));
-        if !hit {
+        let hit = if m.is_perf() {
+            // Perf defects are warnings from the perf lints, pinned to
+            // the planted instruction (the kernel may carry incidental
+            // perf findings elsewhere).
+            let lim = tcsim_verify::perf::PerfLimits::for_gen(geom.gen);
+            tcsim_verify::perf::check_perf(&mutated.kernel, &geom, &lim)
+                .iter()
+                .any(|d| d.index == mutated.pc && d.rule.starts_with(m.expected_rule_prefix()))
+        } else {
+            tcsim_verify::check(&mutated.kernel, &geom)
+                .iter()
+                .any(|d| d.is_error() && d.rule.starts_with(m.expected_rule_prefix()))
+        };
+        if hit {
+            caught += 1;
+        } else if !m.is_perf() {
             eprintln!(
-                "seed {kernel_seed}: planted {} at #{} NOT flagged (got {} diagnostic(s))",
+                "seed {kernel_seed}: planted {} at #{} NOT flagged",
                 m.name(),
                 mutated.pc,
-                diags.len()
             );
-            for d in diags {
+            for d in tcsim_verify::check(&mutated.kernel, &geom) {
                 eprintln!("  {d}");
             }
             eprintln!(
@@ -232,20 +252,33 @@ fn verifier_canary(args: &Args, m: VerifyMutation) -> ExitCode {
         }
     }
     if applied == 0 {
-        eprintln!("tcsim-fuzz: {} never applied in {attempts} seed(s)", m.name());
+        eprintln!(
+            "tcsim-fuzz: {} never applied in {attempts} seed(s)",
+            m.name()
+        );
         return ExitCode::FAILURE;
     }
+    // Correctness canaries fail fast above, so caught == applied here;
+    // perf canaries tolerate up to a quarter of plants going unflagged.
+    if caught * 4 < applied * 3 {
+        eprintln!(
+            "tcsim-fuzz: only {caught}/{applied} planted {} defect(s) flagged",
+            m.name()
+        );
+        return ExitCode::FAILURE;
+    }
+    let failures = applied - caught;
     let secs = started.elapsed().as_secs_f64();
     if args.json {
         println!(
             "{{\"seed\":{},\"mutate\":\"{}\",\"attempts\":{attempts},\"applied\":{applied},\
-             \"caught\":{applied},\"failures\":0,\"seconds\":{secs:.2}}}",
+             \"caught\":{caught},\"failures\":{failures},\"seconds\":{secs:.2}}}",
             args.seed,
             m.name()
         );
     } else {
         eprintln!(
-            "tcsim-fuzz: {applied}/{applied} planted {} defect(s) flagged \
+            "tcsim-fuzz: {caught}/{applied} planted {} defect(s) flagged \
              ({attempts} seeds scanned) in {secs:.2}s",
             m.name()
         );
@@ -274,7 +307,11 @@ fn main() -> ExitCode {
     // With a planted mutation only its sensitive mode pool can observe
     // the defect; restrict generation so every case must trip.
     let kind = mutation.kind();
-    let cfg = GenConfig { max_ops: args.max_insts as usize, kind, arch: args.arch };
+    let cfg = GenConfig {
+        max_ops: args.max_insts as usize,
+        kind,
+        arch: args.arch,
+    };
     let (mut simt, mut wmma, mut caught) = (0u64, 0u64, 0u64);
     for i in 0..args.iters {
         let kernel_seed = args.seed.wrapping_add(i);
@@ -302,7 +339,10 @@ fn main() -> ExitCode {
             for d in tcsim_verify::check(&min_kernel, &geometry(&shrunk.program)) {
                 eprintln!("  {d}");
             }
-            eprintln!("--- kernel ---\n{}--------------", tcsim_isa::emit::emit_kernel(&min_kernel));
+            eprintln!(
+                "--- kernel ---\n{}--------------",
+                tcsim_isa::emit::emit_kernel(&min_kernel)
+            );
             return ExitCode::FAILURE;
         }
         let data_seed = data_seed_for(kernel_seed);
@@ -329,7 +369,13 @@ fn main() -> ExitCode {
                         DEFAULT_SHRINK_EVALS,
                     );
                     let min_case = Case::from_program(&shrunk.program, data_seed);
-                    report_failure(&args, kernel_seed, &format!("invariant: {e}"), &shrunk, &min_case);
+                    report_failure(
+                        &args,
+                        kernel_seed,
+                        &format!("invariant: {e}"),
+                        &shrunk,
+                        &min_case,
+                    );
                     return ExitCode::FAILURE;
                 }
             }

@@ -7,9 +7,14 @@
 //! `LaunchBuilder::try_launch` runs per launch.
 //!
 //! ```text
-//! tcsim-lint [--strict] [--json] [--grid X] [--block X]
+//! tcsim-lint [--strict] [--perf] [--json] [--grid X] [--block X]
 //!            [--arch volta|turing|ampere] [--shared BYTES] PATH...
 //! ```
+//!
+//! `--perf` additionally runs the performance lints
+//! (`shared-bank-conflict`, `global-uncoalesced`, `low-occupancy` from
+//! `tcsim_verify::perf`) — warnings, so they only fail the run under
+//! `--strict`.
 //!
 //! Each `PATH` is a file or a directory (scanned non-recursively for
 //! `*.case` and `*.ptx`). Corpus cases carry their launch geometry and
@@ -23,10 +28,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tcsim_check::corpus;
 use tcsim_check::gen::Arch;
+use tcsim_verify::perf::{check_perf, PerfLimits};
 use tcsim_verify::{check, Diagnostic, LaunchGeometry};
 
 struct Args {
     strict: bool,
+    perf: bool,
     json: bool,
     grid: u32,
     block: u32,
@@ -38,6 +45,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         strict: false,
+        perf: false,
         json: false,
         grid: 1,
         block: 32,
@@ -47,22 +55,30 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--strict" => args.strict = true,
+            "--perf" => args.perf = true,
             "--json" => args.json = true,
-            "--grid" => args.grid = value("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?,
+            "--grid" => {
+                args.grid = value("--grid")?
+                    .parse()
+                    .map_err(|e| format!("--grid: {e}"))?
+            }
             "--block" => {
-                args.block = value("--block")?.parse().map_err(|e| format!("--block: {e}"))?
+                args.block = value("--block")?
+                    .parse()
+                    .map_err(|e| format!("--block: {e}"))?
             }
             "--arch" => {
                 let v = value("--arch")?;
-                args.arch =
-                    Arch::from_qualifier(&v).ok_or_else(|| format!("--arch: unknown arch {v:?}"))?;
+                args.arch = Arch::from_qualifier(&v)
+                    .ok_or_else(|| format!("--arch: unknown arch {v:?}"))?;
             }
             "--shared" => {
-                args.shared = value("--shared")?.parse().map_err(|e| format!("--shared: {e}"))?
+                args.shared = value("--shared")?
+                    .parse()
+                    .map_err(|e| format!("--shared: {e}"))?
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             path => args.paths.push(PathBuf::from(path)),
@@ -72,6 +88,17 @@ fn parse_args() -> Result<Args, String> {
         return Err("no input paths (expected .case/.ptx files or directories)".into());
     }
     Ok(args)
+}
+
+/// Runs the correctness analyses, plus the performance lints when
+/// `--perf` is set (appended so correctness findings stay first).
+fn lint_kernel(kernel: &tcsim_isa::Kernel, geom: &LaunchGeometry, args: &Args) -> Vec<Diagnostic> {
+    let mut diags = check(kernel, geom);
+    if args.perf {
+        let lim = PerfLimits::for_gen(geom.gen);
+        diags.extend(check_perf(kernel, geom, &lim));
+    }
+    diags
 }
 
 /// One linted kernel: its origin, name and diagnostics.
@@ -91,17 +118,16 @@ fn lint_file(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), Stri
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
     if ext == "case" || text.trim_start().starts_with(corpus::HEADER) {
-        let case =
-            corpus::case_from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let case = corpus::case_from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let geom = geometry(case.grid_x, case.block_x, case.arch, 0);
         out.push(Linted {
             path: path.to_path_buf(),
             kernel: case.kernel.name().to_string(),
-            diags: check(&case.kernel, &geom),
+            diags: lint_kernel(&case.kernel, &geom, args),
         });
     } else {
-        let program = tcsim_isa::ptx::parse_program(&text)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let program =
+            tcsim_isa::ptx::parse_program(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let geom = geometry(args.grid, args.block, args.arch, args.shared);
         let mut kernels: Vec<_> = program.kernels().collect();
         kernels.sort_by_key(|k| k.name().to_string());
@@ -109,7 +135,7 @@ fn lint_file(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), Stri
             out.push(Linted {
                 path: path.to_path_buf(),
                 kernel: k.name().to_string(),
-                diags: check(k, &geom),
+                diags: lint_kernel(k, &geom, args),
             });
         }
     }
@@ -122,7 +148,10 @@ fn lint_path(path: &Path, args: &Args, out: &mut Vec<Linted>) -> Result<(), Stri
             .map_err(|e| format!("{}: {e}", path.display()))?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
-                matches!(p.extension().and_then(|e| e.to_str()), Some("case") | Some("ptx"))
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("case") | Some("ptx")
+                )
             })
             .collect();
         entries.sort();

@@ -13,5 +13,5 @@ pub mod invariants;
 pub mod metamorphic;
 pub mod mutate;
 pub mod oracle;
-pub mod shrink;
 pub mod rng;
+pub mod shrink;

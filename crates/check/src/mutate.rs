@@ -14,7 +14,8 @@
 //! every diagnostic index maps back into the unmutated kernel one-to-one.
 
 use tcsim_isa::{
-    Instr, Kernel, KernelBuilder, Op, Operand, PredReg, WmmaDirective, WmmaShape,
+    Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Operand, PredReg, Reg, SpecialReg,
+    WmmaDirective, WmmaShape,
 };
 
 /// The shared-slice index mask the generator emits (`v & 63`); the
@@ -39,15 +40,25 @@ pub enum VerifyMutation {
     /// Grows the generator's shared-slice index mask so accesses escape
     /// the warp-private slice and the allocation (`shared-*`).
     SharedGrow,
+    /// Prepends a shared-memory load whose per-lane byte stride maps
+    /// several lanes onto the same bank — a performance defect the
+    /// `shared-bank-conflict` lint must flag (`--perf` canary).
+    BankStride,
+    /// Prepends a global load with a 128-byte per-lane stride, scattering
+    /// the warp across one sector per lane — a performance defect the
+    /// `global-uncoalesced` lint must flag (`--perf` canary).
+    Uncoalesce,
 }
 
 impl VerifyMutation {
     /// Every mutation, in canonical order.
-    pub const ALL: [VerifyMutation; 4] = [
+    pub const ALL: [VerifyMutation; 6] = [
         VerifyMutation::BarrierDrop,
         VerifyMutation::UninitReg,
         VerifyMutation::FragShape,
         VerifyMutation::SharedGrow,
+        VerifyMutation::BankStride,
+        VerifyMutation::Uncoalesce,
     ];
 
     /// Command-line spelling (`--mutate <name>`).
@@ -57,7 +68,19 @@ impl VerifyMutation {
             VerifyMutation::UninitReg => "uninit-reg",
             VerifyMutation::FragShape => "frag-shape",
             VerifyMutation::SharedGrow => "shared-grow",
+            VerifyMutation::BankStride => "bank-stride",
+            VerifyMutation::Uncoalesce => "uncoalesce",
         }
+    }
+
+    /// Whether this is a performance defect: flagged as a *warning* by
+    /// the `tcsim_verify::perf` lints rather than an error by the
+    /// correctness analyses. The canary driver checks the matching pass.
+    pub fn is_perf(self) -> bool {
+        matches!(
+            self,
+            VerifyMutation::BankStride | VerifyMutation::Uncoalesce
+        )
     }
 
     /// Parses the command-line spelling.
@@ -74,6 +97,8 @@ impl VerifyMutation {
             VerifyMutation::UninitReg => "uninit-",
             VerifyMutation::FragShape => "wmma-",
             VerifyMutation::SharedGrow => "shared-",
+            VerifyMutation::BankStride => "shared-bank-conflict",
+            VerifyMutation::Uncoalesce => "global-uncoalesced",
         }
     }
 }
@@ -118,7 +143,29 @@ pub fn apply(k: &Kernel, m: VerifyMutation, volta: bool) -> Option<Mutated> {
         VerifyMutation::UninitReg => uninit_reg(k, volta),
         VerifyMutation::FragShape => frag_shape(k),
         VerifyMutation::SharedGrow => shared_grow(k),
+        VerifyMutation::BankStride => bank_stride(k),
+        VerifyMutation::Uncoalesce => uncoalesce(k),
     }
+}
+
+/// Reassembles `k` with `prologue` inserted before the original body,
+/// shifting every branch target and reconvergence index so control flow
+/// is preserved. Unlike [`rebuild`]'s in-place edits, the prologue *does*
+/// renumber: `Mutated::pc` points at the planted access inside it.
+fn insert_prologue(k: &Kernel, prologue: Vec<Instr>, extra_regs: u32) -> Kernel {
+    let shift = prologue.len();
+    let mut instrs = prologue;
+    for i in k.instrs() {
+        let mut i = i.clone();
+        if let Some(t) = i.target {
+            i.target = Some(t + shift);
+        }
+        if let Some(r) = i.reconv {
+            i.reconv = Some(r + shift);
+        }
+        instrs.push(i);
+    }
+    rebuild(k, instrs, extra_regs)
 }
 
 /// Guards the first unguarded `bar.sync` with predicate `p0` — the
@@ -132,12 +179,18 @@ fn barrier_drop(k: &Kernel) -> Option<Mutated> {
     // The guard is only thread-varying if p0 is actually computed from
     // thread-dependent data; generated kernels always seed p0 with a setp
     // on a gtid-derived pool register before any barrier.
-    if !k.instrs()[..pc].iter().any(|i| matches!(i.op, Op::Setp { .. })) {
+    if !k.instrs()[..pc]
+        .iter()
+        .any(|i| matches!(i.op, Op::Setp { .. }))
+    {
         return None;
     }
     let mut instrs = k.instrs().to_vec();
     instrs[pc].guard = Some((PredReg(0), true));
-    Some(Mutated { kernel: rebuild(k, instrs, 0), pc })
+    Some(Mutated {
+        kernel: rebuild(k, instrs, 0),
+        pc,
+    })
 }
 
 /// Finds a register with exactly one defining instruction and at least
@@ -176,7 +229,10 @@ fn uninit_reg(k: &Kernel, volta: bool) -> Option<Mutated> {
             }
             let mut out = instrs.to_vec();
             out[dpc].dst = Some(tcsim_isa::Reg(nregs));
-            return Some(Mutated { kernel: rebuild(k, out, 1), pc: dpc });
+            return Some(Mutated {
+                kernel: rebuild(k, out, 1),
+                pc: dpc,
+            });
         }
     }
     None
@@ -197,7 +253,10 @@ fn frag_shape(k: &Kernel) -> Option<Mutated> {
         WmmaShape::M16N8K16 => WmmaShape::M16N8K8,
     };
     let pc = k.instrs().iter().position(|i| {
-        matches!(i.op, Op::Wmma(WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. }))
+        matches!(
+            i.op,
+            Op::Wmma(WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. })
+        )
     })?;
     let mut instrs = k.instrs().to_vec();
     match instrs[pc].op {
@@ -205,7 +264,10 @@ fn frag_shape(k: &Kernel) -> Option<Mutated> {
         | Op::Wmma(WmmaDirective::MmaSync { ref mut shape, .. }) => *shape = swapped(*shape),
         _ => unreachable!(),
     }
-    Some(Mutated { kernel: rebuild(k, instrs, 0), pc })
+    Some(Mutated {
+        kernel: rebuild(k, instrs, 0),
+        pc,
+    })
 }
 
 /// Truncates `x` toward zero to BF16 precision (drops the low 16 mantissa
@@ -247,7 +309,80 @@ fn shared_grow(k: &Kernel) -> Option<Mutated> {
     })?;
     let mut out = instrs.to_vec();
     out[pc].srcs[1] = Operand::Imm(GROWN_MASK);
-    Some(Mutated { kernel: rebuild(k, out, 0), pc })
+    Some(Mutated {
+        kernel: rebuild(k, out, 0),
+        pc,
+    })
+}
+
+/// Prepends `ld.shared.b32 d, [laneid << s]` with the largest in-bounds
+/// power-of-two stride ≥ 8 bytes: lanes collide `1 << (s - 2)` deep on
+/// the 32-bank word-interleaved map, which `shared-bank-conflict` must
+/// flag while the unmutated kernel's slice accesses stay conflict-free.
+fn bank_stride(k: &Kernel) -> Option<Mutated> {
+    let shared = k.shared_bytes();
+    // Largest shift keeping lane 31's word in bounds; need at least
+    // stride 8 (shift 3) for a 2-way conflict.
+    let s = (3..=7)
+        .rev()
+        .find(|s| 31u32 << s <= shared.saturating_sub(4))?;
+    let base = k.num_regs() as u16;
+    let (t, d) = (Reg(base), Reg(base + 1));
+    let lane = Operand::Special(SpecialReg::LaneId);
+    let prologue = vec![
+        Instr::new(Op::Mov).with_dst(t).with_srcs(vec![lane]),
+        Instr::new(Op::Shl)
+            .with_dst(t)
+            .with_srcs(vec![Operand::Reg(t), Operand::Imm(s as i64)]),
+        Instr::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+        })
+        .with_dst(d)
+        .with_srcs(vec![Operand::Reg(t), Operand::Imm(0)]),
+    ];
+    let pc = prologue.len() - 1;
+    Some(Mutated {
+        kernel: insert_prologue(k, prologue, 2),
+        pc,
+    })
+}
+
+/// Prepends a global load at a 128-byte per-lane stride off the kernel's
+/// first pointer parameter: every lane lands in its own 32-byte sector,
+/// which `global-uncoalesced` must flag. The mutant is lint-only — it is
+/// never executed, so the strided range needs no backing allocation.
+fn uncoalesce(k: &Kernel) -> Option<Mutated> {
+    let param = k.params().iter().find(|p| p.bytes == 8)?;
+    let base = (k.num_regs() as u16).next_multiple_of(2);
+    let (ptr, addr, t, d) = (Reg(base), Reg(base + 2), Reg(base + 4), Reg(base + 5));
+    let lane = Operand::Special(SpecialReg::LaneId);
+    let prologue = vec![
+        Instr::new(Op::Ld {
+            space: MemSpace::Param,
+            width: MemWidth::B64,
+        })
+        .with_dst(ptr)
+        .with_srcs(vec![Operand::Imm(i64::from(param.offset)), Operand::Imm(0)]),
+        Instr::new(Op::Mov).with_dst(t).with_srcs(vec![lane]),
+        Instr::new(Op::IMadWide).with_dst(addr).with_srcs(vec![
+            Operand::Reg(t),
+            Operand::Imm(128),
+            Operand::RegPair(ptr),
+        ]),
+        Instr::new(Op::Ld {
+            space: MemSpace::Global,
+            width: MemWidth::B32,
+        })
+        .with_dst(d)
+        .with_srcs(vec![Operand::RegPair(addr), Operand::Imm(0)]),
+    ];
+    let pc = prologue.len() - 1;
+    let extra = u32::from(base + 6) - k.num_regs();
+    Some(Mutated {
+        kernel: insert_prologue(k, prologue, extra),
+        pc,
+    })
 }
 
 #[cfg(test)]
@@ -256,7 +391,11 @@ mod tests {
     use crate::gen::{assemble, generate, Arch, GenConfig, KindSel};
 
     fn find_applicable(kind: KindSel, m: VerifyMutation) -> (Kernel, Mutated, bool) {
-        let cfg = GenConfig { max_ops: 24, kind, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_ops: 24,
+            kind,
+            ..GenConfig::default()
+        };
         for seed in 0..512u64 {
             let p = generate(seed, &cfg);
             let k = assemble(&p);
@@ -288,6 +427,62 @@ mod tests {
                 orig.instrs()[mutated.pc],
                 mutated.kernel.instrs()[mutated.pc],
                 "{m:?} must change the instruction at its reported pc"
+            );
+        }
+    }
+
+    #[test]
+    fn perf_mutations_insert_a_prologue_and_preserve_control_flow() {
+        for m in [VerifyMutation::BankStride, VerifyMutation::Uncoalesce] {
+            assert!(m.is_perf());
+            let (orig, mutated, _) = find_applicable(KindSel::Simt, m);
+            let shift = mutated.kernel.instrs().len() - orig.instrs().len();
+            assert!(shift > 0, "{m:?} inserts instructions");
+            assert_eq!(mutated.pc, shift - 1, "pc points at the planted access");
+            for (i, o) in mutated.kernel.instrs()[shift..].iter().zip(orig.instrs()) {
+                assert_eq!(i.op, o.op);
+                assert_eq!(i.target, o.target.map(|t| t + shift));
+                assert_eq!(i.reconv, o.reconv.map(|r| r + shift));
+            }
+        }
+    }
+
+    #[test]
+    fn perf_mutations_trip_the_perf_lints() {
+        use tcsim_verify::perf::{check_perf, PerfLimits};
+        use tcsim_verify::LaunchGeometry;
+        for m in [VerifyMutation::BankStride, VerifyMutation::Uncoalesce] {
+            let cfg = GenConfig {
+                max_ops: 24,
+                kind: KindSel::Simt,
+                ..GenConfig::default()
+            };
+            let (mut applied, mut caught) = (0u32, 0u32);
+            for seed in 0..64u64 {
+                let p = generate(seed, &cfg);
+                let k = assemble(&p);
+                let volta = p.arch == Arch::Volta;
+                let mut geom = LaunchGeometry::new(p.grid_x, p.block_x);
+                geom.gen = p.arch.tensor_gen();
+                let lim = PerfLimits::for_gen(geom.gen);
+                let Some(mutated) = apply(&k, m, volta) else {
+                    continue;
+                };
+                applied += 1;
+                // The generated kernel may have perf findings of its own
+                // (strided output stores); the canary demands one at the
+                // planted instruction specifically.
+                if check_perf(&mutated.kernel, &geom, &lim)
+                    .iter()
+                    .any(|d| d.index == mutated.pc && d.rule.starts_with(m.expected_rule_prefix()))
+                {
+                    caught += 1;
+                }
+            }
+            assert!(applied > 0, "{m:?} never applied");
+            assert!(
+                caught * 4 >= applied * 3,
+                "{m:?}: only {caught}/{applied} planted defects flagged"
             );
         }
     }

@@ -1,0 +1,41 @@
+//! Bridging `tcsim_verify::perf::PerfLimits` to real [`SmConfig`]s.
+//!
+//! `tcsim-verify` depends only on the ISA crate, so its occupancy limits
+//! are free-standing presets. This crate sees both sides and (a) derives
+//! limits from any `SmConfig` for the estimator, (b) pins the verify
+//! presets against the `tcsim-sm` presets in a consistency test so the
+//! two can never drift apart silently.
+
+use tcsim_sm::SmConfig;
+use tcsim_verify::perf::PerfLimits;
+
+/// Occupancy limits of one SM, taken from its configuration.
+pub fn limits_for(sm: &SmConfig) -> PerfLimits {
+    PerfLimits {
+        max_warps: sm.max_warps as u32,
+        max_ctas: sm.max_ctas as u32,
+        registers: sm.registers,
+        shared_bytes: sm.shared_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_presets_match_sm_configs() {
+        // The free-standing presets in tcsim-verify must agree with the
+        // authoritative SmConfig numbers.
+        assert_eq!(limits_for(&SmConfig::volta()), PerfLimits::volta());
+        assert_eq!(limits_for(&SmConfig::turing()), PerfLimits::turing());
+        assert_eq!(limits_for(&SmConfig::ampere()), PerfLimits::ampere());
+    }
+
+    #[test]
+    fn for_gen_matches_tensor_gen() {
+        for sm in [SmConfig::volta(), SmConfig::turing(), SmConfig::ampere()] {
+            assert_eq!(limits_for(&sm), PerfLimits::for_gen(sm.tensor_gen()));
+        }
+    }
+}

@@ -50,8 +50,8 @@ pub use executor::{run_chained, run_parallel, InferenceReport, LayerReport};
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use layer::{Attention, Bias, Conv2d, Layer, LayerNorm, Linear, MaxPool, Mlp};
 pub use lower::{
-    gemm_tolerance, layernorm_tolerance, lower, pad16, softmax_tolerance, GemmOp, GemmSource,
-    LoweredLayer, LoweredOp, Tile,
+    gemm_tolerance, layernorm_tolerance, lower, lower_modeled, pad16, softmax_tolerance, GemmOp,
+    GemmSource, LoweredLayer, LoweredOp, Tile,
 };
 pub use tcsim_cutlass::Epilogue;
 pub use tensor::Tensor;

@@ -15,8 +15,12 @@
 use crate::graph::Graph;
 use crate::layer::{Attention, Conv2d, Layer, LayerNorm, Linear, MaxPool, Mlp};
 use crate::tensor::Tensor;
-use tcsim_cutlass::{cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, CutlassConfig, Epilogue};
+use tcsim_cutlass::{
+    cutlass_gemm_ep, wmma_shared_gemm_ep, wmma_simple_gemm_ep, CutlassConfig, Epilogue,
+};
 use tcsim_isa::Kernel;
+use tcsim_model::{gemm_roofline, TilePlan};
+use tcsim_sim::GpuConfig;
 
 /// Rounds a GEMM dimension up to the WMMA tile edge.
 pub fn pad16(x: usize) -> usize {
@@ -74,6 +78,43 @@ impl Tile {
         } else {
             Tile::Simple
         }
+    }
+
+    /// Candidate tiles whose edge divides the padded problem, largest
+    /// first — the heuristic's preference order, which also breaks
+    /// roofline ties in [`Tile::select_modeled`].
+    pub fn candidates(pm: usize, pn: usize) -> Vec<Tile> {
+        [Tile::Cutlass, Tile::Shared, Tile::Simple]
+            .into_iter()
+            .filter(|t| pm.is_multiple_of(t.edge()) && pn.is_multiple_of(t.edge()))
+            .collect()
+    }
+
+    /// The resource shape `tcsim-model`'s closed-form GEMM roofline
+    /// scores for this tile family. CTA dimensions come from the tile
+    /// edge; register and shared-memory budgets are read off the real
+    /// kernel rather than hand-entered.
+    pub fn plan(&self) -> TilePlan {
+        let k = self.kernel(Epilogue::None);
+        let e = self.edge() as u64;
+        TilePlan {
+            cta_m: e,
+            cta_n: e,
+            threads: self.block() as u64,
+            shared_bytes: k.shared_bytes() as u64,
+            regs_per_thread: k.num_regs() as u64,
+            staged: !matches!(self, Tile::Simple),
+        }
+    }
+
+    /// Picks the candidate the analytical roofline ranks fastest for the
+    /// padded `pm×pn×pk` problem on `gpu`. Ties go to the largest tile
+    /// (the [`Tile::select`] heuristic's choice).
+    pub fn select_modeled(pm: usize, pn: usize, pk: usize, gpu: &GpuConfig) -> Tile {
+        Tile::candidates(pm, pn)
+            .into_iter()
+            .min_by_key(|t| gemm_roofline(pm as u64, pn as u64, pk as u64, &t.plan(), gpu).cycles)
+            .expect("the 16-element tile always divides a padded problem")
     }
 
     /// Kernel-family name for reports.
@@ -268,8 +309,21 @@ fn fuse_epilogue(
     (epilogue_for(bias.is_some(), relu), bias, names, j)
 }
 
-/// Lowers a validated graph into an ordered launch plan.
+/// Lowers a validated graph into an ordered launch plan using the
+/// largest-divisor tile heuristic ([`Tile::select`]).
 pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
+    lower_with(graph, &|pm, pn, _pk| Tile::select(pm, pn))
+}
+
+/// Lowers a validated graph picking each GEMM's tile with the
+/// analytical performance model ([`Tile::select_modeled`]) instead of
+/// the largest-divisor heuristic.
+pub fn lower_modeled(graph: &Graph, gpu: &GpuConfig) -> Vec<LoweredLayer> {
+    lower_with(graph, &|pm, pn, pk| Tile::select_modeled(pm, pn, pk, gpu))
+}
+
+/// Lowering with a pluggable `(pm, pn, pk) → Tile` chooser.
+fn lower_with(graph: &Graph, select: &dyn Fn(usize, usize, usize) -> Tile) -> Vec<LoweredLayer> {
     let layers = graph.layers();
     let mut plan = Vec::new();
     let mut i = 0;
@@ -277,29 +331,49 @@ pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
         let (name, layer) = &layers[i];
         let (op, names, next) = match layer {
             Layer::Conv2d(c) => {
-                let input = if i == 0 { &graph.input_shape } else { graph.output_shape(i - 1) };
+                let input = if i == 0 {
+                    &graph.input_shape
+                } else {
+                    graph.output_shape(i - 1)
+                };
                 let (h, w) = (input[1], input[2]);
                 let (oh, ow) = (h - c.kh + 1, w - c.kw + 1);
                 let (m, n, k) = (oh * ow, c.out_c, c.in_c * c.kh * c.kw);
                 let (ep, bias, names, next) = fuse_epilogue(layers, i);
                 let (pm, pn) = (pad16(m), pad16(n));
                 let op = LoweredOp::Gemm(GemmOp {
-                    source: GemmSource::Conv { in_c: c.in_c, kh: c.kh, kw: c.kw, h, w, oh, ow },
+                    source: GemmSource::Conv {
+                        in_c: c.in_c,
+                        kh: c.kh,
+                        kw: c.kw,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                    },
                     m,
                     n,
                     k,
                     pm,
                     pn,
                     pk: pad16(k),
-                    tile: Tile::select(pm, pn),
+                    tile: select(pm, pn, pad16(k)),
                     epilogue: ep,
                     weight: conv_weight_to_b(c),
                     bias,
                 });
                 (op, names, next)
             }
-            Layer::Linear(Linear { in_f, out_f, weight }) => {
-                let batch = if i == 0 { graph.input_shape[0] } else { graph.output_shape(i - 1)[0] };
+            Layer::Linear(Linear {
+                in_f,
+                out_f,
+                weight,
+            }) => {
+                let batch = if i == 0 {
+                    graph.input_shape[0]
+                } else {
+                    graph.output_shape(i - 1)[0]
+                };
                 let (m, n, k) = (batch, *out_f, *in_f);
                 let (ep, bias, names, next) = fuse_epilogue(layers, i);
                 let (pm, pn) = (pad16(m), pad16(n));
@@ -311,7 +385,7 @@ pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
                     pm,
                     pn,
                     pk: pad16(k),
-                    tile: Tile::select(pm, pn),
+                    tile: select(pm, pn, pad16(k)),
                     epilogue: ep,
                     weight: weight.clone(),
                     bias,
@@ -324,15 +398,15 @@ pub fn lower(graph: &Graph) -> Vec<LoweredLayer> {
             Layer::Flatten => (LoweredOp::Reshape, vec![name.clone()], i + 1),
             Layer::Softmax => {
                 let cols = graph.output_shape(i)[1];
-                (LoweredOp::Softmax { cols, scale: 1.0 }, vec![name.clone()], i + 1)
+                (
+                    LoweredOp::Softmax { cols, scale: 1.0 },
+                    vec![name.clone()],
+                    i + 1,
+                )
             }
-            Layer::LayerNorm(ln) => {
-                (LoweredOp::LayerNorm(ln.clone()), vec![name.clone()], i + 1)
-            }
+            Layer::LayerNorm(ln) => (LoweredOp::LayerNorm(ln.clone()), vec![name.clone()], i + 1),
             Layer::Gelu => (LoweredOp::Gelu, vec![name.clone()], i + 1),
-            Layer::Attention(a) => {
-                (LoweredOp::Attention(a.clone()), vec![name.clone()], i + 1)
-            }
+            Layer::Attention(a) => (LoweredOp::Attention(a.clone()), vec![name.clone()], i + 1),
             Layer::Mlp(m) => (LoweredOp::Mlp(m.clone()), vec![name.clone()], i + 1),
         };
         plan.push(LoweredLayer {
@@ -369,16 +443,25 @@ mod tests {
         let names: Vec<&str> = plan.iter().map(|l| l.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["conv2d0+bias1+relu2", "maxpool3", "flatten4", "linear5+bias6"]
+            vec![
+                "conv2d0+bias1+relu2",
+                "maxpool3",
+                "flatten4",
+                "linear5+bias6"
+            ]
         );
-        let LoweredOp::Gemm(g) = &plan[0].op else { panic!("expected gemm") };
+        let LoweredOp::Gemm(g) = &plan[0].op else {
+            panic!("expected gemm")
+        };
         assert_eq!((g.m, g.n, g.k), (196, 8, 9));
         assert_eq!((g.pm, g.pn, g.pk), (208, 16, 16));
         assert_eq!(g.epilogue, Epilogue::BiasRelu);
         assert_eq!(g.tile, Tile::Simple);
         assert_eq!(plan[0].span, 0..3);
         assert_eq!(plan[0].output_shape, vec![8, 14, 14]);
-        let LoweredOp::Gemm(l) = &plan[3].op else { panic!("expected gemm") };
+        let LoweredOp::Gemm(l) = &plan[3].op else {
+            panic!("expected gemm")
+        };
         assert_eq!(l.epilogue, Epilogue::Bias);
         assert_eq!((l.m, l.n, l.k), (1, 10, 392));
     }

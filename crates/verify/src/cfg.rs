@@ -84,7 +84,12 @@ impl Cfg {
         let instrs = k.instrs();
         let len = instrs.len();
         if len == 0 {
-            return Cfg { blocks: Vec::new(), block_of: Vec::new(), reachable: Vec::new(), dom: Vec::new() };
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+                dom: Vec::new(),
+            };
         }
 
         // Leaders: entry, branch/reconvergence targets, fall-throughs of
@@ -109,7 +114,12 @@ impl Cfg {
             block_of[pc] = blocks.len();
             let last = pc + 1 == len || leader[pc + 1];
             if last {
-                blocks.push(Block { start, end: pc + 1, succs: Vec::new(), preds: Vec::new() });
+                blocks.push(Block {
+                    start,
+                    end: pc + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
                 start = pc + 1;
             }
         }
@@ -117,8 +127,10 @@ impl Cfg {
         let nb = blocks.len();
         for b in 0..nb {
             let last_pc = blocks[b].end - 1;
-            let mut succs: Vec<usize> =
-                instr_succs(&instrs[last_pc], last_pc, len).into_iter().map(|t| block_of[t]).collect();
+            let mut succs: Vec<usize> = instr_succs(&instrs[last_pc], last_pc, len)
+                .into_iter()
+                .map(|t| block_of[t])
+                .collect();
             succs.sort_unstable();
             succs.dedup();
             blocks[b].succs = succs.clone();
@@ -183,7 +195,12 @@ impl Cfg {
             }
         }
 
-        Cfg { blocks, block_of, reachable, dom }
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            dom,
+        }
     }
 
     /// Number of basic blocks.

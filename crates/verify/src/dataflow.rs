@@ -30,11 +30,15 @@ pub(crate) struct BitSet {
 
 impl BitSet {
     pub(crate) fn empty(n: usize) -> BitSet {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     pub(crate) fn full(n: usize) -> BitSet {
-        let mut s = BitSet { words: vec![u64::MAX; n.div_ceil(64)] };
+        let mut s = BitSet {
+            words: vec![u64::MAX; n.div_ceil(64)],
+        };
         if !n.is_multiple_of(64) && !s.words.is_empty() {
             let last = s.words.len() - 1;
             s.words[last] = (1u64 << (n % 64)) - 1;
@@ -95,7 +99,13 @@ pub(crate) fn check_uninit(
     // Forward must-analysis: IN[b] = ∩ OUT[preds]; entry starts empty,
     // everything else starts at ⊤ and shrinks.
     let mut inb: Vec<BitSet> = (0..nb)
-        .map(|b| if b == 0 { BitSet::empty(nregs) } else { BitSet::full(nregs) })
+        .map(|b| {
+            if b == 0 {
+                BitSet::empty(nregs)
+            } else {
+                BitSet::full(nregs)
+            }
+        })
         .collect();
     let mut changed = true;
     while changed {
@@ -204,8 +214,10 @@ impl Taint {
                     let mut varying = t.divergent[pc];
                     varying |= matches!(
                         i.op,
-                        Op::Ld { space: MemSpace::Global | MemSpace::Shared | MemSpace::Local, .. }
-                            | Op::Atom { .. }
+                        Op::Ld {
+                            space: MemSpace::Global | MemSpace::Shared | MemSpace::Local,
+                            ..
+                        } | Op::Atom { .. }
                             | Op::Shfl { .. }
                             | Op::Clock
                     );

@@ -31,6 +31,7 @@
 
 pub mod cfg;
 pub mod dataflow;
+pub mod perf;
 
 mod barrier;
 mod shmem;
@@ -83,7 +84,11 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}] #{}: {}", self.severity, self.rule, self.index, self.message)?;
+        write!(
+            f,
+            "{}[{}] #{}: {}",
+            self.severity, self.rule, self.index, self.message
+        )?;
         if !self.snippet.is_empty() {
             write!(f, "\n    --> {}", self.snippet)?;
         }
@@ -230,7 +235,11 @@ impl Verifier {
         let mut sink = Sink::new();
 
         dataflow::check_uninit(kernel, geom, &cfg, |pc, missing| {
-            let list = missing.iter().map(|r| format!("r{r}")).collect::<Vec<_>>().join(", ");
+            let list = missing
+                .iter()
+                .map(|r| format!("r{r}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             sink.raw.push((
                 Severity::Error,
                 pc,
@@ -238,7 +247,11 @@ impl Verifier {
                 format!(
                     "instruction at #{pc} reads {} {list} which may be uninitialized \
                      (no definition reaches it on some path)",
-                    if missing.len() == 1 { "register" } else { "registers" }
+                    if missing.len() == 1 {
+                        "register"
+                    } else {
+                        "registers"
+                    }
                 ),
             ));
         });
@@ -248,23 +261,33 @@ impl Verifier {
         wmma_lint::check(kernel, geom, &cfg, &taint, &mut sink);
         shmem::check(kernel, geom, &cfg, &taint, &mut sink);
 
-        let lines = instruction_lines(kernel);
-        let mut diags: Vec<Diagnostic> = sink
-            .raw
-            .into_iter()
-            .map(|(severity, index, rule, message)| Diagnostic {
-                severity,
-                index,
-                rule,
-                message,
-                snippet: lines.get(index).cloned().unwrap_or_default(),
-            })
-            .collect();
-        diags.sort_by(|a, b| {
-            a.index.cmp(&b.index).then(b.severity.cmp(&a.severity)).then(a.rule.cmp(b.rule))
-        });
-        diags
+        finalize(sink, kernel)
     }
+}
+
+/// Attaches emitted-source snippets to raw findings and sorts them by
+/// instruction index (errors before warnings at the same index). Shared
+/// by [`Verifier::check`] and the performance lints in [`perf`].
+pub(crate) fn finalize(sink: Sink, kernel: &Kernel) -> Vec<Diagnostic> {
+    let lines = instruction_lines(kernel);
+    let mut diags: Vec<Diagnostic> = sink
+        .raw
+        .into_iter()
+        .map(|(severity, index, rule, message)| Diagnostic {
+            severity,
+            index,
+            rule,
+            message,
+            snippet: lines.get(index).cloned().unwrap_or_default(),
+        })
+        .collect();
+    diags.sort_by(|a, b| {
+        a.index
+            .cmp(&b.index)
+            .then(b.severity.cmp(&a.severity))
+            .then(a.rule.cmp(b.rule))
+    });
+    diags
 }
 
 /// Convenience wrapper around [`Verifier::check`].

@@ -1,0 +1,620 @@
+//! Static performance diagnostics: occupancy, shared-memory bank
+//! conflicts and global-memory coalescing.
+//!
+//! Unlike the correctness analyses run by [`crate::Verifier::check`],
+//! nothing here gates a launch — every rule is a [`crate::Severity::Warn`]
+//! surfaced through `tcsim-lint --perf` and the `tcsim-model` analyzer.
+//! The pass reuses the affine address recovery of the shared-memory race
+//! checker (DESIGN.md §4.12) but asks throughput questions instead of
+//! safety questions:
+//!
+//! * **`low-occupancy`** — registers, static+dynamic shared memory, the
+//!   warp budget and the CTA-slot budget each bound how many CTAs an SM
+//!   can host ([`occupancy`]); below a quarter of the warp capacity the
+//!   scheduler is unlikely to hide ALU/memory latency.
+//! * **`shared-bank-conflict`** — for each shared load/store whose
+//!   per-lane byte address is *exactly* recovered (affine with no
+//!   interval slack), the 32 lanes of a representative warp are mapped
+//!   onto the 32 four-byte banks; `k` distinct words in one bank
+//!   serialize into `k` passes. Identical addresses broadcast for free.
+//! * **`global-uncoalesced`** — per-lane global `ld`/`st` addresses are
+//!   recovered through a 64-bit pair domain (`ld.param.b64` bases plus
+//!   `IAdd64`/`IMAD.WIDE` arithmetic); the lint counts distinct 32-byte
+//!   sectors touched by one warp and warns when the access needs more
+//!   than twice the ideal sector count.
+//!
+//! Addresses that are not exactly recoverable (interval slack from `And`
+//! masks, unresolved loop-carried values) are skipped silently: the lint
+//! reports provable throughput hazards, not possibilities — the opposite
+//! polarity of the race checker, which must over-approximate.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Taint;
+use crate::shmem::{
+    self, env_fixpoint, eval, sym_max, transfer, Affine, Env, NSYM, S_LANE, S_TIDX, S_TIDY, S_TIDZ,
+};
+use crate::{Diagnostic, LaunchGeometry, Sink};
+use std::collections::{HashMap, HashSet};
+use tcsim_isa::{Instr, Kernel, MemSpace, MemWidth, Op, Operand, TensorGen};
+
+/// Per-SM resource limits the occupancy computation checks against.
+///
+/// `tcsim-verify` depends only on the ISA crate, so these mirror the
+/// `SmConfig` presets in `tcsim-sm` rather than importing them; the
+/// `tcsim-model` crate (which sees both) pins the two in agreement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerfLimits {
+    /// Resident warp contexts per SM.
+    pub max_warps: u32,
+    /// Resident CTA slots per SM.
+    pub max_ctas: u32,
+    /// 32-bit registers in the SM register file.
+    pub registers: u32,
+    /// Shared-memory bytes per SM.
+    pub shared_bytes: u32,
+}
+
+impl PerfLimits {
+    /// Volta-like limits (96 KiB shared).
+    pub fn volta() -> PerfLimits {
+        PerfLimits {
+            max_warps: 64,
+            max_ctas: 32,
+            registers: 65536,
+            shared_bytes: 96 * 1024,
+        }
+    }
+
+    /// Turing-like limits (64 KiB shared).
+    pub fn turing() -> PerfLimits {
+        PerfLimits {
+            shared_bytes: 64 * 1024,
+            ..PerfLimits::volta()
+        }
+    }
+
+    /// Ampere-like limits (Turing numbers in this model).
+    pub fn ampere() -> PerfLimits {
+        PerfLimits::turing()
+    }
+
+    /// Limits for a tensor-core generation.
+    pub fn for_gen(gen: TensorGen) -> PerfLimits {
+        match gen {
+            TensorGen::Volta => PerfLimits::volta(),
+            TensorGen::Turing => PerfLimits::turing(),
+            TensorGen::Ampere => PerfLimits::ampere(),
+        }
+    }
+}
+
+/// Static occupancy of one kernel under one launch geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Warps per CTA (from the block shape).
+    pub warps_per_cta: u32,
+    /// CTAs resident per SM (0 when a single CTA over-subscribes a
+    /// resource and the kernel cannot launch).
+    pub ctas_per_sm: u32,
+    /// Resident warps per SM (`ctas_per_sm · warps_per_cta`).
+    pub warps_per_sm: u32,
+    /// Warp capacity the fraction is taken against.
+    pub max_warps: u32,
+    /// The binding resource: `"warps"`, `"ctas"`, `"registers"` or
+    /// `"shared"`.
+    pub limiter: &'static str,
+}
+
+impl Occupancy {
+    /// Resident warps as a fraction of the SM's warp capacity.
+    pub fn fraction(&self) -> f64 {
+        self.warps_per_sm as f64 / self.max_warps as f64
+    }
+}
+
+/// Computes static occupancy: how many CTAs of `kernel` under `geom` fit
+/// on one SM with `lim` resources, and which resource binds first.
+///
+/// Registers are charged per warp at allocation granularity
+/// (`num_regs · 32` per warp), shared memory per CTA (static + dynamic),
+/// matching the simulator's launch-time admission in `tcsim-sim`.
+pub fn occupancy(kernel: &Kernel, geom: &LaunchGeometry, lim: &PerfLimits) -> Occupancy {
+    let warps_per_cta = geom.warps_per_cta().max(1);
+    let regs_per_cta = kernel.num_regs().max(1) * 32 * warps_per_cta;
+    let shared_per_cta = kernel.shared_bytes() + geom.dynamic_shared;
+
+    let by_warps = lim.max_warps / warps_per_cta;
+    let by_regs = lim.registers / regs_per_cta;
+    let by_shared = lim
+        .shared_bytes
+        .checked_div(shared_per_cta)
+        .unwrap_or(u32::MAX);
+
+    // Tightest bound wins; ties resolve toward the hard scheduler limits
+    // so the message names the structural constraint first.
+    let mut ctas = lim.max_ctas;
+    let mut limiter = "ctas";
+    for (bound, name) in [
+        (by_warps, "warps"),
+        (by_regs, "registers"),
+        (by_shared, "shared"),
+    ] {
+        if bound < ctas {
+            ctas = bound;
+            limiter = name;
+        }
+    }
+    let warps_per_sm = (ctas * warps_per_cta).min(lim.max_warps);
+    Occupancy {
+        warps_per_cta,
+        ctas_per_sm: ctas,
+        warps_per_sm,
+        max_warps: lim.max_warps,
+        limiter,
+    }
+}
+
+/// A 64-bit abstract value: an affine byte offset relative to a base.
+///
+/// The base distinguishes pointers loaded from different kernel
+/// parameters — offsets are only comparable within one base.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PairVal {
+    /// `Some(param_offset)` when derived from `ld.param.b64`, `None` for
+    /// absolute 64-bit constants.
+    base: Option<u32>,
+    off: Affine,
+}
+
+type PairEnv = HashMap<u16, PairVal>;
+
+/// Transfer function of the 64-bit pair domain. `env` is the 32-bit
+/// affine environment *before* this instruction.
+fn pair_transfer(penv: &mut PairEnv, env: &Env, i: &Instr, geom: &LaunchGeometry) {
+    let defs = i.def_regs(geom.volta());
+    let eval32 = |op: &Operand| -> Option<Affine> {
+        eval(op, env, geom).filter(|v| v.t.is_none()).map(|v| v.a)
+    };
+    let side = |op: &Operand, penv: &PairEnv| -> Option<PairVal> {
+        match op {
+            Operand::RegPair(r) => penv.get(&r.0).copied(),
+            Operand::Imm(v) => Some(PairVal {
+                base: None,
+                off: Affine::constant(*v),
+            }),
+            Operand::Reg(_) | Operand::Special(_) => {
+                eval32(op).map(|a| PairVal { base: None, off: a })
+            }
+            Operand::Pred(_) => None,
+        }
+    };
+    let value: Option<PairVal> = if i.guard.is_some() || defs.len() != 2 {
+        None
+    } else {
+        match i.op {
+            Op::Ld {
+                space: MemSpace::Param,
+                width: MemWidth::B64,
+            } => match i.srcs.first() {
+                Some(Operand::Imm(off)) => Some(PairVal {
+                    base: Some(*off as u32),
+                    off: Affine::constant(0),
+                }),
+                _ => None,
+            },
+            Op::Mov64 => i.srcs.first().and_then(|s| side(s, penv)),
+            Op::IAdd64 => {
+                let a = i.srcs.first().and_then(|s| side(s, penv));
+                let b = i.srcs.get(1).and_then(|s| side(s, penv));
+                a.zip(b).and_then(|(a, b)| {
+                    let base = match (a.base, b.base) {
+                        (x, None) => x,
+                        (None, x) => x,
+                        _ => return None,
+                    };
+                    Some(PairVal {
+                        base,
+                        off: a.off.add(&b.off),
+                    })
+                })
+            }
+            Op::IMadWide => {
+                let a = i.srcs.first().and_then(eval32);
+                let b = i.srcs.get(1).and_then(eval32);
+                let prod = a
+                    .zip(b)
+                    .and_then(|(a, b)| match (a.is_const(), b.is_const()) {
+                        (_, Some(k)) => Some(a.mul_k(k)),
+                        (Some(k), _) => Some(b.mul_k(k)),
+                        _ => None,
+                    });
+                let c = i.srcs.get(2).and_then(|s| side(s, penv));
+                prod.zip(c).map(|(p, c)| PairVal {
+                    base: c.base,
+                    off: c.off.add(&p),
+                })
+            }
+            _ => None,
+        }
+    };
+    for r in &defs {
+        // A write to either half of a tracked pair invalidates it.
+        penv.remove(&r.0);
+        if r.0 > 0 {
+            penv.remove(&(r.0 - 1));
+        }
+    }
+    if let (Some(v), 2) = (value, defs.len()) {
+        penv.insert(defs[0].0, v);
+    }
+}
+
+/// Per-block entry environments of the pair domain: a plain equality-join
+/// fixpoint (values that differ across paths are dropped, which keeps the
+/// lattice finite — pointer bases are loop-invariant in practice).
+fn pair_fixpoint(
+    k: &Kernel,
+    geom: &LaunchGeometry,
+    cfg: &Cfg,
+    envs: &[Option<Env>],
+    max: &[i64; NSYM],
+) -> Vec<Option<PairEnv>> {
+    let nb = cfg.num_blocks();
+    let mut inb: Vec<Option<PairEnv>> = vec![None; nb];
+    if nb == 0 {
+        return inb;
+    }
+    inb[0] = Some(PairEnv::new());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.block_reachable(b) {
+                continue;
+            }
+            let Some(mut penv) = inb[b].clone() else {
+                continue;
+            };
+            let Some(mut env) = envs[b].clone() else {
+                continue;
+            };
+            for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+                let i = &k.instrs()[pc];
+                pair_transfer(&mut penv, &env, i, geom);
+                transfer(&mut env, i, geom, max);
+            }
+            for &s in &cfg.blocks[b].succs {
+                match &mut inb[s] {
+                    slot @ None => {
+                        *slot = Some(penv.clone());
+                        changed = true;
+                    }
+                    Some(cur) => {
+                        let keys: Vec<u16> = cur.keys().copied().collect();
+                        for key in keys {
+                            if penv.get(&key) != cur.get(&key) {
+                                cur.remove(&key);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    inb
+}
+
+/// Concrete byte address of lane `l` (warp 0, CTA 0) for an exact affine
+/// form. Returns `None` when the form carries interval slack.
+fn lane_addr(a: &Affine, l: i64, geom: &LaunchGeometry) -> Option<i64> {
+    if a.lo != a.hi {
+        return None;
+    }
+    let (bx, by) = (geom.block.x as i64, geom.block.y as i64);
+    // Row-major warp formation: lane l of warp 0 is linear thread id l.
+    let v = a.lo
+        + a.c[S_LANE] * l
+        + a.c[S_TIDX] * (l % bx)
+        + a.c[S_TIDY] * ((l / bx) % by)
+        + a.c[S_TIDZ] * (l / (bx * by));
+    Some(v)
+}
+
+/// Maximum number of distinct words a warp drives into one bank, or
+/// `None` when any lane address is unrecoverable.
+fn conflict_degree(addrs: &[i64]) -> Option<(usize, usize)> {
+    let mut per_bank: HashMap<i64, HashSet<i64>> = HashMap::new();
+    for &a in addrs {
+        let word = a >> 2;
+        per_bank.entry(word & 31).or_default().insert(word);
+    }
+    per_bank
+        .iter()
+        .map(|(bank, words)| (words.len(), *bank as usize))
+        .max()
+}
+
+/// Distinct 32-byte sectors a warp's access touches (each lane covers
+/// `width` bytes from its address).
+fn sector_count(addrs: &[i64], width: i64) -> usize {
+    let mut sectors = HashSet::new();
+    for &a in addrs {
+        let mut s = a >> 5;
+        while s <= (a + width - 1) >> 5 {
+            sectors.insert(s);
+            s += 1;
+        }
+    }
+    sectors.len()
+}
+
+fn active_lanes(geom: &LaunchGeometry) -> i64 {
+    (geom.threads_per_cta() as i64).clamp(1, 32)
+}
+
+/// Runs all performance lints on `kernel` under `geom` and `lim`,
+/// returning warning diagnostics in the same shape as
+/// [`crate::Verifier::check`]. Never reports errors and never gates a
+/// launch.
+pub fn check_perf(kernel: &Kernel, geom: &LaunchGeometry, lim: &PerfLimits) -> Vec<Diagnostic> {
+    let mut sink = Sink::new();
+
+    let occ = occupancy(kernel, geom, lim);
+    if occ.ctas_per_sm == 0 {
+        sink.warn(
+            0,
+            "low-occupancy",
+            format!(
+                "one CTA already exceeds the per-SM {} budget; the kernel cannot become \
+                 resident under these limits",
+                occ.limiter
+            ),
+        );
+    } else if occ.fraction() < 0.25 {
+        sink.warn(
+            0,
+            "low-occupancy",
+            format!(
+                "only {}/{} warps resident per SM ({} CTAs, limited by {}); too few warps \
+                 to hide ALU and memory latency",
+                occ.warps_per_sm, occ.max_warps, occ.ctas_per_sm, occ.limiter
+            ),
+        );
+    }
+
+    let cfg = Cfg::build(kernel);
+    let taint = Taint::compute(kernel, geom, &cfg);
+    let max = sym_max(geom);
+    let envs = env_fixpoint(kernel, geom, &cfg, &taint, &max);
+    let penvs = pair_fixpoint(kernel, geom, &cfg, &envs, &max);
+    let lanes = active_lanes(geom);
+
+    for b in 0..cfg.num_blocks() {
+        if !cfg.block_reachable(b) {
+            continue;
+        }
+        let (Some(mut env), Some(mut penv)) = (envs[b].clone(), penvs[b].clone()) else {
+            continue;
+        };
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            let i = &kernel.instrs()[pc];
+            match i.op {
+                Op::Ld {
+                    space: MemSpace::Shared,
+                    ..
+                }
+                | Op::St {
+                    space: MemSpace::Shared,
+                    ..
+                } => {
+                    let addr = i
+                        .srcs
+                        .first()
+                        .zip(i.srcs.get(1))
+                        .and_then(|(a, o)| eval(a, &env, geom).zip(eval(o, &env, geom)))
+                        .and_then(|(a, o)| shmem::val_add(&a, &o));
+                    // Toggled (double-buffered) addresses shift every lane
+                    // by the same stage stride, which does not change the
+                    // conflict pattern: the low world is representative.
+                    if let Some(v) = addr {
+                        let addrs: Option<Vec<i64>> =
+                            (0..lanes).map(|l| lane_addr(&v.a, l, geom)).collect();
+                        if let Some(addrs) = addrs {
+                            if let Some((degree, bank)) = conflict_degree(&addrs) {
+                                if degree >= 2 {
+                                    sink.warn(
+                                        pc,
+                                        "shared-bank-conflict",
+                                        format!(
+                                            "{degree} lanes of a warp address {degree} distinct \
+                                             words in shared-memory bank {bank}: this access \
+                                             serializes into {degree} conflict passes"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Ld {
+                    space: MemSpace::Global,
+                    width,
+                }
+                | Op::St {
+                    space: MemSpace::Global,
+                    width,
+                } => {
+                    let addr = i.srcs.first().and_then(|a| match a {
+                        Operand::RegPair(r) => penv.get(&r.0).copied(),
+                        _ => None,
+                    });
+                    let off = i
+                        .srcs
+                        .get(1)
+                        .and_then(|o| eval(o, &env, geom))
+                        .filter(|v| v.t.is_none())
+                        .map(|v| v.a);
+                    if let (Some(p), Some(off)) = (addr, off) {
+                        let form = p.off.add(&off);
+                        let w = width.bytes() as i64;
+                        let addrs: Option<Vec<i64>> =
+                            (0..lanes).map(|l| lane_addr(&form, l, geom)).collect();
+                        if let Some(addrs) = addrs {
+                            let sectors = sector_count(&addrs, w);
+                            let ideal = ((lanes * w + 31) / 32).max(1) as usize;
+                            if sectors > 2 * ideal {
+                                sink.warn(
+                                    pc,
+                                    "global-uncoalesced",
+                                    format!(
+                                        "warp touches {sectors} 32-byte sectors where {ideal} \
+                                         would suffice: global access is uncoalesced \
+                                         ({}x the ideal DRAM traffic)",
+                                        sectors / ideal
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            pair_transfer(&mut penv, &env, i, geom);
+            transfer(&mut env, i, geom, &max);
+        }
+    }
+
+    crate::finalize(sink, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsim_isa::{KernelBuilder, Operand, SpecialReg};
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared() {
+        let mut b = KernelBuilder::new("big_shared");
+        b.shared_alloc(40 * 1024);
+        b.exit();
+        let k = b.build();
+        let geom = LaunchGeometry::new(1u32, 64u32);
+        let occ = occupancy(&k, &geom, &PerfLimits::volta());
+        // 96 KiB / 40 KiB = 2 CTAs of 2 warps each.
+        assert_eq!(occ.ctas_per_sm, 2);
+        assert_eq!(occ.warps_per_sm, 4);
+        assert_eq!(occ.limiter, "shared");
+        assert!(occ.fraction() < 0.25);
+    }
+
+    #[test]
+    fn occupancy_limited_by_warps() {
+        let mut b = KernelBuilder::new("wide");
+        b.exit();
+        let k = b.build();
+        let geom = LaunchGeometry::new(1u32, 1024u32);
+        let occ = occupancy(&k, &geom, &PerfLimits::volta());
+        assert_eq!(occ.warps_per_cta, 32);
+        assert_eq!(occ.ctas_per_sm, 2);
+        assert_eq!(occ.warps_per_sm, 64);
+        assert_eq!(occ.limiter, "warps");
+        assert!((occ.fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_occupancy_flagged_for_shared_hog() {
+        let mut b = KernelBuilder::new("hog");
+        b.shared_alloc(90 * 1024);
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1));
+        b.exit();
+        let k = b.build();
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::volta());
+        assert!(rules(&diags).contains(&"low-occupancy"), "{diags:?}");
+        // Over-subscription: one CTA that can never fit.
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::turing());
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("cannot become resident")));
+    }
+
+    #[test]
+    fn stride_32_shared_load_conflicts() {
+        // addr = laneid << 5: lanes 0..7 all map to bank 0 with distinct
+        // words — an 8-way conflict.
+        let mut b = KernelBuilder::new("conflict");
+        b.shared_alloc(1024);
+        let t = b.reg();
+        let d = b.reg();
+        b.mov(t, Operand::Special(SpecialReg::LaneId));
+        b.shl(t, t, Operand::Imm(5));
+        b.ld_shared(tcsim_isa::MemWidth::B32, d, t, 0);
+        b.exit();
+        let k = b.build();
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::volta());
+        let conflict = diags
+            .iter()
+            .find(|d| d.rule == "shared-bank-conflict")
+            .unwrap();
+        assert!(conflict.message.contains("8 lanes"), "{}", conflict.message);
+    }
+
+    #[test]
+    fn unit_stride_shared_load_is_clean() {
+        let mut b = KernelBuilder::new("clean");
+        b.shared_alloc(1024);
+        let t = b.reg();
+        let d = b.reg();
+        b.mov(t, Operand::Special(SpecialReg::LaneId));
+        b.shl(t, t, Operand::Imm(2));
+        b.ld_shared(tcsim_isa::MemWidth::B32, d, t, 0);
+        b.exit();
+        let k = b.build();
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::volta());
+        assert!(
+            !rules(&diags).contains(&"shared-bank-conflict"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn strided_global_load_is_uncoalesced() {
+        let mut b = KernelBuilder::new("stride");
+        let p = b.param_u64("in");
+        let base = b.reg_pair();
+        b.ld_param(tcsim_isa::MemWidth::B64, base, p);
+        let t = b.reg();
+        b.mov(t, Operand::Special(SpecialReg::LaneId));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, t, Operand::Imm(128), base);
+        let d = b.reg();
+        b.ld_global(tcsim_isa::MemWidth::B32, d, addr, 0);
+        b.exit();
+        let k = b.build();
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::volta());
+        assert!(rules(&diags).contains(&"global-uncoalesced"), "{diags:?}");
+    }
+
+    #[test]
+    fn unit_stride_global_load_is_clean() {
+        let mut b = KernelBuilder::new("coalesced");
+        let p = b.param_u64("in");
+        let base = b.reg_pair();
+        b.ld_param(tcsim_isa::MemWidth::B64, base, p);
+        let t = b.reg();
+        b.mov(t, Operand::Special(SpecialReg::LaneId));
+        let addr = b.reg_pair();
+        b.imad_wide(addr, t, Operand::Imm(4), base);
+        let d = b.reg();
+        b.ld_global(tcsim_isa::MemWidth::B32, d, addr, 0);
+        b.exit();
+        let k = b.build();
+        let diags = check_perf(&k, &LaunchGeometry::new(1u32, 32u32), &PerfLimits::volta());
+        assert!(!rules(&diags).contains(&"global-uncoalesced"), "{diags:?}");
+    }
+}

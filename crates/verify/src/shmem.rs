@@ -52,14 +52,14 @@ use tcsim_isa::{
     FragmentKind, Instr, Kernel, Layout, MemSpace, Op, Operand, SpecialReg, WmmaDirective,
 };
 
-const NSYM: usize = 8;
-const S_TIDX: usize = 0;
-const S_TIDY: usize = 1;
-const S_TIDZ: usize = 2;
+pub(crate) const NSYM: usize = 8;
+pub(crate) const S_TIDX: usize = 0;
+pub(crate) const S_TIDY: usize = 1;
+pub(crate) const S_TIDZ: usize = 2;
 const S_CTAX: usize = 3;
 const S_CTAY: usize = 4;
 const S_CTAZ: usize = 5;
-const S_LANE: usize = 6;
+pub(crate) const S_LANE: usize = 6;
 const S_WARP: usize = 7;
 
 /// How many interval joins a block tolerates before widening drops
@@ -67,15 +67,19 @@ const S_WARP: usize = 7;
 const WIDEN_LIMIT: u32 = 16;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Affine {
-    c: [i64; NSYM],
-    lo: i64,
-    hi: i64,
+pub(crate) struct Affine {
+    pub(crate) c: [i64; NSYM],
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
 }
 
 impl Affine {
-    fn constant(v: i64) -> Affine {
-        Affine { c: [0; NSYM], lo: v, hi: v }
+    pub(crate) fn constant(v: i64) -> Affine {
+        Affine {
+            c: [0; NSYM],
+            lo: v,
+            hi: v,
+        }
     }
 
     fn sym(i: usize) -> Affine {
@@ -84,7 +88,7 @@ impl Affine {
         a
     }
 
-    fn is_const(&self) -> Option<i64> {
+    pub(crate) fn is_const(&self) -> Option<i64> {
         if self.c.iter().all(|&c| c == 0) && self.lo == self.hi {
             Some(self.lo)
         } else {
@@ -92,7 +96,7 @@ impl Affine {
         }
     }
 
-    fn add(&self, o: &Affine) -> Affine {
+    pub(crate) fn add(&self, o: &Affine) -> Affine {
         let mut r = *self;
         for i in 0..NSYM {
             r.c[i] = r.c[i].saturating_add(o.c[i]);
@@ -112,7 +116,7 @@ impl Affine {
         r
     }
 
-    fn mul_k(&self, k: i64) -> Affine {
+    pub(crate) fn mul_k(&self, k: i64) -> Affine {
         let mut r = *self;
         for i in 0..NSYM {
             r.c[i] = r.c[i].saturating_mul(k);
@@ -137,7 +141,11 @@ impl Affine {
             let rem = self.c[i] - (q[i] << k);
             res_hi = res_hi.saturating_add(rem.saturating_mul(max[i]));
         }
-        Some(Affine { c: q, lo: self.lo >> k, hi: res_hi >> k })
+        Some(Affine {
+            c: q,
+            lo: self.lo >> k,
+            hi: res_hi >> k,
+        })
     }
 
     /// Interval hull of two forms with identical coefficients.
@@ -166,7 +174,7 @@ impl Affine {
     }
 }
 
-fn sym_max(geom: &LaunchGeometry) -> [i64; NSYM] {
+pub(crate) fn sym_max(geom: &LaunchGeometry) -> [i64; NSYM] {
     let threads = geom.threads_per_cta() as i64;
     let mut m = [0i64; NSYM];
     m[S_TIDX] = geom.block.x as i64 - 1;
@@ -184,7 +192,7 @@ fn sym_max(geom: &LaunchGeometry) -> [i64; NSYM] {
 /// phase bit of `site` equals `high_at`. Phase bits are CTA-uniform (one
 /// value per join site per barrier interval).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Toggle {
+pub(crate) struct Toggle {
     site: u32,
     m: i64,
     high_at: bool,
@@ -193,9 +201,9 @@ struct Toggle {
 /// An abstract register value: an affine form plus an optional stage
 /// toggle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Val {
-    a: Affine,
-    t: Option<Toggle>,
+pub(crate) struct Val {
+    pub(crate) a: Affine,
+    pub(crate) t: Option<Toggle>,
 }
 
 impl Val {
@@ -220,18 +228,21 @@ impl Val {
 }
 
 /// Addition carrying at most one toggle between the operands.
-fn val_add(a: &Val, b: &Val) -> Option<Val> {
+pub(crate) fn val_add(a: &Val, b: &Val) -> Option<Val> {
     let t = match (a.t, b.t) {
         (None, None) => None,
         (Some(t), None) | (None, Some(t)) => Some(t),
         (Some(_), Some(_)) => return None,
     };
-    Some(Val { a: a.a.add(&b.a), t })
+    Some(Val {
+        a: a.a.add(&b.a),
+        t,
+    })
 }
 
-type Env = HashMap<u16, Val>;
+pub(crate) type Env = HashMap<u16, Val>;
 
-fn eval(op: &Operand, env: &Env, geom: &LaunchGeometry) -> Option<Val> {
+pub(crate) fn eval(op: &Operand, env: &Env, geom: &LaunchGeometry) -> Option<Val> {
     match op {
         Operand::Imm(v) => Some(Val::plain(Affine::constant(*v))),
         Operand::Reg(r) => env.get(&r.0).copied(),
@@ -263,7 +274,7 @@ fn eval(op: &Operand, env: &Env, geom: &LaunchGeometry) -> Option<Val> {
     }
 }
 
-fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) {
+pub(crate) fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) {
     let defs = i.def_regs(geom.volta());
     let value: Option<Val> = if i.guard.is_some() || defs.len() != 1 {
         // Guarded writes may not execute; multi-register defs are not
@@ -276,16 +287,17 @@ fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) 
         match i.op {
             Op::Mov => s(0),
             Op::IAdd => s(0).zip(s(1)).and_then(|(a, b)| val_add(&a, &b)),
-            Op::ISub => s(0)
+            Op::ISub => s(0).zip(sf(1)).map(|(a, b)| Val {
+                a: a.a.sub(&b),
+                t: a.t,
+            }),
+            Op::IMul => sf(0)
                 .zip(sf(1))
-                .map(|(a, b)| Val { a: a.a.sub(&b), t: a.t }),
-            Op::IMul => sf(0).zip(sf(1)).and_then(|(a, b)| {
-                match (a.is_const(), b.is_const()) {
+                .and_then(|(a, b)| match (a.is_const(), b.is_const()) {
                     (_, Some(k)) => Some(Val::plain(a.mul_k(k))),
                     (Some(k), _) => Some(Val::plain(b.mul_k(k))),
                     _ => None,
-                }
-            }),
+                }),
             Op::IMad => sf(0).zip(sf(1)).and_then(|(a, b)| {
                 let prod = match (a.is_const(), b.is_const()) {
                     (_, Some(k)) => Some(a.mul_k(k)),
@@ -302,13 +314,20 @@ fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) 
                 .and_then(|b| b.is_const())
                 .filter(|k| (0..32).contains(k))
                 .and_then(|k| sf(0).and_then(|a| a.shr_k(k, max)).map(Val::plain)),
-            Op::And => sf(1).and_then(|b| b.is_const()).filter(|m| *m >= 0).map(|m| {
-                // Result bits are a subset of the mask: value ∈ [0, m].
-                match sf(0).and_then(|a| a.is_const()) {
-                    Some(v) => Val::plain(Affine::constant(v & m)),
-                    None => Val::plain(Affine { c: [0; NSYM], lo: 0, hi: m }),
-                }
-            }),
+            Op::And => sf(1)
+                .and_then(|b| b.is_const())
+                .filter(|m| *m >= 0)
+                .map(|m| {
+                    // Result bits are a subset of the mask: value ∈ [0, m].
+                    match sf(0).and_then(|a| a.is_const()) {
+                        Some(v) => Val::plain(Affine::constant(v & m)),
+                        None => Val::plain(Affine {
+                            c: [0; NSYM],
+                            lo: 0,
+                            hi: m,
+                        }),
+                    }
+                }),
             Op::Xor => sf(1).and_then(|b| b.is_const()).and_then(|x| {
                 let v = s(0)?;
                 if x == 0 {
@@ -321,12 +340,19 @@ fn transfer(env: &mut Env, i: &Instr, geom: &LaunchGeometry, max: &[i64; NSYM]) 
                     // Toggling the stage bit flips the phase polarity —
                     // exact when the low world stays below the bit (then
                     // the high world occupies [x, 2x) and xor is ∓x).
-                    Some(t) if t.m == x && {
-                        let (lo, hi) = v.a.range(max);
-                        lo >= 0 && hi < x
-                    } =>
+                    Some(t)
+                        if t.m == x && {
+                            let (lo, hi) = v.a.range(max);
+                            lo >= 0 && hi < x
+                        } =>
                     {
-                        Some(Val { a: v.a, t: Some(Toggle { high_at: !t.high_at, ..t }) })
+                        Some(Val {
+                            a: v.a,
+                            t: Some(Toggle {
+                                high_at: !t.high_at,
+                                ..t
+                            }),
+                        })
                     }
                     Some(_) => None,
                     None => {
@@ -407,7 +433,14 @@ fn join_vals(c: &Val, f: &Val, site: u32, toggle_ok: bool) -> Option<Val> {
             let d = f.a.lo - c.a.lo;
             if toggle_ok && d != 0 && d == f.a.hi - c.a.hi && d.abs() & (d.abs() - 1) == 0 {
                 let (low, high_at) = if d > 0 { (c.a, true) } else { (f.a, false) };
-                return Some(Val { a: low, t: Some(Toggle { site, m: d.abs(), high_at }) });
+                return Some(Val {
+                    a: low,
+                    t: Some(Toggle {
+                        site,
+                        m: d.abs(),
+                        high_at,
+                    }),
+                });
             }
             c.a.hull(&f.a).map(Val::plain)
         }
@@ -473,7 +506,7 @@ fn toggle_ok_blocks(k: &Kernel, cfg: &Cfg, taint: &Taint) -> Vec<bool> {
     ok
 }
 
-fn env_fixpoint(
+pub(crate) fn env_fixpoint(
     k: &Kernel,
     geom: &LaunchGeometry,
     cfg: &Cfg,
@@ -495,12 +528,20 @@ fn env_fixpoint(
             if !cfg.block_reachable(b) {
                 continue;
             }
-            let Some(mut env) = inb[b].clone() else { continue };
+            let Some(mut env) = inb[b].clone() else {
+                continue;
+            };
             for pc in cfg.blocks[b].start..cfg.blocks[b].end {
                 transfer(&mut env, &k.instrs()[pc], geom, max);
             }
             for &s in &cfg.blocks[b].succs {
-                if join(&mut inb[s], &env, s as u32, toggle_ok[s], joins[s] > WIDEN_LIMIT) {
+                if join(
+                    &mut inb[s],
+                    &env,
+                    s as u32,
+                    toggle_ok[s],
+                    joins[s] > WIDEN_LIMIT,
+                ) {
                     joins[s] += 1;
                     changed = true;
                 }
@@ -559,7 +600,12 @@ struct Access {
 
 fn wmma_span_bytes(dir: &WmmaDirective, stride: i64) -> Option<i64> {
     let (frag, shape, layout, ty) = match *dir {
-        WmmaDirective::Load { frag, shape, layout, ty } => (frag, shape, layout, ty),
+        WmmaDirective::Load {
+            frag,
+            shape,
+            layout,
+            ty,
+        } => (frag, shape, layout, ty),
         WmmaDirective::Store { shape, layout, ty } => (FragmentKind::D, shape, layout, ty),
         WmmaDirective::Mma { .. } | WmmaDirective::MmaSync { .. } => return None,
     };
@@ -587,7 +633,9 @@ fn collect_accesses(
         if !cfg.block_reachable(b) {
             continue;
         }
-        let Some(mut env) = benv.clone() else { continue };
+        let Some(mut env) = benv.clone() else {
+            continue;
+        };
         for pc in cfg.blocks[b].start..cfg.blocks[b].end {
             let i = &k.instrs()[pc];
             let addr_plus_off = |env: &Env| -> Option<Val> {
@@ -596,7 +644,10 @@ fn collect_accesses(
                 val_add(&a, &off)
             };
             match &i.op {
-                Op::Ld { space: MemSpace::Shared, width } => out.push(Access {
+                Op::Ld {
+                    space: MemSpace::Shared,
+                    width,
+                } => out.push(Access {
                     pc,
                     write: false,
                     atomic: false,
@@ -604,7 +655,10 @@ fn collect_accesses(
                     width: width.bytes() as i64,
                     warp_wide: false,
                 }),
-                Op::St { space: MemSpace::Shared, width } => out.push(Access {
+                Op::St {
+                    space: MemSpace::Shared,
+                    width,
+                } => out.push(Access {
                     pc,
                     write: true,
                     atomic: false,
@@ -612,7 +666,10 @@ fn collect_accesses(
                     width: width.bytes() as i64,
                     warp_wide: false,
                 }),
-                Op::Atom { space: MemSpace::Shared, .. } => out.push(Access {
+                Op::Atom {
+                    space: MemSpace::Shared,
+                    ..
+                } => out.push(Access {
                     pc,
                     write: true,
                     atomic: true,
@@ -654,7 +711,14 @@ fn collect_accesses(
 
 /// Proves two accesses cannot overlap across distinct warps via the
 /// warp-slice argument. Returns `false` when no proof is found.
-fn warp_separated(a: &Affine, aw: i64, b: &Affine, bw: i64, geom: &LaunchGeometry, max: &[i64; NSYM]) -> bool {
+fn warp_separated(
+    a: &Affine,
+    aw: i64,
+    b: &Affine,
+    bw: i64,
+    geom: &LaunchGeometry,
+    max: &[i64; NSYM],
+) -> bool {
     let canon = |f: &Affine| -> Option<Affine> {
         let mut f = *f;
         // tid components that are constantly zero contribute nothing.
@@ -686,7 +750,9 @@ fn warp_separated(a: &Affine, aw: i64, b: &Affine, bw: i64, geom: &LaunchGeometr
         f.c[S_TIDZ] = 0;
         Some(f)
     };
-    let (Some(ca), Some(cb)) = (canon(a), canon(b)) else { return false };
+    let (Some(ca), Some(cb)) = (canon(a), canon(b)) else {
+        return false;
+    };
     // Both threads live in the same CTA (shared memory and barriers are
     // CTA-scoped), so equal ctaid coefficients cancel in the difference.
     for s in [S_CTAX, S_CTAY, S_CTAZ] {
@@ -736,9 +802,16 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
     let uses_shared = k.instrs().iter().any(|i| {
         matches!(
             i.op,
-            Op::Ld { space: MemSpace::Shared, .. }
-                | Op::St { space: MemSpace::Shared, .. }
-                | Op::Atom { space: MemSpace::Shared, .. }
+            Op::Ld {
+                space: MemSpace::Shared,
+                ..
+            } | Op::St {
+                space: MemSpace::Shared,
+                ..
+            } | Op::Atom {
+                space: MemSpace::Shared,
+                ..
+            }
         ) || (matches!(i.op, Op::Wmma(_)) && i.srcs.last() == Some(&Operand::Imm(1)))
     });
     if !uses_shared {
@@ -808,7 +881,9 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
             if !starts[a.pc].intersects(&starts[b.pc]) {
                 continue; // always in different barrier intervals
             }
-            let (Some(va), Some(vb)) = (&a.val, &b.val) else { continue };
+            let (Some(va), Some(vb)) = (&a.val, &b.val) else {
+                continue;
+            };
             // Case split over stage phases. Phase bits are CTA-uniform
             // within one barrier interval, so worlds with the same site
             // but opposite σ cannot co-occur.
@@ -847,7 +922,11 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                 (false, true) => "read-write",
                 (false, false) => unreachable!(),
             };
-            let what = if a.warp_wide || b.warp_wide { "warp-level footprints" } else { "accesses" };
+            let what = if a.warp_wide || b.warp_wide {
+                "warp-level footprints"
+            } else {
+                "accesses"
+            };
             sink.error(
                 b.pc,
                 "shared-race",

@@ -58,14 +58,34 @@ fn transfer(env: &mut Env, pc: usize, i: &tcsim_isa::Instr, volta: bool) {
     }
     if let (Op::Wmma(dir), Some(dst)) = (&i.op, i.dst) {
         match *dir {
-            WmmaDirective::Load { frag, shape, ty, .. } => {
+            WmmaDirective::Load {
+                frag, shape, ty, ..
+            } => {
                 let n = fragment_regs(frag, shape, ty, volta) as u16;
-                env.insert(dst.0, Prov { kind: frag, shape, ty, n, def: pc });
+                env.insert(
+                    dst.0,
+                    Prov {
+                        kind: frag,
+                        shape,
+                        ty,
+                        n,
+                        def: pc,
+                    },
+                );
             }
             WmmaDirective::Mma { shape, d_type, .. }
             | WmmaDirective::MmaSync { shape, d_type, .. } => {
                 let n = fragment_regs(FragmentKind::D, shape, d_type, volta) as u16;
-                env.insert(dst.0, Prov { kind: FragmentKind::D, shape, ty: d_type, n, def: pc });
+                env.insert(
+                    dst.0,
+                    Prov {
+                        kind: FragmentKind::D,
+                        shape,
+                        ty: d_type,
+                        n,
+                        def: pc,
+                    },
+                );
             }
             WmmaDirective::Store { .. } => {}
         }
@@ -101,7 +121,9 @@ fn provenance(k: &Kernel, cfg: &Cfg, volta: bool) -> Vec<Option<Env>> {
             if !cfg.block_reachable(b) {
                 continue;
             }
-            let Some(mut env) = inb[b].clone() else { continue };
+            let Some(mut env) = inb[b].clone() else {
+                continue;
+            };
             for pc in cfg.blocks[b].start..cfg.blocks[b].end {
                 transfer(&mut env, pc, &k.instrs()[pc], volta);
             }
@@ -114,7 +136,10 @@ fn provenance(k: &Kernel, cfg: &Cfg, volta: bool) -> Vec<Option<Env>> {
 }
 
 fn frag_desc(p: &Prov) -> String {
-    format!("{}.{}.{} fragment (defined at #{})", p.kind, p.shape, p.ty, p.def)
+    format!(
+        "{}.{}.{} fragment (defined at #{})",
+        p.kind, p.shape, p.ty, p.def
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -200,12 +225,20 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
 
         // Fragment register spans: width and alignment.
         let spans: Vec<(tcsim_isa::Reg, usize, &str)> = match *dir {
-            WmmaDirective::Load { frag, shape, ty, .. } => i
+            WmmaDirective::Load {
+                frag, shape, ty, ..
+            } => i
                 .dst
                 .map(|d| (d, fragment_regs(frag, shape, ty, volta), "destination"))
                 .into_iter()
                 .collect(),
-            WmmaDirective::Mma { shape, ab_type, c_type, d_type, .. } => {
+            WmmaDirective::Mma {
+                shape,
+                ab_type,
+                c_type,
+                d_type,
+                ..
+            } => {
                 let mut v = Vec::new();
                 if let Some(d) = i.dst {
                     v.push((d, fragment_regs(FragmentKind::D, shape, d_type, volta), "d"));
@@ -221,7 +254,13 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                 }
                 v
             }
-            WmmaDirective::MmaSync { shape, ab_type, c_type, d_type, sparse } => {
+            WmmaDirective::MmaSync {
+                shape,
+                ab_type,
+                c_type,
+                d_type,
+                sparse,
+            } => {
                 // Sparse modes read a compressed A fragment sized like the
                 // half-K tile, plus a scalar metadata register (checked
                 // separately below).
@@ -316,12 +355,19 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
         if !cfg.block_reachable(b) {
             continue;
         }
-        let Some(mut env) = benv.clone() else { continue };
+        let Some(mut env) = benv.clone() else {
+            continue;
+        };
         for pc in cfg.blocks[b].start..cfg.blocks[b].end {
             let i = &k.instrs()[pc];
             if let Op::Wmma(dir) = &i.op {
                 match *dir {
-                    WmmaDirective::Mma { shape, ab_type, c_type, .. } => {
+                    WmmaDirective::Mma {
+                        shape,
+                        ab_type,
+                        c_type,
+                        ..
+                    } => {
                         for (src, kinds, ty, what) in [
                             (0usize, &[FragmentKind::A][..], ab_type, "a"),
                             (1, &[FragmentKind::B][..], ab_type, "b"),
@@ -332,12 +378,24 @@ pub(crate) fn check(k: &Kernel, geom: &LaunchGeometry, cfg: &Cfg, taint: &Taint,
                             }
                         }
                     }
-                    WmmaDirective::MmaSync { shape, ab_type, c_type, sparse, .. } => {
+                    WmmaDirective::MmaSync {
+                        shape,
+                        ab_type,
+                        c_type,
+                        sparse,
+                        ..
+                    } => {
                         let a_shape = mma_sync_a_shape(shape, sparse);
                         for (src, kinds, fshape, ty, what) in [
                             (0usize, &[FragmentKind::A][..], a_shape, ab_type, "a"),
                             (1, &[FragmentKind::B][..], shape, ab_type, "b"),
-                            (2, &[FragmentKind::C, FragmentKind::D][..], shape, c_type, "c"),
+                            (
+                                2,
+                                &[FragmentKind::C, FragmentKind::D][..],
+                                shape,
+                                c_type,
+                                "c",
+                            ),
                         ] {
                             if let Some(Operand::Reg(r)) = i.srcs.get(src) {
                                 check_operand(&env, pc, what, *r, kinds, fshape, ty, sink);

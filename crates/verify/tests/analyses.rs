@@ -109,7 +109,11 @@ fn uninit_register_pair_half_is_flagged() {
     let diags = check(&b.build(), &geom_warps(1));
     assert_eq!(rules(&diags), vec!["uninit-reg"]);
     assert_eq!(diags[0].index, 1);
-    assert!(diags[0].message.contains(&format!("r{}", src.0 + 1)), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains(&format!("r{}", src.0 + 1)),
+        "{}",
+        diags[0].message
+    );
 }
 
 #[test]
@@ -184,7 +188,12 @@ fn guarded_def_counts_as_initializing() {
     let r = b.reg();
     let d = b.reg();
     let p = b.pred();
-    b.emit(Instr::new(Op::Mov).with_dst(r).with_srcs(vec![Operand::Imm(1)]).with_guard(p, true));
+    b.emit(
+        Instr::new(Op::Mov)
+            .with_dst(r)
+            .with_srcs(vec![Operand::Imm(1)])
+            .with_guard(p, true),
+    );
     b.iadd(d, r, Operand::Imm(1));
     b.exit();
     assert!(check(&b.build(), &geom_warps(1)).is_empty());
@@ -222,7 +231,11 @@ fn barrier_inside_divergent_region_is_an_error() {
     let diags = check(&b.build(), &geom_warps(2));
     assert_eq!(rules(&diags), vec!["barrier-divergence"]);
     assert_eq!(diags[0].index, 3);
-    assert!(diags[0].message.contains("divergent branch at #2"), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains("divergent branch at #2"),
+        "{}",
+        diags[0].message
+    );
 }
 
 #[test]
@@ -344,11 +357,18 @@ fn misaligned_fragment_base_is_a_warning() {
             ty: WmmaType::F16,
         }))
         .with_dst(tcsim_isa::Reg(3)) // 4-register fragment at an odd base
-        .with_srcs(vec![Operand::RegPair(addr), Operand::Imm(16), Operand::Imm(0)]),
+        .with_srcs(vec![
+            Operand::RegPair(addr),
+            Operand::Imm(16),
+            Operand::Imm(0),
+        ]),
     );
     b.exit();
     let diags = check(&b.build(), &geom_warps(1).turing());
-    let warns: Vec<_> = diags.iter().filter(|d| d.rule == "wmma-frag-align").collect();
+    let warns: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "wmma-frag-align")
+        .collect();
     assert_eq!(warns.len(), 1, "{diags:?}");
     assert_eq!(warns[0].severity, Severity::Warn);
 }
@@ -367,7 +387,11 @@ fn shared_out_of_bounds_store_is_flagged() {
     b.exit();
     let diags = check(&b.build(), &geom_warps(1));
     assert_eq!(rules(&diags), vec!["shared-oob"]);
-    assert!(diags[0].message.contains("[100, 104)"), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains("[100, 104)"),
+        "{}",
+        diags[0].message
+    );
 }
 
 #[test]
@@ -436,7 +460,11 @@ fn barrier_separates_write_from_read() {
     // Without the barrier, warp 0's write to slot 0 races warp 1's read.
     let diags = check(&build(false), &geom_warps(2));
     assert_eq!(rules(&diags), vec!["shared-race"]);
-    assert!(diags[0].message.contains("write-read"), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains("write-read"),
+        "{}",
+        diags[0].message
+    );
 }
 
 #[test]

@@ -10,6 +10,9 @@ cargo build --release --workspace --offline
 echo "== tier-1: test =="
 cargo test -q --workspace --offline
 
+echo "== lint: rustfmt =="
+cargo fmt --check
+
 echo "== lint: clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -44,9 +47,23 @@ for m in barrier-drop uninit-reg frag-shape shared-grow; do
   target/release/tcsim-fuzz --mutate "$m" --seed 1 --iters 50 --json
 done
 
+echo "== perf: planted perf-defect canaries (perf-lint sensitivity) =="
+# Plant a bank-conflicting shared stride / an uncoalesced global walk in
+# clean generated kernels: the perf linter must catch >= 3 of 4 seeds,
+# pointing at the planted instruction (enforced inside the binary).
+for m in bank-stride uncoalesce; do
+  target/release/tcsim-fuzz --mutate "$m" --seed 1 --iters 50 --json
+done
+
 echo "== verify: corpus lint gate =="
 # Every committed corpus case must be verifier-clean, warnings included.
 target/release/tcsim-lint --strict --json tests/corpus
+
+echo "== perf: corpus perf-lint smoke =="
+# Perf diagnostics are warnings (shipped kernels do carry findings —
+# tests/verify_clean.rs pins them), so this passes unless a case fails
+# to parse or trips a correctness error.
+target/release/tcsim-lint --perf --json tests/corpus
 
 echo "== fuzz: corpus replay =="
 # Replays committed minimized cases; failing kernel text is echoed.
@@ -75,6 +92,15 @@ echo "== smoke: tcsim-infer serving simulator (golden byte-compare) =="
 # must reproduce the committed artifact byte-for-byte.
 target/release/tcsim-infer --smoke --json results/BENCH_infer_smoke.json
 cmp results/BENCH_infer_smoke.json results/BENCH_infer.json
+
+echo "== model: estimator-vs-sim correlation gate (golden byte-compare) =="
+# Sweeps the committed corpus + fig17 GEMM families through both the
+# cycle-level simulator and the analytical estimator. The binary exits
+# non-zero below 0.9 log10 correlation; the report is a pure function of
+# the committed corpus and GPU presets, so it must reproduce the
+# committed artifact byte-for-byte (threads included).
+target/release/tcsim-model --json results/BENCH_model_corr_check.json
+cmp results/BENCH_model_corr_check.json results/BENCH_model_corr.json
 
 echo "== smoke: tcsim-prof trace export =="
 # The binary itself asserts the export is valid JSON and contains HMMA

@@ -21,6 +21,9 @@
 //! * [`nn`] — DNN inference workloads: layer graph, implicit-GEMM conv
 //!   lowering with fused bias/ReLU epilogues, f32 reference executor.
 //! * [`hw`] — analytic Titan V hardware surrogate for correlation studies.
+//! * [`model`] — static analytical performance model: cost walk, roofline
+//!   cycle estimator, closed-form GEMM tile search, validated against the
+//!   cycle-level simulator.
 //! * [`infer`] — request-stream serving simulator: seeded arrivals,
 //!   dynamic batching, KV-cache admission, costed by the cycle-level
 //!   transformer encoder block.
@@ -35,6 +38,7 @@ pub use tcsim_hw as hw;
 pub use tcsim_infer as infer;
 pub use tcsim_isa as isa;
 pub use tcsim_mem as mem;
+pub use tcsim_model as model;
 pub use tcsim_nn as nn;
 pub use tcsim_sim as sim;
 pub use tcsim_sm as sm;

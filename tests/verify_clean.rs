@@ -3,6 +3,12 @@
 //! family (all epilogue variants), and every kernel tcsim-nn lowers.
 //! A kernel that trips even a warning here either has a real defect or
 //! exposes a verifier false positive — both block the PR.
+//!
+//! The performance lints (`tcsim_verify::perf`, i.e. `tcsim-lint
+//! --perf`) are held to a different standard: shipped kernels DO carry
+//! mild perf findings (unswizzled staging, strided corpus stores), so
+//! those are pinned as goldens rather than asserted to zero — the gate
+//! is that they never drift silently.
 
 use std::path::Path;
 use tcsim_check::corpus::{self, case_from_text};
@@ -39,8 +45,7 @@ fn committed_corpus_is_verifier_clean() {
     entries.sort();
     for path in entries {
         let text = std::fs::read_to_string(&path).unwrap();
-        let case = case_from_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let case = case_from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let mut geom = LaunchGeometry::new(case.grid_x, case.block_x);
         geom.gen = case.arch.tensor_gen();
         lint(
@@ -52,7 +57,11 @@ fn committed_corpus_is_verifier_clean() {
         linted += 1;
     }
     assert!(linted > 0, "no .case files under tests/corpus");
-    assert!(failures.is_empty(), "corpus kernels flagged:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "corpus kernels flagged:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -70,22 +79,40 @@ fn generated_corpus_seeds_are_verifier_clean() {
         (KindSel::WmmaSparse, None),
     ];
     for (kind, arch) in pools {
-        let cfg = GenConfig { max_ops: 24, kind, arch };
+        let cfg = GenConfig {
+            max_ops: 24,
+            kind,
+            arch,
+        };
         for seed in 0..50u64 {
             let p = generate(seed, &cfg);
             let k = assemble(&p);
             let mut geom = LaunchGeometry::new(p.grid_x, p.block_x);
             geom.gen = p.arch.tensor_gen();
-            lint(&format!("gen {kind:?}/{arch:?} seed {seed}"), &k, &geom, &mut failures);
+            lint(
+                &format!("gen {kind:?}/{arch:?} seed {seed}"),
+                &k,
+                &geom,
+                &mut failures,
+            );
         }
     }
-    assert!(failures.is_empty(), "generated kernels flagged:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "generated kernels flagged:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
 fn cutlass_family_is_verifier_clean() {
     let mut failures = Vec::new();
-    let eps = [Epilogue::None, Epilogue::Bias, Epilogue::Relu, Epilogue::BiasRelu];
+    let eps = [
+        Epilogue::None,
+        Epilogue::Bias,
+        Epilogue::Relu,
+        Epilogue::BiasRelu,
+    ];
 
     for ep in eps {
         for fp16 in [false, true] {
@@ -134,7 +161,11 @@ fn cutlass_family_is_verifier_clean() {
         &mut failures,
     );
 
-    assert!(failures.is_empty(), "cutlass kernels flagged:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "cutlass kernels flagged:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -143,7 +174,12 @@ fn nn_lowered_kernels_are_verifier_clean() {
 
     // The GEMM tiles tcsim-nn lowers linear/conv layers onto, with every
     // fused epilogue.
-    let eps = [Epilogue::None, Epilogue::Bias, Epilogue::Relu, Epilogue::BiasRelu];
+    let eps = [
+        Epilogue::None,
+        Epilogue::Bias,
+        Epilogue::Relu,
+        Epilogue::BiasRelu,
+    ];
     for tile in [Tile::Simple, Tile::Shared, Tile::Cutlass] {
         let (pm, pn) = (64usize, 64usize);
         for ep in eps {
@@ -212,7 +248,11 @@ fn nn_lowered_kernels_are_verifier_clean() {
         &mut failures,
     );
 
-    assert!(failures.is_empty(), "nn kernels flagged:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "nn kernels flagged:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -220,4 +260,149 @@ fn corpus_header_is_the_lint_sniff_marker() {
     // tcsim-lint sniffs files by this header when the extension is
     // unusual; keep the constant in sync with the corpus writer.
     assert!(corpus::HEADER.starts_with("// tcsim-check case"));
+}
+
+/// Runs the performance lints and formats findings for the golden list.
+fn perf_lint(name: &str, kernel: &Kernel, geom: &LaunchGeometry, found: &mut Vec<String>) {
+    use tcsim_verify::perf::{check_perf, PerfLimits};
+    for d in check_perf(kernel, geom, &PerfLimits::for_gen(geom.gen)) {
+        found.push(format!("{name}: {} @{}", d.rule, d.index));
+    }
+}
+
+#[test]
+fn shipped_kernels_match_pinned_perf_goldens() {
+    // The pinned baseline. These are real (if mild) findings, not false
+    // positives: the generated SIMT corpus kernels index output stores
+    // at a 32-byte lane stride (8 sectors where 4 would do), the shared
+    // and CUTLASS GEMMs stage f16 tiles without a swizzle (2-way bank
+    // conflicts on the column dimension), and the 64×64 CUTLASS tile's
+    // register appetite caps residency on a single-CTA launch.
+    let expected: Vec<&str> = vec![
+        "seed_mma_sparse.case: global-uncoalesced @22",
+        "seed_simt_a.case: global-uncoalesced @15",
+        "seed_simt_a.case: global-uncoalesced @56",
+        "seed_simt_a.case: global-uncoalesced @59",
+        "seed_simt_a.case: global-uncoalesced @62",
+        "seed_simt_a.case: global-uncoalesced @65",
+        "seed_simt_a.case: global-uncoalesced @68",
+        "seed_simt_a.case: global-uncoalesced @71",
+        "seed_simt_b.case: global-uncoalesced @51",
+        "seed_simt_b.case: global-uncoalesced @54",
+        "seed_simt_b.case: global-uncoalesced @57",
+        "seed_simt_b.case: global-uncoalesced @60",
+        "seed_simt_b.case: global-uncoalesced @63",
+        "seed_simt_b.case: global-uncoalesced @66",
+        "seed_wmma_b.case: global-uncoalesced @15",
+        "wmma_shared_gemm: shared-bank-conflict @43",
+        "cutlass_gemm: low-occupancy @0",
+        "cutlass_gemm: shared-bank-conflict @91",
+        "cutlass_gemm: shared-bank-conflict @94",
+        "cutlass_gemm: shared-bank-conflict @97",
+        "cutlass_gemm: shared-bank-conflict @100",
+        "cutlass_gemm: shared-bank-conflict @108",
+        "cutlass_gemm: shared-bank-conflict @111",
+        "cutlass_gemm: shared-bank-conflict @114",
+        "cutlass_gemm: shared-bank-conflict @117",
+    ];
+    let mut found = Vec::new();
+
+    // Committed corpus cases, under their recorded launch geometry.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = case_from_text(&text).unwrap();
+        let mut geom = LaunchGeometry::new(case.grid_x, case.block_x);
+        geom.gen = case.arch.tensor_gen();
+        perf_lint(
+            &path.file_name().unwrap().to_string_lossy(),
+            &case.kernel,
+            &geom,
+            &mut found,
+        );
+    }
+
+    // The GEMM family under representative launch geometries.
+    perf_lint(
+        "wmma_simple_gemm",
+        &wmma_simple_gemm_ep(false, Epilogue::None),
+        &LaunchGeometry::new((4u32, 4u32), 32u32),
+        &mut found,
+    );
+    perf_lint(
+        "wmma_shared_gemm",
+        &wmma_shared_gemm_ep(false, Epilogue::None),
+        &LaunchGeometry::new((2u32, 2u32), 128u32),
+        &mut found,
+    );
+    let cfg = CutlassConfig::default_64x64();
+    perf_lint(
+        "cutlass_gemm",
+        &cutlass_gemm_ep(cfg, Epilogue::None),
+        &LaunchGeometry::new((1u32, 1u32), cfg.threads() as u32),
+        &mut found,
+    );
+    perf_lint(
+        "sgemm",
+        &sgemm(),
+        &LaunchGeometry::new((4u32, 4u32), (16u32, 16u32)),
+        &mut found,
+    );
+    perf_lint(
+        "hgemm",
+        &hgemm(),
+        &LaunchGeometry::new((2u32, 4u32), (16u32, 16u32)),
+        &mut found,
+    );
+    perf_lint(
+        "igemm_wmma",
+        &igemm_wmma(),
+        &LaunchGeometry::new((4u32, 4u32), 32u32).turing(),
+        &mut found,
+    );
+
+    // The nn helper kernels.
+    let (c, h, w, k) = (2usize, 8usize, 8usize, 2usize);
+    perf_lint(
+        "maxpool",
+        &maxpool_kernel(c, h, w, k),
+        &LaunchGeometry::new(maxpool_grid(c, h, w, k), 32u32),
+        &mut found,
+    );
+    perf_lint(
+        "relu",
+        &relu_kernel(256),
+        &LaunchGeometry::new(relu_grid(256), 32u32),
+        &mut found,
+    );
+    perf_lint(
+        "softmax(c64)",
+        &softmax_kernel(64, 0.25),
+        &LaunchGeometry::new(rowred_grid(8), 32u32),
+        &mut found,
+    );
+    perf_lint(
+        "layernorm(c64)",
+        &layernorm_kernel(64, 1e-5),
+        &LaunchGeometry::new(rowred_grid(8), 32u32),
+        &mut found,
+    );
+    perf_lint(
+        "gelu",
+        &gelu_kernel(256),
+        &LaunchGeometry::new(elems_grid(256), 32u32),
+        &mut found,
+    );
+
+    assert_eq!(
+        found, expected,
+        "perf findings drifted from the pinned goldens; \
+         if the change is intentional, update the golden list"
+    );
 }
